@@ -1,0 +1,105 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * trust modulation schemes vs. the plain walk (how much each slows
+//!   mixing, and what each costs);
+//! * caveman rewiring probability (the knob controlling how slow the
+//!   strict-trust registry entries mix);
+//! * GateKeeper distributor count (admission cost vs. sample size);
+//! * SybilLimit instance count (the `r₀√m` rule vs. cheaper settings).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::NodeId;
+use socnet_gen::{barabasi_albert, relaxed_caveman};
+use socnet_mixing::{ModulatedOperator, TrustModulation};
+use socnet_sybil::{
+    AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilLimit, SybilLimitConfig,
+    SybilTopology,
+};
+
+fn modulation_schemes(c: &mut Criterion) {
+    let g = barabasi_albert(3_000, 6, &mut StdRng::seed_from_u64(1));
+    let mut group = c.benchmark_group("ablation/modulated-mixing-curve");
+    group.sample_size(10);
+    for (name, m) in [
+        ("uniform", TrustModulation::Uniform),
+        ("lazy-0.5", TrustModulation::Lazy { alpha: 0.5 }),
+        ("originator-0.2", TrustModulation::OriginatorBiased { beta: 0.2 }),
+        ("similarity", TrustModulation::SimilarityBiased),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, &m| {
+            let op = ModulatedOperator::new(&g, m);
+            b.iter(|| black_box(op.mixing_curve(NodeId(0), 30)))
+        });
+    }
+    group.finish();
+}
+
+fn caveman_rewiring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/caveman-rewire");
+    group.sample_size(10);
+    for p in [0.0f64, 0.05, 0.2] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                black_box(relaxed_caveman(300, 15, p, &mut StdRng::seed_from_u64(2)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn gatekeeper_distributors(c: &mut Criterion) {
+    let honest = barabasi_albert(3_000, 6, &mut StdRng::seed_from_u64(3));
+    let attacked = AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 60,
+            attack_edges: 10,
+            topology: SybilTopology::Clique,
+            seed: 4,
+        },
+    );
+    let mut group = c.benchmark_group("ablation/gatekeeper-distributors");
+    group.sample_size(10);
+    for m in [11usize, 33, 99] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let gk = GateKeeper::new(GateKeeperConfig { distributors: m, ..Default::default() });
+            b.iter(|| black_box(gk.run(&attacked)))
+        });
+    }
+    group.finish();
+}
+
+fn sybillimit_instances(c: &mut Criterion) {
+    let g = barabasi_albert(2_000, 6, &mut StdRng::seed_from_u64(5));
+    let mut group = c.benchmark_group("ablation/sybillimit-instances");
+    group.sample_size(10);
+    for r in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                black_box(SybilLimit::new(
+                    &g,
+                    SybilLimitConfig {
+                        instances: r,
+                        route_length: 8,
+                        balance_slack: 4.0,
+                        seed: 6,
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    modulation_schemes,
+    caveman_rewiring,
+    gatekeeper_distributors,
+    sybillimit_instances
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the centrality measures.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_centrality::{approximate_betweenness, betweenness, closeness, ClosenessMode};
+use socnet_gen::barabasi_albert;
+
+fn exact_betweenness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centrality/betweenness");
+    group.sample_size(10);
+    for n in [500usize, 2_000] {
+        let g = barabasi_albert(n, 6, &mut StdRng::seed_from_u64(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(betweenness(g)))
+        });
+    }
+    group.finish();
+}
+
+fn sampled_betweenness(c: &mut Criterion) {
+    let g = barabasi_albert(10_000, 6, &mut StdRng::seed_from_u64(2));
+    let mut group = c.benchmark_group("centrality/approx-betweenness");
+    group.sample_size(10);
+    for pivots in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(pivots), &pivots, |b, &p| {
+            b.iter(|| black_box(approximate_betweenness(&g, p, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn closeness_modes(c: &mut Criterion) {
+    let g = barabasi_albert(2_000, 6, &mut StdRng::seed_from_u64(3));
+    let mut group = c.benchmark_group("centrality/closeness-2k");
+    group.sample_size(10);
+    group.bench_function("classic", |b| {
+        b.iter(|| black_box(closeness(&g, ClosenessMode::Classic)))
+    });
+    group.bench_function("harmonic", |b| {
+        b.iter(|| black_box(closeness(&g, ClosenessMode::Harmonic)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, exact_betweenness, sampled_betweenness, closeness_modes);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the community machinery.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_community::{conductance, label_propagation, modularity, LocalCommunity};
+use socnet_core::NodeId;
+use socnet_gen::{planted_partition, relaxed_caveman};
+
+fn labelprop(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = planted_partition(50, 200, 0.03, 0.0005, &mut rng);
+    let mut group = c.benchmark_group("community/label-propagation");
+    group.sample_size(10);
+    group.bench_function("10k-nodes", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(label_propagation(&g, 30, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn quality_measures(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = relaxed_caveman(300, 20, 0.05, &mut rng);
+    let labels: Vec<u32> = (0..g.node_count()).map(|i| (i / 20) as u32).collect();
+    c.bench_function("community/modularity-6k", |b| {
+        b.iter(|| black_box(modularity(&g, &labels)))
+    });
+    let set: Vec<NodeId> = (0..200).map(NodeId).collect();
+    c.bench_function("community/conductance-6k", |b| {
+        b.iter(|| black_box(conductance(&g, &set)))
+    });
+}
+
+fn local_sweep(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = planted_partition(20, 250, 0.05, 0.001, &mut rng);
+    let mut group = c.benchmark_group("community/local-sweep");
+    group.sample_size(10);
+    group.bench_function("to-1000-of-5k", |b| {
+        b.iter(|| black_box(LocalCommunity::sweep(&g, NodeId(0), 1_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, labelprop, quality_measures, local_sweep);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the DHT substrate.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_dht::{DhtConfig, FingerStrategy, KeyRing, SocialDht};
+use socnet_gen::barabasi_albert;
+use socnet_sybil::{AttackedGraph, SybilAttack, SybilTopology};
+
+fn attacked() -> AttackedGraph {
+    let honest = barabasi_albert(5_000, 6, &mut StdRng::seed_from_u64(1));
+    AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 1_000,
+            attack_edges: 20,
+            topology: SybilTopology::ScaleFree { m_attach: 3 },
+            seed: 2,
+        },
+    )
+}
+
+fn build_tables(c: &mut Criterion) {
+    let a = attacked();
+    let mut group = c.benchmark_group("dht/build");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("uniform", FingerStrategy::Uniform),
+        ("walk8", FingerStrategy::SocialWalk { length: 8 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &strategy| {
+            b.iter(|| {
+                black_box(SocialDht::build(
+                    &a,
+                    &DhtConfig { fingers: 16, strategy, replication: 8, seed: 3 },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn lookups(c: &mut Criterion) {
+    let a = attacked();
+    let dht = SocialDht::build(
+        &a,
+        &DhtConfig {
+            fingers: 16,
+            strategy: FingerStrategy::SocialWalk { length: 8 },
+            replication: 8,
+            seed: 3,
+        },
+    );
+    let key = dht.ring().key(socnet_core::NodeId(123));
+    c.bench_function("dht/lookup-6k", |b| {
+        b.iter(|| black_box(dht.lookup(&a, socnet_core::NodeId(7), key, 40)))
+    });
+}
+
+fn keyring(c: &mut Criterion) {
+    let ring = KeyRing::generate(100_000, 5);
+    c.bench_function("dht/owner-100k", |b| b.iter(|| black_box(ring.owner(0xdead_beef))));
+}
+
+criterion_group!(benches, build_tables, lookups, keyring);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the directed-graph machinery.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_digraph::{strongly_connected_components, Digraph, DirectedWalk};
+use socnet_gen::barabasi_albert;
+
+fn build_digraph() -> Digraph {
+    let g = barabasi_albert(10_000, 6, &mut StdRng::seed_from_u64(1));
+    Digraph::from_undirected(&g)
+}
+
+fn scc(c: &mut Criterion) {
+    let g = build_digraph();
+    c.bench_function("digraph/tarjan-10k", |b| {
+        b.iter(|| black_box(strongly_connected_components(&g)))
+    });
+}
+
+fn surfer(c: &mut Criterion) {
+    let g = build_digraph();
+    let walk = DirectedWalk::new(&g, 0.15);
+    let n = g.node_count();
+    let mut x = vec![1.0 / n as f64; n];
+    let mut y = vec![0.0; n];
+    c.bench_function("digraph/surfer-step-10k", |b| {
+        b.iter(|| {
+            walk.step(&x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+            black_box(x[0])
+        })
+    });
+
+    let mut group = c.benchmark_group("digraph/pagerank");
+    group.sample_size(10);
+    group.bench_function("stationary-10k", |b| {
+        b.iter(|| black_box(walk.stationary(1e-9, 10_000)))
+    });
+    group.finish();
+}
+
+fn construction(c: &mut Criterion) {
+    let und = barabasi_albert(10_000, 6, &mut StdRng::seed_from_u64(2));
+    c.bench_function("digraph/from-undirected-10k", |b| {
+        b.iter(|| black_box(Digraph::from_undirected(&und)))
+    });
+}
+
+criterion_group!(benches, scc, surfer, construction);
+criterion_main!(benches);

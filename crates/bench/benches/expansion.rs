@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the expansion estimators (E5/E6 kernels).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::NodeId;
+use socnet_expansion::{sampled_set_expansion, EnvelopeExpansion, ExpansionSweep, SourceSelection};
+use socnet_gen::barabasi_albert;
+
+fn per_source(c: &mut Criterion) {
+    let g = barabasi_albert(20_000, 8, &mut StdRng::seed_from_u64(1));
+    c.bench_function("expansion/envelope-20k", |b| {
+        b.iter(|| black_box(EnvelopeExpansion::measure(&g, NodeId(7))))
+    });
+}
+
+fn sweep(c: &mut Criterion) {
+    let g = barabasi_albert(5_000, 8, &mut StdRng::seed_from_u64(2));
+    let mut group = c.benchmark_group("expansion/sweep");
+    group.sample_size(10);
+    group.bench_function("sample200-5k", |b| {
+        b.iter(|| black_box(ExpansionSweep::measure(&g, SourceSelection::Sample(200), 1)))
+    });
+    group.finish();
+}
+
+fn random_sets(c: &mut Criterion) {
+    let g = barabasi_albert(5_000, 8, &mut StdRng::seed_from_u64(3));
+    c.bench_function("expansion/random-sets-5k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            black_box(sampled_set_expansion(&g, 64, 20, &mut rng))
+        })
+    });
+}
+
+criterion_group!(benches, per_source, sweep, random_sets);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the graph generators.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_gen::{
+    barabasi_albert, erdos_renyi_gnp, holme_kim, planted_partition, relaxed_caveman,
+    watts_strogatz, Dataset,
+};
+
+fn families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen/families-10k");
+    group.bench_function("erdos-renyi", |b| {
+        b.iter(|| black_box(erdos_renyi_gnp(10_000, 0.001, &mut StdRng::seed_from_u64(1))))
+    });
+    group.bench_function("barabasi-albert", |b| {
+        b.iter(|| black_box(barabasi_albert(10_000, 5, &mut StdRng::seed_from_u64(1))))
+    });
+    group.bench_function("holme-kim", |b| {
+        b.iter(|| black_box(holme_kim(10_000, 5, 0.5, &mut StdRng::seed_from_u64(1))))
+    });
+    group.bench_function("watts-strogatz", |b| {
+        b.iter(|| black_box(watts_strogatz(10_000, 10, 0.1, &mut StdRng::seed_from_u64(1))))
+    });
+    group.bench_function("caveman", |b| {
+        b.iter(|| black_box(relaxed_caveman(500, 20, 0.05, &mut StdRng::seed_from_u64(1))))
+    });
+    group.bench_function("planted-partition", |b| {
+        b.iter(|| {
+            black_box(planted_partition(50, 200, 0.03, 0.001, &mut StdRng::seed_from_u64(1)))
+        })
+    });
+    group.finish();
+}
+
+fn registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen/registry");
+    group.sample_size(10);
+    for d in [Dataset::WikiVote, Dataset::Physics1, Dataset::RiceGrad] {
+        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &d, |b, &d| {
+            b.iter(|| black_box(d.generate_scaled(0.25, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, families, registry);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the graph substrate: construction, BFS,
+//! components, and triangle counting.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::{bfs, connected_components, triangle_count, GraphBuilder, NodeId};
+use socnet_gen::barabasi_albert;
+
+fn build_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/build");
+    for n in [1_000usize, 10_000] {
+        let g = barabasi_albert(n, 8, &mut StdRng::seed_from_u64(1));
+        let edges: Vec<(u32, u32)> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
+            b.iter(|| {
+                let mut builder = GraphBuilder::with_capacity(n, edges.len());
+                builder.extend_edges(edges.iter().copied());
+                black_box(builder.build())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn traversal(c: &mut Criterion) {
+    let g = barabasi_albert(20_000, 8, &mut StdRng::seed_from_u64(2));
+    c.bench_function("graph/bfs-20k", |b| b.iter(|| black_box(bfs(&g, NodeId(0)))));
+    c.bench_function("graph/components-20k", |b| {
+        b.iter(|| black_box(connected_components(&g)))
+    });
+}
+
+fn triangles(c: &mut Criterion) {
+    let g = barabasi_albert(4_000, 6, &mut StdRng::seed_from_u64(3));
+    c.bench_function("graph/triangles-4k", |b| b.iter(|| black_box(triangle_count(&g))));
+}
+
+fn neighbor_queries(c: &mut Criterion) {
+    let g = barabasi_albert(10_000, 8, &mut StdRng::seed_from_u64(4));
+    c.bench_function("graph/has-edge-10k", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..1_000u32 {
+                if g.has_edge(NodeId(i), NodeId((i * 7 + 1) % 10_000)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, build_graph, traversal, triangles, neighbor_queries);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmarks of the k-core decomposition (E3/E7 kernels).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_gen::{barabasi_albert, relaxed_caveman};
+use socnet_kcore::{core_profiles, coreness_ecdf, CoreDecomposition};
+
+fn decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kcore/decompose");
+    for n in [10_000usize, 50_000] {
+        let g = barabasi_albert(n, 8, &mut StdRng::seed_from_u64(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(CoreDecomposition::compute(g)))
+        });
+    }
+    group.finish();
+}
+
+fn profiles(c: &mut Criterion) {
+    let g = relaxed_caveman(400, 15, 0.05, &mut StdRng::seed_from_u64(2));
+    let d = CoreDecomposition::compute(&g);
+    c.bench_function("kcore/profiles-6k", |b| b.iter(|| black_box(core_profiles(&g, &d))));
+    c.bench_function("kcore/ecdf-6k", |b| b.iter(|| black_box(coreness_ecdf(&d))));
+}
+
+criterion_group!(benches, decomposition, profiles);
+criterion_main!(benches);

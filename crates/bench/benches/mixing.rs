@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the mixing-time machinery (E1/E2 kernels).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_gen::barabasi_albert;
+use socnet_mixing::{
+    slem, stationary_distribution, MixingConfig, MixingMeasurement, SpectralConfig, WalkOperator,
+};
+
+fn walk_step(c: &mut Criterion) {
+    let g = barabasi_albert(20_000, 8, &mut StdRng::seed_from_u64(1));
+    let op = WalkOperator::new(&g);
+    let pi = stationary_distribution(&g);
+    let mut x = pi.as_slice().to_vec();
+    let mut y = vec![0.0; x.len()];
+    c.bench_function("mixing/step-20k", |b| {
+        b.iter(|| {
+            op.step(&x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+            black_box(x[0])
+        })
+    });
+}
+
+fn sampling_method(c: &mut Criterion) {
+    let g = barabasi_albert(5_000, 8, &mut StdRng::seed_from_u64(2));
+    let mut group = c.benchmark_group("mixing/sampling");
+    group.sample_size(10);
+    group.bench_function("10src-x-50steps-5k", |b| {
+        b.iter(|| {
+            black_box(MixingMeasurement::measure(
+                &g,
+                &MixingConfig { sources: 10, max_walk: 50, laziness: 0.0, seed: 1 },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn spectral(c: &mut Criterion) {
+    let g = barabasi_albert(5_000, 8, &mut StdRng::seed_from_u64(3));
+    let mut group = c.benchmark_group("mixing/spectral");
+    group.sample_size(10);
+    group.bench_function("slem-5k", |b| {
+        b.iter(|| black_box(slem(&g, &SpectralConfig { tolerance: 1e-8, ..Default::default() })))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, walk_step, sampling_method, spectral);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the Sybil defenses (E4/E8 kernels).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::NodeId;
+use socnet_gen::barabasi_albert;
+use socnet_sybil::{
+    AttackedGraph, GateKeeper, GateKeeperConfig, RouteTables, SumUp, SumUpConfig, SybilAttack,
+    SybilInfer, SybilInferConfig, SybilLimit, SybilLimitConfig, SybilTopology,
+};
+
+fn attacked() -> AttackedGraph {
+    let honest = barabasi_albert(5_000, 8, &mut StdRng::seed_from_u64(1));
+    AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 100,
+            attack_edges: 20,
+            topology: SybilTopology::ErdosRenyi { p: 0.1 },
+            seed: 2,
+        },
+    )
+}
+
+fn gatekeeper(c: &mut Criterion) {
+    let a = attacked();
+    let mut group = c.benchmark_group("sybil/gatekeeper");
+    group.sample_size(10);
+    group.bench_function("33dist-5k", |b| {
+        let gk = GateKeeper::new(GateKeeperConfig { distributors: 33, ..Default::default() });
+        b.iter(|| black_box(gk.run(&a)))
+    });
+    group.finish();
+}
+
+fn routes(c: &mut Criterion) {
+    let a = attacked();
+    let g = a.graph();
+    c.bench_function("sybil/route-tables-5k", |b| {
+        b.iter(|| black_box(RouteTables::generate(g, &mut StdRng::seed_from_u64(3))))
+    });
+    let tables = RouteTables::generate(g, &mut StdRng::seed_from_u64(3));
+    c.bench_function("sybil/one-route-w200", |b| {
+        b.iter(|| black_box(tables.route(g, NodeId(0), 0, 200)))
+    });
+}
+
+fn sybillimit(c: &mut Criterion) {
+    let a = attacked();
+    let mut group = c.benchmark_group("sybil/sybillimit");
+    group.sample_size(10);
+    group.bench_function("setup-48inst-5k", |b| {
+        b.iter(|| {
+            black_box(SybilLimit::new(
+                a.graph(),
+                SybilLimitConfig { instances: 48, route_length: 10, balance_slack: 4.0, seed: 4 },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn sybilinfer_and_sumup(c: &mut Criterion) {
+    let a = attacked();
+    let g = a.graph();
+    let mut group = c.benchmark_group("sybil/inference");
+    group.sample_size(10);
+    group.bench_function("sybilinfer-20kwalks-5k", |b| {
+        b.iter(|| {
+            black_box(SybilInfer::infer(
+                g,
+                NodeId(0),
+                &SybilInferConfig { walks: 20_000, walk_length: 10, seed: 5 },
+            ))
+        })
+    });
+    group.bench_function("sumup-5k", |b| {
+        let voters: Vec<NodeId> = g.nodes().collect();
+        let sumup = SumUp::new(SumUpConfig { expected_votes: 2_000, seed: 0 });
+        b.iter(|| black_box(sumup.collect(g, NodeId(0), &voters)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gatekeeper, routes, sybillimit, sybilinfer_and_sumup);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Science ablations A1–A4: the *effect* of each design knob DESIGN.md
+//! calls out (the criterion `ablation` bench measures their *cost*).
+//!
+//! * A1 — trust-modulation schemes vs. mixing speed (the rationale of
+//!   the paper's reference 16);
+//! * A2 — caveman rewiring probability vs. the SLEM (the knob that
+//!   makes the strict-trust registry entries slow);
+//! * A3 — GateKeeper distributor count vs. admission quality;
+//! * A4 — SybilLimit instance count vs. honest/Sybil acceptance (the
+//!   `r₀√m` rule made visible).
+
+use socnet_bench::{cell, fmt_f64, ExperimentArgs, TableView};
+use socnet_core::NodeId;
+use socnet_gen::{heterogeneous_caveman, Dataset};
+use socnet_mixing::{slem, ModulatedOperator, SpectralConfig, TrustModulation};
+use socnet_sybil::{
+    eval, AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilLimit,
+    SybilLimitConfig, SybilTopology,
+};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    modulation_schemes(&args);
+    caveman_rewiring(&args);
+    gatekeeper_distributors(&args);
+    sybillimit_instances(&args);
+}
+
+/// A1: per-scheme TVD curves on one weak-trust dataset.
+fn modulation_schemes(args: &ExperimentArgs) {
+    let g = Dataset::WikiVote.generate_scaled(0.2 * args.scale, args.seed);
+    let schemes: [(&str, TrustModulation); 4] = [
+        ("uniform", TrustModulation::Uniform),
+        ("lazy-0.5", TrustModulation::Lazy { alpha: 0.5 }),
+        ("originator-0.2", TrustModulation::OriginatorBiased { beta: 0.2 }),
+        ("similarity", TrustModulation::SimilarityBiased),
+    ];
+    let mut headers = vec!["walk-length".to_string()];
+    headers.extend(schemes.iter().map(|(n, _)| n.to_string()));
+    let mut table = TableView::new(
+        format!("A1: trust modulation on {} (n = {})", Dataset::WikiVote.name(), g.node_count()),
+        headers,
+    );
+    let curves: Vec<Vec<f64>> = schemes
+        .iter()
+        .map(|&(_, m)| ModulatedOperator::new(&g, m).mixing_curve(NodeId(0), 40))
+        .collect();
+    for t in [1usize, 2, 5, 10, 20, 40] {
+        let mut row = vec![cell(t)];
+        row.extend(curves.iter().map(|c| fmt_f64(c[t - 1])));
+        table.push_row(row);
+    }
+    table.print();
+    emit(&table, args, "ablation_a1");
+}
+
+/// A2: SLEM as a function of the caveman rewiring probability.
+fn caveman_rewiring(args: &ExperimentArgs) {
+    let cliques = (330.0 * args.scale * 0.2).max(10.0) as usize;
+    let mut table = TableView::new(
+        format!("A2: caveman rewiring vs SLEM ({cliques} cliques, sizes 3..22)"),
+        vec!["rewire-p".into(), "mu".into(), "gap".into()],
+    );
+    for p in [0.0, 0.02, 0.05, 0.1, 0.2, 0.4] {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);
+        let g = heterogeneous_caveman(cliques, 3, 22, p, &mut rng);
+        let (g, _) = socnet_core::largest_component(&g);
+        let s = slem(&g, &SpectralConfig::default());
+        table.push_row(vec![fmt_f64(p), fmt_f64(s.slem()), fmt_f64(s.gap())]);
+    }
+    table.print();
+    emit(&table, args, "ablation_a2");
+}
+
+/// A3: GateKeeper quality vs distributor count.
+fn gatekeeper_distributors(args: &ExperimentArgs) {
+    let honest = Dataset::Epinion.generate_scaled(0.2 * args.scale, args.seed);
+    let attacked = AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 100,
+            attack_edges: 15,
+            topology: SybilTopology::ErdosRenyi { p: 0.1 },
+            seed: args.seed,
+        },
+    );
+    let mut table = TableView::new(
+        format!("A3: GateKeeper distributors on {} (f = 0.2)", Dataset::Epinion.name()),
+        vec!["distributors".into(), "honest-accept".into(), "sybil-per-edge".into()],
+    );
+    for m in [5usize, 11, 33, 99, 297] {
+        let out = GateKeeper::new(GateKeeperConfig {
+            distributors: m,
+            f_admit: 0.2,
+            seed: args.seed,
+            ..Default::default()
+        })
+        .run(&attacked);
+        let s = eval::admission_stats(&attacked, out.admitted());
+        table.push_row(vec![
+            cell(m),
+            format!("{:.1}%", 100.0 * s.honest_accept_rate),
+            fmt_f64(s.sybils_per_attack_edge),
+        ]);
+    }
+    table.print();
+    emit(&table, args, "ablation_a3");
+}
+
+/// A4: SybilLimit acceptance vs instance count, against the r0*sqrt(m) rule.
+fn sybillimit_instances(args: &ExperimentArgs) {
+    let honest = Dataset::WikiVote.generate_scaled(0.15 * args.scale, args.seed);
+    let attacked = AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 100,
+            attack_edges: 15,
+            topology: SybilTopology::ErdosRenyi { p: 0.1 },
+            seed: args.seed,
+        },
+    );
+    let g = attacked.graph();
+    let recommended = SybilLimitConfig::recommended_instances(g.edge_count());
+    let everyone: Vec<NodeId> = g.nodes().collect();
+    let mut table = TableView::new(
+        format!(
+            "A4: SybilLimit instances on {} (recommended r = {recommended})",
+            Dataset::WikiVote.name()
+        ),
+        vec!["instances".into(), "honest-accept".into(), "sybil-per-edge".into()],
+    );
+    for r in [recommended / 8, recommended / 4, recommended / 2, recommended, 2 * recommended] {
+        let sl = SybilLimit::new(
+            g,
+            SybilLimitConfig {
+                instances: r.max(1),
+                route_length: 10,
+                balance_slack: 4.0,
+                seed: args.seed,
+            },
+        );
+        let verdict = sl.verify_all(NodeId(0), &everyone);
+        let s = eval::admission_stats(&attacked, &verdict);
+        table.push_row(vec![
+            cell(r.max(1)),
+            format!("{:.1}%", 100.0 * s.honest_accept_rate),
+            fmt_f64(s.sybils_per_attack_edge),
+        ]);
+    }
+    table.print();
+    emit(&table, args, "ablation_a4");
+}
+
+fn emit(table: &TableView, args: &ExperimentArgs, stem: &str) {
+    match table.write_csv(&args.out_dir, stem) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 3 — expansion of node sets: for envelopes grown from every
+//! core node (or a sample on large graphs), the minimum, mean, and
+//! maximum number of neighbors per envelope size. One panel per dataset,
+//! (a) through (j).
+
+use socnet_bench::{cell, fmt_f64, panels, ExperimentArgs, TableView};
+use socnet_expansion::{ExpansionSweep, SourceSelection};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    for (i, &d) in panels::FIG3.iter().enumerate() {
+        let g = args.dataset(d);
+        // The paper uses every node as a core; that is O(nm). Keep it for
+        // small graphs, sample on large ones (documented in DESIGN.md).
+        let budget = args.sources.max(500);
+        let selection = if g.node_count() <= budget {
+            SourceSelection::All
+        } else {
+            SourceSelection::Sample(budget)
+        };
+        let sweep = ExpansionSweep::measure(&g, selection, args.seed);
+        eprintln!(
+            "  {}: n = {}, cores = {}, set sizes = {}",
+            d.name(),
+            g.node_count(),
+            sweep.source_count(),
+            sweep.stats().len()
+        );
+
+        let panel = (b'a' + i as u8) as char;
+        let title = format!("Figure 3({panel}): {}", d.name());
+        let headers: Vec<String> =
+            ["set-size", "min-neighbors", "mean-neighbors", "max-neighbors", "samples"]
+                .map(String::from)
+                .to_vec();
+        let mut csv = TableView::new(title.clone(), headers.clone());
+        let mut table = TableView::new(title, headers);
+        let stride = (sweep.stats().len() / 10).max(1);
+        for (j, s) in sweep.stats().iter().enumerate() {
+            let row = vec![
+                cell(s.set_size),
+                cell(s.min),
+                fmt_f64(s.mean),
+                cell(s.max),
+                cell(s.samples),
+            ];
+            if j % stride == 0 || j + 1 == sweep.stats().len() {
+                table.push_row(row.clone());
+            }
+            csv.push_row(row);
+        }
+        match csv.write_csv(&args.out_dir, &format!("fig3{panel}")) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 4 — expected expansion factor `E[|N(S)|]/|S|` as a function of
+//! set size, comparing datasets against each other. Panel (a) covers the
+//! small datasets, panel (b) the medium ones.
+
+use socnet_bench::{cell, fmt_f64, panels, ExperimentArgs, TableView};
+use socnet_expansion::{ExpansionSweep, SourceSelection};
+use socnet_gen::Dataset;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    run_panel("fig4a", "Figure 4(a): small datasets", &panels::FIG4_SMALL, &args);
+    run_panel("fig4b", "Figure 4(b): medium datasets", &panels::FIG4_MEDIUM, &args);
+}
+
+fn run_panel(stem: &str, title: &str, datasets: &[Dataset], args: &ExperimentArgs) {
+    // Measure each dataset's expansion-factor curve, then align them on a
+    // common grid of relative set sizes so the comparison reads like the
+    // paper's overlaid plot.
+    let mut curves: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut max_size = 0usize;
+    for &d in datasets {
+        let g = args.dataset(d);
+        let budget = args.sources.max(500);
+        let selection = if g.node_count() <= budget {
+            SourceSelection::All
+        } else {
+            SourceSelection::Sample(budget)
+        };
+        let sweep = ExpansionSweep::measure(&g, selection, args.seed);
+        let curve = sweep.expansion_factor_curve();
+        if let Some(&(last, _)) = curve.last() {
+            max_size = max_size.max(last);
+        }
+        eprintln!(
+            "  {}: n = {}, peak alpha = {:.3}",
+            d.name(),
+            g.node_count(),
+            curve.iter().map(|&(_, a)| a).fold(0.0, f64::max)
+        );
+        curves.push(curve);
+    }
+
+    let mut headers = vec!["set-size".to_string()];
+    headers.extend(datasets.iter().map(|d| d.name().to_string()));
+    let mut csv = TableView::new(title, headers.clone());
+    let mut table = TableView::new(title, headers);
+
+    // Log-spaced grid of set sizes, interpolating each curve by its
+    // nearest measured set size at or below the grid point.
+    let mut grid: Vec<usize> = Vec::new();
+    let mut s = 1usize;
+    while s <= max_size {
+        grid.push(s);
+        s = ((s as f64) * 1.6).ceil() as usize;
+    }
+    for (i, &size) in grid.iter().enumerate() {
+        let mut row = vec![cell(size)];
+        for curve in &curves {
+            let at = curve
+                .iter()
+                .take_while(|&&(sz, _)| sz <= size)
+                .last()
+                .map(|&(_, a)| a);
+            row.push(at.map(fmt_f64).unwrap_or_else(|| "-".into()));
+        }
+        csv.push_row(row.clone());
+        if i % 2 == 0 || i + 1 == grid.len() {
+            table.push_row(row);
+        }
+    }
+    match csv.write_csv(&args.out_dir, stem) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    table.print();
+}

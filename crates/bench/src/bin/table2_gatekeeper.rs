@@ -1,0 +1,68 @@
+//! Table II — GateKeeper on four social graphs with different mixing
+//! characteristics: honest acceptance (percent of the whole honest
+//! graph) and Sybils admitted per attack edge, for admission thresholds
+//! `f ∈ {0.1, 0.2, 0.4}`. Attackers are selected randomly and 99
+//! distributors are sampled in each case, as in the paper.
+
+use socnet_bench::{cell, fmt_f64, panels, ExperimentArgs, TableView};
+use socnet_sybil::{
+    eval, AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilTopology,
+};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let mut headers = vec!["dataset".to_string(), "attack-edges".into(), "accept".into()];
+    headers.extend(panels::TABLE2_F.iter().map(|f| format!("f={f}")));
+    let mut table =
+        TableView::new("Table II: GateKeeper admission under Sybil attack", headers);
+
+    for &(d, attack_edges) in &panels::TABLE2 {
+        let honest = args.dataset(d);
+        let attack_edges = ((attack_edges as f64 * args.scale).round() as usize).max(1);
+        let attack = SybilAttack {
+            sybil_count: 100,
+            attack_edges,
+            topology: SybilTopology::ErdosRenyi { p: 0.1 },
+            seed: args.seed,
+        };
+        let attacked = AttackedGraph::mount(&honest, &attack);
+        eprintln!(
+            "  {}: honest n = {}, sybils = {}, attack edges = {}",
+            d.name(),
+            attacked.honest_count(),
+            attacked.sybil_count(),
+            attack_edges
+        );
+
+        let mut honest_row =
+            vec![cell(d.name()), cell(attack_edges), "Honest %".to_string()];
+        let mut sybil_row =
+            vec![cell(d.name()), cell(attack_edges), "Sybil/edge".to_string()];
+        for &f in &panels::TABLE2_F {
+            let gk = GateKeeper::new(GateKeeperConfig {
+                distributors: 99,
+                f_admit: f,
+                coverage: 0.5,
+                sample_walk_length: 25,
+                seed: args.seed,
+            });
+            let outcome = gk.run(&attacked);
+            let stats = eval::admission_stats(&attacked, outcome.admitted());
+            honest_row.push(format!("{:.1}%", 100.0 * stats.honest_accept_rate));
+            sybil_row.push(fmt_f64(stats.sybils_per_attack_edge));
+            eprintln!(
+                "    f = {f}: honest {:.1}%, sybil/edge {:.2}",
+                100.0 * stats.honest_accept_rate,
+                stats.sybils_per_attack_edge
+            );
+        }
+        table.push_row(honest_row);
+        table.push_row(sybil_row);
+    }
+
+    table.print();
+    match table.write_csv(&args.out_dir, "table2") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,252 @@
+//! Shortest-path betweenness centrality (Brandes 2001).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::{sample_nodes, Graph, NodeId};
+
+/// Exact betweenness centrality of every node.
+///
+/// For each source, runs one BFS plus Brandes' dependency accumulation;
+/// sources are processed in parallel across available cores. Scores use
+/// the undirected convention (each pair counted once), so the path graph
+/// `0–1–2` gives node 1 a score of exactly 1.
+///
+/// Cost is `O(n·m)`; use [`approximate_betweenness`] beyond ~10⁵ edges.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_centrality::betweenness;
+/// use socnet_core::Graph;
+///
+/// // A star: the hub lies on every leaf-to-leaf shortest path.
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+/// let b = betweenness(&g);
+/// assert_eq!(b[0], 3.0); // C(3,2) leaf pairs
+/// assert_eq!(&b[1..], &[0.0, 0.0, 0.0]);
+/// ```
+pub fn betweenness(graph: &Graph) -> Vec<f64> {
+    let sources: Vec<NodeId> = graph.nodes().collect();
+    accumulate(graph, &sources, 1.0)
+}
+
+/// Sampled betweenness centrality from `pivots` random sources,
+/// rescaled by `n / pivots` so scores estimate the exact values.
+///
+/// # Panics
+///
+/// Panics if `pivots == 0` or the graph is empty.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_centrality::{approximate_betweenness, betweenness};
+/// use socnet_gen::barbell;
+///
+/// let g = barbell(6, 2);
+/// let exact = betweenness(&g);
+/// let approx = approximate_betweenness(&g, g.node_count(), 1);
+/// // Sampling every node (without replacement) is exact.
+/// for (e, a) in exact.iter().zip(&approx) {
+///     assert!((e - a).abs() < 1e-9);
+/// }
+/// ```
+pub fn approximate_betweenness(graph: &Graph, pivots: usize, seed: u64) -> Vec<f64> {
+    assert!(pivots > 0, "need at least one pivot");
+    assert!(graph.node_count() > 0, "graph must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sources = sample_nodes(graph, pivots, &mut rng);
+    let scale = graph.node_count() as f64 / sources.len() as f64;
+    accumulate(graph, &sources, scale)
+}
+
+/// Shared Brandes accumulation over an explicit source set.
+fn accumulate(graph: &Graph, sources: &[NodeId], scale: f64) -> Vec<f64> {
+    let n = graph.node_count();
+    if n == 0 || sources.is_empty() {
+        return vec![0.0; n];
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let chunk = sources.len().div_ceil(threads);
+    let total = parking_lot::Mutex::new(vec![0.0f64; n]);
+
+    crossbeam::thread::scope(|scope| {
+        for src_chunk in sources.chunks(chunk) {
+            let total = &total;
+            scope.spawn(move |_| {
+                let mut local = vec![0.0f64; n];
+                let mut state = BrandesState::new(n);
+                for &s in src_chunk {
+                    state.run(graph, s, &mut local);
+                }
+                let mut t = total.lock();
+                for (acc, l) in t.iter_mut().zip(&local) {
+                    *acc += l;
+                }
+            });
+        }
+    })
+    .expect("betweenness worker panicked");
+
+    let mut out = total.into_inner();
+    // Each unordered pair was seen from both endpoints when all sources
+    // are used; the undirected convention halves the accumulation.
+    for b in out.iter_mut() {
+        *b *= 0.5 * scale;
+    }
+    out
+}
+
+/// Reusable per-thread Brandes buffers.
+struct BrandesState {
+    dist: Vec<i32>,
+    sigma: Vec<f64>,
+    delta: Vec<f64>,
+    preds: Vec<Vec<NodeId>>,
+    order: Vec<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+impl BrandesState {
+    fn new(n: usize) -> Self {
+        BrandesState {
+            dist: vec![-1; n],
+            sigma: vec![0.0; n],
+            delta: vec![0.0; n],
+            preds: vec![Vec::new(); n],
+            order: Vec::with_capacity(n),
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn run(&mut self, graph: &Graph, s: NodeId, acc: &mut [f64]) {
+        self.dist.fill(-1);
+        self.sigma.fill(0.0);
+        self.delta.fill(0.0);
+        for p in self.preds.iter_mut() {
+            p.clear();
+        }
+        self.order.clear();
+        self.queue.clear();
+
+        self.dist[s.index()] = 0;
+        self.sigma[s.index()] = 1.0;
+        self.queue.push_back(s);
+        while let Some(v) = self.queue.pop_front() {
+            self.order.push(v);
+            let dv = self.dist[v.index()];
+            for &w in graph.neighbors(v) {
+                if self.dist[w.index()] < 0 {
+                    self.dist[w.index()] = dv + 1;
+                    self.queue.push_back(w);
+                }
+                if self.dist[w.index()] == dv + 1 {
+                    self.sigma[w.index()] += self.sigma[v.index()];
+                    self.preds[w.index()].push(v);
+                }
+            }
+        }
+        // Dependency accumulation in reverse BFS order.
+        for &w in self.order.iter().rev() {
+            let coeff = (1.0 + self.delta[w.index()]) / self.sigma[w.index()];
+            for i in 0..self.preds[w.index()].len() {
+                let v = self.preds[w.index()][i];
+                self.delta[v.index()] += self.sigma[v.index()] * coeff;
+            }
+            if w != s {
+                acc[w.index()] += self.delta[w.index()];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{complete, grid, path, ring};
+
+    #[test]
+    fn path_interior_scores() {
+        // Path 0-1-2-3-4: node i lies on (i)(n-1-i) pairs' paths.
+        let g = path(5);
+        let b = betweenness(&g);
+        assert_eq!(b, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn ring_symmetry() {
+        let g = ring(8);
+        let b = betweenness(&g);
+        for w in b.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9, "ring nodes are equivalent");
+        }
+        assert!(b[0] > 0.0);
+    }
+
+    #[test]
+    fn complete_graph_has_zero_betweenness() {
+        let g = complete(7);
+        let b = betweenness(&g);
+        assert!(b.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn bridge_node_dominates() {
+        let g = socnet_gen::barbell(4, 1);
+        let b = betweenness(&g);
+        let bridge = 4; // the single path node between the cliques
+        let max = b.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(b[bridge], max, "bridge carries all cross-clique paths");
+        // Exactly 4*4 = 16 cross pairs route through it.
+        assert!((b[bridge] - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_shortest_paths_split_credit() {
+        // A 4-cycle: between opposite corners there are two paths, so each
+        // intermediate node gets half a pair.
+        let g = ring(4);
+        let b = betweenness(&g);
+        for &x in &b {
+            assert!((x - 0.5).abs() < 1e-9, "got {x}");
+        }
+    }
+
+    #[test]
+    fn disconnected_components_do_not_interact() {
+        let g = socnet_core::Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let b = betweenness(&g);
+        assert_eq!(b, vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn approximation_converges_on_grid() {
+        let g = grid(6, 6);
+        let exact = betweenness(&g);
+        let approx = approximate_betweenness(&g, 36, 9); // all pivots
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!((e - a).abs() < 1e-9);
+        }
+        // A strict sample correlates strongly with the exact values.
+        let sampled = approximate_betweenness(&g, 18, 9);
+        let top_exact = exact
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let rank_of_top: usize = sampled
+            .iter()
+            .filter(|&&s| s > sampled[top_exact])
+            .count();
+        assert!(rank_of_top < 8, "exact top node should stay near the top, rank {rank_of_top}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pivot")]
+    fn zero_pivots_panics() {
+        let _ = approximate_betweenness(&path(3), 0, 0);
+    }
+}

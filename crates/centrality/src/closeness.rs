@@ -1,0 +1,162 @@
+//! Closeness centrality, exact and harmonic.
+
+use socnet_core::{Bfs, Graph, NodeId};
+
+/// Which closeness definition to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClosenessMode {
+    /// Classic closeness `(r - 1) / Σ d(v, u)`, additionally scaled by
+    /// `(r - 1)/(n - 1)` (the Wasserman–Faust correction) so scores are
+    /// comparable across components of different sizes `r`.
+    Classic,
+    /// Harmonic closeness `Σ 1/d(v, u) / (n - 1)`, well-defined on
+    /// disconnected graphs without correction.
+    Harmonic,
+}
+
+/// Closeness centrality of every node under the chosen mode.
+///
+/// One BFS per node (`O(n·m)` total), parallelized across cores.
+/// Isolated nodes score 0.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_centrality::{closeness, ClosenessMode};
+/// use socnet_core::Graph;
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+/// let c = closeness(&g, ClosenessMode::Classic);
+/// assert!(c[1] > c[0], "the center is closest to everyone");
+/// ```
+pub fn closeness(graph: &Graph, mode: ClosenessMode) -> Vec<f64> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sources: Vec<NodeId> = graph.nodes().collect();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let chunk = sources.len().div_ceil(threads);
+    let scores = parking_lot::Mutex::new(vec![0.0f64; n]);
+
+    crossbeam::thread::scope(|scope| {
+        for src_chunk in sources.chunks(chunk) {
+            let scores = &scores;
+            scope.spawn(move |_| {
+                let mut bfs = Bfs::new(graph);
+                let mut local: Vec<(usize, f64)> = Vec::with_capacity(src_chunk.len());
+                for &s in src_chunk {
+                    let levels = bfs.level_sizes(graph, s);
+                    let reached: usize = levels.iter().sum();
+                    let score = match mode {
+                        ClosenessMode::Classic => {
+                            let total: usize =
+                                levels.iter().enumerate().map(|(d, &c)| d * c).sum();
+                            if total == 0 || n < 2 {
+                                0.0
+                            } else {
+                                let r = reached as f64;
+                                ((r - 1.0) / total as f64) * ((r - 1.0) / (n as f64 - 1.0))
+                            }
+                        }
+                        ClosenessMode::Harmonic => {
+                            let sum: f64 = levels
+                                .iter()
+                                .enumerate()
+                                .skip(1)
+                                .map(|(d, &c)| c as f64 / d as f64)
+                                .sum();
+                            if n < 2 {
+                                0.0
+                            } else {
+                                sum / (n as f64 - 1.0)
+                            }
+                        }
+                    };
+                    local.push((s.index(), score));
+                }
+                let mut out = scores.lock();
+                for (i, v) in local {
+                    out[i] = v;
+                }
+            });
+        }
+    })
+    .expect("closeness worker panicked");
+
+    scores.into_inner()
+}
+
+/// Harmonic closeness, the disconnected-graph-safe variant.
+///
+/// Convenience wrapper around [`closeness`] with
+/// [`ClosenessMode::Harmonic`].
+pub fn harmonic_closeness(graph: &Graph) -> Vec<f64> {
+    closeness(graph, ClosenessMode::Harmonic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{complete, path, star};
+
+    #[test]
+    fn star_hub_is_closest() {
+        let g = star(6);
+        let c = closeness(&g, ClosenessMode::Classic);
+        assert!((c[0] - 1.0).abs() < 1e-12, "hub at distance 1 from all: {}", c[0]);
+        for &leaf in &c[1..] {
+            assert!(leaf < c[0]);
+            // Leaf: distances 1 + 2*4 = 9, closeness 5/9.
+            assert!((leaf - 5.0 / 9.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn harmonic_on_star() {
+        let g = star(5);
+        let c = harmonic_closeness(&g);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        // Leaf: (1 + 3*(1/2)) / 4.
+        assert!((c[1] - 2.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_everyone_is_central() {
+        let g = complete(8);
+        for mode in [ClosenessMode::Classic, ClosenessMode::Harmonic] {
+            let c = closeness(&g, mode);
+            assert!(c.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn path_center_beats_ends() {
+        let g = path(7);
+        let c = closeness(&g, ClosenessMode::Classic);
+        assert!(c[3] > c[0]);
+        assert!(c[3] > c[6]);
+        assert!((c[0] - c[6]).abs() < 1e-12, "symmetric ends");
+    }
+
+    #[test]
+    fn disconnected_graphs_are_handled() {
+        let g = socnet_core::Graph::from_edges(5, [(0, 1), (2, 3)]);
+        let classic = closeness(&g, ClosenessMode::Classic);
+        let harmonic = harmonic_closeness(&g);
+        assert_eq!(classic[4], 0.0, "isolated node");
+        assert_eq!(harmonic[4], 0.0);
+        // Within the pair components, harmonic = 1/(n-1).
+        assert!((harmonic[0] - 0.25).abs() < 1e-12);
+        assert!(classic[0] > 0.0);
+        // The Wasserman–Faust correction keeps 2-node components below a
+        // hypothetical full component.
+        assert!(classic[0] < 1.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = socnet_core::Graph::from_edges(0, []);
+        assert!(closeness(&g, ClosenessMode::Classic).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Centrality measures used by social-network trust applications.
+//!
+//! The paper's introduction surveys the *other* structural properties
+//! that trustworthy-computing primitives lean on besides mixing time and
+//! expansion: **node betweenness** (Quercia–Hailes Sybil defense, and the
+//! authors' own shortest-path betweenness measurement study),
+//! **betweenness and similarity for DTN routing** (Daly–Haahr), and
+//! **closeness for content sharing and anonymity** (OneSwarm). This crate
+//! supplies those measurements:
+//!
+//! * [`betweenness`] — exact shortest-path betweenness via Brandes'
+//!   algorithm, one `O(m)` dependency-accumulation pass per source,
+//!   parallelized over sources;
+//! * [`approximate_betweenness`] — the standard sampled estimator
+//!   (Brandes–Pich pivots), rescaled to the exact range;
+//! * [`closeness`] — harmonic and classic closeness centrality, exact or
+//!   sampled;
+//! * [`degree_centrality`], [`rank_by`] — baseline rankings shared by
+//!   the evaluation harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use socnet_centrality::betweenness;
+//! use socnet_core::Graph;
+//!
+//! // A path: the middle node carries all shortest paths.
+//! let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+//! let b = betweenness(&g);
+//! assert_eq!(b, vec![0.0, 1.0, 0.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod betweenness;
+mod closeness;
+mod rank;
+
+pub use betweenness::{approximate_betweenness, betweenness};
+pub use closeness::{closeness, harmonic_closeness, ClosenessMode};
+pub use rank::{degree_centrality, rank_by};

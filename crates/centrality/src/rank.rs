@@ -1,0 +1,104 @@
+//! Score-based node rankings.
+
+use socnet_core::{Graph, NodeId};
+
+/// Degree centrality: `deg(v) / (n - 1)`, the baseline every centrality
+/// comparison starts from.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_centrality::degree_centrality;
+/// use socnet_core::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+/// assert_eq!(degree_centrality(&g)[0], 1.0);
+/// ```
+pub fn degree_centrality(graph: &Graph) -> Vec<f64> {
+    let n = graph.node_count();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    graph.nodes().map(|v| graph.degree(v) as f64 / (n as f64 - 1.0)).collect()
+}
+
+/// Ranks nodes by decreasing score, ties broken by increasing node id.
+///
+/// This is the ranking form every defense evaluation in `socnet-sybil`
+/// consumes (`eval::ranking_auc`, `eval::top_partition_precision`).
+///
+/// # Panics
+///
+/// Panics if `scores.len()` differs from the graph's node count or any
+/// score is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_centrality::rank_by;
+/// use socnet_core::{Graph, NodeId};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+/// let order = rank_by(&g, &[0.1, 0.9, 0.1]);
+/// assert_eq!(order, vec![NodeId(1), NodeId(0), NodeId(2)]);
+/// ```
+pub fn rank_by(graph: &Graph, scores: &[f64]) -> Vec<NodeId> {
+    assert_eq!(scores.len(), graph.node_count(), "one score per node");
+    assert!(scores.iter().all(|s| !s.is_nan()), "scores must not be NaN");
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_by(|&a, &b| {
+        scores[b.index()]
+            .partial_cmp(&scores[a.index()])
+            .expect("no NaN")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::star;
+
+    #[test]
+    fn degree_centrality_of_star() {
+        let g = star(5);
+        let d = degree_centrality(&g);
+        assert_eq!(d[0], 1.0);
+        assert!(d[1..].iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert!(degree_centrality(&socnet_core::Graph::from_edges(0, [])).is_empty());
+        assert_eq!(degree_centrality(&socnet_core::Graph::from_edges(1, [])), vec![0.0]);
+    }
+
+    #[test]
+    fn ranking_is_stable_for_ties() {
+        let g = star(4);
+        let order = rank_by(&g, &[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn ranking_descends() {
+        let g = socnet_core::Graph::from_edges(4, [(0, 1)]);
+        let order = rank_by(&g, &[0.1, 0.7, 0.3, 0.5]);
+        assert_eq!(order, vec![NodeId(1), NodeId(3), NodeId(2), NodeId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per node")]
+    fn score_length_mismatch_panics() {
+        let g = star(3);
+        let _ = rank_by(&g, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_scores_panic() {
+        let g = star(3);
+        let _ = rank_by(&g, &[0.0, f64::NAN, 1.0]);
+    }
+}

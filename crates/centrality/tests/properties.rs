@@ -1,0 +1,109 @@
+//! Property-based tests of the centrality measures.
+
+use proptest::prelude::*;
+use socnet_centrality::{
+    approximate_betweenness, betweenness, closeness, degree_centrality, harmonic_closeness,
+    rank_by, ClosenessMode,
+};
+use socnet_core::Graph;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 1..80).prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn betweenness_is_nonnegative_and_bounded(g in arb_graph()) {
+        let n = g.node_count() as f64;
+        let pair_bound = (n - 1.0) * (n - 2.0) / 2.0;
+        for &b in &betweenness(&g) {
+            prop_assert!(b >= -1e-9);
+            prop_assert!(b <= pair_bound + 1e-9, "score {b} exceeds pair count {pair_bound}");
+        }
+    }
+
+    #[test]
+    fn betweenness_total_counts_interior_pairs(g in arb_graph()) {
+        // Sum over nodes of betweenness = sum over pairs of
+        // (shortest-path length - 1), for connected pairs.
+        let b: f64 = betweenness(&g).iter().sum();
+        let mut expected = 0.0f64;
+        for s in g.nodes() {
+            let r = socnet_core::bfs(&g, s);
+            for v in g.nodes() {
+                if v > s && r.dist[v.index()] != socnet_core::UNREACHED {
+                    expected += (r.dist[v.index()] as f64 - 1.0).max(0.0);
+                }
+            }
+        }
+        prop_assert!((b - expected).abs() < 1e-6, "sum {b} vs expected {expected}");
+    }
+
+    #[test]
+    fn full_pivot_approximation_is_exact(g in arb_graph()) {
+        let exact = betweenness(&g);
+        let approx = approximate_betweenness(&g, g.node_count(), 3);
+        for (e, a) in exact.iter().zip(&approx) {
+            prop_assert!((e - a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degree_one_nodes_have_zero_betweenness(g in arb_graph()) {
+        let b = betweenness(&g);
+        for v in g.nodes() {
+            if g.degree(v) <= 1 {
+                prop_assert!(b[v.index()].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn closeness_scores_are_in_unit_interval(g in arb_graph()) {
+        for mode in [ClosenessMode::Classic, ClosenessMode::Harmonic] {
+            for &c in &closeness(&g, mode) {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&c), "score {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn harmonic_dominates_on_higher_degree_twins(g in arb_graph()) {
+        // Harmonic closeness is monotone under adding an edge incident to v.
+        let h_before = harmonic_closeness(&g);
+        // Find two non-adjacent nodes to connect.
+        let mut found = None;
+        'outer: for u in g.nodes() {
+            for v in g.nodes() {
+                if u < v && !g.has_edge(u, v) {
+                    found = Some((u, v));
+                    break 'outer;
+                }
+            }
+        }
+        prop_assume!(found.is_some());
+        let (u, v) = found.expect("checked");
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|(a, b)| (a.0, b.0)).collect();
+        edges.push((u.0, v.0));
+        let g2 = Graph::from_edges(g.node_count(), edges);
+        let h_after = harmonic_closeness(&g2);
+        prop_assert!(h_after[u.index()] >= h_before[u.index()] - 1e-12);
+        prop_assert!(h_after[v.index()] >= h_before[v.index()] - 1e-12);
+    }
+
+    #[test]
+    fn rank_by_is_a_permutation_sorted_by_score(g in arb_graph()) {
+        let scores = degree_centrality(&g);
+        let order = rank_by(&g, &scores);
+        prop_assert_eq!(order.len(), g.node_count());
+        for w in order.windows(2) {
+            prop_assert!(scores[w[0].index()] >= scores[w[1].index()]);
+        }
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, g.nodes().collect::<Vec<_>>());
+    }
+}

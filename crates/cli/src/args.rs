@@ -1,0 +1,199 @@
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+use crate::CliError;
+
+/// Parsed command-line arguments: `--flag value` pairs plus positionals.
+///
+/// Strict by design: unknown flags are errors (unlike the experiment
+/// binaries, which tolerate harness flags), because a typo'd flag on a
+/// long-running measurement is worse than a usage error.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_cli::ArgMap;
+///
+/// let args: Vec<String> = ["g.txt", "--sources", "50"].map(String::from).to_vec();
+/// let map = ArgMap::parse(&args)?;
+/// assert_eq!(map.positional(0), Some("g.txt"));
+/// assert_eq!(map.get_parsed::<usize>("--sources", 10)?, 50);
+/// # Ok::<(), socnet_cli::CliError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArgMap {
+    flags: BTreeMap<String, String>,
+    positionals: Vec<String>,
+}
+
+impl ArgMap {
+    /// Parses a flat argument list into flags and positionals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::MissingValue`] when a `--flag` is the last
+    /// token or followed by another flag.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut flags = BTreeMap::new();
+        let mut positionals = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(token) = it.next() {
+            if let Some(_name) = token.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        flags.insert(token.clone(), it.next().expect("peeked").clone());
+                    }
+                    _ => return Err(CliError::MissingValue(token.clone())),
+                }
+            } else {
+                positionals.push(token.clone());
+            }
+        }
+        Ok(ArgMap { flags, positionals })
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// The required first positional, reported as `what` when missing.
+    pub fn require_positional(&self, what: &'static str) -> Result<&str, CliError> {
+        self.positional(0).ok_or(CliError::MissingArgument(what))
+    }
+
+    /// A flag's raw value, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A flag's value parsed as `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::InvalidValue`] when present but unparsable.
+    pub fn get_parsed<T: FromStr>(&self, flag: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e: T::Err| CliError::InvalidValue {
+                flag: flag.to_string(),
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// A required flag's value parsed as `T`.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::MissingArgument`] when absent, or
+    /// [`CliError::InvalidValue`] when unparsable.
+    pub fn require_parsed<T: FromStr>(
+        &self,
+        flag: &'static str,
+    ) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self.get(flag).ok_or(CliError::MissingArgument(flag))?;
+        raw.parse().map_err(|e: T::Err| CliError::InvalidValue {
+            flag: flag.to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Rejects flags outside `allowed` — catches typos before a
+    /// long-running measurement starts with silently-default settings.
+    pub fn check_allowed(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for flag in self.flags.keys() {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(CliError::UnexpectedArgument(flag.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rejects extra positionals beyond the first `max`.
+    pub fn check_positionals(&self, max: usize) -> Result<(), CliError> {
+        if self.positionals.len() > max {
+            return Err(CliError::UnexpectedArgument(self.positionals[max].clone()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<ArgMap, CliError> {
+        let v: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+        ArgMap::parse(&v)
+    }
+
+    #[test]
+    fn flags_and_positionals_mix() {
+        let m = parse(&["file.txt", "--seed", "9", "extra"]).expect("parses");
+        assert_eq!(m.positional(0), Some("file.txt"));
+        assert_eq!(m.positional(1), Some("extra"));
+        assert_eq!(m.get("--seed"), Some("9"));
+        assert_eq!(m.get("--missing"), None);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(matches!(parse(&["--seed"]), Err(CliError::MissingValue(_))));
+        assert!(matches!(
+            parse(&["--seed", "--out"]),
+            Err(CliError::MissingValue(f)) if f == "--seed"
+        ));
+    }
+
+    #[test]
+    fn parsed_defaults_and_errors() {
+        let m = parse(&["--n", "12"]).expect("parses");
+        assert_eq!(m.get_parsed::<usize>("--n", 1).expect("ok"), 12);
+        assert_eq!(m.get_parsed::<usize>("--k", 7).expect("default"), 7);
+        let m = parse(&["--n", "twelve"]).expect("parses");
+        assert!(matches!(
+            m.get_parsed::<usize>("--n", 1),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn require_paths() {
+        let m = parse(&[]).expect("parses");
+        assert!(matches!(
+            m.require_positional("<GRAPH>"),
+            Err(CliError::MissingArgument("<GRAPH>"))
+        ));
+        assert!(matches!(
+            m.require_parsed::<u64>("--seed"),
+            Err(CliError::MissingArgument("--seed"))
+        ));
+    }
+
+    #[test]
+    fn allowed_flag_checking() {
+        let m = parse(&["--seed", "1", "--bogus", "2"]).expect("parses");
+        assert!(m.check_allowed(&["--seed", "--bogus"]).is_ok());
+        assert!(matches!(
+            m.check_allowed(&["--seed"]),
+            Err(CliError::UnexpectedArgument(f)) if f == "--bogus"
+        ));
+    }
+
+    #[test]
+    fn positional_limit() {
+        let m = parse(&["a", "b"]).expect("parses");
+        assert!(m.check_positionals(2).is_ok());
+        assert!(matches!(
+            m.check_positionals(1),
+            Err(CliError::UnexpectedArgument(p)) if p == "b"
+        ));
+    }
+}

@@ -1,0 +1,700 @@
+//! The `socnet` subcommand implementations.
+//!
+//! Every command is a pure function `(&ArgMap) -> Result<String, CliError>`
+//! so the full CLI behavior is covered by unit tests.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_centrality::{betweenness, closeness, degree_centrality, rank_by, ClosenessMode};
+use socnet_community::{label_propagation, modularity, LocalCommunity};
+use socnet_core::{
+    pseudo_diameter, read_edge_list_path, write_edge_list_path, Graph, GraphSummary, NodeId,
+};
+use socnet_expansion::{ExpansionSweep, SourceSelection};
+use socnet_gen::Dataset;
+use socnet_kcore::{core_profiles, coreness_ecdf, CoreDecomposition};
+use socnet_mixing::{sinclair_bounds, slem, MixingConfig, MixingMeasurement, SpectralConfig};
+use socnet_sybil::{
+    eval, AttackedGraph, GateKeeper, GateKeeperConfig, SumUp, SumUpConfig, SybilAttack,
+    SybilGuard, SybilGuardConfig, SybilInfer, SybilInferConfig, SybilLimit, SybilLimitConfig,
+    SybilTopology,
+};
+
+use crate::{ArgMap, CliError};
+
+fn load(map: &ArgMap) -> Result<Graph, CliError> {
+    let path = map.require_positional("<GRAPH> (edge-list file)")?;
+    Ok(read_edge_list_path(path)?)
+}
+
+fn invalid(flag: &str, message: impl Into<String>) -> CliError {
+    CliError::InvalidValue { flag: flag.to_string(), message: message.into() }
+}
+
+/// Looks up a registry dataset by its (case-insensitive) display name.
+fn dataset_by_name(name: &str) -> Result<Dataset, CliError> {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            invalid(
+                "--dataset",
+                format!(
+                    "unknown dataset {name:?}; run `socnet datasets` for the list"
+                ),
+            )
+        })
+}
+
+/// `socnet generate`
+pub fn generate(map: &ArgMap) -> Result<String, CliError> {
+    map.check_positionals(0)?;
+    map.check_allowed(&[
+        "--model",
+        "--dataset",
+        "--scale",
+        "--nodes",
+        "--edges-per-node",
+        "--p",
+        "--p-in",
+        "--p-out",
+        "--k",
+        "--beta",
+        "--triangle-p",
+        "--communities",
+        "--community-size",
+        "--cliques",
+        "--clique-size",
+        "--rewire-p",
+        "--seed",
+        "--out",
+    ])?;
+    let seed: u64 = map.get_parsed("--seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let graph = match (map.get("--dataset"), map.get("--model")) {
+        (Some(name), None) => {
+            let scale: f64 = map.get_parsed("--scale", 1.0)?;
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(invalid("--scale", "must be a positive number"));
+            }
+            dataset_by_name(name)?.generate_scaled(scale, seed)
+        }
+        (None, Some(model)) => {
+            let n: usize = map.get_parsed("--nodes", 1000)?;
+            match model {
+                "ba" => {
+                    let m: usize = map.get_parsed("--edges-per-node", 5)?;
+                    if n <= m {
+                        return Err(invalid("--nodes", "must exceed --edges-per-node"));
+                    }
+                    socnet_gen::barabasi_albert(n, m, &mut rng)
+                }
+                "er" => {
+                    let p: f64 = map.get_parsed("--p", 0.01)?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(invalid("--p", "must be in [0, 1]"));
+                    }
+                    socnet_gen::erdos_renyi_gnp(n, p, &mut rng)
+                }
+                "ws" => {
+                    let k: usize = map.get_parsed("--k", 6)?;
+                    let beta: f64 = map.get_parsed("--beta", 0.1)?;
+                    if k == 0 || k % 2 != 0 || k >= n {
+                        return Err(invalid("--k", "must be even, positive, and below --nodes"));
+                    }
+                    if !(0.0..=1.0).contains(&beta) {
+                        return Err(invalid("--beta", "must be in [0, 1]"));
+                    }
+                    socnet_gen::watts_strogatz(n, k, beta, &mut rng)
+                }
+                "hk" => {
+                    let m: usize = map.get_parsed("--edges-per-node", 5)?;
+                    let pt: f64 = map.get_parsed("--triangle-p", 0.5)?;
+                    if n <= m {
+                        return Err(invalid("--nodes", "must exceed --edges-per-node"));
+                    }
+                    if !(0.0..=1.0).contains(&pt) {
+                        return Err(invalid("--triangle-p", "must be in [0, 1]"));
+                    }
+                    socnet_gen::holme_kim(n, m, pt, &mut rng)
+                }
+                "sbm" => {
+                    let communities: usize = map.get_parsed("--communities", 10)?;
+                    let size: usize = map.get_parsed("--community-size", 100)?;
+                    let p_in: f64 = map.get_parsed("--p-in", 0.05)?;
+                    let p_out: f64 = map.get_parsed("--p-out", 0.001)?;
+                    if !(0.0..=1.0).contains(&p_in) || !(0.0..=1.0).contains(&p_out) {
+                        return Err(invalid("--p-in", "probabilities must be in [0, 1]"));
+                    }
+                    socnet_gen::planted_partition(communities, size, p_in, p_out, &mut rng)
+                }
+                "caveman" => {
+                    let cliques: usize = map.get_parsed("--cliques", 50)?;
+                    let size: usize = map.get_parsed("--clique-size", 10)?;
+                    let p: f64 = map.get_parsed("--rewire-p", 0.05)?;
+                    if cliques == 0 || size < 2 {
+                        return Err(invalid("--cliques", "need cliques >= 1 and size >= 2"));
+                    }
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(invalid("--rewire-p", "must be in [0, 1]"));
+                    }
+                    socnet_gen::relaxed_caveman(cliques, size, p, &mut rng)
+                }
+                other => {
+                    return Err(invalid(
+                        "--model",
+                        format!("unknown model {other:?} (ba|er|ws|hk|sbm|caveman)"),
+                    ))
+                }
+            }
+        }
+        (Some(_), Some(_)) => {
+            return Err(invalid("--model", "pass either --model or --dataset, not both"))
+        }
+        (None, None) => return Err(CliError::MissingArgument("--model or --dataset")),
+    };
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "generated graph: {} nodes, {} edges (seed {seed})",
+        graph.node_count(),
+        graph.edge_count()
+    )
+    .expect("write to string");
+    if let Some(path) = map.get("--out") {
+        write_edge_list_path(&graph, path)?;
+        writeln!(out, "wrote {path}").expect("write to string");
+    } else {
+        writeln!(out, "(no --out given; nothing written)").expect("write to string");
+    }
+    Ok(out)
+}
+
+/// `socnet info`
+pub fn info(map: &ArgMap) -> Result<String, CliError> {
+    map.check_positionals(1)?;
+    map.check_allowed(&[])?;
+    let g = load(map)?;
+    let s = GraphSummary::measure(&g);
+    let mut out = String::new();
+    writeln!(out, "nodes:          {}", s.nodes).expect("write");
+    writeln!(out, "edges:          {}", s.edges).expect("write");
+    writeln!(out, "average degree: {:.3}", s.average_degree).expect("write");
+    writeln!(out, "max degree:     {}", s.max_degree).expect("write");
+    writeln!(out, "clustering:     {:.4}", s.clustering).expect("write");
+    writeln!(out, "assortativity:  {:+.4}", s.assortativity).expect("write");
+    writeln!(out, "components:     {}", socnet_core::connected_components(&g).count)
+        .expect("write");
+    if g.node_count() > 0 {
+        writeln!(out, "pseudo-diameter: {}", pseudo_diameter(&g, 4)).expect("write");
+    }
+    Ok(out)
+}
+
+/// `socnet mixing`
+pub fn mixing(map: &ArgMap) -> Result<String, CliError> {
+    map.check_positionals(1)?;
+    map.check_allowed(&["--sources", "--max-walk", "--epsilon", "--seed"])?;
+    let g = load(map)?;
+    if g.edge_count() == 0 {
+        return Err(invalid("<GRAPH>", "mixing is undefined on an edgeless graph"));
+    }
+    let sources: usize = map.get_parsed("--sources", 100)?;
+    let max_walk: usize = map.get_parsed("--max-walk", 200)?;
+    let epsilon: f64 = map.get_parsed("--epsilon", 0.05)?;
+    let seed: u64 = map.get_parsed("--seed", 42)?;
+    if sources == 0 || max_walk == 0 {
+        return Err(invalid("--sources", "sources and max-walk must be positive"));
+    }
+    if !(epsilon > 0.0 && epsilon < 0.5) {
+        return Err(invalid("--epsilon", "must be in (0, 0.5)"));
+    }
+
+    let spectrum = slem(&g, &SpectralConfig::default());
+    let bounds = sinclair_bounds(spectrum.slem().min(1.0 - 1e-12), g.node_count(), epsilon);
+    let m = MixingMeasurement::measure(
+        &g,
+        &MixingConfig { sources, max_walk, laziness: 0.0, seed },
+    );
+    let mean = m.mean_curve();
+
+    let mut out = String::new();
+    writeln!(out, "second largest eigenvalue modulus: {:.6}", spectrum.slem()).expect("write");
+    writeln!(out, "  (lambda2 = {:.6}, lambda_min = {:.6})", spectrum.lambda2, spectrum.lambda_min)
+        .expect("write");
+    writeln!(
+        out,
+        "Sinclair bounds at eps = {epsilon}: {:.1} <= T <= {:.1} steps",
+        bounds.lower, bounds.upper
+    )
+    .expect("write");
+    match m.mixing_time(epsilon) {
+        Some(t) => writeln!(out, "sampled T({epsilon}) = {t} steps ({sources} sources)")
+            .expect("write"),
+        None => writeln!(
+            out,
+            "sampled T({epsilon}) > {max_walk} steps (graph has not mixed within the horizon)"
+        )
+        .expect("write"),
+    }
+    for t in [1usize, 5, 10, 25, 50, 100, 200] {
+        if t <= max_walk {
+            writeln!(out, "  mean TVD @ {t:>4} steps: {:.5}", mean[t - 1]).expect("write");
+        }
+    }
+    Ok(out)
+}
+
+/// `socnet cores`
+pub fn cores(map: &ArgMap) -> Result<String, CliError> {
+    map.check_positionals(1)?;
+    map.check_allowed(&[])?;
+    let g = load(map)?;
+    let d = CoreDecomposition::compute(&g);
+    let profiles = core_profiles(&g, &d);
+    let ecdf = coreness_ecdf(&d);
+
+    let mut out = String::new();
+    writeln!(out, "degeneracy (k_max): {}", d.degeneracy()).expect("write");
+    writeln!(out, "median coreness:    {}", ecdf.quantile(0.5)).expect("write");
+    writeln!(out, "k    nodes    nu'      cores  largest").expect("write");
+    let stride = (profiles.len() / 15).max(1);
+    for (i, p) in profiles.iter().enumerate() {
+        if i % stride == 0 || i + 1 == profiles.len() {
+            writeln!(
+                out,
+                "{:<4} {:<8} {:<8.4} {:<6} {}",
+                p.k,
+                p.nodes,
+                p.nu_prime(g.node_count()),
+                p.components,
+                p.largest_nodes
+            )
+            .expect("write");
+        }
+    }
+    Ok(out)
+}
+
+/// `socnet expansion`
+pub fn expansion(map: &ArgMap) -> Result<String, CliError> {
+    map.check_positionals(1)?;
+    map.check_allowed(&["--sources", "--seed"])?;
+    let g = load(map)?;
+    if g.node_count() == 0 {
+        return Err(invalid("<GRAPH>", "cannot measure an empty graph"));
+    }
+    let sources: usize = map.get_parsed("--sources", 500)?;
+    let seed: u64 = map.get_parsed("--seed", 42)?;
+    let selection = if sources >= g.node_count() {
+        SourceSelection::All
+    } else {
+        SourceSelection::Sample(sources)
+    };
+    let sweep = ExpansionSweep::measure(&g, selection, seed);
+
+    let mut out = String::new();
+    writeln!(out, "cores swept: {}", sweep.source_count()).expect("write");
+    if let Some(alpha) = sweep.alpha_estimate(g.node_count()) {
+        writeln!(out, "worst envelope expansion factor: {alpha:.4}").expect("write");
+    }
+    writeln!(out, "set-size  min      mean      max").expect("write");
+    let stats = sweep.stats();
+    let stride = (stats.len() / 15).max(1);
+    for (i, s) in stats.iter().enumerate() {
+        if i % stride == 0 || i + 1 == stats.len() {
+            writeln!(out, "{:<9} {:<8} {:<9.1} {}", s.set_size, s.min, s.mean, s.max)
+                .expect("write");
+        }
+    }
+    Ok(out)
+}
+
+/// `socnet centrality`
+pub fn centrality(map: &ArgMap) -> Result<String, CliError> {
+    map.check_positionals(1)?;
+    map.check_allowed(&["--measure", "--top"])?;
+    let g = load(map)?;
+    if g.node_count() == 0 {
+        return Err(invalid("<GRAPH>", "cannot rank an empty graph"));
+    }
+    let top: usize = map.get_parsed("--top", 10)?;
+    let measure = map.get("--measure").unwrap_or("degree");
+    let scores = match measure {
+        "betweenness" => betweenness(&g),
+        "closeness" => closeness(&g, ClosenessMode::Harmonic),
+        "degree" => degree_centrality(&g),
+        other => {
+            return Err(invalid(
+                "--measure",
+                format!("unknown measure {other:?} (betweenness|closeness|degree)"),
+            ))
+        }
+    };
+    let ranking = rank_by(&g, &scores);
+
+    let mut out = String::new();
+    writeln!(out, "top {} nodes by {measure}:", top.min(ranking.len())).expect("write");
+    for &v in ranking.iter().take(top) {
+        writeln!(out, "  {v:<8} score {:.6}  degree {}", scores[v.index()], g.degree(v))
+            .expect("write");
+    }
+    Ok(out)
+}
+
+/// `socnet communities`
+pub fn communities(map: &ArgMap) -> Result<String, CliError> {
+    map.check_positionals(1)?;
+    map.check_allowed(&["--seed"])?;
+    let g = load(map)?;
+    if g.edge_count() == 0 {
+        return Err(invalid("<GRAPH>", "community detection needs edges"));
+    }
+    let seed: u64 = map.get_parsed("--seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = label_propagation(&g, 50, &mut rng);
+    let q = modularity(&g, c.labels());
+    let mut sizes = c.sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+
+    let mut out = String::new();
+    writeln!(out, "communities: {}", c.count()).expect("write");
+    writeln!(out, "modularity:  {q:.4}").expect("write");
+    writeln!(out, "largest communities: {:?}", &sizes[..sizes.len().min(10)]).expect("write");
+    Ok(out)
+}
+
+/// `socnet simulate`
+pub fn simulate(map: &ArgMap) -> Result<String, CliError> {
+    map.check_positionals(0)?;
+    map.check_allowed(&[
+        "--dataset",
+        "--defense",
+        "--sybils",
+        "--attack-edges",
+        "--scale",
+        "--seed",
+        "--f",
+        "--route-length",
+    ])?;
+    let dataset = dataset_by_name(
+        map.get("--dataset").ok_or(CliError::MissingArgument("--dataset"))?,
+    )?;
+    let defense = map.get("--defense").ok_or(CliError::MissingArgument("--defense"))?;
+    let sybils: usize = map.get_parsed("--sybils", 100)?;
+    let attack_edges: usize = map.get_parsed("--attack-edges", 20)?;
+    let scale: f64 = map.get_parsed("--scale", 0.25)?;
+    let seed: u64 = map.get_parsed("--seed", 42)?;
+    let f_admit: f64 = map.get_parsed("--f", 0.2)?;
+    // SybilGuard/SybilLimit route length. The protocols prescribe a
+    // mixing-time-scale length; on slow-mixing graphs a too-long route
+    // escapes through the attack edges, so this is user-tunable.
+    let route_length: usize = map.get_parsed("--route-length", 10)?;
+    if route_length == 0 {
+        return Err(invalid("--route-length", "must be positive"));
+    }
+    if sybils == 0 || attack_edges == 0 {
+        return Err(invalid("--sybils", "sybils and attack-edges must be positive"));
+    }
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(invalid("--scale", "must be a positive number"));
+    }
+    if !(f_admit > 0.0 && f_admit <= 1.0) {
+        return Err(invalid("--f", "must be in (0, 1]"));
+    }
+
+    let honest = dataset.generate_scaled(scale, seed);
+    if attack_edges > honest.node_count().saturating_mul(sybils) {
+        return Err(invalid(
+            "--attack-edges",
+            format!(
+                "cannot place {attack_edges} attack edges among {} honest x {sybils} sybil pairs",
+                honest.node_count()
+            ),
+        ));
+    }
+    let attacked = AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: sybils,
+            attack_edges,
+            topology: SybilTopology::ErdosRenyi { p: 0.1 },
+            seed,
+        },
+    );
+    let g = attacked.graph();
+    let verifier = NodeId(0);
+    let everyone: Vec<NodeId> = g.nodes().collect();
+
+    let admitted: Vec<bool> = match defense {
+        "gatekeeper" => GateKeeper::new(GateKeeperConfig {
+            distributors: 99,
+            f_admit,
+            seed,
+            ..Default::default()
+        })
+        .run(&attacked)
+        .admitted()
+        .to_vec(),
+        "sybilguard" => {
+            let length = if map.get("--route-length").is_some() {
+                route_length
+            } else {
+                SybilGuardConfig::recommended_route_length(g.node_count())
+            };
+            let guard = SybilGuard::new(g, SybilGuardConfig { route_length: length, seed });
+            guard.admitted_set(verifier, &everyone)
+        }
+        "sybillimit" => {
+            let sl = SybilLimit::new(
+                g,
+                SybilLimitConfig {
+                    instances: SybilLimitConfig::recommended_instances(g.edge_count()),
+                    route_length,
+                    balance_slack: 4.0,
+                    seed,
+                },
+            );
+            sl.verify_all(verifier, &everyone)
+        }
+        "sybilinfer" => SybilInfer::infer(
+            g,
+            verifier,
+            &SybilInferConfig { walks: 50_000, walk_length: 10, seed },
+        )
+        .classify(g, 0.3),
+        "sumup" => SumUp::new(SumUpConfig { expected_votes: attacked.honest_count(), seed })
+            .collect(g, verifier, &everyone)
+            .accepted,
+        "community" => {
+            let lc = LocalCommunity::sweep(g, verifier, attacked.honest_count());
+            let mut admitted = vec![false; g.node_count()];
+            for &v in lc.ranking() {
+                admitted[v.index()] = true;
+            }
+            admitted
+        }
+        other => {
+            return Err(invalid(
+                "--defense",
+                format!(
+                    "unknown defense {other:?} \
+                     (gatekeeper|sybilguard|sybillimit|sybilinfer|sumup|community)"
+                ),
+            ))
+        }
+    };
+
+    let stats = eval::admission_stats(&attacked, &admitted);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "dataset {} (scale {scale}): {} honest + {} sybils, {} attack edges",
+        dataset.name(),
+        attacked.honest_count(),
+        attacked.sybil_count(),
+        attack_edges
+    )
+    .expect("write");
+    writeln!(out, "defense: {defense}").expect("write");
+    writeln!(
+        out,
+        "honest accepted:        {}/{} ({:.1}%)",
+        stats.honest_accepted,
+        stats.honest_total,
+        100.0 * stats.honest_accept_rate
+    )
+    .expect("write");
+    writeln!(
+        out,
+        "sybils accepted:        {}/{} ({:.2} per attack edge)",
+        stats.sybil_accepted, stats.sybil_total, stats.sybils_per_attack_edge
+    )
+    .expect("write");
+    Ok(out)
+}
+
+/// `socnet datasets`
+pub fn datasets(map: &ArgMap) -> Result<String, CliError> {
+    map.check_positionals(0)?;
+    map.check_allowed(&[])?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<14} {:<20} {:>12} {:>12}",
+        "name", "model", "paper-nodes", "paper-edges"
+    )
+    .expect("write");
+    for d in Dataset::ALL {
+        let spec = d.spec();
+        writeln!(
+            out,
+            "{:<14} {:<20} {:>12} {:>12}",
+            d.name(),
+            spec.model.label(),
+            spec.paper_nodes,
+            spec.paper_edges
+        )
+        .expect("write");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> ArgMap {
+        let v: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+        ArgMap::parse(&v).expect("parses")
+    }
+
+    fn temp_graph() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("socnet-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!("g-{}.txt", std::process::id()));
+        let g = socnet_gen::barabasi_albert(120, 4, &mut StdRng::seed_from_u64(1));
+        write_edge_list_path(&g, &path).expect("write");
+        path
+    }
+
+    #[test]
+    fn generate_models_and_validation() {
+        let out = generate(&args(&["--model", "ba", "--nodes", "50", "--seed", "3"]))
+            .expect("generates");
+        assert!(out.contains("50 nodes"));
+        assert!(generate(&args(&["--model", "nope"])).is_err());
+        assert!(generate(&args(&[])).is_err());
+        assert!(generate(&args(&["--model", "er", "--p", "1.5"])).is_err());
+        assert!(generate(&args(&["--model", "ba", "--dataset", "DBLP"])).is_err());
+    }
+
+    #[test]
+    fn generate_dataset_writes_file() {
+        let dir = std::env::temp_dir().join("socnet-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("rice.txt");
+        let out = generate(&args(&[
+            "--dataset",
+            "rice-grad",
+            "--scale",
+            "0.5",
+            "--out",
+            path.to_str().expect("utf8"),
+        ]))
+        .expect("generates");
+        assert!(out.contains("wrote"));
+        let g = read_edge_list_path(&path).expect("round trip");
+        assert!(g.node_count() > 100);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn info_reports_statistics() {
+        let path = temp_graph();
+        let out = info(&args(&[path.to_str().expect("utf8")])).expect("info");
+        assert!(out.contains("nodes:          120"));
+        assert!(out.contains("average degree"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn info_missing_file_errors() {
+        assert!(matches!(
+            info(&args(&["/no/such/file.txt"])),
+            Err(CliError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn mixing_reports_bounds_and_samples() {
+        let path = temp_graph();
+        let out = mixing(&args(&[
+            path.to_str().expect("utf8"),
+            "--sources",
+            "10",
+            "--max-walk",
+            "30",
+        ]))
+        .expect("mixing");
+        assert!(out.contains("second largest eigenvalue"));
+        assert!(out.contains("Sinclair bounds"));
+        assert!(out.contains("sampled T(0.05)"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mixing_flag_validation() {
+        let path = temp_graph();
+        let p = path.to_str().expect("utf8");
+        assert!(mixing(&args(&[p, "--epsilon", "0.9"])).is_err());
+        assert!(mixing(&args(&[p, "--sources", "0"])).is_err());
+        assert!(mixing(&args(&[p, "--bogus", "1"])).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cores_and_expansion_run() {
+        let path = temp_graph();
+        let p = path.to_str().expect("utf8");
+        let out = cores(&args(&[p])).expect("cores");
+        assert!(out.contains("degeneracy"));
+        let out = expansion(&args(&[p, "--sources", "30"])).expect("expansion");
+        assert!(out.contains("set-size"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn centrality_measures() {
+        let path = temp_graph();
+        let p = path.to_str().expect("utf8");
+        for m in ["degree", "betweenness", "closeness"] {
+            let out = centrality(&args(&[p, "--measure", m, "--top", "3"]))
+                .expect("centrality");
+            assert!(out.contains("top 3"), "{m}");
+        }
+        assert!(centrality(&args(&[p, "--measure", "pagerank"])).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn communities_runs() {
+        let path = temp_graph();
+        let out = communities(&args(&[path.to_str().expect("utf8")])).expect("communities");
+        assert!(out.contains("modularity"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn simulate_all_defenses() {
+        for defense in ["gatekeeper", "sybilinfer", "sumup", "community"] {
+            let out = simulate(&args(&[
+                "--dataset",
+                "Rice-grad",
+                "--defense",
+                defense,
+                "--scale",
+                "0.4",
+                "--sybils",
+                "20",
+                "--attack-edges",
+                "5",
+            ]))
+            .expect(defense);
+            assert!(out.contains("honest accepted"), "{defense}");
+        }
+        assert!(simulate(&args(&["--dataset", "Rice-grad", "--defense", "nope"])).is_err());
+        assert!(simulate(&args(&["--defense", "gatekeeper"])).is_err());
+    }
+
+    #[test]
+    fn dataset_lookup_is_case_insensitive() {
+        assert_eq!(dataset_by_name("wiki-vote").expect("found"), Dataset::WikiVote);
+        assert_eq!(dataset_by_name("DBLP").expect("found"), Dataset::Dblp);
+        assert!(dataset_by_name("friendster").is_err());
+    }
+}

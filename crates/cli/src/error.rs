@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use socnet_core::GraphError;
+
+/// Errors the `socnet` CLI reports to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// The subcommand is not one of the known commands.
+    UnknownCommand(String),
+    /// A flag was given without its value.
+    MissingValue(String),
+    /// A flag's value failed to parse or is out of range.
+    InvalidValue {
+        /// The flag name, e.g. `--nodes`.
+        flag: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A required flag or positional argument is absent.
+    MissingArgument(&'static str),
+    /// An unexpected positional argument or unknown flag appeared.
+    UnexpectedArgument(String),
+    /// Loading or validating a graph failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "no command given"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}"),
+            CliError::MissingValue(flag) => write!(f, "flag {flag} requires a value"),
+            CliError::InvalidValue { flag, message } => {
+                write!(f, "invalid value for {flag}: {message}")
+            }
+            CliError::MissingArgument(what) => write!(f, "missing required argument: {what}"),
+            CliError::UnexpectedArgument(a) => write!(f, "unexpected argument {a:?}"),
+            CliError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CliError {
+    fn from(e: GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(CliError::MissingCommand.to_string().contains("no command"));
+        assert!(CliError::UnknownCommand("x".into()).to_string().contains("\"x\""));
+        assert!(CliError::MissingValue("--seed".into()).to_string().contains("--seed"));
+        let e = CliError::InvalidValue { flag: "--nodes".into(), message: "not a number".into() };
+        assert!(e.to_string().contains("--nodes"));
+        assert!(CliError::MissingArgument("<GRAPH>").to_string().contains("<GRAPH>"));
+    }
+
+    #[test]
+    fn graph_errors_are_wrapped() {
+        let inner = GraphError::Parse { line: 3, message: "bad".into() };
+        let e = CliError::from(inner);
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.source().is_some());
+    }
+}

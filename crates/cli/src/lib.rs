@@ -1,0 +1,132 @@
+//! Library backing the `socnet` command-line tool.
+//!
+//! Every subcommand is a pure function from parsed arguments to an output
+//! `String`, so the whole CLI is unit-testable without spawning
+//! processes. [`run`] dispatches:
+//!
+//! ```text
+//! socnet generate   --model <ba|er|ws|hk|sbm|caveman> | --dataset <name>  [--out FILE]
+//! socnet info       <GRAPH>
+//! socnet mixing     <GRAPH> [--sources N] [--max-walk T] [--epsilon E]
+//! socnet cores      <GRAPH>
+//! socnet expansion  <GRAPH> [--sources N]
+//! socnet centrality <GRAPH> [--measure betweenness|closeness|degree] [--top K]
+//! socnet communities <GRAPH> [--seed S]
+//! socnet simulate   --dataset <name> --defense <name> [--sybils N] [--attack-edges G]
+//! socnet datasets
+//! ```
+//!
+//! `<GRAPH>` is an edge-list file (`u v` per line, `#` comments), the
+//! same format the SNAP crawls in the paper's Table I use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod error;
+
+pub use args::ArgMap;
+pub use error::CliError;
+
+/// Runs one CLI invocation, returning the text to print on success.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, malformed flags, missing
+/// files, or invalid graphs — the binary prints it with usage.
+///
+/// # Examples
+///
+/// ```
+/// let out = socnet_cli::run(&["datasets".to_string()])?;
+/// assert!(out.contains("Wiki-vote"));
+/// # Ok::<(), socnet_cli::CliError>(())
+/// ```
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (command, rest) = args.split_first().ok_or(CliError::MissingCommand)?;
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        // Help never fails, whatever trails it.
+        return Ok(usage().to_string());
+    }
+    let map = ArgMap::parse(rest)?;
+    match command.as_str() {
+        "generate" => commands::generate(&map),
+        "info" => commands::info(&map),
+        "mixing" => commands::mixing(&map),
+        "cores" => commands::cores(&map),
+        "expansion" => commands::expansion(&map),
+        "centrality" => commands::centrality(&map),
+        "communities" => commands::communities(&map),
+        "simulate" => commands::simulate(&map),
+        "datasets" => commands::datasets(&map),
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// The usage text shown by `socnet help` and on errors.
+pub fn usage() -> &'static str {
+    "socnet — social-graph measurement toolkit
+
+USAGE:
+  socnet <COMMAND> [FLAGS]
+
+COMMANDS:
+  generate     write a synthetic graph as an edge list
+               --model ba|er|ws|hk|sbm|caveman [model flags] | --dataset NAME [--scale F]
+               [--nodes N] [--seed S] [--out FILE]
+  info         descriptive statistics of an edge-list graph
+  mixing       mixing time: spectral SLEM, Sinclair bounds, sampled T(eps)
+               [--sources N] [--max-walk T] [--epsilon E] [--seed S]
+  cores        k-core decomposition and core profile
+  expansion    envelope expansion statistics  [--sources N] [--seed S]
+  centrality   node rankings  [--measure betweenness|closeness|degree] [--top K]
+  communities  label-propagation communities and modularity  [--seed S]
+  simulate     end-to-end Sybil attack + defense on a registry dataset
+               --dataset NAME --defense gatekeeper|sybilguard|sybillimit|sybilinfer|sumup|community
+               [--sybils N] [--attack-edges G] [--scale F] [--seed S]
+  datasets     list the synthetic dataset registry
+  help         show this message
+
+<GRAPH> arguments are edge-list files: one 'u v' pair per line,
+'#' comments allowed."
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn help_paths() {
+        for cmd in ["help", "--help", "-h"] {
+            let out = run(&s(&[cmd])).expect("help works");
+            assert!(out.contains("USAGE"));
+        }
+    }
+
+    #[test]
+    fn missing_command_errors() {
+        assert!(matches!(run(&[]), Err(CliError::MissingCommand)));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        match run(&s(&["frobnicate"])) {
+            Err(CliError::UnknownCommand(c)) => assert_eq!(c, "frobnicate"),
+            other => panic!("expected unknown command, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn datasets_lists_the_registry() {
+        let out = run(&s(&["datasets"])).expect("datasets works");
+        for name in ["Wiki-vote", "DBLP", "Rice-grad"] {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! The `socnet` command-line tool.
+//!
+//! Thin wrapper over [`socnet_cli::run`]; all behavior (and all testing)
+//! lives in the library.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match socnet_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", socnet_cli::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Cheeger's inequality: the bridge between conductance and mixing.
+//!
+//! The paper's whole Sec. IV-B argument — community structure explains
+//! mixing — is formalized by Cheeger's inequality for reversible chains:
+//!
+//! ```text
+//!     φ²/2  ≤  1 − λ₂  ≤  2φ
+//! ```
+//!
+//! where `φ` is the graph's conductance (minimized over all cuts) and
+//! `λ₂` the walk matrix's second eigenvalue. A low-conductance cut (a
+//! tight community boundary) *forces* a small spectral gap, hence slow
+//! mixing. This module evaluates both sides from measured quantities so
+//! the inequality can be checked — and the paper's narrative verified —
+//! on any graph.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use socnet_core::Graph;
+
+use crate::LocalCommunity;
+
+/// The spectral-gap bracket implied by a conductance value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheegerBounds {
+    /// Lower bound `φ²/2` on the spectral gap `1 − λ₂`.
+    pub gap_lower: f64,
+    /// Upper bound `2φ` on the spectral gap.
+    pub gap_upper: f64,
+    /// The conductance the bounds were derived from.
+    pub phi: f64,
+}
+
+/// Computes the Cheeger bracket for a conductance value.
+///
+/// # Panics
+///
+/// Panics if `phi` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_community::cheeger_bounds;
+///
+/// let b = cheeger_bounds(0.1);
+/// assert!((b.gap_lower - 0.005).abs() < 1e-12);
+/// assert!((b.gap_upper - 0.2).abs() < 1e-12);
+/// ```
+pub fn cheeger_bounds(phi: f64) -> CheegerBounds {
+    assert!((0.0..=1.0).contains(&phi), "conductance {phi} out of [0, 1]");
+    CheegerBounds { gap_lower: phi * phi / 2.0, gap_upper: 2.0 * phi, phi }
+}
+
+/// Estimates the graph's conductance `φ` by sweeping local communities
+/// from `trials` random seeds and keeping the best (lowest-conductance)
+/// cut seen.
+///
+/// An upper bound on the true `φ` that tightens with more trials — the
+/// true minimum is NP-hard, but community-structured graphs reveal their
+/// bottleneck cuts to almost every sweep.
+///
+/// # Panics
+///
+/// Panics if the graph has no edges or `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socnet_community::estimate_conductance;
+/// use socnet_gen::barbell;
+///
+/// let g = barbell(8, 0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let phi = estimate_conductance(&g, 4, &mut rng);
+/// // The bridge cut: 1 edge over the clique's volume.
+/// assert!(phi < 0.03, "phi = {phi}");
+/// ```
+pub fn estimate_conductance<R: Rng + ?Sized>(graph: &Graph, trials: usize, rng: &mut R) -> f64 {
+    assert!(graph.edge_count() > 0, "conductance needs edges");
+    assert!(trials > 0, "need at least one trial");
+    let mut best = 1.0f64;
+    for _ in 0..trials {
+        let seed = socnet_core::random_node(graph, rng);
+        let sweep = LocalCommunity::sweep(graph, seed, graph.node_count() / 2 + 1);
+        let cut = sweep.best_cut();
+        best = best.min(cut.conductance);
+    }
+    best
+}
+
+/// Checks Cheeger's inequality on measured values: returns the bracket
+/// and whether the measured gap `1 − lambda2` falls inside it (within
+/// `tolerance`, to absorb the estimate's one-sidedness).
+///
+/// Since [`estimate_conductance`] only upper-bounds `φ`, the *upper*
+/// side `gap ≤ 2φ̂` must always hold; the lower side can be violated by
+/// a loose estimate, which is itself informative.
+pub fn check_cheeger(phi_estimate: f64, lambda2: f64, tolerance: f64) -> (CheegerBounds, bool) {
+    let bounds = cheeger_bounds(phi_estimate.clamp(0.0, 1.0));
+    let gap = 1.0 - lambda2;
+    let upper_holds = gap <= bounds.gap_upper + tolerance;
+    (bounds, upper_holds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socnet_gen::{barbell, complete, planted_partition};
+
+    #[test]
+    fn bounds_shape() {
+        let b = cheeger_bounds(0.5);
+        assert!(b.gap_lower <= b.gap_upper);
+        assert_eq!(b.phi, 0.5);
+        assert_eq!(cheeger_bounds(0.0).gap_upper, 0.0);
+    }
+
+    #[test]
+    fn barbell_estimate_finds_the_bridge() {
+        let g = barbell(10, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let phi = estimate_conductance(&g, 6, &mut rng);
+        // Bridge cut: 1 edge / vol(K10 side) = 1/(10*9 + 1).
+        assert!((phi - 1.0 / 91.0).abs() < 1e-9, "phi = {phi}");
+    }
+
+    #[test]
+    fn clique_estimate_is_large() {
+        let g = complete(16);
+        let mut rng = StdRng::seed_from_u64(5);
+        let phi = estimate_conductance(&g, 3, &mut rng);
+        assert!(phi > 0.4, "cliques have no weak cut, phi = {phi}");
+    }
+
+    #[test]
+    fn planted_partition_gap_respects_the_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = planted_partition(2, 60, 0.3, 0.01, &mut rng);
+        let phi = estimate_conductance(&g, 4, &mut rng);
+        // Independent spectral measurement of lambda2.
+        let lambda2 = socnet_mixing::slem(&g, &Default::default()).lambda2;
+        let (bounds, upper_holds) = check_cheeger(phi, lambda2, 1e-9);
+        assert!(upper_holds, "gap {} vs 2phi {}", 1.0 - lambda2, bounds.gap_upper);
+        // And the lower side too, since the estimate is near-exact here.
+        assert!(1.0 - lambda2 >= bounds.gap_lower - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn bad_phi_panics() {
+        let _ = cheeger_bounds(1.5);
+    }
+}

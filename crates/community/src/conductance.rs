@@ -1,0 +1,121 @@
+use socnet_core::{Graph, NodeId};
+
+/// Number of edges crossing the cut `(S, V ∖ S)`.
+///
+/// # Panics
+///
+/// Panics if any member is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_community::cut_edges;
+/// use socnet_core::{Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(cut_edges(&g, &[NodeId(0), NodeId(1)]), 1);
+/// ```
+pub fn cut_edges(graph: &Graph, set: &[NodeId]) -> usize {
+    let mut inside = vec![false; graph.node_count()];
+    for &v in set {
+        graph.check_node(v).expect("set member in range");
+        inside[v.index()] = true;
+    }
+    let mut cut = 0usize;
+    for &v in set {
+        for &u in graph.neighbors(v) {
+            if !inside[u.index()] {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// Conductance `φ(S) = cut(S) / min(vol(S), vol(V∖S))` of a node set.
+///
+/// This is the structural quantity the mixing time is governed by
+/// (Cheeger's inequality connects `φ` to the spectral gap), and the
+/// objective the local community sweep minimizes. Returns 1.0 for empty
+/// or full sets and for sets with zero volume, the conservative
+/// convention for sweep curves.
+///
+/// # Panics
+///
+/// Panics if any member is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_community::conductance;
+/// use socnet_core::NodeId;
+/// use socnet_gen::barbell;
+///
+/// // One clique of the barbell: a single crossing edge, tiny conductance.
+/// let g = barbell(6, 0);
+/// let clique: Vec<NodeId> = (0..6).map(NodeId).collect();
+/// let phi = conductance(&g, &clique);
+/// assert!(phi < 0.04, "phi = {phi}");
+/// ```
+pub fn conductance(graph: &Graph, set: &[NodeId]) -> f64 {
+    if set.is_empty() || set.len() >= graph.node_count() {
+        return 1.0;
+    }
+    let volume: usize = set.iter().map(|&v| graph.degree(v)).sum();
+    let complement_volume = graph.degree_sum() - volume;
+    let denom = volume.min(complement_volume);
+    if denom == 0 {
+        return 1.0;
+    }
+    cut_edges(graph, set) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{complete, ring, star};
+
+    #[test]
+    fn cut_of_ring_arc_is_two() {
+        let g = ring(10);
+        let arc: Vec<NodeId> = (2..6).map(NodeId).collect();
+        assert_eq!(cut_edges(&g, &arc), 2);
+        assert!((conductance(&g, &arc) - 2.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_of_half_clique() {
+        let g = complete(8);
+        let half: Vec<NodeId> = (0..4).map(NodeId).collect();
+        // cut = 4*4 = 16, vol = 4*7 = 28.
+        assert!((conductance(&g, &half) - 16.0 / 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sets() {
+        let g = ring(5);
+        assert_eq!(conductance(&g, &[]), 1.0);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(conductance(&g, &all), 1.0);
+        // Isolated node set has zero volume.
+        let g2 = socnet_core::Graph::from_edges(3, [(0, 1)]);
+        assert_eq!(conductance(&g2, &[NodeId(2)]), 1.0);
+    }
+
+    #[test]
+    fn star_leaf_has_full_conductance() {
+        let g = star(6);
+        assert_eq!(conductance(&g, &[NodeId(3)]), 1.0);
+        // The hub's side is the smaller-volume complement of the leaves.
+        let leaves: Vec<NodeId> = (1..6).map(NodeId).collect();
+        assert_eq!(conductance(&g, &leaves), 1.0);
+    }
+
+    #[test]
+    fn symmetric_in_complement_volume() {
+        let g = ring(12);
+        let arc: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let rest: Vec<NodeId> = (3..12).map(NodeId).collect();
+        assert!((conductance(&g, &arc) - conductance(&g, &rest)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,192 @@
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, NodeId};
+
+/// A community assignment: one label per node, labels relabeled densely
+/// to `0..count`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Communities {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl Communities {
+    /// Builds an assignment from raw labels, compacting them to
+    /// `0..count`.
+    pub fn from_labels(raw: Vec<u32>) -> Self {
+        let mut remap = std::collections::HashMap::new();
+        let mut labels = raw;
+        for l in labels.iter_mut() {
+            let next = remap.len() as u32;
+            *l = *remap.entry(*l).or_insert(next);
+        }
+        let count = remap.len();
+        Communities { labels, count }
+    }
+
+    /// The community label of each node, indexed by node id.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Label of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: NodeId) -> u32 {
+        self.labels[v.index()]
+    }
+
+    /// Number of communities.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Nodes per community.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The members of community `c`.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        (0..self.labels.len())
+            .filter(|&i| self.labels[i] == c)
+            .map(NodeId::from_index)
+            .collect()
+    }
+}
+
+/// Asynchronous label propagation (Raghavan et al. 2007).
+///
+/// Every node starts in its own community; in randomized order, each node
+/// adopts the most frequent label among its neighbors (ties broken
+/// uniformly at random). Converges when a full pass changes nothing, or
+/// after `max_rounds` passes.
+///
+/// Near-linear per pass; non-deterministic across seeds by nature, which
+/// is why the RNG is explicit.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socnet_community::label_propagation;
+/// use socnet_gen::complete;
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let g = complete(12);
+/// let c = label_propagation(&g, 20, &mut rng);
+/// assert_eq!(c.count(), 1, "a clique is one community");
+/// ```
+pub fn label_propagation<R: Rng + ?Sized>(
+    graph: &Graph,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Communities {
+    let n = graph.node_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+    let mut best: Vec<u32> = Vec::new();
+
+    for _ in 0..max_rounds {
+        order.shuffle(rng);
+        let mut changed = false;
+        for &v in &order {
+            let nbrs = graph.neighbors(v);
+            if nbrs.is_empty() {
+                continue;
+            }
+            counts.clear();
+            for &u in nbrs {
+                *counts.entry(labels[u.index()]).or_insert(0) += 1;
+            }
+            let max = *counts.values().max().expect("non-empty");
+            best.clear();
+            best.extend(counts.iter().filter(|&(_, &c)| c == max).map(|(&l, _)| l));
+            best.sort_unstable(); // determinism before the random tie-break
+            let pick = best[rng.random_range(0..best.len())];
+            if pick != labels[v.index()] {
+                labels[v.index()] = pick;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Communities::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socnet_gen::{complete, planted_partition, relaxed_caveman};
+
+    #[test]
+    fn clique_collapses_to_one_label() {
+        let g = complete(15);
+        let c = label_propagation(&g, 30, &mut StdRng::seed_from_u64(1));
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.sizes(), vec![15]);
+    }
+
+    #[test]
+    fn disconnected_components_get_distinct_labels() {
+        let g = socnet_core::Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let c = label_propagation(&g, 30, &mut StdRng::seed_from_u64(2));
+        assert_eq!(c.label(NodeId(0)), c.label(NodeId(2)));
+        assert_eq!(c.label(NodeId(3)), c.label(NodeId(5)));
+        assert_ne!(c.label(NodeId(0)), c.label(NodeId(3)));
+    }
+
+    #[test]
+    fn planted_partition_is_recovered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = planted_partition(4, 40, 0.5, 0.005, &mut rng);
+        let c = label_propagation(&g, 50, &mut rng);
+        // Every planted block should be label-pure.
+        for b in 0..4 {
+            let labels: std::collections::HashSet<u32> =
+                (0..40).map(|i| c.label(NodeId((b * 40 + i) as u32))).collect();
+            assert_eq!(labels.len(), 1, "block {b} split into {labels:?}");
+        }
+    }
+
+    #[test]
+    fn caveman_cliques_stay_together() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = relaxed_caveman(10, 8, 0.0, &mut rng);
+        let c = label_propagation(&g, 50, &mut rng);
+        for clique in 0..10u32 {
+            let first = c.label(NodeId(clique * 8));
+            for i in 1..8u32 {
+                assert_eq!(c.label(NodeId(clique * 8 + i)), first);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_keep_singleton_labels() {
+        let g = socnet_core::Graph::from_edges(3, [(0, 1)]);
+        let c = label_propagation(&g, 10, &mut StdRng::seed_from_u64(5));
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.members(c.label(NodeId(2))), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn from_labels_compacts() {
+        let c = Communities::from_labels(vec![7, 7, 3, 9, 3]);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.labels(), &[0, 0, 1, 2, 1]);
+        assert_eq!(c.sizes(), vec![2, 2, 1]);
+    }
+}

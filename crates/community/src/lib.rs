@@ -1,0 +1,46 @@
+//! Community structure of social graphs.
+//!
+//! The paper's related work (Viswanath et al., SIGCOMM 2010) shows that
+//! social-network Sybil defenses are all, at heart, *community detectors
+//! around a trusted node*: they rank nodes by how well-connected they
+//! are to the verifier, and are sensitive to community structure. This
+//! crate supplies the community machinery needed to reproduce that
+//! observation and to characterize the registry's graphs:
+//!
+//! * [`label_propagation`] — near-linear-time global community
+//!   detection;
+//! * [`modularity`] — partition quality (Newman–Girvan `Q`);
+//! * [`conductance`] — cut quality of a node set, the quantity mixing
+//!   time is governed by;
+//! * [`LocalCommunity`] — the greedy conductance sweep from a trusted
+//!   seed (Mislove-style), whose absorption order *is* a Sybil-defense
+//!   ranking comparable to SybilLimit/GateKeeper rankings.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use socnet_community::{label_propagation, modularity};
+//! use socnet_gen::planted_partition;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let g = planted_partition(4, 30, 0.4, 0.01, &mut rng);
+//! let communities = label_propagation(&g, 50, &mut rng);
+//! let q = modularity(&g, communities.labels());
+//! assert!(q > 0.5, "planted structure should be found, Q = {q}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cheeger;
+mod conductance;
+mod labelprop;
+mod local;
+mod modularity;
+
+pub use cheeger::{check_cheeger, cheeger_bounds, estimate_conductance, CheegerBounds};
+pub use conductance::{conductance, cut_edges};
+pub use labelprop::{label_propagation, Communities};
+pub use local::{LocalCommunity, SweepPoint};
+pub use modularity::modularity;

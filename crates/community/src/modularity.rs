@@ -1,0 +1,99 @@
+use socnet_core::Graph;
+
+/// Newman–Girvan modularity `Q` of a partition.
+///
+/// `Q = Σ_c (e_c/m − (d_c/2m)²)` where `e_c` is the number of edges
+/// inside community `c` and `d_c` the total degree of its members.
+/// Ranges in `[-0.5, 1)`; strong community structure gives `Q ≳ 0.3`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the node count or the graph has
+/// no edges.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_community::modularity;
+/// use socnet_core::Graph;
+///
+/// // Two triangles joined by one edge; the natural split scores high.
+/// let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+/// let q = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+/// assert!(q > 0.3, "Q = {q}");
+/// // The trivial all-in-one partition scores zero.
+/// assert!(modularity(&g, &[0; 6]).abs() < 1e-12);
+/// ```
+pub fn modularity(graph: &Graph, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), graph.node_count(), "one label per node");
+    let m = graph.edge_count();
+    assert!(m > 0, "modularity undefined without edges");
+
+    let communities = labels.iter().copied().max().map(|c| c as usize + 1).unwrap_or(0);
+    let mut internal = vec![0usize; communities];
+    let mut degree = vec![0usize; communities];
+    for v in graph.nodes() {
+        degree[labels[v.index()] as usize] += graph.degree(v);
+    }
+    for (u, v) in graph.edges() {
+        if labels[u.index()] == labels[v.index()] {
+            internal[labels[u.index()] as usize] += 1;
+        }
+    }
+    let m = m as f64;
+    (0..communities)
+        .map(|c| internal[c] as f64 / m - (degree[c] as f64 / (2.0 * m)).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socnet_gen::{complete, planted_partition};
+
+    #[test]
+    fn single_community_is_zero() {
+        let g = complete(6);
+        assert!(modularity(&g, &[0; 6]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_partition_is_negative() {
+        let g = complete(5);
+        let labels: Vec<u32> = (0..5).collect();
+        assert!(modularity(&g, &labels) < 0.0);
+    }
+
+    #[test]
+    fn planted_partition_truth_scores_high() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = planted_partition(5, 30, 0.5, 0.01, &mut rng);
+        let truth: Vec<u32> = (0..150).map(|i| (i / 30) as u32).collect();
+        let q_truth = modularity(&g, &truth);
+        assert!(q_truth > 0.6, "Q = {q_truth}");
+
+        // A shifted (wrong) partition scores worse.
+        let wrong: Vec<u32> = (0..150).map(|i| ((i + 15) / 30 % 5) as u32).collect();
+        assert!(modularity(&g, &wrong) < q_truth);
+    }
+
+    #[test]
+    fn q_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = planted_partition(3, 20, 0.3, 0.05, &mut rng);
+        for split in [2usize, 5, 10] {
+            let labels: Vec<u32> = (0..60).map(|i| (i % split) as u32).collect();
+            let q = modularity(&g, &labels);
+            assert!((-0.5..1.0).contains(&q), "Q = {q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per node")]
+    fn label_length_mismatch_panics() {
+        let g = complete(4);
+        let _ = modularity(&g, &[0, 1]);
+    }
+}

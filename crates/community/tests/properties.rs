@@ -1,0 +1,87 @@
+//! Property-based tests of the community machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_community::{conductance, cut_edges, label_propagation, modularity, LocalCommunity};
+use socnet_core::{Graph, NodeId};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..28).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 1..90).prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn label_propagation_labels_are_component_consistent(g in arb_graph(), seed in any::<u64>()) {
+        let c = label_propagation(&g, 40, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(c.labels().len(), g.node_count());
+        // Communities never straddle components.
+        let comps = socnet_core::connected_components(&g);
+        for (u, v) in g.edges() {
+            let _ = (u, v); // edges guaranteed intra-component by definition
+        }
+        let mut label_component: std::collections::HashMap<u32, u32> = Default::default();
+        for v in g.nodes() {
+            if g.degree(v) == 0 {
+                continue; // isolated nodes keep singleton labels
+            }
+            let entry = label_component
+                .entry(c.label(v))
+                .or_insert(comps.label[v.index()]);
+            prop_assert_eq!(*entry, comps.label[v.index()], "label crosses components");
+        }
+        // Sizes sum to n.
+        prop_assert_eq!(c.sizes().iter().sum::<usize>(), g.node_count());
+    }
+
+    #[test]
+    fn conductance_is_within_unit_interval(g in arb_graph(), mask in any::<u32>()) {
+        let set: Vec<NodeId> =
+            g.nodes().filter(|v| (mask >> (v.index() % 32)) & 1 == 1).collect();
+        let phi = conductance(&g, &set);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&phi), "phi = {phi}");
+    }
+
+    #[test]
+    fn cut_is_symmetric_in_complement(g in arb_graph(), mask in any::<u32>()) {
+        let set: Vec<NodeId> =
+            g.nodes().filter(|v| (mask >> (v.index() % 32)) & 1 == 1).collect();
+        let complement: Vec<NodeId> =
+            g.nodes().filter(|v| (mask >> (v.index() % 32)) & 1 == 0).collect();
+        prop_assert_eq!(cut_edges(&g, &set), cut_edges(&g, &complement));
+    }
+
+    #[test]
+    fn modularity_of_any_partition_is_bounded(g in arb_graph(), k in 1usize..5, seed in any::<u64>()) {
+        prop_assume!(g.edge_count() > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let labels: Vec<u32> = (0..g.node_count())
+            .map(|_| rng.random_range(0..k as u32))
+            .collect();
+        let q = modularity(&g, &labels);
+        prop_assert!((-0.5 - 1e-9..1.0).contains(&q), "Q = {q}");
+    }
+
+    #[test]
+    fn sweep_ranking_is_duplicate_free_and_connected(g in arb_graph()) {
+        prop_assume!(g.degree(NodeId(0)) > 0);
+        let lc = LocalCommunity::sweep(&g, NodeId(0), g.node_count());
+        let mut seen = std::collections::HashSet::new();
+        for &v in lc.ranking() {
+            prop_assert!(seen.insert(v), "duplicate {v} in ranking");
+        }
+        // Sweep conductances agree with direct recomputation.
+        for p in lc.sweep_points().iter().step_by(3) {
+            let direct = conductance(&g, lc.community_at(p.size));
+            prop_assert!((p.conductance - direct).abs() < 1e-9);
+        }
+        // Full ranking is a permutation.
+        let mut full = lc.full_ranking(&g);
+        full.sort_unstable();
+        prop_assert_eq!(full, g.nodes().collect::<Vec<_>>());
+    }
+}

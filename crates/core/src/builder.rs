@@ -1,0 +1,219 @@
+use crate::{Graph, NodeId};
+
+/// Incremental constructor for [`Graph`].
+///
+/// The builder accepts edges in any order and any multiplicity; at
+/// [`build`](GraphBuilder::build) time it drops self-loops, deduplicates
+/// parallel and reversed duplicates, symmetrizes the adjacency, and emits
+/// a validated CSR graph.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(0)); // reversed duplicate: ignored
+/// b.add_edge(NodeId(1), NodeId(1)); // self-loop: ignored
+/// b.add_edge(NodeId(1), NodeId(2));
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    /// Accumulated half-edges normalized to `u < v`.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph over exactly `n` nodes (`0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { node_count: n, edges: Vec::new() }
+    }
+
+    /// Creates a builder for `n` nodes, pre-allocating room for
+    /// `edge_capacity` edges.
+    pub fn with_capacity(n: usize, edge_capacity: usize) -> Self {
+        GraphBuilder { node_count: n, edges: Vec::with_capacity(edge_capacity) }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges added so far, *before* deduplication.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grows the node set to at least `n` nodes.
+    ///
+    /// Existing node ids remain valid; new nodes start isolated.
+    pub fn grow_to(&mut self, n: usize) -> &mut Self {
+        self.node_count = self.node_count.max(n);
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Self-loops are silently ignored; duplicates are removed at build
+    /// time. Returns `&mut self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is outside `0..n`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(
+            u.index() < self.node_count && v.index() < self.node_count,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.node_count
+        );
+        if u != v {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            self.edges.push((a, b));
+        }
+        self
+    }
+
+    /// Adds every edge from an iterator of raw index pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is outside `0..n`.
+    pub fn extend_edges<I>(&mut self, edges: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(NodeId(u), NodeId(v));
+        }
+        self
+    }
+
+    /// Consumes the accumulated edges and produces the CSR graph.
+    ///
+    /// Runs in `O(m log m)` for the deduplicating sort plus `O(n + m)`
+    /// assembly.
+    pub fn build(&mut self) -> Graph {
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.sort_unstable();
+        edges.dedup();
+
+        let n = self.node_count;
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut cursor = offsets.clone();
+        let mut targets = vec![NodeId(0); acc];
+        // Edges are sorted by (u, v); inserting u's half-edges in order and
+        // v's half-edges in order of increasing u keeps every row sorted.
+        for &(u, v) in &edges {
+            targets[cursor[u.index()]] = v;
+            cursor[u.index()] += 1;
+        }
+        for &(u, v) in &edges {
+            targets[cursor[v.index()]] = u;
+            cursor[v.index()] += 1;
+        }
+        // The second pass appends `u` values into row `v` in sorted order,
+        // but those come *after* the first pass's `v` values which are all
+        // larger-id rows... Row contents are: first-pass targets (all > u
+        // for row u) then second-pass targets (all < v for row v). A final
+        // per-row sort restores order where the two runs interleave.
+        for i in 0..n {
+            targets[offsets[i]..offsets[i + 1]].sort_unstable();
+        }
+
+        Graph::from_csr_unchecked(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(2));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn rows_are_sorted_after_build() {
+        let mut b = GraphBuilder::new(6);
+        // Deliberately insert in scrambled order around node 3.
+        for v in [5u32, 0, 4, 1, 2] {
+            b.add_edge(NodeId(3), NodeId(v));
+        }
+        let g = b.build();
+        let row: Vec<u32> = g.neighbors(NodeId(3)).iter().map(|v| v.0).collect();
+        assert_eq!(row, vec![0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn grow_to_extends_node_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.grow_to(5);
+        b.add_edge(NodeId(4), NodeId(0));
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn grow_to_never_shrinks() {
+        let mut b = GraphBuilder::new(7);
+        b.grow_to(3);
+        assert_eq!(b.node_count(), 7);
+    }
+
+    #[test]
+    fn extend_edges_round_trip() {
+        let mut b = GraphBuilder::with_capacity(4, 4);
+        b.extend_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(b.raw_edge_count(), 4);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 4);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        GraphBuilder::new(2).add_edge(NodeId(0), NodeId(2));
+    }
+
+    #[test]
+    fn build_empties_builder() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1));
+        let g1 = b.build();
+        assert_eq!(g1.edge_count(), 1);
+        let g2 = b.build();
+        assert_eq!(g2.edge_count(), 0);
+        assert_eq!(g2.node_count(), 2);
+    }
+}

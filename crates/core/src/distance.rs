@@ -1,0 +1,171 @@
+//! Distance and diameter estimation.
+//!
+//! Expansion measurements (Sec. III-D of the paper) run a BFS from every
+//! node up to the graph diameter, so the harness needs both an exact
+//! diameter for small graphs and a cheap lower bound for large ones.
+
+use crate::{Bfs, Graph, NodeId};
+
+/// Eccentricity of `v`: the maximum hop distance from `v` to any node in
+/// its component.
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{eccentricity, Graph, NodeId};
+///
+/// let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(eccentricity(&path, NodeId(0)), 3);
+/// assert_eq!(eccentricity(&path, NodeId(1)), 2);
+/// ```
+pub fn eccentricity(graph: &Graph, v: NodeId) -> u32 {
+    Bfs::new(graph).eccentricity(graph, v).0
+}
+
+/// Exact diameter of the graph's largest component, by all-pairs BFS.
+///
+/// Runs in `O(n·m)`; intended for graphs up to a few tens of thousands of
+/// edges (tests, calibration). Use [`double_sweep_lower_bound`] or
+/// [`pseudo_diameter`] for measurement-scale graphs. Returns 0 for graphs
+/// with fewer than two nodes.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{exact_diameter, Graph};
+///
+/// let ring = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+/// assert_eq!(exact_diameter(&ring), 3);
+/// ```
+pub fn exact_diameter(graph: &Graph) -> u32 {
+    let mut bfs = Bfs::new(graph);
+    let mut best = 0u32;
+    for v in graph.nodes() {
+        let (ecc, _) = bfs.eccentricity(graph, v);
+        best = best.max(ecc);
+    }
+    best
+}
+
+/// Double-sweep lower bound on the diameter.
+///
+/// Runs two BFS passes: from `start` to its farthest node `f`, then from
+/// `f`. The second eccentricity is a lower bound on the diameter that is
+/// exact on trees and empirically tight on social graphs.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn double_sweep_lower_bound(graph: &Graph, start: NodeId) -> u32 {
+    let mut bfs = Bfs::new(graph);
+    let (_, far) = bfs.eccentricity(graph, start);
+    let (ecc, _) = bfs.eccentricity(graph, far);
+    ecc
+}
+
+/// Iterated double-sweep diameter estimate ("pseudo-diameter").
+///
+/// Repeats the double sweep, restarting from the farthest node found, until
+/// the bound stops improving (at most `max_rounds` rounds). Returns the
+/// best lower bound found. With `max_rounds == 0` this is just a single
+/// BFS eccentricity from node 0.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{exact_diameter, pseudo_diameter, Graph};
+///
+/// let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5), (5, 6)]);
+/// let est = pseudo_diameter(&g, 4);
+/// assert!(est <= exact_diameter(&g));
+/// assert_eq!(est, exact_diameter(&g)); // exact on trees
+/// ```
+pub fn pseudo_diameter(graph: &Graph, max_rounds: usize) -> u32 {
+    if graph.node_count() == 0 {
+        return 0;
+    }
+    let mut bfs = Bfs::new(graph);
+    let (mut best, mut frontier) = bfs.eccentricity(graph, NodeId(0));
+    for _ in 0..max_rounds {
+        let (ecc, far) = bfs.eccentricity(graph, frontier);
+        if ecc <= best {
+            break;
+        }
+        best = ecc;
+        frontier = far;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32) -> Graph {
+        Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn ring_diameter() {
+        assert_eq!(exact_diameter(&ring(8)), 4);
+        assert_eq!(exact_diameter(&ring(9)), 4);
+    }
+
+    #[test]
+    fn clique_diameter_is_one() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, edges);
+        assert_eq!(exact_diameter(&g), 1);
+        assert_eq!(pseudo_diameter(&g, 3), 1);
+    }
+
+    #[test]
+    fn double_sweep_is_lower_bound_everywhere() {
+        let g = Graph::from_edges(
+            9,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (2, 6), (6, 7), (7, 8)],
+        );
+        let exact = exact_diameter(&g);
+        for s in g.nodes() {
+            assert!(double_sweep_lower_bound(&g, s) <= exact, "source {s}");
+        }
+    }
+
+    #[test]
+    fn pseudo_diameter_bounds_exact() {
+        let g = ring(12);
+        let est = pseudo_diameter(&g, 8);
+        assert!(est <= exact_diameter(&g));
+        assert!(est >= exact_diameter(&g) / 2, "double sweep is at least half the diameter");
+    }
+
+    #[test]
+    fn eccentricity_on_star() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(eccentricity(&g, NodeId(0)), 1);
+        assert_eq!(eccentricity(&g, NodeId(3)), 2);
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        assert_eq!(exact_diameter(&Graph::from_edges(0, [])), 0);
+        assert_eq!(exact_diameter(&Graph::from_edges(1, [])), 0);
+        assert_eq!(pseudo_diameter(&Graph::from_edges(0, []), 3), 0);
+    }
+
+    #[test]
+    fn diameter_uses_largest_component_semantics() {
+        // Two components: a path of diameter 3 and an edge.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (4, 5)]);
+        assert_eq!(exact_diameter(&g), 3);
+    }
+}

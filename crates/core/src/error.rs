@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, loading, or validating graphs.
+///
+/// Every fallible public function in this workspace that touches graph
+/// structure or graph files reports failures through this type.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{read_edge_list, GraphError};
+///
+/// let bad = "0 not-a-number\n";
+/// match read_edge_list(bad.as_bytes()) {
+///     Err(GraphError::Parse { line, .. }) => assert_eq!(line, 1),
+///     other => panic!("expected parse error, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node id referenced a vertex outside `0..n`.
+    NodeOutOfRange {
+        /// The offending raw node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// The CSR arrays handed to a raw constructor were inconsistent.
+    InvalidStructure(String),
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node index {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::InvalidStructure(msg) => write!(f, "invalid graph structure: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, node_count: 4 };
+        assert_eq!(e.to_string(), "node index 9 out of range for graph with 4 nodes");
+
+        let e = GraphError::Parse { line: 3, message: "expected two fields".into() };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::InvalidStructure("offsets not monotone".into());
+        assert!(e.to_string().contains("offsets not monotone"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

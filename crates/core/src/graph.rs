@@ -1,0 +1,403 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, NodeId};
+
+/// A simple, undirected, unweighted graph in compressed-sparse-row form.
+///
+/// This is the graph model of the paper (Sec. III-A): `G = (V, E)` with
+/// `|V| = n` social actors and `|E| = m` symmetric ties. The structure is
+/// immutable; build it with [`GraphBuilder`](crate::GraphBuilder) or
+/// [`Graph::from_edges`].
+///
+/// Invariants maintained by construction and checked on deserialization:
+///
+/// * neighbor lists are sorted and duplicate-free,
+/// * adjacency is symmetric (`v ∈ N(u)` iff `u ∈ N(v)`),
+/// * there are no self-loops.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{Graph, NodeId};
+///
+/// // A triangle.
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// assert_eq!(g.edge_count(), 3);
+/// assert!(g.has_edge(NodeId(0), NodeId(2)));
+/// assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Graph {
+    /// CSR row offsets; `offsets.len() == n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-row-sorted neighbor lists; `targets.len() == 2m`.
+    targets: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge iterator.
+    ///
+    /// Duplicate edges, reversed duplicates, and self-loops are dropped;
+    /// this is a convenience front-end to
+    /// [`GraphBuilder`](crate::GraphBuilder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    ///
+    /// ```
+    /// use socnet_core::Graph;
+    /// let g = Graph::from_edges(4, [(0, 1), (1, 0), (2, 2), (2, 3)]);
+    /// assert_eq!(g.edge_count(), 2); // duplicate and self-loop dropped
+    /// ```
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut b = crate::GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    /// Constructs a graph directly from CSR arrays, validating every
+    /// invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidStructure`] if the offsets are not
+    /// monotone or do not cover `targets`, if any neighbor list is
+    /// unsorted or contains duplicates or self-loops, if any target is out
+    /// of range, or if the adjacency is not symmetric.
+    pub fn from_csr(offsets: Vec<usize>, targets: Vec<NodeId>) -> Result<Self, GraphError> {
+        if offsets.is_empty() {
+            return Err(GraphError::InvalidStructure("offsets must have length n + 1".into()));
+        }
+        if offsets[0] != 0 || *offsets.last().expect("non-empty") != targets.len() {
+            return Err(GraphError::InvalidStructure(
+                "offsets must start at 0 and end at targets.len()".into(),
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::InvalidStructure("offsets not monotone".into()));
+        }
+        let n = offsets.len() - 1;
+        let g = Graph { offsets, targets };
+        for u in g.nodes() {
+            let row = g.neighbors(u);
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(GraphError::InvalidStructure(format!(
+                    "neighbor list of {u} is not strictly sorted"
+                )));
+            }
+            for &v in row {
+                if v.index() >= n {
+                    return Err(GraphError::InvalidStructure(format!(
+                        "neighbor {v} of {u} out of range"
+                    )));
+                }
+                if v == u {
+                    return Err(GraphError::InvalidStructure(format!("self-loop at {u}")));
+                }
+            }
+        }
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                if !g.has_edge(v, u) {
+                    return Err(GraphError::InvalidStructure(format!(
+                        "asymmetric adjacency: {u} -> {v} present, reverse missing"
+                    )));
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Constructs a graph from CSR arrays that are already known to be
+    /// valid, skipping the `O(m log m)` validation pass.
+    ///
+    /// Intended for internal use by [`GraphBuilder`](crate::GraphBuilder)
+    /// and generators that construct rows sorted and symmetric by design.
+    /// The invariants are still asserted in debug builds.
+    pub(crate) fn from_csr_unchecked(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(Graph::from_csr(offsets.clone(), targets.clone()).is_ok());
+        Graph { offsets, targets }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v`: the number of distinct neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// The sorted neighbor list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    ///
+    /// Runs in `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    ///
+    /// ```
+    /// # use socnet_core::Graph;
+    /// let g = Graph::from_edges(3, [(0, 1)]);
+    /// assert_eq!(g.nodes().count(), 3);
+    /// ```
+    pub fn nodes(&self) -> Nodes {
+        Nodes { next: 0, end: self.node_count() as u32 }
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    ///
+    /// ```
+    /// # use socnet_core::{Graph, NodeId};
+    /// let g = Graph::from_edges(3, [(2, 1), (0, 2)]);
+    /// let edges: Vec<_> = g.edges().collect();
+    /// assert_eq!(edges, vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))]);
+    /// ```
+    pub fn edges(&self) -> Edges<'_> {
+        Edges { graph: self, row: 0, col: 0 }
+    }
+
+    /// Sum of all degrees, i.e. `2m`.
+    #[inline]
+    pub fn degree_sum(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Maximum degree over all nodes, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count()).map(|i| self.offsets[i + 1] - self.offsets[i]).max().unwrap_or(0)
+    }
+
+    /// Checks that `v` is a valid node id for this graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if `v >= n`.
+    pub fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if v.index() < self.node_count() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange { node: v.index(), node_count: self.node_count() })
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Graph {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: serde::Deserializer<'de>,
+    {
+        #[derive(Deserialize)]
+        struct Raw {
+            offsets: Vec<usize>,
+            targets: Vec<NodeId>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        Graph::from_csr(raw.offsets, raw.targets).map_err(serde::de::Error::custom)
+    }
+}
+
+/// Iterator over all node ids of a graph. Created by [`Graph::nodes`].
+#[derive(Debug, Clone)]
+pub struct Nodes {
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for Nodes {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.end {
+            let id = NodeId(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.end - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Nodes {}
+
+/// Iterator over the undirected edges of a graph, each reported once with
+/// `u < v`. Created by [`Graph::edges`].
+#[derive(Debug, Clone)]
+pub struct Edges<'a> {
+    graph: &'a Graph,
+    row: u32,
+    col: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        let n = self.graph.node_count() as u32;
+        while self.row < n {
+            let u = NodeId(self.row);
+            let row = self.graph.neighbors(u);
+            while self.col < row.len() {
+                let v = row[self.col];
+                self.col += 1;
+                if u < v {
+                    return Some((u, v));
+                }
+            }
+            self.row += 1;
+            self.col = 0;
+        }
+        None
+    }
+}
+
+/// The neighbor slice type returned by [`Graph::neighbors`].
+///
+/// This alias documents that neighbor access is a borrowed, sorted slice —
+/// no allocation happens per query.
+pub type Neighbors<'a> = &'a [NodeId];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = path4();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree_sum(), 6);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, [(3, 1), (3, 0), (3, 4), (3, 2)]);
+        assert_eq!(g.neighbors(NodeId(3)), &[NodeId(0), NodeId(1), NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = path4();
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(u, v));
+            assert!(g.has_edge(v, u));
+        }
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn edges_reported_once_in_order() {
+        let g = Graph::from_edges(4, [(2, 0), (3, 2), (1, 0)]);
+        let got: Vec<_> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        assert_eq!(got, vec![(0, 1), (0, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn nodes_iterator_is_exact_size() {
+        let g = path4();
+        let it = g.nodes();
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.collect::<Vec<_>>(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn from_csr_accepts_valid() {
+        let g = path4();
+        let copy = Graph::from_csr(g.offsets.clone(), g.targets.clone()).expect("valid csr");
+        assert_eq!(copy, g);
+    }
+
+    #[test]
+    fn from_csr_rejects_asymmetric() {
+        // 0 -> 1 without the reverse edge.
+        let err = Graph::from_csr(vec![0, 1, 1], vec![NodeId(1)]).unwrap_err();
+        assert!(err.to_string().contains("asymmetric"));
+    }
+
+    #[test]
+    fn from_csr_rejects_self_loop() {
+        let err = Graph::from_csr(vec![0, 1], vec![NodeId(0)]).unwrap_err();
+        assert!(err.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn from_csr_rejects_unsorted_row() {
+        let err = Graph::from_csr(
+            vec![0, 2, 3, 5],
+            vec![NodeId(2), NodeId(1), NodeId(0), NodeId(0), NodeId(1)],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("sorted"), "{err}");
+    }
+
+    #[test]
+    fn from_csr_rejects_bad_offsets() {
+        assert!(Graph::from_csr(vec![], vec![]).is_err());
+        assert!(Graph::from_csr(vec![1, 0], vec![NodeId(0)]).is_err());
+        assert!(Graph::from_csr(vec![0, 2], vec![NodeId(1)]).is_err());
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let g = path4();
+        assert!(g.check_node(NodeId(3)).is_ok());
+        assert!(matches!(
+            g.check_node(NodeId(4)),
+            Err(GraphError::NodeOutOfRange { node: 4, node_count: 4 })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_edges(0, []);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

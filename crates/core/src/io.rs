@@ -1,0 +1,195 @@
+//! Plain-text edge-list input and output.
+//!
+//! The format is the one the SNAP datasets in the paper's Table I ship in:
+//! one `u v` pair per line, `#`-prefixed comment lines, blank lines
+//! ignored. Node ids are raw non-negative integers; the graph gets
+//! `max(id) + 1` nodes.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Reads an undirected edge list from any reader.
+///
+/// Self-loops and duplicate edges are dropped, matching the paper's
+/// simple-graph preprocessing.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines and
+/// [`GraphError::Io`] for underlying read failures.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::read_edge_list;
+///
+/// let text = "# a comment\n0 1\n1 2\n2 0\n";
+/// let g = read_edge_list(text.as_bytes())?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok::<(), socnet_core::GraphError>(())
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    let mut any = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let u = parse_field(fields.next(), line_no)?;
+        let v = parse_field(fields.next(), line_no)?;
+        if fields.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "expected exactly two fields".into(),
+            });
+        }
+        max_id = max_id.max(u).max(v);
+        any = true;
+        edges.push((u, v));
+    }
+    let n = if any { max_id as usize + 1 } else { 0 };
+    Ok(Graph::from_edges(n, edges))
+}
+
+fn parse_field(field: Option<&str>, line: usize) -> Result<u32, GraphError> {
+    let field = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected exactly two fields".into(),
+    })?;
+    field.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("invalid node id {field:?}: {e}"),
+    })
+}
+
+/// Reads an edge list from a file path.
+///
+/// # Errors
+///
+/// As [`read_edge_list`], plus [`GraphError::Io`] if the file cannot be
+/// opened.
+pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_edge_list(File::open(path)?)
+}
+
+/// Writes the graph as an edge list, one `u v` line per undirected edge.
+///
+/// The output round-trips through [`read_edge_list`] provided the graph
+/// has no trailing isolated nodes (the format cannot represent them).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# socnet edge list: {} nodes, {} edges", graph.node_count(), graph.edge_count())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{} {}", u.0, v.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the graph as an edge list to a file path.
+///
+/// # Errors
+///
+/// As [`write_edge_list`], plus [`GraphError::Io`] if the file cannot be
+/// created.
+pub fn write_edge_list_path<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), GraphError> {
+    write_edge_list(graph, File::create(path)?)
+}
+
+/// Extension helpers used by tests; kept crate-private.
+#[allow(dead_code)]
+pub(crate) fn edge_vec(graph: &Graph) -> Vec<(NodeId, NodeId)> {
+    graph.edges().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write");
+        let back = read_edge_list(&buf[..]).expect("read");
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n0 1\n   \n# middle\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).expect("read");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_loop_lines_collapse() {
+        let text = "0 1\n1 0\n0 0\n0 1\n";
+        let g = read_edge_list(text.as_bytes()).expect("read");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes()).expect("read");
+        assert_eq!(g.node_count(), 0);
+        let g = read_edge_list("# only comments\n".as_bytes()).expect("read");
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        match read_edge_list("0 1\nx 2\n".as_bytes()) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("invalid node id"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match read_edge_list("0\n".as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match read_edge_list("0 1 2\n".as_bytes()) {
+            Err(GraphError::Parse { message, .. }) => {
+                assert!(message.contains("exactly two fields"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let dir = std::env::temp_dir().join("socnet-core-io-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("g.txt");
+        let g = Graph::from_edges(4, [(0, 1), (2, 3), (1, 2)]);
+        write_edge_list_path(&g, &path).expect("write file");
+        let back = read_edge_list_path(&path).expect("read file");
+        assert_eq!(back, g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match read_edge_list_path("/definitely/not/here.txt") {
+            Err(GraphError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Compact graph substrate for social-network measurement.
+//!
+//! This crate provides the data model shared by every other `socnet`
+//! crate: a compressed-sparse-row ([`Graph`]) representation of a simple,
+//! undirected, unweighted graph, together with the traversal, component,
+//! distance, sampling, statistics, and I/O routines that the measurement
+//! pipelines are built from.
+//!
+//! The representation is immutable by design: graphs are assembled through
+//! a [`GraphBuilder`] (which deduplicates edges, drops self-loops, and
+//! symmetrizes), and every analysis downstream can then rely on the CSR
+//! invariants — sorted neighbor lists, symmetric adjacency, no parallel
+//! edges — without re-validating them.
+//!
+//! # Examples
+//!
+//! ```
+//! use socnet_core::{GraphBuilder, NodeId};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(NodeId(0), NodeId(1));
+//! b.add_edge(NodeId(1), NodeId(2));
+//! b.add_edge(NodeId(2), NodeId(3));
+//! b.add_edge(NodeId(3), NodeId(0));
+//! let g = b.build();
+//!
+//! assert_eq!(g.node_count(), 4);
+//! assert_eq!(g.edge_count(), 4);
+//! assert_eq!(g.degree(NodeId(0)), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod distance;
+mod error;
+mod graph;
+mod io;
+mod node;
+mod sample;
+mod stats;
+mod subgraph;
+mod traversal;
+
+pub mod prelude;
+
+pub use builder::GraphBuilder;
+pub use distance::{double_sweep_lower_bound, eccentricity, exact_diameter, pseudo_diameter};
+pub use error::GraphError;
+pub use graph::{Edges, Graph, Neighbors, Nodes};
+pub use io::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};
+pub use node::NodeId;
+pub use sample::{random_node, sample_nodes, shuffled_nodes};
+pub use subgraph::{induced_subgraph, SubgraphMap};
+pub use stats::{
+    assortativity, average_degree, degree_histogram, global_clustering, local_clustering,
+    triangle_count, GraphSummary,
+};
+pub use traversal::{
+    bfs, connected_components, is_connected, largest_component, Bfs, BfsResult, Components,
+    UNREACHED,
+};

@@ -1,0 +1,116 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense indices in `0..n`; they are produced by
+/// [`GraphBuilder::build`](crate::GraphBuilder::build) and are only
+/// meaningful relative to the graph that issued them. The wrapper keeps
+/// vertex indices from being confused with counts, levels, or other
+/// `usize` quantities that flow through the measurement code.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::NodeId;
+///
+/// let v = NodeId(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(NodeId::from_index(7), v);
+/// assert_eq!(v.to_string(), "v7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index suitable for slice addressing.
+    ///
+    /// ```
+    /// # use socnet_core::NodeId;
+    /// assert_eq!(NodeId(3).index(), 3);
+    /// ```
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`, which would silently
+    /// truncate the id.
+    ///
+    /// ```
+    /// # use socnet_core::NodeId;
+    /// assert_eq!(NodeId::from_index(12), NodeId(12));
+    /// ```
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "node index {index} overflows u32");
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 77, 1_000_000] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId(0).to_string(), "v0");
+        assert_eq!(NodeId(41).to_string(), "v41");
+    }
+
+    #[test]
+    fn conversions() {
+        let v: NodeId = 9u32.into();
+        assert_eq!(u32::from(v), 9);
+        assert_eq!(usize::from(v), 9);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5), NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn from_index_rejects_overflow() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Convenience re-exports of the items nearly every consumer needs.
+//!
+//! ```
+//! use socnet_core::prelude::*;
+//!
+//! let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+//! assert!(is_connected(&g));
+//! ```
+
+pub use crate::{
+    bfs, connected_components, induced_subgraph, is_connected, largest_component, Bfs, Graph,
+    GraphBuilder, GraphError, NodeId,
+};

@@ -1,0 +1,137 @@
+//! Node sampling helpers.
+//!
+//! The sampling method for mixing-time measurement and the GateKeeper
+//! experiments both draw uniform node samples; these helpers centralize
+//! that so every experiment is reproducible from a seed.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+use crate::{Graph, NodeId};
+
+/// Draws one node uniformly at random.
+///
+/// # Panics
+///
+/// Panics if the graph has no nodes.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socnet_core::{random_node, Graph};
+///
+/// let g = Graph::from_edges(10, [(0, 1)]);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let v = random_node(&g, &mut rng);
+/// assert!(v.index() < 10);
+/// ```
+pub fn random_node<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> NodeId {
+    assert!(graph.node_count() > 0, "cannot sample from an empty graph");
+    NodeId(rng.random_range(0..graph.node_count() as u32))
+}
+
+/// Draws `k` distinct nodes uniformly at random, in sorted order.
+///
+/// If `k >= n` all nodes are returned.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socnet_core::{sample_nodes, Graph};
+///
+/// let g = Graph::from_edges(100, [(0, 1)]);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let s = sample_nodes(&g, 10, &mut rng);
+/// assert_eq!(s.len(), 10);
+/// assert!(s.windows(2).all(|w| w[0] < w[1])); // distinct and sorted
+/// ```
+pub fn sample_nodes<R: Rng + ?Sized>(graph: &Graph, k: usize, rng: &mut R) -> Vec<NodeId> {
+    let n = graph.node_count();
+    if k >= n {
+        return graph.nodes().collect();
+    }
+    let mut picked = rand::seq::index::sample(rng, n, k).into_vec();
+    picked.sort_unstable();
+    picked.into_iter().map(NodeId::from_index).collect()
+}
+
+/// Returns all node ids in a uniformly random order.
+///
+/// Useful for experiments that process every node but must not be biased
+/// by id order (e.g. tie-breaking in admission experiments).
+pub fn shuffled_nodes<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Vec<NodeId> {
+    let mut all: Vec<NodeId> = graph.nodes().collect();
+    all.shuffle(rng);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn sample_is_distinct_and_in_range() {
+        let g = graph(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_nodes(&g, 20, &mut rng);
+        assert_eq!(s.len(), 20);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(s.iter().all(|v| v.index() < 50));
+    }
+
+    #[test]
+    fn oversized_sample_returns_everything() {
+        let g = graph(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_nodes(&g, 100, &mut rng);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let g = graph(200);
+        let a = sample_nodes(&g, 17, &mut StdRng::seed_from_u64(42));
+        let b = sample_nodes(&g, 17, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = sample_nodes(&g, 17, &mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let g = graph(30);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = shuffled_nodes(&g, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, g.nodes().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_node_covers_support() {
+        let g = graph(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[random_node(&g, &mut rng).index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "uniform draws should hit all 4 nodes in 200 tries");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn random_node_empty_panics() {
+        let g = Graph::from_edges(0, []);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_node(&g, &mut rng);
+    }
+}

@@ -1,0 +1,302 @@
+//! Descriptive graph statistics.
+//!
+//! These are the characteristics the paper's Table I and related-work
+//! discussion describe datasets by: size, density, degree distribution,
+//! clustering, and degree assortativity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Graph, NodeId};
+
+/// Histogram of node degrees: `hist[d]` is the number of nodes with degree
+/// exactly `d`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{degree_histogram, Graph};
+///
+/// let star = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+/// assert_eq!(degree_histogram(&star), vec![0, 3, 0, 1]);
+/// ```
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.nodes() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Mean degree `2m / n`, or 0 for the empty graph.
+pub fn average_degree(graph: &Graph) -> f64 {
+    if graph.node_count() == 0 {
+        0.0
+    } else {
+        graph.degree_sum() as f64 / graph.node_count() as f64
+    }
+}
+
+/// Counts the triangles of the graph.
+///
+/// Uses the standard forward/sorted-adjacency intersection, `O(m^{3/2})`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{triangle_count, Graph};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(triangle_count(&g), 1);
+/// ```
+pub fn triangle_count(graph: &Graph) -> u64 {
+    let mut count = 0u64;
+    for u in graph.nodes() {
+        let nu = graph.neighbors(u);
+        for &v in nu {
+            if v <= u {
+                continue;
+            }
+            // Intersect the tails {w > v} of both sorted lists.
+            let nv = graph.neighbors(v);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nu.len() && j < nv.len() {
+                let (a, b) = (nu[i], nv[j]);
+                if a <= v {
+                    i += 1;
+                } else if b <= v {
+                    j += 1;
+                } else if a == b {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                } else if a < b {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Local clustering coefficient of `v`: the fraction of neighbor pairs that
+/// are themselves adjacent. Nodes of degree < 2 have coefficient 0.
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+pub fn local_clustering(graph: &Graph, v: NodeId) -> f64 {
+    let d = graph.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let nv = graph.neighbors(v);
+    let mut closed = 0usize;
+    for (i, &a) in nv.iter().enumerate() {
+        for &b in &nv[i + 1..] {
+            if graph.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Global clustering coefficient (transitivity): `3·triangles / wedges`.
+///
+/// Returns 0 when the graph has no wedge (path of length 2).
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{global_clustering, Graph};
+///
+/// let triangle = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+/// assert!((global_clustering(&triangle) - 1.0).abs() < 1e-12);
+/// ```
+pub fn global_clustering(graph: &Graph) -> f64 {
+    let wedges: u64 = graph
+        .nodes()
+        .map(|v| {
+            let d = graph.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(graph) as f64 / wedges as f64
+}
+
+/// Degree assortativity: the Pearson correlation of endpoint degrees over
+/// all edges.
+///
+/// Positive values mean high-degree nodes attach to high-degree nodes
+/// (collaboration networks); negative values mean hubs attach to leaves
+/// (many online social graphs). Returns 0 if the graph has no edges or the
+/// degree variance is 0 (e.g. regular graphs).
+pub fn assortativity(graph: &Graph) -> f64 {
+    let m = graph.edge_count();
+    if m == 0 {
+        return 0.0;
+    }
+    // Over directed half-edges (j, k) = (deg(u), deg(v)) for each edge in
+    // both directions; the symmetric form of Newman's formula.
+    let mut sum_jk = 0.0f64;
+    let mut sum_j = 0.0f64;
+    let mut sum_j2 = 0.0f64;
+    let count = (2 * m) as f64;
+    for (u, v) in graph.edges() {
+        let (dj, dk) = (graph.degree(u) as f64, graph.degree(v) as f64);
+        sum_jk += 2.0 * dj * dk;
+        sum_j += dj + dk;
+        sum_j2 += dj * dj + dk * dk;
+    }
+    let mean = sum_j / count;
+    let num = sum_jk / count - mean * mean;
+    let den = sum_j2 / count - mean * mean;
+    if den.abs() < 1e-15 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// A compact descriptive summary of a graph, the row format of a
+/// Table-I-style dataset atlas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSummary {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Number of undirected edges `m`.
+    pub edges: usize,
+    /// Mean degree `2m/n`.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Global clustering coefficient (transitivity).
+    pub clustering: f64,
+    /// Degree assortativity coefficient.
+    pub assortativity: f64,
+}
+
+impl GraphSummary {
+    /// Computes the summary of `graph`.
+    ///
+    /// Clustering runs the `O(m^{3/2})` triangle count; this is the
+    /// expensive part on large graphs.
+    ///
+    /// ```
+    /// use socnet_core::{Graph, GraphSummary};
+    ///
+    /// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+    /// let s = GraphSummary::measure(&g);
+    /// assert_eq!(s.nodes, 4);
+    /// assert_eq!(s.edges, 4);
+    /// assert_eq!(s.max_degree, 3);
+    /// ```
+    pub fn measure(graph: &Graph) -> Self {
+        GraphSummary {
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            average_degree: average_degree(graph),
+            max_degree: graph.max_degree(),
+            clustering: global_clustering(graph),
+            assortativity: assortativity(graph),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(n: u32) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges(n as usize, edges)
+    }
+
+    #[test]
+    fn triangles_in_clique() {
+        // C(5,3) = 10 triangles in K5.
+        assert_eq!(triangle_count(&clique(5)), 10);
+        assert_eq!(triangle_count(&clique(4)), 4);
+    }
+
+    #[test]
+    fn triangles_in_triangle_free_graph() {
+        let ring = Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)));
+        assert_eq!(triangle_count(&ring), 0);
+        assert_eq!(global_clustering(&ring), 0.0);
+    }
+
+    #[test]
+    fn clique_clustering_is_one() {
+        assert!((global_clustering(&clique(6)) - 1.0).abs() < 1e-12);
+        for v in clique(6).nodes() {
+            assert!((local_clustering(&clique(6), v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn local_clustering_of_partial_neighborhood() {
+        // Node 0 adjacent to 1,2,3; only edge 1-2 among them: c = 1/3.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2)]);
+        assert!((local_clustering(&g, NodeId(0)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[0], 1); // node 5 isolated
+        assert_eq!(h[1], 2);
+        assert_eq!(h[2], 3);
+    }
+
+    #[test]
+    fn average_degree_matches_handshake() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!((average_degree(&g) - 1.5).abs() < 1e-12);
+        assert_eq!(average_degree(&Graph::from_edges(0, [])), 0.0);
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let star = Graph::from_edges(6, (1..6).map(|i| (0, i)));
+        assert!(assortativity(&star) <= 0.0, "hub-leaf graphs are not assortative");
+    }
+
+    #[test]
+    fn regular_graph_assortativity_is_defined_zero() {
+        let ring = Graph::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5)));
+        assert_eq!(assortativity(&ring), 0.0);
+    }
+
+    #[test]
+    fn assortativity_is_bounded() {
+        let g = Graph::from_edges(
+            8,
+            [(0, 1), (0, 2), (0, 3), (4, 5), (5, 6), (6, 7), (3, 4), (1, 2)],
+        );
+        let a = assortativity(&g);
+        assert!((-1.0..=1.0).contains(&a), "assortativity {a} out of [-1, 1]");
+    }
+
+    #[test]
+    fn summary_of_clique() {
+        let s = GraphSummary::measure(&clique(4));
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 6);
+        assert!((s.average_degree - 3.0).abs() < 1e-12);
+        assert!((s.clustering - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Mapping between a subgraph's dense node ids and the parent graph's ids.
+///
+/// Returned alongside the subgraph by [`induced_subgraph`]; the `Vec`
+/// variant used throughout the workspace is `map[new.index()] == old`.
+pub type SubgraphMap = Vec<NodeId>;
+
+/// Extracts the subgraph induced by `nodes`, relabeling them densely.
+///
+/// Nodes keep their relative order: the `i`-th entry of the (deduplicated,
+/// sorted) member list becomes `NodeId(i)`. Returns the subgraph and the
+/// new-to-old id map.
+///
+/// # Panics
+///
+/// Panics if any member id is out of range for `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{induced_subgraph, Graph, NodeId};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+/// let (sub, map) = induced_subgraph(&g, &[NodeId(0), NodeId(1), NodeId(4)]);
+/// assert_eq!(sub.node_count(), 3);
+/// assert_eq!(sub.edge_count(), 2); // 0-1 and 4-0 survive, 1-2 etc. do not
+/// assert_eq!(map, vec![NodeId(0), NodeId(1), NodeId(4)]);
+/// ```
+pub fn induced_subgraph(graph: &Graph, nodes: &[NodeId]) -> (Graph, SubgraphMap) {
+    let mut members: Vec<NodeId> = nodes.to_vec();
+    members.sort_unstable();
+    members.dedup();
+    for &v in &members {
+        assert!(
+            v.index() < graph.node_count(),
+            "subgraph member {v} out of range for {} nodes",
+            graph.node_count()
+        );
+    }
+
+    let mut old_to_new = vec![u32::MAX; graph.node_count()];
+    for (new, &old) in members.iter().enumerate() {
+        old_to_new[old.index()] = new as u32;
+    }
+
+    let mut builder = GraphBuilder::new(members.len());
+    for (new_u, &old_u) in members.iter().enumerate() {
+        for &old_v in graph.neighbors(old_u) {
+            let new_v = old_to_new[old_v.index()];
+            if new_v != u32::MAX && old_u < old_v {
+                builder.add_edge(NodeId(new_u as u32), NodeId(new_v));
+            }
+        }
+    }
+    (builder.build(), members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_internal_edges_only() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+        let (sub, map) = induced_subgraph(&g, &[NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(map, vec![NodeId(1), NodeId(2), NodeId(4)]);
+        // Internal edges among {1,2,4}: 1-2 and 1-4.
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.has_edge(NodeId(0), NodeId(1))); // old 1-2
+        assert!(sub.has_edge(NodeId(0), NodeId(2))); // old 1-4
+        assert!(!sub.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_members_are_normalized() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let (sub, map) = induced_subgraph(&g, &[NodeId(2), NodeId(0), NodeId(2), NodeId(1)]);
+        assert_eq!(map, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_graph() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let (sub, map) = induced_subgraph(&g, &[]);
+        assert_eq!(sub.node_count(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn full_selection_is_identity_up_to_relabel() {
+        let g = Graph::from_edges(4, [(0, 2), (1, 3), (2, 3)]);
+        let all: Vec<NodeId> = g.nodes().collect();
+        let (sub, map) = induced_subgraph(&g, &all);
+        assert_eq!(sub, g);
+        assert_eq!(map, all);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_member_panics() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let _ = induced_subgraph(&g, &[NodeId(5)]);
+    }
+}

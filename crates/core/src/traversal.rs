@@ -1,0 +1,350 @@
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Distance value marking a node not reached by a traversal.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Result of a single-source breadth-first search.
+///
+/// Produced by [`bfs`]; distances use [`UNREACHED`] for nodes in other
+/// components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// Hop distance from the source per node, [`UNREACHED`] if unreachable.
+    pub dist: Vec<u32>,
+    /// BFS-tree parent per node; `None` for the source and unreachable nodes.
+    pub parent: Vec<Option<NodeId>>,
+    /// Number of nodes reached (including the source).
+    pub reached: usize,
+    /// Eccentricity of the source within its component.
+    pub max_dist: u32,
+}
+
+/// Runs a breadth-first search from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{bfs, Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2)]);
+/// let r = bfs(&g, NodeId(0));
+/// assert_eq!(r.dist[2], 2);
+/// assert_eq!(r.parent[2], Some(NodeId(1)));
+/// assert_eq!(r.reached, 3);
+/// assert_eq!(r.dist[3], socnet_core::UNREACHED);
+/// ```
+pub fn bfs(graph: &Graph, source: NodeId) -> BfsResult {
+    let n = graph.node_count();
+    let mut dist = vec![UNREACHED; n];
+    let mut parent = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    let mut reached = 1usize;
+    let mut max_dist = 0u32;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in graph.neighbors(u) {
+            if dist[v.index()] == UNREACHED {
+                dist[v.index()] = du + 1;
+                parent[v.index()] = Some(u);
+                max_dist = max_dist.max(du + 1);
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsResult { dist, parent, reached, max_dist }
+}
+
+/// Reusable breadth-first search state.
+///
+/// Measurement sweeps (expansion, distance estimates) run a BFS from
+/// *every* node; this type amortizes the per-source allocations by using
+/// stamped visitation instead of clearing a visited array each run.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{Bfs, Graph, NodeId};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4)]);
+/// let mut bfs = Bfs::new(&g);
+/// assert_eq!(bfs.level_sizes(&g, NodeId(0)), &[1, 2, 2]);
+/// assert_eq!(bfs.level_sizes(&g, NodeId(3)), &[1, 1, 1, 1, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    queue: VecDeque<NodeId>,
+    levels: Vec<usize>,
+    current: u32,
+}
+
+impl Bfs {
+    /// Creates BFS scratch state sized for `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        Bfs {
+            stamp: vec![0; n],
+            dist: vec![0; n],
+            queue: VecDeque::new(),
+            levels: Vec::new(),
+            current: 0,
+        }
+    }
+
+    /// Runs a BFS from `source` and returns the node count of each level.
+    ///
+    /// `level_sizes[i]` is the number of nodes at hop distance exactly `i`
+    /// (so `level_sizes[0] == 1`). The returned slice is valid until the
+    /// next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or the state was built for a
+    /// different graph size.
+    pub fn level_sizes(&mut self, graph: &Graph, source: NodeId) -> &[usize] {
+        assert_eq!(self.stamp.len(), graph.node_count(), "bfs state size mismatch");
+        self.current = self.current.wrapping_add(1);
+        if self.current == 0 {
+            // Stamp counter wrapped: reset so stale stamps cannot collide.
+            self.stamp.fill(0);
+            self.current = 1;
+        }
+        self.levels.clear();
+        self.queue.clear();
+        self.stamp[source.index()] = self.current;
+        self.dist[source.index()] = 0;
+        self.queue.push_back(source);
+        self.levels.push(1);
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            for &v in graph.neighbors(u) {
+                if self.stamp[v.index()] != self.current {
+                    self.stamp[v.index()] = self.current;
+                    self.dist[v.index()] = du + 1;
+                    let level = (du + 1) as usize;
+                    if self.levels.len() <= level {
+                        self.levels.push(0);
+                    }
+                    self.levels[level] += 1;
+                    self.queue.push_back(v);
+                }
+            }
+        }
+        &self.levels
+    }
+
+    /// Runs a BFS from `source` and returns the source's eccentricity and
+    /// the farthest node reached (ties broken by smallest id).
+    pub fn eccentricity(&mut self, graph: &Graph, source: NodeId) -> (u32, NodeId) {
+        self.level_sizes(graph, source);
+        let mut far = source;
+        let mut far_d = 0u32;
+        for v in graph.nodes() {
+            if self.stamp[v.index()] == self.current && self.dist[v.index()] > far_d {
+                far_d = self.dist[v.index()];
+                far = v;
+            }
+        }
+        (far_d, far)
+    }
+}
+
+/// Connected-component labeling of a graph.
+///
+/// Produced by [`connected_components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component label per node, in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of connected components.
+    pub count: usize,
+    /// Number of nodes in each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Label of the largest component (ties broken by smallest label).
+    pub fn largest(&self) -> u32 {
+        let mut best = 0usize;
+        for (i, &s) in self.sizes.iter().enumerate() {
+            if s > self.sizes[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+}
+
+/// Labels the connected components of `graph` with repeated BFS.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{connected_components, Graph};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+/// let c = connected_components(&g);
+/// assert_eq!(c.count, 3); // {0,1}, {2,3}, {4}
+/// assert_eq!(c.sizes.iter().sum::<usize>(), 5);
+/// ```
+pub fn connected_components(graph: &Graph) -> Components {
+    let n = graph.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    let mut count = 0u32;
+    for s in graph.nodes() {
+        if label[s.index()] != u32::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        label[s.index()] = count;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in graph.neighbors(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+        count += 1;
+    }
+    Components { label, count: count as usize, sizes }
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.node_count() == 0 || connected_components(graph).count == 1
+}
+
+/// Extracts the largest connected component as a standalone graph.
+///
+/// Returns the component graph and the mapping from new node ids to the
+/// original ids (`map[new.index()] == old`).
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{largest_component, Graph, NodeId};
+///
+/// let g = Graph::from_edges(6, [(0, 1), (1, 2), (4, 5)]);
+/// let (lcc, map) = largest_component(&g);
+/// assert_eq!(lcc.node_count(), 3);
+/// assert_eq!(map, vec![NodeId(0), NodeId(1), NodeId(2)]);
+/// ```
+pub fn largest_component(graph: &Graph) -> (Graph, Vec<NodeId>) {
+    let comps = connected_components(graph);
+    let keep = comps.largest();
+    let members: Vec<NodeId> =
+        graph.nodes().filter(|v| comps.label[v.index()] == keep).collect();
+    crate::induced_subgraph(graph, &members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn barbell() -> Graph {
+        // Two triangles joined by a bridge 2-3.
+        Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+    }
+
+    #[test]
+    fn bfs_distances_on_barbell() {
+        let g = barbell();
+        let r = bfs(&g, NodeId(0));
+        assert_eq!(r.dist, vec![0, 1, 1, 2, 3, 3]);
+        assert_eq!(r.reached, 6);
+        assert_eq!(r.max_dist, 3);
+    }
+
+    #[test]
+    fn bfs_parents_form_tree() {
+        let g = barbell();
+        let r = bfs(&g, NodeId(0));
+        assert_eq!(r.parent[0], None);
+        for v in g.nodes().skip(1) {
+            let p = r.parent[v.index()].expect("reached node has parent");
+            assert_eq!(r.dist[v.index()], r.dist[p.index()] + 1);
+        }
+    }
+
+    #[test]
+    fn reusable_bfs_matches_fresh_bfs() {
+        let g = barbell();
+        let mut b = Bfs::new(&g);
+        for s in g.nodes() {
+            let fresh = bfs(&g, s);
+            let levels = b.level_sizes(&g, s).to_vec();
+            let mut expect = vec![0usize; (fresh.max_dist + 1) as usize];
+            for v in g.nodes() {
+                if fresh.dist[v.index()] != UNREACHED {
+                    expect[fresh.dist[v.index()] as usize] += 1;
+                }
+            }
+            assert_eq!(levels, expect, "source {s}");
+        }
+    }
+
+    #[test]
+    fn bfs_eccentricity_reports_farthest() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut b = Bfs::new(&g);
+        let (ecc, far) = b.eccentricity(&g, NodeId(0));
+        assert_eq!(ecc, 3);
+        assert_eq!(far, NodeId(3));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_edges(7, [(0, 1), (2, 3), (3, 4)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 4);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 7);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_ne!(c.label[0], c.label[2]);
+        let mut sorted = c.sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = Graph::from_edges(7, [(0, 1), (2, 3), (3, 4), (4, 2), (5, 6)]);
+        let (lcc, map) = largest_component(&g);
+        assert_eq!(lcc.node_count(), 3);
+        assert_eq!(lcc.edge_count(), 3);
+        let olds: Vec<u32> = map.iter().map(|v| v.0).collect();
+        assert_eq!(olds, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn connectivity_predicates() {
+        assert!(is_connected(&Graph::from_edges(0, [])));
+        assert!(is_connected(&Graph::from_edges(3, [(0, 1), (1, 2)])));
+        assert!(!is_connected(&Graph::from_edges(3, [(0, 1)])));
+    }
+
+    #[test]
+    fn isolated_node_bfs() {
+        let g = Graph::from_edges(2, []);
+        let r = bfs(&g, NodeId(0));
+        assert_eq!(r.reached, 1);
+        assert_eq!(r.dist[1], UNREACHED);
+        let mut b = Bfs::new(&g);
+        assert_eq!(b.level_sizes(&g, NodeId(0)), &[1]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the CSR graph invariants.
+
+use proptest::prelude::*;
+use socnet_core::{
+    bfs, connected_components, degree_histogram, induced_subgraph, read_edge_list,
+    write_edge_list, Graph, NodeId, UNREACHED,
+};
+
+/// Strategy: an arbitrary small graph as (n, edge list with endpoints < n).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..120)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric_and_sorted(g in arb_graph()) {
+        for u in g.nodes() {
+            let row = g.neighbors(u);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row of {u} sorted+distinct");
+            for &v in row {
+                prop_assert!(v != u, "no self-loop at {u}");
+                prop_assert!(g.has_edge(v, u), "reverse edge {v}->{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.edge_count());
+        prop_assert_eq!(total, g.degree_sum());
+    }
+
+    #[test]
+    fn edges_iterator_matches_has_edge(g in arb_graph()) {
+        let listed: Vec<_> = g.edges().collect();
+        prop_assert_eq!(listed.len(), g.edge_count());
+        for &(u, v) in &listed {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v));
+        }
+        // No duplicates.
+        let mut dedup = listed.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), listed.len());
+    }
+
+    #[test]
+    fn degree_histogram_accounts_for_every_node(g in arb_graph()) {
+        let h = degree_histogram(&g);
+        prop_assert_eq!(h.iter().sum::<usize>(), g.node_count());
+        let weighted: usize = h.iter().enumerate().map(|(d, c)| d * c).sum();
+        prop_assert_eq!(weighted, g.degree_sum());
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent(g in arb_graph()) {
+        let src = NodeId(0);
+        let r = bfs(&g, src);
+        prop_assert_eq!(r.dist[0], 0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (r.dist[u.index()], r.dist[v.index()]);
+            // Adjacent nodes differ by at most one hop (both reached or both not).
+            prop_assert_eq!(du == UNREACHED, dv == UNREACHED);
+            if du != UNREACHED {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}) dist {du},{dv}");
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_nodes(g in arb_graph()) {
+        let c = connected_components(&g);
+        prop_assert_eq!(c.sizes.len(), c.count);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), g.node_count());
+        for v in g.nodes() {
+            prop_assert!((c.label[v.index()] as usize) < c.count);
+        }
+        // Edges never cross component boundaries.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(c.label[u.index()], c.label[v.index()]);
+        }
+    }
+
+    #[test]
+    fn subgraph_degrees_never_exceed_parent(g in arb_graph()) {
+        let members: Vec<NodeId> = g.nodes().filter(|v| v.0 % 2 == 0).collect();
+        let (sub, map) = induced_subgraph(&g, &members);
+        prop_assert_eq!(sub.node_count(), members.len());
+        for new in sub.nodes() {
+            let old = map[new.index()];
+            prop_assert!(sub.degree(new) <= g.degree(old));
+        }
+        // Every subgraph edge exists in the parent.
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(map[a.index()], map[b.index()]));
+        }
+    }
+
+    #[test]
+    fn edge_list_round_trips(g in arb_graph()) {
+        // The text format drops trailing isolated nodes, so compare edges.
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write");
+        let back = read_edge_list(&buf[..]).expect("read");
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(back.has_edge(u, v));
+        }
+    }
+}

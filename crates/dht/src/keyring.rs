@@ -1,0 +1,169 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use socnet_core::NodeId;
+
+/// Wrapping distance between two keys on the `u64` ring (the smaller of
+/// the two arc lengths).
+///
+/// # Examples
+///
+/// ```
+/// use socnet_dht::ring_distance;
+///
+/// assert_eq!(ring_distance(10, 13), 3);
+/// assert_eq!(ring_distance(13, 10), 3);
+/// assert_eq!(ring_distance(u64::MAX, 1), 2); // wraps through 0
+/// ```
+pub fn ring_distance(a: u64, b: u64) -> u64 {
+    let forward = a.wrapping_sub(b);
+    let backward = b.wrapping_sub(a);
+    forward.min(backward)
+}
+
+/// Assignment of ring keys to nodes.
+///
+/// Keys are drawn uniformly at random per node (collisions over `u64`
+/// are negligible but handled: ownership ties break to the smaller id).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyRing {
+    keys: Vec<u64>,
+}
+
+impl KeyRing {
+    /// Draws a uniform key for each of `n` nodes.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        KeyRing { keys: (0..n).map(|_| rng.random_range(0..u64::MAX)).collect() }
+    }
+
+    /// Number of nodes with keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The key of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn key(&self, v: NodeId) -> u64 {
+        self.keys[v.index()]
+    }
+
+    /// The node owning `key`: the one whose own key is ring-closest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn owner(&self, key: u64) -> NodeId {
+        assert!(!self.keys.is_empty(), "ring has no nodes");
+        let mut best = 0usize;
+        let mut best_d = u64::MAX;
+        for (i, &k) in self.keys.iter().enumerate() {
+            let d = ring_distance(k, key);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        NodeId::from_index(best)
+    }
+
+    /// The honest owner of `key`: closest among the first
+    /// `honest_count` nodes — what a correct lookup should return when
+    /// Sybils must not be storage nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `honest_count` is 0 or exceeds the ring size.
+    pub fn honest_owner(&self, key: u64, honest_count: usize) -> NodeId {
+        assert!(
+            honest_count > 0 && honest_count <= self.keys.len(),
+            "honest count {honest_count} out of range"
+        );
+        let mut best = 0usize;
+        let mut best_d = u64::MAX;
+        for (i, &k) in self.keys.iter().take(honest_count).enumerate() {
+            let d = ring_distance(k, key);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        NodeId::from_index(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_distance_is_a_metric_on_samples() {
+        let pts = [0u64, 1, 7, u64::MAX / 2, u64::MAX - 3, u64::MAX];
+        for &a in &pts {
+            assert_eq!(ring_distance(a, a), 0);
+            for &b in &pts {
+                assert_eq!(ring_distance(a, b), ring_distance(b, a));
+                for &c in &pts {
+                    assert!(
+                        ring_distance(a, c) <= ring_distance(a, b).saturating_add(ring_distance(b, c)),
+                        "triangle violated at {a},{b},{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_distance_is_half_the_ring() {
+        // The ring circumference is 2^64 (wrapping arithmetic), so the
+        // farthest any two keys can be is 2^63.
+        assert_eq!(ring_distance(0, 1u64 << 63), 1u64 << 63);
+        assert_eq!(ring_distance(0, (1u64 << 63) + 1), (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn owner_returns_the_closest_key() {
+        let ring = KeyRing { keys: vec![100, 200, 300] };
+        assert_eq!(ring.owner(120), NodeId(0));
+        assert_eq!(ring.owner(180), NodeId(1));
+        assert_eq!(ring.owner(1000), NodeId(2));
+        // Exact hit.
+        assert_eq!(ring.owner(200), NodeId(1));
+    }
+
+    #[test]
+    fn honest_owner_ignores_sybil_keys() {
+        // Node 2 (a sybil) sits exactly on the key; the honest owner is 1.
+        let ring = KeyRing { keys: vec![100, 200, 500] };
+        assert_eq!(ring.owner(499), NodeId(2));
+        assert_eq!(ring.honest_owner(499, 2), NodeId(1));
+    }
+
+    #[test]
+    fn generated_keys_are_deterministic_and_spread() {
+        let a = KeyRing::generate(100, 7);
+        let b = KeyRing::generate(100, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        // No trivially repeated keys among 100 u64 draws.
+        let mut keys: Vec<u64> = (0..100).map(|i| a.key(NodeId(i))).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn empty_ring_owner_panics() {
+        let ring = KeyRing { keys: vec![] };
+        let _ = ring.owner(1);
+    }
+}

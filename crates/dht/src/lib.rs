@@ -1,0 +1,58 @@
+//! Sybil-resistant DHT routing over social graphs.
+//!
+//! The paper's introduction motivates its measurements with the systems
+//! built on top of social trust; distributed hash tables are the oldest
+//! of them (Marti et al.'s social-link routing, Danezis et al.'s
+//! Sybil-resistant DHT, Lesniewski-Laas's Whānau). Their common insight
+//! is the one the paper quantifies: **random walks on a fast-mixing
+//! honest region rarely escape through the few attack edges**, so walk
+//! endpoints are a Sybil-resistant way to sample routing-table entries,
+//! while uniform sampling over the *claimed* membership is trivially
+//! poisoned by Sybil identities.
+//!
+//! The crate builds the whole loop:
+//!
+//! * [`KeyRing`] — nodes mapped to keys on a `u64` ring with wrapping
+//!   distance and ownership;
+//! * [`FingerStrategy`] — routing-table sampling: `Uniform` over all
+//!   identities (the poisoned baseline) or `SocialWalk` endpoints;
+//! * [`SocialDht`] — per-node finger tables plus greedy ring routing,
+//!   where Sybil nodes misroute into the Sybil region (an eclipse
+//!   adversary);
+//! * [`LookupOutcome`] / [`lookup_success_rate`] — end-to-end evaluation
+//!   under a mounted [`AttackedGraph`](socnet_sybil::AttackedGraph).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use socnet_dht::{lookup_success_rate, DhtConfig, FingerStrategy, SocialDht};
+//! use socnet_gen::complete;
+//! use socnet_sybil::{AttackedGraph, SybilAttack, SybilTopology};
+//!
+//! let attacked = AttackedGraph::mount(
+//!     &complete(40),
+//!     &SybilAttack { sybil_count: 40, attack_edges: 2, topology: SybilTopology::Clique, seed: 1 },
+//! );
+//! let cfg = DhtConfig {
+//!     fingers: 8,
+//!     strategy: FingerStrategy::SocialWalk { length: 6 },
+//!     replication: 4,
+//!     seed: 1,
+//! };
+//! let dht = SocialDht::build(&attacked, &cfg);
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let rate = lookup_success_rate(&attacked, &dht, 50, 30, &mut rng);
+//! assert!(rate > 0.8, "social-walk fingers should route well, got {rate}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod keyring;
+mod routing;
+
+pub use keyring::{ring_distance, KeyRing};
+pub use routing::{
+    lookup_success_rate, DhtConfig, FingerStrategy, LookupOutcome, SocialDht,
+};

@@ -1,0 +1,436 @@
+//! Finger tables and greedy ring routing under Sybil attack.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, NodeId};
+use socnet_sybil::AttackedGraph;
+
+use crate::{ring_distance, KeyRing};
+
+/// How nodes sample their routing-table (finger) entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FingerStrategy {
+    /// Uniform over all identities — the baseline every Sybil-resistant
+    /// design replaces, because the attacker controls an arbitrary
+    /// fraction of identities.
+    Uniform,
+    /// Endpoints of random walks on the social graph (Whānau-style):
+    /// honest walks rarely cross the attack edges, so honest fingers
+    /// stay honest.
+    SocialWalk {
+        /// Walk length; around the honest region's mixing time.
+        length: usize,
+    },
+}
+
+/// Configuration for [`SocialDht::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DhtConfig {
+    /// Fingers per node.
+    pub fingers: usize,
+    /// Finger sampling strategy.
+    pub strategy: FingerStrategy,
+    /// Replication factor: each object is stored on the `replication`
+    /// honest nodes ring-closest to its key, so a lookup succeeds at any
+    /// replica (greedy routing over random fingers reaches the key's
+    /// neighborhood quickly but the single closest node only rarely).
+    pub replication: usize,
+    /// Seed for keys, walks, and Sybil misrouting.
+    pub seed: u64,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        DhtConfig {
+            fingers: 16,
+            strategy: FingerStrategy::SocialWalk { length: 8 },
+            replication: 4,
+            seed: 0xd47,
+        }
+    }
+}
+
+/// The outcome of one greedy lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupOutcome {
+    /// Nodes visited, starting at the querier.
+    pub path: Vec<NodeId>,
+    /// Whether the lookup terminated at one of the key's honest
+    /// replicas (the `replication` ring-closest honest nodes).
+    pub success: bool,
+}
+
+/// A DHT instantiated over an attacked social graph.
+///
+/// Honest nodes follow the protocol; Sybil nodes are an eclipse
+/// adversary — any query reaching them is answered with another Sybil,
+/// so a lookup that enters the Sybil region never returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocialDht {
+    ring: KeyRing,
+    fingers: Vec<Vec<NodeId>>,
+    honest_count: usize,
+    replication: usize,
+    /// Honest nodes sorted by their ring key, for O(log h + r) replica
+    /// queries.
+    honest_by_key: Vec<NodeId>,
+}
+
+impl SocialDht {
+    /// Builds keys and finger tables for every node of `attacked`.
+    ///
+    /// Sybil nodes' *own* tables are irrelevant (they misroute anyway);
+    /// honest nodes sample according to `config.strategy`:
+    /// `Uniform` draws from all identities (Sybils included — they
+    /// advertise themselves), `SocialWalk` draws walk endpoints on the
+    /// composed graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fingers == 0` or a `SocialWalk` length of 0 is given.
+    pub fn build(attacked: &AttackedGraph, config: &DhtConfig) -> Self {
+        assert!(config.fingers > 0, "need at least one finger per node");
+        assert!(config.replication > 0, "need a positive replication factor");
+        if let FingerStrategy::SocialWalk { length } = config.strategy {
+            assert!(length > 0, "walk length must be positive");
+        }
+        let g = attacked.graph();
+        let n = g.node_count();
+        let ring = KeyRing::generate(n, config.seed);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xf17e);
+
+        let fingers = g
+            .nodes()
+            .map(|v| {
+                if attacked.is_sybil(v) {
+                    return Vec::new();
+                }
+                (0..config.fingers)
+                    .map(|_| match config.strategy {
+                        FingerStrategy::Uniform => {
+                            NodeId(rng.random_range(0..n as u32))
+                        }
+                        FingerStrategy::SocialWalk { length } => {
+                            walk_endpoint(g, v, length, &mut rng)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let honest_count = attacked.honest_count();
+        let mut honest_by_key: Vec<NodeId> =
+            (0..honest_count).map(NodeId::from_index).collect();
+        honest_by_key.sort_by_key(|&v| ring.key(v));
+        SocialDht {
+            ring,
+            fingers,
+            honest_count,
+            replication: config.replication.min(honest_count),
+            honest_by_key,
+        }
+    }
+
+    /// The honest nodes storing `key`: the `replication` ring-closest.
+    ///
+    /// Runs in `O(log h + replication)` against the prebuilt key-sorted
+    /// index, expanding outward from the key's insertion point in both
+    /// ring directions.
+    pub fn replicas(&self, key: u64) -> Vec<NodeId> {
+        let h = self.honest_by_key.len();
+        if h == 0 {
+            return Vec::new();
+        }
+        let start = self
+            .honest_by_key
+            .partition_point(|&v| self.ring.key(v) < key);
+        // Two cyclic cursors: `right` begins at the insertion point,
+        // `left` one before it; pick the ring-closer side each step.
+        let mut out = Vec::with_capacity(self.replication);
+        let mut right = start % h;
+        let mut left = (start + h - 1) % h;
+        let mut taken = 0usize;
+        while taken < self.replication && taken < h {
+            let dr = ring_distance(self.ring.key(self.honest_by_key[right]), key);
+            let dl = ring_distance(self.ring.key(self.honest_by_key[left]), key);
+            if taken + 1 == h || left == right {
+                out.push(self.honest_by_key[right]);
+            } else if dr <= dl {
+                out.push(self.honest_by_key[right]);
+                right = (right + 1) % h;
+            } else {
+                out.push(self.honest_by_key[left]);
+                left = (left + h - 1) % h;
+            }
+            taken += 1;
+        }
+        out
+    }
+
+    /// The key ring in use.
+    pub fn ring(&self) -> &KeyRing {
+        &self.ring
+    }
+
+    /// The fingers of `v` (empty for Sybil nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn fingers(&self, v: NodeId) -> &[NodeId] {
+        &self.fingers[v.index()]
+    }
+
+    /// Fraction of honest nodes' finger entries that point at Sybils —
+    /// the table-poisoning rate the sampling strategy determines.
+    pub fn poisoned_finger_rate(&self) -> f64 {
+        let mut total = 0usize;
+        let mut poisoned = 0usize;
+        for (i, fs) in self.fingers.iter().enumerate() {
+            if i >= self.honest_count {
+                continue;
+            }
+            for f in fs {
+                total += 1;
+                if f.index() >= self.honest_count {
+                    poisoned += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            poisoned as f64 / total as f64
+        }
+    }
+
+    /// Greedy lookup of `key` from `querier` over an attacked graph.
+    ///
+    /// At each honest hop the next node is the ring-closest candidate
+    /// among the current node's fingers and social neighbors that is
+    /// strictly closer than the current node; the lookup succeeds as soon
+    /// as it touches any replica of the key (one of the `replication`
+    /// honest nodes ring-closest to it). Reaching a Sybil node, getting
+    /// stuck away from every replica, or exceeding `max_hops` fails it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `querier` is out of range.
+    pub fn lookup(
+        &self,
+        attacked: &AttackedGraph,
+        querier: NodeId,
+        key: u64,
+        max_hops: usize,
+    ) -> LookupOutcome {
+        let g = attacked.graph();
+        g.check_node(querier).expect("querier in range");
+        let replicas = self.replicas(key);
+        let mut path = vec![querier];
+        let mut current = querier;
+
+        for _ in 0..=max_hops {
+            if replicas.contains(&current) {
+                return LookupOutcome { path, success: true };
+            }
+            if attacked.is_sybil(current) {
+                // Eclipse adversary: the query is absorbed.
+                return LookupOutcome { path, success: false };
+            }
+            if path.len() > max_hops {
+                break;
+            }
+            let here = ring_distance(self.ring.key(current), key);
+            let next = self
+                .candidates(g, current)
+                .filter(|&c| ring_distance(self.ring.key(c), key) < here)
+                .min_by_key(|&c| ring_distance(self.ring.key(c), key));
+            match next {
+                Some(c) => {
+                    path.push(c);
+                    current = c;
+                }
+                None => return LookupOutcome { path, success: false },
+            }
+        }
+        LookupOutcome { path, success: false }
+    }
+
+    fn candidates<'a>(
+        &'a self,
+        graph: &'a Graph,
+        v: NodeId,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.fingers[v.index()]
+            .iter()
+            .copied()
+            .chain(graph.neighbors(v).iter().copied())
+    }
+}
+
+/// Endpoint of one random walk (local helper to avoid a crate cycle).
+fn walk_endpoint<R: Rng + ?Sized>(
+    graph: &Graph,
+    from: NodeId,
+    length: usize,
+    rng: &mut R,
+) -> NodeId {
+    let mut cur = from;
+    for _ in 0..length {
+        let nbrs = graph.neighbors(cur);
+        if nbrs.is_empty() {
+            break;
+        }
+        cur = nbrs[rng.random_range(0..nbrs.len())];
+    }
+    cur
+}
+
+/// Runs `trials` lookups between random honest queriers and random
+/// honest-owned keys; returns the success fraction.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn lookup_success_rate<R: Rng + ?Sized>(
+    attacked: &AttackedGraph,
+    dht: &SocialDht,
+    trials: usize,
+    max_hops: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let mut ok = 0usize;
+    for _ in 0..trials {
+        let querier = attacked.random_honest(rng);
+        let target = attacked.random_honest(rng);
+        let key = dht.ring().key(target);
+        if dht.lookup(attacked, querier, key, max_hops).success {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::complete;
+    use socnet_sybil::{SybilAttack, SybilTopology};
+
+    fn attacked(sybils: usize, edges: usize) -> AttackedGraph {
+        AttackedGraph::mount(
+            &complete(40),
+            &SybilAttack {
+                sybil_count: sybils,
+                attack_edges: edges,
+                topology: SybilTopology::Clique,
+                seed: 3,
+            },
+        )
+    }
+
+    fn cfg(strategy: FingerStrategy) -> DhtConfig {
+        DhtConfig { fingers: 8, strategy, replication: 4, seed: 5 }
+    }
+
+    #[test]
+    fn lookups_succeed_without_sybils() {
+        // One token sybil with one edge: effectively clean.
+        let a = attacked(1, 1);
+        let dht = SocialDht::build(&a, &cfg(FingerStrategy::SocialWalk { length: 4 }));
+        let mut rng = StdRng::seed_from_u64(1);
+        let rate = lookup_success_rate(&a, &dht, 60, 30, &mut rng);
+        assert!(rate > 0.95, "clean-network success {rate}");
+    }
+
+    #[test]
+    fn walk_fingers_resist_heavy_sybil_presence() {
+        // Sparse honest region (routing must be multi-hop, so fingers
+        // matter); Sybils outnumber honest nodes 2:1 behind 3 edges.
+        let honest = socnet_gen::barabasi_albert(
+            150,
+            4,
+            &mut StdRng::seed_from_u64(11),
+        );
+        let a = AttackedGraph::mount(
+            &honest,
+            &SybilAttack {
+                sybil_count: 300,
+                attack_edges: 3,
+                topology: SybilTopology::Clique,
+                seed: 3,
+            },
+        );
+        let big = |strategy| DhtConfig { fingers: 16, strategy, replication: 8, seed: 5 };
+        let walk = SocialDht::build(&a, &big(FingerStrategy::SocialWalk { length: 5 }));
+        let uniform = SocialDht::build(&a, &big(FingerStrategy::Uniform));
+        assert!(
+            walk.poisoned_finger_rate() < 0.1,
+            "walk poisoning {}",
+            walk.poisoned_finger_rate()
+        );
+        assert!(
+            uniform.poisoned_finger_rate() > 0.5,
+            "uniform poisoning {}",
+            uniform.poisoned_finger_rate()
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let walk_rate = lookup_success_rate(&a, &walk, 100, 40, &mut rng);
+        let uniform_rate = lookup_success_rate(&a, &uniform, 100, 40, &mut rng);
+        assert!(
+            walk_rate > uniform_rate + 0.2,
+            "walk {walk_rate} should beat uniform {uniform_rate}"
+        );
+        assert!(walk_rate > 0.8, "walk fingers should mostly succeed, got {walk_rate}");
+    }
+
+    #[test]
+    fn lookup_path_starts_at_querier_and_is_bounded() {
+        let a = attacked(5, 1);
+        let dht = SocialDht::build(&a, &cfg(FingerStrategy::SocialWalk { length: 3 }));
+        let key = dht.ring().key(NodeId(7));
+        let out = dht.lookup(&a, NodeId(0), key, 10);
+        assert_eq!(out.path[0], NodeId(0));
+        assert!(out.path.len() <= 11);
+        if out.success {
+            assert_eq!(*out.path.last().expect("non-empty"), NodeId(7));
+        }
+    }
+
+    #[test]
+    fn zero_hop_budget_only_succeeds_at_home() {
+        let a = attacked(5, 1);
+        let dht = SocialDht::build(&a, &cfg(FingerStrategy::SocialWalk { length: 3 }));
+        let own_key = dht.ring().key(NodeId(4));
+        assert!(dht.lookup(&a, NodeId(4), own_key, 0).success);
+        let other = dht.ring().key(NodeId(9));
+        assert!(!dht.lookup(&a, NodeId(4), other, 0).success);
+    }
+
+    #[test]
+    fn sybil_tables_are_empty_and_builds_are_deterministic() {
+        let a = attacked(10, 2);
+        let c = cfg(FingerStrategy::Uniform);
+        let d1 = SocialDht::build(&a, &c);
+        let d2 = SocialDht::build(&a, &c);
+        assert_eq!(d1, d2);
+        for s in a.sybil_nodes() {
+            assert!(d1.fingers(s).is_empty());
+        }
+        for h in a.honest_nodes() {
+            assert_eq!(d1.fingers(h).len(), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one finger")]
+    fn zero_fingers_rejected() {
+        let a = attacked(2, 1);
+        let _ = SocialDht::build(
+            &a,
+            &DhtConfig { fingers: 0, strategy: FingerStrategy::Uniform, replication: 1, seed: 0 },
+        );
+    }
+}

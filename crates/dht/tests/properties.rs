@@ -1,0 +1,112 @@
+//! Property-based tests of the DHT machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_dht::{lookup_success_rate, ring_distance, DhtConfig, FingerStrategy, KeyRing, SocialDht};
+use socnet_core::NodeId;
+use socnet_gen::barabasi_albert;
+use socnet_sybil::{AttackedGraph, SybilAttack, SybilTopology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ring_distance_properties(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        prop_assert_eq!(ring_distance(a, a), 0);
+        prop_assert_eq!(ring_distance(a, b), ring_distance(b, a));
+        prop_assert!(ring_distance(a, b) <= 1u64 << 63);
+        // Triangle inequality (saturating to avoid overflow in the bound).
+        prop_assert!(
+            ring_distance(a, c) <= ring_distance(a, b).saturating_add(ring_distance(b, c))
+        );
+        // Translation invariance.
+        prop_assert_eq!(
+            ring_distance(a.wrapping_add(c), b.wrapping_add(c)),
+            ring_distance(a, b)
+        );
+    }
+
+    #[test]
+    fn owner_is_argmin_of_distance(n in 1usize..40, key in any::<u64>(), seed in any::<u64>()) {
+        let ring = KeyRing::generate(n, seed);
+        let owner = ring.owner(key);
+        for i in 0..n {
+            prop_assert!(
+                ring_distance(ring.key(owner), key)
+                    <= ring_distance(ring.key(NodeId(i as u32)), key)
+            );
+        }
+    }
+
+    #[test]
+    fn replicas_are_the_closest_honest_nodes(
+        honest_n in 8usize..40,
+        key in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let honest = barabasi_albert(honest_n, 2, &mut StdRng::seed_from_u64(seed));
+        let a = AttackedGraph::mount(
+            &honest,
+            &SybilAttack { sybil_count: 5, attack_edges: 2, topology: SybilTopology::Clique, seed },
+        );
+        let dht = SocialDht::build(
+            &a,
+            &DhtConfig { fingers: 4, strategy: FingerStrategy::Uniform, replication: 3, seed },
+        );
+        let replicas = dht.replicas(key);
+        prop_assert_eq!(replicas.len(), 3);
+        // All honest, and every non-replica honest node is no closer.
+        let worst = replicas
+            .iter()
+            .map(|&r| ring_distance(dht.ring().key(r), key))
+            .max()
+            .expect("non-empty");
+        for h in a.honest_nodes() {
+            if !replicas.contains(&h) {
+                prop_assert!(ring_distance(dht.ring().key(h), key) >= worst);
+            }
+        }
+        for &r in &replicas {
+            prop_assert!(!a.is_sybil(r));
+        }
+    }
+
+    #[test]
+    fn lookup_paths_are_valid(seed in any::<u64>()) {
+        let honest = barabasi_albert(60, 3, &mut StdRng::seed_from_u64(seed));
+        let a = AttackedGraph::mount(
+            &honest,
+            &SybilAttack { sybil_count: 20, attack_edges: 4, topology: SybilTopology::Clique, seed },
+        );
+        let dht = SocialDht::build(&a, &DhtConfig::default());
+        let key = dht.ring().key(NodeId(30));
+        let out = dht.lookup(&a, NodeId(1), key, 25);
+        prop_assert!(out.path.len() <= 26);
+        prop_assert_eq!(out.path[0], NodeId(1));
+        if out.success {
+            let last = *out.path.last().expect("non-empty");
+            prop_assert!(dht.replicas(key).contains(&last));
+        }
+        // Distances to the key are strictly decreasing along honest hops.
+        for w in out.path.windows(2) {
+            prop_assert!(
+                ring_distance(dht.ring().key(w[1]), key)
+                    < ring_distance(dht.ring().key(w[0]), key)
+            );
+        }
+    }
+
+    #[test]
+    fn success_rate_is_a_probability(seed in any::<u64>()) {
+        let honest = barabasi_albert(40, 3, &mut StdRng::seed_from_u64(seed));
+        let a = AttackedGraph::mount(
+            &honest,
+            &SybilAttack { sybil_count: 10, attack_edges: 2, topology: SybilTopology::Clique, seed },
+        );
+        let dht = SocialDht::build(&a, &DhtConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let rate = lookup_success_rate(&a, &dht, 20, 25, &mut rng);
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+}

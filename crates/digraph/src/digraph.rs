@@ -1,0 +1,261 @@
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, GraphBuilder, NodeId};
+
+/// A simple directed graph in CSR form, with both adjacency directions
+/// materialized.
+///
+/// Duplicate arcs and self-loops are dropped at construction, mirroring
+/// the simple-graph convention of [`Graph`]. Nodes with no out-arcs
+/// ("dangling" nodes) are permitted — the walk operator handles them.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::NodeId;
+/// use socnet_digraph::Digraph;
+///
+/// let g = Digraph::from_arcs(3, [(0, 1), (1, 2), (0, 2)]);
+/// assert_eq!(g.arc_count(), 3);
+/// assert_eq!(g.out_degree(NodeId(0)), 2);
+/// assert_eq!(g.in_degree(NodeId(2)), 2);
+/// assert!(g.has_arc(NodeId(0), NodeId(1)));
+/// assert!(!g.has_arc(NodeId(1), NodeId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Digraph {
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+}
+
+impl Digraph {
+    /// Builds a digraph with `n` nodes from an arc iterator `(from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_arcs<I>(n: usize, arcs: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut list: Vec<(u32, u32)> = arcs
+            .into_iter()
+            .inspect(|&(u, v)| {
+                assert!(
+                    (u as usize) < n && (v as usize) < n,
+                    "arc ({u}, {v}) out of range for {n} nodes"
+                );
+            })
+            .filter(|&(u, v)| u != v)
+            .collect();
+        list.sort_unstable();
+        list.dedup();
+
+        let build = |n: usize, pairs: &[(u32, u32)]| {
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut targets = Vec::with_capacity(pairs.len());
+            offsets.push(0);
+            let mut row = 0u32;
+            for &(u, v) in pairs {
+                while row < u {
+                    offsets.push(targets.len());
+                    row += 1;
+                }
+                targets.push(NodeId(v));
+            }
+            while (offsets.len() - 1) < n {
+                offsets.push(targets.len());
+            }
+            (offsets, targets)
+        };
+
+        let (out_offsets, out_targets) = build(n, &list);
+        let mut rev: Vec<(u32, u32)> = list.iter().map(|&(u, v)| (v, u)).collect();
+        rev.sort_unstable();
+        let (in_offsets, in_sources) = build(n, &rev);
+
+        Digraph { out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]
+    }
+
+    /// Sorted out-neighbors of `v`.
+    pub fn successors(&self, v: NodeId) -> &[NodeId] {
+        &self.out_targets[self.out_offsets[v.index()]..self.out_offsets[v.index() + 1]]
+    }
+
+    /// Sorted in-neighbors of `v`.
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        &self.in_sources[self.in_offsets[v.index()]..self.in_offsets[v.index() + 1]]
+    }
+
+    /// Whether the arc `u → v` exists (`O(log out_deg(u))`).
+    pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        self.successors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count()).map(NodeId::from_index)
+    }
+
+    /// Iterator over all arcs as `(from, to)`.
+    pub fn arcs(&self) -> Arcs<'_> {
+        Arcs { graph: self, row: 0, col: 0 }
+    }
+
+    /// Nodes with no out-arcs (dangling under the random surfer).
+    pub fn dangling_nodes(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// Symmetrizes into an undirected [`Graph`] — the paper's
+    /// preprocessing of its directed crawls (each arc becomes an edge).
+    pub fn to_undirected(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.node_count(), self.arc_count());
+        for (u, v) in self.arcs() {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Lifts an undirected graph into the digraph with both arc
+    /// directions — the reverse embedding, so undirected measurements
+    /// can be cross-checked against the directed machinery.
+    pub fn from_undirected(graph: &Graph) -> Self {
+        let mut arcs = Vec::with_capacity(graph.degree_sum());
+        for (u, v) in graph.edges() {
+            arcs.push((u.0, v.0));
+            arcs.push((v.0, u.0));
+        }
+        Digraph::from_arcs(graph.node_count(), arcs)
+    }
+}
+
+/// Iterator over a digraph's arcs. Created by [`Digraph::arcs`].
+#[derive(Debug, Clone)]
+pub struct Arcs<'a> {
+    graph: &'a Digraph,
+    row: usize,
+    col: usize,
+}
+
+impl Iterator for Arcs<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        while self.row < self.graph.node_count() {
+            let u = NodeId::from_index(self.row);
+            let succ = self.graph.successors(u);
+            if self.col < succ.len() {
+                let v = succ[self.col];
+                self.col += 1;
+                return Some((u, v));
+            }
+            self.row += 1;
+            self.col = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Digraph {
+        // 0 → 1 → 3, 0 → 2 → 3.
+        Digraph::from_arcs(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.arc_count(), 4);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert_eq!(g.successors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.predecessors(NodeId(3)), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn arcs_are_directed() {
+        let g = diamond();
+        assert!(g.has_arc(NodeId(0), NodeId(1)));
+        assert!(!g.has_arc(NodeId(1), NodeId(0)));
+        let all: Vec<_> = g.arcs().map(|(u, v)| (u.0, v.0)).collect();
+        assert_eq!(all, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn duplicates_and_loops_dropped() {
+        let g = Digraph::from_arcs(3, [(0, 1), (0, 1), (1, 1), (1, 0)]);
+        assert_eq!(g.arc_count(), 2); // 0→1 and 1→0 are distinct arcs
+        assert!(g.has_arc(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn dangling_nodes_found() {
+        let g = diamond();
+        assert_eq!(g.dangling_nodes(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn undirected_round_trip() {
+        let und = socnet_core::Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let di = Digraph::from_undirected(&und);
+        assert_eq!(di.arc_count(), 8);
+        assert_eq!(di.to_undirected(), und);
+    }
+
+    #[test]
+    fn symmetrization_collapses_reciprocal_arcs() {
+        let di = Digraph::from_arcs(3, [(0, 1), (1, 0), (1, 2)]);
+        let und = di.to_undirected();
+        assert_eq!(und.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = Digraph::from_arcs(3, []);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.arc_count(), 0);
+        assert_eq!(g.dangling_nodes().len(), 3);
+        assert_eq!(g.arcs().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_arc_panics() {
+        let _ = Digraph::from_arcs(2, [(0, 2)]);
+    }
+}

@@ -1,0 +1,192 @@
+//! The sampling method on directed chains.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use socnet_core::NodeId;
+use socnet_mixing::total_variation;
+
+use crate::{DirectedWalk, Digraph};
+
+/// Parameters for a directed mixing measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirectedMixingConfig {
+    /// Number of uniformly sampled walk sources.
+    pub sources: usize,
+    /// Longest walk length to evaluate.
+    pub max_walk: usize,
+    /// Teleport probability of the surfer (0 = pure directed walk; the
+    /// chain must then be ergodic for the reference `π` to exist).
+    pub teleport: f64,
+    /// Stationary-distribution power-iteration tolerance.
+    pub stationary_tol: f64,
+    /// RNG seed for source sampling.
+    pub seed: u64,
+}
+
+impl Default for DirectedMixingConfig {
+    fn default() -> Self {
+        DirectedMixingConfig {
+            sources: 50,
+            max_walk: 100,
+            teleport: 0.0,
+            stationary_tol: 1e-12,
+            seed: 0xd193,
+        }
+    }
+}
+
+/// Per-source TVD curves of a directed chain — Figure 1's measurement
+/// lifted to digraphs (the authors' follow-up study).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirectedMixing {
+    curves: Vec<(NodeId, Vec<f64>)>,
+    max_walk: usize,
+}
+
+impl DirectedMixing {
+    /// Runs the sampling method on `graph`.
+    ///
+    /// The reference distribution is computed once by power iteration;
+    /// each sampled source's point mass is then evolved `max_walk` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or `sources == 0`.
+    pub fn measure(graph: &Digraph, config: &DirectedMixingConfig) -> Self {
+        assert!(config.sources > 0, "need at least one source");
+        assert!(graph.node_count() > 0, "cannot measure an empty digraph");
+        let walk = DirectedWalk::new(graph, config.teleport);
+        let pi = walk.stationary(config.stationary_tol, 200 * config.max_walk + 2_000);
+
+        let n = graph.node_count();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut sources: Vec<NodeId> = if config.sources >= n {
+            graph.nodes().collect()
+        } else {
+            let mut picked = std::collections::BTreeSet::new();
+            while picked.len() < config.sources {
+                picked.insert(rng.random_range(0..n as u32));
+            }
+            picked.into_iter().map(NodeId).collect()
+        };
+        sources.sort_unstable();
+
+        let mut curves = Vec::with_capacity(sources.len());
+        let mut x = vec![0.0f64; n];
+        let mut scratch = vec![0.0f64; n];
+        for &s in &sources {
+            x.fill(0.0);
+            x[s.index()] = 1.0;
+            let mut tvd = Vec::with_capacity(config.max_walk);
+            for _ in 0..config.max_walk {
+                walk.step(&x, &mut scratch);
+                std::mem::swap(&mut x, &mut scratch);
+                tvd.push(total_variation(&x, &pi));
+            }
+            curves.push((s, tvd));
+        }
+        DirectedMixing { curves, max_walk: config.max_walk }
+    }
+
+    /// Per-source curves in source-id order.
+    pub fn curves(&self) -> &[(NodeId, Vec<f64>)] {
+        &self.curves
+    }
+
+    /// Mean TVD across sources per walk length.
+    pub fn mean_curve(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.max_walk];
+        for (_, c) in &self.curves {
+            for (a, &d) in acc.iter_mut().zip(c) {
+                *a += d;
+            }
+        }
+        let k = self.curves.len() as f64;
+        acc.iter_mut().for_each(|a| *a /= k);
+        acc
+    }
+
+    /// Worst-source TVD per walk length (Eq. 2's `max_i`, sampled).
+    pub fn max_curve(&self) -> Vec<f64> {
+        let mut out = self.curves[0].1.clone();
+        for (_, c) in &self.curves[1..] {
+            for (o, &d) in out.iter_mut().zip(c) {
+                *o = o.max(d);
+            }
+        }
+        out
+    }
+
+    /// First walk length at which every sampled source is within
+    /// `epsilon` of the reference distribution.
+    pub fn mixing_time(&self, epsilon: f64) -> Option<usize> {
+        self.max_curve().iter().position(|&d| d < epsilon).map(|t| t + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(sources: usize, max_walk: usize, teleport: f64) -> DirectedMixingConfig {
+        DirectedMixingConfig { sources, max_walk, teleport, ..Default::default() }
+    }
+
+    #[test]
+    fn complete_digraph_mixes_immediately() {
+        let n = 20u32;
+        let arcs =
+            (0..n).flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)));
+        let g = Digraph::from_arcs(n as usize, arcs);
+        let m = DirectedMixing::measure(&g, &cfg(8, 5, 0.0));
+        assert!(m.mixing_time(0.06).expect("mixes") <= 2);
+    }
+
+    #[test]
+    fn directed_structure_slows_mixing_vs_symmetrized() {
+        // A long directed cycle with a few chords is much slower than its
+        // symmetrized version under the same surfer.
+        let n = 60u32;
+        let mut arcs: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        arcs.push((0, 30));
+        arcs.push((20, 50));
+        let di = Digraph::from_arcs(n as usize, arcs);
+        let sym = Digraph::from_undirected(&di.to_undirected());
+
+        let c = cfg(10, 60, 0.1);
+        let slow = DirectedMixing::measure(&di, &c).mean_curve();
+        let fast = DirectedMixing::measure(&sym, &c).mean_curve();
+        assert!(
+            slow[30] > fast[30],
+            "directed cycle {} should lag symmetrized {}",
+            slow[30],
+            fast[30]
+        );
+    }
+
+    #[test]
+    fn curves_shapes_and_determinism() {
+        let g = Digraph::from_arcs(10, (0..10u32).map(|i| (i, (i + 1) % 10)));
+        let c = cfg(4, 20, 0.2);
+        let a = DirectedMixing::measure(&g, &c);
+        let b = DirectedMixing::measure(&g, &c);
+        assert_eq!(a, b);
+        assert_eq!(a.curves().len(), 4);
+        for (_, curve) in a.curves() {
+            assert_eq!(curve.len(), 20);
+            assert!(curve.iter().all(|&d| (0.0..=1.0 + 1e-12).contains(&d)));
+        }
+        let (mean, max) = (a.mean_curve(), a.max_curve());
+        for t in 0..20 {
+            assert!(mean[t] <= max[t] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn oversampling_uses_every_node() {
+        let g = Digraph::from_arcs(5, (0..5u32).map(|i| (i, (i + 1) % 5)));
+        let m = DirectedMixing::measure(&g, &cfg(50, 5, 0.3));
+        assert_eq!(m.curves().len(), 5);
+    }
+}

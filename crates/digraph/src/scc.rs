@@ -1,0 +1,210 @@
+//! Strongly connected components (iterative Tarjan).
+
+use serde::{Deserialize, Serialize};
+use socnet_core::NodeId;
+
+use crate::Digraph;
+
+/// SCC labeling of a digraph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SccLabels {
+    /// Component label per node, in `0..count`. Labels are assigned in
+    /// reverse topological order of the condensation (Tarjan's order).
+    pub label: Vec<u32>,
+    /// Number of strongly connected components.
+    pub count: usize,
+    /// Number of nodes in each component.
+    pub sizes: Vec<usize>,
+}
+
+impl SccLabels {
+    /// Label of the largest component (ties to the smaller label).
+    pub fn largest(&self) -> u32 {
+        let mut best = 0usize;
+        for (i, &s) in self.sizes.iter().enumerate() {
+            if s > self.sizes[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+}
+
+/// Computes the strongly connected components with an iterative Tarjan
+/// (explicit stack, so deep recursions on path-like graphs cannot
+/// overflow).
+///
+/// # Examples
+///
+/// ```
+/// use socnet_digraph::{strongly_connected_components, Digraph};
+///
+/// // A 2-cycle feeding a sink: two SCCs.
+/// let g = Digraph::from_arcs(3, [(0, 1), (1, 0), (1, 2)]);
+/// let scc = strongly_connected_components(&g);
+/// assert_eq!(scc.count, 2);
+/// assert_eq!(scc.label[0], scc.label[1]);
+/// assert_ne!(scc.label[0], scc.label[2]);
+/// ```
+pub fn strongly_connected_components(graph: &Digraph) -> SccLabels {
+    let n = graph.node_count();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut label = vec![UNSET; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0u32;
+    let mut sizes = Vec::new();
+
+    // Explicit DFS frames: (node, next successor position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let succ = graph.successors(NodeId(v));
+            if *pos < succ.len() {
+                let w = succ[*pos].0;
+                *pos += 1;
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is an SCC root: pop its component.
+                    let mut size = 0usize;
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w as usize] = false;
+                        label[w as usize] = count;
+                        size += 1;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sizes.push(size);
+                    count += 1;
+                }
+            }
+        }
+    }
+
+    SccLabels { label, count: count as usize, sizes }
+}
+
+/// Extracts the largest strongly connected component as a standalone
+/// digraph, with the new-to-old id map.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_digraph::{largest_scc, Digraph};
+///
+/// let g = Digraph::from_arcs(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let (core, map) = largest_scc(&g);
+/// assert_eq!(core.node_count(), 3);
+/// assert_eq!(map.len(), 3);
+/// ```
+pub fn largest_scc(graph: &Digraph) -> (Digraph, Vec<NodeId>) {
+    let scc = strongly_connected_components(graph);
+    let keep = scc.largest();
+    let members: Vec<NodeId> =
+        graph.nodes().filter(|v| scc.label[v.index()] == keep).collect();
+    let mut old_to_new = vec![u32::MAX; graph.node_count()];
+    for (new, &old) in members.iter().enumerate() {
+        old_to_new[old.index()] = new as u32;
+    }
+    let arcs: Vec<(u32, u32)> = graph
+        .arcs()
+        .filter_map(|(u, v)| {
+            let (nu, nv) = (old_to_new[u.index()], old_to_new[v.index()]);
+            (nu != u32::MAX && nv != u32::MAX).then_some((nu, nv))
+        })
+        .collect();
+    (Digraph::from_arcs(members.len(), arcs), members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_is_one_scc() {
+        let g = Digraph::from_arcs(5, (0..5).map(|i| (i, (i + 1) % 5)));
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 1);
+        assert_eq!(scc.sizes, vec![5]);
+    }
+
+    #[test]
+    fn dag_has_singleton_sccs() {
+        let g = Digraph::from_arcs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 4);
+        assert!(scc.sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // cycle {0,1,2} → cycle {3,4}.
+        let g = Digraph::from_arcs(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 2);
+        assert_eq!(scc.label[0], scc.label[1]);
+        assert_eq!(scc.label[0], scc.label[2]);
+        assert_eq!(scc.label[3], scc.label[4]);
+        let (core, map) = largest_scc(&g);
+        assert_eq!(core.node_count(), 3);
+        assert_eq!(map, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(core.arc_count(), 3);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        // 50k-node directed path: recursion would blow the stack.
+        let n = 50_000u32;
+        let g = Digraph::from_arcs(n as usize, (0..n - 1).map(|i| (i, i + 1)));
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, n as usize);
+    }
+
+    #[test]
+    fn labels_respect_reverse_topological_order() {
+        // Tarjan labels sinks first: in 0 → 1, component of 1 gets label 0.
+        let g = Digraph::from_arcs(2, [(0, 1)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.label[1], 0);
+        assert_eq!(scc.label[0], 1);
+    }
+
+    #[test]
+    fn symmetric_digraph_matches_undirected_components() {
+        let und = socnet_core::Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let di = crate::Digraph::from_undirected(&und);
+        let scc = strongly_connected_components(&di);
+        let comps = socnet_core::connected_components(&und);
+        assert_eq!(scc.count, comps.count);
+    }
+}

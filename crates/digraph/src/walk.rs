@@ -1,0 +1,211 @@
+//! The directed random-surfer walk operator.
+
+use socnet_core::NodeId;
+
+use crate::Digraph;
+
+/// The random-surfer transition operator on a digraph:
+/// `P' = (1−α)·(P + dangling fix) + α·U`, where `P` follows out-arcs
+/// uniformly, dangling nodes spread their mass uniformly, and `α` is the
+/// teleport probability.
+///
+/// * `α = 0` on a strongly connected, aperiodic digraph gives the pure
+///   directed walk the follow-up paper studies;
+/// * `α > 0` makes any digraph ergodic; the stationary distribution is
+///   then PageRank with damping `1 − α`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_digraph::{Digraph, DirectedWalk};
+///
+/// let g = Digraph::from_arcs(2, [(0, 1), (1, 0)]);
+/// let walk = DirectedWalk::new(&g, 0.0);
+/// let mut x = vec![1.0, 0.0];
+/// let mut y = vec![0.0; 2];
+/// walk.step(&x, &mut y);
+/// assert_eq!(y, vec![0.0, 1.0]);
+/// # let _ = x;
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectedWalk<'g> {
+    graph: &'g Digraph,
+    teleport: f64,
+}
+
+impl<'g> DirectedWalk<'g> {
+    /// Creates the operator with teleport probability `teleport`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `teleport` is outside `[0, 1)` or the graph is empty.
+    pub fn new(graph: &'g Digraph, teleport: f64) -> Self {
+        assert!((0.0..1.0).contains(&teleport), "teleport {teleport} out of [0, 1)");
+        assert!(graph.node_count() > 0, "walk needs a non-empty graph");
+        DirectedWalk { graph, teleport }
+    }
+
+    /// The underlying digraph.
+    pub fn graph(&self) -> &'g Digraph {
+        self.graph
+    }
+
+    /// The teleport probability `α`.
+    pub fn teleport(&self) -> f64 {
+        self.teleport
+    }
+
+    /// One transition `dst ← src · P'`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the graph.
+    pub fn step(&self, src: &[f64], dst: &mut [f64]) {
+        let n = self.graph.node_count();
+        assert_eq!(src.len(), n, "src length mismatch");
+        assert_eq!(dst.len(), n, "dst length mismatch");
+        let uniform = 1.0 / n as f64;
+        let follow = 1.0 - self.teleport;
+
+        let mut dangling_mass = 0.0f64;
+        dst.fill(0.0);
+        for u in self.graph.nodes() {
+            let p = src[u.index()];
+            if p == 0.0 {
+                continue;
+            }
+            let succ = self.graph.successors(u);
+            if succ.is_empty() {
+                dangling_mass += p;
+                continue;
+            }
+            let share = follow * p / succ.len() as f64;
+            for &v in succ {
+                dst[v.index()] += share;
+            }
+        }
+        // Dangling mass and teleport mass spread uniformly.
+        let total_in: f64 = src.iter().sum();
+        let spread = (follow * dangling_mass + self.teleport * total_in) * uniform;
+        if spread > 0.0 {
+            for d in dst.iter_mut() {
+                *d += spread;
+            }
+        }
+    }
+
+    /// Evolves `x` in place for `steps` transitions.
+    pub fn evolve(&self, x: &mut Vec<f64>, scratch: &mut Vec<f64>, steps: usize) {
+        for _ in 0..steps {
+            self.step(x, scratch);
+            std::mem::swap(x, scratch);
+        }
+    }
+
+    /// The stationary distribution by power iteration from uniform,
+    /// stopping when the per-step total variation drops below `tol` (or
+    /// after `max_iters` steps).
+    ///
+    /// With `teleport > 0` this is PageRank; with `teleport = 0` it
+    /// converges only on ergodic (strongly connected, aperiodic) chains.
+    pub fn stationary(&self, tol: f64, max_iters: usize) -> Vec<f64> {
+        let n = self.graph.node_count();
+        let mut x = vec![1.0 / n as f64; n];
+        let mut y = vec![0.0; n];
+        for _ in 0..max_iters {
+            self.step(&x, &mut y);
+            let delta = socnet_mixing::total_variation(&x, &y);
+            std::mem::swap(&mut x, &mut y);
+            if delta < tol {
+                break;
+            }
+        }
+        x
+    }
+
+    /// Convenience: the node with the highest stationary mass — the top
+    /// PageRank node when `teleport > 0`.
+    pub fn top_node(&self, tol: f64, max_iters: usize) -> NodeId {
+        let pi = self.stationary(tol, max_iters);
+        let mut best = 0usize;
+        for (i, &p) in pi.iter().enumerate() {
+            if p > pi[best] {
+                best = i;
+            }
+        }
+        NodeId::from_index(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_is_conserved() {
+        let g = Digraph::from_arcs(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        for alpha in [0.0, 0.15, 0.5] {
+            let walk = DirectedWalk::new(&g, alpha);
+            let mut x = vec![0.25; 4];
+            let mut y = vec![0.0; 4];
+            walk.step(&x, &mut y);
+            assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12, "alpha = {alpha}");
+            x.copy_from_slice(&y);
+        }
+    }
+
+    #[test]
+    fn dangling_mass_spreads_uniformly() {
+        // 0 → 1, node 1 dangling.
+        let g = Digraph::from_arcs(2, [(0, 1)]);
+        let walk = DirectedWalk::new(&g, 0.0);
+        let x = vec![0.0, 1.0];
+        let mut y = vec![0.0; 2];
+        walk.step(&x, &mut y);
+        assert_eq!(y, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn directed_cycle_stationary_is_uniform() {
+        let g = Digraph::from_arcs(6, (0..6).map(|i| (i, (i + 1) % 6)));
+        // Pure cycle is periodic; a little teleport makes it ergodic and
+        // keeps the stationary distribution uniform by symmetry.
+        let walk = DirectedWalk::new(&g, 0.1);
+        let pi = walk.stationary(1e-13, 100_000);
+        for &p in &pi {
+            assert!((p - 1.0 / 6.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_favors_the_sink_hub() {
+        // Everyone links to 0; 0 links back to 1 only.
+        let g = Digraph::from_arcs(5, [(1, 0), (2, 0), (3, 0), (4, 0), (0, 1)]);
+        let walk = DirectedWalk::new(&g, 0.15);
+        assert_eq!(walk.top_node(1e-12, 10_000), NodeId(0));
+        let pi = walk.stationary(1e-12, 10_000);
+        assert!(pi[0] > 0.3, "hub mass {}", pi[0]);
+        assert!(pi[1] > pi[2], "0's sole target outranks the others");
+    }
+
+    #[test]
+    fn symmetric_digraph_matches_undirected_stationary() {
+        let und = socnet_core::Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let di = Digraph::from_undirected(&und);
+        let walk = DirectedWalk::new(&di, 0.0);
+        let pi_directed = walk.stationary(1e-13, 200_000);
+        let pi_undirected = socnet_mixing::stationary_distribution(&und);
+        // The symmetric directed chain has the same stationary law as the
+        // undirected walk: deg(v)/2m.
+        for (a, b) in pi_directed.iter().zip(pi_undirected.as_slice()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1)")]
+    fn full_teleport_rejected() {
+        let g = Digraph::from_arcs(2, [(0, 1)]);
+        let _ = DirectedWalk::new(&g, 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the digraph substrate.
+
+use proptest::prelude::*;
+use socnet_core::NodeId;
+use socnet_digraph::{largest_scc, strongly_connected_components, Digraph, DirectedWalk};
+
+fn arb_digraph() -> impl Strategy<Value = Digraph> {
+    (2usize..25).prop_flat_map(|n| {
+        let arc = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(arc, 0..90)
+            .prop_map(move |arcs| Digraph::from_arcs(n, arcs))
+    })
+}
+
+proptest! {
+    #[test]
+    fn in_and_out_degrees_balance(g in arb_digraph()) {
+        let out_sum: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.arc_count());
+        prop_assert_eq!(in_sum, g.arc_count());
+    }
+
+    #[test]
+    fn predecessors_mirror_successors(g in arb_digraph()) {
+        for u in g.nodes() {
+            for &v in g.successors(u) {
+                prop_assert!(g.predecessors(v).contains(&u));
+            }
+            for &p in g.predecessors(u) {
+                prop_assert!(g.has_arc(p, u));
+            }
+        }
+    }
+
+    #[test]
+    fn scc_labels_partition_and_respect_cycles(g in arb_digraph()) {
+        let scc = strongly_connected_components(&g);
+        prop_assert_eq!(scc.label.len(), g.node_count());
+        prop_assert_eq!(scc.sizes.iter().sum::<usize>(), g.node_count());
+        prop_assert_eq!(scc.sizes.len(), scc.count);
+        // Mutually reachable nodes share a label: spot-check 2-cycles.
+        for (u, v) in g.arcs() {
+            if g.has_arc(v, u) {
+                prop_assert_eq!(scc.label[u.index()], scc.label[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn condensation_is_acyclic(g in arb_digraph()) {
+        // Tarjan assigns labels in reverse topological order, so every
+        // cross-component arc must point from a higher label to a lower.
+        let scc = strongly_connected_components(&g);
+        for (u, v) in g.arcs() {
+            let (lu, lv) = (scc.label[u.index()], scc.label[v.index()]);
+            if lu != lv {
+                prop_assert!(lu > lv, "arc {u}->{v} breaks reverse-topo labels {lu}->{lv}");
+            }
+        }
+    }
+
+    #[test]
+    fn largest_scc_is_strongly_connected(g in arb_digraph()) {
+        let (core, map) = largest_scc(&g);
+        prop_assert_eq!(core.node_count(), map.len());
+        if core.node_count() > 1 {
+            let inner = strongly_connected_components(&core);
+            prop_assert_eq!(inner.count, 1, "extracted core must be one SCC");
+        }
+    }
+
+    #[test]
+    fn surfer_conserves_probability(g in arb_digraph(), alpha in 0.0f64..0.9) {
+        let walk = DirectedWalk::new(&g, alpha);
+        let n = g.node_count();
+        let mut x = vec![1.0 / n as f64; n];
+        let mut y = vec![0.0; n];
+        for _ in 0..5 {
+            walk.step(&x, &mut y);
+            prop_assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(y.iter().all(|&p| p >= -1e-12));
+            std::mem::swap(&mut x, &mut y);
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_fixed_point(g in arb_digraph()) {
+        let walk = DirectedWalk::new(&g, 0.15);
+        let pi = walk.stationary(1e-13, 50_000);
+        let mut next = vec![0.0; pi.len()];
+        walk.step(&pi, &mut next);
+        prop_assert!(
+            socnet_mixing::total_variation(&pi, &next) < 1e-9,
+            "stationary must be invariant"
+        );
+    }
+
+    #[test]
+    fn round_trip_through_undirected(g in arb_digraph()) {
+        let sym = Digraph::from_undirected(&g.to_undirected());
+        // Symmetrization is idempotent.
+        prop_assert_eq!(sym.to_undirected(), g.to_undirected());
+        // Every original arc survives as some direction.
+        for (u, v) in g.arcs() {
+            prop_assert!(sym.has_arc(u, v) && sym.has_arc(v, u));
+        }
+        let _ = NodeId(0);
+    }
+}

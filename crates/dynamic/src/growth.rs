@@ -1,0 +1,180 @@
+//! Growth models emitting realistic edge-arrival orders.
+
+use rand::{Rng, RngExt};
+
+use crate::EdgeStream;
+
+/// Barabási–Albert growth as a stream: the natural arrival order of
+/// preferential attachment (seed star first, then each joining node's
+/// `m_attach` edges).
+///
+/// Every prefix that ends on a node boundary is itself a valid BA graph,
+/// which is what makes this the canonical *weak-trust* evolution model.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0` or `n <= m_attach`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socnet_dynamic::ba_growth;
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let s = ba_growth(100, 3, &mut rng);
+/// assert_eq!(s.len(), 3 + 96 * 3);
+/// assert!(socnet_core::is_connected(&s.snapshot(s.len())));
+/// ```
+pub fn ba_growth<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) -> EdgeStream {
+    assert!(m_attach >= 1, "attachment degree must be at least 1");
+    assert!(n > m_attach, "need more than {m_attach} nodes, got {n}");
+
+    let mut stream = EdgeStream::with_capacity(n * m_attach);
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+    for v in 1..=m_attach as u32 {
+        stream.push(0, v);
+        endpoints.push(0);
+        endpoints.push(v);
+    }
+    let mut picked = Vec::with_capacity(m_attach);
+    for v in (m_attach + 1) as u32..n as u32 {
+        picked.clear();
+        while picked.len() < m_attach {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            stream.push(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    stream
+}
+
+/// Community-arrival growth: cliques of size `min_size..=max_size` arrive
+/// one at a time; each new clique wires fully internally, links to the
+/// previous clique's anchor (keeping the graph connected), and rewires a
+/// `rewire_p` fraction of its internal edges to uniform earlier nodes.
+///
+/// This is the *strict-trust* evolution model: as communities accumulate,
+/// the graph's community structure deepens and its mixing slows — the
+/// long-term drift the paper's open problem asks about.
+///
+/// # Panics
+///
+/// Panics if `cliques == 0`, `min_size < 2`, `min_size > max_size`, or
+/// `rewire_p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socnet_dynamic::community_growth;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let s = community_growth(12, 4, 8, 0.05, &mut rng);
+/// assert!(socnet_core::is_connected(&s.snapshot(s.len())));
+/// ```
+pub fn community_growth<R: Rng + ?Sized>(
+    cliques: usize,
+    min_size: usize,
+    max_size: usize,
+    rewire_p: f64,
+    rng: &mut R,
+) -> EdgeStream {
+    assert!(cliques > 0, "need at least one clique");
+    assert!(min_size >= 2, "clique size must be at least 2, got {min_size}");
+    assert!(min_size <= max_size, "min size {min_size} exceeds max size {max_size}");
+    assert!((0.0..=1.0).contains(&rewire_p), "rewire_p {rewire_p} out of [0, 1]");
+
+    let mut stream = EdgeStream::new();
+    let mut next_id = 0u32;
+    let mut prev_anchor: Option<u32> = None;
+    for _ in 0..cliques {
+        let size = rng.random_range(min_size..=max_size) as u32;
+        let base = next_id;
+        next_id += size;
+        // Anchor link first so every prefix stays connected.
+        if let Some(anchor) = prev_anchor {
+            stream.push(base, anchor);
+        }
+        for i in 0..size {
+            for j in (i + 1)..size {
+                // Occasionally rewire the far endpoint to an earlier node,
+                // but never the clique's spanning path (j == i + 1): that
+                // keeps every clique internally connected, so the stream's
+                // snapshots stay connected at clique boundaries.
+                if j > i + 1 && base > 0 && rng.random_range(0.0..1.0) < rewire_p {
+                    let t = rng.random_range(0..base);
+                    stream.push(base + i, t);
+                } else {
+                    stream.push(base + i, base + j);
+                }
+            }
+        }
+        prev_anchor = Some(base);
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socnet_core::is_connected;
+
+    #[test]
+    fn ba_prefixes_on_node_boundaries_are_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = 3usize;
+        let s = ba_growth(60, m, &mut rng);
+        for joined in [10usize, 30, 56] {
+            // Prefix covering the seed star plus `joined` joiners.
+            let arrivals = m + joined * m;
+            let g = s.snapshot(arrivals);
+            assert!(is_connected(&g), "prefix after {joined} joins");
+            assert_eq!(g.node_count(), m + 1 + joined);
+        }
+    }
+
+    #[test]
+    fn ba_stream_is_deterministic() {
+        let a = ba_growth(50, 2, &mut StdRng::seed_from_u64(9));
+        let b = ba_growth(50, 2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn community_growth_stays_connected_at_clique_boundaries() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = community_growth(8, 5, 5, 0.0, &mut rng);
+        // Each clique contributes C(5,2) = 10 edges + 1 anchor (after the first).
+        let per = 10;
+        for c in 1..=8usize {
+            let arrivals = c * per + c.saturating_sub(1);
+            let g = s.snapshot(arrivals);
+            assert!(is_connected(&g), "after {c} cliques");
+            assert_eq!(g.node_count(), 5 * c);
+        }
+    }
+
+    #[test]
+    fn rewiring_touches_earlier_nodes_only() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = community_growth(6, 4, 6, 0.5, &mut rng);
+        let g = s.snapshot(s.len());
+        assert!(is_connected(&g), "anchors keep it connected despite rewiring");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_cliques_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = community_growth(3, 1, 4, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,44 @@
+//! Evolving social graphs.
+//!
+//! The paper closes (Sec. VI) with an open problem: *"investigate the
+//! expansion and mixing characteristics of dynamic social graphs …
+//! understanding the long-term impact of evolution, and how this impacts
+//! the underlying social structure, and properties used for building
+//! trustworthy applications."* This crate builds the machinery to study
+//! exactly that:
+//!
+//! * [`EdgeStream`] — an ordered stream of edge arrivals with prefix
+//!   [`snapshot`](EdgeStream::snapshot)s, so any static measurement can
+//!   be replayed over time;
+//! * growth models emitting realistic arrival orders —
+//!   [`ba_growth`] (preferential attachment, the weak-trust model) and
+//!   [`community_growth`] (communities arriving and wiring up over time,
+//!   the strict-trust model);
+//! * [`PropertyTrajectory`] — the paper's three properties (spectral
+//!   mixing, degeneracy, expansion) measured on evenly spaced snapshots,
+//!   quantifying how each drifts as the network grows.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use socnet_dynamic::{ba_growth, PropertyTrajectory, TrajectoryConfig};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let stream = ba_growth(400, 4, &mut rng);
+//! let traj = PropertyTrajectory::measure(&stream, 4, &TrajectoryConfig::default());
+//! assert_eq!(traj.points().len(), 4);
+//! // Preferential attachment stays fast-mixing as it grows.
+//! assert!(traj.points().last().unwrap().slem < 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod growth;
+mod stream;
+mod trajectory;
+
+pub use growth::{ba_growth, community_growth};
+pub use stream::EdgeStream;
+pub use trajectory::{PropertyTrajectory, TrajectoryConfig, TrajectoryPoint};

@@ -1,0 +1,195 @@
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, GraphBuilder, NodeId};
+
+/// An ordered stream of undirected edge arrivals.
+///
+/// Arrival order is the stream's notion of time: the `t`-th edge arrived
+/// at time `t`. Any prefix of the stream is a valid network state, so a
+/// [`snapshot`](EdgeStream::snapshot) replays history up to a point and
+/// hands the result to the static measurement crates.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_dynamic::EdgeStream;
+///
+/// let mut s = EdgeStream::new();
+/// s.push(0, 1);
+/// s.push(1, 2);
+/// s.push(2, 0);
+/// let early = s.snapshot(2);
+/// assert_eq!(early.edge_count(), 2);
+/// let full = s.snapshot(s.len());
+/// assert_eq!(full.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeStream {
+    edges: Vec<(u32, u32)>,
+    max_node: u32,
+}
+
+impl EdgeStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        EdgeStream::default()
+    }
+
+    /// Creates an empty stream with capacity for `edges` arrivals.
+    pub fn with_capacity(edges: usize) -> Self {
+        EdgeStream { edges: Vec::with_capacity(edges), max_node: 0 }
+    }
+
+    /// Appends an edge arrival. Self-loops are ignored (a simple graph
+    /// never holds them); duplicate arrivals are kept in the stream but
+    /// collapse in snapshots.
+    pub fn push(&mut self, u: u32, v: u32) -> &mut Self {
+        if u != v {
+            self.max_node = self.max_node.max(u).max(v);
+            self.edges.push((u, v));
+        }
+        self
+    }
+
+    /// Number of arrivals so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The arrivals, in order.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Number of nodes the *full* stream touches.
+    pub fn node_count(&self) -> usize {
+        if self.edges.is_empty() {
+            0
+        } else {
+            self.max_node as usize + 1
+        }
+    }
+
+    /// The graph after the first `arrivals` edges.
+    ///
+    /// Node ids are preserved; the node set is `0..=max_id` over the
+    /// prefix, so ids below the prefix's maximum that have not arrived
+    /// yet appear as isolated nodes (growth models emit ids in arrival
+    /// order, where this never happens). Early snapshots are smaller
+    /// graphs, not padded to the final size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals > len()`.
+    pub fn snapshot(&self, arrivals: usize) -> Graph {
+        assert!(arrivals <= self.edges.len(), "prefix beyond stream length");
+        let prefix = &self.edges[..arrivals];
+        let n = prefix
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = GraphBuilder::with_capacity(n, arrivals);
+        for &(u, v) in prefix {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    /// `k` evenly spaced snapshots ending at the full stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the stream is empty.
+    pub fn snapshots(&self, k: usize) -> Vec<Graph> {
+        assert!(k > 0, "need at least one snapshot");
+        assert!(!self.is_empty(), "cannot snapshot an empty stream");
+        (1..=k)
+            .map(|i| self.snapshot(self.edges.len() * i / k))
+            .collect()
+    }
+}
+
+impl FromIterator<(u32, u32)> for EdgeStream {
+    fn from_iter<T: IntoIterator<Item = (u32, u32)>>(iter: T) -> Self {
+        let mut s = EdgeStream::new();
+        for (u, v) in iter {
+            s.push(u, v);
+        }
+        s
+    }
+}
+
+impl Extend<(u32, u32)> for EdgeStream {
+    fn extend<T: IntoIterator<Item = (u32, u32)>>(&mut self, iter: T) {
+        for (u, v) in iter {
+            self.push(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_grow_monotonically() {
+        let s: EdgeStream = (0..20u32).map(|i| (i, i + 1)).collect();
+        let snaps = s.snapshots(4);
+        assert_eq!(snaps.len(), 4);
+        for w in snaps.windows(2) {
+            assert!(w[0].edge_count() <= w[1].edge_count());
+            assert!(w[0].node_count() <= w[1].node_count());
+        }
+        assert_eq!(snaps[3].edge_count(), 20);
+    }
+
+    #[test]
+    fn prefix_zero_is_empty() {
+        let s: EdgeStream = [(0, 1)].into_iter().collect();
+        let g = s.snapshot(0);
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn duplicates_collapse_in_snapshots_only() {
+        let mut s = EdgeStream::new();
+        s.push(0, 1).push(1, 0).push(0, 1);
+        assert_eq!(s.len(), 3, "stream keeps all arrivals");
+        assert_eq!(s.snapshot(3).edge_count(), 1, "snapshot is simple");
+    }
+
+    #[test]
+    fn self_loops_are_dropped_at_ingest() {
+        let mut s = EdgeStream::new();
+        s.push(2, 2).push(0, 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.node_count(), 2);
+    }
+
+    #[test]
+    fn extend_and_collect_agree() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 3)];
+        let a: EdgeStream = edges.into_iter().collect();
+        let mut b = EdgeStream::new();
+        b.extend(edges);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond stream length")]
+    fn oversized_prefix_panics() {
+        let s: EdgeStream = [(0, 1)].into_iter().collect();
+        let _ = s.snapshot(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn snapshots_of_empty_stream_panic() {
+        let _ = EdgeStream::new().snapshots(3);
+    }
+}

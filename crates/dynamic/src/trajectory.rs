@@ -1,0 +1,216 @@
+//! Property trajectories over an evolving graph.
+
+use serde::{Deserialize, Serialize};
+use socnet_core::largest_component;
+use socnet_expansion::{ExpansionSweep, SourceSelection};
+use socnet_kcore::{core_profiles, CoreDecomposition};
+use socnet_mixing::{slem, SpectralConfig};
+
+use crate::EdgeStream;
+
+/// Controls for a [`PropertyTrajectory`] measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryConfig {
+    /// Expansion-sweep source budget per snapshot.
+    pub expansion_sources: usize,
+    /// Spectral solver controls.
+    pub spectral: SpectralConfig,
+    /// Seed for sampled measurements.
+    pub seed: u64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            expansion_sources: 100,
+            spectral: SpectralConfig { tolerance: 1e-8, ..Default::default() },
+            seed: 0xd1a,
+        }
+    }
+}
+
+/// The paper's three properties measured at one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Arrivals included in this snapshot.
+    pub arrivals: usize,
+    /// Nodes in the snapshot's largest component.
+    pub nodes: usize,
+    /// Edges in the snapshot's largest component.
+    pub edges: usize,
+    /// Second largest eigenvalue modulus (mixing).
+    pub slem: f64,
+    /// Graph degeneracy (coreness).
+    pub degeneracy: u32,
+    /// Relative size `ν'_{k_max}` of the deepest core union.
+    pub nu_prime_deepest: f64,
+    /// Number of connected cores at `k_max`.
+    pub cores_deepest: usize,
+    /// Mean envelope expansion factor over mid-range set sizes.
+    pub mid_alpha: f64,
+}
+
+/// The three properties of the paper tracked across snapshots of an
+/// evolving graph — the Sec. VI open problem, operationalized.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socnet_dynamic::{community_growth, PropertyTrajectory, TrajectoryConfig};
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let stream = community_growth(15, 4, 9, 0.04, &mut rng);
+/// let traj = PropertyTrajectory::measure(&stream, 3, &TrajectoryConfig::default());
+/// let pts = traj.points();
+/// // Community accumulation keeps the walk slow throughout.
+/// assert!(pts.last().unwrap().slem > 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropertyTrajectory {
+    points: Vec<TrajectoryPoint>,
+}
+
+impl PropertyTrajectory {
+    /// Measures `snapshots` evenly spaced prefixes of `stream`.
+    ///
+    /// Each snapshot is reduced to its largest connected component (the
+    /// paper's preprocessing) before measurement; snapshots whose
+    /// component has no edges are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots == 0` or the stream is empty.
+    pub fn measure(stream: &EdgeStream, snapshots: usize, config: &TrajectoryConfig) -> Self {
+        assert!(snapshots > 0, "need at least one snapshot");
+        let mut points = Vec::with_capacity(snapshots);
+        for i in 1..=snapshots {
+            let arrivals = stream.len() * i / snapshots;
+            let raw = stream.snapshot(arrivals);
+            if raw.edge_count() == 0 {
+                continue;
+            }
+            let (g, _) = largest_component(&raw);
+            if g.edge_count() == 0 {
+                continue;
+            }
+
+            let spectrum = slem(&g, &config.spectral);
+            let decomp = CoreDecomposition::compute(&g);
+            let profiles = core_profiles(&g, &decomp);
+            let deepest = profiles.last().copied();
+            let sweep = ExpansionSweep::measure(
+                &g,
+                SourceSelection::Sample(config.expansion_sources.min(g.node_count())),
+                config.seed,
+            );
+            let curve = sweep.expansion_factor_curve();
+            let (lo, hi) = (curve.len() / 4, (3 * curve.len() / 4).max(curve.len() / 4 + 1));
+            let window = &curve[lo..hi.min(curve.len())];
+            let mid_alpha = if window.is_empty() {
+                0.0
+            } else {
+                window.iter().map(|&(_, a)| a).sum::<f64>() / window.len() as f64
+            };
+
+            points.push(TrajectoryPoint {
+                arrivals,
+                nodes: g.node_count(),
+                edges: g.edge_count(),
+                slem: spectrum.slem(),
+                degeneracy: decomp.degeneracy(),
+                nu_prime_deepest: deepest
+                    .map(|p| p.nu_prime(g.node_count()))
+                    .unwrap_or(0.0),
+                cores_deepest: deepest.map(|p| p.components).unwrap_or(0),
+                mid_alpha,
+            });
+        }
+        PropertyTrajectory { points }
+    }
+
+    /// The measured snapshot points, in time order.
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// Net drift of the SLEM from the first to the last snapshot
+    /// (positive = mixing got slower as the network grew).
+    pub fn slem_drift(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.slem - a.slem,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ba_growth, community_growth};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> TrajectoryConfig {
+        TrajectoryConfig { expansion_sources: 40, ..Default::default() }
+    }
+
+    #[test]
+    fn ba_stays_fast_mixing_while_growing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let stream = ba_growth(600, 4, &mut rng);
+        let traj = PropertyTrajectory::measure(&stream, 4, &cfg());
+        assert_eq!(traj.points().len(), 4);
+        for p in traj.points() {
+            assert!(p.slem < 0.85, "BA snapshot slem {}", p.slem);
+            assert!(p.degeneracy >= 4);
+        }
+        assert!(traj.slem_drift().abs() < 0.3, "no dramatic drift");
+    }
+
+    #[test]
+    fn community_growth_is_slow_mixing_throughout() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let stream = community_growth(20, 4, 10, 0.03, &mut rng);
+        let traj = PropertyTrajectory::measure(&stream, 4, &cfg());
+        let last = traj.points().last().expect("non-empty");
+        assert!(last.slem > 0.9, "accumulated communities mix slowly: {}", last.slem);
+        // And far slower than a BA graph of comparable size.
+        let ba = PropertyTrajectory::measure(
+            &ba_growth(last.nodes.max(10), 4, &mut StdRng::seed_from_u64(3)),
+            1,
+            &cfg(),
+        );
+        assert!(last.slem > ba.points()[0].slem + 0.1);
+    }
+
+    #[test]
+    fn snapshot_sizes_grow_monotonically() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let stream = ba_growth(300, 3, &mut rng);
+        let traj = PropertyTrajectory::measure(&stream, 5, &cfg());
+        for w in traj.points().windows(2) {
+            assert!(w[0].arrivals < w[1].arrivals);
+            assert!(w[0].nodes <= w[1].nodes);
+            assert!(w[0].edges <= w[1].edges);
+        }
+    }
+
+    #[test]
+    fn single_snapshot_is_the_full_graph() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let stream = ba_growth(100, 2, &mut rng);
+        let traj = PropertyTrajectory::measure(&stream, 1, &cfg());
+        assert_eq!(traj.points().len(), 1);
+        assert_eq!(traj.points()[0].arrivals, stream.len());
+        assert_eq!(traj.points()[0].nodes, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one snapshot")]
+    fn zero_snapshots_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let stream = ba_growth(20, 2, &mut rng);
+        let _ = PropertyTrajectory::measure(&stream, 0, &cfg());
+    }
+}

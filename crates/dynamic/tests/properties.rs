@@ -1,0 +1,65 @@
+//! Property-based tests of edge streams and growth models.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_dynamic::{ba_growth, community_growth, EdgeStream};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snapshots_are_prefix_monotone(
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 1..150),
+        k in 1usize..6,
+    ) {
+        let stream: EdgeStream = edges.into_iter().collect();
+        prop_assume!(!stream.is_empty());
+        let snaps = stream.snapshots(k);
+        prop_assert_eq!(snaps.len(), k);
+        for w in snaps.windows(2) {
+            prop_assert!(w[0].edge_count() <= w[1].edge_count());
+            // Every earlier edge survives into the later snapshot.
+            for (u, v) in w[0].edges() {
+                prop_assert!(w[1].has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn full_snapshot_matches_direct_build(
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..100),
+    ) {
+        let stream: EdgeStream = edges.iter().copied().collect();
+        prop_assume!(!stream.is_empty());
+        let from_stream = stream.snapshot(stream.len());
+        let n = stream.node_count();
+        // Compare against a direct build of the *retained* arrivals
+        // (ingest drops self-loops, including their node ids).
+        let direct = socnet_core::Graph::from_edges(n, stream.edges().iter().copied());
+        prop_assert_eq!(from_stream, direct);
+    }
+
+    #[test]
+    fn ba_growth_arrival_count(n in 5usize..80, m in 1usize..4, seed in any::<u64>()) {
+        prop_assume!(n > m + 1);
+        let stream = ba_growth(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(stream.len(), m + (n - m - 1) * m);
+        prop_assert_eq!(stream.node_count(), n);
+        prop_assert!(socnet_core::is_connected(&stream.snapshot(stream.len())));
+    }
+
+    #[test]
+    fn community_growth_final_graph_is_connected(
+        cliques in 1usize..10,
+        size in 3usize..7,
+        p in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let stream =
+            community_growth(cliques, size, size, p, &mut StdRng::seed_from_u64(seed));
+        let g = stream.snapshot(stream.len());
+        prop_assert!(socnet_core::is_connected(&g));
+        prop_assert_eq!(g.node_count(), cliques * size);
+    }
+}

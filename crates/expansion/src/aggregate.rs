@@ -1,0 +1,263 @@
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use socnet_core::{sample_nodes, Bfs, Graph, NodeId};
+
+/// Which nodes to use as expansion cores in a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceSelection {
+    /// Every node is a core — the paper's full `O(nm)` measurement.
+    All,
+    /// A uniform sample of this many cores, for larger graphs.
+    Sample(usize),
+}
+
+/// Neighbor-count statistics for one envelope (set) size.
+///
+/// One row of the paper's Figure 3: for all measured envelopes of
+/// `set_size` nodes, the minimum, mean, and maximum number of neighbors
+/// they expand into.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetSizeStats {
+    /// The envelope size `|S|`.
+    pub set_size: usize,
+    /// Minimum `|N(S)|` observed.
+    pub min: usize,
+    /// Maximum `|N(S)|` observed.
+    pub max: usize,
+    /// Mean `|N(S)|` over all observations.
+    pub mean: f64,
+    /// Number of `(source, depth)` observations aggregated.
+    pub samples: usize,
+}
+
+impl SetSizeStats {
+    /// The expected expansion factor `E[|N(S)|] / |S|` at this set size —
+    /// one point of the paper's Figure 4.
+    pub fn expansion_factor(&self) -> f64 {
+        self.mean / self.set_size as f64
+    }
+}
+
+/// An aggregated expansion measurement over many cores.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_expansion::{ExpansionSweep, SourceSelection};
+/// use socnet_gen::complete;
+///
+/// let g = complete(12);
+/// let sweep = ExpansionSweep::measure(&g, SourceSelection::All, 0);
+/// // Every envelope of size 1 expands into the other 11 nodes.
+/// let first = &sweep.stats()[0];
+/// assert_eq!(first.set_size, 1);
+/// assert_eq!(first.min, 11);
+/// assert_eq!(first.expansion_factor(), 11.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpansionSweep {
+    stats: Vec<SetSizeStats>,
+    sources: usize,
+}
+
+impl ExpansionSweep {
+    /// Runs the sweep: a BFS from every selected core, pooling the
+    /// `(|Env_i|, |Exp_i|)` pairs by envelope size.
+    ///
+    /// Cores are processed in parallel across available cores of the
+    /// machine; per-thread partial aggregates are merged at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or a sample of 0 sources is requested.
+    pub fn measure(graph: &Graph, selection: SourceSelection, seed: u64) -> Self {
+        assert!(graph.node_count() > 0, "cannot sweep an empty graph");
+        let sources: Vec<NodeId> = match selection {
+            SourceSelection::All => graph.nodes().collect(),
+            SourceSelection::Sample(k) => {
+                assert!(k > 0, "need at least one source");
+                sample_nodes(graph, k, &mut StdRng::seed_from_u64(seed))
+            }
+        };
+
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let chunk = sources.len().div_ceil(threads);
+        let merged = parking_lot::Mutex::new(BTreeMap::<usize, Accumulator>::new());
+
+        crossbeam::thread::scope(|scope| {
+            for src_chunk in sources.chunks(chunk) {
+                let merged = &merged;
+                scope.spawn(move |_| {
+                    let mut local: BTreeMap<usize, Accumulator> = BTreeMap::new();
+                    let mut bfs = Bfs::new(graph);
+                    for &s in src_chunk {
+                        let levels = bfs.level_sizes(graph, s);
+                        let mut env = 0usize;
+                        for w in levels.windows(2) {
+                            env += w[0];
+                            local.entry(env).or_default().push(w[1]);
+                        }
+                    }
+                    let mut global = merged.lock();
+                    for (size, acc) in local {
+                        global.entry(size).or_default().merge(&acc);
+                    }
+                });
+            }
+        })
+        .expect("expansion worker panicked");
+
+        let stats = merged
+            .into_inner()
+            .into_iter()
+            .map(|(set_size, acc)| SetSizeStats {
+                set_size,
+                min: acc.min,
+                max: acc.max,
+                mean: acc.sum as f64 / acc.count as f64,
+                samples: acc.count,
+            })
+            .collect();
+        ExpansionSweep { stats, sources: sources.len() }
+    }
+
+    /// Per-set-size neighbor statistics, sorted by set size (Figure 3).
+    pub fn stats(&self) -> &[SetSizeStats] {
+        &self.stats
+    }
+
+    /// Number of cores the sweep covered.
+    pub fn source_count(&self) -> usize {
+        self.sources
+    }
+
+    /// `(set size, expected expansion factor)` series (Figure 4).
+    pub fn expansion_factor_curve(&self) -> Vec<(usize, f64)> {
+        self.stats.iter().map(|s| (s.set_size, s.expansion_factor())).collect()
+    }
+
+    /// The worst expansion factor observed at any set size up to half the
+    /// measured nodes — a conservative estimate of the graph's expansion
+    /// constant `α` over BFS-ball sets (Eq. 3 restricted to envelopes).
+    pub fn alpha_estimate(&self, total_nodes: usize) -> Option<f64> {
+        self.stats
+            .iter()
+            .filter(|s| s.set_size <= total_nodes / 2 && s.set_size > 0)
+            .map(|s| s.min as f64 / s.set_size as f64)
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN"))
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Accumulator {
+    min: usize,
+    max: usize,
+    sum: u64,
+    count: usize,
+}
+
+impl Accumulator {
+    fn push(&mut self, value: usize) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.sum += value as u64;
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{barbell, complete, ring};
+
+    #[test]
+    fn ring_stats_are_uniform_across_sources() {
+        let g = ring(9);
+        let sweep = ExpansionSweep::measure(&g, SourceSelection::All, 0);
+        // From every source: envelopes of sizes 1,3,5,7 expanding into 2,2,2,2.
+        let sizes: Vec<usize> = sweep.stats().iter().map(|s| s.set_size).collect();
+        assert_eq!(sizes, vec![1, 3, 5, 7]);
+        for s in sweep.stats() {
+            if s.set_size < 7 {
+                assert_eq!(s.min, 2);
+                assert_eq!(s.max, 2);
+                assert_eq!(s.samples, 9);
+            }
+        }
+        assert_eq!(sweep.source_count(), 9);
+    }
+
+    #[test]
+    fn complete_graph_curve() {
+        let g = complete(10);
+        let sweep = ExpansionSweep::measure(&g, SourceSelection::All, 0);
+        let curve = sweep.expansion_factor_curve();
+        assert_eq!(curve, vec![(1, 9.0)]);
+    }
+
+    #[test]
+    fn barbell_alpha_is_poor() {
+        let g = barbell(8, 0);
+        let sweep = ExpansionSweep::measure(&g, SourceSelection::All, 0);
+        let alpha = sweep.alpha_estimate(g.node_count()).expect("has sets");
+        // The 8-node clique envelope expands through the single bridge.
+        assert!(alpha <= 1.0 / 8.0 + 1e-12, "bottleneck alpha {alpha}");
+
+        let good = ExpansionSweep::measure(&complete(16), SourceSelection::All, 0)
+            .alpha_estimate(16)
+            .expect("has sets");
+        assert!(good > 10.0, "clique alpha {good}");
+    }
+
+    #[test]
+    fn sampling_subsets_the_sources() {
+        let g = ring(50);
+        let sweep = ExpansionSweep::measure(&g, SourceSelection::Sample(7), 3);
+        assert_eq!(sweep.source_count(), 7);
+        for s in sweep.stats() {
+            assert!(s.samples <= 7);
+            assert!(s.min <= s.max);
+            assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let g = barbell(5, 2);
+        let a = ExpansionSweep::measure(&g, SourceSelection::Sample(6), 9);
+        let b = ExpansionSweep::measure(&g, SourceSelection::Sample(6), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_is_between_min_and_max_everywhere() {
+        let g = socnet_gen::grid(6, 5);
+        let sweep = ExpansionSweep::measure(&g, SourceSelection::All, 0);
+        for s in sweep.stats() {
+            assert!(s.min as f64 <= s.mean + 1e-12);
+            assert!(s.mean <= s.max as f64 + 1e-12);
+        }
+    }
+}

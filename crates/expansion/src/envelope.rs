@@ -1,0 +1,158 @@
+use serde::{Deserialize, Serialize};
+use socnet_core::{Bfs, Graph, NodeId};
+
+/// The envelope-expansion series of one core node (the paper's Eq. 4).
+///
+/// Built from the BFS tree rooted at the core: `level_sizes[i]` is `L_i`,
+/// the number of nodes at distance exactly `i`, so the envelope at depth
+/// `i` has `Σ_{j≤i} L_j` nodes and expands into `L_{i+1}` neighbors.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::NodeId;
+/// use socnet_expansion::EnvelopeExpansion;
+/// use socnet_gen::ring;
+///
+/// let g = ring(8);
+/// let e = EnvelopeExpansion::measure(&g, NodeId(0));
+/// assert_eq!(e.level_sizes(), &[1, 2, 2, 2, 1]);
+/// // α_0 = 2/1, α_1 = 2/3, α_2 = 2/5, α_3 = 1/7.
+/// assert_eq!(e.alphas()[0], 2.0);
+/// assert!((e.alphas()[1] - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvelopeExpansion {
+    source: NodeId,
+    level_sizes: Vec<usize>,
+}
+
+impl EnvelopeExpansion {
+    /// Measures the series for `source` with a fresh BFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn measure(graph: &Graph, source: NodeId) -> Self {
+        let mut bfs = Bfs::new(graph);
+        Self::measure_with(graph, source, &mut bfs)
+    }
+
+    /// Measures the series reusing BFS scratch state — the fast path for
+    /// sweeps over many sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or `bfs` was sized for another
+    /// graph.
+    pub fn measure_with(graph: &Graph, source: NodeId, bfs: &mut Bfs) -> Self {
+        let level_sizes = bfs.level_sizes(graph, source).to_vec();
+        EnvelopeExpansion { source, level_sizes }
+    }
+
+    /// The core node the series was measured from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// `L_i`: nodes at each BFS depth, starting with `L_0 = 1`.
+    pub fn level_sizes(&self) -> &[usize] {
+        &self.level_sizes
+    }
+
+    /// Depth of the deepest non-empty level — the source's eccentricity.
+    pub fn eccentricity(&self) -> usize {
+        self.level_sizes.len() - 1
+    }
+
+    /// Total nodes reached (the source's component size).
+    pub fn reached(&self) -> usize {
+        self.level_sizes.iter().sum()
+    }
+
+    /// The `(|Env_i|, |Exp_i|)` pairs for `i = 0..eccentricity`:
+    /// envelope size and the neighbor count it expands into.
+    ///
+    /// These pairs are the points the paper's Figure 3 scatters.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let mut env = 0usize;
+        let mut out = Vec::with_capacity(self.level_sizes.len().saturating_sub(1));
+        for w in self.level_sizes.windows(2) {
+            env += w[0];
+            out.push((env, w[1]));
+        }
+        out
+    }
+
+    /// The expansion factors `α_i = L_{i+1} / Σ_{j≤i} L_j`.
+    pub fn alphas(&self) -> Vec<f64> {
+        self.pairs().into_iter().map(|(env, exp)| exp as f64 / env as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{complete, grid, path, star};
+
+    #[test]
+    fn star_from_leaf() {
+        let g = star(6);
+        let e = EnvelopeExpansion::measure(&g, NodeId(3));
+        assert_eq!(e.level_sizes(), &[1, 1, 4]);
+        assert_eq!(e.pairs(), vec![(1, 1), (2, 4)]);
+        assert_eq!(e.alphas(), vec![1.0, 2.0]);
+        assert_eq!(e.eccentricity(), 2);
+    }
+
+    #[test]
+    fn complete_graph_expands_everything_at_once() {
+        let g = complete(7);
+        let e = EnvelopeExpansion::measure(&g, NodeId(0));
+        assert_eq!(e.level_sizes(), &[1, 6]);
+        assert_eq!(e.alphas(), vec![6.0]);
+        assert_eq!(e.reached(), 7);
+    }
+
+    #[test]
+    fn path_has_unit_expansion() {
+        let g = path(5);
+        let e = EnvelopeExpansion::measure(&g, NodeId(0));
+        assert_eq!(e.level_sizes(), &[1, 1, 1, 1, 1]);
+        assert!(e.alphas().iter().zip([1.0, 0.5, 1.0 / 3.0, 0.25]).all(|(a, b)| (a - b).abs() < 1e-12));
+    }
+
+    #[test]
+    fn grid_center_expands_in_diamonds() {
+        let g = grid(5, 5);
+        let e = EnvelopeExpansion::measure(&g, NodeId(12)); // center
+        assert_eq!(e.level_sizes(), &[1, 4, 8, 8, 4]);
+        assert_eq!(e.reached(), 25);
+    }
+
+    #[test]
+    fn pairs_track_partial_sums() {
+        let g = grid(3, 7);
+        for s in g.nodes() {
+            let e = EnvelopeExpansion::measure(&g, s);
+            let pairs = e.pairs();
+            let mut env = 1usize;
+            for (i, &(got_env, got_exp)) in pairs.iter().enumerate() {
+                assert_eq!(got_env, env, "source {s}, level {i}");
+                assert_eq!(got_exp, e.level_sizes()[i + 1]);
+                env += got_exp;
+            }
+            assert_eq!(env, e.reached());
+        }
+    }
+
+    #[test]
+    fn isolated_source_has_empty_series() {
+        let g = socnet_core::Graph::from_edges(3, [(0, 1)]);
+        let e = EnvelopeExpansion::measure(&g, NodeId(2));
+        assert_eq!(e.level_sizes(), &[1]);
+        assert!(e.pairs().is_empty());
+        assert!(e.alphas().is_empty());
+        assert_eq!(e.eccentricity(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Graph expansion measurement via BFS envelopes.
+//!
+//! Implements the paper's Sec. III-D estimator, the restricted
+//! (connected-set) expansion used by GateKeeper:
+//!
+//! * an **envelope** `Env_i` around a core node is the set of all nodes
+//!   within hop distance `i`;
+//! * its **expansion** `Exp_i` is the next BFS level, and the expansion
+//!   factor is `α_i = |Exp_i| / |Env_i| = L_{i+1} / Σ_{j≤i} L_j` (Eq. 4).
+//!
+//! [`EnvelopeExpansion`] computes the per-source series; an
+//! [`ExpansionSweep`] repeats it with *every* node as the core (or a
+//! sample) and aggregates, per envelope size, the min/mean/max neighbor
+//! counts (Figure 3) and the expected expansion factor (Figure 4).
+//! [`sampled_set_expansion`] additionally estimates the expansion of
+//! random connected sets that are not BFS balls.
+//!
+//! # Examples
+//!
+//! ```
+//! use socnet_core::NodeId;
+//! use socnet_expansion::EnvelopeExpansion;
+//! use socnet_gen::star;
+//!
+//! // From the hub of a star, one hop covers everything.
+//! let g = star(10);
+//! let e = EnvelopeExpansion::measure(&g, NodeId(0));
+//! assert_eq!(e.alphas(), vec![9.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod envelope;
+mod setexp;
+
+pub use aggregate::{ExpansionSweep, SetSizeStats, SourceSelection};
+pub use envelope::EnvelopeExpansion;
+pub use setexp::{sampled_set_expansion, SetExpansionEstimate};

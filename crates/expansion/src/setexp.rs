@@ -1,0 +1,183 @@
+//! Sampled vertex expansion of random connected sets.
+//!
+//! BFS envelopes (the GateKeeper estimator) only cover ball-shaped sets.
+//! The general vertex expansion of Eq. (3) minimizes over *all* connected
+//! sets, whose number is exponential; this module estimates it by growing
+//! many random connected sets and taking the worst ratio observed —
+//! an upper bound on the true `α` that tightens with more trials.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use socnet_core::{random_node, Graph, NodeId};
+
+/// Aggregate expansion of sampled connected sets of one size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetExpansionEstimate {
+    /// The set size `|S|` that was sampled.
+    pub set_size: usize,
+    /// Number of sets grown.
+    pub trials: usize,
+    /// Worst `|N(S)|/|S|` seen — an upper bound on the graph's `α` at
+    /// this set size.
+    pub min_ratio: f64,
+    /// Mean ratio over trials.
+    pub mean_ratio: f64,
+    /// Best ratio seen.
+    pub max_ratio: f64,
+}
+
+/// Grows `trials` random connected sets of `set_size` nodes and measures
+/// the neighbor-set ratio `|N(S)|/|S|` of each.
+///
+/// Each set starts at a uniform node and grows by repeatedly adopting a
+/// uniformly chosen frontier neighbor, which reaches set shapes BFS balls
+/// cannot (elongated, tentacled sets — the ones that minimize expansion).
+/// Trials whose component is exhausted before reaching `set_size` are
+/// discarded; if all are, the function returns `None`.
+///
+/// # Panics
+///
+/// Panics if `set_size == 0`, the graph is empty, or `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socnet_expansion::sampled_set_expansion;
+/// use socnet_gen::complete;
+///
+/// let g = complete(12);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let est = sampled_set_expansion(&g, 4, 20, &mut rng).unwrap();
+/// // Any 4 nodes of K12 neighbor the 8 others.
+/// assert_eq!(est.min_ratio, 2.0);
+/// assert_eq!(est.max_ratio, 2.0);
+/// ```
+pub fn sampled_set_expansion<R: Rng + ?Sized>(
+    graph: &Graph,
+    set_size: usize,
+    trials: usize,
+    rng: &mut R,
+) -> Option<SetExpansionEstimate> {
+    assert!(set_size > 0, "set size must be positive");
+    assert!(trials > 0, "need at least one trial");
+    assert!(graph.node_count() > 0, "cannot sample from an empty graph");
+
+    let n = graph.node_count();
+    let mut in_set = vec![false; n];
+    let mut frontier: Vec<NodeId> = Vec::new();
+    let mut ratios: Vec<f64> = Vec::with_capacity(trials);
+
+    for _ in 0..trials {
+        in_set.fill(false);
+        frontier.clear();
+        let seed_node = random_node(graph, rng);
+        in_set[seed_node.index()] = true;
+        frontier.extend(graph.neighbors(seed_node).iter().filter(|v| !in_set[v.index()]));
+        let mut size = 1usize;
+
+        while size < set_size && !frontier.is_empty() {
+            let pick = rng.random_range(0..frontier.len());
+            let v = frontier.swap_remove(pick);
+            if in_set[v.index()] {
+                continue;
+            }
+            in_set[v.index()] = true;
+            size += 1;
+            frontier.extend(graph.neighbors(v).iter().filter(|u| !in_set[u.index()]));
+        }
+        if size < set_size {
+            continue; // component exhausted
+        }
+        // |N(S)|: distinct out-neighbors.
+        let mut seen = vec![false; n];
+        let mut boundary = 0usize;
+        for i in 0..n {
+            if in_set[i] {
+                for &u in graph.neighbors(NodeId(i as u32)) {
+                    if !in_set[u.index()] && !seen[u.index()] {
+                        seen[u.index()] = true;
+                        boundary += 1;
+                    }
+                }
+            }
+        }
+        ratios.push(boundary as f64 / set_size as f64);
+    }
+
+    if ratios.is_empty() {
+        return None;
+    }
+    let trials_done = ratios.len();
+    let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = ratios.iter().sum::<f64>() / trials_done as f64;
+    Some(SetExpansionEstimate {
+        set_size,
+        trials: trials_done,
+        min_ratio: min,
+        mean_ratio: mean,
+        max_ratio: max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socnet_gen::{barbell, complete, ring};
+
+    #[test]
+    fn ring_sets_expand_by_two() {
+        let g = ring(20);
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = sampled_set_expansion(&g, 5, 30, &mut rng).expect("feasible");
+        // A connected arc of a ring always has exactly 2 neighbors.
+        assert_eq!(est.min_ratio, 0.4);
+        assert_eq!(est.max_ratio, 0.4);
+        assert_eq!(est.trials, 30);
+    }
+
+    #[test]
+    fn barbell_worst_set_is_one_clique() {
+        let g = barbell(6, 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = sampled_set_expansion(&g, 6, 400, &mut rng).expect("feasible");
+        // Best (worst-expansion) set of size 6 is one clique: 1 neighbor.
+        assert!((est.min_ratio - 1.0 / 6.0).abs() < 1e-12, "min {}", est.min_ratio);
+    }
+
+    #[test]
+    fn oversized_sets_are_rejected() {
+        let g = complete(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sampled_set_expansion(&g, 6, 5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn singleton_sets_measure_degree() {
+        let g = socnet_gen::star(8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = sampled_set_expansion(&g, 1, 200, &mut rng).expect("feasible");
+        // Singletons are either the hub (7 neighbors) or a leaf (1).
+        assert_eq!(est.min_ratio, 1.0);
+        assert_eq!(est.max_ratio, 7.0);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let g = ring(15);
+        let a = sampled_set_expansion(&g, 4, 10, &mut StdRng::seed_from_u64(3));
+        let b = sampled_set_expansion(&g, 4, 10, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "set size must be positive")]
+    fn zero_set_size_panics() {
+        let g = ring(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sampled_set_expansion(&g, 0, 1, &mut rng);
+    }
+}

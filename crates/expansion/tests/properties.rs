@@ -1,0 +1,98 @@
+//! Property-based tests of the expansion estimators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::{connected_components, Graph, NodeId};
+use socnet_expansion::{
+    sampled_set_expansion, EnvelopeExpansion, ExpansionSweep, SourceSelection,
+};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..30).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 1..100).prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn envelope_levels_conserve_the_component(g in arb_graph()) {
+        let comps = connected_components(&g);
+        for v in g.nodes() {
+            let e = EnvelopeExpansion::measure(&g, v);
+            let comp_size = comps.sizes[comps.label[v.index()] as usize];
+            prop_assert_eq!(e.reached(), comp_size, "source {}", v);
+            prop_assert_eq!(e.level_sizes()[0], 1);
+        }
+    }
+
+    #[test]
+    fn envelope_pairs_never_exceed_remaining_nodes(g in arb_graph()) {
+        for v in g.nodes() {
+            let e = EnvelopeExpansion::measure(&g, v);
+            for (env, exp) in e.pairs() {
+                prop_assert!(env + exp <= g.node_count());
+                prop_assert!(exp >= 1, "levels before the last are non-empty");
+            }
+        }
+    }
+
+    #[test]
+    fn alphas_are_positive_and_finite(g in arb_graph()) {
+        for v in g.nodes() {
+            for a in EnvelopeExpansion::measure(&g, v).alphas() {
+                prop_assert!(a > 0.0 && a.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_aggregates_match_per_source_measurements(g in arb_graph()) {
+        let sweep = ExpansionSweep::measure(&g, SourceSelection::All, 0);
+        // Recompute the pool by hand.
+        let mut pool: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for v in g.nodes() {
+            for (env, exp) in EnvelopeExpansion::measure(&g, v).pairs() {
+                pool.entry(env).or_default().push(exp);
+            }
+        }
+        prop_assert_eq!(sweep.stats().len(), pool.len());
+        for s in sweep.stats() {
+            let vals = &pool[&s.set_size];
+            prop_assert_eq!(s.samples, vals.len());
+            prop_assert_eq!(s.min, *vals.iter().min().expect("nonempty"));
+            prop_assert_eq!(s.max, *vals.iter().max().expect("nonempty"));
+            let mean = vals.iter().sum::<usize>() as f64 / vals.len() as f64;
+            prop_assert!((s.mean - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_sets_bound_envelope_alpha_from_below(
+        n in 6usize..24,
+        seed in any::<u64>(),
+    ) {
+        // On a connected graph, the min sampled-set ratio at size s is at
+        // most the min envelope ratio at size s (sets subsume balls only
+        // in the limit, but both are >= the true alpha; check both are
+        // positive and consistent).
+        let g = socnet_gen::ring(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = sampled_set_expansion(&g, 3, 20, &mut rng).expect("feasible on a ring");
+        prop_assert!(est.min_ratio > 0.0);
+        prop_assert!(est.min_ratio <= est.mean_ratio + 1e-9);
+        prop_assert!(est.mean_ratio <= est.max_ratio + 1e-9);
+        // A 3-arc of a ring has exactly 2 neighbors.
+        prop_assert!((est.min_ratio - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_envelopes_from_every_leaf(n in 3usize..40) {
+        let g = socnet_gen::star(n);
+        for leaf in 1..n {
+            let e = EnvelopeExpansion::measure(&g, NodeId(leaf as u32));
+            prop_assert_eq!(e.level_sizes(), &[1, 1, n - 2][..]);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+use rand::{Rng, RngExt};
+use socnet_core::{Graph, GraphBuilder, NodeId};
+
+/// Barabási–Albert preferential attachment.
+///
+/// Starts from a star of `m_attach + 1` nodes and attaches every later
+/// node to `m_attach` distinct existing nodes chosen proportionally to
+/// their degree (implemented with the repeated-endpoint trick: sampling a
+/// uniform position in the running half-edge list *is* degree-proportional
+/// sampling).
+///
+/// This is the weak-trust "online social network" model of the dataset
+/// registry: the resulting graphs have a single dense core, no community
+/// structure, and fast-mixing random walks.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0` or `n <= m_attach`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let g = socnet_gen::barabasi_albert(1000, 3, &mut rng);
+/// assert_eq!(g.node_count(), 1000);
+/// // (n - m - 1) joins of m edges each, plus the m-node seed star.
+/// assert_eq!(g.edge_count(), 3 + (1000 - 4) * 3);
+/// ```
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) -> Graph {
+    assert!(m_attach >= 1, "attachment degree must be at least 1");
+    assert!(n > m_attach, "need more than {m_attach} nodes, got {n}");
+
+    let mut b = GraphBuilder::with_capacity(n, n * m_attach);
+    // Running list of half-edge endpoints; uniform draws from it are
+    // degree-proportional draws over nodes.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+
+    // Seed: star on nodes 0..=m_attach centered at 0.
+    for v in 1..=m_attach as u32 {
+        b.add_edge(NodeId(0), NodeId(v));
+        endpoints.push(0);
+        endpoints.push(v);
+    }
+
+    let mut picked = Vec::with_capacity(m_attach);
+    for v in (m_attach + 1) as u32..n as u32 {
+        picked.clear();
+        // Draw m distinct degree-proportional targets.
+        while picked.len() < m_attach {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            b.add_edge(NodeId(v), NodeId(t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socnet_core::is_connected;
+
+    #[test]
+    fn size_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = barabasi_albert(500, 4, &mut rng);
+        assert_eq!(g.node_count(), 500);
+        assert!(is_connected(&g), "preferential attachment grows connected");
+        // Every late joiner has degree >= m.
+        assert!(g.nodes().skip(5).all(|v| g.degree(v) >= 4));
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (n, m) = (200usize, 5usize);
+        let g = barabasi_albert(n, m, &mut rng);
+        assert_eq!(g.edge_count(), m + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(3000, 3, &mut rng);
+        let max = g.max_degree();
+        let avg = socnet_core::average_degree(&g);
+        assert!(
+            max as f64 > 6.0 * avg,
+            "hub degree {max} should dwarf the average {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(100, 2, &mut StdRng::seed_from_u64(77));
+        let b = barabasi_albert(100, 2, &mut StdRng::seed_from_u64(77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minimal_sizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(2, 1, &mut rng);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn too_few_nodes_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = barabasi_albert(3, 3, &mut rng);
+    }
+}

@@ -1,0 +1,471 @@
+//! Synthetic counterparts to the paper's Table I datasets.
+//!
+//! The paper measures crawled graphs that cannot ship with this
+//! repository. Each [`Dataset`] entry is a calibrated generator standing
+//! in for one of them, chosen so the *qualitative* property the paper
+//! keys on survives the substitution:
+//!
+//! * weak-trust online networks (Wiki-vote, Slashdot, Epinion, Youtube)
+//!   are preferential-attachment graphs — fast mixing, one dense core;
+//! * strict-trust collaboration networks (Physics co-authorship, DBLP)
+//!   are relaxed-caveman community graphs — slow mixing, fragmented cores;
+//! * friendship networks in between (Facebook, LiveJournal, Enron) use
+//!   block or power-law-cluster models with moderate community structure.
+//!
+//! Default sizes are scaled down (thousands to tens of thousands of
+//! nodes) so the full experiment suite runs on one machine; every
+//! experiment binary accepts a scale factor to grow them.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use socnet_core::{largest_component, Graph};
+
+/// Trust model underlying a social graph, following the paper's Sec. II
+/// observation that mixing patterns track the social model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SocialModel {
+    /// Low-cost online links (vote, follow): fast mixing expected.
+    OnlineWeakTrust,
+    /// Real-world collaboration ties: slow mixing expected.
+    CollaborationStrictTrust,
+    /// Friendship networks between the two extremes.
+    HybridTrust,
+}
+
+impl SocialModel {
+    /// Short human-readable label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SocialModel::OnlineWeakTrust => "online/weak-trust",
+            SocialModel::CollaborationStrictTrust => "collab/strict-trust",
+            SocialModel::HybridTrust => "hybrid",
+        }
+    }
+}
+
+/// Coarse dataset size bucket, mirroring the paper's figure groupings
+/// ("small to medium datasets" vs. "large datasets").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// Thousands of nodes at default scale.
+    Small,
+    /// Around ten thousand nodes at default scale.
+    Medium,
+    /// Tens of thousands of nodes at default scale.
+    Large,
+}
+
+/// The generator family and parameters behind a registry entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GeneratorKind {
+    /// Barabási–Albert preferential attachment.
+    PreferentialAttachment {
+        /// Number of nodes at default scale.
+        nodes: usize,
+        /// Edges added per joining node.
+        m_attach: usize,
+    },
+    /// Holme–Kim power-law graph with triad formation.
+    PowerLawCluster {
+        /// Number of nodes at default scale.
+        nodes: usize,
+        /// Edges added per joining node.
+        m_attach: usize,
+        /// Probability of the triad-formation step.
+        p_triangle: f64,
+    },
+    /// Relaxed caveman community graph with heterogeneous clique sizes.
+    Community {
+        /// Number of cliques at default scale.
+        cliques: usize,
+        /// Smallest clique size.
+        min_size: usize,
+        /// Largest clique size.
+        max_size: usize,
+        /// Per-edge rewiring probability.
+        rewire_p: f64,
+    },
+    /// Planted-partition (symmetric SBM) graph.
+    Blocks {
+        /// Number of communities at default scale.
+        communities: usize,
+        /// Nodes per community.
+        community_size: usize,
+        /// Within-community edge probability.
+        p_in: f64,
+        /// Cross-community edge probability.
+        p_out: f64,
+    },
+}
+
+/// Static description of one synthetic Table-I counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Display name matching the paper's dataset name.
+    pub name: &'static str,
+    /// Node count the paper reports for the original crawl.
+    pub paper_nodes: usize,
+    /// Edge count the paper reports for the original crawl.
+    pub paper_edges: usize,
+    /// Second largest eigenvalue modulus the paper reports, where the
+    /// available text is legible; `None` where it is garbled.
+    pub paper_slem: Option<f64>,
+    /// Trust model of the original network.
+    pub model: SocialModel,
+    /// Size bucket at default scale.
+    pub size_class: SizeClass,
+    /// Generator standing in for the crawl.
+    pub kind: GeneratorKind,
+}
+
+/// A synthetic counterpart of one of the paper's datasets.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_gen::{Dataset, SocialModel};
+///
+/// let g = Dataset::RiceGrad.generate(42);
+/// assert!(g.node_count() > 400);
+/// assert_eq!(Dataset::WikiVote.spec().model, SocialModel::OnlineWeakTrust);
+/// assert_eq!(Dataset::ALL.len(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Wikipedia adminship votes (fast-mixing benchmark).
+    WikiVote,
+    /// Slashdot Zoo crawl, Nov 2008.
+    SlashdotA,
+    /// Slashdot Zoo crawl, Feb 2009.
+    SlashdotB,
+    /// Enron email graph.
+    Enron,
+    /// arXiv co-authorship graph (High Energy Physics – Theory analogue).
+    Physics1,
+    /// arXiv co-authorship graph (High Energy Physics – Phenomenology analogue).
+    Physics2,
+    /// arXiv co-authorship graph (Astrophysics analogue).
+    Physics3,
+    /// Epinions who-trusts-whom network.
+    Epinion,
+    /// DBLP computer-science co-authorship.
+    Dblp,
+    /// Facebook regional network A.
+    FacebookA,
+    /// Facebook regional network B.
+    FacebookB,
+    /// LiveJournal friendship crawl A.
+    LiveJournalA,
+    /// LiveJournal friendship crawl B.
+    LiveJournalB,
+    /// Youtube friendship network.
+    Youtube,
+    /// Rice University CS graduate-student network.
+    RiceGrad,
+}
+
+impl Dataset {
+    /// Every registry entry, in Table-I order.
+    pub const ALL: [Dataset; 15] = [
+        Dataset::WikiVote,
+        Dataset::SlashdotA,
+        Dataset::SlashdotB,
+        Dataset::Enron,
+        Dataset::Physics1,
+        Dataset::Physics2,
+        Dataset::Physics3,
+        Dataset::Epinion,
+        Dataset::Dblp,
+        Dataset::FacebookA,
+        Dataset::FacebookB,
+        Dataset::LiveJournalA,
+        Dataset::LiveJournalB,
+        Dataset::Youtube,
+        Dataset::RiceGrad,
+    ];
+
+    /// The static spec of this entry.
+    pub fn spec(self) -> &'static DatasetSpec {
+        use GeneratorKind::*;
+        use SizeClass::*;
+        use SocialModel::*;
+        match self {
+            Dataset::WikiVote => &DatasetSpec {
+                name: "Wiki-vote",
+                paper_nodes: 7_066,
+                paper_edges: 100_736,
+                paper_slem: Some(0.899),
+                model: OnlineWeakTrust,
+                size_class: Small,
+                kind: PreferentialAttachment { nodes: 3_500, m_attach: 14 },
+            },
+            Dataset::SlashdotA => &DatasetSpec {
+                name: "Slashdot-A",
+                paper_nodes: 77_360,
+                paper_edges: 546_487,
+                paper_slem: None,
+                model: OnlineWeakTrust,
+                size_class: Medium,
+                kind: PreferentialAttachment { nodes: 8_000, m_attach: 11 },
+            },
+            Dataset::SlashdotB => &DatasetSpec {
+                name: "Slashdot-B",
+                paper_nodes: 82_168,
+                paper_edges: 582_533,
+                paper_slem: Some(0.987),
+                model: OnlineWeakTrust,
+                size_class: Medium,
+                kind: PreferentialAttachment { nodes: 8_200, m_attach: 11 },
+            },
+            Dataset::Enron => &DatasetSpec {
+                name: "Enron",
+                paper_nodes: 33_696,
+                paper_edges: 180_811,
+                paper_slem: Some(0.997),
+                model: HybridTrust,
+                size_class: Small,
+                kind: PowerLawCluster { nodes: 6_000, m_attach: 9, p_triangle: 0.55 },
+            },
+            Dataset::Physics1 => &DatasetSpec {
+                name: "Physics-1",
+                paper_nodes: 4_158,
+                paper_edges: 13_428,
+                paper_slem: Some(0.998),
+                model: CollaborationStrictTrust,
+                size_class: Small,
+                kind: Community { cliques: 330, min_size: 3, max_size: 22, rewire_p: 0.06 },
+            },
+            Dataset::Physics2 => &DatasetSpec {
+                name: "Physics-2",
+                paper_nodes: 11_204,
+                paper_edges: 117_649,
+                paper_slem: Some(0.998),
+                model: CollaborationStrictTrust,
+                size_class: Medium,
+                kind: Community { cliques: 700, min_size: 3, max_size: 28, rewire_p: 0.08 },
+            },
+            Dataset::Physics3 => &DatasetSpec {
+                name: "Physics-3",
+                paper_nodes: 8_638,
+                paper_edges: 24_827,
+                paper_slem: Some(0.996),
+                model: CollaborationStrictTrust,
+                size_class: Small,
+                kind: Community { cliques: 560, min_size: 3, max_size: 26, rewire_p: 0.10 },
+            },
+            Dataset::Epinion => &DatasetSpec {
+                name: "Epinion",
+                paper_nodes: 75_879,
+                paper_edges: 405_740,
+                paper_slem: None,
+                model: OnlineWeakTrust,
+                size_class: Small,
+                kind: PreferentialAttachment { nodes: 7_600, m_attach: 11 },
+            },
+            Dataset::Dblp => &DatasetSpec {
+                name: "DBLP",
+                paper_nodes: 614_981,
+                paper_edges: 1_155_148,
+                paper_slem: None,
+                model: CollaborationStrictTrust,
+                size_class: Large,
+                kind: Community { cliques: 1_700, min_size: 3, max_size: 22, rewire_p: 0.04 },
+            },
+            Dataset::FacebookA => &DatasetSpec {
+                name: "Facebook-A",
+                paper_nodes: 1_000_000,
+                paper_edges: 20_353_734,
+                paper_slem: None,
+                model: HybridTrust,
+                size_class: Large,
+                kind: Blocks {
+                    communities: 60,
+                    community_size: 300,
+                    p_in: 0.035,
+                    p_out: 0.0008,
+                },
+            },
+            Dataset::FacebookB => &DatasetSpec {
+                name: "Facebook-B",
+                paper_nodes: 3_000_000,
+                paper_edges: 28_377_481,
+                paper_slem: Some(0.992),
+                model: HybridTrust,
+                size_class: Large,
+                kind: Blocks {
+                    communities: 70,
+                    community_size: 320,
+                    p_in: 0.030,
+                    p_out: 0.0006,
+                },
+            },
+            Dataset::LiveJournalA => &DatasetSpec {
+                name: "LiveJournal-A",
+                paper_nodes: 4_843_953,
+                paper_edges: 42_845_684,
+                paper_slem: None,
+                model: HybridTrust,
+                size_class: Large,
+                kind: PowerLawCluster { nodes: 20_000, m_attach: 8, p_triangle: 0.35 },
+            },
+            Dataset::LiveJournalB => &DatasetSpec {
+                name: "LiveJournal-B",
+                paper_nodes: 5_204_176,
+                paper_edges: 48_942_196,
+                paper_slem: None,
+                model: HybridTrust,
+                size_class: Large,
+                kind: PowerLawCluster { nodes: 24_000, m_attach: 8, p_triangle: 0.45 },
+            },
+            Dataset::Youtube => &DatasetSpec {
+                name: "Youtube",
+                paper_nodes: 1_134_890,
+                paper_edges: 2_987_624,
+                paper_slem: None,
+                model: OnlineWeakTrust,
+                size_class: Large,
+                kind: PreferentialAttachment { nodes: 20_000, m_attach: 5 },
+            },
+            Dataset::RiceGrad => &DatasetSpec {
+                name: "Rice-grad",
+                paper_nodes: 501,
+                paper_edges: 3_255,
+                paper_slem: None,
+                model: CollaborationStrictTrust,
+                size_class: Small,
+                kind: Blocks { communities: 4, community_size: 125, p_in: 0.22, p_out: 0.02 },
+            },
+        }
+    }
+
+    /// Display name of the dataset (the paper's name for the original).
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+
+    /// Generates the synthetic counterpart at default scale.
+    ///
+    /// The result is the largest connected component of the generated
+    /// graph (the paper's preprocessing), so node counts can fall
+    /// slightly below the configured size for block models.
+    pub fn generate(self, seed: u64) -> Graph {
+        self.generate_scaled(1.0, seed)
+    }
+
+    /// Generates the synthetic counterpart with node counts scaled by
+    /// `scale`.
+    ///
+    /// Density knobs (attachment degree, clique size, probabilities) are
+    /// held fixed; only the number of nodes/communities grows, which is
+    /// how the originals differ from each other in Table I.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn generate_scaled(self, scale: f64, seed: u64) -> Graph {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive, got {scale}");
+        // Derive an independent stream per (dataset, seed) pair so one
+        // experiment's draws never perturb another's.
+        let ordinal = Dataset::ALL.iter().position(|&d| d == self).expect("in ALL") as u64;
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(ordinal + 1)));
+        let scaled = |x: usize, min: usize| ((x as f64 * scale).round() as usize).max(min);
+        let g = match self.spec().kind {
+            GeneratorKind::PreferentialAttachment { nodes, m_attach } => {
+                crate::barabasi_albert(scaled(nodes, m_attach + 2), m_attach, &mut rng)
+            }
+            GeneratorKind::PowerLawCluster { nodes, m_attach, p_triangle } => {
+                crate::holme_kim(scaled(nodes, m_attach + 2), m_attach, p_triangle, &mut rng)
+            }
+            GeneratorKind::Community { cliques, min_size, max_size, rewire_p } => {
+                crate::heterogeneous_caveman(scaled(cliques, 2), min_size, max_size, rewire_p, &mut rng)
+            }
+            GeneratorKind::Blocks { communities, community_size, p_in, p_out } => {
+                crate::planted_partition(scaled(communities, 2), community_size, p_in, p_out, &mut rng)
+            }
+        };
+        largest_component(&g).0
+    }
+
+    /// Entries in a size class, in registry order.
+    pub fn in_class(class: SizeClass) -> Vec<Dataset> {
+        Dataset::ALL.iter().copied().filter(|d| d.spec().size_class == class).collect()
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_core::is_connected;
+
+    #[test]
+    fn registry_is_complete_and_named() {
+        assert_eq!(Dataset::ALL.len(), 15);
+        let mut names: Vec<_> = Dataset::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15, "names must be unique");
+    }
+
+    #[test]
+    fn small_entries_generate_connected_graphs() {
+        for d in [Dataset::RiceGrad, Dataset::Physics1, Dataset::WikiVote] {
+            let g = d.generate_scaled(0.2, 7);
+            assert!(g.node_count() > 50, "{d} too small: {}", g.node_count());
+            assert!(is_connected(&g), "{d} must be its largest component");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Dataset::Physics1.generate_scaled(0.1, 3);
+        let b = Dataset::Physics1.generate_scaled(0.1, 3);
+        assert_eq!(a, b);
+        let c = Dataset::Physics1.generate_scaled(0.1, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn different_datasets_use_independent_streams() {
+        let a = Dataset::SlashdotA.generate_scaled(0.05, 9);
+        let b = Dataset::SlashdotB.generate_scaled(0.05, 9);
+        assert_ne!(a, b, "same seed, different entries must differ");
+    }
+
+    #[test]
+    fn scaling_grows_node_count() {
+        let small = Dataset::WikiVote.generate_scaled(0.05, 1);
+        let big = Dataset::WikiVote.generate_scaled(0.2, 1);
+        assert!(big.node_count() > 2 * small.node_count());
+    }
+
+    #[test]
+    fn size_classes_partition_the_registry() {
+        let total = Dataset::in_class(SizeClass::Small).len()
+            + Dataset::in_class(SizeClass::Medium).len()
+            + Dataset::in_class(SizeClass::Large).len();
+        assert_eq!(total, Dataset::ALL.len());
+        assert!(Dataset::in_class(SizeClass::Small).contains(&Dataset::Physics1));
+        assert!(Dataset::in_class(SizeClass::Large).contains(&Dataset::Dblp));
+    }
+
+    #[test]
+    fn trust_models_match_the_papers_story() {
+        assert_eq!(Dataset::WikiVote.spec().model, SocialModel::OnlineWeakTrust);
+        assert_eq!(Dataset::Dblp.spec().model, SocialModel::CollaborationStrictTrust);
+        assert_eq!(Dataset::FacebookA.spec().model, SocialModel::HybridTrust);
+        assert_eq!(SocialModel::HybridTrust.label(), "hybrid");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_scale_panics() {
+        let _ = Dataset::WikiVote.generate_scaled(0.0, 1);
+    }
+}

@@ -1,0 +1,158 @@
+use rand::{Rng, RngExt};
+use socnet_core::{Graph, GraphBuilder, NodeId};
+
+/// Erdős–Rényi `G(n, p)`: every node pair is an edge independently with
+/// probability `p`.
+///
+/// Uses geometric skipping, so the running time is `O(n + m)` rather than
+/// `O(n²)` — sparse graphs of hundreds of thousands of nodes are cheap.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = socnet_gen::erdos_renyi_gnp(1000, 0.01, &mut rng);
+/// let expected = 0.01 * 1000.0 * 999.0 / 2.0;
+/// assert!((g.edge_count() as f64) > expected * 0.8);
+/// assert!((g.edge_count() as f64) < expected * 1.2);
+/// ```
+pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        return super::complete(n);
+    }
+    // Iterate edge slots in lexicographic order, skipping geometrically.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.random_range(0.0..1.0);
+        let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+        w += 1 + skip;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(NodeId(w as u32), NodeId(v as u32));
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges drawn uniformly from
+/// all node pairs.
+///
+/// Uses rejection sampling, which is `O(m)` expected for sparse requests
+/// but degrades toward coupon-collector behavior (`O(m log m)`) as `m`
+/// approaches the number of pairs; for near-complete graphs prefer
+/// [`complete`](crate::complete) minus a sampled set.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of node pairs.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = socnet_gen::erdos_renyi_gnm(100, 300, &mut rng);
+/// assert_eq!(g.edge_count(), 300);
+/// ```
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= pairs, "cannot place {m} edges among {pairs} node pairs");
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    while chosen.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_edge(NodeId(key.0), NodeId(key.1));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(erdos_renyi_gnp(50, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, &mut rng).edge_count(), 45);
+        assert_eq!(erdos_renyi_gnp(1, 0.5, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi_gnp(0, 0.5, &mut rng).node_count(), 0);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 2000;
+        let p = 0.005;
+        let g = erdos_renyi_gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!((got - expected).abs() < 0.15 * expected, "got {got}, expected ~{expected}");
+    }
+
+    #[test]
+    fn gnp_deterministic_per_seed() {
+        let a = erdos_renyi_gnp(300, 0.02, &mut StdRng::seed_from_u64(5));
+        let b = erdos_renyi_gnp(300, 0.02, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnm_exact_count_and_simple() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi_gnm(50, 200, &mut rng);
+        assert_eq!(g.edge_count(), 200);
+        for v in g.nodes() {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn gnm_full_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi_gnm(8, 28, &mut rng);
+        assert_eq!(g.edge_count(), 28);
+        assert!(g.nodes().all(|v| g.degree(v) == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn gnm_overfull_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = erdos_renyi_gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn gnp_bad_probability_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = erdos_renyi_gnp(4, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,138 @@
+use rand::{Rng, RngExt};
+use socnet_core::{Graph, GraphBuilder, NodeId};
+
+/// Holme–Kim power-law graph with tunable clustering.
+///
+/// Like [`barabasi_albert`](crate::barabasi_albert), every new node
+/// attaches to `m_attach` existing nodes, but after each preferential
+/// attachment step a *triad formation* step follows with probability
+/// `p_triangle`: the next link goes to a random neighbor of the previous
+/// target, closing a triangle.
+///
+/// This produces scale-free graphs with high clustering — the hybrid
+/// regime between the registry's weak-trust (pure BA) and strict-trust
+/// (community) models.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0`, `n <= m_attach`, or `p_triangle` is outside
+/// `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let g = socnet_gen::holme_kim(1000, 4, 0.7, &mut rng);
+/// assert_eq!(g.node_count(), 1000);
+/// ```
+pub fn holme_kim<R: Rng + ?Sized>(
+    n: usize,
+    m_attach: usize,
+    p_triangle: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!(m_attach >= 1, "attachment degree must be at least 1");
+    assert!(n > m_attach, "need more than {m_attach} nodes, got {n}");
+    assert!((0.0..=1.0).contains(&p_triangle), "p_triangle {p_triangle} out of [0, 1]");
+
+    let mut b = GraphBuilder::with_capacity(n, n * m_attach);
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    let link = |b: &mut GraphBuilder,
+                    endpoints: &mut Vec<u32>,
+                    adj: &mut Vec<Vec<u32>>,
+                    u: u32,
+                    v: u32| {
+        b.add_edge(NodeId(u), NodeId(v));
+        endpoints.push(u);
+        endpoints.push(v);
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+    };
+
+    for v in 1..=m_attach as u32 {
+        link(&mut b, &mut endpoints, &mut adj, 0, v);
+    }
+
+    for v in (m_attach + 1) as u32..n as u32 {
+        let mut picked: Vec<u32> = Vec::with_capacity(m_attach);
+        let mut last_target: Option<u32> = None;
+        while picked.len() < m_attach {
+            let mut target = None;
+            if let Some(prev) = last_target {
+                if rng.random_range(0.0..1.0) < p_triangle {
+                    // Triad formation: try a random neighbor of `prev`.
+                    let nbrs = &adj[prev as usize];
+                    let cand = nbrs[rng.random_range(0..nbrs.len())];
+                    if cand != v && !picked.contains(&cand) {
+                        target = Some(cand);
+                    }
+                }
+            }
+            let t = target.unwrap_or_else(|| {
+                // Preferential attachment draw (rejecting duplicates).
+                loop {
+                    let t = endpoints[rng.random_range(0..endpoints.len())];
+                    if t != v && !picked.contains(&t) {
+                        return t;
+                    }
+                }
+            });
+            picked.push(t);
+            last_target = Some(t);
+        }
+        for &t in &picked {
+            link(&mut b, &mut endpoints, &mut adj, v, t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socnet_core::{global_clustering, is_connected};
+
+    #[test]
+    fn size_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = holme_kim(800, 3, 0.5, &mut rng);
+        assert_eq!(g.node_count(), 800);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn zero_triangle_probability_matches_ba_edge_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (n, m) = (300usize, 4usize);
+        let g = holme_kim(n, m, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), m + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn triad_formation_raises_clustering() {
+        let low = holme_kim(2000, 4, 0.0, &mut StdRng::seed_from_u64(3));
+        let high = holme_kim(2000, 4, 0.9, &mut StdRng::seed_from_u64(3));
+        let (cl, ch) = (global_clustering(&low), global_clustering(&high));
+        assert!(ch > 2.0 * cl, "clustering with triads {ch} vs without {cl}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = holme_kim(150, 3, 0.6, &mut StdRng::seed_from_u64(9));
+        let b = holme_kim(150, 3, 0.6, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn bad_probability_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = holme_kim(10, 2, 1.2, &mut rng);
+    }
+}

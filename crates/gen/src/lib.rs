@@ -1,0 +1,54 @@
+//! Random and structured social-graph generators.
+//!
+//! The paper measures 14 crawled social graphs (its Table I). Those crawls
+//! are not redistributable, so this crate provides two substitutes:
+//!
+//! 1. **Classic generator families** — Erdős–Rényi, Barabási–Albert,
+//!    Watts–Strogatz, Holme–Kim, planted-partition (SBM), and relaxed
+//!    caveman — each exposing the structural knob the paper's analysis
+//!    turns (community structure vs. global attachment).
+//! 2. **A synthetic dataset registry** ([`Dataset`]) with one calibrated
+//!    counterpart per paper dataset, spanning the same fast-mixing ↔
+//!    slow-mixing spectrum: weak-trust online networks are generated with
+//!    preferential attachment (fast mixing, single dense core), and
+//!    strict-trust collaboration networks with community-heavy models
+//!    (slow mixing, fragmented cores).
+//!
+//! All generators are deterministic given an RNG, and every registry entry
+//! derives its stream from a caller-provided seed, so experiments are
+//! exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use socnet_gen::{barabasi_albert, Dataset};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = barabasi_albert(500, 4, &mut rng);
+//! assert_eq!(g.node_count(), 500);
+//!
+//! let wiki = Dataset::WikiVote.generate_scaled(0.1, 7);
+//! assert!(wiki.node_count() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod barabasi_albert;
+mod caveman;
+mod datasets;
+mod erdos_renyi;
+mod holme_kim;
+mod regular;
+mod sbm;
+mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use caveman::{heterogeneous_caveman, relaxed_caveman};
+pub use datasets::{Dataset, DatasetSpec, GeneratorKind, SizeClass, SocialModel};
+pub use erdos_renyi::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use holme_kim::holme_kim;
+pub use regular::{barbell, complete, grid, path, ring, star};
+pub use sbm::{planted_partition, stochastic_block_model};
+pub use watts_strogatz::watts_strogatz;

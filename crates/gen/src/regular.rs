@@ -1,0 +1,193 @@
+//! Deterministic structured graphs.
+//!
+//! These small graphs have known mixing, coreness, and expansion values,
+//! so the measurement crates use them as ground truth in tests, and the
+//! documentation uses them as worked examples.
+
+use socnet_core::{Graph, GraphBuilder, NodeId};
+
+/// Cycle graph `C_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+///
+/// # Examples
+///
+/// ```
+/// let g = socnet_gen::ring(6);
+/// assert_eq!(g.edge_count(), 6);
+/// assert!(g.nodes().all(|v| g.degree(v) == 2));
+/// ```
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring needs at least 3 nodes, got {n}");
+    Graph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+}
+
+/// Path graph `P_n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path needs at least 1 node");
+    Graph::from_edges(n, (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)))
+}
+
+/// Complete graph `K_n`.
+///
+/// # Examples
+///
+/// ```
+/// let g = socnet_gen::complete(5);
+/// assert_eq!(g.edge_count(), 10);
+/// ```
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            b.add_edge(NodeId(i), NodeId(j));
+        }
+    }
+    b.build()
+}
+
+/// Star graph: node 0 is the hub, nodes `1..n` are leaves.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n > 0, "star needs at least 1 node");
+    Graph::from_edges(n, (1..n as u32).map(|i| (0, i)))
+}
+
+/// `rows × cols` grid graph with 4-neighbor connectivity.
+///
+/// # Panics
+///
+/// Panics if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(NodeId(at(r, c)), NodeId(at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                b.add_edge(NodeId(at(r, c)), NodeId(at(r + 1, c)));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barbell graph: two `K_k` cliques joined by a path of `bridge` extra
+/// nodes (`bridge == 0` joins them by a single edge).
+///
+/// The canonical slow-mixing graph: the bridge is a bottleneck, so it
+/// exercises the worst case of every mixing and expansion estimator.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let g = socnet_gen::barbell(4, 2);
+/// assert_eq!(g.node_count(), 10); // 4 + 2 + 4
+/// ```
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2, "barbell cliques need at least 2 nodes, got {k}");
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    let clique = |b: &mut GraphBuilder, base: usize| {
+        for i in 0..k as u32 {
+            for j in (i + 1)..k as u32 {
+                b.add_edge(NodeId(base as u32 + i), NodeId(base as u32 + j));
+            }
+        }
+    };
+    clique(&mut b, 0);
+    clique(&mut b, k + bridge);
+    // Chain: last node of clique 1 -> bridge nodes -> first node of clique 2.
+    let mut prev = (k - 1) as u32;
+    for i in 0..bridge {
+        let cur = (k + i) as u32;
+        b.add_edge(NodeId(prev), NodeId(cur));
+        prev = cur;
+    }
+    b.add_edge(NodeId(prev), NodeId((k + bridge) as u32));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_core::{exact_diameter, is_connected};
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(7);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 7);
+        assert!(is_connected(&g));
+        assert_eq!(exact_diameter(&g), 3);
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(exact_diameter(&g), 4);
+        assert_eq!(path(1).node_count(), 1);
+    }
+
+    #[test]
+    fn complete_structure() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+        assert_eq!(complete(0).node_count(), 0);
+        assert_eq!(complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(9);
+        assert_eq!(g.degree(NodeId(0)), 8);
+        assert!(g.nodes().skip(1).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // 3*3 horizontal + 2*4 vertical = 17.
+        assert_eq!(g.edge_count(), 17);
+        assert!(is_connected(&g));
+        assert_eq!(exact_diameter(&g), 5);
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(5, 0);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 2 * 10 + 1);
+        assert!(is_connected(&g));
+
+        let g = barbell(3, 4);
+        assert_eq!(g.node_count(), 10);
+        assert!(is_connected(&g));
+        assert_eq!(exact_diameter(&g), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        let _ = ring(2);
+    }
+}

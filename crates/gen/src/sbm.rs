@@ -1,0 +1,205 @@
+use rand::{Rng, RngExt};
+use socnet_core::{Graph, GraphBuilder, NodeId};
+
+/// Stochastic block model over arbitrary community sizes.
+///
+/// `sizes[i]` nodes form community `i`; a pair inside community `i` is an
+/// edge with probability `p_in`, a pair across communities with
+/// probability `p_out`. Within-block and cross-block generation both use
+/// geometric skipping, so sparse instances cost `O(n + m)`.
+///
+/// Nodes are numbered community by community: community `i` owns the
+/// contiguous range starting at `sizes[..i].sum()`.
+///
+/// # Panics
+///
+/// Panics if any probability is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let g = socnet_gen::stochastic_block_model(&[50, 50, 50], 0.3, 0.01, &mut rng);
+/// assert_eq!(g.node_count(), 150);
+/// ```
+pub fn stochastic_block_model<R: Rng + ?Sized>(
+    sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!((0.0..=1.0).contains(&p_in), "p_in {p_in} out of [0, 1]");
+    assert!((0.0..=1.0).contains(&p_out), "p_out {p_out} out of [0, 1]");
+    let n: usize = sizes.iter().sum();
+    let mut b = GraphBuilder::new(n);
+
+    let mut starts = Vec::with_capacity(sizes.len());
+    let mut acc = 0usize;
+    for &s in sizes {
+        starts.push(acc);
+        acc += s;
+    }
+
+    // Within-community pairs.
+    for (ci, &size) in sizes.iter().enumerate() {
+        let base = starts[ci];
+        sample_pairs(size * size.saturating_sub(1) / 2, p_in, rng, |idx| {
+            let (i, j) = unrank_pair(idx);
+            b.add_edge(NodeId((base + i) as u32), NodeId((base + j) as u32));
+        });
+    }
+    // Cross-community pairs, block by block.
+    for ci in 0..sizes.len() {
+        for cj in (ci + 1)..sizes.len() {
+            let (bi, bj) = (starts[ci], starts[cj]);
+            let (si, sj) = (sizes[ci], sizes[cj]);
+            sample_pairs(si * sj, p_out, rng, |idx| {
+                let (i, j) = (idx / sj, idx % sj);
+                b.add_edge(NodeId((bi + i) as u32), NodeId((bj + j) as u32));
+            });
+        }
+    }
+    b.build()
+}
+
+/// Planted-partition model: `communities` equal communities of
+/// `community_size` nodes.
+///
+/// This is the symmetric special case of [`stochastic_block_model`], and
+/// the registry's model for graphs with pronounced community structure.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let g = socnet_gen::planted_partition(4, 25, 0.4, 0.02, &mut rng);
+/// assert_eq!(g.node_count(), 100);
+/// ```
+pub fn planted_partition<R: Rng + ?Sized>(
+    communities: usize,
+    community_size: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Graph {
+    let sizes = vec![community_size; communities];
+    stochastic_block_model(&sizes, p_in, p_out, rng)
+}
+
+/// Visits each of `total` slots independently with probability `p`, by
+/// geometric skipping.
+fn sample_pairs<R: Rng + ?Sized>(
+    total: usize,
+    p: f64,
+    rng: &mut R,
+    mut visit: impl FnMut(usize),
+) {
+    if total == 0 || p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        for idx in 0..total {
+            visit(idx);
+        }
+        return;
+    }
+    let log_q = (1.0 - p).ln();
+    let mut idx: f64 = -1.0;
+    loop {
+        let r: f64 = rng.random_range(0.0..1.0);
+        idx += 1.0 + ((1.0 - r).ln() / log_q).floor();
+        if idx >= total as f64 {
+            return;
+        }
+        visit(idx as usize);
+    }
+}
+
+/// Inverse of the triangular ranking of pairs `(i, j)` with `j < i`:
+/// `rank = i(i-1)/2 + j`.
+fn unrank_pair(rank: usize) -> (usize, usize) {
+    // i is the largest integer with i(i-1)/2 <= rank.
+    let mut i = ((2.0 * rank as f64 + 0.25).sqrt() + 0.5) as usize;
+    while i * (i.saturating_sub(1)) / 2 > rank {
+        i -= 1;
+    }
+    while (i + 1) * i / 2 <= rank {
+        i += 1;
+    }
+    let j = rank - i * (i - 1) / 2;
+    (i, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unrank_pair_is_bijective() {
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..45 {
+            let (i, j) = unrank_pair(rank);
+            assert!(j < i, "rank {rank} gave ({i}, {j})");
+            assert!(i < 10);
+            assert_eq!(i * (i - 1) / 2 + j, rank);
+            assert!(seen.insert((i, j)));
+        }
+    }
+
+    #[test]
+    fn block_density_separation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = planted_partition(4, 50, 0.3, 0.01, &mut rng);
+        // Count in-community vs cross-community edges.
+        let comm = |v: NodeId| v.index() / 50;
+        let (mut inside, mut cross) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if comm(u) == comm(v) {
+                inside += 1;
+            } else {
+                cross += 1;
+            }
+        }
+        // Expected: inside ≈ 4 * C(50,2) * 0.3 = 1470, cross ≈ 6*2500*0.01 = 150.
+        assert!(inside > 1100 && inside < 1850, "inside = {inside}");
+        assert!(cross > 75 && cross < 260, "cross = {cross}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = planted_partition(2, 10, 1.0, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 2 * 45);
+        assert_eq!(socnet_core::connected_components(&g).count, 2);
+
+        let g = planted_partition(2, 10, 0.0, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_sizes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = stochastic_block_model(&[10, 0, 30], 0.5, 0.05, &mut rng);
+        assert_eq!(g.node_count(), 40);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = planted_partition(3, 30, 0.2, 0.02, &mut StdRng::seed_from_u64(11));
+        let b = planted_partition(3, 30, 0.2, 0.02, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn bad_p_in_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = planted_partition(2, 5, -0.1, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,131 @@
+use rand::{Rng, RngExt};
+use socnet_core::{Graph, GraphBuilder, NodeId};
+
+/// Watts–Strogatz small-world graph.
+///
+/// Starts from a ring lattice where each node connects to its `k` nearest
+/// neighbors (`k/2` on each side) and rewires each edge's far endpoint
+/// with probability `beta` to a uniform random node, avoiding self-loops
+/// and duplicates.
+///
+/// At `beta = 0` this is the (slow-mixing) lattice; small `beta` adds the
+/// shortcuts that make social graphs low-diameter while keeping high
+/// clustering — the regime the paper's strict-trust graphs live in.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k == 0`, `k >= n`, or `beta` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let g = socnet_gen::watts_strogatz(200, 6, 0.1, &mut rng);
+/// assert_eq!(g.node_count(), 200);
+/// assert_eq!(g.edge_count(), 200 * 3);
+/// ```
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k > 0 && k % 2 == 0, "k must be positive and even, got {k}");
+    assert!(k < n, "k = {k} must be below n = {n}");
+    assert!((0.0..=1.0).contains(&beta), "beta {beta} out of [0, 1]");
+
+    let n_u = n as u32;
+    // Edge set as (u, v) pairs we can rewire in place; membership tested
+    // against a hash set to keep the graph simple.
+    let mut present = std::collections::HashSet::with_capacity(n * k / 2);
+    let norm = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n_u {
+        for d in 1..=(k / 2) as u32 {
+            let v = (u + d) % n_u;
+            edges.push((u, v));
+            present.insert(norm(u, v));
+        }
+    }
+
+    for i in 0..edges.len() {
+        if beta > 0.0 && rng.random_range(0.0..1.0) < beta {
+            let (u, old_v) = edges[i];
+            // Bounded retries: if u's neighborhood is (nearly) saturated —
+            // incoming rewires can push deg(u) to n−1 even when the graph
+            // is not complete — keep the edge rather than searching forever.
+            for _ in 0..4 * n {
+                let new_v = rng.random_range(0..n_u);
+                if new_v != u && !present.contains(&norm(u, new_v)) {
+                    present.remove(&norm(u, old_v));
+                    present.insert(norm(u, new_v));
+                    edges[i] = (u, new_v);
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socnet_core::{global_clustering, is_connected};
+
+    #[test]
+    fn beta_zero_is_the_lattice() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn edge_count_is_preserved_by_rewiring() {
+        for beta in [0.0, 0.2, 0.7, 1.0] {
+            let mut rng = StdRng::seed_from_u64(8);
+            let g = watts_strogatz(100, 6, beta, &mut rng);
+            assert_eq!(g.edge_count(), 300, "beta = {beta}");
+        }
+    }
+
+    #[test]
+    fn small_beta_keeps_high_clustering() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lattice = watts_strogatz(500, 8, 0.0, &mut rng);
+        let small = watts_strogatz(500, 8, 0.05, &mut rng);
+        let random = watts_strogatz(500, 8, 1.0, &mut rng);
+        let (cl, cs, cr) =
+            (global_clustering(&lattice), global_clustering(&small), global_clustering(&random));
+        assert!(cl > 0.5, "lattice clustering {cl}");
+        assert!(cs > 2.0 * cr, "small-world clustering {cs} vs random {cr}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = watts_strogatz(80, 4, 0.3, &mut StdRng::seed_from_u64(1));
+        let b = watts_strogatz(80, 4, 0.3, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn complete_lattice_edge_case() {
+        // k = n - 1 rounded down to even: rewiring has nowhere to go but
+        // must not loop forever.
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = watts_strogatz(6, 4, 1.0, &mut rng);
+        assert_eq!(g.edge_count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+}

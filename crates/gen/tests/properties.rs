@@ -1,0 +1,120 @@
+//! Property-based tests of the generator families.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::is_connected;
+use socnet_gen::{
+    barabasi_albert, erdos_renyi_gnm, erdos_renyi_gnp, holme_kim, planted_partition,
+    relaxed_caveman, watts_strogatz,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ba_is_connected_with_exact_edges(
+        n in 10usize..200,
+        m in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n > m + 1);
+        let g = barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), m + (n - m - 1) * m);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn holme_kim_matches_ba_skeleton(
+        n in 10usize..150,
+        m in 1usize..5,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n > m + 1);
+        let g = holme_kim(n, m, p, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), m + (n - m - 1) * m);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn gnp_stays_simple(
+        n in 0usize..80,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = erdos_renyi_gnp(n, p, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.edge_count() <= n * n.saturating_sub(1) / 2);
+        for v in g.nodes() {
+            prop_assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn gnm_places_exactly_m_edges(
+        n in 2usize..60,
+        frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let pairs = n * (n - 1) / 2;
+        let m = (pairs as f64 * frac) as usize;
+        let g = erdos_renyi_gnm(n, m, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.edge_count(), m);
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_degree_sum(
+        n in 8usize..100,
+        half_k in 1usize..3,
+        beta in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let k = 2 * half_k;
+        prop_assume!(k < n);
+        let g = watts_strogatz(n, k, beta, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.edge_count(), n * half_k);
+    }
+
+    #[test]
+    fn caveman_is_connected_without_rewiring(
+        cliques in 1usize..12,
+        size in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let g = relaxed_caveman(cliques, size, 0.0, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.node_count(), cliques * size);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn caveman_edge_count_is_invariant_under_rewiring(
+        cliques in 2usize..8,
+        size in 3usize..7,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g0 = relaxed_caveman(cliques, size, 0.0, &mut StdRng::seed_from_u64(seed));
+        let g1 = relaxed_caveman(cliques, size, p, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g0.edge_count(), g1.edge_count());
+    }
+
+    #[test]
+    fn planted_partition_nodes_and_simplicity(
+        comms in 1usize..6,
+        size in 1usize..20,
+        p_in in 0.0f64..0.6,
+        p_out in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        let g = planted_partition(comms, size, p_in, p_out, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.node_count(), comms * size);
+        for v in g.nodes() {
+            prop_assert!(!g.has_edge(v, v));
+            let row = g.neighbors(v);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

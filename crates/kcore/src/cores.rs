@@ -1,0 +1,185 @@
+use serde::{Deserialize, Serialize};
+use socnet_core::{connected_components, induced_subgraph, Graph};
+
+use crate::CoreDecomposition;
+
+/// Structure of the graph's cores at one depth `k`.
+///
+/// The paper distinguishes the connected `k`-core `G_k` (the largest
+/// connected maximal subgraph of minimum degree `k`) from the possibly
+/// disconnected union of cores `G'_k`; this profile carries both, plus
+/// the count of connected cores that Figure 5 tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreProfile {
+    /// The core depth `k`.
+    pub k: u32,
+    /// `n'_k`: nodes in the union of `k`-cores `G'_k`.
+    pub nodes: usize,
+    /// `m'_k`: edges in `G'_k`.
+    pub edges: usize,
+    /// Number of connected components of `G'_k` — the paper's "number of
+    /// cores" (1 means a single core).
+    pub components: usize,
+    /// `n_k`: nodes of the largest connected `k`-core `G_k`.
+    pub largest_nodes: usize,
+    /// `m_k`: edges of `G_k`.
+    pub largest_edges: usize,
+}
+
+impl CoreProfile {
+    /// Node-relative size `ν'_k = n'_k / n` of the union of cores.
+    pub fn nu_prime(&self, total_nodes: usize) -> f64 {
+        ratio(self.nodes, total_nodes)
+    }
+
+    /// Edge-relative size `τ'_k = m'_k / m` of the union of cores.
+    pub fn tau_prime(&self, total_edges: usize) -> f64 {
+        ratio(self.edges, total_edges)
+    }
+
+    /// Node-relative size `ν_k = n_k / n` of the largest connected core.
+    pub fn nu(&self, total_nodes: usize) -> f64 {
+        ratio(self.largest_nodes, total_nodes)
+    }
+
+    /// Edge-relative size `τ_k = m_k / m` of the largest connected core.
+    pub fn tau(&self, total_edges: usize) -> f64 {
+        ratio(self.largest_edges, total_edges)
+    }
+}
+
+fn ratio(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// Computes a [`CoreProfile`] for every `k` in `1..=degeneracy`.
+///
+/// Each profile extracts the induced subgraph on nodes of coreness ≥ `k`
+/// and labels its components, so the total cost is
+/// `O(degeneracy · (n + m))` — linear passes, one per core level.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::Graph;
+/// use socnet_kcore::{core_profiles, CoreDecomposition};
+///
+/// // Two 4-cliques joined by a path: the 3-core has two components.
+/// let g = Graph::from_edges(9, [
+///     (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+///     (3, 4), (4, 5),
+///     (5, 6), (5, 7), (5, 8), (6, 7), (6, 8), (7, 8),
+/// ]);
+/// let d = CoreDecomposition::compute(&g);
+/// let profiles = core_profiles(&g, &d);
+/// assert_eq!(profiles.len(), 3);
+/// assert_eq!(profiles[2].k, 3);
+/// assert_eq!(profiles[2].components, 2); // the two cliques
+/// assert_eq!(profiles[2].nodes, 8);
+/// assert_eq!(profiles[2].largest_nodes, 4);
+/// ```
+pub fn core_profiles(graph: &Graph, decomposition: &CoreDecomposition) -> Vec<CoreProfile> {
+    let mut out = Vec::with_capacity(decomposition.degeneracy() as usize);
+    for k in 1..=decomposition.degeneracy() {
+        let members = decomposition.core_members(k);
+        let (sub, _) = induced_subgraph(graph, &members);
+        let comps = connected_components(&sub);
+        let largest = comps.largest();
+        let largest_nodes = comps.sizes[largest as usize];
+        // Count edges inside the largest component.
+        let mut largest_edges = 0usize;
+        for (u, v) in sub.edges() {
+            if comps.label[u.index()] == largest && comps.label[v.index()] == largest {
+                largest_edges += 1;
+            }
+        }
+        out.push(CoreProfile {
+            k,
+            nodes: sub.node_count(),
+            edges: sub.edge_count(),
+            components: comps.count,
+            largest_nodes,
+            largest_edges,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{barbell, complete, ring};
+
+    #[test]
+    fn clique_has_single_full_core_at_every_k() {
+        let g = complete(6);
+        let d = CoreDecomposition::compute(&g);
+        let profiles = core_profiles(&g, &d);
+        assert_eq!(profiles.len(), 5);
+        for p in &profiles {
+            assert_eq!(p.nodes, 6);
+            assert_eq!(p.components, 1);
+            assert_eq!(p.nu_prime(6), 1.0);
+            assert_eq!(p.tau_prime(15), 1.0);
+            assert_eq!(p.nodes, p.largest_nodes);
+        }
+    }
+
+    #[test]
+    fn barbell_splits_into_two_cores() {
+        let g = barbell(5, 2);
+        let d = CoreDecomposition::compute(&g);
+        let profiles = core_profiles(&g, &d);
+        // k = 1: everything, one component.
+        assert_eq!(profiles[0].nodes, 12);
+        assert_eq!(profiles[0].components, 1);
+        // k = 4: the two cliques, disconnected.
+        let p4 = &profiles[3];
+        assert_eq!(p4.k, 4);
+        assert_eq!(p4.nodes, 10);
+        assert_eq!(p4.components, 2);
+        assert_eq!(p4.largest_nodes, 5);
+        assert_eq!(p4.largest_edges, 10);
+        assert!((p4.nu_prime(12) - 10.0 / 12.0).abs() < 1e-12);
+        assert!((p4.nu(12) - 5.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiles_shrink_monotonically() {
+        let g = socnet_gen::grid(6, 6);
+        let d = CoreDecomposition::compute(&g);
+        let profiles = core_profiles(&g, &d);
+        for w in profiles.windows(2) {
+            assert!(w[1].nodes <= w[0].nodes);
+            assert!(w[1].edges <= w[0].edges);
+        }
+    }
+
+    #[test]
+    fn ring_has_exactly_the_two_core() {
+        let g = ring(9);
+        let d = CoreDecomposition::compute(&g);
+        let profiles = core_profiles(&g, &d);
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[1].nodes, 9);
+        assert_eq!(profiles[1].components, 1);
+    }
+
+    #[test]
+    fn ratios_handle_empty_totals() {
+        let p = CoreProfile {
+            k: 1,
+            nodes: 0,
+            edges: 0,
+            components: 0,
+            largest_nodes: 0,
+            largest_edges: 0,
+        };
+        assert_eq!(p.nu_prime(0), 0.0);
+        assert_eq!(p.tau(0), 0.0);
+    }
+}

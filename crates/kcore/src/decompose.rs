@@ -1,0 +1,232 @@
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, NodeId};
+
+/// The coreness of every node, computed with the Batagelj–Žaveršnik
+/// bucket algorithm in `O(n + m)` time and memory.
+///
+/// The `k`-core of `G` is the maximal subgraph with minimum degree `k`;
+/// a node's **coreness** is the largest `k` for which it belongs to the
+/// `k`-core, and the graph's **degeneracy** is the largest non-empty `k`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{Graph, NodeId};
+/// use socnet_kcore::CoreDecomposition;
+///
+/// // Two triangles sharing a path: both triangles are 2-cores.
+/// let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+/// let d = CoreDecomposition::compute(&g);
+/// assert_eq!(d.degeneracy(), 2);
+/// assert_eq!(d.coreness(NodeId(0)), 2);
+/// assert_eq!(d.core_members(2).len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreDecomposition {
+    coreness: Vec<u32>,
+    degeneracy: u32,
+    /// Nodes in the order the peeling removed them (a degeneracy order).
+    order: Vec<NodeId>,
+}
+
+impl CoreDecomposition {
+    /// Runs the decomposition on `graph`.
+    pub fn compute(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        if n == 0 {
+            return CoreDecomposition { coreness: Vec::new(), degeneracy: 0, order: Vec::new() };
+        }
+        let max_deg = graph.max_degree();
+
+        // Bucket sort nodes by degree: pos/vert arrays as in the paper's
+        // reference [1] (Batagelj & Žaveršnik).
+        let mut degree: Vec<usize> = (0..n).map(|i| graph.degree(NodeId(i as u32))).collect();
+        let mut bin = vec![0usize; max_deg + 2];
+        for &d in &degree {
+            bin[d] += 1;
+        }
+        let mut start = 0usize;
+        for b in bin.iter_mut() {
+            let count = *b;
+            *b = start;
+            start += count;
+        }
+        // bin[d] = first index of degree-d nodes in `vert`.
+        let mut vert = vec![0usize; n];
+        let mut pos = vec![0usize; n];
+        {
+            let mut next = bin.clone();
+            for v in 0..n {
+                pos[v] = next[degree[v]];
+                vert[pos[v]] = v;
+                next[degree[v]] += 1;
+            }
+        }
+
+        let mut coreness = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+        let mut degeneracy = 0u32;
+        for i in 0..n {
+            let v = vert[i];
+            let c = degree[v] as u32;
+            coreness[v] = c.max(degeneracy); // peeling degree is monotone
+            degeneracy = degeneracy.max(coreness[v]);
+            order.push(NodeId(v as u32));
+            for &u in graph.neighbors(NodeId(v as u32)) {
+                let u = u.index();
+                if degree[u] > degree[v] {
+                    // Move u one bucket down: swap it with the first node
+                    // of its current bucket, then shrink the bucket.
+                    let du = degree[u];
+                    let pu = pos[u];
+                    let pw = bin[du];
+                    let w = vert[pw];
+                    if u != w {
+                        pos[u] = pw;
+                        pos[w] = pu;
+                        vert[pu] = w;
+                        vert[pw] = u;
+                    }
+                    bin[du] += 1;
+                    degree[u] -= 1;
+                }
+            }
+        }
+
+        CoreDecomposition { coreness, degeneracy, order }
+    }
+
+    /// Coreness of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn coreness(&self, v: NodeId) -> u32 {
+        self.coreness[v.index()]
+    }
+
+    /// Coreness of every node, indexed by node id.
+    pub fn coreness_slice(&self) -> &[u32] {
+        &self.coreness
+    }
+
+    /// The graph's degeneracy `k_max` (0 for the empty graph).
+    pub fn degeneracy(&self) -> u32 {
+        self.degeneracy
+    }
+
+    /// A degeneracy ordering: nodes in peeling order, so every node has at
+    /// most `degeneracy` neighbors *later* in the order.
+    pub fn degeneracy_order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Nodes of the `k`-core union `G'_k`: every node with coreness ≥ `k`.
+    pub fn core_members(&self, k: u32) -> Vec<NodeId> {
+        (0..self.coreness.len())
+            .filter(|&i| self.coreness[i] >= k)
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// Number of nodes with coreness exactly `c`, for `c = 0..=degeneracy`.
+    pub fn coreness_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.degeneracy as usize + 1];
+        for &c in &self.coreness {
+            hist[c as usize] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{barbell, complete, ring, star};
+
+    #[test]
+    fn clique_coreness() {
+        let d = CoreDecomposition::compute(&complete(6));
+        assert_eq!(d.degeneracy(), 5);
+        assert!(d.coreness_slice().iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn ring_coreness_is_two() {
+        let d = CoreDecomposition::compute(&ring(10));
+        assert!(d.coreness_slice().iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn star_coreness_is_one() {
+        let d = CoreDecomposition::compute(&star(7));
+        assert_eq!(d.degeneracy(), 1);
+        assert!(d.coreness_slice().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn barbell_cliques_dominate() {
+        let g = barbell(5, 3);
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.degeneracy(), 4);
+        // Clique nodes have coreness 4; the bridge path is a 2-core
+        // (every bridge node keeps two neighbors under pruning).
+        assert_eq!(d.coreness(NodeId(0)), 4);
+        assert_eq!(d.coreness(NodeId(5)), 2);
+        assert_eq!(d.core_members(4).len(), 10);
+    }
+
+    #[test]
+    fn pendant_chain_peels_to_one() {
+        // Triangle with a tail of two nodes.
+        let g = socnet_core::Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.coreness_slice(), &[2, 2, 2, 1, 1]);
+        assert_eq!(d.coreness_histogram(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn degeneracy_order_property() {
+        let g = socnet_gen::grid(5, 6);
+        let d = CoreDecomposition::compute(&g);
+        let rank: std::collections::HashMap<NodeId, usize> =
+            d.degeneracy_order().iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for v in g.nodes() {
+            let later = g.neighbors(v).iter().filter(|&&u| rank[&u] > rank[&v]).count();
+            assert!(
+                later as u32 <= d.degeneracy(),
+                "{v} has {later} later neighbors > degeneracy {}",
+                d.degeneracy()
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_coreness() {
+        let g = socnet_core::Graph::from_edges(4, [(0, 1)]);
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.coreness(NodeId(2)), 0);
+        assert_eq!(d.coreness(NodeId(3)), 0);
+        assert_eq!(d.degeneracy(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = CoreDecomposition::compute(&socnet_core::Graph::from_edges(0, []));
+        assert_eq!(d.degeneracy(), 0);
+        assert!(d.core_members(0).is_empty());
+        assert!(d.degeneracy_order().is_empty());
+    }
+
+    #[test]
+    fn core_members_are_nested() {
+        let g = socnet_gen::barbell(6, 2);
+        let d = CoreDecomposition::compute(&g);
+        for k in 1..=d.degeneracy() {
+            let outer = d.core_members(k - 1);
+            let inner = d.core_members(k);
+            assert!(inner.len() <= outer.len());
+            assert!(inner.iter().all(|v| outer.contains(v)));
+        }
+    }
+}

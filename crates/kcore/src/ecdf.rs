@@ -1,0 +1,153 @@
+use serde::{Deserialize, Serialize};
+
+use crate::CoreDecomposition;
+
+/// An empirical cumulative distribution function over `f64` samples.
+///
+/// `eval(x)` returns the fraction of samples `≤ x`; [`points`](Ecdf::points)
+/// returns the step-function breakpoints, which is what the paper's
+/// Figure 2 plots for coreness values.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_kcore::Ecdf;
+///
+/// let e = Ecdf::new([1.0, 2.0, 2.0, 5.0]);
+/// assert_eq!(e.eval(0.0), 0.0);
+/// assert_eq!(e.eval(2.0), 0.75);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of the given samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample set is empty or contains NaN.
+    pub fn new<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(!sorted.is_empty(), "ecdf needs at least one sample");
+        assert!(sorted.iter().all(|x| !x.is_nan()), "ecdf samples must not be NaN");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ecdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample set is empty (never true for a constructed ECDF).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile: the smallest sample `v` with `eval(v) ≥ q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// The distinct sample values and their cumulative fractions, i.e. the
+    /// plot points of the ECDF step function.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &v) in self.sorted.iter().enumerate() {
+            let frac = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 = frac,
+                _ => out.push((v, frac)),
+            }
+        }
+        out
+    }
+}
+
+/// ECDF of the coreness of every node — the paper's Figure 2 series.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::Graph;
+/// use socnet_kcore::{coreness_ecdf, CoreDecomposition};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let e = coreness_ecdf(&CoreDecomposition::compute(&g));
+/// assert_eq!(e.eval(1.0), 0.25); // one node of coreness 1
+/// assert_eq!(e.eval(2.0), 1.0);
+/// ```
+pub fn coreness_ecdf(decomposition: &CoreDecomposition) -> Ecdf {
+    Ecdf::new(decomposition.coreness_slice().iter().map(|&c| c as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_monotone_and_bounded() {
+        let e = Ecdf::new([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let mut prev = 0.0;
+        for x in -1..11 {
+            let y = e.eval(x as f64);
+            assert!((0.0..=1.0).contains(&y));
+            assert!(y >= prev);
+            prev = y;
+        }
+        assert_eq!(e.eval(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn points_end_at_one() {
+        let e = Ecdf::new([2.0, 2.0, 7.0]);
+        let pts = e.points();
+        assert_eq!(pts, vec![(2.0, 2.0 / 3.0), (7.0, 1.0)]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64));
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.len(), 100);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn coreness_ecdf_of_clique_is_degenerate() {
+        let d = CoreDecomposition::compute(&socnet_gen::complete(5));
+        let e = coreness_ecdf(&d);
+        assert_eq!(e.points(), vec![(4.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = Ecdf::new(std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_samples_panic() {
+        let _ = Ecdf::new([1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Graph degeneracy: k-core decomposition and core-structure profiles.
+//!
+//! Implements the paper's Sec. III-B machinery:
+//!
+//! * [`CoreDecomposition`] — the Batagelj–Žaveršnik `O(m)` bucket
+//!   algorithm assigning every node its **coreness** (the largest `c`
+//!   such that the node survives in the `c`-core), plus the graph's
+//!   **degeneracy** `k_max` and a degeneracy ordering.
+//! * [`core_profiles`] — for every `k`, the size of the union-of-cores
+//!   `G'_k` (the paper's `ν'_k`, `τ'_k`), the size of the largest
+//!   connected `k`-core `G_k` (`ν_k`, `τ_k`), and the **number of
+//!   connected cores** — the quantity Figure 5 uses to separate
+//!   fast-mixing (single large core) from slow-mixing (multiple small
+//!   cores) graphs.
+//! * [`Ecdf`] / [`coreness_ecdf`] — the empirical CDF of coreness values
+//!   plotted in Figure 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use socnet_core::Graph;
+//! use socnet_kcore::CoreDecomposition;
+//!
+//! // A triangle with a pendant node: the triangle is the 2-core.
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+//! let d = CoreDecomposition::compute(&g);
+//! assert_eq!(d.degeneracy(), 2);
+//! assert_eq!(d.coreness_slice(), &[2, 2, 2, 1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cores;
+mod decompose;
+mod ecdf;
+
+pub use cores::{core_profiles, CoreProfile};
+pub use decompose::CoreDecomposition;
+pub use ecdf::{coreness_ecdf, Ecdf};

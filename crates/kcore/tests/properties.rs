@@ -1,0 +1,115 @@
+//! Property-based tests of k-core invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::{induced_subgraph, Graph};
+use socnet_kcore::{core_profiles, coreness_ecdf, CoreDecomposition};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..150).prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn coreness_never_exceeds_degree(g in arb_graph()) {
+        let d = CoreDecomposition::compute(&g);
+        for v in g.nodes() {
+            prop_assert!(d.coreness(v) as usize <= g.degree(v));
+        }
+    }
+
+    #[test]
+    fn coreness_is_supported_by_neighbors(g in arb_graph()) {
+        // Defining property: v has >= coreness(v) neighbors of coreness
+        // >= coreness(v) (v's core contains them).
+        let d = CoreDecomposition::compute(&g);
+        for v in g.nodes() {
+            let c = d.coreness(v);
+            let support = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| d.coreness(u) >= c)
+                .count();
+            prop_assert!(support as u32 >= c, "{v}: coreness {c}, support {support}");
+        }
+    }
+
+    #[test]
+    fn coreness_is_maximal(g in arb_graph()) {
+        // No node could be given coreness c+1: the subgraph induced by
+        // {u : coreness(u) >= c+1} ∪ {v} must leave v with degree <= c
+        // after iterative pruning. A cheaper sound check: within the
+        // *union* graph of nodes with coreness >= c, iteratively peeling
+        // nodes of degree < c must delete nothing.
+        let d = CoreDecomposition::compute(&g);
+        let kmax = d.degeneracy();
+        for k in 1..=kmax {
+            let members = d.core_members(k);
+            let (sub, _) = induced_subgraph(&g, &members);
+            for v in sub.nodes() {
+                prop_assert!(
+                    sub.degree(v) >= k as usize,
+                    "k-core member with degree {} < k = {k}",
+                    sub.degree(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degeneracy_matches_max_coreness(g in arb_graph()) {
+        let d = CoreDecomposition::compute(&g);
+        let max = d.coreness_slice().iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(d.degeneracy(), max);
+    }
+
+    #[test]
+    fn degeneracy_order_is_a_permutation(g in arb_graph()) {
+        let d = CoreDecomposition::compute(&g);
+        let mut order: Vec<_> = d.degeneracy_order().to_vec();
+        order.sort_unstable();
+        prop_assert_eq!(order, g.nodes().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn profiles_are_consistent_with_members(g in arb_graph()) {
+        let d = CoreDecomposition::compute(&g);
+        let profiles = core_profiles(&g, &d);
+        prop_assert_eq!(profiles.len(), d.degeneracy() as usize);
+        for p in &profiles {
+            prop_assert_eq!(p.nodes, d.core_members(p.k).len());
+            prop_assert!(p.largest_nodes <= p.nodes);
+            prop_assert!(p.largest_edges <= p.edges);
+            prop_assert!(p.components >= 1);
+            if p.components == 1 {
+                prop_assert_eq!(p.largest_nodes, p.nodes);
+                prop_assert_eq!(p.largest_edges, p.edges);
+            }
+        }
+    }
+
+    #[test]
+    fn ecdf_of_coreness_is_a_distribution(g in arb_graph()) {
+        let d = CoreDecomposition::compute(&g);
+        let e = coreness_ecdf(&d);
+        prop_assert_eq!(e.len(), g.node_count());
+        prop_assert_eq!(e.eval(d.degeneracy() as f64), 1.0);
+        let hist = d.coreness_histogram();
+        prop_assert_eq!(hist.iter().sum::<usize>(), g.node_count());
+    }
+
+    #[test]
+    fn random_graph_coreness_is_seed_stable(n in 10usize..60, m in 1usize..4, seed in any::<u64>()) {
+        prop_assume!(n > m + 1);
+        let g = socnet_gen::barabasi_albert(n, m, &mut StdRng::seed_from_u64(seed));
+        let a = CoreDecomposition::compute(&g);
+        let b = CoreDecomposition::compute(&g);
+        prop_assert_eq!(&a, &b);
+        // BA graphs: every node has coreness >= m within the connected body.
+        prop_assert!(a.degeneracy() >= m as u32);
+    }
+}

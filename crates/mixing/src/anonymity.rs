@@ -1,0 +1,206 @@
+//! Walk-based anonymity of social graphs.
+//!
+//! The paper's introduction cites Nagaraja's "Anonymity in the wild":
+//! using a social graph as a mix network, where a message's sender is
+//! hidden by relaying it over a `t`-step random walk. The anonymity an
+//! adversary faces when observing the walk's endpoint is exactly a
+//! mixing question: after `t` steps, how spread out is the distribution
+//! over possible endpoints (forward anonymity) — equivalently, by
+//! reversibility, over possible *senders*?
+//!
+//! This module quantifies it with the standard metrics:
+//!
+//! * [`endpoint_entropy`] — Shannon entropy (in bits) of the evolved
+//!   walk distribution `π^{(s)}P^t`;
+//! * [`effective_anonymity_set`] — `2^entropy`, the equivalent number of
+//!   uniformly likely candidates;
+//! * [`AnonymityCurve`] — both as functions of walk length, with the
+//!   graph's ceiling (the stationary distribution's entropy) attached.
+//!
+//! Fast-mixing graphs reach their entropy ceiling in few hops — exactly
+//! the property that makes them good mixes and good Sybil-defense
+//! substrates at once.
+
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, NodeId};
+
+use crate::{stationary_distribution, WalkOperator};
+
+/// Shannon entropy of a probability mass vector, in bits.
+///
+/// Zero-mass entries contribute nothing (the `0·log 0 = 0` convention).
+///
+/// # Examples
+///
+/// ```
+/// use socnet_mixing::entropy_bits;
+///
+/// assert_eq!(entropy_bits(&[1.0, 0.0]), 0.0);
+/// assert!((entropy_bits(&[0.25; 4]) - 2.0).abs() < 1e-12);
+/// ```
+pub fn entropy_bits(mass: &[f64]) -> f64 {
+    mass.iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.log2())
+        .sum()
+}
+
+/// Entropy (bits) of the walk's endpoint distribution after `t` steps
+/// from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::NodeId;
+/// use socnet_gen::complete;
+/// use socnet_mixing::endpoint_entropy;
+///
+/// // One step on K17 spreads over the 16 other nodes: 4 bits.
+/// let g = complete(17);
+/// let h = endpoint_entropy(&g, NodeId(0), 1);
+/// assert!((h - 4.0).abs() < 1e-12);
+/// ```
+pub fn endpoint_entropy(graph: &Graph, source: NodeId, t: usize) -> f64 {
+    graph.check_node(source).expect("source in range");
+    let n = graph.node_count();
+    let op = WalkOperator::new(graph);
+    let mut x = vec![0.0; n];
+    x[source.index()] = 1.0;
+    let mut scratch = vec![0.0; n];
+    op.evolve(&mut x, &mut scratch, t);
+    entropy_bits(&x)
+}
+
+/// The effective anonymity-set size `2^H` after `t` steps — the number
+/// of equally likely candidates an observer cannot distinguish among.
+pub fn effective_anonymity_set(graph: &Graph, source: NodeId, t: usize) -> f64 {
+    endpoint_entropy(graph, source, t).exp2()
+}
+
+/// Entropy and anonymity-set curves over walk lengths, with the graph's
+/// stationary ceiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnonymityCurve {
+    /// `entropy[t]` is the endpoint entropy (bits) after `t + 1` steps.
+    pub entropy: Vec<f64>,
+    /// The stationary distribution's entropy — the *limiting* entropy of
+    /// long walks. On non-regular graphs a transient distribution can
+    /// briefly exceed it (the degree-weighted π is not the max-entropy
+    /// distribution), so treat it as the asymptote, not a hard bound.
+    pub ceiling: f64,
+    /// The walk source the curve was measured from.
+    pub source: NodeId,
+}
+
+impl AnonymityCurve {
+    /// Measures the curve for `source` over `1..=max_walk` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range, `max_walk == 0`, or the graph
+    /// has no edges.
+    pub fn measure(graph: &Graph, source: NodeId, max_walk: usize) -> Self {
+        graph.check_node(source).expect("source in range");
+        assert!(max_walk > 0, "need at least one step");
+        let pi = stationary_distribution(graph);
+        let ceiling = entropy_bits(pi.as_slice());
+        let n = graph.node_count();
+        let op = WalkOperator::new(graph);
+        let mut x = vec![0.0; n];
+        x[source.index()] = 1.0;
+        let mut scratch = vec![0.0; n];
+        let mut entropy = Vec::with_capacity(max_walk);
+        for _ in 0..max_walk {
+            op.step(&x, &mut scratch);
+            std::mem::swap(&mut x, &mut scratch);
+            entropy.push(entropy_bits(&x));
+        }
+        AnonymityCurve { entropy, ceiling, source }
+    }
+
+    /// The effective anonymity set `2^H` per walk length.
+    pub fn anonymity_sets(&self) -> Vec<f64> {
+        self.entropy.iter().map(|h| h.exp2()).collect()
+    }
+
+    /// First walk length reaching at least `fraction` of the ceiling,
+    /// if any within the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn steps_to_fraction(&self, fraction: f64) -> Option<usize> {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction {fraction} out of (0, 1]");
+        let target = fraction * self.ceiling;
+        self.entropy.iter().position(|&h| h >= target).map(|t| t + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{barbell, complete, ring};
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy_bits(&[]), 0.0);
+        assert_eq!(entropy_bits(&[1.0]), 0.0);
+        assert!((entropy_bits(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+        // Skewed is less entropic than uniform.
+        assert!(entropy_bits(&[0.9, 0.1]) < 1.0);
+    }
+
+    #[test]
+    fn zero_steps_reveal_the_source() {
+        let g = ring(10);
+        assert_eq!(endpoint_entropy(&g, NodeId(0), 0), 0.0);
+        assert_eq!(effective_anonymity_set(&g, NodeId(0), 0), 1.0);
+    }
+
+    #[test]
+    fn anonymity_grows_toward_the_ceiling() {
+        let g = complete(32);
+        let curve = AnonymityCurve::measure(&g, NodeId(3), 10);
+        // Non-decreasing here (lazy-free complete graph still smooths fast)
+        // and within the ceiling at the end.
+        assert!(curve.entropy[9] <= curve.ceiling + 1e-9);
+        assert!(curve.entropy[9] > 0.99 * curve.ceiling);
+        assert_eq!(curve.steps_to_fraction(0.95), Some(1));
+        let sets = curve.anonymity_sets();
+        assert!(sets[9] > 30.0, "anonymity set {:.1}", sets[9]);
+    }
+
+    #[test]
+    fn bottleneck_graphs_anonymize_slowly() {
+        let fast = complete(12);
+        let slow = barbell(6, 0);
+        let cf = AnonymityCurve::measure(&fast, NodeId(0), 8);
+        let cs = AnonymityCurve::measure(&slow, NodeId(0), 8);
+        let frac_fast = cf.entropy[7] / cf.ceiling;
+        let frac_slow = cs.entropy[7] / cs.ceiling;
+        assert!(
+            frac_fast > frac_slow,
+            "fast {frac_fast:.3} should beat slow {frac_slow:.3}"
+        );
+    }
+
+    #[test]
+    fn ceiling_is_stationary_entropy() {
+        let g = ring(16); // regular: stationary uniform, ceiling = 4 bits
+        let curve = AnonymityCurve::measure(&g, NodeId(0), 3);
+        assert!((curve.ceiling - 4.0).abs() < 1e-12);
+        assert_eq!(curve.source, NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn bad_fraction_panics() {
+        let g = ring(5);
+        let curve = AnonymityCurve::measure(&g, NodeId(0), 2);
+        let _ = curve.steps_to_fraction(0.0);
+    }
+}

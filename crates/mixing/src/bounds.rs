@@ -1,0 +1,128 @@
+//! Sinclair's eigenvalue bounds on the mixing time.
+//!
+//! For an ergodic reversible chain with second largest eigenvalue modulus
+//! `μ` on `n` states (Sinclair 1992, as used in the paper's Sec. III-C):
+//!
+//! ```text
+//!   μ/(2(1−μ)) · ln(1/2ε)  ≤  T(ε)  ≤  (ln n + ln(1/ε)) / (1−μ)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// The pair of Sinclair bounds for one `(μ, n, ε)` triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixingBounds {
+    /// Lower bound on `T(ε)` in walk steps.
+    pub lower: f64,
+    /// Upper bound on `T(ε)` in walk steps.
+    pub upper: f64,
+}
+
+/// Sinclair lower bound `μ/(2(1−μ)) · ln(1/2ε)`.
+///
+/// # Panics
+///
+/// Panics if `mu` is outside `[0, 1)` or `epsilon` outside `(0, 0.5)`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_mixing::sinclair_lower;
+///
+/// let slow = sinclair_lower(0.999, 0.01);
+/// let fast = sinclair_lower(0.90, 0.01);
+/// assert!(slow > 100.0 * fast / 2.0);
+/// ```
+pub fn sinclair_lower(mu: f64, epsilon: f64) -> f64 {
+    check_args(mu, epsilon);
+    mu / (2.0 * (1.0 - mu)) * (1.0 / (2.0 * epsilon)).ln()
+}
+
+/// Sinclair upper bound `(ln n + ln(1/ε)) / (1−μ)`.
+///
+/// # Panics
+///
+/// Panics if `mu` is outside `[0, 1)`, `epsilon` outside `(0, 0.5)`, or
+/// `n == 0`.
+pub fn sinclair_upper(mu: f64, n: usize, epsilon: f64) -> f64 {
+    check_args(mu, epsilon);
+    assert!(n > 0, "state space must be non-empty");
+    ((n as f64).ln() + (1.0 / epsilon).ln()) / (1.0 - mu)
+}
+
+/// Both Sinclair bounds at once.
+///
+/// # Panics
+///
+/// As [`sinclair_lower`] and [`sinclair_upper`].
+///
+/// # Examples
+///
+/// ```
+/// use socnet_mixing::sinclair_bounds;
+///
+/// let b = sinclair_bounds(0.99, 10_000, 0.001);
+/// assert!(b.lower <= b.upper);
+/// ```
+pub fn sinclair_bounds(mu: f64, n: usize, epsilon: f64) -> MixingBounds {
+    MixingBounds { lower: sinclair_lower(mu, epsilon), upper: sinclair_upper(mu, n, epsilon) }
+}
+
+fn check_args(mu: f64, epsilon: f64) {
+    assert!((0.0..1.0).contains(&mu), "mu {mu} out of [0, 1)");
+    assert!(
+        epsilon > 0.0 && epsilon < 0.5,
+        "epsilon {epsilon} out of (0, 0.5): the lower bound needs ln(1/2ε) > 0"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_order() {
+        for mu in [0.1, 0.5, 0.9, 0.99, 0.9999] {
+            for n in [10usize, 1000, 1_000_000] {
+                for eps in [0.01, 0.25, 1.0 / n as f64] {
+                    let b = sinclair_bounds(mu, n, eps);
+                    assert!(b.lower <= b.upper, "mu={mu} n={n} eps={eps}: {b:?}");
+                    assert!(b.lower >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_gap_means_longer_mixing() {
+        let fast = sinclair_bounds(0.9, 1000, 0.01);
+        let slow = sinclair_bounds(0.999, 1000, 0.01);
+        assert!(slow.lower > fast.lower);
+        assert!(slow.upper > fast.upper);
+    }
+
+    #[test]
+    fn fast_mixing_definition_matches_log_n() {
+        // ε = Θ(1/n) and small μ ⇒ upper bound O(log n).
+        let n = 1_000_000usize;
+        let upper = sinclair_upper(0.5, n, 1.0 / n as f64);
+        assert!(upper < 60.0, "O(log n) mixing, got {upper}");
+    }
+
+    #[test]
+    fn zero_mu_lower_bound_is_zero() {
+        assert_eq!(sinclair_lower(0.0, 0.01), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1)")]
+    fn mu_one_rejected() {
+        let _ = sinclair_lower(1.0, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 0.5)")]
+    fn epsilon_half_rejected() {
+        let _ = sinclair_lower(0.5, 0.5);
+    }
+}

@@ -1,0 +1,229 @@
+use socnet_core::{Graph, NodeId};
+
+/// A probability distribution over the nodes of a graph.
+///
+/// Thin, validated wrapper around a dense `Vec<f64>`; index `i` is the
+/// probability mass on `NodeId(i)`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::NodeId;
+/// use socnet_mixing::Distribution;
+///
+/// let d = Distribution::point_mass(4, NodeId(2));
+/// assert_eq!(d.mass(NodeId(2)), 1.0);
+/// assert_eq!(d.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    mass: Vec<f64>,
+}
+
+impl Distribution {
+    /// The distribution concentrated on `v` — the `π^{(i)}` of Eq. (2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= n`.
+    pub fn point_mass(n: usize, v: NodeId) -> Self {
+        assert!(v.index() < n, "node {v} out of range for {n} nodes");
+        let mut mass = vec![0.0; n];
+        mass[v.index()] = 1.0;
+        Distribution { mass }
+    }
+
+    /// The uniform distribution over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "uniform distribution needs at least one node");
+        Distribution { mass: vec![1.0 / n as f64; n] }
+    }
+
+    /// Wraps a raw mass vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is empty, contains negative or non-finite
+    /// entries, or does not sum to 1 within `1e-9`.
+    pub fn from_vec(mass: Vec<f64>) -> Self {
+        assert!(!mass.is_empty(), "distribution must be non-empty");
+        assert!(
+            mass.iter().all(|&p| p.is_finite() && p >= 0.0),
+            "probabilities must be finite and non-negative"
+        );
+        let total: f64 = mass.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass sums to {total}, expected 1");
+        Distribution { mass }
+    }
+
+    /// Number of nodes the distribution ranges over.
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Whether the support is empty (never true for a valid distribution).
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    /// Probability mass on `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn mass(&self, v: NodeId) -> f64 {
+        self.mass[v.index()]
+    }
+
+    /// Borrow of the raw mass vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Consumes the wrapper, returning the raw mass vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.mass
+    }
+
+    /// Total variation distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn tvd(&self, other: &Distribution) -> f64 {
+        total_variation(&self.mass, &other.mass)
+    }
+}
+
+/// Total variation distance `½·Σ|p_i − q_i|` between two mass vectors.
+///
+/// This is the `‖·‖` of the paper's Eq. (2), with the standard ½
+/// normalization so the distance lies in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_mixing::total_variation;
+///
+/// assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+/// assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+/// ```
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal length");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// The stationary distribution `π` of the simple random walk on `graph`:
+/// `π(v) = deg(v) / 2m`.
+///
+/// Nodes of degree 0 correctly receive zero mass; for the walk to actually
+/// converge to `π` the graph must be connected and non-bipartite, which
+/// callers measuring mixing should ensure (the dataset registry already
+/// extracts largest components).
+///
+/// # Panics
+///
+/// Panics if the graph has no edges (the walk is undefined).
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{Graph, NodeId};
+/// use socnet_mixing::stationary_distribution;
+///
+/// let star = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+/// let pi = stationary_distribution(&star);
+/// assert!((pi.mass(NodeId(0)) - 0.5).abs() < 1e-12);
+/// ```
+pub fn stationary_distribution(graph: &Graph) -> Distribution {
+    assert!(graph.edge_count() > 0, "stationary distribution undefined without edges");
+    let two_m = graph.degree_sum() as f64;
+    let mass = graph.nodes().map(|v| graph.degree(v) as f64 / two_m).collect();
+    Distribution { mass }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_core::Graph;
+
+    #[test]
+    fn point_mass_is_valid() {
+        let d = Distribution::point_mass(5, NodeId(3));
+        assert_eq!(d.as_slice(), &[0.0, 0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(d.len(), 5);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let d = Distribution::uniform(8);
+        assert!((d.as_slice().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(d.mass(NodeId(0)), 0.125);
+    }
+
+    #[test]
+    fn tvd_properties() {
+        let a = Distribution::point_mass(3, NodeId(0));
+        let b = Distribution::point_mass(3, NodeId(2));
+        let u = Distribution::uniform(3);
+        assert_eq!(a.tvd(&a), 0.0);
+        assert_eq!(a.tvd(&b), 1.0);
+        assert_eq!(a.tvd(&b), b.tvd(&a));
+        // Triangle inequality.
+        assert!(a.tvd(&b) <= a.tvd(&u) + u.tvd(&b) + 1e-12);
+    }
+
+    #[test]
+    fn stationary_is_degree_proportional() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 1)]);
+        let pi = stationary_distribution(&g);
+        // degrees: 1, 3, 2, 2; 2m = 8.
+        assert_eq!(pi.as_slice(), &[0.125, 0.375, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn stationary_handles_isolated_nodes() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let pi = stationary_distribution(&g);
+        assert_eq!(pi.mass(NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        let d = Distribution::from_vec(vec![0.25, 0.75]);
+        assert_eq!(d.into_vec(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1")]
+    fn from_vec_rejects_unnormalized() {
+        let _ = Distribution::from_vec(vec![0.3, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_vec_rejects_negative() {
+        let _ = Distribution::from_vec(vec![1.5, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without edges")]
+    fn stationary_requires_edges() {
+        let _ = stationary_distribution(&Graph::from_edges(3, []));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn tvd_length_mismatch_panics() {
+        let _ = total_variation(&[1.0], &[0.5, 0.5]);
+    }
+}

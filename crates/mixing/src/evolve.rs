@@ -1,0 +1,204 @@
+use socnet_core::Graph;
+
+/// The random-walk transition operator `P = D⁻¹A` of a graph, applied to
+/// dense distributions.
+///
+/// This is the inner loop of the sampling method: one [`step`](WalkOperator::step) computes
+/// `x ← xP` in `O(n + m)` using the CSR adjacency directly — no matrix is
+/// materialized. An optional laziness parameter evaluates the lazy walk
+/// `(1−α)·xP + α·x`, which is guaranteed aperiodic for `α > 0`.
+///
+/// Mass on isolated (degree-0) nodes stays in place, matching the
+/// convention that the walk is undefined there.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{Graph, NodeId};
+/// use socnet_mixing::{Distribution, WalkOperator};
+///
+/// let path = Graph::from_edges(3, [(0, 1), (1, 2)]);
+/// let op = WalkOperator::new(&path);
+/// let x = Distribution::point_mass(3, NodeId(1)).into_vec();
+/// let mut y = vec![0.0; 3];
+/// op.step(&x, &mut y);
+/// assert_eq!(y, vec![0.5, 0.0, 0.5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WalkOperator<'g> {
+    graph: &'g Graph,
+    /// `1 / deg(v)`, or 0 for isolated nodes.
+    inv_degree: Vec<f64>,
+    /// Self-loop weight `α` of the lazy walk; 0 for the simple walk.
+    laziness: f64,
+}
+
+impl<'g> WalkOperator<'g> {
+    /// Operator for the simple (non-lazy) random walk, the paper's `P`.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self::with_laziness(graph, 0.0)
+    }
+
+    /// Operator for the lazy walk: stay put with probability `laziness`,
+    /// otherwise take a simple-walk step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `laziness` is outside `[0, 1)`.
+    pub fn with_laziness(graph: &'g Graph, laziness: f64) -> Self {
+        assert!((0.0..1.0).contains(&laziness), "laziness {laziness} out of [0, 1)");
+        let inv_degree = graph
+            .nodes()
+            .map(|v| {
+                let d = graph.degree(v);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / d as f64
+                }
+            })
+            .collect();
+        WalkOperator { graph, inv_degree, laziness }
+    }
+
+    /// The graph this operator walks on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The lazy self-loop probability `α`.
+    pub fn laziness(&self) -> f64 {
+        self.laziness
+    }
+
+    /// Computes one transition: `dst = (1−α)·src P + α·src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the graph's node count.
+    pub fn step(&self, src: &[f64], dst: &mut [f64]) {
+        let n = self.graph.node_count();
+        assert_eq!(src.len(), n, "src length mismatch");
+        assert_eq!(dst.len(), n, "dst length mismatch");
+        let keep = self.laziness;
+        let move_frac = 1.0 - keep;
+        dst.fill(0.0);
+        for u in self.graph.nodes() {
+            let p = src[u.index()];
+            if p == 0.0 {
+                continue;
+            }
+            let inv_d = self.inv_degree[u.index()];
+            if inv_d == 0.0 {
+                // Isolated node: all mass stays.
+                dst[u.index()] += p;
+                continue;
+            }
+            if keep > 0.0 {
+                dst[u.index()] += keep * p;
+            }
+            let share = move_frac * p * inv_d;
+            for &v in self.graph.neighbors(u) {
+                dst[v.index()] += share;
+            }
+        }
+    }
+
+    /// Evolves `x` in place for `steps` transitions, using `scratch` as
+    /// the ping-pong buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the graph's node count.
+    pub fn evolve(&self, x: &mut Vec<f64>, scratch: &mut Vec<f64>, steps: usize) {
+        for _ in 0..steps {
+            self.step(x, scratch);
+            std::mem::swap(x, scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{stationary_distribution, total_variation, Distribution};
+    use socnet_core::NodeId;
+    use socnet_gen::{complete, ring};
+
+    #[test]
+    fn step_conserves_mass() {
+        let g = complete(10);
+        let op = WalkOperator::new(&g);
+        let x = Distribution::uniform(10).into_vec();
+        let mut y = vec![0.0; 10];
+        op.step(&x, &mut y);
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_is_fixed_point() {
+        let g = socnet_core::Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let pi = stationary_distribution(&g);
+        let op = WalkOperator::new(&g);
+        let mut y = vec![0.0; 5];
+        op.step(pi.as_slice(), &mut y);
+        assert!(total_variation(pi.as_slice(), &y) < 1e-12, "πP = π");
+    }
+
+    #[test]
+    fn lazy_stationary_is_also_fixed() {
+        let g = ring(6);
+        let pi = stationary_distribution(&g);
+        let op = WalkOperator::with_laziness(&g, 0.5);
+        let mut y = vec![0.0; 6];
+        op.step(pi.as_slice(), &mut y);
+        assert!(total_variation(pi.as_slice(), &y) < 1e-12);
+    }
+
+    #[test]
+    fn bipartite_walk_oscillates_but_lazy_converges() {
+        // Even ring is bipartite: the simple walk never converges.
+        let g = ring(4);
+        let pi = stationary_distribution(&g);
+        let simple = WalkOperator::new(&g);
+        let mut x = Distribution::point_mass(4, NodeId(0)).into_vec();
+        let mut scratch = vec![0.0; 4];
+        simple.evolve(&mut x, &mut scratch, 101);
+        assert!(total_variation(&x, pi.as_slice()) > 0.4, "parity trap");
+
+        let lazy = WalkOperator::with_laziness(&g, 0.5);
+        let mut x = Distribution::point_mass(4, NodeId(0)).into_vec();
+        lazy.evolve(&mut x, &mut scratch, 100);
+        assert!(total_variation(&x, pi.as_slice()) < 1e-6, "lazy walk mixes");
+    }
+
+    #[test]
+    fn isolated_nodes_trap_mass() {
+        let g = socnet_core::Graph::from_edges(3, [(0, 1)]);
+        let op = WalkOperator::new(&g);
+        let x = Distribution::point_mass(3, NodeId(2)).into_vec();
+        let mut y = vec![0.0; 3];
+        op.step(&x, &mut y);
+        assert_eq!(y[2], 1.0);
+    }
+
+    #[test]
+    fn complete_graph_mixes_in_one_step() {
+        let g = complete(50);
+        let pi = stationary_distribution(&g);
+        let op = WalkOperator::new(&g);
+        let x = Distribution::point_mass(50, NodeId(7)).into_vec();
+        let mut y = vec![0.0; 50];
+        op.step(&x, &mut y);
+        // After one step the walk is uniform over the other 49 nodes;
+        // TVD to π is 1/50.
+        assert!(total_variation(&y, pi.as_slice()) - 0.02 < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1)")]
+    fn full_laziness_rejected() {
+        let g = ring(3);
+        let _ = WalkOperator::with_laziness(&g, 1.0);
+    }
+}

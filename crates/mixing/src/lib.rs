@@ -1,0 +1,49 @@
+//! Mixing-time measurement for random walks on social graphs.
+//!
+//! Implements both measurement methods of the paper (Sec. III-C):
+//!
+//! 1. **The sampling method** — pick random walk sources, evolve each
+//!    source's point-mass distribution through the walk operator
+//!    `P = D⁻¹A`, and record the total variation distance to the
+//!    stationary distribution `π` after every step
+//!    ([`MixingMeasurement`]). The per-source curves are exactly the
+//!    series plotted in the paper's Figure 1, and their maximum over
+//!    sources instantiates the `max_i` of Eq. (2).
+//! 2. **The spectral method** — compute the second largest eigenvalue
+//!    modulus `μ` of `P` ([`slem`], [`Spectrum`]) and bound the mixing
+//!    time with the Sinclair inequalities ([`sinclair_bounds`]):
+//!    `μ/(2(1−μ))·log(1/2ε) ≤ T(ε) ≤ (log n + log(1/ε))/(1−μ)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use socnet_gen::complete;
+//! use socnet_mixing::{MixingConfig, MixingMeasurement};
+//!
+//! // The complete graph mixes essentially in one step.
+//! let g = complete(64);
+//! let cfg = MixingConfig { sources: 8, max_walk: 4, ..Default::default() };
+//! let m = MixingMeasurement::measure(&g, &cfg);
+//! assert!(m.mixing_time(0.05).unwrap() <= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anonymity;
+mod bounds;
+mod distribution;
+mod evolve;
+mod mixing;
+mod modulated;
+mod spectral;
+mod walk;
+
+pub use anonymity::{effective_anonymity_set, endpoint_entropy, entropy_bits, AnonymityCurve};
+pub use bounds::{sinclair_bounds, sinclair_lower, sinclair_upper, MixingBounds};
+pub use distribution::{stationary_distribution, total_variation, Distribution};
+pub use evolve::WalkOperator;
+pub use mixing::{MixingConfig, MixingMeasurement, SourceCurve};
+pub use modulated::{ModulatedOperator, TrustModulation};
+pub use spectral::{slem, SpectralConfig, Spectrum};
+pub use walk::{sample_walk, walk_endpoint, walk_endpoints};

@@ -1,0 +1,289 @@
+//! The sampling method for measuring mixing time (the paper's Eq. 2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use socnet_core::{sample_nodes, Graph, NodeId};
+
+use crate::{stationary_distribution, total_variation, Distribution, WalkOperator};
+
+/// Parameters of a sampling-method mixing measurement.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_mixing::MixingConfig;
+///
+/// let cfg = MixingConfig { sources: 100, max_walk: 300, ..Default::default() };
+/// assert_eq!(cfg.laziness, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixingConfig {
+    /// Number of uniformly sampled walk sources (the paper uses 1000).
+    pub sources: usize,
+    /// Longest walk length `t` to evaluate.
+    pub max_walk: usize,
+    /// Lazy self-loop probability; 0 gives the paper's simple walk.
+    pub laziness: f64,
+    /// RNG seed for source sampling.
+    pub seed: u64,
+}
+
+impl Default for MixingConfig {
+    fn default() -> Self {
+        MixingConfig { sources: 100, max_walk: 200, laziness: 0.0, seed: 0x50c7e7 }
+    }
+}
+
+/// The total-variation trajectory of one walk source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceCurve {
+    /// The walk's starting node.
+    pub source: NodeId,
+    /// `tvd[t]` is `‖π^{(i)}P^t − π‖` for `t = 1..=max_walk`
+    /// (index 0 holds `t = 1`).
+    pub tvd: Vec<f64>,
+}
+
+impl SourceCurve {
+    /// First walk length whose TVD drops below `epsilon`, i.e. this
+    /// source's `T(ε)`.
+    pub fn mixing_time(&self, epsilon: f64) -> Option<usize> {
+        self.tvd.iter().position(|&d| d < epsilon).map(|t| t + 1)
+    }
+}
+
+/// The result of a sampling-method measurement: one TVD curve per source.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_gen::ring;
+/// use socnet_mixing::{MixingConfig, MixingMeasurement};
+///
+/// let g = ring(31); // odd ring: aperiodic but slow
+/// let cfg = MixingConfig { sources: 5, max_walk: 50, ..Default::default() };
+/// let m = MixingMeasurement::measure(&g, &cfg);
+/// assert_eq!(m.curves.len(), 5);
+/// // Slow graph: far from stationary after 50 steps.
+/// assert!(m.max_curve()[49] > 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixingMeasurement {
+    /// Per-source trajectories, in source-id order.
+    pub curves: Vec<SourceCurve>,
+    /// The walk length the measurement covered.
+    pub max_walk: usize,
+}
+
+impl MixingMeasurement {
+    /// Runs the sampling method on `graph`.
+    ///
+    /// Sources are sampled uniformly without replacement; each source's
+    /// point-mass distribution is evolved `max_walk` steps and compared to
+    /// the stationary distribution after every step. Sources are processed
+    /// in parallel across available cores.
+    ///
+    /// The graph should be connected and non-bipartite for `π` to be the
+    /// walk's limit (use the largest component, as the paper does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges or `sources == 0`.
+    pub fn measure(graph: &Graph, config: &MixingConfig) -> Self {
+        assert!(config.sources > 0, "need at least one source");
+        let pi = stationary_distribution(graph);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let sources = sample_nodes(graph, config.sources, &mut rng);
+        let curves = Self::curves_for_sources(graph, &pi, &sources, config);
+        MixingMeasurement { curves, max_walk: config.max_walk }
+    }
+
+    /// Runs the sampling method from an explicit source list (useful for
+    /// measuring the worst-known sources or reproducing a figure exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges, `sources` is empty, or any source
+    /// is out of range.
+    pub fn measure_from(graph: &Graph, sources: &[NodeId], config: &MixingConfig) -> Self {
+        assert!(!sources.is_empty(), "need at least one source");
+        let pi = stationary_distribution(graph);
+        let curves = Self::curves_for_sources(graph, &pi, sources, config);
+        MixingMeasurement { curves, max_walk: config.max_walk }
+    }
+
+    fn curves_for_sources(
+        graph: &Graph,
+        pi: &Distribution,
+        sources: &[NodeId],
+        config: &MixingConfig,
+    ) -> Vec<SourceCurve> {
+        let op = WalkOperator::with_laziness(graph, config.laziness);
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let chunk = sources.len().div_ceil(threads);
+        let mut curves: Vec<Option<SourceCurve>> = vec![None; sources.len()];
+
+        crossbeam::thread::scope(|scope| {
+            for (slot_chunk, src_chunk) in curves.chunks_mut(chunk).zip(sources.chunks(chunk)) {
+                let op = &op;
+                let pi = pi.as_slice();
+                scope.spawn(move |_| {
+                    let n = op.graph().node_count();
+                    let mut x = vec![0.0f64; n];
+                    let mut scratch = vec![0.0f64; n];
+                    for (slot, &source) in slot_chunk.iter_mut().zip(src_chunk) {
+                        x.fill(0.0);
+                        x[source.index()] = 1.0;
+                        let mut tvd = Vec::with_capacity(config.max_walk);
+                        for _ in 0..config.max_walk {
+                            op.step(&x, &mut scratch);
+                            std::mem::swap(&mut x, &mut scratch);
+                            tvd.push(total_variation(&x, pi));
+                        }
+                        *slot = Some(SourceCurve { source, tvd });
+                    }
+                });
+            }
+        })
+        .expect("mixing worker panicked");
+
+        curves.into_iter().map(|c| c.expect("every slot filled")).collect()
+    }
+
+    /// The worst (maximum) TVD over all sources at each walk length —
+    /// the `max_i` of the paper's Eq. (2).
+    pub fn max_curve(&self) -> Vec<f64> {
+        self.fold_curve(f64::max)
+    }
+
+    /// The mean TVD over sources at each walk length; the quantity the
+    /// paper's Figure 1 plots for sampled sources.
+    pub fn mean_curve(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.max_walk];
+        for c in &self.curves {
+            for (a, &d) in acc.iter_mut().zip(&c.tvd) {
+                *a += d;
+            }
+        }
+        let k = self.curves.len() as f64;
+        acc.iter_mut().for_each(|a| *a /= k);
+        acc
+    }
+
+    /// The best (minimum) TVD over sources at each walk length.
+    pub fn min_curve(&self) -> Vec<f64> {
+        self.fold_curve(f64::min)
+    }
+
+    fn fold_curve(&self, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        let mut out = self.curves[0].tvd.clone();
+        for c in &self.curves[1..] {
+            for (o, &d) in out.iter_mut().zip(&c.tvd) {
+                *o = f(*o, d);
+            }
+        }
+        out
+    }
+
+    /// The sampled-source estimate of `T(ε)`: the first walk length at
+    /// which *every* sampled source is within `epsilon` of stationarity.
+    ///
+    /// Returns `None` if that never happens within `max_walk` steps.
+    pub fn mixing_time(&self, epsilon: f64) -> Option<usize> {
+        self.max_curve().iter().position(|&d| d < epsilon).map(|t| t + 1)
+    }
+
+    /// Per-source mixing times `T_i(ε)`, exposing the distribution of
+    /// mixing across sources that the paper highlights.
+    pub fn per_source_mixing_times(&self, epsilon: f64) -> Vec<Option<usize>> {
+        self.curves.iter().map(|c| c.mixing_time(epsilon)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{barbell, complete};
+
+    #[test]
+    fn curves_are_monotone_decreasing_for_lazy_walks() {
+        let g = barbell(6, 0);
+        let cfg = MixingConfig { sources: 4, max_walk: 60, laziness: 0.5, seed: 1 };
+        let m = MixingMeasurement::measure(&g, &cfg);
+        for c in &m.curves {
+            for w in c.tvd.windows(2) {
+                assert!(w[1] <= w[0] + 1e-12, "lazy TVD must not increase");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_mixes_immediately() {
+        let g = complete(40);
+        let cfg = MixingConfig { sources: 10, max_walk: 5, ..Default::default() };
+        let m = MixingMeasurement::measure(&g, &cfg);
+        assert!(m.mixing_time(0.05).expect("mixes") <= 2);
+    }
+
+    #[test]
+    fn barbell_mixes_slower_than_complete() {
+        let fast = complete(12);
+        let slow = barbell(6, 0);
+        let cfg = MixingConfig { sources: 12, max_walk: 40, laziness: 0.5, seed: 3 };
+        let mf = MixingMeasurement::measure(&fast, &cfg);
+        let ms = MixingMeasurement::measure(&slow, &cfg);
+        let (tf, ts) = (mf.mean_curve()[20], ms.mean_curve()[20]);
+        assert!(ts > 3.0 * tf, "barbell {ts} should lag complete {tf}");
+    }
+
+    #[test]
+    fn explicit_sources_are_respected() {
+        let g = complete(10);
+        let cfg = MixingConfig { max_walk: 3, ..Default::default() };
+        let m = MixingMeasurement::measure_from(&g, &[NodeId(2), NodeId(7)], &cfg);
+        assert_eq!(m.curves.len(), 2);
+        assert_eq!(m.curves[0].source, NodeId(2));
+        assert_eq!(m.curves[1].source, NodeId(7));
+    }
+
+    #[test]
+    fn aggregates_bound_each_other() {
+        let g = barbell(5, 2);
+        let cfg = MixingConfig { sources: 8, max_walk: 30, laziness: 0.5, seed: 9 };
+        let m = MixingMeasurement::measure(&g, &cfg);
+        let (lo, mid, hi) = (m.min_curve(), m.mean_curve(), m.max_curve());
+        for t in 0..30 {
+            assert!(lo[t] <= mid[t] + 1e-12);
+            assert!(mid[t] <= hi[t] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let g = barbell(4, 1);
+        let cfg = MixingConfig { sources: 5, max_walk: 10, laziness: 0.0, seed: 11 };
+        let a = MixingMeasurement::measure(&g, &cfg);
+        let b = MixingMeasurement::measure(&g, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_source_times_match_curves() {
+        let g = complete(20);
+        let cfg = MixingConfig { sources: 6, max_walk: 8, ..Default::default() };
+        let m = MixingMeasurement::measure(&g, &cfg);
+        let times = m.per_source_mixing_times(0.05);
+        assert_eq!(times.len(), 6);
+        let worst = times.iter().map(|t| t.expect("mixes")).max().expect("nonempty");
+        assert_eq!(Some(worst), m.mixing_time(0.05));
+    }
+
+    #[test]
+    fn never_mixing_within_horizon_reports_none() {
+        let g = barbell(8, 4);
+        let cfg = MixingConfig { sources: 4, max_walk: 3, laziness: 0.5, seed: 2 };
+        let m = MixingMeasurement::measure(&g, &cfg);
+        assert_eq!(m.mixing_time(1e-6), None);
+    }
+}

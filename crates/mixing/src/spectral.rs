@@ -1,0 +1,295 @@
+//! Spectral estimation of the second largest eigenvalue modulus (SLEM).
+//!
+//! The transition matrix `P = D⁻¹A` is similar to the symmetric matrix
+//! `S = D^{-1/2} A D^{-1/2}` (via `S = D^{1/2} P D^{-1/2}`), so their
+//! spectra coincide and lie in `[-1, 1]`. The principal eigenvector of `S`
+//! is known in closed form, `φ(v) = √deg(v)`, which lets us deflate it and
+//! find the second eigenvalue with plain power iteration — no external
+//! eigensolver required:
+//!
+//! * `λ₂` (largest non-principal eigenvalue) from power iteration on the
+//!   positive-shifted operator `(S + I)/2` with `φ` deflated;
+//! * `λ_min` (smallest eigenvalue) from power iteration on `(I − S)/2`,
+//!   where `φ` already has eigenvalue 0 and needs no deflation;
+//! * `μ = max(λ₂, |λ_min|)`, the paper's second largest eigenvalue
+//!   modulus.
+
+use serde::{Deserialize, Serialize};
+use socnet_core::Graph;
+
+/// Convergence controls for [`slem`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpectralConfig {
+    /// Stop when the eigenvalue estimate moves less than this between
+    /// iterations.
+    pub tolerance: f64,
+    /// Hard iteration cap (power iteration on near-1 spectral gaps is
+    /// slow; the cap keeps worst cases bounded).
+    pub max_iterations: usize,
+    /// Seed for the random starting vector.
+    pub seed: u64,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        SpectralConfig { tolerance: 1e-10, max_iterations: 20_000, seed: 0xe16e }
+    }
+}
+
+/// The spectral measurements backing a Table-I row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spectrum {
+    /// Second largest (signed) eigenvalue of `P`.
+    pub lambda2: f64,
+    /// Smallest eigenvalue of `P` (at −1 exactly when bipartite).
+    pub lambda_min: f64,
+    /// Power-iteration steps spent on the two estimates combined.
+    pub iterations: usize,
+}
+
+impl Spectrum {
+    /// The second largest eigenvalue modulus `μ = max(λ₂, |λ_min|)`.
+    pub fn slem(&self) -> f64 {
+        self.lambda2.max(self.lambda_min.abs())
+    }
+
+    /// The spectral gap `1 − μ` that all mixing bounds are driven by.
+    pub fn gap(&self) -> f64 {
+        1.0 - self.slem()
+    }
+}
+
+/// Estimates `λ₂` and `λ_min` of the walk matrix of `graph`.
+///
+/// The graph should be connected; on a disconnected graph the "second"
+/// eigenvalue is 1 (one per extra component) and the estimate will
+/// correctly approach 1 but mixes the components' spectra.
+///
+/// # Panics
+///
+/// Panics if the graph has no edges.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_gen::complete;
+/// use socnet_mixing::{slem, SpectralConfig};
+///
+/// // K_n has λ₂ = λ_min = −1/(n−1).
+/// let g = complete(11);
+/// let s = slem(&g, &SpectralConfig::default());
+/// assert!((s.lambda2 - (-0.1)).abs() < 1e-6);
+/// assert!((s.slem() - 0.1).abs() < 1e-6);
+/// ```
+pub fn slem(graph: &Graph, config: &SpectralConfig) -> Spectrum {
+    assert!(graph.edge_count() > 0, "spectrum undefined without edges");
+    let n = graph.node_count();
+
+    // Inverse square-root degrees (0 for isolated nodes, which contribute
+    // eigenvalue-0 directions and do not disturb the estimates).
+    let inv_sqrt_deg: Vec<f64> = graph
+        .nodes()
+        .map(|v| {
+            let d = graph.degree(v);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / (d as f64).sqrt()
+            }
+        })
+        .collect();
+
+    // Normalized principal eigenvector φ(v) = sqrt(deg v) / sqrt(2m).
+    let norm = (graph.degree_sum() as f64).sqrt();
+    let phi: Vec<f64> = graph.nodes().map(|v| (graph.degree(v) as f64).sqrt() / norm).collect();
+
+    // y = S x.
+    let apply_s = |x: &[f64], y: &mut [f64]| {
+        y.fill(0.0);
+        for u in graph.nodes() {
+            let xu = x[u.index()];
+            if xu == 0.0 {
+                continue;
+            }
+            let w = xu * inv_sqrt_deg[u.index()];
+            for &v in graph.neighbors(u) {
+                y[v.index()] += w * inv_sqrt_deg[v.index()];
+            }
+        }
+    };
+
+    let mut iterations = 0usize;
+
+    // λ₂ via (S + I)/2, deflating φ. Eigenvalues map λ → (1+λ)/2 ∈ [0, 1],
+    // so the dominant remaining direction is the largest signed λ ≠ λ₁.
+    let lambda2 = {
+        let mut x = seeded_vector(n, config.seed);
+        deflate(&mut x, &phi);
+        normalize(&mut x);
+        let mut y = vec![0.0; n];
+        let mut prev = f64::NAN;
+        let mut est = 0.0;
+        for it in 0..config.max_iterations {
+            apply_s(&x, &mut y);
+            for i in 0..n {
+                y[i] = 0.5 * (y[i] + x[i]);
+            }
+            deflate(&mut y, &phi);
+            // Rayleigh quotient of the shifted operator: x·y with ‖x‖=1.
+            let shifted: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            est = 2.0 * shifted - 1.0;
+            std::mem::swap(&mut x, &mut y);
+            normalize(&mut x);
+            iterations = it + 1;
+            if (est - prev).abs() < config.tolerance {
+                break;
+            }
+            prev = est;
+        }
+        est.clamp(-1.0, 1.0)
+    };
+
+    // λ_min via (I − S)/2: eigenvalues map λ → (1−λ)/2, dominant at λ_min.
+    // φ maps to 0, so no deflation is needed.
+    let lambda_min = {
+        let mut x = seeded_vector(n, config.seed ^ 0xdead_beef);
+        normalize(&mut x);
+        let mut y = vec![0.0; n];
+        let mut prev = f64::NAN;
+        let mut est = 0.0;
+        for it in 0..config.max_iterations {
+            apply_s(&x, &mut y);
+            for i in 0..n {
+                y[i] = 0.5 * (x[i] - y[i]);
+            }
+            let shifted: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            est = 1.0 - 2.0 * shifted;
+            std::mem::swap(&mut x, &mut y);
+            normalize(&mut x);
+            iterations += 1;
+            let _ = it;
+            if (est - prev).abs() < config.tolerance {
+                break;
+            }
+            prev = est;
+        }
+        est.clamp(-1.0, 1.0)
+    };
+
+    Spectrum { lambda2, lambda_min, iterations }
+}
+
+/// Deterministic pseudo-random starting vector (splitmix64 stream).
+fn seeded_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect()
+}
+
+fn deflate(x: &mut [f64], phi: &[f64]) {
+    let dot: f64 = x.iter().zip(phi).map(|(a, b)| a * b).sum();
+    for (xi, pi) in x.iter_mut().zip(phi) {
+        *xi -= dot * pi;
+    }
+}
+
+fn normalize(x: &mut [f64]) {
+    let norm: f64 = x.iter().map(|a| a * a).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for xi in x.iter_mut() {
+            *xi /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_core::Graph;
+    use socnet_gen::{barbell, complete, ring};
+
+    fn measure(g: &Graph) -> Spectrum {
+        slem(g, &SpectralConfig::default())
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K_n: λ₂ = ... = λ_n = −1/(n−1).
+        let s = measure(&complete(9));
+        assert!((s.lambda2 + 0.125).abs() < 1e-6, "λ₂ = {}", s.lambda2);
+        assert!((s.lambda_min + 0.125).abs() < 1e-6);
+        assert!((s.slem() - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn even_ring_is_bipartite() {
+        let s = measure(&ring(8));
+        assert!((s.lambda_min + 1.0).abs() < 1e-5, "bipartite λ_min = {}", s.lambda_min);
+        assert!((s.slem() - 1.0).abs() < 1e-5);
+        // λ₂ of C_8 is cos(2π/8) ≈ 0.7071.
+        assert!((s.lambda2 - (std::f64::consts::PI / 4.0).cos()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn odd_ring_spectrum() {
+        // C_n: eigenvalues cos(2πk/n); for n = 9, λ₂ = cos(2π/9),
+        // λ_min = cos(8π/9).
+        let s = measure(&ring(9));
+        let tau = 2.0 * std::f64::consts::PI / 9.0;
+        assert!((s.lambda2 - tau.cos()).abs() < 1e-5, "λ₂ = {}", s.lambda2);
+        assert!((s.lambda_min - (4.0 * tau).cos()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn barbell_has_tiny_gap() {
+        let s = measure(&barbell(8, 0));
+        assert!(s.lambda2 > 0.9, "bottleneck ⇒ λ₂ near 1, got {}", s.lambda2);
+        assert!(s.gap() < 0.1);
+    }
+
+    #[test]
+    fn star_is_bipartite_with_zero_lambda2() {
+        let s = measure(&socnet_gen::star(12));
+        assert!(s.lambda2.abs() < 1e-6, "star λ₂ = {}", s.lambda2);
+        assert!((s.lambda_min + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disconnected_graph_reports_unit_lambda2() {
+        // Two disjoint triangles: multiplicity-2 eigenvalue 1.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let s = measure(&g);
+        assert!(s.lambda2 > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let g = barbell(5, 1);
+        let a = measure(&g);
+        let b = measure(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spectrum_lies_in_unit_interval() {
+        let g = socnet_gen::grid(6, 7);
+        let s = measure(&g);
+        assert!((-1.0..=1.0).contains(&s.lambda2));
+        assert!((-1.0..=1.0).contains(&s.lambda_min));
+        assert!(s.lambda_min <= s.lambda2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without edges")]
+    fn empty_graph_panics() {
+        let _ = measure(&Graph::from_edges(4, []));
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulated (sampled) random walks.
+//!
+//! The distribution-evolution machinery in [`WalkOperator`](crate::WalkOperator) computes walk
+//! distributions exactly; these helpers instead *sample* walks, which is
+//! what deployed protocols (and the Sybil defenses in `socnet-sybil`) do.
+
+use rand::{Rng, RngExt};
+use socnet_core::{Graph, NodeId};
+
+/// Samples a simple random walk of `length` steps from `source`,
+/// returning the full vertex trajectory (`length + 1` nodes).
+///
+/// If the walk reaches an isolated node it stays there, mirroring
+/// [`WalkOperator`](crate::WalkOperator)'s convention.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socnet_core::{Graph, NodeId};
+/// use socnet_mixing::sample_walk;
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let walk = sample_walk(&g, NodeId(0), 4, &mut rng);
+/// assert_eq!(walk.len(), 5);
+/// assert_eq!(walk[0], NodeId(0));
+/// ```
+pub fn sample_walk<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    length: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    graph.check_node(source).expect("source in range");
+    let mut walk = Vec::with_capacity(length + 1);
+    let mut cur = source;
+    walk.push(cur);
+    for _ in 0..length {
+        let nbrs = graph.neighbors(cur);
+        if !nbrs.is_empty() {
+            cur = nbrs[rng.random_range(0..nbrs.len())];
+        }
+        walk.push(cur);
+    }
+    walk
+}
+
+/// Samples one walk and returns only its endpoint.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn walk_endpoint<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    length: usize,
+    rng: &mut R,
+) -> NodeId {
+    graph.check_node(source).expect("source in range");
+    let mut cur = source;
+    for _ in 0..length {
+        let nbrs = graph.neighbors(cur);
+        if nbrs.is_empty() {
+            break;
+        }
+        cur = nbrs[rng.random_range(0..nbrs.len())];
+    }
+    cur
+}
+
+/// Samples `count` independent walks from `source` and returns their
+/// endpoints.
+///
+/// The endpoint histogram over many samples approximates the evolved
+/// distribution `π^{(source)}P^t` — the Monte-Carlo view of the sampling
+/// method, tested against [`WalkOperator`](crate::WalkOperator) for agreement.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn walk_endpoints<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    length: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    (0..count).map(|_| walk_endpoint(graph, source, length, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{total_variation, WalkOperator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socnet_core::Graph;
+    use socnet_gen::ring;
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = ring(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let walk = sample_walk(&g, NodeId(3), 50, &mut rng);
+        assert_eq!(walk.len(), 51);
+        for w in walk.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "step {} -> {} not an edge", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn zero_length_walk_is_the_source() {
+        let g = ring(5);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sample_walk(&g, NodeId(4), 0, &mut rng), vec![NodeId(4)]);
+        assert_eq!(walk_endpoint(&g, NodeId(4), 0, &mut rng), NodeId(4));
+    }
+
+    #[test]
+    fn isolated_source_never_moves() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let walk = sample_walk(&g, NodeId(2), 5, &mut rng);
+        assert!(walk.iter().all(|&v| v == NodeId(2)));
+    }
+
+    #[test]
+    fn endpoint_histogram_matches_exact_distribution() {
+        // Monte-Carlo endpoints vs. exact evolution on a small expander.
+        let g = socnet_gen::complete(8);
+        let source = NodeId(0);
+        let t = 3;
+
+        let op = WalkOperator::new(&g);
+        let mut exact = vec![0.0; 8];
+        exact[0] = 1.0;
+        let mut scratch = vec![0.0; 8];
+        op.evolve(&mut exact, &mut scratch, t);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = 40_000;
+        let mut hist = vec![0.0f64; 8];
+        for e in walk_endpoints(&g, source, t, samples, &mut rng) {
+            hist[e.index()] += 1.0 / samples as f64;
+        }
+        assert!(
+            total_variation(&exact, &hist) < 0.02,
+            "sampled endpoints should track the exact distribution"
+        );
+    }
+
+    #[test]
+    fn endpoints_are_deterministic_per_seed() {
+        let g = ring(12);
+        let a = walk_endpoints(&g, NodeId(0), 9, 20, &mut StdRng::seed_from_u64(9));
+        let b = walk_endpoints(&g, NodeId(0), 9, 20, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

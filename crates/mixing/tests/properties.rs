@@ -1,0 +1,134 @@
+//! Property-based tests of the mixing machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::{largest_component, Graph, NodeId};
+use socnet_mixing::{
+    endpoint_entropy, entropy_bits, sinclair_bounds, slem, stationary_distribution,
+    total_variation, Distribution, ModulatedOperator, SpectralConfig, TrustModulation,
+    WalkOperator,
+};
+
+fn arb_graph_with_edges() -> impl Strategy<Value = Graph> {
+    (3usize..25).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 1..80)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+            .prop_filter("needs edges", |g| g.edge_count() > 0)
+    })
+}
+
+proptest! {
+    #[test]
+    fn walk_step_conserves_and_stays_nonnegative(g in arb_graph_with_edges()) {
+        let op = WalkOperator::new(&g);
+        let n = g.node_count();
+        let mut x = Distribution::uniform(n).into_vec();
+        let mut y = vec![0.0; n];
+        for _ in 0..4 {
+            op.step(&x, &mut y);
+            prop_assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(y.iter().all(|&p| p >= -1e-12));
+            std::mem::swap(&mut x, &mut y);
+        }
+    }
+
+    #[test]
+    fn tvd_to_stationarity_never_increases(g in arb_graph_with_edges(), src in 0u32..25) {
+        // The contraction property holds for every Markov chain, lazy or
+        // not, connected or not.
+        prop_assume!((src as usize) < g.node_count());
+        let pi = stationary_distribution(&g);
+        let op = WalkOperator::with_laziness(&g, 0.3);
+        let n = g.node_count();
+        let mut x = vec![0.0; n];
+        x[src as usize] = 1.0;
+        let mut y = vec![0.0; n];
+        let mut prev = total_variation(&x, pi.as_slice());
+        for _ in 0..8 {
+            op.step(&x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+            let cur = total_variation(&x, pi.as_slice());
+            prop_assert!(cur <= prev + 1e-9, "TVD rose {prev} -> {cur}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn slem_is_within_the_unit_interval(g in arb_graph_with_edges()) {
+        let s = slem(&g, &SpectralConfig { max_iterations: 3_000, ..Default::default() });
+        prop_assert!((-1.0..=1.0).contains(&s.lambda2), "lambda2 {}", s.lambda2);
+        prop_assert!((-1.0..=1.0).contains(&s.lambda_min));
+        prop_assert!(s.lambda_min <= s.lambda2 + 1e-6);
+        prop_assert!((0.0..=1.0).contains(&s.slem()));
+    }
+
+    #[test]
+    fn sinclair_bracket_is_ordered(mu in 0.0f64..0.9999, n in 2usize..1_000_000, eps in 1e-9f64..0.49) {
+        let b = sinclair_bounds(mu, n, eps);
+        prop_assert!(b.lower >= 0.0);
+        prop_assert!(b.lower <= b.upper, "{b:?}");
+    }
+
+    #[test]
+    fn entropy_is_bounded_by_log_n(g in arb_graph_with_edges(), t in 0usize..10, src in 0u32..25) {
+        prop_assume!((src as usize) < g.node_count());
+        let h = endpoint_entropy(&g, NodeId(src), t);
+        let n = g.node_count() as f64;
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= n.log2() + 1e-9, "H = {h} > log2({n})");
+        // Entropy of any distribution matches the generic helper.
+        let uniform = vec![1.0 / n; g.node_count()];
+        prop_assert!((entropy_bits(&uniform) - n.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modulated_schemes_conserve_mass(
+        g in arb_graph_with_edges(),
+        scheme in 0usize..4,
+        src in 0u32..25,
+    ) {
+        prop_assume!((src as usize) < g.node_count());
+        let modulation = match scheme {
+            0 => TrustModulation::Uniform,
+            1 => TrustModulation::Lazy { alpha: 0.4 },
+            2 => TrustModulation::OriginatorBiased { beta: 0.3 },
+            _ => TrustModulation::SimilarityBiased,
+        };
+        let op = ModulatedOperator::new(&g, modulation);
+        let n = g.node_count();
+        let mut x = vec![0.0; n];
+        x[src as usize] = 1.0;
+        let mut y = vec![0.0; n];
+        for _ in 0..5 {
+            op.step(NodeId(src), &x, &mut y);
+            prop_assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{modulation:?}");
+            prop_assert!(y.iter().all(|&p| p >= -1e-12));
+            std::mem::swap(&mut x, &mut y);
+        }
+    }
+
+    #[test]
+    fn spectral_gap_upper_bounds_observed_mixing(seed in any::<u64>()) {
+        // On a connected non-bipartite graph, the sampled T(eps) must not
+        // beat the Sinclair *lower* bound by more than the sampling slack
+        // (we check the consistent direction: measured <= upper bound).
+        let g = socnet_gen::barabasi_albert(120, 3, &mut StdRng::seed_from_u64(seed));
+        let (g, _) = largest_component(&g);
+        let s = slem(&g, &SpectralConfig::default());
+        let eps = 0.05;
+        let bounds = sinclair_bounds(s.slem().min(1.0 - 1e-9), g.node_count(), eps);
+        let m = socnet_mixing::MixingMeasurement::measure(
+            &g,
+            &socnet_mixing::MixingConfig { sources: 10, max_walk: 200, laziness: 0.0, seed },
+        );
+        if let Some(t) = m.mixing_time(eps) {
+            prop_assert!(
+                (t as f64) <= bounds.upper.ceil(),
+                "measured {t} beyond upper bound {}",
+                bounds.upper
+            );
+        }
+    }
+}

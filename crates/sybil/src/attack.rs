@@ -1,0 +1,281 @@
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, GraphBuilder, NodeId};
+
+/// Internal wiring of the Sybil region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SybilTopology {
+    /// Sybils form an Erdős–Rényi graph among themselves.
+    ErdosRenyi {
+        /// Edge probability inside the Sybil region.
+        p: f64,
+    },
+    /// Sybils form a scale-free (preferential attachment) region, the
+    /// strongest internal structure an attacker can cheaply build.
+    ScaleFree {
+        /// Attachment degree of the internal BA process.
+        m_attach: usize,
+    },
+    /// Sybils form a complete graph.
+    Clique,
+}
+
+/// Parameters of a Sybil attack against an honest social graph.
+///
+/// The trust assumption of every defense in this crate is that creating
+/// an edge to an honest node is expensive, so the attacker controls
+/// arbitrarily many Sybil identities but only `attack_edges` links into
+/// the honest region (the paper's `g` attack edges).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SybilAttack {
+    /// Number of Sybil identities to create.
+    pub sybil_count: usize,
+    /// Number of attack edges crossing into the honest region.
+    pub attack_edges: usize,
+    /// Internal Sybil-region wiring.
+    pub topology: SybilTopology,
+    /// RNG seed for region generation and endpoint selection.
+    pub seed: u64,
+}
+
+impl Default for SybilAttack {
+    fn default() -> Self {
+        SybilAttack {
+            sybil_count: 100,
+            attack_edges: 20,
+            topology: SybilTopology::ErdosRenyi { p: 0.1 },
+            seed: 0x5b11,
+        }
+    }
+}
+
+/// An honest graph with a mounted Sybil region and ground-truth labels.
+///
+/// Honest nodes keep their ids `0..honest_count`; Sybils occupy
+/// `honest_count..node_count`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_gen::complete;
+/// use socnet_sybil::{AttackedGraph, SybilAttack, SybilTopology};
+///
+/// let honest = complete(20);
+/// let attacked = AttackedGraph::mount(
+///     &honest,
+///     &SybilAttack { sybil_count: 5, attack_edges: 3, topology: SybilTopology::Clique, seed: 1 },
+/// );
+/// assert_eq!(attacked.graph().node_count(), 25);
+/// assert_eq!(attacked.sybil_nodes().count(), 5);
+/// assert_eq!(attacked.attack_edges().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackedGraph {
+    graph: Graph,
+    honest_count: usize,
+    attack_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl AttackedGraph {
+    /// Mounts `attack` onto `honest`.
+    ///
+    /// Attack-edge endpoints are drawn uniformly: honest endpoint over all
+    /// honest nodes, Sybil endpoint over all Sybils; duplicate edges are
+    /// re-drawn, so exactly `attack_edges` distinct crossings exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the honest graph or the Sybil region is empty, or if more
+    /// attack edges are requested than distinct honest–Sybil pairs exist.
+    pub fn mount(honest: &Graph, attack: &SybilAttack) -> AttackedGraph {
+        let h = honest.node_count();
+        let s = attack.sybil_count;
+        assert!(h > 0, "honest region must be non-empty");
+        assert!(s > 0, "sybil region must be non-empty");
+        assert!(
+            attack.attack_edges <= h * s,
+            "cannot place {} attack edges among {} pairs",
+            attack.attack_edges,
+            h * s
+        );
+
+        let mut rng = StdRng::seed_from_u64(attack.seed);
+        let mut b = GraphBuilder::with_capacity(h + s, honest.edge_count() + s * 4);
+        for (u, v) in honest.edges() {
+            b.add_edge(u, v);
+        }
+
+        // Sybil region, shifted by h.
+        let region = match attack.topology {
+            SybilTopology::ErdosRenyi { p } => socnet_gen::erdos_renyi_gnp(s, p, &mut rng),
+            SybilTopology::ScaleFree { m_attach } => {
+                if s > m_attach + 1 {
+                    socnet_gen::barabasi_albert(s, m_attach, &mut rng)
+                } else {
+                    socnet_gen::complete(s)
+                }
+            }
+            SybilTopology::Clique => socnet_gen::complete(s),
+        };
+        for (u, v) in region.edges() {
+            b.add_edge(NodeId(u.0 + h as u32), NodeId(v.0 + h as u32));
+        }
+
+        // Attack edges: distinct honest–sybil crossings.
+        let mut chosen = std::collections::HashSet::with_capacity(attack.attack_edges);
+        let mut attack_edge_list = Vec::with_capacity(attack.attack_edges);
+        while chosen.len() < attack.attack_edges {
+            let honest_end = NodeId(rng.random_range(0..h as u32));
+            let sybil_end = NodeId(h as u32 + rng.random_range(0..s as u32));
+            if chosen.insert((honest_end, sybil_end)) {
+                b.add_edge(honest_end, sybil_end);
+                attack_edge_list.push((honest_end, sybil_end));
+            }
+        }
+
+        AttackedGraph { graph: b.build(), honest_count: h, attack_edges: attack_edge_list }
+    }
+
+    /// The composed graph (honest region, Sybil region, attack edges).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of honest nodes (ids `0..honest_count`).
+    pub fn honest_count(&self) -> usize {
+        self.honest_count
+    }
+
+    /// Number of Sybil nodes.
+    pub fn sybil_count(&self) -> usize {
+        self.graph.node_count() - self.honest_count
+    }
+
+    /// Ground truth: whether `v` is a Sybil identity.
+    pub fn is_sybil(&self, v: NodeId) -> bool {
+        v.index() >= self.honest_count
+    }
+
+    /// Iterator over the honest node ids.
+    pub fn honest_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.honest_count).map(NodeId::from_index)
+    }
+
+    /// Iterator over the Sybil node ids.
+    pub fn sybil_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.honest_count..self.graph.node_count()).map(NodeId::from_index)
+    }
+
+    /// The attack edges, as `(honest endpoint, sybil endpoint)` pairs.
+    pub fn attack_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.attack_edges
+    }
+
+    /// Draws a uniformly random *honest* node, e.g. a verifier.
+    pub fn random_honest<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        NodeId(rng.random_range(0..self.honest_count as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{complete, ring};
+
+    fn attack(seed: u64) -> SybilAttack {
+        SybilAttack {
+            sybil_count: 8,
+            attack_edges: 5,
+            topology: SybilTopology::ErdosRenyi { p: 0.4 },
+            seed,
+        }
+    }
+
+    #[test]
+    fn mount_preserves_honest_region() {
+        let honest = ring(12);
+        let a = AttackedGraph::mount(&honest, &attack(3));
+        assert_eq!(a.honest_count(), 12);
+        assert_eq!(a.sybil_count(), 8);
+        // Every honest edge survives.
+        for (u, v) in honest.edges() {
+            assert!(a.graph().has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn exact_attack_edge_budget() {
+        let a = AttackedGraph::mount(&ring(10), &attack(9));
+        assert_eq!(a.attack_edges().len(), 5);
+        // Count crossings in the composed graph.
+        let crossings = a
+            .graph()
+            .edges()
+            .filter(|&(u, v)| a.is_sybil(u) != a.is_sybil(v))
+            .count();
+        assert_eq!(crossings, 5);
+        for &(h, s) in a.attack_edges() {
+            assert!(!a.is_sybil(h));
+            assert!(a.is_sybil(s));
+            assert!(a.graph().has_edge(h, s));
+        }
+    }
+
+    #[test]
+    fn labels_partition_nodes() {
+        let a = AttackedGraph::mount(&ring(6), &attack(1));
+        let honest: Vec<_> = a.honest_nodes().collect();
+        let sybil: Vec<_> = a.sybil_nodes().collect();
+        assert_eq!(honest.len() + sybil.len(), a.graph().node_count());
+        assert!(honest.iter().all(|&v| !a.is_sybil(v)));
+        assert!(sybil.iter().all(|&v| a.is_sybil(v)));
+    }
+
+    #[test]
+    fn clique_topology_is_complete() {
+        let a = AttackedGraph::mount(
+            &ring(5),
+            &SybilAttack { sybil_count: 4, attack_edges: 1, topology: SybilTopology::Clique, seed: 0 },
+        );
+        let sybils: Vec<_> = a.sybil_nodes().collect();
+        for (i, &u) in sybils.iter().enumerate() {
+            for &v in &sybils[i + 1..] {
+                assert!(a.graph().has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn scale_free_topology_small_fallback() {
+        let a = AttackedGraph::mount(
+            &ring(5),
+            &SybilAttack {
+                sybil_count: 2,
+                attack_edges: 1,
+                topology: SybilTopology::ScaleFree { m_attach: 3 },
+                seed: 0,
+            },
+        );
+        assert_eq!(a.sybil_count(), 2);
+    }
+
+    #[test]
+    fn mount_is_deterministic() {
+        let honest = complete(9);
+        let a = AttackedGraph::mount(&honest, &attack(42));
+        let b = AttackedGraph::mount(&honest, &attack(42));
+        assert_eq!(a, b);
+        let c = AttackedGraph::mount(&honest, &attack(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn overfull_attack_panics() {
+        let _ = AttackedGraph::mount(
+            &ring(3),
+            &SybilAttack { sybil_count: 1, attack_edges: 4, topology: SybilTopology::Clique, seed: 0 },
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Evaluation metrics for Sybil defenses.
+//!
+//! The paper's Table II reports two numbers per run: the fraction of the
+//! whole graph's honest nodes accepted, and the number of Sybil
+//! identities accepted *per attack edge*. For cross-defense comparison
+//! (the Viswanath et al. observation the paper's Sec. II discusses) the
+//! module also provides ranking quality as an AUC.
+
+use serde::{Deserialize, Serialize};
+use socnet_core::NodeId;
+
+use crate::AttackedGraph;
+
+/// Admission quality of one defense run against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionStats {
+    /// Honest nodes accepted.
+    pub honest_accepted: usize,
+    /// Total honest nodes.
+    pub honest_total: usize,
+    /// Sybil identities accepted.
+    pub sybil_accepted: usize,
+    /// Total Sybil identities.
+    pub sybil_total: usize,
+    /// Attack edges in the mounted attack.
+    pub attack_edges: usize,
+    /// `honest_accepted / honest_total` — Table II's "Honest %".
+    pub honest_accept_rate: f64,
+    /// `sybil_accepted / attack_edges` — Table II's "Sybil" row.
+    pub sybils_per_attack_edge: f64,
+}
+
+/// Scores a per-node admission vector against the attack's ground truth.
+///
+/// # Panics
+///
+/// Panics if `admitted.len()` differs from the attacked graph's node
+/// count.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_gen::complete;
+/// use socnet_sybil::{eval, AttackedGraph, SybilAttack, SybilTopology};
+///
+/// let attacked = AttackedGraph::mount(
+///     &complete(10),
+///     &SybilAttack { sybil_count: 5, attack_edges: 2, topology: SybilTopology::Clique, seed: 1 },
+/// );
+/// // A defense that admits everyone:
+/// let all = vec![true; 15];
+/// let stats = eval::admission_stats(&attacked, &all);
+/// assert_eq!(stats.honest_accept_rate, 1.0);
+/// assert_eq!(stats.sybils_per_attack_edge, 2.5);
+/// ```
+pub fn admission_stats(attacked: &AttackedGraph, admitted: &[bool]) -> AdmissionStats {
+    assert_eq!(
+        admitted.len(),
+        attacked.graph().node_count(),
+        "admission vector must cover every node"
+    );
+    let honest_total = attacked.honest_count();
+    let sybil_total = attacked.sybil_count();
+    let honest_accepted = attacked.honest_nodes().filter(|v| admitted[v.index()]).count();
+    let sybil_accepted = attacked.sybil_nodes().filter(|v| admitted[v.index()]).count();
+    let attack_edges = attacked.attack_edges().len();
+    AdmissionStats {
+        honest_accepted,
+        honest_total,
+        sybil_accepted,
+        sybil_total,
+        attack_edges,
+        honest_accept_rate: if honest_total == 0 {
+            0.0
+        } else {
+            honest_accepted as f64 / honest_total as f64
+        },
+        sybils_per_attack_edge: if attack_edges == 0 {
+            0.0
+        } else {
+            sybil_accepted as f64 / attack_edges as f64
+        },
+    }
+}
+
+/// Area under the ROC curve of a trust *ranking*: the probability that a
+/// uniformly random honest node outranks a uniformly random Sybil.
+///
+/// `ranking` lists nodes from most to least trusted. Ties in the
+/// underlying scores should already be broken; 1.0 means perfect
+/// separation, 0.5 is chance.
+///
+/// # Panics
+///
+/// Panics if the ranking does not cover exactly the attacked graph's
+/// nodes.
+pub fn ranking_auc(attacked: &AttackedGraph, ranking: &[NodeId]) -> f64 {
+    assert_eq!(ranking.len(), attacked.graph().node_count(), "ranking must cover every node");
+    let honest_total = attacked.honest_count() as f64;
+    let sybil_total = attacked.sybil_count() as f64;
+    if honest_total == 0.0 || sybil_total == 0.0 {
+        return 1.0;
+    }
+    // Count (honest, sybil) pairs ordered correctly: walk the ranking,
+    // each honest node beats every sybil that comes later.
+    let mut sybils_seen = 0f64;
+    let mut inversions = 0f64; // honest ranked after a sybil
+    for &v in ranking {
+        if attacked.is_sybil(v) {
+            sybils_seen += 1.0;
+        } else {
+            inversions += sybils_seen;
+        }
+    }
+    1.0 - inversions / (honest_total * sybil_total)
+}
+
+/// Cut-based evaluation of a ranking: the fraction of honest nodes in the
+/// top `honest_total` ranks (Viswanath et al.'s partition quality).
+///
+/// # Panics
+///
+/// Panics if the ranking does not cover exactly the attacked graph's
+/// nodes.
+pub fn top_partition_precision(attacked: &AttackedGraph, ranking: &[NodeId]) -> f64 {
+    assert_eq!(ranking.len(), attacked.graph().node_count(), "ranking must cover every node");
+    let k = attacked.honest_count();
+    if k == 0 {
+        return 0.0;
+    }
+    let honest_in_top = ranking[..k].iter().filter(|&&v| !attacked.is_sybil(v)).count();
+    honest_in_top as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SybilAttack, SybilTopology};
+    use socnet_gen::complete;
+
+    fn attacked() -> AttackedGraph {
+        AttackedGraph::mount(
+            &complete(8),
+            &SybilAttack {
+                sybil_count: 4,
+                attack_edges: 2,
+                topology: SybilTopology::Clique,
+                seed: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn stats_count_correctly() {
+        let a = attacked();
+        let mut admitted = vec![false; 12];
+        // Admit honest 0..6 and sybil 8, 9.
+        for i in 0..6 {
+            admitted[i] = true;
+        }
+        admitted[8] = true;
+        admitted[9] = true;
+        let s = admission_stats(&a, &admitted);
+        assert_eq!(s.honest_accepted, 6);
+        assert_eq!(s.honest_total, 8);
+        assert_eq!(s.sybil_accepted, 2);
+        assert_eq!(s.sybil_total, 4);
+        assert!((s.honest_accept_rate - 0.75).abs() < 1e-12);
+        assert!((s.sybils_per_attack_edge - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let a = attacked();
+        let mut ranking: Vec<NodeId> = a.honest_nodes().collect();
+        ranking.extend(a.sybil_nodes());
+        assert_eq!(ranking_auc(&a, &ranking), 1.0);
+        assert_eq!(top_partition_precision(&a, &ranking), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_has_auc_zero() {
+        let a = attacked();
+        let mut ranking: Vec<NodeId> = a.sybil_nodes().collect();
+        ranking.extend(a.honest_nodes());
+        assert_eq!(ranking_auc(&a, &ranking), 0.0);
+        assert!((top_partition_precision(&a, &ranking) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_ranking_is_half() {
+        let a = attacked();
+        // 8 honest, 4 sybil. Alternate sybil/honest for the first 8, then
+        // the remaining honest; AUC = fraction of (h, s) pairs in order.
+        let honest: Vec<NodeId> = a.honest_nodes().collect();
+        let sybil: Vec<NodeId> = a.sybil_nodes().collect();
+        let mut ranking = Vec::new();
+        for i in 0..4 {
+            ranking.push(sybil[i]);
+            ranking.push(honest[i]);
+        }
+        ranking.extend_from_slice(&honest[4..]);
+        let auc = ranking_auc(&a, &ranking);
+        // Honest i (i<4) beats sybils i+1..4: (3+2+1+0) = 6 of 32 pairs,
+        // plus last 4 honest beat none... inversions: honest i after
+        // sybils 0..=i → 1+2+3+4 for i=0..4 = 10; last 4 honest after all
+        // 4 sybils = 16. AUC = 1 - 26/32.
+        assert!((auc - (1.0 - 26.0 / 32.0)).abs() < 1e-12, "auc = {auc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn wrong_length_panics() {
+        let a = attacked();
+        let _ = admission_stats(&a, &[true; 3]);
+    }
+}

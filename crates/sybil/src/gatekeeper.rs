@@ -1,0 +1,319 @@
+//! GateKeeper: optimal Sybil-resilient node admission control.
+//!
+//! Reimplementation of the protocol the paper's Table II evaluates
+//! (Tran, Li, Subramanian, Chow — INFOCOM 2011):
+//!
+//! 1. The admission controller samples `m` **ticket distributors** by
+//!    short random walks (so the sample is degree-biased, and can even
+//!    land on Sybils — the protocol tolerates it).
+//! 2. Each distributor floods tickets level by level over its BFS tree:
+//!    a node consumes one ticket and forwards the rest, split evenly
+//!    among its next-level neighbors. The distributor doubles its ticket
+//!    budget until the flood *reaches* (delivers a ticket to) at least
+//!    half the network.
+//! 3. A node is **admitted** if it is reached by at least `f_admit · m`
+//!    distributors.
+//!
+//! Sybil resistance comes from the bottleneck: all tickets entering the
+//! Sybil region must cross the few attack edges, and each edge forwards
+//! only its local share of the flood.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, NodeId};
+
+use crate::ticket::flood_until_holders;
+use crate::AttackedGraph;
+
+/// Tuning parameters for a [`GateKeeper`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateKeeperConfig {
+    /// Number of ticket distributors `m` (the paper's Table II samples 99).
+    pub distributors: usize,
+    /// Admission threshold `f`: a node needs tickets from at least
+    /// `f · distributors` distributors.
+    pub f_admit: f64,
+    /// Fraction of the network a distributor's flood must reach before it
+    /// stops doubling its ticket budget.
+    pub coverage: f64,
+    /// Length of the random walks used to sample distributors.
+    pub sample_walk_length: usize,
+    /// RNG seed (controller position, distributor sampling).
+    pub seed: u64,
+}
+
+impl Default for GateKeeperConfig {
+    fn default() -> Self {
+        GateKeeperConfig {
+            distributors: 99,
+            f_admit: 0.2,
+            coverage: 0.5,
+            sample_walk_length: 25,
+            seed: 0x6a7e,
+        }
+    }
+}
+
+/// The GateKeeper admission-control protocol.
+///
+/// See the module-level documentation for the protocol outline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateKeeper {
+    config: GateKeeperConfig,
+}
+
+/// Result of running GateKeeper from one admission controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateKeeperOutcome {
+    admitted: Vec<bool>,
+    reach_counts: Vec<u32>,
+    distributors: Vec<NodeId>,
+    controller: NodeId,
+    threshold: u32,
+}
+
+impl GateKeeperOutcome {
+    /// Per-node admission verdicts, indexed by node id.
+    pub fn admitted(&self) -> &[bool] {
+        &self.admitted
+    }
+
+    /// How many distributors reached each node.
+    pub fn reach_counts(&self) -> &[u32] {
+        &self.reach_counts
+    }
+
+    /// The sampled distributors.
+    pub fn distributors(&self) -> &[NodeId] {
+        &self.distributors
+    }
+
+    /// The admission controller's own node.
+    pub fn controller(&self) -> NodeId {
+        self.controller
+    }
+
+    /// The reach-count threshold `⌈f·m⌉` that was applied.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+impl GateKeeper {
+    /// Creates the protocol with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_admit` or `coverage` is outside `(0, 1]` or
+    /// `distributors == 0`.
+    pub fn new(config: GateKeeperConfig) -> Self {
+        assert!(config.distributors > 0, "need at least one distributor");
+        assert!(
+            config.f_admit > 0.0 && config.f_admit <= 1.0,
+            "f_admit {} out of (0, 1]",
+            config.f_admit
+        );
+        assert!(
+            config.coverage > 0.0 && config.coverage <= 1.0,
+            "coverage {} out of (0, 1]",
+            config.coverage
+        );
+        GateKeeper { config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &GateKeeperConfig {
+        &self.config
+    }
+
+    /// Runs the protocol on an attacked graph, with an honest admission
+    /// controller chosen at random.
+    pub fn run(&self, attacked: &AttackedGraph) -> GateKeeperOutcome {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let controller = attacked.random_honest(&mut rng);
+        self.run_from(attacked.graph(), controller)
+    }
+
+    /// Runs the protocol on a plain graph from an explicit controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `controller` is out of range or the graph has no edges.
+    pub fn run_from(&self, graph: &Graph, controller: NodeId) -> GateKeeperOutcome {
+        graph.check_node(controller).expect("controller in range");
+        assert!(graph.edge_count() > 0, "gatekeeper needs a non-trivial graph");
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9);
+
+        // 1. Sample distributors by short random walks from the controller.
+        let distributors: Vec<NodeId> = (0..self.config.distributors)
+            .map(|_| sample_by_walk(graph, controller, self.config.sample_walk_length, &mut rng))
+            .collect();
+
+        // 2+3. Flood from every distributor (in parallel) and count reaches.
+        let n = graph.node_count();
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let chunk = distributors.len().div_ceil(threads);
+        let reach = parking_lot::Mutex::new(vec![0u32; n]);
+        crossbeam::thread::scope(|scope| {
+            for dchunk in distributors.chunks(chunk) {
+                let reach = &reach;
+                let cfg = &self.config;
+                scope.spawn(move |_| {
+                    let mut local = vec![0u32; n];
+                    let target = ((n as f64) * cfg.coverage).ceil() as usize;
+                    for &d in dchunk {
+                        let (reached, _) = flood_until_holders(graph, d, target);
+                        for (slot, hit) in local.iter_mut().zip(&reached) {
+                            *slot += u32::from(*hit);
+                        }
+                    }
+                    let mut global = reach.lock();
+                    for (g, l) in global.iter_mut().zip(&local) {
+                        *g += l;
+                    }
+                });
+            }
+        })
+        .expect("gatekeeper worker panicked");
+
+        let reach_counts = reach.into_inner();
+        let threshold =
+            ((self.config.f_admit * self.config.distributors as f64).ceil() as u32).max(1);
+        let admitted = reach_counts.iter().map(|&c| c >= threshold).collect();
+        GateKeeperOutcome { admitted, reach_counts, distributors, controller, threshold }
+    }
+}
+
+/// Degree-biased distributor sampling: the endpoint of a short random walk.
+fn sample_by_walk<R: Rng + ?Sized>(
+    graph: &Graph,
+    from: NodeId,
+    length: usize,
+    rng: &mut R,
+) -> NodeId {
+    let mut cur = from;
+    for _ in 0..length {
+        let nbrs = graph.neighbors(cur);
+        if nbrs.is_empty() {
+            break;
+        }
+        cur = nbrs[rng.random_range(0..nbrs.len())];
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SybilAttack, SybilTopology};
+    use socnet_gen::{complete, ring};
+
+    fn small_attack() -> AttackedGraph {
+        AttackedGraph::mount(
+            &complete(30),
+            &SybilAttack {
+                sybil_count: 10,
+                attack_edges: 2,
+                topology: SybilTopology::Clique,
+                seed: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn flood_reaches_target_coverage() {
+        let g = complete(20);
+        let (reached, _) = flood_until_holders(&g, NodeId(0), 10);
+        let count = reached.iter().filter(|&&b| b).count();
+        assert!(count >= 10, "reached only {count}");
+    }
+
+    #[test]
+    fn admits_most_honest_nodes_on_expander() {
+        let attacked = small_attack();
+        let gk = GateKeeper::new(GateKeeperConfig {
+            distributors: 30,
+            f_admit: 0.2,
+            ..Default::default()
+        });
+        let out = gk.run(&attacked);
+        let stats = crate::eval::admission_stats(&attacked, out.admitted());
+        assert!(stats.honest_accept_rate > 0.9, "honest rate {}", stats.honest_accept_rate);
+    }
+
+    #[test]
+    fn sybil_admission_is_bounded_per_attack_edge() {
+        let attacked = small_attack();
+        let gk = GateKeeper::new(GateKeeperConfig {
+            distributors: 30,
+            f_admit: 0.4,
+            ..Default::default()
+        });
+        let out = gk.run(&attacked);
+        let stats = crate::eval::admission_stats(&attacked, out.admitted());
+        assert!(
+            stats.sybils_per_attack_edge < 4.0,
+            "sybils per edge {}",
+            stats.sybils_per_attack_edge
+        );
+    }
+
+    #[test]
+    fn higher_f_admits_fewer_nodes() {
+        let attacked = small_attack();
+        let lax = GateKeeper::new(GateKeeperConfig {
+            distributors: 30,
+            f_admit: 0.1,
+            ..Default::default()
+        })
+        .run(&attacked);
+        let strict = GateKeeper::new(GateKeeperConfig {
+            distributors: 30,
+            f_admit: 0.6,
+            ..Default::default()
+        })
+        .run(&attacked);
+        let lax_count = lax.admitted().iter().filter(|&&b| b).count();
+        let strict_count = strict.admitted().iter().filter(|&&b| b).count();
+        assert!(strict_count <= lax_count);
+        assert!(strict.threshold() > lax.threshold());
+    }
+
+    #[test]
+    fn outcome_shapes_are_consistent() {
+        let attacked = small_attack();
+        let gk = GateKeeper::new(GateKeeperConfig { distributors: 10, ..Default::default() });
+        let out = gk.run(&attacked);
+        let n = attacked.graph().node_count();
+        assert_eq!(out.admitted().len(), n);
+        assert_eq!(out.reach_counts().len(), n);
+        assert_eq!(out.distributors().len(), 10);
+        assert!(out.reach_counts().iter().all(|&c| c <= 10));
+        assert!(!attacked.is_sybil(out.controller()));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let attacked = small_attack();
+        let gk = GateKeeper::new(GateKeeperConfig { distributors: 8, ..Default::default() });
+        assert_eq!(gk.run(&attacked), gk.run(&attacked));
+    }
+
+    #[test]
+    fn ring_flood_covers_the_requested_holders() {
+        // On a ring, tickets creep one hop per ticket along two arms;
+        // the adaptive budget must still hit the target.
+        let g = ring(40);
+        let (reached, budget) = flood_until_holders(&g, NodeId(0), 20);
+        let count = reached.iter().filter(|&&b| b).count();
+        assert!(count >= 20, "reached {count}");
+        assert!(budget >= 16.0, "rings need a generous budget, got {budget}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn zero_f_rejected() {
+        let _ = GateKeeper::new(GateKeeperConfig { f_admit: 0.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,66 @@
+//! Social-network Sybil defenses, built from scratch.
+//!
+//! The paper's Table II runs GateKeeper on four social graphs under Sybil
+//! attack, and its related-work discussion compares the random-walk
+//! defense family. This crate implements the full toolchain:
+//!
+//! * [`SybilAttack`] — mount a Sybil region (clique, random, or scale-free)
+//!   onto an honest graph through a budget of attack edges, with ground
+//!   truth labels ([`AttackedGraph`]);
+//! * [`GateKeeper`] — distributed ticket distribution admission control
+//!   (Tran et al., INFOCOM 2011): `m` random distributors flood tickets
+//!   level by level; a node is admitted if at least `f·m` distributors
+//!   reach it;
+//! * [`SybilGuard`] — random routes with per-node routing permutations;
+//!   verifier and suspect must have intersecting routes (Yu et al.,
+//!   SIGCOMM 2006);
+//! * [`SybilLimit`] — `r` independent short random routes with tail
+//!   intersection and the balance condition (Yu et al., S&P 2008);
+//! * [`SybilInfer`] — walk-trace scoring: degree-normalized landing
+//!   frequency of short walks from a trusted node (the likelihood core of
+//!   Danezis–Mittal's inference, in its ranking form);
+//! * [`SumUp`] — envelope-capacity vote collection (Tran et al., NSDI
+//!   2009);
+//! * [`eval`] — admission metrics: honest acceptance rate, Sybils
+//!   admitted per attack edge, and ranking AUC for cross-defense
+//!   comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use socnet_gen::Dataset;
+//! use socnet_sybil::{AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilTopology};
+//!
+//! let honest = Dataset::RiceGrad.generate_scaled(0.5, 7);
+//! let attack = SybilAttack {
+//!     sybil_count: 30,
+//!     attack_edges: 10,
+//!     topology: SybilTopology::ErdosRenyi { p: 0.2 },
+//!     seed: 7,
+//! };
+//! let attacked = AttackedGraph::mount(&honest, &attack);
+//! let outcome = GateKeeper::new(GateKeeperConfig::default()).run(&attacked);
+//! let stats = socnet_sybil::eval::admission_stats(&attacked, outcome.admitted());
+//! assert!(stats.honest_accept_rate > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+pub mod eval;
+mod gatekeeper;
+mod random_route;
+mod sybilguard;
+mod sybilinfer;
+mod sybillimit;
+mod sumup;
+mod ticket;
+
+pub use attack::{AttackedGraph, SybilAttack, SybilTopology};
+pub use gatekeeper::{GateKeeper, GateKeeperConfig, GateKeeperOutcome};
+pub use random_route::RouteTables;
+pub use sybilguard::{SybilGuard, SybilGuardConfig};
+pub use sybilinfer::{SybilInfer, SybilInferConfig};
+pub use sybillimit::{SybilLimit, SybilLimitConfig};
+pub use sumup::{SumUp, SumUpConfig, VoteOutcome};

@@ -1,0 +1,205 @@
+//! Random routes: the shared machinery of SybilGuard and SybilLimit.
+//!
+//! A random *route* differs from a random walk: every node fixes a random
+//! one-to-one mapping (a permutation) between its incoming and outgoing
+//! edges, so a route is fully determined by its first hop. Two key
+//! properties follow (Yu et al.): routes are **back-traceable**, and two
+//! routes entering a node along the same edge **converge** forever.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use socnet_core::{Graph, NodeId};
+
+/// Per-node routing permutations for random routes.
+///
+/// `perm[v][i] = j` means a route entering `v` along its `i`-th incident
+/// edge (i.e. from `neighbors(v)[i]`) leaves along its `j`-th incident
+/// edge.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use socnet_core::NodeId;
+/// use socnet_gen::ring;
+/// use socnet_sybil::RouteTables;
+///
+/// let g = ring(6);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let t = RouteTables::generate(&g, &mut rng);
+/// let route = t.route(&g, NodeId(0), 0, 4);
+/// assert_eq!(route.len(), 5);
+/// assert_eq!(route[0], NodeId(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTables {
+    perm: Vec<Vec<u32>>,
+}
+
+impl RouteTables {
+    /// Draws one uniform permutation per node.
+    pub fn generate<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Self {
+        let perm = graph
+            .nodes()
+            .map(|v| {
+                let mut p: Vec<u32> = (0..graph.degree(v) as u32).collect();
+                p.shuffle(rng);
+                p
+            })
+            .collect();
+        RouteTables { perm }
+    }
+
+    /// Follows the route that starts at `start` and leaves along its
+    /// `first_edge`-th incident edge, for `length` hops. Returns the full
+    /// node trajectory (`length + 1` nodes, or just `[start]` if `start`
+    /// is isolated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range, or `first_edge` is not a valid
+    /// incident-edge index of a non-isolated `start`.
+    pub fn route(&self, graph: &Graph, start: NodeId, first_edge: usize, length: usize) -> Vec<NodeId> {
+        graph.check_node(start).expect("start in range");
+        let mut out = Vec::with_capacity(length + 1);
+        out.push(start);
+        if graph.degree(start) == 0 {
+            return out;
+        }
+        assert!(
+            first_edge < graph.degree(start),
+            "first edge {first_edge} out of range for degree {}",
+            graph.degree(start)
+        );
+        let mut prev = start;
+        let mut cur = graph.neighbors(start)[first_edge];
+        out.push(cur);
+        for _ in 1..length {
+            // Index of the edge we arrived along, in cur's sorted list.
+            let in_idx = graph
+                .neighbors(cur)
+                .binary_search(&prev)
+                .expect("arrived along an existing edge");
+            let out_idx = self.perm[cur.index()][in_idx] as usize;
+            let next = graph.neighbors(cur)[out_idx];
+            prev = cur;
+            cur = next;
+            out.push(cur);
+        }
+        out
+    }
+
+    /// The directed *tail* (last traversed edge) of the route, or `None`
+    /// for routes shorter than one hop.
+    pub fn route_tail(
+        &self,
+        graph: &Graph,
+        start: NodeId,
+        first_edge: usize,
+        length: usize,
+    ) -> Option<(NodeId, NodeId)> {
+        if length == 0 || graph.degree(start) == 0 {
+            return None;
+        }
+        let route = self.route(graph, start, first_edge, length);
+        let k = route.len();
+        Some((route[k - 2], route[k - 1]))
+    }
+
+    /// All `deg(v)` routes of `v` (one per incident edge), as trajectories.
+    pub fn routes_from(&self, graph: &Graph, v: NodeId, length: usize) -> Vec<Vec<NodeId>> {
+        (0..graph.degree(v)).map(|e| self.route(graph, v, e, length)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use socnet_gen::{complete, ring};
+
+    fn tables(g: &Graph, seed: u64) -> RouteTables {
+        RouteTables::generate(g, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn routes_follow_edges() {
+        let g = complete(8);
+        let t = tables(&g, 1);
+        for e in 0..7 {
+            let r = t.route(&g, NodeId(0), e, 10);
+            assert_eq!(r.len(), 11);
+            for w in r.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_deterministic_given_tables() {
+        let g = ring(9);
+        let t = tables(&g, 5);
+        let a = t.route(&g, NodeId(2), 1, 20);
+        let b = t.route(&g, NodeId(2), 1, 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn convergence_property() {
+        // Two routes that traverse the same directed edge continue
+        // identically afterwards.
+        let g = complete(6);
+        let t = tables(&g, 7);
+        let len = 12;
+        let mut seen: std::collections::HashMap<(NodeId, NodeId), Vec<NodeId>> =
+            Default::default();
+        for v in g.nodes() {
+            for e in 0..g.degree(v) {
+                let r = t.route(&g, v, e, len);
+                for i in 0..r.len() - 1 {
+                    let key = (r[i], r[i + 1]);
+                    let suffix: Vec<NodeId> = r[i + 1..].to_vec();
+                    if let Some(prev) = seen.get(&key) {
+                        let common = prev.len().min(suffix.len());
+                        assert_eq!(
+                            &prev[..common],
+                            &suffix[..common],
+                            "routes diverged after shared edge {key:?}"
+                        );
+                    } else {
+                        seen.insert(key, suffix);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_is_last_edge() {
+        let g = ring(7);
+        let t = tables(&g, 2);
+        let r = t.route(&g, NodeId(0), 0, 5);
+        let tail = t.route_tail(&g, NodeId(0), 0, 5).expect("long enough");
+        assert_eq!(tail, (r[4], r[5]));
+        assert_eq!(t.route_tail(&g, NodeId(0), 0, 0), None);
+    }
+
+    #[test]
+    fn routes_from_yields_one_per_edge() {
+        let g = complete(5);
+        let t = tables(&g, 3);
+        let routes = t.routes_from(&g, NodeId(1), 6);
+        assert_eq!(routes.len(), 4);
+        let firsts: std::collections::HashSet<NodeId> =
+            routes.iter().map(|r| r[1]).collect();
+        assert_eq!(firsts.len(), 4, "each route leaves along a distinct edge");
+    }
+
+    #[test]
+    fn isolated_start_is_a_singleton_route() {
+        let g = socnet_core::Graph::from_edges(3, [(0, 1)]);
+        let t = tables(&g, 1);
+        assert_eq!(t.route(&g, NodeId(2), 0, 5), vec![NodeId(2)]);
+    }
+}

@@ -1,0 +1,185 @@
+//! SumUp: Sybil-resilient online content voting.
+//!
+//! Tran et al. (NSDI 2009) collect votes over the social graph: the vote
+//! collector provisions capacity for an expected number of votes `t` and
+//! distributes that capacity with the ticket-distribution process the
+//! paper's Sec. II describes — tickets decay with distance from the
+//! collector, forming a capacitated *envelope*. A vote is collected only
+//! if the voter sits inside the envelope and the collector's global vote
+//! budget is not exhausted. Sybil votes are bounded because all ticket
+//! flow into the Sybil region squeezes through the few attack edges.
+
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, NodeId};
+
+use crate::ticket::flood_until_holders;
+
+/// Parameters for [`SumUp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SumUpConfig {
+    /// Expected number of honest votes `t`: both the envelope's ticket
+    /// target and the global acceptance budget.
+    pub expected_votes: usize,
+    /// Reserved for tie-breaking extensions; the protocol itself is
+    /// deterministic.
+    pub seed: u64,
+}
+
+impl Default for SumUpConfig {
+    fn default() -> Self {
+        SumUpConfig { expected_votes: 100, seed: 0x5u64 }
+    }
+}
+
+/// Result of one vote collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoteOutcome {
+    /// Per-voter verdicts, parallel to the `voters` slice passed in.
+    pub accepted: Vec<bool>,
+    /// Number of accepted votes.
+    pub accepted_count: usize,
+    /// The adapted ticket budget the envelope ended up with.
+    pub tickets: f64,
+}
+
+/// The SumUp vote-collection protocol.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::NodeId;
+/// use socnet_gen::complete;
+/// use socnet_sybil::{SumUp, SumUpConfig};
+///
+/// let g = complete(20);
+/// let sumup = SumUp::new(SumUpConfig { expected_votes: 10, seed: 0 });
+/// let voters: Vec<NodeId> = (1..15).map(NodeId).collect();
+/// let outcome = sumup.collect(&g, NodeId(0), &voters);
+/// assert_eq!(outcome.accepted_count, 10); // budget caps at t
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SumUp {
+    config: SumUpConfig,
+}
+
+impl SumUp {
+    /// Creates the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected_votes == 0`.
+    pub fn new(config: SumUpConfig) -> Self {
+        assert!(config.expected_votes > 0, "need a positive vote budget");
+        SumUp { config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SumUpConfig {
+        &self.config
+    }
+
+    /// Collects votes from `voters` toward `collector`.
+    ///
+    /// The envelope is adapted until it holds at least `t` ticket holders
+    /// (or the collector's component is covered); votes are then accepted
+    /// in the order given, from ticket holders only, up to the global
+    /// budget `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `collector` or any voter is out of range, or the graph
+    /// has no edges.
+    pub fn collect(&self, graph: &Graph, collector: NodeId, voters: &[NodeId]) -> VoteOutcome {
+        graph.check_node(collector).expect("collector in range");
+        assert!(graph.edge_count() > 0, "vote collection needs edges");
+
+        let t = self.config.expected_votes;
+        let (holders, tickets) = flood_until_holders(graph, collector, t);
+
+        let mut budget = t;
+        let mut accepted = Vec::with_capacity(voters.len());
+        let mut accepted_count = 0usize;
+        for &voter in voters {
+            graph.check_node(voter).expect("voter in range");
+            let ok = budget > 0 && holders[voter.index()];
+            if ok {
+                budget -= 1;
+                accepted_count += 1;
+            }
+            accepted.push(ok);
+        }
+        VoteOutcome { accepted, accepted_count, tickets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackedGraph, SybilAttack, SybilTopology};
+    use socnet_gen::{complete, star};
+
+    #[test]
+    fn honest_votes_within_budget_are_collected() {
+        let g = complete(30);
+        let sumup = SumUp::new(SumUpConfig { expected_votes: 20, seed: 0 });
+        let voters: Vec<NodeId> = (1..21).map(NodeId).collect();
+        let out = sumup.collect(&g, NodeId(0), &voters);
+        assert_eq!(out.accepted_count, 20, "all {} honest votes fit the budget", voters.len());
+    }
+
+    #[test]
+    fn votes_beyond_budget_are_dropped() {
+        let g = star(50);
+        let sumup = SumUp::new(SumUpConfig { expected_votes: 5, seed: 0 });
+        let voters: Vec<NodeId> = (1..50).map(NodeId).collect();
+        let out = sumup.collect(&g, NodeId(0), &voters);
+        assert_eq!(out.accepted_count, 5, "budget is a hard cap");
+        // Exactly the first five eligible voters won.
+        assert!(out.accepted[..5].iter().all(|&b| b));
+        assert!(out.accepted[5..].iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn sybil_votes_bounded_by_attack_edges() {
+        let attacked = AttackedGraph::mount(
+            &complete(40),
+            &SybilAttack {
+                sybil_count: 50,
+                attack_edges: 3,
+                topology: SybilTopology::Clique,
+                seed: 4,
+            },
+        );
+        let g = attacked.graph();
+        let sumup = SumUp::new(SumUpConfig { expected_votes: 30, seed: 0 });
+        let sybil_voters: Vec<NodeId> = attacked.sybil_nodes().collect();
+        let out = sumup.collect(g, NodeId(0), &sybil_voters);
+        assert!(
+            out.accepted_count <= 3 * 4,
+            "sybil votes should be throttled near the attack-edge count, got {}",
+            out.accepted_count
+        );
+    }
+
+    #[test]
+    fn disconnected_voters_never_vote() {
+        let g = socnet_core::Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let sumup = SumUp::new(SumUpConfig { expected_votes: 5, seed: 0 });
+        let out = sumup.collect(&g, NodeId(0), &[NodeId(3), NodeId(4), NodeId(2)]);
+        assert_eq!(out.accepted, vec![false, false, true]);
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let g = complete(12);
+        let sumup = SumUp::new(SumUpConfig { expected_votes: 6, seed: 0 });
+        let voters: Vec<NodeId> = (1..12).map(NodeId).collect();
+        assert_eq!(sumup.collect(&g, NodeId(0), &voters), sumup.collect(&g, NodeId(0), &voters));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive vote budget")]
+    fn zero_budget_rejected() {
+        let _ = SumUp::new(SumUpConfig { expected_votes: 0, seed: 0 });
+    }
+}

@@ -1,0 +1,233 @@
+//! SybilGuard: Sybil defense via intersecting random routes.
+//!
+//! Each node runs one random route per incident edge, of length
+//! `w = Θ(√(n log n))`. Because honest routes stay in the honest region
+//! with high probability and any two long routes in a fast-mixing region
+//! intersect w.h.p. (birthday bound), a verifier accepts a suspect when a
+//! majority of the verifier's routes intersect the suspect's routes.
+//! Sybil suspects' routes must enter the honest region through the scarce
+//! attack edges, so only `O(√(n log n))` Sybils per attack edge pass.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, NodeId};
+
+use crate::RouteTables;
+
+/// Parameters for [`SybilGuard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SybilGuardConfig {
+    /// Random-route length `w`. The protocol's guidance is
+    /// `Θ(√(n log n))`; [`SybilGuardConfig::recommended_route_length`]
+    /// computes that default.
+    pub route_length: usize,
+    /// RNG seed for the routing permutations.
+    pub seed: u64,
+}
+
+impl SybilGuardConfig {
+    /// The `√(n·ln n)` route length the protocol analysis prescribes.
+    pub fn recommended_route_length(n: usize) -> usize {
+        let n = n.max(2) as f64;
+        (n.ln() * n).sqrt().ceil() as usize
+    }
+}
+
+impl Default for SybilGuardConfig {
+    fn default() -> Self {
+        SybilGuardConfig { route_length: 50, seed: 0x9a2d }
+    }
+}
+
+/// The SybilGuard verifier machinery over one graph.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::NodeId;
+/// use socnet_gen::complete;
+/// use socnet_sybil::{SybilGuard, SybilGuardConfig};
+///
+/// let g = complete(30);
+/// let guard = SybilGuard::new(&g, SybilGuardConfig::default());
+/// // In one well-connected region everyone verifies everyone.
+/// assert!(guard.accepts(NodeId(0), NodeId(17)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SybilGuard<'g> {
+    graph: &'g Graph,
+    tables: RouteTables,
+    route_length: usize,
+}
+
+impl<'g> SybilGuard<'g> {
+    /// Instantiates routing tables for `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route_length == 0`.
+    pub fn new(graph: &'g Graph, config: SybilGuardConfig) -> Self {
+        assert!(config.route_length > 0, "route length must be positive");
+        let tables = RouteTables::generate(graph, &mut StdRng::seed_from_u64(config.seed));
+        SybilGuard { graph, tables, route_length: config.route_length }
+    }
+
+    /// The route length in effect.
+    pub fn route_length(&self) -> usize {
+        self.route_length
+    }
+
+    /// The nodes covered by all of `v`'s routes (one per incident edge).
+    pub fn route_union(&self, v: NodeId) -> Vec<NodeId> {
+        let mut mark = vec![false; self.graph.node_count()];
+        for route in self.tables.routes_from(self.graph, v, self.route_length) {
+            for node in route {
+                mark[node.index()] = true;
+            }
+        }
+        (0..mark.len()).filter(|&i| mark[i]).map(NodeId::from_index).collect()
+    }
+
+    /// Whether `verifier` accepts `suspect`: a strict majority of the
+    /// verifier's routes must intersect the union of the suspect's routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn accepts(&self, verifier: NodeId, suspect: NodeId) -> bool {
+        self.graph.check_node(verifier).expect("verifier in range");
+        let verifier_routes = self.tables.routes_from(self.graph, verifier, self.route_length);
+        let mut suspect_mark = vec![false; self.graph.node_count()];
+        self.accepts_with(verifier, &verifier_routes, suspect, &mut suspect_mark)
+    }
+
+    /// Evaluates a whole suspect list against one verifier, computing the
+    /// verifier's routes once.
+    pub fn admitted_set(&self, verifier: NodeId, suspects: &[NodeId]) -> Vec<bool> {
+        self.graph.check_node(verifier).expect("verifier in range");
+        let verifier_routes = self.tables.routes_from(self.graph, verifier, self.route_length);
+        let mut suspect_mark = vec![false; self.graph.node_count()];
+        suspects
+            .iter()
+            .map(|&s| self.accepts_with(verifier, &verifier_routes, s, &mut suspect_mark))
+            .collect()
+    }
+
+    fn accepts_with(
+        &self,
+        verifier: NodeId,
+        verifier_routes: &[Vec<NodeId>],
+        suspect: NodeId,
+        suspect_mark: &mut [bool],
+    ) -> bool {
+        self.graph.check_node(suspect).expect("suspect in range");
+        if verifier == suspect {
+            return true;
+        }
+        let dv = self.graph.degree(verifier);
+        if dv == 0 || self.graph.degree(suspect) == 0 {
+            return false;
+        }
+
+        suspect_mark.fill(false);
+        for route in self.tables.routes_from(self.graph, suspect, self.route_length) {
+            for node in route {
+                suspect_mark[node.index()] = true;
+            }
+        }
+
+        let mut intersecting = 0usize;
+        for route in verifier_routes {
+            if route.iter().any(|node| suspect_mark[node.index()]) {
+                intersecting += 1;
+            }
+        }
+        2 * intersecting > dv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackedGraph, SybilAttack, SybilTopology};
+    use socnet_gen::complete;
+
+    #[test]
+    fn recommended_length_grows_like_sqrt_n_log_n() {
+        let small = SybilGuardConfig::recommended_route_length(100);
+        let large = SybilGuardConfig::recommended_route_length(10_000);
+        assert!(small >= 21 && small <= 22, "sqrt(100 ln 100) ≈ 21.5, got {small}");
+        assert!(large > 250 && large < 350);
+    }
+
+    #[test]
+    fn honest_nodes_verify_each_other_in_expander() {
+        let g = complete(40);
+        let guard = SybilGuard::new(&g, SybilGuardConfig { route_length: 30, seed: 1 });
+        let mut ok = 0;
+        for s in 1..20u32 {
+            if guard.accepts(NodeId(0), NodeId(s)) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 18, "only {ok}/19 honest suspects accepted");
+    }
+
+    #[test]
+    fn sybils_behind_one_attack_edge_are_mostly_rejected() {
+        let attacked = AttackedGraph::mount(
+            &complete(60),
+            &SybilAttack {
+                sybil_count: 40,
+                attack_edges: 1,
+                topology: SybilTopology::Clique,
+                seed: 3,
+            },
+        );
+        let g = attacked.graph();
+        let guard = SybilGuard::new(g, SybilGuardConfig { route_length: 25, seed: 2 });
+        let verifier = NodeId(0);
+        let sybils: Vec<NodeId> = attacked.sybil_nodes().collect();
+        let accepted = guard
+            .admitted_set(verifier, &sybils)
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        // One attack edge bounds accepted sybils by ~route length, and in a
+        // clique region most routes never cross at all.
+        assert!(
+            accepted < sybils.len() / 2,
+            "accepted {accepted} of {} sybils",
+            sybils.len()
+        );
+    }
+
+    #[test]
+    fn self_acceptance_and_isolated_rejection() {
+        let g = socnet_core::Graph::from_edges(4, [(0, 1), (1, 2)]);
+        let guard = SybilGuard::new(&g, SybilGuardConfig { route_length: 5, seed: 0 });
+        assert!(guard.accepts(NodeId(3), NodeId(3)), "self is always accepted");
+        assert!(!guard.accepts(NodeId(0), NodeId(3)), "isolated suspect rejected");
+        assert!(!guard.accepts(NodeId(3), NodeId(0)), "isolated verifier rejects");
+    }
+
+    #[test]
+    fn route_union_contains_self_and_neighbors_start() {
+        let g = complete(10);
+        let guard = SybilGuard::new(&g, SybilGuardConfig { route_length: 3, seed: 4 });
+        let union = guard.route_union(NodeId(5));
+        assert!(union.contains(&NodeId(5)));
+        assert!(union.len() > 1);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let g = complete(15);
+        let a = SybilGuard::new(&g, SybilGuardConfig { route_length: 10, seed: 9 });
+        let b = SybilGuard::new(&g, SybilGuardConfig { route_length: 10, seed: 9 });
+        for v in 0..15u32 {
+            assert_eq!(a.accepts(NodeId(0), NodeId(v)), b.accepts(NodeId(0), NodeId(v)));
+        }
+    }
+}

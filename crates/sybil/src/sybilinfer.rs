@@ -1,0 +1,224 @@
+//! SybilInfer-style inference: walk-trace scoring from a trusted node.
+//!
+//! Danezis and Mittal's SybilInfer samples many short random walks from
+//! known-honest nodes and infers the honest cut by Bayesian sampling over
+//! the walk traces. The signal the likelihood exploits is that walks
+//! started in the honest region land on honest nodes with probability
+//! proportional to degree, while Sybil nodes are under-visited because
+//! every visit must cross an attack edge.
+//!
+//! This module implements that signal directly: the **degree-normalized
+//! landing frequency** of `T`-step walks from a trusted node. In the
+//! fast-mixing honest region the score concentrates around `1/2m`; in
+//! the Sybil region it is depressed by the attack-edge bottleneck. The
+//! scores give the node *ranking* that Viswanath et al. showed is the
+//! common core of all these defenses; a cut threshold turns the ranking
+//! into a classification.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, NodeId};
+
+/// Parameters for [`SybilInfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SybilInferConfig {
+    /// Number of sampled walks.
+    pub walks: usize,
+    /// Walk length `T` (should be around the honest region's mixing time;
+    /// too long and walks leak into the Sybil region).
+    pub walk_length: usize,
+    /// RNG seed for walk sampling.
+    pub seed: u64,
+}
+
+impl Default for SybilInferConfig {
+    fn default() -> Self {
+        SybilInferConfig { walks: 20_000, walk_length: 10, seed: 0x1f3a }
+    }
+}
+
+/// Walk-trace scores from a trusted node.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::NodeId;
+/// use socnet_gen::complete;
+/// use socnet_sybil::{SybilInfer, SybilInferConfig};
+///
+/// let g = complete(16);
+/// let si = SybilInfer::infer(&g, NodeId(0), &SybilInferConfig::default());
+/// assert_eq!(si.scores().len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SybilInfer {
+    scores: Vec<f64>,
+    trusted: NodeId,
+}
+
+impl SybilInfer {
+    /// Samples walk traces from `trusted` and computes per-node scores.
+    ///
+    /// The score of `v` is `visits(v) / (walks · deg(v))`, where a "visit"
+    /// counts landing on `v` at the *end* of a walk. Isolated nodes score
+    /// 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trusted` is out of range, the graph has no edges, or
+    /// `walks == 0`.
+    pub fn infer(graph: &Graph, trusted: NodeId, config: &SybilInferConfig) -> Self {
+        graph.check_node(trusted).expect("trusted in range");
+        assert!(graph.edge_count() > 0, "inference needs edges");
+        assert!(config.walks > 0, "need at least one walk");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut visits = vec![0u64; graph.node_count()];
+        for _ in 0..config.walks {
+            let mut cur = trusted;
+            for _ in 0..config.walk_length {
+                let nbrs = graph.neighbors(cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                cur = nbrs[rng.random_range(0..nbrs.len())];
+            }
+            visits[cur.index()] += 1;
+        }
+        let scores = graph
+            .nodes()
+            .map(|v| {
+                let d = graph.degree(v);
+                if d == 0 {
+                    0.0
+                } else {
+                    visits[v.index()] as f64 / (config.walks as f64 * d as f64)
+                }
+            })
+            .collect();
+        SybilInfer { scores, trusted }
+    }
+
+    /// The degree-normalized landing score of every node.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The trusted node the walks started from.
+    pub fn trusted(&self) -> NodeId {
+        self.trusted
+    }
+
+    /// Nodes sorted by decreasing score (ties by id) — the trust ranking.
+    pub fn ranking(&self) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.scores.len()).map(NodeId::from_index).collect();
+        order.sort_by(|&a, &b| {
+            self.scores[b.index()]
+                .partial_cmp(&self.scores[a.index()])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Classifies nodes as honest (`true`) when their score is at least
+    /// `threshold` times the ideal stationary score `1/2m`.
+    pub fn classify(&self, graph: &Graph, threshold: f64) -> Vec<bool> {
+        let ideal = 1.0 / graph.degree_sum() as f64;
+        self.scores.iter().map(|&s| s >= threshold * ideal).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackedGraph, SybilAttack, SybilTopology};
+    use socnet_gen::complete;
+
+    fn cfg(walks: usize, len: usize) -> SybilInferConfig {
+        SybilInferConfig { walks, walk_length: len, seed: 3 }
+    }
+
+    #[test]
+    fn scores_concentrate_on_clique() {
+        let g = complete(12);
+        let si = SybilInfer::infer(&g, NodeId(0), &cfg(30_000, 8));
+        let ideal = 1.0 / g.degree_sum() as f64;
+        for v in g.nodes() {
+            let s = si.scores()[v.index()];
+            assert!(
+                (s - ideal).abs() < 0.5 * ideal,
+                "{v}: score {s} far from ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn sybils_score_below_honest() {
+        let attacked = AttackedGraph::mount(
+            &complete(40),
+            &SybilAttack {
+                sybil_count: 30,
+                attack_edges: 2,
+                topology: SybilTopology::Clique,
+                seed: 5,
+            },
+        );
+        let g = attacked.graph();
+        let si = SybilInfer::infer(g, NodeId(0), &cfg(40_000, 6));
+        let honest_mean: f64 = attacked
+            .honest_nodes()
+            .map(|v| si.scores()[v.index()])
+            .sum::<f64>()
+            / attacked.honest_count() as f64;
+        let sybil_mean: f64 = attacked
+            .sybil_nodes()
+            .map(|v| si.scores()[v.index()])
+            .sum::<f64>()
+            / attacked.sybil_count() as f64;
+        assert!(
+            honest_mean > 3.0 * sybil_mean,
+            "honest {honest_mean} vs sybil {sybil_mean}"
+        );
+    }
+
+    #[test]
+    fn ranking_puts_honest_first_under_attack() {
+        let attacked = AttackedGraph::mount(
+            &complete(25),
+            &SybilAttack {
+                sybil_count: 20,
+                attack_edges: 1,
+                topology: SybilTopology::ErdosRenyi { p: 0.3 },
+                seed: 2,
+            },
+        );
+        let si = SybilInfer::infer(attacked.graph(), NodeId(0), &cfg(30_000, 5));
+        let top: Vec<NodeId> = si.ranking().into_iter().take(attacked.honest_count()).collect();
+        let honest_in_top = top.iter().filter(|&&v| !attacked.is_sybil(v)).count();
+        assert!(
+            honest_in_top as f64 >= 0.9 * attacked.honest_count() as f64,
+            "only {honest_in_top}/{} honest in top",
+            attacked.honest_count()
+        );
+    }
+
+    #[test]
+    fn classification_threshold_behaviour() {
+        let g = complete(10);
+        let si = SybilInfer::infer(&g, NodeId(0), &cfg(20_000, 6));
+        let all = si.classify(&g, 0.1);
+        assert!(all.iter().all(|&b| b), "tiny threshold accepts everyone");
+        let none = si.classify(&g, 100.0);
+        assert!(none.iter().all(|&b| !b), "huge threshold rejects everyone");
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let g = complete(8);
+        let a = SybilInfer::infer(&g, NodeId(1), &cfg(500, 4));
+        let b = SybilInfer::infer(&g, NodeId(1), &cfg(500, 4));
+        assert_eq!(a, b);
+        assert_eq!(a.trusted(), NodeId(1));
+    }
+}

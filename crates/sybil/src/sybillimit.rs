@@ -1,0 +1,239 @@
+//! SybilLimit: near-optimal Sybil defense via many short random routes.
+//!
+//! SybilLimit improves on SybilGuard by running `r = Θ(√m)` *independent*
+//! route instances of only `w = O(mixing time)` steps each. A verifier
+//! accepts a suspect when their route **tails** (last directed edges)
+//! intersect in some instance — the "intersection condition" — subject to
+//! the **balance condition**: no verifier tail may vouch for dispropor-
+//! tionately many suspects, which is what caps accepted Sybils at
+//! `O(log n)` per attack edge.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use socnet_core::{Graph, NodeId};
+
+use crate::RouteTables;
+
+/// Parameters for [`SybilLimit`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SybilLimitConfig {
+    /// Number of independent route instances `r` (protocol: `r₀·√m`).
+    pub instances: usize,
+    /// Route length `w` (protocol: the graph's mixing time).
+    pub route_length: usize,
+    /// Balance slack `h ≥ 1`: a tail may vouch for at most
+    /// `h·max(1, A/r)` suspects, where `A` is the number already accepted.
+    pub balance_slack: f64,
+    /// RNG seed for the per-instance routing permutations.
+    pub seed: u64,
+}
+
+impl SybilLimitConfig {
+    /// The `r₀√m` instance count with the protocol's usual `r₀ = 4`.
+    pub fn recommended_instances(edge_count: usize) -> usize {
+        (4.0 * (edge_count.max(1) as f64).sqrt()).ceil() as usize
+    }
+}
+
+impl Default for SybilLimitConfig {
+    fn default() -> Self {
+        SybilLimitConfig { instances: 64, route_length: 10, balance_slack: 4.0, seed: 0x11f7 }
+    }
+}
+
+/// The SybilLimit protocol over one graph.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::NodeId;
+/// use socnet_gen::complete;
+/// use socnet_sybil::{SybilLimit, SybilLimitConfig};
+///
+/// let g = complete(24);
+/// let sl = SybilLimit::new(&g, SybilLimitConfig::default());
+/// let verdicts = sl.verify_all(NodeId(0), &g.nodes().collect::<Vec<_>>());
+/// let accepted = verdicts.iter().filter(|&&b| b).count();
+/// assert!(accepted > 20, "expander nodes verify, got {accepted}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SybilLimit<'g> {
+    graph: &'g Graph,
+    tables: Vec<RouteTables>,
+    config: SybilLimitConfig,
+}
+
+impl<'g> SybilLimit<'g> {
+    /// Instantiates `r` independent routing-table instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances == 0`, `route_length == 0`, or
+    /// `balance_slack < 1`.
+    pub fn new(graph: &'g Graph, config: SybilLimitConfig) -> Self {
+        assert!(config.instances > 0, "need at least one instance");
+        assert!(config.route_length > 0, "route length must be positive");
+        assert!(config.balance_slack >= 1.0, "balance slack must be >= 1");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let tables = (0..config.instances)
+            .map(|_| RouteTables::generate(graph, &mut rng))
+            .collect();
+        SybilLimit { graph, tables, config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SybilLimitConfig {
+        &self.config
+    }
+
+    /// The per-instance route tails of `v`: instance `i`'s tail is the
+    /// last directed edge of a route of length `w` leaving `v` along a
+    /// pseudo-random incident edge of that instance.
+    pub fn tails(&self, v: NodeId) -> Vec<Option<(NodeId, NodeId)>> {
+        let deg = self.graph.degree(v);
+        if deg == 0 {
+            return vec![None; self.config.instances];
+        }
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                // Deterministic per-instance first hop: mix v and i.
+                let first = (v.index().wrapping_mul(31).wrapping_add(i * 17)) % deg;
+                t.route_tail(self.graph, v, first, self.config.route_length)
+            })
+            .collect()
+    }
+
+    /// Verifies a batch of suspects against `verifier`, applying the
+    /// intersection and balance conditions in suspect order.
+    ///
+    /// Order matters (earlier suspects consume balance capacity first);
+    /// callers wanting order-independence should randomize the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is out of range.
+    pub fn verify_all(&self, verifier: NodeId, suspects: &[NodeId]) -> Vec<bool> {
+        self.graph.check_node(verifier).expect("verifier in range");
+        let verifier_tails = self.tails(verifier);
+        // Map each verifier tail edge to its load counter.
+        let mut load: std::collections::HashMap<(NodeId, NodeId), usize> = Default::default();
+        for t in verifier_tails.iter().flatten() {
+            load.entry(*t).or_insert(0);
+        }
+
+        let r = self.config.instances as f64;
+        let mut accepted_count = 0usize;
+        let mut out = Vec::with_capacity(suspects.len());
+        for &s in suspects {
+            self.graph.check_node(s).expect("suspect in range");
+            if s == verifier {
+                out.push(true);
+                continue;
+            }
+            let cap = (self.config.balance_slack * ((accepted_count as f64 + 1.0) / r).max(1.0))
+                .ceil() as usize;
+            // Intersection condition: a suspect tail that is also a
+            // verifier tail, with remaining balance capacity.
+            let mut accepted = false;
+            for tail in self.tails(s).into_iter().flatten() {
+                if let Some(l) = load.get_mut(&tail) {
+                    if *l < cap {
+                        *l += 1;
+                        accepted = true;
+                        break;
+                    }
+                }
+            }
+            accepted_count += usize::from(accepted);
+            out.push(accepted);
+        }
+        out
+    }
+
+    /// Convenience single-suspect check (no cross-suspect balance state).
+    pub fn accepts(&self, verifier: NodeId, suspect: NodeId) -> bool {
+        self.verify_all(verifier, &[suspect])[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackedGraph, SybilAttack, SybilTopology};
+    use socnet_gen::complete;
+
+    fn cfg(instances: usize, w: usize) -> SybilLimitConfig {
+        SybilLimitConfig { instances, route_length: w, balance_slack: 4.0, seed: 5 }
+    }
+
+    #[test]
+    fn recommended_instances_scale_with_sqrt_m() {
+        assert_eq!(SybilLimitConfig::recommended_instances(100), 40);
+        assert_eq!(SybilLimitConfig::recommended_instances(10_000), 400);
+    }
+
+    #[test]
+    fn honest_acceptance_in_expander() {
+        let g = complete(30);
+        let sl = SybilLimit::new(&g, cfg(60, 6));
+        let suspects: Vec<NodeId> = (1..30).map(NodeId).collect();
+        let verdicts = sl.verify_all(NodeId(0), &suspects);
+        let ok = verdicts.iter().filter(|&&b| b).count();
+        assert!(ok > 25, "only {ok}/29 accepted");
+    }
+
+    #[test]
+    fn sybil_acceptance_bounded_by_balance() {
+        let attacked = AttackedGraph::mount(
+            &complete(50),
+            &SybilAttack {
+                sybil_count: 60,
+                attack_edges: 2,
+                topology: SybilTopology::Clique,
+                seed: 8,
+            },
+        );
+        let sl = SybilLimit::new(attacked.graph(), cfg(40, 6));
+        let sybils: Vec<NodeId> = attacked.sybil_nodes().collect();
+        let accepted = sl
+            .verify_all(NodeId(0), &sybils)
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        assert!(
+            accepted <= 20,
+            "balance should cap sybil acceptance, got {accepted}/60"
+        );
+    }
+
+    #[test]
+    fn tails_shape_and_isolated_nodes() {
+        let g = socnet_core::Graph::from_edges(4, [(0, 1), (1, 2)]);
+        let sl = SybilLimit::new(&g, cfg(7, 3));
+        assert_eq!(sl.tails(NodeId(0)).len(), 7);
+        assert!(sl.tails(NodeId(3)).iter().all(|t| t.is_none()));
+        assert!(!sl.accepts(NodeId(0), NodeId(3)));
+        assert!(sl.accepts(NodeId(2), NodeId(2)), "self-acceptance");
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let g = complete(16);
+        let sl = SybilLimit::new(&g, cfg(20, 5));
+        let suspects: Vec<NodeId> = (0..16).map(NodeId).collect();
+        assert_eq!(sl.verify_all(NodeId(3), &suspects), sl.verify_all(NodeId(3), &suspects));
+    }
+
+    #[test]
+    #[should_panic(expected = "balance slack")]
+    fn bad_slack_rejected() {
+        let g = complete(4);
+        let _ = SybilLimit::new(
+            &g,
+            SybilLimitConfig { instances: 2, route_length: 2, balance_slack: 0.5, seed: 0 },
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! The level-synchronous ticket-distribution primitive shared by
+//! GateKeeper and SumUp.
+//!
+//! A source starts with `t` tickets; processing its BFS tree level by
+//! level, every node consumes one ticket and forwards the remainder split
+//! evenly among its next-level neighbors. Tickets reaching a dead end are
+//! lost. A node *holds* a ticket (is inside the envelope) if it received
+//! at least one.
+
+use socnet_core::{bfs, Graph, NodeId, UNREACHED};
+
+/// Runs one flood of `tickets` from `source` given precomputed BFS
+/// distances. Returns per-node holder flags and the holder count.
+pub(crate) fn ticket_flood(
+    graph: &Graph,
+    source: NodeId,
+    dist: &[u32],
+    tickets: f64,
+) -> (Vec<bool>, usize) {
+    let n = graph.node_count();
+    let mut amount = vec![0.0f64; n];
+    amount[source.index()] = tickets;
+
+    let mut by_level: Vec<Vec<NodeId>> = Vec::new();
+    for v in graph.nodes() {
+        let d = dist[v.index()];
+        if d == UNREACHED {
+            continue;
+        }
+        let d = d as usize;
+        if by_level.len() <= d {
+            by_level.resize_with(d + 1, Vec::new);
+        }
+        by_level[d].push(v);
+    }
+
+    let mut holders = vec![false; n];
+    let mut count = 0usize;
+    for (level, nodes) in by_level.iter().enumerate() {
+        for &v in nodes {
+            let have = amount[v.index()];
+            if have < 1.0 {
+                continue;
+            }
+            holders[v.index()] = true;
+            count += 1;
+            let forward = have - 1.0;
+            if forward <= 0.0 {
+                continue;
+            }
+            let next: Vec<NodeId> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|u| dist[u.index()] == (level + 1) as u32)
+                .collect();
+            if next.is_empty() {
+                continue;
+            }
+            let share = forward / next.len() as f64;
+            for u in next {
+                amount[u.index()] += share;
+            }
+        }
+    }
+    (holders, count)
+}
+
+/// Doubles the ticket budget until at least `target` nodes hold tickets
+/// (or the source's whole component is covered). Returns the holder flags
+/// and the final budget.
+pub(crate) fn flood_until_holders(
+    graph: &Graph,
+    source: NodeId,
+    target: usize,
+) -> (Vec<bool>, f64) {
+    let levels = bfs(graph, source);
+    let target = target.min(levels.reached);
+    let mut tickets = 8.0f64;
+    let (mut holders, mut count) = ticket_flood(graph, source, &levels.dist, tickets);
+    while count < target && tickets < 4.0 * graph.node_count() as f64 {
+        tickets *= 2.0;
+        let (h, c) = ticket_flood(graph, source, &levels.dist, tickets);
+        holders = h;
+        count = c;
+        if count >= levels.reached {
+            break;
+        }
+    }
+    (holders, tickets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socnet_gen::{complete, ring, star};
+
+    #[test]
+    fn source_always_holds_when_budget_positive() {
+        let g = ring(10);
+        let d = bfs(&g, NodeId(0)).dist;
+        let (holders, count) = ticket_flood(&g, NodeId(0), &d, 1.0);
+        assert!(holders[0]);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn flood_spends_one_ticket_per_holder_on_a_ring() {
+        let g = ring(30);
+        let d = bfs(&g, NodeId(0)).dist;
+        let (_, count) = ticket_flood(&g, NodeId(0), &d, 15.0);
+        assert_eq!(count, 15);
+    }
+
+    #[test]
+    fn splitting_below_one_stops_the_flood() {
+        let g = star(20);
+        let d = bfs(&g, NodeId(0)).dist;
+        // 10 tickets split over 19 leaves: each < 1, only the hub holds.
+        let (holders, count) = ticket_flood(&g, NodeId(0), &d, 10.0);
+        assert_eq!(count, 1);
+        assert!(holders[0]);
+    }
+
+    #[test]
+    fn adaptive_flood_reaches_target() {
+        let g = complete(40);
+        let (holders, budget) = flood_until_holders(&g, NodeId(3), 20);
+        let count = holders.iter().filter(|&&h| h).count();
+        assert!(count >= 20, "held {count}");
+        assert!(budget >= 8.0);
+    }
+
+    #[test]
+    fn adaptive_flood_is_bounded_by_component() {
+        let g = socnet_core::Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let (holders, _) = flood_until_holders(&g, NodeId(0), 6);
+        assert_eq!(holders.iter().filter(|&&h| h).count(), 3);
+        assert!(!holders[3] && !holders[4] && !holders[5]);
+    }
+}

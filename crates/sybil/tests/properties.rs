@@ -1,0 +1,167 @@
+//! Property-based tests of the attack harness and defenses.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::NodeId;
+use socnet_gen::{complete, erdos_renyi_gnp};
+use socnet_sybil::{
+    eval, AttackedGraph, GateKeeper, GateKeeperConfig, RouteTables, SumUp, SumUpConfig,
+    SybilAttack, SybilInfer, SybilInferConfig, SybilTopology,
+};
+
+fn arb_attack() -> impl Strategy<Value = (usize, SybilAttack)> {
+    (6usize..24, 2usize..12, 1usize..6, any::<u64>(), 0usize..3).prop_map(
+        |(honest_n, sybils, edges, seed, topo)| {
+            let topology = match topo {
+                0 => SybilTopology::Clique,
+                1 => SybilTopology::ErdosRenyi { p: 0.5 },
+                _ => SybilTopology::ScaleFree { m_attach: 2 },
+            };
+            (
+                honest_n,
+                SybilAttack {
+                    sybil_count: sybils,
+                    attack_edges: edges.min(honest_n * sybils),
+                    topology,
+                    seed,
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn attack_edge_budget_is_exact((honest_n, attack) in arb_attack()) {
+        let honest = complete(honest_n);
+        let a = AttackedGraph::mount(&honest, &attack);
+        let crossings = a
+            .graph()
+            .edges()
+            .filter(|&(u, v)| a.is_sybil(u) != a.is_sybil(v))
+            .count();
+        prop_assert_eq!(crossings, attack.attack_edges);
+        prop_assert_eq!(a.graph().node_count(), honest_n + attack.sybil_count);
+        // Honest-internal edges are untouched.
+        let honest_internal = a
+            .graph()
+            .edges()
+            .filter(|&(u, v)| !a.is_sybil(u) && !a.is_sybil(v))
+            .count();
+        prop_assert_eq!(honest_internal, honest.edge_count());
+    }
+
+    #[test]
+    fn admission_stats_are_consistent((honest_n, attack) in arb_attack(), mask in any::<u64>()) {
+        let a = AttackedGraph::mount(&complete(honest_n), &attack);
+        let n = a.graph().node_count();
+        let admitted: Vec<bool> = (0..n).map(|i| (mask >> (i % 64)) & 1 == 1).collect();
+        let s = eval::admission_stats(&a, &admitted);
+        prop_assert_eq!(s.honest_total, honest_n);
+        prop_assert_eq!(s.sybil_total, attack.sybil_count);
+        prop_assert!(s.honest_accepted <= s.honest_total);
+        prop_assert!(s.sybil_accepted <= s.sybil_total);
+        prop_assert!((0.0..=1.0).contains(&s.honest_accept_rate));
+    }
+
+    #[test]
+    fn auc_is_invariant_to_within_class_order((honest_n, attack) in arb_attack()) {
+        let a = AttackedGraph::mount(&complete(honest_n), &attack);
+        let mut fwd: Vec<NodeId> = a.honest_nodes().collect();
+        fwd.extend(a.sybil_nodes());
+        let mut rev: Vec<NodeId> = a.honest_nodes().collect();
+        rev.reverse();
+        let mut sybs: Vec<NodeId> = a.sybil_nodes().collect();
+        sybs.reverse();
+        rev.extend(sybs);
+        prop_assert_eq!(eval::ranking_auc(&a, &fwd), 1.0);
+        prop_assert_eq!(eval::ranking_auc(&a, &rev), 1.0);
+    }
+
+    #[test]
+    fn routes_are_reversible(n in 4usize..20, p in 0.2f64..0.9, seed in any::<u64>()) {
+        // Back-traceability: distinct entry edges at a node map to
+        // distinct exit edges (the permutation property).
+        let g = erdos_renyi_gnp(n, p, &mut StdRng::seed_from_u64(seed));
+        let tables = RouteTables::generate(&g, &mut StdRng::seed_from_u64(seed ^ 1));
+        for v in g.nodes() {
+            let deg = g.degree(v);
+            if deg < 2 {
+                continue;
+            }
+            let mut exits = std::collections::HashSet::new();
+            for first in 0..deg {
+                let r = tables.route(&g, v, first, 2);
+                if r.len() == 3 {
+                    exits.insert((r[1], r[2]));
+                }
+            }
+            // All explored 2-step routes leaving v along distinct edges
+            // arrive at distinct directed second edges *per middle node*.
+            let mut per_mid: std::collections::HashMap<NodeId, usize> = Default::default();
+            for (mid, _) in &exits {
+                *per_mid.entry(*mid).or_insert(0) += 1;
+            }
+            for (mid, count) in per_mid {
+                prop_assert!(count <= g.degree(mid), "more exits than edges at {mid}");
+            }
+        }
+    }
+
+    #[test]
+    fn gatekeeper_admits_controller_region(seed in any::<u64>()) {
+        let a = AttackedGraph::mount(
+            &complete(20),
+            &SybilAttack {
+                sybil_count: 6,
+                attack_edges: 1,
+                topology: SybilTopology::Clique,
+                seed,
+            },
+        );
+        let out = GateKeeper::new(GateKeeperConfig {
+            distributors: 12,
+            f_admit: 0.2,
+            seed,
+            ..Default::default()
+        })
+        .run(&a);
+        let s = eval::admission_stats(&a, out.admitted());
+        prop_assert!(s.honest_accept_rate > 0.8, "honest rate {}", s.honest_accept_rate);
+    }
+
+    #[test]
+    fn sumup_budget_is_never_exceeded(budget in 1usize..20, seed in any::<u64>()) {
+        let g = erdos_renyi_gnp(30, 0.3, &mut StdRng::seed_from_u64(seed));
+        prop_assume!(g.edge_count() > 0);
+        let collector = NodeId(0);
+        let voters: Vec<NodeId> = g.nodes().collect();
+        let out = SumUp::new(SumUpConfig { expected_votes: budget, seed })
+            .collect(&g, collector, &voters);
+        prop_assert!(out.accepted_count <= budget);
+        prop_assert_eq!(out.accepted.iter().filter(|&&b| b).count(), out.accepted_count);
+    }
+
+    #[test]
+    fn sybilinfer_scores_sum_consistency(seed in any::<u64>()) {
+        let g = complete(10);
+        let si = SybilInfer::infer(
+            &g,
+            NodeId(0),
+            &SybilInferConfig { walks: 2000, walk_length: 4, seed },
+        );
+        // Scores times degree times walks must sum back to the walk count.
+        let total: f64 = g
+            .nodes()
+            .map(|v| si.scores()[v.index()] * g.degree(v) as f64 * 2000.0)
+            .sum();
+        prop_assert!((total - 2000.0).abs() < 1e-6);
+        // Ranking is a permutation.
+        let mut r = si.ranking();
+        r.sort_unstable();
+        prop_assert_eq!(r, g.nodes().collect::<Vec<_>>());
+    }
+}

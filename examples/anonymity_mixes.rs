@@ -1,0 +1,58 @@
+//! Social graphs as mix networks: how much sender anonymity does a
+//! t-step relay walk buy on each kind of social graph?
+//!
+//! Run with: `cargo run --release --example anonymity_mixes`
+
+use socnet::core::sample_nodes;
+use socnet::gen::Dataset;
+use socnet::mixing::AnonymityCurve;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!(
+        "{:<14} {:>7} {:>9} {:>12} {:>12} {:>12} {:>14}",
+        "dataset", "nodes", "ceiling", "bits@5", "bits@20", "bits@50", "steps-to-90%"
+    );
+    for d in [
+        Dataset::WikiVote,
+        Dataset::Epinion,
+        Dataset::Enron,
+        Dataset::FacebookA,
+        Dataset::Physics1,
+        Dataset::Physics3,
+        Dataset::Dblp,
+    ] {
+        let g = d.generate_scaled(0.15, 17);
+        let mut rng = StdRng::seed_from_u64(17);
+        // Average the curve over a few senders.
+        let sources = sample_nodes(&g, 5, &mut rng);
+        let curves: Vec<AnonymityCurve> =
+            sources.iter().map(|&s| AnonymityCurve::measure(&g, s, 60)).collect();
+        let mean_at = |t: usize| {
+            curves.iter().map(|c| c.entropy[t - 1]).sum::<f64>() / curves.len() as f64
+        };
+        let steps: Vec<String> = curves
+            .iter()
+            .map(|c| {
+                c.steps_to_fraction(0.9)
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| ">60".into())
+            })
+            .collect();
+        println!(
+            "{:<14} {:>7} {:>9.2} {:>12.2} {:>12.2} {:>12.2} {:>14}",
+            d.name(),
+            g.node_count(),
+            curves[0].ceiling,
+            mean_at(5),
+            mean_at(20),
+            mean_at(50),
+            steps.join(","),
+        );
+    }
+    println!();
+    println!("weak-trust graphs reach ~90% of their entropy ceiling within a handful");
+    println!("of hops (good mixes); strict-trust collaboration graphs need dozens —");
+    println!("the same fast/slow split as every other measurement in this repo.");
+}

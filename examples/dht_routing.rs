@@ -1,0 +1,59 @@
+//! Sybil-resistant DHT routing over a social graph: uniform finger
+//! sampling (poisoned by Sybil identities) versus social-walk sampling
+//! (Whānau-style), across growing attack intensities.
+//!
+//! Run with: `cargo run --release --example dht_routing`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet::dht::{lookup_success_rate, DhtConfig, FingerStrategy, SocialDht};
+use socnet::gen::Dataset;
+use socnet::sybil::{AttackedGraph, SybilAttack, SybilTopology};
+
+fn main() {
+    let honest = Dataset::Epinion.generate_scaled(0.1, 13);
+    println!(
+        "honest region: {} ({} nodes, {} edges)",
+        Dataset::Epinion.name(),
+        honest.node_count(),
+        honest.edge_count()
+    );
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>14} {:>14}",
+        "sybils", "edges", "unif-poison", "unif-success", "walk-poison", "walk-success"
+    );
+
+    for (sybils, attack_edges) in [(200, 5), (760, 10), (1520, 20), (3040, 40)] {
+        let attacked = AttackedGraph::mount(
+            &honest,
+            &SybilAttack {
+                sybil_count: sybils,
+                attack_edges,
+                topology: SybilTopology::ScaleFree { m_attach: 3 },
+                seed: 13,
+            },
+        );
+        let config = |strategy| DhtConfig { fingers: 16, strategy, replication: 8, seed: 13 };
+        let uniform = SocialDht::build(&attacked, &config(FingerStrategy::Uniform));
+        let walk =
+            SocialDht::build(&attacked, &config(FingerStrategy::SocialWalk { length: 8 }));
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let u_rate = lookup_success_rate(&attacked, &uniform, 300, 40, &mut rng);
+        let w_rate = lookup_success_rate(&attacked, &walk, 300, 40, &mut rng);
+        println!(
+            "{:>8} {:>8} {:>13.1}% {:>13.1}% {:>13.1}% {:>13.1}%",
+            sybils,
+            attack_edges,
+            100.0 * uniform.poisoned_finger_rate(),
+            100.0 * u_rate,
+            100.0 * walk.poisoned_finger_rate(),
+            100.0 * w_rate,
+        );
+    }
+    println!();
+    println!("uniform sampling degrades with the Sybil population (identities are");
+    println!("free); social-walk sampling degrades only with attack edges (which");
+    println!("cost real social engineering) — the trust assumption the paper's");
+    println!("measurements underwrite.");
+}

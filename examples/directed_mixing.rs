@@ -1,0 +1,63 @@
+//! Directed vs. symmetrized mixing — the question behind the authors'
+//! follow-up paper: the crawled graphs are directed, the defenses assume
+//! undirected; how much does symmetrizing change the mixing picture?
+//!
+//! We orient each registry graph's edges (randomly dropping one
+//! direction for a fraction of edges), extract the largest strongly
+//! connected component, and measure the directed chain against its
+//! symmetrized version under the same random surfer.
+//!
+//! Run with: `cargo run --release --example directed_mixing`
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use socnet::digraph::{largest_scc, Digraph, DirectedMixing, DirectedMixingConfig};
+use socnet::gen::Dataset;
+
+fn main() {
+    println!(
+        "{:<14} {:>8} {:>8} {:>12} {:>12} {:>11}",
+        "dataset", "scc-n", "arcs", "dirTVD@25", "symTVD@25", "dir-T(0.1)"
+    );
+    for d in [Dataset::WikiVote, Dataset::Epinion, Dataset::Physics1, Dataset::Physics3] {
+        let undirected = d.generate_scaled(0.15, 21);
+
+        // Orient: keep both directions for 30% of edges, one random
+        // direction for the rest (crawled "who-trusts-whom" asymmetry).
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut arcs = Vec::with_capacity(undirected.degree_sum());
+        for (u, v) in undirected.edges() {
+            if rng.random_range(0.0..1.0) < 0.3 {
+                arcs.push((u.0, v.0));
+                arcs.push((v.0, u.0));
+            } else if rng.random_range(0.0..1.0) < 0.5 {
+                arcs.push((u.0, v.0));
+            } else {
+                arcs.push((v.0, u.0));
+            }
+        }
+        let directed = Digraph::from_arcs(undirected.node_count(), arcs);
+        let (core, _) = largest_scc(&directed);
+        let symmetrized = Digraph::from_undirected(&core.to_undirected());
+
+        let cfg = DirectedMixingConfig { sources: 30, max_walk: 120, teleport: 0.0, ..Default::default() };
+        let dir = DirectedMixing::measure(&core, &cfg);
+        let sym = DirectedMixing::measure(&symmetrized, &cfg);
+
+        println!(
+            "{:<14} {:>8} {:>8} {:>12.5} {:>12.5} {:>11}",
+            d.name(),
+            core.node_count(),
+            core.arc_count(),
+            dir.mean_curve()[24],
+            sym.mean_curve()[24],
+            dir.mixing_time(0.1)
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| format!(">{}", cfg.max_walk)),
+        );
+    }
+    println!();
+    println!("orienting edges shrinks the usable (strongly connected) core and");
+    println!("generally slows mixing relative to the symmetrized graph — the");
+    println!("follow-up paper's motivation for studying directed chains directly.");
+}

@@ -1,0 +1,54 @@
+//! Watch the paper's three properties drift as a social graph evolves —
+//! the Sec. VI open problem, operationalized. Two evolutions are traced:
+//! weak-trust growth (preferential attachment) and strict-trust growth
+//! (communities arriving over time).
+//!
+//! Run with: `cargo run --release --example evolution_watch`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet::dynamic::{ba_growth, community_growth, PropertyTrajectory, TrajectoryConfig};
+
+fn main() {
+    let cfg = TrajectoryConfig::default();
+
+    println!("weak-trust evolution (preferential attachment):");
+    let mut rng = StdRng::seed_from_u64(11);
+    let ba = ba_growth(3_000, 6, &mut rng);
+    print_trajectory(&PropertyTrajectory::measure(&ba, 6, &cfg));
+
+    println!("\nstrict-trust evolution (communities arriving):");
+    let mut rng = StdRng::seed_from_u64(11);
+    let cave = community_growth(220, 4, 18, 0.05, &mut rng);
+    let traj = PropertyTrajectory::measure(&cave, 6, &cfg);
+    print_trajectory(&traj);
+
+    println!();
+    println!(
+        "slem drift over community growth: {:+.4} (positive = mixing slowed)",
+        traj.slem_drift()
+    );
+    println!("the weak-trust network keeps its mixing quality as it grows; the");
+    println!("strict-trust network stays slow throughout — defenses provisioned");
+    println!("from early measurements stay valid only if the social model is stable.");
+}
+
+fn print_trajectory(traj: &PropertyTrajectory) {
+    println!(
+        "  {:>9} {:>7} {:>8} {:>8} {:>11} {:>9} {:>7} {:>9}",
+        "arrivals", "nodes", "edges", "slem", "degeneracy", "nu'(max)", "cores", "mid-alpha"
+    );
+    for p in traj.points() {
+        println!(
+            "  {:>9} {:>7} {:>8} {:>8.4} {:>11} {:>9.4} {:>7} {:>9.3}",
+            p.arrivals,
+            p.nodes,
+            p.edges,
+            p.slem,
+            p.degeneracy,
+            p.nu_prime_deepest,
+            p.cores_deepest,
+            p.mid_alpha
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Audit the expansion of a social graph the way GateKeeper's analysis
+//! needs it: per-source envelope series, aggregated min/mean/max neighbor
+//! counts, and sampled connected-set expansion.
+//!
+//! Run with: `cargo run --release --example expansion_audit`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet::core::{pseudo_diameter, NodeId};
+use socnet::expansion::{
+    sampled_set_expansion, EnvelopeExpansion, ExpansionSweep, SourceSelection,
+};
+use socnet::gen::Dataset;
+
+fn main() {
+    let g = Dataset::FacebookA.generate_scaled(0.25, 3);
+    println!(
+        "auditing {}: {} nodes, {} edges, pseudo-diameter {}",
+        Dataset::FacebookA.name(),
+        g.node_count(),
+        g.edge_count(),
+        pseudo_diameter(&g, 4)
+    );
+
+    // One source in detail: the envelope series from node 0.
+    let series = EnvelopeExpansion::measure(&g, NodeId(0));
+    println!("\nenvelope from v0 (levels {:?}):", series.level_sizes());
+    for (i, ((env, exp), alpha)) in series.pairs().iter().zip(series.alphas()).enumerate() {
+        println!("  depth {i}: |Env| = {env:>6}  |Exp| = {exp:>6}  alpha = {alpha:.3}");
+    }
+
+    // The sweep over sampled cores (the Figure 3 aggregation).
+    let sweep = ExpansionSweep::measure(&g, SourceSelection::Sample(200), 3);
+    println!("\naggregated over {} cores:", sweep.source_count());
+    let stats = sweep.stats();
+    for s in stats.iter().step_by((stats.len() / 8).max(1)) {
+        println!(
+            "  |S| = {:>6}: neighbors min {:>6} mean {:>9.1} max {:>6}  ({} samples)",
+            s.set_size, s.min, s.mean, s.max, s.samples
+        );
+    }
+    if let Some(alpha) = sweep.alpha_estimate(g.node_count()) {
+        println!("worst envelope expansion factor: {alpha:.4}");
+    }
+
+    // Random connected sets (non-ball shapes) at a few sizes.
+    println!("\nsampled connected-set expansion:");
+    let mut rng = StdRng::seed_from_u64(9);
+    for size in [8usize, 64, 256] {
+        if let Some(est) = sampled_set_expansion(&g, size, 50, &mut rng) {
+            println!(
+                "  |S| = {:>4}: |N(S)|/|S| in [{:.2}, {:.2}], mean {:.2}",
+                size, est.min_ratio, est.max_ratio, est.mean_ratio
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's central correlation, end to end: fast-mixing graphs have
+//! one large core; slow-mixing graphs have small, fragmented cores.
+//!
+//! Run with: `cargo run --release --example mixing_vs_structure`
+
+use socnet::gen::Dataset;
+use socnet::kcore::{core_profiles, CoreDecomposition};
+use socnet::mixing::{slem, MixingConfig, MixingMeasurement, SpectralConfig};
+
+fn main() {
+    println!(
+        "{:<14} {:>7} {:>8} {:>8} {:>11} {:>13} {:>10}",
+        "dataset", "nodes", "mu", "TVD@30", "degeneracy", "nu'(k_max)", "cores"
+    );
+    for d in [
+        Dataset::WikiVote,
+        Dataset::Epinion,
+        Dataset::Youtube,
+        Dataset::FacebookA,
+        Dataset::Physics1,
+        Dataset::Physics3,
+        Dataset::Dblp,
+    ] {
+        let g = d.generate_scaled(0.25, 11);
+
+        // Mixing: spectral and sampled.
+        let mu = slem(&g, &SpectralConfig::default()).slem();
+        let mixing = MixingMeasurement::measure(
+            &g,
+            &MixingConfig { sources: 40, max_walk: 30, ..Default::default() },
+        );
+        let tvd30 = mixing.mean_curve()[29];
+
+        // Core structure at the deepest core.
+        let decomp = CoreDecomposition::compute(&g);
+        let profiles = core_profiles(&g, &decomp);
+        let deepest = profiles.last().expect("graph has edges");
+
+        println!(
+            "{:<14} {:>7} {:>8.4} {:>8.4} {:>11} {:>13.4} {:>10}",
+            d.name(),
+            g.node_count(),
+            mu,
+            tvd30,
+            decomp.degeneracy(),
+            deepest.nu_prime(g.node_count()),
+            deepest.components,
+        );
+    }
+    println!();
+    println!("reading: low mu / low TVD (fast mixing) lines up with a single large");
+    println!("core (nu' near 1, one component); high mu / high TVD (slow mixing)");
+    println!("lines up with small nu' and multiple cores — the paper's Sec. IV-B claim.");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: generate a social graph and measure the three properties
+//! the paper studies — mixing time, coreness, and expansion.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use socnet::expansion::{ExpansionSweep, SourceSelection};
+use socnet::gen::Dataset;
+use socnet::kcore::{coreness_ecdf, CoreDecomposition};
+use socnet::mixing::{sinclair_bounds, slem, MixingConfig, MixingMeasurement, SpectralConfig};
+
+fn main() {
+    // A small synthetic counterpart of the paper's Wiki-vote crawl.
+    let graph = Dataset::WikiVote.generate_scaled(0.25, 42);
+    println!(
+        "graph: {} ({} nodes, {} edges)",
+        Dataset::WikiVote.name(),
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // 1. Mixing time, the spectral way: second largest eigenvalue modulus
+    //    and the Sinclair bounds it implies.
+    let spectrum = slem(&graph, &SpectralConfig::default());
+    let eps = 1.0 / graph.node_count() as f64;
+    let bounds = sinclair_bounds(spectrum.slem(), graph.node_count(), eps);
+    println!("mu = {:.4} (lambda2 = {:.4})", spectrum.slem(), spectrum.lambda2);
+    println!(
+        "Sinclair bounds at eps = 1/n: {:.1} <= T(eps) <= {:.1} steps",
+        bounds.lower, bounds.upper
+    );
+
+    // 2. Mixing time, the sampling way: evolve walk distributions from
+    //    sampled sources and watch the total variation distance fall.
+    let measurement = MixingMeasurement::measure(
+        &graph,
+        &MixingConfig { sources: 50, max_walk: 60, ..Default::default() },
+    );
+    let mean = measurement.mean_curve();
+    println!("mean TVD after 5/20/60 steps: {:.4} / {:.4} / {:.4}", mean[4], mean[19], mean[59]);
+    if let Some(t) = measurement.mixing_time(0.05) {
+        println!("sampled T(0.05) = {t} steps");
+    }
+
+    // 3. Coreness: the degeneracy and the coreness distribution.
+    let cores = CoreDecomposition::compute(&graph);
+    let ecdf = coreness_ecdf(&cores);
+    println!(
+        "degeneracy = {}, median coreness = {}, nodes in the top core = {}",
+        cores.degeneracy(),
+        ecdf.quantile(0.5),
+        cores.core_members(cores.degeneracy()).len()
+    );
+
+    // 4. Expansion: envelope statistics over sampled cores.
+    let sweep = ExpansionSweep::measure(&graph, SourceSelection::Sample(100), 42);
+    if let Some(alpha) = sweep.alpha_estimate(graph.node_count()) {
+        println!("worst envelope expansion factor alpha ~= {alpha:.3}");
+    }
+    let curve = sweep.expansion_factor_curve();
+    let (size, factor) = curve[curve.len() / 2];
+    println!("expected expansion factor at |S| = {size}: {factor:.3}");
+}

@@ -1,0 +1,78 @@
+//! Mount a Sybil attack on a social graph and run all five defenses.
+//!
+//! Run with: `cargo run --release --example sybil_defense`
+
+use socnet::core::NodeId;
+use socnet::gen::Dataset;
+use socnet::sybil::{
+    eval, AttackedGraph, GateKeeper, GateKeeperConfig, SumUp, SumUpConfig, SybilAttack,
+    SybilGuard, SybilGuardConfig, SybilInfer, SybilInferConfig, SybilLimit, SybilLimitConfig,
+    SybilTopology,
+};
+
+fn main() {
+    let honest = Dataset::Epinion.generate_scaled(0.25, 7);
+    let attacked = AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 120,
+            attack_edges: 15,
+            topology: SybilTopology::ScaleFree { m_attach: 3 },
+            seed: 7,
+        },
+    );
+    let g = attacked.graph();
+    println!(
+        "attacked graph: {} honest + {} sybils, {} attack edges",
+        attacked.honest_count(),
+        attacked.sybil_count(),
+        attacked.attack_edges().len()
+    );
+
+    let verifier = NodeId(0);
+    let everyone: Vec<NodeId> = g.nodes().collect();
+    let mut report = |name: &str, admitted: &[bool]| {
+        let s = eval::admission_stats(&attacked, admitted);
+        println!(
+            "{name:<11} honest {:5.1}%   sybils/attack-edge {:.2}",
+            100.0 * s.honest_accept_rate,
+            s.sybils_per_attack_edge
+        );
+    };
+
+    // GateKeeper: ticket distribution from 99 sampled distributors.
+    let gk = GateKeeper::new(GateKeeperConfig { distributors: 99, f_admit: 0.2, ..Default::default() });
+    report("GateKeeper", gk.run(&attacked).admitted());
+
+    // SybilGuard: long random routes, majority intersection.
+    let guard = SybilGuard::new(g, SybilGuardConfig { route_length: 60, seed: 7 });
+    report("SybilGuard", &guard.admitted_set(verifier, &everyone));
+
+    // SybilLimit: many short routes, tail intersection + balance.
+    let sl = SybilLimit::new(
+        g,
+        SybilLimitConfig {
+            instances: SybilLimitConfig::recommended_instances(g.edge_count()),
+            route_length: 10,
+            balance_slack: 4.0,
+            seed: 7,
+        },
+    );
+    report("SybilLimit", &sl.verify_all(verifier, &everyone));
+
+    // SybilInfer-style walk-trace scoring.
+    let si = SybilInfer::infer(
+        g,
+        verifier,
+        &SybilInferConfig { walks: 50_000, walk_length: 10, seed: 7 },
+    );
+    report("SybilInfer", &si.classify(g, 0.3));
+    println!(
+        "SybilInfer ranking AUC = {:.3}",
+        eval::ranking_auc(&attacked, &si.ranking())
+    );
+
+    // SumUp: capacitated vote collection.
+    let sumup = SumUp::new(SumUpConfig { expected_votes: attacked.honest_count(), seed: 7 });
+    report("SumUp", &sumup.collect(g, verifier, &everyone).accepted);
+}

@@ -1,0 +1,72 @@
+//! # socnet — social-network properties for trustworthy computing
+//!
+//! An umbrella crate re-exporting the whole `socnet` workspace: a Rust
+//! reproduction of *"Understanding Social Networks Properties for
+//! Trustworthy Computing"* (Mohaisen, Tran, Hopper, Kim — ICDCS Workshops
+//! / SIMPLEX 2011).
+//!
+//! The workspace measures the three structural properties that
+//! social-network-based Sybil defenses rely on, and runs the defenses
+//! themselves end to end:
+//!
+//! * [`mixing`] — random-walk mixing time, measured directly (the
+//!   sampling method) and spectrally (second largest eigenvalue modulus
+//!   with Sinclair bounds);
+//! * [`kcore`] — graph degeneracy: coreness distributions, core sizes,
+//!   and the number of connected cores per `k`;
+//! * [`expansion`] — BFS-envelope expansion factors and neighbor-set
+//!   statistics;
+//! * [`sybil`] — GateKeeper, SybilGuard, SybilLimit, SybilInfer-style
+//!   inference, and SumUp, plus the attack harness and admission metrics;
+//! * [`centrality`] — betweenness and closeness, the other structural
+//!   properties the paper's introduction surveys;
+//! * [`gen`] — graph generators and the synthetic registry standing in
+//!   for the paper's Table I datasets;
+//! * [`core`] — the CSR graph substrate everything is built on.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use socnet::gen::Dataset;
+//! use socnet::kcore::CoreDecomposition;
+//!
+//! // A small synthetic counterpart of the paper's Wiki-vote dataset.
+//! let g = Dataset::WikiVote.generate_scaled(0.05, 42);
+//! let cores = CoreDecomposition::compute(&g);
+//! assert!(cores.degeneracy() >= 3);
+//! ```
+
+/// The CSR graph substrate (re-export of `socnet-core`).
+pub use socnet_core as core;
+/// Graph generators and the dataset registry (re-export of `socnet-gen`).
+pub use socnet_gen as gen;
+/// Mixing-time measurement (re-export of `socnet-mixing`).
+pub use socnet_mixing as mixing;
+/// k-core decomposition (re-export of `socnet-kcore`).
+pub use socnet_kcore as kcore;
+/// Expansion measurement (re-export of `socnet-expansion`).
+pub use socnet_expansion as expansion;
+/// Sybil defenses and attack harness (re-export of `socnet-sybil`).
+pub use socnet_sybil as sybil;
+/// Centrality measures (re-export of `socnet-centrality`).
+pub use socnet_centrality as centrality;
+/// Community structure (re-export of `socnet-community`).
+pub use socnet_community as community;
+/// Evolving graphs and property trajectories (re-export of `socnet-dynamic`).
+pub use socnet_dynamic as dynamic;
+/// Directed graphs and directed mixing (re-export of `socnet-digraph`).
+pub use socnet_digraph as digraph;
+/// Sybil-resistant DHT routing (re-export of `socnet-dht`).
+pub use socnet_dht as dht;
+
+/// Workspace-wide convenience prelude.
+///
+/// ```
+/// use socnet::prelude::*;
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+/// assert!(is_connected(&g));
+/// ```
+pub mod prelude {
+    pub use socnet_core::prelude::*;
+    pub use socnet_gen::Dataset;
+}

@@ -1,0 +1,93 @@
+//! Integration: the application-layer extensions built on the measured
+//! properties — anonymity, Cheeger consistency, and DHT routing — all
+//! agree with the mixing measurements on the same graphs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet::community::{check_cheeger, estimate_conductance};
+use socnet::core::NodeId;
+use socnet::dht::{lookup_success_rate, DhtConfig, FingerStrategy, SocialDht};
+use socnet::gen::Dataset;
+use socnet::mixing::{slem, AnonymityCurve, SpectralConfig};
+use socnet::sybil::{AttackedGraph, SybilAttack, SybilTopology};
+
+#[test]
+fn anonymity_orders_like_mixing() {
+    let fast = Dataset::WikiVote.generate_scaled(0.1, 23);
+    let slow = Dataset::Physics1.generate_scaled(0.1, 23);
+    let fast_curve = AnonymityCurve::measure(&fast, NodeId(0), 40);
+    let slow_curve = AnonymityCurve::measure(&slow, NodeId(0), 40);
+    let fast_frac = fast_curve.entropy[9] / fast_curve.ceiling;
+    let slow_frac = slow_curve.entropy[9] / slow_curve.ceiling;
+    assert!(
+        fast_frac > slow_frac + 0.1,
+        "fast mixer anonymizes faster: {fast_frac:.3} vs {slow_frac:.3}"
+    );
+    // And both ceilings are positive and achievable in the limit.
+    assert!(fast_curve.ceiling > 5.0);
+    assert!(slow_curve.entropy[39] <= slow_curve.ceiling + 1e-9);
+}
+
+#[test]
+fn cheeger_upper_bound_holds_on_registry_graphs() {
+    for d in [Dataset::WikiVote, Dataset::Physics1, Dataset::RiceGrad] {
+        let g = d.generate_scaled(0.1, 29);
+        let mut rng = StdRng::seed_from_u64(29);
+        let phi = estimate_conductance(&g, 3, &mut rng);
+        let lambda2 = slem(&g, &SpectralConfig::default()).lambda2;
+        let (bounds, upper_holds) = check_cheeger(phi, lambda2, 1e-9);
+        assert!(
+            upper_holds,
+            "{}: gap {} exceeds 2*phi {}",
+            d.name(),
+            1.0 - lambda2,
+            bounds.gap_upper
+        );
+    }
+}
+
+#[test]
+fn conductance_estimate_explains_slow_mixing() {
+    // The slow mixer's best cut has far lower conductance — Cheeger then
+    // forces its spectral gap down, which is the paper's causal story.
+    let fast = Dataset::Epinion.generate_scaled(0.1, 31);
+    let slow = Dataset::Dblp.generate_scaled(0.05, 31);
+    let mut rng = StdRng::seed_from_u64(31);
+    let phi_fast = estimate_conductance(&fast, 3, &mut rng);
+    let phi_slow = estimate_conductance(&slow, 3, &mut rng);
+    assert!(
+        phi_slow * 4.0 < phi_fast,
+        "community graph cut {phi_slow:.4} vs online graph cut {phi_fast:.4}"
+    );
+    let gap_slow = 1.0 - slem(&slow, &SpectralConfig::default()).lambda2;
+    assert!(gap_slow <= 2.0 * phi_slow + 1e-9, "Cheeger upper bound");
+}
+
+#[test]
+fn dht_walk_fingers_survive_a_sybil_majority() {
+    let honest = Dataset::WikiVote.generate_scaled(0.08, 37);
+    let attacked = AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 2 * honest.node_count(),
+            attack_edges: 8,
+            topology: SybilTopology::ScaleFree { m_attach: 3 },
+            seed: 37,
+        },
+    );
+    let cfg = |strategy| DhtConfig { fingers: 16, strategy, replication: 8, seed: 37 };
+    let walk = SocialDht::build(&attacked, &cfg(FingerStrategy::SocialWalk { length: 6 }));
+    let uniform = SocialDht::build(&attacked, &cfg(FingerStrategy::Uniform));
+
+    assert!(walk.poisoned_finger_rate() < 0.05, "walks stay honest");
+    assert!(uniform.poisoned_finger_rate() > 0.5, "uniform is majority-poisoned");
+
+    let mut rng = StdRng::seed_from_u64(41);
+    let walk_rate = lookup_success_rate(&attacked, &walk, 120, 40, &mut rng);
+    let uniform_rate = lookup_success_rate(&attacked, &uniform, 120, 40, &mut rng);
+    assert!(
+        walk_rate > uniform_rate,
+        "walk fingers {walk_rate:.2} must beat uniform {uniform_rate:.2}"
+    );
+    assert!(walk_rate > 0.5, "walk fingers keep the DHT usable: {walk_rate:.2}");
+}

@@ -1,0 +1,119 @@
+//! Integration: centrality and community structure measured on registry
+//! datasets, and the community sweep acting as a Sybil defense.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet::centrality::{betweenness, degree_centrality, harmonic_closeness, rank_by};
+use socnet::community::{label_propagation, modularity, LocalCommunity};
+use socnet::core::NodeId;
+use socnet::gen::Dataset;
+use socnet::sybil::{eval, AttackedGraph, SybilAttack, SybilTopology};
+
+#[test]
+fn community_structure_separates_the_social_models() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let collab = Dataset::Physics1.generate_scaled(0.12, 3);
+    let online = Dataset::WikiVote.generate_scaled(0.12, 3);
+
+    let c_collab = label_propagation(&collab, 40, &mut rng);
+    let c_online = label_propagation(&online, 40, &mut rng);
+
+    let q_collab = modularity(&collab, c_collab.labels());
+    let q_online = modularity(&online, c_online.labels());
+    assert!(
+        q_collab > q_online + 0.3,
+        "strict-trust graphs have strong communities: {q_collab:.3} vs {q_online:.3}"
+    );
+    assert!(
+        c_collab.count() > 10 * c_online.count().max(1),
+        "caveman graph should fragment into many communities: {} vs {}",
+        c_collab.count(),
+        c_online.count()
+    );
+}
+
+#[test]
+fn centrality_scores_correlate_with_degree_on_scale_free_graphs() {
+    let g = Dataset::Youtube.generate_scaled(0.05, 9);
+    let b = betweenness(&g);
+    let d = degree_centrality(&g);
+    // The top-betweenness node is a hub: it ranks in the top decile by
+    // degree.
+    let top_b = rank_by(&g, &b)[0];
+    let degree_rank = rank_by(&g, &d)
+        .iter()
+        .position(|&v| v == top_b)
+        .expect("present");
+    assert!(
+        degree_rank < g.node_count() / 10,
+        "top betweenness node has degree rank {degree_rank}"
+    );
+    // Harmonic closeness is highest at hubs too.
+    let h = harmonic_closeness(&g);
+    let top_h = rank_by(&g, &h)[0];
+    assert!(
+        g.degree(top_h) > 4 * g.degree_sum() / g.node_count() / 2,
+        "closest node should be well-connected"
+    );
+}
+
+#[test]
+fn community_sweep_defends_like_the_walk_based_defenses() {
+    let honest = Dataset::Epinion.generate_scaled(0.1, 4);
+    let attacked = AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 80,
+            attack_edges: 10,
+            topology: SybilTopology::ErdosRenyi { p: 0.15 },
+            seed: 4,
+        },
+    );
+    let g = attacked.graph();
+    let lc = LocalCommunity::sweep(g, NodeId(0), attacked.honest_count());
+    let auc = eval::ranking_auc(&attacked, &lc.full_ranking(g));
+    assert!(auc > 0.85, "community sweep ranking AUC {auc:.3}");
+
+    let mut admitted = vec![false; g.node_count()];
+    for &v in lc.ranking() {
+        admitted[v.index()] = true;
+    }
+    let stats = eval::admission_stats(&attacked, &admitted);
+    assert!(stats.honest_accept_rate > 0.85, "honest rate {}", stats.honest_accept_rate);
+    assert!(
+        stats.sybils_per_attack_edge < 5.0,
+        "sybils per edge {}",
+        stats.sybils_per_attack_edge
+    );
+}
+
+#[test]
+fn betweenness_identifies_attack_edge_endpoints_under_sparse_attacks() {
+    // With a large Sybil region behind few attack edges, all cross
+    // traffic funnels through the attack-edge endpoints — they acquire
+    // outsized betweenness, the signal behind betweenness-based defenses.
+    let honest = Dataset::RiceGrad.generate_scaled(0.6, 8);
+    let attacked = AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 120,
+            attack_edges: 2,
+            topology: SybilTopology::ErdosRenyi { p: 0.15 },
+            seed: 8,
+        },
+    );
+    let g = attacked.graph();
+    let b = betweenness(g);
+    let ranking = rank_by(g, &b);
+    let endpoint_best = attacked
+        .attack_edges()
+        .iter()
+        .flat_map(|&(h, s)| [h, s])
+        .map(|v| ranking.iter().position(|&r| r == v).expect("present"))
+        .min()
+        .expect("has attack edges");
+    assert!(
+        endpoint_best < 10,
+        "an attack-edge endpoint should rank near the top, best rank {endpoint_best}"
+    );
+}

@@ -1,0 +1,85 @@
+//! Integration: expansion measurements line up with mixing measurements
+//! (the paper's Sec. IV-C/V claim that the two properties are analogous).
+
+use socnet::expansion::{ExpansionSweep, SourceSelection};
+use socnet::gen::Dataset;
+use socnet::mixing::{slem, SpectralConfig};
+
+const SCALE: f64 = 0.12;
+const SEED: u64 = 77;
+
+/// Mean expansion factor over the middle range of set sizes — a scalar
+/// summary of the Figure 4 curve.
+fn mid_range_alpha(g: &socnet::core::Graph) -> f64 {
+    let sweep = ExpansionSweep::measure(g, SourceSelection::Sample(150), SEED);
+    let curve = sweep.expansion_factor_curve();
+    let lo = curve.len() / 4;
+    let hi = 3 * curve.len() / 4;
+    let window = &curve[lo..hi.max(lo + 1)];
+    window.iter().map(|&(_, a)| a).sum::<f64>() / window.len() as f64
+}
+
+#[test]
+fn better_mixing_means_better_expansion() {
+    let fast = Dataset::Epinion.generate_scaled(SCALE, SEED);
+    let slow = Dataset::Physics1.generate_scaled(SCALE, SEED);
+
+    let mu_fast = slem(&fast, &SpectralConfig::default()).slem();
+    let mu_slow = slem(&slow, &SpectralConfig::default()).slem();
+    assert!(mu_fast < mu_slow, "sanity: Epinion mixes faster");
+
+    let alpha_fast = mid_range_alpha(&fast);
+    let alpha_slow = mid_range_alpha(&slow);
+    assert!(
+        alpha_fast > alpha_slow,
+        "expansion should order like mixing: fast {alpha_fast:.3} vs slow {alpha_slow:.3}"
+    );
+}
+
+#[test]
+fn full_sweep_equals_sampled_sweep_on_small_graphs() {
+    let g = Dataset::RiceGrad.generate_scaled(0.5, SEED);
+    let all = ExpansionSweep::measure(&g, SourceSelection::All, SEED);
+    let sampled = ExpansionSweep::measure(&g, SourceSelection::Sample(g.node_count()), SEED);
+    assert_eq!(all.stats().len(), sampled.stats().len());
+    for (a, b) in all.stats().iter().zip(sampled.stats()) {
+        assert_eq!(a.set_size, b.set_size);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+    }
+}
+
+#[test]
+fn envelope_sizes_cover_the_component() {
+    let g = Dataset::WikiVote.generate_scaled(SCALE, SEED);
+    let sweep = ExpansionSweep::measure(&g, SourceSelection::All, SEED);
+    // Envelope sizes never exceed n - 1 (there must be room to expand).
+    let max_set = sweep.stats().iter().map(|s| s.set_size).max().expect("has sets");
+    assert!(max_set < g.node_count());
+    // The one-node envelope exists for every source and expands into at
+    // least the minimum degree.
+    let first = &sweep.stats()[0];
+    assert_eq!(first.set_size, 1);
+    assert_eq!(first.samples, g.node_count());
+    let min_degree = g.nodes().map(|v| g.degree(v)).min().expect("non-empty");
+    assert_eq!(first.min, min_degree);
+}
+
+#[test]
+fn alpha_estimate_tracks_known_bottlenecks() {
+    // The registry's strict-trust graphs have clique bottlenecks; their
+    // worst envelope ratio must be far below the weak-trust graphs'.
+    let community = Dataset::Dblp.generate_scaled(0.05, SEED);
+    let online = Dataset::Youtube.generate_scaled(0.05, SEED);
+    let a_comm = ExpansionSweep::measure(&community, SourceSelection::Sample(150), SEED)
+        .alpha_estimate(community.node_count())
+        .expect("has sets");
+    let a_online = ExpansionSweep::measure(&online, SourceSelection::Sample(150), SEED)
+        .alpha_estimate(online.node_count())
+        .expect("has sets");
+    assert!(
+        a_comm < a_online,
+        "community graph alpha {a_comm:.3} should trail online graph alpha {a_online:.3}"
+    );
+}

@@ -1,0 +1,128 @@
+//! Integration: the full measurement pipeline across crates — generate a
+//! registry dataset, measure mixing (both methods), decompose cores, and
+//! check the paper's qualitative claims hold end to end.
+
+use socnet::gen::Dataset;
+use socnet::kcore::{core_profiles, coreness_ecdf, CoreDecomposition};
+use socnet::mixing::{
+    sinclair_bounds, slem, MixingConfig, MixingMeasurement, SpectralConfig,
+};
+
+const SCALE: f64 = 0.12;
+const SEED: u64 = 2024;
+
+fn fast() -> socnet::core::Graph {
+    Dataset::WikiVote.generate_scaled(SCALE, SEED)
+}
+
+fn slow() -> socnet::core::Graph {
+    Dataset::Physics1.generate_scaled(SCALE, SEED)
+}
+
+#[test]
+fn weak_trust_graphs_mix_faster_than_strict_trust_graphs() {
+    let cfg = MixingConfig { sources: 30, max_walk: 60, ..Default::default() };
+    let fast_curve = MixingMeasurement::measure(&fast(), &cfg).mean_curve();
+    let slow_curve = MixingMeasurement::measure(&slow(), &cfg).mean_curve();
+    // At every probed walk length the weak-trust graph is closer to
+    // stationarity (Figure 1's separation).
+    for t in [9usize, 19, 39, 59] {
+        assert!(
+            fast_curve[t] <= slow_curve[t] + 1e-9,
+            "t = {}: fast {:.4} vs slow {:.4}",
+            t + 1,
+            fast_curve[t],
+            slow_curve[t]
+        );
+    }
+    assert!(slow_curve[29] > 0.05, "strict-trust graph still far at t = 30");
+    assert!(fast_curve[29] < 0.01, "weak-trust graph mixed by t = 30");
+}
+
+#[test]
+fn spectral_and_sampled_measurements_agree_on_ordering() {
+    let mu_fast = slem(&fast(), &SpectralConfig::default()).slem();
+    let mu_slow = slem(&slow(), &SpectralConfig::default()).slem();
+    assert!(
+        mu_fast + 0.2 < mu_slow,
+        "SLEM must separate the models: fast {mu_fast:.4}, slow {mu_slow:.4}"
+    );
+}
+
+#[test]
+fn sinclair_bounds_bracket_the_sampled_mixing_time() {
+    let g = fast();
+    let n = g.node_count();
+    let eps = 0.05;
+    let spectrum = slem(&g, &SpectralConfig::default());
+    let bounds = sinclair_bounds(spectrum.slem(), n, eps);
+
+    let cfg = MixingConfig { sources: 40, max_walk: 120, ..Default::default() };
+    let measured = MixingMeasurement::measure(&g, &cfg)
+        .mixing_time(eps)
+        .expect("fast graph mixes within the horizon") as f64;
+    // The sampled estimate uses a source sample, so allow slack on the
+    // lower side; the upper bound must hold outright.
+    assert!(
+        measured <= bounds.upper.ceil(),
+        "measured {measured} exceeds Sinclair upper bound {:.1}",
+        bounds.upper
+    );
+    assert!(
+        measured + 1.0 >= bounds.lower.floor(),
+        "measured {measured} below Sinclair lower bound {:.1}",
+        bounds.lower
+    );
+}
+
+#[test]
+fn fast_mixers_have_one_large_core_slow_mixers_fragment() {
+    let fast_g = fast();
+    let slow_g = slow();
+    let fast_cores = CoreDecomposition::compute(&fast_g);
+    let slow_cores = CoreDecomposition::compute(&slow_g);
+    let fast_last = *core_profiles(&fast_g, &fast_cores).last().expect("has cores");
+    let slow_last = *core_profiles(&slow_g, &slow_cores).last().expect("has cores");
+
+    // The paper's Sec. IV-B/V claim: the fast mixer keeps a large single
+    // core at its deepest k; the slow mixer's deepest core is small.
+    assert_eq!(fast_last.components, 1, "fast mixer should keep one core");
+    assert!(
+        fast_last.nu_prime(fast_g.node_count()) > 0.5,
+        "fast mixer's deepest core should be large, got {:.3}",
+        fast_last.nu_prime(fast_g.node_count())
+    );
+    assert!(
+        slow_last.nu_prime(slow_g.node_count()) < 0.3,
+        "slow mixer's deepest core should be small, got {:.3}",
+        slow_last.nu_prime(slow_g.node_count())
+    );
+}
+
+#[test]
+fn coreness_ecdf_separates_the_models() {
+    let fast_g = fast();
+    let slow_g = slow();
+    let fast_e = coreness_ecdf(&CoreDecomposition::compute(&fast_g));
+    let slow_e = coreness_ecdf(&CoreDecomposition::compute(&slow_g));
+    // Relative to each graph's own degeneracy, the fast mixer holds most
+    // nodes at high coreness while the slow mixer holds them low.
+    let fast_median_rel = fast_e.quantile(0.5)
+        / CoreDecomposition::compute(&fast_g).degeneracy() as f64;
+    let slow_median_rel = slow_e.quantile(0.5)
+        / CoreDecomposition::compute(&slow_g).degeneracy() as f64;
+    assert!(
+        fast_median_rel > slow_median_rel,
+        "median coreness (relative): fast {fast_median_rel:.2} vs slow {slow_median_rel:.2}"
+    );
+}
+
+#[test]
+fn registry_generation_is_reproducible_across_crate_boundaries() {
+    let a = Dataset::Enron.generate_scaled(SCALE, SEED);
+    let b = Dataset::Enron.generate_scaled(SCALE, SEED);
+    assert_eq!(a, b);
+    let mu_a = slem(&a, &SpectralConfig::default());
+    let mu_b = slem(&b, &SpectralConfig::default());
+    assert_eq!(mu_a, mu_b, "measurements on equal graphs are equal");
+}

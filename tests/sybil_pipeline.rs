@@ -1,0 +1,139 @@
+//! Integration: attack → defend → evaluate, across all five defenses.
+
+use socnet::core::NodeId;
+use socnet::gen::Dataset;
+use socnet::sybil::{
+    eval, AttackedGraph, GateKeeper, GateKeeperConfig, SumUp, SumUpConfig, SybilAttack,
+    SybilGuard, SybilGuardConfig, SybilInfer, SybilInferConfig, SybilLimit, SybilLimitConfig,
+    SybilTopology,
+};
+
+fn attacked() -> AttackedGraph {
+    let honest = Dataset::WikiVote.generate_scaled(0.1, 5);
+    AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 60,
+            attack_edges: 8,
+            topology: SybilTopology::ErdosRenyi { p: 0.15 },
+            seed: 5,
+        },
+    )
+}
+
+#[test]
+fn gatekeeper_separates_honest_from_sybil() {
+    let a = attacked();
+    let out = GateKeeper::new(GateKeeperConfig {
+        distributors: 45,
+        f_admit: 0.2,
+        ..Default::default()
+    })
+    .run(&a);
+    let s = eval::admission_stats(&a, out.admitted());
+    assert!(s.honest_accept_rate > 0.9, "honest rate {}", s.honest_accept_rate);
+    assert!(
+        s.sybils_per_attack_edge < 3.0,
+        "sybils per attack edge {}",
+        s.sybils_per_attack_edge
+    );
+}
+
+#[test]
+fn gatekeeper_threshold_trades_acceptance() {
+    let a = attacked();
+    let mut last_honest = f64::INFINITY;
+    let mut last_sybil = f64::INFINITY;
+    for f in [0.1, 0.3, 0.6] {
+        let out = GateKeeper::new(GateKeeperConfig {
+            distributors: 45,
+            f_admit: f,
+            ..Default::default()
+        })
+        .run(&a);
+        let s = eval::admission_stats(&a, out.admitted());
+        assert!(s.honest_accept_rate <= last_honest + 1e-9, "monotone in f");
+        assert!(s.sybils_per_attack_edge <= last_sybil + 1e-9, "monotone in f");
+        last_honest = s.honest_accept_rate;
+        last_sybil = s.sybils_per_attack_edge;
+    }
+}
+
+#[test]
+fn all_route_based_defenses_accept_most_honest_nodes() {
+    let a = attacked();
+    let g = a.graph();
+    let verifier = NodeId(1);
+    let honest: Vec<NodeId> = a.honest_nodes().collect();
+
+    let guard = SybilGuard::new(g, SybilGuardConfig { route_length: 40, seed: 5 });
+    let guard_ok =
+        guard.admitted_set(verifier, &honest).iter().filter(|&&b| b).count();
+    assert!(
+        guard_ok as f64 > 0.9 * honest.len() as f64,
+        "SybilGuard accepted {guard_ok}/{}",
+        honest.len()
+    );
+
+    let sl = SybilLimit::new(
+        g,
+        SybilLimitConfig {
+            instances: SybilLimitConfig::recommended_instances(g.edge_count()),
+            route_length: 8,
+            balance_slack: 4.0,
+            seed: 5,
+        },
+    );
+    let sl_ok = sl.verify_all(verifier, &honest).iter().filter(|&&b| b).count();
+    assert!(
+        sl_ok as f64 > 0.9 * honest.len() as f64,
+        "SybilLimit accepted {sl_ok}/{}",
+        honest.len()
+    );
+}
+
+#[test]
+fn inference_ranking_is_informative() {
+    let a = attacked();
+    let si = SybilInfer::infer(
+        a.graph(),
+        NodeId(0),
+        &SybilInferConfig { walks: 40_000, walk_length: 8, seed: 5 },
+    );
+    let auc = eval::ranking_auc(&a, &si.ranking());
+    assert!(auc > 0.85, "ranking AUC {auc}");
+    let precision = eval::top_partition_precision(&a, &si.ranking());
+    assert!(precision > 0.9, "top-partition precision {precision}");
+}
+
+#[test]
+fn sumup_collects_honest_votes_and_throttles_sybil_votes() {
+    let a = attacked();
+    let g = a.graph();
+    let sumup = SumUp::new(SumUpConfig { expected_votes: a.honest_count(), seed: 5 });
+
+    let honest_voters: Vec<NodeId> = a.honest_nodes().collect();
+    let honest_outcome = sumup.collect(g, NodeId(0), &honest_voters);
+    assert!(
+        honest_outcome.accepted_count as f64 > 0.8 * honest_voters.len() as f64,
+        "honest votes collected: {}",
+        honest_outcome.accepted_count
+    );
+
+    let sybil_voters: Vec<NodeId> = a.sybil_nodes().collect();
+    let sybil_outcome = sumup.collect(g, NodeId(0), &sybil_voters);
+    assert!(
+        sybil_outcome.accepted_count <= 4 * a.attack_edges().len(),
+        "sybil votes {} should be near the attack-edge budget",
+        sybil_outcome.accepted_count
+    );
+}
+
+#[test]
+fn defenses_are_deterministic_end_to_end() {
+    let a1 = attacked();
+    let a2 = attacked();
+    assert_eq!(a1, a2);
+    let gk = GateKeeper::new(GateKeeperConfig { distributors: 12, ..Default::default() });
+    assert_eq!(gk.run(&a1), gk.run(&a2));
+}
