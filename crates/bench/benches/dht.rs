@@ -55,7 +55,7 @@ fn lookups(c: &mut Criterion) {
     );
     let key = dht.ring().key(socnet_core::NodeId(123));
     c.bench_function("dht/lookup-6k", |b| {
-        b.iter(|| black_box(dht.lookup(&a, socnet_core::NodeId(7), key, 40)))
+        b.iter(|| black_box(dht.lookup(&a, socnet_core::NodeId(7), key, 40).expect("in range")))
     });
 }
 

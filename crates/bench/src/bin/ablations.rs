@@ -8,11 +8,20 @@
 //! * A3 — GateKeeper distributor count vs. admission quality;
 //! * A4 — SybilLimit instance count vs. honest/Sybil acceptance (the
 //!   `r₀√m` rule made visible).
+//!
+//! Runs on the fault-tolerant harness as four stages (one unit per knob
+//! setting), so one pathological setting costs only its row and an
+//! interrupted sweep resumes from the checkpoint journal.
 
-use socnet_bench::{cell, fmt_f64, ExperimentArgs, TableView};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_bench::{
+    cell, degraded, fmt_f64, inner_pool, Experiment, ExperimentArgs, TableView,
+};
 use socnet_core::NodeId;
 use socnet_gen::{heterogeneous_caveman, Dataset};
 use socnet_mixing::{slem, ModulatedOperator, SpectralConfig, TrustModulation};
+use socnet_runner::UnitError;
 use socnet_sybil::{
     eval, AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilLimit,
     SybilLimitConfig, SybilTopology,
@@ -20,14 +29,17 @@ use socnet_sybil::{
 
 fn main() {
     let args = ExperimentArgs::parse();
-    modulation_schemes(&args);
-    caveman_rewiring(&args);
-    gatekeeper_distributors(&args);
-    sybillimit_instances(&args);
+    let mut exp = Experiment::new("ablations", &args);
+    modulation_schemes(&mut exp);
+    caveman_rewiring(&mut exp);
+    gatekeeper_distributors(&mut exp);
+    sybillimit_instances(&mut exp);
+    exp.finish();
 }
 
 /// A1: per-scheme TVD curves on one weak-trust dataset.
-fn modulation_schemes(args: &ExperimentArgs) {
+fn modulation_schemes(exp: &mut Experiment) {
+    let args = exp.args().clone();
     let g = Dataset::WikiVote.generate_scaled(0.2 * args.scale, args.seed);
     let schemes: [(&str, TrustModulation); 4] = [
         ("uniform", TrustModulation::Uniform),
@@ -35,45 +47,76 @@ fn modulation_schemes(args: &ExperimentArgs) {
         ("originator-0.2", TrustModulation::OriginatorBiased { beta: 0.2 }),
         ("similarity", TrustModulation::SimilarityBiased),
     ];
+    let curves = exp.stage(
+        "a1-modulation",
+        &schemes,
+        |_, (name, _)| format!("a1/{name}"),
+        |ctx, &(_, m)| {
+            if ctx.cancel.is_cancelled() {
+                return Err(UnitError::Cancelled);
+            }
+            Ok(ModulatedOperator::new(&g, m).mixing_curve(NodeId(0), 40))
+        },
+    );
+
+    let mut names: Vec<String> = Vec::new();
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for ((name, _), c) in schemes.iter().zip(curves) {
+        if let Some(c) = c {
+            names.push(name.to_string());
+            cols.push(c);
+        }
+    }
     let mut headers = vec!["walk-length".to_string()];
-    headers.extend(schemes.iter().map(|(n, _)| n.to_string()));
+    headers.extend(names);
     let mut table = TableView::new(
         format!("A1: trust modulation on {} (n = {})", Dataset::WikiVote.name(), g.node_count()),
         headers,
     );
-    let curves: Vec<Vec<f64>> = schemes
-        .iter()
-        .map(|&(_, m)| ModulatedOperator::new(&g, m).mixing_curve(NodeId(0), 40))
-        .collect();
     for t in [1usize, 2, 5, 10, 20, 40] {
         let mut row = vec![cell(t)];
-        row.extend(curves.iter().map(|c| fmt_f64(c[t - 1])));
+        row.extend(cols.iter().map(|c| fmt_f64(c[t - 1])));
         table.push_row(row);
     }
     table.print();
-    emit(&table, args, "ablation_a1");
+    emit(&table, &args, "ablation_a1");
 }
 
 /// A2: SLEM as a function of the caveman rewiring probability.
-fn caveman_rewiring(args: &ExperimentArgs) {
+fn caveman_rewiring(exp: &mut Experiment) {
+    let args = exp.args().clone();
     let cliques = (330.0 * args.scale * 0.2).max(10.0) as usize;
+    let ps = [0.0, 0.02, 0.05, 0.1, 0.2, 0.4];
+    let rows = exp.stage(
+        "a2-caveman",
+        &ps,
+        |_, p| format!("a2/p={p}"),
+        |ctx, &p| {
+            if ctx.cancel.is_cancelled() {
+                return Err(UnitError::Cancelled);
+            }
+            let mut rng = StdRng::seed_from_u64(args.seed);
+            let g = heterogeneous_caveman(cliques, 3, 22, p, &mut rng);
+            let (g, _) = socnet_core::largest_component(&g);
+            let s = slem(&g, &SpectralConfig::default());
+            Ok(vec![fmt_f64(p), fmt_f64(s.slem()), fmt_f64(s.gap())])
+        },
+    );
+
     let mut table = TableView::new(
         format!("A2: caveman rewiring vs SLEM ({cliques} cliques, sizes 3..22)"),
         vec!["rewire-p".into(), "mu".into(), "gap".into()],
     );
-    for p in [0.0, 0.02, 0.05, 0.1, 0.2, 0.4] {
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);
-        let g = heterogeneous_caveman(cliques, 3, 22, p, &mut rng);
-        let (g, _) = socnet_core::largest_component(&g);
-        let s = slem(&g, &SpectralConfig::default());
-        table.push_row(vec![fmt_f64(p), fmt_f64(s.slem()), fmt_f64(s.gap())]);
+    for row in rows.into_iter().flatten() {
+        table.push_row(row);
     }
     table.print();
-    emit(&table, args, "ablation_a2");
+    emit(&table, &args, "ablation_a2");
 }
 
 /// A3: GateKeeper quality vs distributor count.
-fn gatekeeper_distributors(args: &ExperimentArgs) {
+fn gatekeeper_distributors(exp: &mut Experiment) {
+    let args = exp.args().clone();
     let honest = Dataset::Epinion.generate_scaled(0.2 * args.scale, args.seed);
     let attacked = AttackedGraph::mount(
         &honest,
@@ -84,31 +127,51 @@ fn gatekeeper_distributors(args: &ExperimentArgs) {
             seed: args.seed,
         },
     );
+    let counts = [5usize, 11, 33, 99, 297];
+    let rows = exp.stage(
+        "a3-distributors",
+        &counts,
+        |_, m| format!("a3/m={m}"),
+        |ctx, &m| {
+            let gk = GateKeeper::new(GateKeeperConfig {
+                distributors: m,
+                f_admit: 0.2,
+                seed: args.seed,
+                ..Default::default()
+            });
+            // Same controller `run` would sample, but through the
+            // reported entry point so the floods share our token.
+            let controller =
+                attacked.random_honest(&mut StdRng::seed_from_u64(args.seed));
+            let (out, report) = gk
+                .run_from_reported(attacked.graph(), controller, &inner_pool(ctx.cancel))
+                .map_err(|e| UnitError::Failed(e.to_string()))?;
+            if !report.is_complete() {
+                return Err(degraded(ctx.cancel, &report));
+            }
+            let s = eval::admission_stats(&attacked, out.admitted());
+            Ok(vec![
+                cell(m),
+                format!("{:.1}%", 100.0 * s.honest_accept_rate),
+                fmt_f64(s.sybils_per_attack_edge),
+            ])
+        },
+    );
+
     let mut table = TableView::new(
         format!("A3: GateKeeper distributors on {} (f = 0.2)", Dataset::Epinion.name()),
         vec!["distributors".into(), "honest-accept".into(), "sybil-per-edge".into()],
     );
-    for m in [5usize, 11, 33, 99, 297] {
-        let out = GateKeeper::new(GateKeeperConfig {
-            distributors: m,
-            f_admit: 0.2,
-            seed: args.seed,
-            ..Default::default()
-        })
-        .run(&attacked);
-        let s = eval::admission_stats(&attacked, out.admitted());
-        table.push_row(vec![
-            cell(m),
-            format!("{:.1}%", 100.0 * s.honest_accept_rate),
-            fmt_f64(s.sybils_per_attack_edge),
-        ]);
+    for row in rows.into_iter().flatten() {
+        table.push_row(row);
     }
     table.print();
-    emit(&table, args, "ablation_a3");
+    emit(&table, &args, "ablation_a3");
 }
 
 /// A4: SybilLimit acceptance vs instance count, against the r0*sqrt(m) rule.
-fn sybillimit_instances(args: &ExperimentArgs) {
+fn sybillimit_instances(exp: &mut Experiment) {
+    let args = exp.args().clone();
     let honest = Dataset::WikiVote.generate_scaled(0.15 * args.scale, args.seed);
     let attacked = AttackedGraph::mount(
         &honest,
@@ -122,6 +185,35 @@ fn sybillimit_instances(args: &ExperimentArgs) {
     let g = attacked.graph();
     let recommended = SybilLimitConfig::recommended_instances(g.edge_count());
     let everyone: Vec<NodeId> = g.nodes().collect();
+    let instances =
+        [recommended / 8, recommended / 4, recommended / 2, recommended, 2 * recommended];
+    let rows = exp.stage(
+        "a4-instances",
+        &instances,
+        |i, r| format!("a4/{i}-r={r}"),
+        |ctx, &r| {
+            if ctx.cancel.is_cancelled() {
+                return Err(UnitError::Cancelled);
+            }
+            let sl = SybilLimit::new(
+                g,
+                SybilLimitConfig {
+                    instances: r.max(1),
+                    route_length: 10,
+                    balance_slack: 4.0,
+                    seed: args.seed,
+                },
+            );
+            let verdict = sl.verify_all(NodeId(0), &everyone);
+            let s = eval::admission_stats(&attacked, &verdict);
+            Ok(vec![
+                cell(r.max(1)),
+                format!("{:.1}%", 100.0 * s.honest_accept_rate),
+                fmt_f64(s.sybils_per_attack_edge),
+            ])
+        },
+    );
+
     let mut table = TableView::new(
         format!(
             "A4: SybilLimit instances on {} (recommended r = {recommended})",
@@ -129,26 +221,11 @@ fn sybillimit_instances(args: &ExperimentArgs) {
         ),
         vec!["instances".into(), "honest-accept".into(), "sybil-per-edge".into()],
     );
-    for r in [recommended / 8, recommended / 4, recommended / 2, recommended, 2 * recommended] {
-        let sl = SybilLimit::new(
-            g,
-            SybilLimitConfig {
-                instances: r.max(1),
-                route_length: 10,
-                balance_slack: 4.0,
-                seed: args.seed,
-            },
-        );
-        let verdict = sl.verify_all(NodeId(0), &everyone);
-        let s = eval::admission_stats(&attacked, &verdict);
-        table.push_row(vec![
-            cell(r.max(1)),
-            format!("{:.1}%", 100.0 * s.honest_accept_rate),
-            fmt_f64(s.sybils_per_attack_edge),
-        ]);
+    for row in rows.into_iter().flatten() {
+        table.push_row(row);
     }
     table.print();
-    emit(&table, args, "ablation_a4");
+    emit(&table, &args, "ablation_a4");
 }
 
 fn emit(table: &TableView, args: &ExperimentArgs, stem: &str) {

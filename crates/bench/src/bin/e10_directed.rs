@@ -7,19 +7,93 @@
 //! extracts the largest strongly connected component, and measures the
 //! directed chain against its symmetrized version under the same
 //! random surfer.
+//!
+//! Runs on the fault-tolerant harness: one unit per dataset, resumable
+//! from the checkpoint journal under the same parameters.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use socnet_bench::{cell, fmt_f64, ExperimentArgs, TableView};
+use socnet_bench::{cell, fmt_f64, Experiment, ExperimentArgs, TableView};
 use socnet_digraph::{largest_scc, Digraph, DirectedMixing, DirectedMixingConfig};
 use socnet_gen::Dataset;
+use socnet_runner::UnitError;
 
 /// Fraction of edges kept reciprocal when orienting (measured values for
 /// who-trusts-whom crawls are around 0.2–0.4).
 const RECIPROCITY: f64 = 0.3;
 
+const DATASETS: [Dataset; 6] = [
+    Dataset::WikiVote,
+    Dataset::SlashdotA,
+    Dataset::Epinion,
+    Dataset::Enron,
+    Dataset::Physics1,
+    Dataset::Physics3,
+];
+
 fn main() {
     let args = ExperimentArgs::parse();
+    let mut exp = Experiment::new("e10_directed", &args);
+    let rows = exp.stage(
+        "orient",
+        &DATASETS,
+        |_, d| format!("orient/{}", d.name()),
+        |ctx, &d| {
+            if ctx.cancel.is_cancelled() {
+                return Err(UnitError::Cancelled);
+            }
+            let undirected = d.generate_scaled(0.2 * args.scale, args.seed);
+            let mut rng = StdRng::seed_from_u64(args.seed);
+            let mut arcs = Vec::with_capacity(undirected.degree_sum());
+            for (u, v) in undirected.edges() {
+                if rng.random_range(0.0..1.0) < RECIPROCITY {
+                    arcs.push((u.0, v.0));
+                    arcs.push((v.0, u.0));
+                } else if rng.random_range(0.0..1.0) < 0.5 {
+                    arcs.push((u.0, v.0));
+                } else {
+                    arcs.push((v.0, u.0));
+                }
+            }
+            let directed = Digraph::from_arcs(undirected.node_count(), arcs);
+            let (core, _) = largest_scc(&directed);
+            let symmetrized = Digraph::from_undirected(&core.to_undirected());
+
+            let cfg = DirectedMixingConfig {
+                sources: args.sources.min(50),
+                max_walk: 150,
+                teleport: 0.0,
+                seed: args.seed,
+                ..Default::default()
+            };
+            let dir = DirectedMixing::measure(&core, &cfg);
+            if ctx.cancel.is_cancelled() {
+                return Err(UnitError::Cancelled);
+            }
+            let sym = DirectedMixing::measure(&symmetrized, &cfg);
+            let fmt_t = |t: Option<usize>| {
+                t.map(|v| v.to_string()).unwrap_or_else(|| format!(">{}", cfg.max_walk))
+            };
+            eprintln!(
+                "  {}: n = {} -> scc {} ({}%)",
+                d.name(),
+                undirected.node_count(),
+                core.node_count(),
+                100 * core.node_count() / undirected.node_count().max(1)
+            );
+            Ok(vec![
+                cell(d.name()),
+                cell(core.node_count()),
+                fmt_f64(core.node_count() as f64 / undirected.node_count() as f64),
+                cell(core.arc_count()),
+                fmt_f64(dir.mean_curve()[24]),
+                fmt_f64(sym.mean_curve()[24]),
+                fmt_t(dir.mixing_time(0.1)),
+                fmt_t(sym.mixing_time(0.1)),
+            ])
+        },
+    );
+
     let mut table = TableView::new(
         "E10: directed vs symmetrized mixing (oriented registry graphs)",
         vec![
@@ -33,61 +107,8 @@ fn main() {
             "sym-T(0.1)".into(),
         ],
     );
-
-    for d in [
-        Dataset::WikiVote,
-        Dataset::SlashdotA,
-        Dataset::Epinion,
-        Dataset::Enron,
-        Dataset::Physics1,
-        Dataset::Physics3,
-    ] {
-        let undirected = d.generate_scaled(0.2 * args.scale, args.seed);
-        let mut rng = StdRng::seed_from_u64(args.seed);
-        let mut arcs = Vec::with_capacity(undirected.degree_sum());
-        for (u, v) in undirected.edges() {
-            if rng.random_range(0.0..1.0) < RECIPROCITY {
-                arcs.push((u.0, v.0));
-                arcs.push((v.0, u.0));
-            } else if rng.random_range(0.0..1.0) < 0.5 {
-                arcs.push((u.0, v.0));
-            } else {
-                arcs.push((v.0, u.0));
-            }
-        }
-        let directed = Digraph::from_arcs(undirected.node_count(), arcs);
-        let (core, _) = largest_scc(&directed);
-        let symmetrized = Digraph::from_undirected(&core.to_undirected());
-
-        let cfg = DirectedMixingConfig {
-            sources: args.sources.min(50),
-            max_walk: 150,
-            teleport: 0.0,
-            seed: args.seed,
-            ..Default::default()
-        };
-        let dir = DirectedMixing::measure(&core, &cfg);
-        let sym = DirectedMixing::measure(&symmetrized, &cfg);
-        let fmt_t = |t: Option<usize>| {
-            t.map(|v| v.to_string()).unwrap_or_else(|| format!(">{}", cfg.max_walk))
-        };
-        eprintln!(
-            "  {}: n = {} -> scc {} ({}%)",
-            d.name(),
-            undirected.node_count(),
-            core.node_count(),
-            100 * core.node_count() / undirected.node_count().max(1)
-        );
-        table.push_row(vec![
-            cell(d.name()),
-            cell(core.node_count()),
-            fmt_f64(core.node_count() as f64 / undirected.node_count() as f64),
-            cell(core.arc_count()),
-            fmt_f64(dir.mean_curve()[24]),
-            fmt_f64(sym.mean_curve()[24]),
-            fmt_t(dir.mixing_time(0.1)),
-            fmt_t(sym.mixing_time(0.1)),
-        ]);
+    for row in rows.into_iter().flatten() {
+        table.push_row(row);
     }
 
     table.print();
@@ -95,4 +116,5 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    exp.finish();
 }

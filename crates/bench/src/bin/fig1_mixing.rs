@@ -2,8 +2,15 @@
 //! sampling method: mean total variation distance over sampled walk
 //! sources, as a function of walk length. Panel (a) covers the
 //! small-to-medium datasets, panel (b) the large ones.
+//!
+//! Runs on the fault-tolerant harness: each dataset is one unit, so a
+//! panicking or over-deadline dataset costs only its column, and an
+//! interrupted run resumed with the same `--scale/--seed/--sources`
+//! replays finished datasets from the checkpoint journal.
 
-use socnet_bench::{cell, fmt_f64, panels, ExperimentArgs, TableView};
+use socnet_bench::{
+    cell, degraded, fmt_f64, inner_pool, panels, Experiment, ExperimentArgs, TableView,
+};
 use socnet_gen::Dataset;
 use socnet_mixing::{MixingConfig, MixingMeasurement};
 
@@ -13,41 +20,61 @@ const PRINT_AT: [usize; 9] = [1, 2, 5, 10, 20, 50, 100, 200, 300];
 
 fn main() {
     let args = ExperimentArgs::parse();
-    run_panel("fig1a", "Figure 1(a): small to medium datasets", &panels::FIG1_SMALL, &args);
-    run_panel("fig1b", "Figure 1(b): large datasets", &panels::FIG1_LARGE, &args);
+    let mut exp = Experiment::new("fig1", &args);
+    run_panel(&mut exp, "fig1a", "Figure 1(a): small to medium datasets", &panels::FIG1_SMALL);
+    run_panel(&mut exp, "fig1b", "Figure 1(b): large datasets", &panels::FIG1_LARGE);
+    exp.finish();
 }
 
-fn run_panel(stem: &str, title: &str, datasets: &[Dataset], args: &ExperimentArgs) {
-    let mut headers = vec!["walk-length".to_string()];
-    headers.extend(datasets.iter().map(|d| d.name().to_string()));
+fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]) {
+    let args = exp.args().clone();
+    let curves = exp.stage(
+        stem,
+        datasets,
+        |_, d| format!("{stem}/{}", d.name()),
+        |ctx, &d| {
+            let g = args.dataset(d);
+            let cfg = MixingConfig {
+                sources: args.sources,
+                max_walk: MAX_WALK,
+                laziness: 0.0,
+                seed: args.seed.wrapping_add(u64::from(ctx.attempt) - 1),
+            };
+            let (m, report) =
+                MixingMeasurement::measure_reported(&g, &cfg, &inner_pool(ctx.cancel));
+            if !report.is_complete() {
+                return Err(degraded(ctx.cancel, &report));
+            }
+            let curve = m.mean_curve();
+            eprintln!(
+                "  {}: n = {}, TVD@10 = {:.4}, TVD@100 = {:.4}, T(0.1) = {:?}",
+                d.name(),
+                g.node_count(),
+                curve[9],
+                curve[99],
+                m.mixing_time(0.10)
+            );
+            Ok(curve)
+        },
+    );
 
-    let mut curves: Vec<Vec<f64>> = Vec::new();
-    for &d in datasets {
-        let g = args.dataset(d);
-        let cfg = MixingConfig {
-            sources: args.sources,
-            max_walk: MAX_WALK,
-            laziness: 0.0,
-            seed: args.seed,
-        };
-        let m = MixingMeasurement::measure(&g, &cfg);
-        let curve = m.mean_curve();
-        eprintln!(
-            "  {}: n = {}, TVD@10 = {:.4}, TVD@100 = {:.4}, T(0.1) = {:?}",
-            d.name(),
-            g.node_count(),
-            curve[9],
-            curve[99],
-            m.mixing_time(0.10)
-        );
-        curves.push(curve);
+    // Completed datasets only: a degraded run writes the columns it has.
+    let mut names: Vec<String> = Vec::new();
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for (d, c) in datasets.iter().zip(curves) {
+        if let Some(c) = c {
+            names.push(d.name().to_string());
+            cols.push(c);
+        }
     }
+    let mut headers = vec!["walk-length".to_string()];
+    headers.extend(names);
 
     // Full-resolution CSV.
     let mut csv = TableView::new(title, headers.clone());
     for t in 1..=MAX_WALK {
         let mut row = vec![cell(t)];
-        row.extend(curves.iter().map(|c| fmt_f64(c[t - 1])));
+        row.extend(cols.iter().map(|c| fmt_f64(c[t - 1])));
         csv.push_row(row);
     }
     match csv.write_csv(&args.out_dir, stem) {
@@ -62,7 +89,7 @@ fn run_panel(stem: &str, title: &str, datasets: &[Dataset], args: &ExperimentArg
             continue;
         }
         let mut row = vec![cell(t)];
-        row.extend(curves.iter().map(|c| fmt_f64(c[t - 1])));
+        row.extend(cols.iter().map(|c| fmt_f64(c[t - 1])));
         table.push_row(row);
     }
     table.print();

@@ -1,46 +1,77 @@
 //! Figure 2 — coreness distribution (empirical CDF) of the social
 //! graphs. Fast-mixing graphs put a large node mass at high coreness;
 //! slow-mixing graphs concentrate at low coreness.
+//!
+//! Runs on the fault-tolerant harness: one unit per dataset. Each unit's
+//! checkpoint payload is its ECDF evaluated at every integer core number
+//! up to that dataset's own degeneracy, so the cross-dataset grid can be
+//! rebuilt after a resume without recomputing any decomposition.
 
-use socnet_bench::{cell, fmt_f64, panels, ExperimentArgs, TableView};
+use socnet_bench::{cell, fmt_f64, panels, Experiment, ExperimentArgs, TableView};
 use socnet_gen::Dataset;
 use socnet_kcore::{coreness_ecdf, CoreDecomposition};
+use socnet_runner::UnitError;
 
 fn main() {
     let args = ExperimentArgs::parse();
-    run_panel("fig2a", "Figure 2(a): coreness ECDF, small datasets", &panels::FIG2_SMALL, &args);
-    run_panel("fig2b", "Figure 2(b): coreness ECDF, large datasets", &panels::FIG2_LARGE, &args);
+    let mut exp = Experiment::new("fig2", &args);
+    run_panel(&mut exp, "fig2a", "Figure 2(a): coreness ECDF, small datasets", &panels::FIG2_SMALL);
+    run_panel(&mut exp, "fig2b", "Figure 2(b): coreness ECDF, large datasets", &panels::FIG2_LARGE);
+    exp.finish();
 }
 
-fn run_panel(stem: &str, title: &str, datasets: &[Dataset], args: &ExperimentArgs) {
-    // Compute every ECDF, then evaluate all of them on a common grid of
-    // core numbers so the table lines up like the paper's plot.
-    let mut ecdfs = Vec::new();
-    let mut max_core = 0u32;
-    for &d in datasets {
-        let g = args.dataset(d);
-        let decomp = CoreDecomposition::compute(&g);
-        eprintln!(
-            "  {}: n = {}, degeneracy = {}, median coreness = {}",
-            d.name(),
-            g.node_count(),
-            decomp.degeneracy(),
-            coreness_ecdf(&decomp).quantile(0.5)
-        );
-        max_core = max_core.max(decomp.degeneracy());
-        ecdfs.push(coreness_ecdf(&decomp));
+fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]) {
+    let args = exp.args().clone();
+    let evals = exp.stage(
+        stem,
+        datasets,
+        |_, d| format!("{stem}/{}", d.name()),
+        |ctx, &d| {
+            if ctx.cancel.is_cancelled() {
+                return Err(UnitError::Cancelled);
+            }
+            let g = args.dataset(d);
+            let decomp = CoreDecomposition::compute(&g);
+            let ecdf = coreness_ecdf(&decomp);
+            eprintln!(
+                "  {}: n = {}, degeneracy = {}, median coreness = {}",
+                d.name(),
+                g.node_count(),
+                decomp.degeneracy(),
+                ecdf.quantile(0.5)
+            );
+            let evals: Vec<f64> =
+                (0..=decomp.degeneracy()).map(|k| ecdf.eval(k as f64)).collect();
+            Ok(evals)
+        },
+    );
+
+    // Completed datasets only; evaluate every ECDF on a common grid of
+    // core numbers so the table lines up like the paper's plot. Beyond a
+    // dataset's own degeneracy the CDF has saturated at its last value.
+    let mut names: Vec<String> = Vec::new();
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for (d, e) in datasets.iter().zip(evals) {
+        if let Some(e) = e {
+            names.push(d.name().to_string());
+            cols.push(e);
+        }
     }
+    let max_core = cols.iter().map(|c| c.len().saturating_sub(1)).max().unwrap_or(0);
 
     let mut headers = vec!["core-number".to_string()];
-    headers.extend(datasets.iter().map(|d| d.name().to_string()));
+    headers.extend(names);
     let mut csv = TableView::new(title, headers.clone());
     let mut table = TableView::new(title, headers);
 
-    let grid: Vec<u32> = (0..=max_core).collect();
+    let grid: Vec<usize> = (0..=max_core).collect();
     let print_stride = (grid.len() / 12).max(1);
     for (i, &k) in grid.iter().enumerate() {
         let mut row = vec![cell(k)];
-        row.extend(ecdfs.iter().map(|e| fmt_f64(e.eval(k as f64))));
+        row.extend(
+            cols.iter()
+                .map(|c| fmt_f64(c.get(k).or(c.last()).copied().unwrap_or(1.0))),
+        );
         if i % print_stride == 0 || i + 1 == grid.len() {
             table.push_row(row.clone());
         }

@@ -2,31 +2,66 @@
 //! core node (or a sample on large graphs), the minimum, mean, and
 //! maximum number of neighbors per envelope size. One panel per dataset,
 //! (a) through (j).
+//!
+//! Runs on the fault-tolerant harness: one unit per dataset (panel),
+//! with the per-core BFS fan-out inside it sharing the run's deadline.
+//! A resumed run replays finished panels from the checkpoint journal.
 
-use socnet_bench::{cell, fmt_f64, panels, ExperimentArgs, TableView};
+use socnet_bench::{
+    cell, degraded, fmt_f64, inner_pool, panels, Experiment, ExperimentArgs, TableView,
+};
 use socnet_expansion::{ExpansionSweep, SourceSelection};
 
 fn main() {
     let args = ExperimentArgs::parse();
-    for (i, &d) in panels::FIG3.iter().enumerate() {
-        let g = args.dataset(d);
-        // The paper uses every node as a core; that is O(nm). Keep it for
-        // small graphs, sample on large ones (documented in DESIGN.md).
-        let budget = args.sources.max(500);
-        let selection = if g.node_count() <= budget {
-            SourceSelection::All
-        } else {
-            SourceSelection::Sample(budget)
-        };
-        let sweep = ExpansionSweep::measure(&g, selection, args.seed);
-        eprintln!(
-            "  {}: n = {}, cores = {}, set sizes = {}",
-            d.name(),
-            g.node_count(),
-            sweep.source_count(),
-            sweep.stats().len()
-        );
+    let mut exp = Experiment::new("fig3", &args);
+    let blocks = exp.stage(
+        "sweep",
+        &panels::FIG3,
+        |_, d| format!("sweep/{}", d.name()),
+        |ctx, &d| {
+            let g = args.dataset(d);
+            // The paper uses every node as a core; that is O(nm). Keep it
+            // for small graphs, sample on large ones (documented in
+            // DESIGN.md).
+            let budget = args.sources.max(500);
+            let selection = if g.node_count() <= budget {
+                SourceSelection::All
+            } else {
+                SourceSelection::Sample(budget)
+            };
+            let seed = args.seed.wrapping_add(u64::from(ctx.attempt) - 1);
+            let (sweep, report) =
+                ExpansionSweep::measure_reported(&g, selection, seed, &inner_pool(ctx.cancel));
+            if !report.is_complete() {
+                return Err(degraded(ctx.cancel, &report));
+            }
+            eprintln!(
+                "  {}: n = {}, cores = {}, set sizes = {}",
+                d.name(),
+                g.node_count(),
+                sweep.source_count(),
+                sweep.stats().len()
+            );
+            let rows: Vec<Vec<String>> = sweep
+                .stats()
+                .iter()
+                .map(|s| {
+                    vec![
+                        cell(s.set_size),
+                        cell(s.min),
+                        fmt_f64(s.mean),
+                        cell(s.max),
+                        cell(s.samples),
+                    ]
+                })
+                .collect();
+            Ok(rows)
+        },
+    );
 
+    for (i, (d, rows)) in panels::FIG3.iter().zip(blocks).enumerate() {
+        let Some(rows) = rows else { continue };
         let panel = (b'a' + i as u8) as char;
         let title = format!("Figure 3({panel}): {}", d.name());
         let headers: Vec<String> =
@@ -35,19 +70,12 @@ fn main() {
                 .to_vec();
         let mut csv = TableView::new(title.clone(), headers.clone());
         let mut table = TableView::new(title, headers);
-        let stride = (sweep.stats().len() / 10).max(1);
-        for (j, s) in sweep.stats().iter().enumerate() {
-            let row = vec![
-                cell(s.set_size),
-                cell(s.min),
-                fmt_f64(s.mean),
-                cell(s.max),
-                cell(s.samples),
-            ];
-            if j % stride == 0 || j + 1 == sweep.stats().len() {
+        let stride = (rows.len() / 10).max(1);
+        for (j, row) in rows.iter().enumerate() {
+            if j % stride == 0 || j + 1 == rows.len() {
                 table.push_row(row.clone());
             }
-            csv.push_row(row);
+            csv.push_row(row.clone());
         }
         match csv.write_csv(&args.out_dir, &format!("fig3{panel}")) {
             Ok(path) => eprintln!("wrote {}", path.display()),
@@ -55,4 +83,5 @@ fn main() {
         }
         table.print();
     }
+    exp.finish();
 }

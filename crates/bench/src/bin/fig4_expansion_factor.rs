@@ -1,47 +1,77 @@
 //! Figure 4 — expected expansion factor `E[|N(S)|]/|S|` as a function of
 //! set size, comparing datasets against each other. Panel (a) covers the
 //! small datasets, panel (b) the medium ones.
+//!
+//! Runs on the fault-tolerant harness: one unit per dataset, whose
+//! checkpoint payload is its `(set size, factor)` curve, so a resumed
+//! run rebuilds the cross-dataset grid without re-measuring.
 
-use socnet_bench::{cell, fmt_f64, panels, ExperimentArgs, TableView};
+use socnet_bench::{
+    cell, degraded, fmt_f64, inner_pool, panels, Experiment, ExperimentArgs, TableView,
+};
 use socnet_expansion::{ExpansionSweep, SourceSelection};
 use socnet_gen::Dataset;
 
 fn main() {
     let args = ExperimentArgs::parse();
-    run_panel("fig4a", "Figure 4(a): small datasets", &panels::FIG4_SMALL, &args);
-    run_panel("fig4b", "Figure 4(b): medium datasets", &panels::FIG4_MEDIUM, &args);
+    let mut exp = Experiment::new("fig4", &args);
+    run_panel(&mut exp, "fig4a", "Figure 4(a): small datasets", &panels::FIG4_SMALL);
+    run_panel(&mut exp, "fig4b", "Figure 4(b): medium datasets", &panels::FIG4_MEDIUM);
+    exp.finish();
 }
 
-fn run_panel(stem: &str, title: &str, datasets: &[Dataset], args: &ExperimentArgs) {
-    // Measure each dataset's expansion-factor curve, then align them on a
-    // common grid of relative set sizes so the comparison reads like the
-    // paper's overlaid plot.
+fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]) {
+    let args = exp.args().clone();
+    let measured = exp.stage(
+        stem,
+        datasets,
+        |_, d| format!("{stem}/{}", d.name()),
+        |ctx, &d| {
+            let g = args.dataset(d);
+            let budget = args.sources.max(500);
+            let selection = if g.node_count() <= budget {
+                SourceSelection::All
+            } else {
+                SourceSelection::Sample(budget)
+            };
+            let seed = args.seed.wrapping_add(u64::from(ctx.attempt) - 1);
+            let (sweep, report) =
+                ExpansionSweep::measure_reported(&g, selection, seed, &inner_pool(ctx.cancel));
+            if !report.is_complete() {
+                return Err(degraded(ctx.cancel, &report));
+            }
+            let curve = sweep.expansion_factor_curve();
+            eprintln!(
+                "  {}: n = {}, peak alpha = {:.3}",
+                d.name(),
+                g.node_count(),
+                curve.iter().map(|&(_, a)| a).fold(0.0, f64::max)
+            );
+            let encoded: Vec<(u64, f64)> =
+                curve.into_iter().map(|(s, a)| (s as u64, a)).collect();
+            Ok(encoded)
+        },
+    );
+
+    // Completed datasets only; align their curves on a common grid of
+    // set sizes so the comparison reads like the paper's overlaid plot.
+    let mut names: Vec<String> = Vec::new();
     let mut curves: Vec<Vec<(usize, f64)>> = Vec::new();
     let mut max_size = 0usize;
-    for &d in datasets {
-        let g = args.dataset(d);
-        let budget = args.sources.max(500);
-        let selection = if g.node_count() <= budget {
-            SourceSelection::All
-        } else {
-            SourceSelection::Sample(budget)
-        };
-        let sweep = ExpansionSweep::measure(&g, selection, args.seed);
-        let curve = sweep.expansion_factor_curve();
-        if let Some(&(last, _)) = curve.last() {
-            max_size = max_size.max(last);
+    for (d, c) in datasets.iter().zip(measured) {
+        if let Some(c) = c {
+            let curve: Vec<(usize, f64)> =
+                c.into_iter().map(|(s, a)| (s as usize, a)).collect();
+            if let Some(&(last, _)) = curve.last() {
+                max_size = max_size.max(last);
+            }
+            names.push(d.name().to_string());
+            curves.push(curve);
         }
-        eprintln!(
-            "  {}: n = {}, peak alpha = {:.3}",
-            d.name(),
-            g.node_count(),
-            curve.iter().map(|&(_, a)| a).fold(0.0, f64::max)
-        );
-        curves.push(curve);
     }
 
     let mut headers = vec!["set-size".to_string()];
-    headers.extend(datasets.iter().map(|d| d.name().to_string()));
+    headers.extend(names);
     let mut csv = TableView::new(title, headers.clone());
     let mut table = TableView::new(title, headers);
 

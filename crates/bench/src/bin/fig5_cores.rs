@@ -2,24 +2,56 @@
 //! of connected cores, as functions of the core depth `k`. Fast-mixing
 //! graphs keep a single large core; slow-mixing graphs fragment into
 //! multiple small ones.
+//!
+//! Runs on the fault-tolerant harness: one unit per dataset (panel),
+//! journaling each panel's finished row block so an interrupted run
+//! resumes without recomputing core decompositions.
 
-use socnet_bench::{cell, fmt_f64, panels, ExperimentArgs, TableView};
+use socnet_bench::{cell, fmt_f64, panels, Experiment, ExperimentArgs, TableView};
 use socnet_kcore::{core_profiles, CoreDecomposition};
+use socnet_runner::UnitError;
 
 fn main() {
     let args = ExperimentArgs::parse();
-    for (i, &d) in panels::FIG5.iter().enumerate() {
-        let g = args.dataset(d);
-        let decomp = CoreDecomposition::compute(&g);
-        let profiles = core_profiles(&g, &decomp);
-        eprintln!(
-            "  {}: n = {}, degeneracy = {}, cores at k_max = {}",
-            d.name(),
-            g.node_count(),
-            decomp.degeneracy(),
-            profiles.last().map(|p| p.components).unwrap_or(0)
-        );
+    let mut exp = Experiment::new("fig5", &args);
+    let blocks = exp.stage(
+        "profiles",
+        &panels::FIG5,
+        |_, d| format!("profiles/{}", d.name()),
+        |ctx, &d| {
+            if ctx.cancel.is_cancelled() {
+                return Err(UnitError::Cancelled);
+            }
+            let g = args.dataset(d);
+            let decomp = CoreDecomposition::compute(&g);
+            let profiles = core_profiles(&g, &decomp);
+            eprintln!(
+                "  {}: n = {}, degeneracy = {}, cores at k_max = {}",
+                d.name(),
+                g.node_count(),
+                decomp.degeneracy(),
+                profiles.last().map(|p| p.components).unwrap_or(0)
+            );
+            let n = g.node_count();
+            let m = g.edge_count();
+            let rows: Vec<Vec<String>> = profiles
+                .iter()
+                .map(|p| {
+                    vec![
+                        cell(p.k),
+                        fmt_f64(p.nu_prime(n)),
+                        fmt_f64(p.tau_prime(m)),
+                        cell(p.components),
+                        cell(p.largest_nodes),
+                    ]
+                })
+                .collect();
+            Ok(rows)
+        },
+    );
 
+    for (i, (d, rows)) in panels::FIG5.iter().zip(blocks).enumerate() {
+        let Some(rows) = rows else { continue };
         let panel = (b'a' + i as u8) as char;
         let title = format!("Figure 5({panel}): {}", d.name());
         let headers: Vec<String> =
@@ -28,21 +60,12 @@ fn main() {
                 .to_vec();
         let mut csv = TableView::new(title.clone(), headers.clone());
         let mut table = TableView::new(title, headers);
-        let n = g.node_count();
-        let m = g.edge_count();
-        let stride = (profiles.len() / 12).max(1);
-        for (j, p) in profiles.iter().enumerate() {
-            let row = vec![
-                cell(p.k),
-                fmt_f64(p.nu_prime(n)),
-                fmt_f64(p.tau_prime(m)),
-                cell(p.components),
-                cell(p.largest_nodes),
-            ];
-            if j % stride == 0 || j + 1 == profiles.len() {
+        let stride = (rows.len() / 12).max(1);
+        for (j, row) in rows.iter().enumerate() {
+            if j % stride == 0 || j + 1 == rows.len() {
                 table.push_row(row.clone());
             }
-            csv.push_row(row);
+            csv.push_row(row.clone());
         }
         match csv.write_csv(&args.out_dir, &format!("fig5{panel}")) {
             Ok(path) => eprintln!("wrote {}", path.display()),
@@ -50,4 +73,5 @@ fn main() {
         }
         table.print();
     }
+    exp.finish();
 }

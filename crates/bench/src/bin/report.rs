@@ -8,14 +8,23 @@
 //!   structure (ν'_k, number of cores), and expansion side by side, so
 //!   the fast-mixing ⇔ single-large-core ⇔ good-expansion alignment is
 //!   visible in one table.
+//!
+//! Runs on the fault-tolerant harness as two stages (one unit per
+//! dataset each), so a crash in one defense stack or one dataset's
+//! measurement costs only that row, and an interrupted run resumes.
 
-use socnet_bench::{cell, fmt_f64, ExperimentArgs, TableView};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_bench::{
+    cell, degraded, fmt_f64, inner_pool, Experiment, ExperimentArgs, TableView,
+};
 use socnet_community::LocalCommunity;
 use socnet_core::NodeId;
 use socnet_expansion::{ExpansionSweep, SourceSelection};
 use socnet_gen::Dataset;
 use socnet_kcore::{core_profiles, CoreDecomposition};
 use socnet_mixing::{slem, MixingConfig, MixingMeasurement, SpectralConfig};
+use socnet_runner::{UnitCtx, UnitError};
 use socnet_sybil::{
     eval, AttackedGraph, GateKeeper, GateKeeperConfig, SumUp, SumUpConfig, SybilAttack,
     SybilGuard, SybilGuardConfig, SybilInfer, SybilInferConfig, SybilLimit, SybilLimitConfig,
@@ -24,12 +33,23 @@ use socnet_sybil::{
 
 fn main() {
     let args = ExperimentArgs::parse();
-    defense_equivalence(&args);
-    property_correlation(&args);
+    let mut exp = Experiment::new("report", &args);
+    defense_equivalence(&mut exp);
+    property_correlation(&mut exp);
+    exp.finish();
 }
 
 /// E8: all five defenses on the same attacked graphs.
-fn defense_equivalence(args: &ExperimentArgs) {
+fn defense_equivalence(exp: &mut Experiment) {
+    let args = exp.args().clone();
+    let datasets = [Dataset::WikiVote, Dataset::Physics1];
+    let blocks = exp.stage(
+        "e8-defenses",
+        &datasets,
+        |_, d| format!("e8/{}", d.name()),
+        |ctx, &d| defense_rows(&args, ctx, d),
+    );
+
     let mut table = TableView::new(
         "E8: five defenses on the same attacked graphs",
         vec![
@@ -39,87 +59,11 @@ fn defense_equivalence(args: &ExperimentArgs) {
             "sybil-per-edge".into(),
         ],
     );
-
-    for d in [Dataset::WikiVote, Dataset::Physics1] {
-        let honest = args.dataset(d);
-        let attacked = AttackedGraph::mount(
-            &honest,
-            &SybilAttack {
-                sybil_count: 100,
-                attack_edges: 20,
-                topology: SybilTopology::ErdosRenyi { p: 0.1 },
-                seed: args.seed,
-            },
-        );
-        let g = attacked.graph();
-        eprintln!("  {}: n = {} (+100 sybils)", d.name(), attacked.honest_count());
-
-        // Suspects: every node; verifier/trusted node: honest node 0.
-        let verifier = NodeId(0);
-        let everyone: Vec<NodeId> = g.nodes().collect();
-
-        // GateKeeper.
-        let gk = GateKeeper::new(GateKeeperConfig {
-            distributors: 33,
-            f_admit: 0.2,
-            seed: args.seed,
-            ..Default::default()
-        })
-        .run(&attacked);
-        push(&mut table, &attacked, d, "GateKeeper", gk.admitted());
-
-        // SybilGuard (route length ~ sqrt(n log n), sampled suspects are
-        // too slow at full n; evaluate on every node anyway but with a
-        // modest route length).
-        let guard = SybilGuard::new(g, SybilGuardConfig { route_length: 40, seed: args.seed });
-        let verdict = guard.admitted_set(verifier, &everyone);
-        push(&mut table, &attacked, d, "SybilGuard", &verdict);
-
-        // SybilLimit.
-        let sl = SybilLimit::new(
-            g,
-            SybilLimitConfig {
-                instances: SybilLimitConfig::recommended_instances(g.edge_count()),
-                route_length: 12,
-                balance_slack: 4.0,
-                seed: args.seed,
-            },
-        );
-        let verdict = sl.verify_all(verifier, &everyone);
-        push(&mut table, &attacked, d, "SybilLimit", &verdict);
-
-        // SybilInfer-style ranking with an oracle-free cut at 0.3/2m.
-        let si = SybilInfer::infer(
-            g,
-            verifier,
-            &SybilInferConfig { walks: 60_000, walk_length: 12, seed: args.seed },
-        );
-        let verdict = si.classify(g, 0.3);
-        push(&mut table, &attacked, d, "SybilInfer", &verdict);
-        let auc = eval::ranking_auc(&attacked, &si.ranking());
-        eprintln!("    SybilInfer ranking AUC = {auc:.3}");
-
-        // SumUp, voting budget = honest population.
-        let sumup = SumUp::new(SumUpConfig {
-            expected_votes: attacked.honest_count(),
-            seed: args.seed,
-        });
-        let outcome = sumup.collect(g, verifier, &everyone);
-        push(&mut table, &attacked, d, "SumUp", &outcome.accepted);
-
-        // Community detection (Viswanath et al.'s replacement): grow the
-        // verifier's local community to the honest-population size and
-        // admit its members.
-        let lc = LocalCommunity::sweep(g, verifier, attacked.honest_count());
-        let mut admitted = vec![false; g.node_count()];
-        for &v in lc.ranking() {
-            admitted[v.index()] = true;
+    for rows in blocks.into_iter().flatten() {
+        for row in rows {
+            table.push_row(row);
         }
-        push(&mut table, &attacked, d, "Community", &admitted);
-        let auc = eval::ranking_auc(&attacked, &lc.full_ranking(g));
-        eprintln!("    Community sweep ranking AUC = {auc:.3}");
     }
-
     table.print();
     match table.write_csv(&args.out_dir, "e8_defenses") {
         Ok(path) => eprintln!("wrote {}", path.display()),
@@ -127,24 +71,181 @@ fn defense_equivalence(args: &ExperimentArgs) {
     }
 }
 
-fn push(
-    table: &mut TableView,
+fn defense_rows(
+    args: &ExperimentArgs,
+    ctx: UnitCtx<'_>,
+    d: Dataset,
+) -> Result<Vec<Vec<String>>, UnitError> {
+    let check = || {
+        if ctx.cancel.is_cancelled() {
+            Err(UnitError::Cancelled)
+        } else {
+            Ok(())
+        }
+    };
+    check()?;
+    let honest = args.dataset(d);
+    let attacked = AttackedGraph::mount(
+        &honest,
+        &SybilAttack {
+            sybil_count: 100,
+            attack_edges: 20,
+            topology: SybilTopology::ErdosRenyi { p: 0.1 },
+            seed: args.seed,
+        },
+    );
+    let g = attacked.graph();
+    eprintln!("  {}: n = {} (+100 sybils)", d.name(), attacked.honest_count());
+
+    // Suspects: every node; verifier/trusted node: honest node 0.
+    let verifier = NodeId(0);
+    let everyone: Vec<NodeId> = g.nodes().collect();
+    let mut rows = Vec::new();
+
+    // GateKeeper, through the reported entry point so the floods share
+    // our token; same controller `run` would sample.
+    let gk = GateKeeper::new(GateKeeperConfig {
+        distributors: 33,
+        f_admit: 0.2,
+        seed: args.seed,
+        ..Default::default()
+    });
+    let controller = attacked.random_honest(&mut StdRng::seed_from_u64(args.seed));
+    let (outcome, report) = gk
+        .run_from_reported(g, controller, &inner_pool(ctx.cancel))
+        .map_err(|e| UnitError::Failed(e.to_string()))?;
+    if !report.is_complete() {
+        return Err(degraded(ctx.cancel, &report));
+    }
+    rows.push(defense_row(&attacked, d, "GateKeeper", outcome.admitted()));
+    check()?;
+
+    // SybilGuard (route length ~ sqrt(n log n), sampled suspects are
+    // too slow at full n; evaluate on every node anyway but with a
+    // modest route length).
+    let guard = SybilGuard::new(g, SybilGuardConfig { route_length: 40, seed: args.seed });
+    let verdict = guard.admitted_set(verifier, &everyone);
+    rows.push(defense_row(&attacked, d, "SybilGuard", &verdict));
+    check()?;
+
+    // SybilLimit.
+    let sl = SybilLimit::new(
+        g,
+        SybilLimitConfig {
+            instances: SybilLimitConfig::recommended_instances(g.edge_count()),
+            route_length: 12,
+            balance_slack: 4.0,
+            seed: args.seed,
+        },
+    );
+    let verdict = sl.verify_all(verifier, &everyone);
+    rows.push(defense_row(&attacked, d, "SybilLimit", &verdict));
+    check()?;
+
+    // SybilInfer-style ranking with an oracle-free cut at 0.3/2m.
+    let si = SybilInfer::infer(
+        g,
+        verifier,
+        &SybilInferConfig { walks: 60_000, walk_length: 12, seed: args.seed },
+    );
+    let verdict = si.classify(g, 0.3);
+    rows.push(defense_row(&attacked, d, "SybilInfer", &verdict));
+    let auc = eval::ranking_auc(&attacked, &si.ranking());
+    eprintln!("    SybilInfer ranking AUC = {auc:.3}");
+    check()?;
+
+    // SumUp, voting budget = honest population.
+    let sumup = SumUp::new(SumUpConfig {
+        expected_votes: attacked.honest_count(),
+        seed: args.seed,
+    });
+    let outcome = sumup.collect(g, verifier, &everyone);
+    rows.push(defense_row(&attacked, d, "SumUp", &outcome.accepted));
+    check()?;
+
+    // Community detection (Viswanath et al.'s replacement): grow the
+    // verifier's local community to the honest-population size and
+    // admit its members.
+    let lc = LocalCommunity::sweep(g, verifier, attacked.honest_count());
+    let mut admitted = vec![false; g.node_count()];
+    for &v in lc.ranking() {
+        admitted[v.index()] = true;
+    }
+    rows.push(defense_row(&attacked, d, "Community", &admitted));
+    let auc = eval::ranking_auc(&attacked, &lc.full_ranking(g));
+    eprintln!("    Community sweep ranking AUC = {auc:.3}");
+
+    Ok(rows)
+}
+
+fn defense_row(
     attacked: &AttackedGraph,
     d: Dataset,
     name: &str,
     admitted: &[bool],
-) {
+) -> Vec<String> {
     let stats = eval::admission_stats(attacked, admitted);
-    table.push_row(vec![
+    vec![
         cell(d.name()),
         cell(name),
         format!("{:.1}%", 100.0 * stats.honest_accept_rate),
         fmt_f64(stats.sybils_per_attack_edge),
-    ]);
+    ]
 }
 
 /// E9: mixing, coreness, and expansion of every dataset in one table.
-fn property_correlation(args: &ExperimentArgs) {
+fn property_correlation(exp: &mut Experiment) {
+    let args = exp.args().clone();
+    let rows = exp.stage(
+        "e9-correlation",
+        &Dataset::ALL,
+        |_, d| format!("e9/{}", d.name()),
+        |ctx, &d| {
+            let g = args.dataset(d);
+            let spectrum = slem(&g, &SpectralConfig::default());
+            let (mixing, report) = MixingMeasurement::measure_reported(
+                &g,
+                &MixingConfig {
+                    sources: args.sources.min(50),
+                    max_walk: 50,
+                    laziness: 0.0,
+                    seed: args.seed,
+                },
+                &inner_pool(ctx.cancel),
+            );
+            if !report.is_complete() {
+                return Err(degraded(ctx.cancel, &report));
+            }
+            let decomp = CoreDecomposition::compute(&g);
+            let profiles = core_profiles(&g, &decomp);
+            let last = profiles.last().expect("non-trivial graph");
+            let (sweep, report) = ExpansionSweep::measure_reported(
+                &g,
+                SourceSelection::Sample(args.sources.min(200)),
+                args.seed,
+                &inner_pool(ctx.cancel),
+            );
+            if !report.is_complete() {
+                return Err(degraded(ctx.cancel, &report));
+            }
+            let curve = sweep.expansion_factor_curve();
+            let mid = curve.get(curve.len() / 2).map(|&(_, a)| a).unwrap_or(0.0);
+            eprintln!("  measured {}", d.name());
+
+            Ok(vec![
+                cell(d.name()),
+                cell(d.spec().model.label()),
+                cell(g.node_count()),
+                fmt_f64(spectrum.slem()),
+                fmt_f64(mixing.mean_curve()[49]),
+                cell(decomp.degeneracy()),
+                fmt_f64(last.nu_prime(g.node_count())),
+                cell(last.components),
+                fmt_f64(mid),
+            ])
+        },
+    );
+
     let mut table = TableView::new(
         "E9: property correlation across the registry",
         vec![
@@ -159,44 +260,9 @@ fn property_correlation(args: &ExperimentArgs) {
             "alpha@mid".into(),
         ],
     );
-
-    for d in Dataset::ALL {
-        let g = args.dataset(d);
-        let spectrum = slem(&g, &SpectralConfig::default());
-        let mixing = MixingMeasurement::measure(
-            &g,
-            &MixingConfig {
-                sources: args.sources.min(50),
-                max_walk: 50,
-                laziness: 0.0,
-                seed: args.seed,
-            },
-        );
-        let decomp = CoreDecomposition::compute(&g);
-        let profiles = core_profiles(&g, &decomp);
-        let last = profiles.last().expect("non-trivial graph");
-        let sweep = ExpansionSweep::measure(
-            &g,
-            SourceSelection::Sample(args.sources.min(200)),
-            args.seed,
-        );
-        let curve = sweep.expansion_factor_curve();
-        let mid = curve.get(curve.len() / 2).map(|&(_, a)| a).unwrap_or(0.0);
-
-        table.push_row(vec![
-            cell(d.name()),
-            cell(d.spec().model.label()),
-            cell(g.node_count()),
-            fmt_f64(spectrum.slem()),
-            fmt_f64(mixing.mean_curve()[49]),
-            cell(decomp.degeneracy()),
-            fmt_f64(last.nu_prime(g.node_count())),
-            cell(last.components),
-            fmt_f64(mid),
-        ]);
-        eprintln!("  measured {}", d.name());
+    for row in rows.into_iter().flatten() {
+        table.push_row(row);
     }
-
     table.print();
     match table.write_csv(&args.out_dir, "e9_correlation") {
         Ok(path) => eprintln!("wrote {}", path.display()),

@@ -1,12 +1,42 @@
 //! Table I — dataset atlas: nodes, edges, and the second largest
 //! eigenvalue modulus of the transition matrix, for every registry
 //! dataset, next to the figures the paper reports for the originals.
+//!
+//! Runs on the fault-tolerant harness: one unit per dataset, resumable
+//! from the checkpoint journal under the same parameters.
 
-use socnet_bench::{cell, fmt_f64, panels, ExperimentArgs, TableView};
+use socnet_bench::{cell, fmt_f64, panels, Experiment, ExperimentArgs, TableView};
 use socnet_mixing::{slem, SpectralConfig};
+use socnet_runner::UnitError;
 
 fn main() {
     let args = ExperimentArgs::parse();
+    let mut exp = Experiment::new("table1", &args);
+    let rows = exp.stage(
+        "datasets",
+        &panels::TABLE1,
+        |_, d| format!("datasets/{}", d.name()),
+        |ctx, &d| {
+            if ctx.cancel.is_cancelled() {
+                return Err(UnitError::Cancelled);
+            }
+            let g = args.dataset(d);
+            let spectrum = slem(&g, &SpectralConfig::default());
+            let spec = d.spec();
+            eprintln!("  measured {} (lambda2 = {:.5})", d.name(), spectrum.lambda2);
+            Ok(vec![
+                cell(d.name()),
+                cell(spec.model.label()),
+                cell(g.node_count()),
+                cell(g.edge_count()),
+                fmt_f64(spectrum.slem()),
+                cell(spec.paper_nodes),
+                cell(spec.paper_edges),
+                spec.paper_slem.map(fmt_f64).unwrap_or_else(|| "n/a".into()),
+            ])
+        },
+    );
+
     let mut table = TableView::new(
         "Table I: datasets, their properties, and second largest eigenvalues",
         vec![
@@ -20,22 +50,8 @@ fn main() {
             "paper-mu".into(),
         ],
     );
-
-    for d in panels::TABLE1 {
-        let g = args.dataset(d);
-        let spectrum = slem(&g, &SpectralConfig::default());
-        let spec = d.spec();
-        table.push_row(vec![
-            cell(d.name()),
-            cell(spec.model.label()),
-            cell(g.node_count()),
-            cell(g.edge_count()),
-            fmt_f64(spectrum.slem()),
-            cell(spec.paper_nodes),
-            cell(spec.paper_edges),
-            spec.paper_slem.map(fmt_f64).unwrap_or_else(|| "n/a".into()),
-        ]);
-        eprintln!("  measured {} (lambda2 = {:.5})", d.name(), spectrum.lambda2);
+    for row in rows.into_iter().flatten() {
+        table.push_row(row);
     }
 
     table.print();
@@ -43,4 +59,5 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    exp.finish();
 }

@@ -3,61 +3,88 @@
 //! graph) and Sybils admitted per attack edge, for admission thresholds
 //! `f ∈ {0.1, 0.2, 0.4}`. Attackers are selected randomly and 99
 //! distributors are sampled in each case, as in the paper.
+//!
+//! Runs on the fault-tolerant harness: one unit per dataset, with the
+//! per-distributor floods inside it sharing the run's deadline.
 
-use socnet_bench::{cell, fmt_f64, panels, ExperimentArgs, TableView};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_bench::{
+    cell, degraded, fmt_f64, inner_pool, panels, Experiment, ExperimentArgs, TableView,
+};
+use socnet_runner::UnitError;
 use socnet_sybil::{
     eval, AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilTopology,
 };
 
 fn main() {
     let args = ExperimentArgs::parse();
+    let mut exp = Experiment::new("table2", &args);
+    let blocks = exp.stage(
+        "gatekeeper",
+        &panels::TABLE2,
+        |_, (d, _)| format!("gatekeeper/{}", d.name()),
+        |ctx, &(d, attack_edges)| {
+            let honest = args.dataset(d);
+            let attack_edges = ((attack_edges as f64 * args.scale).round() as usize).max(1);
+            let attack = SybilAttack {
+                sybil_count: 100,
+                attack_edges,
+                topology: SybilTopology::ErdosRenyi { p: 0.1 },
+                seed: args.seed,
+            };
+            let attacked = AttackedGraph::mount(&honest, &attack);
+            eprintln!(
+                "  {}: honest n = {}, sybils = {}, attack edges = {}",
+                d.name(),
+                attacked.honest_count(),
+                attacked.sybil_count(),
+                attack_edges
+            );
+
+            let mut honest_row =
+                vec![cell(d.name()), cell(attack_edges), "Honest %".to_string()];
+            let mut sybil_row =
+                vec![cell(d.name()), cell(attack_edges), "Sybil/edge".to_string()];
+            for &f in &panels::TABLE2_F {
+                let gk = GateKeeper::new(GateKeeperConfig {
+                    distributors: 99,
+                    f_admit: f,
+                    coverage: 0.5,
+                    sample_walk_length: 25,
+                    seed: args.seed,
+                });
+                // Same controller `run` would sample, but through the
+                // reported entry point so the floods share our token.
+                let controller =
+                    attacked.random_honest(&mut StdRng::seed_from_u64(args.seed));
+                let (outcome, report) = gk
+                    .run_from_reported(attacked.graph(), controller, &inner_pool(ctx.cancel))
+                    .map_err(|e| UnitError::Failed(e.to_string()))?;
+                if !report.is_complete() {
+                    return Err(degraded(ctx.cancel, &report));
+                }
+                let stats = eval::admission_stats(&attacked, outcome.admitted());
+                honest_row.push(format!("{:.1}%", 100.0 * stats.honest_accept_rate));
+                sybil_row.push(fmt_f64(stats.sybils_per_attack_edge));
+                eprintln!(
+                    "    f = {f}: honest {:.1}%, sybil/edge {:.2}",
+                    100.0 * stats.honest_accept_rate,
+                    stats.sybils_per_attack_edge
+                );
+            }
+            Ok(vec![honest_row, sybil_row])
+        },
+    );
+
     let mut headers = vec!["dataset".to_string(), "attack-edges".into(), "accept".into()];
     headers.extend(panels::TABLE2_F.iter().map(|f| format!("f={f}")));
     let mut table =
         TableView::new("Table II: GateKeeper admission under Sybil attack", headers);
-
-    for &(d, attack_edges) in &panels::TABLE2 {
-        let honest = args.dataset(d);
-        let attack_edges = ((attack_edges as f64 * args.scale).round() as usize).max(1);
-        let attack = SybilAttack {
-            sybil_count: 100,
-            attack_edges,
-            topology: SybilTopology::ErdosRenyi { p: 0.1 },
-            seed: args.seed,
-        };
-        let attacked = AttackedGraph::mount(&honest, &attack);
-        eprintln!(
-            "  {}: honest n = {}, sybils = {}, attack edges = {}",
-            d.name(),
-            attacked.honest_count(),
-            attacked.sybil_count(),
-            attack_edges
-        );
-
-        let mut honest_row =
-            vec![cell(d.name()), cell(attack_edges), "Honest %".to_string()];
-        let mut sybil_row =
-            vec![cell(d.name()), cell(attack_edges), "Sybil/edge".to_string()];
-        for &f in &panels::TABLE2_F {
-            let gk = GateKeeper::new(GateKeeperConfig {
-                distributors: 99,
-                f_admit: f,
-                coverage: 0.5,
-                sample_walk_length: 25,
-                seed: args.seed,
-            });
-            let outcome = gk.run(&attacked);
-            let stats = eval::admission_stats(&attacked, outcome.admitted());
-            honest_row.push(format!("{:.1}%", 100.0 * stats.honest_accept_rate));
-            sybil_row.push(fmt_f64(stats.sybils_per_attack_edge));
-            eprintln!(
-                "    f = {f}: honest {:.1}%, sybil/edge {:.2}",
-                100.0 * stats.honest_accept_rate,
-                stats.sybils_per_attack_edge
-            );
+    for rows in blocks.into_iter().flatten() {
+        for row in rows {
+            table.push_row(row);
         }
-        table.push_row(honest_row);
-        table.push_row(sybil_row);
     }
 
     table.print();
@@ -65,4 +92,5 @@ fn main() {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    exp.finish();
 }

@@ -1,0 +1,246 @@
+//! The fault-tolerant experiment harness the binaries run on.
+//!
+//! [`Experiment`] ties the pieces of `socnet-runner` together for the
+//! `src/bin/` artifact generators: panic-isolated stages, a run-wide
+//! cooperative deadline, a checkpoint journal keyed by the invocation's
+//! parameters, and a run report printed and written beside the CSVs.
+
+use std::time::Instant;
+
+use socnet_runner::{
+    run_units, CancelToken, Checkpoint, Payload, PoolConfig, RunReport, StageReport, UnitCtx,
+    UnitError, UnitRecord,
+};
+
+/// The pool configuration for measurers invoked *inside* a stage worker
+/// (`MixingMeasurement::measure_reported` and friends): single
+/// threaded, because the outer stage already fans units across the
+/// cores; no retry, because the outer stage retries whole units; and
+/// sharing the worker's cancellation token, so a run-wide deadline
+/// reaches all the way down into the inner units.
+pub fn inner_pool(cancel: &CancelToken) -> PoolConfig {
+    PoolConfig {
+        threads: 1,
+        max_attempts: 1,
+        cancel: cancel.clone(),
+    }
+}
+
+/// Maps a degraded inner-stage report to the worker's unit error:
+/// [`UnitError::Cancelled`] when the run-wide token tripped (so the
+/// unit is recorded as pre-empted, not broken), a retryable
+/// [`UnitError::Failed`] otherwise.
+pub fn degraded(cancel: &CancelToken, report: &StageReport) -> UnitError {
+    if cancel.is_cancelled() {
+        UnitError::Cancelled
+    } else {
+        UnitError::Failed(format!("inner stage degraded: {}", report.summary_line()))
+    }
+}
+
+use crate::ExperimentArgs;
+
+/// One fault-tolerant experiment run (one binary invocation).
+///
+/// A run is a sequence of named stages; each stage fans its items out
+/// over the panic-isolated pool, resumes units journaled by a previous
+/// identical invocation, journals units as they complete, and feeds the
+/// run report. Binaries end with [`finish`](Experiment::finish), which
+/// prints the report and writes it beside the artifacts.
+///
+/// The checkpoint journal lives at `<out>/<name>.ckpt` and is keyed by
+/// `name`, `--scale`, `--seed`, and `--sources`: invoking with different
+/// parameters resets it rather than resuming mismatched units.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_bench::{Experiment, ExperimentArgs};
+/// use socnet_runner::UnitError;
+///
+/// let mut args = ExperimentArgs::default();
+/// args.out_dir = std::env::temp_dir().join("socnet-experiment-doc");
+/// let mut exp = Experiment::new("doc-demo", &args);
+/// let squares = exp.stage(
+///     "squares",
+///     &[1u64, 2, 3],
+///     |_, x| format!("unit-{x}"),
+///     |_ctx, &x| Ok::<u64, UnitError>(x * x),
+/// );
+/// assert_eq!(squares, vec![Some(1), Some(4), Some(9)]);
+/// let report = exp.finish();
+/// assert!(report.is_complete());
+/// # std::fs::remove_dir_all(std::env::temp_dir().join("socnet-experiment-doc")).ok();
+/// ```
+pub struct Experiment {
+    name: String,
+    args: ExperimentArgs,
+    ckpt: Option<Checkpoint>,
+    report: RunReport,
+    cancel: CancelToken,
+    started: Instant,
+}
+
+impl Experiment {
+    /// Starts a run: arms the time budget and opens (or, under
+    /// `--no-resume`, resets) the checkpoint journal.
+    ///
+    /// A journal that cannot be opened (unwritable directory, corrupt
+    /// beyond the header) degrades to running without checkpoints — an
+    /// experiment never refuses to run because its bookkeeping is sick.
+    pub fn new(name: &str, args: &ExperimentArgs) -> Self {
+        let cancel = match args.time_budget {
+            Some(budget) => CancelToken::with_budget(budget),
+            None => CancelToken::new(),
+        };
+        let path = args.out_dir.join(format!("{name}.ckpt"));
+        if !args.resume {
+            std::fs::remove_file(&path).ok();
+        }
+        let key = format!(
+            "{name} scale={} seed={} sources={}",
+            args.scale, args.seed, args.sources
+        );
+        let ckpt = match Checkpoint::open(&path, &key) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("warning: running without checkpoints ({}: {e})", path.display());
+                None
+            }
+        };
+        Experiment {
+            name: name.to_string(),
+            args: args.clone(),
+            ckpt,
+            report: RunReport::new(),
+            cancel,
+            started: Instant::now(),
+        }
+    }
+
+    /// The arguments the run was invoked with.
+    pub fn args(&self) -> &ExperimentArgs {
+        &self.args
+    }
+
+    /// The run-wide cancellation token (deadline included).
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Runs one stage: journaled units are resumed without recomputing,
+    /// the rest fan out over the panic-isolated pool and are journaled
+    /// as they complete. Returns one output slot per item, `None` where
+    /// the unit failed or was pre-empted.
+    ///
+    /// `id_of` must be stable across invocations — it is the resume key.
+    pub fn stage<I, O, F, G>(
+        &mut self,
+        stage: &str,
+        items: &[I],
+        id_of: G,
+        worker: F,
+    ) -> Vec<Option<O>>
+    where
+        I: Sync,
+        O: Payload + Send,
+        F: Fn(UnitCtx<'_>, &I) -> Result<O, UnitError> + Sync,
+        G: Fn(usize, &I) -> String + Sync,
+    {
+        let stage_start = Instant::now();
+        let ids: Vec<String> = items.iter().enumerate().map(|(i, it)| id_of(i, it)).collect();
+
+        // Partition into resumed (journaled with a decodable payload)
+        // and pending units.
+        let mut outputs: Vec<Option<O>> = Vec::with_capacity(items.len());
+        let mut resumed: Vec<bool> = Vec::with_capacity(items.len());
+        for id in &ids {
+            let restored = self
+                .ckpt
+                .as_ref()
+                .and_then(|c| c.get(id))
+                .and_then(|payload| O::decode_payload(&payload));
+            resumed.push(restored.is_some());
+            outputs.push(restored);
+        }
+        let pending: Vec<usize> = (0..items.len()).filter(|&i| !resumed[i]).collect();
+
+        let pool = PoolConfig::new(self.cancel.clone(), self.args.retries + 1);
+        let pooled = run_units(
+            stage,
+            &pending,
+            &pool,
+            |_, &i| ids[i].clone(),
+            |ctx, &i| {
+                worker(
+                    UnitCtx {
+                        index: i,
+                        attempt: ctx.attempt,
+                        cancel: ctx.cancel,
+                    },
+                    &items[i],
+                )
+            },
+        );
+
+        // Journal fresh completions, then merge everything in item order.
+        let mut fresh: Vec<Option<O>> = pooled.outputs;
+        let mut stage_report = StageReport::new(stage);
+        let mut fresh_records = pooled.report.units.into_iter();
+        let mut fresh_iter = 0usize;
+        for (i, id) in ids.iter().enumerate() {
+            if resumed[i] {
+                stage_report.units.push(UnitRecord::resumed(id.clone()));
+                continue;
+            }
+            let record = fresh_records.next().expect("one record per pending unit");
+            let out = fresh[fresh_iter].take();
+            fresh_iter += 1;
+            if let Some(o) = &out {
+                if let Some(ckpt) = &self.ckpt {
+                    if let Err(e) = ckpt.record(id, &o.encode_payload()) {
+                        eprintln!("warning: checkpoint append failed for {id}: {e}");
+                    }
+                }
+            }
+            outputs[i] = out;
+            stage_report.units.push(record);
+        }
+        stage_report.wall = stage_start.elapsed();
+        self.report.push(stage_report);
+        outputs
+    }
+
+    /// Finishes the run: prints the report, writes it beside the CSVs as
+    /// `<name>_report.txt`, and returns it.
+    ///
+    /// A complete run removes its checkpoint journal (there is nothing
+    /// left to resume); a degraded or pre-empted run keeps it so the
+    /// next invocation picks up the finished units.
+    pub fn finish(self) -> RunReport {
+        println!("{}", self.report.render());
+        if let Err(e) = self
+            .report
+            .write_beside_artifacts(&self.args.out_dir, &self.name)
+        {
+            eprintln!("warning: could not write run report: {e}");
+        }
+        if self.report.is_complete() {
+            if let Some(ckpt) = &self.ckpt {
+                std::fs::remove_file(ckpt.path()).ok();
+            }
+        } else {
+            eprintln!(
+                "note: rerun with the same --scale/--seed/--sources to resume \
+                 ({:.1}s elapsed)",
+                self.started.elapsed().as_secs_f64()
+            );
+        }
+        self.report
+    }
+}

@@ -16,16 +16,42 @@
 //! Every binary accepts `--scale <f64>` (dataset size multiplier),
 //! `--seed <u64>`, `--sources <usize>` (per-figure sampling budget), and
 //! `--out <dir>` (CSV output directory, default `results/`).
+//!
+//! # Fault tolerance
+//!
+//! The binaries run their per-dataset work through [`Experiment`], the
+//! fault-tolerant harness over `socnet-runner`: a panicking unit is
+//! recorded in the run report instead of aborting the whole binary, and
+//! completed units are journaled so an interrupted run picks up where it
+//! left off. The extra flags:
+//!
+//! * `--time-budget <secs>` — cooperative deadline; units still pending
+//!   when it expires are reported as timed-out, finished units are kept.
+//! * `--resume` / `--no-resume` — reuse (default) or discard the
+//!   checkpoint journal `<out>/<name>.ckpt` from a previous identical
+//!   invocation (same binary, `--scale`, `--seed`, and `--sources`).
+//! * `--retries <n>` — extra attempts for failed units (default 1); a
+//!   retried unit reruns with the same inputs and a seed bumped by its
+//!   attempt number, so retries stay deterministic.
+//!
+//! Each binary prints a run report (`== run report ==`) and writes it
+//! beside the CSVs as `<name>_report.txt`. CSVs are written atomically
+//! (tmp + fsync + rename), so an interrupted run never leaves a torn
+//! artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use socnet_gen::Dataset;
+use socnet_runner::write_atomic;
+
+mod experiment;
+
+pub use experiment::{degraded, inner_pool, Experiment};
 
 /// Command-line arguments shared by every experiment binary.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +64,13 @@ pub struct ExperimentArgs {
     pub sources: usize,
     /// Directory CSV outputs are written to.
     pub out_dir: PathBuf,
+    /// Cooperative wall-clock budget for the whole run, if any.
+    pub time_budget: Option<Duration>,
+    /// Whether to reuse the checkpoint journal of a previous identical
+    /// invocation (`--no-resume` discards it).
+    pub resume: bool,
+    /// Extra attempts for failed units (0 disables retry).
+    pub retries: u32,
 }
 
 impl Default for ExperimentArgs {
@@ -47,42 +80,126 @@ impl Default for ExperimentArgs {
             seed: 42,
             sources: 100,
             out_dir: PathBuf::from("results"),
+            time_budget: None,
+            resume: true,
+            retries: 1,
         }
     }
 }
 
+/// A malformed experiment command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(String);
+
+impl Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Usage text shared by every experiment binary.
+pub const USAGE: &str = "\
+options:
+  --scale <f64>         dataset size multiplier, finite and > 0 (default 1.0)
+  --seed <u64>          base RNG seed (default 42)
+  --sources <usize>     per-figure sampling budget (default 100)
+  --out <dir>           CSV output directory (default results/)
+  --time-budget <secs>  cooperative wall-clock budget, finite and > 0
+  --resume              reuse the checkpoint journal of a matching run (default)
+  --no-resume           discard any previous checkpoint journal
+  --retries <u32>       extra attempts for failed units (default 1)
+unknown flags are ignored (cargo bench passes its own)";
+
 impl ExperimentArgs {
     /// Parses `std::env::args`, ignoring unknown flags.
     ///
-    /// # Panics
-    ///
-    /// Panics with a usage message if a flag's value is missing or
-    /// unparsable.
+    /// On a malformed command line, prints the error and usage to stderr
+    /// and exits with status 2 (the conventional usage-error code)
+    /// instead of panicking.
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        Self::try_parse_from(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        })
     }
 
     /// Parses an explicit argument list (testable entry point).
-    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if a flag's value is missing or unparsable,
+    /// or if `--scale`/`--time-budget` is not a finite positive number.
+    pub fn try_parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgsError> {
         let mut out = ExperimentArgs::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
-                it.next().unwrap_or_else(|| panic!("missing value for {name}"))
+                it.next()
+                    .ok_or_else(|| ArgsError(format!("missing value for {name}")))
             };
             match flag.as_str() {
                 "--scale" => {
-                    out.scale = value("--scale").parse().expect("--scale expects a float")
+                    let raw = value("--scale")?;
+                    let scale: f64 = raw
+                        .parse()
+                        .map_err(|_| ArgsError(format!("--scale expects a float, got {raw:?}")))?;
+                    if !scale.is_finite() || scale <= 0.0 {
+                        return Err(ArgsError(format!(
+                            "--scale must be finite and > 0, got {raw}"
+                        )));
+                    }
+                    out.scale = scale;
                 }
-                "--seed" => out.seed = value("--seed").parse().expect("--seed expects an integer"),
+                "--seed" => {
+                    let raw = value("--seed")?;
+                    out.seed = raw.parse().map_err(|_| {
+                        ArgsError(format!("--seed expects an integer, got {raw:?}"))
+                    })?;
+                }
                 "--sources" => {
-                    out.sources = value("--sources").parse().expect("--sources expects an integer")
+                    let raw = value("--sources")?;
+                    out.sources = raw.parse().map_err(|_| {
+                        ArgsError(format!("--sources expects an integer, got {raw:?}"))
+                    })?;
                 }
-                "--out" => out.out_dir = PathBuf::from(value("--out")),
+                "--out" => out.out_dir = PathBuf::from(value("--out")?),
+                "--time-budget" => {
+                    let raw = value("--time-budget")?;
+                    let secs: f64 = raw.parse().map_err(|_| {
+                        ArgsError(format!("--time-budget expects seconds, got {raw:?}"))
+                    })?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(ArgsError(format!(
+                            "--time-budget must be finite and > 0, got {raw}"
+                        )));
+                    }
+                    out.time_budget = Some(Duration::from_secs_f64(secs));
+                }
+                "--resume" => out.resume = true,
+                "--no-resume" => out.resume = false,
+                "--retries" => {
+                    let raw = value("--retries")?;
+                    out.retries = raw.parse().map_err(|_| {
+                        ArgsError(format!("--retries expects an integer, got {raw:?}"))
+                    })?;
+                }
                 _ => {} // ignore unknown flags (cargo bench passes its own)
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Parses an explicit argument list, panicking on malformed input.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the parse error; prefer
+    /// [`try_parse_from`](Self::try_parse_from) outside tests.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        Self::try_parse_from(args).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Generates a registry dataset honoring the scale and seed flags.
@@ -173,17 +290,22 @@ impl TableView {
 
     /// Writes the table as CSV under `dir`, named `<stem>.csv`.
     ///
+    /// The write is atomic (tmp sibling + fsync + rename): readers never
+    /// observe a torn CSV, even if the process dies mid-write.
+    ///
     /// # Errors
     ///
     /// Returns any I/O error from creating the directory or file.
     pub fn write_csv(&self, dir: &Path, stem: &str) -> std::io::Result<PathBuf> {
-        fs::create_dir_all(dir)?;
         let path = dir.join(format!("{stem}.csv"));
-        let mut f = fs::File::create(&path)?;
-        writeln!(f, "{}", self.headers.join(","))?;
+        let mut contents = String::new();
+        contents.push_str(&self.headers.join(","));
+        contents.push('\n');
         for row in &self.rows {
-            writeln!(f, "{}", row.join(","))?;
+            contents.push_str(&row.join(","));
+            contents.push('\n');
         }
+        write_atomic(&path, contents.as_bytes())?;
         Ok(path)
     }
 }
@@ -301,6 +423,7 @@ pub mod panels {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     #[test]
     fn args_parse_known_flags() {
@@ -322,9 +445,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "missing value")]
-    fn args_missing_value_panics() {
-        let _ = ExperimentArgs::parse_from(["--scale".to_string()]);
+    fn args_missing_value_is_an_error() {
+        let err = ExperimentArgs::try_parse_from(["--scale".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("missing value"), "got {err}");
+    }
+
+    #[test]
+    fn args_reject_degenerate_scales() {
+        for bad in ["0", "-1.5", "inf", "NaN", "bogus"] {
+            let res = ExperimentArgs::try_parse_from(["--scale".into(), bad.into()]);
+            assert!(res.is_err(), "--scale {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn args_parse_fault_tolerance_flags() {
+        let a = ExperimentArgs::parse_from(
+            ["--time-budget", "1.5", "--no-resume", "--retries", "3"].map(String::from),
+        );
+        assert_eq!(a.time_budget, Some(Duration::from_secs_f64(1.5)));
+        assert!(!a.resume);
+        assert_eq!(a.retries, 3);
+        let d = ExperimentArgs::default();
+        assert_eq!(d.time_budget, None);
+        assert!(d.resume);
+        assert!(ExperimentArgs::try_parse_from(["--time-budget".into(), "0".into()]).is_err());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Integration tests for the fault-tolerant experiment harness: a
+//! panicking unit surfaces in the run report instead of killing the
+//! process, and an interrupted run resumed from its checkpoint journal
+//! produces byte-identical artifacts.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use socnet_bench::{cell, fmt_f64, Experiment, ExperimentArgs, TableView};
+use socnet_runner::{RunReport, UnitError};
+
+const DATASETS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+const STEPS: usize = 8;
+
+fn temp_out(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("socnet-bench-ft-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn args_in(dir: &Path) -> ExperimentArgs {
+    let mut args = ExperimentArgs::default();
+    args.out_dir = dir.to_path_buf();
+    args
+}
+
+/// A deterministic stand-in for a fig1 mixing curve.
+fn curve_for(name: &str) -> Vec<f64> {
+    (1..=STEPS).map(|t| name.len() as f64 / (t as f64 + 0.1)).collect()
+}
+
+/// A fig1-style run: one unit per dataset, curve payloads, one CSV.
+fn run_figx(
+    args: &ExperimentArgs,
+    fail_from: Option<usize>,
+) -> (Vec<Option<Vec<f64>>>, RunReport) {
+    let mut exp = Experiment::new("figx", args);
+    let curves = exp.stage(
+        "panel",
+        &DATASETS,
+        |_, d| format!("panel/{d}"),
+        |ctx, &d| {
+            if fail_from.is_some_and(|k| ctx.index >= k) {
+                return Err(UnitError::Failed("injected crash".into()));
+            }
+            Ok(curve_for(d))
+        },
+    );
+    (curves, exp.finish())
+}
+
+fn write_figx_csv(args: &ExperimentArgs, cols: &[Vec<f64>]) -> PathBuf {
+    let mut headers = vec!["walk-length".to_string()];
+    headers.extend(DATASETS.iter().map(|d| d.to_string()));
+    let mut csv = TableView::new("fig1-style", headers);
+    for t in 1..=STEPS {
+        let mut row = vec![cell(t)];
+        row.extend(cols.iter().map(|c| fmt_f64(c[t - 1])));
+        csv.push_row(row);
+    }
+    csv.write_csv(&args.out_dir, "figx").expect("csv write")
+}
+
+#[test]
+fn panicking_unit_is_isolated_and_reported() {
+    let dir = temp_out("panic");
+    let args = args_in(&dir);
+    let mut exp = Experiment::new("panicky", &args);
+    let out = exp.stage(
+        "stage",
+        &DATASETS,
+        |_, d| format!("stage/{d}"),
+        |_, &d| {
+            if d == "gamma" {
+                panic!("injected panic");
+            }
+            Ok(curve_for(d))
+        },
+    );
+    let report = exp.finish();
+
+    assert_eq!(out.len(), DATASETS.len());
+    assert!(out[2].is_none(), "the panicking unit has no output");
+    assert_eq!(out.iter().filter(|o| o.is_some()).count(), 3);
+    let stage = &report.stages[0];
+    assert_eq!(stage.failed(), 1, "exactly one failed unit: {}", stage.summary_line());
+    assert_eq!(stage.completed(), 3);
+    assert!(!report.is_complete());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_then_resumed_run_writes_byte_identical_csv() {
+    let dir_resumed = temp_out("resume");
+    let dir_baseline = temp_out("baseline");
+    let args_resumed = args_in(&dir_resumed);
+    let args_baseline = args_in(&dir_baseline);
+
+    // Run 1: the last two datasets crash mid-run; the first two land in
+    // the journal.
+    let (_, report) = run_figx(&args_resumed, Some(2));
+    assert!(!report.is_complete());
+    assert!(
+        dir_resumed.join("figx.ckpt").exists(),
+        "incomplete run keeps its journal for resume"
+    );
+
+    // Run 2: same parameters, healthy workers. The journaled units are
+    // replayed, the rest computed.
+    let (curves, report) = run_figx(&args_resumed, None);
+    assert!(report.is_complete());
+    assert_eq!(report.stages[0].resumed(), 2);
+    assert_eq!(report.stages[0].completed(), 2);
+    let cols: Vec<Vec<f64>> = curves.into_iter().map(|c| c.expect("complete run")).collect();
+    let resumed_csv = write_figx_csv(&args_resumed, &cols);
+    assert!(
+        !dir_resumed.join("figx.ckpt").exists(),
+        "complete run removes its journal"
+    );
+
+    // Baseline: the same run uninterrupted, in a fresh directory.
+    let (curves, report) = run_figx(&args_baseline, None);
+    assert!(report.is_complete());
+    assert_eq!(report.stages[0].resumed(), 0);
+    let cols: Vec<Vec<f64>> = curves.into_iter().map(|c| c.expect("complete run")).collect();
+    let baseline_csv = write_figx_csv(&args_baseline, &cols);
+
+    assert_eq!(
+        fs::read(&resumed_csv).expect("resumed csv"),
+        fs::read(&baseline_csv).expect("baseline csv"),
+        "resumed artifacts must be byte-identical to an uninterrupted run"
+    );
+    fs::remove_dir_all(&dir_resumed).ok();
+    fs::remove_dir_all(&dir_baseline).ok();
+}
+
+#[test]
+fn mismatched_parameters_reset_the_journal_instead_of_resuming() {
+    let dir = temp_out("rekey");
+    let mut args = args_in(&dir);
+    let (_, report) = run_figx(&args, Some(2));
+    assert!(!report.is_complete());
+
+    // A different seed must not replay the old units.
+    args.seed += 1;
+    let (_, report) = run_figx(&args, None);
+    assert!(report.is_complete());
+    assert_eq!(report.stages[0].resumed(), 0, "stale journal must be reset");
+    assert_eq!(report.stages[0].completed(), DATASETS.len());
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,10 +1,12 @@
 //! Shortest-path betweenness centrality (Brandes 2001).
 
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socnet_core::{sample_nodes, Graph, NodeId};
+use socnet_runner::{run_units, PoolConfig, UnitError};
 
 /// Exact betweenness centrality of every node.
 ///
@@ -68,29 +70,44 @@ fn accumulate(graph: &Graph, sources: &[NodeId], scale: f64) -> Vec<f64> {
     if n == 0 || sources.is_empty() {
         return vec![0.0; n];
     }
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    // Chunk-granularity units keep the per-thread Brandes buffers hot;
+    // workers merge into the shared total only after a chunk finishes,
+    // so a retried chunk cannot double-count.
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let chunk = sources.len().div_ceil(threads);
-    let total = parking_lot::Mutex::new(vec![0.0f64; n]);
+    let chunks: Vec<&[NodeId]> = sources.chunks(chunk).collect();
+    let total = Mutex::new(vec![0.0f64; n]);
 
-    crossbeam::thread::scope(|scope| {
-        for src_chunk in sources.chunks(chunk) {
-            let total = &total;
-            scope.spawn(move |_| {
-                let mut local = vec![0.0f64; n];
-                let mut state = BrandesState::new(n);
-                for &s in src_chunk {
-                    state.run(graph, s, &mut local);
-                }
-                let mut t = total.lock();
-                for (acc, l) in t.iter_mut().zip(&local) {
-                    *acc += l;
-                }
-            });
-        }
-    })
-    .expect("betweenness worker panicked");
+    let pooled = run_units(
+        "betweenness",
+        &chunks,
+        &PoolConfig::default(),
+        |i, c| format!("chunk-{i}-{}-sources", c.len()),
+        |ctx, src_chunk| {
+            if ctx.cancel.is_cancelled() {
+                return Err(UnitError::Cancelled);
+            }
+            let mut local = vec![0.0f64; n];
+            let mut state = BrandesState::new(n);
+            for &s in *src_chunk {
+                state.run(graph, s, &mut local);
+            }
+            let mut t = total.lock().expect("betweenness total lock");
+            for (acc, l) in t.iter_mut().zip(&local) {
+                *acc += l;
+            }
+            Ok(())
+        },
+    );
+    assert!(
+        pooled.report.is_complete(),
+        "betweenness stage degraded: {}",
+        pooled.report.summary_line()
+    );
 
-    let mut out = total.into_inner();
+    let mut out = total.into_inner().expect("betweenness total lock");
     // Each unordered pair was seen from both endpoints when all sources
     // are used; the undirected convention halves the accumulation.
     for b in out.iter_mut() {
@@ -237,11 +254,11 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
             .map(|(i, _)| i)
             .expect("non-empty");
-        let rank_of_top: usize = sampled
-            .iter()
-            .filter(|&&s| s > sampled[top_exact])
-            .count();
-        assert!(rank_of_top < 8, "exact top node should stay near the top, rank {rank_of_top}");
+        let rank_of_top: usize = sampled.iter().filter(|&&s| s > sampled[top_exact]).count();
+        assert!(
+            rank_of_top < 8,
+            "exact top node should stay near the top, rank {rank_of_top}"
+        );
     }
 
     #[test]

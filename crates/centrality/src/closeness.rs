@@ -1,6 +1,9 @@
 //! Closeness centrality, exact and harmonic.
 
+use std::sync::Mutex;
+
 use socnet_core::{Bfs, Graph, NodeId};
+use socnet_runner::{run_units, PoolConfig, UnitError};
 
 /// Which closeness definition to compute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,56 +38,69 @@ pub fn closeness(graph: &Graph, mode: ClosenessMode) -> Vec<f64> {
         return Vec::new();
     }
     let sources: Vec<NodeId> = graph.nodes().collect();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let chunk = sources.len().div_ceil(threads);
-    let scores = parking_lot::Mutex::new(vec![0.0f64; n]);
+    let chunks: Vec<&[NodeId]> = sources.chunks(chunk).collect();
+    let scores = Mutex::new(vec![0.0f64; n]);
 
-    crossbeam::thread::scope(|scope| {
-        for src_chunk in sources.chunks(chunk) {
-            let scores = &scores;
-            scope.spawn(move |_| {
-                let mut bfs = Bfs::new(graph);
-                let mut local: Vec<(usize, f64)> = Vec::with_capacity(src_chunk.len());
-                for &s in src_chunk {
-                    let levels = bfs.level_sizes(graph, s);
-                    let reached: usize = levels.iter().sum();
-                    let score = match mode {
-                        ClosenessMode::Classic => {
-                            let total: usize =
-                                levels.iter().enumerate().map(|(d, &c)| d * c).sum();
-                            if total == 0 || n < 2 {
-                                0.0
-                            } else {
-                                let r = reached as f64;
-                                ((r - 1.0) / total as f64) * ((r - 1.0) / (n as f64 - 1.0))
-                            }
+    let pooled = run_units(
+        "closeness",
+        &chunks,
+        &PoolConfig::default(),
+        |i, c| format!("chunk-{i}-{}-sources", c.len()),
+        |ctx, src_chunk| {
+            if ctx.cancel.is_cancelled() {
+                return Err(UnitError::Cancelled);
+            }
+            let mut bfs = Bfs::new(graph);
+            let mut local: Vec<(usize, f64)> = Vec::with_capacity(src_chunk.len());
+            for &s in *src_chunk {
+                let levels = bfs.level_sizes(graph, s);
+                let reached: usize = levels.iter().sum();
+                let score = match mode {
+                    ClosenessMode::Classic => {
+                        let total: usize = levels.iter().enumerate().map(|(d, &c)| d * c).sum();
+                        if total == 0 || n < 2 {
+                            0.0
+                        } else {
+                            let r = reached as f64;
+                            ((r - 1.0) / total as f64) * ((r - 1.0) / (n as f64 - 1.0))
                         }
-                        ClosenessMode::Harmonic => {
-                            let sum: f64 = levels
-                                .iter()
-                                .enumerate()
-                                .skip(1)
-                                .map(|(d, &c)| c as f64 / d as f64)
-                                .sum();
-                            if n < 2 {
-                                0.0
-                            } else {
-                                sum / (n as f64 - 1.0)
-                            }
+                    }
+                    ClosenessMode::Harmonic => {
+                        let sum: f64 = levels
+                            .iter()
+                            .enumerate()
+                            .skip(1)
+                            .map(|(d, &c)| c as f64 / d as f64)
+                            .sum();
+                        if n < 2 {
+                            0.0
+                        } else {
+                            sum / (n as f64 - 1.0)
                         }
-                    };
-                    local.push((s.index(), score));
-                }
-                let mut out = scores.lock();
-                for (i, v) in local {
-                    out[i] = v;
-                }
-            });
-        }
-    })
-    .expect("closeness worker panicked");
+                    }
+                };
+                local.push((s.index(), score));
+            }
+            // Per-source slots are disjoint across chunks, so the merge
+            // is idempotent and safe under retry.
+            let mut out = scores.lock().expect("closeness scores lock");
+            for (i, v) in local {
+                out[i] = v;
+            }
+            Ok(())
+        },
+    );
+    assert!(
+        pooled.report.is_complete(),
+        "closeness stage degraded: {}",
+        pooled.report.summary_line()
+    );
 
-    scores.into_inner()
+    scores.into_inner().expect("closeness scores lock")
 }
 
 /// Harmonic closeness, the disconnected-graph-safe variant.
@@ -104,7 +120,11 @@ mod tests {
     fn star_hub_is_closest() {
         let g = star(6);
         let c = closeness(&g, ClosenessMode::Classic);
-        assert!((c[0] - 1.0).abs() < 1e-12, "hub at distance 1 from all: {}", c[0]);
+        assert!(
+            (c[0] - 1.0).abs() < 1e-12,
+            "hub at distance 1 from all: {}",
+            c[0]
+        );
         for &leaf in &c[1..] {
             assert!(leaf < c[0]);
             // Leaf: distances 1 + 2*4 = 9, closeness 5/9.

@@ -4,6 +4,7 @@
 //! so the full CLI behavior is covered by unit tests.
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,6 +17,7 @@ use socnet_expansion::{ExpansionSweep, SourceSelection};
 use socnet_gen::Dataset;
 use socnet_kcore::{core_profiles, coreness_ecdf, CoreDecomposition};
 use socnet_mixing::{sinclair_bounds, slem, MixingConfig, MixingMeasurement, SpectralConfig};
+use socnet_runner::{CancelToken, PoolConfig};
 use socnet_sybil::{
     eval, AttackedGraph, GateKeeper, GateKeeperConfig, SumUp, SumUpConfig, SybilAttack,
     SybilGuard, SybilGuardConfig, SybilInfer, SybilInferConfig, SybilLimit, SybilLimitConfig,
@@ -198,7 +200,7 @@ pub fn info(map: &ArgMap) -> Result<String, CliError> {
 /// `socnet mixing`
 pub fn mixing(map: &ArgMap) -> Result<String, CliError> {
     map.check_positionals(1)?;
-    map.check_allowed(&["--sources", "--max-walk", "--epsilon", "--seed"])?;
+    map.check_allowed(&["--sources", "--max-walk", "--epsilon", "--seed", "--time-budget"])?;
     let g = load(map)?;
     if g.edge_count() == 0 {
         return Err(invalid("<GRAPH>", "mixing is undefined on an edgeless graph"));
@@ -207,22 +209,42 @@ pub fn mixing(map: &ArgMap) -> Result<String, CliError> {
     let max_walk: usize = map.get_parsed("--max-walk", 200)?;
     let epsilon: f64 = map.get_parsed("--epsilon", 0.05)?;
     let seed: u64 = map.get_parsed("--seed", 42)?;
+    let time_budget: f64 = map.get_parsed("--time-budget", 0.0)?;
     if sources == 0 || max_walk == 0 {
         return Err(invalid("--sources", "sources and max-walk must be positive"));
     }
     if !(epsilon > 0.0 && epsilon < 0.5) {
         return Err(invalid("--epsilon", "must be in (0, 0.5)"));
     }
+    if map.get("--time-budget").is_some() && !(time_budget.is_finite() && time_budget > 0.0) {
+        return Err(invalid("--time-budget", "must be a positive number of seconds"));
+    }
 
     let spectrum = slem(&g, &SpectralConfig::default());
     let bounds = sinclair_bounds(spectrum.slem().min(1.0 - 1e-12), g.node_count(), epsilon);
-    let m = MixingMeasurement::measure(
+    let cancel = if time_budget > 0.0 {
+        CancelToken::with_budget(Duration::from_secs_f64(time_budget))
+    } else {
+        CancelToken::new()
+    };
+    let (m, report) = MixingMeasurement::measure_reported(
         &g,
         &MixingConfig { sources, max_walk, laziness: 0.0, seed },
+        &PoolConfig::new(cancel, 1),
     );
+    if report.completed() == 0 {
+        return Err(invalid(
+            "--time-budget",
+            "budget exhausted before any source finished; raise it or lower --max-walk",
+        ));
+    }
     let mean = m.mean_curve();
 
     let mut out = String::new();
+    if !report.is_complete() {
+        writeln!(out, "note: {} (pre-empted by --time-budget)", report.summary_line())
+            .expect("write");
+    }
     writeln!(out, "second largest eigenvalue modulus: {:.6}", spectrum.slem()).expect("write");
     writeln!(out, "  (lambda2 = {:.6}, lambda_min = {:.6})", spectrum.lambda2, spectrum.lambda_min)
         .expect("write");
@@ -233,8 +255,12 @@ pub fn mixing(map: &ArgMap) -> Result<String, CliError> {
     )
     .expect("write");
     match m.mixing_time(epsilon) {
-        Some(t) => writeln!(out, "sampled T({epsilon}) = {t} steps ({sources} sources)")
-            .expect("write"),
+        Some(t) => writeln!(
+            out,
+            "sampled T({epsilon}) = {t} steps ({} sources)",
+            report.completed()
+        )
+        .expect("write"),
         None => writeln!(
             out,
             "sampled T({epsilon}) > {max_walk} steps (graph has not mixed within the horizon)"
@@ -634,6 +660,28 @@ mod tests {
         assert!(mixing(&args(&[p, "--epsilon", "0.9"])).is_err());
         assert!(mixing(&args(&[p, "--sources", "0"])).is_err());
         assert!(mixing(&args(&[p, "--bogus", "1"])).is_err());
+        assert!(mixing(&args(&[p, "--time-budget", "0"])).is_err());
+        assert!(mixing(&args(&[p, "--time-budget", "-3"])).is_err());
+        assert!(mixing(&args(&[p, "--time-budget", "inf"])).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mixing_respects_a_generous_time_budget() {
+        let path = temp_graph();
+        let p = path.to_str().expect("utf8");
+        let out = mixing(&args(&[
+            p,
+            "--sources",
+            "5",
+            "--max-walk",
+            "20",
+            "--time-budget",
+            "60",
+        ]))
+        .expect("mixing within budget");
+        assert!(out.contains("sampled T(0.05)"));
+        assert!(!out.contains("pre-empted"), "nothing should time out: {out}");
         std::fs::remove_file(path).ok();
     }
 

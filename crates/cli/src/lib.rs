@@ -7,7 +7,7 @@
 //! ```text
 //! socnet generate   --model <ba|er|ws|hk|sbm|caveman> | --dataset <name>  [--out FILE]
 //! socnet info       <GRAPH>
-//! socnet mixing     <GRAPH> [--sources N] [--max-walk T] [--epsilon E]
+//! socnet mixing     <GRAPH> [--sources N] [--max-walk T] [--epsilon E] [--time-budget SECS]
 //! socnet cores      <GRAPH>
 //! socnet expansion  <GRAPH> [--sources N]
 //! socnet centrality <GRAPH> [--measure betweenness|closeness|degree] [--top K]
@@ -78,7 +78,7 @@ COMMANDS:
                [--nodes N] [--seed S] [--out FILE]
   info         descriptive statistics of an edge-list graph
   mixing       mixing time: spectral SLEM, Sinclair bounds, sampled T(eps)
-               [--sources N] [--max-walk T] [--epsilon E] [--seed S]
+               [--sources N] [--max-walk T] [--epsilon E] [--seed S] [--time-budget SECS]
   cores        k-core decomposition and core profile
   expansion    envelope expansion statistics  [--sources N] [--seed S]
   centrality   node rankings  [--measure betweenness|closeness|degree] [--top K]

@@ -1,0 +1,48 @@
+//! Error type for DHT operations.
+
+use socnet_core::GraphError;
+
+/// An error from building or querying a [`SocialDht`](crate::SocialDht).
+#[derive(Debug)]
+pub enum DhtError {
+    /// A node id passed to a query is out of range for the attacked
+    /// graph the DHT was built over.
+    ///
+    /// ```
+    /// use socnet_dht::{DhtConfig, DhtError, FingerStrategy, SocialDht};
+    /// use socnet_core::NodeId;
+    /// use socnet_gen::complete;
+    /// use socnet_sybil::{AttackedGraph, SybilAttack, SybilTopology};
+    ///
+    /// let a = AttackedGraph::mount(
+    ///     &complete(10),
+    ///     &SybilAttack { sybil_count: 2, attack_edges: 1, topology: SybilTopology::Clique, seed: 1 },
+    /// );
+    /// let dht = SocialDht::build(&a, &DhtConfig::default());
+    /// let err = dht.lookup(&a, NodeId(99), 0, 10).unwrap_err();
+    /// assert!(matches!(err, DhtError::InvalidNode(_)));
+    /// ```
+    InvalidNode(GraphError),
+}
+
+impl std::fmt::Display for DhtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DhtError::InvalidNode(e) => write!(f, "invalid node: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DhtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DhtError::InvalidNode(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for DhtError {
+    fn from(e: GraphError) -> Self {
+        DhtError::InvalidNode(e)
+    }
+}

@@ -49,9 +49,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod keyring;
 mod routing;
 
+pub use error::DhtError;
 pub use keyring::{ring_distance, KeyRing};
 pub use routing::{
     lookup_success_rate, DhtConfig, FingerStrategy, LookupOutcome, SocialDht,

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use socnet_core::{Graph, NodeId};
 use socnet_sybil::AttackedGraph;
 
-use crate::{ring_distance, KeyRing};
+use crate::{ring_distance, DhtError, KeyRing};
 
 /// How nodes sample their routing-table (finger) entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -214,29 +214,30 @@ impl SocialDht {
     /// honest nodes ring-closest to it). Reaching a Sybil node, getting
     /// stuck away from every replica, or exceeding `max_hops` fails it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `querier` is out of range.
+    /// Returns [`DhtError::InvalidNode`] if `querier` is out of range
+    /// for the attacked graph.
     pub fn lookup(
         &self,
         attacked: &AttackedGraph,
         querier: NodeId,
         key: u64,
         max_hops: usize,
-    ) -> LookupOutcome {
+    ) -> Result<LookupOutcome, DhtError> {
         let g = attacked.graph();
-        g.check_node(querier).expect("querier in range");
+        g.check_node(querier)?;
         let replicas = self.replicas(key);
         let mut path = vec![querier];
         let mut current = querier;
 
         for _ in 0..=max_hops {
             if replicas.contains(&current) {
-                return LookupOutcome { path, success: true };
+                return Ok(LookupOutcome { path, success: true });
             }
             if attacked.is_sybil(current) {
                 // Eclipse adversary: the query is absorbed.
-                return LookupOutcome { path, success: false };
+                return Ok(LookupOutcome { path, success: false });
             }
             if path.len() > max_hops {
                 break;
@@ -251,10 +252,10 @@ impl SocialDht {
                     path.push(c);
                     current = c;
                 }
-                None => return LookupOutcome { path, success: false },
+                None => return Ok(LookupOutcome { path, success: false }),
             }
         }
-        LookupOutcome { path, success: false }
+        Ok(LookupOutcome { path, success: false })
     }
 
     fn candidates<'a>(
@@ -306,7 +307,10 @@ pub fn lookup_success_rate<R: Rng + ?Sized>(
         let querier = attacked.random_honest(rng);
         let target = attacked.random_honest(rng);
         let key = dht.ring().key(target);
-        if dht.lookup(attacked, querier, key, max_hops).success {
+        let out = dht
+            .lookup(attacked, querier, key, max_hops)
+            .expect("querier sampled from the graph is in range");
+        if out.success {
             ok += 1;
         }
     }
@@ -391,7 +395,7 @@ mod tests {
         let a = attacked(5, 1);
         let dht = SocialDht::build(&a, &cfg(FingerStrategy::SocialWalk { length: 3 }));
         let key = dht.ring().key(NodeId(7));
-        let out = dht.lookup(&a, NodeId(0), key, 10);
+        let out = dht.lookup(&a, NodeId(0), key, 10).expect("querier in range");
         assert_eq!(out.path[0], NodeId(0));
         assert!(out.path.len() <= 11);
         if out.success {
@@ -404,9 +408,17 @@ mod tests {
         let a = attacked(5, 1);
         let dht = SocialDht::build(&a, &cfg(FingerStrategy::SocialWalk { length: 3 }));
         let own_key = dht.ring().key(NodeId(4));
-        assert!(dht.lookup(&a, NodeId(4), own_key, 0).success);
+        assert!(dht.lookup(&a, NodeId(4), own_key, 0).expect("in range").success);
         let other = dht.ring().key(NodeId(9));
-        assert!(!dht.lookup(&a, NodeId(4), other, 0).success);
+        assert!(!dht.lookup(&a, NodeId(4), other, 0).expect("in range").success);
+    }
+
+    #[test]
+    fn out_of_range_querier_is_an_error_not_a_panic() {
+        let a = attacked(5, 1);
+        let dht = SocialDht::build(&a, &cfg(FingerStrategy::Uniform));
+        let err = dht.lookup(&a, NodeId(4000), 0, 10).unwrap_err();
+        assert!(matches!(err, crate::DhtError::InvalidNode(_)), "got {err}");
     }
 
     #[test]

@@ -81,7 +81,7 @@ proptest! {
         );
         let dht = SocialDht::build(&a, &DhtConfig::default());
         let key = dht.ring().key(NodeId(30));
-        let out = dht.lookup(&a, NodeId(1), key, 25);
+        let out = dht.lookup(&a, NodeId(1), key, 25).expect("querier in range");
         prop_assert!(out.path.len() <= 26);
         prop_assert_eq!(out.path[0], NodeId(1));
         if out.success {

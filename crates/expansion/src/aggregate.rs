@@ -1,9 +1,11 @@
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use socnet_core::{sample_nodes, Bfs, Graph, NodeId};
+use socnet_runner::{run_units, PoolConfig, StageReport, UnitError};
 
 /// Which nodes to use as expansion cores in a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,6 +76,32 @@ impl ExpansionSweep {
     ///
     /// Panics if the graph is empty or a sample of 0 sources is requested.
     pub fn measure(graph: &Graph, selection: SourceSelection, seed: u64) -> Self {
+        let (sweep, report) =
+            Self::measure_reported(graph, selection, seed, &PoolConfig::default());
+        assert!(
+            report.is_complete(),
+            "expansion stage degraded: {}",
+            report.summary_line()
+        );
+        sweep
+    }
+
+    /// Fault-tolerant variant of [`measure`](ExpansionSweep::measure):
+    /// each core's BFS runs as a panic-isolated unit under the pool's
+    /// cancellation token. A failed or cancelled core contributes no
+    /// observations; [`source_count`](ExpansionSweep::source_count)
+    /// reports only the cores that actually completed, and the
+    /// [`StageReport`] itemizes the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or a sample of 0 sources is requested.
+    pub fn measure_reported(
+        graph: &Graph,
+        selection: SourceSelection,
+        seed: u64,
+        pool: &PoolConfig,
+    ) -> (Self, StageReport) {
         assert!(graph.node_count() > 0, "cannot sweep an empty graph");
         let sources: Vec<NodeId> = match selection {
             SourceSelection::All => graph.nodes().collect(),
@@ -83,35 +111,39 @@ impl ExpansionSweep {
             }
         };
 
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        let chunk = sources.len().div_ceil(threads);
-        let merged = parking_lot::Mutex::new(BTreeMap::<usize, Accumulator>::new());
+        // Workers merge their per-core observations into the shared map
+        // as their last step, so a retried core never double-counts and
+        // the commutative merge keeps the totals order-independent.
+        let merged = Mutex::new(BTreeMap::<usize, Accumulator>::new());
+        let out = run_units(
+            "expansion",
+            &sources,
+            pool,
+            |_, s| format!("core-{}", s.index()),
+            |ctx, &s| {
+                if ctx.cancel.is_cancelled() {
+                    return Err(UnitError::Cancelled);
+                }
+                let mut bfs = Bfs::new(graph);
+                let levels = bfs.level_sizes(graph, s);
+                let mut local: BTreeMap<usize, Accumulator> = BTreeMap::new();
+                let mut env = 0usize;
+                for w in levels.windows(2) {
+                    env += w[0];
+                    local.entry(env).or_default().push(w[1]);
+                }
+                let mut global = merged.lock().expect("expansion merge lock");
+                for (size, acc) in local {
+                    global.entry(size).or_default().merge(&acc);
+                }
+                Ok(())
+            },
+        );
 
-        crossbeam::thread::scope(|scope| {
-            for src_chunk in sources.chunks(chunk) {
-                let merged = &merged;
-                scope.spawn(move |_| {
-                    let mut local: BTreeMap<usize, Accumulator> = BTreeMap::new();
-                    let mut bfs = Bfs::new(graph);
-                    for &s in src_chunk {
-                        let levels = bfs.level_sizes(graph, s);
-                        let mut env = 0usize;
-                        for w in levels.windows(2) {
-                            env += w[0];
-                            local.entry(env).or_default().push(w[1]);
-                        }
-                    }
-                    let mut global = merged.lock();
-                    for (size, acc) in local {
-                        global.entry(size).or_default().merge(&acc);
-                    }
-                });
-            }
-        })
-        .expect("expansion worker panicked");
-
+        let completed = out.report.completed();
         let stats = merged
             .into_inner()
+            .expect("expansion merge lock")
             .into_iter()
             .map(|(set_size, acc)| SetSizeStats {
                 set_size,
@@ -121,7 +153,13 @@ impl ExpansionSweep {
                 samples: acc.count,
             })
             .collect();
-        ExpansionSweep { stats, sources: sources.len() }
+        (
+            ExpansionSweep {
+                stats,
+                sources: completed,
+            },
+            out.report,
+        )
     }
 
     /// Per-set-size neighbor statistics, sorted by set size (Figure 3).
@@ -136,7 +174,10 @@ impl ExpansionSweep {
 
     /// `(set size, expected expansion factor)` series (Figure 4).
     pub fn expansion_factor_curve(&self) -> Vec<(usize, f64)> {
-        self.stats.iter().map(|s| (s.set_size, s.expansion_factor())).collect()
+        self.stats
+            .iter()
+            .map(|s| (s.set_size, s.expansion_factor()))
+            .collect()
     }
 
     /// The worst expansion factor observed at any set size up to half the

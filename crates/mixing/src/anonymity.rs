@@ -24,7 +24,7 @@
 use serde::{Deserialize, Serialize};
 use socnet_core::{Graph, NodeId};
 
-use crate::{stationary_distribution, WalkOperator};
+use crate::{stationary_distribution, MixingError, WalkOperator};
 
 /// Shannon entropy of a probability mass vector, in bits.
 ///
@@ -48,9 +48,9 @@ pub fn entropy_bits(mass: &[f64]) -> f64 {
 /// Entropy (bits) of the walk's endpoint distribution after `t` steps
 /// from `source`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `source` is out of range.
+/// Returns [`MixingError::InvalidNode`] if `source` is out of range.
 ///
 /// # Examples
 ///
@@ -61,24 +61,32 @@ pub fn entropy_bits(mass: &[f64]) -> f64 {
 ///
 /// // One step on K17 spreads over the 16 other nodes: 4 bits.
 /// let g = complete(17);
-/// let h = endpoint_entropy(&g, NodeId(0), 1);
+/// let h = endpoint_entropy(&g, NodeId(0), 1).unwrap();
 /// assert!((h - 4.0).abs() < 1e-12);
 /// ```
-pub fn endpoint_entropy(graph: &Graph, source: NodeId, t: usize) -> f64 {
-    graph.check_node(source).expect("source in range");
+pub fn endpoint_entropy(graph: &Graph, source: NodeId, t: usize) -> Result<f64, MixingError> {
+    graph.check_node(source)?;
     let n = graph.node_count();
     let op = WalkOperator::new(graph);
     let mut x = vec![0.0; n];
     x[source.index()] = 1.0;
     let mut scratch = vec![0.0; n];
     op.evolve(&mut x, &mut scratch, t);
-    entropy_bits(&x)
+    Ok(entropy_bits(&x))
 }
 
 /// The effective anonymity-set size `2^H` after `t` steps — the number
 /// of equally likely candidates an observer cannot distinguish among.
-pub fn effective_anonymity_set(graph: &Graph, source: NodeId, t: usize) -> f64 {
-    endpoint_entropy(graph, source, t).exp2()
+///
+/// # Errors
+///
+/// Returns [`MixingError::InvalidNode`] if `source` is out of range.
+pub fn effective_anonymity_set(
+    graph: &Graph,
+    source: NodeId,
+    t: usize,
+) -> Result<f64, MixingError> {
+    Ok(endpoint_entropy(graph, source, t)?.exp2())
 }
 
 /// Entropy and anonymity-set curves over walk lengths, with the graph's
@@ -99,12 +107,19 @@ pub struct AnonymityCurve {
 impl AnonymityCurve {
     /// Measures the curve for `source` over `1..=max_walk` steps.
     ///
+    /// # Errors
+    ///
+    /// Returns [`MixingError::InvalidNode`] if `source` is out of range.
+    ///
     /// # Panics
     ///
-    /// Panics if `source` is out of range, `max_walk == 0`, or the graph
-    /// has no edges.
-    pub fn measure(graph: &Graph, source: NodeId, max_walk: usize) -> Self {
-        graph.check_node(source).expect("source in range");
+    /// Panics if `max_walk == 0` or the graph has no edges.
+    pub fn measure(
+        graph: &Graph,
+        source: NodeId,
+        max_walk: usize,
+    ) -> Result<Self, MixingError> {
+        graph.check_node(source)?;
         assert!(max_walk > 0, "need at least one step");
         let pi = stationary_distribution(graph);
         let ceiling = entropy_bits(pi.as_slice());
@@ -119,7 +134,7 @@ impl AnonymityCurve {
             std::mem::swap(&mut x, &mut scratch);
             entropy.push(entropy_bits(&x));
         }
-        AnonymityCurve { entropy, ceiling, source }
+        Ok(AnonymityCurve { entropy, ceiling, source })
     }
 
     /// The effective anonymity set `2^H` per walk length.
@@ -157,14 +172,22 @@ mod tests {
     #[test]
     fn zero_steps_reveal_the_source() {
         let g = ring(10);
-        assert_eq!(endpoint_entropy(&g, NodeId(0), 0), 0.0);
-        assert_eq!(effective_anonymity_set(&g, NodeId(0), 0), 1.0);
+        assert_eq!(endpoint_entropy(&g, NodeId(0), 0).expect("in range"), 0.0);
+        assert_eq!(effective_anonymity_set(&g, NodeId(0), 0).expect("in range"), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_source_is_an_error_not_a_panic() {
+        let g = ring(10);
+        assert!(endpoint_entropy(&g, NodeId(10), 2).is_err());
+        assert!(effective_anonymity_set(&g, NodeId(10), 2).is_err());
+        assert!(AnonymityCurve::measure(&g, NodeId(10), 2).is_err());
     }
 
     #[test]
     fn anonymity_grows_toward_the_ceiling() {
         let g = complete(32);
-        let curve = AnonymityCurve::measure(&g, NodeId(3), 10);
+        let curve = AnonymityCurve::measure(&g, NodeId(3), 10).expect("in range");
         // Non-decreasing here (lazy-free complete graph still smooths fast)
         // and within the ceiling at the end.
         assert!(curve.entropy[9] <= curve.ceiling + 1e-9);
@@ -178,8 +201,8 @@ mod tests {
     fn bottleneck_graphs_anonymize_slowly() {
         let fast = complete(12);
         let slow = barbell(6, 0);
-        let cf = AnonymityCurve::measure(&fast, NodeId(0), 8);
-        let cs = AnonymityCurve::measure(&slow, NodeId(0), 8);
+        let cf = AnonymityCurve::measure(&fast, NodeId(0), 8).expect("in range");
+        let cs = AnonymityCurve::measure(&slow, NodeId(0), 8).expect("in range");
         let frac_fast = cf.entropy[7] / cf.ceiling;
         let frac_slow = cs.entropy[7] / cs.ceiling;
         assert!(
@@ -191,7 +214,7 @@ mod tests {
     #[test]
     fn ceiling_is_stationary_entropy() {
         let g = ring(16); // regular: stationary uniform, ceiling = 4 bits
-        let curve = AnonymityCurve::measure(&g, NodeId(0), 3);
+        let curve = AnonymityCurve::measure(&g, NodeId(0), 3).expect("in range");
         assert!((curve.ceiling - 4.0).abs() < 1e-12);
         assert_eq!(curve.source, NodeId(0));
     }
@@ -200,7 +223,7 @@ mod tests {
     #[should_panic(expected = "out of (0, 1]")]
     fn bad_fraction_panics() {
         let g = ring(5);
-        let curve = AnonymityCurve::measure(&g, NodeId(0), 2);
+        let curve = AnonymityCurve::measure(&g, NodeId(0), 2).expect("in range");
         let _ = curve.steps_to_fraction(0.0);
     }
 }

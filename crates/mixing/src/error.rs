@@ -1,0 +1,42 @@
+//! Error type for mixing-time and anonymity measurements.
+
+use socnet_core::GraphError;
+
+/// An error from a mixing or anonymity measurement.
+#[derive(Debug)]
+pub enum MixingError {
+    /// A walk source passed to a measurement is out of range for the
+    /// graph.
+    ///
+    /// ```
+    /// use socnet_core::NodeId;
+    /// use socnet_gen::ring;
+    /// use socnet_mixing::{endpoint_entropy, MixingError};
+    ///
+    /// let err = endpoint_entropy(&ring(10), NodeId(99), 3).unwrap_err();
+    /// assert!(matches!(err, MixingError::InvalidNode(_)));
+    /// ```
+    InvalidNode(GraphError),
+}
+
+impl std::fmt::Display for MixingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MixingError::InvalidNode(e) => write!(f, "invalid node: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MixingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MixingError::InvalidNode(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for MixingError {
+    fn from(e: GraphError) -> Self {
+        MixingError::InvalidNode(e)
+    }
+}

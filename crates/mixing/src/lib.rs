@@ -33,6 +33,7 @@
 mod anonymity;
 mod bounds;
 mod distribution;
+mod error;
 mod evolve;
 mod mixing;
 mod modulated;
@@ -41,6 +42,7 @@ mod walk;
 
 pub use anonymity::{effective_anonymity_set, endpoint_entropy, entropy_bits, AnonymityCurve};
 pub use bounds::{sinclair_bounds, sinclair_lower, sinclair_upper, MixingBounds};
+pub use error::MixingError;
 pub use distribution::{stationary_distribution, total_variation, Distribution};
 pub use evolve::WalkOperator;
 pub use mixing::{MixingConfig, MixingMeasurement, SourceCurve};

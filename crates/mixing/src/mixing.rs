@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use socnet_core::{sample_nodes, Graph, NodeId};
+use socnet_runner::{run_units, PoolConfig, StageReport, UnitError};
 
 use crate::{stationary_distribution, total_variation, Distribution, WalkOperator};
 
@@ -31,7 +32,12 @@ pub struct MixingConfig {
 
 impl Default for MixingConfig {
     fn default() -> Self {
-        MixingConfig { sources: 100, max_walk: 200, laziness: 0.0, seed: 0x50c7e7 }
+        MixingConfig {
+            sources: 100,
+            max_walk: 200,
+            laziness: 0.0,
+            seed: 0x50c7e7,
+        }
     }
 }
 
@@ -91,12 +97,41 @@ impl MixingMeasurement {
     ///
     /// Panics if the graph has no edges or `sources == 0`.
     pub fn measure(graph: &Graph, config: &MixingConfig) -> Self {
+        let (m, report) = Self::measure_reported(graph, config, &PoolConfig::default());
+        assert!(
+            report.is_complete(),
+            "mixing stage degraded: {}",
+            report.summary_line()
+        );
+        m
+    }
+
+    /// Fault-tolerant variant of [`measure`](MixingMeasurement::measure):
+    /// each source runs as an isolated unit under the pool's
+    /// cancellation token, and the returned [`StageReport`] says which
+    /// sources completed. Curves of failed/cancelled sources are simply
+    /// absent, so a degraded measurement still aggregates over what ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.sources == 0`.
+    pub fn measure_reported(
+        graph: &Graph,
+        config: &MixingConfig,
+        pool: &PoolConfig,
+    ) -> (Self, StageReport) {
         assert!(config.sources > 0, "need at least one source");
         let pi = stationary_distribution(graph);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let sources = sample_nodes(graph, config.sources, &mut rng);
-        let curves = Self::curves_for_sources(graph, &pi, &sources, config);
-        MixingMeasurement { curves, max_walk: config.max_walk }
+        let (curves, report) = Self::run_sources(graph, &pi, &sources, config, pool);
+        (
+            MixingMeasurement {
+                curves,
+                max_walk: config.max_walk,
+            },
+            report,
+        )
     }
 
     /// Runs the sampling method from an explicit source list (useful for
@@ -109,46 +144,53 @@ impl MixingMeasurement {
     pub fn measure_from(graph: &Graph, sources: &[NodeId], config: &MixingConfig) -> Self {
         assert!(!sources.is_empty(), "need at least one source");
         let pi = stationary_distribution(graph);
-        let curves = Self::curves_for_sources(graph, &pi, sources, config);
-        MixingMeasurement { curves, max_walk: config.max_walk }
+        let (curves, report) =
+            Self::run_sources(graph, &pi, sources, config, &PoolConfig::default());
+        assert!(
+            report.is_complete(),
+            "mixing stage degraded: {}",
+            report.summary_line()
+        );
+        MixingMeasurement {
+            curves,
+            max_walk: config.max_walk,
+        }
     }
 
-    fn curves_for_sources(
+    /// One panic-isolated unit per source: a poisoned source (or one cut
+    /// off by the deadline) drops only its own curve.
+    fn run_sources(
         graph: &Graph,
         pi: &Distribution,
         sources: &[NodeId],
         config: &MixingConfig,
-    ) -> Vec<SourceCurve> {
+        pool: &PoolConfig,
+    ) -> (Vec<SourceCurve>, StageReport) {
         let op = WalkOperator::with_laziness(graph, config.laziness);
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        let chunk = sources.len().div_ceil(threads);
-        let mut curves: Vec<Option<SourceCurve>> = vec![None; sources.len()];
-
-        crossbeam::thread::scope(|scope| {
-            for (slot_chunk, src_chunk) in curves.chunks_mut(chunk).zip(sources.chunks(chunk)) {
-                let op = &op;
-                let pi = pi.as_slice();
-                scope.spawn(move |_| {
-                    let n = op.graph().node_count();
-                    let mut x = vec![0.0f64; n];
-                    let mut scratch = vec![0.0f64; n];
-                    for (slot, &source) in slot_chunk.iter_mut().zip(src_chunk) {
-                        x.fill(0.0);
-                        x[source.index()] = 1.0;
-                        let mut tvd = Vec::with_capacity(config.max_walk);
-                        for _ in 0..config.max_walk {
-                            op.step(&x, &mut scratch);
-                            std::mem::swap(&mut x, &mut scratch);
-                            tvd.push(total_variation(&x, pi));
-                        }
-                        *slot = Some(SourceCurve { source, tvd });
+        let pi = pi.as_slice();
+        let out = run_units(
+            "mixing",
+            sources,
+            pool,
+            |_, s| format!("source-{}", s.index()),
+            |ctx, &source| {
+                let n = graph.node_count();
+                let mut x = vec![0.0f64; n];
+                let mut scratch = vec![0.0f64; n];
+                x[source.index()] = 1.0;
+                let mut tvd = Vec::with_capacity(config.max_walk);
+                for _ in 0..config.max_walk {
+                    if ctx.cancel.is_cancelled() {
+                        return Err(UnitError::Cancelled);
                     }
-                });
-            }
-        })
-        .expect("mixing worker panicked");
-
-        curves.into_iter().map(|c| c.expect("every slot filled")).collect()
+                    op.step(&x, &mut scratch);
+                    std::mem::swap(&mut x, &mut scratch);
+                    tvd.push(total_variation(&x, pi));
+                }
+                Ok(SourceCurve { source, tvd })
+            },
+        );
+        (out.outputs.into_iter().flatten().collect(), out.report)
     }
 
     /// The worst (maximum) TVD over all sources at each walk length —
@@ -191,7 +233,10 @@ impl MixingMeasurement {
     ///
     /// Returns `None` if that never happens within `max_walk` steps.
     pub fn mixing_time(&self, epsilon: f64) -> Option<usize> {
-        self.max_curve().iter().position(|&d| d < epsilon).map(|t| t + 1)
+        self.max_curve()
+            .iter()
+            .position(|&d| d < epsilon)
+            .map(|t| t + 1)
     }
 
     /// Per-source mixing times `T_i(ε)`, exposing the distribution of
@@ -209,7 +254,12 @@ mod tests {
     #[test]
     fn curves_are_monotone_decreasing_for_lazy_walks() {
         let g = barbell(6, 0);
-        let cfg = MixingConfig { sources: 4, max_walk: 60, laziness: 0.5, seed: 1 };
+        let cfg = MixingConfig {
+            sources: 4,
+            max_walk: 60,
+            laziness: 0.5,
+            seed: 1,
+        };
         let m = MixingMeasurement::measure(&g, &cfg);
         for c in &m.curves {
             for w in c.tvd.windows(2) {
@@ -221,7 +271,11 @@ mod tests {
     #[test]
     fn complete_graph_mixes_immediately() {
         let g = complete(40);
-        let cfg = MixingConfig { sources: 10, max_walk: 5, ..Default::default() };
+        let cfg = MixingConfig {
+            sources: 10,
+            max_walk: 5,
+            ..Default::default()
+        };
         let m = MixingMeasurement::measure(&g, &cfg);
         assert!(m.mixing_time(0.05).expect("mixes") <= 2);
     }
@@ -230,7 +284,12 @@ mod tests {
     fn barbell_mixes_slower_than_complete() {
         let fast = complete(12);
         let slow = barbell(6, 0);
-        let cfg = MixingConfig { sources: 12, max_walk: 40, laziness: 0.5, seed: 3 };
+        let cfg = MixingConfig {
+            sources: 12,
+            max_walk: 40,
+            laziness: 0.5,
+            seed: 3,
+        };
         let mf = MixingMeasurement::measure(&fast, &cfg);
         let ms = MixingMeasurement::measure(&slow, &cfg);
         let (tf, ts) = (mf.mean_curve()[20], ms.mean_curve()[20]);
@@ -240,7 +299,10 @@ mod tests {
     #[test]
     fn explicit_sources_are_respected() {
         let g = complete(10);
-        let cfg = MixingConfig { max_walk: 3, ..Default::default() };
+        let cfg = MixingConfig {
+            max_walk: 3,
+            ..Default::default()
+        };
         let m = MixingMeasurement::measure_from(&g, &[NodeId(2), NodeId(7)], &cfg);
         assert_eq!(m.curves.len(), 2);
         assert_eq!(m.curves[0].source, NodeId(2));
@@ -250,7 +312,12 @@ mod tests {
     #[test]
     fn aggregates_bound_each_other() {
         let g = barbell(5, 2);
-        let cfg = MixingConfig { sources: 8, max_walk: 30, laziness: 0.5, seed: 9 };
+        let cfg = MixingConfig {
+            sources: 8,
+            max_walk: 30,
+            laziness: 0.5,
+            seed: 9,
+        };
         let m = MixingMeasurement::measure(&g, &cfg);
         let (lo, mid, hi) = (m.min_curve(), m.mean_curve(), m.max_curve());
         for t in 0..30 {
@@ -262,7 +329,12 @@ mod tests {
     #[test]
     fn measurement_is_deterministic() {
         let g = barbell(4, 1);
-        let cfg = MixingConfig { sources: 5, max_walk: 10, laziness: 0.0, seed: 11 };
+        let cfg = MixingConfig {
+            sources: 5,
+            max_walk: 10,
+            laziness: 0.0,
+            seed: 11,
+        };
         let a = MixingMeasurement::measure(&g, &cfg);
         let b = MixingMeasurement::measure(&g, &cfg);
         assert_eq!(a, b);
@@ -271,18 +343,31 @@ mod tests {
     #[test]
     fn per_source_times_match_curves() {
         let g = complete(20);
-        let cfg = MixingConfig { sources: 6, max_walk: 8, ..Default::default() };
+        let cfg = MixingConfig {
+            sources: 6,
+            max_walk: 8,
+            ..Default::default()
+        };
         let m = MixingMeasurement::measure(&g, &cfg);
         let times = m.per_source_mixing_times(0.05);
         assert_eq!(times.len(), 6);
-        let worst = times.iter().map(|t| t.expect("mixes")).max().expect("nonempty");
+        let worst = times
+            .iter()
+            .map(|t| t.expect("mixes"))
+            .max()
+            .expect("nonempty");
         assert_eq!(Some(worst), m.mixing_time(0.05));
     }
 
     #[test]
     fn never_mixing_within_horizon_reports_none() {
         let g = barbell(8, 4);
-        let cfg = MixingConfig { sources: 4, max_walk: 3, laziness: 0.5, seed: 2 };
+        let cfg = MixingConfig {
+            sources: 4,
+            max_walk: 3,
+            laziness: 0.5,
+            seed: 2,
+        };
         let m = MixingMeasurement::measure(&g, &cfg);
         assert_eq!(m.mixing_time(1e-6), None);
     }

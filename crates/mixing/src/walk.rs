@@ -7,15 +7,17 @@
 use rand::{Rng, RngExt};
 use socnet_core::{Graph, NodeId};
 
+use crate::MixingError;
+
 /// Samples a simple random walk of `length` steps from `source`,
 /// returning the full vertex trajectory (`length + 1` nodes).
 ///
 /// If the walk reaches an isolated node it stays there, mirroring
 /// [`WalkOperator`](crate::WalkOperator)'s convention.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `source` is out of range.
+/// Returns [`MixingError::InvalidNode`] if `source` is out of range.
 ///
 /// # Examples
 ///
@@ -26,17 +28,18 @@ use socnet_core::{Graph, NodeId};
 ///
 /// let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
 /// let mut rng = StdRng::seed_from_u64(5);
-/// let walk = sample_walk(&g, NodeId(0), 4, &mut rng);
+/// let walk = sample_walk(&g, NodeId(0), 4, &mut rng).unwrap();
 /// assert_eq!(walk.len(), 5);
 /// assert_eq!(walk[0], NodeId(0));
+/// assert!(sample_walk(&g, NodeId(9), 4, &mut rng).is_err());
 /// ```
 pub fn sample_walk<R: Rng + ?Sized>(
     graph: &Graph,
     source: NodeId,
     length: usize,
     rng: &mut R,
-) -> Vec<NodeId> {
-    graph.check_node(source).expect("source in range");
+) -> Result<Vec<NodeId>, MixingError> {
+    graph.check_node(source)?;
     let mut walk = Vec::with_capacity(length + 1);
     let mut cur = source;
     walk.push(cur);
@@ -47,21 +50,21 @@ pub fn sample_walk<R: Rng + ?Sized>(
         }
         walk.push(cur);
     }
-    walk
+    Ok(walk)
 }
 
 /// Samples one walk and returns only its endpoint.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `source` is out of range.
+/// Returns [`MixingError::InvalidNode`] if `source` is out of range.
 pub fn walk_endpoint<R: Rng + ?Sized>(
     graph: &Graph,
     source: NodeId,
     length: usize,
     rng: &mut R,
-) -> NodeId {
-    graph.check_node(source).expect("source in range");
+) -> Result<NodeId, MixingError> {
+    graph.check_node(source)?;
     let mut cur = source;
     for _ in 0..length {
         let nbrs = graph.neighbors(cur);
@@ -70,7 +73,7 @@ pub fn walk_endpoint<R: Rng + ?Sized>(
         }
         cur = nbrs[rng.random_range(0..nbrs.len())];
     }
-    cur
+    Ok(cur)
 }
 
 /// Samples `count` independent walks from `source` and returns their
@@ -80,17 +83,20 @@ pub fn walk_endpoint<R: Rng + ?Sized>(
 /// distribution `π^{(source)}P^t` — the Monte-Carlo view of the sampling
 /// method, tested against [`WalkOperator`](crate::WalkOperator) for agreement.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `source` is out of range.
+/// Returns [`MixingError::InvalidNode`] if `source` is out of range.
 pub fn walk_endpoints<R: Rng + ?Sized>(
     graph: &Graph,
     source: NodeId,
     length: usize,
     count: usize,
     rng: &mut R,
-) -> Vec<NodeId> {
-    (0..count).map(|_| walk_endpoint(graph, source, length, rng)).collect()
+) -> Result<Vec<NodeId>, MixingError> {
+    graph.check_node(source)?;
+    (0..count)
+        .map(|_| walk_endpoint(graph, source, length, rng))
+        .collect()
 }
 
 #[cfg(test)]
@@ -106,10 +112,15 @@ mod tests {
     fn walks_follow_edges() {
         let g = ring(10);
         let mut rng = StdRng::seed_from_u64(1);
-        let walk = sample_walk(&g, NodeId(3), 50, &mut rng);
+        let walk = sample_walk(&g, NodeId(3), 50, &mut rng).expect("source in range");
         assert_eq!(walk.len(), 51);
         for w in walk.windows(2) {
-            assert!(g.has_edge(w[0], w[1]), "step {} -> {} not an edge", w[0], w[1]);
+            assert!(
+                g.has_edge(w[0], w[1]),
+                "step {} -> {} not an edge",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -117,15 +128,30 @@ mod tests {
     fn zero_length_walk_is_the_source() {
         let g = ring(5);
         let mut rng = StdRng::seed_from_u64(2);
-        assert_eq!(sample_walk(&g, NodeId(4), 0, &mut rng), vec![NodeId(4)]);
-        assert_eq!(walk_endpoint(&g, NodeId(4), 0, &mut rng), NodeId(4));
+        assert_eq!(
+            sample_walk(&g, NodeId(4), 0, &mut rng).expect("in range"),
+            vec![NodeId(4)]
+        );
+        assert_eq!(
+            walk_endpoint(&g, NodeId(4), 0, &mut rng).expect("in range"),
+            NodeId(4)
+        );
+    }
+
+    #[test]
+    fn out_of_range_source_is_an_error_not_a_panic() {
+        let g = ring(5);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(sample_walk(&g, NodeId(5), 3, &mut rng).is_err());
+        assert!(walk_endpoint(&g, NodeId(5), 3, &mut rng).is_err());
+        assert!(walk_endpoints(&g, NodeId(5), 3, 4, &mut rng).is_err());
     }
 
     #[test]
     fn isolated_source_never_moves() {
         let g = Graph::from_edges(3, [(0, 1)]);
         let mut rng = StdRng::seed_from_u64(3);
-        let walk = sample_walk(&g, NodeId(2), 5, &mut rng);
+        let walk = sample_walk(&g, NodeId(2), 5, &mut rng).expect("in range");
         assert!(walk.iter().all(|&v| v == NodeId(2)));
     }
 
@@ -145,7 +171,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let samples = 40_000;
         let mut hist = vec![0.0f64; 8];
-        for e in walk_endpoints(&g, source, t, samples, &mut rng) {
+        for e in walk_endpoints(&g, source, t, samples, &mut rng).expect("in range") {
             hist[e.index()] += 1.0 / samples as f64;
         }
         assert!(
@@ -159,6 +185,6 @@ mod tests {
         let g = ring(12);
         let a = walk_endpoints(&g, NodeId(0), 9, 20, &mut StdRng::seed_from_u64(9));
         let b = walk_endpoints(&g, NodeId(0), 9, 20, &mut StdRng::seed_from_u64(9));
-        assert_eq!(a, b);
+        assert_eq!(a.expect("in range"), b.expect("in range"));
     }
 }

@@ -74,7 +74,7 @@ proptest! {
     #[test]
     fn entropy_is_bounded_by_log_n(g in arb_graph_with_edges(), t in 0usize..10, src in 0u32..25) {
         prop_assume!((src as usize) < g.node_count());
-        let h = endpoint_entropy(&g, NodeId(src), t);
+        let h = endpoint_entropy(&g, NodeId(src), t).expect("source in range");
         let n = g.node_count() as f64;
         prop_assert!(h >= -1e-12);
         prop_assert!(h <= n.log2() + 1e-9, "H = {h} > log2({n})");

@@ -1,0 +1,106 @@
+//! Atomic artifact writes: tmp file + fsync + rename.
+
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically.
+///
+/// The bytes go to a sibling `<name>.tmp` file first, which is fsync'd
+/// and then renamed over `path`, so a run killed at any instant leaves
+/// either the old artifact or the new one — never a truncated hybrid.
+/// The parent directory is created if missing and fsync'd best-effort
+/// after the rename (directory handles are not fsync-able everywhere).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory, writing, syncing,
+/// or renaming the file.
+///
+/// # Examples
+///
+/// ```
+/// let dir = std::env::temp_dir().join("socnet-runner-doc-write-atomic");
+/// let path = dir.join("data.csv");
+/// socnet_runner::write_atomic(&path, b"a,b\n1,2\n").unwrap();
+/// assert_eq!(std::fs::read(&path).unwrap(), b"a,b\n1,2\n");
+/// # std::fs::remove_file(&path).ok();
+/// ```
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    fs::create_dir_all(dir)?;
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!("{}.tmp", file_name.to_string_lossy()));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir()
+            .join("socnet-runner-artifact-tests")
+            .join(name)
+    }
+
+    #[test]
+    fn writes_and_reads_back() {
+        let path = scratch("basic.csv");
+        write_atomic(&path, b"hello").expect("write");
+        assert_eq!(fs::read(&path).expect("read"), b"hello");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replaces_existing_content_entirely() {
+        let path = scratch("replace.csv");
+        write_atomic(&path, b"a much longer first version").expect("first");
+        write_atomic(&path, b"short").expect("second");
+        assert_eq!(fs::read(&path).expect("read"), b"short");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn leaves_no_tmp_file_behind() {
+        let path = scratch("clean.csv");
+        write_atomic(&path, b"x").expect("write");
+        let tmp = scratch("clean.csv.tmp");
+        assert!(!tmp.exists(), "tmp file must be renamed away");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_path_without_file_name() {
+        let err = write_atomic(Path::new("/"), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn bare_file_name_lands_in_cwd_rules_but_still_works() {
+        // A parent-less path is treated as relative to ".".
+        let dir = scratch("cwd-sim");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("rel.csv");
+        write_atomic(&path, b"1").expect("write");
+        assert!(path.exists());
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,182 @@
+//! Cooperative cancellation tokens with optional deadlines.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a [`CancelToken`] reports itself cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called — a user interrupt or a
+    /// dependent stage's decision to stop.
+    Cancelled,
+    /// The token's deadline (time budget) passed.
+    DeadlineExceeded,
+}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<CancelToken>,
+}
+
+/// A cheaply clonable cancellation token threaded through per-unit loops.
+///
+/// Workers poll [`is_cancelled`](CancelToken::is_cancelled) (an atomic
+/// load plus at most one clock read) at natural yield points — once per
+/// walk step, per BFS, per trial — and bail out cooperatively. Tokens
+/// form a tree: a child created with [`child_with_budget`]
+/// (CancelToken::child_with_budget) observes its parent's cancellation
+/// *and* its own tighter deadline, which is how a multi-figure `report`
+/// run gives each figure a bounded slice of the total budget.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_runner::{CancelCause, CancelToken};
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert_eq!(token.cause(), Some(CancelCause::Cancelled));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh token that never cancels on its own.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A token that reports [`CancelCause::DeadlineExceeded`] once
+    /// `budget` has elapsed from now.
+    pub fn with_budget(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child observing this token's cancellation plus its own deadline
+    /// `budget` from now. Cancelling the child does not affect the parent.
+    pub fn child_with_budget(&self, budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Why the token is cancelled, or `None` if it is still live.
+    ///
+    /// An explicit [`cancel`](CancelToken::cancel) takes precedence over
+    /// an expired deadline, and a token's own state over its parent's.
+    pub fn cause(&self) -> Option<CancelCause> {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return Some(CancelCause::Cancelled);
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return Some(CancelCause::DeadlineExceeded);
+            }
+        }
+        self.inner.parent.as_ref().and_then(CancelToken::cause)
+    }
+
+    /// Whether the token (or any ancestor) is cancelled or past deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.cause().is_some()
+    }
+
+    /// The token's own deadline, if it has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.cause(), None);
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        t.cancel();
+        t.cancel();
+        assert_eq!(u.cause(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let t = CancelToken::with_budget(Duration::ZERO);
+        assert_eq!(t.cause(), Some(CancelCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_budget_stays_live() {
+        let t = CancelToken::with_budget(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_some());
+    }
+
+    #[test]
+    fn child_sees_parent_cancellation() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_budget(Duration::from_secs(3600));
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert_eq!(child.cause(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn child_deadline_does_not_leak_to_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_budget(Duration::ZERO);
+        assert_eq!(child.cause(), Some(CancelCause::DeadlineExceeded));
+        assert!(!parent.is_cancelled());
+        child.cancel();
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_beats_deadline() {
+        let t = CancelToken::with_budget(Duration::ZERO);
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::Cancelled));
+    }
+}

@@ -1,0 +1,71 @@
+//! Fault-tolerant execution for long-running measurements.
+//!
+//! The paper's headline artifacts come from hours-long sweeps — per-source
+//! walk evolution for mixing time, all-node BFS envelopes for expansion,
+//! GateKeeper admission trials. Each sweep decomposes into many
+//! independent **units** (one source, one core, one distributor), and a
+//! single poisoned unit or a killed process must not cost the whole run.
+//! This crate provides the pieces the measurement crates and the
+//! experiment binaries share:
+//!
+//! * [`CancelToken`] — cooperative cancellation with optional deadlines,
+//!   checked inside per-unit loops so a time budget bounds each stage's
+//!   wall time and the run emits whatever completed;
+//! * [`run_units`] — a panic-isolated worker pool: every unit executes
+//!   under `catch_unwind`, failures are retried a bounded, deterministic
+//!   number of times (workers see the attempt counter and can bump their
+//!   seeds), and one failed unit degrades only itself;
+//! * [`Checkpoint`] — an append-only, fsync'd journal of completed units.
+//!   A rerun with the same run key skips finished units; journals with
+//!   trailing garbage (torn writes) are recovered by truncating to the
+//!   last valid record;
+//! * [`RunReport`] / [`StageReport`] — per-stage accounting of
+//!   completed / resumed / failed / cancelled / timed-out units, printed
+//!   by every experiment binary and written beside the CSVs so degraded
+//!   output is always labeled with its coverage;
+//! * [`write_atomic`] — tmp-file + fsync + rename artifact writes, so a
+//!   killed run can never leave a truncated CSV.
+//!
+//! The crate is deliberately dependency-free (std only): the failure
+//! layer should not be able to fail on its own account.
+//!
+//! # Examples
+//!
+//! ```
+//! use socnet_runner::{run_units, PoolConfig, UnitError};
+//!
+//! let items: Vec<u64> = (0..8).collect();
+//! let out = run_units(
+//!     "square",
+//!     &items,
+//!     &PoolConfig::default(),
+//!     |i, _| format!("unit-{i}"),
+//!     |_ctx, &x| {
+//!         if x == 3 {
+//!             panic!("poisoned unit");
+//!         }
+//!         Ok::<u64, UnitError>(x * x)
+//!     },
+//! );
+//! assert_eq!(out.outputs[2], Some(4));
+//! assert_eq!(out.outputs[3], None); // isolated, not fatal
+//! assert_eq!(out.report.completed(), 7);
+//! assert_eq!(out.report.failed(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod artifact;
+mod cancel;
+mod checkpoint;
+mod payload;
+mod pool;
+mod report;
+
+pub use artifact::write_atomic;
+pub use cancel::{CancelCause, CancelToken};
+pub use checkpoint::Checkpoint;
+pub use payload::Payload;
+pub use pool::{run_units, PoolConfig, StageOutput, UnitCtx, UnitError};
+pub use report::{RunReport, StageReport, UnitRecord, UnitStatus};

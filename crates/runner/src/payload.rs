@@ -1,0 +1,356 @@
+//! Checkpoint payload codecs for the unit outputs the binaries produce.
+
+/// A value that can round-trip through a checkpoint journal record.
+///
+/// Implementations must be **lossless**: resuming a run replays decoded
+/// payloads in place of recomputation, and the acceptance bar is
+/// byte-identical artifacts. That is why `f64` travels as its IEEE-754
+/// bit pattern in hex rather than a decimal rendering — `0.1 + 0.2`
+/// must come back as exactly the double that was computed, not a
+/// near-miss that formats differently.
+///
+/// `decode_payload` returns `None` on malformed input; the caller then
+/// treats the unit as not-yet-computed (a corrupt record costs one
+/// unit, never a crash).
+///
+/// # Examples
+///
+/// ```
+/// use socnet_runner::Payload;
+///
+/// let curve = vec![0.5_f64, 0.1 + 0.2, f64::NAN];
+/// let encoded = curve.encode_payload();
+/// let back = Vec::<f64>::decode_payload(&encoded).unwrap();
+/// assert_eq!(back[1].to_bits(), (0.1_f64 + 0.2).to_bits());
+/// assert!(back[2].is_nan());
+/// ```
+pub trait Payload: Sized {
+    /// Encodes the value as a single-line-safe string (the journal
+    /// layer escapes control characters, so any `String` is fine).
+    fn encode_payload(&self) -> String;
+
+    /// Decodes a value previously produced by
+    /// [`encode_payload`](Payload::encode_payload), or `None` if the
+    /// input is malformed.
+    fn decode_payload(s: &str) -> Option<Self>;
+}
+
+impl Payload for String {
+    fn encode_payload(&self) -> String {
+        self.clone()
+    }
+
+    fn decode_payload(s: &str) -> Option<Self> {
+        Some(s.to_string())
+    }
+}
+
+impl Payload for () {
+    fn encode_payload(&self) -> String {
+        String::new()
+    }
+
+    fn decode_payload(_s: &str) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl Payload for f64 {
+    fn encode_payload(&self) -> String {
+        format!("{:016x}", self.to_bits())
+    }
+
+    fn decode_payload(s: &str) -> Option<Self> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+    }
+}
+
+impl Payload for u64 {
+    fn encode_payload(&self) -> String {
+        self.to_string()
+    }
+
+    fn decode_payload(s: &str) -> Option<Self> {
+        s.parse().ok()
+    }
+}
+
+impl Payload for usize {
+    fn encode_payload(&self) -> String {
+        self.to_string()
+    }
+
+    fn decode_payload(s: &str) -> Option<Self> {
+        s.parse().ok()
+    }
+}
+
+impl Payload for u32 {
+    fn encode_payload(&self) -> String {
+        self.to_string()
+    }
+
+    fn decode_payload(s: &str) -> Option<Self> {
+        s.parse().ok()
+    }
+}
+
+// Element-level escaping for sequence payloads: the journal layer
+// escapes the whole record, but element separators inside a payload
+// need their own layer so cells may contain commas, pipes, newlines.
+fn escape_elem(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_elem(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Splits on unescaped `sep`, honoring backslash escapes.
+fn split_escaped(s: &str, sep: char) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            cur.push('\\');
+            cur.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == sep {
+            parts.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if escaped {
+        cur.push('\\'); // trailing backslash; unescape_elem will reject it
+    }
+    parts.push(cur);
+    parts
+}
+
+/// `"{n};"` length prefix so an empty vec and a vec of one empty string
+/// stay distinguishable.
+fn strip_len_prefix(s: &str) -> Option<(usize, &str)> {
+    let (n, rest) = s.split_once(';')?;
+    Some((n.parse().ok()?, rest))
+}
+
+impl Payload for Vec<String> {
+    fn encode_payload(&self) -> String {
+        let cells: Vec<String> = self.iter().map(|c| escape_elem(c)).collect();
+        format!("{};{}", self.len(), cells.join("\t"))
+    }
+
+    fn decode_payload(s: &str) -> Option<Self> {
+        let (n, rest) = strip_len_prefix(s)?;
+        if n == 0 {
+            return rest.is_empty().then(Vec::new);
+        }
+        let parts = split_escaped(rest, '\t');
+        if parts.len() != n {
+            return None;
+        }
+        parts.iter().map(|p| unescape_elem(p)).collect()
+    }
+}
+
+impl Payload for Vec<Vec<String>> {
+    fn encode_payload(&self) -> String {
+        let rows: Vec<String> = self
+            .iter()
+            .map(|r| escape_elem(&r.encode_payload()))
+            .collect();
+        format!("{};{}", self.len(), rows.join("\n"))
+    }
+
+    fn decode_payload(s: &str) -> Option<Self> {
+        let (n, rest) = strip_len_prefix(s)?;
+        if n == 0 {
+            return rest.is_empty().then(Vec::new);
+        }
+        let parts = split_escaped(rest, '\n');
+        if parts.len() != n {
+            return None;
+        }
+        parts
+            .iter()
+            .map(|p| Vec::<String>::decode_payload(&unescape_elem(p)?))
+            .collect()
+    }
+}
+
+impl Payload for Vec<f64> {
+    fn encode_payload(&self) -> String {
+        let vals: Vec<String> = self
+            .iter()
+            .map(|v| format!("{:016x}", v.to_bits()))
+            .collect();
+        format!("{};{}", self.len(), vals.join(","))
+    }
+
+    fn decode_payload(s: &str) -> Option<Self> {
+        let (n, rest) = strip_len_prefix(s)?;
+        if n == 0 {
+            return rest.is_empty().then(Vec::new);
+        }
+        let parts: Vec<&str> = rest.split(',').collect();
+        if parts.len() != n {
+            return None;
+        }
+        parts.iter().map(|p| f64::decode_payload(p)).collect()
+    }
+}
+
+impl Payload for Vec<(u64, f64)> {
+    fn encode_payload(&self) -> String {
+        let vals: Vec<String> = self
+            .iter()
+            .map(|(k, v)| format!("{}:{:016x}", k, v.to_bits()))
+            .collect();
+        format!("{};{}", self.len(), vals.join(","))
+    }
+
+    fn decode_payload(s: &str) -> Option<Self> {
+        let (n, rest) = strip_len_prefix(s)?;
+        if n == 0 {
+            return rest.is_empty().then(Vec::new);
+        }
+        let parts: Vec<&str> = rest.split(',').collect();
+        if parts.len() != n {
+            return None;
+        }
+        parts
+            .iter()
+            .map(|p| {
+                let (k, v) = p.split_once(':')?;
+                Some((k.parse().ok()?, f64::decode_payload(v)?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Payload + PartialEq + std::fmt::Debug>(value: T) {
+        let encoded = value.encode_payload();
+        let decoded = T::decode_payload(&encoded).expect("decode");
+        assert_eq!(decoded, value, "encoded as {encoded:?}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(String::from("Wiki-vote"));
+        round_trip(String::new());
+        round_trip(());
+        round_trip(0.1_f64 + 0.2);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(42_u64);
+        round_trip(7_usize);
+        round_trip(3_u32);
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let encoded = f64::NAN.encode_payload();
+        let back = f64::decode_payload(&encoded).expect("decode");
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn string_vectors_round_trip_with_separators_in_cells() {
+        round_trip(Vec::<String>::new());
+        round_trip(vec![String::new()]);
+        round_trip(vec![
+            "a".to_string(),
+            "b\tc".to_string(),
+            "d\ne\\f".to_string(),
+        ]);
+    }
+
+    #[test]
+    fn nested_rows_round_trip() {
+        round_trip(Vec::<Vec<String>>::new());
+        round_trip(vec![Vec::<String>::new()]);
+        round_trip(vec![
+            vec!["Wiki-vote".to_string(), "1.5e-3".to_string()],
+            vec!["Enron\twith tab".to_string()],
+            vec![String::new(), "x\ny".to_string()],
+        ]);
+    }
+
+    #[test]
+    fn float_vectors_round_trip_bitwise() {
+        round_trip(Vec::<f64>::new());
+        round_trip(vec![0.5, 0.1 + 0.2, -0.0, f64::INFINITY]);
+        let with_nan = vec![f64::NAN, 1.0];
+        let back = Vec::<f64>::decode_payload(&with_nan.encode_payload()).expect("decode");
+        assert_eq!(back[0].to_bits(), f64::NAN.to_bits());
+        assert_eq!(back[1], 1.0);
+    }
+
+    #[test]
+    fn pair_vectors_round_trip() {
+        round_trip(Vec::<(u64, f64)>::new());
+        round_trip(vec![(1_u64, 0.5), (1000_u64, 0.1 + 0.2)]);
+    }
+
+    #[test]
+    fn malformed_inputs_decode_to_none() {
+        assert_eq!(Vec::<f64>::decode_payload("nonsense"), None);
+        assert_eq!(Vec::<f64>::decode_payload("2;0000000000000000"), None);
+        assert_eq!(Vec::<String>::decode_payload("3;a\tb"), None);
+        assert_eq!(f64::decode_payload("xyz"), None);
+        assert_eq!(f64::decode_payload("3ff"), None);
+        assert_eq!(u64::decode_payload("12.5"), None);
+        assert_eq!(Vec::<(u64, f64)>::decode_payload("1;no-colon"), None);
+        assert_eq!(Vec::<Vec<String>>::decode_payload("1;bad"), None);
+    }
+
+    #[test]
+    fn empty_and_single_empty_are_distinct() {
+        let empty = Vec::<String>::new().encode_payload();
+        let one_empty = vec![String::new()].encode_payload();
+        assert_ne!(empty, one_empty);
+        assert_eq!(
+            Vec::<String>::decode_payload(&empty).expect("decode").len(),
+            0
+        );
+        assert_eq!(
+            Vec::<String>::decode_payload(&one_empty)
+                .expect("decode")
+                .len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,489 @@
+//! The panic-isolated worker pool.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::{CancelCause, CancelToken, StageReport, UnitRecord, UnitStatus};
+
+/// How a unit of work reports failure to the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitError {
+    /// The worker observed its [`CancelToken`] and bailed out; the unit
+    /// is recorded as cancelled or timed-out (per the token's cause),
+    /// never retried.
+    Cancelled,
+    /// The unit failed with a message; retried up to the attempt bound.
+    Failed(String),
+}
+
+/// Per-attempt context handed to workers.
+#[derive(Debug)]
+pub struct UnitCtx<'a> {
+    /// Index of the unit in the pool's item slice.
+    pub index: usize,
+    /// 1-based attempt number — deterministic retries bump their RNG
+    /// seed with this, so attempt `k` of a unit is reproducible.
+    pub attempt: u32,
+    /// The pool's cancellation token; poll it at natural yield points
+    /// and return [`UnitError::Cancelled`] when it trips.
+    pub cancel: &'a CancelToken,
+}
+
+/// Pool tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+    /// Maximum attempts per unit (at least 1; 1 disables retry).
+    pub max_attempts: u32,
+    /// The cancellation token checked before every attempt.
+    pub cancel: CancelToken,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            threads: 0,
+            max_attempts: 1,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A config with the given cancellation token and retry bound.
+    pub fn new(cancel: CancelToken, max_attempts: u32) -> Self {
+        PoolConfig {
+            threads: 0,
+            max_attempts,
+            cancel,
+        }
+    }
+}
+
+/// What [`run_units`] returns: per-unit outputs plus the stage report.
+#[derive(Debug)]
+pub struct StageOutput<O> {
+    /// `outputs[i]` is `Some` iff unit `i` completed; aligned with the
+    /// input items regardless of scheduling order.
+    pub outputs: Vec<Option<O>>,
+    /// One [`UnitRecord`] per unit, in item order.
+    pub report: StageReport,
+}
+
+impl<O> StageOutput<O> {
+    /// The completed outputs, dropping failed units.
+    pub fn into_completed(self) -> Vec<O> {
+        self.outputs.into_iter().flatten().collect()
+    }
+}
+
+/// Runs one isolated unit of work per item across a scoped thread pool.
+///
+/// Each attempt executes under `catch_unwind`: a panicking unit is
+/// recorded as failed (with the panic message) instead of aborting the
+/// pool, and retried up to `config.max_attempts` times. Workers receive
+/// a [`UnitCtx`] carrying their attempt number (for deterministic
+/// seed-bumped retries) and the pool's [`CancelToken`]; once the token
+/// trips, running units may bail with [`UnitError::Cancelled`] and
+/// not-yet-started units are recorded as cancelled/timed-out without
+/// running. Outputs are slotted by item index, so results are
+/// deterministic whatever the thread interleaving.
+///
+/// `id_of` names each unit for the report (and checkpoint journals); it
+/// must not panic.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_runner::{run_units, PoolConfig, UnitError};
+///
+/// let out = run_units(
+///     "double",
+///     &[1, 2, 3],
+///     &PoolConfig::default(),
+///     |i, _| i.to_string(),
+///     |_ctx, &x| Ok::<i32, UnitError>(2 * x),
+/// );
+/// assert_eq!(out.outputs, vec![Some(2), Some(4), Some(6)]);
+/// assert!(out.report.is_complete());
+/// ```
+pub fn run_units<I, O, F, G>(
+    stage: &str,
+    items: &[I],
+    config: &PoolConfig,
+    id_of: G,
+    worker: F,
+) -> StageOutput<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(UnitCtx<'_>, &I) -> Result<O, UnitError> + Sync,
+    G: Fn(usize, &I) -> String + Sync,
+{
+    let start = Instant::now();
+    let n = items.len();
+    let mut outputs: Vec<Option<O>> = Vec::with_capacity(n);
+    let mut records: Vec<Option<UnitRecord>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        outputs.push(None);
+        records.push(None);
+    }
+
+    if n > 0 {
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Option<O>, UnitRecord)>> = Mutex::new(Vec::with_capacity(n));
+        let threads = effective_threads(config.threads, n);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = &items[i];
+                    let id = id_of(i, item);
+                    let result = run_one(i, id, item, config, &worker);
+                    done.lock().expect("pool results lock").push(result);
+                });
+            }
+        });
+        let collected = done.into_inner().expect("pool results lock");
+        for (i, out, rec) in collected {
+            outputs[i] = out;
+            records[i] = Some(rec);
+        }
+    }
+
+    let units = records
+        .into_iter()
+        .map(|r| r.expect("every unit recorded"))
+        .collect();
+    StageOutput {
+        outputs,
+        report: StageReport {
+            stage: stage.to_string(),
+            units,
+            wall: start.elapsed(),
+        },
+    }
+}
+
+fn effective_threads(configured: usize, units: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let t = if configured == 0 { auto } else { configured };
+    t.min(units).max(1)
+}
+
+fn run_one<I, O, F>(
+    index: usize,
+    id: String,
+    item: &I,
+    config: &PoolConfig,
+    worker: &F,
+) -> (usize, Option<O>, UnitRecord)
+where
+    F: Fn(UnitCtx<'_>, &I) -> Result<O, UnitError>,
+{
+    let max_attempts = config.max_attempts.max(1);
+    let mut attempt = 0u32;
+    let mut last_error;
+    loop {
+        if let Some(cause) = config.cancel.cause() {
+            let status = stop_status(cause);
+            return (index, None, UnitRecord::stopped(id, status, attempt));
+        }
+        attempt += 1;
+        let ctx = UnitCtx {
+            index,
+            attempt,
+            cancel: &config.cancel,
+        };
+        match catch_unwind(AssertUnwindSafe(|| worker(ctx, item))) {
+            Ok(Ok(output)) => {
+                return (index, Some(output), UnitRecord::completed(id, attempt));
+            }
+            Ok(Err(UnitError::Cancelled)) => {
+                // Trust the token over the worker: a worker returning
+                // Cancelled with a live token is treated as cancelled
+                // anyway (it refused to continue).
+                let status = config
+                    .cancel
+                    .cause()
+                    .map(stop_status)
+                    .unwrap_or(UnitStatus::Cancelled);
+                return (index, None, UnitRecord::stopped(id, status, attempt));
+            }
+            Ok(Err(UnitError::Failed(message))) => last_error = message,
+            Err(payload) => last_error = format!("panicked: {}", panic_message(payload.as_ref())),
+        }
+        if attempt >= max_attempts {
+            return (index, None, UnitRecord::failed(id, attempt, last_error));
+        }
+    }
+}
+
+fn stop_status(cause: CancelCause) -> UnitStatus {
+    match cause {
+        CancelCause::Cancelled => UnitStatus::Cancelled,
+        CancelCause::DeadlineExceeded => UnitStatus::TimedOut,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    #[test]
+    fn all_units_complete_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = run_units(
+            "sq",
+            &items,
+            &PoolConfig::default(),
+            |i, _| format!("u{i}"),
+            |_ctx, &x| Ok::<usize, UnitError>(x * x),
+        );
+        assert_eq!(out.report.completed(), 100);
+        assert!(out.report.is_complete());
+        for (i, o) in out.outputs.iter().enumerate() {
+            assert_eq!(*o, Some(i * i));
+        }
+        assert_eq!(out.report.units[17].id, "u17");
+    }
+
+    #[test]
+    fn one_panicking_unit_fails_alone() {
+        let items: Vec<usize> = (0..10).collect();
+        let out = run_units(
+            "poison",
+            &items,
+            &PoolConfig::default(),
+            |i, _| format!("u{i}"),
+            |_ctx, &x| {
+                if x == 3 {
+                    panic!("poisoned unit 3");
+                }
+                Ok::<usize, UnitError>(x)
+            },
+        );
+        assert_eq!(out.report.failed(), 1);
+        assert_eq!(out.report.completed(), 9);
+        assert_eq!(out.outputs[3], None);
+        let rec = &out.report.units[3];
+        assert_eq!(rec.status, UnitStatus::Failed);
+        assert!(rec
+            .error
+            .as_deref()
+            .expect("has error")
+            .contains("poisoned unit 3"));
+        for i in (0..10).filter(|&i| i != 3) {
+            assert_eq!(out.outputs[i], Some(i));
+        }
+    }
+
+    #[test]
+    fn failed_units_retry_up_to_the_bound() {
+        let calls = AtomicU32::new(0);
+        let cfg = PoolConfig {
+            threads: 1,
+            max_attempts: 3,
+            cancel: CancelToken::new(),
+        };
+        let out = run_units(
+            "retry",
+            &[()],
+            &cfg,
+            |_, _| "unit".into(),
+            |ctx, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if ctx.attempt < 3 {
+                    Err(UnitError::Failed(format!("attempt {} flaked", ctx.attempt)))
+                } else {
+                    Ok(ctx.attempt)
+                }
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(out.outputs[0], Some(3));
+        assert_eq!(out.report.units[0].attempts, 3);
+    }
+
+    #[test]
+    fn persistent_failure_exhausts_attempts() {
+        let cfg = PoolConfig {
+            threads: 1,
+            max_attempts: 2,
+            cancel: CancelToken::new(),
+        };
+        let out = run_units(
+            "hopeless",
+            &[()],
+            &cfg,
+            |_, _| "unit".into(),
+            |_ctx, _| -> Result<(), UnitError> { panic!("always broken") },
+        );
+        let rec = &out.report.units[0];
+        assert_eq!(rec.status, UnitStatus::Failed);
+        assert_eq!(rec.attempts, 2);
+        assert!(rec.error.as_deref().expect("msg").contains("always broken"));
+    }
+
+    #[test]
+    fn cancelled_token_stops_unstarted_units() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let items: Vec<usize> = (0..5).collect();
+        let out = run_units(
+            "cancelled",
+            &items,
+            &PoolConfig::new(cancel, 1),
+            |i, _| format!("u{i}"),
+            |_ctx, &x| Ok::<usize, UnitError>(x),
+        );
+        assert_eq!(out.report.cancelled(), 5);
+        assert!(out.outputs.iter().all(Option::is_none));
+        assert!(out.report.units.iter().all(|u| u.attempts == 0));
+    }
+
+    #[test]
+    fn expired_budget_marks_units_timed_out() {
+        let cfg = PoolConfig::new(CancelToken::with_budget(Duration::ZERO), 1);
+        let out = run_units(
+            "late",
+            &[1, 2],
+            &cfg,
+            |i, _| format!("u{i}"),
+            |_ctx, &x| Ok::<i32, UnitError>(x),
+        );
+        assert_eq!(out.report.timed_out(), 2);
+    }
+
+    #[test]
+    fn worker_observed_cancellation_is_not_retried() {
+        let cancel = CancelToken::new();
+        let cfg = PoolConfig {
+            threads: 1,
+            max_attempts: 5,
+            cancel: cancel.clone(),
+        };
+        let calls = AtomicU32::new(0);
+        let out = run_units(
+            "coop",
+            &[()],
+            &cfg,
+            |_, _| "unit".into(),
+            |_ctx, _| -> Result<(), UnitError> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                cancel.cancel(); // e.g. the unit notices mid-walk
+                Err(UnitError::Cancelled)
+            },
+        );
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "cancellation must not retry"
+        );
+        assert_eq!(out.report.cancelled(), 1);
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_the_tail() {
+        // Single-threaded so ordering is deterministic: unit 2 cancels,
+        // units 3.. never run.
+        let cancel = CancelToken::new();
+        let cfg = PoolConfig {
+            threads: 1,
+            max_attempts: 1,
+            cancel: cancel.clone(),
+        };
+        let items: Vec<usize> = (0..6).collect();
+        let out = run_units(
+            "tail",
+            &items,
+            &cfg,
+            |i, _| format!("u{i}"),
+            |_ctx, &x| {
+                if x == 2 {
+                    cancel.cancel();
+                }
+                Ok::<usize, UnitError>(x)
+            },
+        );
+        // Units 0..=2 completed (2 finished its attempt), 3.. cancelled.
+        assert_eq!(out.report.completed(), 3);
+        assert_eq!(out.report.cancelled(), 3);
+        assert_eq!(out.outputs[2], Some(2));
+        assert_eq!(out.outputs[3], None);
+    }
+
+    #[test]
+    fn empty_items_yield_empty_complete_stage() {
+        let out = run_units(
+            "empty",
+            &[] as &[u8],
+            &PoolConfig::default(),
+            |i, _| i.to_string(),
+            |_ctx, &x| Ok::<u8, UnitError>(x),
+        );
+        assert!(out.outputs.is_empty());
+        assert!(out.report.is_complete());
+        assert_eq!(out.report.total(), 0);
+    }
+
+    #[test]
+    fn into_completed_drops_failures() {
+        let items: Vec<u32> = (0..4).collect();
+        let out = run_units(
+            "drop",
+            &items,
+            &PoolConfig::default(),
+            |i, _| i.to_string(),
+            |_ctx, &x| {
+                if x % 2 == 0 {
+                    Ok(x)
+                } else {
+                    Err(UnitError::Failed("odd".into()))
+                }
+            },
+        );
+        assert_eq!(out.into_completed(), vec![0, 2]);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_thread_counts() {
+        let items: Vec<u64> = (0..64).collect();
+        let run = |threads| {
+            let cfg = PoolConfig {
+                threads,
+                max_attempts: 1,
+                cancel: CancelToken::new(),
+            };
+            run_units(
+                "det",
+                &items,
+                &cfg,
+                |i, _| i.to_string(),
+                |_ctx, &x| Ok::<u64, UnitError>(x.wrapping_mul(0x9e3779b97f4a7c15)),
+            )
+            .outputs
+        };
+        assert_eq!(run(1), run(7));
+    }
+}

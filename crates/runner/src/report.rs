@@ -1,0 +1,364 @@
+//! Per-stage accounting of what a fault-tolerant run actually did.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::write_atomic;
+
+/// What happened to one unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitStatus {
+    /// The unit ran to completion (possibly after retries).
+    Completed,
+    /// The unit was restored from a checkpoint journal, not recomputed.
+    Resumed,
+    /// Every attempt failed (panic or reported error).
+    Failed,
+    /// The run was cancelled before or during the unit.
+    Cancelled,
+    /// The stage's time budget expired before or during the unit.
+    TimedOut,
+}
+
+impl UnitStatus {
+    /// A fixed-width, uppercase label for report rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnitStatus::Completed => "completed",
+            UnitStatus::Resumed => "resumed",
+            UnitStatus::Failed => "FAILED",
+            UnitStatus::Cancelled => "cancelled",
+            UnitStatus::TimedOut => "timed-out",
+        }
+    }
+
+    /// Whether this status means the unit's output is available.
+    pub fn has_output(self) -> bool {
+        matches!(self, UnitStatus::Completed | UnitStatus::Resumed)
+    }
+}
+
+/// The record of one unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitRecord {
+    /// Stable identifier of the unit (also the checkpoint journal key).
+    pub id: String,
+    /// Outcome.
+    pub status: UnitStatus,
+    /// Number of attempts made (0 when never started).
+    pub attempts: u32,
+    /// The last error message for failed units.
+    pub error: Option<String>,
+}
+
+impl UnitRecord {
+    /// A completed unit after `attempts` attempts.
+    pub fn completed(id: impl Into<String>, attempts: u32) -> Self {
+        UnitRecord {
+            id: id.into(),
+            status: UnitStatus::Completed,
+            attempts,
+            error: None,
+        }
+    }
+
+    /// A unit restored from a checkpoint journal.
+    pub fn resumed(id: impl Into<String>) -> Self {
+        UnitRecord {
+            id: id.into(),
+            status: UnitStatus::Resumed,
+            attempts: 0,
+            error: None,
+        }
+    }
+
+    /// A unit whose every attempt failed.
+    pub fn failed(id: impl Into<String>, attempts: u32, error: impl Into<String>) -> Self {
+        UnitRecord {
+            id: id.into(),
+            status: UnitStatus::Failed,
+            attempts,
+            error: Some(error.into()),
+        }
+    }
+
+    /// A unit pre-empted by cancellation or a deadline.
+    pub fn stopped(id: impl Into<String>, status: UnitStatus, attempts: u32) -> Self {
+        UnitRecord {
+            id: id.into(),
+            status,
+            attempts,
+            error: None,
+        }
+    }
+}
+
+/// Unit-level accounting for one stage of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// The stage name (e.g. `fig1a`).
+    pub stage: String,
+    /// One record per unit, in unit order.
+    pub units: Vec<UnitRecord>,
+    /// Wall time the stage took.
+    pub wall: Duration,
+}
+
+impl StageReport {
+    /// An empty report for `stage`.
+    pub fn new(stage: impl Into<String>) -> Self {
+        StageReport {
+            stage: stage.into(),
+            units: Vec::new(),
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Number of units with the given status.
+    pub fn count(&self, status: UnitStatus) -> usize {
+        self.units.iter().filter(|u| u.status == status).count()
+    }
+
+    /// Units that ran to completion this run.
+    pub fn completed(&self) -> usize {
+        self.count(UnitStatus::Completed)
+    }
+
+    /// Units restored from a checkpoint.
+    pub fn resumed(&self) -> usize {
+        self.count(UnitStatus::Resumed)
+    }
+
+    /// Units whose every attempt failed.
+    pub fn failed(&self) -> usize {
+        self.count(UnitStatus::Failed)
+    }
+
+    /// Units pre-empted by explicit cancellation.
+    pub fn cancelled(&self) -> usize {
+        self.count(UnitStatus::Cancelled)
+    }
+
+    /// Units pre-empted by the time budget.
+    pub fn timed_out(&self) -> usize {
+        self.count(UnitStatus::TimedOut)
+    }
+
+    /// Total number of units.
+    pub fn total(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether every unit's output is available (completed or resumed).
+    pub fn is_complete(&self) -> bool {
+        self.units.iter().all(|u| u.status.has_output())
+    }
+
+    /// Fraction of units with output available; 1.0 for an empty stage.
+    pub fn coverage(&self) -> f64 {
+        if self.units.is_empty() {
+            return 1.0;
+        }
+        let ok = self.units.iter().filter(|u| u.status.has_output()).count();
+        ok as f64 / self.units.len() as f64
+    }
+
+    /// One-line summary, e.g.
+    /// `fig1a: 6/7 ok (5 computed, 1 resumed), 1 FAILED [12.3s]`.
+    pub fn summary_line(&self) -> String {
+        let ok = self.completed() + self.resumed();
+        let mut line = format!(
+            "{}: {}/{} ok ({} computed, {} resumed)",
+            self.stage,
+            ok,
+            self.total(),
+            self.completed(),
+            self.resumed()
+        );
+        for (count, label) in [
+            (self.failed(), "FAILED"),
+            (self.cancelled(), "cancelled"),
+            (self.timed_out(), "timed-out"),
+        ] {
+            if count > 0 {
+                line.push_str(&format!(", {count} {label}"));
+            }
+        }
+        line.push_str(&format!(" [{:.1}s]", self.wall.as_secs_f64()));
+        line
+    }
+}
+
+/// The full accounting of one experiment run, one entry per stage.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_runner::{RunReport, StageReport, UnitRecord};
+///
+/// let mut stage = StageReport::new("fig1a");
+/// stage.units.push(UnitRecord::completed("Wiki-vote", 1));
+/// stage.units.push(UnitRecord::failed("Enron", 2, "panicked: bad walk"));
+/// let mut report = RunReport::new();
+/// report.push(stage);
+/// assert!(!report.is_complete());
+/// assert!(report.render().contains("Enron"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Per-stage reports, in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl RunReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        RunReport { stages: Vec::new() }
+    }
+
+    /// Appends a stage's report.
+    pub fn push(&mut self, stage: StageReport) {
+        self.stages.push(stage);
+    }
+
+    /// Whether every stage has full coverage.
+    pub fn is_complete(&self) -> bool {
+        self.stages.iter().all(StageReport::is_complete)
+    }
+
+    /// Renders the report: one summary line per stage, plus an itemized
+    /// line for every unit that did not produce output.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== run report ==\n");
+        if self.stages.is_empty() {
+            out.push_str("(no stages ran)\n");
+            return out;
+        }
+        for stage in &self.stages {
+            out.push_str(&stage.summary_line());
+            out.push('\n');
+            for unit in &stage.units {
+                if unit.status.has_output() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {} {} after {} attempt{}",
+                    unit.status.label(),
+                    unit.id,
+                    unit.attempts,
+                    if unit.attempts == 1 { "" } else { "s" }
+                ));
+                if let Some(err) = &unit.error {
+                    out.push_str(&format!(": {err}"));
+                }
+                out.push('\n');
+            }
+        }
+        if !self.is_complete() {
+            out.push_str("DEGRADED: artifacts cover only the units listed as ok above\n");
+        }
+        out
+    }
+
+    /// Writes the rendered report atomically to `<dir>/<stem>_report.txt`
+    /// and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write_beside_artifacts(&self, dir: &Path, stem: &str) -> io::Result<PathBuf> {
+        let path = dir.join(format!("{stem}_report.txt"));
+        write_atomic(&path, self.render().as_bytes())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stage() -> StageReport {
+        let mut s = StageReport::new("demo");
+        s.units.push(UnitRecord::completed("a", 1));
+        s.units.push(UnitRecord::resumed("b"));
+        s.units.push(UnitRecord::failed("c", 2, "panicked: boom"));
+        s.units
+            .push(UnitRecord::stopped("d", UnitStatus::Cancelled, 0));
+        s.units
+            .push(UnitRecord::stopped("e", UnitStatus::TimedOut, 1));
+        s.wall = Duration::from_millis(1500);
+        s
+    }
+
+    #[test]
+    fn counts_partition_the_units() {
+        let s = sample_stage();
+        assert_eq!(s.completed(), 1);
+        assert_eq!(s.resumed(), 1);
+        assert_eq!(s.failed(), 1);
+        assert_eq!(s.cancelled(), 1);
+        assert_eq!(s.timed_out(), 1);
+        assert_eq!(s.total(), 5);
+        assert!(!s.is_complete());
+        assert!((s.coverage() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_line_mentions_every_failure_class() {
+        let line = sample_stage().summary_line();
+        assert!(line.contains("2/5 ok"), "line: {line}");
+        assert!(line.contains("1 FAILED"));
+        assert!(line.contains("1 cancelled"));
+        assert!(line.contains("1 timed-out"));
+        assert!(line.contains("[1.5s]"));
+    }
+
+    #[test]
+    fn render_itemizes_only_failed_units() {
+        let mut r = RunReport::new();
+        r.push(sample_stage());
+        let text = r.render();
+        assert!(text.contains("FAILED c after 2 attempts: panicked: boom"));
+        assert!(text.contains("cancelled d"));
+        assert!(text.contains("timed-out e"));
+        assert!(
+            !text.contains("completed a after"),
+            "ok units are not itemized"
+        );
+        assert!(text.contains("DEGRADED"));
+    }
+
+    #[test]
+    fn complete_report_is_not_degraded() {
+        let mut s = StageReport::new("ok");
+        s.units.push(UnitRecord::completed("a", 1));
+        let mut r = RunReport::new();
+        r.push(s);
+        assert!(r.is_complete());
+        assert!(!r.render().contains("DEGRADED"));
+    }
+
+    #[test]
+    fn empty_stage_has_full_coverage() {
+        let s = StageReport::new("empty");
+        assert!(s.is_complete());
+        assert_eq!(s.coverage(), 1.0);
+        assert_eq!(
+            RunReport::new().render(),
+            "== run report ==\n(no stages ran)\n"
+        );
+    }
+
+    #[test]
+    fn report_writes_atomically() {
+        let dir = std::env::temp_dir().join("socnet-runner-report-test");
+        let mut r = RunReport::new();
+        r.push(sample_stage());
+        let path = r.write_beside_artifacts(&dir, "demo").expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text, r.render());
+        assert!(path.ends_with("demo_report.txt"));
+        std::fs::remove_file(path).ok();
+    }
+}

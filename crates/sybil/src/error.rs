@@ -1,0 +1,59 @@
+//! Error type for fallible Sybil-defense entry points.
+
+use std::error::Error;
+use std::fmt;
+
+use socnet_core::GraphError;
+
+/// Errors from Sybil-defense runs driven by caller-supplied nodes.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::NodeId;
+/// use socnet_gen::complete;
+/// use socnet_sybil::{GateKeeper, GateKeeperConfig, SybilError};
+///
+/// let gk = GateKeeper::new(GateKeeperConfig { distributors: 5, ..Default::default() });
+/// let err = gk.run_from(&complete(10), NodeId(99)).unwrap_err();
+/// assert!(matches!(err, SybilError::InvalidNode(_)));
+/// ```
+#[derive(Debug)]
+pub enum SybilError {
+    /// A caller-supplied node id was outside the graph's node range.
+    InvalidNode(GraphError),
+}
+
+impl fmt::Display for SybilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SybilError::InvalidNode(e) => write!(f, "invalid node: {e}"),
+        }
+    }
+}
+
+impl Error for SybilError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SybilError::InvalidNode(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for SybilError {
+    fn from(e: GraphError) -> Self {
+        SybilError::InvalidNode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_graph_detail() {
+        let e = SybilError::from(GraphError::NodeOutOfRange { node: 9, node_count: 4 });
+        assert!(e.to_string().contains("node index 9"));
+        assert!(e.source().is_some());
+    }
+}

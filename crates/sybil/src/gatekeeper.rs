@@ -18,13 +18,16 @@
 //! Sybil region must cross the few attack edges, and each edge forwards
 //! only its local share of the flood.
 
+use std::sync::Mutex;
+
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use socnet_core::{Graph, NodeId};
+use socnet_runner::{run_units, PoolConfig, StageReport, UnitError};
 
 use crate::ticket::flood_until_holders;
-use crate::AttackedGraph;
+use crate::{AttackedGraph, SybilError};
 
 /// Tuning parameters for a [`GateKeeper`] run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -133,16 +136,61 @@ impl GateKeeper {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let controller = attacked.random_honest(&mut rng);
         self.run_from(attacked.graph(), controller)
+            .expect("controller sampled from the graph is in range")
     }
 
     /// Runs the protocol on a plain graph from an explicit controller.
     ///
+    /// # Errors
+    ///
+    /// Returns [`SybilError::InvalidNode`] if `controller` is out of range.
+    ///
     /// # Panics
     ///
-    /// Panics if `controller` is out of range or the graph has no edges.
-    pub fn run_from(&self, graph: &Graph, controller: NodeId) -> GateKeeperOutcome {
-        graph.check_node(controller).expect("controller in range");
-        assert!(graph.edge_count() > 0, "gatekeeper needs a non-trivial graph");
+    /// Panics if the graph has no edges, or if a flood worker fails
+    /// (use [`run_from_reported`](GateKeeper::run_from_reported) to
+    /// degrade instead).
+    pub fn run_from(
+        &self,
+        graph: &Graph,
+        controller: NodeId,
+    ) -> Result<GateKeeperOutcome, SybilError> {
+        let (outcome, report) =
+            self.run_from_reported(graph, controller, &PoolConfig::default())?;
+        assert!(
+            report.is_complete(),
+            "gatekeeper stage degraded: {}",
+            report.summary_line()
+        );
+        Ok(outcome)
+    }
+
+    /// Fault-tolerant variant of [`run_from`](GateKeeper::run_from):
+    /// every distributor floods as a panic-isolated unit, so a poisoned
+    /// or deadline-cancelled flood drops only that distributor's tickets.
+    /// The returned [`StageReport`] says how many distributors actually
+    /// flooded; the admission threshold still uses the *configured*
+    /// distributor count, so a degraded run under-admits rather than
+    /// over-admits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SybilError::InvalidNode`] if `controller` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges.
+    pub fn run_from_reported(
+        &self,
+        graph: &Graph,
+        controller: NodeId,
+        pool: &PoolConfig,
+    ) -> Result<(GateKeeperOutcome, StageReport), SybilError> {
+        graph.check_node(controller)?;
+        assert!(
+            graph.edge_count() > 0,
+            "gatekeeper needs a non-trivial graph"
+        );
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9);
 
         // 1. Sample distributors by short random walks from the controller.
@@ -150,38 +198,45 @@ impl GateKeeper {
             .map(|_| sample_by_walk(graph, controller, self.config.sample_walk_length, &mut rng))
             .collect();
 
-        // 2+3. Flood from every distributor (in parallel) and count reaches.
+        // 2+3. Flood from every distributor (one unit each) and count
+        // reaches. Workers merge into the shared tally as their very
+        // last step, so a retried flood can never double-count, and the
+        // `+=` merge keeps the tally order-independent (deterministic).
         let n = graph.node_count();
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        let chunk = distributors.len().div_ceil(threads);
-        let reach = parking_lot::Mutex::new(vec![0u32; n]);
-        crossbeam::thread::scope(|scope| {
-            for dchunk in distributors.chunks(chunk) {
-                let reach = &reach;
-                let cfg = &self.config;
-                scope.spawn(move |_| {
-                    let mut local = vec![0u32; n];
-                    let target = ((n as f64) * cfg.coverage).ceil() as usize;
-                    for &d in dchunk {
-                        let (reached, _) = flood_until_holders(graph, d, target);
-                        for (slot, hit) in local.iter_mut().zip(&reached) {
-                            *slot += u32::from(*hit);
-                        }
-                    }
-                    let mut global = reach.lock();
-                    for (g, l) in global.iter_mut().zip(&local) {
-                        *g += l;
-                    }
-                });
-            }
-        })
-        .expect("gatekeeper worker panicked");
+        let target = ((n as f64) * self.config.coverage).ceil() as usize;
+        let reach = Mutex::new(vec![0u32; n]);
+        let out = run_units(
+            "gatekeeper",
+            &distributors,
+            pool,
+            |i, d| format!("distributor-{i}-node-{}", d.index()),
+            |ctx, &d| {
+                if ctx.cancel.is_cancelled() {
+                    return Err(UnitError::Cancelled);
+                }
+                let (reached, _) = flood_until_holders(graph, d, target);
+                let mut global = reach.lock().expect("reach tally lock");
+                for (g, hit) in global.iter_mut().zip(&reached) {
+                    *g += u32::from(*hit);
+                }
+                Ok(reached.iter().filter(|&&b| b).count())
+            },
+        );
 
-        let reach_counts = reach.into_inner();
+        let reach_counts = reach.into_inner().expect("reach tally lock");
         let threshold =
             ((self.config.f_admit * self.config.distributors as f64).ceil() as u32).max(1);
         let admitted = reach_counts.iter().map(|&c| c >= threshold).collect();
-        GateKeeperOutcome { admitted, reach_counts, distributors, controller, threshold }
+        Ok((
+            GateKeeperOutcome {
+                admitted,
+                reach_counts,
+                distributors,
+                controller,
+                threshold,
+            },
+            out.report,
+        ))
     }
 }
 
@@ -239,7 +294,11 @@ mod tests {
         });
         let out = gk.run(&attacked);
         let stats = crate::eval::admission_stats(&attacked, out.admitted());
-        assert!(stats.honest_accept_rate > 0.9, "honest rate {}", stats.honest_accept_rate);
+        assert!(
+            stats.honest_accept_rate > 0.9,
+            "honest rate {}",
+            stats.honest_accept_rate
+        );
     }
 
     #[test]
@@ -283,7 +342,10 @@ mod tests {
     #[test]
     fn outcome_shapes_are_consistent() {
         let attacked = small_attack();
-        let gk = GateKeeper::new(GateKeeperConfig { distributors: 10, ..Default::default() });
+        let gk = GateKeeper::new(GateKeeperConfig {
+            distributors: 10,
+            ..Default::default()
+        });
         let out = gk.run(&attacked);
         let n = attacked.graph().node_count();
         assert_eq!(out.admitted().len(), n);
@@ -296,7 +358,10 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let attacked = small_attack();
-        let gk = GateKeeper::new(GateKeeperConfig { distributors: 8, ..Default::default() });
+        let gk = GateKeeper::new(GateKeeperConfig {
+            distributors: 8,
+            ..Default::default()
+        });
         assert_eq!(gk.run(&attacked), gk.run(&attacked));
     }
 
@@ -314,6 +379,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of (0, 1]")]
     fn zero_f_rejected() {
-        let _ = GateKeeper::new(GateKeeperConfig { f_admit: 0.0, ..Default::default() });
+        let _ = GateKeeper::new(GateKeeperConfig {
+            f_admit: 0.0,
+            ..Default::default()
+        });
     }
 }

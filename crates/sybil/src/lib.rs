@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod attack;
+mod error;
 pub mod eval;
 mod gatekeeper;
 mod random_route;
@@ -58,6 +59,7 @@ mod sumup;
 mod ticket;
 
 pub use attack::{AttackedGraph, SybilAttack, SybilTopology};
+pub use error::SybilError;
 pub use gatekeeper::{GateKeeper, GateKeeperConfig, GateKeeperOutcome};
 pub use random_route::RouteTables;
 pub use sybilguard::{SybilGuard, SybilGuardConfig};

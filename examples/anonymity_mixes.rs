@@ -27,8 +27,10 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(17);
         // Average the curve over a few senders.
         let sources = sample_nodes(&g, 5, &mut rng);
-        let curves: Vec<AnonymityCurve> =
-            sources.iter().map(|&s| AnonymityCurve::measure(&g, s, 60)).collect();
+        let curves: Vec<AnonymityCurve> = sources
+            .iter()
+            .map(|&s| AnonymityCurve::measure(&g, s, 60).expect("sampled source in range"))
+            .collect();
         let mean_at = |t: usize| {
             curves.iter().map(|c| c.entropy[t - 1]).sum::<f64>() / curves.len() as f64
         };

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command verification gate: build + full test suite, plus
+# formatting/lints when the tools are installed.
+#
+# On machines that cannot reach the crates.io registry (cargo cannot
+# resolve `rand`/`serde`/`proptest`), this falls back to
+# scripts/offline-check.sh, which rebuilds the workspace with bare
+# rustc against small offline stubs and runs the same test suites
+# (minus proptest/criterion, which need registry crates).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if cargo build --workspace --release 2>/dev/null; then
+    cargo test --workspace --release
+    if cargo fmt --version >/dev/null 2>&1; then
+        cargo fmt --all --check
+    fi
+    if cargo clippy --version >/dev/null 2>&1; then
+        cargo clippy --workspace --all-targets -- -D warnings
+    fi
+    echo "check passed"
+else
+    echo "cargo build failed (registry unreachable?) - falling back to offline check" >&2
+    exec scripts/offline-check.sh
+fi

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements exactly the surface the workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `RngExt::random_range` over integer and
+//! `f64` ranges, `seq::SliceRandom::{shuffle, choose}`, and
+//! `seq::index::sample` — on top of a SplitMix64 generator. Draws are
+//! deterministic per seed (so seed-determinism tests hold) and uniform
+//! enough for the workspace's statistical assertions, but the streams
+//! differ from real `rand`, so numbers in generated artifacts will not
+//! match a registry build. Used only by `scripts/offline-check.sh`.
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// The next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// SplitMix64; a stand-in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A range that can produce one uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                self.start + v
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u128 + 1;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                lo + v
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Convenience draws on top of any [`Rng`], mirroring rand's `RngExt`.
+pub trait RngExt: Rng {
+    /// Uniform draw from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngExt};
+
+    /// Shuffle/choose on slices, mirroring rand's `SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// One uniform element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+
+    /// Index sampling without replacement.
+    pub mod index {
+        use super::super::{Rng, RngExt};
+
+        /// The indices picked by [`sample`].
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The picked indices as a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        /// Draws `amount` distinct indices from `0..length` uniformly
+        /// (partial Fisher–Yates).
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length, "cannot sample {amount} of {length}");
+            let mut idx: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.random_range(i..length);
+                idx.swap(i, j);
+            }
+            idx.truncate(amount);
+            IndexVec(idx)
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Exposes the trait surface the workspace names — the two derive
+//! re-exports, `Serialize`/`Deserialize` with defaulted methods, and
+//! the `Deserializer`/`de::Error` pieces the one hand-written impl in
+//! `socnet-core` touches. Nothing here can actually serialize: the
+//! defaulted `deserialize` always errors, and no test exercises it.
+//! Used only by `scripts/offline-check.sh` when the registry is
+//! unreachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Trait-namespace twin of the `Serialize` derive, as in real serde.
+pub trait Serialize {}
+
+/// Trait-namespace twin of the `Deserialize` derive, as in real serde.
+pub trait Deserialize<'de>: Sized {
+    /// Always fails; the offline stub cannot deserialize anything.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let _ = deserializer;
+        Err(de::Error::custom("offline serde stub cannot deserialize"))
+    }
+}
+
+/// Data-format side of deserialization; never instantiated offline.
+pub trait Deserializer<'de> {
+    /// Format error type.
+    type Error: de::Error;
+}
+
+/// Deserialization error plumbing.
+pub mod de {
+    /// Errors a format can produce; only `custom` is named in-tree.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}

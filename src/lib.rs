@@ -38,6 +38,8 @@
 
 /// The CSR graph substrate (re-export of `socnet-core`).
 pub use socnet_core as core;
+/// Fault-tolerant experiment execution (re-export of `socnet-runner`).
+pub use socnet_runner as runner;
 /// Graph generators and the dataset registry (re-export of `socnet-gen`).
 pub use socnet_gen as gen;
 /// Mixing-time measurement (re-export of `socnet-mixing`).

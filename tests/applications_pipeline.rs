@@ -15,8 +15,8 @@ use socnet::sybil::{AttackedGraph, SybilAttack, SybilTopology};
 fn anonymity_orders_like_mixing() {
     let fast = Dataset::WikiVote.generate_scaled(0.1, 23);
     let slow = Dataset::Physics1.generate_scaled(0.1, 23);
-    let fast_curve = AnonymityCurve::measure(&fast, NodeId(0), 40);
-    let slow_curve = AnonymityCurve::measure(&slow, NodeId(0), 40);
+    let fast_curve = AnonymityCurve::measure(&fast, NodeId(0), 40).expect("node 0 in range");
+    let slow_curve = AnonymityCurve::measure(&slow, NodeId(0), 40).expect("node 0 in range");
     let fast_frac = fast_curve.entropy[9] / fast_curve.ceiling;
     let slow_frac = slow_curve.entropy[9] / slow_curve.ceiling;
     assert!(
