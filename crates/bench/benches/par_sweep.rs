@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the deterministic parallel sweep engine:
+//! the same per-source sweeps at 1 thread vs. all available cores, so
+//! the bench trajectory records the fan-out speedup (and catches a
+//! regression that serializes a sweep).
+//!
+//! On a single-core runner the pairs collapse to parity — the engine
+//! trades nothing for its determinism guarantee, so 1-thread sweeps
+//! through `par_sweep` cost the same as the old sequential loops.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_expansion::{ExpansionSweep, SourceSelection};
+use socnet_gen::barabasi_albert;
+use socnet_mixing::{MixingConfig, MixingMeasurement};
+use socnet_runner::ParConfig;
+use socnet_sybil::{GateKeeper, GateKeeperConfig};
+
+fn threads_all() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+fn par(threads: usize) -> ParConfig {
+    ParConfig { threads, ..Default::default() }
+}
+
+fn mixing_sweep(c: &mut Criterion) {
+    let g = barabasi_albert(5_000, 8, &mut StdRng::seed_from_u64(1));
+    let cfg = MixingConfig { sources: 32, max_walk: 50, laziness: 0.0, seed: 1 };
+    let mut group = c.benchmark_group("par_sweep/mixing-32src-5k");
+    group.sample_size(10);
+    for threads in [1, threads_all()] {
+        group.bench_function(format!("{threads}t"), |b| {
+            b.iter(|| black_box(MixingMeasurement::measure_reported(&g, &cfg, &par(threads))))
+        });
+    }
+    group.finish();
+}
+
+fn expansion_sweep(c: &mut Criterion) {
+    let g = barabasi_albert(20_000, 8, &mut StdRng::seed_from_u64(2));
+    let mut group = c.benchmark_group("par_sweep/expansion-256cores-20k");
+    group.sample_size(10);
+    for threads in [1, threads_all()] {
+        group.bench_function(format!("{threads}t"), |b| {
+            b.iter(|| {
+                black_box(ExpansionSweep::measure_reported(
+                    &g,
+                    SourceSelection::Sample(256),
+                    2,
+                    &par(threads),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn gatekeeper_sweep(c: &mut Criterion) {
+    let g = barabasi_albert(10_000, 8, &mut StdRng::seed_from_u64(3));
+    let gk = GateKeeper::new(GateKeeperConfig { distributors: 32, ..Default::default() });
+    let controller = socnet_core::NodeId(0);
+    let mut group = c.benchmark_group("par_sweep/gatekeeper-32dist-10k");
+    group.sample_size(10);
+    for threads in [1, threads_all()] {
+        group.bench_function(format!("{threads}t"), |b| {
+            b.iter(|| {
+                black_box(
+                    gk.run_from_reported(&g, controller, &par(threads))
+                        .expect("controller in range"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mixing_sweep, expansion_sweep, gatekeeper_sweep);
+criterion_main!(benches);

@@ -16,7 +16,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_pool, Experiment, ExperimentArgs, TableView,
+    cell, degraded, fmt_f64, inner_par, Experiment, ExperimentArgs, TableView,
 };
 use socnet_core::NodeId;
 use socnet_gen::{heterogeneous_caveman, Dataset};
@@ -128,7 +128,7 @@ fn gatekeeper_distributors(exp: &mut Experiment) {
         },
     );
     let counts = [5usize, 11, 33, 99, 297];
-    let rows = exp.stage(
+    let rows = exp.sweep_stage(
         "a3-distributors",
         &counts,
         |_, m| format!("a3/m={m}"),
@@ -144,7 +144,11 @@ fn gatekeeper_distributors(exp: &mut Experiment) {
             let controller =
                 attacked.random_honest(&mut StdRng::seed_from_u64(args.seed));
             let (out, report) = gk
-                .run_from_reported(attacked.graph(), controller, &inner_pool(ctx.cancel))
+                .run_from_reported(
+                    attacked.graph(),
+                    controller,
+                    &inner_par(ctx.cancel, args.threads),
+                )
                 .map_err(|e| UnitError::Failed(e.to_string()))?;
             if !report.is_complete() {
                 return Err(degraded(ctx.cancel, &report));

@@ -6,10 +6,12 @@
 //! Runs on the fault-tolerant harness: each dataset is one unit, so a
 //! panicking or over-deadline dataset costs only its column, and an
 //! interrupted run resumed with the same `--scale/--seed/--sources`
-//! replays finished datasets from the checkpoint journal.
+//! replays finished datasets from the checkpoint journal. Datasets run
+//! serially; within each dataset the per-source sweep fans out
+//! `--threads` wide (identical output bytes at any width).
 
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_pool, panels, Experiment, ExperimentArgs, TableView,
+    cell, degraded, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
 };
 use socnet_gen::Dataset;
 use socnet_mixing::{MixingConfig, MixingMeasurement};
@@ -28,7 +30,7 @@ fn main() {
 
 fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]) {
     let args = exp.args().clone();
-    let curves = exp.stage(
+    let curves = exp.sweep_stage(
         stem,
         datasets,
         |_, d| format!("{stem}/{}", d.name()),
@@ -41,7 +43,7 @@ fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]
                 seed: args.seed.wrapping_add(u64::from(ctx.attempt) - 1),
             };
             let (m, report) =
-                MixingMeasurement::measure_reported(&g, &cfg, &inner_pool(ctx.cancel));
+                MixingMeasurement::measure_reported(&g, &cfg, &inner_par(ctx.cancel, args.threads));
             if !report.is_complete() {
                 return Err(degraded(ctx.cancel, &report));
             }

@@ -4,18 +4,19 @@
 //! (a) through (j).
 //!
 //! Runs on the fault-tolerant harness: one unit per dataset (panel),
-//! with the per-core BFS fan-out inside it sharing the run's deadline.
-//! A resumed run replays finished panels from the checkpoint journal.
+//! with the per-core BFS sweep inside it fanning out `--threads` wide
+//! and sharing the run's deadline. A resumed run replays finished
+//! panels from the checkpoint journal.
 
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_pool, panels, Experiment, ExperimentArgs, TableView,
+    cell, degraded, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
 };
 use socnet_expansion::{ExpansionSweep, SourceSelection};
 
 fn main() {
     let args = ExperimentArgs::parse();
     let mut exp = Experiment::new("fig3", &args);
-    let blocks = exp.stage(
+    let blocks = exp.sweep_stage(
         "sweep",
         &panels::FIG3,
         |_, d| format!("sweep/{}", d.name()),
@@ -31,8 +32,12 @@ fn main() {
                 SourceSelection::Sample(budget)
             };
             let seed = args.seed.wrapping_add(u64::from(ctx.attempt) - 1);
-            let (sweep, report) =
-                ExpansionSweep::measure_reported(&g, selection, seed, &inner_pool(ctx.cancel));
+            let (sweep, report) = ExpansionSweep::measure_reported(
+                &g,
+                selection,
+                seed,
+                &inner_par(ctx.cancel, args.threads),
+            );
             if !report.is_complete() {
                 return Err(degraded(ctx.cancel, &report));
             }

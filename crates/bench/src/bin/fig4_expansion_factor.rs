@@ -7,7 +7,7 @@
 //! run rebuilds the cross-dataset grid without re-measuring.
 
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_pool, panels, Experiment, ExperimentArgs, TableView,
+    cell, degraded, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
 };
 use socnet_expansion::{ExpansionSweep, SourceSelection};
 use socnet_gen::Dataset;
@@ -22,7 +22,7 @@ fn main() {
 
 fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]) {
     let args = exp.args().clone();
-    let measured = exp.stage(
+    let measured = exp.sweep_stage(
         stem,
         datasets,
         |_, d| format!("{stem}/{}", d.name()),
@@ -35,8 +35,12 @@ fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]
                 SourceSelection::Sample(budget)
             };
             let seed = args.seed.wrapping_add(u64::from(ctx.attempt) - 1);
-            let (sweep, report) =
-                ExpansionSweep::measure_reported(&g, selection, seed, &inner_pool(ctx.cancel));
+            let (sweep, report) = ExpansionSweep::measure_reported(
+                &g,
+                selection,
+                seed,
+                &inner_par(ctx.cancel, args.threads),
+            );
             if !report.is_complete() {
                 return Err(degraded(ctx.cancel, &report));
             }

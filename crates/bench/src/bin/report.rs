@@ -16,7 +16,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_pool, Experiment, ExperimentArgs, TableView,
+    cell, degraded, fmt_f64, inner_par, Experiment, ExperimentArgs, TableView,
 };
 use socnet_community::LocalCommunity;
 use socnet_core::NodeId;
@@ -43,7 +43,7 @@ fn main() {
 fn defense_equivalence(exp: &mut Experiment) {
     let args = exp.args().clone();
     let datasets = [Dataset::WikiVote, Dataset::Physics1];
-    let blocks = exp.stage(
+    let blocks = exp.sweep_stage(
         "e8-defenses",
         &datasets,
         |_, d| format!("e8/{}", d.name()),
@@ -112,7 +112,7 @@ fn defense_rows(
     });
     let controller = attacked.random_honest(&mut StdRng::seed_from_u64(args.seed));
     let (outcome, report) = gk
-        .run_from_reported(g, controller, &inner_pool(ctx.cancel))
+        .run_from_reported(g, controller, &inner_par(ctx.cancel, args.threads))
         .map_err(|e| UnitError::Failed(e.to_string()))?;
     if !report.is_complete() {
         return Err(degraded(ctx.cancel, &report));
@@ -196,7 +196,7 @@ fn defense_row(
 /// E9: mixing, coreness, and expansion of every dataset in one table.
 fn property_correlation(exp: &mut Experiment) {
     let args = exp.args().clone();
-    let rows = exp.stage(
+    let rows = exp.sweep_stage(
         "e9-correlation",
         &Dataset::ALL,
         |_, d| format!("e9/{}", d.name()),
@@ -211,7 +211,7 @@ fn property_correlation(exp: &mut Experiment) {
                     laziness: 0.0,
                     seed: args.seed,
                 },
-                &inner_pool(ctx.cancel),
+                &inner_par(ctx.cancel, args.threads),
             );
             if !report.is_complete() {
                 return Err(degraded(ctx.cancel, &report));
@@ -223,7 +223,7 @@ fn property_correlation(exp: &mut Experiment) {
                 &g,
                 SourceSelection::Sample(args.sources.min(200)),
                 args.seed,
-                &inner_pool(ctx.cancel),
+                &inner_par(ctx.cancel, args.threads),
             );
             if !report.is_complete() {
                 return Err(degraded(ctx.cancel, &report));

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_pool, panels, Experiment, ExperimentArgs, TableView,
+    cell, degraded, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
 };
 use socnet_runner::UnitError;
 use socnet_sybil::{
@@ -20,7 +20,7 @@ use socnet_sybil::{
 fn main() {
     let args = ExperimentArgs::parse();
     let mut exp = Experiment::new("table2", &args);
-    let blocks = exp.stage(
+    let blocks = exp.sweep_stage(
         "gatekeeper",
         &panels::TABLE2,
         |_, (d, _)| format!("gatekeeper/{}", d.name()),
@@ -59,7 +59,11 @@ fn main() {
                 let controller =
                     attacked.random_honest(&mut StdRng::seed_from_u64(args.seed));
                 let (outcome, report) = gk
-                    .run_from_reported(attacked.graph(), controller, &inner_pool(ctx.cancel))
+                    .run_from_reported(
+                        attacked.graph(),
+                        controller,
+                        &inner_par(ctx.cancel, args.threads),
+                    )
                     .map_err(|e| UnitError::Failed(e.to_string()))?;
                 if !report.is_complete() {
                     return Err(degraded(ctx.cancel, &report));

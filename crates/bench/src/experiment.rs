@@ -8,22 +8,22 @@
 use std::time::Instant;
 
 use socnet_runner::{
-    run_units, CancelToken, Checkpoint, Payload, PoolConfig, RunReport, StageReport, UnitCtx,
-    UnitError, UnitRecord,
+    run_units, CancelToken, Checkpoint, ParConfig, Payload, PoolConfig, RunReport, StageReport,
+    UnitCtx, UnitError, UnitRecord,
 };
 
-/// The pool configuration for measurers invoked *inside* a stage worker
-/// (`MixingMeasurement::measure_reported` and friends): single
-/// threaded, because the outer stage already fans units across the
-/// cores; no retry, because the outer stage retries whole units; and
-/// sharing the worker's cancellation token, so a run-wide deadline
-/// reaches all the way down into the inner units.
-pub fn inner_pool(cancel: &CancelToken) -> PoolConfig {
-    PoolConfig {
-        threads: 1,
-        max_attempts: 1,
-        cancel: cancel.clone(),
-    }
+/// The sweep configuration for measurers invoked *inside* a stage worker
+/// (`MixingMeasurement::measure_reported` and friends): `threads` worker
+/// threads for the per-source sweep, and the worker's cancellation
+/// token, so a run-wide deadline reaches all the way down into the
+/// inner units. The sweep engine does not retry — the outer stage
+/// retries whole units.
+///
+/// Stages that parallelize across datasets pass `threads = 1` here (the
+/// outer fan-out already owns the cores); per-source sweep stages run
+/// their outer loop serially and pass `--threads` through.
+pub fn inner_par(cancel: &CancelToken, threads: usize) -> ParConfig {
+    ParConfig::new(cancel.clone(), threads)
 }
 
 /// Maps a degraded inner-stage report to the worker's unit error:
@@ -134,15 +134,53 @@ impl Experiment {
     }
 
     /// Runs one stage: journaled units are resumed without recomputing,
-    /// the rest fan out over the panic-isolated pool and are journaled
-    /// as they complete. Returns one output slot per item, `None` where
-    /// the unit failed or was pre-empted.
+    /// the rest fan out over the panic-isolated pool (`--threads` wide)
+    /// and are journaled as they complete. Returns one output slot per
+    /// item, `None` where the unit failed or was pre-empted.
     ///
     /// `id_of` must be stable across invocations — it is the resume key.
     pub fn stage<I, O, F, G>(
         &mut self,
         stage: &str,
         items: &[I],
+        id_of: G,
+        worker: F,
+    ) -> Vec<Option<O>>
+    where
+        I: Sync,
+        O: Payload + Send,
+        F: Fn(UnitCtx<'_>, &I) -> Result<O, UnitError> + Sync,
+        G: Fn(usize, &I) -> String + Sync,
+    {
+        let threads = self.args.threads;
+        self.stage_with_threads(stage, items, threads, id_of, worker)
+    }
+
+    /// Like [`stage`](Experiment::stage), but the outer per-dataset loop
+    /// runs serially: for stages whose workers are themselves parallel
+    /// per-source sweeps (via [`inner_par`] with `args.threads`), so the
+    /// machine is never oversubscribed with `datasets × threads` workers.
+    pub fn sweep_stage<I, O, F, G>(
+        &mut self,
+        stage: &str,
+        items: &[I],
+        id_of: G,
+        worker: F,
+    ) -> Vec<Option<O>>
+    where
+        I: Sync,
+        O: Payload + Send,
+        F: Fn(UnitCtx<'_>, &I) -> Result<O, UnitError> + Sync,
+        G: Fn(usize, &I) -> String + Sync,
+    {
+        self.stage_with_threads(stage, items, 1, id_of, worker)
+    }
+
+    fn stage_with_threads<I, O, F, G>(
+        &mut self,
+        stage: &str,
+        items: &[I],
+        threads: usize,
         id_of: G,
         worker: F,
     ) -> Vec<Option<O>>
@@ -170,7 +208,11 @@ impl Experiment {
         }
         let pending: Vec<usize> = (0..items.len()).filter(|&i| !resumed[i]).collect();
 
-        let pool = PoolConfig::new(self.cancel.clone(), self.args.retries + 1);
+        let pool = PoolConfig {
+            threads,
+            max_attempts: self.args.retries + 1,
+            cancel: self.cancel.clone(),
+        };
         let pooled = run_units(
             stage,
             &pending,

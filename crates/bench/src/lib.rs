@@ -33,6 +33,9 @@
 //! * `--retries <n>` — extra attempts for failed units (default 1); a
 //!   retried unit reruns with the same inputs and a seed bumped by its
 //!   attempt number, so retries stay deterministic.
+//! * `--threads <n>` — worker threads for the parallel sweeps (default:
+//!   all available cores). Sweep results are merged in input order, so
+//!   the output CSVs are byte-identical at every thread count.
 //!
 //! Each binary prints a run report (`== run report ==`) and writes it
 //! beside the CSVs as `<name>_report.txt`. CSVs are written atomically
@@ -51,7 +54,7 @@ use socnet_runner::write_atomic;
 
 mod experiment;
 
-pub use experiment::{degraded, inner_pool, Experiment};
+pub use experiment::{degraded, inner_par, Experiment};
 
 /// Command-line arguments shared by every experiment binary.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +74,10 @@ pub struct ExperimentArgs {
     pub resume: bool,
     /// Extra attempts for failed units (0 disables retry).
     pub retries: u32,
+    /// Worker threads for parallel sweeps (at least 1; the default is
+    /// the machine's available parallelism). The thread count never
+    /// changes the output bytes — only the wall clock.
+    pub threads: usize,
 }
 
 impl Default for ExperimentArgs {
@@ -83,8 +90,17 @@ impl Default for ExperimentArgs {
             time_budget: None,
             resume: true,
             retries: 1,
+            threads: available_threads(),
         }
     }
+}
+
+/// The machine's available parallelism, defaulting to 1 when it cannot
+/// be determined.
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 /// A malformed experiment command line.
@@ -110,6 +126,8 @@ options:
   --resume              reuse the checkpoint journal of a matching run (default)
   --no-resume           discard any previous checkpoint journal
   --retries <u32>       extra attempts for failed units (default 1)
+  --threads <usize>     worker threads for parallel sweeps, >= 1
+                        (default: all available cores; never changes outputs)
 unknown flags are ignored (cargo bench passes its own)";
 
 impl ExperimentArgs {
@@ -185,6 +203,19 @@ impl ExperimentArgs {
                     out.retries = raw.parse().map_err(|_| {
                         ArgsError(format!("--retries expects an integer, got {raw:?}"))
                     })?;
+                }
+                "--threads" => {
+                    let raw = value("--threads")?;
+                    let threads: usize = raw.parse().map_err(|_| {
+                        ArgsError(format!("--threads expects an integer, got {raw:?}"))
+                    })?;
+                    if threads == 0 {
+                        return Err(ArgsError(
+                            "--threads must be at least 1 (omit the flag to use all cores)"
+                                .to_string(),
+                        ));
+                    }
+                    out.threads = threads;
                 }
                 _ => {} // ignore unknown flags (cargo bench passes its own)
             }
@@ -470,6 +501,25 @@ mod tests {
         assert_eq!(d.time_budget, None);
         assert!(d.resume);
         assert!(ExperimentArgs::try_parse_from(["--time-budget".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn args_parse_threads() {
+        let a = ExperimentArgs::parse_from(["--threads", "3"].map(String::from));
+        assert_eq!(a.threads, 3);
+        let d = ExperimentArgs::default();
+        assert!(d.threads >= 1, "default must be at least one thread");
+    }
+
+    #[test]
+    fn args_reject_degenerate_threads() {
+        for bad in ["0", "-2", "two", "1.5", ""] {
+            let res = ExperimentArgs::try_parse_from(["--threads".into(), bad.into()]);
+            assert!(res.is_err(), "--threads {bad:?} should be rejected");
+        }
+        let err =
+            ExperimentArgs::try_parse_from(["--threads".into(), "0".into()]).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "got {err}");
     }
 
     #[test]

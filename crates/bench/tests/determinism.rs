@@ -1,0 +1,152 @@
+//! Integration tests for the parallel sweep determinism contract: the
+//! experiment binaries' CSV artifacts are byte-identical whatever
+//! `--threads` says — including when a run is cancelled mid-sweep and
+//! resumed from its checkpoint journal at a *different* thread count.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use socnet_bench::{cell, degraded, fmt_f64, inner_par, Experiment, ExperimentArgs, TableView};
+use socnet_gen::{barbell, ring};
+use socnet_mixing::{MixingConfig, MixingMeasurement};
+use socnet_runner::{RunReport, UnitError};
+
+const DATASETS: [&str; 3] = ["barbell", "ring", "barbell-wide"];
+const MAX_WALK: usize = 20;
+
+fn temp_out(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("socnet-bench-det-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn args_in(dir: &Path, threads: usize) -> ExperimentArgs {
+    let mut args = ExperimentArgs::default();
+    args.out_dir = dir.to_path_buf();
+    args.threads = threads;
+    args
+}
+
+fn graph_for(name: &str) -> socnet_core::Graph {
+    match name {
+        "barbell" => barbell(8, 2),
+        "ring" => ring(31),
+        "barbell-wide" => barbell(6, 6),
+        other => unreachable!("unknown dataset {other}"),
+    }
+}
+
+/// A fig1-style run over real parallel mixing sweeps: one outer unit
+/// per dataset, each fanning its sources out `args.threads` wide.
+/// `stop_from` makes outer units at or past that index report
+/// cancellation without running — a deterministic stand-in for a
+/// deadline tripping mid-run.
+fn run_sweeps(
+    args: &ExperimentArgs,
+    stop_from: Option<usize>,
+) -> (Vec<Option<Vec<f64>>>, RunReport) {
+    let mut exp = Experiment::new("det", args);
+    let threads = args.threads;
+    let curves = exp.sweep_stage(
+        "sweep",
+        &DATASETS,
+        |_, d| format!("sweep/{d}"),
+        |ctx, &d| {
+            if stop_from.is_some_and(|k| ctx.index >= k) {
+                return Err(UnitError::Cancelled);
+            }
+            let g = graph_for(d);
+            let cfg = MixingConfig {
+                sources: 8,
+                max_walk: MAX_WALK,
+                laziness: 0.5,
+                seed: 11,
+            };
+            let (m, report) =
+                MixingMeasurement::measure_reported(&g, &cfg, &inner_par(ctx.cancel, threads));
+            if !report.is_complete() {
+                return Err(degraded(ctx.cancel, &report));
+            }
+            Ok(m.mean_curve())
+        },
+    );
+    (curves, exp.finish())
+}
+
+fn write_csv(args: &ExperimentArgs, cols: &[Vec<f64>]) -> PathBuf {
+    let mut headers = vec!["walk-length".to_string()];
+    headers.extend(DATASETS.iter().map(|d| d.to_string()));
+    let mut csv = TableView::new("det", headers);
+    for t in 1..=MAX_WALK {
+        let mut row = vec![cell(t)];
+        row.extend(cols.iter().map(|c| fmt_f64(c[t - 1])));
+        csv.push_row(row);
+    }
+    csv.write_csv(&args.out_dir, "det").expect("csv write")
+}
+
+fn complete_run_csv(tag: &str, threads: usize) -> (PathBuf, PathBuf) {
+    let dir = temp_out(tag);
+    let args = args_in(&dir, threads);
+    let (curves, report) = run_sweeps(&args, None);
+    assert!(report.is_complete(), "threads={threads}: {}", report.render());
+    let cols: Vec<Vec<f64>> = curves.into_iter().map(|c| c.expect("complete run")).collect();
+    (write_csv(&args, &cols), dir)
+}
+
+#[test]
+fn csv_is_byte_identical_for_thread_counts_1_2_4() {
+    let (reference_csv, reference_dir) = complete_run_csv("t1", 1);
+    let reference = fs::read(&reference_csv).expect("reference csv");
+    assert!(
+        reference.len() > DATASETS.len() * MAX_WALK,
+        "reference CSV should hold a full grid"
+    );
+    for threads in [2usize, 4] {
+        let (csv, dir) = complete_run_csv(&format!("t{threads}"), threads);
+        assert_eq!(
+            reference,
+            fs::read(&csv).expect("parallel csv"),
+            "threads={threads} must reproduce the sequential bytes"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+    fs::remove_dir_all(&reference_dir).ok();
+}
+
+#[test]
+fn cancelled_parallel_run_resumes_at_another_thread_count_byte_identically() {
+    // Reference: an uninterrupted single-threaded run.
+    let (reference_csv, reference_dir) = complete_run_csv("resume-ref", 1);
+
+    // A 4-thread run is cancelled after its first dataset ...
+    let dir = temp_out("resume");
+    let args4 = args_in(&dir, 4);
+    let (_, report) = run_sweeps(&args4, Some(1));
+    assert!(!report.is_complete());
+    assert_eq!(report.stages[0].completed(), 1);
+    assert_eq!(report.stages[0].cancelled(), 2);
+    assert!(
+        dir.join("det.ckpt").exists(),
+        "pre-empted run keeps its journal for resume"
+    );
+
+    // ... and resumed with 2 threads: the journal is honored across
+    // thread counts (the run key excludes --threads, because threads
+    // never change outputs).
+    let args2 = args_in(&dir, 2);
+    let (curves, report) = run_sweeps(&args2, None);
+    assert!(report.is_complete(), "{}", report.render());
+    assert_eq!(report.stages[0].resumed(), 1);
+    assert_eq!(report.stages[0].completed(), 2);
+    let cols: Vec<Vec<f64>> = curves.into_iter().map(|c| c.expect("complete run")).collect();
+    let resumed_csv = write_csv(&args2, &cols);
+
+    assert_eq!(
+        fs::read(&reference_csv).expect("reference csv"),
+        fs::read(&resumed_csv).expect("resumed csv"),
+        "cancel + cross-thread-count resume must reproduce the sequential bytes"
+    );
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&reference_dir).ok();
+}

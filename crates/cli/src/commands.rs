@@ -17,7 +17,7 @@ use socnet_expansion::{ExpansionSweep, SourceSelection};
 use socnet_gen::Dataset;
 use socnet_kcore::{core_profiles, coreness_ecdf, CoreDecomposition};
 use socnet_mixing::{sinclair_bounds, slem, MixingConfig, MixingMeasurement, SpectralConfig};
-use socnet_runner::{CancelToken, PoolConfig};
+use socnet_runner::{CancelToken, ParConfig};
 use socnet_sybil::{
     eval, AttackedGraph, GateKeeper, GateKeeperConfig, SumUp, SumUpConfig, SybilAttack,
     SybilGuard, SybilGuardConfig, SybilInfer, SybilInferConfig, SybilLimit, SybilLimitConfig,
@@ -200,7 +200,14 @@ pub fn info(map: &ArgMap) -> Result<String, CliError> {
 /// `socnet mixing`
 pub fn mixing(map: &ArgMap) -> Result<String, CliError> {
     map.check_positionals(1)?;
-    map.check_allowed(&["--sources", "--max-walk", "--epsilon", "--seed", "--time-budget"])?;
+    map.check_allowed(&[
+        "--sources",
+        "--max-walk",
+        "--epsilon",
+        "--seed",
+        "--time-budget",
+        "--threads",
+    ])?;
     let g = load(map)?;
     if g.edge_count() == 0 {
         return Err(invalid("<GRAPH>", "mixing is undefined on an edgeless graph"));
@@ -210,8 +217,12 @@ pub fn mixing(map: &ArgMap) -> Result<String, CliError> {
     let epsilon: f64 = map.get_parsed("--epsilon", 0.05)?;
     let seed: u64 = map.get_parsed("--seed", 42)?;
     let time_budget: f64 = map.get_parsed("--time-budget", 0.0)?;
+    let threads: usize = map.get_parsed("--threads", 0)?;
     if sources == 0 || max_walk == 0 {
         return Err(invalid("--sources", "sources and max-walk must be positive"));
+    }
+    if map.get("--threads").is_some() && threads == 0 {
+        return Err(invalid("--threads", "must be a positive thread count"));
     }
     if !(epsilon > 0.0 && epsilon < 0.5) {
         return Err(invalid("--epsilon", "must be in (0, 0.5)"));
@@ -230,7 +241,7 @@ pub fn mixing(map: &ArgMap) -> Result<String, CliError> {
     let (m, report) = MixingMeasurement::measure_reported(
         &g,
         &MixingConfig { sources, max_walk, laziness: 0.0, seed },
-        &PoolConfig::new(cancel, 1),
+        &ParConfig::new(cancel, threads),
     );
     if report.completed() == 0 {
         return Err(invalid(
@@ -663,6 +674,9 @@ mod tests {
         assert!(mixing(&args(&[p, "--time-budget", "0"])).is_err());
         assert!(mixing(&args(&[p, "--time-budget", "-3"])).is_err());
         assert!(mixing(&args(&[p, "--time-budget", "inf"])).is_err());
+        assert!(mixing(&args(&[p, "--threads", "0"])).is_err());
+        assert!(mixing(&args(&[p, "--threads", "two"])).is_err());
+        assert!(mixing(&args(&[p, "--threads", "2", "--max-walk", "5"])).is_ok());
         std::fs::remove_file(path).ok();
     }
 

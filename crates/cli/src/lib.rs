@@ -8,6 +8,7 @@
 //! socnet generate   --model <ba|er|ws|hk|sbm|caveman> | --dataset <name>  [--out FILE]
 //! socnet info       <GRAPH>
 //! socnet mixing     <GRAPH> [--sources N] [--max-walk T] [--epsilon E] [--time-budget SECS]
+//!                   [--threads N]
 //! socnet cores      <GRAPH>
 //! socnet expansion  <GRAPH> [--sources N]
 //! socnet centrality <GRAPH> [--measure betweenness|closeness|degree] [--top K]
@@ -79,6 +80,7 @@ COMMANDS:
   info         descriptive statistics of an edge-list graph
   mixing       mixing time: spectral SLEM, Sinclair bounds, sampled T(eps)
                [--sources N] [--max-walk T] [--epsilon E] [--seed S] [--time-budget SECS]
+               [--threads N]
   cores        k-core decomposition and core profile
   expansion    envelope expansion statistics  [--sources N] [--seed S]
   centrality   node rankings  [--measure betweenness|closeness|degree] [--top K]

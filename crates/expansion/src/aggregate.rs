@@ -1,11 +1,10 @@
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use socnet_core::{sample_nodes, Bfs, Graph, NodeId};
-use socnet_runner::{run_units, PoolConfig, StageReport, UnitError};
+use socnet_runner::{par_sweep, ParConfig, StageReport, UnitError};
 
 /// Which nodes to use as expansion cores in a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,7 +76,7 @@ impl ExpansionSweep {
     /// Panics if the graph is empty or a sample of 0 sources is requested.
     pub fn measure(graph: &Graph, selection: SourceSelection, seed: u64) -> Self {
         let (sweep, report) =
-            Self::measure_reported(graph, selection, seed, &PoolConfig::default());
+            Self::measure_reported(graph, selection, seed, &ParConfig::default());
         assert!(
             report.is_complete(),
             "expansion stage degraded: {}",
@@ -87,11 +86,13 @@ impl ExpansionSweep {
     }
 
     /// Fault-tolerant variant of [`measure`](ExpansionSweep::measure):
-    /// each core's BFS runs as a panic-isolated unit under the pool's
-    /// cancellation token. A failed or cancelled core contributes no
-    /// observations; [`source_count`](ExpansionSweep::source_count)
-    /// reports only the cores that actually completed, and the
-    /// [`StageReport`] itemizes the rest.
+    /// each core's BFS runs as a panic-isolated unit of the parallel
+    /// sweep under the config's cancellation token. A failed or
+    /// cancelled core contributes no observations;
+    /// [`source_count`](ExpansionSweep::source_count) reports only the
+    /// cores that actually completed, and the [`StageReport`] itemizes
+    /// the rest. Per-core observations are merged in core order after
+    /// the sweep, so the statistics are identical at every thread count.
     ///
     /// # Panics
     ///
@@ -100,7 +101,7 @@ impl ExpansionSweep {
         graph: &Graph,
         selection: SourceSelection,
         seed: u64,
-        pool: &PoolConfig,
+        par: &ParConfig,
     ) -> (Self, StageReport) {
         assert!(graph.node_count() > 0, "cannot sweep an empty graph");
         let sources: Vec<NodeId> = match selection {
@@ -111,39 +112,42 @@ impl ExpansionSweep {
             }
         };
 
-        // Workers merge their per-core observations into the shared map
-        // as their last step, so a retried core never double-counts and
-        // the commutative merge keeps the totals order-independent.
-        let merged = Mutex::new(BTreeMap::<usize, Accumulator>::new());
-        let out = run_units(
+        // The BFS frontier is per-thread scratch: a sweep allocates one
+        // per worker instead of one per core, which is most of the
+        // per-unit cost on small graphs.
+        let out = par_sweep(
             "expansion",
             &sources,
-            pool,
+            par,
             |_, s| format!("core-{}", s.index()),
-            |ctx, &s| {
+            || Bfs::new(graph),
+            |bfs, ctx, &s| {
                 if ctx.cancel.is_cancelled() {
                     return Err(UnitError::Cancelled);
                 }
-                let mut bfs = Bfs::new(graph);
                 let levels = bfs.level_sizes(graph, s);
-                let mut local: BTreeMap<usize, Accumulator> = BTreeMap::new();
+                let mut local: Vec<(usize, usize)> = Vec::with_capacity(levels.len());
                 let mut env = 0usize;
                 for w in levels.windows(2) {
                     env += w[0];
-                    local.entry(env).or_default().push(w[1]);
+                    local.push((env, w[1]));
                 }
-                let mut global = merged.lock().expect("expansion merge lock");
-                for (size, acc) in local {
-                    global.entry(size).or_default().merge(&acc);
-                }
-                Ok(())
+                Ok(local)
             },
         );
 
         let completed = out.report.completed();
+        // Merge per-core observations in core order. The accumulator is
+        // all-integer (min/max/sum/count), so the totals are exact and
+        // order-independent; merging slotted outputs keeps even the
+        // iteration deterministic.
+        let mut merged = BTreeMap::<usize, Accumulator>::new();
+        for pairs in out.outputs.iter().flatten() {
+            for &(size, expansion) in pairs {
+                merged.entry(size).or_default().push(expansion);
+            }
+        }
         let stats = merged
-            .into_inner()
-            .expect("expansion merge lock")
             .into_iter()
             .map(|(set_size, acc)| SetSizeStats {
                 set_size,
@@ -212,20 +216,6 @@ impl Accumulator {
         self.sum += value as u64;
         self.count += 1;
     }
-
-    fn merge(&mut self, other: &Accumulator) {
-        if other.count == 0 {
-            return;
-        }
-        if self.count == 0 {
-            *self = other.clone();
-            return;
-        }
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        self.sum += other.sum;
-        self.count += other.count;
-    }
 }
 
 #[cfg(test)]
@@ -290,6 +280,22 @@ mod tests {
         let a = ExpansionSweep::measure(&g, SourceSelection::Sample(6), 9);
         let b = ExpansionSweep::measure(&g, SourceSelection::Sample(6), 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_is_identical_at_every_thread_count() {
+        let g = socnet_gen::grid(7, 6);
+        let run = |threads| {
+            let par = ParConfig {
+                threads,
+                ..Default::default()
+            };
+            ExpansionSweep::measure_reported(&g, SourceSelection::All, 0, &par).0
+        };
+        let reference = run(1);
+        for threads in [2, 4] {
+            assert_eq!(reference, run(threads), "threads={threads}");
+        }
     }
 
     #[test]

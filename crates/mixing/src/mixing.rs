@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use socnet_core::{sample_nodes, Graph, NodeId};
-use socnet_runner::{run_units, PoolConfig, StageReport, UnitError};
+use socnet_runner::{par_sweep, ParConfig, StageReport, UnitError};
 
 use crate::{stationary_distribution, total_variation, Distribution, WalkOperator};
 
@@ -97,7 +97,7 @@ impl MixingMeasurement {
     ///
     /// Panics if the graph has no edges or `sources == 0`.
     pub fn measure(graph: &Graph, config: &MixingConfig) -> Self {
-        let (m, report) = Self::measure_reported(graph, config, &PoolConfig::default());
+        let (m, report) = Self::measure_reported(graph, config, &ParConfig::default());
         assert!(
             report.is_complete(),
             "mixing stage degraded: {}",
@@ -107,10 +107,12 @@ impl MixingMeasurement {
     }
 
     /// Fault-tolerant variant of [`measure`](MixingMeasurement::measure):
-    /// each source runs as an isolated unit under the pool's
-    /// cancellation token, and the returned [`StageReport`] says which
-    /// sources completed. Curves of failed/cancelled sources are simply
-    /// absent, so a degraded measurement still aggregates over what ran.
+    /// each source runs as an isolated unit of the parallel sweep under
+    /// the config's cancellation token, and the returned [`StageReport`]
+    /// says which sources completed. Curves of failed/cancelled sources
+    /// are simply absent, so a degraded measurement still aggregates
+    /// over what ran. Curve order — and any CSV written from it — is
+    /// identical at every thread count.
     ///
     /// # Panics
     ///
@@ -118,13 +120,13 @@ impl MixingMeasurement {
     pub fn measure_reported(
         graph: &Graph,
         config: &MixingConfig,
-        pool: &PoolConfig,
+        par: &ParConfig,
     ) -> (Self, StageReport) {
         assert!(config.sources > 0, "need at least one source");
         let pi = stationary_distribution(graph);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let sources = sample_nodes(graph, config.sources, &mut rng);
-        let (curves, report) = Self::run_sources(graph, &pi, &sources, config, pool);
+        let (curves, report) = Self::run_sources(graph, &pi, &sources, config, par);
         (
             MixingMeasurement {
                 curves,
@@ -145,7 +147,7 @@ impl MixingMeasurement {
         assert!(!sources.is_empty(), "need at least one source");
         let pi = stationary_distribution(graph);
         let (curves, report) =
-            Self::run_sources(graph, &pi, sources, config, &PoolConfig::default());
+            Self::run_sources(graph, &pi, sources, config, &ParConfig::default());
         assert!(
             report.is_complete(),
             "mixing stage degraded: {}",
@@ -157,35 +159,38 @@ impl MixingMeasurement {
         }
     }
 
-    /// One panic-isolated unit per source: a poisoned source (or one cut
-    /// off by the deadline) drops only its own curve.
+    /// One panic-isolated unit per source on the parallel sweep engine:
+    /// a poisoned source (or one cut off by the deadline) drops only its
+    /// own curve. The two walk-distribution vectors are per-thread
+    /// scratch, so a sweep allocates `2 × threads` vectors instead of
+    /// two per source.
     fn run_sources(
         graph: &Graph,
         pi: &Distribution,
         sources: &[NodeId],
         config: &MixingConfig,
-        pool: &PoolConfig,
+        par: &ParConfig,
     ) -> (Vec<SourceCurve>, StageReport) {
         let op = WalkOperator::with_laziness(graph, config.laziness);
         let pi = pi.as_slice();
-        let out = run_units(
+        let n = graph.node_count();
+        let out = par_sweep(
             "mixing",
             sources,
-            pool,
+            par,
             |_, s| format!("source-{}", s.index()),
-            |ctx, &source| {
-                let n = graph.node_count();
-                let mut x = vec![0.0f64; n];
-                let mut scratch = vec![0.0f64; n];
+            || (vec![0.0f64; n], vec![0.0f64; n]),
+            |(x, scratch), ctx, &source| {
+                x.fill(0.0);
                 x[source.index()] = 1.0;
                 let mut tvd = Vec::with_capacity(config.max_walk);
                 for _ in 0..config.max_walk {
                     if ctx.cancel.is_cancelled() {
                         return Err(UnitError::Cancelled);
                     }
-                    op.step(&x, &mut scratch);
-                    std::mem::swap(&mut x, &mut scratch);
-                    tvd.push(total_variation(&x, pi));
+                    op.step(x, scratch);
+                    std::mem::swap(x, scratch);
+                    tvd.push(total_variation(x, pi));
                 }
                 Ok(SourceCurve { source, tvd })
             },
@@ -338,6 +343,28 @@ mod tests {
         let a = MixingMeasurement::measure(&g, &cfg);
         let b = MixingMeasurement::measure(&g, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_is_identical_at_every_thread_count() {
+        let g = barbell(5, 1);
+        let cfg = MixingConfig {
+            sources: 9,
+            max_walk: 25,
+            laziness: 0.5,
+            seed: 7,
+        };
+        let run = |threads| {
+            let par = ParConfig {
+                threads,
+                ..Default::default()
+            };
+            MixingMeasurement::measure_reported(&g, &cfg, &par).0
+        };
+        let reference = run(1);
+        for threads in [2, 4] {
+            assert_eq!(reference, run(threads), "threads={threads}");
+        }
     }
 
     #[test]

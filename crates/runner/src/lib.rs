@@ -15,6 +15,10 @@
 //!   under `catch_unwind`, failures are retried a bounded, deterministic
 //!   number of times (workers see the attempt counter and can bump their
 //!   seeds), and one failed unit degrades only itself;
+//! * [`par_sweep`] — the deterministic data-parallel sweep engine for
+//!   the hot per-source inner loops: chunked scheduling over a scoped
+//!   thread pool with per-thread scratch reuse, merging results back in
+//!   item order so sweep CSVs are byte-identical at any thread count;
 //! * [`Checkpoint`] — an append-only, fsync'd journal of completed units.
 //!   A rerun with the same run key skips finished units; journals with
 //!   trailing garbage (torn writes) are recovered by truncating to the
@@ -59,6 +63,7 @@
 mod artifact;
 mod cancel;
 mod checkpoint;
+mod par;
 mod payload;
 mod pool;
 mod report;
@@ -66,6 +71,7 @@ mod report;
 pub use artifact::write_atomic;
 pub use cancel::{CancelCause, CancelToken};
 pub use checkpoint::Checkpoint;
+pub use par::{par_sweep, ParConfig, SweepCtx};
 pub use payload::Payload;
 pub use pool::{run_units, PoolConfig, StageOutput, UnitCtx, UnitError};
 pub use report::{RunReport, StageReport, UnitRecord, UnitStatus};

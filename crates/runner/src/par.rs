@@ -1,0 +1,490 @@
+//! The deterministic data-parallel sweep engine.
+//!
+//! Every headline measurement of the paper is an embarrassingly parallel
+//! per-source sweep: the sampling method evolves one walk distribution
+//! per source, envelope expansion runs one BFS per core, GateKeeper
+//! floods once per distributor. [`par_sweep`] is the shared engine those
+//! inner loops run on:
+//!
+//! * **Deterministic.** The ordered item list is chunked across a scoped
+//!   thread pool and every result is slotted back at its item index, so
+//!   the output — and any CSV derived from it in item order — is
+//!   byte-identical at every thread count, including `threads = 1`.
+//! * **Scratch-reusing.** Each worker thread builds one scratch value
+//!   (a BFS frontier, a pair of walk-distribution vectors) and reuses it
+//!   across every unit it runs, amortizing the per-source allocations
+//!   that dominate small units.
+//! * **Panic-isolated.** Each unit executes under `catch_unwind`; a
+//!   poisoned unit is recorded as failed and — because the panic may
+//!   have left the scratch value in an inconsistent state — the worker
+//!   rebuilds its scratch before touching the next unit.
+//! * **Cancellable.** The [`CancelToken`] is checked before every unit;
+//!   once it trips, remaining units are recorded as cancelled or
+//!   timed-out (per the token's cause) without running.
+//!
+//! The engine deliberately does *not* retry: retries belong to the outer
+//! per-dataset stage (`run_units`), which reruns a whole sweep with a
+//! deterministically bumped seed. One sweep = one attempt per unit.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::pool::{effective_threads, panic_message, stop_status, StageOutput};
+use crate::{CancelToken, StageReport, UnitError, UnitRecord, UnitStatus};
+
+/// Tuning knobs for [`par_sweep`].
+#[derive(Debug, Clone)]
+pub struct ParConfig {
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+    /// Items handed to a worker per grab; 0 picks a size that balances
+    /// scheduling overhead against load skew.
+    pub chunk: usize,
+    /// The cancellation token checked before every unit.
+    pub cancel: CancelToken,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            threads: 0,
+            chunk: 0,
+            cancel: CancelToken::new(),
+        }
+    }
+}
+
+impl ParConfig {
+    /// A config with the given token and thread count (0 = one per core).
+    pub fn new(cancel: CancelToken, threads: usize) -> Self {
+        ParConfig {
+            threads,
+            chunk: 0,
+            cancel,
+        }
+    }
+
+    /// A single-threaded config — the reference execution every other
+    /// thread count must reproduce byte-for-byte.
+    pub fn sequential(cancel: CancelToken) -> Self {
+        Self::new(cancel, 1)
+    }
+}
+
+/// Per-unit context handed to sweep workers.
+#[derive(Debug)]
+pub struct SweepCtx<'a> {
+    /// Index of the unit in the sweep's item slice.
+    pub index: usize,
+    /// The sweep's cancellation token; poll it at natural yield points
+    /// (once per walk step, per BFS level) and return
+    /// [`UnitError::Cancelled`] when it trips.
+    pub cancel: &'a CancelToken,
+}
+
+/// Runs one unit of work per item across a scoped thread pool, reusing
+/// per-thread scratch, and merges the results back in item order.
+///
+/// `make_scratch` is called once per worker thread (and again after a
+/// unit panics, since the panic may have corrupted the scratch value);
+/// `worker` receives the thread's scratch, a [`SweepCtx`], and the item.
+/// `id_of` names units for the [`StageReport`]; it must not panic.
+///
+/// Outputs are slotted by item index: `outputs[i]` belongs to `items[i]`
+/// whatever the thread count or interleaving, which is what makes sweep
+/// CSVs byte-identical between `--threads 1` and `--threads N`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_runner::{par_sweep, ParConfig, UnitError};
+///
+/// let items: Vec<u64> = (0..64).collect();
+/// let run = |threads| {
+///     par_sweep(
+///         "square",
+///         &items,
+///         &ParConfig { threads, ..Default::default() },
+///         |i, _| format!("unit-{i}"),
+///         || 0u64, // per-thread scratch: a running total
+///         |acc, _ctx, &x| {
+///             *acc += x;
+///             Ok::<u64, UnitError>(x * x)
+///         },
+///     )
+///     .outputs
+/// };
+/// assert_eq!(run(1), run(4)); // deterministic at any thread count
+/// ```
+pub fn par_sweep<I, O, S, MS, G, F>(
+    stage: &str,
+    items: &[I],
+    config: &ParConfig,
+    id_of: G,
+    make_scratch: MS,
+    worker: F,
+) -> StageOutput<O>
+where
+    I: Sync,
+    O: Send,
+    MS: Fn() -> S + Sync,
+    G: Fn(usize, &I) -> String + Sync,
+    F: Fn(&mut S, SweepCtx<'_>, &I) -> Result<O, UnitError> + Sync,
+{
+    let start = Instant::now();
+    let n = items.len();
+    let mut outputs: Vec<Option<O>> = Vec::with_capacity(n);
+    let mut records: Vec<Option<UnitRecord>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        outputs.push(None);
+        records.push(None);
+    }
+
+    if n > 0 {
+        let threads = effective_threads(config.threads, n);
+        let chunk = chunk_size(config.chunk, n, threads);
+        let cursor = AtomicUsize::new(0);
+        type Done<O> = Vec<(usize, Option<O>, UnitRecord)>;
+        let done: Mutex<Done<O>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut scratch = make_scratch();
+                    loop {
+                        let begin = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if begin >= n {
+                            break;
+                        }
+                        let end = (begin + chunk).min(n);
+                        let mut batch: Done<O> = Vec::with_capacity(end - begin);
+                        for i in begin..end {
+                            batch.push(run_unit(
+                                i,
+                                &items[i],
+                                config,
+                                &id_of,
+                                &make_scratch,
+                                &mut scratch,
+                                &worker,
+                            ));
+                        }
+                        done.lock().expect("sweep results lock").append(&mut batch);
+                    }
+                });
+            }
+        });
+        let collected = done.into_inner().expect("sweep results lock");
+        for (i, out, rec) in collected {
+            outputs[i] = out;
+            records[i] = Some(rec);
+        }
+    }
+
+    let units = records
+        .into_iter()
+        .map(|r| r.expect("every unit recorded"))
+        .collect();
+    StageOutput {
+        outputs,
+        report: StageReport {
+            stage: stage.to_string(),
+            units,
+            wall: start.elapsed(),
+        },
+    }
+}
+
+/// Runs one unit: cancellation gate, `catch_unwind`, per-unit timing,
+/// scratch recovery after a panic.
+fn run_unit<I, O, S, MS, G, F>(
+    index: usize,
+    item: &I,
+    config: &ParConfig,
+    id_of: &G,
+    make_scratch: &MS,
+    scratch: &mut S,
+    worker: &F,
+) -> (usize, Option<O>, UnitRecord)
+where
+    MS: Fn() -> S,
+    G: Fn(usize, &I) -> String,
+    F: Fn(&mut S, SweepCtx<'_>, &I) -> Result<O, UnitError>,
+{
+    let id = id_of(index, item);
+    if let Some(cause) = config.cancel.cause() {
+        return (index, None, UnitRecord::stopped(id, stop_status(cause), 0));
+    }
+    let started = Instant::now();
+    let ctx = SweepCtx {
+        index,
+        cancel: &config.cancel,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| worker(scratch, ctx, item)));
+    let wall = started.elapsed();
+    match result {
+        Ok(Ok(output)) => {
+            let rec = UnitRecord::completed(id, 1).with_wall(wall);
+            (index, Some(output), rec)
+        }
+        Ok(Err(UnitError::Cancelled)) => {
+            let status = config
+                .cancel
+                .cause()
+                .map(stop_status)
+                .unwrap_or(UnitStatus::Cancelled);
+            (index, None, UnitRecord::stopped(id, status, 1).with_wall(wall))
+        }
+        Ok(Err(UnitError::Failed(message))) => {
+            (index, None, UnitRecord::failed(id, 1, message).with_wall(wall))
+        }
+        Err(payload) => {
+            // The panic may have unwound mid-mutation: rebuild the
+            // scratch value so later units on this thread start clean.
+            *scratch = make_scratch();
+            let message = format!("panicked: {}", panic_message(payload.as_ref()));
+            (index, None, UnitRecord::failed(id, 1, message).with_wall(wall))
+        }
+    }
+}
+
+/// Chunk size balancing grab overhead against load skew: aim for ~8
+/// grabs per thread so one slow chunk cannot idle the rest of the pool.
+fn chunk_size(configured: usize, units: usize, threads: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    (units / (threads * 8)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    fn cfg(threads: usize) -> ParConfig {
+        ParConfig {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn outputs_are_slotted_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_sweep(
+            "sq",
+            &items,
+            &cfg(0),
+            |i, _| format!("u{i}"),
+            || (),
+            |_, _ctx, &x| Ok::<usize, UnitError>(x * x),
+        );
+        assert!(out.report.is_complete());
+        for (i, o) in out.outputs.iter().enumerate() {
+            assert_eq!(*o, Some(i * i));
+        }
+        assert_eq!(out.report.units[41].id, "u41");
+    }
+
+    #[test]
+    fn deterministic_across_thread_and_chunk_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let run = |threads, chunk| {
+            let config = ParConfig {
+                threads,
+                chunk,
+                cancel: CancelToken::new(),
+            };
+            par_sweep(
+                "det",
+                &items,
+                &config,
+                |i, _| i.to_string(),
+                || 0u64,
+                |acc, _ctx, &x| {
+                    *acc = acc.wrapping_add(x);
+                    Ok::<u64, UnitError>(x.wrapping_mul(0x9e3779b97f4a7c15))
+                },
+            )
+            .outputs
+        };
+        let reference = run(1, 1);
+        for (threads, chunk) in [(2, 0), (4, 0), (7, 3), (0, 64), (3, 1000)] {
+            assert_eq!(reference, run(threads, chunk), "threads={threads} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_thread() {
+        let built = AtomicU32::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let out = par_sweep(
+            "scratch",
+            &items,
+            &cfg(2),
+            |i, _| i.to_string(),
+            || {
+                built.fetch_add(1, Ordering::Relaxed);
+                Vec::<u32>::new()
+            },
+            |buf, _ctx, &x| {
+                buf.push(x); // grows across units: proof the buffer persists
+                Ok::<usize, UnitError>(buf.len())
+            },
+        );
+        assert!(out.report.is_complete());
+        let builds = built.load(Ordering::Relaxed);
+        assert!(builds <= 2, "one scratch per thread, got {builds}");
+        // Some unit must have observed a buffer with earlier units in it.
+        let deepest = out.outputs.iter().flatten().max().expect("outputs");
+        assert!(*deepest > 1, "scratch was rebuilt between units");
+    }
+
+    #[test]
+    fn panicking_unit_fails_alone_and_scratch_recovers() {
+        let items: Vec<usize> = (0..32).collect();
+        let out = par_sweep(
+            "poison",
+            &items,
+            &cfg(2),
+            |i, _| format!("u{i}"),
+            || vec![0u8; 4],
+            |buf, _ctx, &x| {
+                if x == 5 {
+                    buf.clear(); // corrupt the scratch, then die
+                    panic!("poisoned unit 5");
+                }
+                assert_eq!(buf.len(), 4, "scratch must be clean after a panic");
+                Ok::<usize, UnitError>(x)
+            },
+        );
+        assert_eq!(out.report.failed(), 1);
+        assert_eq!(out.report.completed(), 31);
+        assert_eq!(out.outputs[5], None);
+        let rec = &out.report.units[5];
+        assert_eq!(rec.status, UnitStatus::Failed);
+        assert!(rec.error.as_deref().expect("error").contains("poisoned unit 5"));
+    }
+
+    #[test]
+    fn cancelled_token_stops_unstarted_units() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let items: Vec<usize> = (0..5).collect();
+        let out = par_sweep(
+            "cancelled",
+            &items,
+            &ParConfig::new(cancel, 2),
+            |i, _| format!("u{i}"),
+            || (),
+            |_, _ctx, &x| Ok::<usize, UnitError>(x),
+        );
+        assert_eq!(out.report.cancelled(), 5);
+        assert!(out.outputs.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn expired_budget_marks_units_timed_out() {
+        let config = ParConfig::new(CancelToken::with_budget(Duration::ZERO), 2);
+        let out = par_sweep(
+            "late",
+            &[1, 2, 3],
+            &config,
+            |i, _| format!("u{i}"),
+            || (),
+            |_, _ctx, &x| Ok::<i32, UnitError>(x),
+        );
+        assert_eq!(out.report.timed_out(), 3);
+    }
+
+    #[test]
+    fn mid_sweep_cancellation_stops_the_tail() {
+        // Sequential with chunk 1 so ordering is deterministic: unit 2
+        // cancels, units 3.. never run.
+        let cancel = CancelToken::new();
+        let config = ParConfig {
+            threads: 1,
+            chunk: 1,
+            cancel: cancel.clone(),
+        };
+        let items: Vec<usize> = (0..6).collect();
+        let out = par_sweep(
+            "tail",
+            &items,
+            &config,
+            |i, _| format!("u{i}"),
+            || (),
+            |_, _ctx, &x| {
+                if x == 2 {
+                    cancel.cancel();
+                }
+                Ok::<usize, UnitError>(x)
+            },
+        );
+        assert_eq!(out.report.completed(), 3);
+        assert_eq!(out.report.cancelled(), 3);
+        assert_eq!(out.outputs[2], Some(2));
+        assert_eq!(out.outputs[3], None);
+    }
+
+    #[test]
+    fn worker_observed_cancellation_is_recorded() {
+        let cancel = CancelToken::new();
+        let config = ParConfig::sequential(cancel.clone());
+        let out = par_sweep(
+            "coop",
+            &[()],
+            &config,
+            |_, _| "unit".into(),
+            || (),
+            |_, _ctx, _| -> Result<(), UnitError> {
+                cancel.cancel(); // e.g. the unit notices mid-walk
+                Err(UnitError::Cancelled)
+            },
+        );
+        assert_eq!(out.report.cancelled(), 1);
+        assert_eq!(out.report.units[0].attempts, 1);
+    }
+
+    #[test]
+    fn per_unit_wall_time_is_recorded() {
+        let out = par_sweep(
+            "timed",
+            &[5u64],
+            &cfg(1),
+            |i, _| i.to_string(),
+            || (),
+            |_, _ctx, _| {
+                std::thread::sleep(Duration::from_millis(5));
+                Ok::<(), UnitError>(())
+            },
+        );
+        let rec = &out.report.units[0];
+        assert!(rec.wall >= Duration::from_millis(5), "wall {:?}", rec.wall);
+        assert!(out.report.slowest_unit().is_some());
+    }
+
+    #[test]
+    fn empty_items_yield_empty_complete_stage() {
+        let out = par_sweep(
+            "empty",
+            &[] as &[u8],
+            &ParConfig::default(),
+            |i, _| i.to_string(),
+            || (),
+            |_, _ctx, &x| Ok::<u8, UnitError>(x),
+        );
+        assert!(out.outputs.is_empty());
+        assert!(out.report.is_complete());
+    }
+
+    #[test]
+    fn chunk_size_targets_eight_grabs_per_thread() {
+        assert_eq!(chunk_size(0, 1000, 4), 31);
+        assert_eq!(chunk_size(0, 3, 8), 1);
+        assert_eq!(chunk_size(7, 1000, 4), 7);
+    }
+}

@@ -171,7 +171,7 @@ where
     }
 }
 
-fn effective_threads(configured: usize, units: usize) -> usize {
+pub(crate) fn effective_threads(configured: usize, units: usize) -> usize {
     let auto = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -189,13 +189,15 @@ fn run_one<I, O, F>(
 where
     F: Fn(UnitCtx<'_>, &I) -> Result<O, UnitError>,
 {
+    let started = Instant::now();
     let max_attempts = config.max_attempts.max(1);
     let mut attempt = 0u32;
     let mut last_error;
     loop {
         if let Some(cause) = config.cancel.cause() {
             let status = stop_status(cause);
-            return (index, None, UnitRecord::stopped(id, status, attempt));
+            let rec = UnitRecord::stopped(id, status, attempt).with_wall(started.elapsed());
+            return (index, None, rec);
         }
         attempt += 1;
         let ctx = UnitCtx {
@@ -205,7 +207,8 @@ where
         };
         match catch_unwind(AssertUnwindSafe(|| worker(ctx, item))) {
             Ok(Ok(output)) => {
-                return (index, Some(output), UnitRecord::completed(id, attempt));
+                let rec = UnitRecord::completed(id, attempt).with_wall(started.elapsed());
+                return (index, Some(output), rec);
             }
             Ok(Err(UnitError::Cancelled)) => {
                 // Trust the token over the worker: a worker returning
@@ -216,25 +219,27 @@ where
                     .cause()
                     .map(stop_status)
                     .unwrap_or(UnitStatus::Cancelled);
-                return (index, None, UnitRecord::stopped(id, status, attempt));
+                let rec = UnitRecord::stopped(id, status, attempt).with_wall(started.elapsed());
+                return (index, None, rec);
             }
             Ok(Err(UnitError::Failed(message))) => last_error = message,
             Err(payload) => last_error = format!("panicked: {}", panic_message(payload.as_ref())),
         }
         if attempt >= max_attempts {
-            return (index, None, UnitRecord::failed(id, attempt, last_error));
+            let rec = UnitRecord::failed(id, attempt, last_error).with_wall(started.elapsed());
+            return (index, None, rec);
         }
     }
 }
 
-fn stop_status(cause: CancelCause) -> UnitStatus {
+pub(crate) fn stop_status(cause: CancelCause) -> UnitStatus {
     match cause {
         CancelCause::Cancelled => UnitStatus::Cancelled,
         CancelCause::DeadlineExceeded => UnitStatus::TimedOut,
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&str>() {
         s
     } else if let Some(s) = payload.downcast_ref::<String>() {

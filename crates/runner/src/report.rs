@@ -50,6 +50,9 @@ pub struct UnitRecord {
     pub attempts: u32,
     /// The last error message for failed units.
     pub error: Option<String>,
+    /// Wall time the unit's attempts took (zero when never started or
+    /// restored from a checkpoint).
+    pub wall: Duration,
 }
 
 impl UnitRecord {
@@ -60,6 +63,7 @@ impl UnitRecord {
             status: UnitStatus::Completed,
             attempts,
             error: None,
+            wall: Duration::ZERO,
         }
     }
 
@@ -70,6 +74,7 @@ impl UnitRecord {
             status: UnitStatus::Resumed,
             attempts: 0,
             error: None,
+            wall: Duration::ZERO,
         }
     }
 
@@ -80,6 +85,7 @@ impl UnitRecord {
             status: UnitStatus::Failed,
             attempts,
             error: Some(error.into()),
+            wall: Duration::ZERO,
         }
     }
 
@@ -90,7 +96,14 @@ impl UnitRecord {
             status,
             attempts,
             error: None,
+            wall: Duration::ZERO,
         }
+    }
+
+    /// Attaches the unit's measured wall time (builder style).
+    pub fn with_wall(mut self, wall: Duration) -> Self {
+        self.wall = wall;
+        self
     }
 }
 
@@ -162,6 +175,14 @@ impl StageReport {
         }
         let ok = self.units.iter().filter(|u| u.status.has_output()).count();
         ok as f64 / self.units.len() as f64
+    }
+
+    /// The timed unit with the longest wall clock, if any unit was timed.
+    pub fn slowest_unit(&self) -> Option<&UnitRecord> {
+        self.units
+            .iter()
+            .filter(|u| u.wall > Duration::ZERO)
+            .max_by_key(|u| u.wall)
     }
 
     /// One-line summary, e.g.
@@ -238,6 +259,13 @@ impl RunReport {
         for stage in &self.stages {
             out.push_str(&stage.summary_line());
             out.push('\n');
+            if let Some(slow) = stage.slowest_unit() {
+                out.push_str(&format!(
+                    "  slowest unit: {} [{:.1}s]\n",
+                    slow.id,
+                    slow.wall.as_secs_f64()
+                ));
+            }
             for unit in &stage.units {
                 if unit.status.has_output() {
                     continue;
@@ -348,6 +376,24 @@ mod tests {
             RunReport::new().render(),
             "== run report ==\n(no stages ran)\n"
         );
+    }
+
+    #[test]
+    fn slowest_unit_tracks_per_unit_wall() {
+        let mut s = StageReport::new("timed");
+        s.units
+            .push(UnitRecord::completed("fast", 1).with_wall(Duration::from_millis(10)));
+        s.units
+            .push(UnitRecord::completed("slow", 1).with_wall(Duration::from_millis(300)));
+        s.units.push(UnitRecord::resumed("untimed"));
+        assert_eq!(s.slowest_unit().expect("timed units").id, "slow");
+
+        let mut r = RunReport::new();
+        r.push(s);
+        assert!(r.render().contains("slowest unit: slow [0.3s]"), "{}", r.render());
+
+        let untimed = StageReport::new("empty");
+        assert!(untimed.slowest_unit().is_none());
     }
 
     #[test]

@@ -18,13 +18,11 @@
 //! Sybil region must cross the few attack edges, and each edge forwards
 //! only its local share of the flood.
 
-use std::sync::Mutex;
-
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use socnet_core::{Graph, NodeId};
-use socnet_runner::{run_units, PoolConfig, StageReport, UnitError};
+use socnet_runner::{par_sweep, ParConfig, StageReport, UnitError};
 
 use crate::ticket::flood_until_holders;
 use crate::{AttackedGraph, SybilError};
@@ -156,7 +154,7 @@ impl GateKeeper {
         controller: NodeId,
     ) -> Result<GateKeeperOutcome, SybilError> {
         let (outcome, report) =
-            self.run_from_reported(graph, controller, &PoolConfig::default())?;
+            self.run_from_reported(graph, controller, &ParConfig::default())?;
         assert!(
             report.is_complete(),
             "gatekeeper stage degraded: {}",
@@ -184,7 +182,7 @@ impl GateKeeper {
         &self,
         graph: &Graph,
         controller: NodeId,
-        pool: &PoolConfig,
+        par: &ParConfig,
     ) -> Result<(GateKeeperOutcome, StageReport), SybilError> {
         graph.check_node(controller)?;
         assert!(
@@ -198,32 +196,34 @@ impl GateKeeper {
             .map(|_| sample_by_walk(graph, controller, self.config.sample_walk_length, &mut rng))
             .collect();
 
-        // 2+3. Flood from every distributor (one unit each) and count
-        // reaches. Workers merge into the shared tally as their very
-        // last step, so a retried flood can never double-count, and the
-        // `+=` merge keeps the tally order-independent (deterministic).
+        // 2+3. Flood from every distributor (one sweep unit each), then
+        // tally reaches from the slotted outputs in distributor order.
+        // The `+=` tally is order-independent anyway (each flood is
+        // deterministic in isolation), so any thread count produces the
+        // same counts.
         let n = graph.node_count();
         let target = ((n as f64) * self.config.coverage).ceil() as usize;
-        let reach = Mutex::new(vec![0u32; n]);
-        let out = run_units(
+        let out = par_sweep(
             "gatekeeper",
             &distributors,
-            pool,
+            par,
             |i, d| format!("distributor-{i}-node-{}", d.index()),
-            |ctx, &d| {
+            || (),
+            |_, ctx, &d| {
                 if ctx.cancel.is_cancelled() {
                     return Err(UnitError::Cancelled);
                 }
                 let (reached, _) = flood_until_holders(graph, d, target);
-                let mut global = reach.lock().expect("reach tally lock");
-                for (g, hit) in global.iter_mut().zip(&reached) {
-                    *g += u32::from(*hit);
-                }
-                Ok(reached.iter().filter(|&&b| b).count())
+                Ok(reached)
             },
         );
 
-        let reach_counts = reach.into_inner().expect("reach tally lock");
+        let mut reach_counts = vec![0u32; n];
+        for reached in out.outputs.iter().flatten() {
+            for (count, hit) in reach_counts.iter_mut().zip(reached) {
+                *count += u32::from(*hit);
+            }
+        }
         let threshold =
             ((self.config.f_admit * self.config.distributors as f64).ceil() as u32).max(1);
         let admitted = reach_counts.iter().map(|&c| c >= threshold).collect();
@@ -363,6 +363,28 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(gk.run(&attacked), gk.run(&attacked));
+    }
+
+    #[test]
+    fn sweep_is_identical_at_every_thread_count() {
+        let attacked = small_attack();
+        let gk = GateKeeper::new(GateKeeperConfig {
+            distributors: 12,
+            ..Default::default()
+        });
+        let run = |threads| {
+            let par = ParConfig {
+                threads,
+                ..Default::default()
+            };
+            gk.run_from_reported(attacked.graph(), NodeId(0), &par)
+                .expect("controller in range")
+                .0
+        };
+        let reference = run(1);
+        for threads in [2, 4] {
+            assert_eq!(reference, run(threads), "threads={threads}");
+        }
     }
 
     #[test]

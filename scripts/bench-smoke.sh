@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke-runs every experiment binary at a tiny scale with a 2-thread
+# parallel sweep: fails on a non-zero exit or a DEGRADED run report, so
+# CI catches a binary that crashes, hangs a unit, or silently drops
+# coverage.
+#
+# Environment knobs:
+#   BIN_DIR  directory holding the built binaries
+#            (default target/release; offline builds use
+#            target/offline-check/bin)
+#   OUT_DIR  artifact directory (default target/bench-smoke)
+#   SCALE    dataset size multiplier (default 0.02)
+#   SOURCES  per-figure sampling budget (default 5)
+#   THREADS  sweep width (default 2)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN_DIR=${BIN_DIR:-target/release}
+OUT_DIR=${OUT_DIR:-target/bench-smoke}
+SCALE=${SCALE:-0.02}
+SOURCES=${SOURCES:-5}
+THREADS=${THREADS:-2}
+
+BINARIES=(
+    table1
+    fig1_mixing
+    fig2_coreness
+    table2_gatekeeper
+    fig3_expansion
+    fig4_expansion_factor
+    fig5_cores
+    ablations
+    e10_directed
+    report
+)
+
+if [ ! -d "$BIN_DIR" ]; then
+    echo "error: BIN_DIR $BIN_DIR does not exist (build first)" >&2
+    exit 1
+fi
+
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+failures=0
+for bin in "${BINARIES[@]}"; do
+    exe="$BIN_DIR/$bin"
+    if [ ! -x "$exe" ]; then
+        echo "FAIL  $bin: binary not found at $exe" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    out="$OUT_DIR/$bin"
+    mkdir -p "$out"
+    echo "== $bin (scale $SCALE, sources $SOURCES, threads $THREADS) =="
+    if ! "$exe" --scale "$SCALE" --sources "$SOURCES" --threads "$THREADS" \
+        --no-resume --out "$out" >"$out/stdout.txt" 2>"$out/stderr.txt"; then
+        echo "FAIL  $bin: non-zero exit" >&2
+        tail -20 "$out/stderr.txt" >&2 || true
+        failures=$((failures + 1))
+        continue
+    fi
+    if grep -l "DEGRADED" "$out"/*_report.txt >/dev/null 2>&1; then
+        echo "FAIL  $bin: run report is DEGRADED" >&2
+        grep -h "DEGRADED" "$out"/*_report.txt >&2 || true
+        failures=$((failures + 1))
+        continue
+    fi
+    echo "ok    $bin"
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "bench smoke failed: $failures binar$([ "$failures" -eq 1 ] && echo y || echo ies) misbehaved" >&2
+    exit 1
+fi
+echo "bench smoke passed (${#BINARIES[@]} binaries)"

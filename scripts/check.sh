@@ -7,11 +7,20 @@
 # scripts/offline-check.sh, which rebuilds the workspace with bare
 # rustc against small offline stubs and runs the same test suites
 # (minus proptest/criterion, which need registry crates).
+#
+# The fallback fires ONLY on registry/network failures. A genuine
+# compile error is surfaced verbatim and fails the script — masking it
+# behind the offline stubs would let broken code "pass" whenever the
+# network is down.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if cargo build --workspace --release 2>/dev/null; then
+BUILD_LOG=$(mktemp)
+trap 'rm -f "$BUILD_LOG"' EXIT
+
+if cargo build --workspace --release 2>"$BUILD_LOG"; then
+    cat "$BUILD_LOG" >&2 # warnings still deserve eyeballs
     cargo test --workspace --release
     if cargo fmt --version >/dev/null 2>&1; then
         cargo fmt --all --check
@@ -20,7 +29,12 @@ if cargo build --workspace --release 2>/dev/null; then
         cargo clippy --workspace --all-targets -- -D warnings
     fi
     echo "check passed"
-else
-    echo "cargo build failed (registry unreachable?) - falling back to offline check" >&2
+elif grep -qiE 'failed to download|could not resolve host|network|registry|spurious|connection|timed out|dns error' "$BUILD_LOG"; then
+    cat "$BUILD_LOG" >&2
+    echo "cargo build could not reach the registry - falling back to offline check" >&2
     exec scripts/offline-check.sh
+else
+    cat "$BUILD_LOG" >&2
+    echo "cargo build failed with a genuine compile error (see above); not falling back" >&2
+    exit 1
 fi

@@ -9,7 +9,8 @@
 #
 #   * every crate's unit tests (src/ #[cfg(test)] modules),
 #   * the root integration tests in tests/ (none use proptest),
-#   * the bench harness fault-tolerance integration tests,
+#   * the bench harness fault-tolerance and sweep-determinism
+#     integration tests,
 #   * all doctests (skip with SKIP_DOCTESTS=1 for quick iteration).
 #
 # Skipped offline: crates/*/tests/properties.rs (proptest) and
@@ -116,6 +117,7 @@ for t in tests/*.rs; do
     run_tests "it_$(basename "$t" .rs)" "$t"
 done
 run_tests it_bench_fault_tolerance crates/bench/tests/fault_tolerance.rs
+run_tests it_bench_determinism crates/bench/tests/determinism.rs
 
 note "== doctests =="
 for entry in "${CRATES[@]}"; do
