@@ -16,7 +16,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_par, Experiment, ExperimentArgs, TableView,
+    cell, degraded, emit_csv, fmt_f64, inner_par, Experiment, ExperimentArgs, TableView,
 };
 use socnet_core::NodeId;
 use socnet_gen::{heterogeneous_caveman, Dataset};
@@ -233,8 +233,5 @@ fn sybillimit_instances(exp: &mut Experiment) {
 }
 
 fn emit(table: &TableView, args: &ExperimentArgs, stem: &str) {
-    match table.write_csv(&args.out_dir, stem) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    emit_csv(table, &args.out_dir, stem);
 }

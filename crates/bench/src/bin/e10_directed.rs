@@ -13,10 +13,10 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use socnet_bench::{cell, fmt_f64, Experiment, ExperimentArgs, TableView};
+use socnet_bench::{cell, emit_csv, fmt_f64, Experiment, ExperimentArgs, TableView};
 use socnet_digraph::{largest_scc, Digraph, DirectedMixing, DirectedMixingConfig};
 use socnet_gen::Dataset;
-use socnet_runner::UnitError;
+use socnet_runner::{obs, UnitError};
 
 /// Fraction of edges kept reciprocal when orienting (measured values for
 /// who-trusts-whom crawls are around 0.2–0.4).
@@ -74,12 +74,17 @@ fn main() {
             let fmt_t = |t: Option<usize>| {
                 t.map(|v| v.to_string()).unwrap_or_else(|| format!(">{}", cfg.max_walk))
             };
-            eprintln!(
-                "  {}: n = {} -> scc {} ({}%)",
-                d.name(),
-                undirected.node_count(),
-                core.node_count(),
-                100 * core.node_count() / undirected.node_count().max(1)
+            obs::info(
+                "dataset.measured",
+                &[
+                    ("dataset", d.name().into()),
+                    ("n", undirected.node_count().into()),
+                    ("scc_nodes", core.node_count().into()),
+                    (
+                        "scc_pct",
+                        (100 * core.node_count() / undirected.node_count().max(1)).into(),
+                    ),
+                ],
             );
             Ok(vec![
                 cell(d.name()),
@@ -112,9 +117,6 @@ fn main() {
     }
 
     table.print();
-    match table.write_csv(&args.out_dir, "e10_directed") {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    emit_csv(&table, &args.out_dir, "e10_directed");
     exp.finish();
 }

@@ -11,10 +11,11 @@
 //! `--threads` wide (identical output bytes at any width).
 
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
+    cell, degraded, emit_csv, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
 };
 use socnet_gen::Dataset;
 use socnet_mixing::{MixingConfig, MixingMeasurement};
+use socnet_runner::obs;
 
 const MAX_WALK: usize = 300;
 /// Walk lengths printed in the on-screen table (CSV gets full resolution).
@@ -48,13 +49,15 @@ fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]
                 return Err(degraded(ctx.cancel, &report));
             }
             let curve = m.mean_curve();
-            eprintln!(
-                "  {}: n = {}, TVD@10 = {:.4}, TVD@100 = {:.4}, T(0.1) = {:?}",
-                d.name(),
-                g.node_count(),
-                curve[9],
-                curve[99],
-                m.mixing_time(0.10)
+            obs::info(
+                "dataset.measured",
+                &[
+                    ("dataset", d.name().into()),
+                    ("n", g.node_count().into()),
+                    ("tvd_at_10", curve[9].into()),
+                    ("tvd_at_100", curve[99].into()),
+                    ("mixing_time_0.1", format!("{:?}", m.mixing_time(0.10)).into()),
+                ],
             );
             Ok(curve)
         },
@@ -79,10 +82,7 @@ fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]
         row.extend(cols.iter().map(|c| fmt_f64(c[t - 1])));
         csv.push_row(row);
     }
-    match csv.write_csv(&args.out_dir, stem) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    emit_csv(&csv, &args.out_dir, stem);
 
     // Condensed console table.
     let mut table = TableView::new(title, headers);

@@ -7,10 +7,10 @@
 //! up to that dataset's own degeneracy, so the cross-dataset grid can be
 //! rebuilt after a resume without recomputing any decomposition.
 
-use socnet_bench::{cell, fmt_f64, panels, Experiment, ExperimentArgs, TableView};
+use socnet_bench::{cell, emit_csv, fmt_f64, panels, Experiment, ExperimentArgs, TableView};
 use socnet_gen::Dataset;
 use socnet_kcore::{coreness_ecdf, CoreDecomposition};
-use socnet_runner::UnitError;
+use socnet_runner::{obs, UnitError};
 
 fn main() {
     let args = ExperimentArgs::parse();
@@ -33,12 +33,14 @@ fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]
             let g = args.dataset(d);
             let decomp = CoreDecomposition::compute(&g);
             let ecdf = coreness_ecdf(&decomp);
-            eprintln!(
-                "  {}: n = {}, degeneracy = {}, median coreness = {}",
-                d.name(),
-                g.node_count(),
-                decomp.degeneracy(),
-                ecdf.quantile(0.5)
+            obs::info(
+                "dataset.measured",
+                &[
+                    ("dataset", d.name().into()),
+                    ("n", g.node_count().into()),
+                    ("degeneracy", decomp.degeneracy().into()),
+                    ("median_coreness", ecdf.quantile(0.5).into()),
+                ],
             );
             let evals: Vec<f64> =
                 (0..=decomp.degeneracy()).map(|k| ecdf.eval(k as f64)).collect();
@@ -77,9 +79,6 @@ fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]
         }
         csv.push_row(row);
     }
-    match csv.write_csv(&args.out_dir, stem) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    emit_csv(&csv, &args.out_dir, stem);
     table.print();
 }

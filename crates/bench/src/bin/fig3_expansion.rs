@@ -9,9 +9,10 @@
 //! panels from the checkpoint journal.
 
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
+    cell, degraded, emit_csv, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
 };
 use socnet_expansion::{ExpansionSweep, SourceSelection};
+use socnet_runner::obs;
 
 fn main() {
     let args = ExperimentArgs::parse();
@@ -41,12 +42,14 @@ fn main() {
             if !report.is_complete() {
                 return Err(degraded(ctx.cancel, &report));
             }
-            eprintln!(
-                "  {}: n = {}, cores = {}, set sizes = {}",
-                d.name(),
-                g.node_count(),
-                sweep.source_count(),
-                sweep.stats().len()
+            obs::info(
+                "dataset.measured",
+                &[
+                    ("dataset", d.name().into()),
+                    ("n", g.node_count().into()),
+                    ("cores", sweep.source_count().into()),
+                    ("set_sizes", sweep.stats().len().into()),
+                ],
             );
             let rows: Vec<Vec<String>> = sweep
                 .stats()
@@ -82,10 +85,7 @@ fn main() {
             }
             csv.push_row(row.clone());
         }
-        match csv.write_csv(&args.out_dir, &format!("fig3{panel}")) {
-            Ok(path) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("csv write failed: {e}"),
-        }
+        emit_csv(&csv, &args.out_dir, &format!("fig3{panel}"));
         table.print();
     }
     exp.finish();

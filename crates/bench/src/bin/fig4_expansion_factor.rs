@@ -7,10 +7,11 @@
 //! run rebuilds the cross-dataset grid without re-measuring.
 
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
+    cell, degraded, emit_csv, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
 };
 use socnet_expansion::{ExpansionSweep, SourceSelection};
 use socnet_gen::Dataset;
+use socnet_runner::obs;
 
 fn main() {
     let args = ExperimentArgs::parse();
@@ -45,11 +46,13 @@ fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]
                 return Err(degraded(ctx.cancel, &report));
             }
             let curve = sweep.expansion_factor_curve();
-            eprintln!(
-                "  {}: n = {}, peak alpha = {:.3}",
-                d.name(),
-                g.node_count(),
-                curve.iter().map(|&(_, a)| a).fold(0.0, f64::max)
+            obs::info(
+                "dataset.measured",
+                &[
+                    ("dataset", d.name().into()),
+                    ("n", g.node_count().into()),
+                    ("peak_alpha", curve.iter().map(|&(_, a)| a).fold(0.0, f64::max).into()),
+                ],
             );
             let encoded: Vec<(u64, f64)> =
                 curve.into_iter().map(|(s, a)| (s as u64, a)).collect();
@@ -102,9 +105,6 @@ fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]
             table.push_row(row);
         }
     }
-    match csv.write_csv(&args.out_dir, stem) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    emit_csv(&csv, &args.out_dir, stem);
     table.print();
 }

@@ -7,9 +7,9 @@
 //! journaling each panel's finished row block so an interrupted run
 //! resumes without recomputing core decompositions.
 
-use socnet_bench::{cell, fmt_f64, panels, Experiment, ExperimentArgs, TableView};
+use socnet_bench::{cell, emit_csv, fmt_f64, panels, Experiment, ExperimentArgs, TableView};
 use socnet_kcore::{core_profiles, CoreDecomposition};
-use socnet_runner::UnitError;
+use socnet_runner::{obs, UnitError};
 
 fn main() {
     let args = ExperimentArgs::parse();
@@ -25,12 +25,17 @@ fn main() {
             let g = args.dataset(d);
             let decomp = CoreDecomposition::compute(&g);
             let profiles = core_profiles(&g, &decomp);
-            eprintln!(
-                "  {}: n = {}, degeneracy = {}, cores at k_max = {}",
-                d.name(),
-                g.node_count(),
-                decomp.degeneracy(),
-                profiles.last().map(|p| p.components).unwrap_or(0)
+            obs::info(
+                "dataset.measured",
+                &[
+                    ("dataset", d.name().into()),
+                    ("n", g.node_count().into()),
+                    ("degeneracy", decomp.degeneracy().into()),
+                    (
+                        "cores_at_k_max",
+                        profiles.last().map(|p| p.components).unwrap_or(0).into(),
+                    ),
+                ],
             );
             let n = g.node_count();
             let m = g.edge_count();
@@ -67,10 +72,7 @@ fn main() {
             }
             csv.push_row(row.clone());
         }
-        match csv.write_csv(&args.out_dir, &format!("fig5{panel}")) {
-            Ok(path) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("csv write failed: {e}"),
-        }
+        emit_csv(&csv, &args.out_dir, &format!("fig5{panel}"));
         table.print();
     }
     exp.finish();

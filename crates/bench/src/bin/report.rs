@@ -16,7 +16,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_par, Experiment, ExperimentArgs, TableView,
+    cell, degraded, emit_csv, fmt_f64, inner_par, Experiment, ExperimentArgs, TableView,
 };
 use socnet_community::LocalCommunity;
 use socnet_core::NodeId;
@@ -24,7 +24,7 @@ use socnet_expansion::{ExpansionSweep, SourceSelection};
 use socnet_gen::Dataset;
 use socnet_kcore::{core_profiles, CoreDecomposition};
 use socnet_mixing::{slem, MixingConfig, MixingMeasurement, SpectralConfig};
-use socnet_runner::{UnitCtx, UnitError};
+use socnet_runner::{obs, UnitCtx, UnitError};
 use socnet_sybil::{
     eval, AttackedGraph, GateKeeper, GateKeeperConfig, SumUp, SumUpConfig, SybilAttack,
     SybilGuard, SybilGuardConfig, SybilInfer, SybilInferConfig, SybilLimit, SybilLimitConfig,
@@ -65,10 +65,7 @@ fn defense_equivalence(exp: &mut Experiment) {
         }
     }
     table.print();
-    match table.write_csv(&args.out_dir, "e8_defenses") {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    emit_csv(&table, &args.out_dir, "e8_defenses");
 }
 
 fn defense_rows(
@@ -95,7 +92,14 @@ fn defense_rows(
         },
     );
     let g = attacked.graph();
-    eprintln!("  {}: n = {} (+100 sybils)", d.name(), attacked.honest_count());
+    obs::info(
+        "dataset.measured",
+        &[
+            ("dataset", d.name().into()),
+            ("honest_n", attacked.honest_count().into()),
+            ("sybils", 100u64.into()),
+        ],
+    );
 
     // Suspects: every node; verifier/trusted node: honest node 0.
     let verifier = NodeId(0);
@@ -151,7 +155,10 @@ fn defense_rows(
     let verdict = si.classify(g, 0.3);
     rows.push(defense_row(&attacked, d, "SybilInfer", &verdict));
     let auc = eval::ranking_auc(&attacked, &si.ranking());
-    eprintln!("    SybilInfer ranking AUC = {auc:.3}");
+    obs::info(
+        "ranking.auc",
+        &[("dataset", d.name().into()), ("defense", "SybilInfer".into()), ("auc", auc.into())],
+    );
     check()?;
 
     // SumUp, voting budget = honest population.
@@ -173,7 +180,10 @@ fn defense_rows(
     }
     rows.push(defense_row(&attacked, d, "Community", &admitted));
     let auc = eval::ranking_auc(&attacked, &lc.full_ranking(g));
-    eprintln!("    Community sweep ranking AUC = {auc:.3}");
+    obs::info(
+        "ranking.auc",
+        &[("dataset", d.name().into()), ("defense", "Community".into()), ("auc", auc.into())],
+    );
 
     Ok(rows)
 }
@@ -230,7 +240,15 @@ fn property_correlation(exp: &mut Experiment) {
             }
             let curve = sweep.expansion_factor_curve();
             let mid = curve.get(curve.len() / 2).map(|&(_, a)| a).unwrap_or(0.0);
-            eprintln!("  measured {}", d.name());
+            obs::info(
+                "dataset.measured",
+                &[
+                    ("dataset", d.name().into()),
+                    ("n", g.node_count().into()),
+                    ("mu", spectrum.slem().into()),
+                    ("degeneracy", decomp.degeneracy().into()),
+                ],
+            );
 
             Ok(vec![
                 cell(d.name()),
@@ -264,8 +282,5 @@ fn property_correlation(exp: &mut Experiment) {
         table.push_row(row);
     }
     table.print();
-    match table.write_csv(&args.out_dir, "e9_correlation") {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    emit_csv(&table, &args.out_dir, "e9_correlation");
 }

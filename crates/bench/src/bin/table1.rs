@@ -5,9 +5,9 @@
 //! Runs on the fault-tolerant harness: one unit per dataset, resumable
 //! from the checkpoint journal under the same parameters.
 
-use socnet_bench::{cell, fmt_f64, panels, Experiment, ExperimentArgs, TableView};
+use socnet_bench::{cell, emit_csv, fmt_f64, panels, Experiment, ExperimentArgs, TableView};
 use socnet_mixing::{slem, SpectralConfig};
-use socnet_runner::UnitError;
+use socnet_runner::{obs, UnitError};
 
 fn main() {
     let args = ExperimentArgs::parse();
@@ -23,7 +23,13 @@ fn main() {
             let g = args.dataset(d);
             let spectrum = slem(&g, &SpectralConfig::default());
             let spec = d.spec();
-            eprintln!("  measured {} (lambda2 = {:.5})", d.name(), spectrum.lambda2);
+            obs::info(
+                "dataset.measured",
+                &[
+                    ("dataset", d.name().into()),
+                    ("lambda2", spectrum.lambda2.into()),
+                ],
+            );
             Ok(vec![
                 cell(d.name()),
                 cell(spec.model.label()),
@@ -55,9 +61,6 @@ fn main() {
     }
 
     table.print();
-    match table.write_csv(&args.out_dir, "table1") {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    emit_csv(&table, &args.out_dir, "table1");
     exp.finish();
 }

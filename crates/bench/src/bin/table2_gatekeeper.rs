@@ -10,9 +10,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socnet_bench::{
-    cell, degraded, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
+    cell, degraded, emit_csv, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
 };
-use socnet_runner::UnitError;
+use socnet_runner::{obs, UnitError};
 use socnet_sybil::{
     eval, AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilTopology,
 };
@@ -34,12 +34,14 @@ fn main() {
                 seed: args.seed,
             };
             let attacked = AttackedGraph::mount(&honest, &attack);
-            eprintln!(
-                "  {}: honest n = {}, sybils = {}, attack edges = {}",
-                d.name(),
-                attacked.honest_count(),
-                attacked.sybil_count(),
-                attack_edges
+            obs::info(
+                "dataset.measured",
+                &[
+                    ("dataset", d.name().into()),
+                    ("honest_n", attacked.honest_count().into()),
+                    ("sybils", attacked.sybil_count().into()),
+                    ("attack_edges", attack_edges.into()),
+                ],
             );
 
             let mut honest_row =
@@ -71,10 +73,14 @@ fn main() {
                 let stats = eval::admission_stats(&attacked, outcome.admitted());
                 honest_row.push(format!("{:.1}%", 100.0 * stats.honest_accept_rate));
                 sybil_row.push(fmt_f64(stats.sybils_per_attack_edge));
-                eprintln!(
-                    "    f = {f}: honest {:.1}%, sybil/edge {:.2}",
-                    100.0 * stats.honest_accept_rate,
-                    stats.sybils_per_attack_edge
+                obs::info(
+                    "gatekeeper.threshold",
+                    &[
+                        ("dataset", d.name().into()),
+                        ("f", f.into()),
+                        ("honest_accept", stats.honest_accept_rate.into()),
+                        ("sybils_per_edge", stats.sybils_per_attack_edge.into()),
+                    ],
                 );
             }
             Ok(vec![honest_row, sybil_row])
@@ -92,9 +98,6 @@ fn main() {
     }
 
     table.print();
-    match table.write_csv(&args.out_dir, "table2") {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("csv write failed: {e}"),
-    }
+    emit_csv(&table, &args.out_dir, "table2");
     exp.finish();
 }

@@ -5,11 +5,13 @@
 //! cooperative deadline, a checkpoint journal keyed by the invocation's
 //! parameters, and a run report printed and written beside the CSVs.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
+use socnet_runner::obs::{self, Heartbeat};
 use socnet_runner::{
-    run_units, CancelToken, Checkpoint, ParConfig, Payload, PoolConfig, RunReport, StageReport,
-    UnitCtx, UnitError, UnitRecord,
+    run_units, write_bench, CancelToken, Checkpoint, Metrics, ParConfig, Payload, PoolConfig,
+    RunManifest, RunReport, StageReport, UnitCtx, UnitError, UnitRecord,
 };
 
 /// The sweep configuration for measurers invoked *inside* a stage worker
@@ -60,6 +62,8 @@ use crate::ExperimentArgs;
 ///
 /// let mut args = ExperimentArgs::default();
 /// args.out_dir = std::env::temp_dir().join("socnet-experiment-doc");
+/// // Keep the BENCH_*.json perf summary out of the working directory.
+/// std::env::set_var("SOCNET_BENCH_DIR", &args.out_dir);
 /// let mut exp = Experiment::new("doc-demo", &args);
 /// let squares = exp.stage(
 ///     "squares",
@@ -79,16 +83,57 @@ pub struct Experiment {
     report: RunReport,
     cancel: CancelToken,
     started: Instant,
+    manifest: RunManifest,
+    /// Kept alive for the run's duration; dropping it joins the thread.
+    _heartbeat: Option<Heartbeat>,
 }
 
 impl Experiment {
-    /// Starts a run: arms the time budget and opens (or, under
+    /// Starts a run: installs the event sink chosen by the log flags,
+    /// resets the metrics registry (one invocation owns it), arms the
+    /// time budget, starts the heartbeat thread, and opens (or, under
     /// `--no-resume`, resets) the checkpoint journal.
     ///
     /// A journal that cannot be opened (unwritable directory, corrupt
     /// beyond the header) degrades to running without checkpoints — an
     /// experiment never refuses to run because its bookkeeping is sick.
     pub fn new(name: &str, args: &ExperimentArgs) -> Self {
+        if let Err(e) = obs::init(args.log_format, args.log_file.as_deref(), args.quiet) {
+            // Fall back to stderr so diagnostics are never lost.
+            obs::init(args.log_format, None, args.quiet).ok();
+            obs::warn(
+                "log.file_failed",
+                &[("error", e.to_string().into())],
+            );
+        }
+        Metrics::global().reset();
+        Metrics::global().gauge_set("threads", args.threads as f64);
+        Metrics::global().gauge_set("scale", args.scale);
+
+        let mut manifest = RunManifest::new(name);
+        manifest
+            .arg_num("scale", args.scale, 6)
+            .arg_int("seed", args.seed)
+            .arg_int("sources", args.sources as u64)
+            .arg_str("out", &args.out_dir.display().to_string())
+            .arg_bool("resume", args.resume)
+            .arg_int("retries", args.retries as u64)
+            .arg_int("threads", args.threads as u64);
+        if let Some(budget) = args.time_budget {
+            manifest.arg_num("time_budget_s", budget.as_secs_f64(), 3);
+        }
+
+        obs::info(
+            "run.start",
+            &[
+                ("name", name.into()),
+                ("scale", args.scale.into()),
+                ("seed", args.seed.into()),
+                ("sources", args.sources.into()),
+                ("threads", args.threads.into()),
+            ],
+        );
+
         let cancel = match args.time_budget {
             Some(budget) => CancelToken::with_budget(budget),
             None => CancelToken::new(),
@@ -104,7 +149,13 @@ impl Experiment {
         let ckpt = match Checkpoint::open(&path, &key) {
             Ok(c) => Some(c),
             Err(e) => {
-                eprintln!("warning: running without checkpoints ({}: {e})", path.display());
+                obs::warn(
+                    "checkpoint.unavailable",
+                    &[
+                        ("path", path.display().to_string().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
                 None
             }
         };
@@ -115,6 +166,8 @@ impl Experiment {
             report: RunReport::new(),
             cancel,
             started: Instant::now(),
+            manifest,
+            _heartbeat: Heartbeat::start(),
         }
     }
 
@@ -207,6 +260,17 @@ impl Experiment {
             outputs.push(restored);
         }
         let pending: Vec<usize> = (0..items.len()).filter(|&i| !resumed[i]).collect();
+        let hits = items.len() - pending.len();
+        Metrics::global().incr("checkpoint.hits", hits as u64);
+        obs::info(
+            "stage.start",
+            &[
+                ("stage", stage.into()),
+                ("units", items.len().into()),
+                ("resumed", hits.into()),
+                ("threads", threads.into()),
+            ],
+        );
 
         let pool = PoolConfig {
             threads,
@@ -246,7 +310,10 @@ impl Experiment {
             if let Some(o) = &out {
                 if let Some(ckpt) = &self.ckpt {
                     if let Err(e) = ckpt.record(id, &o.encode_payload()) {
-                        eprintln!("warning: checkpoint append failed for {id}: {e}");
+                        obs::warn(
+                            "checkpoint.append_failed",
+                            &[("id", id.as_str().into()), ("error", e.to_string().into())],
+                        );
                     }
                 }
             }
@@ -254,12 +321,28 @@ impl Experiment {
             stage_report.units.push(record);
         }
         stage_report.wall = stage_start.elapsed();
+        // Resumed units never reach the pool, so account for them here.
+        Metrics::global().incr("units.resumed", hits as u64);
+        obs::info(
+            "stage.done",
+            &[
+                ("stage", stage.into()),
+                ("ok", (stage_report.completed() + stage_report.resumed()).into()),
+                ("total", stage_report.total().into()),
+                ("coverage", stage_report.coverage().into()),
+                ("wall_s", stage_report.wall.as_secs_f64().into()),
+            ],
+        );
         self.report.push(stage_report);
         outputs
     }
 
     /// Finishes the run: prints the report, writes it beside the CSVs as
-    /// `<name>_report.txt`, and returns it.
+    /// `<name>_report.txt`, and writes the machine-readable artifacts —
+    /// `<out>/run.json` (manifest), `<out>/<name>_metrics.json` (metrics
+    /// snapshot), and `BENCH_<name>.json` (per-stage wall/throughput,
+    /// into `SOCNET_BENCH_DIR` or the working directory) — then returns
+    /// the report.
     ///
     /// A complete run removes its checkpoint journal (there is nothing
     /// left to resume); a degraded or pre-empted run keeps it so the
@@ -270,19 +353,65 @@ impl Experiment {
             .report
             .write_beside_artifacts(&self.args.out_dir, &self.name)
         {
-            eprintln!("warning: could not write run report: {e}");
+            obs::warn("report.write_failed", &[("error", e.to_string().into())]);
         }
+
+        let run_path = self.args.out_dir.join("run.json");
+        match self.manifest.write(&self.report, &run_path) {
+            Ok(()) => obs::info(
+                "artifact.written",
+                &[("path", run_path.display().to_string().into())],
+            ),
+            Err(e) => obs::warn(
+                "manifest.write_failed",
+                &[("error", e.to_string().into())],
+            ),
+        }
+
+        let metrics_path = self.args.out_dir.join(format!("{}_metrics.json", self.name));
+        match Metrics::global().write_snapshot(&metrics_path) {
+            Ok(()) => obs::info(
+                "artifact.written",
+                &[("path", metrics_path.display().to_string().into())],
+            ),
+            Err(e) => obs::warn(
+                "metrics.write_failed",
+                &[("error", e.to_string().into())],
+            ),
+        }
+
+        let bench_dir = std::env::var_os("SOCNET_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        match write_bench(&self.name, &self.report, &bench_dir) {
+            Ok(path) => obs::info(
+                "artifact.written",
+                &[("path", path.display().to_string().into())],
+            ),
+            Err(e) => obs::warn("bench.write_failed", &[("error", e.to_string().into())]),
+        }
+
         if self.report.is_complete() {
             if let Some(ckpt) = &self.ckpt {
                 std::fs::remove_file(ckpt.path()).ok();
             }
         } else {
-            eprintln!(
-                "note: rerun with the same --scale/--seed/--sources to resume \
-                 ({:.1}s elapsed)",
-                self.started.elapsed().as_secs_f64()
+            obs::info(
+                "run.resumable",
+                &[(
+                    "hint",
+                    "rerun with the same --scale/--seed/--sources to resume".into(),
+                )],
             );
         }
+        obs::info(
+            "run.done",
+            &[
+                ("name", self.name.as_str().into()),
+                ("wall_s", self.started.elapsed().as_secs_f64().into()),
+                ("complete", self.report.is_complete().into()),
+            ],
+        );
         self.report
     }
 }

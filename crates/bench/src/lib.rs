@@ -41,6 +41,23 @@
 //! beside the CSVs as `<name>_report.txt`. CSVs are written atomically
 //! (tmp + fsync + rename), so an interrupted run never leaves a torn
 //! artifact.
+//!
+//! # Observability
+//!
+//! Diagnostics go through the structured event API in
+//! `socnet_runner::obs` instead of ad-hoc `eprintln!`s:
+//!
+//! * `--log-format {pretty,json}` — human-readable lines (default) or
+//!   line-delimited JSON events with a pinned schema.
+//! * `--log-file <path>` — write events to a file instead of stderr.
+//! * `--quiet` — silence the stderr event stream (result tables on
+//!   stdout and a `--log-file` sink are unaffected).
+//!
+//! Besides the CSVs, every run writes `<out>/run.json` (invocation
+//! manifest: args, seed, git rev, hostname, per-stage coverage and
+//! timings), `<out>/<name>_metrics.json` (counters + duration
+//! histograms), and `BENCH_<name>.json` (per-stage wall/throughput,
+//! written to `SOCNET_BENCH_DIR` or the working directory).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +67,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use socnet_gen::Dataset;
+use socnet_runner::obs::{self, LogFormat};
 use socnet_runner::write_atomic;
 
 mod experiment;
@@ -78,6 +96,12 @@ pub struct ExperimentArgs {
     /// the machine's available parallelism). The thread count never
     /// changes the output bytes — only the wall clock.
     pub threads: usize,
+    /// Event rendering for the diagnostic sink.
+    pub log_format: LogFormat,
+    /// Event destination (`None` = stderr).
+    pub log_file: Option<PathBuf>,
+    /// Whether to silence the stderr event stream.
+    pub quiet: bool,
 }
 
 impl Default for ExperimentArgs {
@@ -91,6 +115,9 @@ impl Default for ExperimentArgs {
             resume: true,
             retries: 1,
             threads: available_threads(),
+            log_format: LogFormat::Pretty,
+            log_file: None,
+            quiet: false,
         }
     }
 }
@@ -118,7 +145,8 @@ impl std::error::Error for ArgsError {}
 /// Usage text shared by every experiment binary.
 pub const USAGE: &str = "\
 options:
-  --scale <f64>         dataset size multiplier, finite and > 0 (default 1.0)
+  --scale <f64|name>    dataset size multiplier, finite and > 0, or a preset:
+                        tiny=0.02 small=0.1 medium=0.25 full=1.0 (default 1.0)
   --seed <u64>          base RNG seed (default 42)
   --sources <usize>     per-figure sampling budget (default 100)
   --out <dir>           CSV output directory (default results/)
@@ -128,7 +156,15 @@ options:
   --retries <u32>       extra attempts for failed units (default 1)
   --threads <usize>     worker threads for parallel sweeps, >= 1
                         (default: all available cores; never changes outputs)
+  --log-format <fmt>    diagnostic event rendering: pretty (default) or json
+  --log-file <path>     write events to a file instead of stderr
+  --quiet               silence the stderr event stream (stdout results and
+                        --log-file are unaffected)
 unknown flags are ignored (cargo bench passes its own)";
+
+/// Named `--scale` presets, resolved before float parsing.
+pub const SCALE_PRESETS: [(&str, f64); 4] =
+    [("tiny", 0.02), ("small", 0.1), ("medium", 0.25), ("full", 1.0)];
 
 impl ExperimentArgs {
     /// Parses `std::env::args`, ignoring unknown flags.
@@ -161,9 +197,17 @@ impl ExperimentArgs {
             match flag.as_str() {
                 "--scale" => {
                     let raw = value("--scale")?;
-                    let scale: f64 = raw
-                        .parse()
-                        .map_err(|_| ArgsError(format!("--scale expects a float, got {raw:?}")))?;
+                    if let Some((_, preset)) =
+                        SCALE_PRESETS.iter().find(|(name, _)| *name == raw)
+                    {
+                        out.scale = *preset;
+                        continue;
+                    }
+                    let scale: f64 = raw.parse().map_err(|_| {
+                        ArgsError(format!(
+                            "--scale expects a float or preset (tiny/small/medium/full), got {raw:?}"
+                        ))
+                    })?;
                     if !scale.is_finite() || scale <= 0.0 {
                         return Err(ArgsError(format!(
                             "--scale must be finite and > 0, got {raw}"
@@ -217,6 +261,12 @@ impl ExperimentArgs {
                     }
                     out.threads = threads;
                 }
+                "--log-format" => {
+                    let raw = value("--log-format")?;
+                    out.log_format = raw.parse().map_err(|e: String| ArgsError(e))?;
+                }
+                "--log-file" => out.log_file = Some(PathBuf::from(value("--log-file")?)),
+                "--quiet" => out.quiet = true,
                 _ => {} // ignore unknown flags (cargo bench passes its own)
             }
         }
@@ -338,6 +388,29 @@ impl TableView {
         }
         write_atomic(&path, contents.as_bytes())?;
         Ok(path)
+    }
+}
+
+/// Writes `table` as `<dir>/<stem>.csv` and reports the outcome through
+/// the event sink: `artifact.written` on success, a warn-level
+/// `artifact.write_failed` on error. The run continues either way — a
+/// missing CSV degrades the artifact set, not the experiment.
+pub fn emit_csv(table: &TableView, dir: &Path, stem: &str) {
+    match table.write_csv(dir, stem) {
+        Ok(path) => obs::info(
+            "artifact.written",
+            &[
+                ("path", path.display().to_string().into()),
+                ("rows", table.len().into()),
+            ],
+        ),
+        Err(e) => obs::warn(
+            "artifact.write_failed",
+            &[
+                ("stem", stem.into()),
+                ("error", e.to_string().into()),
+            ],
+        ),
     }
 }
 
@@ -520,6 +593,44 @@ mod tests {
         let err =
             ExperimentArgs::try_parse_from(["--threads".into(), "0".into()]).unwrap_err();
         assert!(err.to_string().contains("at least 1"), "got {err}");
+    }
+
+    #[test]
+    fn args_parse_scale_presets() {
+        for (name, expected) in SCALE_PRESETS {
+            let a = ExperimentArgs::parse_from(["--scale".to_string(), name.to_string()]);
+            assert_eq!(a.scale, expected, "preset {name}");
+        }
+        let err = ExperimentArgs::try_parse_from(["--scale".into(), "huge".into()]).unwrap_err();
+        assert!(err.to_string().contains("preset"), "got {err}");
+    }
+
+    #[test]
+    fn args_parse_log_flags() {
+        let a = ExperimentArgs::parse_from(
+            ["--log-format", "json", "--log-file", "/tmp/ev.jsonl", "--quiet"].map(String::from),
+        );
+        assert_eq!(a.log_format, LogFormat::Json);
+        assert_eq!(a.log_file, Some(PathBuf::from("/tmp/ev.jsonl")));
+        assert!(a.quiet);
+        let d = ExperimentArgs::default();
+        assert_eq!(d.log_format, LogFormat::Pretty);
+        assert_eq!(d.log_file, None);
+        assert!(!d.quiet);
+        let err =
+            ExperimentArgs::try_parse_from(["--log-format".into(), "yaml".into()]).unwrap_err();
+        assert!(err.to_string().contains("log format"), "got {err}");
+    }
+
+    #[test]
+    fn emit_csv_writes_the_table() {
+        let dir = std::env::temp_dir().join("socnet-bench-emit-test");
+        let mut t = TableView::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into()]);
+        emit_csv(&t, &dir, "emitted");
+        let text = fs::read_to_string(dir.join("emitted.csv")).expect("csv written");
+        assert_eq!(text, "a\n1\n");
+        fs::remove_file(dir.join("emitted.csv")).ok();
     }
 
     #[test]

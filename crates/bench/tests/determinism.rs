@@ -21,6 +21,8 @@ fn temp_out(tag: &str) -> PathBuf {
 }
 
 fn args_in(dir: &Path, threads: usize) -> ExperimentArgs {
+    // Keep the BENCH_*.json emitted by `finish` inside the temp dir.
+    std::env::set_var("SOCNET_BENCH_DIR", dir);
     let mut args = ExperimentArgs::default();
     args.out_dir = dir.to_path_buf();
     args.threads = threads;

@@ -1,0 +1,151 @@
+//! Integration tests for the observability layer: the metrics snapshot
+//! is identical whatever `--threads` says, the JSONL event log stays
+//! machine-parseable when units panic or are cancelled mid-run, and the
+//! run manifest / bench summary keep their pinned schemas across a
+//! checkpoint resume.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use socnet_bench::{Experiment, ExperimentArgs};
+use socnet_runner::obs::LogFormat;
+use socnet_runner::{json, RunReport, UnitError};
+
+const DATASETS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// The logger, metrics registry, and `SOCNET_BENCH_DIR` are process
+/// globals; tests that run an [`Experiment`] are serialized.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_out(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("socnet-bench-obs-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn args_in(dir: &Path, threads: usize) -> ExperimentArgs {
+    std::env::set_var("SOCNET_BENCH_DIR", dir);
+    let mut args = ExperimentArgs::default();
+    args.out_dir = dir.to_path_buf();
+    args.threads = threads;
+    args.quiet = true;
+    args
+}
+
+fn payload_for(name: &str) -> Vec<f64> {
+    (1..=6).map(|t| name.len() as f64 / (t as f64 + 0.1)).collect()
+}
+
+/// One stage over the four datasets; `fail_from` makes units at or past
+/// that index fail deterministically.
+fn run_obs(args: &ExperimentArgs, fail_from: Option<usize>) -> RunReport {
+    let mut exp = Experiment::new("obs", args);
+    let _ = exp.stage(
+        "work",
+        &DATASETS,
+        |_, d| format!("work/{d}"),
+        |ctx, &d| {
+            if fail_from.is_some_and(|k| ctx.index >= k) {
+                return Err(UnitError::Failed("injected crash".into()));
+            }
+            Ok(payload_for(d))
+        },
+    );
+    exp.finish()
+}
+
+#[test]
+fn metrics_counters_are_identical_across_thread_counts() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut counter_lines = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let dir = temp_out(&format!("metrics-t{threads}"));
+        let args = args_in(&dir, threads);
+        let report = run_obs(&args, None);
+        assert!(report.is_complete(), "threads={threads}: {}", report.render());
+
+        let text = fs::read_to_string(dir.join("obs_metrics.json")).expect("metrics snapshot");
+        assert!(json::is_valid(&text), "threads={threads}: invalid JSON:\n{text}");
+        assert!(text.contains("\"schema\":\"socnet-metrics-v1\""));
+        // The counters section is rendered on a single sorted line
+        // precisely so this comparison can be byte-for-byte.
+        let counters = text
+            .lines()
+            .find(|l| l.starts_with("\"counters\""))
+            .expect("counters line")
+            .to_string();
+        assert!(counters.contains("\"units.completed\":4"), "{counters}");
+        assert!(counters.contains("\"checkpoint.appends\":4"), "{counters}");
+        counter_lines.push((threads, counters));
+        fs::remove_dir_all(&dir).ok();
+    }
+    let (_, reference) = &counter_lines[0];
+    for (threads, line) in &counter_lines[1..] {
+        assert_eq!(line, reference, "threads={threads} must not change the counters");
+    }
+}
+
+#[test]
+fn jsonl_event_log_survives_panics_and_cancellation() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let dir = temp_out("jsonl");
+    let mut args = args_in(&dir, 2);
+    args.log_format = LogFormat::Json;
+    args.log_file = Some(dir.join("events.jsonl"));
+
+    let mut exp = Experiment::new("obs", &args);
+    let out = exp.stage(
+        "mixed",
+        &DATASETS,
+        |_, d| format!("mixed/{d}"),
+        |_, &d| match d {
+            "beta" => panic!("injected panic"),
+            "gamma" => Err(UnitError::Cancelled),
+            _ => Ok(payload_for(d)),
+        },
+    );
+    let report = exp.finish();
+
+    assert_eq!(out.iter().filter(|o| o.is_some()).count(), 2);
+    assert!(!report.is_complete());
+    let text = fs::read_to_string(dir.join("events.jsonl")).expect("event log");
+    assert!(json::is_valid_jsonl(&text), "log must stay valid JSONL:\n{text}");
+    for event in ["run.start", "stage.start", "stage.done", "artifact.written", "run.done"] {
+        assert!(text.contains(&format!("\"event\":\"{event}\"")), "missing {event}:\n{text}");
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manifest_and_bench_summary_keep_their_schemas_across_a_resume() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let dir = temp_out("resume");
+    let args = args_in(&dir, 1);
+
+    // Run 1 fails its last two units, leaving a journal ...
+    let report = run_obs(&args, Some(2));
+    assert!(!report.is_complete());
+    assert!(dir.join("obs.ckpt").exists());
+
+    // ... run 2 replays the finished units and completes.
+    let report = run_obs(&args, None);
+    assert!(report.is_complete(), "{}", report.render());
+    assert_eq!(report.stages[0].resumed(), 2);
+
+    let manifest = fs::read_to_string(dir.join("run.json")).expect("run manifest");
+    assert!(json::is_valid(&manifest), "invalid run.json:\n{manifest}");
+    assert!(manifest.contains("\"schema\":\"socnet-run-v1\""));
+    // Replayed units are explicit: zero wall and a resumed marker, so
+    // downstream tooling never mistakes a journal hit for measured time.
+    assert!(manifest.contains("\"resumed\":true"), "{manifest}");
+    assert!(manifest.contains("\"wall_s\":0.000"), "{manifest}");
+    assert!(manifest.contains("\"coverage\":1.0000"), "{manifest}");
+
+    let bench = fs::read_to_string(dir.join("BENCH_obs.json")).expect("bench summary");
+    assert!(json::is_valid(&bench), "invalid BENCH_obs.json:\n{bench}");
+    assert!(bench.contains("\"schema\":\"socnet-bench-v1\""));
+    assert!(bench.contains("\"work\""), "stage name in summary: {bench}");
+    assert!(bench.contains("\"units\":4"), "{bench}");
+    fs::remove_dir_all(&dir).ok();
+}

@@ -17,7 +17,7 @@ use socnet_expansion::{ExpansionSweep, SourceSelection};
 use socnet_gen::Dataset;
 use socnet_kcore::{core_profiles, coreness_ecdf, CoreDecomposition};
 use socnet_mixing::{sinclair_bounds, slem, MixingConfig, MixingMeasurement, SpectralConfig};
-use socnet_runner::{CancelToken, ParConfig};
+use socnet_runner::{json, CancelToken, ParConfig};
 use socnet_sybil::{
     eval, AttackedGraph, GateKeeper, GateKeeperConfig, SumUp, SumUpConfig, SybilAttack,
     SybilGuard, SybilGuardConfig, SybilInfer, SybilInferConfig, SybilLimit, SybilLimitConfig,
@@ -581,6 +581,39 @@ pub fn datasets(map: &ArgMap) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `socnet obs-check` — validate observability artifacts. Files ending
+/// in `.jsonl` are checked line by line; everything else must be one
+/// JSON document. The first invalid file fails the whole check, so CI
+/// can gate on the exit code.
+pub fn obs_check(map: &ArgMap) -> Result<String, CliError> {
+    map.check_allowed(&[])?;
+    if map.positional(0).is_none() {
+        return Err(CliError::MissingArgument("<FILE> (JSON or JSONL artifact)"));
+    }
+    let mut out = String::new();
+    let mut i = 0;
+    while let Some(path) = map.positional(i) {
+        i += 1;
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::Artifact {
+            path: path.to_string(),
+            message: e.to_string(),
+        })?;
+        let (kind, ok) = if path.ends_with(".jsonl") {
+            ("jsonl", json::is_valid_jsonl(&text))
+        } else {
+            ("json", json::is_valid(&text))
+        };
+        if !ok {
+            return Err(CliError::Artifact {
+                path: path.to_string(),
+                message: format!("not valid {kind}"),
+            });
+        }
+        writeln!(out, "ok {path} ({kind})").expect("write");
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -758,5 +791,40 @@ mod tests {
         assert_eq!(dataset_by_name("wiki-vote").expect("found"), Dataset::WikiVote);
         assert_eq!(dataset_by_name("DBLP").expect("found"), Dataset::Dblp);
         assert!(dataset_by_name("friendster").is_err());
+    }
+
+    #[test]
+    fn obs_check_validates_json_and_jsonl() {
+        let dir = std::env::temp_dir().join("socnet-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pid = std::process::id();
+        let good = dir.join(format!("good-{pid}.json"));
+        let lines = dir.join(format!("good-{pid}.jsonl"));
+        let bad = dir.join(format!("bad-{pid}.json"));
+        std::fs::write(&good, "{\"schema\":\"socnet-run-v1\",\"stages\":[]}\n").expect("write");
+        std::fs::write(&lines, "{\"seq\":0}\n{\"seq\":1}\n").expect("write");
+        std::fs::write(&bad, "{\"seq\":0,}\n").expect("write");
+
+        let out = obs_check(&args(&[
+            good.to_str().expect("utf8"),
+            lines.to_str().expect("utf8"),
+        ]))
+        .expect("both valid");
+        assert!(out.contains("(json)"));
+        assert!(out.contains("(jsonl)"));
+
+        assert!(matches!(
+            obs_check(&args(&[bad.to_str().expect("utf8")])),
+            Err(CliError::Artifact { .. })
+        ));
+        assert!(matches!(
+            obs_check(&args(&["/no/such/file.json"])),
+            Err(CliError::Artifact { .. })
+        ));
+        assert!(obs_check(&args(&[])).is_err());
+
+        for p in [good, lines, bad] {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

@@ -25,6 +25,13 @@ pub enum CliError {
     UnexpectedArgument(String),
     /// Loading or validating a graph failed.
     Graph(GraphError),
+    /// An observability artifact failed validation (`obs-check`).
+    Artifact {
+        /// The file that failed.
+        path: String,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -39,6 +46,9 @@ impl fmt::Display for CliError {
             CliError::MissingArgument(what) => write!(f, "missing required argument: {what}"),
             CliError::UnexpectedArgument(a) => write!(f, "unexpected argument {a:?}"),
             CliError::Graph(e) => write!(f, "graph error: {e}"),
+            CliError::Artifact { path, message } => {
+                write!(f, "artifact check failed for {path}: {message}")
+            }
         }
     }
 }

@@ -19,9 +19,19 @@
 //!
 //! `<GRAPH>` is an edge-list file (`u v` per line, `#` comments), the
 //! same format the SNAP crawls in the paper's Table I use.
+//!
+//! Every command also accepts the observability flags shared with the
+//! experiment binaries — `--log-format pretty|json`, `--log-file PATH`,
+//! `--quiet` — and `socnet obs-check FILE...` validates the JSON/JSONL
+//! artifacts they produce.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use socnet_runner::obs::{self, LogFormat};
 
 mod args;
 mod commands;
@@ -29,6 +39,40 @@ mod error;
 
 pub use args::ArgMap;
 pub use error::CliError;
+
+/// Observability flags shared with the experiment binaries. They are
+/// stripped before subcommand parsing because [`ArgMap`] treats every
+/// `--flag` as taking a value, which `--quiet` does not.
+#[derive(Debug, Default)]
+struct ObsFlags {
+    format: LogFormat,
+    log_file: Option<PathBuf>,
+    quiet: bool,
+}
+
+/// Splits the observability flags out of `args`, returning the rest.
+fn split_obs_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut flags = ObsFlags::default();
+    let mut it = args.iter();
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--log-format" => {
+                let raw = it.next().ok_or_else(|| CliError::MissingValue(token.clone()))?;
+                flags.format = raw.parse().map_err(|message: String| {
+                    CliError::InvalidValue { flag: token.clone(), message }
+                })?;
+            }
+            "--log-file" => {
+                let raw = it.next().ok_or_else(|| CliError::MissingValue(token.clone()))?;
+                flags.log_file = Some(PathBuf::from(raw));
+            }
+            "--quiet" => flags.quiet = true,
+            _ => rest.push(token.clone()),
+        }
+    }
+    Ok((rest, flags))
+}
 
 /// Runs one CLI invocation, returning the text to print on success.
 ///
@@ -45,13 +89,22 @@ pub use error::CliError;
 /// # Ok::<(), socnet_cli::CliError>(())
 /// ```
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (args, flags) = split_obs_flags(args)?;
+    if let Err(e) = obs::init(flags.format, flags.log_file.as_deref(), flags.quiet) {
+        obs::set_global(obs::Logger::stderr(flags.format, flags.quiet));
+        obs::warn("log.file_failed", &[("error", e.to_string().into())]);
+    }
     let (command, rest) = args.split_first().ok_or(CliError::MissingCommand)?;
     if matches!(command.as_str(), "help" | "--help" | "-h") {
         // Help never fails, whatever trails it.
         return Ok(usage().to_string());
     }
+    // Debug level: recorded by a `--log-file` sink, off the terminal
+    // unless SOCNET_DEBUG is set — the CLI's own output stays clean.
+    obs::debug("cli.start", &[("command", command.as_str().into())]);
+    let started = Instant::now();
     let map = ArgMap::parse(rest)?;
-    match command.as_str() {
+    let result = match command.as_str() {
         "generate" => commands::generate(&map),
         "info" => commands::info(&map),
         "mixing" => commands::mixing(&map),
@@ -61,9 +114,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "communities" => commands::communities(&map),
         "simulate" => commands::simulate(&map),
         "datasets" => commands::datasets(&map),
+        "obs-check" => commands::obs_check(&map),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
+    };
+    let wall = started.elapsed().as_secs_f64();
+    match &result {
+        Ok(_) => obs::debug(
+            "cli.done",
+            &[("command", command.as_str().into()), ("wall_s", wall.into())],
+        ),
+        Err(e) => obs::debug(
+            "cli.error",
+            &[("command", command.as_str().into()), ("error", e.to_string().into())],
+        ),
     }
+    result
 }
 
 /// The usage text shown by `socnet help` and on errors.
@@ -89,7 +155,14 @@ COMMANDS:
                --dataset NAME --defense gatekeeper|sybilguard|sybillimit|sybilinfer|sumup|community
                [--sybils N] [--attack-edges G] [--scale F] [--seed S]
   datasets     list the synthetic dataset registry
+  obs-check    validate observability artifacts: FILE... (.jsonl files are
+               checked line-by-line, everything else as one JSON document)
   help         show this message
+
+GLOBAL FLAGS (any command):
+  --log-format pretty|json   event rendering (default pretty)
+  --log-file PATH            write events to PATH instead of stderr
+  --quiet                    suppress stderr events
 
 <GRAPH> arguments are edge-list files: one 'u v' pair per line,
 '#' comments allowed."
@@ -99,26 +172,32 @@ COMMANDS:
 mod tests {
     use super::*;
 
-    fn s(parts: &[&str]) -> Vec<String> {
-        parts.iter().map(|p| p.to_string()).collect()
+    /// `run` re-initializes the process-wide logger, so tests that call
+    /// it are serialized to keep the log-file assertions deterministic.
+    static RUN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn locked_run(parts: &[&str]) -> Result<String, CliError> {
+        let _guard = RUN_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let args: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+        run(&args)
     }
 
     #[test]
     fn help_paths() {
         for cmd in ["help", "--help", "-h"] {
-            let out = run(&s(&[cmd])).expect("help works");
+            let out = locked_run(&[cmd]).expect("help works");
             assert!(out.contains("USAGE"));
         }
     }
 
     #[test]
     fn missing_command_errors() {
-        assert!(matches!(run(&[]), Err(CliError::MissingCommand)));
+        assert!(matches!(locked_run(&[]), Err(CliError::MissingCommand)));
     }
 
     #[test]
     fn unknown_command_errors() {
-        match run(&s(&["frobnicate"])) {
+        match locked_run(&["frobnicate"]) {
             Err(CliError::UnknownCommand(c)) => assert_eq!(c, "frobnicate"),
             other => panic!("expected unknown command, got {other:?}"),
         }
@@ -126,9 +205,50 @@ mod tests {
 
     #[test]
     fn datasets_lists_the_registry() {
-        let out = run(&s(&["datasets"])).expect("datasets works");
+        let out = locked_run(&["datasets"]).expect("datasets works");
         for name in ["Wiki-vote", "DBLP", "Rice-grad"] {
             assert!(out.contains(name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn obs_flags_are_stripped_before_parsing() {
+        // `datasets` rejects every flag, so these only pass if the
+        // observability flags never reach ArgMap.
+        let out = locked_run(&["datasets", "--quiet", "--log-format", "json"])
+            .expect("obs flags are global");
+        assert!(out.contains("Wiki-vote"));
+        match locked_run(&["datasets", "--log-format", "yaml"]) {
+            Err(CliError::InvalidValue { flag, .. }) => assert_eq!(flag, "--log-format"),
+            other => panic!("expected invalid log format, got {other:?}"),
+        }
+        assert!(matches!(
+            locked_run(&["datasets", "--log-file"]),
+            Err(CliError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn log_file_records_cli_events() {
+        let dir = std::env::temp_dir().join("socnet-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let log = dir.join(format!("events-{}.jsonl", std::process::id()));
+        let log_s = log.to_str().expect("utf8").to_string();
+        locked_run(&["datasets", "--log-format", "json", "--log-file", &log_s])
+            .expect("runs");
+        let text = std::fs::read_to_string(&log).expect("log written");
+        assert!(socnet_runner::json::is_valid_jsonl(&text), "invalid JSONL: {text}");
+        assert!(text.contains("\"event\":\"cli.start\""));
+        assert!(text.contains("\"event\":\"cli.done\""));
+        std::fs::remove_file(log).ok();
+    }
+
+    #[test]
+    fn obs_check_is_dispatched() {
+        // Unknown command still errors; the new subcommand is routed.
+        assert!(matches!(
+            locked_run(&["obs-check"]),
+            Err(CliError::MissingArgument(_))
+        ));
     }
 }

@@ -108,6 +108,7 @@ impl Checkpoint {
             0
         };
 
+        let reset = valid_len == 0 && !bytes.is_empty();
         if valid_len != bytes.len() || valid_len == 0 {
             file.set_len(valid_len as u64)?;
             file.seek(SeekFrom::Start(valid_len as u64))?;
@@ -119,6 +120,23 @@ impl Checkpoint {
         } else {
             file.seek(SeekFrom::End(0))?;
         }
+
+        if reset {
+            crate::obs::info(
+                "checkpoint.reset",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("key", key.into()),
+                ],
+            );
+        }
+        crate::obs::debug(
+            "checkpoint.open",
+            &[
+                ("path", path.display().to_string().into()),
+                ("entries", entries.len().into()),
+            ],
+        );
 
         Ok(Checkpoint {
             path: path.to_path_buf(),
@@ -143,6 +161,7 @@ impl Checkpoint {
         state.file.write_all(line.as_bytes())?;
         state.file.sync_data()?;
         state.entries.insert(id.to_string(), payload.to_string());
+        crate::Metrics::global().incr("checkpoint.appends", 1);
         Ok(())
     }
 

@@ -1,0 +1,403 @@
+//! Hand-rolled JSON building and validation.
+//!
+//! The runner crate is deliberately dependency-free, so the structured
+//! observability artifacts ([`run.json`](crate::RunManifest) manifests,
+//! metrics snapshots, JSONL event logs, `BENCH_*.json` summaries) are
+//! assembled with this tiny writer instead of serde. Key order is
+//! insertion order and number formatting is explicit at every call
+//! site, which is what keeps the emitted schemas byte-stable — the
+//! golden-file tests pin the exact output.
+//!
+//! [`is_valid`] / [`is_valid_jsonl`] are the matching validators: a
+//! strict recursive-descent check used by the test suite and by
+//! `socnet obs-check` so CI can fail a binary that ever emits a torn or
+//! malformed document.
+
+/// Escapes a string for embedding inside JSON double quotes (the quotes
+/// themselves are not added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number: fixed `decimals` places, with
+/// non-finite values (which JSON cannot represent) emitted as `null`.
+pub fn num(x: f64, decimals: usize) -> String {
+    if x.is_finite() {
+        format!("{x:.decimals$}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An insertion-ordered JSON object under construction.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_runner::json::Obj;
+///
+/// let mut o = Obj::new();
+/// o.str("name", "fig1");
+/// o.int("units", 7);
+/// assert_eq!(o.finish(), r#"{"name":"fig1","units":7}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Obj { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn sint(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field with fixed decimals (`null` when non-finite).
+    pub fn num(&mut self, key: &str, value: f64, decimals: usize) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&num(value, decimals));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// A JSON array of already-rendered values.
+#[derive(Debug, Default)]
+pub struct Arr {
+    items: Vec<String>,
+}
+
+impl Arr {
+    /// An empty array.
+    pub fn new() -> Self {
+        Arr { items: Vec::new() }
+    }
+
+    /// Appends one already-rendered JSON value.
+    pub fn push_raw(&mut self, json: String) -> &mut Self {
+        self.items.push(json);
+        self
+    }
+
+    /// Renders the array.
+    pub fn finish(&self) -> String {
+        format!("[{}]", self.items.join(","))
+    }
+}
+
+/// Whether `s` is exactly one valid JSON value (with surrounding
+/// whitespace allowed).
+pub fn is_valid(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    if !value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+/// Whether every non-empty line of `s` is a valid JSON value — the
+/// contract `--log-format json` holds even under panics and
+/// cancellation.
+pub fn is_valid_jsonl(s: &str) -> bool {
+    s.lines().filter(|l| !l.trim().is_empty()).all(is_valid)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => false,
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') || !string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                match b.get(*pos + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 2..*pos + 6);
+                        match hex {
+                            Some(h) if h.iter().all(u8::is_ascii_hexdigit) => *pos += 6,
+                            _ => return false,
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1f => return false, // raw control characters are invalid
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: 0 alone, or a nonzero-led digit run.
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return false;
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return false;
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    *pos > start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn num_formats_and_guards_nonfinite() {
+        assert_eq!(num(1.5, 3), "1.500");
+        assert_eq!(num(0.0, 1), "0.0");
+        assert_eq!(num(f64::NAN, 3), "null");
+        assert_eq!(num(f64::INFINITY, 3), "null");
+    }
+
+    #[test]
+    fn obj_preserves_insertion_order() {
+        let mut o = Obj::new();
+        o.str("z", "last?").int("a", 1).bool("ok", true).num("w", 2.5, 2);
+        o.raw("nested", "{\"x\":1}");
+        let json = o.finish();
+        assert_eq!(json, r#"{"z":"last?","a":1,"ok":true,"w":2.50,"nested":{"x":1}}"#);
+        assert!(is_valid(&json));
+    }
+
+    #[test]
+    fn arr_builds_valid_json() {
+        let mut a = Arr::new();
+        a.push_raw("1".into()).push_raw("\"two\"".into());
+        assert_eq!(a.finish(), r#"[1,"two"]"#);
+        assert!(is_valid(&a.finish()));
+        assert_eq!(Arr::new().finish(), "[]");
+    }
+
+    #[test]
+    fn validator_accepts_valid_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e3",
+            "0.25",
+            r#""hié""#,
+            r#"{"a":[1,2,{"b":null}],"c":"d"}"#,
+            "  { \"k\" : [ 1 , 2 ] }  ",
+        ] {
+            assert!(is_valid(ok), "should accept {ok:?}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "--1",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "{} trailing",
+            "nul",
+            "{\"a\":1,}",
+        ] {
+            assert!(!is_valid(bad), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn jsonl_checks_every_line() {
+        assert!(is_valid_jsonl("{\"a\":1}\n{\"b\":2}\n"));
+        assert!(is_valid_jsonl("\n\n{\"a\":1}\n"));
+        assert!(!is_valid_jsonl("{\"a\":1}\n{torn"));
+    }
+}

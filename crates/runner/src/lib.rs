@@ -28,7 +28,19 @@
 //!   by every experiment binary and written beside the CSVs so degraded
 //!   output is always labeled with its coverage;
 //! * [`write_atomic`] — tmp-file + fsync + rename artifact writes, so a
-//!   killed run can never leave a truncated CSV.
+//!   killed run can never leave a truncated CSV;
+//! * [`obs`] — structured tracing: span/event API with pretty and JSONL
+//!   renderers, a global logger selected by `--log-format` /
+//!   `--log-file` / `--quiet`, and a [`Heartbeat`](obs::Heartbeat)
+//!   thread emitting progress + ETA for long sweeps;
+//! * [`Metrics`] — a process-wide registry of counters, gauges, and
+//!   duration histograms the engines record into, snapshotted to
+//!   `<out>/<name>_metrics.json`;
+//! * [`RunManifest`] / [`write_bench`] — machine-readable `run.json`
+//!   manifests (args, seed, git rev, hostname, per-stage coverage and
+//!   timings) and `BENCH_<name>.json` perf summaries;
+//! * [`json`] — the hand-rolled JSON writer + validator behind all of
+//!   the above.
 //!
 //! The crate is deliberately dependency-free (std only): the failure
 //! layer should not be able to fail on its own account.
@@ -63,6 +75,10 @@
 mod artifact;
 mod cancel;
 mod checkpoint;
+pub mod json;
+mod manifest;
+mod metrics;
+pub mod obs;
 mod par;
 mod payload;
 mod pool;
@@ -71,6 +87,8 @@ mod report;
 pub use artifact::write_atomic;
 pub use cancel::{CancelCause, CancelToken};
 pub use checkpoint::Checkpoint;
+pub use manifest::{git_rev, hostname, render_bench, write_bench, RunManifest};
+pub use metrics::{Histogram, Metrics, BUCKET_BOUNDS_S};
 pub use par::{par_sweep, ParConfig, SweepCtx};
 pub use payload::Payload;
 pub use pool::{run_units, PoolConfig, StageOutput, UnitCtx, UnitError};

@@ -1,0 +1,367 @@
+//! Machine-readable run manifests and bench summaries.
+//!
+//! [`RunManifest`] captures what one experiment invocation *was* —
+//! binary name, arguments, seed, scale, thread count, git revision,
+//! hostname, start time — and, when rendered against the final
+//! [`RunReport`], what it *did*: per-stage wall, coverage, and one
+//! record per unit with an explicit `resumed` marker (a resumed unit's
+//! `wall_s` is `0.000` because it was restored, not recomputed — the
+//! marker removes the ambiguity with "never timed"). Written atomically
+//! to `<out>/run.json` with schema `socnet-run-v1`.
+//!
+//! [`render_bench`] / [`write_bench`] derive the perf-trajectory
+//! summary `BENCH_<name>.json` (schema `socnet-bench-v1`) from the same
+//! report: one line per stage mapping to `{wall_s, units, throughput}`,
+//! so `scripts/bench-compare.sh` can diff two runs with `awk`.
+
+use std::io;
+use std::path::Path;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json;
+use crate::report::{RunReport, StageReport, UnitStatus};
+use crate::write_atomic;
+
+fn status_token(status: UnitStatus) -> &'static str {
+    match status {
+        UnitStatus::Completed => "completed",
+        UnitStatus::Resumed => "resumed",
+        UnitStatus::Failed => "failed",
+        UnitStatus::Cancelled => "cancelled",
+        UnitStatus::TimedOut => "timed_out",
+    }
+}
+
+/// Best-effort short git revision: `SOCNET_GIT_REV` env override, then
+/// `git rev-parse --short HEAD`, else `"unknown"`.
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("SOCNET_GIT_REV") {
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Best-effort hostname: `HOSTNAME` env, then `/etc/hostname`, else
+/// `"unknown"`.
+pub fn hostname() -> String {
+    if let Ok(name) = std::env::var("HOSTNAME") {
+        if !name.is_empty() {
+            return name;
+        }
+    }
+    std::fs::read_to_string("/etc/hostname")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The provenance half of a `run.json` manifest, built at run start.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    name: String,
+    started_unix_ms: u64,
+    git_rev: String,
+    hostname: String,
+    /// `(key, rendered JSON value)` in insertion order.
+    args: Vec<(String, String)>,
+}
+
+impl RunManifest {
+    /// A manifest for the named experiment, capturing git revision,
+    /// hostname, and the current time.
+    pub fn new(name: impl Into<String>) -> Self {
+        let started_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        RunManifest {
+            name: name.into(),
+            started_unix_ms,
+            git_rev: git_rev(),
+            hostname: hostname(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Records a string-valued invocation argument.
+    pub fn arg_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.args
+            .push((key.to_string(), format!("\"{}\"", json::escape(value))));
+        self
+    }
+
+    /// Records an integer-valued invocation argument.
+    pub fn arg_int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.args.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Records a float-valued invocation argument.
+    pub fn arg_num(&mut self, key: &str, value: f64, decimals: usize) -> &mut Self {
+        self.args.push((key.to_string(), json::num(value, decimals)));
+        self
+    }
+
+    /// Records a boolean invocation argument.
+    pub fn arg_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.args
+            .push((key.to_string(), if value { "true" } else { "false" }.to_string()));
+        self
+    }
+
+    /// Overrides the captured git revision (tests pin the output).
+    pub fn set_git_rev(&mut self, rev: &str) -> &mut Self {
+        self.git_rev = rev.to_string();
+        self
+    }
+
+    /// Overrides the captured hostname (tests pin the output).
+    pub fn set_hostname(&mut self, host: &str) -> &mut Self {
+        self.hostname = host.to_string();
+        self
+    }
+
+    /// Overrides the captured start time (tests pin the output).
+    pub fn set_started_unix_ms(&mut self, ms: u64) -> &mut Self {
+        self.started_unix_ms = ms;
+        self
+    }
+
+    fn stage_json(stage: &StageReport) -> String {
+        let mut units = json::Arr::new();
+        for unit in &stage.units {
+            let mut u = json::Obj::new();
+            u.str("id", &unit.id)
+                .str("status", status_token(unit.status))
+                .int("attempts", unit.attempts as u64)
+                .num("wall_s", unit.wall.as_secs_f64(), 3)
+                .bool("resumed", unit.status == UnitStatus::Resumed);
+            if let Some(err) = &unit.error {
+                u.str("error", err);
+            }
+            units.push_raw(u.finish());
+        }
+        let mut s = json::Obj::new();
+        s.str("stage", &stage.stage)
+            .num("wall_s", stage.wall.as_secs_f64(), 3)
+            .num("coverage", stage.coverage(), 4)
+            .int("completed", stage.completed() as u64)
+            .int("resumed", stage.resumed() as u64)
+            .int("failed", stage.failed() as u64)
+            .int("cancelled", stage.cancelled() as u64)
+            .int("timed_out", stage.timed_out() as u64)
+            .raw("units", &units.finish());
+        s.finish()
+    }
+
+    /// Renders the `socnet-run-v1` manifest against the final report.
+    ///
+    /// Layout contract: header fields one per line, `"args"` on one
+    /// line, one line per stage, then `"complete"`.
+    pub fn render(&self, report: &RunReport) -> String {
+        let mut args = json::Obj::new();
+        for (k, v) in &self.args {
+            args.raw(k, v);
+        }
+        let mut out = String::from("{\n");
+        out.push_str("\"schema\":\"socnet-run-v1\",\n");
+        out.push_str(&format!("\"name\":\"{}\",\n", json::escape(&self.name)));
+        out.push_str(&format!("\"started_unix_ms\":{},\n", self.started_unix_ms));
+        out.push_str(&format!("\"git_rev\":\"{}\",\n", json::escape(&self.git_rev)));
+        out.push_str(&format!("\"hostname\":\"{}\",\n", json::escape(&self.hostname)));
+        out.push_str(&format!("\"args\":{},\n", args.finish()));
+        out.push_str("\"stages\":[");
+        for (i, stage) in report.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n{}", Self::stage_json(stage)));
+        }
+        if !report.stages.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "\"complete\":{}\n}}\n",
+            if report.is_complete() { "true" } else { "false" }
+        ));
+        out
+    }
+
+    /// Writes the manifest atomically to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the atomic write.
+    pub fn write(&self, report: &RunReport, path: &Path) -> io::Result<()> {
+        write_atomic(path, self.render(report).as_bytes())
+    }
+}
+
+/// Renders the `socnet-bench-v1` summary: per stage, total wall,
+/// unit count, and throughput (`units / wall_s`, `null` when the stage
+/// took no measurable time). One stage per line so shell tooling can
+/// grep a single stage.
+pub fn render_bench(name: &str, report: &RunReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("\"schema\":\"socnet-bench-v1\",\n");
+    out.push_str(&format!("\"name\":\"{}\",\n", json::escape(name)));
+    out.push_str("\"stages\":{");
+    for (i, stage) in report.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let wall = stage.wall.as_secs_f64();
+        let units = stage.total() as u64;
+        let throughput = if wall > 0.0 {
+            json::num(units as f64 / wall, 3)
+        } else {
+            "null".to_string()
+        };
+        out.push_str(&format!(
+            "\n\"{}\":{{\"wall_s\":{},\"units\":{},\"throughput\":{}}}",
+            json::escape(&stage.stage),
+            json::num(wall, 3),
+            units,
+            throughput
+        ));
+    }
+    if !report.stages.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Writes `BENCH_<name>.json` atomically into `dir` and returns its
+/// path.
+///
+/// # Errors
+///
+/// Returns any I/O error from the atomic write.
+pub fn write_bench(name: &str, report: &RunReport, dir: &Path) -> io::Result<std::path::PathBuf> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    write_atomic(&path, render_bench(name, report).as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::UnitRecord;
+    use std::time::Duration;
+
+    fn sample_report() -> RunReport {
+        let mut stage = StageReport::new("fig1a");
+        stage
+            .units
+            .push(UnitRecord::completed("src-0", 1).with_wall(Duration::from_millis(250)));
+        stage.units.push(UnitRecord::resumed("src-1"));
+        stage
+            .units
+            .push(UnitRecord::failed("src-2", 2, "panicked: boom"));
+        stage.wall = Duration::from_millis(1500);
+        let mut report = RunReport::new();
+        report.push(stage);
+        report
+    }
+
+    #[test]
+    fn run_manifest_schema_is_pinned() {
+        let mut m = RunManifest::new("demo");
+        m.set_git_rev("abc1234")
+            .set_hostname("ci-box")
+            .set_started_unix_ms(1700000000000);
+        m.arg_num("scale", 0.02, 3).arg_int("seed", 42).arg_bool("resume", false);
+        let rendered = m.render(&sample_report());
+        assert_eq!(
+            rendered,
+            "{\n\
+             \"schema\":\"socnet-run-v1\",\n\
+             \"name\":\"demo\",\n\
+             \"started_unix_ms\":1700000000000,\n\
+             \"git_rev\":\"abc1234\",\n\
+             \"hostname\":\"ci-box\",\n\
+             \"args\":{\"scale\":0.020,\"seed\":42,\"resume\":false},\n\
+             \"stages\":[\n\
+             {\"stage\":\"fig1a\",\"wall_s\":1.500,\"coverage\":0.6667,\"completed\":1,\"resumed\":1,\"failed\":1,\"cancelled\":0,\"timed_out\":0,\
+             \"units\":[\
+             {\"id\":\"src-0\",\"status\":\"completed\",\"attempts\":1,\"wall_s\":0.250,\"resumed\":false},\
+             {\"id\":\"src-1\",\"status\":\"resumed\",\"attempts\":0,\"wall_s\":0.000,\"resumed\":true},\
+             {\"id\":\"src-2\",\"status\":\"failed\",\"attempts\":2,\"wall_s\":0.000,\"resumed\":false,\"error\":\"panicked: boom\"}\
+             ]}\n\
+             ],\n\
+             \"complete\":false\n}\n"
+        );
+        assert!(json::is_valid(&rendered));
+    }
+
+    #[test]
+    fn bench_schema_is_pinned() {
+        let rendered = render_bench("demo", &sample_report());
+        assert_eq!(
+            rendered,
+            "{\n\
+             \"schema\":\"socnet-bench-v1\",\n\
+             \"name\":\"demo\",\n\
+             \"stages\":{\n\
+             \"fig1a\":{\"wall_s\":1.500,\"units\":3,\"throughput\":2.000}\n\
+             }\n}\n"
+        );
+        assert!(json::is_valid(&rendered));
+    }
+
+    #[test]
+    fn bench_guards_zero_wall() {
+        let mut report = RunReport::new();
+        report.push(StageReport::new("instant"));
+        let rendered = render_bench("demo", &report);
+        assert!(rendered.contains("\"throughput\":null"), "{rendered}");
+        assert!(json::is_valid(&rendered));
+    }
+
+    #[test]
+    fn empty_report_renders_valid_manifest() {
+        let m = RunManifest::new("empty");
+        let rendered = m.render(&RunReport::new());
+        assert!(json::is_valid(&rendered), "{rendered}");
+        assert!(rendered.contains("\"stages\":[],"));
+        assert!(rendered.contains("\"complete\":true"));
+    }
+
+    #[test]
+    fn provenance_capture_is_nonempty() {
+        assert!(!git_rev().is_empty());
+        assert!(!hostname().is_empty());
+        let m = RunManifest::new("probe");
+        let rendered = m.render(&RunReport::new());
+        assert!(json::is_valid(&rendered));
+    }
+
+    #[test]
+    fn manifest_and_bench_write_atomically() {
+        let dir = std::env::temp_dir().join("socnet-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = sample_report();
+        let m = RunManifest::new("demo");
+        let run_path = dir.join("run.json");
+        m.write(&report, &run_path).expect("write run.json");
+        assert!(json::is_valid(&std::fs::read_to_string(&run_path).unwrap()));
+        let bench_path = write_bench("demo", &report, &dir).expect("write bench");
+        assert!(bench_path.ends_with("BENCH_demo.json"));
+        assert!(json::is_valid(&std::fs::read_to_string(&bench_path).unwrap()));
+        std::fs::remove_file(run_path).ok();
+        std::fs::remove_file(bench_path).ok();
+    }
+}

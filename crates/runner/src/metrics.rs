@@ -1,0 +1,279 @@
+//! A process-wide metrics registry: counters, gauges, and fixed-bucket
+//! duration histograms.
+//!
+//! The runner's engines record into [`Metrics::global`] as they work —
+//! `units.completed`, `units.retried`, `checkpoint.appends`, per-unit
+//! and per-stage wall histograms, queue wait inside `par_sweep` — and
+//! the experiment harness snapshots the whole registry atomically to
+//! `<out>/<name>_metrics.json` when the run finishes.
+//!
+//! The snapshot schema (`socnet-metrics-v1`) renders every section in
+//! sorted key order, and the `"counters"` section on a single line:
+//! counter values are deterministic for a deterministic workload, so a
+//! test (or a human with `grep`) can byte-compare that line across
+//! `--threads 1/2/4` while the timing histograms vary freely.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json;
+use crate::write_atomic;
+
+/// Upper bounds (seconds) of the fixed histogram buckets; a final
+/// implicit `+inf` bucket catches everything slower.
+pub const BUCKET_BOUNDS_S: [f64; 6] = [0.001, 0.01, 0.1, 1.0, 10.0, 100.0];
+
+/// A fixed-bucket duration histogram (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Observation counts per bucket (`BUCKET_BOUNDS_S` + overflow).
+    pub buckets: [u64; BUCKET_BOUNDS_S.len() + 1],
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, in seconds.
+    pub sum_s: f64,
+    /// Smallest observation, in seconds.
+    pub min_s: f64,
+    /// Largest observation, in seconds.
+    pub max_s: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKET_BOUNDS_S.len() + 1],
+            count: 0,
+            sum_s: 0.0,
+            min_s: f64::INFINITY,
+            max_s: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, secs: f64) {
+        let idx = BUCKET_BOUNDS_S
+            .iter()
+            .position(|&bound| secs <= bound)
+            .unwrap_or(BUCKET_BOUNDS_S.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_s += secs;
+        self.min_s = self.min_s.min(secs);
+        self.max_s = self.max_s.max(secs);
+    }
+
+    fn to_json(&self) -> String {
+        let mut buckets = json::Arr::new();
+        for &b in &self.buckets {
+            buckets.push_raw(b.to_string());
+        }
+        let mut o = json::Obj::new();
+        o.int("count", self.count)
+            .num("sum_s", self.sum_s, 6)
+            .num("min_s", if self.count == 0 { 0.0 } else { self.min_s }, 6)
+            .num("max_s", self.max_s, 6)
+            .raw("buckets", &buckets.finish());
+        o.finish()
+    }
+}
+
+/// A registry of named counters, gauges, and duration histograms.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    durations: Mutex<BTreeMap<String, Histogram>>,
+}
+
+static GLOBAL: Metrics = Metrics {
+    counters: Mutex::new(BTreeMap::new()),
+    gauges: Mutex::new(BTreeMap::new()),
+    durations: Mutex::new(BTreeMap::new()),
+};
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The process-wide registry the engines record into.
+    pub fn global() -> &'static Metrics {
+        &GLOBAL
+    }
+
+    fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn incr(&self, name: &str, delta: u64) {
+        *Self::lock(&self.counters).entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        Self::lock(&self.gauges).insert(name.to_string(), value);
+    }
+
+    /// Records one duration observation (seconds) into the named
+    /// histogram.
+    pub fn observe(&self, name: &str, secs: f64) {
+        Self::lock(&self.durations)
+            .entry(name.to_string())
+            .or_default()
+            .observe(secs);
+    }
+
+    /// Current value of a counter (zero when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        Self::lock(&self.counters).get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        Self::lock(&self.gauges).get(name).copied()
+    }
+
+    /// A copy of the named histogram, if any observation was recorded.
+    pub fn duration(&self, name: &str) -> Option<Histogram> {
+        Self::lock(&self.durations).get(name).cloned()
+    }
+
+    /// Clears every metric. The experiment harness calls this at run
+    /// start so one binary invocation owns the whole registry.
+    pub fn reset(&self) {
+        Self::lock(&self.counters).clear();
+        Self::lock(&self.gauges).clear();
+        Self::lock(&self.durations).clear();
+    }
+
+    /// Renders the `socnet-metrics-v1` snapshot.
+    ///
+    /// Layout contract: four lines — schema, `"counters"` (one line,
+    /// sorted keys), `"gauges"`, then a `"durations"` object with one
+    /// line per histogram. Pinned by golden tests.
+    pub fn render_snapshot(&self) -> String {
+        let mut counters = json::Obj::new();
+        for (k, v) in Self::lock(&self.counters).iter() {
+            counters.int(k, *v);
+        }
+        let mut gauges = json::Obj::new();
+        for (k, v) in Self::lock(&self.gauges).iter() {
+            gauges.num(k, *v, 6);
+        }
+        let mut out = String::from("{\n");
+        out.push_str("\"schema\":\"socnet-metrics-v1\",\n");
+        out.push_str(&format!("\"counters\":{},\n", counters.finish()));
+        out.push_str(&format!("\"gauges\":{},\n", gauges.finish()));
+        out.push_str("\"durations\":{");
+        let durations = Self::lock(&self.durations);
+        for (i, (k, h)) in durations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n\"{}\":{}", json::escape(k), h.to_json()));
+        }
+        if !durations.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Writes the snapshot atomically to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the atomic write.
+    pub fn write_snapshot(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, self.render_snapshot().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let m = Metrics::new();
+        m.incr("z.last", 1);
+        m.incr("a.first", 2);
+        m.incr("a.first", 3);
+        assert_eq!(m.counter("a.first"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        let snap = m.render_snapshot();
+        assert!(snap.contains(r#""counters":{"a.first":5,"z.last":1}"#), "{snap}");
+        assert!(json::is_valid(&snap));
+    }
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let mut h = Histogram::default();
+        h.observe(0.0005); // bucket 0 (<= 1ms)
+        h.observe(0.05); // bucket 2 (<= 100ms)
+        h.observe(0.05);
+        h.observe(500.0); // overflow bucket
+        assert_eq!(h.buckets, [1, 0, 2, 0, 0, 0, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum_s - 500.1005).abs() < 1e-9);
+        assert!((h.min_s - 0.0005).abs() < 1e-12);
+        assert!((h.max_s - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_schema_is_pinned() {
+        let m = Metrics::new();
+        m.incr("units.completed", 3);
+        m.gauge_set("threads", 2.0);
+        m.observe("unit.wall", 0.5);
+        let snap = m.render_snapshot();
+        assert_eq!(
+            snap,
+            "{\n\"schema\":\"socnet-metrics-v1\",\n\
+             \"counters\":{\"units.completed\":3},\n\
+             \"gauges\":{\"threads\":2.000000},\n\
+             \"durations\":{\n\
+             \"unit.wall\":{\"count\":1,\"sum_s\":0.500000,\"min_s\":0.500000,\"max_s\":0.500000,\"buckets\":[0,0,0,1,0,0,0]}\n\
+             }\n}\n"
+        );
+        assert!(json::is_valid(&snap));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let m = Metrics::new();
+        let snap = m.render_snapshot();
+        assert!(json::is_valid(&snap), "{snap}");
+        assert!(snap.contains("\"durations\":{}"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = Metrics::new();
+        m.incr("c", 1);
+        m.gauge_set("g", 1.0);
+        m.observe("d", 1.0);
+        m.reset();
+        assert_eq!(m.counter("c"), 0);
+        assert!(m.gauge("g").is_none());
+        assert!(m.duration("d").is_none());
+    }
+
+    #[test]
+    fn snapshot_writes_atomically() {
+        let dir = std::env::temp_dir().join("socnet-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo_metrics.json");
+        let m = Metrics::new();
+        m.incr("units.completed", 1);
+        m.write_snapshot(&path).expect("write snapshot");
+        let text = std::fs::read_to_string(&path).expect("read snapshot");
+        assert_eq!(text, m.render_snapshot());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,595 @@
+//! Structured tracing: spans, events, and the heartbeat thread.
+//!
+//! Every experiment binary routes its diagnostics through one global
+//! [`Logger`] instead of ad-hoc `eprintln!`s. An event is a level, a
+//! dotted name (`stage.done`, `checkpoint.open`, `unit.retry`), and a
+//! small ordered list of `key=value` fields; the logger renders it
+//! either as a human-readable line (`pretty`, the default) or as one
+//! JSON object per line (`json`), to stderr or to a `--log-file`.
+//!
+//! The JSON schema is pinned by golden tests and is the contract the
+//! `obs-check` CLI command and CI validate:
+//!
+//! ```json
+//! {"seq":0,"ts_s":0.000,"level":"info","event":"run.start","fields":{"name":"fig1"}}
+//! ```
+//!
+//! Each line is flushed as it is written, so the log stays valid JSONL
+//! even when a worker panics or the run is cancelled mid-stage.
+//!
+//! [`Heartbeat`] is a small companion thread that periodically emits a
+//! `heartbeat` event with the current stage, unit progress, elapsed
+//! wall, and an ETA — long sweeps are visibly alive without any
+//! per-unit printing.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::json;
+
+/// How the sink renders events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// Human-readable single lines: `[   1.23s] stage.done stage=fig1a`.
+    #[default]
+    Pretty,
+    /// One JSON object per line (JSONL), schema-stable.
+    Json,
+}
+
+impl std::str::FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pretty" => Ok(LogFormat::Pretty),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("unknown log format {other:?} (use pretty|json)")),
+        }
+    }
+}
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// High-volume diagnostics (per-unit progress).
+    Debug,
+    /// Normal lifecycle events.
+    Info,
+    /// Something degraded but the run continues.
+    Warn,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// One typed field value on an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string value.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (rendered with 6 decimals in JSON).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Str(s) if s.contains(char::is_whitespace) || s.is_empty() => {
+                write!(f, "{s:?}")
+            }
+            FieldValue::Str(s) => write!(f, "{s}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.3}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl FieldValue {
+    fn append_json(&self, key: &str, obj: &mut json::Obj) {
+        match self {
+            FieldValue::Str(s) => obj.str(key, s),
+            FieldValue::U64(v) => obj.int(key, *v),
+            FieldValue::I64(v) => obj.sint(key, *v),
+            FieldValue::F64(v) => obj.num(key, *v, 6),
+            FieldValue::Bool(v) => obj.bool(key, *v),
+        };
+    }
+}
+
+enum Sink {
+    /// `eprintln!`-based so the test harness captures it.
+    Stderr,
+    File(File),
+    Capture(Arc<Mutex<String>>),
+}
+
+struct Inner {
+    format: LogFormat,
+    quiet: bool,
+    sink: Mutex<Sink>,
+    start: Instant,
+    seq: AtomicU64,
+    /// When set, every event carries this timestamp — golden tests pin
+    /// the full line without racing the wall clock.
+    fixed_ts: Option<f64>,
+}
+
+/// A cloneable handle to an event sink.
+#[derive(Clone)]
+pub struct Logger {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Logger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Logger")
+            .field("format", &self.inner.format)
+            .field("quiet", &self.inner.quiet)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Logger {
+    fn new(format: LogFormat, quiet: bool, sink: Sink) -> Self {
+        Logger {
+            inner: Arc::new(Inner {
+                format,
+                quiet,
+                sink: Mutex::new(sink),
+                start: Instant::now(),
+                seq: AtomicU64::new(0),
+                fixed_ts: None,
+            }),
+        }
+    }
+
+    /// A logger writing to stderr.
+    pub fn stderr(format: LogFormat, quiet: bool) -> Self {
+        Logger::new(format, quiet, Sink::Stderr)
+    }
+
+    /// A logger writing (and flushing) each line to `path`, truncating
+    /// any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the file.
+    pub fn file(format: LogFormat, path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Logger::new(format, false, Sink::File(File::create(path)?)))
+    }
+
+    /// A logger appending into an in-memory buffer, with a fixed
+    /// timestamp so output is fully deterministic. For tests.
+    pub fn capture(format: LogFormat) -> (Self, Arc<Mutex<String>>) {
+        let buf = Arc::new(Mutex::new(String::new()));
+        let mut logger = Logger::new(format, false, Sink::Capture(Arc::clone(&buf)));
+        Arc::get_mut(&mut logger.inner).expect("fresh logger").fixed_ts = Some(0.0);
+        (logger, buf)
+    }
+
+    fn ts(&self) -> f64 {
+        self.inner
+            .fixed_ts
+            .unwrap_or_else(|| self.inner.start.elapsed().as_secs_f64())
+    }
+
+    /// Emits one event.
+    pub fn event(&self, level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let line = match self.inner.format {
+            LogFormat::Json => {
+                let mut fobj = json::Obj::new();
+                for (k, v) in fields {
+                    v.append_json(k, &mut fobj);
+                }
+                let mut obj = json::Obj::new();
+                obj.int("seq", seq)
+                    .num("ts_s", self.ts(), 3)
+                    .str("level", level.label())
+                    .str("event", name)
+                    .raw("fields", &fobj.finish());
+                obj.finish()
+            }
+            LogFormat::Pretty => {
+                let mut line = format!("[{:8.2}s] ", self.ts());
+                if level == Level::Warn {
+                    line.push_str("WARN ");
+                }
+                line.push_str(name);
+                for (k, v) in fields {
+                    line.push_str(&format!(" {k}={v}"));
+                }
+                line
+            }
+        };
+        let mut sink = self
+            .inner
+            .sink
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match &mut *sink {
+            Sink::Stderr => {
+                // Debug events are high-volume engine internals; keep
+                // them off the terminal unless SOCNET_DEBUG is set. A
+                // --log-file sink always records them.
+                let debug_ok = level != Level::Debug || std::env::var_os("SOCNET_DEBUG").is_some();
+                if !self.inner.quiet && debug_ok {
+                    eprintln!("{line}");
+                }
+            }
+            Sink::File(f) => {
+                let _ = writeln!(f, "{line}");
+                let _ = f.flush();
+            }
+            Sink::Capture(buf) => {
+                let mut buf = buf.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                buf.push_str(&line);
+                buf.push('\n');
+            }
+        }
+    }
+
+    /// Starts a span: emits `<name>.start` now and `<name>.done` with a
+    /// `wall_s` field when the guard drops.
+    pub fn span(&self, name: &str, fields: &[(&str, FieldValue)]) -> Span {
+        self.event(Level::Info, &format!("{name}.start"), fields);
+        Span {
+            logger: self.clone(),
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            start: Instant::now(),
+        }
+    }
+}
+
+/// A timing guard returned by [`Logger::span`] / [`span`].
+#[derive(Debug)]
+pub struct Span {
+    logger: Logger,
+    name: String,
+    fields: Vec<(String, FieldValue)>,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let wall = self.start.elapsed().as_secs_f64();
+        let mut fields: Vec<(&str, FieldValue)> = self
+            .fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        fields.push(("wall_s", FieldValue::F64(wall)));
+        self.logger
+            .event(Level::Info, &format!("{}.done", self.name), &fields);
+    }
+}
+
+static GLOBAL: Mutex<Option<Logger>> = Mutex::new(None);
+
+/// Replaces the process-wide logger (default: pretty to stderr).
+pub fn set_global(logger: Logger) {
+    *GLOBAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(logger);
+}
+
+/// Builds and installs the process-wide logger from CLI-level choices.
+///
+/// With `log_file` set, events go to that file; otherwise to stderr.
+/// `quiet` silences the stderr sink (a file sink is always written).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the log file.
+pub fn init(format: LogFormat, log_file: Option<&Path>, quiet: bool) -> io::Result<()> {
+    let logger = match log_file {
+        Some(path) => Logger::file(format, path)?,
+        None => Logger::stderr(format, quiet),
+    };
+    set_global(logger);
+    Ok(())
+}
+
+/// The process-wide logger (installing the default on first use).
+pub fn global() -> Logger {
+    let mut guard = GLOBAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    guard
+        .get_or_insert_with(|| Logger::stderr(LogFormat::Pretty, false))
+        .clone()
+}
+
+/// Emits a debug-level event on the global logger.
+pub fn debug(name: &str, fields: &[(&str, FieldValue)]) {
+    global().event(Level::Debug, name, fields);
+}
+
+/// Emits an info-level event on the global logger.
+pub fn info(name: &str, fields: &[(&str, FieldValue)]) {
+    global().event(Level::Info, name, fields);
+}
+
+/// Emits a warn-level event on the global logger.
+pub fn warn(name: &str, fields: &[(&str, FieldValue)]) {
+    global().event(Level::Warn, name, fields);
+}
+
+/// Starts a span on the global logger.
+pub fn span(name: &str, fields: &[(&str, FieldValue)]) -> Span {
+    global().span(name, fields)
+}
+
+// ---------------------------------------------------------------------
+// Progress + heartbeat
+// ---------------------------------------------------------------------
+
+static PROGRESS_STAGE: Mutex<String> = Mutex::new(String::new());
+static PROGRESS_DONE: AtomicU64 = AtomicU64::new(0);
+static PROGRESS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Declares the stage the process is currently working through, for
+/// heartbeat reporting. Called by the pool and sweep engines.
+pub fn progress_begin(stage: &str, total: u64) {
+    *PROGRESS_STAGE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) = stage.to_string();
+    PROGRESS_DONE.store(0, Ordering::Relaxed);
+    PROGRESS_TOTAL.store(total, Ordering::Relaxed);
+}
+
+/// Marks one unit of the current stage finished (any outcome).
+pub fn progress_tick() {
+    PROGRESS_DONE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Current `(stage, done, total)` progress snapshot.
+pub fn progress_snapshot() -> (String, u64, u64) {
+    let stage = PROGRESS_STAGE
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clone();
+    (
+        stage,
+        PROGRESS_DONE.load(Ordering::Relaxed),
+        PROGRESS_TOTAL.load(Ordering::Relaxed),
+    )
+}
+
+/// A background thread emitting periodic `heartbeat` events with the
+/// current stage, progress counts, elapsed wall, and a linear ETA.
+///
+/// The interval comes from `SOCNET_HEARTBEAT_SECS` (default 10; `0`
+/// disables the thread entirely). Dropping the handle stops and joins
+/// the thread.
+#[derive(Debug)]
+pub struct Heartbeat {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Spawns the heartbeat thread, or returns `None` when disabled.
+    pub fn start() -> Option<Heartbeat> {
+        let interval = std::env::var("SOCNET_HEARTBEAT_SECS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(10);
+        if interval == 0 {
+            return None;
+        }
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let started = Instant::now();
+        let handle = thread::Builder::new()
+            .name("heartbeat".into())
+            .spawn(move || {
+                let (lock, cvar) = &*thread_stop;
+                let mut stopped = lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                loop {
+                    let (guard, timeout) = cvar
+                        .wait_timeout(stopped, Duration::from_secs(interval))
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if !timeout.timed_out() {
+                        continue;
+                    }
+                    let (stage, done, total) = progress_snapshot();
+                    let elapsed = started.elapsed().as_secs_f64();
+                    let mut fields: Vec<(&str, FieldValue)> = vec![
+                        ("stage", stage.into()),
+                        ("done", done.into()),
+                        ("total", total.into()),
+                        ("elapsed_s", elapsed.into()),
+                    ];
+                    if done > 0 && total > done {
+                        let eta = elapsed / done as f64 * (total - done) as f64;
+                        fields.push(("eta_s", eta.into()));
+                    }
+                    info("heartbeat", &fields);
+                }
+            })
+            .ok()?;
+        Some(Heartbeat {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) = true;
+        cvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_event_schema_is_pinned() {
+        let (logger, buf) = Logger::capture(LogFormat::Json);
+        logger.event(
+            Level::Info,
+            "run.start",
+            &[
+                ("name", "fig1".into()),
+                ("units", 7u64.into()),
+                ("frac", 0.5f64.into()),
+                ("resumed", true.into()),
+            ],
+        );
+        logger.event(Level::Warn, "csv.write_failed", &[("error", "disk \"full\"".into())]);
+        let text = buf.lock().unwrap().clone();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            r#"{"seq":0,"ts_s":0.000,"level":"info","event":"run.start","fields":{"name":"fig1","units":7,"frac":0.500000,"resumed":true}}"#
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            r#"{"seq":1,"ts_s":0.000,"level":"warn","event":"csv.write_failed","fields":{"error":"disk \"full\""}}"#
+        );
+        assert!(lines.next().is_none());
+        assert!(json::is_valid_jsonl(&text));
+    }
+
+    #[test]
+    fn pretty_format_renders_fields_inline() {
+        let (logger, buf) = Logger::capture(LogFormat::Pretty);
+        logger.event(
+            Level::Warn,
+            "unit.retry",
+            &[("id", "Enron walk".into()), ("attempt", 2u32.into())],
+        );
+        let text = buf.lock().unwrap().clone();
+        assert_eq!(text, "[    0.00s] WARN unit.retry id=\"Enron walk\" attempt=2\n");
+    }
+
+    #[test]
+    fn span_emits_start_and_done_with_wall() {
+        let (logger, buf) = Logger::capture(LogFormat::Json);
+        {
+            let _span = logger.span("stage", &[("stage", "fig1a".into())]);
+        }
+        let text = buf.lock().unwrap().clone();
+        assert!(json::is_valid_jsonl(&text));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""event":"stage.start""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""event":"stage.done""#), "{}", lines[1]);
+        assert!(lines[1].contains(r#""wall_s":"#), "{}", lines[1]);
+    }
+
+    #[test]
+    fn log_format_parses() {
+        assert_eq!("pretty".parse::<LogFormat>().unwrap(), LogFormat::Pretty);
+        assert_eq!("json".parse::<LogFormat>().unwrap(), LogFormat::Json);
+        assert!("yaml".parse::<LogFormat>().is_err());
+    }
+
+    #[test]
+    fn progress_snapshot_tracks_ticks() {
+        progress_begin("test-stage", 4);
+        progress_tick();
+        progress_tick();
+        let (stage, done, total) = progress_snapshot();
+        assert_eq!(stage, "test-stage");
+        assert_eq!(done, 2);
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn file_logger_flushes_each_line() {
+        let dir = std::env::temp_dir().join("socnet-obs-file-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let logger = Logger::file(LogFormat::Json, &path).expect("create log file");
+        logger.event(Level::Info, "one", &[]);
+        logger.event(Level::Info, "two", &[("k", 1u64.into())]);
+        // Read back while the logger is still alive: lines must already
+        // be flushed and individually valid.
+        let text = std::fs::read_to_string(&path).expect("read log");
+        assert_eq!(text.lines().count(), 2);
+        assert!(json::is_valid_jsonl(&text));
+        drop(logger);
+        std::fs::remove_file(&path).ok();
+    }
+}

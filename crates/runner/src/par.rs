@@ -31,8 +31,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::pool::{effective_threads, panic_message, stop_status, StageOutput};
-use crate::{CancelToken, StageReport, UnitError, UnitRecord, UnitStatus};
+use crate::pool::{
+    effective_threads, panic_message, record_unit_metrics, stop_status, StageOutput,
+};
+use crate::{obs, CancelToken, Metrics, StageReport, UnitError, UnitRecord, UnitStatus};
 
 /// Tuning knobs for [`par_sweep`].
 #[derive(Debug, Clone)]
@@ -146,6 +148,16 @@ where
         let threads = effective_threads(config.threads, n);
         let chunk = chunk_size(config.chunk, n, threads);
         let cursor = AtomicUsize::new(0);
+        obs::progress_begin(stage, n as u64);
+        obs::debug(
+            "sweep.start",
+            &[
+                ("stage", stage.into()),
+                ("units", n.into()),
+                ("threads", threads.into()),
+                ("chunk", chunk.into()),
+            ],
+        );
         type Done<O> = Vec<(usize, Option<O>, UnitRecord)>;
         let done: Mutex<Done<O>> = Mutex::new(Vec::with_capacity(n));
         std::thread::scope(|scope| {
@@ -164,11 +176,15 @@ where
                                 i,
                                 &items[i],
                                 config,
+                                start,
                                 &id_of,
                                 &make_scratch,
                                 &mut scratch,
                                 &worker,
                             ));
+                        }
+                        for (_, _, rec) in &batch {
+                            record_unit_metrics(rec);
                         }
                         done.lock().expect("sweep results lock").append(&mut batch);
                     }
@@ -186,22 +202,30 @@ where
         .into_iter()
         .map(|r| r.expect("every unit recorded"))
         .collect();
+    let wall = start.elapsed();
+    Metrics::global().observe("stage.wall", wall.as_secs_f64());
+    obs::debug(
+        "sweep.done",
+        &[("stage", stage.into()), ("wall_s", wall.as_secs_f64().into())],
+    );
     StageOutput {
         outputs,
         report: StageReport {
             stage: stage.to_string(),
             units,
-            wall: start.elapsed(),
+            wall,
         },
     }
 }
 
 /// Runs one unit: cancellation gate, `catch_unwind`, per-unit timing,
 /// scratch recovery after a panic.
+#[allow(clippy::too_many_arguments)]
 fn run_unit<I, O, S, MS, G, F>(
     index: usize,
     item: &I,
     config: &ParConfig,
+    sweep_start: Instant,
     id_of: &G,
     make_scratch: &MS,
     scratch: &mut S,
@@ -217,6 +241,12 @@ where
         return (index, None, UnitRecord::stopped(id, stop_status(cause), 0));
     }
     let started = Instant::now();
+    // Queue wait: how long this unit sat scheduled before a worker
+    // picked it up — the load-skew signal for chunk-size tuning.
+    Metrics::global().observe(
+        "sweep.queue_wait",
+        started.duration_since(sweep_start).as_secs_f64(),
+    );
     let ctx = SweepCtx {
         index,
         cancel: &config.cancel,

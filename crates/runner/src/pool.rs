@@ -3,9 +3,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::{CancelCause, CancelToken, StageReport, UnitRecord, UnitStatus};
+use crate::{obs, CancelCause, CancelToken, Metrics, StageReport, UnitRecord, UnitStatus};
 
 /// How a unit of work reports failure to the pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,6 +136,15 @@ where
         let next = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, Option<O>, UnitRecord)>> = Mutex::new(Vec::with_capacity(n));
         let threads = effective_threads(config.threads, n);
+        obs::progress_begin(stage, n as u64);
+        obs::debug(
+            "pool.start",
+            &[
+                ("stage", stage.into()),
+                ("units", n.into()),
+                ("threads", threads.into()),
+            ],
+        );
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -146,6 +155,7 @@ where
                     let item = &items[i];
                     let id = id_of(i, item);
                     let result = run_one(i, id, item, config, &worker);
+                    record_unit_metrics(&result.2);
                     done.lock().expect("pool results lock").push(result);
                 });
             }
@@ -161,14 +171,38 @@ where
         .into_iter()
         .map(|r| r.expect("every unit recorded"))
         .collect();
+    let wall = start.elapsed();
+    Metrics::global().observe("stage.wall", wall.as_secs_f64());
+    obs::debug(
+        "pool.done",
+        &[("stage", stage.into()), ("wall_s", wall.as_secs_f64().into())],
+    );
     StageOutput {
         outputs,
         report: StageReport {
             stage: stage.to_string(),
             units,
-            wall: start.elapsed(),
+            wall,
         },
     }
+}
+
+/// Records one finished unit into the global metrics registry and the
+/// progress counters the heartbeat thread reads. Shared by both engines.
+pub(crate) fn record_unit_metrics(rec: &UnitRecord) {
+    let metrics = Metrics::global();
+    let counter = match rec.status {
+        UnitStatus::Completed => "units.completed",
+        UnitStatus::Resumed => "units.resumed",
+        UnitStatus::Failed => "units.failed",
+        UnitStatus::Cancelled => "units.cancelled",
+        UnitStatus::TimedOut => "units.timed_out",
+    };
+    metrics.incr(counter, 1);
+    if rec.wall > Duration::ZERO {
+        metrics.observe("unit.wall", rec.wall.as_secs_f64());
+    }
+    obs::progress_tick();
 }
 
 pub(crate) fn effective_threads(configured: usize, units: usize) -> usize {
@@ -229,6 +263,15 @@ where
             let rec = UnitRecord::failed(id, attempt, last_error).with_wall(started.elapsed());
             return (index, None, rec);
         }
+        Metrics::global().incr("units.retried", 1);
+        obs::debug(
+            "unit.retry",
+            &[
+                ("id", id.as_str().into()),
+                ("attempt", attempt.into()),
+                ("error", last_error.as_str().into()),
+            ],
+        );
     }
 }
 

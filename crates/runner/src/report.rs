@@ -186,7 +186,7 @@ impl StageReport {
     }
 
     /// One-line summary, e.g.
-    /// `fig1a: 6/7 ok (5 computed, 1 resumed), 1 FAILED [12.3s]`.
+    /// `fig1a: 6/7 ok (5 computed, 1 resumed), 1 FAILED [12.3s] coverage=85.7%`.
     pub fn summary_line(&self) -> String {
         let ok = self.completed() + self.resumed();
         let mut line = format!(
@@ -206,7 +206,11 @@ impl StageReport {
                 line.push_str(&format!(", {count} {label}"));
             }
         }
-        line.push_str(&format!(" [{:.1}s]", self.wall.as_secs_f64()));
+        line.push_str(&format!(
+            " [{:.1}s] coverage={:.1}%",
+            self.wall.as_secs_f64(),
+            self.coverage() * 100.0
+        ));
         line
     }
 }
@@ -340,6 +344,7 @@ mod tests {
         assert!(line.contains("1 cancelled"));
         assert!(line.contains("1 timed-out"));
         assert!(line.contains("[1.5s]"));
+        assert!(line.contains("coverage=40.0%"), "line: {line}");
     }
 
     #[test]

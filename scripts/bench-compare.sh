@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Diffs two BENCH_*.json perf summaries (schema socnet-bench-v1) stage
+# by stage: wall-clock and throughput deltas, plus a note when the unit
+# counts differ or a stage only exists on one side. The summaries put
+# one stage per line precisely so this stays a plain awk pass.
+#
+# Usage: scripts/bench-compare.sh BASELINE.json CANDIDATE.json
+#
+# Exit codes: 0 on a successful comparison (deltas are informational,
+# not a gate), 2 on unreadable or non-bench-v1 inputs.
+
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 BASELINE.json CANDIDATE.json" >&2
+    exit 2
+fi
+
+for f in "$1" "$2"; do
+    if [ ! -r "$f" ]; then
+        echo "error: cannot read $f" >&2
+        exit 2
+    fi
+    if ! grep -q '"schema":"socnet-bench-v1"' "$f"; then
+        echo "error: $f is not a socnet-bench-v1 summary" >&2
+        exit 2
+    fi
+done
+
+echo "baseline:  $1"
+echo "candidate: $2"
+echo
+
+awk '
+FNR == 1 { side++ }
+# Stage lines look like: "fig1a":{"wall_s":1.500,"units":3,"throughput":2.000}
+/^"/ && /"wall_s":/ {
+    line = $0
+    stage = line
+    sub(/^"/, "", stage)
+    sub(/":.*/, "", stage)
+    match(line, /"wall_s":[0-9.]+/)
+    wall = substr(line, RSTART + 9, RLENGTH - 9)
+    match(line, /"units":[0-9]+/)
+    units = substr(line, RSTART + 8, RLENGTH - 8)
+    tp = ""
+    if (match(line, /"throughput":[0-9.]+/))
+        tp = substr(line, RSTART + 13, RLENGTH - 13)
+    if (side == 1) {
+        bw[stage] = wall; bu[stage] = units; bt[stage] = tp
+        border[++bn] = stage
+    } else {
+        cw[stage] = wall; cu[stage] = units; ct[stage] = tp
+        if (!(stage in bw)) corder[++cn] = stage
+    }
+}
+END {
+    printf "%-24s %12s %12s %9s %9s  %s\n", \
+        "stage", "base-wall-s", "cand-wall-s", "wall", "thpt", "note"
+    for (i = 1; i <= bn; i++) {
+        s = border[i]
+        if (!(s in cw)) {
+            printf "%-24s %12.3f %12s %9s %9s  %s\n", \
+                s, bw[s], "-", "-", "-", "only in baseline"
+            continue
+        }
+        d = cw[s] - bw[s]
+        pct = (bw[s] > 0) ? 100 * d / bw[s] : 0
+        tpct = (bt[s] != "" && ct[s] != "" && bt[s] > 0) \
+            ? 100 * (ct[s] - bt[s]) / bt[s] : 0
+        note = (bu[s] != cu[s]) ? sprintf("units %s -> %s", bu[s], cu[s]) : ""
+        printf "%-24s %12.3f %12.3f %+8.1f%% %+8.1f%%  %s\n", \
+            s, bw[s], cw[s], pct, tpct, note
+    }
+    for (i = 1; i <= cn; i++)
+        printf "%-24s %12s %12.3f %9s %9s  %s\n", \
+            corder[i], "-", cw[corder[i]], "-", "-", "only in candidate"
+}
+' "$1" "$2"

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # Smoke-runs every experiment binary at a tiny scale with a 2-thread
-# parallel sweep: fails on a non-zero exit or a DEGRADED run report, so
-# CI catches a binary that crashes, hangs a unit, or silently drops
-# coverage.
+# parallel sweep: fails on a non-zero exit, a DEGRADED run report, a
+# missing observability artifact (run.json, *_metrics.json,
+# BENCH_*.json, events.jsonl), or an artifact that is not valid
+# JSON/JSONL — so CI catches a binary that crashes, hangs a unit,
+# silently drops coverage, or corrupts its machine-readable outputs.
+#
+# JSON validation uses `socnet obs-check` when the CLI binary is in
+# BIN_DIR (offline builds name it socnet_cli_main), falling back to
+# python3, else it is skipped with a note.
 #
 # Environment knobs:
 #   BIN_DIR  directory holding the built binaries
@@ -21,6 +27,36 @@ OUT_DIR=${OUT_DIR:-target/bench-smoke}
 SCALE=${SCALE:-0.02}
 SOURCES=${SOURCES:-5}
 THREADS=${THREADS:-2}
+
+# Pick a JSON/JSONL validator once: the socnet CLI if built, else python3.
+VALIDATOR=""
+for candidate in "$BIN_DIR/socnet" "$BIN_DIR/socnet_cli_main"; do
+    if [ -x "$candidate" ]; then
+        VALIDATOR="$candidate"
+        break
+    fi
+done
+if [ -z "$VALIDATOR" ] && ! command -v python3 >/dev/null 2>&1; then
+    echo "note: no socnet CLI in $BIN_DIR and no python3; skipping JSON validation" >&2
+fi
+
+# validate_json FILE... -> non-zero if any file is invalid.
+validate_json() {
+    if [ -n "$VALIDATOR" ]; then
+        "$VALIDATOR" obs-check "$@" >/dev/null
+    elif command -v python3 >/dev/null 2>&1; then
+        python3 - "$@" <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        if path.endswith(".jsonl"):
+            for line in f:
+                json.loads(line)
+        else:
+            json.load(f)
+PY
+    fi
+}
 
 BINARIES=(
     table1
@@ -54,8 +90,11 @@ for bin in "${BINARIES[@]}"; do
     out="$OUT_DIR/$bin"
     mkdir -p "$out"
     echo "== $bin (scale $SCALE, sources $SOURCES, threads $THREADS) =="
-    if ! "$exe" --scale "$SCALE" --sources "$SOURCES" --threads "$THREADS" \
-        --no-resume --out "$out" >"$out/stdout.txt" 2>"$out/stderr.txt"; then
+    if ! SOCNET_BENCH_DIR="$out" "$exe" \
+        --scale "$SCALE" --sources "$SOURCES" --threads "$THREADS" \
+        --no-resume --out "$out" \
+        --log-format json --log-file "$out/events.jsonl" \
+        >"$out/stdout.txt" 2>"$out/stderr.txt"; then
         echo "FAIL  $bin: non-zero exit" >&2
         tail -20 "$out/stderr.txt" >&2 || true
         failures=$((failures + 1))
@@ -64,6 +103,24 @@ for bin in "${BINARIES[@]}"; do
     if grep -l "DEGRADED" "$out"/*_report.txt >/dev/null 2>&1; then
         echo "FAIL  $bin: run report is DEGRADED" >&2
         grep -h "DEGRADED" "$out"/*_report.txt >&2 || true
+        failures=$((failures + 1))
+        continue
+    fi
+    missing=""
+    for pattern in run.json '*_metrics.json' 'BENCH_*.json' events.jsonl; do
+        # shellcheck disable=SC2086 — patterns are meant to glob.
+        if ! compgen -G "$out/$pattern" >/dev/null; then
+            missing="$missing $pattern"
+        fi
+    done
+    if [ -n "$missing" ]; then
+        echo "FAIL  $bin: missing observability artifact(s):$missing" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    if ! validate_json "$out"/run.json "$out"/*_metrics.json \
+        "$out"/BENCH_*.json "$out"/events.jsonl; then
+        echo "FAIL  $bin: invalid JSON/JSONL artifact" >&2
         failures=$((failures + 1))
         continue
     fi

@@ -9,8 +9,8 @@
 #
 #   * every crate's unit tests (src/ #[cfg(test)] modules),
 #   * the root integration tests in tests/ (none use proptest),
-#   * the bench harness fault-tolerance and sweep-determinism
-#     integration tests,
+#   * the bench harness fault-tolerance, sweep-determinism, and
+#     observability integration tests,
 #   * all doctests (skip with SKIP_DOCTESTS=1 for quick iteration).
 #
 # Skipped offline: crates/*/tests/properties.rs (proptest) and
@@ -118,6 +118,7 @@ for t in tests/*.rs; do
 done
 run_tests it_bench_fault_tolerance crates/bench/tests/fault_tolerance.rs
 run_tests it_bench_determinism crates/bench/tests/determinism.rs
+run_tests it_bench_observability crates/bench/tests/observability.rs
 
 note "== doctests =="
 for entry in "${CRATES[@]}"; do
