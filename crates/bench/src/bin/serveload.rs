@@ -1,0 +1,246 @@
+//! `serveload` — closed-loop load generator for the `socnet-serve`
+//! property-query service.
+//!
+//! Boots an in-process [`socnet_serve::Server`] on a free loopback port,
+//! warms the graph registry and property cache with one cold pass, then
+//! drives `--connections` concurrent closed-loop clients (each issuing
+//! `--requests` HTTP requests over fresh connections) through the
+//! experiment harness's panic-isolated side pool. Every client walks the
+//! same deterministic query schedule, so the run doubles as a
+//! consistency check: responses to identical property queries must be
+//! byte-identical regardless of which connection asked, when, or how
+//! many threads the server ran.
+//!
+//! Artifacts: `BENCH_serve.json` gains `p50_ms`/`p95_ms`/`p99_ms`
+//! latency quantiles, `throughput_rps`, and the server cache's hit rate
+//! under the `extras` key; the server's own graceful drain writes its
+//! `run.json` manifest and metrics snapshot under `<out>/serve/`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use socnet_bench::{Experiment, ExperimentArgs};
+use socnet_runner::{json, obs};
+use socnet_serve::{Server, ServerConfig};
+
+/// The dataset every query targets (small enough to load in well under
+/// a second at the default `--scale`).
+const DATASET: &str = "Rice-grad";
+
+/// One entry of the deterministic query schedule.
+struct QueryClass {
+    /// Request path (the dataset name is substituted for `{d}`).
+    path: &'static str,
+    /// Whether responses must be byte-identical across all clients.
+    /// Health/introspection bodies legitimately drift (hit counters,
+    /// resident bytes); property-query bodies must not.
+    identity: bool,
+}
+
+const SCHEDULE: [QueryClass; 5] = [
+    QueryClass { path: "/graphs/{d}/mixing?eps=0.25", identity: true },
+    QueryClass { path: "/graphs/{d}/coreness/0", identity: true },
+    QueryClass { path: "/graphs/{d}/coreness/7", identity: true },
+    QueryClass { path: "/graphs/{d}/expansion?root=0&hops=6", identity: true },
+    QueryClass { path: "/healthz", identity: false },
+];
+
+/// A minimal HTTP/1.1 client round-trip: one request, one connection
+/// (the server answers `Connection: close`), the whole response read
+/// to EOF. Returns the status code and the body.
+fn http_request(addr: SocketAddr, method: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: serveload\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let body = match raw.find("\r\n\r\n") {
+        Some(i) => raw[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+/// One measured request as reported back by a client job.
+struct Sample {
+    /// Index into [`SCHEDULE`].
+    class: usize,
+    status: u16,
+    wall: Duration,
+    body: String,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Extra flags beyond the shared [`ExperimentArgs`] set (which ignores
+/// flags it does not know, so both parsers read the same argv).
+fn extra_flag(name: &str, default: usize) -> usize {
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == name {
+            if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let connections = extra_flag("--connections", 4).max(1);
+    let requests = extra_flag("--requests", 25).max(1);
+    let mut exp = Experiment::new("serve", &args);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: args.threads.max(1),
+        default_scale: args.scale.min(4.0),
+        default_seed: args.seed,
+        out_dir: args.out_dir.join("serve"),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config).expect("bind loopback server");
+    let addr = server.local_addr();
+    let state = server.state();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    // Cold pass: load the graph, then touch every query class once so
+    // the measured phase exercises the warm cache (the steady state an
+    // online service lives in).
+    let cold_start = Instant::now();
+    let (status, _) = http_request(addr, "POST", &format!("/graphs/{DATASET}/load"))
+        .expect("load request");
+    assert_eq!(status, 200, "graph load failed");
+    for class in &SCHEDULE {
+        let path = class.path.replace("{d}", DATASET);
+        let (status, _) = http_request(addr, "GET", &path).expect("warm-up request");
+        assert_eq!(status, 200, "warm-up {path} failed");
+    }
+    let cold_wall = cold_start.elapsed();
+    obs::info(
+        "serveload.warm",
+        &[("addr", addr.to_string().into()), ("cold_wall_s", cold_wall.as_secs_f64().into())],
+    );
+
+    // Measured phase: closed-loop clients on the side pool, one result
+    // batch per client over the channel. Every client runs the same
+    // schedule so identical queries land concurrently from different
+    // connections — exactly the coalescing/byte-identity surface the
+    // cache must hold.
+    let (tx, rx) = mpsc::channel::<Vec<Sample>>();
+    let measured_start = Instant::now();
+    for client in 0..connections {
+        let tx = tx.clone();
+        exp.pool()
+            .submit(move || {
+                let mut samples = Vec::with_capacity(requests);
+                for i in 0..requests {
+                    let class = (client + i) % SCHEDULE.len();
+                    let path = SCHEDULE[class].path.replace("{d}", DATASET);
+                    let start = Instant::now();
+                    match http_request(addr, "GET", &path) {
+                        Ok((status, body)) => samples.push(Sample {
+                            class,
+                            status,
+                            wall: start.elapsed(),
+                            body,
+                        }),
+                        Err(e) => samples.push(Sample {
+                            class,
+                            status: 0,
+                            wall: start.elapsed(),
+                            body: format!("transport error: {e}"),
+                        }),
+                    }
+                }
+                tx.send(samples).ok();
+            })
+            .expect("pool accepts load jobs");
+    }
+    drop(tx);
+    let mut samples: Vec<Sample> = Vec::new();
+    for batch in rx {
+        samples.extend(batch);
+    }
+    let measured_wall = measured_start.elapsed();
+
+    // Consistency: per identity-checked class, every 200 body must be
+    // byte-identical. A mismatch is a correctness bug in the cache or
+    // the renderer, not a performance number — fail loudly.
+    let mut errors = 0u64;
+    let mut mismatches = 0u64;
+    for (ci, class) in SCHEDULE.iter().enumerate() {
+        let bodies: Vec<&Sample> = samples.iter().filter(|s| s.class == ci).collect();
+        errors += bodies.iter().filter(|s| s.status != 200).count() as u64;
+        if !class.identity {
+            continue;
+        }
+        if let Some(first) = bodies.iter().find(|s| s.status == 200) {
+            for s in &bodies {
+                if s.status == 200 && s.body != first.body {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+
+    // Stop the server via its in-process SIGTERM equivalent and let the
+    // graceful drain write run.json + the metrics snapshot.
+    let cache_stats = state.cache.stats();
+    shutdown.cancel();
+    let summary = server_thread
+        .join()
+        .expect("server thread")
+        .expect("graceful drain");
+
+    let mut lat: Vec<f64> =
+        samples.iter().filter(|s| s.status == 200).map(|s| s.wall.as_secs_f64()).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total = samples.len() as u64;
+    let ok = lat.len() as u64;
+    let throughput = ok as f64 / measured_wall.as_secs_f64().max(1e-9);
+
+    exp.bench_extra("connections", connections.to_string());
+    exp.bench_extra("requests_per_connection", requests.to_string());
+    exp.bench_extra("requests_total", total.to_string());
+    exp.bench_extra("requests_ok", ok.to_string());
+    exp.bench_extra("errors", errors.to_string());
+    exp.bench_extra("body_mismatches", mismatches.to_string());
+    exp.bench_extra("cold_pass_ms", json::num(cold_wall.as_secs_f64() * 1e3, 3));
+    exp.bench_extra("p50_ms", json::num(percentile(&lat, 0.50) * 1e3, 3));
+    exp.bench_extra("p95_ms", json::num(percentile(&lat, 0.95) * 1e3, 3));
+    exp.bench_extra("p99_ms", json::num(percentile(&lat, 0.99) * 1e3, 3));
+    exp.bench_extra("throughput_rps", json::num(throughput, 1));
+    exp.bench_extra("cache_hit_rate", json::num(cache_stats.hit_rate(), 4));
+    exp.bench_extra("server_requests", summary.requests.to_string());
+
+    println!(
+        "serveload: {ok}/{total} ok over {connections} connections, \
+         p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, {throughput:.0} req/s, \
+         cache hit rate {:.3}",
+        percentile(&lat, 0.50) * 1e3,
+        percentile(&lat, 0.95) * 1e3,
+        percentile(&lat, 0.99) * 1e3,
+        cache_stats.hit_rate(),
+    );
+    exp.finish();
+    assert_eq!(mismatches, 0, "identical property queries returned differing bodies");
+    assert_eq!(errors, 0, "load run saw non-200 responses");
+}

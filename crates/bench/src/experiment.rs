@@ -8,10 +8,12 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use std::time::Duration;
+
 use socnet_runner::obs::{self, Heartbeat};
 use socnet_runner::{
-    run_units, write_bench, CancelToken, Checkpoint, Metrics, ParConfig, Payload, PoolConfig,
-    RunManifest, RunReport, StageReport, UnitCtx, UnitError, UnitRecord,
+    run_units, write_bench_with, CancelToken, Checkpoint, Metrics, ParConfig, Payload, Pool,
+    PoolConfig, RunManifest, RunReport, StageReport, UnitCtx, UnitError, UnitRecord,
 };
 
 /// The sweep configuration for measurers invoked *inside* a stage worker
@@ -84,6 +86,12 @@ pub struct Experiment {
     cancel: CancelToken,
     started: Instant,
     manifest: RunManifest,
+    /// Panic-isolated side pool for work outside the journaled stages
+    /// (load generators, warm-up probes). Built lazily so binaries that
+    /// never touch it pay for no worker threads.
+    pool: Option<Pool>,
+    /// Extra `"key": raw-json` pairs appended to `BENCH_<name>.json`.
+    extras: Vec<(String, String)>,
     /// Kept alive for the run's duration; dropping it joins the thread.
     _heartbeat: Option<Heartbeat>,
 }
@@ -167,6 +175,8 @@ impl Experiment {
             cancel,
             started: Instant::now(),
             manifest,
+            pool: None,
+            extras: Vec::new(),
             _heartbeat: Heartbeat::start(),
         }
     }
@@ -184,6 +194,22 @@ impl Experiment {
     /// The report accumulated so far.
     pub fn report(&self) -> &RunReport {
         &self.report
+    }
+
+    /// The run's shared side pool (`--threads` workers), built on first
+    /// use. [`finish`](Experiment::finish) drains it with a bounded
+    /// deadline, so every bench binary ends with an accounted shutdown
+    /// instead of detached threads.
+    pub fn pool(&mut self) -> &Pool {
+        let threads = self.args.threads.max(1);
+        self.pool.get_or_insert_with(|| Pool::new(threads))
+    }
+
+    /// Appends a `"key": value` pair to the run's `BENCH_<name>.json`.
+    /// `raw` must already be valid JSON (use `socnet_runner::json::num`
+    /// for floats); it is emitted verbatim under `"extras"`.
+    pub fn bench_extra(&mut self, key: &str, raw: impl Into<String>) {
+        self.extras.push((key.to_string(), raw.into()));
     }
 
     /// Runs one stage: journaled units are resumed without recomputing,
@@ -348,6 +374,20 @@ impl Experiment {
     /// left to resume); a degraded or pre-empted run keeps it so the
     /// next invocation picks up the finished units.
     pub fn finish(self) -> RunReport {
+        // Drain the side pool first so its jobs are finished (and its
+        // panics counted) before the metrics snapshot is written.
+        if let Some(pool) = &self.pool {
+            let drain = pool.drain(Duration::from_secs(10));
+            obs::info(
+                "run.pool_drained",
+                &[
+                    ("finished", drain.finished.into()),
+                    ("panicked", drain.panicked.into()),
+                    ("abandoned", drain.abandoned.into()),
+                    ("timed_out", drain.timed_out.into()),
+                ],
+            );
+        }
         println!("{}", self.report.render());
         if let Err(e) = self
             .report
@@ -383,7 +423,7 @@ impl Experiment {
         let bench_dir = std::env::var_os("SOCNET_BENCH_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("."));
-        match write_bench(&self.name, &self.report, &bench_dir) {
+        match write_bench_with(&self.name, &self.report, &bench_dir, &self.extras) {
             Ok(path) => obs::info(
                 "artifact.written",
                 &[("path", path.display().to_string().into())],

@@ -614,6 +614,75 @@ pub fn obs_check(map: &ArgMap) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `socnet serve` — boot the online property-query service and block
+/// until `SIGTERM`/`SIGINT`, then drain gracefully and report where the
+/// run artifacts landed.
+pub fn serve(map: &ArgMap) -> Result<String, CliError> {
+    map.check_positionals(0)?;
+    map.check_allowed(&[
+        "--addr",
+        "--threads",
+        "--cache-bytes",
+        "--scale",
+        "--seed",
+        "--out",
+        "--deadline",
+        "--drain-deadline",
+    ])?;
+    let mut config = socnet_serve::ServerConfig::default();
+    if let Some(addr) = map.get("--addr") {
+        config.addr = addr.to_string();
+    }
+    config.threads = map.get_parsed("--threads", config.threads)?;
+    if config.threads == 0 {
+        return Err(invalid("--threads", "must be at least 1"));
+    }
+    config.cache_bytes = map.get_parsed("--cache-bytes", config.cache_bytes)?;
+    config.default_scale = map.get_parsed("--scale", config.default_scale)?;
+    if !(config.default_scale.is_finite() && config.default_scale > 0.0) {
+        return Err(invalid("--scale", "must be a positive number"));
+    }
+    config.default_seed = map.get_parsed("--seed", config.default_seed)?;
+    if let Some(out) = map.get("--out") {
+        config.out_dir = std::path::PathBuf::from(out);
+    }
+    let deadline: f64 = map.get_parsed("--deadline", config.request_deadline.as_secs_f64())?;
+    if !(deadline.is_finite() && deadline > 0.0) {
+        return Err(invalid("--deadline", "must be a positive number of seconds"));
+    }
+    config.request_deadline = Duration::from_secs_f64(deadline);
+    let drain: f64 = map.get_parsed("--drain-deadline", config.drain_deadline.as_secs_f64())?;
+    if !(drain.is_finite() && drain > 0.0) {
+        return Err(invalid("--drain-deadline", "must be a positive number of seconds"));
+    }
+    config.drain_deadline = Duration::from_secs_f64(drain);
+
+    socnet_serve::signal::install();
+    let requested_addr = config.addr.clone();
+    let server = socnet_serve::Server::bind(config)
+        .map_err(|e| invalid("--addr", format!("cannot bind {requested_addr}: {e}")))?;
+    let addr = server.local_addr();
+    let summary = server.serve().map_err(|e| CliError::Artifact {
+        path: requested_addr,
+        message: format!("server failed: {e}"),
+    })?;
+    let mut out = String::new();
+    writeln!(out, "served {} requests on {addr}", summary.requests).expect("write");
+    writeln!(
+        out,
+        "pool drain: {} finished, {} panicked, {} abandoned (timed out: {})",
+        summary.drain.finished,
+        summary.drain.panicked,
+        summary.drain.abandoned,
+        summary.drain.timed_out
+    )
+    .expect("write");
+    writeln!(out, "uptime: {:.3}s", summary.uptime.as_secs_f64()).expect("write");
+    writeln!(out, "manifest: {}", summary.manifest_path.display()).expect("write");
+    writeln!(out, "metrics:  {}", summary.metrics_path.display()).expect("write");
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

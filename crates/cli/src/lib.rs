@@ -115,6 +115,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => commands::simulate(&map),
         "datasets" => commands::datasets(&map),
         "obs-check" => commands::obs_check(&map),
+        "serve" => commands::serve(&map),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     };
@@ -157,6 +158,10 @@ COMMANDS:
   datasets     list the synthetic dataset registry
   obs-check    validate observability artifacts: FILE... (.jsonl files are
                checked line-by-line, everything else as one JSON document)
+  serve        online property-query service over the dataset registry
+               [--addr HOST:PORT] [--threads N] [--cache-bytes B]
+               [--scale F] [--seed S] [--out DIR] [--deadline SECS]
+               [--drain-deadline SECS]; SIGTERM drains gracefully
   help         show this message
 
 GLOBAL FLAGS (any command):

@@ -174,6 +174,60 @@ mod tests {
     }
 
     #[test]
+    fn crlf_line_endings_parse_like_unix_ones() {
+        // SNAP dumps edited on Windows arrive with \r\n; the trailing
+        // \r must not leak into the last field or the comment check.
+        let text = "# header\r\n0 1\r\n\r\n# middle\r\n1 2\r\n2 0\r\n";
+        let g = read_edge_list(text.as_bytes()).expect("read");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let unix = read_edge_list("# header\n0 1\n\n# middle\n1 2\n2 0\n".as_bytes())
+            .expect("read");
+        assert_eq!(g, unix);
+    }
+
+    #[test]
+    fn tabs_and_runs_of_spaces_separate_fields() {
+        let text = "0\t1\n  1 \t 2  \n";
+        let g = read_edge_list(text.as_bytes()).expect("read");
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn node_id_overflow_is_a_parse_error_not_a_panic() {
+        // One past u32::MAX: must surface as GraphError::Parse naming
+        // the line and the offending token, never wrap or panic.
+        let text = "0 1\n2 4294967296\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("invalid node id"), "{message}");
+                assert!(message.contains("4294967296"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Negative ids are not node ids either.
+        match read_edge_list("-1 2\n".as_bytes()) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("invalid node id"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loops_and_both_orientations_of_duplicates_collapse() {
+        // 1-2 appears in both orientations plus a repeat, 3-3 is a pure
+        // self-loop line: the simple graph keeps exactly {1-2, 2-3}.
+        let text = "1 2\n2 1\n1 2\n3 3\n2 3\n";
+        let g = read_edge_list(text.as_bytes()).expect("read");
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId(3)), 1, "self-loop contributes no degree");
+    }
+
+    #[test]
     fn path_round_trip() {
         let dir = std::env::temp_dir().join("socnet-core-io-test");
         std::fs::create_dir_all(&dir).expect("mkdir");

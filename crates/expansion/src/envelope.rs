@@ -1,5 +1,5 @@
 use serde::{Deserialize, Serialize};
-use socnet_core::{Bfs, Graph, NodeId};
+use socnet_core::{Bfs, Graph, GraphError, NodeId};
 
 /// The envelope-expansion series of one core node (the paper's Eq. 4).
 ///
@@ -36,6 +36,31 @@ impl EnvelopeExpansion {
     pub fn measure(graph: &Graph, source: NodeId) -> Self {
         let mut bfs = Bfs::new(graph);
         Self::measure_with(graph, source, &mut bfs)
+    }
+
+    /// Fallible variant of [`measure`](EnvelopeExpansion::measure) for
+    /// callers serving untrusted roots: an out-of-range source is an
+    /// error, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if `source` is outside
+    /// the graph's node range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use socnet_core::NodeId;
+    /// use socnet_expansion::EnvelopeExpansion;
+    /// use socnet_gen::ring;
+    ///
+    /// let g = ring(8);
+    /// assert!(EnvelopeExpansion::try_measure(&g, NodeId(0)).is_ok());
+    /// assert!(EnvelopeExpansion::try_measure(&g, NodeId(8)).is_err());
+    /// ```
+    pub fn try_measure(graph: &Graph, source: NodeId) -> Result<Self, GraphError> {
+        graph.check_node(source)?;
+        Ok(Self::measure(graph, source))
     }
 
     /// Measures the series reusing BFS scratch state — the fast path for

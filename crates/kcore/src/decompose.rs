@@ -1,5 +1,5 @@
 use serde::{Deserialize, Serialize};
-use socnet_core::{Graph, NodeId};
+use socnet_core::{Graph, GraphError, NodeId};
 
 /// The coreness of every node, computed with the Batagelj–Žaveršnik
 /// bucket algorithm in `O(n + m)` time and memory.
@@ -103,6 +103,33 @@ impl CoreDecomposition {
     /// Panics if `v` is out of range.
     pub fn coreness(&self, v: NodeId) -> u32 {
         self.coreness[v.index()]
+    }
+
+    /// Fallible variant of [`coreness`](CoreDecomposition::coreness)
+    /// for callers serving untrusted node ids: out-of-range is an
+    /// error, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if `v` is outside the
+    /// decomposed graph's node range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use socnet_core::NodeId;
+    /// use socnet_gen::ring;
+    /// use socnet_kcore::CoreDecomposition;
+    ///
+    /// let d = CoreDecomposition::compute(&ring(5));
+    /// assert_eq!(d.try_coreness(NodeId(0)).unwrap(), 2);
+    /// assert!(d.try_coreness(NodeId(99)).is_err());
+    /// ```
+    pub fn try_coreness(&self, v: NodeId) -> Result<u32, GraphError> {
+        self.coreness.get(v.index()).copied().ok_or(GraphError::NodeOutOfRange {
+            node: v.index(),
+            node_count: self.coreness.len(),
+        })
     }
 
     /// Coreness of every node, indexed by node id.

@@ -68,6 +68,48 @@ pub fn sinclair_bounds(mu: f64, n: usize, epsilon: f64) -> MixingBounds {
     MixingBounds { lower: sinclair_lower(mu, epsilon), upper: sinclair_upper(mu, n, epsilon) }
 }
 
+/// Fallible variant of [`sinclair_bounds`] for callers serving
+/// untrusted queries: out-of-domain parameters are errors, never
+/// panics.
+///
+/// # Errors
+///
+/// Returns [`MixingError`](crate::MixingError) if `mu` is outside
+/// `[0, 1)`, `epsilon` outside `(0, 0.5)`, or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_mixing::{sinclair_bounds, try_sinclair_bounds, MixingError};
+///
+/// assert!(matches!(
+///     try_sinclair_bounds(1.0, 100, 0.1),
+///     Err(MixingError::InvalidParameter(_))
+/// ));
+/// let ok = try_sinclair_bounds(0.9, 100, 0.1).unwrap();
+/// assert_eq!(ok, sinclair_bounds(0.9, 100, 0.1));
+/// ```
+pub fn try_sinclair_bounds(
+    mu: f64,
+    n: usize,
+    epsilon: f64,
+) -> Result<MixingBounds, crate::MixingError> {
+    if !(0.0..1.0).contains(&mu) {
+        return Err(crate::MixingError::InvalidParameter(format!("mu {mu} out of [0, 1)")));
+    }
+    if !(epsilon > 0.0 && epsilon < 0.5) {
+        return Err(crate::MixingError::InvalidParameter(format!(
+            "epsilon {epsilon} out of (0, 0.5)"
+        )));
+    }
+    if n == 0 {
+        return Err(crate::MixingError::InvalidParameter(
+            "state space must be non-empty".to_string(),
+        ));
+    }
+    Ok(sinclair_bounds(mu, n, epsilon))
+}
+
 fn check_args(mu: f64, epsilon: f64) {
     assert!((0.0..1.0).contains(&mu), "mu {mu} out of [0, 1)");
     assert!(

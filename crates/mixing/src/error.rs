@@ -17,12 +17,25 @@ pub enum MixingError {
     /// assert!(matches!(err, MixingError::InvalidNode(_)));
     /// ```
     InvalidNode(GraphError),
+    /// A measurement parameter is outside its mathematical domain, or
+    /// the graph cannot support the measurement at all (e.g. a spectrum
+    /// on an edgeless graph). The fallible entry points ([`try_slem`],
+    /// [`try_sinclair_bounds`]) return this where the panicking
+    /// originals assert — callers serving untrusted queries match on it
+    /// instead of catching unwinds.
+    ///
+    /// [`try_slem`]: crate::try_slem
+    /// [`try_sinclair_bounds`]: crate::try_sinclair_bounds
+    InvalidParameter(String),
 }
 
 impl std::fmt::Display for MixingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MixingError::InvalidNode(e) => write!(f, "invalid node: {e}"),
+            MixingError::InvalidParameter(message) => {
+                write!(f, "invalid parameter: {message}")
+            }
         }
     }
 }
@@ -31,6 +44,7 @@ impl std::error::Error for MixingError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MixingError::InvalidNode(e) => Some(e),
+            MixingError::InvalidParameter(_) => None,
         }
     }
 }

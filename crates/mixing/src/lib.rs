@@ -41,11 +41,13 @@ mod spectral;
 mod walk;
 
 pub use anonymity::{effective_anonymity_set, endpoint_entropy, entropy_bits, AnonymityCurve};
-pub use bounds::{sinclair_bounds, sinclair_lower, sinclair_upper, MixingBounds};
+pub use bounds::{
+    sinclair_bounds, sinclair_lower, sinclair_upper, try_sinclair_bounds, MixingBounds,
+};
 pub use error::MixingError;
 pub use distribution::{stationary_distribution, total_variation, Distribution};
 pub use evolve::WalkOperator;
 pub use mixing::{MixingConfig, MixingMeasurement, SourceCurve};
 pub use modulated::{ModulatedOperator, TrustModulation};
-pub use spectral::{slem, SpectralConfig, Spectrum};
+pub use spectral::{slem, try_slem, SpectralConfig, Spectrum};
 pub use walk::{sample_walk, walk_endpoint, walk_endpoints};

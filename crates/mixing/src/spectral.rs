@@ -82,7 +82,36 @@ impl Spectrum {
 /// assert!((s.slem() - 0.1).abs() < 1e-6);
 /// ```
 pub fn slem(graph: &Graph, config: &SpectralConfig) -> Spectrum {
-    assert!(graph.edge_count() > 0, "spectrum undefined without edges");
+    try_slem(graph, config).expect("spectrum undefined without edges")
+}
+
+/// Fallible variant of [`slem`] for callers serving untrusted queries:
+/// an edgeless graph is an error, never a panic.
+///
+/// # Errors
+///
+/// Returns [`MixingError::InvalidParameter`] if `graph` has no edges.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::Graph;
+/// use socnet_mixing::{try_slem, MixingError, SpectralConfig};
+///
+/// let edgeless = Graph::from_edges(3, Vec::new());
+/// let err = try_slem(&edgeless, &SpectralConfig::default()).unwrap_err();
+/// assert!(matches!(err, MixingError::InvalidParameter(_)));
+/// ```
+pub fn try_slem(graph: &Graph, config: &SpectralConfig) -> Result<Spectrum, crate::MixingError> {
+    if graph.edge_count() == 0 {
+        return Err(crate::MixingError::InvalidParameter(
+            "spectrum undefined without edges".to_string(),
+        ));
+    }
+    Ok(slem_inner(graph, config))
+}
+
+fn slem_inner(graph: &Graph, config: &SpectralConfig) -> Spectrum {
     let n = graph.node_count();
 
     // Inverse square-root degrees (0 for isolated nodes, which contribute

@@ -123,6 +123,161 @@ impl Obj {
     }
 }
 
+/// A line-oriented writer for the repo's pretty top-level documents
+/// (`run.json`, `BENCH_*.json`, metrics snapshots).
+///
+/// Those artifacts share one layout contract: `{`, then one field per
+/// line (`"key":value,`), with at most one array- or map-valued field
+/// whose elements each get their own line, and a final field with no
+/// trailing comma. The golden-file tests pin the exact bytes, so the
+/// writer reproduces that layout character for character while funnelling
+/// every string through the single [`escape`] / [`num`] policy.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_runner::json::{self, Writer};
+///
+/// let mut w = Writer::new();
+/// w.field_str("schema", "demo-v1").field_int("count", 2);
+/// w.begin_array("items");
+/// w.push_item("1");
+/// w.push_item("2");
+/// w.end_array();
+/// let doc = w.finish_with_raw("complete", "true");
+/// assert_eq!(doc, "{\n\"schema\":\"demo-v1\",\n\"count\":2,\n\"items\":[\n1,\n2\n],\n\"complete\":true\n}\n");
+/// assert!(json::is_valid(&doc));
+/// ```
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: String,
+    container_items: usize,
+}
+
+impl Writer {
+    /// An open document (`{` plus newline).
+    pub fn new() -> Self {
+        Writer { buf: String::from("{\n"), container_items: 0 }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds one `"key":"value",` line.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push_str("\",\n");
+        self
+    }
+
+    /// Adds one `"key":int,` line.
+    pub fn field_int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self.buf.push_str(",\n");
+        self
+    }
+
+    /// Adds one `"key":float,` line with fixed decimals (`null` when
+    /// non-finite).
+    pub fn field_num(&mut self, key: &str, value: f64, decimals: usize) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&num(value, decimals));
+        self.buf.push_str(",\n");
+        self
+    }
+
+    /// Adds one `"key":<raw JSON>,` line.
+    pub fn field_raw(&mut self, key: &str, raw: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(raw);
+        self.buf.push_str(",\n");
+        self
+    }
+
+    /// Opens an array-valued field whose elements each get a line.
+    pub fn begin_array(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('[');
+        self.container_items = 0;
+        self
+    }
+
+    /// Appends one already-rendered element to the open array.
+    pub fn push_item(&mut self, raw: &str) -> &mut Self {
+        if self.container_items > 0 {
+            self.buf.push(',');
+        }
+        self.buf.push('\n');
+        self.buf.push_str(raw);
+        self.container_items += 1;
+        self
+    }
+
+    /// Closes the open array and continues the document (`],`).
+    pub fn end_array(&mut self) -> &mut Self {
+        if self.container_items > 0 {
+            self.buf.push('\n');
+        }
+        self.buf.push_str("],\n");
+        self
+    }
+
+    /// Opens a map-valued field whose entries each get a line.
+    pub fn begin_map(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('{');
+        self.container_items = 0;
+        self
+    }
+
+    /// Appends one `"name":<raw JSON>` entry to the open map.
+    pub fn push_entry(&mut self, name: &str, raw: &str) -> &mut Self {
+        if self.container_items > 0 {
+            self.buf.push(',');
+        }
+        self.buf.push('\n');
+        self.buf.push('"');
+        self.buf.push_str(&escape(name));
+        self.buf.push_str("\":");
+        self.buf.push_str(raw);
+        self.container_items += 1;
+        self
+    }
+
+    /// Closes the open map and continues the document (`},`).
+    pub fn end_map(&mut self) -> &mut Self {
+        if self.container_items > 0 {
+            self.buf.push('\n');
+        }
+        self.buf.push_str("},\n");
+        self
+    }
+
+    /// Closes the open map as the document's final field and renders.
+    pub fn finish_with_map(mut self) -> String {
+        if self.container_items > 0 {
+            self.buf.push('\n');
+        }
+        self.buf.push_str("}\n}\n");
+        self.buf
+    }
+
+    /// Adds a final `"key":<raw JSON>` line (no trailing comma) and
+    /// renders the document.
+    pub fn finish_with_raw(mut self, key: &str, raw: &str) -> String {
+        self.key(key);
+        self.buf.push_str(raw);
+        self.buf.push_str("\n}\n");
+        self.buf
+    }
+}
+
 /// A JSON array of already-rendered values.
 #[derive(Debug, Default)]
 pub struct Arr {
@@ -392,6 +547,51 @@ mod tests {
         ] {
             assert!(!is_valid(bad), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn writer_layout_matches_the_artifact_contract() {
+        let mut w = Writer::new();
+        w.field_str("schema", "t-v1")
+            .field_int("n", 3)
+            .field_num("x", 0.5, 3)
+            .field_raw("args", "{\"a\":1}");
+        w.begin_map("stages");
+        w.push_entry("s1", "{\"wall_s\":1.000}");
+        w.push_entry("s2", "{\"wall_s\":2.000}");
+        let doc = w.finish_with_map();
+        assert_eq!(
+            doc,
+            "{\n\"schema\":\"t-v1\",\n\"n\":3,\n\"x\":0.500,\n\"args\":{\"a\":1},\n\
+             \"stages\":{\n\"s1\":{\"wall_s\":1.000},\n\"s2\":{\"wall_s\":2.000}\n}\n}\n"
+        );
+        assert!(is_valid(&doc));
+    }
+
+    #[test]
+    fn writer_empty_containers_stay_on_one_line() {
+        let mut w = Writer::new();
+        w.begin_array("stages");
+        w.end_array();
+        let doc = w.finish_with_raw("complete", "true");
+        assert_eq!(doc, "{\n\"stages\":[],\n\"complete\":true\n}\n");
+        assert!(is_valid(&doc));
+
+        let mut w = Writer::new();
+        w.field_str("name", "x");
+        w.begin_map("stages");
+        let doc = w.finish_with_map();
+        assert_eq!(doc, "{\n\"name\":\"x\",\n\"stages\":{}\n}\n");
+        assert!(is_valid(&doc));
+    }
+
+    #[test]
+    fn writer_escapes_through_the_shared_policy() {
+        let mut w = Writer::new();
+        w.field_str("a\"b", "line\nbreak");
+        let doc = w.finish_with_raw("ok", "true");
+        assert!(doc.contains("\"a\\\"b\":\"line\\nbreak\""));
+        assert!(is_valid(&doc));
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   the hot per-source inner loops: chunked scheduling over a scoped
 //!   thread pool with per-thread scratch reuse, merging results back in
 //!   item order so sweep CSVs are byte-identical at any thread count;
+//! * [`Pool`] — the persistent sibling of [`run_units`] for serving
+//!   processes: long-lived panic-isolated workers with a graceful
+//!   [`drain`](Pool::drain) path that stops intake, finishes in-flight
+//!   jobs up to a deadline, and reports abandoned units;
 //! * [`Checkpoint`] — an append-only, fsync'd journal of completed units.
 //!   A rerun with the same run key skips finished units; journals with
 //!   trailing garbage (torn writes) are recovered by truncating to the
@@ -83,13 +87,17 @@ mod par;
 mod payload;
 mod pool;
 mod report;
+mod workpool;
 
 pub use artifact::write_atomic;
 pub use cancel::{CancelCause, CancelToken};
 pub use checkpoint::Checkpoint;
-pub use manifest::{git_rev, hostname, render_bench, write_bench, RunManifest};
+pub use manifest::{
+    git_rev, hostname, render_bench, render_bench_with, write_bench, write_bench_with, RunManifest,
+};
 pub use metrics::{Histogram, Metrics, BUCKET_BOUNDS_S};
 pub use par::{par_sweep, ParConfig, SweepCtx};
 pub use payload::Payload;
 pub use pool::{run_units, PoolConfig, StageOutput, UnitCtx, UnitError};
 pub use report::{RunReport, StageReport, UnitRecord, UnitStatus};
+pub use workpool::{DrainReport, Pool, PoolClosed};

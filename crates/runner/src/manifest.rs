@@ -174,29 +174,19 @@ impl RunManifest {
         for (k, v) in &self.args {
             args.raw(k, v);
         }
-        let mut out = String::from("{\n");
-        out.push_str("\"schema\":\"socnet-run-v1\",\n");
-        out.push_str(&format!("\"name\":\"{}\",\n", json::escape(&self.name)));
-        out.push_str(&format!("\"started_unix_ms\":{},\n", self.started_unix_ms));
-        out.push_str(&format!("\"git_rev\":\"{}\",\n", json::escape(&self.git_rev)));
-        out.push_str(&format!("\"hostname\":\"{}\",\n", json::escape(&self.hostname)));
-        out.push_str(&format!("\"args\":{},\n", args.finish()));
-        out.push_str("\"stages\":[");
-        for (i, stage) in report.stages.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("\n{}", Self::stage_json(stage)));
+        let mut w = json::Writer::new();
+        w.field_str("schema", "socnet-run-v1")
+            .field_str("name", &self.name)
+            .field_int("started_unix_ms", self.started_unix_ms)
+            .field_str("git_rev", &self.git_rev)
+            .field_str("hostname", &self.hostname)
+            .field_raw("args", &args.finish());
+        w.begin_array("stages");
+        for stage in &report.stages {
+            w.push_item(&Self::stage_json(stage));
         }
-        if !report.stages.is_empty() {
-            out.push('\n');
-        }
-        out.push_str("],\n");
-        out.push_str(&format!(
-            "\"complete\":{}\n}}\n",
-            if report.is_complete() { "true" } else { "false" }
-        ));
-        out
+        w.end_array();
+        w.finish_with_raw("complete", if report.is_complete() { "true" } else { "false" })
     }
 
     /// Writes the manifest atomically to `path`.
@@ -214,14 +204,19 @@ impl RunManifest {
 /// took no measurable time). One stage per line so shell tooling can
 /// grep a single stage.
 pub fn render_bench(name: &str, report: &RunReport) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("\"schema\":\"socnet-bench-v1\",\n");
-    out.push_str(&format!("\"name\":\"{}\",\n", json::escape(name)));
-    out.push_str("\"stages\":{");
-    for (i, stage) in report.stages.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
+    render_bench_with(name, report, &[])
+}
+
+/// [`render_bench`] plus workload-specific summary fields: with a
+/// non-empty `extras` list the document gains a final one-line
+/// `"extra"` object of `(key, rendered JSON value)` pairs — the load
+/// harness records latency percentiles and cache hit rate there. An
+/// empty list renders the plain `socnet-bench-v1` bytes unchanged.
+pub fn render_bench_with(name: &str, report: &RunReport, extras: &[(String, String)]) -> String {
+    let mut w = json::Writer::new();
+    w.field_str("schema", "socnet-bench-v1").field_str("name", name);
+    w.begin_map("stages");
+    for stage in &report.stages {
         let wall = stage.wall.as_secs_f64();
         let units = stage.total() as u64;
         let throughput = if wall > 0.0 {
@@ -229,19 +224,19 @@ pub fn render_bench(name: &str, report: &RunReport) -> String {
         } else {
             "null".to_string()
         };
-        out.push_str(&format!(
-            "\n\"{}\":{{\"wall_s\":{},\"units\":{},\"throughput\":{}}}",
-            json::escape(&stage.stage),
-            json::num(wall, 3),
-            units,
-            throughput
-        ));
+        let mut s = json::Obj::new();
+        s.num("wall_s", wall, 3).int("units", units).raw("throughput", &throughput);
+        w.push_entry(&stage.stage, &s.finish());
     }
-    if !report.stages.is_empty() {
-        out.push('\n');
+    if extras.is_empty() {
+        return w.finish_with_map();
     }
-    out.push_str("}\n}\n");
-    out
+    w.end_map();
+    let mut extra = json::Obj::new();
+    for (k, v) in extras {
+        extra.raw(k, v);
+    }
+    w.finish_with_raw("extra", &extra.finish())
 }
 
 /// Writes `BENCH_<name>.json` atomically into `dir` and returns its
@@ -251,8 +246,22 @@ pub fn render_bench(name: &str, report: &RunReport) -> String {
 ///
 /// Returns any I/O error from the atomic write.
 pub fn write_bench(name: &str, report: &RunReport, dir: &Path) -> io::Result<std::path::PathBuf> {
+    write_bench_with(name, report, dir, &[])
+}
+
+/// [`write_bench`] with the `extras` section of [`render_bench_with`].
+///
+/// # Errors
+///
+/// Returns any I/O error from the atomic write.
+pub fn write_bench_with(
+    name: &str,
+    report: &RunReport,
+    dir: &Path,
+    extras: &[(String, String)],
+) -> io::Result<std::path::PathBuf> {
     let path = dir.join(format!("BENCH_{name}.json"));
-    write_atomic(&path, render_bench(name, report).as_bytes())?;
+    write_atomic(&path, render_bench_with(name, report, extras).as_bytes())?;
     Ok(path)
 }
 
@@ -320,6 +329,22 @@ mod tests {
              }\n}\n"
         );
         assert!(json::is_valid(&rendered));
+    }
+
+    #[test]
+    fn bench_extras_extend_without_disturbing_the_schema() {
+        let report = sample_report();
+        let extras = vec![
+            ("p50_ms".to_string(), json::num(1.25, 3)),
+            ("cache_hit_rate".to_string(), json::num(0.9, 4)),
+        ];
+        let rendered = render_bench_with("serve", &report, &extras);
+        assert!(json::is_valid(&rendered), "{rendered}");
+        assert!(rendered.contains("\"schema\":\"socnet-bench-v1\""));
+        assert!(rendered.contains("\"extra\":{\"p50_ms\":1.250,\"cache_hit_rate\":0.9000}"));
+        // The plain renderer is byte-equal to the extras renderer with
+        // no extras — one writer, one layout.
+        assert_eq!(render_bench("serve", &report), render_bench_with("serve", &report, &[]));
     }
 
     #[test]

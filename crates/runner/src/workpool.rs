@@ -1,0 +1,411 @@
+//! A long-lived panic-isolated job pool with a graceful drain path.
+//!
+//! [`run_units`](crate::run_units) is a *batch* engine: it owns its
+//! scoped workers for exactly one stage and joins them before
+//! returning. A serving process needs the opposite shape — workers that
+//! outlive any one request, accept jobs for hours, and then shut down
+//! *gracefully*: stop intake, finish what is in flight, and account for
+//! whatever had to be abandoned. [`Pool`] is that long-lived engine and
+//! [`Pool::drain`] is the shutdown path; every job still executes under
+//! `catch_unwind`, so a panicking job takes down neither its worker
+//! thread nor the process.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::{obs, Metrics};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<Job>,
+    accepting: bool,
+    /// Set by a timed-out drain: workers abandon the queue and exit.
+    shutdown: bool,
+    in_flight: usize,
+    finished: u64,
+    panicked: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a job is queued or shutdown is flagged.
+    work: Condvar,
+    /// Signalled when a job finishes (drain waits on this).
+    idle: Condvar,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Submitting to a pool that has started draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool is draining and no longer accepts jobs")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+/// What [`Pool::drain`] observed on the way down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs that ran to completion over the pool's whole lifetime
+    /// (panicked jobs count: their worker survived and moved on).
+    pub finished: u64,
+    /// Of `finished`, how many panicked inside `catch_unwind`.
+    pub panicked: u64,
+    /// Jobs abandoned by the drain: still queued when the deadline
+    /// expired, plus any still running when the drain gave up waiting.
+    pub abandoned: usize,
+    /// Whether the deadline expired before the pool went idle.
+    pub timed_out: bool,
+    /// How long the drain itself took.
+    pub wall: Duration,
+}
+
+/// A persistent panic-isolated worker pool.
+///
+/// Jobs are opaque `FnOnce()` closures — result delivery is the
+/// caller's business (the property cache parks waiters on its own
+/// condvar, tests use channels). The pool guarantees isolation (a
+/// panicking job is caught and counted) and a drain path.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use socnet_runner::Pool;
+///
+/// let pool = Pool::new(2);
+/// let hits = Arc::new(AtomicU32::new(0));
+/// for _ in 0..8 {
+///     let hits = hits.clone();
+///     pool.submit(move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     }).expect("pool is accepting");
+/// }
+/// let report = pool.drain(Duration::from_secs(5));
+/// assert_eq!(hits.load(Ordering::Relaxed), 8);
+/// assert_eq!(report.finished, 8);
+/// assert_eq!(report.abandoned, 0);
+/// assert!(!report.timed_out);
+/// ```
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Behind a lock so `drain` works through `&self` — a server can
+    /// share the pool via `Arc` and still shut it down gracefully.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Spawns a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { accepting: true, ..State::default() }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("socnet-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers: Mutex::new(workers), threads }
+    }
+
+    /// The number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Jobs currently queued or running.
+    pub fn backlog(&self) -> usize {
+        let s = lock(&self.shared);
+        s.queue.len() + s.in_flight
+    }
+
+    /// Enqueues one job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolClosed`] once [`drain`](Pool::drain) has stopped
+    /// intake.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolClosed> {
+        let mut s = lock(&self.shared);
+        if !s.accepting {
+            return Err(PoolClosed);
+        }
+        s.queue.push_back(Box::new(job));
+        drop(s);
+        Metrics::global().incr("pool.submitted", 1);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Gracefully shuts the pool down: stops intake immediately, waits
+    /// up to `deadline` for queued and in-flight jobs to finish, then
+    /// abandons whatever remains and reports it.
+    ///
+    /// Workers stuck inside a job past the deadline are detached, not
+    /// joined — a hung request must not be able to hang the shutdown.
+    /// Draining twice is a no-op that reports the final counters.
+    pub fn drain(&self, deadline: Duration) -> DrainReport {
+        let start = Instant::now();
+        {
+            let mut s = lock(&self.shared);
+            s.accepting = false;
+        }
+        // Wake sleepers so they observe the closed intake and exit.
+        self.shared.work.notify_all();
+
+        let mut timed_out = false;
+        {
+            let mut s = lock(&self.shared);
+            while !(s.queue.is_empty() && s.in_flight == 0) {
+                let elapsed = start.elapsed();
+                if elapsed >= deadline {
+                    timed_out = true;
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .idle
+                    .wait_timeout(s, deadline - elapsed)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                s = guard;
+            }
+        }
+
+        let (finished, panicked, abandoned) = {
+            let mut s = lock(&self.shared);
+            s.shutdown = true;
+            let abandoned = s.queue.len() + s.in_flight;
+            s.queue.clear();
+            (s.finished, s.panicked, abandoned)
+        };
+        self.shared.work.notify_all();
+        {
+            let mut workers =
+                self.workers.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            if timed_out {
+                // Detach: a job that never returns must not block
+                // shutdown.
+                workers.clear();
+            } else {
+                for worker in workers.drain(..) {
+                    worker.join().ok();
+                }
+            }
+        }
+        let report = DrainReport {
+            finished,
+            panicked,
+            abandoned,
+            timed_out,
+            wall: start.elapsed(),
+        };
+        Metrics::global().incr("pool.drains", 1);
+        let fields = [
+            ("finished", report.finished.into()),
+            ("abandoned", (report.abandoned as u64).into()),
+            ("timed_out", report.timed_out.into()),
+            ("wall_s", report.wall.as_secs_f64().into()),
+        ];
+        if report.abandoned > 0 {
+            obs::warn("pool.drain", &fields);
+        } else {
+            obs::debug("pool.drain", &fields);
+        }
+        report
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        let live = !self
+            .workers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .is_empty();
+        if live {
+            // Best-effort: an idle pool joins instantly, a busy one is
+            // abandoned rather than hanging the drop.
+            self.drain(Duration::ZERO);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut s = lock(shared);
+            loop {
+                if s.shutdown {
+                    return;
+                }
+                if let Some(job) = s.queue.pop_front() {
+                    s.in_flight += 1;
+                    break job;
+                }
+                if !s.accepting {
+                    return;
+                }
+                s = shared.work.wait(s).unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        {
+            let mut s = lock(shared);
+            s.in_flight -= 1;
+            s.finished += 1;
+            if outcome.is_err() {
+                s.panicked += 1;
+            }
+        }
+        if outcome.is_err() {
+            Metrics::global().incr("pool.job_panics", 1);
+        }
+        shared.idle.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn jobs_run_and_drain_reports_them() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let done = Arc::new(AtomicU32::new(0));
+        for _ in 0..20 {
+            let done = done.clone();
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("accepting");
+        }
+        let report = pool.drain(Duration::from_secs(10));
+        assert_eq!(done.load(Ordering::Relaxed), 20);
+        assert_eq!(report.finished, 20);
+        assert_eq!(report.abandoned, 0);
+        assert!(!report.timed_out);
+    }
+
+    #[test]
+    fn zero_threads_becomes_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(7).unwrap()).expect("accepting");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        pool.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn submit_after_drain_is_rejected() {
+        let pool = Pool::new(1);
+        pool.drain(Duration::from_secs(1));
+        assert_eq!(pool.submit(|| {}), Err(PoolClosed));
+        // Second drain is a calm no-op.
+        let report = pool.drain(Duration::from_secs(1));
+        assert_eq!(report.abandoned, 0);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool = Pool::new(1);
+        pool.submit(|| panic!("poisoned job")).expect("accepting");
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send("alive").unwrap()).expect("accepting");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "alive");
+        let report = pool.drain(Duration::from_secs(5));
+        assert_eq!(report.finished, 2);
+        assert_eq!(report.panicked, 1);
+    }
+
+    #[test]
+    fn expired_drain_abandons_queued_jobs() {
+        let pool = Pool::new(1);
+        // Gate the single worker so the queue backs up deterministically.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (started_tx, started_rx) = mpsc::channel();
+        {
+            let gate = gate.clone();
+            pool.submit(move || {
+                started_tx.send(()).unwrap();
+                let (open, cv) = &*gate;
+                let mut open = open.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+            .expect("accepting");
+        }
+        let ran = Arc::new(AtomicU32::new(0));
+        for _ in 0..4 {
+            let ran = ran.clone();
+            pool.submit(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("accepting");
+        }
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let report = pool.drain(Duration::ZERO);
+        assert!(report.timed_out);
+        // 4 queued + 1 in flight, none of the queued ones ran.
+        assert_eq!(report.abandoned, 5);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        // Unblock the detached worker so the test exits cleanly.
+        let (open, cv) = &*gate;
+        *open.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    #[test]
+    fn backlog_counts_queued_and_running() {
+        let pool = Pool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (started_tx, started_rx) = mpsc::channel();
+        {
+            let gate = gate.clone();
+            pool.submit(move || {
+                started_tx.send(()).unwrap();
+                let (open, cv) = &*gate;
+                let mut open = open.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+            .expect("accepting");
+        }
+        pool.submit(|| {}).expect("accepting");
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(pool.backlog(), 2);
+        let (open, cv) = &*gate;
+        *open.lock().unwrap() = true;
+        cv.notify_all();
+        let report = pool.drain(Duration::from_secs(5));
+        assert_eq!(report.abandoned, 0);
+        assert_eq!(pool.backlog(), 0);
+    }
+}

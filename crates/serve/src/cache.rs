@@ -1,0 +1,653 @@
+//! A cost-aware memoizing cache for graph properties.
+//!
+//! Property computations (spectral SLEM, coreness decomposition, TVD
+//! sweeps, flood-based admission) dominate request latency, and the
+//! same query arrives over and over. The cache memoizes *typed* results
+//! behind [`Arc`] so a decomposition computed for one node answers
+//! every other node's coreness query for free.
+//!
+//! Three properties shape the design:
+//!
+//! - **Coalescing** — identical concurrent misses collapse into one
+//!   computation on the shared panic-isolated [`Pool`]; every waiter
+//!   gets the same `Arc`.
+//! - **Cost-aware eviction** — each entry remembers what it cost to
+//!   compute (wall time) and how big it is. When resident bytes exceed
+//!   capacity, the *cheapest-to-recompute* entries go first, ties
+//!   broken oldest-touch first; expensive spectral results survive
+//!   pressure from cheap lookups.
+//! - **Poisoning** — a panic inside a computation poisons *that entry
+//!   only*: the panic message is retained, every subsequent request for
+//!   the key is answered with the stored failure (a `500` upstream),
+//!   and the rest of the cache keeps serving.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use socnet_runner::{CancelToken, Metrics, Pool};
+
+use crate::registry::panic_text;
+
+/// How long a coalesced waiter sleeps between cancellation checks.
+const WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// A memoized property value: any `Send + Sync` result behind an `Arc`.
+pub type CacheValue = Arc<dyn Any + Send + Sync>;
+
+/// One ready entry: the value plus its recompute cost and size.
+pub struct CachedEntry {
+    /// The memoized value; downcast with [`CachedEntry::value`].
+    pub raw: CacheValue,
+    /// Wall time the computation took — the recompute cost that drives
+    /// eviction order and backs warm/cold speedup accounting.
+    pub cost: Duration,
+    /// Approximate resident bytes.
+    pub bytes: usize,
+}
+
+impl CachedEntry {
+    /// Downcasts the stored value.
+    pub fn value<T: Any + Send + Sync>(&self) -> Option<&T> {
+        self.raw.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for CachedEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedEntry")
+            .field("cost", &self.cost)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The outcome of one [`PropertyCache::get_or_compute`] call.
+pub struct Lookup {
+    /// The (shared) entry.
+    pub entry: Arc<CachedEntry>,
+    /// Whether this call was served from a ready entry.
+    pub hit: bool,
+    /// Wall time *this caller* spent inside the cache — for a hit,
+    /// lock-and-clone; for a miss, the coalesced compute. The warm/cold
+    /// speedup assertions compare these, not sleeps.
+    pub wall: Duration,
+}
+
+impl std::fmt::Debug for Lookup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lookup")
+            .field("entry", &self.entry)
+            .field("hit", &self.hit)
+            .field("wall", &self.wall)
+            .finish()
+    }
+}
+
+/// Why a lookup failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// A previous computation of this key panicked; the entry is
+    /// poisoned and keeps answering with the original panic message.
+    Poisoned(String),
+    /// The computation returned an error (not a panic). The slot is
+    /// cleared so a later identical request may retry.
+    Failed(String),
+    /// The caller's deadline expired before the computation resolved.
+    DeadlineExceeded,
+    /// The pool is draining; no new computations are accepted.
+    Draining,
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Poisoned(m) => write!(f, "entry poisoned by panic: {m}"),
+            CacheError::Failed(m) => write!(f, "computation failed: {m}"),
+            CacheError::DeadlineExceeded => write!(f, "deadline expired inside the cache"),
+            CacheError::Draining => write!(f, "cache is draining"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+enum Slot {
+    /// A computation is in flight on the pool.
+    Pending,
+    /// Ready to serve.
+    Ready { entry: Arc<CachedEntry>, hits: u64, touched: u64 },
+    /// A panic happened inside the computation. Sticky: served as an
+    /// error until evicted or the whole cache is dropped.
+    Poisoned(String),
+    /// The computation returned `Err`. Observe-and-remove: the first
+    /// caller to see it clears the slot so a retry is possible.
+    Failed(String),
+}
+
+#[derive(Default)]
+struct CacheState {
+    slots: HashMap<String, Slot>,
+    resident_bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    poisonings: u64,
+    /// Monotonic touch clock for LRU tie-breaking.
+    clock: u64,
+}
+
+/// A point-in-time summary of cache behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Ready entries resident now.
+    pub entries: usize,
+    /// Poisoned entries resident now.
+    pub poisoned: usize,
+    /// Total bytes across ready entries.
+    pub resident_bytes: usize,
+    /// Lookups served from a ready entry.
+    pub hits: u64,
+    /// Lookups that started a computation.
+    pub misses: u64,
+    /// Entries evicted under byte pressure.
+    pub evictions: u64,
+    /// Computations that panicked and poisoned their entry.
+    pub poisonings: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Inner {
+    state: Mutex<CacheState>,
+    resolved: Condvar,
+    capacity_bytes: usize,
+}
+
+fn lock(inner: &Inner) -> MutexGuard<'_, CacheState> {
+    inner.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The memoizing property cache. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct PropertyCache {
+    inner: Arc<Inner>,
+}
+
+impl PropertyCache {
+    /// A cache that evicts once ready entries exceed `capacity_bytes`
+    /// (at least one entry is always retained so progress is possible).
+    pub fn new(capacity_bytes: usize) -> PropertyCache {
+        PropertyCache {
+            inner: Arc::new(Inner {
+                state: Mutex::new(CacheState::default()),
+                resolved: Condvar::new(),
+                capacity_bytes,
+            }),
+        }
+    }
+
+    /// Returns the memoized entry for `key`, computing it on `pool` if
+    /// absent. Identical concurrent misses coalesce into one submitted
+    /// job; all callers block (bounded by `cancel`) until it resolves.
+    ///
+    /// `compute` returns the value plus its approximate size in bytes.
+    /// If it returns `Err`, the slot is cleared and every waiter gets
+    /// [`CacheError::Failed`]. If it *panics*, the entry is poisoned:
+    /// this and every future lookup of the key yields
+    /// [`CacheError::Poisoned`] with the panic text, and nothing else
+    /// in the cache is touched.
+    ///
+    /// # Errors
+    ///
+    /// See [`CacheError`].
+    pub fn get_or_compute<F>(
+        &self,
+        key: &str,
+        pool: &Pool,
+        cancel: &CancelToken,
+        compute: F,
+    ) -> Result<Lookup, CacheError>
+    where
+        F: FnOnce() -> Result<(CacheValue, usize), String> + Send + 'static,
+    {
+        let start = Instant::now();
+        let owns_compute = {
+            let mut guard = lock(&self.inner);
+            // Reborrow so field accesses are disjoint for the borrow
+            // checker (slots vs the counters).
+            let state = &mut *guard;
+            match state.slots.get_mut(key) {
+                Some(Slot::Ready { entry, hits, touched }) => {
+                    let entry = Arc::clone(entry);
+                    *hits += 1;
+                    state.clock += 1;
+                    *touched = state.clock;
+                    state.hits += 1;
+                    Metrics::global().incr("cache.hits", 1);
+                    return Ok(Lookup { entry, hit: true, wall: start.elapsed() });
+                }
+                Some(Slot::Poisoned(message)) => {
+                    return Err(CacheError::Poisoned(message.clone()));
+                }
+                Some(Slot::Failed(message)) => {
+                    let message = message.clone();
+                    state.slots.remove(key);
+                    return Err(CacheError::Failed(message));
+                }
+                Some(Slot::Pending) => false,
+                None => {
+                    state.slots.insert(key.to_string(), Slot::Pending);
+                    state.misses += 1;
+                    Metrics::global().incr("cache.misses", 1);
+                    true
+                }
+            }
+        };
+
+        if owns_compute {
+            let inner = Arc::clone(&self.inner);
+            let job_key = key.to_string();
+            let submitted = pool.submit(move || {
+                let compute_start = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(compute));
+                let cost = compute_start.elapsed();
+                let mut state = lock(&inner);
+                match outcome {
+                    Ok(Ok((raw, bytes))) => {
+                        let entry = Arc::new(CachedEntry { raw, cost, bytes });
+                        state.resident_bytes += bytes;
+                        state.clock += 1;
+                        let touched = state.clock;
+                        state.slots.insert(job_key, Slot::Ready { entry, hits: 0, touched });
+                        evict_over_capacity(&mut state, inner.capacity_bytes);
+                        Metrics::global()
+                            .gauge_set("cache.resident_bytes", state.resident_bytes as f64);
+                    }
+                    Ok(Err(message)) => {
+                        state.slots.insert(job_key, Slot::Failed(message));
+                    }
+                    Err(payload) => {
+                        state.poisonings += 1;
+                        state.slots.insert(job_key, Slot::Poisoned(panic_text(payload.as_ref())));
+                        Metrics::global().incr("cache.poisonings", 1);
+                    }
+                }
+                drop(state);
+                inner.resolved.notify_all();
+            });
+            if submitted.is_err() {
+                let mut state = lock(&self.inner);
+                state.slots.remove(key);
+                drop(state);
+                self.inner.resolved.notify_all();
+                return Err(CacheError::Draining);
+            }
+        }
+
+        // Wait (as either the submitter or a coalesced waiter) for the
+        // slot to resolve.
+        let mut guard = lock(&self.inner);
+        loop {
+            let state = &mut *guard;
+            match state.slots.get_mut(key) {
+                Some(Slot::Ready { entry, hits, touched }) => {
+                    let entry = Arc::clone(entry);
+                    if !owns_compute {
+                        // The submitter's lookup is the miss itself,
+                        // not an extra hit.
+                        *hits += 1;
+                        state.clock += 1;
+                        *touched = state.clock;
+                        state.hits += 1;
+                        Metrics::global().incr("cache.hits", 1);
+                    }
+                    return Ok(Lookup { entry, hit: !owns_compute, wall: start.elapsed() });
+                }
+                Some(Slot::Poisoned(message)) => {
+                    return Err(CacheError::Poisoned(message.clone()));
+                }
+                Some(Slot::Failed(message)) => {
+                    let message = message.clone();
+                    state.slots.remove(key);
+                    return Err(CacheError::Failed(message));
+                }
+                Some(Slot::Pending) => {}
+                None => {
+                    // Evicted between resolution and our wake-up, or a
+                    // Failed slot another waiter consumed. Retry is the
+                    // caller's business; report as a failure.
+                    return Err(CacheError::Failed(
+                        "entry vanished before it could be read".to_string(),
+                    ));
+                }
+            }
+            if cancel.is_cancelled() {
+                return Err(CacheError::DeadlineExceeded);
+            }
+            let (next, _) = self
+                .inner
+                .resolved
+                .wait_timeout(guard, WAIT_SLICE)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard = next;
+        }
+    }
+
+    /// Drops the entry for `key` (ready or poisoned). Returns whether
+    /// anything was removed.
+    pub fn evict(&self, key: &str) -> bool {
+        let mut guard = lock(&self.inner);
+        let state = &mut *guard;
+        match state.slots.get(key) {
+            Some(Slot::Ready { entry, .. }) => {
+                state.resident_bytes -= entry.bytes;
+                state.slots.remove(key);
+                state.evictions += 1;
+                Metrics::global().incr("cache.evictions", 1);
+                Metrics::global().gauge_set("cache.resident_bytes", state.resident_bytes as f64);
+                true
+            }
+            Some(Slot::Poisoned(_)) => {
+                state.slots.remove(key);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Evicts every entry whose key names `label` as its graph — keys
+    /// are `kind|label[|params…]` — and returns how many were removed.
+    ///
+    /// Poisoned entries go too: evicting a graph is how an operator
+    /// heals a property poisoned by a worker panic. Pending entries are
+    /// left alone (their submitter still owns the slot).
+    pub fn evict_for_label(&self, label: &str) -> usize {
+        let mut guard = lock(&self.inner);
+        let state = &mut *guard;
+        let doomed: Vec<String> = state
+            .slots
+            .iter()
+            .filter(|(key, slot)| {
+                key.split('|').nth(1) == Some(label)
+                    && matches!(slot, Slot::Ready { .. } | Slot::Poisoned(_))
+            })
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in &doomed {
+            if let Some(Slot::Ready { entry, .. }) = state.slots.remove(key) {
+                state.resident_bytes -= entry.bytes;
+                state.evictions += 1;
+                Metrics::global().incr("cache.evictions", 1);
+            }
+        }
+        if !doomed.is_empty() {
+            Metrics::global().gauge_set("cache.resident_bytes", state.resident_bytes as f64);
+        }
+        doomed.len()
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let state = lock(&self.inner);
+        CacheStats {
+            entries: state
+                .slots
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count(),
+            poisoned: state
+                .slots
+                .values()
+                .filter(|s| matches!(s, Slot::Poisoned(_)))
+                .count(),
+            resident_bytes: state.resident_bytes,
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+            poisonings: state.poisonings,
+        }
+    }
+}
+
+/// Evicts ready entries, cheapest recompute cost first (ties: oldest
+/// touch first), until resident bytes fit `capacity`. The most recently
+/// installed entry is exempt while anything else can go, so a single
+/// oversized result still lands.
+fn evict_over_capacity(state: &mut CacheState, capacity: usize) {
+    while state.resident_bytes > capacity {
+        let newest = state.clock;
+        let victim = state
+            .slots
+            .iter()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Ready { entry, touched, .. } if *touched != newest => {
+                    Some((key.clone(), entry.cost, *touched, entry.bytes))
+                }
+                _ => None,
+            })
+            .min_by(|a, b| a.1.cmp(&b.1).then(a.2.cmp(&b.2)));
+        let Some((key, _, _, bytes)) = victim else {
+            break;
+        };
+        state.slots.remove(&key);
+        state.resident_bytes -= bytes;
+        state.evictions += 1;
+        Metrics::global().incr("cache.evictions", 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn value_of(n: u64) -> CacheValue {
+        Arc::new(n)
+    }
+
+    fn read(entry: &CachedEntry) -> u64 {
+        *entry.value::<u64>().expect("stored a u64")
+    }
+
+    fn compute_ok(n: u64, bytes: usize) -> impl FnOnce() -> Result<(CacheValue, usize), String> {
+        move || Ok((value_of(n), bytes))
+    }
+
+    #[test]
+    fn memoizes_and_counts_hits() {
+        let cache = PropertyCache::new(1 << 20);
+        let pool = Pool::new(1);
+        let cancel = CancelToken::new();
+        let calls = Arc::new(AtomicUsize::new(0));
+        for round in 0..3 {
+            let calls = calls.clone();
+            let lookup = cache
+                .get_or_compute("slem|k", &pool, &cancel, move || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Ok((value_of(41), 100))
+                })
+                .expect("resolves");
+            assert_eq!(read(&lookup.entry), 41);
+            assert_eq!(lookup.hit, round > 0);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "computed once");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        pool.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn concurrent_identical_misses_coalesce() {
+        let cache = PropertyCache::new(1 << 20);
+        let pool = Arc::new(Pool::new(2));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let cache = cache.clone();
+                let pool = Arc::clone(&pool);
+                let calls = calls.clone();
+                std::thread::spawn(move || {
+                    let lookup = cache
+                        .get_or_compute("expansion|k", &pool, &CancelToken::new(), move || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(Duration::from_millis(40));
+                            Ok((value_of(7), 64))
+                        })
+                        .expect("resolves");
+                    (read(&lookup.entry), Arc::as_ptr(&lookup.entry) as usize)
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one computation ran");
+        assert!(results.iter().all(|(v, _)| *v == 7));
+        let first_ptr = results[0].1;
+        assert!(results.iter().all(|(_, p)| *p == first_ptr), "all share one Arc");
+        pool.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn panic_poisons_only_its_entry() {
+        let cache = PropertyCache::new(1 << 20);
+        let pool = Pool::new(1);
+        let cancel = CancelToken::new();
+        let err = cache
+            .get_or_compute("mixing|bad", &pool, &cancel, || {
+                panic!("kernel blew up: negative probability")
+            })
+            .expect_err("poisoned");
+        assert!(matches!(&err, CacheError::Poisoned(m) if m.contains("negative probability")));
+        // The poisoned entry is sticky and does NOT recompute.
+        let err2 = cache
+            .get_or_compute("mixing|bad", &pool, &cancel, || {
+                panic!("this closure must never run")
+            })
+            .expect_err("still poisoned");
+        assert!(matches!(err2, CacheError::Poisoned(_)));
+        // Other keys are untouched.
+        let ok = cache
+            .get_or_compute("mixing|good", &pool, &cancel, compute_ok(5, 10))
+            .expect("other keys still work");
+        assert_eq!(read(&ok.entry), 5);
+        let stats = cache.stats();
+        assert_eq!(stats.poisonings, 1);
+        assert_eq!(stats.poisoned, 1);
+        // Evicting the poisoned key clears the way for a recompute.
+        assert!(cache.evict("mixing|bad"));
+        let healed = cache
+            .get_or_compute("mixing|bad", &pool, &cancel, compute_ok(9, 10))
+            .expect("recomputes after evict");
+        assert_eq!(read(&healed.entry), 9);
+        pool.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn failed_compute_clears_the_slot_for_retry() {
+        let cache = PropertyCache::new(1 << 20);
+        let pool = Pool::new(1);
+        let cancel = CancelToken::new();
+        let err = cache
+            .get_or_compute("cores|k", &pool, &cancel, || Err("graph has no edges".to_string()))
+            .expect_err("fails");
+        assert!(matches!(&err, CacheError::Failed(m) if m.contains("no edges")));
+        let ok = cache
+            .get_or_compute("cores|k", &pool, &cancel, compute_ok(3, 8))
+            .expect("retry allowed");
+        assert_eq!(read(&ok.entry), 3);
+        pool.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn eviction_is_cost_aware_cheapest_first() {
+        let cache = PropertyCache::new(250);
+        let pool = Pool::new(1);
+        let cancel = CancelToken::new();
+        // An expensive entry (simulated by a slow compute) and a cheap
+        // one, then pressure from a third: the cheap one must go.
+        cache
+            .get_or_compute("expensive", &pool, &cancel, || {
+                std::thread::sleep(Duration::from_millis(60));
+                Ok((value_of(1), 100))
+            })
+            .expect("resolves");
+        cache
+            .get_or_compute("cheap", &pool, &cancel, compute_ok(2, 100))
+            .expect("resolves");
+        cache
+            .get_or_compute("pressure", &pool, &cancel, compute_ok(3, 100))
+            .expect("resolves");
+        let stats = cache.stats();
+        assert!(stats.resident_bytes <= 250, "under capacity after eviction");
+        assert_eq!(stats.evictions, 1);
+        // "expensive" survived; "cheap" was evicted and recomputes.
+        let survivors = Arc::new(AtomicUsize::new(0));
+        {
+            let survivors = survivors.clone();
+            cache
+                .get_or_compute("expensive", &pool, &cancel, move || {
+                    survivors.fetch_add(1, Ordering::SeqCst);
+                    Ok((value_of(0), 1))
+                })
+                .expect("resolves");
+        }
+        assert_eq!(survivors.load(Ordering::SeqCst), 0, "expensive entry still resident");
+        pool.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn warm_lookup_is_at_least_ten_times_cheaper_by_cache_accounting() {
+        let cache = PropertyCache::new(1 << 20);
+        let pool = Pool::new(1);
+        let cancel = CancelToken::new();
+        let cold = cache
+            .get_or_compute("speedup", &pool, &cancel, || {
+                std::thread::sleep(Duration::from_millis(50));
+                Ok((value_of(1), 16))
+            })
+            .expect("cold resolves");
+        assert!(!cold.hit);
+        let warm = cache
+            .get_or_compute("speedup", &pool, &cancel, || {
+                panic!("warm path must not recompute")
+            })
+            .expect("warm resolves");
+        assert!(warm.hit);
+        // The cache's own cost accounting: entry.cost is the recompute
+        // price, warm.wall is what the hit actually cost this caller.
+        assert!(warm.entry.cost >= Duration::from_millis(50));
+        assert!(
+            warm.wall * 10 <= cold.wall,
+            "warm ({:?}) must be >=10x cheaper than cold ({:?})",
+            warm.wall,
+            cold.wall
+        );
+        pool.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn draining_pool_is_reported_not_wedged() {
+        let cache = PropertyCache::new(1 << 20);
+        let pool = Pool::new(1);
+        pool.drain(Duration::from_secs(1));
+        let err = cache
+            .get_or_compute("late", &pool, &CancelToken::new(), compute_ok(1, 1))
+            .expect_err("pool is closed");
+        assert_eq!(err, CacheError::Draining);
+        // The Pending slot was rolled back — nothing is wedged.
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

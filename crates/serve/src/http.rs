@@ -1,0 +1,384 @@
+//! A minimal HTTP/1.1 request parser and response writer.
+//!
+//! The repo is deliberately dependency-free, so the front end speaks
+//! just enough HTTP/1.1 over [`std::net`] for `curl`, browsers, and the
+//! load harness: one request per connection (`Connection: close`),
+//! request-line + headers + optional `Content-Length` body, and
+//! percent-decoded query strings. Every malformed input maps to a typed
+//! [`HttpError`] that the server turns into a `400` — parsing never
+//! panics, whatever the bytes.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on one header or request line, in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Upper bound on the number of request headers.
+const MAX_HEADERS: usize = 100;
+/// Upper bound on a request body, in bytes.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes on the wire are not a well-formed HTTP/1.x request.
+    BadRequest(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    PayloadTooLarge,
+    /// The socket failed mid-read (client went away, read timeout).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::PayloadTooLarge => write!(f, "request body too large"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased (`GET`, `POST`, ...).
+    pub method: String,
+    /// The percent-decoded path, query string excluded.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// The raw body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a query parameter, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The path split into non-empty segments.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Query parameters merged with `key=value&...` pairs from the body
+    /// (the `POST` convention the admit endpoint uses).
+    pub fn params_with_body(&self) -> Vec<(String, String)> {
+        let mut all = self.query.clone();
+        if let Ok(text) = std::str::from_utf8(&self.body) {
+            all.extend(parse_query(text.trim()));
+        }
+        all
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; invalid escapes pass through
+/// verbatim (never an error — the route layer validates semantics).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a query string into decoded `key=value` pairs. Pairs without
+/// `=` get an empty value; empty chunks are skipped.
+pub fn parse_query(s: &str) -> Vec<(String, String)> {
+    s.split('&')
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| match chunk.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(chunk), String::new()),
+        })
+        .collect()
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = reader.read(&mut byte)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-line".to_string()));
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(HttpError::BadRequest("header line too long".to_string()));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map_err(|_| HttpError::BadRequest("header line is not UTF-8".to_string()))
+}
+
+/// Reads one request from `reader`.
+///
+/// # Errors
+///
+/// Returns [`HttpError::BadRequest`] for malformed request lines,
+/// headers, or bodies; [`HttpError::PayloadTooLarge`] for oversized
+/// bodies; [`HttpError::Io`] when the socket fails.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".to_string()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".to_string()))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("malformed request line {request_line:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("request target {target:?} is not a path")));
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path);
+    let query = parse_query(raw_query);
+
+    let mut content_length = 0usize;
+    for i in 0.. {
+        if i >= MAX_HEADERS {
+            return Err(HttpError::BadRequest("too many headers".to_string()));
+        }
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length {value:?}")))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    Ok(Request { method, path, query, body })
+}
+
+/// One response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) — e.g. `X-Cache`.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response { status, content_type: "application/json", headers: Vec::new(), body }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response { status, content_type: "text/plain; charset=utf-8", headers: Vec::new(), body }
+    }
+
+    /// Adds one extra header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes the response (status line, headers, body) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the socket.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// The reason phrase for the status codes the server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_empty());
+        assert!(req.body.is_empty());
+        assert_eq!(req.segments(), vec!["healthz"]);
+    }
+
+    #[test]
+    fn parses_query_and_percent_escapes() {
+        let req = parse("GET /graphs/Wiki%2Dvote/mixing?eps=0.125&x=a+b HTTP/1.1\r\n\r\n")
+            .expect("parses");
+        assert_eq!(req.path, "/graphs/Wiki-vote/mixing");
+        assert_eq!(req.param("eps"), Some("0.125"));
+        assert_eq!(req.param("x"), Some("a b"));
+        assert_eq!(req.param("missing"), None);
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req = parse("POST /graphs/DBLP/gatekeeper/admit HTTP/1.1\r\nContent-Length: 9\r\n\r\nsybils=50")
+            .expect("parses");
+        assert_eq!(req.body, b"sybils=50");
+        let params = req.params_with_body();
+        assert!(params.iter().any(|(k, v)| k == "sybils" && v == "50"));
+    }
+
+    #[test]
+    fn bare_lf_lines_parse_like_crlf() {
+        let req = parse("GET /datasets HTTP/1.1\nHost: x\n\n").expect("parses");
+        assert_eq!(req.path, "/datasets");
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        for bad in [
+            "",
+            "\r\n",
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /a /b HTTP/1.1\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected() {
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse(&raw), Err(HttpError::PayloadTooLarge)));
+    }
+
+    #[test]
+    fn percent_decode_passes_junk_through() {
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("bad%zzesc"), "bad%zzesc");
+        assert_eq!(percent_decode("plus+plus"), "plus plus");
+    }
+
+    #[test]
+    fn response_bytes_are_well_formed() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".to_string())
+            .with_header("X-Cache", "hit")
+            .write_to(&mut out)
+            .expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("X-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_codes() {
+        for code in [200, 400, 404, 405, 413, 500, 503, 504] {
+            assert_ne!(status_reason(code), "Unknown");
+        }
+        assert_eq!(status_reason(418), "Unknown");
+    }
+}

@@ -1,0 +1,49 @@
+//! `socnet-serve` — an online property-query service over resident
+//! social graphs.
+//!
+//! The batch binaries in `crates/bench` answer "what is the mixing time
+//! of dataset X" by regenerating the graph and recomputing the property
+//! every run. This crate turns that into a *service*: graphs stay
+//! resident, properties stay memoized, and a query that took seconds
+//! cold is answered in microseconds warm. Three layers, each usable on
+//! its own:
+//!
+//! - [`GraphRegistry`] — load-once / share-many residency keyed by
+//!   *(dataset, scale, seed)*, with coalesced concurrent loads and
+//!   resident-byte accounting.
+//! - [`PropertyCache`] — a cost-aware memoizing cache for SLEM +
+//!   Sinclair bounds, coreness decompositions, TVD curves, envelope
+//!   expansion, and GateKeeper admission verdicts. Identical concurrent
+//!   misses coalesce into one computation on a panic-isolated
+//!   [`socnet_runner::Pool`]; a panicking kernel poisons only its own
+//!   entry.
+//! - [`Server`] — a hand-rolled HTTP/1.1 front end over
+//!   [`std::net::TcpListener`] with per-request deadlines, `400` (never
+//!   a panic) on malformed input, and a graceful drain that flushes a
+//!   metrics snapshot plus a `run.json` manifest.
+//!
+//! ```no_run
+//! use socnet_serve::{Server, ServerConfig};
+//!
+//! let config = ServerConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() };
+//! let server = Server::bind(config).expect("bind");
+//! let stop = server.shutdown_handle();
+//! // ... from another thread: stop.cancel() triggers a graceful drain.
+//! let summary = server.serve().expect("serve");
+//! println!("served {} requests", summary.requests);
+//! # drop(stop);
+//! ```
+
+#![deny(unsafe_code)] // one scoped allow lives in `signal`
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod registry;
+pub mod routes;
+pub mod server;
+pub mod signal;
+
+pub use cache::{CacheError, CacheStats, CacheValue, CachedEntry, Lookup, PropertyCache};
+pub use registry::{GraphKey, GraphRegistry, LoadedGraph, RegistryError, ResidentInfo};
+pub use server::{AppState, ServeSummary, Server, ServerConfig};

@@ -1,0 +1,450 @@
+//! Load-once / share-many graph residency.
+//!
+//! Every query route needs a [`Graph`], and building one (scaling a
+//! dataset model, wiring a CSR) is orders of magnitude more expensive
+//! than answering a cached property question about it. The registry
+//! makes residency explicit: graphs are keyed by *(dataset, scale,
+//! seed)*, built at most once per key, and handed out behind [`Arc`] so
+//! a hundred concurrent requests share one copy. Concurrent loads of
+//! the same key coalesce — one caller builds, the rest park on a
+//! condvar until the graph (or the build error) is in.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use socnet_core::Graph;
+use socnet_gen::Dataset;
+use socnet_runner::{CancelToken, Metrics};
+
+/// How long a coalesced waiter sleeps between cancellation checks.
+const WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// Identity of one resident graph: dataset + generation parameters.
+///
+/// The scale is stored by bit pattern so the key is `Eq + Hash` without
+/// float comparisons; two textually different but numerically equal
+/// scales (`0.1` vs `1e-1`) therefore collapse to the same key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GraphKey {
+    dataset: Dataset,
+    scale_bits: u64,
+    seed: u64,
+}
+
+impl GraphKey {
+    /// Builds a key. `scale` must be finite and positive — the same
+    /// contract `Dataset::generate_scaled` enforces; the route layer
+    /// validates before constructing a key.
+    pub fn new(dataset: Dataset, scale: f64, seed: u64) -> GraphKey {
+        GraphKey { dataset, scale_bits: scale.to_bits(), seed }
+    }
+
+    /// The dataset this key resolves.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// The generation scale.
+    pub fn scale(&self) -> f64 {
+        f64::from_bits(self.scale_bits)
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A canonical human-readable label, also used as the prefix of
+    /// every property-cache key derived from this graph.
+    pub fn label(&self) -> String {
+        format!("{}@{}#{}", self.dataset.name(), self.scale(), self.seed)
+    }
+}
+
+/// A resident graph plus the bookkeeping the registry reports about it.
+#[derive(Debug)]
+pub struct LoadedGraph {
+    /// The shared graph.
+    pub graph: Graph,
+    /// Approximate resident size: CSR offsets + adjacency.
+    pub approx_bytes: usize,
+    /// How long the build took.
+    pub load_wall: Duration,
+}
+
+fn approx_graph_bytes(g: &Graph) -> usize {
+    // CSR layout: (n + 1) 8-byte offsets + one 4-byte entry per
+    // directed edge slot.
+    (g.node_count() + 1) * 8 + g.degree_sum() * 4
+}
+
+/// One row of [`GraphRegistry::list`].
+#[derive(Debug, Clone)]
+pub struct ResidentInfo {
+    /// The graph's key.
+    pub key: GraphKey,
+    /// Nodes in the resident graph.
+    pub nodes: usize,
+    /// Undirected edges in the resident graph.
+    pub edges: usize,
+    /// Approximate resident bytes.
+    pub bytes: usize,
+    /// Lookups served since load.
+    pub hits: u64,
+    /// Build wall time.
+    pub load_wall: Duration,
+}
+
+/// Why a load failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The builder returned an error or panicked.
+    Build(String),
+    /// The caller's deadline expired while waiting for another
+    /// caller's in-flight build of the same key.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Build(m) => write!(f, "graph build failed: {m}"),
+            RegistryError::DeadlineExceeded => {
+                write!(f, "deadline expired while waiting for a graph load")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+enum Slot {
+    /// Some caller is building; everyone else waits on the condvar.
+    Loading,
+    /// Built and shared.
+    Resident { graph: Arc<LoadedGraph>, hits: u64 },
+    /// The build failed; waiters copy the message and the observer
+    /// removes the slot so a later identical request may retry.
+    Failed(String),
+}
+
+type Builder = Box<dyn Fn(&GraphKey) -> Graph + Send + Sync>;
+
+/// The load-once / share-many graph store.
+pub struct GraphRegistry {
+    state: Mutex<HashMap<GraphKey, Slot>>,
+    loaded: Condvar,
+    builder: Builder,
+}
+
+impl Default for GraphRegistry {
+    fn default() -> Self {
+        GraphRegistry::new()
+    }
+}
+
+fn lock(state: &Mutex<HashMap<GraphKey, Slot>>) -> MutexGuard<'_, HashMap<GraphKey, Slot>> {
+    state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl GraphRegistry {
+    /// A registry that builds graphs via `Dataset::generate_scaled`.
+    pub fn new() -> GraphRegistry {
+        GraphRegistry::with_builder(Box::new(|key: &GraphKey| {
+            key.dataset().generate_scaled(key.scale(), key.seed())
+        }))
+    }
+
+    /// A registry with an injected builder — tests use this to make
+    /// builds slow, observable, or failing on demand.
+    pub fn with_builder(builder: Builder) -> GraphRegistry {
+        GraphRegistry { state: Mutex::new(HashMap::new()), loaded: Condvar::new(), builder }
+    }
+
+    /// Returns the resident graph for `key`, building it if absent.
+    ///
+    /// Exactly one caller runs the builder per key; concurrent callers
+    /// for the same key block until that build resolves. The build runs
+    /// under `catch_unwind`, so a panicking generator becomes a
+    /// [`RegistryError::Build`] for every waiter instead of a crash.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Build`] if the builder fails or panics;
+    /// [`RegistryError::DeadlineExceeded`] if `cancel` fires while
+    /// waiting on another caller's build.
+    pub fn get_or_load(
+        &self,
+        key: &GraphKey,
+        cancel: &CancelToken,
+    ) -> Result<Arc<LoadedGraph>, RegistryError> {
+        {
+            let mut state = lock(&self.state);
+            loop {
+                match state.get_mut(key) {
+                    Some(Slot::Resident { graph, hits }) => {
+                        *hits += 1;
+                        Metrics::global().incr("registry.hits", 1);
+                        return Ok(Arc::clone(graph));
+                    }
+                    Some(Slot::Failed(message)) => {
+                        let message = message.clone();
+                        // Observe-and-remove: the next identical
+                        // request gets a fresh build attempt.
+                        state.remove(key);
+                        return Err(RegistryError::Build(message));
+                    }
+                    Some(Slot::Loading) => {
+                        if cancel.is_cancelled() {
+                            return Err(RegistryError::DeadlineExceeded);
+                        }
+                        let (guard, _) = self
+                            .loaded
+                            .wait_timeout(state, WAIT_SLICE)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        state = guard;
+                    }
+                    None => {
+                        state.insert(key.clone(), Slot::Loading);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // We own the build. Run it unlocked so other keys stay live.
+        let start = Instant::now();
+        let built = catch_unwind(AssertUnwindSafe(|| (self.builder)(key)));
+        let slot = match built {
+            Ok(graph) => {
+                let loaded = Arc::new(LoadedGraph {
+                    approx_bytes: approx_graph_bytes(&graph),
+                    load_wall: start.elapsed(),
+                    graph,
+                });
+                Metrics::global().incr("registry.loads", 1);
+                Slot::Resident { graph: loaded, hits: 0 }
+            }
+            Err(payload) => Slot::Failed(panic_text(payload.as_ref())),
+        };
+        let result = {
+            let mut state = lock(&self.state);
+            state.insert(key.clone(), slot);
+            match state.get(key) {
+                Some(Slot::Resident { graph, .. }) => Ok(Arc::clone(graph)),
+                Some(Slot::Failed(message)) => {
+                    let message = message.clone();
+                    state.remove(key);
+                    Err(RegistryError::Build(message))
+                }
+                _ => unreachable!("slot was just inserted"),
+            }
+        };
+        self.loaded.notify_all();
+        self.update_gauge();
+        result
+    }
+
+    /// Drops the resident graph for `key`, if any. Returns whether a
+    /// resident entry was removed (an in-flight load is left alone).
+    pub fn evict(&self, key: &GraphKey) -> bool {
+        let removed = {
+            let mut state = lock(&self.state);
+            match state.get(key) {
+                Some(Slot::Resident { .. }) => {
+                    state.remove(key);
+                    true
+                }
+                _ => false,
+            }
+        };
+        if removed {
+            Metrics::global().incr("registry.evictions", 1);
+            self.update_gauge();
+        }
+        removed
+    }
+
+    /// Every resident graph, sorted by label for stable output.
+    pub fn list(&self) -> Vec<ResidentInfo> {
+        let state = lock(&self.state);
+        let mut rows: Vec<ResidentInfo> = state
+            .iter()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Resident { graph, hits } => Some(ResidentInfo {
+                    key: key.clone(),
+                    nodes: graph.graph.node_count(),
+                    edges: graph.graph.edge_count(),
+                    bytes: graph.approx_bytes,
+                    hits: *hits,
+                    load_wall: graph.load_wall,
+                }),
+                _ => None,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.key.label().cmp(&b.key.label()));
+        rows
+    }
+
+    /// Total approximate bytes across resident graphs.
+    pub fn resident_bytes(&self) -> usize {
+        let state = lock(&self.state);
+        state
+            .values()
+            .map(|slot| match slot {
+                Slot::Resident { graph, .. } => graph.approx_bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of resident graphs (loads in flight excluded).
+    pub fn len(&self) -> usize {
+        let state = lock(&self.state);
+        state.values().filter(|s| matches!(s, Slot::Resident { .. })).count()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn update_gauge(&self) {
+        Metrics::global().gauge_set("registry.resident_bytes", self.resident_bytes() as f64);
+    }
+}
+
+/// Best-effort text of a panic payload.
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tiny_key() -> GraphKey {
+        GraphKey::new(Dataset::RiceGrad, 0.05, 42)
+    }
+
+    #[test]
+    fn key_identity_is_by_value_and_label_is_canonical() {
+        let a = GraphKey::new(Dataset::WikiVote, 0.1, 7);
+        let b = GraphKey::new(Dataset::WikiVote, 1e-1, 7);
+        assert_eq!(a, b, "numerically equal scales are one key");
+        assert_eq!(a.label(), "Wiki-vote@0.1#7");
+        assert_ne!(a, GraphKey::new(Dataset::WikiVote, 0.1, 8));
+    }
+
+    #[test]
+    fn loads_once_and_shares_thereafter() {
+        let builds = Arc::new(AtomicUsize::new(0));
+        let registry = {
+            let builds = builds.clone();
+            GraphRegistry::with_builder(Box::new(move |key| {
+                builds.fetch_add(1, Ordering::SeqCst);
+                key.dataset().generate_scaled(key.scale(), key.seed())
+            }))
+        };
+        let cancel = CancelToken::new();
+        let key = tiny_key();
+        let first = registry.get_or_load(&key, &cancel).expect("load");
+        let second = registry.get_or_load(&key, &cancel).expect("hit");
+        assert!(Arc::ptr_eq(&first, &second), "same resident graph");
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "built exactly once");
+        assert_eq!(registry.len(), 1);
+        assert!(registry.resident_bytes() > 0);
+        let rows = registry.list();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].hits, 1, "second lookup counted as a hit");
+        assert_eq!(rows[0].nodes, first.graph.node_count());
+    }
+
+    #[test]
+    fn concurrent_loads_of_one_key_coalesce() {
+        let builds = Arc::new(AtomicUsize::new(0));
+        let registry = Arc::new({
+            let builds = builds.clone();
+            GraphRegistry::with_builder(Box::new(move |key| {
+                builds.fetch_add(1, Ordering::SeqCst);
+                // Make the build window wide enough that the other
+                // threads demonstrably arrive during it.
+                std::thread::sleep(Duration::from_millis(50));
+                key.dataset().generate_scaled(key.scale(), key.seed())
+            }))
+        });
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    registry.get_or_load(&tiny_key(), &CancelToken::new()).expect("load")
+                })
+            })
+            .collect();
+        let graphs: Vec<_> = handles.into_iter().map(|h| h.join().expect("no panic")).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "one builder ran");
+        for g in &graphs[1..] {
+            assert!(Arc::ptr_eq(&graphs[0], g));
+        }
+    }
+
+    #[test]
+    fn failed_build_reports_and_allows_retry() {
+        let builds = Arc::new(AtomicUsize::new(0));
+        let registry = {
+            let builds = builds.clone();
+            GraphRegistry::with_builder(Box::new(move |key| {
+                if builds.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("generator exploded");
+                }
+                key.dataset().generate_scaled(key.scale(), key.seed())
+            }))
+        };
+        let cancel = CancelToken::new();
+        let err = registry.get_or_load(&tiny_key(), &cancel).expect_err("first build fails");
+        assert!(matches!(&err, RegistryError::Build(m) if m.contains("generator exploded")));
+        assert_eq!(registry.len(), 0, "failed slot is not resident");
+        // The failure was observed and removed — a retry succeeds.
+        registry.get_or_load(&tiny_key(), &cancel).expect("retry succeeds");
+        assert_eq!(builds.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn evict_frees_residency() {
+        let registry = GraphRegistry::new();
+        let key = tiny_key();
+        registry.get_or_load(&key, &CancelToken::new()).expect("load");
+        assert!(!registry.is_empty());
+        assert!(registry.evict(&key));
+        assert!(!registry.evict(&key), "second evict finds nothing");
+        assert!(registry.is_empty());
+        assert_eq!(registry.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn cancelled_waiter_gets_deadline_error() {
+        let registry = Arc::new(GraphRegistry::with_builder(Box::new(|key| {
+            std::thread::sleep(Duration::from_millis(400));
+            key.dataset().generate_scaled(key.scale(), key.seed())
+        })));
+        let builder_handle = {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || registry.get_or_load(&tiny_key(), &CancelToken::new()))
+        };
+        // Give the builder thread time to claim the Loading slot.
+        std::thread::sleep(Duration::from_millis(50));
+        let cancel = CancelToken::with_budget(Duration::from_millis(1));
+        let err = registry.get_or_load(&tiny_key(), &cancel).expect_err("deadline");
+        assert_eq!(err, RegistryError::DeadlineExceeded);
+        builder_handle.join().expect("no panic").expect("build succeeds");
+    }
+}

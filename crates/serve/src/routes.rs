@@ -1,0 +1,680 @@
+//! Route dispatch: URL → registry → property cache → kernel → JSON.
+//!
+//! Every property route follows one shape: resolve the dataset (404 if
+//! unknown), validate parameters (400 on anything malformed), load the
+//! graph through the registry (coalesced, shared), then answer from the
+//! property cache — computing on the shared pool only on a miss. The
+//! response body is rendered *from the cached value alone*, never from
+//! per-request state, so identical queries produce byte-identical
+//! bodies no matter how requests interleave. The `X-Cache` header says
+//! how the lookup went: `hit`, `miss`, or `poisoned`.
+
+use std::sync::Arc;
+
+use socnet_core::NodeId;
+use socnet_expansion::EnvelopeExpansion;
+use socnet_gen::Dataset;
+use socnet_kcore::CoreDecomposition;
+use socnet_mixing::{
+    try_sinclair_bounds, try_slem, MixingConfig, MixingMeasurement, SpectralConfig, Spectrum,
+};
+use socnet_runner::{json, CancelToken, Metrics, ParConfig};
+use socnet_sybil::{AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilTopology};
+
+use crate::cache::{CacheError, CacheValue};
+use crate::http::{Request, Response};
+use crate::registry::{GraphKey, LoadedGraph, RegistryError};
+use crate::server::AppState;
+
+/// Hard caps that keep a single query from occupying the box.
+const MAX_SCALE: f64 = 4.0;
+const MAX_SOURCES: usize = 64;
+const MAX_WALK: usize = 2_000;
+const MAX_SYBILS: usize = 10_000;
+const MAX_ATTACK_EDGES: usize = 100_000;
+const MAX_DISTRIBUTORS: usize = 1_000;
+
+/// The memoized admission verdict for one GateKeeper parameterisation.
+pub struct AdmitVerdict {
+    /// Honest nodes in the evaluated graph.
+    pub honest_total: usize,
+    /// Honest nodes admitted by the controller.
+    pub honest_admitted: usize,
+    /// Sybil identities mounted.
+    pub sybil_total: usize,
+    /// Sybil identities admitted (the attack's yield).
+    pub sybil_admitted: usize,
+    /// The reach-count threshold that was applied.
+    pub threshold: u32,
+    /// Distributors sampled.
+    pub distributors: usize,
+    /// The controller node.
+    pub controller: usize,
+}
+
+/// Dispatches one request. Returns the route class (for per-class
+/// accounting) alongside the response.
+pub fn handle(state: &Arc<AppState>, req: &Request, cancel: &CancelToken) -> (&'static str, Response) {
+    let segments = req.segments();
+    let owned: Vec<String> = segments.iter().map(|s| s.to_string()).collect();
+    let parts: Vec<&str> = owned.iter().map(String::as_str).collect();
+    match parts.as_slice() {
+        ["healthz"] => ("healthz", expect_method("GET", req).unwrap_or_else(|| healthz(state))),
+        ["datasets"] => ("datasets", expect_method("GET", req).unwrap_or_else(|| datasets(state))),
+        ["metrics"] => ("metrics", expect_method("GET", req).unwrap_or_else(|| metrics(state))),
+        ["graphs", name, "load"] => (
+            "load",
+            expect_method("POST", req).unwrap_or_else(|| load(state, req, name, cancel)),
+        ),
+        ["graphs", name, "evict"] => (
+            "evict",
+            expect_method("POST", req).unwrap_or_else(|| evict(state, req, name)),
+        ),
+        ["graphs", name, "mixing"] => (
+            "mixing",
+            expect_method("GET", req).unwrap_or_else(|| mixing(state, req, name, cancel)),
+        ),
+        ["graphs", name, "coreness", node] => (
+            "coreness",
+            expect_method("GET", req).unwrap_or_else(|| coreness(state, req, name, node, cancel)),
+        ),
+        ["graphs", name, "expansion"] => (
+            "expansion",
+            expect_method("GET", req).unwrap_or_else(|| expansion(state, req, name, cancel)),
+        ),
+        ["graphs", name, "gatekeeper", "admit"] => (
+            "admit",
+            expect_method("POST", req).unwrap_or_else(|| admit(state, req, name, cancel)),
+        ),
+        _ => ("unknown", error_response(404, &format!("no route for {}", req.path))),
+    }
+}
+
+fn expect_method(method: &str, req: &Request) -> Option<Response> {
+    if req.method == method {
+        None
+    } else {
+        Some(error_response(405, &format!("{} requires {method}", req.path)))
+    }
+}
+
+/// Renders the uniform error body.
+pub fn error_response(status: u16, message: &str) -> Response {
+    let mut obj = json::Obj::new();
+    obj.str("error", message).int("status", u64::from(status));
+    Response::json(status, obj.finish())
+}
+
+fn cache_error_response(err: &CacheError) -> Response {
+    match err {
+        CacheError::Poisoned(message) => {
+            let mut obj = json::Obj::new();
+            obj.str("error", message).int("status", 500).bool("poisoned", true);
+            Response::json(500, obj.finish()).with_header("X-Cache", "poisoned")
+        }
+        CacheError::Failed(message) => error_response(500, message),
+        CacheError::DeadlineExceeded => error_response(504, "request deadline exceeded"),
+        CacheError::Draining => error_response(503, "server is draining"),
+    }
+}
+
+fn registry_error_response(err: &RegistryError) -> Response {
+    match err {
+        RegistryError::Build(message) => error_response(500, message),
+        RegistryError::DeadlineExceeded => error_response(504, "request deadline exceeded"),
+    }
+}
+
+fn dataset_by_name(name: &str) -> Option<Dataset> {
+    Dataset::ALL.iter().copied().find(|d| d.name().eq_ignore_ascii_case(name))
+}
+
+fn param_f64(params: &[(String, String)], key: &str, default: f64) -> Result<f64, Response> {
+    match params.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, raw)) => raw
+            .parse::<f64>()
+            .map_err(|_| error_response(400, &format!("parameter {key}={raw:?} is not a number"))),
+    }
+}
+
+fn param_usize(params: &[(String, String)], key: &str, default: usize) -> Result<usize, Response> {
+    match params.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, raw)) => raw.parse::<usize>().map_err(|_| {
+            error_response(400, &format!("parameter {key}={raw:?} is not a non-negative integer"))
+        }),
+    }
+}
+
+fn param_u32(params: &[(String, String)], key: &str, default: u32) -> Result<u32, Response> {
+    match params.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, raw)) => raw.parse::<u32>().map_err(|_| {
+            error_response(400, &format!("parameter {key}={raw:?} is not a valid node id"))
+        }),
+    }
+}
+
+fn param_u64(params: &[(String, String)], key: &str, default: u64) -> Result<u64, Response> {
+    match params.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, raw)) => raw.parse::<u64>().map_err(|_| {
+            error_response(400, &format!("parameter {key}={raw:?} is not a non-negative integer"))
+        }),
+    }
+}
+
+/// Resolves dataset + scale + seed into a resident graph.
+fn resolve_graph(
+    state: &AppState,
+    params: &[(String, String)],
+    name: &str,
+    cancel: &CancelToken,
+) -> Result<(GraphKey, Arc<LoadedGraph>), Response> {
+    let Some(dataset) = dataset_by_name(name) else {
+        return Err(error_response(404, &format!("unknown dataset {name:?}")));
+    };
+    let scale = param_f64(params, "scale", state.config.default_scale)?;
+    if !(scale.is_finite() && scale > 0.0 && scale <= MAX_SCALE) {
+        return Err(error_response(400, &format!("scale must be in (0, {MAX_SCALE}], got {scale}")));
+    }
+    let seed = param_u64(params, "seed", state.config.default_seed)?;
+    let key = GraphKey::new(dataset, scale, seed);
+    match state.registry.get_or_load(&key, cancel) {
+        Ok(graph) => Ok((key, graph)),
+        Err(err) => Err(registry_error_response(&err)),
+    }
+}
+
+fn cache_header(hit: bool) -> &'static str {
+    if hit {
+        "hit"
+    } else {
+        "miss"
+    }
+}
+
+fn healthz(state: &Arc<AppState>) -> Response {
+    let cache = state.cache.stats();
+    let mut obj = json::Obj::new();
+    obj.str("status", "ok")
+        .int("datasets", Dataset::ALL.len() as u64)
+        .int("resident_graphs", state.registry.len() as u64)
+        .int("cache_entries", cache.entries as u64)
+        .bool("draining", state.shutdown.is_cancelled());
+    Response::json(200, obj.finish())
+}
+
+fn datasets(state: &Arc<AppState>) -> Response {
+    let resident = state.registry.list();
+    let mut rows = json::Arr::new();
+    for dataset in Dataset::ALL {
+        let spec = dataset.spec();
+        let mut row = json::Obj::new();
+        row.str("name", spec.name)
+            .int("paper_nodes", spec.paper_nodes as u64)
+            .int("paper_edges", spec.paper_edges as u64);
+        match spec.paper_slem {
+            Some(mu) => row.num("paper_slem", mu, 4),
+            None => row.raw("paper_slem", "null"),
+        };
+        row.str("model", spec.model.label())
+            .str("size_class", &format!("{:?}", spec.size_class))
+            .bool("resident", resident.iter().any(|r| r.key.dataset() == dataset));
+        rows.push_raw(row.finish());
+    }
+    let mut loaded = json::Arr::new();
+    for row in &resident {
+        let mut obj = json::Obj::new();
+        obj.str("label", &row.key.label())
+            .int("nodes", row.nodes as u64)
+            .int("edges", row.edges as u64)
+            .int("approx_bytes", row.bytes as u64);
+        loaded.push_raw(obj.finish());
+    }
+    let mut obj = json::Obj::new();
+    obj.raw("datasets", &rows.finish())
+        .raw("resident", &loaded.finish())
+        .int("resident_bytes", state.registry.resident_bytes() as u64);
+    Response::json(200, obj.finish())
+}
+
+fn metrics(state: &Arc<AppState>) -> Response {
+    let cache = state.cache.stats();
+    let m = Metrics::global();
+    m.gauge_set("serve.cache_hit_rate", cache.hit_rate());
+    m.gauge_set("serve.resident_graphs", state.registry.len() as f64);
+    Response::text(200, m.render_snapshot())
+}
+
+fn load(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
+    let params = req.params_with_body();
+    let (key, graph) = match resolve_graph(state, &params, name, cancel) {
+        Ok(pair) => pair,
+        Err(response) => return response,
+    };
+    let mut obj = json::Obj::new();
+    obj.str("label", &key.label())
+        .str("dataset", key.dataset().name())
+        .int("nodes", graph.graph.node_count() as u64)
+        .int("edges", graph.graph.edge_count() as u64)
+        .int("approx_bytes", graph.approx_bytes as u64)
+        .int("resident_graphs", state.registry.len() as u64);
+    Response::json(200, obj.finish())
+}
+
+fn evict(state: &Arc<AppState>, req: &Request, name: &str) -> Response {
+    let params = req.params_with_body();
+    let Some(dataset) = dataset_by_name(name) else {
+        return error_response(404, &format!("unknown dataset {name:?}"));
+    };
+    let scale = match param_f64(&params, "scale", state.config.default_scale) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let seed = match param_u64(&params, "seed", state.config.default_seed) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let key = GraphKey::new(dataset, scale, seed);
+    let evicted = state.registry.evict(&key);
+    // The graph's memoized properties go with it — including poisoned
+    // entries, so evicting is how an operator heals a sick key.
+    let properties_evicted = state.cache.evict_for_label(&key.label());
+    let mut obj = json::Obj::new();
+    obj.str("label", &key.label())
+        .bool("evicted", evicted)
+        .int("properties_evicted", properties_evicted as u64);
+    Response::json(200, obj.finish())
+}
+
+fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
+    let params = req.params_with_body();
+    let (key, graph) = match resolve_graph(state, &params, name, cancel) {
+        Ok(pair) => pair,
+        Err(response) => return response,
+    };
+    let eps = match param_f64(&params, "eps", 0.25) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    if !(eps > 0.0 && eps < 0.5) {
+        return error_response(400, &format!("eps must be in (0, 0.5), got {eps}"));
+    }
+    let sources = match param_usize(&params, "sources", 0) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let max_walk = match param_usize(&params, "max_walk", 200) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    if sources > MAX_SOURCES || max_walk == 0 || max_walk > MAX_WALK {
+        return error_response(
+            400,
+            &format!("sources must be <= {MAX_SOURCES} and max_walk in 1..={MAX_WALK}"),
+        );
+    }
+    let label = key.label();
+
+    // The spectrum is cached independently of eps so every bound
+    // request reuses one power iteration.
+    let inject_panic = state.config.panic_injection && req.param("__panic") == Some("1");
+    let spectrum_key =
+        if inject_panic { format!("spectrum|{label}|boom") } else { format!("spectrum|{label}") };
+    let spectrum_lookup = {
+        let graph = Arc::clone(&graph);
+        state.cache.get_or_compute(&spectrum_key, &state.pool, cancel, move || {
+            if inject_panic {
+                panic!("injected panic: mixing kernel failure requested by test");
+            }
+            let spectrum = try_slem(&graph.graph, &SpectralConfig::default())
+                .map_err(|e| e.to_string())?;
+            Ok((Arc::new(spectrum) as CacheValue, std::mem::size_of::<Spectrum>()))
+        })
+    };
+    let spectrum_lookup = match spectrum_lookup {
+        Ok(lookup) => lookup,
+        Err(err) => return cache_error_response(&err),
+    };
+    let Some(spectrum) = spectrum_lookup.entry.value::<Spectrum>().copied() else {
+        return error_response(500, "cache entry holds an unexpected type");
+    };
+
+    let bounds = match try_sinclair_bounds(spectrum.slem(), graph.graph.node_count(), eps) {
+        Ok(b) => b,
+        Err(e) => return error_response(400, &e.to_string()),
+    };
+
+    let mut sampled_json = String::from("null");
+    let mut all_hit = spectrum_lookup.hit;
+    if sources > 0 {
+        let tvd_key = format!("tvd|{label}|s={sources}|w={max_walk}");
+        let measurement_lookup = {
+            let graph = Arc::clone(&graph);
+            state.cache.get_or_compute(&tvd_key, &state.pool, cancel, move || {
+                let config = MixingConfig { sources, max_walk, ..MixingConfig::default() };
+                let par = ParConfig { threads: 1, ..ParConfig::default() };
+                let (m, report) =
+                    MixingMeasurement::measure_reported(&graph.graph, &config, &par);
+                if !report.is_complete() {
+                    return Err(format!("mixing sweep degraded: {}", report.summary_line()));
+                }
+                let bytes = m.curves.len() * max_walk * 8;
+                Ok((Arc::new(m) as CacheValue, bytes))
+            })
+        };
+        let measurement_lookup = match measurement_lookup {
+            Ok(lookup) => lookup,
+            Err(err) => return cache_error_response(&err),
+        };
+        all_hit &= measurement_lookup.hit;
+        let Some(m) = measurement_lookup.entry.value::<MixingMeasurement>() else {
+            return error_response(500, "cache entry holds an unexpected type");
+        };
+        let mean_final = m.mean_curve().last().copied().unwrap_or(0.0);
+        let max_final = m.max_curve().last().copied().unwrap_or(0.0);
+        let mut sampled = json::Obj::new();
+        sampled.int("sources", m.curves.len() as u64).int("max_walk", m.max_walk as u64);
+        match m.mixing_time(eps) {
+            Some(t) => sampled.int("mixing_time", t as u64),
+            None => sampled.raw("mixing_time", "null"),
+        };
+        sampled.num("mean_final_tvd", mean_final, 6).num("max_final_tvd", max_final, 6);
+        sampled_json = sampled.finish();
+    }
+
+    let mut obj = json::Obj::new();
+    obj.str("label", &label)
+        .int("nodes", graph.graph.node_count() as u64)
+        .int("edges", graph.graph.edge_count() as u64)
+        .num("lambda2", spectrum.lambda2, 9)
+        .num("lambda_min", spectrum.lambda_min, 9)
+        .num("slem", spectrum.slem(), 9)
+        .num("gap", spectrum.gap(), 9)
+        .num("eps", eps, 6)
+        .num("sinclair_lower", bounds.lower, 3)
+        .num("sinclair_upper", bounds.upper, 3)
+        .raw("sampled", &sampled_json);
+    Response::json(200, obj.finish()).with_header("X-Cache", cache_header(all_hit))
+}
+
+fn coreness(
+    state: &Arc<AppState>,
+    req: &Request,
+    name: &str,
+    node: &str,
+    cancel: &CancelToken,
+) -> Response {
+    let params = req.params_with_body();
+    let (key, graph) = match resolve_graph(state, &params, name, cancel) {
+        Ok(pair) => pair,
+        Err(response) => return response,
+    };
+    let Ok(node) = node.parse::<u32>() else {
+        return error_response(400, &format!("node {node:?} is not a valid node id"));
+    };
+    let label = key.label();
+    // One decomposition per graph answers every node's query.
+    let lookup = {
+        let graph = Arc::clone(&graph);
+        state.cache.get_or_compute(&format!("cores|{label}"), &state.pool, cancel, move || {
+            let decomposition = CoreDecomposition::compute(&graph.graph);
+            let bytes = graph.graph.node_count() * 12;
+            Ok((Arc::new(decomposition) as CacheValue, bytes))
+        })
+    };
+    let lookup = match lookup {
+        Ok(lookup) => lookup,
+        Err(err) => return cache_error_response(&err),
+    };
+    let Some(decomposition) = lookup.entry.value::<CoreDecomposition>() else {
+        return error_response(500, "cache entry holds an unexpected type");
+    };
+    let coreness = match decomposition.try_coreness(NodeId(node)) {
+        Ok(c) => c,
+        Err(e) => return error_response(400, &e.to_string()),
+    };
+    let mut obj = json::Obj::new();
+    obj.str("label", &label)
+        .int("node", u64::from(node))
+        .int("coreness", u64::from(coreness))
+        .int("degeneracy", u64::from(decomposition.degeneracy()))
+        .int("core_size", decomposition.core_members(coreness).len() as u64);
+    Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit))
+}
+
+fn expansion(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
+    let params = req.params_with_body();
+    let (key, graph) = match resolve_graph(state, &params, name, cancel) {
+        Ok(pair) => pair,
+        Err(response) => return response,
+    };
+    let root = match param_u32(&params, "root", 0) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    if graph.graph.check_node(NodeId(root)).is_err() {
+        return error_response(
+            400,
+            &format!("root {root} out of range for {} nodes", graph.graph.node_count()),
+        );
+    }
+    let hops = match param_usize(&params, "hops", usize::MAX) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let label = key.label();
+    // The full envelope is cached per root; `hops` only trims the view.
+    let lookup = {
+        let graph = Arc::clone(&graph);
+        state.cache.get_or_compute(
+            &format!("expansion|{label}|root={root}"),
+            &state.pool,
+            cancel,
+            move || {
+                let envelope = EnvelopeExpansion::try_measure(&graph.graph, NodeId(root))
+                    .map_err(|e| e.to_string())?;
+                let bytes = envelope.level_sizes().len() * 24 + 64;
+                Ok((Arc::new(envelope) as CacheValue, bytes))
+            },
+        )
+    };
+    let lookup = match lookup {
+        Ok(lookup) => lookup,
+        Err(err) => return cache_error_response(&err),
+    };
+    let Some(envelope) = lookup.entry.value::<EnvelopeExpansion>() else {
+        return error_response(500, "cache entry holds an unexpected type");
+    };
+    let shown = hops.min(envelope.level_sizes().len());
+    let mut levels = json::Arr::new();
+    for &size in &envelope.level_sizes()[..shown] {
+        levels.push_raw(size.to_string());
+    }
+    let mut alphas = json::Arr::new();
+    for &alpha in envelope.alphas().iter().take(shown) {
+        alphas.push_raw(json::num(alpha, 6));
+    }
+    let mut obj = json::Obj::new();
+    obj.str("label", &label)
+        .int("root", u64::from(root))
+        .int("eccentricity", envelope.eccentricity() as u64)
+        .int("reached", envelope.reached() as u64)
+        .int("hops_shown", shown as u64)
+        .raw("level_sizes", &levels.finish())
+        .raw("alphas", &alphas.finish());
+    Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit))
+}
+
+fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
+    let params = req.params_with_body();
+    let (key, graph) = match resolve_graph(state, &params, name, cancel) {
+        Ok(pair) => pair,
+        Err(response) => return response,
+    };
+    let controller = match param_u32(&params, "controller", 0) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let sybils = match param_usize(&params, "sybils", 0) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let attack_edges =
+        match param_usize(&params, "attack_edges", if sybils > 0 { 10 } else { 0 }) {
+            Ok(v) => v,
+            Err(response) => return response,
+        };
+    let distributors = match param_usize(&params, "distributors", 25) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let f_admit = match param_f64(&params, "f_admit", 0.2) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let coverage = match param_f64(&params, "coverage", 0.5) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let walk = match param_usize(&params, "walk", 25) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let seed = match param_u64(&params, "seed", 0x6a7e) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let attack_seed = match param_u64(&params, "attack_seed", 7) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+
+    if controller as usize >= graph.graph.node_count() {
+        return error_response(
+            400,
+            &format!("controller {controller} out of range for {} nodes", graph.graph.node_count()),
+        );
+    }
+    if sybils > MAX_SYBILS || attack_edges > MAX_ATTACK_EDGES {
+        return error_response(
+            400,
+            &format!("sybils must be <= {MAX_SYBILS} and attack_edges <= {MAX_ATTACK_EDGES}"),
+        );
+    }
+    if distributors == 0 || distributors > MAX_DISTRIBUTORS {
+        return error_response(400, &format!("distributors must be in 1..={MAX_DISTRIBUTORS}"));
+    }
+    if !(f_admit > 0.0 && f_admit <= 1.0) || !(coverage > 0.0 && coverage <= 1.0) {
+        return error_response(400, "f_admit and coverage must be in (0, 1]");
+    }
+    if walk == 0 || walk > MAX_WALK {
+        return error_response(400, &format!("walk must be in 1..={MAX_WALK}"));
+    }
+    if sybils > 0 && attack_edges == 0 {
+        return error_response(400, "an attack with sybils needs at least one attack edge");
+    }
+
+    let label = key.label();
+    let f_text = json::num(f_admit, 6);
+    let cov_text = json::num(coverage, 6);
+    let cache_key = format!(
+        "admit|{label}|c={controller}|s={sybils}|ae={attack_edges}|m={distributors}|f={f_text}|cov={cov_text}|w={walk}|seed={seed}|aseed={attack_seed}"
+    );
+    let lookup = {
+        let graph = Arc::clone(&graph);
+        state.cache.get_or_compute(&cache_key, &state.pool, cancel, move || {
+            let protocol = GateKeeper::new(GateKeeperConfig {
+                distributors,
+                f_admit,
+                coverage,
+                sample_walk_length: walk,
+                seed,
+            });
+            let par = ParConfig { threads: 1, ..ParConfig::default() };
+            let run = |g: &socnet_core::Graph, is_sybil: &dyn Fn(usize) -> bool| {
+                let (outcome, report) = protocol
+                    .run_from_reported(g, NodeId(controller), &par)
+                    .map_err(|e| e.to_string())?;
+                if !report.is_complete() {
+                    return Err(format!("admission flood degraded: {}", report.summary_line()));
+                }
+                let mut verdict = AdmitVerdict {
+                    honest_total: 0,
+                    honest_admitted: 0,
+                    sybil_total: 0,
+                    sybil_admitted: 0,
+                    threshold: outcome.threshold(),
+                    distributors: outcome.distributors().len(),
+                    controller: outcome.controller().0 as usize,
+                };
+                for (v, &admitted) in outcome.admitted().iter().enumerate() {
+                    if is_sybil(v) {
+                        verdict.sybil_total += 1;
+                        verdict.sybil_admitted += usize::from(admitted);
+                    } else {
+                        verdict.honest_total += 1;
+                        verdict.honest_admitted += usize::from(admitted);
+                    }
+                }
+                Ok((Arc::new(verdict) as CacheValue, 128))
+            };
+            if sybils == 0 {
+                run(&graph.graph, &|_| false)
+            } else {
+                let attacked = AttackedGraph::mount(
+                    &graph.graph,
+                    &SybilAttack {
+                        sybil_count: sybils,
+                        attack_edges,
+                        topology: SybilTopology::ErdosRenyi { p: 0.1 },
+                        seed: attack_seed,
+                    },
+                );
+                run(attacked.graph(), &|v| attacked.is_sybil(NodeId(v as u32)))
+            }
+        })
+    };
+    let lookup = match lookup {
+        Ok(lookup) => lookup,
+        Err(err) => return cache_error_response(&err),
+    };
+    let Some(verdict) = lookup.entry.value::<AdmitVerdict>() else {
+        return error_response(500, "cache entry holds an unexpected type");
+    };
+
+    let rate = |admitted: usize, total: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            admitted as f64 / total as f64
+        }
+    };
+    let mut honest = json::Obj::new();
+    honest
+        .int("total", verdict.honest_total as u64)
+        .int("admitted", verdict.honest_admitted as u64)
+        .num("rate", rate(verdict.honest_admitted, verdict.honest_total), 6);
+    let mut sybil = json::Obj::new();
+    sybil
+        .int("total", verdict.sybil_total as u64)
+        .int("admitted", verdict.sybil_admitted as u64)
+        .num("rate", rate(verdict.sybil_admitted, verdict.sybil_total), 6);
+    let mut attack = json::Obj::new();
+    attack
+        .int("sybils", sybils as u64)
+        .int("attack_edges", attack_edges as u64)
+        .int("attack_seed", attack_seed);
+    let mut obj = json::Obj::new();
+    obj.str("label", &label)
+        .int("controller", verdict.controller as u64)
+        .int("distributors", verdict.distributors as u64)
+        .int("threshold", u64::from(verdict.threshold))
+        .raw("f_admit", &f_text)
+        .raw("honest", &honest.finish())
+        .raw("sybil", &sybil.finish())
+        .raw("attack", &attack.finish());
+    Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit))
+}

@@ -1,0 +1,369 @@
+//! The long-running daemon: bind, accept, handle, drain.
+//!
+//! One thread runs the (non-blocking) accept loop and polls the two
+//! shutdown signals — the process-level flag from [`crate::signal`] and
+//! the server's own [`CancelToken`] handle. Each accepted connection is
+//! handled on its own thread (parse → route → respond, one request per
+//! connection), while property computations run on the shared
+//! panic-isolated [`Pool`] so a hundred waiting connections never pile
+//! a hundred concurrent kernels onto the box.
+//!
+//! Shutdown is a *graceful drain*: stop accepting, let in-flight
+//! requests finish (bounded), drain the pool, then flush the metrics
+//! snapshot and a `run.json` manifest describing what was served.
+
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use socnet_runner::{
+    git_rev, hostname, obs, CancelToken, DrainReport, Metrics, Pool, RunManifest, RunReport,
+    StageReport, UnitRecord,
+};
+
+use crate::cache::PropertyCache;
+use crate::http::{self, HttpError};
+use crate::registry::GraphRegistry;
+use crate::{routes, signal};
+
+/// Everything `socnet serve` can tune.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7676` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads on the compute pool.
+    pub threads: usize,
+    /// Property-cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Per-request deadline.
+    pub request_deadline: Duration,
+    /// Dataset scale when a query does not pass `scale=`.
+    pub default_scale: f64,
+    /// Generation seed when a query does not pass `seed=`.
+    pub default_seed: u64,
+    /// Where the drain writes `run.json` and the metrics snapshot.
+    pub out_dir: PathBuf,
+    /// How long the drain waits for connections and pool jobs.
+    pub drain_deadline: Duration,
+    /// Enables the `__panic=1` test hook on the mixing route. Never on
+    /// by default; integration tests use it to exercise poisoning.
+    pub panic_injection: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7676".to_string(),
+            threads: 2,
+            cache_bytes: 64 * 1024 * 1024,
+            request_deadline: Duration::from_secs(30),
+            default_scale: 0.05,
+            default_seed: 42,
+            out_dir: PathBuf::from("serve-out"),
+            drain_deadline: Duration::from_secs(10),
+            panic_injection: false,
+        }
+    }
+}
+
+/// Per-route-class accounting for the manifest.
+#[derive(Debug, Default, Clone, Copy)]
+struct RouteStat {
+    requests: u64,
+    errors: u64,
+    wall: Duration,
+}
+
+/// Shared state every connection thread sees.
+pub struct AppState {
+    /// The load-once graph store.
+    pub registry: GraphRegistry,
+    /// The memoizing property cache.
+    pub cache: PropertyCache,
+    /// The compute pool property misses run on.
+    pub pool: Pool,
+    /// The server's configuration.
+    pub config: ServerConfig,
+    /// Cancelled when the server starts draining.
+    pub shutdown: CancelToken,
+    requests: AtomicU64,
+    route_stats: Mutex<BTreeMap<&'static str, RouteStat>>,
+    active: Mutex<usize>,
+    all_idle: Condvar,
+}
+
+impl AppState {
+    /// Total requests accepted so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+/// What [`Server::serve`] reports after the drain.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Requests accepted over the server's lifetime.
+    pub requests: u64,
+    /// The compute pool's drain report.
+    pub drain: DrainReport,
+    /// Uptime from bind to drain completion.
+    pub uptime: Duration,
+    /// Where the run manifest was written.
+    pub manifest_path: PathBuf,
+    /// Where the metrics snapshot was written.
+    pub metrics_path: PathBuf,
+}
+
+/// The bound-but-not-yet-serving daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    started: Instant,
+}
+
+impl Server {
+    /// Binds the listener and assembles the shared state.
+    ///
+    /// Clears a stale signal flag so a previous run's `SIGTERM` cannot
+    /// kill this one at birth.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from binding `config.addr`.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        signal::reset();
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(AppState {
+            registry: GraphRegistry::new(),
+            cache: PropertyCache::new(config.cache_bytes),
+            pool: Pool::new(config.threads),
+            config,
+            shutdown: CancelToken::new(),
+            requests: AtomicU64::new(0),
+            route_stats: Mutex::new(BTreeMap::new()),
+            active: Mutex::new(0),
+            all_idle: Condvar::new(),
+        });
+        Ok(Server { listener, state, started: Instant::now() })
+    }
+
+    /// The actual bound address (resolves port 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS cannot report the local address of a bound
+    /// listener (not observed in practice).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has a local address")
+    }
+
+    /// A token other threads can cancel to trigger a graceful drain —
+    /// the in-process equivalent of `SIGTERM`.
+    pub fn shutdown_handle(&self) -> CancelToken {
+        self.state.shutdown.clone()
+    }
+
+    /// The shared state (tests inspect cache/registry stats through it).
+    pub fn state(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Runs the accept loop until `SIGTERM`/`SIGINT` or the shutdown
+    /// handle fires, then drains and flushes artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Only artifact-write failures surface; per-connection I/O errors
+    /// are handled (or logged) inline.
+    pub fn serve(self) -> std::io::Result<ServeSummary> {
+        let addr = self.local_addr();
+        obs::info(
+            "serve.start",
+            &[
+                ("addr", addr.to_string().into()),
+                ("threads", (self.state.pool.threads() as u64).into()),
+                ("cache_bytes", (self.state.config.cache_bytes as u64).into()),
+            ],
+        );
+        loop {
+            if signal::triggered() || self.state.shutdown.is_cancelled() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.state.requests.fetch_add(1, Ordering::Relaxed);
+                    Metrics::global().incr("http.requests", 1);
+                    let state = Arc::clone(&self.state);
+                    {
+                        let mut active =
+                            state.active.lock().unwrap_or_else(|p| p.into_inner());
+                        *active += 1;
+                    }
+                    std::thread::spawn(move || {
+                        // A panicking handler must not take the server
+                        // down, and must still decrement the gauge.
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(&state, stream);
+                        }));
+                        if result.is_err() {
+                            Metrics::global().incr("http.handler_panics", 1);
+                        }
+                        let mut active =
+                            state.active.lock().unwrap_or_else(|p| p.into_inner());
+                        *active -= 1;
+                        drop(active);
+                        state.all_idle.notify_all();
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE): back off.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        self.drain(addr)
+    }
+
+    /// Stop-the-world shutdown: no new connections (the accept loop has
+    /// exited), in-flight requests get `drain_deadline` to finish, then
+    /// the pool drains and artifacts are flushed.
+    fn drain(self, addr: SocketAddr) -> std::io::Result<ServeSummary> {
+        let drain_start = Instant::now();
+        self.state.shutdown.cancel();
+        drop(self.listener);
+
+        // Wait for connection handlers.
+        {
+            let deadline = self.state.config.drain_deadline;
+            let mut active = self.state.active.lock().unwrap_or_else(|p| p.into_inner());
+            while *active > 0 {
+                let elapsed = drain_start.elapsed();
+                if elapsed >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .state
+                    .all_idle
+                    .wait_timeout(active, deadline - elapsed)
+                    .unwrap_or_else(|p| p.into_inner());
+                active = guard;
+            }
+        }
+        let drain = self.state.pool.drain(self.state.config.drain_deadline);
+        let uptime = self.started.elapsed();
+
+        // Flush artifacts: metrics snapshot + run manifest.
+        let out_dir = &self.state.config.out_dir;
+        std::fs::create_dir_all(out_dir)?;
+        let cache = self.state.cache.stats();
+        let m = Metrics::global();
+        m.gauge_set("serve.uptime_s", uptime.as_secs_f64());
+        m.gauge_set("serve.cache_hit_rate", cache.hit_rate());
+        m.gauge_set("serve.resident_graphs", self.state.registry.len() as f64);
+        let metrics_path = out_dir.join("serve_metrics.json");
+        m.write_snapshot(&metrics_path)?;
+
+        let mut manifest = RunManifest::new("serve");
+        manifest
+            .arg_str("addr", &addr.to_string())
+            .arg_int("threads", self.state.pool.threads() as u64)
+            .arg_int("cache_bytes", self.state.config.cache_bytes as u64)
+            .arg_num("default_scale", self.state.config.default_scale, 6)
+            .arg_int("default_seed", self.state.config.default_seed)
+            .arg_int("requests", self.state.requests())
+            .arg_int("cache_hits", cache.hits)
+            .arg_int("cache_misses", cache.misses)
+            .arg_int("cache_evictions", cache.evictions)
+            .arg_int("cache_poisonings", cache.poisonings);
+        manifest.set_git_rev(&git_rev()).set_hostname(&hostname());
+
+        let mut stage = StageReport::new("requests");
+        stage.wall = uptime;
+        {
+            let stats = self.state.route_stats.lock().unwrap_or_else(|p| p.into_inner());
+            for (class, stat) in stats.iter() {
+                let attempts = u32::try_from(stat.requests).unwrap_or(u32::MAX);
+                let record = if stat.errors == 0 {
+                    UnitRecord::completed(*class, attempts)
+                } else {
+                    UnitRecord::failed(
+                        *class,
+                        attempts,
+                        format!("{} of {} responses were errors", stat.errors, stat.requests),
+                    )
+                };
+                stage.units.push(record.with_wall(stat.wall));
+            }
+        }
+        let mut report = RunReport::new();
+        report.push(stage);
+        let manifest_path = out_dir.join("run.json");
+        manifest.write(&report, &manifest_path)?;
+
+        obs::info(
+            "serve.drain",
+            &[
+                ("requests", self.state.requests().into()),
+                ("abandoned", (drain.abandoned as u64).into()),
+                ("uptime_s", uptime.as_secs_f64().into()),
+            ],
+        );
+        Ok(ServeSummary {
+            requests: self.state.requests(),
+            drain,
+            uptime,
+            manifest_path,
+            metrics_path,
+        })
+    }
+}
+
+fn handle_connection(state: &Arc<AppState>, stream: TcpStream) {
+    // Bound how long a slow or malicious client can hold the thread.
+    let io_deadline = state.config.request_deadline;
+    stream.set_read_timeout(Some(io_deadline)).ok();
+    stream.set_write_timeout(Some(io_deadline)).ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let request_start = Instant::now();
+    let mut writer = stream;
+    let (class, response) = match http::read_request(&mut reader) {
+        Ok(request) => {
+            let cancel = CancelToken::with_budget(state.config.request_deadline);
+            routes::handle(state, &request, &cancel)
+        }
+        Err(HttpError::PayloadTooLarge) => {
+            ("malformed", routes::error_response(413, "request body too large"))
+        }
+        Err(HttpError::BadRequest(message)) => ("malformed", routes::error_response(400, &message)),
+        Err(HttpError::Io(_)) => return, // client went away; nothing to say
+    };
+    let status_class = match response.status {
+        200..=299 => "http.responses.2xx",
+        400..=499 => "http.responses.4xx",
+        _ => "http.responses.5xx",
+    };
+    Metrics::global().incr(status_class, 1);
+    Metrics::global().observe("http.request_s", request_start.elapsed().as_secs_f64());
+    {
+        let mut stats = state.route_stats.lock().unwrap_or_else(|p| p.into_inner());
+        let stat = stats.entry(class).or_default();
+        stat.requests += 1;
+        if response.status >= 400 {
+            stat.errors += 1;
+        }
+        stat.wall += request_start.elapsed();
+    }
+    let _ = response.write_to(&mut writer);
+}

@@ -1,0 +1,99 @@
+//! Minimal `SIGTERM`/`SIGINT` trapping without a libc crate.
+//!
+//! The workspace is dependency-free, so instead of pulling in `libc` or
+//! `signal-hook` this module declares the one C function it needs —
+//! `signal(2)` from the libc that `std` already links — and installs a
+//! handler that does the only thing an async-signal-safe handler may
+//! do here: flip an atomic flag. The server's accept loop polls
+//! [`triggered`] between `accept` attempts and starts its graceful
+//! drain once the flag is up.
+//!
+//! This is the single scoped exception to the crate's `deny(unsafe_code)`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGINT` — interactive interrupt (Ctrl-C).
+const SIGINT: i32 = 2;
+/// `SIGTERM` — polite termination request (what `kill` and CI send).
+const SIGTERM: i32 = 15;
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[allow(unsafe_code)]
+mod ffi {
+    extern "C" {
+        /// `signal(2)`. The handler type is declared as `usize` because
+        /// the only values crossing this boundary are function pointers
+        /// we own; the return value (previous handler) is ignored.
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work is allowed here: store + return.
+        super::TRIGGERED.store(true, core::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install(signum: i32) {
+        // SAFETY: `signal` is the POSIX libc entry point and
+        // `on_signal` is `extern "C"` with the required signature; it
+        // touches nothing but an atomic. Re-installing is idempotent.
+        let handler = on_signal as extern "C" fn(i32);
+        unsafe {
+            signal(signum, handler as usize);
+        }
+    }
+}
+
+/// Installs the termination handler for `SIGTERM` and `SIGINT`.
+///
+/// Idempotent; later calls re-install the same handler. After this,
+/// a delivered signal no longer kills the process — callers **must**
+/// poll [`triggered`] and shut down themselves.
+pub fn install() {
+    ffi::install(SIGTERM);
+    ffi::install(SIGINT);
+}
+
+/// Whether a termination signal has been delivered since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Raises the flag exactly as a signal would — lets tests and
+/// in-process embedders reuse the signal-driven shutdown path.
+pub fn trigger_for_shutdown() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (test isolation; a fresh [`crate::Server`] also
+/// clears it so a previous run's signal cannot kill the next).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_lifecycle_round_trips() {
+        reset();
+        assert!(!triggered());
+        trigger_for_shutdown();
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+    }
+
+    #[test]
+    fn install_is_idempotent_and_handler_sets_the_flag() {
+        install();
+        install();
+        reset();
+        // Invoke the handler directly — delivering a real signal would
+        // race other tests in the same process.
+        ffi::on_signal(SIGTERM);
+        assert!(triggered());
+        reset();
+    }
+}

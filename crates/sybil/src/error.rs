@@ -22,12 +22,20 @@ use socnet_core::GraphError;
 pub enum SybilError {
     /// A caller-supplied node id was outside the graph's node range.
     InvalidNode(GraphError),
+    /// The graph has no edges, so no random walk (and hence no
+    /// flood-based admission protocol) is defined on it. Returned by
+    /// the fallible entry points instead of panicking, so a serving
+    /// process can turn a degenerate query into a client error.
+    EmptyGraph,
 }
 
 impl fmt::Display for SybilError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SybilError::InvalidNode(e) => write!(f, "invalid node: {e}"),
+            SybilError::EmptyGraph => {
+                write!(f, "defense protocols need a graph with at least one edge")
+            }
         }
     }
 }
@@ -36,6 +44,7 @@ impl Error for SybilError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SybilError::InvalidNode(e) => Some(e),
+            SybilError::EmptyGraph => None,
         }
     }
 }

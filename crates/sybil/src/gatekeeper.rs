@@ -141,13 +141,14 @@ impl GateKeeper {
     ///
     /// # Errors
     ///
-    /// Returns [`SybilError::InvalidNode`] if `controller` is out of range.
+    /// Returns [`SybilError::InvalidNode`] if `controller` is out of
+    /// range, or [`SybilError::EmptyGraph`] if the graph has no edges.
     ///
     /// # Panics
     ///
-    /// Panics if the graph has no edges, or if a flood worker fails
-    /// (use [`run_from_reported`](GateKeeper::run_from_reported) to
-    /// degrade instead).
+    /// Panics if a flood worker fails (use
+    /// [`run_from_reported`](GateKeeper::run_from_reported) to degrade
+    /// instead).
     pub fn run_from(
         &self,
         graph: &Graph,
@@ -173,11 +174,8 @@ impl GateKeeper {
     ///
     /// # Errors
     ///
-    /// Returns [`SybilError::InvalidNode`] if `controller` is out of range.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the graph has no edges.
+    /// Returns [`SybilError::InvalidNode`] if `controller` is out of
+    /// range, or [`SybilError::EmptyGraph`] if the graph has no edges.
     pub fn run_from_reported(
         &self,
         graph: &Graph,
@@ -185,10 +183,9 @@ impl GateKeeper {
         par: &ParConfig,
     ) -> Result<(GateKeeperOutcome, StageReport), SybilError> {
         graph.check_node(controller)?;
-        assert!(
-            graph.edge_count() > 0,
-            "gatekeeper needs a non-trivial graph"
-        );
+        if graph.edge_count() == 0 {
+            return Err(SybilError::EmptyGraph);
+        }
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9);
 
         // 1. Sample distributors by short random walks from the controller.

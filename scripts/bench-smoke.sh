@@ -69,6 +69,7 @@ BINARIES=(
     ablations
     e10_directed
     report
+    serveload
 )
 
 if [ ! -d "$BIN_DIR" ]; then

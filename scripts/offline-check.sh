@@ -91,6 +91,7 @@ CRATES=(
     "socnet_digraph crates/digraph/src/lib.rs"
     "socnet_sybil crates/sybil/src/lib.rs"
     "socnet_dht crates/dht/src/lib.rs"
+    "socnet_serve crates/serve/src/lib.rs"
     "socnet_bench crates/bench/src/lib.rs"
     "socnet_cli crates/cli/src/lib.rs"
     "socnet src/lib.rs"
@@ -116,6 +117,7 @@ note "== integration tests =="
 for t in tests/*.rs; do
     run_tests "it_$(basename "$t" .rs)" "$t"
 done
+run_tests it_serve_server crates/serve/tests/server.rs
 run_tests it_bench_fault_tolerance crates/bench/tests/fault_tolerance.rs
 run_tests it_bench_determinism crates/bench/tests/determinism.rs
 run_tests it_bench_observability crates/bench/tests/observability.rs

@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Smoke-tests the `socnet serve` property-query service end to end:
+# boots it on a free loopback port, curls every endpoint, validates the
+# JSON bodies (with `socnet obs-check` when available), checks the
+# error mapping and the Prometheus-style /metrics text, then sends
+# SIGTERM and requires a clean graceful drain — exit 0 plus the
+# run.json manifest and metrics snapshot on disk.
+#
+# Environment knobs:
+#   BIN_DIR  directory holding the built socnet CLI
+#            (default target/release; offline builds name the binary
+#            socnet_cli_main under target/offline-check/bin)
+#   OUT_DIR  artifact directory (default target/serve-smoke)
+#   SCALE    default dataset scale the server answers at (default 0.05)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN_DIR=${BIN_DIR:-target/release}
+OUT_DIR=${OUT_DIR:-target/serve-smoke}
+SCALE=${SCALE:-0.05}
+
+CLI=""
+for candidate in "$BIN_DIR/socnet" "$BIN_DIR/socnet_cli_main"; do
+    if [ -x "$candidate" ]; then
+        CLI="$candidate"
+        break
+    fi
+done
+if [ -z "$CLI" ]; then
+    echo "error: no socnet CLI in $BIN_DIR (build first)" >&2
+    exit 1
+fi
+
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+validate_json() { # FILE... -> non-zero if any file is invalid
+    "$CLI" obs-check "$@" >/dev/null
+}
+
+# GET/POST returning "STATUS<tab>saved-to-file".
+fetch() { # method path outfile
+    curl -s -X "$1" -o "$OUT_DIR/$3" -w '%{http_code}' \
+        --max-time 60 "http://$ADDR$2"
+}
+
+echo "== boot =="
+"$CLI" serve --addr 127.0.0.1:0 --threads 2 --scale "$SCALE" \
+    --out "$OUT_DIR" \
+    --log-format json --log-file "$OUT_DIR/events.jsonl" \
+    >"$OUT_DIR/stdout.txt" 2>"$OUT_DIR/stderr.txt" &
+SERVER_PID=$!
+
+# The kernel picked the port; the serve.start event names it.
+ADDR=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL server exited before accepting" >&2
+        cat "$OUT_DIR/stderr.txt" >&2 || true
+        exit 1
+    fi
+    if [ -f "$OUT_DIR/events.jsonl" ]; then
+        ADDR=$(sed -n 's/.*serve\.start.*"addr":"\([0-9.:]*\)".*/\1/p' \
+            "$OUT_DIR/events.jsonl" | head -1)
+        [ -n "$ADDR" ] && break
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL server did not announce its address within 10s" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+fi
+echo "server up at $ADDR (pid $SERVER_PID)"
+
+failures=0
+check() { # description expected_status actual_status
+    if [ "$3" = "$2" ]; then
+        echo "ok    $1"
+    else
+        echo "FAIL  $1: expected HTTP $2, got $3" >&2
+        failures=$((failures + 1))
+    fi
+}
+
+echo "== endpoints =="
+check "GET /healthz" 200 "$(fetch GET /healthz healthz.json)"
+check "GET /datasets" 200 "$(fetch GET /datasets datasets.json)"
+check "POST load" 200 "$(fetch POST /graphs/Rice-grad/load load.json)"
+check "GET mixing" 200 \
+    "$(fetch GET '/graphs/Rice-grad/mixing?eps=0.25' mixing.json)"
+check "GET coreness" 200 \
+    "$(fetch GET /graphs/Rice-grad/coreness/0 coreness.json)"
+check "GET expansion" 200 \
+    "$(fetch GET '/graphs/Rice-grad/expansion?root=0&hops=4' expansion.json)"
+check "POST admit" 200 \
+    "$(fetch POST '/graphs/Rice-grad/gatekeeper/admit?controller=0&sybils=0&distributors=5&walk=5' admit.json)"
+check "POST evict" 200 "$(fetch POST /graphs/Rice-grad/evict evict.json)"
+
+echo "== error mapping =="
+check "unknown dataset -> 404" 404 \
+    "$(fetch GET /graphs/NoSuchDataset/coreness/0 err404.json)"
+check "bad eps -> 400" 400 \
+    "$(fetch GET '/graphs/Rice-grad/mixing?eps=0.9' err400.json)"
+check "wrong method -> 405" 405 "$(fetch POST /healthz err405.json)"
+
+echo "== body validation =="
+if validate_json "$OUT_DIR"/healthz.json "$OUT_DIR"/datasets.json \
+    "$OUT_DIR"/load.json "$OUT_DIR"/mixing.json "$OUT_DIR"/coreness.json \
+    "$OUT_DIR"/expansion.json "$OUT_DIR"/admit.json "$OUT_DIR"/evict.json \
+    "$OUT_DIR"/err404.json "$OUT_DIR"/err400.json "$OUT_DIR"/err405.json; then
+    echo "ok    all response bodies are valid JSON"
+else
+    echo "FAIL  a response body is not valid JSON" >&2
+    failures=$((failures + 1))
+fi
+
+metrics_status=$(fetch GET /metrics metrics.txt)
+check "GET /metrics" 200 "$metrics_status"
+if [ -s "$OUT_DIR/metrics.txt" ]; then
+    echo "ok    /metrics is non-empty"
+else
+    echo "FAIL  /metrics returned an empty body" >&2
+    failures=$((failures + 1))
+fi
+
+echo "== graceful drain =="
+kill -TERM "$SERVER_PID"
+server_exit=0
+wait "$SERVER_PID" || server_exit=$?
+if [ "$server_exit" -ne 0 ]; then
+    echo "FAIL  server exited $server_exit after SIGTERM" >&2
+    cat "$OUT_DIR/stderr.txt" >&2 || true
+    failures=$((failures + 1))
+else
+    echo "ok    SIGTERM -> clean exit 0"
+fi
+for artifact in run.json serve_metrics.json; do
+    if [ -f "$OUT_DIR/$artifact" ] && validate_json "$OUT_DIR/$artifact"; then
+        echo "ok    drain wrote valid $artifact"
+    else
+        echo "FAIL  drain did not write valid $artifact" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "serve smoke failed: $failures check(s) misbehaved" >&2
+    exit 1
+fi
+echo "serve smoke passed"

@@ -60,6 +60,8 @@ pub use socnet_dynamic as dynamic;
 pub use socnet_digraph as digraph;
 /// Sybil-resistant DHT routing (re-export of `socnet-dht`).
 pub use socnet_dht as dht;
+/// Online property-query HTTP service (re-export of `socnet-serve`).
+pub use socnet_serve as serve;
 
 /// Workspace-wide convenience prelude.
 ///
