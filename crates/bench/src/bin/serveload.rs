@@ -11,10 +11,19 @@
 //! byte-identical regardless of which connection asked, when, or how
 //! many threads the server ran.
 //!
+//! After the measured phase the server drains — flushing a warm-start
+//! snapshot to `<out>/serve/store` — and a second server boots over the
+//! same store directory. Its first property query must come back
+//! `X-Cache: warm-disk` and byte-identical to the first boot's cold
+//! body, and its latency is reported next to the cold one: the number
+//! the snapshot store exists to shrink.
+//!
 //! Artifacts: `BENCH_serve.json` gains `p50_ms`/`p95_ms`/`p99_ms`
-//! latency quantiles, `throughput_rps`, and the server cache's hit rate
-//! under the `extras` key; the server's own graceful drain writes its
-//! `run.json` manifest and metrics snapshot under `<out>/serve/`.
+//! latency quantiles, `throughput_rps`, the server cache's hit rate,
+//! and `cold_first_query_ms`/`warm_restart_first_query_ms` under the
+//! `extras` key; each server's graceful drain writes its `run.json`
+//! manifest and metrics snapshot under `<out>/serve/` and
+//! `<out>/serve-restart/`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -49,8 +58,12 @@ const SCHEDULE: [QueryClass; 5] = [
 
 /// A minimal HTTP/1.1 client round-trip: one request, one connection
 /// (the server answers `Connection: close`), the whole response read
-/// to EOF. Returns the status code and the body.
-fn http_request(addr: SocketAddr, method: &str, path: &str) -> std::io::Result<(u16, String)> {
+/// to EOF. Returns the status code, the raw headers, and the body.
+fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+) -> std::io::Result<(u16, String, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
@@ -63,11 +76,11 @@ fn http_request(addr: SocketAddr, method: &str, path: &str) -> std::io::Result<(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
-    let body = match raw.find("\r\n\r\n") {
-        Some(i) => raw[i + 4..].to_string(),
-        None => String::new(),
+    let (head, body) = match raw.find("\r\n\r\n") {
+        Some(i) => (raw[..i].to_string(), raw[i + 4..].to_string()),
+        None => (raw, String::new()),
     };
-    Ok((status, body))
+    Ok((status, head, body))
 }
 
 /// One measured request as reported back by a client job.
@@ -107,12 +120,14 @@ fn main() {
     let requests = extra_flag("--requests", 25).max(1);
     let mut exp = Experiment::new("serve", &args);
 
+    let store_dir = args.out_dir.join("serve").join("store");
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         threads: args.threads.max(1),
         default_scale: args.scale.min(4.0),
         default_seed: args.seed,
         out_dir: args.out_dir.join("serve"),
+        store_dir: Some(store_dir.clone()),
         ..ServerConfig::default()
     };
     let server = Server::bind(config).expect("bind loopback server");
@@ -125,13 +140,23 @@ fn main() {
     // the measured phase exercises the warm cache (the steady state an
     // online service lives in).
     let cold_start = Instant::now();
-    let (status, _) = http_request(addr, "POST", &format!("/graphs/{DATASET}/load"))
+    let (status, _, _) = http_request(addr, "POST", &format!("/graphs/{DATASET}/load"))
         .expect("load request");
     assert_eq!(status, 200, "graph load failed");
-    for class in &SCHEDULE {
+    // The first schedule entry (mixing) doubles as the warm-restart
+    // yardstick: its cold wall and body are compared against the first
+    // query of the restarted server below.
+    let mut cold_first_query = Duration::ZERO;
+    let mut cold_first_body = String::new();
+    for (ci, class) in SCHEDULE.iter().enumerate() {
         let path = class.path.replace("{d}", DATASET);
-        let (status, _) = http_request(addr, "GET", &path).expect("warm-up request");
+        let start = Instant::now();
+        let (status, _, body) = http_request(addr, "GET", &path).expect("warm-up request");
         assert_eq!(status, 200, "warm-up {path} failed");
+        if ci == 0 {
+            cold_first_query = start.elapsed();
+            cold_first_body = body;
+        }
     }
     let cold_wall = cold_start.elapsed();
     obs::info(
@@ -156,7 +181,7 @@ fn main() {
                     let path = SCHEDULE[class].path.replace("{d}", DATASET);
                     let start = Instant::now();
                     match http_request(addr, "GET", &path) {
-                        Ok((status, body)) => samples.push(Sample {
+                        Ok((status, _, body)) => samples.push(Sample {
                             class,
                             status,
                             wall: start.elapsed(),
@@ -209,6 +234,46 @@ fn main() {
         .join()
         .expect("server thread")
         .expect("graceful drain");
+    assert!(
+        summary.snapshot_path.is_some(),
+        "drain must flush a warm-start snapshot to {}",
+        store_dir.display()
+    );
+
+    // Warm restart: a second server over the snapshot the first one
+    // just flushed. Its first property query must be answered from the
+    // hydrated store — no graph load, no recompute, identical bytes.
+    let restart_config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: args.threads.max(1),
+        default_scale: args.scale.min(4.0),
+        default_seed: args.seed,
+        out_dir: args.out_dir.join("serve-restart"),
+        store_dir: Some(store_dir),
+        ..ServerConfig::default()
+    };
+    let restarted = Server::bind(restart_config).expect("bind restarted server");
+    let restart_addr = restarted.local_addr();
+    let restart_shutdown = restarted.shutdown_handle();
+    let restart_thread = std::thread::spawn(move || restarted.serve());
+    let warm_path = SCHEDULE[0].path.replace("{d}", DATASET);
+    let warm_start = Instant::now();
+    let (status, head, warm_body) =
+        http_request(restart_addr, "GET", &warm_path).expect("warm-restart request");
+    let warm_first_query = warm_start.elapsed();
+    assert_eq!(status, 200, "warm-restart query failed: {warm_body}");
+    let warm_hit = head.contains("X-Cache: warm-disk");
+    let warm_identical = warm_body == cold_first_body;
+    obs::info(
+        "serveload.warm_restart",
+        &[
+            ("warm_first_query_ms", (warm_first_query.as_secs_f64() * 1e3).into()),
+            ("cold_first_query_ms", (cold_first_query.as_secs_f64() * 1e3).into()),
+            ("warm_hit", u64::from(warm_hit).into()),
+        ],
+    );
+    restart_shutdown.cancel();
+    restart_thread.join().expect("restart thread").expect("restart drain");
 
     let mut lat: Vec<f64> =
         samples.iter().filter(|s| s.status == 200).map(|s| s.wall.as_secs_f64()).collect();
@@ -230,17 +295,28 @@ fn main() {
     exp.bench_extra("throughput_rps", json::num(throughput, 1));
     exp.bench_extra("cache_hit_rate", json::num(cache_stats.hit_rate(), 4));
     exp.bench_extra("server_requests", summary.requests.to_string());
+    exp.bench_extra("cold_first_query_ms", json::num(cold_first_query.as_secs_f64() * 1e3, 3));
+    exp.bench_extra(
+        "warm_restart_first_query_ms",
+        json::num(warm_first_query.as_secs_f64() * 1e3, 3),
+    );
+    exp.bench_extra("warm_restart_hit", warm_hit.to_string());
 
     println!(
         "serveload: {ok}/{total} ok over {connections} connections, \
          p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, {throughput:.0} req/s, \
-         cache hit rate {:.3}",
+         cache hit rate {:.3}; restart first query {:.2} ms warm \
+         vs {:.2} ms cold",
         percentile(&lat, 0.50) * 1e3,
         percentile(&lat, 0.95) * 1e3,
         percentile(&lat, 0.99) * 1e3,
         cache_stats.hit_rate(),
+        warm_first_query.as_secs_f64() * 1e3,
+        cold_first_query.as_secs_f64() * 1e3,
     );
     exp.finish();
     assert_eq!(mismatches, 0, "identical property queries returned differing bodies");
     assert_eq!(errors, 0, "load run saw non-200 responses");
+    assert!(warm_hit, "restarted server's first query must be served from the snapshot");
+    assert!(warm_identical, "warm-restart body must be byte-identical to the cold body");
 }

@@ -116,6 +116,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "datasets" => commands::datasets(&map),
         "obs-check" => commands::obs_check(&map),
         "serve" => commands::serve(&map),
+        "store" => commands::store(&map),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     };
@@ -161,7 +162,12 @@ COMMANDS:
   serve        online property-query service over the dataset registry
                [--addr HOST:PORT] [--threads N] [--cache-bytes B]
                [--scale F] [--seed S] [--out DIR] [--deadline SECS]
-               [--drain-deadline SECS]; SIGTERM drains gracefully
+               [--drain-deadline SECS] [--store on|off] [--store-dir DIR]
+               SIGTERM drains gracefully and flushes a warm-start
+               snapshot (default <out>/store); the next boot hydrates it
+  store        inspect/maintain a warm-start snapshot store
+               ls|verify|gc [--dir DIR] [--max-age-secs N]
+               [--byte-budget B] [--keep-quarantined true|false]
   help         show this message
 
 GLOBAL FLAGS (any command):

@@ -64,6 +64,29 @@ impl std::fmt::Debug for CachedEntry {
     }
 }
 
+/// A persisted rendered response body — the unit the snapshot store
+/// saves and restores. `key` is a full cache key (`body|label|route…`),
+/// `cost` is the original compute wall time, carried across restarts so
+/// hydrated entries keep their place in cost-aware eviction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredBody {
+    /// Full cache key of the body entry.
+    pub key: String,
+    /// The rendered response body, byte-exact.
+    pub body: Vec<u8>,
+    /// Original compute cost (drives eviction priority after import).
+    pub cost: Duration,
+}
+
+/// The in-cache value behind a `body|…` key. `hydrated` marks entries
+/// that came off disk: only those short-circuit request handling (the
+/// warm path); bodies recorded by this process exist for export and are
+/// never consulted on the hot path — the typed property entries are.
+struct BodyValue {
+    body: Vec<u8>,
+    hydrated: bool,
+}
+
 /// The outcome of one [`PropertyCache::get_or_compute`] call.
 pub struct Lookup {
     /// The (shared) entry.
@@ -399,6 +422,118 @@ impl PropertyCache {
         doomed.len()
     }
 
+    /// Records the rendered body of a successful response under `key`
+    /// (a `body|label|route…` key). The entry is a normal ready slot —
+    /// byte-accounted, cost-ranked for eviction, evicted with its graph
+    /// by [`PropertyCache::evict_for_label`] — but it is *not* served
+    /// back by this process (`hydrated: false`); it exists so the
+    /// drain-time snapshot has byte-exact bodies to persist.
+    pub fn record_body(&self, key: &str, body: &[u8], cost: Duration) {
+        let mut guard = lock(&self.inner);
+        let state = &mut *guard;
+        let bytes = body.len();
+        if let Some(Slot::Ready { entry, .. }) = state.slots.get(key) {
+            // Re-recording an identical render: refresh nothing, the
+            // stored body is already exact.
+            if entry.bytes == bytes {
+                return;
+            }
+            state.resident_bytes -= entry.bytes;
+        }
+        let raw: CacheValue = Arc::new(BodyValue { body: body.to_vec(), hydrated: false });
+        let entry = Arc::new(CachedEntry { raw, cost, bytes });
+        state.resident_bytes += bytes;
+        state.clock += 1;
+        let touched = state.clock;
+        state.slots.insert(key.to_string(), Slot::Ready { entry, hits: 0, touched });
+        evict_over_capacity(state, self.inner.capacity_bytes);
+        Metrics::global().gauge_set("cache.resident_bytes", state.resident_bytes as f64);
+    }
+
+    /// Returns the disk-hydrated body for `key`, if one survived import
+    /// and eviction. Counts as a cache hit (it is one — the work was
+    /// done by the pre-restart process) and as a `store.warm_hits`.
+    /// Bodies recorded by *this* process return `None`: the live typed
+    /// entries answer those, with their own hit accounting.
+    pub fn hydrated_body(&self, key: &str) -> Option<Vec<u8>> {
+        let mut guard = lock(&self.inner);
+        let state = &mut *guard;
+        match state.slots.get_mut(key) {
+            Some(Slot::Ready { entry, hits, touched }) => {
+                let body = entry.raw.downcast_ref::<BodyValue>()?;
+                if !body.hydrated {
+                    return None;
+                }
+                let bytes = body.body.clone();
+                *hits += 1;
+                state.clock += 1;
+                *touched = state.clock;
+                state.hits += 1;
+                Metrics::global().incr("cache.hits", 1);
+                Metrics::global().incr("store.warm_hits", 1);
+                Some(bytes)
+            }
+            _ => None,
+        }
+    }
+
+    /// Every body entry currently resident, sorted by key — what the
+    /// drain-time snapshot persists. Includes entries this process
+    /// recorded *and* entries it hydrated (still warm, still valid).
+    pub fn export_bodies(&self) -> Vec<StoredBody> {
+        let state = lock(&self.inner);
+        let mut bodies: Vec<StoredBody> = state
+            .slots
+            .iter()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Ready { entry, .. } => entry.raw.downcast_ref::<BodyValue>().map(|b| {
+                    StoredBody { key: key.clone(), body: b.body.clone(), cost: entry.cost }
+                }),
+                _ => None,
+            })
+            .collect();
+        bodies.sort_by(|a, b| a.key.cmp(&b.key));
+        bodies
+    }
+
+    /// Installs snapshot bodies as hydrated entries (`hydrated: true`,
+    /// so [`PropertyCache::hydrated_body`] serves them). Resident bytes
+    /// are re-accounted from the actual body lengths and capacity
+    /// eviction runs afterwards, so an oversized snapshot cannot blow
+    /// the byte budget. Returns how many entries were installed (before
+    /// any capacity eviction).
+    pub fn import_bodies(&self, bodies: Vec<StoredBody>) -> usize {
+        let mut guard = lock(&self.inner);
+        let state = &mut *guard;
+        let mut installed = 0;
+        for stored in bodies {
+            // Never clobber a slot this process already owns.
+            if state.slots.contains_key(&stored.key) {
+                continue;
+            }
+            let bytes = stored.body.len();
+            let raw: CacheValue = Arc::new(BodyValue { body: stored.body, hydrated: true });
+            let entry = Arc::new(CachedEntry { raw, cost: stored.cost, bytes });
+            state.resident_bytes += bytes;
+            state.clock += 1;
+            let touched = state.clock;
+            state.slots.insert(stored.key, Slot::Ready { entry, hits: 0, touched });
+            installed += 1;
+        }
+        evict_over_capacity(state, self.inner.capacity_bytes);
+        Metrics::global().gauge_set("cache.resident_bytes", state.resident_bytes as f64);
+        installed
+    }
+
+    /// Recomputes the `cache.resident_bytes` gauge from the live state.
+    /// The evict paths already keep it fresh; the evict *route* calls
+    /// this after compound registry + cache eviction so a metrics
+    /// snapshot taken immediately afterwards is consistent.
+    pub fn recompute_gauges(&self) {
+        let state = lock(&self.inner);
+        Metrics::global().gauge_set("cache.resident_bytes", state.resident_bytes as f64);
+    }
+
     /// A point-in-time stats snapshot.
     pub fn stats(&self) -> CacheStats {
         let state = lock(&self.inner);
@@ -636,6 +771,78 @@ mod tests {
             cold.wall
         );
         pool.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn recorded_bodies_export_but_do_not_serve_warm() {
+        let cache = PropertyCache::new(1 << 20);
+        cache.record_body("body|g@1#1|mixing|eps=0.1", b"{\"slem\":0.9}", Duration::from_millis(5));
+        // Re-recording the identical render is a no-op.
+        cache.record_body("body|g@1#1|mixing|eps=0.1", b"{\"slem\":0.9}", Duration::from_millis(5));
+        assert_eq!(
+            cache.hydrated_body("body|g@1#1|mixing|eps=0.1"),
+            None,
+            "own recordings are not the warm path"
+        );
+        let exported = cache.export_bodies();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].body, b"{\"slem\":0.9}");
+        assert_eq!(exported[0].cost, Duration::from_millis(5));
+        // Body entries are byte-accounted like any other.
+        assert_eq!(cache.stats().resident_bytes, exported[0].body.len());
+    }
+
+    #[test]
+    fn imported_bodies_serve_warm_and_reexport_byte_identical() {
+        let source = PropertyCache::new(1 << 20);
+        source.record_body("body|g@1#1|cores", b"{\"k\":7}", Duration::from_millis(3));
+        source.record_body("body|g@1#1|mixing|eps=0.1", b"{\"slem\":0.9}", Duration::from_millis(9));
+        let exported = source.export_bodies();
+
+        let restarted = PropertyCache::new(1 << 20);
+        assert_eq!(restarted.import_bodies(exported.clone()), 2);
+        assert_eq!(
+            restarted.hydrated_body("body|g@1#1|cores").expect("warm"),
+            b"{\"k\":7}".to_vec()
+        );
+        assert_eq!(restarted.hydrated_body("body|g@1#1|missing"), None);
+        // Hydrated hit counts as a hit in the stats.
+        assert_eq!(restarted.stats().hits, 1);
+        // Resident bytes re-accounted from actual body lengths.
+        let expected: usize = exported.iter().map(|b| b.body.len()).sum();
+        assert_eq!(restarted.stats().resident_bytes, expected);
+        // Hydrated entries re-export byte-identically (still sorted).
+        assert_eq!(restarted.export_bodies(), exported);
+    }
+
+    #[test]
+    fn import_respects_capacity_and_evict_for_label_drops_bodies() {
+        let tiny = PropertyCache::new(10);
+        let n = tiny.import_bodies(vec![
+            StoredBody {
+                key: "body|g@1#1|a".into(),
+                body: vec![0u8; 8],
+                cost: Duration::from_millis(1),
+            },
+            StoredBody {
+                key: "body|g@1#1|b".into(),
+                body: vec![0u8; 8],
+                cost: Duration::from_millis(2),
+            },
+        ]);
+        assert_eq!(n, 2, "both installed before capacity pass");
+        assert!(tiny.stats().resident_bytes <= 10, "capacity enforced after import");
+        // Evicting the graph label sweeps body entries with it.
+        let cache = PropertyCache::new(1 << 20);
+        cache.record_body("body|g@1#1|a", b"xx", Duration::from_millis(1));
+        cache.import_bodies(vec![StoredBody {
+            key: "body|g@1#1|b".into(),
+            body: b"yy".to_vec(),
+            cost: Duration::from_millis(1),
+        }]);
+        assert_eq!(cache.evict_for_label("g@1#1"), 2);
+        assert_eq!(cache.stats().resident_bytes, 0);
+        assert!(cache.export_bodies().is_empty());
     }
 
     #[test]

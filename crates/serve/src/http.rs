@@ -2,11 +2,16 @@
 //!
 //! The repo is deliberately dependency-free, so the front end speaks
 //! just enough HTTP/1.1 over [`std::net`] for `curl`, browsers, and the
-//! load harness: one request per connection (`Connection: close`),
-//! request-line + headers + optional `Content-Length` body, and
-//! percent-decoded query strings. Every malformed input maps to a typed
-//! [`HttpError`] that the server turns into a `400` — parsing never
-//! panics, whatever the bytes.
+//! load harness: request-line + headers + optional `Content-Length`
+//! body, percent-decoded query strings, and opt-in connection reuse — a
+//! client that sends `Connection: keep-alive` may pipeline further
+//! requests on the same socket (the server bounds how many, and how
+//! long it waits between them); everyone else gets the classic
+//! one-request `Connection: close` behaviour. Every malformed input
+//! maps to a typed [`HttpError`] that the server turns into a `400` —
+//! parsing never panics, whatever the bytes. A clean EOF *between*
+//! requests is [`HttpError::Closed`], not an error worth logging: it is
+//! how keep-alive clients hang up.
 
 use std::io::{self, BufRead, Write};
 
@@ -24,6 +29,9 @@ pub enum HttpError {
     BadRequest(String),
     /// The declared body exceeds [`MAX_BODY_BYTES`].
     PayloadTooLarge,
+    /// The peer closed the connection cleanly before sending any byte
+    /// of a next request — the normal end of a keep-alive exchange.
+    Closed,
     /// The socket failed mid-read (client went away, read timeout).
     Io(io::Error),
 }
@@ -33,6 +41,7 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
             HttpError::PayloadTooLarge => write!(f, "request body too large"),
+            HttpError::Closed => write!(f, "connection closed between requests"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -57,6 +66,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// The raw body (empty without a `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the client asked for connection reuse with an explicit
+    /// `Connection: keep-alive`. Anything else — absent header,
+    /// `close`, junk — means close after the response.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -127,12 +140,18 @@ pub fn parse_query(s: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+/// Reads one `\n`-terminated line. `at_request_boundary` marks the
+/// request line: EOF before its first byte is [`HttpError::Closed`]
+/// (a keep-alive client hanging up), EOF anywhere else is malformed.
+fn read_line(reader: &mut impl BufRead, at_request_boundary: bool) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
         let mut byte = [0u8; 1];
         let n = reader.read(&mut byte)?;
         if n == 0 {
+            if at_request_boundary && line.is_empty() {
+                return Err(HttpError::Closed);
+            }
             return Err(HttpError::BadRequest("connection closed mid-line".to_string()));
         }
         if byte[0] == b'\n' {
@@ -156,9 +175,10 @@ fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
 ///
 /// Returns [`HttpError::BadRequest`] for malformed request lines,
 /// headers, or bodies; [`HttpError::PayloadTooLarge`] for oversized
-/// bodies; [`HttpError::Io`] when the socket fails.
+/// bodies; [`HttpError::Closed`] on clean EOF before the first byte;
+/// [`HttpError::Io`] when the socket fails.
 pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
-    let request_line = read_line(reader)?;
+    let request_line = read_line(reader, true)?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -185,22 +205,26 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     let query = parse_query(raw_query);
 
     let mut content_length = 0usize;
+    let mut keep_alive = false;
     for i in 0.. {
         if i >= MAX_HEADERS {
             return Err(HttpError::BadRequest("too many headers".to_string()));
         }
-        let line = read_line(reader)?;
+        let line = read_line(reader, false)?;
         if line.is_empty() {
             break;
         }
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse::<usize>()
                 .map_err(|_| HttpError::BadRequest(format!("bad content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -210,7 +234,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     if content_length > 0 {
         reader.read_exact(&mut body)?;
     }
-    Ok(Request { method, path, query, body })
+    Ok(Request { method, path, query, body, keep_alive })
 }
 
 /// One response under construction.
@@ -244,13 +268,17 @@ impl Response {
     }
 
     /// Serializes the response (status line, headers, body) to `w`.
+    /// `keep_alive` selects the `Connection` header: the server passes
+    /// `true` only when it will actually read another request from this
+    /// socket, so the advertised header always matches the behaviour.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from the socket.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
@@ -301,6 +329,31 @@ mod tests {
         assert!(req.query.is_empty());
         assert!(req.body.is_empty());
         assert_eq!(req.segments(), vec!["healthz"]);
+        assert!(!req.keep_alive, "reuse is opt-in, not default");
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").expect("parses");
+        assert!(req.keep_alive);
+        let req = parse("GET / HTTP/1.1\r\nCONNECTION:   Keep-Alive  \r\n\r\n").expect("parses");
+        assert!(req.keep_alive, "header name and value are case-insensitive");
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive, "unknown tokens mean close");
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_closed_not_bad_request() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        // EOF *inside* a request line stays a bad request.
+        assert!(matches!(parse("GET /x HT"), Err(HttpError::BadRequest(_))));
+        // Two pipelined requests then EOF: second parse sees Closed.
+        let wire = "GET /a HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        let mut reader = BufReader::new(wire.as_bytes());
+        assert!(read_request(&mut reader).is_ok());
+        assert!(matches!(read_request(&mut reader), Err(HttpError::Closed)));
     }
 
     #[test]
@@ -365,13 +418,23 @@ mod tests {
         let mut out = Vec::new();
         Response::json(200, "{\"ok\":true}".to_string())
             .with_header("X-Cache", "hit")
-            .write_to(&mut out)
+            .write_to(&mut out, false)
             .expect("write");
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("X-Cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn keep_alive_responses_advertise_reuse() {
+        let mut out = Vec::new();
+        Response::text(200, "ok".to_string()).write_to(&mut out, true).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close\r\n"));
     }
 
     #[test]

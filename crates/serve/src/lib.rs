@@ -18,9 +18,16 @@
 //!   [`socnet_runner::Pool`]; a panicking kernel poisons only its own
 //!   entry.
 //! - [`Server`] — a hand-rolled HTTP/1.1 front end over
-//!   [`std::net::TcpListener`] with per-request deadlines, `400` (never
-//!   a panic) on malformed input, and a graceful drain that flushes a
-//!   metrics snapshot plus a `run.json` manifest.
+//!   [`std::net::TcpListener`] with per-request deadlines, opt-in
+//!   `Connection: keep-alive` reuse (bounded per connection, idle
+//!   deadline between requests), `400` (never a panic) on malformed
+//!   input, and a graceful drain that flushes a metrics snapshot plus a
+//!   `run.json` manifest.
+//! - [`persist`] — warm start over `socnet-store`: the drain snapshots
+//!   every rendered body and the registry metadata; the next boot
+//!   hydrates them (quarantining anything corrupt or keyed to other
+//!   code) so the first repeat query answers `X-Cache: warm-disk` with
+//!   byte-identical content, no graph load, no recompute.
 //!
 //! ```no_run
 //! use socnet_serve::{Server, ServerConfig};
@@ -39,11 +46,17 @@
 
 pub mod cache;
 pub mod http;
+pub mod persist;
 pub mod registry;
 pub mod routes;
 pub mod server;
 pub mod signal;
 
-pub use cache::{CacheError, CacheStats, CacheValue, CachedEntry, Lookup, PropertyCache};
-pub use registry::{GraphKey, GraphRegistry, LoadedGraph, RegistryError, ResidentInfo};
-pub use server::{AppState, ServeSummary, Server, ServerConfig};
+pub use cache::{
+    CacheError, CacheStats, CacheValue, CachedEntry, Lookup, PropertyCache, StoredBody,
+};
+pub use persist::{FlushReport, HydrateReport};
+pub use registry::{
+    GraphKey, GraphMeta, GraphRegistry, LoadedGraph, RegistryError, ResidentInfo, SHARD_COUNT,
+};
+pub use server::{AppState, ServeSummary, Server, ServerConfig, MAX_REQUESTS_PER_CONNECTION};

@@ -1,0 +1,361 @@
+//! Warm-start persistence: snapshot the serve caches at drain, restore
+//! them at boot.
+//!
+//! The property cache holds results that are expensive to compute and
+//! fully deterministic for a fixed (graph, seed, params) — so a restart
+//! throwing them away is pure waste. This module encodes the serve
+//! stack's state into `socnet-store` snapshots:
+//!
+//! - every **rendered body** the server produced (key + compute cost +
+//!   byte-exact JSON), so the restarted process answers repeat queries
+//!   with the exact bytes the old process computed, under
+//!   `X-Cache: warm-disk`;
+//! - the **graph registry metadata** (what was resident, how big, how
+//!   hot), so `/datasets` can report what the pre-restart process was
+//!   serving without eagerly rebuilding anything.
+//!
+//! Restores are paranoid by construction. The snapshot manifest carries
+//! the git revision and a fingerprint of the dataset registry; either
+//! changing means the cached bodies may describe graphs this binary
+//! would generate differently, so the snapshot is rejected and the
+//! server boots cold. Rejected, truncated, or bit-flipped snapshots are
+//! *quarantined* (renamed aside), counted in `store.quarantined`, and
+//! logged — hydration never panics and never fails the boot.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use socnet_gen::Dataset;
+use socnet_runner::{git_rev, obs, Metrics};
+use socnet_store::{
+    quarantine, read_snapshot_expecting, write_snapshot, Expected, LoadError, Record, Snapshot,
+    SnapshotMeta, StoreDir,
+};
+
+use crate::cache::{PropertyCache, StoredBody};
+use crate::registry::{GraphMeta, GraphRegistry};
+
+/// Name of the serve snapshot inside a store directory (`serve.snap`).
+pub const SNAPSHOT_NAME: &str = "serve";
+
+/// CRC-32 fingerprint of the dataset registry: names, paper sizes, and
+/// generator configurations. Any change to what a dataset name *means*
+/// changes this hash and invalidates old snapshots.
+pub fn registry_hash() -> String {
+    let mut text = String::new();
+    for dataset in Dataset::ALL {
+        let spec = dataset.spec();
+        text.push_str(spec.name);
+        text.push_str(&format!(":{}:{}:{:?};", spec.paper_nodes, spec.paper_edges, spec.kind));
+    }
+    format!("{:08x}", socnet_store::crc32(text.as_bytes()))
+}
+
+/// The manifest values a snapshot must match to be hydrated by this
+/// process: current git revision + current registry fingerprint.
+pub fn expected() -> Expected {
+    Expected { git_rev: git_rev(), registry_hash: registry_hash() }
+}
+
+/// What [`flush`] wrote.
+#[derive(Debug)]
+pub struct FlushReport {
+    /// The snapshot file.
+    pub path: PathBuf,
+    /// Snapshot size in bytes.
+    pub bytes: u64,
+    /// Body records persisted.
+    pub bodies: usize,
+    /// Graph-metadata records persisted.
+    pub graphs: usize,
+}
+
+/// How [`hydrate`] went.
+#[derive(Debug)]
+pub struct HydrateReport {
+    /// `warm` (snapshot restored), `cold` (no snapshot), or
+    /// `quarantined` (snapshot rejected and set aside).
+    pub outcome: &'static str,
+    /// Body entries installed into the cache.
+    pub bodies: usize,
+    /// Graph-metadata rows remembered by the registry.
+    pub graphs: usize,
+    /// Where the rejected snapshot went, when one was quarantined.
+    pub quarantined_to: Option<PathBuf>,
+}
+
+fn encode_body(body: &StoredBody) -> Record {
+    Record::new("body", &[&body.key, &body.cost.as_micros().to_string()], &body.body)
+}
+
+fn encode_graph(meta: &GraphMeta) -> Record {
+    Record::new(
+        "graph",
+        &[
+            meta.dataset.name(),
+            &meta.scale.to_string(),
+            &meta.seed.to_string(),
+            &meta.approx_bytes.to_string(),
+            &meta.load_wall.as_micros().to_string(),
+            &meta.hits.to_string(),
+        ],
+        b"",
+    )
+}
+
+fn dataset_by_name(name: &str) -> Option<Dataset> {
+    Dataset::ALL.iter().copied().find(|d| d.name() == name)
+}
+
+fn micros(text: &str) -> Result<Duration, String> {
+    let us: u64 = text.parse().map_err(|_| format!("bad duration {text:?}"))?;
+    Ok(Duration::from_micros(us))
+}
+
+/// Decodes snapshot records back into cache bodies and registry rows.
+/// Any malformed record condemns the whole snapshot — the store's
+/// checksums mean a bad record is a logic or version mismatch, not a
+/// disk flip, and partial hydration would be harder to reason about
+/// than a cold boot.
+fn decode_records(records: &[Record]) -> Result<(Vec<StoredBody>, Vec<GraphMeta>), String> {
+    let mut bodies = Vec::new();
+    let mut graphs = Vec::new();
+    for record in records {
+        match record.kind.as_str() {
+            "body" => {
+                let [key, cost] = record.fields.as_slice() else {
+                    return Err(format!("body record has {} fields, want 2", record.fields.len()));
+                };
+                bodies.push(StoredBody {
+                    key: key.clone(),
+                    body: record.body.clone(),
+                    cost: micros(cost)?,
+                });
+            }
+            "graph" => {
+                let [name, scale, seed, bytes, wall, hits] = record.fields.as_slice() else {
+                    return Err(format!("graph record has {} fields, want 6", record.fields.len()));
+                };
+                let dataset = dataset_by_name(name)
+                    .ok_or_else(|| format!("graph record names unknown dataset {name:?}"))?;
+                graphs.push(GraphMeta {
+                    dataset,
+                    scale: scale.parse().map_err(|_| format!("bad scale {scale:?}"))?,
+                    seed: seed.parse().map_err(|_| format!("bad seed {seed:?}"))?,
+                    approx_bytes: bytes.parse().map_err(|_| format!("bad bytes {bytes:?}"))?,
+                    load_wall: micros(wall)?,
+                    hits: hits.parse().map_err(|_| format!("bad hits {hits:?}"))?,
+                });
+            }
+            other => return Err(format!("unknown record kind {other:?}")),
+        }
+    }
+    Ok((bodies, graphs))
+}
+
+/// Persists the cache's body entries and the registry's metadata as the
+/// store's `serve` snapshot (atomic write; readers see old or new,
+/// never a torn file).
+///
+/// # Errors
+///
+/// Any I/O error from creating the directory or writing the snapshot.
+pub fn flush(dir: &Path, cache: &PropertyCache, registry: &GraphRegistry) -> io::Result<FlushReport> {
+    let bodies = cache.export_bodies();
+    let graphs = registry.export_meta();
+    let mut records = Vec::with_capacity(bodies.len() + graphs.len());
+    records.extend(bodies.iter().map(encode_body));
+    records.extend(graphs.iter().map(encode_graph));
+    let snapshot = Snapshot {
+        meta: SnapshotMeta::new(&git_rev(), &registry_hash()),
+        records,
+    };
+    std::fs::create_dir_all(dir)?;
+    let path = StoreDir::new(dir).snapshot_path(SNAPSHOT_NAME);
+    let bytes = write_snapshot(&path, &snapshot)?;
+    Metrics::global().gauge_set("store.bytes", bytes as f64);
+    obs::info(
+        "store.flushed",
+        &[
+            ("path", path.display().to_string().into()),
+            ("bytes", bytes.into()),
+            ("bodies", (bodies.len() as u64).into()),
+            ("graphs", (graphs.len() as u64).into()),
+        ],
+    );
+    Ok(FlushReport { path, bytes, bodies: bodies.len(), graphs: graphs.len() })
+}
+
+/// Restores the `serve` snapshot from `dir`, if one exists and matches
+/// this process (same git revision, same dataset registry).
+///
+/// Never fails the boot: a missing snapshot is a clean cold start; a
+/// corrupt, truncated, or mismatched one is quarantined (renamed to
+/// `serve.snap.quarantined`), counted, logged at warn, and then the
+/// boot proceeds cold.
+pub fn hydrate(dir: &Path, cache: &PropertyCache, registry: &GraphRegistry) -> HydrateReport {
+    let path = StoreDir::new(dir).snapshot_path(SNAPSHOT_NAME);
+    let rejected = |reason: String| {
+        Metrics::global().incr("store.quarantined", 1);
+        let quarantined_to = quarantine(&path).ok();
+        obs::warn(
+            "store.quarantined",
+            &[
+                ("path", path.display().to_string().into()),
+                ("reason", reason.into()),
+                (
+                    "moved_to",
+                    quarantined_to
+                        .as_deref()
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_else(|| "unmoved".to_string())
+                        .into(),
+                ),
+            ],
+        );
+        HydrateReport { outcome: "quarantined", bodies: 0, graphs: 0, quarantined_to }
+    };
+    match read_snapshot_expecting(&path, &expected()) {
+        Ok(snapshot) => match decode_records(&snapshot.records) {
+            Ok((bodies, graphs)) => {
+                let total_bytes: u64 = bodies.iter().map(|b| b.body.len() as u64).sum();
+                let installed = cache.import_bodies(bodies);
+                let remembered = registry.import_meta(graphs);
+                Metrics::global().incr("store.hydrated", 1);
+                Metrics::global().gauge_set("store.bytes", total_bytes as f64);
+                obs::info(
+                    "store.hydrated",
+                    &[
+                        ("path", path.display().to_string().into()),
+                        ("bodies", (installed as u64).into()),
+                        ("graphs", (remembered as u64).into()),
+                        ("bytes", total_bytes.into()),
+                    ],
+                );
+                HydrateReport {
+                    outcome: "warm",
+                    bodies: installed,
+                    graphs: remembered,
+                    quarantined_to: None,
+                }
+            }
+            Err(reason) => rejected(reason),
+        },
+        Err(LoadError::Missing) => {
+            obs::debug("store.cold", &[("path", path.display().to_string().into())]);
+            HydrateReport { outcome: "cold", bodies: 0, graphs: 0, quarantined_to: None }
+        }
+        Err(err) => rejected(err.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("socnet-serve-persist-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn registry_hash_is_stable_and_hex() {
+        let a = registry_hash();
+        let b = registry_hash();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn flush_then_hydrate_round_trips_bodies_and_graph_meta() {
+        let dir = scratch("roundtrip");
+        let cache = PropertyCache::new(1 << 20);
+        cache.record_body("body|g@0.05#42|cores|n=3", b"{\"coreness\":4}", Duration::from_millis(7));
+        let registry = GraphRegistry::new();
+        registry
+            .get_or_load(
+                &crate::registry::GraphKey::new(Dataset::RiceGrad, 0.05, 42),
+                &socnet_runner::CancelToken::new(),
+            )
+            .expect("load");
+        let report = flush(&dir, &cache, &registry).expect("flush");
+        assert_eq!((report.bodies, report.graphs), (1, 1));
+        assert!(report.path.is_file());
+
+        let cache2 = PropertyCache::new(1 << 20);
+        let registry2 = GraphRegistry::new();
+        let hydrated = hydrate(&dir, &cache2, &registry2);
+        assert_eq!(hydrated.outcome, "warm");
+        assert_eq!((hydrated.bodies, hydrated.graphs), (1, 1));
+        assert_eq!(
+            cache2.hydrated_body("body|g@0.05#42|cores|n=3").expect("warm body"),
+            b"{\"coreness\":4}".to_vec()
+        );
+        let remembered = registry2.remembered();
+        assert_eq!(remembered.len(), 1);
+        assert_eq!(remembered[0].label(), "Rice-grad@0.05#42");
+        assert!(registry2.is_empty(), "hydration must not eagerly rebuild graphs");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_cold_boot() {
+        let dir = scratch("cold");
+        let report = hydrate(&dir, &PropertyCache::new(1024), &GraphRegistry::new());
+        assert_eq!(report.outcome, "cold");
+        assert!(report.quarantined_to.is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined_and_boot_is_cold() {
+        let dir = scratch("corrupt");
+        let path = StoreDir::new(&dir).snapshot_path(SNAPSHOT_NAME);
+        std::fs::write(&path, b"socnet-store-v1\ngarbage that is not frames\n").expect("write");
+        let cache = PropertyCache::new(1024);
+        let report = hydrate(&dir, &cache, &GraphRegistry::new());
+        assert_eq!(report.outcome, "quarantined");
+        let moved = report.quarantined_to.expect("moved aside");
+        assert!(moved.is_file());
+        assert!(!path.exists(), "live snapshot must be gone after quarantine");
+        assert_eq!(cache.stats().entries, 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unknown_record_kind_condemns_the_snapshot() {
+        let dir = scratch("unknown-kind");
+        let snapshot = Snapshot {
+            meta: SnapshotMeta::new(&git_rev(), &registry_hash()),
+            records: vec![Record::new("exotic", &["x"], b"")],
+        };
+        let path = StoreDir::new(&dir).snapshot_path(SNAPSHOT_NAME);
+        write_snapshot(&path, &snapshot).expect("write");
+        let report = hydrate(&dir, &PropertyCache::new(1024), &GraphRegistry::new());
+        assert_eq!(report.outcome, "quarantined");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn rev_mismatch_is_rejected_not_hydrated() {
+        let dir = scratch("rev-mismatch");
+        let snapshot = Snapshot {
+            meta: SnapshotMeta::new("someone-elses-rev", &registry_hash()),
+            records: vec![Record::new("body", &["body|k", "5"], b"stale")],
+        };
+        let path = StoreDir::new(&dir).snapshot_path(SNAPSHOT_NAME);
+        write_snapshot(&path, &snapshot).expect("write");
+        let cache = PropertyCache::new(1024);
+        let report = hydrate(&dir, &cache, &GraphRegistry::new());
+        assert_eq!(report.outcome, "quarantined");
+        assert_eq!(cache.hydrated_body("body|k"), None, "stale body must not serve");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

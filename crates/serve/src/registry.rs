@@ -1,4 +1,4 @@
-//! Load-once / share-many graph residency.
+//! Load-once / share-many graph residency, sharded.
 //!
 //! Every query route needs a [`Graph`], and building one (scaling a
 //! dataset model, wiring a CSR) is orders of magnitude more expensive
@@ -8,8 +8,17 @@
 //! a hundred concurrent requests share one copy. Concurrent loads of
 //! the same key coalesce — one caller builds, the rest park on a
 //! condvar until the graph (or the build error) is in.
+//!
+//! The key space is split across a fixed array of [`SHARD_COUNT`]
+//! shards, each with its own mutex, condvar, and resident-byte counter,
+//! so lookups of different graphs never contend on one lock and a slow
+//! build only stalls waiters for *its* key's shard. Cross-shard
+//! eviction pressure (a global byte budget squeezing the fattest shard)
+//! is future work; today each shard only accounts for itself and
+//! [`GraphRegistry::resident_bytes`] sums the counters.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -20,6 +29,11 @@ use socnet_runner::{CancelToken, Metrics};
 
 /// How long a coalesced waiter sleeps between cancellation checks.
 const WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// Fixed number of key-hashed shards. A small power of two: enough that
+/// a handful of resident graphs land on distinct locks, small enough
+/// that summing per-shard counters stays trivial.
+pub const SHARD_COUNT: usize = 8;
 
 /// Identity of one resident graph: dataset + generation parameters.
 ///
@@ -97,6 +111,33 @@ pub struct ResidentInfo {
     pub load_wall: Duration,
 }
 
+/// Persistable metadata of one graph: everything the registry knows
+/// about a residency except the graph itself. Exported at drain and
+/// imported at boot, where the rows become *remembered* graphs — the
+/// server reports them but rebuilds lazily on first touch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMeta {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// Generation scale.
+    pub scale: f64,
+    /// Generation seed.
+    pub seed: u64,
+    /// Approximate resident bytes the graph occupied.
+    pub approx_bytes: usize,
+    /// How long the build took.
+    pub load_wall: Duration,
+    /// Lookups served before the snapshot.
+    pub hits: u64,
+}
+
+impl GraphMeta {
+    /// The canonical label of the graph this row describes.
+    pub fn label(&self) -> String {
+        GraphKey::new(self.dataset, self.scale, self.seed).label()
+    }
+}
+
 /// Why a load failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegistryError {
@@ -125,18 +166,30 @@ enum Slot {
     Loading,
     /// Built and shared.
     Resident { graph: Arc<LoadedGraph>, hits: u64 },
-    /// The build failed; waiters copy the message and the observer
-    /// removes the slot so a later identical request may retry.
-    Failed(String),
 }
 
 type Builder = Box<dyn Fn(&GraphKey) -> Graph + Send + Sync>;
 
+/// One shard: its keys, its lock, its waiters, its byte count.
+struct Shard {
+    state: Mutex<ShardState>,
+    loaded: Condvar,
+}
+
+#[derive(Default)]
+struct ShardState {
+    slots: HashMap<GraphKey, Slot>,
+    /// Bytes across this shard's resident graphs, maintained
+    /// incrementally on insert/evict.
+    resident_bytes: usize,
+}
+
 /// The load-once / share-many graph store.
 pub struct GraphRegistry {
-    state: Mutex<HashMap<GraphKey, Slot>>,
-    loaded: Condvar,
+    shards: Vec<Shard>,
     builder: Builder,
+    /// Graph metadata hydrated from a snapshot: reported, not resident.
+    remembered: Mutex<Vec<GraphMeta>>,
 }
 
 impl Default for GraphRegistry {
@@ -145,8 +198,8 @@ impl Default for GraphRegistry {
     }
 }
 
-fn lock(state: &Mutex<HashMap<GraphKey, Slot>>) -> MutexGuard<'_, HashMap<GraphKey, Slot>> {
-    state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+fn lock(shard: &Shard) -> MutexGuard<'_, ShardState> {
+    shard.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl GraphRegistry {
@@ -160,7 +213,27 @@ impl GraphRegistry {
     /// A registry with an injected builder — tests use this to make
     /// builds slow, observable, or failing on demand.
     pub fn with_builder(builder: Builder) -> GraphRegistry {
-        GraphRegistry { state: Mutex::new(HashMap::new()), loaded: Condvar::new(), builder }
+        let shards = (0..SHARD_COUNT)
+            .map(|_| Shard { state: Mutex::new(ShardState::default()), loaded: Condvar::new() })
+            .collect();
+        GraphRegistry { shards, builder, remembered: Mutex::new(Vec::new()) }
+    }
+
+    /// Which shard owns `key`.
+    pub fn shard_of(&self, key: &GraphKey) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// The fixed shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard resident bytes, indexed by shard.
+    pub fn shard_bytes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| lock(s).resident_bytes).collect()
     }
 
     /// Returns the resident graph for `key`, building it if absent.
@@ -168,7 +241,11 @@ impl GraphRegistry {
     /// Exactly one caller runs the builder per key; concurrent callers
     /// for the same key block until that build resolves. The build runs
     /// under `catch_unwind`, so a panicking generator becomes a
-    /// [`RegistryError::Build`] for every waiter instead of a crash.
+    /// [`RegistryError::Build`] for the builder instead of a crash; a
+    /// failed slot is removed, so waiters (and later identical
+    /// requests) retry with a fresh build.
+    /// Only `key`'s shard is locked at any point — loads of graphs on
+    /// other shards proceed untouched.
     ///
     /// # Errors
     ///
@@ -180,81 +257,78 @@ impl GraphRegistry {
         key: &GraphKey,
         cancel: &CancelToken,
     ) -> Result<Arc<LoadedGraph>, RegistryError> {
+        let shard = &self.shards[self.shard_of(key)];
         {
-            let mut state = lock(&self.state);
+            let mut state = lock(shard);
             loop {
-                match state.get_mut(key) {
+                match state.slots.get_mut(key) {
                     Some(Slot::Resident { graph, hits }) => {
                         *hits += 1;
                         Metrics::global().incr("registry.hits", 1);
                         return Ok(Arc::clone(graph));
                     }
-                    Some(Slot::Failed(message)) => {
-                        let message = message.clone();
-                        // Observe-and-remove: the next identical
-                        // request gets a fresh build attempt.
-                        state.remove(key);
-                        return Err(RegistryError::Build(message));
-                    }
                     Some(Slot::Loading) => {
                         if cancel.is_cancelled() {
                             return Err(RegistryError::DeadlineExceeded);
                         }
-                        let (guard, _) = self
+                        let (guard, _) = shard
                             .loaded
                             .wait_timeout(state, WAIT_SLICE)
                             .unwrap_or_else(|poisoned| poisoned.into_inner());
                         state = guard;
                     }
                     None => {
-                        state.insert(key.clone(), Slot::Loading);
+                        state.slots.insert(key.clone(), Slot::Loading);
                         break;
                     }
                 }
             }
         }
 
-        // We own the build. Run it unlocked so other keys stay live.
+        // We own the build. Run it unlocked so every other key — even
+        // on this shard — stays live for resident lookups elsewhere.
         let start = Instant::now();
         let built = catch_unwind(AssertUnwindSafe(|| (self.builder)(key)));
-        let slot = match built {
-            Ok(graph) => {
-                let loaded = Arc::new(LoadedGraph {
-                    approx_bytes: approx_graph_bytes(&graph),
-                    load_wall: start.elapsed(),
-                    graph,
-                });
-                Metrics::global().incr("registry.loads", 1);
-                Slot::Resident { graph: loaded, hits: 0 }
-            }
-            Err(payload) => Slot::Failed(panic_text(payload.as_ref())),
-        };
         let result = {
-            let mut state = lock(&self.state);
-            state.insert(key.clone(), slot);
-            match state.get(key) {
-                Some(Slot::Resident { graph, .. }) => Ok(Arc::clone(graph)),
-                Some(Slot::Failed(message)) => {
-                    let message = message.clone();
-                    state.remove(key);
-                    Err(RegistryError::Build(message))
+            let mut state = lock(shard);
+            match built {
+                Ok(graph) => {
+                    let loaded = Arc::new(LoadedGraph {
+                        approx_bytes: approx_graph_bytes(&graph),
+                        load_wall: start.elapsed(),
+                        graph,
+                    });
+                    Metrics::global().incr("registry.loads", 1);
+                    state.resident_bytes += loaded.approx_bytes;
+                    state
+                        .slots
+                        .insert(key.clone(), Slot::Resident { graph: Arc::clone(&loaded), hits: 0 });
+                    Ok(loaded)
                 }
-                _ => unreachable!("slot was just inserted"),
+                Err(payload) => {
+                    state.slots.remove(key);
+                    Err(RegistryError::Build(panic_text(payload.as_ref())))
+                }
             }
         };
-        self.loaded.notify_all();
-        self.update_gauge();
+        shard.loaded.notify_all();
+        self.recompute_gauges();
         result
     }
 
     /// Drops the resident graph for `key`, if any. Returns whether a
     /// resident entry was removed (an in-flight load is left alone).
+    /// The shard's byte counter and the resident-byte gauge are
+    /// recomputed before this returns, so a metrics snapshot taken
+    /// right after an evict never reports the evicted bytes.
     pub fn evict(&self, key: &GraphKey) -> bool {
+        let shard = &self.shards[self.shard_of(key)];
         let removed = {
-            let mut state = lock(&self.state);
-            match state.get(key) {
-                Some(Slot::Resident { .. }) => {
-                    state.remove(key);
+            let mut state = lock(shard);
+            match state.slots.get(key) {
+                Some(Slot::Resident { graph, .. }) => {
+                    state.resident_bytes -= graph.approx_bytes;
+                    state.slots.remove(key);
                     true
                 }
                 _ => false,
@@ -262,17 +336,17 @@ impl GraphRegistry {
         };
         if removed {
             Metrics::global().incr("registry.evictions", 1);
-            self.update_gauge();
+            self.recompute_gauges();
         }
         removed
     }
 
     /// Every resident graph, sorted by label for stable output.
     pub fn list(&self) -> Vec<ResidentInfo> {
-        let state = lock(&self.state);
-        let mut rows: Vec<ResidentInfo> = state
-            .iter()
-            .filter_map(|(key, slot)| match slot {
+        let mut rows: Vec<ResidentInfo> = Vec::new();
+        for shard in &self.shards {
+            let state = lock(shard);
+            rows.extend(state.slots.iter().filter_map(|(key, slot)| match slot {
                 Slot::Resident { graph, hits } => Some(ResidentInfo {
                     key: key.clone(),
                     nodes: graph.graph.node_count(),
@@ -282,28 +356,24 @@ impl GraphRegistry {
                     load_wall: graph.load_wall,
                 }),
                 _ => None,
-            })
-            .collect();
+            }));
+        }
         rows.sort_by(|a, b| a.key.label().cmp(&b.key.label()));
         rows
     }
 
-    /// Total approximate bytes across resident graphs.
+    /// Total approximate bytes across resident graphs (sum of the
+    /// per-shard counters).
     pub fn resident_bytes(&self) -> usize {
-        let state = lock(&self.state);
-        state
-            .values()
-            .map(|slot| match slot {
-                Slot::Resident { graph, .. } => graph.approx_bytes,
-                _ => 0,
-            })
-            .sum()
+        self.shards.iter().map(|s| lock(s).resident_bytes).sum()
     }
 
     /// Number of resident graphs (loads in flight excluded).
     pub fn len(&self) -> usize {
-        let state = lock(&self.state);
-        state.values().filter(|s| matches!(s, Slot::Resident { .. })).count()
+        self.shards
+            .iter()
+            .map(|s| lock(s).slots.values().filter(|v| matches!(v, Slot::Resident { .. })).count())
+            .sum()
     }
 
     /// Whether nothing is resident.
@@ -311,7 +381,48 @@ impl GraphRegistry {
         self.len() == 0
     }
 
-    fn update_gauge(&self) {
+    /// Metadata of every resident graph, sorted by label — what the
+    /// drain-time snapshot persists.
+    pub fn export_meta(&self) -> Vec<GraphMeta> {
+        let mut rows: Vec<GraphMeta> = Vec::new();
+        for shard in &self.shards {
+            let state = lock(shard);
+            rows.extend(state.slots.iter().filter_map(|(key, slot)| match slot {
+                Slot::Resident { graph, hits } => Some(GraphMeta {
+                    dataset: key.dataset(),
+                    scale: key.scale(),
+                    seed: key.seed(),
+                    approx_bytes: graph.approx_bytes,
+                    load_wall: graph.load_wall,
+                    hits: *hits,
+                }),
+                _ => None,
+            }));
+        }
+        rows.sort_by_key(GraphMeta::label);
+        rows
+    }
+
+    /// Installs hydrated metadata rows as *remembered* graphs. Nothing
+    /// becomes resident — graphs rebuild lazily on first touch — but
+    /// the rows show up in [`GraphRegistry::remembered`] so `/datasets`
+    /// can say what the pre-restart process was serving. Returns how
+    /// many rows were installed.
+    pub fn import_meta(&self, rows: Vec<GraphMeta>) -> usize {
+        let mut remembered = self.remembered.lock().unwrap_or_else(|p| p.into_inner());
+        *remembered = rows;
+        remembered.len()
+    }
+
+    /// The metadata rows hydrated at boot, if any.
+    pub fn remembered(&self) -> Vec<GraphMeta> {
+        self.remembered.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Recomputes the `registry.resident_bytes` gauge from the shard
+    /// counters. Called on every load and evict; public so the evict
+    /// route can force a refresh after compound operations.
+    pub fn recompute_gauges(&self) {
         Metrics::global().gauge_set("registry.resident_bytes", self.resident_bytes() as f64);
     }
 }
@@ -446,5 +557,59 @@ mod tests {
         let err = registry.get_or_load(&tiny_key(), &cancel).expect_err("deadline");
         assert_eq!(err, RegistryError::DeadlineExceeded);
         builder_handle.join().expect("no panic").expect("build succeeds");
+    }
+
+    #[test]
+    fn shard_byte_accounting_sums_to_the_total_and_tracks_eviction() {
+        let registry = GraphRegistry::new();
+        let cancel = CancelToken::new();
+        // Several distinct keys (different seeds) so multiple shards
+        // are exercised with high probability.
+        let keys: Vec<GraphKey> =
+            (0..6).map(|seed| GraphKey::new(Dataset::RiceGrad, 0.05, seed)).collect();
+        for key in &keys {
+            registry.get_or_load(key, &cancel).expect("load");
+        }
+        assert_eq!(registry.len(), keys.len());
+        let per_shard = registry.shard_bytes();
+        assert_eq!(per_shard.len(), SHARD_COUNT);
+        assert_eq!(per_shard.iter().sum::<usize>(), registry.resident_bytes());
+        assert!(
+            per_shard.iter().filter(|&&b| b > 0).count() >= 2,
+            "6 keys all hashed to one shard: {per_shard:?}"
+        );
+        // Evicting one key decrements exactly its shard.
+        let victim = &keys[3];
+        let victim_shard = registry.shard_of(victim);
+        let before = registry.shard_bytes();
+        assert!(registry.evict(victim));
+        let after = registry.shard_bytes();
+        assert!(after[victim_shard] < before[victim_shard]);
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if i != victim_shard {
+                assert_eq!(b, a, "unrelated shard {i} changed");
+            }
+        }
+        assert_eq!(after.iter().sum::<usize>(), registry.resident_bytes());
+    }
+
+    #[test]
+    fn export_import_meta_round_trips_without_residency() {
+        let registry = GraphRegistry::new();
+        let cancel = CancelToken::new();
+        let key = tiny_key();
+        registry.get_or_load(&key, &cancel).expect("load");
+        registry.get_or_load(&key, &cancel).expect("hit");
+        let exported = registry.export_meta();
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].label(), key.label());
+        assert_eq!(exported[0].hits, 1);
+        assert!(exported[0].approx_bytes > 0);
+
+        let fresh = GraphRegistry::new();
+        assert_eq!(fresh.import_meta(exported.clone()), 1);
+        assert_eq!(fresh.remembered(), exported);
+        assert!(fresh.is_empty(), "imported metadata must not fake residency");
+        assert_eq!(fresh.resident_bytes(), 0);
     }
 }

@@ -1,13 +1,18 @@
 //! Route dispatch: URL → registry → property cache → kernel → JSON.
 //!
 //! Every property route follows one shape: resolve the dataset (404 if
-//! unknown), validate parameters (400 on anything malformed), load the
-//! graph through the registry (coalesced, shared), then answer from the
+//! unknown), validate parameters (400 on anything malformed), check the
+//! disk-hydrated bodies (a warm hit answers *before* any graph is
+//! loaded — that is the whole point of warm start), then load the graph
+//! through the registry (coalesced, shared) and answer from the
 //! property cache — computing on the shared pool only on a miss. The
 //! response body is rendered *from the cached value alone*, never from
 //! per-request state, so identical queries produce byte-identical
-//! bodies no matter how requests interleave. The `X-Cache` header says
-//! how the lookup went: `hit`, `miss`, or `poisoned`.
+//! bodies no matter how requests interleave; successful bodies are also
+//! recorded under a canonical `body|label|route|params` key so the
+//! drain-time snapshot can persist them. The `X-Cache` header says how
+//! the lookup went: `hit`, `miss`, `poisoned`, or `warm-disk` (served
+//! byte-exact from the previous process's snapshot).
 
 use std::sync::Arc;
 
@@ -165,13 +170,14 @@ fn param_u64(params: &[(String, String)], key: &str, default: u64) -> Result<u64
     }
 }
 
-/// Resolves dataset + scale + seed into a resident graph.
-fn resolve_graph(
+/// Validates dataset + scale + seed into a [`GraphKey`] *without*
+/// loading anything — the graph-free half of graph resolution, which is
+/// all the warm-body check needs.
+fn graph_key_from(
     state: &AppState,
     params: &[(String, String)],
     name: &str,
-    cancel: &CancelToken,
-) -> Result<(GraphKey, Arc<LoadedGraph>), Response> {
+) -> Result<GraphKey, Response> {
     let Some(dataset) = dataset_by_name(name) else {
         return Err(error_response(404, &format!("unknown dataset {name:?}")));
     };
@@ -180,10 +186,44 @@ fn resolve_graph(
         return Err(error_response(400, &format!("scale must be in (0, {MAX_SCALE}], got {scale}")));
     }
     let seed = param_u64(params, "seed", state.config.default_seed)?;
-    let key = GraphKey::new(dataset, scale, seed);
-    match state.registry.get_or_load(&key, cancel) {
-        Ok(graph) => Ok((key, graph)),
-        Err(err) => Err(registry_error_response(&err)),
+    Ok(GraphKey::new(dataset, scale, seed))
+}
+
+/// Loads (or finds resident) the graph behind `key`.
+fn load_graph(
+    state: &AppState,
+    key: &GraphKey,
+    cancel: &CancelToken,
+) -> Result<Arc<LoadedGraph>, Response> {
+    state.registry.get_or_load(key, cancel).map_err(|err| registry_error_response(&err))
+}
+
+/// Resolves dataset + scale + seed into a resident graph.
+fn resolve_graph(
+    state: &AppState,
+    params: &[(String, String)],
+    name: &str,
+    cancel: &CancelToken,
+) -> Result<(GraphKey, Arc<LoadedGraph>), Response> {
+    let key = graph_key_from(state, params, name)?;
+    let graph = load_graph(state, &key, cancel)?;
+    Ok((key, graph))
+}
+
+/// Answers from the disk-hydrated body for `body_key`, if one exists.
+/// This is the warm-start fast path: no graph load, no pool compute,
+/// the exact bytes the pre-restart process rendered.
+fn warm_body(state: &AppState, body_key: &str) -> Option<Response> {
+    let body = state.cache.hydrated_body(body_key)?;
+    let body = String::from_utf8(body).ok()?;
+    Some(Response::json(200, body).with_header("X-Cache", "warm-disk"))
+}
+
+/// Records a successful response body under its canonical key so the
+/// drain-time snapshot can persist it.
+fn record_body(state: &AppState, body_key: &str, response: &Response, cost: std::time::Duration) {
+    if response.status == 200 {
+        state.cache.record_body(body_key, response.body.as_bytes(), cost);
     }
 }
 
@@ -233,9 +273,20 @@ fn datasets(state: &Arc<AppState>) -> Response {
             .int("approx_bytes", row.bytes as u64);
         loaded.push_raw(obj.finish());
     }
+    // Graphs the pre-restart process was serving, hydrated from the
+    // snapshot: reported for operators, rebuilt lazily on first touch.
+    let mut remembered = json::Arr::new();
+    for row in state.registry.remembered() {
+        let mut obj = json::Obj::new();
+        obj.str("label", &row.label())
+            .int("approx_bytes", row.approx_bytes as u64)
+            .int("hits", row.hits);
+        remembered.push_raw(obj.finish());
+    }
     let mut obj = json::Obj::new();
     obj.raw("datasets", &rows.finish())
         .raw("resident", &loaded.finish())
+        .raw("remembered", &remembered.finish())
         .int("resident_bytes", state.registry.resident_bytes() as u64);
     Response::json(200, obj.finish())
 }
@@ -282,6 +333,11 @@ fn evict(state: &Arc<AppState>, req: &Request, name: &str) -> Response {
     // The graph's memoized properties go with it — including poisoned
     // entries, so evicting is how an operator heals a sick key.
     let properties_evicted = state.cache.evict_for_label(&key.label());
+    // Recompute both resident-byte gauges after the compound eviction:
+    // a metrics scrape racing this request must never see bytes that
+    // are already gone.
+    state.registry.recompute_gauges();
+    state.cache.recompute_gauges();
     let mut obj = json::Obj::new();
     obj.str("label", &key.label())
         .bool("evicted", evicted)
@@ -291,8 +347,8 @@ fn evict(state: &Arc<AppState>, req: &Request, name: &str) -> Response {
 
 fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
     let params = req.params_with_body();
-    let (key, graph) = match resolve_graph(state, &params, name, cancel) {
-        Ok(pair) => pair,
+    let key = match graph_key_from(state, &params, name) {
+        Ok(key) => key,
         Err(response) => return response,
     };
     let eps = match param_f64(&params, "eps", 0.25) {
@@ -318,9 +374,23 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
     }
     let label = key.label();
 
+    // The panic hook bypasses persistence entirely: a poisoning test
+    // must exercise the live path, and a poisoned body never records.
+    let inject_panic = state.config.panic_injection && req.param("__panic") == Some("1");
+    let eps_text = json::num(eps, 6);
+    let body_key = format!("body|{label}|mixing|eps={eps_text}|s={sources}|w={max_walk}");
+    if !inject_panic {
+        if let Some(response) = warm_body(state, &body_key) {
+            return response;
+        }
+    }
+    let graph = match load_graph(state, &key, cancel) {
+        Ok(graph) => graph,
+        Err(response) => return response,
+    };
+
     // The spectrum is cached independently of eps so every bound
     // request reuses one power iteration.
-    let inject_panic = state.config.panic_injection && req.param("__panic") == Some("1");
     let spectrum_key =
         if inject_panic { format!("spectrum|{label}|boom") } else { format!("spectrum|{label}") };
     let spectrum_lookup = {
@@ -349,6 +419,7 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
 
     let mut sampled_json = String::from("null");
     let mut all_hit = spectrum_lookup.hit;
+    let mut compute_cost = spectrum_lookup.entry.cost;
     if sources > 0 {
         let tvd_key = format!("tvd|{label}|s={sources}|w={max_walk}");
         let measurement_lookup = {
@@ -370,6 +441,7 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
             Err(err) => return cache_error_response(&err),
         };
         all_hit &= measurement_lookup.hit;
+        compute_cost += measurement_lookup.entry.cost;
         let Some(m) = measurement_lookup.entry.value::<MixingMeasurement>() else {
             return error_response(500, "cache entry holds an unexpected type");
         };
@@ -397,7 +469,12 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
         .num("sinclair_lower", bounds.lower, 3)
         .num("sinclair_upper", bounds.upper, 3)
         .raw("sampled", &sampled_json);
-    Response::json(200, obj.finish()).with_header("X-Cache", cache_header(all_hit))
+    let response =
+        Response::json(200, obj.finish()).with_header("X-Cache", cache_header(all_hit));
+    if !inject_panic {
+        record_body(state, &body_key, &response, compute_cost);
+    }
+    response
 }
 
 fn coreness(
@@ -408,14 +485,22 @@ fn coreness(
     cancel: &CancelToken,
 ) -> Response {
     let params = req.params_with_body();
-    let (key, graph) = match resolve_graph(state, &params, name, cancel) {
-        Ok(pair) => pair,
+    let key = match graph_key_from(state, &params, name) {
+        Ok(key) => key,
         Err(response) => return response,
     };
     let Ok(node) = node.parse::<u32>() else {
         return error_response(400, &format!("node {node:?} is not a valid node id"));
     };
     let label = key.label();
+    let body_key = format!("body|{label}|coreness|n={node}");
+    if let Some(response) = warm_body(state, &body_key) {
+        return response;
+    }
+    let graph = match load_graph(state, &key, cancel) {
+        Ok(graph) => graph,
+        Err(response) => return response,
+    };
     // One decomposition per graph answers every node's query.
     let lookup = {
         let graph = Arc::clone(&graph);
@@ -442,17 +527,37 @@ fn coreness(
         .int("coreness", u64::from(coreness))
         .int("degeneracy", u64::from(decomposition.degeneracy()))
         .int("core_size", decomposition.core_members(coreness).len() as u64);
-    Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit))
+    let response =
+        Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit));
+    record_body(state, &body_key, &response, lookup.entry.cost);
+    response
 }
 
 fn expansion(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
     let params = req.params_with_body();
-    let (key, graph) = match resolve_graph(state, &params, name, cancel) {
-        Ok(pair) => pair,
+    let key = match graph_key_from(state, &params, name) {
+        Ok(key) => key,
         Err(response) => return response,
     };
     let root = match param_u32(&params, "root", 0) {
         Ok(v) => v,
+        Err(response) => return response,
+    };
+    let hops = match param_usize(&params, "hops", usize::MAX) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let label = key.label();
+    // `hops` trims the rendered view, so it is part of the body key
+    // even though the cached envelope ignores it. A warm hit can only
+    // exist for a root the old process validated, so the range check
+    // below is not bypassed — an out-of-range root was never recorded.
+    let body_key = format!("body|{label}|expansion|root={root}|hops={hops}");
+    if let Some(response) = warm_body(state, &body_key) {
+        return response;
+    }
+    let graph = match load_graph(state, &key, cancel) {
+        Ok(graph) => graph,
         Err(response) => return response,
     };
     if graph.graph.check_node(NodeId(root)).is_err() {
@@ -461,11 +566,6 @@ fn expansion(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelTo
             &format!("root {root} out of range for {} nodes", graph.graph.node_count()),
         );
     }
-    let hops = match param_usize(&params, "hops", usize::MAX) {
-        Ok(v) => v,
-        Err(response) => return response,
-    };
-    let label = key.label();
     // The full envelope is cached per root; `hops` only trims the view.
     let lookup = {
         let graph = Arc::clone(&graph);
@@ -505,13 +605,16 @@ fn expansion(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelTo
         .int("hops_shown", shown as u64)
         .raw("level_sizes", &levels.finish())
         .raw("alphas", &alphas.finish());
-    Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit))
+    let response =
+        Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit));
+    record_body(state, &body_key, &response, lookup.entry.cost);
+    response
 }
 
 fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
     let params = req.params_with_body();
-    let (key, graph) = match resolve_graph(state, &params, name, cancel) {
-        Ok(pair) => pair,
+    let key = match graph_key_from(state, &params, name) {
+        Ok(key) => key,
         Err(response) => return response,
     };
     let controller = match param_u32(&params, "controller", 0) {
@@ -552,12 +655,6 @@ fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
         Err(response) => return response,
     };
 
-    if controller as usize >= graph.graph.node_count() {
-        return error_response(
-            400,
-            &format!("controller {controller} out of range for {} nodes", graph.graph.node_count()),
-        );
-    }
     if sybils > MAX_SYBILS || attack_edges > MAX_ATTACK_EDGES {
         return error_response(
             400,
@@ -580,9 +677,26 @@ fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
     let label = key.label();
     let f_text = json::num(f_admit, 6);
     let cov_text = json::num(coverage, 6);
-    let cache_key = format!(
-        "admit|{label}|c={controller}|s={sybils}|ae={attack_edges}|m={distributors}|f={f_text}|cov={cov_text}|w={walk}|seed={seed}|aseed={attack_seed}"
+    let param_suffix = format!(
+        "c={controller}|s={sybils}|ae={attack_edges}|m={distributors}|f={f_text}|cov={cov_text}|w={walk}|seed={seed}|aseed={attack_seed}"
     );
+    // Warm check before the graph load; a warm hit can only exist for a
+    // controller the old process range-checked against the same graph.
+    let body_key = format!("body|{label}|admit|{param_suffix}");
+    if let Some(response) = warm_body(state, &body_key) {
+        return response;
+    }
+    let graph = match load_graph(state, &key, cancel) {
+        Ok(graph) => graph,
+        Err(response) => return response,
+    };
+    if controller as usize >= graph.graph.node_count() {
+        return error_response(
+            400,
+            &format!("controller {controller} out of range for {} nodes", graph.graph.node_count()),
+        );
+    }
+    let cache_key = format!("admit|{label}|{param_suffix}");
     let lookup = {
         let graph = Arc::clone(&graph);
         state.cache.get_or_compute(&cache_key, &state.pool, cancel, move || {
@@ -676,5 +790,8 @@ fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
         .raw("honest", &honest.finish())
         .raw("sybil", &sybil.finish())
         .raw("attack", &attack.finish());
-    Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit))
+    let response =
+        Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit));
+    record_body(state, &body_key, &response, lookup.entry.cost);
+    response
 }

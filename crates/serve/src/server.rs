@@ -3,13 +3,18 @@
 //! One thread runs the (non-blocking) accept loop and polls the two
 //! shutdown signals — the process-level flag from [`crate::signal`] and
 //! the server's own [`CancelToken`] handle. Each accepted connection is
-//! handled on its own thread (parse → route → respond, one request per
-//! connection), while property computations run on the shared
+//! handled on its own thread (parse → route → respond, then — for
+//! clients that asked for `Connection: keep-alive` — loop for the next
+//! request, bounded by [`MAX_REQUESTS_PER_CONNECTION`] and an idle read
+//! deadline), while property computations run on the shared
 //! panic-isolated [`Pool`] so a hundred waiting connections never pile
 //! a hundred concurrent kernels onto the box.
 //!
-//! Shutdown is a *graceful drain*: stop accepting, let in-flight
-//! requests finish (bounded), drain the pool, then flush the metrics
+//! When a store directory is configured, boot *hydrates* the property
+//! cache and registry metadata from the last drain's snapshot (rejected
+//! snapshots are quarantined and the boot proceeds cold), and shutdown
+//! is a *graceful drain*: stop accepting, let in-flight requests finish
+//! (bounded), drain the pool, flush the snapshot, then the metrics
 //! snapshot and a `run.json` manifest describing what was served.
 
 use std::collections::BTreeMap;
@@ -29,7 +34,15 @@ use socnet_runner::{
 use crate::cache::PropertyCache;
 use crate::http::{self, HttpError};
 use crate::registry::GraphRegistry;
-use crate::{routes, signal};
+use crate::{persist, routes, signal};
+
+/// Most requests one keep-alive connection may issue before the server
+/// closes it (fairness: one chatty client cannot pin a thread forever).
+pub const MAX_REQUESTS_PER_CONNECTION: usize = 32;
+
+/// How long a keep-alive connection may sit idle between requests
+/// before the server hangs up.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
 
 /// Everything `socnet serve` can tune.
 #[derive(Debug, Clone)]
@@ -53,6 +66,11 @@ pub struct ServerConfig {
     /// Enables the `__panic=1` test hook on the mixing route. Never on
     /// by default; integration tests use it to exercise poisoning.
     pub panic_injection: bool,
+    /// Snapshot store directory. When set, boot hydrates the caches
+    /// from `<dir>/serve.snap` (cold + quarantine on any mismatch) and
+    /// drain flushes a fresh snapshot there. `None` disables
+    /// persistence entirely.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +85,7 @@ impl Default for ServerConfig {
             out_dir: PathBuf::from("serve-out"),
             drain_deadline: Duration::from_secs(10),
             panic_injection: false,
+            store_dir: None,
         }
     }
 }
@@ -117,6 +136,9 @@ pub struct ServeSummary {
     pub manifest_path: PathBuf,
     /// Where the metrics snapshot was written.
     pub metrics_path: PathBuf,
+    /// Where the warm-start snapshot was written, when a store
+    /// directory is configured and the flush succeeded.
+    pub snapshot_path: Option<PathBuf>,
 }
 
 /// The bound-but-not-yet-serving daemon.
@@ -127,7 +149,11 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and assembles the shared state.
+    /// Binds the listener and assembles the shared state. When a store
+    /// directory is configured, hydrates the property cache and
+    /// registry metadata from the last drain's snapshot — a rejected
+    /// snapshot is quarantined and the boot proceeds cold; hydration
+    /// can never fail the bind.
     ///
     /// Clears a stale signal flag so a previous run's `SIGTERM` cannot
     /// kill this one at birth.
@@ -150,6 +176,9 @@ impl Server {
             active: Mutex::new(0),
             all_idle: Condvar::new(),
         });
+        if let Some(dir) = state.config.store_dir.clone() {
+            persist::hydrate(&dir, &state.cache, &state.registry);
+        }
         Ok(Server { listener, state, started: Instant::now() })
     }
 
@@ -197,8 +226,7 @@ impl Server {
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    self.state.requests.fetch_add(1, Ordering::Relaxed);
-                    Metrics::global().incr("http.requests", 1);
+                    Metrics::global().incr("http.connections", 1);
                     let state = Arc::clone(&self.state);
                     {
                         let mut active =
@@ -260,6 +288,23 @@ impl Server {
         }
         let drain = self.state.pool.drain(self.state.config.drain_deadline);
         let uptime = self.started.elapsed();
+
+        // Flush the warm-start snapshot first so its gauges land in the
+        // metrics snapshot below. A failed flush degrades to no
+        // snapshot — the next boot is cold — never a failed drain.
+        let mut snapshot_path = None;
+        if let Some(dir) = &self.state.config.store_dir {
+            match persist::flush(dir, &self.state.cache, &self.state.registry) {
+                Ok(report) => snapshot_path = Some(report.path),
+                Err(e) => obs::warn(
+                    "store.flush_failed",
+                    &[
+                        ("dir", dir.display().to_string().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                ),
+            }
+        }
 
         // Flush artifacts: metrics snapshot + run manifest.
         let out_dir = &self.state.config.out_dir;
@@ -323,6 +368,7 @@ impl Server {
             uptime,
             manifest_path,
             metrics_path,
+            snapshot_path,
         })
     }
 }
@@ -330,40 +376,67 @@ impl Server {
 fn handle_connection(state: &Arc<AppState>, stream: TcpStream) {
     // Bound how long a slow or malicious client can hold the thread.
     let io_deadline = state.config.request_deadline;
-    stream.set_read_timeout(Some(io_deadline)).ok();
     stream.set_write_timeout(Some(io_deadline)).ok();
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    let request_start = Instant::now();
     let mut writer = stream;
-    let (class, response) = match http::read_request(&mut reader) {
-        Ok(request) => {
-            let cancel = CancelToken::with_budget(state.config.request_deadline);
-            routes::handle(state, &request, &cancel)
+    for served in 0..MAX_REQUESTS_PER_CONNECTION {
+        // The first request gets the full deadline; between keep-alive
+        // requests the idle window is short so a silent client does not
+        // pin the thread.
+        let read_deadline =
+            if served == 0 { io_deadline } else { KEEP_ALIVE_IDLE.min(io_deadline) };
+        writer.set_read_timeout(Some(read_deadline)).ok();
+        let request_start = Instant::now();
+        let (class, response, client_keep_alive) = match http::read_request(&mut reader) {
+            Ok(request) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                Metrics::global().incr("http.requests", 1);
+                let cancel = CancelToken::with_budget(state.config.request_deadline);
+                let (class, response) = routes::handle(state, &request, &cancel);
+                (class, response, request.keep_alive)
+            }
+            Err(HttpError::PayloadTooLarge) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                Metrics::global().incr("http.requests", 1);
+                ("malformed", routes::error_response(413, "request body too large"), false)
+            }
+            Err(HttpError::BadRequest(message)) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                Metrics::global().incr("http.requests", 1);
+                ("malformed", routes::error_response(400, &message), false)
+            }
+            // A keep-alive client hanging up between requests, or a
+            // socket error mid-read: nothing to say either way.
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+        };
+        let status_class = match response.status {
+            200..=299 => "http.responses.2xx",
+            400..=499 => "http.responses.4xx",
+            _ => "http.responses.5xx",
+        };
+        Metrics::global().incr(status_class, 1);
+        Metrics::global().observe("http.request_s", request_start.elapsed().as_secs_f64());
+        {
+            let mut stats = state.route_stats.lock().unwrap_or_else(|p| p.into_inner());
+            let stat = stats.entry(class).or_default();
+            stat.requests += 1;
+            if response.status >= 400 {
+                stat.errors += 1;
+            }
+            stat.wall += request_start.elapsed();
         }
-        Err(HttpError::PayloadTooLarge) => {
-            ("malformed", routes::error_response(413, "request body too large"))
+        // Advertise keep-alive only when the server will actually read
+        // another request: the client asked, the per-connection budget
+        // has room, and no drain is underway.
+        let keep_alive = client_keep_alive
+            && served + 1 < MAX_REQUESTS_PER_CONNECTION
+            && !state.shutdown.is_cancelled();
+        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+            return;
         }
-        Err(HttpError::BadRequest(message)) => ("malformed", routes::error_response(400, &message)),
-        Err(HttpError::Io(_)) => return, // client went away; nothing to say
-    };
-    let status_class = match response.status {
-        200..=299 => "http.responses.2xx",
-        400..=499 => "http.responses.4xx",
-        _ => "http.responses.5xx",
-    };
-    Metrics::global().incr(status_class, 1);
-    Metrics::global().observe("http.request_s", request_start.elapsed().as_secs_f64());
-    {
-        let mut stats = state.route_stats.lock().unwrap_or_else(|p| p.into_inner());
-        let stat = stats.entry(class).or_default();
-        stat.requests += 1;
-        if response.status >= 400 {
-            stat.errors += 1;
-        }
-        stat.wall += request_start.elapsed();
+        Metrics::global().incr("http.keepalive_reuses", 1);
     }
-    let _ = response.write_to(&mut writer);
 }

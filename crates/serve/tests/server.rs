@@ -200,6 +200,105 @@ fn warm_queries_hit_the_cache_and_are_byte_identical_across_connections() {
     std::fs::remove_dir_all(out_dir).ok();
 }
 
+/// Reads exactly one Content-Length-framed response from a stream that
+/// stays open (keep-alive), returning (status, head, body).
+fn read_framed_response(reader: &mut std::io::BufReader<TcpStream>) -> (u16, String, String) {
+    use std::io::BufRead;
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read header line");
+        if line == "\r\n" || line.is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response head: {head:?}"));
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Content-Length header");
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("read body");
+    (status, head, String::from_utf8(body).expect("utf8 body"))
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let _guard = lock();
+    let srv = TestServer::boot("keepalive", false);
+
+    let stream = TcpStream::connect(srv.addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = std::io::BufReader::new(stream);
+
+    // Three requests down one socket; each response must advertise
+    // reuse and arrive on the same connection.
+    let paths = ["/healthz", "/graphs/Rice-grad/mixing?eps=0.25", "/healthz"];
+    for path in paths {
+        write!(writer, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n")
+            .expect("send");
+        let (status, head, body) = read_framed_response(&mut reader);
+        assert_eq!(status, 200, "{path} -> {body}");
+        assert!(head.contains("Connection: keep-alive"), "{path} must keep the socket: {head}");
+        assert!(json::is_valid(&body), "{path} body invalid: {body}");
+    }
+
+    // A request without the opt-in closes the connection after the
+    // response, exactly like the one-shot clients elsewhere expect.
+    write!(writer, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    let (status, head, _) = read_framed_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("server closes");
+    assert!(rest.is_empty(), "no bytes after the final response");
+
+    let (summary, out_dir) = srv.stop();
+    assert!(summary.requests >= 4, "each pipelined request counts: {}", summary.requests);
+    std::fs::remove_dir_all(out_dir).ok();
+}
+
+#[test]
+fn evict_resets_the_resident_byte_gauges() {
+    let _guard = lock();
+    let srv = TestServer::boot("gauges", false);
+    let addr = srv.addr;
+
+    let (status, _, body) = request(addr, "GET", "/graphs/Rice-grad/mixing?eps=0.25");
+    assert_eq!(status, 200, "{body}");
+    let metrics = socnet_runner::Metrics::global();
+    let registry_gauge = metrics.gauge("registry.resident_bytes").unwrap_or(0.0);
+    assert_eq!(registry_gauge, srv.state.registry.resident_bytes() as f64);
+    assert!(registry_gauge > 0.0, "a resident graph must be visible in the gauge");
+    assert!(metrics.gauge("cache.resident_bytes").unwrap_or(0.0) > 0.0);
+
+    // Evicting the graph (and its cached properties) must leave the
+    // gauges telling the truth immediately — a metrics scrape right
+    // after the evict may not report the freed bytes as still resident.
+    let (status, _, body) = request(addr, "POST", "/graphs/Rice-grad/evict");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        metrics.gauge("registry.resident_bytes").unwrap_or(f64::NAN),
+        0.0,
+        "registry gauge must drop with the eviction"
+    );
+    assert_eq!(
+        metrics.gauge("cache.resident_bytes").unwrap_or(f64::NAN),
+        srv.state.cache.stats().resident_bytes as f64,
+        "cache gauge must match the cache's own accounting"
+    );
+
+    let (_, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+}
+
 #[test]
 fn injected_panic_poisons_only_its_entry_and_the_server_keeps_answering() {
     let _guard = lock();

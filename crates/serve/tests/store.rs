@@ -1,0 +1,236 @@
+//! Warm-start integration tests: a real server draining to a real
+//! `socnet-store` snapshot, a real restart hydrating it.
+//!
+//! The acceptance story for the store subsystem is end-to-end: stop a
+//! server, start a new process-equivalent over the same store
+//! directory, and the first repeat query must come back `X-Cache:
+//! warm-disk`, byte-identical, with no graph load and no recompute.
+//! Damage the snapshot in any way — truncate it, flip a bit, stamp it
+//! with another build's git rev — and the server must quarantine the
+//! file and boot cold, never panic.
+//!
+//! Tests serialize on a process-wide lock for the same reason
+//! `tests/server.rs` does: the SIGTERM flag is a process-wide atomic.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use socnet_serve::persist::SNAPSHOT_NAME;
+use socnet_serve::{AppState, ServeSummary, Server, ServerConfig};
+use socnet_store::{read_snapshot, write_snapshot, Snapshot, SnapshotMeta, StoreDir};
+
+/// Serializes the tests (see module docs).
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    shutdown: socnet_runner::CancelToken,
+    thread: std::thread::JoinHandle<std::io::Result<ServeSummary>>,
+    out_dir: PathBuf,
+}
+
+impl TestServer {
+    /// Boots a server wired to `store_dir`. Each boot gets a fresh
+    /// artifact directory; the store directory is the thing that
+    /// persists across "restarts".
+    fn boot(tag: &str, store_dir: &Path) -> TestServer {
+        let out_dir = std::env::temp_dir()
+            .join(format!("socnet-store-it-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&out_dir).ok();
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            cache_bytes: 16 * 1024 * 1024,
+            default_scale: 0.05,
+            default_seed: 42,
+            out_dir: out_dir.clone(),
+            store_dir: Some(store_dir.to_path_buf()),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(config).expect("bind loopback");
+        let addr = server.local_addr();
+        let state = server.state();
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.serve());
+        TestServer { addr, state, shutdown, thread, out_dir }
+    }
+
+    fn stop(self) -> (ServeSummary, PathBuf) {
+        self.shutdown.cancel();
+        let summary = self.thread.join().expect("server thread").expect("drain");
+        (summary, self.out_dir)
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {raw:?}"));
+    let (head, body) = match raw.find("\r\n\r\n") {
+        Some(i) => (raw[..i].to_string(), raw[i + 4..].to_string()),
+        None => (raw, String::new()),
+    };
+    (status, head, body)
+}
+
+/// A per-test store directory, wiped before use.
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("socnet-store-dir-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn snapshot_path(dir: &Path) -> PathBuf {
+    StoreDir::new(dir).snapshot_path(SNAPSHOT_NAME)
+}
+
+const MIXING: &str = "/graphs/Rice-grad/mixing?eps=0.25";
+const CORENESS: &str = "/graphs/Rice-grad/coreness/0";
+
+/// Runs one server generation over `dir`, queries the canonical routes,
+/// and drains. Returns the bodies it served and the drain summary.
+fn serve_one_generation(dir: &Path) -> (String, String, ServeSummary) {
+    let srv = TestServer::boot("gen", dir);
+    let (status, _, mixing_body) = request(srv.addr, "GET", MIXING);
+    assert_eq!(status, 200, "{mixing_body}");
+    let (status, _, coreness_body) = request(srv.addr, "GET", CORENESS);
+    assert_eq!(status, 200, "{coreness_body}");
+    let (summary, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+    (mixing_body, coreness_body, summary)
+}
+
+#[test]
+fn drain_restart_serves_first_queries_warm_and_byte_identical() {
+    let _guard = lock();
+    let dir = store_dir("roundtrip");
+
+    let (cold_mixing, cold_coreness, summary) = serve_one_generation(&dir);
+    let snap = summary.snapshot_path.expect("drain must flush a snapshot");
+    assert!(snap.exists(), "snapshot file written at {}", snap.display());
+    assert_eq!(snap, snapshot_path(&dir));
+
+    // "Restart": a new server over the same store directory.
+    let srv = TestServer::boot("roundtrip2", &dir);
+    assert!(srv.state.registry.is_empty(), "hydration must not fake residency");
+    assert!(
+        !srv.state.registry.remembered().is_empty(),
+        "hydration remembers what the last process was serving"
+    );
+
+    // First queries: warm from disk, byte-identical, zero recompute.
+    let (status, head, warm_mixing) = request(srv.addr, "GET", MIXING);
+    assert_eq!(status, 200, "{warm_mixing}");
+    assert!(head.contains("X-Cache: warm-disk"), "first restarted query must be warm: {head}");
+    assert_eq!(warm_mixing, cold_mixing, "warm body must be byte-identical");
+
+    let (status, head, warm_coreness) = request(srv.addr, "GET", CORENESS);
+    assert_eq!(status, 200, "{warm_coreness}");
+    assert!(head.contains("X-Cache: warm-disk"), "{head}");
+    assert_eq!(warm_coreness, cold_coreness);
+
+    let stats = srv.state.cache.stats();
+    assert_eq!(stats.misses, 0, "warm queries must not recompute");
+    assert!(stats.hits >= 2, "warm hits must count as cache hits, saw {}", stats.hits);
+    assert!(srv.state.registry.is_empty(), "warm answers must not load graphs");
+
+    // The second generation re-exports on drain: the snapshot survives
+    // another cycle and still parses.
+    let (summary, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+    let snap = summary.snapshot_path.expect("second drain flushes too");
+    let reread = read_snapshot(&snap).expect("re-exported snapshot parses");
+    assert!(
+        reread.records.iter().filter(|r| r.kind == "body").count() >= 2,
+        "re-export keeps the hydrated bodies"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Boots over a damaged store and asserts the standard recovery story:
+/// quarantined live file, cold first query, server fully functional.
+fn assert_quarantined_cold_boot(dir: &Path) {
+    let live = snapshot_path(dir);
+    let quarantined = live.with_file_name(format!(
+        "{}.quarantined",
+        live.file_name().unwrap().to_string_lossy()
+    ));
+
+    let srv = TestServer::boot("quarantine", dir);
+    assert!(!live.exists(), "damaged snapshot must be moved out of the live path");
+    assert!(quarantined.exists(), "damaged snapshot must be preserved for forensics");
+    assert!(srv.state.registry.remembered().is_empty(), "nothing hydrates from damage");
+
+    let (status, head, body) = request(srv.addr, "GET", MIXING);
+    assert_eq!(status, 200, "server must answer cold after quarantine: {body}");
+    assert!(head.contains("X-Cache: miss"), "first query after quarantine is cold: {head}");
+
+    let (_, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+}
+
+#[test]
+fn truncated_snapshot_is_quarantined_and_the_server_boots_cold() {
+    let _guard = lock();
+    let dir = store_dir("truncated");
+    let (_, _, summary) = serve_one_generation(&dir);
+    let snap = summary.snapshot_path.expect("snapshot flushed");
+
+    let bytes = std::fs::read(&snap).expect("read snapshot");
+    assert!(bytes.len() > 64);
+    std::fs::write(&snap, &bytes[..bytes.len() - 48]).expect("truncate");
+
+    assert_quarantined_cold_boot(&dir);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn bit_flipped_snapshot_is_quarantined_and_the_server_boots_cold() {
+    let _guard = lock();
+    let dir = store_dir("bitflip");
+    let (_, _, summary) = serve_one_generation(&dir);
+    let snap = summary.snapshot_path.expect("snapshot flushed");
+
+    let mut bytes = std::fs::read(&snap).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).expect("corrupt");
+
+    assert_quarantined_cold_boot(&dir);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn snapshot_from_another_git_rev_is_quarantined_and_the_server_boots_cold() {
+    let _guard = lock();
+    let dir = store_dir("revmismatch");
+
+    // A structurally perfect snapshot stamped by "someone else's build":
+    // checksums pass, the manifest rev does not.
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let alien = Snapshot {
+        meta: SnapshotMeta::new("someone-elses-rev", "00000000"),
+        records: Vec::new(),
+    };
+    write_snapshot(&snapshot_path(&dir), &alien).expect("write alien snapshot");
+
+    assert_quarantined_cold_boot(&dir);
+    std::fs::remove_dir_all(dir).ok();
+}

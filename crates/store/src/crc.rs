@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3 polynomial), hand-rolled so the store stays
+//! dependency-free.
+//!
+//! The table is built once at first use from the reflected polynomial
+//! `0xEDB88320` — the same parameterisation as zlib's `crc32()`, so the
+//! well-known test vectors apply and an operator can cross-check a
+//! record's checksum with any standard tool.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// The CRC-32 checksum of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// // The classic zlib check value.
+/// assert_eq!(socnet_store::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let clean = b"spectrum|Rice-grad@0.05#42".to_vec();
+        let reference = crc32(&clean);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut flipped = clean.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {byte}:{bit} went undetected");
+            }
+        }
+    }
+}

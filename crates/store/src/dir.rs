@@ -1,0 +1,305 @@
+//! A directory of snapshots: inventory, verification, garbage
+//! collection.
+//!
+//! The serve stack keeps one live snapshot per store directory, but
+//! quarantined predecessors accumulate alongside it and operators point
+//! several servers at sibling directories — so the maintenance surface
+//! is directory-shaped: list what is there (and whether it still
+//! verifies), then prune by age and byte budget.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+use crate::snapshot::{read_snapshot, LoadError, SnapshotMeta, QUARANTINE_SUFFIX};
+
+/// File extension of live snapshots.
+pub const SNAPSHOT_EXT: &str = "snap";
+
+/// How one file in the store stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotStatus {
+    /// Parses cleanly, checksums hold.
+    Ok,
+    /// Set aside by a previous boot; kept only for post-mortems.
+    Quarantined,
+    /// A live snapshot that no longer verifies.
+    Corrupt(String),
+}
+
+/// One row of [`StoreDir::ls`].
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    /// The file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Verification outcome.
+    pub status: SnapshotStatus,
+    /// The manifest, when the file verified.
+    pub meta: Option<SnapshotMeta>,
+    /// Records in the snapshot, when the file verified.
+    pub records: usize,
+    /// Time since last modification, when the filesystem reports one.
+    pub age: Option<Duration>,
+}
+
+/// What [`StoreDir::gc`] may remove.
+#[derive(Debug, Clone, Default)]
+pub struct GcPolicy {
+    /// Remove files older than this.
+    pub max_age: Option<Duration>,
+    /// After age pruning, remove oldest-first until the directory's
+    /// total is at or under this many bytes.
+    pub byte_budget: Option<u64>,
+    /// Remove quarantined files regardless of age or budget.
+    pub drop_quarantined: bool,
+}
+
+/// What [`StoreDir::gc`] did.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// Files removed, in removal order.
+    pub removed: Vec<PathBuf>,
+    /// Bytes freed.
+    pub reclaimed_bytes: u64,
+    /// Files left in the store.
+    pub kept: usize,
+}
+
+/// A directory holding `*.snap` snapshots and their `.quarantined`
+/// remains.
+#[derive(Debug, Clone)]
+pub struct StoreDir {
+    root: PathBuf,
+}
+
+impl StoreDir {
+    /// A store rooted at `root` (need not exist yet).
+    pub fn new(root: &Path) -> StoreDir {
+        StoreDir { root: root.to_path_buf() }
+    }
+
+    /// The directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The conventional path of a named snapshot: `<root>/<name>.snap`.
+    pub fn snapshot_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.{SNAPSHOT_EXT}"))
+    }
+
+    fn is_store_file(path: &Path) -> bool {
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
+        name.ends_with(&format!(".{SNAPSHOT_EXT}"))
+            || name.ends_with(&format!(".{SNAPSHOT_EXT}.{QUARANTINE_SUFFIX}"))
+    }
+
+    /// Inventories the store: every snapshot and quarantined file, with
+    /// verification status, sorted by file name. A missing directory is
+    /// an empty store, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from listing or statting files (unreadable
+    /// *contents* are reported per-file as [`SnapshotStatus::Corrupt`]).
+    pub fn ls(&self) -> io::Result<Vec<SnapshotInfo>> {
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut rows = Vec::new();
+        for entry in entries {
+            let path = entry?.path();
+            if !path.is_file() || !Self::is_store_file(&path) {
+                continue;
+            }
+            let stat = std::fs::metadata(&path)?;
+            let age = stat.modified().ok().and_then(|m| SystemTime::now().duration_since(m).ok());
+            let quarantined =
+                path.to_string_lossy().ends_with(&format!(".{QUARANTINE_SUFFIX}"));
+            let (status, meta, records) = if quarantined {
+                (SnapshotStatus::Quarantined, None, 0)
+            } else {
+                match read_snapshot(&path) {
+                    Ok(snapshot) => {
+                        (SnapshotStatus::Ok, Some(snapshot.meta), snapshot.records.len())
+                    }
+                    Err(LoadError::Missing) => continue, // raced a GC
+                    Err(e) => (SnapshotStatus::Corrupt(e.to_string()), None, 0),
+                }
+            };
+            rows.push(SnapshotInfo { path, bytes: stat.len(), status, meta, records, age });
+        }
+        rows.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(rows)
+    }
+
+    /// Re-reads and re-checksums every live snapshot. Returns the
+    /// inventory plus how many live snapshots failed verification.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StoreDir::ls`].
+    pub fn verify(&self) -> io::Result<(Vec<SnapshotInfo>, usize)> {
+        let rows = self.ls()?;
+        let corrupt =
+            rows.iter().filter(|r| matches!(r.status, SnapshotStatus::Corrupt(_))).count();
+        Ok((rows, corrupt))
+    }
+
+    /// Prunes the store: quarantined files (when `drop_quarantined`),
+    /// then anything past `max_age`, then oldest-first until the total
+    /// fits `byte_budget`. Files with no readable mtime are treated as
+    /// age zero (kept by age, last in eviction order).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from listing or deleting files.
+    pub fn gc(&self, policy: &GcPolicy) -> io::Result<GcReport> {
+        let rows = self.ls()?;
+        let mut report = GcReport::default();
+        let mut doomed: Vec<&SnapshotInfo> = Vec::new();
+        for row in &rows {
+            let expired = matches!((policy.max_age, row.age), (Some(max), Some(age)) if age > max);
+            if (policy.drop_quarantined && row.status == SnapshotStatus::Quarantined) || expired {
+                doomed.push(row);
+            }
+        }
+        if let Some(budget) = policy.byte_budget {
+            let mut survivors: Vec<&SnapshotInfo> = rows
+                .iter()
+                .filter(|r| !doomed.iter().any(|d| d.path == r.path))
+                .collect();
+            // Oldest first; unknown ages sort as freshest.
+            survivors.sort_by_key(|r| std::cmp::Reverse(r.age.unwrap_or(Duration::ZERO)));
+            let mut total: u64 = survivors.iter().map(|r| r.bytes).sum();
+            for row in survivors {
+                if total <= budget {
+                    break;
+                }
+                total -= row.bytes;
+                doomed.push(row);
+            }
+        }
+        for row in &doomed {
+            std::fs::remove_file(&row.path)?;
+            report.reclaimed_bytes += row.bytes;
+            report.removed.push(row.path.clone());
+        }
+        report.kept = rows.len() - doomed.len();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{write_snapshot, Record, Snapshot, SnapshotMeta};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("socnet-store-dir-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn put(store: &StoreDir, name: &str, records: usize) -> PathBuf {
+        let snapshot = Snapshot {
+            meta: SnapshotMeta::new("rev", "hash"),
+            records: (0..records)
+                .map(|i| Record::new("body", &[&format!("k{i}")], b"payload"))
+                .collect(),
+        };
+        let path = store.snapshot_path(name);
+        write_snapshot(&path, &snapshot).expect("write");
+        path
+    }
+
+    #[test]
+    fn ls_reports_ok_corrupt_and_quarantined() {
+        let root = scratch("ls");
+        let store = StoreDir::new(&root);
+        assert!(StoreDir::new(&root.join("missing")).ls().expect("empty").is_empty());
+
+        put(&store, "good", 2);
+        std::fs::write(store.snapshot_path("bad"), b"not a snapshot").expect("write");
+        std::fs::write(root.join("old.snap.quarantined"), b"junk").expect("write");
+        std::fs::write(root.join("ignored.txt"), b"not ours").expect("write");
+
+        let rows = store.ls().expect("ls");
+        assert_eq!(rows.len(), 3, "ignored.txt must not be listed: {rows:?}");
+        let by_name = |n: &str| {
+            rows.iter().find(|r| r.path.file_name().unwrap().to_string_lossy().starts_with(n))
+        };
+        let good = by_name("good").expect("good row");
+        assert_eq!(good.status, SnapshotStatus::Ok);
+        assert_eq!(good.records, 2);
+        assert_eq!(good.meta.as_ref().expect("meta").git_rev, "rev");
+        assert!(matches!(by_name("bad").expect("bad row").status, SnapshotStatus::Corrupt(_)));
+        assert_eq!(by_name("old").expect("old row").status, SnapshotStatus::Quarantined);
+
+        let (_, corrupt) = store.verify().expect("verify");
+        assert_eq!(corrupt, 1, "exactly the bad live snapshot fails verification");
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn gc_drops_quarantined_and_enforces_byte_budget() {
+        let root = scratch("gc");
+        let store = StoreDir::new(&root);
+        put(&store, "a", 1);
+        put(&store, "b", 50);
+        std::fs::write(root.join("dead.snap.quarantined"), b"junk").expect("write");
+
+        // Quarantine-only pass: live snapshots untouched.
+        let report = store
+            .gc(&GcPolicy { drop_quarantined: true, ..GcPolicy::default() })
+            .expect("gc");
+        assert_eq!(report.removed.len(), 1);
+        assert!(report.removed[0].to_string_lossy().contains("dead"));
+        assert_eq!(report.kept, 2);
+        assert!(report.reclaimed_bytes >= 4);
+
+        // Byte budget smaller than both files: at least one must go,
+        // and the survivor set must fit.
+        let total: u64 = store.ls().expect("ls").iter().map(|r| r.bytes).sum();
+        let budget = total - 1;
+        let report =
+            store.gc(&GcPolicy { byte_budget: Some(budget), ..GcPolicy::default() }).expect("gc");
+        assert!(!report.removed.is_empty());
+        let remaining: u64 = store.ls().expect("ls").iter().map(|r| r.bytes).sum();
+        assert!(remaining <= budget, "store still over budget: {remaining} > {budget}");
+
+        // Budget 0 clears the store.
+        store.gc(&GcPolicy { byte_budget: Some(0), ..GcPolicy::default() }).expect("gc");
+        assert!(store.ls().expect("ls").is_empty());
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn gc_by_age_removes_only_old_files() {
+        let root = scratch("age");
+        let store = StoreDir::new(&root);
+        put(&store, "fresh", 1);
+        // A zero max-age dooms everything with a measurable age; a huge
+        // one keeps everything. (Filesystem mtimes are too coarse to
+        // fake "old" portably, so assert both poles.)
+        let keep = store
+            .gc(&GcPolicy { max_age: Some(Duration::from_secs(3600)), ..GcPolicy::default() })
+            .expect("gc");
+        assert!(keep.removed.is_empty());
+        assert_eq!(keep.kept, 1);
+        std::thread::sleep(Duration::from_millis(20));
+        let drop = store
+            .gc(&GcPolicy { max_age: Some(Duration::ZERO), ..GcPolicy::default() })
+            .expect("gc");
+        assert_eq!(drop.removed.len(), 1);
+        assert!(store.ls().expect("ls").is_empty());
+        std::fs::remove_dir_all(root).ok();
+    }
+}

@@ -1,0 +1,53 @@
+//! `socnet-store` — a versioned, checksummed on-disk snapshot store.
+//!
+//! The serve stack's property cache holds results that are expensive to
+//! compute but fully deterministic for a fixed graph + seed — exactly
+//! the shape worth persisting. This crate is the persistence layer:
+//! it knows nothing about graphs or HTTP, only about durably writing
+//! and suspiciously reading *snapshots* — a manifest (the invalidation
+//! key: git revision + dataset-registry hash) plus framed records, each
+//! guarded by a CRC-32.
+//!
+//! Design rules:
+//!
+//! - **Atomic writes** — snapshots go through the runner's
+//!   tmp + fsync + rename path, so a crash mid-flush leaves the old
+//!   snapshot or the new one, never a hybrid.
+//! - **Distrust on read** — every frame is length-delimited and
+//!   checksummed; the manifest and the trailing `END` line both declare
+//!   the record count. Truncations, bit flips, and foreign files all
+//!   surface as typed [`LoadError`]s, never a panic.
+//! - **Quarantine, don't delete** — a bad snapshot is renamed to
+//!   `<name>.quarantined` so the next boot is cleanly cold and the bad
+//!   bytes stay available for a post-mortem. [`StoreDir::gc`] reaps
+//!   them by age and byte budget.
+//!
+//! ```
+//! use socnet_store::{Record, Snapshot, SnapshotMeta, StoreDir};
+//!
+//! let dir = std::env::temp_dir().join("socnet-store-doc");
+//! let store = StoreDir::new(&dir);
+//! let snapshot = Snapshot {
+//!     meta: SnapshotMeta::new("abc1234", "0badc0de"),
+//!     records: vec![Record::new("body", &["spectrum|Rice-grad@0.05#42"], b"{}")],
+//! };
+//! let path = store.snapshot_path("serve");
+//! socnet_store::write_snapshot(&path, &snapshot).unwrap();
+//! let back = socnet_store::read_snapshot(&path).unwrap();
+//! assert_eq!(back.records.len(), 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc;
+mod dir;
+mod snapshot;
+
+pub use crc::crc32;
+pub use dir::{GcPolicy, GcReport, SnapshotInfo, SnapshotStatus, StoreDir, SNAPSHOT_EXT};
+pub use snapshot::{
+    parse, quarantine, read_snapshot, read_snapshot_expecting, render, write_snapshot, Expected,
+    LoadError, Record, Snapshot, SnapshotMeta, MAGIC, QUARANTINE_SUFFIX,
+};

@@ -80,6 +80,7 @@ add_extern rand "$OUT/librand.rlib"
 # Workspace crates in dependency order: name -> lib.rs path.
 CRATES=(
     "socnet_runner crates/runner/src/lib.rs"
+    "socnet_store crates/store/src/lib.rs"
     "socnet_core crates/core/src/lib.rs"
     "socnet_gen crates/gen/src/lib.rs"
     "socnet_kcore crates/kcore/src/lib.rs"
@@ -118,6 +119,7 @@ for t in tests/*.rs; do
     run_tests "it_$(basename "$t" .rs)" "$t"
 done
 run_tests it_serve_server crates/serve/tests/server.rs
+run_tests it_serve_store crates/serve/tests/store.rs
 run_tests it_bench_fault_tolerance crates/bench/tests/fault_tolerance.rs
 run_tests it_bench_determinism crates/bench/tests/determinism.rs
 run_tests it_bench_observability crates/bench/tests/observability.rs

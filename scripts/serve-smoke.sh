@@ -6,6 +6,12 @@
 # SIGTERM and requires a clean graceful drain — exit 0 plus the
 # run.json manifest and metrics snapshot on disk.
 #
+# The drain also flushes a warm-start snapshot to <out>/store, so the
+# script then restarts the server over the same store and requires the
+# first /mixing query to be served from it: HTTP 200, an
+# `X-Cache: warm-disk` header, and a body byte-identical to the one the
+# pre-restart process answered.
+#
 # Environment knobs:
 #   BIN_DIR  directory holding the built socnet CLI
 #            (default target/release; offline builds name the binary
@@ -97,6 +103,10 @@ check "GET expansion" 200 \
 check "POST admit" 200 \
     "$(fetch POST '/graphs/Rice-grad/gatekeeper/admit?controller=0&sybils=0&distributors=5&walk=5' admit.json)"
 check "POST evict" 200 "$(fetch POST /graphs/Rice-grad/evict evict.json)"
+# Re-ask after the evict so the drain snapshot has a mixing body to
+# persist; this response is the warm-restart reference below.
+check "GET mixing (post-evict)" 200 \
+    "$(fetch GET '/graphs/Rice-grad/mixing?eps=0.25' mixing-reference.json)"
 
 echo "== error mapping =="
 check "unknown dataset -> 404" 404 \
@@ -144,6 +154,70 @@ for artifact in run.json serve_metrics.json; do
         failures=$((failures + 1))
     fi
 done
+if [ -f "$OUT_DIR/store/serve.snap" ]; then
+    echo "ok    drain flushed $OUT_DIR/store/serve.snap"
+else
+    echo "FAIL  drain did not flush a warm-start snapshot" >&2
+    failures=$((failures + 1))
+fi
+
+echo "== warm restart =="
+mkdir -p "$OUT_DIR/restart"
+"$CLI" serve --addr 127.0.0.1:0 --threads 2 --scale "$SCALE" \
+    --out "$OUT_DIR/restart" --store-dir "$OUT_DIR/store" \
+    --log-format json --log-file "$OUT_DIR/restart/events.jsonl" \
+    >"$OUT_DIR/restart/stdout.txt" 2>"$OUT_DIR/restart/stderr.txt" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL restarted server exited before accepting" >&2
+        cat "$OUT_DIR/restart/stderr.txt" >&2 || true
+        exit 1
+    fi
+    if [ -f "$OUT_DIR/restart/events.jsonl" ]; then
+        ADDR=$(sed -n 's/.*serve\.start.*"addr":"\([0-9.:]*\)".*/\1/p' \
+            "$OUT_DIR/restart/events.jsonl" | head -1)
+        [ -n "$ADDR" ] && break
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL restarted server did not announce its address within 10s" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+fi
+echo "restarted server up at $ADDR (pid $SERVER_PID)"
+
+# The very first query must be answered from the hydrated snapshot.
+warm_status=$(curl -s -o "$OUT_DIR/restart/mixing-warm.json" \
+    -D "$OUT_DIR/restart/mixing-warm-headers.txt" -w '%{http_code}' \
+    --max-time 60 "http://$ADDR/graphs/Rice-grad/mixing?eps=0.25")
+check "GET mixing (restarted)" 200 "$warm_status"
+if grep -qi '^X-Cache: warm-disk' "$OUT_DIR/restart/mixing-warm-headers.txt"; then
+    echo "ok    first restarted query came from the warm-start snapshot"
+else
+    echo "FAIL  first restarted query was not served warm:" >&2
+    cat "$OUT_DIR/restart/mixing-warm-headers.txt" >&2 || true
+    failures=$((failures + 1))
+fi
+if cmp -s "$OUT_DIR/mixing-reference.json" "$OUT_DIR/restart/mixing-warm.json"; then
+    echo "ok    warm body is byte-identical to the pre-restart body"
+else
+    echo "FAIL  warm body differs from the pre-restart body" >&2
+    failures=$((failures + 1))
+fi
+
+kill -TERM "$SERVER_PID"
+server_exit=0
+wait "$SERVER_PID" || server_exit=$?
+if [ "$server_exit" -ne 0 ]; then
+    echo "FAIL  restarted server exited $server_exit after SIGTERM" >&2
+    cat "$OUT_DIR/restart/stderr.txt" >&2 || true
+    failures=$((failures + 1))
+else
+    echo "ok    restarted SIGTERM -> clean exit 0"
+fi
 
 if [ "$failures" -ne 0 ]; then
     echo "serve smoke failed: $failures check(s) misbehaved" >&2

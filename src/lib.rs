@@ -62,6 +62,8 @@ pub use socnet_digraph as digraph;
 pub use socnet_dht as dht;
 /// Online property-query HTTP service (re-export of `socnet-serve`).
 pub use socnet_serve as serve;
+/// Versioned on-disk snapshot store for warm-start serving (re-export of `socnet-store`).
+pub use socnet_store as store;
 
 /// Workspace-wide convenience prelude.
 ///
