@@ -1,38 +1,49 @@
-//! `serveload` — closed-loop load generator for the `socnet-serve`
-//! property-query service.
+//! `serveload` — load generator for the `socnet-serve` property-query
+//! service, closed-loop and open-loop.
 //!
-//! Boots an in-process [`socnet_serve::Server`] on a free loopback port,
-//! warms the graph registry and property cache with one cold pass, then
-//! drives `--connections` concurrent closed-loop clients (each issuing
+//! **Closed loop** (`--mode closed`, the default): boots an in-process
+//! [`socnet_serve::Server`] on a free loopback port, warms the graph
+//! registry and property cache with one cold pass, then drives
+//! `--connections` concurrent closed-loop clients (each issuing
 //! `--requests` HTTP requests over fresh connections) through the
 //! experiment harness's panic-isolated side pool. Every client walks the
 //! same deterministic query schedule, so the run doubles as a
 //! consistency check: responses to identical property queries must be
 //! byte-identical regardless of which connection asked, when, or how
-//! many threads the server ran.
+//! many threads the server ran. After the measured phase the server
+//! drains — flushing a warm-start snapshot to `<out>/serve/store` — and
+//! a second server boots over the same store directory; its first
+//! property query must come back `X-Cache: warm-disk` byte-identical.
 //!
-//! After the measured phase the server drains — flushing a warm-start
-//! snapshot to `<out>/serve/store` — and a second server boots over the
-//! same store directory. Its first property query must come back
-//! `X-Cache: warm-disk` and byte-identical to the first boot's cold
-//! body, and its latency is reported next to the cold one: the number
-//! the snapshot store exists to shrink.
+//! **Open loop** (`--mode open`): requests are issued at a fixed
+//! arrival rate (`--rate`, for `--duration-secs`) regardless of how
+//! fast responses come back, and every latency is measured from the
+//! request's *scheduled* send time — the coordinated-omission-safe
+//! number a closed-loop harness hides. One unattacked baseline phase is
+//! followed by one phase under `--attack slowloris|idleflood|none`
+//! (`--attack-conns` hostile connections, default 256) while a prober
+//! asserts `/healthz` keeps answering. `--frontend event|threads`
+//! selects the server front end, so the same scenario demonstrates the
+//! thread-per-connection design's collapse and the event loop's
+//! survival; `survived` requires no request errors, no healthz
+//! failures, and an attacked p99 within 5× the unattacked baseline,
+//! and is asserted when the event-loop front end is under attack.
 //!
-//! Artifacts: `BENCH_serve.json` gains `p50_ms`/`p95_ms`/`p99_ms`
-//! latency quantiles, `throughput_rps`, the server cache's hit rate,
-//! and `cold_first_query_ms`/`warm_restart_first_query_ms` under the
-//! `extras` key; each server's graceful drain writes its `run.json`
-//! manifest and metrics snapshot under `<out>/serve/` and
-//! `<out>/serve-restart/`.
+//! Artifacts: `BENCH_serve.json` gains latency quantiles,
+//! `throughput_rps`, and cache stats under `extras` (closed mode), or
+//! `baseline_p99_ms`/`attack_p99_ms`/`survived` and friends (open
+//! mode); each server's graceful drain writes its `run.json` manifest
+//! and metrics snapshot under `<out>/serve/`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use socnet_bench::{Experiment, ExperimentArgs};
 use socnet_runner::{json, obs};
-use socnet_serve::{Server, ServerConfig};
+use socnet_serve::{Frontend, Server, ServerConfig};
 
 /// The dataset every query targets (small enough to load in well under
 /// a second at the default `--scale`).
@@ -64,9 +75,21 @@ fn http_request(
     method: &str,
     path: &str,
 ) -> std::io::Result<(u16, String, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    http_request_within(addr, method, path, Duration::from_secs(30))
+}
+
+/// [`http_request`] with an explicit connect/read/write deadline — the
+/// open-loop phases bound how long one request may be hung on an
+/// overloaded server.
+fn http_request_within(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    deadline: Duration,
+) -> std::io::Result<(u16, String, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, deadline)?;
+    stream.set_read_timeout(Some(deadline))?;
+    stream.set_write_timeout(Some(deadline))?;
     write!(stream, "{method} {path} HTTP/1.1\r\nHost: serveload\r\n\r\n")?;
     stream.flush()?;
     let mut raw = String::new();
@@ -114,8 +137,26 @@ fn extra_flag(name: &str, default: usize) -> usize {
     default
 }
 
+/// String-valued counterpart of [`extra_flag`].
+fn extra_str_flag(name: &str, default: &str) -> String {
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == name {
+            if let Some(v) = it.next() {
+                return v;
+            }
+        }
+    }
+    default.to_string()
+}
+
 fn main() {
     let args = ExperimentArgs::parse();
+    match extra_str_flag("--mode", "closed").as_str() {
+        "closed" => {}
+        "open" => return open_loop(&args),
+        other => panic!("--mode expects closed|open, got {other:?}"),
+    }
     let connections = extra_flag("--connections", 4).max(1);
     let requests = extra_flag("--requests", 25).max(1);
     let mut exp = Experiment::new("serve", &args);
@@ -319,4 +360,277 @@ fn main() {
     assert_eq!(errors, 0, "load run saw non-200 responses");
     assert!(warm_hit, "restarted server's first query must be served from the snapshot");
     assert!(warm_identical, "warm-restart body must be byte-identical to the cold body");
+}
+
+/// The hostile workload the attacked open-loop phase runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Attack {
+    /// No attack — the second phase is a control re-measurement.
+    None,
+    /// Connections that trickle header bytes forever without ever
+    /// completing a request head.
+    SlowLoris,
+    /// Connections that open and send nothing at all.
+    IdleFlood,
+}
+
+impl Attack {
+    fn label(self) -> &'static str {
+        match self {
+            Attack::None => "none",
+            Attack::SlowLoris => "slowloris",
+            Attack::IdleFlood => "idleflood",
+        }
+    }
+}
+
+/// What one open-loop phase measured.
+struct Phase {
+    /// Successful-request latencies in seconds, sorted ascending. Each
+    /// is measured from the request's *scheduled* send time, so queue
+    /// delay on an overloaded server counts (no coordinated omission).
+    latencies: Vec<f64>,
+    /// Requests that errored or answered non-200.
+    errors: u64,
+    total: u64,
+}
+
+/// Issues `rate` requests per second for `duration_secs`, each on its
+/// own thread at its scheduled instant against the warm schedule.
+fn open_phase(addr: SocketAddr, rate: usize, duration_secs: usize) -> Phase {
+    let total = rate * duration_secs;
+    let interval = Duration::from_secs_f64(1.0 / rate as f64);
+    let phase_start = Instant::now();
+    let (tx, rx) = mpsc::channel::<(u16, Duration)>();
+    let mut handles = Vec::with_capacity(total);
+    for i in 0..total {
+        let tx = tx.clone();
+        let scheduled = interval.mul_f64(i as f64);
+        let path = SCHEDULE[i % SCHEDULE.len()].path.replace("{d}", DATASET);
+        handles.push(std::thread::spawn(move || {
+            let target = phase_start + scheduled;
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+            let status = match http_request_within(addr, "GET", &path, Duration::from_secs(10)) {
+                Ok((status, _, _)) => status,
+                Err(_) => 0,
+            };
+            // Latency from the scheduled send, not the actual one.
+            let wall = phase_start.elapsed().saturating_sub(scheduled);
+            tx.send((status, wall)).ok();
+        }));
+    }
+    drop(tx);
+    let mut latencies = Vec::with_capacity(total);
+    let mut errors = 0u64;
+    for (status, wall) in rx {
+        if status == 200 {
+            latencies.push(wall.as_secs_f64());
+        } else {
+            errors += 1;
+        }
+    }
+    for handle in handles {
+        handle.join().expect("open-loop request thread");
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Phase { latencies, errors, total: total as u64 }
+}
+
+/// Maintains `conns` hostile connections until `stop` flips: slow-loris
+/// connections trickle one header byte per tick, idle-flood connections
+/// just sit there; either way a connection the server reaps (or that
+/// ages out) is replaced, so the pressure is sustained.
+fn run_attack(addr: SocketAddr, attack: Attack, conns: usize, stop: &AtomicBool) {
+    const TICK: Duration = Duration::from_millis(250);
+    const IDLE_RECYCLE: Duration = Duration::from_secs(3);
+    let mut sockets: Vec<Option<(TcpStream, Instant)>> = Vec::new();
+    sockets.resize_with(conns, || None);
+    while !stop.load(Ordering::Relaxed) {
+        // Stagger reconnects the way real attack tools do: the server
+        // reaps every connection of a wave at the same deadline, and
+        // re-establishing all of them in one tick would turn the attack
+        // into a self-inflicted connect storm on the client box.
+        let mut connects_left = (conns / 8).max(32);
+        for slot in &mut sockets {
+            match slot {
+                None => {
+                    if connects_left == 0 {
+                        continue;
+                    }
+                    connects_left -= 1;
+                    let Ok(mut stream) = TcpStream::connect_timeout(&addr, TICK) else {
+                        continue;
+                    };
+                    if attack == Attack::SlowLoris {
+                        // A plausible request head that never ends.
+                        if stream.write_all(b"GET /healthz HTTP/1.1\r\nX-Drip: ").is_err() {
+                            continue;
+                        }
+                    }
+                    *slot = Some((stream, Instant::now()));
+                }
+                Some((stream, born)) => {
+                    let dead = match attack {
+                        Attack::SlowLoris => stream.write_all(b"a").is_err(),
+                        Attack::IdleFlood => born.elapsed() >= IDLE_RECYCLE,
+                        Attack::None => false,
+                    };
+                    if dead {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+        std::thread::sleep(TICK);
+    }
+}
+
+/// The open-loop harness: warm server, unattacked baseline phase,
+/// attacked phase with a healthz prober, verdict.
+fn open_loop(args: &ExperimentArgs) {
+    let rate = extra_flag("--rate", 20).max(1);
+    let duration_secs = extra_flag("--duration-secs", 4).max(1);
+    let attack_conns = extra_flag("--attack-conns", 256).max(1);
+    let attack = match extra_str_flag("--attack", "none").as_str() {
+        "none" => Attack::None,
+        "slowloris" => Attack::SlowLoris,
+        "idleflood" => Attack::IdleFlood,
+        other => panic!("--attack expects none|slowloris|idleflood, got {other:?}"),
+    };
+    let frontend: Frontend = extra_str_flag("--frontend", "event")
+        .parse()
+        .unwrap_or_else(|e| panic!("--frontend: {e}"));
+    let mut exp = Experiment::new("serve", args);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: args.threads.max(1),
+        default_scale: args.scale.min(4.0),
+        default_seed: args.seed,
+        out_dir: args.out_dir.join("serve"),
+        store_dir: Some(args.out_dir.join("serve").join("store")),
+        frontend,
+        // Short deadlines keep the demonstration tight: hostile
+        // connections are reaped within the attacked phase, and the
+        // drain does not linger on attacker remnants.
+        header_deadline: Duration::from_secs(2),
+        drain_deadline: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config).expect("bind loopback server");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    // Warm every query class so both phases measure the steady state.
+    let (status, _, _) =
+        http_request(addr, "POST", &format!("/graphs/{DATASET}/load")).expect("load request");
+    assert_eq!(status, 200, "graph load failed");
+    for class in &SCHEDULE {
+        let path = class.path.replace("{d}", DATASET);
+        let (status, _, _) = http_request(addr, "GET", &path).expect("warm-up request");
+        assert_eq!(status, 200, "warm-up {path} failed");
+    }
+
+    obs::info(
+        "serveload.open_baseline",
+        &[("addr", addr.to_string().into()), ("rate", (rate as u64).into())],
+    );
+    let baseline = open_phase(addr, rate, duration_secs);
+
+    // Mount the attack, give it a beat to establish, then measure the
+    // same open-loop workload under fire while probing healthz.
+    let stop = Arc::new(AtomicBool::new(false));
+    let attack_handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_attack(addr, attack, attack_conns, &stop))
+    };
+    let healthz_failures = Arc::new(AtomicU64::new(0));
+    let probe_handle = {
+        let stop = Arc::clone(&stop);
+        let failures = Arc::clone(&healthz_failures);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match http_request_within(addr, "GET", "/healthz", Duration::from_secs(2)) {
+                    Ok((200, _, _)) => {}
+                    _ => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+    };
+    if attack != Attack::None {
+        std::thread::sleep(Duration::from_secs(1));
+    }
+    obs::info(
+        "serveload.open_attack",
+        &[("attack", attack.label().into()), ("conns", (attack_conns as u64).into())],
+    );
+    let attacked = open_phase(addr, rate, duration_secs);
+    stop.store(true, Ordering::Relaxed);
+    attack_handle.join().expect("attack thread");
+    probe_handle.join().expect("healthz prober");
+    let healthz_failures = healthz_failures.load(Ordering::Relaxed);
+
+    shutdown.cancel();
+    let summary = server_thread.join().expect("server thread").expect("graceful drain");
+
+    let baseline_p99 = percentile(&baseline.latencies, 0.99);
+    let attack_p99 = percentile(&attacked.latencies, 0.99);
+    // A floor keeps the 5× criterion meaningful when the warm baseline
+    // is microseconds: "within 5× of max(baseline, 2ms)".
+    let survived = attacked.errors == 0
+        && healthz_failures == 0
+        && attack_p99 <= 5.0 * baseline_p99.max(0.002);
+
+    exp.bench_extra("mode", "\"open\"".to_string());
+    exp.bench_extra("frontend", format!("\"{}\"", frontend.label()));
+    exp.bench_extra("attack", format!("\"{}\"", attack.label()));
+    exp.bench_extra("attack_conns", attack_conns.to_string());
+    exp.bench_extra("rate_rps", rate.to_string());
+    exp.bench_extra("duration_s", duration_secs.to_string());
+    exp.bench_extra("baseline_total", baseline.total.to_string());
+    exp.bench_extra("baseline_errors", baseline.errors.to_string());
+    exp.bench_extra("baseline_p50_ms", json::num(percentile(&baseline.latencies, 0.50) * 1e3, 3));
+    exp.bench_extra("baseline_p99_ms", json::num(baseline_p99 * 1e3, 3));
+    exp.bench_extra("attack_total", attacked.total.to_string());
+    exp.bench_extra("attack_errors", attacked.errors.to_string());
+    exp.bench_extra("attack_p50_ms", json::num(percentile(&attacked.latencies, 0.50) * 1e3, 3));
+    exp.bench_extra("attack_p99_ms", json::num(attack_p99 * 1e3, 3));
+    exp.bench_extra("healthz_failures", healthz_failures.to_string());
+    exp.bench_extra("survived", survived.to_string());
+    exp.bench_extra("server_requests", summary.requests.to_string());
+
+    println!(
+        "serveload open-loop [{} frontend, {} x{attack_conns}]: \
+         baseline p99 {:.2} ms ({}/{} ok), attacked p99 {:.2} ms ({}/{} ok), \
+         {healthz_failures} healthz failures -> survived={survived}",
+        frontend.label(),
+        attack.label(),
+        baseline_p99 * 1e3,
+        baseline.total - baseline.errors,
+        baseline.total,
+        attack_p99 * 1e3,
+        attacked.total - attacked.errors,
+        attacked.total,
+    );
+    exp.finish();
+    assert_eq!(baseline.errors, 0, "unattacked open-loop phase saw errors");
+    if frontend == Frontend::EventLoop && attack != Attack::None {
+        assert!(
+            survived,
+            "event-loop front end must survive {} x{attack_conns}: \
+             attacked p99 {:.2} ms vs baseline {:.2} ms, {healthz_failures} healthz failures, \
+             {} request errors",
+            attack.label(),
+            attack_p99 * 1e3,
+            baseline_p99 * 1e3,
+            attacked.errors,
+        );
+    }
 }

@@ -630,6 +630,10 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
         "--drain-deadline",
         "--store",
         "--store-dir",
+        "--frontend",
+        "--max-conns",
+        "--header-deadline",
+        "--shed-highwater",
     ])?;
     let mut config = socnet_serve::ServerConfig::default();
     if let Some(addr) = map.get("--addr") {
@@ -658,6 +662,19 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
         return Err(invalid("--drain-deadline", "must be a positive number of seconds"));
     }
     config.drain_deadline = Duration::from_secs_f64(drain);
+    if let Some(frontend) = map.get("--frontend") {
+        config.frontend = frontend.parse().map_err(|e: String| invalid("--frontend", e))?;
+    }
+    config.max_conns = map.get_parsed("--max-conns", config.max_conns)?;
+    if config.max_conns == 0 {
+        return Err(invalid("--max-conns", "must be at least 1"));
+    }
+    let header: f64 = map.get_parsed("--header-deadline", config.header_deadline.as_secs_f64())?;
+    if !(header.is_finite() && header > 0.0) {
+        return Err(invalid("--header-deadline", "must be a positive number of seconds"));
+    }
+    config.header_deadline = Duration::from_secs_f64(header);
+    config.shed_highwater = map.get_parsed("--shed-highwater", config.shed_highwater)?;
     // Persistence defaults on: snapshots live next to the run
     // artifacts so `--out` moves both. `--store off` opts out;
     // `--store-dir` relocates the snapshots independently.

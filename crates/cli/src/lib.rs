@@ -163,6 +163,8 @@ COMMANDS:
                [--addr HOST:PORT] [--threads N] [--cache-bytes B]
                [--scale F] [--seed S] [--out DIR] [--deadline SECS]
                [--drain-deadline SECS] [--store on|off] [--store-dir DIR]
+               [--frontend event|threads] [--max-conns N]
+               [--header-deadline SECS] [--shed-highwater N]
                SIGTERM drains gracefully and flushes a warm-start
                snapshot (default <out>/store); the next boot hydrates it
   store        inspect/maintain a warm-start snapshot store

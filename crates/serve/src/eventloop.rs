@@ -1,0 +1,594 @@
+//! The non-blocking event-loop front end.
+//!
+//! One thread multiplexes every connection through `poll(2)` (via
+//! [`crate::sys`]): non-blocking accept, per-connection state machines
+//! that parse requests incrementally from bounded buffers
+//! ([`http::try_parse`]), and compute handed to a dedicated
+//! panic-isolated handler [`Pool`] with responses written back through
+//! the loop. Connection count therefore decouples from thread count —
+//! the property the thread-per-connection front end lacks and the
+//! overload benchmarks measure.
+//!
+//! Per-connection state machine:
+//!
+//! ```text
+//!            accept                    complete request
+//!   (new) ──────────▶ Reading ────────────────────────────▶ InFlight
+//!             ▲          │  parse error / shed               │
+//!             │          └───────────────────▶ Writing ◀─────┘
+//!             │      keep-alive, budget left     │   response ready
+//!             └──────────────────────────────────┘
+//!                (anything else: close)
+//! ```
+//!
+//! Overload policy, in the order a hostile client meets it:
+//!
+//! - **Connection budget** — accepts past `max_conns` are answered
+//!   `503` + `Retry-After` (best effort) and closed immediately
+//!   (`http.shed_conns`).
+//! - **Header-read deadline** — a connection that has not delivered a
+//!   complete request head within `header_deadline` is reaped, whether
+//!   it sent nothing (`http.reaped_idle`) or trickled bytes slow-loris
+//!   style (`http.reaped_slowloris`). Bounded buffers reject oversized
+//!   heads/bodies with `431`/`413` before the deadline even matters.
+//! - **Admission control** — once the handler backlog (queued + running
+//!   request jobs) passes `shed_highwater`, parsed requests are shed
+//!   with `503` + `Retry-After` instead of queueing without bound
+//!   (`http.shed_requests`).
+//! - **Write-progress deadline** — a response write that makes no
+//!   progress for `header_deadline` marks a slow reader; the connection
+//!   is reaped (`http.reaped_slow_reader`).
+//!
+//! Draining (signal or shutdown handle): stop accepting, close every
+//! connection still reading (idle keep-alive and mid-header clients),
+//! let in-flight and mid-write connections finish until the drain
+//! deadline, then force-close the stragglers (`http.drain_killed`).
+//! The caller ([`crate::Server::serve`]) then runs the common drain:
+//! compute pool, store snapshot, artifacts.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use socnet_runner::{obs, CancelToken, Metrics, Pool};
+
+use crate::http::{self, HttpError, Parsed, Response};
+use crate::routes;
+use crate::server::{AppState, KEEP_ALIVE_IDLE, MAX_REQUESTS_PER_CONNECTION};
+use crate::signal;
+use crate::sys::{self, PollFd, WakePipe, POLLIN, POLLOUT};
+
+/// How much one readiness event reads per `read(2)` call.
+const READ_CHUNK: usize = 8 * 1024;
+/// Poll timeout backstop, so the loop notices a shutdown-handle cancel
+/// (which, unlike a signal, does not write the wake pipe) promptly.
+const POLL_TICK: Duration = Duration::from_millis(50);
+/// Grace on top of the request deadline before an in-flight connection
+/// whose handler never completed (e.g. a panicked job) is reaped.
+const INFLIGHT_GRACE: Duration = Duration::from_secs(2);
+
+/// Where a connection is in its request/response cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes under the header-read deadline.
+    Reading,
+    /// A complete request is on the handler pool; the loop ignores the
+    /// socket until the completion comes back (or the deadline reaps).
+    InFlight,
+    /// Flushing the response under the write-progress deadline.
+    Writing,
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Cached raw fd (stable for the stream's lifetime).
+    fd: i32,
+    /// Guards completions against slot reuse: a response for a reaped
+    /// connection must not reach whoever now owns the slot.
+    generation: u32,
+    state: ConnState,
+    /// Accumulated request bytes ([`http::try_parse`] bounds growth).
+    buf: Vec<u8>,
+    /// The serialized response being written.
+    out: Vec<u8>,
+    written: usize,
+    /// Requests served (keep-alive budget).
+    served: usize,
+    /// When the current state expires (meaning depends on `state`).
+    deadline: Instant,
+    keep_alive_after_write: bool,
+}
+
+/// A handler-pool job's result, routed back to the loop by token.
+struct Completion {
+    token: u64,
+    response: Response,
+    client_keep_alive: bool,
+}
+
+/// `(generation << 32) | slot`.
+fn token(slot: usize, generation: u32) -> u64 {
+    (u64::from(generation) << 32) | slot as u64
+}
+
+fn untoken(token: u64) -> (usize, u32) {
+    ((token & 0xFFFF_FFFF) as usize, (token >> 32) as u32)
+}
+
+/// Runs the readiness loop on the calling thread until shutdown, then
+/// drains the handler pool. The caller still runs the common drain.
+pub(crate) fn run(listener: &TcpListener, state: Arc<AppState>) -> std::io::Result<()> {
+    let wake = Arc::new(WakePipe::new()?);
+    // From here a delivered signal wakes poll(2) instantly.
+    signal::set_wake_fd(wake.write_fd());
+    let result = EventLoop::new(state, Arc::clone(&wake)).run(listener);
+    signal::clear_wake_fd();
+    result
+}
+
+struct EventLoop {
+    state: Arc<AppState>,
+    /// Request handlers run here — *not* on the compute pool: a handler
+    /// blocks inside the property cache waiting for compute-pool jobs,
+    /// so sharing one pool would deadlock it against itself.
+    handlers: Pool,
+    wake: Arc<WakePipe>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    /// Slab of connections; `free` recycles vacant slots.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    generation: u32,
+    open: usize,
+    /// The header-read / write-progress deadline (capped by the request
+    /// deadline so a misconfiguration cannot outlive it).
+    header_deadline: Duration,
+}
+
+impl EventLoop {
+    fn new(state: Arc<AppState>, wake: Arc<WakePipe>) -> EventLoop {
+        // Handlers spend their time blocked on compute, so a few more
+        // than the compute workers keeps the pipeline full without
+        // letting concurrent handler count grow with connections.
+        let handler_threads = (state.config.threads * 2).max(2);
+        let header_deadline = state.config.header_deadline.min(state.config.request_deadline);
+        EventLoop {
+            handlers: Pool::new(handler_threads),
+            wake,
+            completions: Arc::new(Mutex::new(Vec::new())),
+            conns: Vec::new(),
+            free: Vec::new(),
+            generation: 0,
+            open: 0,
+            header_deadline,
+            state,
+        }
+    }
+
+    fn run(mut self, listener: &TcpListener) -> std::io::Result<()> {
+        let drain_budget = self.state.config.drain_deadline;
+        let listener_fd = listener.as_raw_fd();
+        let mut draining: Option<Instant> = None;
+        loop {
+            if draining.is_none()
+                && (signal::triggered() || self.state.shutdown.is_cancelled())
+            {
+                // Cancel early so healthz reports draining and no new
+                // keep-alive is advertised while connections wind down.
+                self.state.shutdown.cancel();
+                let closed = self.close_all_reading();
+                draining = Some(Instant::now() + drain_budget);
+                obs::info(
+                    "serve.loop_drain",
+                    &[
+                        ("closed_reading", (closed as u64).into()),
+                        ("in_flight", (self.open as u64).into()),
+                    ],
+                );
+            }
+            if let Some(kill_at) = draining {
+                if self.open == 0 {
+                    break;
+                }
+                if Instant::now() >= kill_at {
+                    let killed = self.close_everything();
+                    Metrics::global().incr("http.drain_killed", killed as u64);
+                    break;
+                }
+            }
+
+            // Interest set: listener (unless draining), wake pipe, then
+            // one entry per connection that wants I/O. In-flight
+            // connections wait on their completion, not the socket.
+            let mut fds = Vec::with_capacity(self.open + 2);
+            fds.push(PollFd::new(if draining.is_none() { listener_fd } else { -1 }, POLLIN));
+            fds.push(PollFd::new(self.wake.read_fd(), POLLIN));
+            let mut slots = Vec::with_capacity(self.open);
+            for (slot, entry) in self.conns.iter().enumerate() {
+                if let Some(conn) = entry {
+                    let interest = match conn.state {
+                        ConnState::Reading => POLLIN,
+                        ConnState::Writing => POLLOUT,
+                        ConnState::InFlight => continue,
+                    };
+                    fds.push(PollFd::new(conn.fd, interest));
+                    slots.push(slot);
+                }
+            }
+
+            sys::poll(&mut fds, self.poll_timeout(draining))?;
+
+            if fds[1].has(POLLIN) {
+                self.wake.drain();
+            }
+            self.deliver_completions(draining.is_some());
+            for (i, &slot) in slots.iter().enumerate() {
+                let pfd = fds[2 + i];
+                if pfd.revents != 0 {
+                    self.on_ready(slot, pfd);
+                }
+            }
+            if draining.is_none() && fds[0].has(POLLIN) {
+                self.accept_burst(listener);
+            }
+            self.reap_expired();
+        }
+
+        // Whatever drain budget the connections did not use goes to the
+        // handler pool (queued jobs finish or are abandoned).
+        let remaining = match draining {
+            Some(kill_at) => kill_at.saturating_duration_since(Instant::now()),
+            None => drain_budget,
+        };
+        self.handlers.drain(remaining);
+        Ok(())
+    }
+
+    /// Sleep until the nearest deadline, capped at [`POLL_TICK`].
+    fn poll_timeout(&self, draining: Option<Instant>) -> i32 {
+        let now = Instant::now();
+        let mut next = draining;
+        for conn in self.conns.iter().flatten() {
+            next = Some(next.map_or(conn.deadline, |t| t.min(conn.deadline)));
+        }
+        let wait = next.map_or(POLL_TICK, |t| t.saturating_duration_since(now).min(POLL_TICK));
+        i32::try_from(wait.as_millis()).unwrap_or(i32::MAX)
+    }
+
+    fn accept_burst(&mut self, listener: &TcpListener) {
+        // Accept fairness: a reconnect storm (hundreds of pending
+        // connects after a mass reap) must not monopolize the loop, so
+        // each poll round admits a bounded batch and leaves the rest in
+        // the backlog — level-triggered poll re-reports the listener
+        // readable next round, after in-flight work has had its turn.
+        const ACCEPTS_PER_ROUND: usize = 64;
+        for _ in 0..ACCEPTS_PER_ROUND {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    Metrics::global().incr("http.connections", 1);
+                    if self.open >= self.state.config.max_conns {
+                        // Over budget: one best-effort shed write, then
+                        // the drop closes the socket.
+                        Metrics::global().incr("http.shed_conns", 1);
+                        let mut bytes = Vec::new();
+                        let _ = routes::shed_response("connection budget exhausted")
+                            .write_to(&mut bytes, false);
+                        let mut stream = stream;
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.write(&bytes);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.insert(stream);
+                }
+                Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                // Transient accept failure (e.g. EMFILE): the next poll
+                // round retries.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn insert(&mut self, stream: TcpStream) {
+        let fd = stream.as_raw_fd();
+        self.generation = self.generation.wrapping_add(1);
+        let conn = Conn {
+            stream,
+            fd,
+            generation: self.generation,
+            state: ConnState::Reading,
+            buf: Vec::new(),
+            out: Vec::new(),
+            written: 0,
+            served: 0,
+            deadline: Instant::now() + self.header_deadline,
+            keep_alive_after_write: false,
+        };
+        match self.free.pop() {
+            Some(slot) => self.conns[slot] = Some(conn),
+            None => self.conns.push(Some(conn)),
+        }
+        self.open += 1;
+        Metrics::global().gauge_set("http.open_conns", self.open as f64);
+    }
+
+    fn close(&mut self, slot: usize) {
+        if self.conns[slot].take().is_some() {
+            self.free.push(slot);
+            self.open -= 1;
+            Metrics::global().gauge_set("http.open_conns", self.open as f64);
+        }
+    }
+
+    fn on_ready(&mut self, slot: usize, pfd: PollFd) {
+        // The slot may have been closed (or even reused) since the
+        // interest set was built — the fd check catches reuse.
+        let state = match self.conns[slot].as_ref() {
+            Some(conn) if conn.fd == pfd.fd => conn.state,
+            _ => return,
+        };
+        if pfd.failed() && !pfd.has(POLLIN | POLLOUT) {
+            self.close(slot);
+            return;
+        }
+        match state {
+            ConnState::Reading => self.read_burst(slot),
+            ConnState::Writing => self.try_write(slot),
+            ConnState::InFlight => {}
+        }
+    }
+
+    /// Reads until `WouldBlock`, EOF, or the connection leaves
+    /// [`ConnState::Reading`] (a complete request dispatched).
+    fn read_burst(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else { return };
+            let mut chunk = [0u8; READ_CHUNK];
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(n) => {
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    self.advance_parse(slot);
+                    match self.conns[slot].as_ref() {
+                        Some(c) if c.state == ConnState::Reading => {
+                            if n < READ_CHUNK {
+                                return;
+                            }
+                        }
+                        _ => return,
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Tries to complete a request from the accumulated bytes: dispatch
+    /// it, shed it, or reject it — or keep reading.
+    fn advance_parse(&mut self, slot: usize) {
+        let shed_highwater = self.state.config.shed_highwater;
+        let Some(conn) = self.conns[slot].as_mut() else { return };
+        if conn.state != ConnState::Reading {
+            return;
+        }
+        match http::try_parse(&conn.buf) {
+            Ok(Parsed::Incomplete) => {}
+            Ok(Parsed::Request { request, consumed }) => {
+                conn.buf.drain(..consumed);
+                self.state.count_request();
+                if self.handlers.backlog() > shed_highwater {
+                    Metrics::global().incr("http.shed_requests", 1);
+                    self.state.account_response("shed", 503, Duration::ZERO);
+                    let response = routes::shed_response("compute backlog over high-water mark");
+                    self.respond(slot, response, false);
+                } else {
+                    self.dispatch(slot, request);
+                }
+            }
+            Err(err) => {
+                let (class, response) = match err {
+                    HttpError::PayloadTooLarge => {
+                        Metrics::global().incr("http.rejected_oversize", 1);
+                        ("malformed", routes::error_response(413, "request body too large"))
+                    }
+                    HttpError::HeadersTooLarge => {
+                        Metrics::global().incr("http.rejected_oversize", 1);
+                        ("malformed", routes::error_response(431, "request head too large"))
+                    }
+                    HttpError::BadRequest(message) => {
+                        ("malformed", routes::error_response(400, &message))
+                    }
+                    HttpError::Closed | HttpError::Io(_) => {
+                        self.close(slot);
+                        return;
+                    }
+                };
+                self.state.count_request();
+                self.state.account_response(class, response.status, Duration::ZERO);
+                self.respond(slot, response, false);
+            }
+        }
+    }
+
+    /// Hands a parsed request to the handler pool; the job routes,
+    /// accounts, and pushes a [`Completion`] the loop writes back.
+    fn dispatch(&mut self, slot: usize, request: http::Request) {
+        let inflight_deadline =
+            Instant::now() + self.state.config.request_deadline + INFLIGHT_GRACE;
+        let job_token = {
+            let Some(conn) = self.conns[slot].as_mut() else { return };
+            conn.state = ConnState::InFlight;
+            conn.deadline = inflight_deadline;
+            token(slot, conn.generation)
+        };
+        let state = Arc::clone(&self.state);
+        let completions = Arc::clone(&self.completions);
+        let wake = Arc::clone(&self.wake);
+        let submitted = self.handlers.submit(move || {
+            let started = Instant::now();
+            let cancel = CancelToken::with_budget(state.config.request_deadline);
+            let client_keep_alive = request.keep_alive;
+            let (class, response) = routes::handle(&state, &request, &cancel);
+            state.account_response(class, response.status, started.elapsed());
+            completions
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(Completion { token: job_token, response, client_keep_alive });
+            wake.wake();
+        });
+        if submitted.is_err() {
+            // The handler pool only refuses during the final drain.
+            self.state.account_response("shed", 503, Duration::ZERO);
+            self.respond(slot, routes::shed_response("server is draining"), false);
+        }
+    }
+
+    /// Routes finished handler jobs back to their connections.
+    fn deliver_completions(&mut self, draining: bool) {
+        let pending: Vec<Completion> = {
+            let mut queue = self.completions.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *queue)
+        };
+        for done in pending {
+            let (slot, generation) = untoken(done.token);
+            let served = match self.conns.get(slot).and_then(Option::as_ref) {
+                Some(conn) if conn.generation == generation && conn.state == ConnState::InFlight => {
+                    conn.served
+                }
+                // The connection this answered was reaped (and the slot
+                // possibly reused): drop the response.
+                _ => continue,
+            };
+            let keep_alive = done.client_keep_alive
+                && served + 1 < MAX_REQUESTS_PER_CONNECTION
+                && !draining
+                && !self.state.shutdown.is_cancelled();
+            self.respond(slot, done.response, keep_alive);
+        }
+    }
+
+    /// Serializes `response` and starts (or finishes) writing it.
+    fn respond(&mut self, slot: usize, response: Response, keep_alive: bool) {
+        let write_deadline = Instant::now() + self.header_deadline;
+        {
+            let Some(conn) = self.conns[slot].as_mut() else { return };
+            let mut bytes = Vec::with_capacity(response.body.len() + 256);
+            // Writing into a Vec cannot fail.
+            let _ = response.write_to(&mut bytes, keep_alive);
+            conn.out = bytes;
+            conn.written = 0;
+            conn.keep_alive_after_write = keep_alive;
+            conn.state = ConnState::Writing;
+            conn.deadline = write_deadline;
+        }
+        self.try_write(slot);
+    }
+
+    /// Writes until done, `WouldBlock` (POLLOUT resumes), or error.
+    fn try_write(&mut self, slot: usize) {
+        let progress_window = self.header_deadline;
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else { return };
+            if conn.written >= conn.out.len() {
+                self.finish_write(slot);
+                return;
+            }
+            match conn.stream.write(&conn.out[conn.written..]) {
+                Ok(0) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(n) => {
+                    conn.written += n;
+                    // Progress resets the slow-reader deadline.
+                    conn.deadline = Instant::now() + progress_window;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// After a fully flushed response: close, or re-arm for the next
+    /// keep-alive request (which may already be pipelined in `buf`).
+    fn finish_write(&mut self, slot: usize) {
+        let idle_deadline = Instant::now() + KEEP_ALIVE_IDLE.min(self.header_deadline);
+        let keep_alive = match self.conns[slot].as_mut() {
+            Some(conn) if conn.keep_alive_after_write => {
+                conn.served += 1;
+                conn.out.clear();
+                conn.written = 0;
+                conn.state = ConnState::Reading;
+                conn.deadline = idle_deadline;
+                true
+            }
+            Some(_) => false,
+            None => return,
+        };
+        if !keep_alive {
+            self.close(slot);
+            return;
+        }
+        Metrics::global().incr("http.keepalive_reuses", 1);
+        self.advance_parse(slot);
+    }
+
+    /// Closes every connection whose deadline has passed, counting why.
+    fn reap_expired(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let reason = match self.conns[slot].as_ref() {
+                Some(conn) if now >= conn.deadline => match conn.state {
+                    ConnState::Reading if conn.buf.is_empty() => "http.reaped_idle",
+                    ConnState::Reading => "http.reaped_slowloris",
+                    ConnState::InFlight => "http.reaped_inflight",
+                    ConnState::Writing => "http.reaped_slow_reader",
+                },
+                _ => continue,
+            };
+            Metrics::global().incr(reason, 1);
+            self.close(slot);
+        }
+    }
+
+    /// Drain step one: every connection still reading gets no more
+    /// bytes in — idle keep-alive and mid-header clients close now.
+    fn close_all_reading(&mut self) -> usize {
+        let mut closed = 0;
+        for slot in 0..self.conns.len() {
+            if matches!(self.conns[slot].as_ref(), Some(c) if c.state == ConnState::Reading) {
+                self.close(slot);
+                closed += 1;
+            }
+        }
+        closed
+    }
+
+    /// Drain deadline passed: force-close whatever is left.
+    fn close_everything(&mut self) -> usize {
+        let mut closed = 0;
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.close(slot);
+                closed += 1;
+            }
+        }
+        closed
+    }
+}

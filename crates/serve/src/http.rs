@@ -16,19 +16,28 @@
 use std::io::{self, BufRead, Write};
 
 /// Upper bound on one header or request line, in bytes.
-const MAX_LINE_BYTES: usize = 8 * 1024;
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Upper bound on the number of request headers.
-const MAX_HEADERS: usize = 100;
+pub const MAX_HEADERS: usize = 100;
 /// Upper bound on a request body, in bytes.
-const MAX_BODY_BYTES: usize = 1024 * 1024;
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Upper bound on the whole head section (request line + headers), in
+/// bytes — the most a client can buffer server-side without ever
+/// finishing its headers. Everything past this is a `431`.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
 
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum HttpError {
     /// The bytes on the wire are not a well-formed HTTP/1.x request.
     BadRequest(String),
-    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    /// The declared body exceeds [`MAX_BODY_BYTES`] — a `413`.
     PayloadTooLarge,
+    /// A request line or header exceeds [`MAX_LINE_BYTES`], there are
+    /// more than [`MAX_HEADERS`] headers, or the head section passes
+    /// [`MAX_HEAD_BYTES`] without terminating — a `431`. The server
+    /// never buffers past these bounds.
+    HeadersTooLarge,
     /// The peer closed the connection cleanly before sending any byte
     /// of a next request — the normal end of a keep-alive exchange.
     Closed,
@@ -41,6 +50,7 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
             HttpError::PayloadTooLarge => write!(f, "request body too large"),
+            HttpError::HeadersTooLarge => write!(f, "request headers too large"),
             HttpError::Closed => write!(f, "connection closed between requests"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -140,6 +150,58 @@ pub fn parse_query(s: &str) -> Vec<(String, String)> {
         .collect()
 }
 
+/// The parsed head section: everything before the body.
+struct Head {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    content_length: usize,
+    keep_alive: bool,
+}
+
+/// Parses the request line from its text.
+fn parse_request_line(request_line: &str) -> Result<(String, String, Vec<(String, String)>), HttpError> {
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".to_string()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".to_string()))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("malformed request line {request_line:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("request target {target:?} is not a path")));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok((method, percent_decode(raw_path), parse_query(raw_query)))
+}
+
+/// Parses one header line into the accumulating head.
+fn parse_header_line(line: &str, head: &mut Head) -> Result<(), HttpError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
+    let name = name.trim();
+    if name.eq_ignore_ascii_case("content-length") {
+        head.content_length = value
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length {value:?}")))?;
+    } else if name.eq_ignore_ascii_case("connection") {
+        head.keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+    }
+    Ok(())
+}
+
 /// Reads one `\n`-terminated line. `at_request_boundary` marks the
 /// request line: EOF before its first byte is [`HttpError::Closed`]
 /// (a keep-alive client hanging up), EOF anywhere else is malformed.
@@ -159,7 +221,7 @@ fn read_line(reader: &mut impl BufRead, at_request_boundary: bool) -> Result<Str
         }
         line.push(byte[0]);
         if line.len() > MAX_LINE_BYTES {
-            return Err(HttpError::BadRequest("header line too long".to_string()));
+            return Err(HttpError::HeadersTooLarge);
         }
     }
     if line.last() == Some(&b'\r') {
@@ -169,72 +231,147 @@ fn read_line(reader: &mut impl BufRead, at_request_boundary: bool) -> Result<Str
         .map_err(|_| HttpError::BadRequest("header line is not UTF-8".to_string()))
 }
 
-/// Reads one request from `reader`.
+/// Reads one request from `reader` (the blocking path the
+/// thread-per-connection front end uses).
 ///
 /// # Errors
 ///
 /// Returns [`HttpError::BadRequest`] for malformed request lines,
 /// headers, or bodies; [`HttpError::PayloadTooLarge`] for oversized
-/// bodies; [`HttpError::Closed`] on clean EOF before the first byte;
-/// [`HttpError::Io`] when the socket fails.
+/// bodies; [`HttpError::HeadersTooLarge`] for oversized lines or too
+/// many headers; [`HttpError::Closed`] on clean EOF before the first
+/// byte; [`HttpError::Io`] when the socket fails.
 pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     let request_line = read_line(reader, true)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| HttpError::BadRequest("empty request line".to_string()))?
-        .to_ascii_uppercase();
-    let target = parts
-        .next()
-        .ok_or_else(|| HttpError::BadRequest("missing request target".to_string()))?;
-    let version = parts
-        .next()
-        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".to_string()))?;
-    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
-        return Err(HttpError::BadRequest(format!("malformed request line {request_line:?}")));
-    }
-    if !target.starts_with('/') {
-        return Err(HttpError::BadRequest(format!("request target {target:?} is not a path")));
-    }
-
-    let (raw_path, raw_query) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    let path = percent_decode(raw_path);
-    let query = parse_query(raw_query);
-
-    let mut content_length = 0usize;
-    let mut keep_alive = false;
+    let (method, path, query) = parse_request_line(&request_line)?;
+    let mut head = Head { method, path, query, content_length: 0, keep_alive: false };
     for i in 0.. {
         if i >= MAX_HEADERS {
-            return Err(HttpError::BadRequest("too many headers".to_string()));
+            return Err(HttpError::HeadersTooLarge);
         }
         let line = read_line(reader, false)?;
         if line.is_empty() {
             break;
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
-        let name = name.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse::<usize>()
-                .map_err(|_| HttpError::BadRequest(format!("bad content-length {value:?}")))?;
-        } else if name.eq_ignore_ascii_case("connection") {
-            keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
-        }
+        parse_header_line(&line, &mut head)?;
     }
-    if content_length > MAX_BODY_BYTES {
+    if head.content_length > MAX_BODY_BYTES {
         return Err(HttpError::PayloadTooLarge);
     }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
+    let mut body = vec![0u8; head.content_length];
+    if head.content_length > 0 {
         reader.read_exact(&mut body)?;
     }
-    Ok(Request { method, path, query, body, keep_alive })
+    Ok(Request {
+        method: head.method,
+        path: head.path,
+        query: head.query,
+        body,
+        keep_alive: head.keep_alive,
+    })
+}
+
+/// The outcome of one [`try_parse`] attempt over a partial buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffer does not yet hold a complete request — keep reading.
+    /// The bounds have already been checked: an `Incomplete` buffer is
+    /// always still allowed to grow.
+    Incomplete,
+    /// One complete request, and how many buffer bytes it consumed
+    /// (pipelined bytes after `consumed` belong to the next request).
+    Request {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request spans.
+        consumed: usize,
+    },
+}
+
+/// Incrementally parses the front of `buf` (the non-blocking path the
+/// event-loop front end uses). Call after every read with everything
+/// accumulated so far; on [`Parsed::Request`], drain `consumed` bytes
+/// and call again — the client may have pipelined.
+///
+/// # Errors
+///
+/// The same classification as [`read_request`], raised as soon as the
+/// partial bytes prove the request hopeless: [`HttpError::HeadersTooLarge`]
+/// once the head passes its bounds *even before it terminates* (so a
+/// slow-loris client cannot grow the buffer forever),
+/// [`HttpError::PayloadTooLarge`] as soon as the declared length is
+/// oversized, [`HttpError::BadRequest`] for malformed bytes.
+pub fn try_parse(buf: &[u8]) -> Result<Parsed, HttpError> {
+    // Split the head into lines, looking for the empty line that
+    // terminates it. Lines end at '\n' with an optional '\r' before.
+    let mut lines: Vec<&[u8]> = Vec::new();
+    let mut line_start = 0usize;
+    let mut head_end = None;
+    for (i, &byte) in buf.iter().enumerate() {
+        if byte != b'\n' {
+            if i - line_start >= MAX_LINE_BYTES {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            continue;
+        }
+        let mut line = &buf[line_start..i];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.is_empty() && !lines.is_empty() {
+            head_end = Some(i + 1);
+            break;
+        }
+        lines.push(line);
+        if lines.len() > 1 + MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        line_start = i + 1;
+    }
+    let Some(head_end) = head_end else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        // An empty first line (bare CRLF before any request line) is
+        // junk the blocking path rejects too; surface it now rather
+        // than waiting for more bytes that cannot help.
+        if let Some(first) = lines.first() {
+            if first.is_empty() {
+                return Err(HttpError::BadRequest("empty request line".to_string()));
+            }
+        }
+        return Ok(Parsed::Incomplete);
+    };
+
+    let text_of = |raw: &[u8]| -> Result<String, HttpError> {
+        std::str::from_utf8(raw)
+            .map(str::to_string)
+            .map_err(|_| HttpError::BadRequest("header line is not UTF-8".to_string()))
+    };
+    let request_line = text_of(lines[0])?;
+    let (method, path, query) = parse_request_line(&request_line)?;
+    let mut head = Head { method, path, query, content_length: 0, keep_alive: false };
+    for raw in &lines[1..] {
+        let line = text_of(raw)?;
+        parse_header_line(&line, &mut head)?;
+    }
+    if head.content_length > MAX_BODY_BYTES {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    if buf.len() < head_end + head.content_length {
+        return Ok(Parsed::Incomplete);
+    }
+    let body = buf[head_end..head_end + head.content_length].to_vec();
+    Ok(Parsed::Request {
+        request: Request {
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            body,
+            keep_alive: head.keep_alive,
+        },
+        consumed: head_end + head.content_length,
+    })
 }
 
 /// One response under construction.
@@ -305,6 +442,7 @@ pub fn status_reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -406,6 +544,85 @@ mod tests {
     }
 
     #[test]
+    fn oversized_header_lines_are_431_not_400() {
+        let raw = format!("GET /x HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 1));
+        assert!(matches!(parse(&raw), Err(HttpError::HeadersTooLarge)));
+        assert!(matches!(try_parse(raw.as_bytes()), Err(HttpError::HeadersTooLarge)));
+    }
+
+    #[test]
+    fn incremental_parse_reports_incomplete_then_a_full_request() {
+        let wire = b"POST /graphs/DBLP/gatekeeper/admit HTTP/1.1\r\nContent-Length: 9\r\n\r\nsybils=50";
+        // Every strict prefix is Incomplete, never an error.
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(try_parse(&wire[..cut]), Ok(Parsed::Incomplete)),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        match try_parse(wire).expect("parses") {
+            Parsed::Request { request, consumed } => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.body, b"sybils=50");
+            }
+            Parsed::Incomplete => panic!("complete request must parse"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_handles_pipelined_requests() {
+        let wire = b"GET /healthz HTTP/1.1\r\n\r\nGET /datasets HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        let Parsed::Request { request, consumed } = try_parse(wire).expect("first") else {
+            panic!("first request must parse");
+        };
+        assert_eq!(request.path, "/healthz");
+        assert!(!request.keep_alive);
+        let Parsed::Request { request, consumed: second } = try_parse(&wire[consumed..]).expect("second")
+        else {
+            panic!("second request must parse");
+        };
+        assert_eq!(request.path, "/datasets");
+        assert!(request.keep_alive);
+        assert_eq!(consumed + second, wire.len());
+    }
+
+    #[test]
+    fn incremental_parse_matches_the_blocking_parser() {
+        for wire in [
+            "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+            "GET /graphs/Wiki%2Dvote/mixing?eps=0.125&x=a+b HTTP/1.1\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc",
+            "GET /datasets HTTP/1.1\nHost: x\n\n",
+        ] {
+            let blocking = parse(wire).expect("blocking parses");
+            let Parsed::Request { request, .. } = try_parse(wire.as_bytes()).expect("incremental")
+            else {
+                panic!("incremental must see a complete request in {wire:?}");
+            };
+            assert_eq!(request, blocking, "parsers disagree on {wire:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_parse_rejects_hopeless_buffers_early() {
+        // A head that can never terminate within bounds is rejected
+        // before the client finishes sending it — the slow-loris case.
+        let endless = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(try_parse(&endless), Err(HttpError::HeadersTooLarge)));
+        // An oversized declared body is rejected as soon as the head
+        // completes, without waiting for the body bytes.
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(try_parse(huge.as_bytes()), Err(HttpError::PayloadTooLarge)));
+        // Malformed request lines fail as soon as the head terminates.
+        assert!(matches!(
+            try_parse(b"GARBAGE\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(try_parse(b"\r\n\r\n"), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
     fn percent_decode_passes_junk_through() {
         assert_eq!(percent_decode("a%2Fb"), "a/b");
         assert_eq!(percent_decode("100%"), "100%");
@@ -439,7 +656,7 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_the_emitted_codes() {
-        for code in [200, 400, 404, 405, 413, 500, 503, 504] {
+        for code in [200, 400, 404, 405, 413, 431, 500, 503, 504] {
             assert_ne!(status_reason(code), "Unknown");
         }
         assert_eq!(status_reason(418), "Unknown");

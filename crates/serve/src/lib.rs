@@ -18,11 +18,17 @@
 //!   [`socnet_runner::Pool`]; a panicking kernel poisons only its own
 //!   entry.
 //! - [`Server`] — a hand-rolled HTTP/1.1 front end over
-//!   [`std::net::TcpListener`] with per-request deadlines, opt-in
-//!   `Connection: keep-alive` reuse (bounded per connection, idle
-//!   deadline between requests), `400` (never a panic) on malformed
-//!   input, and a graceful drain that flushes a metrics snapshot plus a
-//!   `run.json` manifest.
+//!   [`std::net::TcpListener`]. The default front end is a
+//!   single-threaded non-blocking `poll(2)` readiness loop (see
+//!   `eventloop`) with a connection budget, admission-control shedding
+//!   (`503` + `Retry-After`), header-read and write-progress deadlines
+//!   that reap slow-loris and slow-reader clients, and bounded request
+//!   sizes (`431`/`413`); the legacy thread-per-connection loop stays
+//!   behind [`Frontend::Threads`] for overload comparisons. Both offer
+//!   per-request deadlines, opt-in `Connection: keep-alive` reuse
+//!   (bounded per connection, idle deadline between requests), `400`
+//!   (never a panic) on malformed input, and a graceful drain that
+//!   flushes a metrics snapshot plus a `run.json` manifest.
 //! - [`persist`] — warm start over `socnet-store`: the drain snapshots
 //!   every rendered body and the registry metadata; the next boot
 //!   hydrates them (quarantining anything corrupt or keyed to other
@@ -41,16 +47,18 @@
 //! # drop(stop);
 //! ```
 
-#![deny(unsafe_code)] // one scoped allow lives in `signal`
+#![deny(unsafe_code)] // scoped allows live in `signal` and `sys` (FFI shims)
 #![warn(missing_docs)]
 
 pub mod cache;
+mod eventloop;
 pub mod http;
 pub mod persist;
 pub mod registry;
 pub mod routes;
 pub mod server;
 pub mod signal;
+pub mod sys;
 
 pub use cache::{
     CacheError, CacheStats, CacheValue, CachedEntry, Lookup, PropertyCache, StoredBody,
@@ -59,4 +67,6 @@ pub use persist::{FlushReport, HydrateReport};
 pub use registry::{
     GraphKey, GraphMeta, GraphRegistry, LoadedGraph, RegistryError, ResidentInfo, SHARD_COUNT,
 };
-pub use server::{AppState, ServeSummary, Server, ServerConfig, MAX_REQUESTS_PER_CONNECTION};
+pub use server::{
+    AppState, Frontend, ServeSummary, Server, ServerConfig, MAX_REQUESTS_PER_CONNECTION,
+};

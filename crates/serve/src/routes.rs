@@ -110,6 +110,13 @@ pub fn error_response(status: u16, message: &str) -> Response {
     Response::json(status, obj.finish())
 }
 
+/// The admission-control rejection: a shed request answers `503` with
+/// `Retry-After` so a well-behaved client backs off instead of
+/// hammering an overloaded box.
+pub fn shed_response(message: &str) -> Response {
+    error_response(503, message).with_header("Retry-After", "1")
+}
+
 fn cache_error_response(err: &CacheError) -> Response {
     match err {
         CacheError::Poisoned(message) => {
@@ -119,7 +126,7 @@ fn cache_error_response(err: &CacheError) -> Response {
         }
         CacheError::Failed(message) => error_response(500, message),
         CacheError::DeadlineExceeded => error_response(504, "request deadline exceeded"),
-        CacheError::Draining => error_response(503, "server is draining"),
+        CacheError::Draining => shed_response("server is draining"),
     }
 }
 

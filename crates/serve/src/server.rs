@@ -1,14 +1,16 @@
 //! The long-running daemon: bind, accept, handle, drain.
 //!
-//! One thread runs the (non-blocking) accept loop and polls the two
-//! shutdown signals — the process-level flag from [`crate::signal`] and
-//! the server's own [`CancelToken`] handle. Each accepted connection is
-//! handled on its own thread (parse → route → respond, then — for
-//! clients that asked for `Connection: keep-alive` — loop for the next
-//! request, bounded by [`MAX_REQUESTS_PER_CONNECTION`] and an idle read
-//! deadline), while property computations run on the shared
-//! panic-isolated [`Pool`] so a hundred waiting connections never pile
-//! a hundred concurrent kernels onto the box.
+//! Two front ends answer the sockets. The default is the
+//! single-threaded non-blocking readiness loop in [`crate::eventloop`]
+//! (`poll(2)` over every connection, per-connection state machines,
+//! admission control); the legacy thread-per-connection loop survives
+//! behind [`Frontend::Threads`] for overload comparisons. In both,
+//! property computations run on the shared panic-isolated [`Pool`] so a
+//! hundred waiting connections never pile a hundred concurrent kernels
+//! onto the box, keep-alive is bounded by
+//! [`MAX_REQUESTS_PER_CONNECTION`] and an idle read deadline, and the
+//! process-level flag from [`crate::signal`] or the server's own
+//! [`CancelToken`] handle triggers the drain.
 //!
 //! When a store directory is configured, boot *hydrates* the property
 //! cache and registry metadata from the last drain's snapshot (rejected
@@ -40,9 +42,46 @@ use crate::{persist, routes, signal};
 /// closes it (fairness: one chatty client cannot pin a thread forever).
 pub const MAX_REQUESTS_PER_CONNECTION: usize = 32;
 
+/// Which connection front end answers the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frontend {
+    /// The single-threaded non-blocking readiness loop (`poll(2)`):
+    /// connection count decouples from thread count, slow clients are
+    /// reaped by deadline, overload sheds with `503` + `Retry-After`.
+    /// The default.
+    EventLoop,
+    /// The legacy thread-per-connection loop — kept for comparison
+    /// benchmarks (`serveload --frontend threads`): every connection
+    /// pins an OS thread for its lifetime, so a slow-loris herd
+    /// translates directly into thread pressure.
+    Threads,
+}
+
+impl Frontend {
+    /// The label used in logs, flags, and manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            Frontend::EventLoop => "event",
+            Frontend::Threads => "threads",
+        }
+    }
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Frontend, String> {
+        match s {
+            "event" | "eventloop" | "event-loop" => Ok(Frontend::EventLoop),
+            "threads" | "thread" => Ok(Frontend::Threads),
+            other => Err(format!("expected event|threads, got {other:?}")),
+        }
+    }
+}
+
 /// How long a keep-alive connection may sit idle between requests
-/// before the server hangs up.
-const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+/// before the server hangs up (both front ends).
+pub(crate) const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
 
 /// Everything `socnet serve` can tune.
 #[derive(Debug, Clone)]
@@ -71,6 +110,22 @@ pub struct ServerConfig {
     /// drain flushes a fresh snapshot there. `None` disables
     /// persistence entirely.
     pub store_dir: Option<PathBuf>,
+    /// Which connection front end runs (`--frontend`).
+    pub frontend: Frontend,
+    /// Connection budget for the event loop (`--max-conns`): accepts
+    /// past this answer `503` + `Retry-After` and close immediately.
+    pub max_conns: usize,
+    /// How long a connection may take to deliver a complete request
+    /// head, and how long a response write may go without progress,
+    /// before the connection is reaped (`--header-deadline`). Applies
+    /// uniformly — the *first* request on a fresh connection included,
+    /// so a client that connects and sends nothing cannot hold a slot.
+    pub header_deadline: Duration,
+    /// Pending-compute high-water mark: once the handler backlog
+    /// (queued + running request jobs) passes this, new requests are
+    /// shed with `503` + `Retry-After` instead of queueing without
+    /// bound (`--shed-highwater`).
+    pub shed_highwater: usize,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +141,10 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(10),
             panic_injection: false,
             store_dir: None,
+            frontend: Frontend::EventLoop,
+            max_conns: 1024,
+            header_deadline: Duration::from_secs(5),
+            shed_highwater: 64,
         }
     }
 }
@@ -120,6 +179,32 @@ impl AppState {
     /// Total requests accepted so far.
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Accounts one parsed (or rejected) request. Both front ends call
+    /// this exactly once per request they answer.
+    pub(crate) fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        Metrics::global().incr("http.requests", 1);
+    }
+
+    /// Accounts one response: status-class counter, latency histogram,
+    /// and per-route-class manifest stats.
+    pub(crate) fn account_response(&self, class: &'static str, status: u16, wall: Duration) {
+        let status_class = match status {
+            200..=299 => "http.responses.2xx",
+            400..=499 => "http.responses.4xx",
+            _ => "http.responses.5xx",
+        };
+        Metrics::global().incr(status_class, 1);
+        Metrics::global().observe("http.request_s", wall.as_secs_f64());
+        let mut stats = self.route_stats.lock().unwrap_or_else(|p| p.into_inner());
+        let stat = stats.entry(class).or_default();
+        stat.requests += 1;
+        if status >= 400 {
+            stat.errors += 1;
+        }
+        stat.wall += wall;
     }
 }
 
@@ -216,10 +301,22 @@ impl Server {
             "serve.start",
             &[
                 ("addr", addr.to_string().into()),
+                ("frontend", self.state.config.frontend.label().into()),
                 ("threads", (self.state.pool.threads() as u64).into()),
                 ("cache_bytes", (self.state.config.cache_bytes as u64).into()),
             ],
         );
+        match self.state.config.frontend {
+            Frontend::EventLoop => {
+                crate::eventloop::run(&self.listener, Arc::clone(&self.state))?;
+            }
+            Frontend::Threads => self.serve_threads(),
+        }
+        self.drain(addr)
+    }
+
+    /// The legacy thread-per-connection accept loop.
+    fn serve_threads(&self) {
         loop {
             if signal::triggered() || self.state.shutdown.is_cancelled() {
                 break;
@@ -258,7 +355,6 @@ impl Server {
                 }
             }
         }
-        self.drain(addr)
     }
 
     /// Stop-the-world shutdown: no new connections (the accept loop has
@@ -382,52 +478,42 @@ fn handle_connection(state: &Arc<AppState>, stream: TcpStream) {
         Err(_) => return,
     });
     let mut writer = stream;
+    // The header-read deadline applies uniformly — the first request
+    // included — so a client that connects and sends nothing cannot
+    // hold the thread for the full request deadline. (Keep-alive reuse
+    // keeps its shorter idle window.)
+    let header_deadline = state.config.header_deadline.min(io_deadline);
     for served in 0..MAX_REQUESTS_PER_CONNECTION {
-        // The first request gets the full deadline; between keep-alive
-        // requests the idle window is short so a silent client does not
-        // pin the thread.
         let read_deadline =
-            if served == 0 { io_deadline } else { KEEP_ALIVE_IDLE.min(io_deadline) };
+            if served == 0 { header_deadline } else { KEEP_ALIVE_IDLE.min(header_deadline) };
         writer.set_read_timeout(Some(read_deadline)).ok();
         let request_start = Instant::now();
         let (class, response, client_keep_alive) = match http::read_request(&mut reader) {
             Ok(request) => {
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                Metrics::global().incr("http.requests", 1);
+                state.count_request();
                 let cancel = CancelToken::with_budget(state.config.request_deadline);
                 let (class, response) = routes::handle(state, &request, &cancel);
                 (class, response, request.keep_alive)
             }
             Err(HttpError::PayloadTooLarge) => {
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                Metrics::global().incr("http.requests", 1);
+                state.count_request();
+                Metrics::global().incr("http.rejected_oversize", 1);
                 ("malformed", routes::error_response(413, "request body too large"), false)
             }
+            Err(HttpError::HeadersTooLarge) => {
+                state.count_request();
+                Metrics::global().incr("http.rejected_oversize", 1);
+                ("malformed", routes::error_response(431, "request head too large"), false)
+            }
             Err(HttpError::BadRequest(message)) => {
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                Metrics::global().incr("http.requests", 1);
+                state.count_request();
                 ("malformed", routes::error_response(400, &message), false)
             }
             // A keep-alive client hanging up between requests, or a
             // socket error mid-read: nothing to say either way.
             Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
         };
-        let status_class = match response.status {
-            200..=299 => "http.responses.2xx",
-            400..=499 => "http.responses.4xx",
-            _ => "http.responses.5xx",
-        };
-        Metrics::global().incr(status_class, 1);
-        Metrics::global().observe("http.request_s", request_start.elapsed().as_secs_f64());
-        {
-            let mut stats = state.route_stats.lock().unwrap_or_else(|p| p.into_inner());
-            let stat = stats.entry(class).or_default();
-            stat.requests += 1;
-            if response.status >= 400 {
-                stat.errors += 1;
-            }
-            stat.wall += request_start.elapsed();
-        }
+        state.account_response(class, response.status, request_start.elapsed());
         // Advertise keep-alive only when the server will actually read
         // another request: the client asked, the per-connection budget
         // has room, and no drain is underway.

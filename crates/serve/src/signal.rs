@@ -10,7 +10,7 @@
 //!
 //! This is the single scoped exception to the crate's `deny(unsafe_code)`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 
 /// `SIGINT` — interactive interrupt (Ctrl-C).
 const SIGINT: i32 = 2;
@@ -18,6 +18,12 @@ const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
 
 static TRIGGERED: AtomicBool = AtomicBool::new(false);
+/// When >= 0, the handler also writes one byte here — the write end of
+/// the event loop's self-pipe, so a signal interrupts `poll(2)` *now*
+/// instead of at the next timeout tick. `write(2)` is on the
+/// async-signal-safe list; flipping the atomic and writing a byte is
+/// all the handler ever does.
+static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
 
 #[allow(unsafe_code)]
 mod ffi {
@@ -26,11 +32,24 @@ mod ffi {
         /// the only values crossing this boundary are function pointers
         /// we own; the return value (previous handler) is ignored.
         pub fn signal(signum: i32, handler: usize) -> usize;
+        /// `write(2)` — async-signal-safe, used for the self-pipe wake.
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
     }
 
     pub extern "C" fn on_signal(_signum: i32) {
-        // Only async-signal-safe work is allowed here: store + return.
+        // Only async-signal-safe work is allowed here: store, one
+        // best-effort write to the (non-blocking) self-pipe, return.
         super::TRIGGERED.store(true, core::sync::atomic::Ordering::SeqCst);
+        let fd = super::WAKE_FD.load(core::sync::atomic::Ordering::SeqCst);
+        if fd >= 0 {
+            let byte = [1u8];
+            // SAFETY: fd is a live pipe write end registered by the
+            // event loop; a failed or short write only costs the
+            // instant wake-up (the poll timeout still notices).
+            unsafe {
+                write(fd, byte.as_ptr(), 1);
+            }
+        }
     }
 
     pub fn install(signum: i32) {
@@ -65,6 +84,19 @@ pub fn trigger_for_shutdown() {
     TRIGGERED.store(true, Ordering::SeqCst);
 }
 
+/// Registers the write end of the event loop's self-pipe: from now on
+/// a delivered signal also writes one byte there, waking `poll(2)`
+/// immediately. Pass the fd from [`crate::sys::WakePipe::write_fd`].
+pub fn set_wake_fd(fd: i32) {
+    WAKE_FD.store(fd, Ordering::SeqCst);
+}
+
+/// Deregisters the wake fd (the event loop is gone; its pipe fds are
+/// about to close and must not be written to by a late signal).
+pub fn clear_wake_fd() {
+    WAKE_FD.store(-1, Ordering::SeqCst);
+}
+
 /// Clears the flag (test isolation; a fresh [`crate::Server`] also
 /// clears it so a previous run's signal cannot kill the next).
 pub fn reset() {
@@ -83,6 +115,19 @@ mod tests {
         assert!(triggered());
         reset();
         assert!(!triggered());
+    }
+
+    #[test]
+    fn handler_writes_the_registered_wake_fd() {
+        let pipe = crate::sys::WakePipe::new().expect("pipe");
+        set_wake_fd(pipe.write_fd());
+        ffi::on_signal(SIGTERM);
+        let mut fds = [crate::sys::PollFd::new(pipe.read_fd(), crate::sys::POLLIN)];
+        assert_eq!(crate::sys::poll(&mut fds, 1000).expect("poll"), 1, "signal must wake the pipe");
+        // Clear before the pipe closes so a signal from a concurrent
+        // test cannot write a dead fd.
+        clear_wake_fd();
+        reset();
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! A minimal `poll(2)` + self-pipe shim without a libc crate.
+//!
+//! The event-loop front end needs exactly two things the standard
+//! library does not expose: readiness multiplexing over many sockets
+//! (`poll(2)`) and a file descriptor another thread — or a signal
+//! handler — can write to in order to wake the loop (`pipe(2)` plus
+//! `fcntl(2)` to make it non-blocking). Like [`crate::signal`], this
+//! module declares the handful of C entry points it needs from the libc
+//! `std` already links instead of pulling in a dependency, and wraps
+//! them in a safe API: [`poll`] over a slice of [`PollFd`], and
+//! [`WakePipe`] for the classic self-pipe trick.
+//!
+//! Everything here is Linux/POSIX; the serving stack already assumes as
+//! much (see the signal shim). This is the second scoped exception to
+//! the crate's `deny(unsafe_code)`.
+
+use std::io;
+
+/// Readable data is available (or a peer hang-up will read as EOF).
+pub const POLLIN: i16 = 0x001;
+/// Writing will not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The fd is not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the `poll(2)` interest set, ABI-compatible with the C
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by
+    /// the kernel — handy for keeping slot positions stable).
+    pub fd: i32,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An interest-set entry for `fd` watching `events`.
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd { fd, events, revents: 0 }
+    }
+
+    /// Whether the kernel reported any of `mask` (after a [`poll`]).
+    pub fn has(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+
+    /// Whether the kernel reported an error-ish condition: `POLLERR`,
+    /// `POLLHUP`, or `POLLNVAL`.
+    pub fn failed(&self) -> bool {
+        self.has(POLLERR | POLLHUP | POLLNVAL)
+    }
+}
+
+#[allow(unsafe_code)]
+mod ffi {
+    use super::PollFd;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        pub fn pipe(fds: *mut i32) -> i32;
+        pub fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    }
+
+    /// `F_SETFL` on Linux.
+    pub const F_SETFL: i32 = 4;
+    /// `O_NONBLOCK` on Linux.
+    pub const O_NONBLOCK: i32 = 0o4000;
+
+    /// SAFETY wrapper: `fds` is a valid, exclusively borrowed slice and
+    /// the kernel writes only `revents` within it.
+    pub fn poll_slice(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) }
+    }
+
+    /// SAFETY wrapper: `out` is a valid 2-element array the kernel
+    /// fills with the read and write ends.
+    pub fn pipe_pair(out: &mut [i32; 2]) -> i32 {
+        unsafe { pipe(out.as_mut_ptr()) }
+    }
+
+    /// SAFETY wrapper: plain fd-only syscalls.
+    pub fn set_nonblocking(fd: i32) -> i32 {
+        unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) }
+    }
+
+    pub fn close_fd(fd: i32) {
+        unsafe {
+            close(fd);
+        }
+    }
+
+    pub fn write_byte(fd: i32) -> isize {
+        let byte = [1u8];
+        unsafe { write(fd, byte.as_ptr(), 1) }
+    }
+
+    pub fn read_into(fd: i32, buf: &mut [u8]) -> isize {
+        unsafe { read(fd, buf.as_mut_ptr(), buf.len()) }
+    }
+}
+
+/// Blocks until at least one fd in `fds` is ready, the timeout expires,
+/// or a signal interrupts the wait. Returns how many entries have
+/// non-zero `revents` (0 on timeout or `EINTR` — callers loop anyway,
+/// so an interrupted wait is reported as an empty wake-up, which also
+/// lets the caller notice a signal-triggered shutdown promptly).
+///
+/// # Errors
+///
+/// Any `poll(2)` failure other than `EINTR`.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    let n = ffi::poll_slice(fds, timeout_ms);
+    if n < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(n as usize)
+}
+
+/// A non-blocking self-pipe: any thread (or an async-signal-safe
+/// handler) calls [`WakePipe::wake`]; the event loop polls
+/// [`WakePipe::read_fd`] for `POLLIN` and calls [`WakePipe::drain`]
+/// when it fires. Multiple wakes between drains coalesce — the pipe
+/// carries "something happened", not a count.
+#[derive(Debug)]
+pub struct WakePipe {
+    read_fd: i32,
+    write_fd: i32,
+}
+
+impl WakePipe {
+    /// Creates the pipe with both ends non-blocking (a full pipe must
+    /// drop wakes, never block a waker — the loop is about to wake
+    /// anyway).
+    ///
+    /// # Errors
+    ///
+    /// Any `pipe(2)`/`fcntl(2)` failure.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        if ffi::pipe_pair(&mut fds) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            if ffi::set_nonblocking(fd) != 0 {
+                let err = io::Error::last_os_error();
+                ffi::close_fd(fds[0]);
+                ffi::close_fd(fds[1]);
+                return Err(err);
+            }
+        }
+        Ok(WakePipe { read_fd: fds[0], write_fd: fds[1] })
+    }
+
+    /// The fd the event loop registers for `POLLIN`.
+    pub fn read_fd(&self) -> i32 {
+        self.read_fd
+    }
+
+    /// The fd wakers write to — handed to [`crate::signal::set_wake_fd`]
+    /// so a `SIGTERM` wakes the loop instantly instead of at the next
+    /// poll timeout.
+    pub fn write_fd(&self) -> i32 {
+        self.write_fd
+    }
+
+    /// Wakes the poller. Never blocks: a full pipe (`EAGAIN`) means a
+    /// wake is already pending, which is all this call promises.
+    pub fn wake(&self) {
+        ffi::write_byte(self.write_fd);
+    }
+
+    /// Empties the pipe so the next [`poll`] sleeps again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while ffi::read_into(self.read_fd, &mut buf) > 0 {}
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        ffi::close_fd(self.read_fd);
+        ffi::close_fd(self.write_fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_times_out_on_a_quiet_pipe() {
+        let pipe = WakePipe::new().expect("pipe");
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let n = poll(&mut fds, 10).expect("poll");
+        assert_eq!(n, 0, "nothing was written, so nothing is ready");
+        assert!(!fds[0].has(POLLIN));
+    }
+
+    #[test]
+    fn wake_makes_the_read_end_ready_and_drain_resets_it() {
+        let pipe = WakePipe::new().expect("pipe");
+        pipe.wake();
+        pipe.wake(); // coalesces, must not block
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let n = poll(&mut fds, 1000).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].has(POLLIN));
+        pipe.drain();
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 10).expect("poll"), 0, "drained pipe is quiet");
+    }
+
+    #[test]
+    fn wake_from_another_thread_is_observed() {
+        let pipe = std::sync::Arc::new(WakePipe::new().expect("pipe"));
+        let waker = std::sync::Arc::clone(&pipe);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            waker.wake();
+        });
+        let mut fds = [PollFd::new(pipe.read_fd(), POLLIN)];
+        let n = poll(&mut fds, 5000).expect("poll");
+        assert_eq!(n, 1, "the cross-thread wake must be seen");
+        handle.join().expect("waker thread");
+    }
+
+    #[test]
+    fn negative_fds_are_ignored_by_the_kernel() {
+        let pipe = WakePipe::new().expect("pipe");
+        pipe.wake();
+        let mut fds =
+            [PollFd::new(-1, POLLIN), PollFd::new(pipe.read_fd(), POLLIN)];
+        let n = poll(&mut fds, 1000).expect("poll");
+        assert_eq!(n, 1);
+        assert!(!fds[0].has(POLLIN), "negative fd slot stays quiet");
+        assert!(fds[1].has(POLLIN));
+    }
+}

@@ -128,8 +128,43 @@ for bin in "${BINARIES[@]}"; do
     echo "ok    $bin"
 done
 
+# The open-loop serveload scenario: a fixed-rate client measuring
+# coordinated-omission-safe latency while a slow-loris flood hammers the
+# event-loop front end. The run itself asserts survival (no errors, no
+# healthz failures, attacked p99 within 5x baseline); here we also pin
+# the BENCH_serve.json schema the dashboards consume.
+echo "== serveload open-loop (slow-loris attack) =="
+out="$OUT_DIR/serveload-open"
+mkdir -p "$out"
+if ! SOCNET_BENCH_DIR="$out" "$BIN_DIR/serveload" \
+    --mode open --rate 50 --duration-secs 4 \
+    --attack slowloris --attack-conns 256 --frontend event \
+    --no-resume --out "$out" \
+    --log-format json --log-file "$out/events.jsonl" \
+    >"$out/stdout.txt" 2>"$out/stderr.txt"; then
+    echo "FAIL  serveload open-loop: non-zero exit" >&2
+    tail -20 "$out/stderr.txt" >&2 || true
+    failures=$((failures + 1))
+else
+    bench="$out/BENCH_serve.json"
+    if [ ! -f "$bench" ] || ! validate_json "$bench"; then
+        echo "FAIL  serveload open-loop: missing or invalid $bench" >&2
+        failures=$((failures + 1))
+    else
+        for key in '"mode":"open"' '"attack":"slowloris"' \
+            '"baseline_p99_ms":' '"attack_p99_ms":' \
+            '"healthz_failures":0' '"survived":true'; do
+            if ! grep -q "$key" "$bench"; then
+                echo "FAIL  serveload open-loop: $bench lacks $key" >&2
+                failures=$((failures + 1))
+            fi
+        done
+        echo "ok    serveload open-loop survived the attack with the expected schema"
+    fi
+fi
+
 if [ "$failures" -ne 0 ]; then
     echo "bench smoke failed: $failures binar$([ "$failures" -eq 1 ] && echo y || echo ies) misbehaved" >&2
     exit 1
 fi
-echo "bench smoke passed (${#BINARIES[@]} binaries)"
+echo "bench smoke passed (${#BINARIES[@]} binaries + open-loop serveload)"

@@ -119,6 +119,7 @@ for t in tests/*.rs; do
     run_tests "it_$(basename "$t" .rs)" "$t"
 done
 run_tests it_serve_server crates/serve/tests/server.rs
+run_tests it_serve_overload crates/serve/tests/overload.rs
 run_tests it_serve_store crates/serve/tests/store.rs
 run_tests it_bench_fault_tolerance crates/bench/tests/fault_tolerance.rs
 run_tests it_bench_determinism crates/bench/tests/determinism.rs

@@ -53,7 +53,7 @@ fetch() { # method path outfile
 
 echo "== boot =="
 "$CLI" serve --addr 127.0.0.1:0 --threads 2 --scale "$SCALE" \
-    --out "$OUT_DIR" \
+    --header-deadline 2 --out "$OUT_DIR" \
     --log-format json --log-file "$OUT_DIR/events.jsonl" \
     >"$OUT_DIR/stdout.txt" 2>"$OUT_DIR/stderr.txt" &
 SERVER_PID=$!
@@ -134,6 +134,26 @@ else
     echo "FAIL  /metrics returned an empty body" >&2
     failures=$((failures + 1))
 fi
+
+echo "== slow-loris probe =="
+# A client that sends a partial request head and then stalls must not
+# hold the server: /healthz keeps answering, and the connection is
+# reaped at the header deadline (2s here) instead of living forever.
+LORIS_HOST=${ADDR%:*}
+LORIS_PORT=${ADDR##*:}
+exec 3<>"/dev/tcp/$LORIS_HOST/$LORIS_PORT"
+printf 'GET /healthz HTTP/1.1\r\nX-Drip: ' >&3
+check "healthz answers while a slow-loris stalls" 200 \
+    "$(fetch GET /healthz healthz-during-loris.json)"
+loris_rc=0
+read -t 15 -u 3 -N 1 _loris_byte || loris_rc=$?
+if [ "$loris_rc" -gt 128 ]; then
+    echo "FAIL  slow-loris connection was not reaped within 15s" >&2
+    failures=$((failures + 1))
+else
+    echo "ok    slow-loris connection reaped at the header deadline"
+fi
+exec 3>&- 2>/dev/null || true
 
 echo "== graceful drain =="
 kill -TERM "$SERVER_PID"
