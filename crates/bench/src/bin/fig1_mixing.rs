@@ -10,12 +10,18 @@
 //! serially; within each dataset the per-source sweep fans out
 //! `--threads` wide (identical output bytes at any width).
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use socnet_bench::{
-    cell, degraded, emit_csv, fmt_f64, inner_par, panels, Experiment, ExperimentArgs, TableView,
+    cell, degraded, emit_csv, fmt_f64, inner_par, panels, Experiment, ExperimentArgs,
+    MixingEstimator, TableView,
 };
+use socnet_core::{sample_nodes, Csr, Graph};
 use socnet_gen::Dataset;
-use socnet_mixing::{MixingConfig, MixingMeasurement};
-use socnet_runner::obs;
+use socnet_mixing::{
+    estimate_mixing_csr, MixingConfig, MixingError, MixingMeasurement, SampleMixingConfig,
+};
+use socnet_runner::{obs, CancelToken, UnitError};
 
 const MAX_WALK: usize = 300;
 /// Walk lengths printed in the on-screen table (CSV gets full resolution).
@@ -31,24 +37,41 @@ fn main() {
 
 fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]) {
     let args = exp.args().clone();
+    // The estimator is part of the resume key: a journal written by the
+    // exact path must never be replayed into a sampled run (or vice
+    // versa), since their curves measure different quantities.
+    let id_suffix = match args.mixing_est {
+        MixingEstimator::Exact => "",
+        MixingEstimator::Sample => "/sample",
+    };
     let curves = exp.sweep_stage(
         stem,
         datasets,
-        |_, d| format!("{stem}/{}", d.name()),
+        |_, d| format!("{stem}/{}{id_suffix}", d.name()),
         |ctx, &d| {
             let g = args.dataset(d);
-            let cfg = MixingConfig {
-                sources: args.sources,
-                max_walk: MAX_WALK,
-                laziness: 0.0,
-                seed: args.seed.wrapping_add(u64::from(ctx.attempt) - 1),
+            let seed = args.seed.wrapping_add(u64::from(ctx.attempt) - 1);
+            let (curve, mixing_time) = match args.mixing_est {
+                MixingEstimator::Exact => {
+                    let cfg = MixingConfig {
+                        sources: args.sources,
+                        max_walk: MAX_WALK,
+                        laziness: 0.0,
+                        seed,
+                    };
+                    let (m, report) = MixingMeasurement::measure_reported(
+                        &g,
+                        &cfg,
+                        &inner_par(ctx.cancel, args.threads),
+                    );
+                    if !report.is_complete() {
+                        return Err(degraded(ctx.cancel, &report));
+                    }
+                    let mt = m.mixing_time(0.10);
+                    (m.mean_curve(), mt)
+                }
+                MixingEstimator::Sample => sampled_curve(&g, seed, args.sources, ctx.cancel)?,
             };
-            let (m, report) =
-                MixingMeasurement::measure_reported(&g, &cfg, &inner_par(ctx.cancel, args.threads));
-            if !report.is_complete() {
-                return Err(degraded(ctx.cancel, &report));
-            }
-            let curve = m.mean_curve();
             obs::info(
                 "dataset.measured",
                 &[
@@ -56,7 +79,7 @@ fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]
                     ("n", g.node_count().into()),
                     ("tvd_at_10", curve[9].into()),
                     ("tvd_at_100", curve[99].into()),
-                    ("mixing_time_0.1", format!("{:?}", m.mixing_time(0.10)).into()),
+                    ("mixing_time_0.1", format!("{mixing_time:?}").into()),
                 ],
             );
             Ok(curve)
@@ -95,4 +118,54 @@ fn run_panel(exp: &mut Experiment, stem: &str, title: &str, datasets: &[Dataset]
         table.push_row(row);
     }
     table.print();
+}
+
+/// `--mixing-est sample`: the mean collision-sampled TVD upper bound
+/// over randomly chosen walk sources, mirroring the exact path's mean
+/// curve (and its `mixing_time` read-off at ε = 0.1). Isolated sources
+/// cannot host a walk and are skipped; a graph where every sampled
+/// source is isolated fails the unit.
+fn sampled_curve(
+    g: &Graph,
+    seed: u64,
+    sources: usize,
+    cancel: &CancelToken,
+) -> Result<(Vec<f64>, Option<usize>), UnitError> {
+    let csr = Csr::from_graph(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let picked = sample_nodes(g, sources, &mut rng);
+    let mut mean = vec![0.0f64; MAX_WALK];
+    let mut used = 0usize;
+    for s in picked {
+        if cancel.is_cancelled() {
+            return Err(UnitError::Cancelled);
+        }
+        let cfg = SampleMixingConfig {
+            max_walk: MAX_WALK,
+            seed: seed ^ (u64::from(s.0) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ..Default::default()
+        };
+        match estimate_mixing_csr(&csr, s, &cfg) {
+            Ok(est) => {
+                for (m, b) in mean.iter_mut().zip(&est.bound) {
+                    *m += *b;
+                }
+                used += 1;
+            }
+            // An isolated source (or other degenerate input) cannot be
+            // estimated; the mean is over the sources that can.
+            Err(MixingError::InvalidParameter(_)) => continue,
+            Err(e) => return Err(UnitError::Failed(e.to_string())),
+        }
+    }
+    if used == 0 {
+        return Err(UnitError::Failed(
+            "no sampled source supports a random walk".to_string(),
+        ));
+    }
+    for m in &mut mean {
+        *m /= used as f64;
+    }
+    let mixing_time = mean.iter().position(|&d| d < 0.10).map(|t| t + 1);
+    Ok((mean, mixing_time))
 }

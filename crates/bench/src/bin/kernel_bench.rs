@@ -1,0 +1,203 @@
+//! CSR kernel suite — the perf-regression gate's workload.
+//!
+//! Synthesizes one preferential-attachment (Barabási–Albert) and one
+//! stochastic-block-model graph at `--scale` (the `large`/`xl` presets
+//! reach 10⁵–10⁶ nodes), then times every hot CSR kernel on each:
+//!
+//! | stage | kernel |
+//! |---|---|
+//! | `csr_build` | `Csr::from_graph` — the O(E) slab conversion |
+//! | `bfs` | `par_bfs` — frontier-parallel level-synchronous BFS |
+//! | `kcore` | `CoreDecomposition::compute_csr` — bucket k-core |
+//! | `spmv` | `try_slem_csr` — blocked mat-vec power iteration |
+//! | `tvd` | `WalkOperator::step_blocked` — distribution evolution |
+//! | `sample_mixing` | `estimate_mixing_csr` — collision sampling |
+//!
+//! Per-kernel wall, nodes/sec, and edges/sec go to stdout, and into
+//! `BENCH_kernels.json` (stages + `extras`), which CI diffs against
+//! `ci/baselines/BENCH_kernels.baseline.json` with
+//! `scripts/bench-compare.sh --assert-within 30%`.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_bench::{cell, fmt_f64, Experiment, ExperimentArgs, TableView};
+use socnet_core::{par_bfs, Csr, Graph, NodeId};
+use socnet_gen::{barabasi_albert, stochastic_block_model};
+use socnet_kcore::CoreDecomposition;
+use socnet_mixing::{
+    estimate_mixing_csr, try_slem_csr, SampleMixingConfig, SpectralConfig, WalkOperator,
+};
+use socnet_runner::{json, obs, UnitError};
+
+/// Node count of each synthetic graph at `--scale 1.0`; the `xl` preset
+/// (50×) turns the BA family into the 10⁶-node acceptance workload.
+const BASE_N: usize = 20_000;
+/// Edges each new BA node attaches with.
+const M_ATTACH: usize = 8;
+/// SBM community count (sizes scale, the count does not).
+const SBM_BLOCKS: usize = 16;
+/// Power-iteration steps timed by the `spmv` stage.
+const SPMV_ITERS: usize = 50;
+/// Walk-operator steps timed by the `tvd` stage.
+const TVD_STEPS: usize = 20;
+/// Sampled walks / walk length of the `sample_mixing` stage.
+const SAMPLE_WALKS: usize = 64;
+const SAMPLE_LEN: usize = 50;
+
+/// One timed kernel run: `[wall_s, nodes_done, edges_done]` (a
+/// journal-friendly payload; rates are derived at report time).
+type KernelMetrics = Vec<f64>;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let mut exp = Experiment::new("kernels", &args);
+    let threads = args.threads.max(1);
+
+    let graphs = synthesize(&args);
+    let csrs: Vec<Csr> = graphs.iter().map(|(_, g)| Csr::from_graph(g)).collect();
+    for ((name, g), csr) in graphs.iter().zip(&csrs) {
+        obs::info(
+            "graph.synthesized",
+            &[
+                ("family", (*name).into()),
+                ("nodes", g.node_count().into()),
+                ("edges", g.edge_count().into()),
+                ("csr_bytes", csr.byte_size().into()),
+            ],
+        );
+    }
+
+    let mut rows: Vec<(String, String, KernelMetrics)> = Vec::new();
+    let stage = |exp: &mut Experiment,
+                 rows: &mut Vec<(String, String, KernelMetrics)>,
+                 name: &str,
+                 kernel: &(dyn Fn(usize) -> KernelMetrics + Sync)| {
+        let idx: Vec<usize> = (0..graphs.len()).collect();
+        let out = exp.sweep_stage(
+            name,
+            &idx,
+            |_, &i| format!("{name}/{}", graphs[i].0),
+            |_, &i| Ok::<_, UnitError>(kernel(i)),
+        );
+        for (i, m) in out.into_iter().enumerate() {
+            if let Some(m) = m {
+                rows.push((name.to_string(), graphs[i].0.to_string(), m));
+            }
+        }
+    };
+
+    stage(&mut exp, &mut rows, "csr_build", &|i| {
+        let g = &graphs[i].1;
+        let start = Instant::now();
+        let built = Csr::from_graph(g);
+        timed(start, built.node_count(), built.edge_count())
+    });
+
+    stage(&mut exp, &mut rows, "bfs", &|i| {
+        let csr = &csrs[i];
+        let start = Instant::now();
+        let r = par_bfs(csr, 0, threads);
+        timed(start, r.reached, csr.edge_count())
+    });
+
+    stage(&mut exp, &mut rows, "kcore", &|i| {
+        let csr = &csrs[i];
+        let start = Instant::now();
+        let d = CoreDecomposition::compute_csr(csr);
+        timed(start, d.coreness_slice().len(), csr.edge_count())
+    });
+
+    stage(&mut exp, &mut rows, "spmv", &|i| {
+        let csr = &csrs[i];
+        // Zero tolerance pins the iteration count, so the stage times a
+        // fixed amount of mat-vec work at every scale.
+        let cfg = SpectralConfig {
+            tolerance: 0.0,
+            max_iterations: SPMV_ITERS,
+            threads,
+            ..SpectralConfig::default()
+        };
+        let start = Instant::now();
+        let s = try_slem_csr(csr, &cfg).expect("synthetic graphs have edges");
+        timed(start, csr.node_count() * s.iterations, csr.edge_count() * s.iterations)
+    });
+
+    stage(&mut exp, &mut rows, "tvd", &|i| {
+        let csr = &csrs[i];
+        let op = WalkOperator::from_csr(csr, 0.0);
+        let blocks = csr.edge_balanced_blocks(threads);
+        let n = csr.node_count();
+        let mut x = vec![0.0; n];
+        x[0] = 1.0;
+        let mut y = vec![0.0; n];
+        let start = Instant::now();
+        for _ in 0..TVD_STEPS {
+            op.step_blocked(&x, &mut y, &blocks);
+            std::mem::swap(&mut x, &mut y);
+        }
+        timed(start, n * TVD_STEPS, csr.edge_count() * TVD_STEPS)
+    });
+
+    stage(&mut exp, &mut rows, "sample_mixing", &|i| {
+        let csr = &csrs[i];
+        let cfg = SampleMixingConfig {
+            walks: SAMPLE_WALKS,
+            max_walk: SAMPLE_LEN,
+            ..SampleMixingConfig::default()
+        };
+        let start = Instant::now();
+        let est = estimate_mixing_csr(csr, NodeId(0), &cfg).expect("node 0 has edges");
+        timed(start, est.walks * SAMPLE_LEN, csr.edge_count())
+    });
+
+    // Per-kernel throughput: the console table and the machine-checked
+    // extras of BENCH_kernels.json.
+    let mut table = TableView::new(
+        "CSR kernel throughput",
+        ["kernel", "graph", "wall_s", "nodes_per_s", "edges_per_s"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (kernel, graph, m) in &rows {
+        let (wall, nodes, edges) = (m[0], m[1], m[2]);
+        let nps = nodes / wall.max(1e-9);
+        let eps = edges / wall.max(1e-9);
+        table.push_row(vec![
+            kernel.clone(),
+            graph.clone(),
+            fmt_f64(wall),
+            cell(nps.round()),
+            cell(eps.round()),
+        ]);
+        exp.bench_extra(&format!("{kernel}_{graph}_nodes_per_s"), json::num(nps, 1));
+        exp.bench_extra(&format!("{kernel}_{graph}_edges_per_s"), json::num(eps, 1));
+    }
+    table.print();
+    exp.finish();
+}
+
+/// Packs a finished kernel's metrics (see [`KernelMetrics`]).
+fn timed(start: Instant, nodes: usize, edges: usize) -> KernelMetrics {
+    vec![start.elapsed().as_secs_f64(), nodes as f64, edges as f64]
+}
+
+/// The two synthetic kernel workloads at the invocation's scale: a
+/// heavy-tailed preferential-attachment graph (`ba`) and a 16-community
+/// stochastic block model (`sbm`) with scale-free average degree, so
+/// `--scale xl` grows nodes 50× without densifying.
+fn synthesize(args: &ExperimentArgs) -> Vec<(&'static str, Graph)> {
+    let n = ((BASE_N as f64 * args.scale) as usize).max(64);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let ba = barabasi_albert(n, M_ATTACH, &mut rng);
+
+    let block = (n / SBM_BLOCKS).max(4);
+    let sizes = vec![block; SBM_BLOCKS];
+    let p_in = (12.0 / (block.saturating_sub(1)) as f64).min(1.0);
+    let p_out = (3.0 / (block * (SBM_BLOCKS - 1)) as f64).min(1.0);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5b);
+    let sbm = stochastic_block_model(&sizes, p_in, p_out, &mut rng);
+
+    vec![("ba", ba), ("sbm", sbm)]
+}

@@ -96,6 +96,9 @@ pub struct ExperimentArgs {
     /// the machine's available parallelism). The thread count never
     /// changes the output bytes — only the wall clock.
     pub threads: usize,
+    /// Which mixing-time estimator `fig1_mixing` runs (other binaries
+    /// ignore it).
+    pub mixing_est: MixingEstimator,
     /// Event rendering for the diagnostic sink.
     pub log_format: LogFormat,
     /// Event destination (`None` = stderr).
@@ -115,9 +118,35 @@ impl Default for ExperimentArgs {
             resume: true,
             retries: 1,
             threads: available_threads(),
+            mixing_est: MixingEstimator::Exact,
             log_format: LogFormat::Pretty,
             log_file: None,
             quiet: false,
+        }
+    }
+}
+
+/// Which mixing-time path `fig1_mixing` takes: the exact dense
+/// distribution evolution, or the collision-sampling estimator that
+/// stays tractable on `--scale large`/`xl` graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MixingEstimator {
+    /// Dense `O(n + m)`-per-step evolution; exact TVD curves.
+    #[default]
+    Exact,
+    /// Molla–Pandurangan collision sampling; approximate TVD upper
+    /// bounds from `K` independent walks per source.
+    Sample,
+}
+
+impl std::str::FromStr for MixingEstimator {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(MixingEstimator::Exact),
+            "sample" => Ok(MixingEstimator::Sample),
+            other => Err(format!("unknown mixing estimator {other:?} (exact or sample)")),
         }
     }
 }
@@ -146,7 +175,8 @@ impl std::error::Error for ArgsError {}
 pub const USAGE: &str = "\
 options:
   --scale <f64|name>    dataset size multiplier, finite and > 0, or a preset:
-                        tiny=0.02 small=0.1 medium=0.25 full=1.0 (default 1.0)
+                        tiny=0.02 small=0.1 medium=0.25 full=1.0
+                        large=5.0 xl=50.0 (default 1.0)
   --seed <u64>          base RNG seed (default 42)
   --sources <usize>     per-figure sampling budget (default 100)
   --out <dir>           CSV output directory (default results/)
@@ -156,15 +186,25 @@ options:
   --retries <u32>       extra attempts for failed units (default 1)
   --threads <usize>     worker threads for parallel sweeps, >= 1
                         (default: all available cores; never changes outputs)
+  --mixing-est <est>    fig1 mixing estimator: exact (default) or sample
+                        (collision-sampling approximation for large scales)
   --log-format <fmt>    diagnostic event rendering: pretty (default) or json
   --log-file <path>     write events to a file instead of stderr
   --quiet               silence the stderr event stream (stdout results and
                         --log-file are unaffected)
 unknown flags are ignored (cargo bench passes its own)";
 
-/// Named `--scale` presets, resolved before float parsing.
-pub const SCALE_PRESETS: [(&str, f64); 4] =
-    [("tiny", 0.02), ("small", 0.1), ("medium", 0.25), ("full", 1.0)];
+/// Named `--scale` presets, resolved before float parsing. `large` and
+/// `xl` synthesize 10⁵–10⁶-node graphs in the CSR kernel bench; the
+/// figure binaries accept them too but take correspondingly long.
+pub const SCALE_PRESETS: [(&str, f64); 6] = [
+    ("tiny", 0.02),
+    ("small", 0.1),
+    ("medium", 0.25),
+    ("full", 1.0),
+    ("large", 5.0),
+    ("xl", 50.0),
+];
 
 impl ExperimentArgs {
     /// Parses `std::env::args`, ignoring unknown flags.
@@ -205,7 +245,7 @@ impl ExperimentArgs {
                     }
                     let scale: f64 = raw.parse().map_err(|_| {
                         ArgsError(format!(
-                            "--scale expects a float or preset (tiny/small/medium/full), got {raw:?}"
+                            "--scale expects a float or preset (tiny/small/medium/full/large/xl), got {raw:?}"
                         ))
                     })?;
                     if !scale.is_finite() || scale <= 0.0 {
@@ -260,6 +300,10 @@ impl ExperimentArgs {
                         ));
                     }
                     out.threads = threads;
+                }
+                "--mixing-est" => {
+                    let raw = value("--mixing-est")?;
+                    out.mixing_est = raw.parse().map_err(|e: String| ArgsError(e))?;
                 }
                 "--log-format" => {
                     let raw = value("--log-format")?;
@@ -603,6 +647,17 @@ mod tests {
         }
         let err = ExperimentArgs::try_parse_from(["--scale".into(), "huge".into()]).unwrap_err();
         assert!(err.to_string().contains("preset"), "got {err}");
+    }
+
+    #[test]
+    fn args_parse_mixing_estimator() {
+        let a = ExperimentArgs::parse_from(["--mixing-est", "sample"].map(String::from));
+        assert_eq!(a.mixing_est, MixingEstimator::Sample);
+        let d = ExperimentArgs::default();
+        assert_eq!(d.mixing_est, MixingEstimator::Exact);
+        let err =
+            ExperimentArgs::try_parse_from(["--mixing-est".into(), "magic".into()]).unwrap_err();
+        assert!(err.to_string().contains("mixing estimator"), "got {err}");
     }
 
     #[test]

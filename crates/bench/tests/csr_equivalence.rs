@@ -1,0 +1,170 @@
+//! CSR kernels vs. the legacy `Graph` implementations, across every
+//! generator family at `--scale tiny` equivalents: the compact slabs
+//! are a pure representation change, so BFS levels, SLEM bits, and
+//! coreness arrays must match exactly. Also cross-checks the sampled
+//! mixing estimator against the exact evolution at small scale, and
+//! carries the `--scale xl` acceptance workload as an `#[ignore]`d
+//! million-node test (`cargo test --release -- --ignored million`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socnet_core::{par_bfs, Bfs, Csr, Graph, NodeId};
+use socnet_gen::{
+    barabasi_albert, complete, erdos_renyi_gnp, grid, holme_kim, relaxed_caveman, ring,
+    stochastic_block_model, watts_strogatz, Dataset,
+};
+use socnet_kcore::CoreDecomposition;
+use socnet_mixing::{
+    estimate_mixing_csr, slem_legacy, try_slem_csr, MixingConfig, MixingMeasurement,
+    SampleMixingConfig, SpectralConfig,
+};
+
+/// One representative per generator family, sized like `--scale tiny`,
+/// plus a few registry datasets at the tiny preset itself.
+fn tiny_graphs() -> Vec<(String, Graph)> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut graphs: Vec<(String, Graph)> = vec![
+        ("ba".into(), barabasi_albert(400, 4, &mut rng)),
+        ("sbm".into(), stochastic_block_model(&[80, 80, 80], 0.2, 0.01, &mut rng)),
+        ("er".into(), erdos_renyi_gnp(300, 0.03, &mut rng)),
+        ("ws".into(), watts_strogatz(300, 6, 0.1, &mut rng)),
+        ("hk".into(), holme_kim(300, 3, 0.4, &mut rng)),
+        ("caveman".into(), relaxed_caveman(12, 20, 0.15, &mut rng)),
+        ("ring".into(), ring(64)),
+        ("grid".into(), grid(12, 9)),
+        ("complete".into(), complete(40)),
+    ];
+    for d in [Dataset::WikiVote, Dataset::Physics1, Dataset::FacebookA] {
+        graphs.push((format!("{}@tiny", d.name()), d.generate_scaled(0.02, 42)));
+    }
+    graphs
+}
+
+#[test]
+fn bfs_levels_and_distances_match_legacy_everywhere() {
+    for (name, g) in tiny_graphs() {
+        let csr = Csr::from_graph(&g);
+        let mut legacy = Bfs::new(&g);
+        let mut compact = socnet_core::CsrBfs::new(csr.node_count());
+        let step = (g.node_count() / 17).max(1);
+        for s in (0..g.node_count()).step_by(step) {
+            let want = legacy.level_sizes(&g, NodeId(s as u32)).to_vec();
+            assert_eq!(compact.level_sizes(&csr, s as u32), &want[..], "{name} src {s}");
+            let fresh = socnet_core::bfs(&g, NodeId(s as u32));
+            for threads in [1, 4] {
+                let par = par_bfs(&csr, s as u32, threads);
+                assert_eq!(par.dist, fresh.dist, "{name} src {s} threads {threads}");
+                assert_eq!(par.reached, fresh.reached, "{name} src {s}");
+            }
+        }
+    }
+}
+
+#[test]
+fn slem_is_bit_identical_to_legacy_everywhere() {
+    let cfg = SpectralConfig { max_iterations: 400, ..SpectralConfig::default() };
+    for (name, g) in tiny_graphs() {
+        if g.edge_count() == 0 {
+            continue;
+        }
+        let legacy = slem_legacy(&g, &cfg);
+        for threads in [1, 3] {
+            let csr_cfg = SpectralConfig { threads, ..cfg };
+            let s = try_slem_csr(&Csr::from_graph(&g), &csr_cfg).expect("edges exist");
+            assert_eq!(s.lambda2.to_bits(), legacy.lambda2.to_bits(), "{name} λ2");
+            assert_eq!(
+                s.lambda_min.to_bits(),
+                legacy.lambda_min.to_bits(),
+                "{name} λmin (threads {threads})"
+            );
+            assert_eq!(s.iterations, legacy.iterations, "{name} iterations");
+        }
+    }
+}
+
+#[test]
+fn coreness_matches_legacy_everywhere() {
+    for (name, g) in tiny_graphs() {
+        let legacy = CoreDecomposition::compute_legacy(&g);
+        let csr = CoreDecomposition::compute_csr(&Csr::from_graph(&g));
+        assert_eq!(csr.coreness_slice(), legacy.coreness_slice(), "{name}");
+        assert_eq!(csr.degeneracy(), legacy.degeneracy(), "{name} degeneracy");
+    }
+}
+
+#[test]
+fn sampled_mixing_agrees_with_exact_at_small_scale() {
+    // Fast mixer: the sampled estimator and the exact evolution must
+    // both see mixing almost immediately.
+    let g = complete(50);
+    let exact = MixingMeasurement::measure(
+        &g,
+        &MixingConfig { sources: 5, max_walk: 20, laziness: 0.0, seed: 11 },
+    );
+    let exact_t = exact.mixing_time(0.2).expect("complete graphs mix");
+    let est = estimate_mixing_csr(
+        &Csr::from_graph(&g),
+        NodeId(0),
+        &SampleMixingConfig { walks: 2_000, max_walk: 20, laziness: 0.0, seed: 11 },
+    )
+    .expect("valid input");
+    let sampled_t = est.mixing_time(0.2).expect("estimator must see fast mixing");
+    assert!(
+        sampled_t <= exact_t + 3,
+        "sampled {sampled_t} vs exact {exact_t}: estimator far off on a fast mixer"
+    );
+
+    // Slow mixer: neither method may report mixing within the horizon.
+    let g = socnet_gen::barbell(10, 0);
+    let exact = MixingMeasurement::measure(
+        &g,
+        &MixingConfig { sources: 4, max_walk: 8, laziness: 0.5, seed: 11 },
+    );
+    assert_eq!(exact.mixing_time(0.05), None);
+    let est = estimate_mixing_csr(
+        &Csr::from_graph(&g),
+        NodeId(0),
+        &SampleMixingConfig { walks: 1_000, max_walk: 8, laziness: 0.5, seed: 11 },
+    )
+    .expect("valid input");
+    assert_eq!(est.mixing_time(0.05), None, "estimator must not see mixing through a bottleneck");
+}
+
+/// The PR's acceptance workload: a 10⁶-node preferential-attachment
+/// graph must build CSR slabs and complete frontier-parallel BFS plus
+/// bucket k-core, with throughput printed for the record. Run with
+/// `cargo test --release -- --ignored million`.
+#[test]
+#[ignore = "million-node acceptance run; needs --release and ~1 GiB"]
+fn million_node_ba_builds_and_runs_parallel_kernels() {
+    use std::time::Instant;
+
+    let n = 1_000_000;
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = barabasi_albert(n, 8, &mut rng);
+
+    let start = Instant::now();
+    let csr = Csr::from_graph(&g);
+    let build = start.elapsed();
+    assert_eq!(csr.node_count(), n);
+    assert!(csr.edge_count() > n, "BA with m=8 is well past tree density");
+
+    let start = Instant::now();
+    let bfs = par_bfs(&csr, 0, 4);
+    let bfs_wall = start.elapsed();
+    assert_eq!(bfs.reached, n, "preferential attachment yields one component");
+
+    let start = Instant::now();
+    let cores = CoreDecomposition::compute_csr(&csr);
+    let kcore_wall = start.elapsed();
+    assert!(cores.degeneracy() >= 8, "every BA node enters with 8 edges");
+
+    for (kernel, wall) in [("csr_build", build), ("bfs", bfs_wall), ("kcore", kcore_wall)] {
+        println!(
+            "{kernel}: {:.3}s, {:.0} nodes/s, {:.0} edges/s",
+            wall.as_secs_f64(),
+            n as f64 / wall.as_secs_f64(),
+            csr.edge_count() as f64 / wall.as_secs_f64()
+        );
+    }
+}

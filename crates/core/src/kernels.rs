@@ -1,0 +1,373 @@
+//! Parallel and scratch-reusing kernels over the compact [`Csr`] slabs.
+//!
+//! Three primitives live here, each deterministic at any thread count:
+//!
+//! * [`CsrBfs`] — stamped, allocation-free breadth-first search scratch
+//!   for per-source sweeps (the CSR counterpart of [`crate::Bfs`]);
+//! * [`par_bfs`] — a level-synchronous frontier BFS that claims nodes
+//!   with atomic compare-exchange; distances and level sizes are unique,
+//!   so the result is identical whether 1 thread or 16 ran it;
+//! * [`par_fill_rows`] — the blocked row-parallel driver for sparse
+//!   mat-vec style kernels: each output row is a pure function of the
+//!   input vector, threads own disjoint contiguous row blocks, and the
+//!   per-row arithmetic order never depends on the block split — so the
+//!   output is *bit-identical* to a sequential pass.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::csr::Csr;
+use crate::UNREACHED;
+
+/// Reusable breadth-first search scratch over [`Csr`] slabs.
+///
+/// The CSR counterpart of [`crate::Bfs`]: stamped visitation instead of
+/// a cleared visited array, one allocation for a whole sweep. Level
+/// sizes are identical to the [`crate::Bfs`] results on the same graph.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{Csr, CsrBfs, Graph};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4)]);
+/// let csr = Csr::from_graph(&g);
+/// let mut bfs = CsrBfs::new(csr.node_count());
+/// assert_eq!(bfs.level_sizes(&csr, 0), &[1, 2, 2]);
+/// assert_eq!(bfs.level_sizes(&csr, 3), &[1, 1, 1, 1, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBfs {
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    queue: Vec<u32>,
+    levels: Vec<usize>,
+    current: u32,
+}
+
+impl CsrBfs {
+    /// Creates scratch state for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CsrBfs {
+            stamp: vec![0; n],
+            dist: vec![0; n],
+            queue: Vec::new(),
+            levels: Vec::new(),
+            current: 0,
+        }
+    }
+
+    /// Runs a BFS from `source` and returns the node count of each
+    /// level (`level_sizes[0] == 1`). Valid until the next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or the scratch was sized for
+    /// a different node count.
+    pub fn level_sizes(&mut self, csr: &Csr, source: u32) -> &[usize] {
+        assert_eq!(self.stamp.len(), csr.node_count(), "bfs state size mismatch");
+        self.current = self.current.wrapping_add(1);
+        if self.current == 0 {
+            // Stamp counter wrapped: reset so stale stamps cannot collide.
+            self.stamp.fill(0);
+            self.current = 1;
+        }
+        self.levels.clear();
+        self.queue.clear();
+        self.stamp[source as usize] = self.current;
+        self.dist[source as usize] = 0;
+        self.queue.push(source);
+        self.levels.push(1);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            for &v in csr.neighbors(u) {
+                if self.stamp[v as usize] != self.current {
+                    self.stamp[v as usize] = self.current;
+                    self.dist[v as usize] = du + 1;
+                    let level = (du + 1) as usize;
+                    if self.levels.len() <= level {
+                        self.levels.push(0);
+                    }
+                    self.levels[level] += 1;
+                    self.queue.push(v);
+                }
+            }
+        }
+        &self.levels
+    }
+
+    /// Runs a BFS from `source` and returns the per-node hop distances
+    /// ([`UNREACHED`] for other components) plus the reached count.
+    /// The slice is valid until the next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or the scratch was sized for
+    /// a different node count.
+    pub fn distances(&mut self, csr: &Csr, source: u32) -> (&[u32], usize) {
+        assert_eq!(self.dist.len(), csr.node_count(), "bfs state size mismatch");
+        self.dist.fill(UNREACHED);
+        self.queue.clear();
+        self.dist[source as usize] = 0;
+        self.queue.push(source);
+        let mut head = 0usize;
+        let mut reached = 1usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            for &v in csr.neighbors(u) {
+                if self.dist[v as usize] == UNREACHED {
+                    self.dist[v as usize] = du + 1;
+                    reached += 1;
+                    self.queue.push(v);
+                }
+            }
+        }
+        (&self.dist, reached)
+    }
+}
+
+/// Result of a [`par_bfs`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParBfsResult {
+    /// Node count of each BFS level (`level_sizes[0] == 1`).
+    pub level_sizes: Vec<usize>,
+    /// Hop distance per node, [`UNREACHED`] for other components.
+    pub dist: Vec<u32>,
+    /// Nodes reached, including the source.
+    pub reached: usize,
+}
+
+/// How many frontier nodes make spawning worthwhile; below this a level
+/// is expanded on the calling thread.
+const PAR_BFS_CUTOFF: usize = 2_048;
+
+/// Level-synchronous frontier-parallel BFS over [`Csr`] slabs.
+///
+/// Each level, the frontier is split into per-thread chunks; workers
+/// claim unvisited neighbors with an atomic compare-exchange on the
+/// distance array. Hop distances (and hence level sizes) are unique
+/// regardless of which thread wins a claim, so the returned result is
+/// **identical at any `threads` value** — only wall-clock changes.
+/// Small frontiers are expanded inline to avoid spawn overhead.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::{par_bfs, Csr, Graph};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4)]);
+/// let csr = Csr::from_graph(&g);
+/// let r = par_bfs(&csr, 0, 4);
+/// assert_eq!(r.level_sizes, vec![1, 2, 2]);
+/// assert_eq!(r.reached, 5);
+/// ```
+pub fn par_bfs(csr: &Csr, source: u32, threads: usize) -> ParBfsResult {
+    let n = csr.node_count();
+    assert!((source as usize) < n, "source {source} out of range for {n} nodes");
+    let threads = threads.max(1);
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+
+    let mut frontier = vec![source];
+    let mut level_sizes = vec![1usize];
+    let mut reached = 1usize;
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let next = if threads == 1 || frontier.len() < PAR_BFS_CUTOFF {
+            expand_level(csr, &dist, &frontier, depth)
+        } else {
+            let chunk = frontier.len().div_ceil(threads);
+            let mut parts: Vec<Vec<u32>> = Vec::with_capacity(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk)
+                    .map(|part| s.spawn(|| expand_level(csr, &dist, part, depth)))
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("bfs worker never panics"));
+                }
+            });
+            let mut next = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for mut p in parts {
+                next.append(&mut p);
+            }
+            next
+        };
+        if next.is_empty() {
+            break;
+        }
+        reached += next.len();
+        level_sizes.push(next.len());
+        frontier = next;
+    }
+
+    let dist = dist.into_iter().map(AtomicU32::into_inner).collect();
+    ParBfsResult { level_sizes, dist, reached }
+}
+
+fn expand_level(csr: &Csr, dist: &[AtomicU32], frontier: &[u32], depth: u32) -> Vec<u32> {
+    let mut next = Vec::new();
+    for &u in frontier {
+        for &v in csr.neighbors(u) {
+            if dist[v as usize].load(Ordering::Relaxed) == UNREACHED
+                && dist[v as usize]
+                    .compare_exchange(UNREACHED, depth, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                next.push(v);
+            }
+        }
+    }
+    next
+}
+
+/// Fills `out[v] = f(v)` for every row, splitting the rows of `blocks`
+/// across one scoped thread per block.
+///
+/// The caller provides contiguous ascending row ranges covering
+/// `0..out.len()` (see [`Csr::edge_balanced_blocks`]); each thread
+/// writes only its own disjoint output slice. Because every row is a
+/// pure function of shared inputs, the result is bit-identical to the
+/// sequential loop for any block split — this is the determinism
+/// contract the blocked mat-vec kernels (SLEM power iteration, TVD
+/// evolution) rely on.
+///
+/// With zero or one block the rows are filled inline, no spawns.
+///
+/// # Panics
+///
+/// Panics if `blocks` does not tile `0..out.len()` exactly.
+pub fn par_fill_rows<F>(blocks: &[std::ops::Range<usize>], out: &mut [f64], f: F)
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    if blocks.len() <= 1 {
+        let end = blocks.first().map_or(out.len(), |b| {
+            assert!(b.start == 0 && b.end == out.len(), "single block must cover all rows");
+            b.end
+        });
+        for (v, slot) in out.iter_mut().enumerate().take(end) {
+            *slot = f(v);
+        }
+        return;
+    }
+    assert_eq!(blocks[0].start, 0, "blocks must start at row 0");
+    assert_eq!(blocks.last().expect("nonempty").end, out.len(), "blocks must cover all rows");
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut offset = 0usize;
+        let f = &f;
+        for b in blocks {
+            assert_eq!(b.start, offset, "blocks must be contiguous and ascending");
+            let (head, tail) = rest.split_at_mut(b.end - offset);
+            let start = b.start;
+            s.spawn(move || {
+                for (i, slot) in head.iter_mut().enumerate() {
+                    *slot = f(start + i);
+                }
+            });
+            rest = tail;
+            offset = b.end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, Bfs, Graph, NodeId};
+
+    fn barbell() -> Graph {
+        Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+    }
+
+    #[test]
+    fn csr_bfs_matches_graph_bfs() {
+        let g = barbell();
+        let csr = Csr::from_graph(&g);
+        let mut legacy = Bfs::new(&g);
+        let mut compact = CsrBfs::new(csr.node_count());
+        for s in g.nodes() {
+            assert_eq!(
+                compact.level_sizes(&csr, s.0),
+                legacy.level_sizes(&g, s),
+                "source {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn csr_distances_match_graph_bfs() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let csr = Csr::from_graph(&g);
+        let mut compact = CsrBfs::new(csr.node_count());
+        for s in g.nodes() {
+            let fresh = bfs(&g, s);
+            let (dist, reached) = compact.distances(&csr, s.0);
+            assert_eq!(dist, fresh.dist.as_slice(), "source {s}");
+            assert_eq!(reached, fresh.reached);
+        }
+    }
+
+    #[test]
+    fn par_bfs_is_identical_at_every_thread_count() {
+        let g = barbell();
+        let csr = Csr::from_graph(&g);
+        let reference = par_bfs(&csr, 0, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(reference, par_bfs(&csr, 0, threads), "threads={threads}");
+        }
+        let fresh = bfs(&g, NodeId(0));
+        assert_eq!(reference.dist, fresh.dist);
+        assert_eq!(reference.reached, fresh.reached);
+    }
+
+    #[test]
+    fn par_bfs_crosses_the_spawn_cutoff() {
+        // A star bigger than the cutoff forces the chunked parallel path
+        // on the second level.
+        let n = PAR_BFS_CUTOFF + 100;
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+        let csr = Csr::from_edges(n, edges);
+        let seq = par_bfs(&csr, 0, 1);
+        let par = par_bfs(&csr, 0, 4);
+        assert_eq!(seq, par);
+        assert_eq!(par.level_sizes, vec![1, n - 1]);
+    }
+
+    #[test]
+    fn fill_rows_matches_sequential_for_any_split() {
+        let g = barbell();
+        let csr = Csr::from_graph(&g);
+        let x: Vec<f64> = (0..csr.node_count()).map(|v| 1.0 / (v + 1) as f64).collect();
+        let row = |v: usize| csr.neighbors(v as u32).iter().map(|&u| x[u as usize]).sum::<f64>();
+        let mut expect = vec![0.0; csr.node_count()];
+        for (v, slot) in expect.iter_mut().enumerate() {
+            *slot = row(v);
+        }
+        for blocks in 1..=6 {
+            let ranges = csr.edge_balanced_blocks(blocks);
+            let mut got = vec![0.0; csr.node_count()];
+            par_fill_rows(&ranges, &mut got, row);
+            let bits: Vec<u64> = got.iter().map(|f| f.to_bits()).collect();
+            let expect_bits: Vec<u64> = expect.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(bits, expect_bits, "blocks={blocks}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn par_bfs_rejects_bad_source() {
+        let csr = Csr::from_edges(2, [(0, 1)]);
+        let _ = par_bfs(&csr, 5, 1);
+    }
+}

@@ -33,10 +33,12 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod csr;
 mod distance;
 mod error;
 mod graph;
 mod io;
+mod kernels;
 mod node;
 mod sample;
 mod stats;
@@ -46,10 +48,12 @@ mod traversal;
 pub mod prelude;
 
 pub use builder::GraphBuilder;
+pub use csr::Csr;
 pub use distance::{double_sweep_lower_bound, eccentricity, exact_diameter, pseudo_diameter};
 pub use error::GraphError;
 pub use graph::{Edges, Graph, Neighbors, Nodes};
 pub use io::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};
+pub use kernels::{par_bfs, par_fill_rows, CsrBfs, ParBfsResult};
 pub use node::NodeId;
 pub use sample::{random_node, sample_nodes, shuffled_nodes};
 pub use subgraph::{induced_subgraph, SubgraphMap};

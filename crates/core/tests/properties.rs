@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use socnet_core::{
-    bfs, connected_components, degree_histogram, induced_subgraph, read_edge_list,
-    write_edge_list, Graph, NodeId, UNREACHED,
+    bfs, connected_components, degree_histogram, induced_subgraph, par_bfs, read_edge_list,
+    write_edge_list, Csr, CsrBfs, Graph, NodeId, UNREACHED,
 };
 
 /// Strategy: an arbitrary small graph as (n, edge list with endpoints < n).
@@ -99,6 +99,58 @@ proptest! {
         // Every subgraph edge exists in the parent.
         for (a, b) in sub.edges() {
             prop_assert!(g.has_edge(map[a.index()], map[b.index()]));
+        }
+    }
+
+    #[test]
+    fn csr_round_trips_through_graph(g in arb_graph()) {
+        // Graph → Csr → Graph is the identity: same offsets, rows, edges.
+        let csr = Csr::from_graph(&g);
+        prop_assert_eq!(csr.node_count(), g.node_count());
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        prop_assert_eq!(csr.to_graph(), g.clone());
+    }
+
+    #[test]
+    fn csr_degree_sums_and_symmetry(g in arb_graph()) {
+        let csr = Csr::from_graph(&g);
+        // Handshake lemma holds on the compact slabs too.
+        let total: usize = (0..csr.node_count()).map(|v| csr.degree(v as u32)).sum();
+        prop_assert_eq!(total, 2 * csr.edge_count());
+        prop_assert_eq!(total, csr.degree_sum());
+        prop_assert_eq!(csr.max_degree(), g.max_degree());
+        for v in 0..csr.node_count() as u32 {
+            let row = csr.neighbors(v);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row of {} sorted+distinct", v);
+            for &u in row {
+                prop_assert!(u != v, "no self-loop at {}", v);
+                prop_assert!(csr.neighbors(u).binary_search(&v).is_ok(), "reverse {}->{}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_from_edges_matches_graph_from_edges(g in arb_graph()) {
+        // Building straight from the (already normalized) edge list gives
+        // the same slabs as going through Graph.
+        let edges: Vec<(u32, u32)> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        let direct = Csr::from_edges(g.node_count(), edges);
+        prop_assert_eq!(direct, Csr::from_graph(&g));
+    }
+
+    #[test]
+    fn csr_bfs_kernels_agree_with_legacy(g in arb_graph()) {
+        let csr = Csr::from_graph(&g);
+        let mut scratch = CsrBfs::new(csr.node_count());
+        let src = NodeId(0);
+        let legacy = bfs(&g, src);
+        let (dist, reached) = scratch.distances(&csr, 0);
+        prop_assert_eq!(dist, legacy.dist.as_slice());
+        prop_assert_eq!(reached, legacy.reached);
+        for threads in [1usize, 3] {
+            let par = par_bfs(&csr, 0, threads);
+            prop_assert_eq!(par.dist.as_slice(), legacy.dist.as_slice());
+            prop_assert_eq!(par.reached, legacy.reached);
         }
     }
 

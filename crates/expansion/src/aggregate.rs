@@ -3,7 +3,7 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use socnet_core::{sample_nodes, Bfs, Graph, NodeId};
+use socnet_core::{sample_nodes, Csr, CsrBfs, Graph, NodeId};
 use socnet_runner::{par_sweep, ParConfig, StageReport, UnitError};
 
 /// Which nodes to use as expansion cores in a sweep.
@@ -103,7 +103,27 @@ impl ExpansionSweep {
         seed: u64,
         par: &ParConfig,
     ) -> (Self, StageReport) {
+        Self::measure_reported_csr(graph, &Csr::from_graph(graph), selection, seed, par)
+    }
+
+    /// [`measure_reported`](ExpansionSweep::measure_reported) over
+    /// prebuilt CSR slabs — the sweep's BFS kernels run on the compact
+    /// arrays, and callers that already keep a [`Csr`] skip the
+    /// conversion. Results are identical to the graph entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty, the slabs do not match the graph's
+    /// node count, or a sample of 0 sources is requested.
+    pub fn measure_reported_csr(
+        graph: &Graph,
+        csr: &Csr,
+        selection: SourceSelection,
+        seed: u64,
+        par: &ParConfig,
+    ) -> (Self, StageReport) {
         assert!(graph.node_count() > 0, "cannot sweep an empty graph");
+        assert_eq!(csr.node_count(), graph.node_count(), "csr/graph node count mismatch");
         let sources: Vec<NodeId> = match selection {
             SourceSelection::All => graph.nodes().collect(),
             SourceSelection::Sample(k) => {
@@ -120,12 +140,12 @@ impl ExpansionSweep {
             &sources,
             par,
             |_, s| format!("core-{}", s.index()),
-            || Bfs::new(graph),
+            || CsrBfs::new(csr.node_count()),
             |bfs, ctx, &s| {
                 if ctx.cancel.is_cancelled() {
                     return Err(UnitError::Cancelled);
                 }
-                let levels = bfs.level_sizes(graph, s);
+                let levels = bfs.level_sizes(csr, s.0);
                 let mut local: Vec<(usize, usize)> = Vec::with_capacity(levels.len());
                 let mut env = 0usize;
                 for w in levels.windows(2) {
@@ -296,6 +316,20 @@ mod tests {
         for threads in [2, 4] {
             assert_eq!(reference, run(threads), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn csr_sweep_matches_graph_sweep() {
+        let g = socnet_gen::grid(5, 4);
+        let par = ParConfig::default();
+        let (want, _) = ExpansionSweep::measure_reported(&g, SourceSelection::All, 0, &par);
+        let csr = Csr::from_graph(&g);
+        let (got, _) =
+            ExpansionSweep::measure_reported_csr(&g, &csr, SourceSelection::All, 0, &par);
+        assert_eq!(got, want);
+        let (sampled, _) =
+            ExpansionSweep::measure_reported_csr(&g, &csr, SourceSelection::Sample(5), 2, &par);
+        assert_eq!(sampled, ExpansionSweep::measure(&g, SourceSelection::Sample(5), 2));
     }
 
     #[test]

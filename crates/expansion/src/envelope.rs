@@ -1,5 +1,5 @@
 use serde::{Deserialize, Serialize};
-use socnet_core::{Bfs, Graph, GraphError, NodeId};
+use socnet_core::{Bfs, Csr, CsrBfs, Graph, GraphError, NodeId};
 
 /// The envelope-expansion series of one core node (the paper's Eq. 4).
 ///
@@ -72,6 +72,47 @@ impl EnvelopeExpansion {
     /// graph.
     pub fn measure_with(graph: &Graph, source: NodeId, bfs: &mut Bfs) -> Self {
         let level_sizes = bfs.level_sizes(graph, source).to_vec();
+        EnvelopeExpansion { source, level_sizes }
+    }
+
+    /// [`measure`](EnvelopeExpansion::measure) over compact CSR slabs
+    /// with a fresh traversal scratch. The BFS visits nodes in the same
+    /// order as the [`Graph`] path, so the series is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn measure_csr(csr: &Csr, source: NodeId) -> Self {
+        let mut bfs = CsrBfs::new(csr.node_count());
+        Self::measure_csr_with(csr, source, &mut bfs)
+    }
+
+    /// Fallible variant of [`measure_csr`](EnvelopeExpansion::measure_csr)
+    /// for callers serving untrusted roots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if `source` is outside
+    /// the slabs' node range.
+    pub fn try_measure_csr(csr: &Csr, source: NodeId) -> Result<Self, GraphError> {
+        if source.index() >= csr.node_count() {
+            return Err(GraphError::NodeOutOfRange {
+                node: source.index(),
+                node_count: csr.node_count(),
+            });
+        }
+        Ok(Self::measure_csr(csr, source))
+    }
+
+    /// [`measure_csr`](EnvelopeExpansion::measure_csr) reusing BFS
+    /// scratch state — the fast path for sweeps over many sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or `bfs` was sized for another
+    /// graph.
+    pub fn measure_csr_with(csr: &Csr, source: NodeId, bfs: &mut CsrBfs) -> Self {
+        let level_sizes = bfs.level_sizes(csr, source.0).to_vec();
         EnvelopeExpansion { source, level_sizes }
     }
 
@@ -168,6 +209,21 @@ mod tests {
                 env += got_exp;
             }
             assert_eq!(env, e.reached());
+        }
+    }
+
+    #[test]
+    fn csr_series_matches_graph_series_everywhere() {
+        for g in [star(6), complete(7), path(5), grid(5, 5), socnet_gen::barbell(4, 2)] {
+            let csr = Csr::from_graph(&g);
+            let mut scratch = CsrBfs::new(csr.node_count());
+            for s in g.nodes() {
+                let want = EnvelopeExpansion::measure(&g, s);
+                assert_eq!(EnvelopeExpansion::measure_csr(&csr, s), want);
+                assert_eq!(EnvelopeExpansion::measure_csr_with(&csr, s, &mut scratch), want);
+            }
+            let oob = NodeId(g.node_count() as u32);
+            assert!(EnvelopeExpansion::try_measure_csr(&csr, oob).is_err());
         }
     }
 

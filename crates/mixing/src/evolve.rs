@@ -1,12 +1,22 @@
-use socnet_core::Graph;
+use std::borrow::Cow;
+use std::ops::Range;
+
+use socnet_core::{par_fill_rows, Csr, Graph};
 
 /// The random-walk transition operator `P = D⁻¹A` of a graph, applied to
 /// dense distributions.
 ///
 /// This is the inner loop of the sampling method: one [`step`](WalkOperator::step) computes
-/// `x ← xP` in `O(n + m)` using the CSR adjacency directly — no matrix is
+/// `x ← xP` in `O(n + m)` over compact CSR slabs — no matrix is
 /// materialized. An optional laziness parameter evaluates the lazy walk
 /// `(1−α)·xP + α·x`, which is guaranteed aperiodic for `α > 0`.
+///
+/// The operator owns its slabs when built from a [`Graph`] and borrows
+/// them when built with [`from_csr`](WalkOperator::from_csr), so callers
+/// that already keep a [`Csr`] pay no conversion. Each output row is a
+/// pure function of the input vector (a pull over the row's sorted
+/// neighbor list), which is what makes [`step_blocked`](WalkOperator::step_blocked)
+/// bit-identical to [`step`](WalkOperator::step) at any block count.
 ///
 /// Mass on isolated (degree-0) nodes stays in place, matching the
 /// convention that the walk is undefined there.
@@ -26,7 +36,7 @@ use socnet_core::Graph;
 /// ```
 #[derive(Debug, Clone)]
 pub struct WalkOperator<'g> {
-    graph: &'g Graph,
+    csr: Cow<'g, Csr>,
     /// `1 / deg(v)`, or 0 for isolated nodes.
     inv_degree: Vec<f64>,
     /// Self-loop weight `α` of the lazy walk; 0 for the simple walk.
@@ -35,7 +45,7 @@ pub struct WalkOperator<'g> {
 
 impl<'g> WalkOperator<'g> {
     /// Operator for the simple (non-lazy) random walk, the paper's `P`.
-    pub fn new(graph: &'g Graph) -> Self {
+    pub fn new(graph: &Graph) -> Self {
         Self::with_laziness(graph, 0.0)
     }
 
@@ -45,12 +55,24 @@ impl<'g> WalkOperator<'g> {
     /// # Panics
     ///
     /// Panics if `laziness` is outside `[0, 1)`.
-    pub fn with_laziness(graph: &'g Graph, laziness: f64) -> Self {
+    pub fn with_laziness(graph: &Graph, laziness: f64) -> Self {
+        Self::build(Cow::Owned(Csr::from_graph(graph)), laziness)
+    }
+
+    /// Operator over prebuilt CSR slabs, borrowing them for `'g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `laziness` is outside `[0, 1)`.
+    pub fn from_csr(csr: &'g Csr, laziness: f64) -> Self {
+        Self::build(Cow::Borrowed(csr), laziness)
+    }
+
+    fn build(csr: Cow<'g, Csr>, laziness: f64) -> Self {
         assert!((0.0..1.0).contains(&laziness), "laziness {laziness} out of [0, 1)");
-        let inv_degree = graph
-            .nodes()
+        let inv_degree = (0..csr.node_count())
             .map(|v| {
-                let d = graph.degree(v);
+                let d = csr.degree(v as u32);
                 if d == 0 {
                     0.0
                 } else {
@@ -58,17 +80,56 @@ impl<'g> WalkOperator<'g> {
                 }
             })
             .collect();
-        WalkOperator { graph, inv_degree, laziness }
+        WalkOperator { csr, inv_degree, laziness }
     }
 
-    /// The graph this operator walks on.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    /// The CSR slabs this operator walks on.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Number of nodes in the walked graph.
+    pub fn node_count(&self) -> usize {
+        self.csr.node_count()
     }
 
     /// The lazy self-loop probability `α`.
     pub fn laziness(&self) -> f64 {
         self.laziness
+    }
+
+    /// One output row of the transition: a pull over `N(v)` in ascending
+    /// order with the lazy keep-term interleaved where `u == v` would
+    /// sort — exactly the accumulation order the historical push-based
+    /// sweep produced, so the result is bit-identical to it.
+    #[inline]
+    fn row(&self, src: &[f64], v: usize) -> f64 {
+        let pv = src[v];
+        if self.inv_degree[v] == 0.0 {
+            // Isolated node: all mass stays (and exact zero stays the
+            // positive zero the push sweep left behind).
+            return if pv == 0.0 { 0.0 } else { pv };
+        }
+        let keep = self.laziness;
+        let move_frac = 1.0 - keep;
+        let mut acc = 0.0f64;
+        let mut keep_pending = keep > 0.0 && pv != 0.0;
+        for &u in self.csr.neighbors(v as u32) {
+            let u = u as usize;
+            if keep_pending && u > v {
+                acc += keep * pv;
+                keep_pending = false;
+            }
+            let pu = src[u];
+            if pu == 0.0 {
+                continue;
+            }
+            acc += move_frac * pu * self.inv_degree[u];
+        }
+        if keep_pending {
+            acc += keep * pv;
+        }
+        acc
     }
 
     /// Computes one transition: `dst = (1−α)·src P + α·src`.
@@ -77,31 +138,28 @@ impl<'g> WalkOperator<'g> {
     ///
     /// Panics if the slice lengths do not match the graph's node count.
     pub fn step(&self, src: &[f64], dst: &mut [f64]) {
-        let n = self.graph.node_count();
+        let n = self.csr.node_count();
         assert_eq!(src.len(), n, "src length mismatch");
         assert_eq!(dst.len(), n, "dst length mismatch");
-        let keep = self.laziness;
-        let move_frac = 1.0 - keep;
-        dst.fill(0.0);
-        for u in self.graph.nodes() {
-            let p = src[u.index()];
-            if p == 0.0 {
-                continue;
-            }
-            let inv_d = self.inv_degree[u.index()];
-            if inv_d == 0.0 {
-                // Isolated node: all mass stays.
-                dst[u.index()] += p;
-                continue;
-            }
-            if keep > 0.0 {
-                dst[u.index()] += keep * p;
-            }
-            let share = move_frac * p * inv_d;
-            for &v in self.graph.neighbors(u) {
-                dst[v.index()] += share;
-            }
+        for (v, slot) in dst.iter_mut().enumerate() {
+            *slot = self.row(src, v);
         }
+    }
+
+    /// [`step`](WalkOperator::step) with the output rows partitioned into
+    /// `blocks` (one worker thread per block, as produced by
+    /// [`Csr::edge_balanced_blocks`]). Bit-identical to the sequential
+    /// step for every partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the graph's node count or
+    /// the blocks do not tile `0..n` in ascending order.
+    pub fn step_blocked(&self, src: &[f64], dst: &mut [f64], blocks: &[Range<usize>]) {
+        let n = self.csr.node_count();
+        assert_eq!(src.len(), n, "src length mismatch");
+        assert_eq!(dst.len(), n, "dst length mismatch");
+        par_fill_rows(blocks, dst, |v| self.row(src, v));
     }
 
     /// Evolves `x` in place for `steps` transitions, using `scratch` as
@@ -200,5 +258,108 @@ mod tests {
     fn full_laziness_rejected() {
         let g = ring(3);
         let _ = WalkOperator::with_laziness(&g, 1.0);
+    }
+
+    /// The historical push-based sweep, reproduced verbatim as the
+    /// reference the pull-based rows are pinned against bit-for-bit.
+    fn push_step(g: &socnet_core::Graph, laziness: f64, src: &[f64], dst: &mut [f64]) {
+        let inv_degree: Vec<f64> = g
+            .nodes()
+            .map(|v| {
+                let d = g.degree(v);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / d as f64
+                }
+            })
+            .collect();
+        let keep = laziness;
+        let move_frac = 1.0 - keep;
+        dst.fill(0.0);
+        for u in g.nodes() {
+            let p = src[u.index()];
+            if p == 0.0 {
+                continue;
+            }
+            let inv_d = inv_degree[u.index()];
+            if inv_d == 0.0 {
+                dst[u.index()] += p;
+                continue;
+            }
+            if keep > 0.0 {
+                dst[u.index()] += keep * p;
+            }
+            let share = move_frac * p * inv_d;
+            for &v in g.neighbors(u) {
+                dst[v.index()] += share;
+            }
+        }
+    }
+
+    #[test]
+    fn pull_step_is_bit_identical_to_push_sweep() {
+        let graphs = [
+            complete(9),
+            ring(8),
+            socnet_gen::star(7),
+            socnet_gen::barbell(5, 2),
+            socnet_core::Graph::from_edges(5, [(0, 1), (1, 2)]), // isolated 3, 4
+            socnet_core::Graph::from_edges(3, []),
+        ];
+        for g in &graphs {
+            let n = g.node_count();
+            for laziness in [0.0, 0.3, 0.7] {
+                let op = WalkOperator::with_laziness(g, laziness);
+                // A lumpy, deterministic starting vector with exact zeros.
+                let mut x: Vec<f64> =
+                    (0..n).map(|i| if i % 3 == 0 { 0.0 } else { 1.0 / (i + 1) as f64 }).collect();
+                let total: f64 = x.iter().sum();
+                if total > 0.0 {
+                    for xi in &mut x {
+                        *xi /= total;
+                    }
+                }
+                let mut want = vec![0.0; n];
+                let mut got = vec![0.0; n];
+                for _ in 0..4 {
+                    push_step(g, laziness, &x, &mut want);
+                    op.step(&x, &mut got);
+                    assert_eq!(got, want, "n = {n}, α = {laziness}");
+                    x.copy_from_slice(&want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_step_matches_sequential_bitwise() {
+        let g = socnet_gen::barbell(8, 3);
+        let n = g.node_count();
+        let csr = Csr::from_graph(&g);
+        let op = WalkOperator::from_csr(&csr, 0.25);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let mut plain = vec![0.0; n];
+        op.step(&x, &mut plain);
+        for threads in [1usize, 2, 3, 8] {
+            let blocks = csr.edge_balanced_blocks(threads);
+            let mut blocked = vec![0.0; n];
+            op.step_blocked(&x, &mut blocked, &blocks);
+            assert_eq!(blocked, plain, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn borrowed_and_owned_slabs_agree() {
+        let g = ring(9);
+        let csr = Csr::from_graph(&g);
+        let owned = WalkOperator::new(&g);
+        let borrowed = WalkOperator::from_csr(&csr, 0.0);
+        assert_eq!(borrowed.csr(), owned.csr());
+        let x = Distribution::point_mass(9, NodeId(4)).into_vec();
+        let (mut a, mut b) = (vec![0.0; 9], vec![0.0; 9]);
+        owned.step(&x, &mut a);
+        borrowed.step(&x, &mut b);
+        assert_eq!(a, b);
     }
 }

@@ -37,6 +37,7 @@ mod error;
 mod evolve;
 mod mixing;
 mod modulated;
+mod sample;
 mod spectral;
 mod walk;
 
@@ -49,5 +50,8 @@ pub use distribution::{stationary_distribution, total_variation, Distribution};
 pub use evolve::WalkOperator;
 pub use mixing::{MixingConfig, MixingMeasurement, SourceCurve};
 pub use modulated::{ModulatedOperator, TrustModulation};
-pub use spectral::{slem, try_slem, SpectralConfig, Spectrum};
+pub use sample::{
+    estimate_mixing, estimate_mixing_csr, SampleMixingConfig, SampleMixingEstimate,
+};
+pub use spectral::{slem, slem_legacy, try_slem, try_slem_csr, SpectralConfig, Spectrum};
 pub use walk::{sample_walk, walk_endpoint, walk_endpoints};

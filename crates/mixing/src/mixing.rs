@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use socnet_core::{sample_nodes, Graph, NodeId};
+use socnet_core::{sample_nodes, Csr, Graph, NodeId};
 use socnet_runner::{par_sweep, ParConfig, StageReport, UnitError};
 
 use crate::{stationary_distribution, total_variation, Distribution, WalkOperator};
@@ -123,10 +123,42 @@ impl MixingMeasurement {
         par: &ParConfig,
     ) -> (Self, StageReport) {
         assert!(config.sources > 0, "need at least one source");
+        let op = WalkOperator::with_laziness(graph, config.laziness);
+        Self::measure_reported_with(graph, &op, config, par)
+    }
+
+    /// [`measure_reported`](MixingMeasurement::measure_reported) over
+    /// prebuilt CSR slabs: the walk operator borrows `csr` instead of
+    /// converting the graph again, which is what the serving layer and
+    /// the kernel bench use. Results are bit-identical to the graph
+    /// entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.sources == 0` or the slabs do not match the
+    /// graph's node count.
+    pub fn measure_reported_csr(
+        graph: &Graph,
+        csr: &Csr,
+        config: &MixingConfig,
+        par: &ParConfig,
+    ) -> (Self, StageReport) {
+        assert!(config.sources > 0, "need at least one source");
+        assert_eq!(csr.node_count(), graph.node_count(), "csr/graph node count mismatch");
+        let op = WalkOperator::from_csr(csr, config.laziness);
+        Self::measure_reported_with(graph, &op, config, par)
+    }
+
+    fn measure_reported_with(
+        graph: &Graph,
+        op: &WalkOperator<'_>,
+        config: &MixingConfig,
+        par: &ParConfig,
+    ) -> (Self, StageReport) {
         let pi = stationary_distribution(graph);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let sources = sample_nodes(graph, config.sources, &mut rng);
-        let (curves, report) = Self::run_sources(graph, &pi, &sources, config, par);
+        let (curves, report) = Self::run_sources(op, &pi, &sources, config, par);
         (
             MixingMeasurement {
                 curves,
@@ -146,8 +178,9 @@ impl MixingMeasurement {
     pub fn measure_from(graph: &Graph, sources: &[NodeId], config: &MixingConfig) -> Self {
         assert!(!sources.is_empty(), "need at least one source");
         let pi = stationary_distribution(graph);
+        let op = WalkOperator::with_laziness(graph, config.laziness);
         let (curves, report) =
-            Self::run_sources(graph, &pi, sources, config, &ParConfig::default());
+            Self::run_sources(&op, &pi, sources, config, &ParConfig::default());
         assert!(
             report.is_complete(),
             "mixing stage degraded: {}",
@@ -165,15 +198,14 @@ impl MixingMeasurement {
     /// scratch, so a sweep allocates `2 × threads` vectors instead of
     /// two per source.
     fn run_sources(
-        graph: &Graph,
+        op: &WalkOperator<'_>,
         pi: &Distribution,
         sources: &[NodeId],
         config: &MixingConfig,
         par: &ParConfig,
     ) -> (Vec<SourceCurve>, StageReport) {
-        let op = WalkOperator::with_laziness(graph, config.laziness);
         let pi = pi.as_slice();
-        let n = graph.node_count();
+        let n = op.node_count();
         let out = par_sweep(
             "mixing",
             sources,
@@ -384,6 +416,22 @@ mod tests {
             .max()
             .expect("nonempty");
         assert_eq!(Some(worst), m.mixing_time(0.05));
+    }
+
+    #[test]
+    fn csr_measurement_is_bit_identical() {
+        let g = barbell(5, 2);
+        let cfg = MixingConfig {
+            sources: 6,
+            max_walk: 20,
+            laziness: 0.3,
+            seed: 5,
+        };
+        let par = ParConfig::default();
+        let (want, _) = MixingMeasurement::measure_reported(&g, &cfg, &par);
+        let csr = Csr::from_graph(&g);
+        let (got, _) = MixingMeasurement::measure_reported_csr(&g, &csr, &cfg, &par);
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Sampling-based approximate mixing-time estimation.
+//!
+//! The exact sampling method ([`MixingMeasurement`](crate::MixingMeasurement))
+//! evolves a dense distribution — `O(n + m)` work *per walk step*, which
+//! is exact but prohibitive at million-node scale. Following the
+//! random-walk mixing estimator of Molla & Pandurangan ("Distributed
+//! computation of mixing time"), this module instead runs `K`
+//! independent sampled walks from the source and measures closeness to
+//! stationarity with the collision statistic: with `c_v` walks sitting
+//! at node `v` after `t` steps,
+//!
+//! ```text
+//! χ²(t) = Σ_v c_v·(c_v − 1) / (K·(K − 1)·π(v)) − 1
+//! ```
+//!
+//! is an unbiased estimator of the χ² divergence of the `t`-step walk
+//! distribution from `π` (pairs of walks collide at `v` with probability
+//! `p_t(v)²`), and `½·√χ²` upper-bounds the total variation distance by
+//! Cauchy–Schwarz. The estimated mixing time is the first `t` whose
+//! bound drops below `ε`. Work is `O(K·t_max)` walk steps plus `O(K)`
+//! per evaluated `t` — independent of the graph size once the slabs are
+//! built, which is what makes the `--scale xl` graphs measurable.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use socnet_core::{Csr, Graph, NodeId};
+
+use crate::MixingError;
+
+/// Parameters of a sampled (approximate) mixing estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleMixingConfig {
+    /// Number of independent walks `K` (the collision estimator needs at
+    /// least 2; variance shrinks like `1/K`).
+    pub walks: usize,
+    /// Longest walk length `t` to evaluate.
+    pub max_walk: usize,
+    /// Lazy self-loop probability; 0 gives the paper's simple walk.
+    pub laziness: f64,
+    /// RNG seed; walk `w` uses an independent stream derived from it.
+    pub seed: u64,
+}
+
+impl Default for SampleMixingConfig {
+    fn default() -> Self {
+        SampleMixingConfig { walks: 256, max_walk: 200, laziness: 0.0, seed: 0x5a3b1e }
+    }
+}
+
+/// The estimated distance-to-stationarity curve of one source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleMixingEstimate {
+    /// The walks' starting node.
+    pub source: NodeId,
+    /// `bound[t]` is the `½·√χ²` TVD upper bound after `t + 1` steps
+    /// (index 0 holds `t = 1`), clamped below at 0 where sampling noise
+    /// drives the χ² estimate negative.
+    pub bound: Vec<f64>,
+    /// Number of walks the estimate aggregated.
+    pub walks: usize,
+}
+
+impl SampleMixingEstimate {
+    /// First walk length whose estimated TVD bound drops below
+    /// `epsilon` — the sampled analogue of
+    /// [`SourceCurve::mixing_time`](crate::SourceCurve::mixing_time).
+    pub fn mixing_time(&self, epsilon: f64) -> Option<usize> {
+        self.bound.iter().position(|&d| d < epsilon).map(|t| t + 1)
+    }
+}
+
+/// Runs the collision estimator on a graph (converting to CSR once).
+///
+/// # Errors
+///
+/// Returns [`MixingError::InvalidNode`] if `source` is out of range, and
+/// [`MixingError::InvalidParameter`] if the graph has no edges, `source`
+/// is isolated, `walks < 2`, `max_walk == 0`, or `laziness` is outside
+/// `[0, 1)`.
+pub fn estimate_mixing(
+    graph: &Graph,
+    source: NodeId,
+    config: &SampleMixingConfig,
+) -> Result<SampleMixingEstimate, MixingError> {
+    graph.check_node(source)?;
+    estimate_mixing_csr(&Csr::from_graph(graph), source, config)
+}
+
+/// Runs the collision estimator over prebuilt CSR slabs.
+///
+/// # Errors
+///
+/// Same contract as [`estimate_mixing`].
+pub fn estimate_mixing_csr(
+    csr: &Csr,
+    source: NodeId,
+    config: &SampleMixingConfig,
+) -> Result<SampleMixingEstimate, MixingError> {
+    let n = csr.node_count();
+    if source.index() >= n {
+        return Err(MixingError::InvalidNode(socnet_core::GraphError::NodeOutOfRange {
+            node: source.index(),
+            node_count: n,
+        }));
+    }
+    if csr.edge_count() == 0 {
+        return Err(MixingError::InvalidParameter(
+            "mixing undefined without edges".to_string(),
+        ));
+    }
+    if csr.degree(source.0) == 0 {
+        return Err(MixingError::InvalidParameter(format!(
+            "walks from isolated source {} never mix",
+            source.0
+        )));
+    }
+    if config.walks < 2 {
+        return Err(MixingError::InvalidParameter(format!(
+            "collision estimator needs at least 2 walks, got {}",
+            config.walks
+        )));
+    }
+    if config.max_walk == 0 {
+        return Err(MixingError::InvalidParameter("max_walk must be at least 1".to_string()));
+    }
+    if !(0.0..1.0).contains(&config.laziness) {
+        return Err(MixingError::InvalidParameter(format!(
+            "laziness {} out of [0, 1)",
+            config.laziness
+        )));
+    }
+
+    let k = config.walks;
+    let t_max = config.max_walk;
+
+    // Per-step endpoints of every walk, walk-major: row w holds the node
+    // the w-th walk sits on after 1..=t_max steps. Walk streams are
+    // seeded independently so the trajectory set is deterministic per
+    // config regardless of evaluation order.
+    let mut endpoints = vec![0u32; k * t_max];
+    for w in 0..k {
+        let mut rng = StdRng::seed_from_u64(walk_seed(config.seed, w as u64));
+        let mut cur = source.0;
+        for t in 0..t_max {
+            if config.laziness > 0.0 && rng.random_bool(config.laziness) {
+                endpoints[w * t_max + t] = cur;
+                continue;
+            }
+            let nbrs = csr.neighbors(cur);
+            cur = nbrs[rng.random_range(0..nbrs.len())];
+            endpoints[w * t_max + t] = cur;
+        }
+    }
+
+    // π(v) = deg(v) / 2m; walks started on a positive-degree node can
+    // never reach a zero-degree one, so every collision site has π > 0.
+    let two_m = csr.degree_sum() as f64;
+    let pair_count = (k * (k - 1)) as f64;
+
+    let mut counts = vec![0u32; n];
+    let mut touched: Vec<u32> = Vec::with_capacity(k);
+    let mut bound = Vec::with_capacity(t_max);
+    for t in 0..t_max {
+        for w in 0..k {
+            let v = endpoints[w * t_max + t];
+            if counts[v as usize] == 0 {
+                touched.push(v);
+            }
+            counts[v as usize] += 1;
+        }
+        let mut chi2 = 0.0f64;
+        for &v in &touched {
+            let c = counts[v as usize] as f64;
+            counts[v as usize] = 0;
+            if c > 1.0 {
+                let pi_v = csr.degree(v) as f64 / two_m;
+                chi2 += c * (c - 1.0) / (pair_count * pi_v);
+            }
+        }
+        touched.clear();
+        chi2 -= 1.0;
+        bound.push(0.5 * chi2.max(0.0).sqrt());
+    }
+
+    Ok(SampleMixingEstimate { source, bound, walks: k })
+}
+
+/// SplitMix64-style mix so each walk gets a well-separated RNG stream.
+fn walk_seed(seed: u64, walk: u64) -> u64 {
+    let mut z = seed ^ walk.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Distribution, WalkOperator};
+    use socnet_gen::{barbell, complete, ring};
+
+    fn cfg(walks: usize, max_walk: usize, laziness: f64) -> SampleMixingConfig {
+        SampleMixingConfig { walks, max_walk, laziness, seed: 0xfeed }
+    }
+
+    #[test]
+    fn complete_graph_mixes_within_a_few_steps() {
+        let g = complete(40);
+        let est = estimate_mixing(&g, NodeId(0), &cfg(2_000, 8, 0.0)).expect("valid");
+        assert_eq!(est.bound.len(), 8);
+        let t = est.mixing_time(0.2).expect("complete graphs mix");
+        assert!(t <= 5, "estimated mixing time {t}");
+    }
+
+    #[test]
+    fn barbell_does_not_mix_within_a_short_horizon() {
+        let g = barbell(8, 0);
+        let est = estimate_mixing(&g, NodeId(0), &cfg(1_000, 6, 0.5)).expect("valid");
+        assert_eq!(est.mixing_time(0.05), None, "bottleneck cannot mix in 6 steps");
+    }
+
+    #[test]
+    fn estimates_are_deterministic_per_seed() {
+        let g = ring(15);
+        let a = estimate_mixing(&g, NodeId(3), &cfg(64, 20, 0.0)).expect("valid");
+        let b = estimate_mixing(&g, NodeId(3), &cfg(64, 20, 0.0)).expect("valid");
+        assert_eq!(a, b);
+        let csr = Csr::from_graph(&g);
+        let c = estimate_mixing_csr(&csr, NodeId(3), &cfg(64, 20, 0.0)).expect("valid");
+        assert_eq!(a, c, "graph and csr entry points share the trajectory set");
+    }
+
+    #[test]
+    fn bound_tracks_the_exact_tvd_curve() {
+        // ½√χ² upper-bounds the true TVD; with enough walks the sampled
+        // estimate must stay above exact TVD minus statistical slack.
+        for g in [complete(30), barbell(6, 0)] {
+            let n = g.node_count();
+            let laziness = 0.5;
+            let est = estimate_mixing(&g, NodeId(0), &cfg(4_000, 12, laziness)).expect("valid");
+
+            let op = WalkOperator::with_laziness(&g, laziness);
+            let pi = crate::stationary_distribution(&g);
+            let mut x = Distribution::point_mass(n, NodeId(0)).into_vec();
+            let mut scratch = vec![0.0; n];
+            for t in 0..12 {
+                op.step(&x, &mut scratch);
+                std::mem::swap(&mut x, &mut scratch);
+                let exact = crate::total_variation(&x, pi.as_slice());
+                assert!(
+                    est.bound[t] + 0.15 >= exact,
+                    "t = {}: sampled bound {} far below exact TVD {}",
+                    t + 1,
+                    est.bound[t],
+                    exact
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_errors() {
+        let g = ring(6);
+        let ok = cfg(8, 5, 0.0);
+        assert!(estimate_mixing(&g, NodeId(9), &ok).is_err(), "source out of range");
+        assert!(
+            estimate_mixing(&g, NodeId(0), &cfg(1, 5, 0.0)).is_err(),
+            "one walk cannot collide"
+        );
+        assert!(estimate_mixing(&g, NodeId(0), &cfg(8, 0, 0.0)).is_err(), "empty horizon");
+        assert!(estimate_mixing(&g, NodeId(0), &cfg(8, 5, 1.0)).is_err(), "full laziness");
+        let edgeless = socnet_core::Graph::from_edges(3, []);
+        assert!(estimate_mixing(&edgeless, NodeId(0), &ok).is_err(), "no edges");
+        let isolated = socnet_core::Graph::from_edges(3, [(0, 1)]);
+        assert!(estimate_mixing(&isolated, NodeId(2), &ok).is_err(), "isolated source");
+    }
+}

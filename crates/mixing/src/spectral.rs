@@ -15,7 +15,7 @@
 //!   modulus.
 
 use serde::{Deserialize, Serialize};
-use socnet_core::Graph;
+use socnet_core::{par_fill_rows, Csr, Graph};
 
 /// Convergence controls for [`slem`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -28,11 +28,16 @@ pub struct SpectralConfig {
     pub max_iterations: usize,
     /// Seed for the random starting vector.
     pub seed: u64,
+    /// Worker threads for the blocked CSR mat-vec (`≤ 1` runs it on the
+    /// calling thread). Every thread count produces **bit-identical**
+    /// estimates: threads own disjoint output rows and the per-row
+    /// accumulation order never changes.
+    pub threads: usize,
 }
 
 impl Default for SpectralConfig {
     fn default() -> Self {
-        SpectralConfig { tolerance: 1e-10, max_iterations: 20_000, seed: 0xe16e }
+        SpectralConfig { tolerance: 1e-10, max_iterations: 20_000, seed: 0xe16e, threads: 1 }
     }
 }
 
@@ -108,18 +113,39 @@ pub fn try_slem(graph: &Graph, config: &SpectralConfig) -> Result<Spectrum, crat
             "spectrum undefined without edges".to_string(),
         ));
     }
-    Ok(slem_inner(graph, config))
+    Ok(slem_csr(&Csr::from_graph(graph), config))
 }
 
-fn slem_inner(graph: &Graph, config: &SpectralConfig) -> Spectrum {
-    let n = graph.node_count();
+/// [`try_slem`] over prebuilt compact CSR slabs — the kernel-facing
+/// entry point for callers (like the serving layer) that keep a shared
+/// [`Csr`] next to the graph.
+///
+/// # Errors
+///
+/// Returns [`MixingError::InvalidParameter`](crate::MixingError::InvalidParameter)
+/// if the slabs hold no edges.
+pub fn try_slem_csr(csr: &Csr, config: &SpectralConfig) -> Result<Spectrum, crate::MixingError> {
+    if csr.edge_count() == 0 {
+        return Err(crate::MixingError::InvalidParameter(
+            "spectrum undefined without edges".to_string(),
+        ));
+    }
+    Ok(slem_csr(csr, config))
+}
+
+/// The blocked-CSR power iteration. The pull-based mat-vec accumulates
+/// each output row over its sorted neighbor list with exactly the same
+/// per-term expression — `(x[u]·d_u^{-1/2})·d_v^{-1/2}`, zero entries
+/// skipped — as the historical push-based sweep, so the estimates are
+/// bit-identical to [`slem_legacy`] at any thread count.
+fn slem_csr(csr: &Csr, config: &SpectralConfig) -> Spectrum {
+    let n = csr.node_count();
 
     // Inverse square-root degrees (0 for isolated nodes, which contribute
     // eigenvalue-0 directions and do not disturb the estimates).
-    let inv_sqrt_deg: Vec<f64> = graph
-        .nodes()
+    let inv_sqrt_deg: Vec<f64> = (0..n)
         .map(|v| {
-            let d = graph.degree(v);
+            let d = csr.degree(v as u32);
             if d == 0 {
                 0.0
             } else {
@@ -129,22 +155,25 @@ fn slem_inner(graph: &Graph, config: &SpectralConfig) -> Spectrum {
         .collect();
 
     // Normalized principal eigenvector φ(v) = sqrt(deg v) / sqrt(2m).
-    let norm = (graph.degree_sum() as f64).sqrt();
-    let phi: Vec<f64> = graph.nodes().map(|v| (graph.degree(v) as f64).sqrt() / norm).collect();
+    let norm = (csr.degree_sum() as f64).sqrt();
+    let phi: Vec<f64> =
+        (0..n).map(|v| (csr.degree(v as u32) as f64).sqrt() / norm).collect();
 
-    // y = S x.
+    // y = S x, one block of output rows per worker thread.
+    let blocks = csr.edge_balanced_blocks(config.threads.max(1));
     let apply_s = |x: &[f64], y: &mut [f64]| {
-        y.fill(0.0);
-        for u in graph.nodes() {
-            let xu = x[u.index()];
-            if xu == 0.0 {
-                continue;
+        par_fill_rows(&blocks, y, |v| {
+            let inv_v = inv_sqrt_deg[v];
+            let mut acc = 0.0f64;
+            for &u in csr.neighbors(v as u32) {
+                let xu = x[u as usize];
+                if xu == 0.0 {
+                    continue;
+                }
+                acc += xu * inv_sqrt_deg[u as usize] * inv_v;
             }
-            let w = xu * inv_sqrt_deg[u.index()];
-            for &v in graph.neighbors(u) {
-                y[v.index()] += w * inv_sqrt_deg[v.index()];
-            }
-        }
+            acc
+        });
     };
 
     let mut iterations = 0usize;
@@ -180,6 +209,104 @@ fn slem_inner(graph: &Graph, config: &SpectralConfig) -> Spectrum {
 
     // λ_min via (I − S)/2: eigenvalues map λ → (1−λ)/2, dominant at λ_min.
     // φ maps to 0, so no deflation is needed.
+    let lambda_min = {
+        let mut x = seeded_vector(n, config.seed ^ 0xdead_beef);
+        normalize(&mut x);
+        let mut y = vec![0.0; n];
+        let mut prev = f64::NAN;
+        let mut est = 0.0;
+        for it in 0..config.max_iterations {
+            apply_s(&x, &mut y);
+            for i in 0..n {
+                y[i] = 0.5 * (x[i] - y[i]);
+            }
+            let shifted: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            est = 1.0 - 2.0 * shifted;
+            std::mem::swap(&mut x, &mut y);
+            normalize(&mut x);
+            iterations += 1;
+            let _ = it;
+            if (est - prev).abs() < config.tolerance {
+                break;
+            }
+            prev = est;
+        }
+        est.clamp(-1.0, 1.0)
+    };
+
+    Spectrum { lambda2, lambda_min, iterations }
+}
+
+/// The pre-CSR push-based power iteration, kept verbatim as the
+/// reference implementation that the equivalence tests pin
+/// [`slem`]/[`try_slem_csr`] against bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if the graph has no edges.
+#[doc(hidden)]
+pub fn slem_legacy(graph: &Graph, config: &SpectralConfig) -> Spectrum {
+    assert!(graph.edge_count() > 0, "spectrum undefined without edges");
+    let n = graph.node_count();
+
+    let inv_sqrt_deg: Vec<f64> = graph
+        .nodes()
+        .map(|v| {
+            let d = graph.degree(v);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / (d as f64).sqrt()
+            }
+        })
+        .collect();
+
+    let norm = (graph.degree_sum() as f64).sqrt();
+    let phi: Vec<f64> = graph.nodes().map(|v| (graph.degree(v) as f64).sqrt() / norm).collect();
+
+    // y = S x, pushed along each node's out-edges.
+    let apply_s = |x: &[f64], y: &mut [f64]| {
+        y.fill(0.0);
+        for u in graph.nodes() {
+            let xu = x[u.index()];
+            if xu == 0.0 {
+                continue;
+            }
+            let w = xu * inv_sqrt_deg[u.index()];
+            for &v in graph.neighbors(u) {
+                y[v.index()] += w * inv_sqrt_deg[v.index()];
+            }
+        }
+    };
+
+    let mut iterations = 0usize;
+
+    let lambda2 = {
+        let mut x = seeded_vector(n, config.seed);
+        deflate(&mut x, &phi);
+        normalize(&mut x);
+        let mut y = vec![0.0; n];
+        let mut prev = f64::NAN;
+        let mut est = 0.0;
+        for it in 0..config.max_iterations {
+            apply_s(&x, &mut y);
+            for i in 0..n {
+                y[i] = 0.5 * (y[i] + x[i]);
+            }
+            deflate(&mut y, &phi);
+            let shifted: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            est = 2.0 * shifted - 1.0;
+            std::mem::swap(&mut x, &mut y);
+            normalize(&mut x);
+            iterations = it + 1;
+            if (est - prev).abs() < config.tolerance {
+                break;
+            }
+            prev = est;
+        }
+        est.clamp(-1.0, 1.0)
+    };
+
     let lambda_min = {
         let mut x = seeded_vector(n, config.seed ^ 0xdead_beef);
         normalize(&mut x);
@@ -320,5 +447,40 @@ mod tests {
     #[should_panic(expected = "without edges")]
     fn empty_graph_panics() {
         let _ = measure(&Graph::from_edges(4, []));
+    }
+
+    #[test]
+    fn csr_spectrum_is_bit_identical_to_legacy() {
+        let config = SpectralConfig::default();
+        for g in [
+            complete(9),
+            ring(8),
+            ring(9),
+            barbell(6, 2),
+            socnet_gen::star(12),
+            socnet_gen::grid(5, 6),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]),
+        ] {
+            let legacy = slem_legacy(&g, &config);
+            assert_eq!(slem(&g, &config), legacy);
+            let csr = Csr::from_graph(&g);
+            assert_eq!(try_slem_csr(&csr, &config).unwrap(), legacy);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_bits() {
+        let g = barbell(7, 3);
+        let baseline = slem(&g, &SpectralConfig::default());
+        for threads in [2, 3, 8] {
+            let config = SpectralConfig { threads, ..SpectralConfig::default() };
+            assert_eq!(slem(&g, &config), baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn edgeless_csr_is_an_error() {
+        let csr = Csr::from_graph(&Graph::from_edges(4, []));
+        assert!(try_slem_csr(&csr, &SpectralConfig::default()).is_err());
     }
 }

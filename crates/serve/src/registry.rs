@@ -23,7 +23,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use socnet_core::Graph;
+use socnet_core::{Csr, Graph};
 use socnet_gen::Dataset;
 use socnet_runner::{CancelToken, Metrics};
 
@@ -82,16 +82,20 @@ impl GraphKey {
 pub struct LoadedGraph {
     /// The shared graph.
     pub graph: Graph,
-    /// Approximate resident size: CSR offsets + adjacency.
+    /// Compact CSR slabs of the same graph, built once at load so every
+    /// property kernel the routes run shares them without converting.
+    pub csr: Csr,
+    /// Approximate resident size: graph CSR offsets + adjacency, plus
+    /// the compact slabs.
     pub approx_bytes: usize,
     /// How long the build took.
     pub load_wall: Duration,
 }
 
-fn approx_graph_bytes(g: &Graph) -> usize {
-    // CSR layout: (n + 1) 8-byte offsets + one 4-byte entry per
-    // directed edge slot.
-    (g.node_count() + 1) * 8 + g.degree_sum() * 4
+fn approx_graph_bytes(g: &Graph, csr: &Csr) -> usize {
+    // Graph CSR layout ((n + 1) 8-byte offsets + one 4-byte entry per
+    // directed edge slot) plus the resident compact slabs.
+    (g.node_count() + 1) * 8 + g.degree_sum() * 4 + csr.byte_size()
 }
 
 /// One row of [`GraphRegistry::list`].
@@ -293,9 +297,11 @@ impl GraphRegistry {
             let mut state = lock(shard);
             match built {
                 Ok(graph) => {
+                    let csr = Csr::from_graph(&graph);
                     let loaded = Arc::new(LoadedGraph {
-                        approx_bytes: approx_graph_bytes(&graph),
+                        approx_bytes: approx_graph_bytes(&graph, &csr),
                         load_wall: start.elapsed(),
+                        csr,
                         graph,
                     });
                     Metrics::global().incr("registry.loads", 1);

@@ -21,7 +21,7 @@ use socnet_expansion::EnvelopeExpansion;
 use socnet_gen::Dataset;
 use socnet_kcore::CoreDecomposition;
 use socnet_mixing::{
-    try_sinclair_bounds, try_slem, MixingConfig, MixingMeasurement, SpectralConfig, Spectrum,
+    try_sinclair_bounds, try_slem_csr, MixingConfig, MixingMeasurement, SpectralConfig, Spectrum,
 };
 use socnet_runner::{json, CancelToken, Metrics, ParConfig};
 use socnet_sybil::{AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilTopology};
@@ -406,7 +406,7 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
             if inject_panic {
                 panic!("injected panic: mixing kernel failure requested by test");
             }
-            let spectrum = try_slem(&graph.graph, &SpectralConfig::default())
+            let spectrum = try_slem_csr(&graph.csr, &SpectralConfig::default())
                 .map_err(|e| e.to_string())?;
             Ok((Arc::new(spectrum) as CacheValue, std::mem::size_of::<Spectrum>()))
         })
@@ -434,8 +434,12 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
             state.cache.get_or_compute(&tvd_key, &state.pool, cancel, move || {
                 let config = MixingConfig { sources, max_walk, ..MixingConfig::default() };
                 let par = ParConfig { threads: 1, ..ParConfig::default() };
-                let (m, report) =
-                    MixingMeasurement::measure_reported(&graph.graph, &config, &par);
+                let (m, report) = MixingMeasurement::measure_reported_csr(
+                    &graph.graph,
+                    &graph.csr,
+                    &config,
+                    &par,
+                );
                 if !report.is_complete() {
                     return Err(format!("mixing sweep degraded: {}", report.summary_line()));
                 }
@@ -512,7 +516,7 @@ fn coreness(
     let lookup = {
         let graph = Arc::clone(&graph);
         state.cache.get_or_compute(&format!("cores|{label}"), &state.pool, cancel, move || {
-            let decomposition = CoreDecomposition::compute(&graph.graph);
+            let decomposition = CoreDecomposition::compute_csr(&graph.csr);
             let bytes = graph.graph.node_count() * 12;
             Ok((Arc::new(decomposition) as CacheValue, bytes))
         })
@@ -581,7 +585,7 @@ fn expansion(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelTo
             &state.pool,
             cancel,
             move || {
-                let envelope = EnvelopeExpansion::try_measure(&graph.graph, NodeId(root))
+                let envelope = EnvelopeExpansion::try_measure_csr(&graph.csr, NodeId(root))
                     .map_err(|e| e.to_string())?;
                 let bytes = envelope.level_sizes().len() * 24 + 64;
                 Ok((Arc::new(envelope) as CacheValue, bytes))
@@ -715,10 +719,16 @@ fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
                 seed,
             });
             let par = ParConfig { threads: 1, ..ParConfig::default() };
-            let run = |g: &socnet_core::Graph, is_sybil: &dyn Fn(usize) -> bool| {
-                let (outcome, report) = protocol
-                    .run_from_reported(g, NodeId(controller), &par)
-                    .map_err(|e| e.to_string())?;
+            // The clean graph reuses the registry's resident slabs; a
+            // mounted attack graph is a different graph and converts.
+            let run = |g: &socnet_core::Graph,
+                       csr: Option<&socnet_core::Csr>,
+                       is_sybil: &dyn Fn(usize) -> bool| {
+                let (outcome, report) = match csr {
+                    Some(csr) => protocol.run_from_reported_csr(g, csr, NodeId(controller), &par),
+                    None => protocol.run_from_reported(g, NodeId(controller), &par),
+                }
+                .map_err(|e| e.to_string())?;
                 if !report.is_complete() {
                     return Err(format!("admission flood degraded: {}", report.summary_line()));
                 }
@@ -743,7 +753,7 @@ fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
                 Ok((Arc::new(verdict) as CacheValue, 128))
             };
             if sybils == 0 {
-                run(&graph.graph, &|_| false)
+                run(&graph.graph, Some(&graph.csr), &|_| false)
             } else {
                 let attacked = AttackedGraph::mount(
                     &graph.graph,
@@ -754,7 +764,7 @@ fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
                         seed: attack_seed,
                     },
                 );
-                run(attacked.graph(), &|v| attacked.is_sybil(NodeId(v as u32)))
+                run(attacked.graph(), None, &|v| attacked.is_sybil(NodeId(v as u32)))
             }
         })
     };

@@ -21,10 +21,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
-use socnet_core::{Graph, NodeId};
+use socnet_core::{Csr, CsrBfs, Graph, NodeId};
 use socnet_runner::{par_sweep, ParConfig, StageReport, UnitError};
 
-use crate::ticket::flood_until_holders;
+use crate::ticket::flood_until_holders_csr;
 use crate::{AttackedGraph, SybilError};
 
 /// Tuning parameters for a [`GateKeeper`] run.
@@ -182,8 +182,33 @@ impl GateKeeper {
         controller: NodeId,
         par: &ParConfig,
     ) -> Result<(GateKeeperOutcome, StageReport), SybilError> {
+        self.run_from_reported_csr(graph, &Csr::from_graph(graph), controller, par)
+    }
+
+    /// [`run_from_reported`](GateKeeper::run_from_reported) over prebuilt
+    /// CSR slabs: every distributor's BFS and ticket flood runs on the
+    /// compact arrays (with per-worker traversal scratch), and callers
+    /// that already keep a [`Csr`] skip the conversion. Results are
+    /// identical to the graph entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SybilError::InvalidNode`] if `controller` is out of
+    /// range, or [`SybilError::EmptyGraph`] if the graph has no edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs do not match the graph's node count.
+    pub fn run_from_reported_csr(
+        &self,
+        graph: &Graph,
+        csr: &Csr,
+        controller: NodeId,
+        par: &ParConfig,
+    ) -> Result<(GateKeeperOutcome, StageReport), SybilError> {
         graph.check_node(controller)?;
-        if graph.edge_count() == 0 {
+        assert_eq!(csr.node_count(), graph.node_count(), "csr/graph node count mismatch");
+        if csr.edge_count() == 0 {
             return Err(SybilError::EmptyGraph);
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x9e37_79b9);
@@ -205,12 +230,12 @@ impl GateKeeper {
             &distributors,
             par,
             |i, d| format!("distributor-{i}-node-{}", d.index()),
-            || (),
-            |_, ctx, &d| {
+            || CsrBfs::new(n),
+            |bfs, ctx, &d| {
                 if ctx.cancel.is_cancelled() {
                     return Err(UnitError::Cancelled);
                 }
-                let (reached, _) = flood_until_holders(graph, d, target);
+                let (reached, _) = flood_until_holders_csr(csr, d.0, target, bfs);
                 Ok(reached)
             },
         );
@@ -258,6 +283,7 @@ fn sample_by_walk<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ticket::flood_until_holders;
     use crate::{SybilAttack, SybilTopology};
     use socnet_gen::{complete, ring};
 
@@ -382,6 +408,26 @@ mod tests {
         for threads in [2, 4] {
             assert_eq!(reference, run(threads), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn csr_run_matches_graph_run() {
+        let attacked = small_attack();
+        let gk = GateKeeper::new(GateKeeperConfig {
+            distributors: 10,
+            ..Default::default()
+        });
+        let par = ParConfig::default();
+        let want = gk
+            .run_from_reported(attacked.graph(), NodeId(0), &par)
+            .expect("controller in range")
+            .0;
+        let csr = Csr::from_graph(attacked.graph());
+        let got = gk
+            .run_from_reported_csr(attacked.graph(), &csr, NodeId(0), &par)
+            .expect("controller in range")
+            .0;
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -6,24 +6,29 @@
 //! evenly among its next-level neighbors. Tickets reaching a dead end are
 //! lost. A node *holds* a ticket (is inside the envelope) if it received
 //! at least one.
+//!
+//! The floods run on compact [`Csr`] slabs; the [`Graph`]-facing wrappers
+//! convert once and produce identical results (nodes are processed in
+//! ascending id order per level and neighbor lists are sorted in both
+//! representations, so every ticket split happens in the same order).
 
-use socnet_core::{bfs, Graph, NodeId, UNREACHED};
+use socnet_core::{Csr, CsrBfs, Graph, NodeId, UNREACHED};
 
 /// Runs one flood of `tickets` from `source` given precomputed BFS
 /// distances. Returns per-node holder flags and the holder count.
-pub(crate) fn ticket_flood(
-    graph: &Graph,
-    source: NodeId,
+pub(crate) fn ticket_flood_csr(
+    csr: &Csr,
+    source: u32,
     dist: &[u32],
     tickets: f64,
 ) -> (Vec<bool>, usize) {
-    let n = graph.node_count();
+    let n = csr.node_count();
     let mut amount = vec![0.0f64; n];
-    amount[source.index()] = tickets;
+    amount[source as usize] = tickets;
 
-    let mut by_level: Vec<Vec<NodeId>> = Vec::new();
-    for v in graph.nodes() {
-        let d = dist[v.index()];
+    let mut by_level: Vec<Vec<u32>> = Vec::new();
+    for v in 0..n as u32 {
+        let d = dist[v as usize];
         if d == UNREACHED {
             continue;
         }
@@ -38,61 +43,89 @@ pub(crate) fn ticket_flood(
     let mut count = 0usize;
     for (level, nodes) in by_level.iter().enumerate() {
         for &v in nodes {
-            let have = amount[v.index()];
+            let have = amount[v as usize];
             if have < 1.0 {
                 continue;
             }
-            holders[v.index()] = true;
+            holders[v as usize] = true;
             count += 1;
             let forward = have - 1.0;
             if forward <= 0.0 {
                 continue;
             }
-            let next: Vec<NodeId> = graph
+            let next: Vec<u32> = csr
                 .neighbors(v)
                 .iter()
                 .copied()
-                .filter(|u| dist[u.index()] == (level + 1) as u32)
+                .filter(|&u| dist[u as usize] == (level + 1) as u32)
                 .collect();
             if next.is_empty() {
                 continue;
             }
             let share = forward / next.len() as f64;
             for u in next {
-                amount[u.index()] += share;
+                amount[u as usize] += share;
             }
         }
     }
     (holders, count)
 }
 
-/// Doubles the ticket budget until at least `target` nodes hold tickets
-/// (or the source's whole component is covered). Returns the holder flags
-/// and the final budget.
-pub(crate) fn flood_until_holders(
+/// [`ticket_flood_csr`] addressed with a [`Graph`] (converted per call —
+/// kept for callers and tests that don't hold slabs).
+#[cfg(test)]
+pub(crate) fn ticket_flood(
     graph: &Graph,
     source: NodeId,
+    dist: &[u32],
+    tickets: f64,
+) -> (Vec<bool>, usize) {
+    ticket_flood_csr(&Csr::from_graph(graph), source.0, dist, tickets)
+}
+
+/// Doubles the ticket budget until at least `target` nodes hold tickets
+/// (or the source's whole component is covered). Returns the holder flags
+/// and the final budget. `bfs` is reusable traversal scratch for sweeps
+/// flooding from many sources.
+pub(crate) fn flood_until_holders_csr(
+    csr: &Csr,
+    source: u32,
     target: usize,
+    bfs: &mut CsrBfs,
 ) -> (Vec<bool>, f64) {
-    let levels = bfs(graph, source);
-    let target = target.min(levels.reached);
+    let (dist, reached) = bfs.distances(csr, source);
+    let dist = dist.to_vec();
+    let target = target.min(reached);
     let mut tickets = 8.0f64;
-    let (mut holders, mut count) = ticket_flood(graph, source, &levels.dist, tickets);
-    while count < target && tickets < 4.0 * graph.node_count() as f64 {
+    let (mut holders, mut count) = ticket_flood_csr(csr, source, &dist, tickets);
+    while count < target && tickets < 4.0 * csr.node_count() as f64 {
         tickets *= 2.0;
-        let (h, c) = ticket_flood(graph, source, &levels.dist, tickets);
+        let (h, c) = ticket_flood_csr(csr, source, &dist, tickets);
         holders = h;
         count = c;
-        if count >= levels.reached {
+        if count >= reached {
             break;
         }
     }
     (holders, tickets)
 }
 
+/// [`flood_until_holders_csr`] addressed with a [`Graph`] (converted per
+/// call).
+pub(crate) fn flood_until_holders(
+    graph: &Graph,
+    source: NodeId,
+    target: usize,
+) -> (Vec<bool>, f64) {
+    let csr = Csr::from_graph(graph);
+    let mut bfs = CsrBfs::new(csr.node_count());
+    flood_until_holders_csr(&csr, source.0, target, &mut bfs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use socnet_core::bfs;
     use socnet_gen::{complete, ring, star};
 
     #[test]
@@ -137,5 +170,70 @@ mod tests {
         let (holders, _) = flood_until_holders(&g, NodeId(0), 6);
         assert_eq!(holders.iter().filter(|&&h| h).count(), 3);
         assert!(!holders[3] && !holders[4] && !holders[5]);
+    }
+
+    /// The historical `Graph`-walking flood, reproduced as the reference
+    /// the CSR flood is pinned against bit-for-bit (ticket shares are
+    /// floats; identical split order must give identical holder sets and
+    /// budgets).
+    fn legacy_flood(graph: &Graph, source: NodeId, dist: &[u32], tickets: f64) -> (Vec<bool>, usize) {
+        let n = graph.node_count();
+        let mut amount = vec![0.0f64; n];
+        amount[source.index()] = tickets;
+        let mut by_level: Vec<Vec<NodeId>> = Vec::new();
+        for v in graph.nodes() {
+            let d = dist[v.index()];
+            if d == UNREACHED {
+                continue;
+            }
+            let d = d as usize;
+            if by_level.len() <= d {
+                by_level.resize_with(d + 1, Vec::new);
+            }
+            by_level[d].push(v);
+        }
+        let mut holders = vec![false; n];
+        let mut count = 0usize;
+        for (level, nodes) in by_level.iter().enumerate() {
+            for &v in nodes {
+                let have = amount[v.index()];
+                if have < 1.0 {
+                    continue;
+                }
+                holders[v.index()] = true;
+                count += 1;
+                let forward = have - 1.0;
+                if forward <= 0.0 {
+                    continue;
+                }
+                let next: Vec<NodeId> = graph
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|u| dist[u.index()] == (level + 1) as u32)
+                    .collect();
+                if next.is_empty() {
+                    continue;
+                }
+                let share = forward / next.len() as f64;
+                for u in next {
+                    amount[u.index()] += share;
+                }
+            }
+        }
+        (holders, count)
+    }
+
+    #[test]
+    fn csr_flood_matches_legacy_flood() {
+        for g in [complete(15), ring(20), star(12), socnet_gen::barbell(6, 2)] {
+            let csr = Csr::from_graph(&g);
+            let d = bfs(&g, NodeId(0)).dist;
+            for tickets in [1.0, 7.5, 40.0, 400.0] {
+                let want = legacy_flood(&g, NodeId(0), &d, tickets);
+                let got = ticket_flood_csr(&csr, 0, &d, tickets);
+                assert_eq!(got, want, "tickets = {tickets}");
+            }
+        }
     }
 }

@@ -1,22 +1,65 @@
 #!/usr/bin/env bash
 # Diffs two BENCH_*.json perf summaries (schema socnet-bench-v1) stage
-# by stage: wall-clock and throughput deltas, plus a note when the unit
-# counts differ or a stage only exists on one side. The summaries put
-# one stage per line precisely so this stays a plain awk pass.
+# by stage: wall-clock and throughput deltas, per-kernel rate deltas
+# from the "extra" block, plus a note when the unit counts differ or a
+# stage only exists on one side. The summaries put one stage per line
+# precisely so this stays a plain awk pass.
 #
-# Usage: scripts/bench-compare.sh BASELINE.json CANDIDATE.json
+# Usage: scripts/bench-compare.sh [--assert-within N%] BASELINE.json CANDIDATE.json
 #
-# Exit codes: 0 on a successful comparison (deltas are informational,
-# not a gate), 2 on unreadable or non-bench-v1 inputs.
+# Without --assert-within the deltas are informational and the exit code
+# is 0 on any successful comparison. With --assert-within N% the script
+# becomes a regression gate: it exits 1 if any stage's wall-clock grew
+# more than N% over a baseline of at least $WALL_FLOOR seconds (shorter
+# stages are pure noise), or any `*_per_s` rate in the extras dropped
+# more than N%. Stages or rates present on only one side are warned
+# about but never fail the gate — a renamed or added kernel should not
+# brick CI until the baseline is refreshed.
+#
+# Exit codes: 0 comparison ok (and, under --assert-within, no breach),
+# 1 regression threshold breached, 2 unreadable/non-bench-v1 inputs or
+# bad usage.
 
 set -euo pipefail
 
-if [ $# -ne 2 ]; then
-    echo "usage: $0 BASELINE.json CANDIDATE.json" >&2
+# Stages whose baseline wall is below this many seconds are not gated on
+# wall-clock (timer noise swamps the signal); their rates still are.
+WALL_FLOOR=${WALL_FLOOR:-0.05}
+
+TOLERANCE=""
+ARGS=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --assert-within)
+            [ $# -ge 2 ] || { echo "error: --assert-within needs a value" >&2; exit 2; }
+            TOLERANCE="${2%\%}"
+            shift 2
+            ;;
+        --assert-within=*)
+            TOLERANCE="${1#--assert-within=}"
+            TOLERANCE="${TOLERANCE%\%}"
+            shift
+            ;;
+        *)
+            ARGS+=("$1")
+            shift
+            ;;
+    esac
+done
+
+if [ "${#ARGS[@]}" -ne 2 ]; then
+    echo "usage: $0 [--assert-within N%] BASELINE.json CANDIDATE.json" >&2
+    exit 2
+fi
+if [ -n "$TOLERANCE" ] && ! printf '%s' "$TOLERANCE" | grep -Eq '^[0-9]+(\.[0-9]+)?$'; then
+    echo "error: --assert-within expects a percentage like 30%, got '$TOLERANCE'" >&2
     exit 2
 fi
 
-for f in "$1" "$2"; do
+BASELINE=${ARGS[0]}
+CANDIDATE=${ARGS[1]}
+
+for f in "$BASELINE" "$CANDIDATE"; do
     if [ ! -r "$f" ]; then
         echo "error: cannot read $f" >&2
         exit 2
@@ -27,11 +70,14 @@ for f in "$1" "$2"; do
     fi
 done
 
-echo "baseline:  $1"
-echo "candidate: $2"
+echo "baseline:  $BASELINE"
+echo "candidate: $CANDIDATE"
+if [ -n "$TOLERANCE" ]; then
+    echo "gate:      fail on >${TOLERANCE}% regression (wall floor ${WALL_FLOOR}s)"
+fi
 echo
 
-awk '
+awk -v tol="$TOLERANCE" -v wall_floor="$WALL_FLOOR" '
 FNR == 1 { side++ }
 # Stage lines look like: "fig1a":{"wall_s":1.500,"units":3,"throughput":2.000}
 /^"/ && /"wall_s":/ {
@@ -54,7 +100,28 @@ FNR == 1 { side++ }
         if (!(stage in bw)) corder[++cn] = stage
     }
 }
+# The extras block is one line: "extra":{"k":1.0,"j":2.5,...}
+/^"extra":\{/ {
+    line = $0
+    sub(/^"extra":\{/, "", line)
+    sub(/\}$/, "", line)
+    n = split(line, kv, /,/)
+    for (i = 1; i <= n; i++) {
+        if (split(kv[i], pair, /":/) != 2) continue
+        key = pair[1]
+        sub(/^"/, "", key)
+        val = pair[2]
+        if (val !~ /^-?[0-9.]+$/) continue
+        if (side == 1) {
+            bx[key] = val
+            if (!(key in bxseen)) { bxseen[key] = 1; bxorder[++bxn] = key }
+        } else {
+            cx[key] = val
+        }
+    }
+}
 END {
+    violations = 0
     printf "%-24s %12s %12s %9s %9s  %s\n", \
         "stage", "base-wall-s", "cand-wall-s", "wall", "thpt", "note"
     for (i = 1; i <= bn; i++) {
@@ -62,6 +129,7 @@ END {
         if (!(s in cw)) {
             printf "%-24s %12.3f %12s %9s %9s  %s\n", \
                 s, bw[s], "-", "-", "-", "only in baseline"
+            warn[++wn] = "stage " s " missing from candidate"
             continue
         }
         d = cw[s] - bw[s]
@@ -69,11 +137,57 @@ END {
         tpct = (bt[s] != "" && ct[s] != "" && bt[s] > 0) \
             ? 100 * (ct[s] - bt[s]) / bt[s] : 0
         note = (bu[s] != cu[s]) ? sprintf("units %s -> %s", bu[s], cu[s]) : ""
+        if (tol != "" && bw[s] >= wall_floor && pct > tol + 0) {
+            note = note ((note == "") ? "" : "; ") "WALL REGRESSION"
+            viol[++violations] = sprintf("stage %s wall %+.1f%% (limit +%s%%)", s, pct, tol)
+        }
         printf "%-24s %12.3f %12.3f %+8.1f%% %+8.1f%%  %s\n", \
             s, bw[s], cw[s], pct, tpct, note
     }
-    for (i = 1; i <= cn; i++)
+    for (i = 1; i <= cn; i++) {
         printf "%-24s %12s %12.3f %9s %9s  %s\n", \
             corder[i], "-", cw[corder[i]], "-", "-", "only in candidate"
+        warn[++wn] = "stage " corder[i] " missing from baseline"
+    }
+    # Per-kernel rates: higher is better; gate on drops beyond tol.
+    shown = 0
+    for (i = 1; i <= bxn; i++) {
+        k = bxorder[i]
+        if (k !~ /_per_s$/) continue
+        if (!shown) {
+            printf "\n%-40s %14s %14s %9s  %s\n", \
+                "rate", "baseline", "candidate", "delta", "note"
+            shown = 1
+        }
+        if (!(k in cx)) {
+            printf "%-40s %14.1f %14s %9s  %s\n", k, bx[k], "-", "-", "only in baseline"
+            warn[++wn] = "rate " k " missing from candidate"
+            continue
+        }
+        pct = (bx[k] > 0) ? 100 * (cx[k] - bx[k]) / bx[k] : 0
+        note = ""
+        if (tol != "" && bx[k] > 0 && pct < -(tol + 0)) {
+            note = "RATE REGRESSION"
+            viol[++violations] = sprintf("rate %s %+.1f%% (limit -%s%%)", k, pct, tol)
+        }
+        printf "%-40s %14.1f %14.1f %+8.1f%%  %s\n", k, bx[k], cx[k], pct, note
+    }
+    for (k in cx)
+        if (k ~ /_per_s$/ && !(k in bx))
+            warn[++wn] = "rate " k " missing from baseline"
+
+    if (wn > 0) {
+        print ""
+        for (i = 1; i <= wn; i++) print "warning: " warn[i]
+    }
+    if (tol != "") {
+        print ""
+        if (violations > 0) {
+            for (i = 1; i <= violations; i++) print "REGRESSION: " viol[i]
+            printf "gate: FAIL (%d regression(s) beyond %s%%)\n", violations, tol
+            exit 1
+        }
+        printf "gate: ok (all deltas within %s%%)\n", tol
+    }
 }
-' "$1" "$2"
+' "$BASELINE" "$CANDIDATE"

@@ -19,14 +19,24 @@ cd "$(dirname "$0")/.."
 BUILD_LOG=$(mktemp)
 trap 'rm -f "$BUILD_LOG"' EXIT
 
-if cargo build --workspace --release 2>"$BUILD_LOG"; then
+# Pin dependency versions whenever a lockfile exists or can be created;
+# an air-gapped machine without one still builds (and then falls back to
+# the offline path anyway when the registry is needed).
+LOCKED=()
+if [ -f Cargo.lock ] || cargo generate-lockfile 2>/dev/null; then
+    LOCKED=(--locked)
+else
+    echo "note: no Cargo.lock and the registry is unreachable; building unlocked" >&2
+fi
+
+if cargo build --workspace --release "${LOCKED[@]}" 2>"$BUILD_LOG"; then
     cat "$BUILD_LOG" >&2 # warnings still deserve eyeballs
-    cargo test --workspace --release
+    cargo test --workspace --release "${LOCKED[@]}"
     if cargo fmt --version >/dev/null 2>&1; then
         cargo fmt --all --check
     fi
     if cargo clippy --version >/dev/null 2>&1; then
-        cargo clippy --workspace --all-targets -- -D warnings
+        cargo clippy --workspace --all-targets --release "${LOCKED[@]}" -- -D warnings
     fi
     echo "check passed"
 elif grep -qiE 'failed to download|could not resolve host|network|registry|spurious|connection|timed out|dns error' "$BUILD_LOG"; then

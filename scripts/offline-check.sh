@@ -9,8 +9,9 @@
 #
 #   * every crate's unit tests (src/ #[cfg(test)] modules),
 #   * the root integration tests in tests/ (none use proptest),
-#   * the bench harness fault-tolerance, sweep-determinism, and
-#     observability integration tests,
+#   * the bench harness fault-tolerance, sweep-determinism,
+#     observability, and CSR-equivalence integration tests,
+#   * the bench-compare gate's shell self-test,
 #   * all doctests (skip with SKIP_DOCTESTS=1 for quick iteration).
 #
 # Skipped offline: crates/*/tests/properties.rs (proptest) and
@@ -124,6 +125,10 @@ run_tests it_serve_store crates/serve/tests/store.rs
 run_tests it_bench_fault_tolerance crates/bench/tests/fault_tolerance.rs
 run_tests it_bench_determinism crates/bench/tests/determinism.rs
 run_tests it_bench_observability crates/bench/tests/observability.rs
+run_tests it_bench_csr_equivalence crates/bench/tests/csr_equivalence.rs
+
+note "== shell tooling =="
+bash scripts/test-bench-compare.sh
 
 note "== doctests =="
 for entry in "${CRATES[@]}"; do

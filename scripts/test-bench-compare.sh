@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Self-test for scripts/bench-compare.sh: pins the comparison output and
+# the --assert-within gate semantics against synthetic socnet-bench-v1
+# summaries. Run directly or via scripts/offline-check.sh.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COMPARE=scripts/bench-compare.sh
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+mk() { # path wall_bfs rate_bfs [extra_stage_line]
+    local path=$1 wall=$2 rate=$3 extra_stage=${4:-}
+    {
+        echo '{'
+        echo '"schema":"socnet-bench-v1",'
+        echo '"name":"kernels",'
+        echo '"stages":{'
+        echo "\"bfs\":{\"wall_s\":$wall,\"units\":2,\"throughput\":10.000},"
+        [ -n "$extra_stage" ] && echo "$extra_stage,"
+        echo '"kcore":{"wall_s":0.010,"units":2,"throughput":200.000}'
+        echo '},'
+        echo "\"extra\":{\"bfs_ba_nodes_per_s\":$rate,\"bfs_ba_edges_per_s\":50000.0}"
+        echo '}'
+    } > "$path"
+}
+
+mk "$DIR/base.json" 1.000 10000.0
+mk "$DIR/same.json" 1.010 9900.0
+mk "$DIR/slow.json" 1.500 9900.0      # wall +50%
+mk "$DIR/slowrate.json" 1.010 5000.0  # rate -50%
+mk "$DIR/extra.json" 1.010 9900.0 '"spmv":{"wall_s":0.500,"units":2,"throughput":4.000}'
+
+note() { printf '%s\n' "$*"; }
+
+note "case: informational mode never gates"
+out=$(bash "$COMPARE" "$DIR/base.json" "$DIR/slow.json") \
+    || fail "informational compare should exit 0"
+echo "$out" | grep -q '^bfs ' || fail "stage table missing bfs row"
+echo "$out" | grep -q 'bfs_ba_nodes_per_s' || fail "rate table missing"
+echo "$out" | grep -q 'gate:' && fail "no gate line without --assert-within"
+
+note "case: within tolerance passes"
+out=$(bash "$COMPARE" --assert-within 30% "$DIR/base.json" "$DIR/same.json") \
+    || fail "within-tolerance compare should exit 0"
+echo "$out" | grep -q 'gate: ok' || fail "expected 'gate: ok', got: $out"
+
+note "case: wall regression beyond tolerance fails"
+if out=$(bash "$COMPARE" --assert-within 30% "$DIR/base.json" "$DIR/slow.json"); then
+    fail "wall regression should exit non-zero"
+fi
+echo "$out" | grep -q 'REGRESSION: stage bfs wall' || fail "expected wall regression notice"
+
+note "case: rate regression beyond tolerance fails"
+if out=$(bash "$COMPARE" --assert-within=30 "$DIR/base.json" "$DIR/slowrate.json"); then
+    fail "rate regression should exit non-zero"
+fi
+echo "$out" | grep -q 'REGRESSION: rate bfs_ba_nodes_per_s' || fail "expected rate regression notice"
+
+note "case: missing/new stages warn but do not gate"
+out=$(bash "$COMPARE" --assert-within 30% "$DIR/extra.json" "$DIR/same.json") \
+    || fail "missing stage must not fail the gate"
+echo "$out" | grep -q 'warning: stage spmv missing from candidate' || fail "expected missing-stage warning"
+out=$(bash "$COMPARE" --assert-within 30% "$DIR/base.json" "$DIR/extra.json") \
+    || fail "new stage must not fail the gate"
+echo "$out" | grep -q 'warning: stage spmv missing from baseline' || fail "expected new-stage warning"
+
+note "case: tiny-wall stages are not wall-gated"
+mk "$DIR/tinybase.json" 0.010 10000.0
+mk "$DIR/tinyslow.json" 0.040 9900.0  # +300% on a 10ms stage: noise
+out=$(bash "$COMPARE" --assert-within 30% "$DIR/tinybase.json" "$DIR/tinyslow.json") \
+    || fail "sub-floor wall must not gate"
+echo "$out" | grep -q 'gate: ok' || fail "expected 'gate: ok' below the wall floor"
+
+note "case: malformed usage and inputs exit 2"
+set +e
+bash "$COMPARE" --assert-within bogus% "$DIR/base.json" "$DIR/same.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "bad tolerance should exit 2"
+bash "$COMPARE" "$DIR/base.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "missing operand should exit 2"
+echo '{}' > "$DIR/bad.json"
+bash "$COMPARE" "$DIR/bad.json" "$DIR/base.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "non-bench input should exit 2"
+set -e
+
+note "bench-compare self-test passed"
