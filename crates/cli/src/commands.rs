@@ -582,13 +582,15 @@ pub fn datasets(map: &ArgMap) -> Result<String, CliError> {
 }
 
 /// `socnet obs-check` — validate observability artifacts. Files ending
-/// in `.jsonl` are checked line by line; everything else must be one
-/// JSON document. The first invalid file fails the whole check, so CI
-/// can gate on the exit code.
+/// in `.prom` must parse as Prometheus text exposition; `.jsonl` files
+/// whose name mentions `trace` must satisfy the `socnet-trace-v1` line
+/// schema; other `.jsonl` files are checked line by line; everything
+/// else must be one JSON document. The first invalid file fails the
+/// whole check, so CI can gate on the exit code.
 pub fn obs_check(map: &ArgMap) -> Result<String, CliError> {
     map.check_allowed(&[])?;
     if map.positional(0).is_none() {
-        return Err(CliError::MissingArgument("<FILE> (JSON or JSONL artifact)"));
+        return Err(CliError::MissingArgument("<FILE> (JSON, JSONL, or Prometheus artifact)"));
     }
     let mut out = String::new();
     let mut i = 0;
@@ -598,7 +600,13 @@ pub fn obs_check(map: &ArgMap) -> Result<String, CliError> {
             path: path.to_string(),
             message: e.to_string(),
         })?;
-        let (kind, ok) = if path.ends_with(".jsonl") {
+        let file_name =
+            std::path::Path::new(path).file_name().and_then(|n| n.to_str()).unwrap_or(path);
+        let (kind, ok) = if path.ends_with(".prom") {
+            ("prometheus", socnet_runner::is_valid_prometheus(&text))
+        } else if path.ends_with(".jsonl") && file_name.contains("trace") {
+            ("trace-jsonl", socnet_serve::is_valid_trace_jsonl(&text))
+        } else if path.ends_with(".jsonl") {
             ("jsonl", json::is_valid_jsonl(&text))
         } else {
             ("json", json::is_valid(&text))
@@ -634,6 +642,8 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
         "--max-conns",
         "--header-deadline",
         "--shed-highwater",
+        "--tracing",
+        "--trace-ring",
     ])?;
     let mut config = socnet_serve::ServerConfig::default();
     if let Some(addr) = map.get("--addr") {
@@ -675,6 +685,18 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
     }
     config.header_deadline = Duration::from_secs_f64(header);
     config.shed_highwater = map.get_parsed("--shed-highwater", config.shed_highwater)?;
+    // Tracing defaults on (its overhead is bounded by design and
+    // asserted by the bench gate); `--tracing off` opts out,
+    // `--trace-ring` sizes the sealed-trace ring buffer.
+    config.tracing = match map.get("--tracing").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(invalid("--tracing", format!("expected on|off, got {other}"))),
+    };
+    config.trace_ring = map.get_parsed("--trace-ring", config.trace_ring)?;
+    if config.trace_ring == 0 {
+        return Err(invalid("--trace-ring", "must be at least 1"));
+    }
     // Persistence defaults on: snapshots live next to the run
     // artifacts so `--out` moves both. `--store off` opts out;
     // `--store-dir` relocates the snapshots independently.
@@ -1036,6 +1058,56 @@ mod tests {
     }
 
     #[test]
+    fn obs_check_validates_prometheus_and_trace_jsonl() {
+        let dir = std::env::temp_dir().join("socnet-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pid = std::process::id();
+        let prom = dir.join(format!("metrics-{pid}.prom"));
+        let bad_prom = dir.join(format!("bad-{pid}.prom"));
+        let traces = dir.join(format!("traces-{pid}.jsonl"));
+        let bad_traces = dir.join(format!("bad-traces-{pid}.jsonl"));
+        std::fs::write(
+            &prom,
+            "# TYPE http_requests_total counter\nhttp_requests_total 42\n",
+        )
+        .expect("write");
+        std::fs::write(&bad_prom, "this is not { prometheus\n").expect("write");
+        std::fs::write(
+            &traces,
+            concat!(
+                "{\"schema\":\"socnet-trace-v1\",\"trace_id\":\"00000000000000ab\",",
+                "\"method\":\"GET\",\"route\":\"healthz\",\"status\":200,",
+                "\"total_ms\":0.120,\"stages\":[]}\n"
+            ),
+        )
+        .expect("write");
+        // Valid JSONL but not the trace schema: the trace-aware branch
+        // must reject what the generic branch would accept.
+        std::fs::write(&bad_traces, "{\"seq\":0}\n").expect("write");
+
+        let out = obs_check(&args(&[
+            prom.to_str().expect("utf8"),
+            traces.to_str().expect("utf8"),
+        ]))
+        .expect("both valid");
+        assert!(out.contains("(prometheus)"));
+        assert!(out.contains("(trace-jsonl)"));
+
+        assert!(matches!(
+            obs_check(&args(&[bad_prom.to_str().expect("utf8")])),
+            Err(CliError::Artifact { .. })
+        ));
+        assert!(matches!(
+            obs_check(&args(&[bad_traces.to_str().expect("utf8")])),
+            Err(CliError::Artifact { .. })
+        ));
+
+        for p in [prom, bad_prom, traces, bad_traces] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
     fn store_ls_verify_and_gc_maintain_a_snapshot_directory() {
         use socnet_store::{write_snapshot, Record, Snapshot, SnapshotMeta, StoreDir};
 
@@ -1090,6 +1162,16 @@ mod tests {
         ));
         assert!(matches!(
             serve(&args(&["--store", "off", "--store-dir", "/tmp/x"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        // `--tracing` takes on|off and the trace ring must hold at
+        // least one sealed trace.
+        assert!(matches!(
+            serve(&args(&["--tracing", "verbose"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            serve(&args(&["--trace-ring", "0"])),
             Err(CliError::InvalidValue { .. })
         ));
     }

@@ -157,14 +157,17 @@ COMMANDS:
                --dataset NAME --defense gatekeeper|sybilguard|sybillimit|sybilinfer|sumup|community
                [--sybils N] [--attack-edges G] [--scale F] [--seed S]
   datasets     list the synthetic dataset registry
-  obs-check    validate observability artifacts: FILE... (.jsonl files are
-               checked line-by-line, everything else as one JSON document)
+  obs-check    validate observability artifacts: FILE... (.prom files as
+               Prometheus text, trace .jsonl files against the
+               socnet-trace-v1 schema, other .jsonl line-by-line,
+               everything else as one JSON document)
   serve        online property-query service over the dataset registry
                [--addr HOST:PORT] [--threads N] [--cache-bytes B]
                [--scale F] [--seed S] [--out DIR] [--deadline SECS]
                [--drain-deadline SECS] [--store on|off] [--store-dir DIR]
                [--frontend event|threads] [--max-conns N]
                [--header-deadline SECS] [--shed-highwater N]
+               [--tracing on|off] [--trace-ring N]
                SIGTERM drains gracefully and flushes a warm-start
                snapshot (default <out>/store); the next boot hydrates it
   store        inspect/maintain a warm-start snapshot store

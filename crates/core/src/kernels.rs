@@ -18,6 +18,78 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use crate::csr::Csr;
 use crate::UNREACHED;
 
+/// Process-wide kernel timing hook.
+///
+/// The serving layer needs per-kernel latency (CSR BFS, k-core, SLEM,
+/// TVD, GateKeeper floods) attributed to the request that triggered the
+/// compute, but this crate must stay dependency-free and the batch
+/// binaries must pay nothing for instrumentation they never asked for.
+/// So the kernels report through one optional process-wide hook:
+/// [`install`] it once (a server does this at bind), and every
+/// [`timed`] section calls it with a static kernel name and the
+/// measured wall seconds. With no hook installed the fast path is a
+/// single atomic load — no clock reads, no allocation.
+pub mod timing {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    type Hook = Box<dyn Fn(&'static str, f64) + Send + Sync>;
+
+    static HOOK: OnceLock<Hook> = OnceLock::new();
+
+    /// Installs the process-wide kernel timing hook. The first call
+    /// wins and returns `true`; later calls are ignored and return
+    /// `false` (re-binding a server in-process must not stack hooks).
+    pub fn install(hook: impl Fn(&'static str, f64) + Send + Sync + 'static) -> bool {
+        HOOK.set(Box::new(hook)).is_ok()
+    }
+
+    /// Reports one already-measured kernel section to the hook, if any.
+    pub fn observe(kernel: &'static str, secs: f64) {
+        if let Some(hook) = HOOK.get() {
+            hook(kernel, secs);
+        }
+    }
+
+    /// Runs `f`, reporting its wall time under `kernel` when a hook is
+    /// installed. Without a hook this is exactly `f()` — the clock is
+    /// never read.
+    pub fn timed<T>(kernel: &'static str, f: impl FnOnce() -> T) -> T {
+        match HOOK.get() {
+            None => f(),
+            Some(hook) => {
+                let start = Instant::now();
+                let out = f();
+                hook(kernel, start.elapsed().as_secs_f64());
+                out
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // One test exercises install/observe/timed together because the
+        // hook is process-global: a second install must lose.
+        #[test]
+        fn hook_installs_once_and_times_sections() {
+            static CALLS: AtomicUsize = AtomicUsize::new(0);
+            let first = super::install(|name, secs| {
+                assert_eq!(name, "demo");
+                assert!(secs >= 0.0);
+                CALLS.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(first);
+            assert!(!super::install(|_, _| {}), "second install must be rejected");
+            let out = super::timed("demo", || 41 + 1);
+            assert_eq!(out, 42);
+            super::observe("demo", 0.001);
+            assert_eq!(CALLS.load(Ordering::Relaxed), 2);
+        }
+    }
+}
+
 /// Reusable breadth-first search scratch over [`Csr`] slabs.
 ///
 /// The CSR counterpart of [`crate::Bfs`]: stamped visitation instead of
@@ -170,6 +242,10 @@ const PAR_BFS_CUTOFF: usize = 2_048;
 /// assert_eq!(r.reached, 5);
 /// ```
 pub fn par_bfs(csr: &Csr, source: u32, threads: usize) -> ParBfsResult {
+    timing::timed("csr_bfs", || par_bfs_inner(csr, source, threads))
+}
+
+fn par_bfs_inner(csr: &Csr, source: u32, threads: usize) -> ParBfsResult {
     let n = csr.node_count();
     assert!((source as usize) < n, "source {source} out of range for {n} nodes");
     let threads = threads.max(1);

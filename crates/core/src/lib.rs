@@ -54,6 +54,7 @@ pub use error::GraphError;
 pub use graph::{Edges, Graph, Neighbors, Nodes};
 pub use io::{read_edge_list, read_edge_list_path, write_edge_list, write_edge_list_path};
 pub use kernels::{par_bfs, par_fill_rows, CsrBfs, ParBfsResult};
+pub use kernels::timing as kernel_timing;
 pub use node::NodeId;
 pub use sample::{random_node, sample_nodes, shuffled_nodes};
 pub use subgraph::{induced_subgraph, SubgraphMap};

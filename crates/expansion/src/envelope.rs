@@ -101,7 +101,9 @@ impl EnvelopeExpansion {
                 node_count: csr.node_count(),
             });
         }
-        Ok(Self::measure_csr(csr, source))
+        Ok(socnet_core::kernel_timing::timed("expansion_envelope", || {
+            Self::measure_csr(csr, source)
+        }))
     }
 
     /// [`measure_csr`](EnvelopeExpansion::measure_csr) reusing BFS

@@ -42,6 +42,10 @@ impl CoreDecomposition {
     /// (coreness, degeneracy, *and* peeling order) to the historical
     /// [`Graph`]-based implementation.
     pub fn compute_csr(csr: &Csr) -> Self {
+        socnet_core::kernel_timing::timed("kcore", || Self::compute_csr_inner(csr))
+    }
+
+    fn compute_csr_inner(csr: &Csr) -> Self {
         let n = csr.node_count();
         if n == 0 {
             return CoreDecomposition { coreness: Vec::new(), degeneracy: 0, order: Vec::new() };

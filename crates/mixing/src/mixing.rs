@@ -146,7 +146,9 @@ impl MixingMeasurement {
         assert!(config.sources > 0, "need at least one source");
         assert_eq!(csr.node_count(), graph.node_count(), "csr/graph node count mismatch");
         let op = WalkOperator::from_csr(csr, config.laziness);
-        Self::measure_reported_with(graph, &op, config, par)
+        socnet_core::kernel_timing::timed("tvd", || {
+            Self::measure_reported_with(graph, &op, config, par)
+        })
     }
 
     fn measure_reported_with(

@@ -130,7 +130,7 @@ pub fn try_slem_csr(csr: &Csr, config: &SpectralConfig) -> Result<Spectrum, crat
             "spectrum undefined without edges".to_string(),
         ));
     }
-    Ok(slem_csr(csr, config))
+    Ok(socnet_core::kernel_timing::timed("slem", || slem_csr(csr, config)))
 }
 
 /// The blocked-CSR power iteration. The pull-based mat-vec accumulates

@@ -95,7 +95,7 @@ pub use checkpoint::Checkpoint;
 pub use manifest::{
     git_rev, hostname, render_bench, render_bench_with, write_bench, write_bench_with, RunManifest,
 };
-pub use metrics::{Histogram, Metrics, BUCKET_BOUNDS_S};
+pub use metrics::{is_valid_prometheus, Histogram, Metrics, BUCKET_BOUNDS_S};
 pub use par::{par_sweep, ParConfig, SweepCtx};
 pub use payload::Payload;
 pub use pool::{run_units, PoolConfig, StageOutput, UnitCtx, UnitError};

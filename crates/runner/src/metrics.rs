@@ -12,6 +12,15 @@
 //! counter values are deterministic for a deterministic workload, so a
 //! test (or a human with `grep`) can byte-compare that line across
 //! `--threads 1/2/4` while the timing histograms vary freely.
+//!
+//! Beside the JSON snapshot, [`Metrics::render_prometheus`] renders the
+//! same registry as Prometheus text exposition for live scraping (the
+//! serve path's `GET /metrics`). Metric keys may carry labels with the
+//! `name|k=v,k2=v2` convention — everything after the first `|` becomes
+//! a Prometheus label set, so `http.request_s|route=mixing` renders as
+//! `http_request_seconds_bucket{route="mixing",le="..."}` while the JSON
+//! snapshot keeps the raw key. [`is_valid_prometheus`] is the matching
+//! validator used by `socnet obs-check`.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -53,7 +62,8 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    fn observe(&mut self, secs: f64) {
+    /// Records one observation (seconds) into the fixed buckets.
+    pub fn observe(&mut self, secs: f64) {
         let idx = BUCKET_BOUNDS_S
             .iter()
             .position(|&bound| secs <= bound)
@@ -63,6 +73,20 @@ impl Histogram {
         self.sum_s += secs;
         self.min_s = self.min_s.min(secs);
         self.max_s = self.max_s.max(secs);
+    }
+
+    /// Folds `other` into `self`. Merging is commutative and
+    /// associative — per-thread histograms can be combined in any
+    /// order and yield the identical aggregate (bucket counts and
+    /// `sum_s` are plain sums; `min`/`max` are order-free).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_s += other.sum_s;
+        self.min_s = self.min_s.min(other.min_s);
+        self.max_s = self.max_s.max(other.max_s);
     }
 
     fn to_json(&self) -> String {
@@ -184,6 +208,91 @@ impl Metrics {
         out
     }
 
+    /// Merges a locally-accumulated [`Histogram`] (for example one per
+    /// worker thread) into the named registry histogram in one lock
+    /// acquisition. Order-independent: any interleaving of merges
+    /// produces the same aggregate.
+    pub fn observe_histogram(&self, name: &str, h: &Histogram) {
+        Self::lock(&self.durations)
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
+    /// Renders the registry as Prometheus text exposition
+    /// (`text/plain; version=0.0.4`).
+    ///
+    /// Key convention: everything after the first `|` in a metric key
+    /// is parsed as `k=v,k2=v2` label pairs. Names are mangled to the
+    /// Prometheus charset (`.` → `_`), counters gain a `_total` suffix,
+    /// and a trailing `_s` on a histogram becomes `_seconds`. Duration
+    /// histograms render cumulative `le` buckets from
+    /// [`BUCKET_BOUNDS_S`] plus `+Inf`, then `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let counters = Self::lock(&self.counters);
+        let mut counter_groups: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+        for (k, v) in counters.iter() {
+            let (base, labels) = split_labels(k);
+            let mut name = prom_name(base);
+            if !name.ends_with("_total") {
+                name.push_str("_total");
+            }
+            counter_groups.entry(name).or_default().push((labels, *v));
+        }
+        drop(counters);
+        for (name, series) in &counter_groups {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            for (labels, v) in series {
+                out.push_str(&format!("{name}{} {v}\n", brace(labels)));
+            }
+        }
+
+        let gauges = Self::lock(&self.gauges);
+        let mut gauge_groups: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+        for (k, v) in gauges.iter() {
+            let (base, labels) = split_labels(k);
+            gauge_groups.entry(prom_name(base)).or_default().push((labels, *v));
+        }
+        drop(gauges);
+        for (name, series) in &gauge_groups {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            for (labels, v) in series {
+                out.push_str(&format!("{name}{} {}\n", brace(labels), prom_f64(*v)));
+            }
+        }
+
+        let durations = Self::lock(&self.durations);
+        let mut hist_groups: BTreeMap<String, Vec<(String, Histogram)>> = BTreeMap::new();
+        for (k, h) in durations.iter() {
+            let (base, labels) = split_labels(k);
+            let mut name = prom_name(base);
+            if let Some(stem) = name.strip_suffix("_s") {
+                name = format!("{stem}_seconds");
+            }
+            hist_groups.entry(name).or_default().push((labels, h.clone()));
+        }
+        drop(durations);
+        for (name, series) in &hist_groups {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            for (labels, h) in series {
+                let mut cumulative = 0u64;
+                for (i, &bound) in BUCKET_BOUNDS_S.iter().enumerate() {
+                    cumulative += h.buckets[i];
+                    let le = join_labels(labels, &format!("le=\"{}\"", prom_f64(bound)));
+                    out.push_str(&format!("{name}_bucket{{{le}}} {cumulative}\n"));
+                }
+                cumulative += h.buckets[BUCKET_BOUNDS_S.len()];
+                let le = join_labels(labels, "le=\"+Inf\"");
+                out.push_str(&format!("{name}_bucket{{{le}}} {cumulative}\n"));
+                out.push_str(&format!("{name}_sum{} {}\n", brace(labels), prom_f64(h.sum_s)));
+                out.push_str(&format!("{name}_count{} {}\n", brace(labels), h.count));
+            }
+        }
+        out
+    }
+
     /// Writes the snapshot atomically to `path`.
     ///
     /// # Errors
@@ -191,6 +300,218 @@ impl Metrics {
     /// Returns any I/O error from the atomic write.
     pub fn write_snapshot(&self, path: &Path) -> io::Result<()> {
         write_atomic(path, self.render_snapshot().as_bytes())
+    }
+}
+
+/// Splits a registry key into its metric name and rendered label pairs:
+/// `http.request_s|route=mixing` → (`http.request_s`, `route="mixing"`).
+fn split_labels(key: &str) -> (&str, String) {
+    match key.split_once('|') {
+        None => (key, String::new()),
+        Some((base, raw)) => {
+            let mut rendered = String::new();
+            for pair in raw.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                if !rendered.is_empty() {
+                    rendered.push(',');
+                }
+                let escaped = v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+                rendered.push_str(&format!("{}=\"{}\"", prom_name(k), escaped));
+            }
+            (base, rendered)
+        }
+    }
+}
+
+/// Mangles a dotted registry name into the Prometheus charset.
+fn prom_name(base: &str) -> String {
+    let mut s: String = base
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+/// `{labels}` or the empty string when there are none.
+fn brace(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn join_labels(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{labels},{extra}")
+    }
+}
+
+/// Renders an `f64` the way Prometheus expects (`+Inf`, `-Inf`, `NaN`).
+fn prom_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Validates Prometheus text exposition format: every line is a
+/// well-formed comment (`# HELP` / `# TYPE` included) or a sample
+/// (`name{labels} value [timestamp]`), and at least one sample is
+/// present — so a truncated or empty scrape fails like any other
+/// malformed artifact.
+pub fn is_valid_prometheus(text: &str) -> bool {
+    let mut samples = 0usize;
+    for line in text.lines() {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            match words.next() {
+                Some("TYPE") => {
+                    let name_ok = words.next().is_some_and(|n| is_prom_name(n));
+                    let kind_ok = matches!(
+                        words.next(),
+                        Some("counter" | "gauge" | "histogram" | "summary" | "untyped")
+                    );
+                    if !(name_ok && kind_ok && words.next().is_none()) {
+                        return false;
+                    }
+                }
+                Some("HELP") => {
+                    if !words.next().is_some_and(|n| is_prom_name(n)) {
+                        return false;
+                    }
+                }
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+        if !is_valid_sample(line) {
+            return false;
+        }
+        samples += 1;
+    }
+    samples > 0
+}
+
+fn is_prom_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_sample(line: &str) -> bool {
+    // name[{labels}] value [timestamp]
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    if name_end == 0 || !is_prom_name(&line[..name_end]) {
+        return false;
+    }
+    let mut rest = &line[name_end..];
+    if let Some(after_brace) = rest.strip_prefix('{') {
+        let Some(close) = find_label_close(after_brace) else {
+            return false;
+        };
+        if !labels_well_formed(&after_brace[..close]) {
+            return false;
+        }
+        rest = &after_brace[close + 1..];
+    }
+    let mut fields = rest.split_whitespace();
+    let Some(value) = fields.next() else {
+        return false;
+    };
+    let value_ok = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+    let timestamp_ok = match fields.next() {
+        None => true,
+        Some(ts) => ts.parse::<i64>().is_ok() && fields.next().is_none(),
+    };
+    value_ok && timestamp_ok
+}
+
+/// Index of the closing `}` of a label set, honoring quoted strings
+/// with backslash escapes.
+fn find_label_close(s: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn labels_well_formed(body: &str) -> bool {
+    let body = body.trim_end_matches(','); // trailing comma is legal
+    if body.is_empty() {
+        return true;
+    }
+    let mut rest = body;
+    loop {
+        let Some(eq) = rest.find('=') else {
+            return false;
+        };
+        if !is_prom_name(rest[..eq].trim()) {
+            return false;
+        }
+        let after = &rest[eq + 1..];
+        let Some(inner) = after.strip_prefix('"') else {
+            return false;
+        };
+        // Walk to the closing quote, honoring escapes.
+        let mut escaped = false;
+        let mut close = None;
+        for (i, c) in inner.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    close = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            return false;
+        };
+        let tail = &inner[close + 1..];
+        if tail.is_empty() {
+            return true;
+        }
+        let Some(next) = tail.strip_prefix(',') else {
+            return false;
+        };
+        if next.is_empty() {
+            return true;
+        }
+        rest = next;
     }
 }
 
@@ -262,6 +583,117 @@ mod tests {
         assert_eq!(m.counter("c"), 0);
         assert!(m.gauge("g").is_none());
         assert!(m.duration("d").is_none());
+    }
+
+    #[test]
+    fn zero_observation_histogram_merges_and_renders() {
+        // A per-thread histogram that never observed anything must be a
+        // merge identity and must not poison min_s in the snapshot.
+        let mut h = Histogram::default();
+        let empty = Histogram::default();
+        h.merge(&empty);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.buckets, [0; BUCKET_BOUNDS_S.len() + 1]);
+        h.observe(0.5);
+        h.merge(&empty);
+        assert_eq!(h.count, 1);
+        assert!((h.min_s - 0.5).abs() < 1e-12);
+        let m = Metrics::new();
+        m.observe_histogram("idle.wall", &empty);
+        let snap = m.render_snapshot();
+        assert!(snap.contains(r#""idle.wall":{"count":0,"sum_s":0.000000,"min_s":0.000000"#), "{snap}");
+        assert!(json::is_valid(&snap));
+    }
+
+    #[test]
+    fn single_bucket_saturation_stays_in_one_bucket() {
+        // Every observation lands exactly on the first bound: the first
+        // bucket takes them all, and the Prometheus cumulative counts
+        // are flat across the remaining bounds.
+        let m = Metrics::new();
+        for _ in 0..1000 {
+            m.observe("fast.wall_s", 0.001);
+        }
+        let h = m.duration("fast.wall_s").unwrap();
+        assert_eq!(h.buckets[0], 1000);
+        assert!(h.buckets[1..].iter().all(|&b| b == 0));
+        assert!((h.min_s - h.max_s).abs() < 1e-12);
+        let prom = m.render_prometheus();
+        assert!(prom.contains("fast_wall_seconds_bucket{le=\"0.001\"} 1000"), "{prom}");
+        assert!(prom.contains("fast_wall_seconds_bucket{le=\"+Inf\"} 1000"), "{prom}");
+        assert!(prom.contains("fast_wall_seconds_count 1000"), "{prom}");
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        // Binary-exact values so sum_s comparison needs no tolerance.
+        let values = [0.5, 0.25, 4.0, 0.0005, 128.0, 0.125, 2.0];
+        let mut thread_hists: Vec<Histogram> = Vec::new();
+        for chunk in values.chunks(2) {
+            let mut h = Histogram::default();
+            for &v in chunk {
+                h.observe(v);
+            }
+            thread_hists.push(h);
+        }
+        let mut forward = Histogram::default();
+        for h in &thread_hists {
+            forward.merge(h);
+        }
+        let mut backward = Histogram::default();
+        for h in thread_hists.iter().rev() {
+            backward.merge(h);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.count, values.len() as u64);
+        // And through the registry entry point, in shuffled order.
+        let a = Metrics::new();
+        let b = Metrics::new();
+        for h in &thread_hists {
+            a.observe_histogram("unit.wall", h);
+        }
+        for h in thread_hists.iter().rev() {
+            b.observe_histogram("unit.wall", h);
+        }
+        assert_eq!(a.duration("unit.wall"), b.duration("unit.wall"));
+    }
+
+    #[test]
+    fn prometheus_rendering_mangles_names_and_labels() {
+        let m = Metrics::new();
+        m.incr("http.requests", 7);
+        m.incr("http.shed|reason=backlog", 2);
+        m.gauge_set("registry.resident_bytes", 4096.0);
+        m.observe("http.request_s|route=mixing", 0.05);
+        let prom = m.render_prometheus();
+        assert!(prom.contains("# TYPE http_requests_total counter"), "{prom}");
+        assert!(prom.contains("http_requests_total 7"), "{prom}");
+        assert!(prom.contains("http_shed_total{reason=\"backlog\"} 2"), "{prom}");
+        assert!(prom.contains("registry_resident_bytes 4096"), "{prom}");
+        assert!(prom.contains("# TYPE http_request_seconds histogram"), "{prom}");
+        assert!(
+            prom.contains("http_request_seconds_bucket{route=\"mixing\",le=\"0.1\"} 1"),
+            "{prom}"
+        );
+        assert!(prom.contains("http_request_seconds_sum{route=\"mixing\"} 0.05"), "{prom}");
+        assert!(prom.contains("http_request_seconds_count{route=\"mixing\"} 1"), "{prom}");
+        assert!(is_valid_prometheus(&prom), "{prom}");
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed_text() {
+        assert!(is_valid_prometheus("a_total 1\n"));
+        assert!(is_valid_prometheus("# TYPE a_total counter\na_total{k=\"v\"} 1 1700000000\n"));
+        assert!(is_valid_prometheus("x_bucket{le=\"+Inf\"} 3\nx_sum 0.5\nx_count 3\n"));
+        assert!(!is_valid_prometheus(""), "empty scrape must fail");
+        assert!(!is_valid_prometheus("# TYPE only_comments counter\n"), "no samples");
+        assert!(!is_valid_prometheus("9bad_name 1\n"));
+        assert!(!is_valid_prometheus("name{k=unquoted} 1\n"));
+        assert!(!is_valid_prometheus("name{k=\"v\" 1\n"), "unclosed label set");
+        assert!(!is_valid_prometheus("name notanumber\n"));
+        assert!(!is_valid_prometheus("name 1 2 3\n"), "trailing junk");
+        assert!(!is_valid_prometheus("# TYPE t weird_kind\nt 1\n"));
+        assert!(is_valid_prometheus("name{k=\"quoted \\\"v\\\",still\"} 1\n"));
     }
 
     #[test]

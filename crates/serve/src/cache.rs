@@ -97,6 +97,10 @@ pub struct Lookup {
     /// lock-and-clone; for a miss, the coalesced compute. The warm/cold
     /// speedup assertions compare these, not sleeps.
     pub wall: Duration,
+    /// Whether this call arrived while another caller's compute for the
+    /// same key was already in flight and waited for it (a coalesced
+    /// hit). Always `false` for the owning miss and for ready hits.
+    pub coalesced: bool,
 }
 
 impl std::fmt::Debug for Lookup {
@@ -260,7 +264,7 @@ impl PropertyCache {
                     *touched = state.clock;
                     state.hits += 1;
                     Metrics::global().incr("cache.hits", 1);
-                    return Ok(Lookup { entry, hit: true, wall: start.elapsed() });
+                    return Ok(Lookup { entry, hit: true, wall: start.elapsed(), coalesced: false });
                 }
                 Some(Slot::Poisoned(message)) => {
                     return Err(CacheError::Poisoned(message.clone()));
@@ -270,7 +274,10 @@ impl PropertyCache {
                     state.slots.remove(key);
                     return Err(CacheError::Failed(message));
                 }
-                Some(Slot::Pending) => false,
+                Some(Slot::Pending) => {
+                    Metrics::global().incr("cache.coalesced", 1);
+                    false
+                }
                 None => {
                     state.slots.insert(key.to_string(), Slot::Pending);
                     state.misses += 1;
@@ -337,7 +344,12 @@ impl PropertyCache {
                         state.hits += 1;
                         Metrics::global().incr("cache.hits", 1);
                     }
-                    return Ok(Lookup { entry, hit: !owns_compute, wall: start.elapsed() });
+                    return Ok(Lookup {
+                        entry,
+                        hit: !owns_compute,
+                        wall: start.elapsed(),
+                        coalesced: !owns_compute,
+                    });
                 }
                 Some(Slot::Poisoned(message)) => {
                     return Err(CacheError::Poisoned(message.clone()));

@@ -59,6 +59,7 @@ use crate::routes;
 use crate::server::{AppState, KEEP_ALIVE_IDLE, MAX_REQUESTS_PER_CONNECTION};
 use crate::signal;
 use crate::sys::{self, PollFd, WakePipe, POLLIN, POLLOUT};
+use crate::trace::{self, TraceHandle};
 
 /// How much one readiness event reads per `read(2)` call.
 const READ_CHUNK: usize = 8 * 1024;
@@ -100,6 +101,14 @@ struct Conn {
     /// When the current state expires (meaning depends on `state`).
     deadline: Instant,
     keep_alive_after_write: bool,
+    /// When the connection started waiting for the current request's
+    /// bytes (accept, or keep-alive re-arm) — the trace's t0.
+    read_start: Instant,
+    /// When the current response's write began (the `write` span).
+    write_started: Instant,
+    /// The in-flight request's trace, sealed at write completion (or
+    /// aborted at close/reap).
+    trace: Option<TraceHandle>,
 }
 
 /// A handler-pool job's result, routed back to the loop by token.
@@ -295,6 +304,7 @@ impl EventLoop {
 
     fn insert(&mut self, stream: TcpStream) {
         let fd = stream.as_raw_fd();
+        let now = Instant::now();
         self.generation = self.generation.wrapping_add(1);
         let conn = Conn {
             stream,
@@ -305,8 +315,11 @@ impl EventLoop {
             out: Vec::new(),
             written: 0,
             served: 0,
-            deadline: Instant::now() + self.header_deadline,
+            deadline: now + self.header_deadline,
             keep_alive_after_write: false,
+            read_start: now,
+            write_started: now,
+            trace: None,
         };
         match self.free.pop() {
             Some(slot) => self.conns[slot] = Some(conn),
@@ -317,7 +330,13 @@ impl EventLoop {
     }
 
     fn close(&mut self, slot: usize) {
-        if self.conns[slot].take().is_some() {
+        if let Some(conn) = self.conns[slot].take() {
+            // A trace still attached here means the request was cut
+            // short (reaped, write error): seal it as aborted so the
+            // debug ring shows what the client never got.
+            if let Some(t) = conn.trace {
+                t.finish_aborted(&self.state.traces);
+            }
             self.free.push(slot);
             self.open -= 1;
             Metrics::global().gauge_set("http.open_conns", self.open as f64);
@@ -387,10 +406,24 @@ impl EventLoop {
             Ok(Parsed::Incomplete) => {}
             Ok(Parsed::Request { request, consumed }) => {
                 conn.buf.drain(..consumed);
+                // The trace clock starts when the connection began
+                // waiting for this request's bytes, so the sealed total
+                // tracks the client-observed latency.
+                let read_start = conn.read_start;
+                let request_trace =
+                    self.state.begin_trace(&request.method, &request.path, read_start);
+                if let Some(t) = &request_trace {
+                    t.leaf("read_parse", "", read_start.elapsed());
+                }
+                conn.trace = request_trace;
                 self.state.count_request();
                 if self.handlers.backlog() > shed_highwater {
                     Metrics::global().incr("http.shed_requests", 1);
                     self.state.account_response("shed", 503, Duration::ZERO);
+                    if let Some(t) = self.conns[slot].as_ref().and_then(|c| c.trace.as_ref()) {
+                        t.set_route("shed");
+                        t.set_status(503);
+                    }
                     let response = routes::shed_response("compute backlog over high-water mark");
                     self.respond(slot, response, false);
                 } else {
@@ -398,6 +431,7 @@ impl EventLoop {
                 }
             }
             Err(err) => {
+                let read_start = conn.read_start;
                 let (class, response) = match err {
                     HttpError::PayloadTooLarge => {
                         Metrics::global().incr("http.rejected_oversize", 1);
@@ -415,6 +449,17 @@ impl EventLoop {
                         return;
                     }
                 };
+                // No parsed request line to name the trace — rejects
+                // still get one so they show up in the debug ring.
+                let reject_trace = self.state.begin_trace("-", "-", read_start);
+                if let Some(t) = &reject_trace {
+                    t.leaf("read_parse", "", read_start.elapsed());
+                    t.set_route(class);
+                    t.set_status(response.status);
+                }
+                if let Some(c) = self.conns[slot].as_mut() {
+                    c.trace = reject_trace;
+                }
                 self.state.count_request();
                 self.state.account_response(class, response.status, Duration::ZERO);
                 self.respond(slot, response, false);
@@ -427,20 +472,34 @@ impl EventLoop {
     fn dispatch(&mut self, slot: usize, request: http::Request) {
         let inflight_deadline =
             Instant::now() + self.state.config.request_deadline + INFLIGHT_GRACE;
-        let job_token = {
+        let (job_token, request_trace) = {
             let Some(conn) = self.conns[slot].as_mut() else { return };
             conn.state = ConnState::InFlight;
             conn.deadline = inflight_deadline;
-            token(slot, conn.generation)
+            (token(slot, conn.generation), conn.trace.clone())
         };
+        if let Some(t) = &request_trace {
+            t.mark_dispatched();
+        }
         let state = Arc::clone(&self.state);
         let completions = Arc::clone(&self.completions);
         let wake = Arc::clone(&self.wake);
         let submitted = self.handlers.submit(move || {
             let started = Instant::now();
+            if let Some(t) = &request_trace {
+                t.note_queue_wait();
+            }
             let cancel = CancelToken::with_budget(state.config.request_deadline);
             let client_keep_alive = request.keep_alive;
-            let (class, response) = routes::handle(&state, &request, &cancel);
+            let (class, response) = {
+                let _tl = trace::enter(request_trace.clone());
+                let _handle_span = request_trace.as_ref().map(|t| t.stage("handle"));
+                routes::handle(&state, &request, &cancel)
+            };
+            if let Some(t) = &request_trace {
+                t.set_route(class);
+                t.set_status(response.status);
+            }
             state.account_response(class, response.status, started.elapsed());
             completions
                 .lock()
@@ -451,6 +510,10 @@ impl EventLoop {
         if submitted.is_err() {
             // The handler pool only refuses during the final drain.
             self.state.account_response("shed", 503, Duration::ZERO);
+            if let Some(t) = self.conns[slot].as_ref().and_then(|c| c.trace.as_ref()) {
+                t.set_route("shed");
+                t.set_status(503);
+            }
             self.respond(slot, routes::shed_response("server is draining"), false);
         }
     }
@@ -484,6 +547,11 @@ impl EventLoop {
         let write_deadline = Instant::now() + self.header_deadline;
         {
             let Some(conn) = self.conns[slot].as_mut() else { return };
+            let response = match &conn.trace {
+                Some(t) => response.with_header("X-Trace-Id", &t.id_text()),
+                None => response,
+            };
+            conn.write_started = Instant::now();
             let mut bytes = Vec::with_capacity(response.body.len() + 256);
             // Writing into a Vec cannot fail.
             let _ = response.write_to(&mut bytes, keep_alive);
@@ -529,6 +597,12 @@ impl EventLoop {
     /// keep-alive request (which may already be pipelined in `buf`).
     fn finish_write(&mut self, slot: usize) {
         let idle_deadline = Instant::now() + KEEP_ALIVE_IDLE.min(self.header_deadline);
+        if let Some(conn) = self.conns[slot].as_mut() {
+            if let Some(t) = conn.trace.take() {
+                t.leaf("write", "", conn.write_started.elapsed());
+                t.finish(&self.state.traces);
+            }
+        }
         let keep_alive = match self.conns[slot].as_mut() {
             Some(conn) if conn.keep_alive_after_write => {
                 conn.served += 1;
@@ -536,6 +610,9 @@ impl EventLoop {
                 conn.written = 0;
                 conn.state = ConnState::Reading;
                 conn.deadline = idle_deadline;
+                // The next request's trace clock starts now: everything
+                // from here until its bytes parse is its read window.
+                conn.read_start = Instant::now();
                 true
             }
             Some(_) => false,

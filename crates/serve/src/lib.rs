@@ -34,6 +34,12 @@
 //!   hydrates them (quarantining anything corrupt or keyed to other
 //!   code) so the first repeat query answers `X-Cache: warm-disk` with
 //!   byte-identical content, no graph load, no recompute.
+//! - [`trace`] — request-scoped tracing: every request carries a span
+//!   tree (loop parse, queue wait, handler, cache, kernels, write)
+//!   across the loop/pool boundary into a fixed-size ring, served live
+//!   by `GET /debug/trace/<id>` + `GET /debug/slow`, correlated with
+//!   clients via the `X-Trace-Id` header, and scraped as Prometheus
+//!   text on `GET /metrics`.
 //!
 //! ```no_run
 //! use socnet_serve::{Server, ServerConfig};
@@ -59,6 +65,7 @@ pub mod routes;
 pub mod server;
 pub mod signal;
 pub mod sys;
+pub mod trace;
 
 pub use cache::{
     CacheError, CacheStats, CacheValue, CachedEntry, Lookup, PropertyCache, StoredBody,
@@ -70,3 +77,4 @@ pub use registry::{
 pub use server::{
     AppState, Frontend, ServeSummary, Server, ServerConfig, MAX_REQUESTS_PER_CONNECTION,
 };
+pub use trace::{is_valid_trace_jsonl, SealedTrace, TraceHandle, TraceRing};

@@ -26,10 +26,11 @@ use socnet_mixing::{
 use socnet_runner::{json, CancelToken, Metrics, ParConfig};
 use socnet_sybil::{AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilTopology};
 
-use crate::cache::{CacheError, CacheValue};
+use crate::cache::{CacheError, CacheValue, Lookup};
 use crate::http::{Request, Response};
 use crate::registry::{GraphKey, LoadedGraph, RegistryError};
 use crate::server::AppState;
+use crate::trace::{self, StageGuard};
 
 /// Hard caps that keep a single query from occupying the box.
 const MAX_SCALE: f64 = 4.0;
@@ -66,7 +67,15 @@ pub fn handle(state: &Arc<AppState>, req: &Request, cancel: &CancelToken) -> (&'
     match parts.as_slice() {
         ["healthz"] => ("healthz", expect_method("GET", req).unwrap_or_else(|| healthz(state))),
         ["datasets"] => ("datasets", expect_method("GET", req).unwrap_or_else(|| datasets(state))),
-        ["metrics"] => ("metrics", expect_method("GET", req).unwrap_or_else(|| metrics(state))),
+        ["metrics"] => {
+            ("metrics", expect_method("GET", req).unwrap_or_else(|| metrics(state, req)))
+        }
+        ["debug", "trace", id] => {
+            ("debug", expect_method("GET", req).unwrap_or_else(|| debug_trace(state, id)))
+        }
+        ["debug", "slow"] => {
+            ("debug", expect_method("GET", req).unwrap_or_else(|| debug_slow(state, req)))
+        }
         ["graphs", name, "load"] => (
             "load",
             expect_method("POST", req).unwrap_or_else(|| load(state, req, name, cancel)),
@@ -202,6 +211,7 @@ fn load_graph(
     key: &GraphKey,
     cancel: &CancelToken,
 ) -> Result<Arc<LoadedGraph>, Response> {
+    let _span = trace::current().map(|t| t.stage("graph_load"));
     state.registry.get_or_load(key, cancel).map_err(|err| registry_error_response(&err))
 }
 
@@ -221,9 +231,33 @@ fn resolve_graph(
 /// This is the warm-start fast path: no graph load, no pool compute,
 /// the exact bytes the pre-restart process rendered.
 fn warm_body(state: &AppState, body_key: &str) -> Option<Response> {
+    let started = std::time::Instant::now();
     let body = state.cache.hydrated_body(body_key)?;
     let body = String::from_utf8(body).ok()?;
+    if let Some(t) = trace::current() {
+        t.leaf("store_hydrate", "warm-disk", started.elapsed());
+    }
     Some(Response::json(200, body).with_header("X-Cache", "warm-disk"))
+}
+
+/// Opens a `cache:<kind>` span on the current trace (if any). The span
+/// stays open across the coalesced compute; [`note_lookup`] stamps how
+/// the lookup resolved before the guard drops.
+fn cache_stage(name: &'static str) -> Option<StageGuard> {
+    trace::current().map(|t| t.stage(name))
+}
+
+/// Stamps `hit` / `miss` / `coalesced` on an open cache span.
+fn note_lookup(span: &Option<StageGuard>, lookup: &Lookup) {
+    if let Some(span) = span {
+        span.detail(if lookup.coalesced {
+            "coalesced"
+        } else if lookup.hit {
+            "hit"
+        } else {
+            "miss"
+        });
+    }
 }
 
 /// Records a successful response body under its canonical key so the
@@ -298,12 +332,59 @@ fn datasets(state: &Arc<AppState>) -> Response {
     Response::json(200, obj.finish())
 }
 
-fn metrics(state: &Arc<AppState>) -> Response {
+/// `GET /metrics` — Prometheus text exposition by default (the format
+/// scrapers speak), the legacy pinned-JSON snapshot via `?format=json`.
+/// Telemetry routes never touch the property cache or the persist
+/// snapshot: a scrape must not perturb what it observes.
+fn metrics(state: &Arc<AppState>, req: &Request) -> Response {
     let cache = state.cache.stats();
     let m = Metrics::global();
     m.gauge_set("serve.cache_hit_rate", cache.hit_rate());
     m.gauge_set("serve.resident_graphs", state.registry.len() as f64);
-    Response::text(200, m.render_snapshot())
+    if req.param("format") == Some("json") {
+        return Response::text(200, m.render_snapshot());
+    }
+    let mut response = Response::text(200, m.render_prometheus());
+    response.content_type = "text/plain; version=0.0.4";
+    response
+}
+
+/// `GET /debug/trace/<id>` — one sealed trace from the ring, rendered
+/// as a nested span tree.
+fn debug_trace(state: &Arc<AppState>, id: &str) -> Response {
+    match state.traces.find(id) {
+        Some(sealed) => Response::json(200, sealed.to_json_tree()),
+        None => error_response(404, &format!("no trace {id:?} in the ring (evicted or unknown)")),
+    }
+}
+
+/// `GET /debug/slow?threshold_ms=..&n=..` — the slowest sealed traces
+/// above the threshold, slowest first.
+fn debug_slow(state: &Arc<AppState>, req: &Request) -> Response {
+    let params = req.params_with_body();
+    let threshold_ms = match param_f64(&params, "threshold_ms", 0.0) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    if !(threshold_ms.is_finite() && threshold_ms >= 0.0) {
+        return error_response(400, &format!("threshold_ms must be >= 0, got {threshold_ms}"));
+    }
+    let n = match param_usize(&params, "n", 10) {
+        Ok(v) => v,
+        Err(response) => return response,
+    };
+    let slow = state.traces.slowest(threshold_ms, n.min(100));
+    let mut rows = json::Arr::new();
+    for sealed in &slow {
+        rows.push_raw(sealed.to_json_tree());
+    }
+    let mut obj = json::Obj::new();
+    obj.int("sealed_total", state.traces.sealed_total())
+        .int("ring_capacity", state.traces.capacity() as u64)
+        .num("threshold_ms", threshold_ms, 3)
+        .int("returned", slow.len() as u64)
+        .raw("slowest", &rows.finish());
+    Response::json(200, obj.finish())
 }
 
 fn load(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
@@ -384,6 +465,15 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
     // The panic hook bypasses persistence entirely: a poisoning test
     // must exercise the live path, and a poisoned body never records.
     let inject_panic = state.config.panic_injection && req.param("__panic") == Some("1");
+    // `__slow_ms` (test-gated like `__panic`) stalls the handler so the
+    // trace tests and serveload can manufacture a known-slow request.
+    if state.config.panic_injection {
+        if let Some(ms) = req.param("__slow_ms").and_then(|v| v.parse::<u64>().ok()) {
+            let span = trace::current().map(|t| t.stage("inject_slow"));
+            std::thread::sleep(std::time::Duration::from_millis(ms.min(5_000)));
+            drop(span);
+        }
+    }
     let eps_text = json::num(eps, 6);
     let body_key = format!("body|{label}|mixing|eps={eps_text}|s={sources}|w={max_walk}");
     if !inject_panic {
@@ -400,6 +490,7 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
     // request reuses one power iteration.
     let spectrum_key =
         if inject_panic { format!("spectrum|{label}|boom") } else { format!("spectrum|{label}") };
+    let spectrum_span = cache_stage("cache:spectrum");
     let spectrum_lookup = {
         let graph = Arc::clone(&graph);
         state.cache.get_or_compute(&spectrum_key, &state.pool, cancel, move || {
@@ -415,6 +506,8 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
         Ok(lookup) => lookup,
         Err(err) => return cache_error_response(&err),
     };
+    note_lookup(&spectrum_span, &spectrum_lookup);
+    drop(spectrum_span);
     let Some(spectrum) = spectrum_lookup.entry.value::<Spectrum>().copied() else {
         return error_response(500, "cache entry holds an unexpected type");
     };
@@ -429,6 +522,7 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
     let mut compute_cost = spectrum_lookup.entry.cost;
     if sources > 0 {
         let tvd_key = format!("tvd|{label}|s={sources}|w={max_walk}");
+        let tvd_span = cache_stage("cache:tvd");
         let measurement_lookup = {
             let graph = Arc::clone(&graph);
             state.cache.get_or_compute(&tvd_key, &state.pool, cancel, move || {
@@ -451,6 +545,8 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
             Ok(lookup) => lookup,
             Err(err) => return cache_error_response(&err),
         };
+        note_lookup(&tvd_span, &measurement_lookup);
+        drop(tvd_span);
         all_hit &= measurement_lookup.hit;
         compute_cost += measurement_lookup.entry.cost;
         let Some(m) = measurement_lookup.entry.value::<MixingMeasurement>() else {
@@ -513,6 +609,7 @@ fn coreness(
         Err(response) => return response,
     };
     // One decomposition per graph answers every node's query.
+    let core_span = cache_stage("cache:cores");
     let lookup = {
         let graph = Arc::clone(&graph);
         state.cache.get_or_compute(&format!("cores|{label}"), &state.pool, cancel, move || {
@@ -525,6 +622,8 @@ fn coreness(
         Ok(lookup) => lookup,
         Err(err) => return cache_error_response(&err),
     };
+    note_lookup(&core_span, &lookup);
+    drop(core_span);
     let Some(decomposition) = lookup.entry.value::<CoreDecomposition>() else {
         return error_response(500, "cache entry holds an unexpected type");
     };
@@ -578,6 +677,7 @@ fn expansion(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelTo
         );
     }
     // The full envelope is cached per root; `hops` only trims the view.
+    let envelope_span = cache_stage("cache:expansion");
     let lookup = {
         let graph = Arc::clone(&graph);
         state.cache.get_or_compute(
@@ -596,6 +696,8 @@ fn expansion(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelTo
         Ok(lookup) => lookup,
         Err(err) => return cache_error_response(&err),
     };
+    note_lookup(&envelope_span, &lookup);
+    drop(envelope_span);
     let Some(envelope) = lookup.entry.value::<EnvelopeExpansion>() else {
         return error_response(500, "cache entry holds an unexpected type");
     };
@@ -708,6 +810,7 @@ fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
         );
     }
     let cache_key = format!("admit|{label}|{param_suffix}");
+    let admit_span = cache_stage("cache:admit");
     let lookup = {
         let graph = Arc::clone(&graph);
         state.cache.get_or_compute(&cache_key, &state.pool, cancel, move || {
@@ -772,6 +875,8 @@ fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
         Ok(lookup) => lookup,
         Err(err) => return cache_error_response(&err),
     };
+    note_lookup(&admit_span, &lookup);
+    drop(admit_span);
     let Some(verdict) = lookup.entry.value::<AdmitVerdict>() else {
         return error_response(500, "cache entry holds an unexpected type");
     };

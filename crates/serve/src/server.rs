@@ -24,18 +24,19 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use socnet_runner::{
-    git_rev, hostname, obs, CancelToken, DrainReport, Metrics, Pool, RunManifest, RunReport,
-    StageReport, UnitRecord,
+    git_rev, hostname, obs, write_atomic, CancelToken, DrainReport, Metrics, Pool, RunManifest,
+    RunReport, StageReport, UnitRecord,
 };
 
 use crate::cache::PropertyCache;
 use crate::http::{self, HttpError};
 use crate::registry::GraphRegistry;
+use crate::trace::{self, TraceHandle, TraceRing};
 use crate::{persist, routes, signal};
 
 /// Most requests one keep-alive connection may issue before the server
@@ -126,6 +127,12 @@ pub struct ServerConfig {
     /// shed with `503` + `Retry-After` instead of queueing without
     /// bound (`--shed-highwater`).
     pub shed_highwater: usize,
+    /// Whether requests are traced at boot (`--tracing`). Runtime
+    /// toggleable via [`AppState::set_tracing`]; benchmarks flip it to
+    /// measure the overhead of tracing itself.
+    pub tracing: bool,
+    /// How many sealed traces the debug ring keeps (`--trace-ring`).
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -145,6 +152,8 @@ impl Default for ServerConfig {
             max_conns: 1024,
             header_deadline: Duration::from_secs(5),
             shed_highwater: 64,
+            tracing: true,
+            trace_ring: 512,
         }
     }
 }
@@ -169,6 +178,10 @@ pub struct AppState {
     pub config: ServerConfig,
     /// Cancelled when the server starts draining.
     pub shutdown: CancelToken,
+    /// The ring of recently sealed request traces (`/debug/*` reads
+    /// it; the drain writes it to `traces.jsonl`).
+    pub traces: TraceRing,
+    tracing: AtomicBool,
     requests: AtomicU64,
     route_stats: Mutex<BTreeMap<&'static str, RouteStat>>,
     active: Mutex<usize>,
@@ -179,6 +192,32 @@ impl AppState {
     /// Total requests accepted so far.
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Whether new requests get traces right now.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Toggles tracing at runtime (only *new* requests are affected;
+    /// in-flight traces seal normally).
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// A fresh trace for a request whose bytes started arriving at
+    /// `started`, or `None` while tracing is disabled.
+    pub(crate) fn begin_trace(
+        &self,
+        method: &str,
+        path: &str,
+        started: Instant,
+    ) -> Option<TraceHandle> {
+        if self.tracing_enabled() {
+            Some(TraceHandle::begin(method, path, started))
+        } else {
+            None
+        }
     }
 
     /// Accounts one parsed (or rejected) request. Both front ends call
@@ -198,6 +237,10 @@ impl AppState {
         };
         Metrics::global().incr(status_class, 1);
         Metrics::global().observe("http.request_s", wall.as_secs_f64());
+        // The labeled twin renders as a per-route Prometheus histogram
+        // (`http_request_seconds_bucket{route="..."}`); the route-class
+        // set is static, so the label space is bounded.
+        Metrics::global().observe(&format!("http.request_s|route={class}"), wall.as_secs_f64());
         let mut stats = self.route_stats.lock().unwrap_or_else(|p| p.into_inner());
         let stat = stats.entry(class).or_default();
         stat.requests += 1;
@@ -250,12 +293,54 @@ impl Server {
         signal::reset();
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        // The kernel timing hook is process-global and installs once
+        // (re-binding in tests must not stack hooks): every timed
+        // kernel section lands in a registry histogram and, when the
+        // running thread carries a current trace, as a leaf span.
+        socnet_core::kernel_timing::install(|name, secs| {
+            Metrics::global().observe(&format!("kernel.{name}_s"), secs);
+            trace::on_kernel(name, secs);
+        });
+        // Pre-register the counters operators alert on, so `/metrics`
+        // exposes every required series from the first scrape instead
+        // of only after the first matching event.
+        let m = Metrics::global();
+        for name in [
+            "http.requests",
+            "http.connections",
+            "http.responses.2xx",
+            "http.responses.4xx",
+            "http.responses.5xx",
+            "http.shed_conns",
+            "http.shed_requests",
+            "http.reaped_idle",
+            "http.reaped_slowloris",
+            "http.reaped_slow_reader",
+            "http.reaped_inflight",
+            "http.drain_killed",
+            "http.rejected_oversize",
+            "http.keepalive_reuses",
+            "cache.hits",
+            "cache.misses",
+            "cache.coalesced",
+            "cache.evictions",
+            "cache.poisonings",
+            "store.hydrated",
+            "store.warm_hits",
+            "store.quarantined",
+        ] {
+            m.incr(name, 0);
+        }
+        let tracing = config.tracing;
+        let trace_ring = config.trace_ring;
         let state = Arc::new(AppState {
             registry: GraphRegistry::new(),
             cache: PropertyCache::new(config.cache_bytes),
             pool: Pool::new(config.threads),
             config,
             shutdown: CancelToken::new(),
+            traces: TraceRing::new(trace_ring),
+            tracing: AtomicBool::new(tracing),
             requests: AtomicU64::new(0),
             route_stats: Mutex::new(BTreeMap::new()),
             active: Mutex::new(0),
@@ -413,6 +498,24 @@ impl Server {
         let metrics_path = out_dir.join("serve_metrics.json");
         m.write_snapshot(&metrics_path)?;
 
+        // The trace ring becomes a durable artifact: one
+        // `socnet-trace-v1` line per resident trace, oldest first
+        // (validated by `socnet obs-check`). Only written when at
+        // least one trace sealed — an untraced run has nothing to say.
+        if self.state.traces.sealed_total() > 0 {
+            let traces_path = out_dir.join("traces.jsonl");
+            if let Err(e) = write_atomic(&traces_path, self.state.traces.render_jsonl().as_bytes())
+            {
+                obs::warn(
+                    "trace.flush_failed",
+                    &[
+                        ("path", traces_path.display().to_string().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+            }
+        }
+
         let mut manifest = RunManifest::new("serve");
         manifest
             .arg_str("addr", &addr.to_string())
@@ -488,11 +591,25 @@ fn handle_connection(state: &Arc<AppState>, stream: TcpStream) {
             if served == 0 { header_deadline } else { KEEP_ALIVE_IDLE.min(header_deadline) };
         writer.set_read_timeout(Some(read_deadline)).ok();
         let request_start = Instant::now();
+        let mut request_trace: Option<TraceHandle> = None;
         let (class, response, client_keep_alive) = match http::read_request(&mut reader) {
             Ok(request) => {
                 state.count_request();
+                let trace = state.begin_trace(&request.method, &request.path, request_start);
+                if let Some(t) = &trace {
+                    t.leaf("read_parse", "", request_start.elapsed());
+                }
                 let cancel = CancelToken::with_budget(state.config.request_deadline);
-                let (class, response) = routes::handle(state, &request, &cancel);
+                let (class, response) = {
+                    let _tl = trace::enter(trace.clone());
+                    let _handle_span = trace.as_ref().map(|t| t.stage("handle"));
+                    routes::handle(state, &request, &cancel)
+                };
+                if let Some(t) = &trace {
+                    t.set_route(class);
+                    t.set_status(response.status);
+                }
+                request_trace = trace;
                 (class, response, request.keep_alive)
             }
             Err(HttpError::PayloadTooLarge) => {
@@ -514,13 +631,28 @@ fn handle_connection(state: &Arc<AppState>, stream: TcpStream) {
             Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
         };
         state.account_response(class, response.status, request_start.elapsed());
+        let response = match &request_trace {
+            Some(t) => response.with_header("X-Trace-Id", &t.id_text()),
+            None => response,
+        };
         // Advertise keep-alive only when the server will actually read
         // another request: the client asked, the per-connection budget
         // has room, and no drain is underway.
         let keep_alive = client_keep_alive
             && served + 1 < MAX_REQUESTS_PER_CONNECTION
             && !state.shutdown.is_cancelled();
-        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+        let write_result = {
+            let _write_span = request_trace.as_ref().map(|t| t.stage("write"));
+            response.write_to(&mut writer, keep_alive)
+        };
+        if let Some(t) = &request_trace {
+            if write_result.is_ok() {
+                t.finish(&state.traces);
+            } else {
+                t.finish_aborted(&state.traces);
+            }
+        }
+        if write_result.is_err() || !keep_alive {
             return;
         }
         Metrics::global().incr("http.keepalive_reuses", 1);

@@ -1,0 +1,666 @@
+//! Request-scoped tracing: span trees across the loop/pool boundary
+//! plus a fixed-size ring of recently sealed traces.
+//!
+//! Every request the server answers gets a [`TraceHandle`] when its
+//! head finishes parsing. The handle is a cheap `Arc` that both sides
+//! of the thread boundary share: the event loop records `read_parse`,
+//! `queue_wait`, and `write` around the handoff, the handler thread
+//! opens `handle` plus the cache/store/graph stages inside
+//! [`crate::routes`], and the compute pool attributes kernel sections
+//! through the process-wide [`socnet_core::kernel_timing`] hook via a
+//! thread-local *current trace* installed for the duration of the
+//! compute closure. Stage nesting uses a shared open-stage stack; it is
+//! correct across threads because a handler blocks while its compute
+//! runs, so openings and closings interleave sequentially per trace.
+//!
+//! Lock discipline ("lock-light"): each trace has its own mutex —
+//! uncontended except at the two handoff points — and the ring takes
+//! one short lock per *sealed* trace, never per stage. With tracing
+//! disabled no handle exists and the per-request cost is zero.
+//!
+//! Sealed traces serialize as single-line `socnet-trace-v1` JSON: the
+//! drain writes the ring to `<out>/traces.jsonl`, `GET
+//! /debug/trace/<id>` and `GET /debug/slow` render the same records as
+//! nested span trees, and [`is_valid_trace_jsonl`] is the `obs-check`
+//! validator for the artifact.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use socnet_runner::{json, Metrics};
+
+/// Root stage names, in request-lifecycle order. Every sealed trace's
+/// root stages come from this set (plus injected test stages), which is
+/// what keeps the per-stage histogram label space bounded.
+pub const ROOT_STAGES: [&str; 4] = ["read_parse", "queue_wait", "handle", "write"];
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One completed (or still-open) span within a trace.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Static stage name (`read_parse`, `handle`, `cache:mixing`, ...).
+    pub name: &'static str,
+    /// Free-form annotation (`hit`, `miss`, `coalesced`, a dataset
+    /// label); empty when none.
+    pub detail: String,
+    /// Index of the enclosing stage, `None` for a root stage.
+    pub parent: Option<u32>,
+    /// Offset from the trace start, microseconds.
+    pub start_us: u64,
+    /// Stage duration, microseconds (0 while still open).
+    pub dur_us: u64,
+}
+
+struct TraceState {
+    stages: Vec<Stage>,
+    /// Indices of currently-open stages, innermost last.
+    stack: Vec<u32>,
+    /// When [`TraceHandle::mark_dispatched`] ran (queue-wait start).
+    dispatched: Option<Instant>,
+    route: &'static str,
+    status: u16,
+    finished: bool,
+}
+
+struct TraceInner {
+    id: u64,
+    method: String,
+    path: String,
+    /// t0 for every stage offset: when the connection started waiting
+    /// for this request's bytes, not when parsing finished — so the
+    /// trace total matches what the client observes.
+    started: Instant,
+    state: Mutex<TraceState>,
+}
+
+/// A shared handle to one in-flight request's trace.
+#[derive(Clone)]
+pub struct TraceHandle(Arc<TraceInner>);
+
+impl TraceHandle {
+    /// Starts a trace whose clock began at `started` (the instant the
+    /// front end began reading this request).
+    pub fn begin(method: &str, path: &str, started: Instant) -> TraceHandle {
+        TraceHandle(Arc::new(TraceInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            method: method.to_string(),
+            path: path.to_string(),
+            started,
+            state: Mutex::new(TraceState {
+                stages: Vec::with_capacity(8),
+                stack: Vec::with_capacity(4),
+                dispatched: None,
+                route: "",
+                status: 0,
+                finished: false,
+            }),
+        }))
+    }
+
+    /// The wire form of the trace id (the `X-Trace-Id` header value).
+    pub fn id_text(&self) -> String {
+        format!("{:016x}", self.0.id)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceState> {
+        self.0.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn offset_us(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.0.started).as_micros() as u64
+    }
+
+    /// Opens a nested stage; the returned guard closes it on drop.
+    pub fn stage(&self, name: &'static str) -> StageGuard {
+        let start = Instant::now();
+        let mut state = self.lock();
+        let index = state.stages.len() as u32;
+        let parent = state.stack.last().copied();
+        state.stages.push(Stage {
+            name,
+            detail: String::new(),
+            parent,
+            start_us: self.offset_us(start),
+            dur_us: 0,
+        });
+        state.stack.push(index);
+        StageGuard { trace: self.clone(), index, opened: start }
+    }
+
+    /// Appends an already-measured leaf stage ending now (kernel hook,
+    /// read_parse, queue_wait) under the innermost open stage.
+    pub fn leaf(&self, name: &'static str, detail: &str, dur: std::time::Duration) {
+        let end = Instant::now();
+        let start_us = self.offset_us(end).saturating_sub(dur.as_micros() as u64);
+        let mut state = self.lock();
+        if state.finished {
+            return;
+        }
+        let parent = state.stack.last().copied();
+        state.stages.push(Stage {
+            name,
+            detail: detail.to_string(),
+            parent,
+            start_us,
+            dur_us: dur.as_micros() as u64,
+        });
+    }
+
+    /// Records the instant the request left the loop for the handler
+    /// pool; [`note_queue_wait`](Self::note_queue_wait) closes the gap.
+    pub fn mark_dispatched(&self) {
+        self.lock().dispatched = Some(Instant::now());
+    }
+
+    /// Called first thing on the handler thread: records the
+    /// `queue_wait` leaf spanning dispatch → now.
+    pub fn note_queue_wait(&self) {
+        let dispatched = self.lock().dispatched.take();
+        if let Some(at) = dispatched {
+            self.leaf("queue_wait", "", at.elapsed());
+        }
+    }
+
+    /// Records the route class the handler resolved to.
+    pub fn set_route(&self, route: &'static str) {
+        self.lock().route = route;
+    }
+
+    /// Records the response status.
+    pub fn set_status(&self, status: u16) {
+        self.lock().status = status;
+    }
+
+    /// Seals the trace into `ring` and records its latency histograms
+    /// (`trace.total_s` per route, `trace.stage_s` per root stage).
+    /// Idempotent: a second finish (e.g. reap racing a write) is a
+    /// no-op.
+    pub fn finish(&self, ring: &TraceRing) {
+        self.finish_with(ring, false)
+    }
+
+    /// Seals a trace whose request was cut short (reaped, closed
+    /// mid-write): stages still open keep zero duration and the record
+    /// is marked aborted.
+    pub fn finish_aborted(&self, ring: &TraceRing) {
+        self.finish_with(ring, true)
+    }
+
+    fn finish_with(&self, ring: &TraceRing, aborted: bool) {
+        let total_us = self.offset_us(Instant::now());
+        let sealed = {
+            let mut state = self.lock();
+            if state.finished {
+                return;
+            }
+            state.finished = true;
+            state.stack.clear();
+            Arc::new(SealedTrace {
+                id: self.0.id,
+                method: self.0.method.clone(),
+                path: self.0.path.clone(),
+                route: state.route,
+                status: state.status,
+                aborted,
+                total_us,
+                stages: std::mem::take(&mut state.stages),
+            })
+        };
+        let m = Metrics::global();
+        m.observe(
+            &format!("trace.total_s|route={}", if sealed.route.is_empty() { "unknown" } else { sealed.route }),
+            total_us as f64 / 1e6,
+        );
+        for stage in sealed.stages.iter().filter(|s| s.parent.is_none()) {
+            m.observe(&format!("trace.stage_s|stage={}", stage.name), stage.dur_us as f64 / 1e6);
+        }
+        ring.push(sealed);
+    }
+}
+
+/// Closes its stage on drop; [`detail`](Self::detail) annotates it.
+pub struct StageGuard {
+    trace: TraceHandle,
+    index: u32,
+    opened: Instant,
+}
+
+impl StageGuard {
+    /// Annotates the stage (`hit` / `miss` / `coalesced` / ...).
+    pub fn detail(&self, detail: &str) {
+        let mut state = self.trace.lock();
+        if let Some(stage) = state.stages.get_mut(self.index as usize) {
+            stage.detail = detail.to_string();
+        }
+    }
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        let dur_us = self.opened.elapsed().as_micros() as u64;
+        let mut state = self.trace.lock();
+        if let Some(stage) = state.stages.get_mut(self.index as usize) {
+            stage.dur_us = dur_us;
+        }
+        // Pop this stage (and, defensively, anything opened after it
+        // that leaked past its guard).
+        while let Some(&top) = state.stack.last() {
+            state.stack.pop();
+            if top == self.index {
+                break;
+            }
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceHandle>> = const { RefCell::new(None) };
+}
+
+/// The trace installed on this thread, if any.
+pub fn current() -> Option<TraceHandle> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Installs `trace` as this thread's current trace for the guard's
+/// lifetime (handler jobs and compute closures wrap themselves in one
+/// so the kernel hook can attribute its sections).
+pub fn enter(trace: Option<TraceHandle>) -> EnterGuard {
+    let prev = CURRENT.with(|c| c.replace(trace));
+    EnterGuard { prev }
+}
+
+/// Restores the previously-installed trace on drop.
+pub struct EnterGuard {
+    prev: Option<TraceHandle>,
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Kernel-hook sink: attributes one timed kernel section to the current
+/// trace as a leaf stage (the hook also records registry histograms —
+/// see `Server::bind`).
+pub fn on_kernel(name: &'static str, secs: f64) {
+    if let Some(trace) = current() {
+        trace.leaf(name, "kernel", std::time::Duration::from_secs_f64(secs));
+    }
+}
+
+/// An immutable, completed trace record.
+#[derive(Debug)]
+pub struct SealedTrace {
+    /// The numeric trace id ([`SealedTrace::id_text`] is the wire form).
+    pub id: u64,
+    /// Request method.
+    pub method: String,
+    /// Request path (no query).
+    pub path: String,
+    /// Route class the handler resolved to (empty if cut short).
+    pub route: &'static str,
+    /// Response status (0 if the request never produced one).
+    pub status: u16,
+    /// Whether the connection was reaped/closed before the response
+    /// finished writing.
+    pub aborted: bool,
+    /// End-to-end wall time, first byte wait → response flushed, µs.
+    pub total_us: u64,
+    /// Every recorded stage, in open order.
+    pub stages: Vec<Stage>,
+}
+
+impl SealedTrace {
+    /// The wire form of the trace id.
+    pub fn id_text(&self) -> String {
+        format!("{:016x}", self.id)
+    }
+
+    /// Sum of root-stage durations, µs — the coverage check: for a
+    /// fully-traced request this approaches [`SealedTrace::total_us`].
+    pub fn root_stage_sum_us(&self) -> u64 {
+        self.stages.iter().filter(|s| s.parent.is_none()).map(|s| s.dur_us).sum()
+    }
+
+    /// Duration of the first stage with `name`, if recorded, µs.
+    pub fn stage_us(&self, name: &str) -> Option<u64> {
+        self.stages.iter().find(|s| s.name == name).map(|s| s.dur_us)
+    }
+
+    /// Sum of durations of stages whose name starts with `prefix`, µs.
+    pub fn stage_prefix_sum_us(&self, prefix: &str) -> u64 {
+        self.stages.iter().filter(|s| s.name.starts_with(prefix)).map(|s| s.dur_us).sum()
+    }
+
+    /// The single-line `socnet-trace-v1` record (`traces.jsonl`).
+    pub fn to_json(&self) -> String {
+        let mut stages = json::Arr::new();
+        for stage in &self.stages {
+            stages.push_raw(stage_json(stage));
+        }
+        let mut o = json::Obj::new();
+        o.str("schema", "socnet-trace-v1")
+            .str("trace_id", &self.id_text())
+            .str("method", &self.method)
+            .str("path", &self.path)
+            .str("route", self.route)
+            .int("status", u64::from(self.status))
+            .bool("aborted", self.aborted)
+            .num("total_ms", self.total_us as f64 / 1e3, 3)
+            .raw("stages", &stages.finish());
+        o.finish()
+    }
+
+    /// The same record with stages nested as a span *tree* (children
+    /// arrays instead of parent indices) — what `/debug/trace/<id>`
+    /// and `/debug/slow` serve.
+    pub fn to_json_tree(&self) -> String {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.stages.len()];
+        let mut roots = Vec::new();
+        for (i, stage) in self.stages.iter().enumerate() {
+            match stage.parent {
+                Some(p) => children[p as usize].push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut spans = json::Arr::new();
+        for &root in &roots {
+            spans.push_raw(render_span(&self.stages, &children, root));
+        }
+        let mut o = json::Obj::new();
+        o.str("schema", "socnet-trace-v1")
+            .str("trace_id", &self.id_text())
+            .str("method", &self.method)
+            .str("path", &self.path)
+            .str("route", self.route)
+            .int("status", u64::from(self.status))
+            .bool("aborted", self.aborted)
+            .num("total_ms", self.total_us as f64 / 1e3, 3)
+            .num("root_stage_sum_ms", self.root_stage_sum_us() as f64 / 1e3, 3)
+            .raw("spans", &spans.finish());
+        o.finish()
+    }
+}
+
+fn stage_json(stage: &Stage) -> String {
+    let mut o = json::Obj::new();
+    o.str("name", stage.name);
+    if !stage.detail.is_empty() {
+        o.str("detail", &stage.detail);
+    }
+    match stage.parent {
+        Some(p) => o.int("parent", u64::from(p)),
+        None => o.raw("parent", "null"),
+    };
+    o.int("start_us", stage.start_us).int("dur_us", stage.dur_us);
+    o.finish()
+}
+
+fn render_span(stages: &[Stage], children: &[Vec<usize>], index: usize) -> String {
+    let stage = &stages[index];
+    let mut o = json::Obj::new();
+    o.str("name", stage.name);
+    if !stage.detail.is_empty() {
+        o.str("detail", &stage.detail);
+    }
+    o.int("start_us", stage.start_us).int("dur_us", stage.dur_us);
+    if !children[index].is_empty() {
+        let mut kids = json::Arr::new();
+        for &child in &children[index] {
+            kids.push_raw(render_span(stages, children, child));
+        }
+        o.raw("children", &kids.finish());
+    }
+    o.finish()
+}
+
+/// Fixed-size ring of the most recent sealed traces.
+pub struct TraceRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+struct RingInner {
+    buf: Vec<Option<Arc<SealedTrace>>>,
+    next: usize,
+    sealed: u64,
+}
+
+impl TraceRing {
+    /// A ring keeping the last `capacity` traces (min 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            inner: Mutex::new(RingInner { buf: vec![None; capacity], next: 0, sealed: 0 }),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RingInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Inserts a sealed trace, evicting the oldest once full.
+    pub fn push(&self, trace: Arc<SealedTrace>) {
+        let mut inner = self.lock();
+        let slot = inner.next;
+        inner.buf[slot] = Some(trace);
+        inner.next = (slot + 1) % self.capacity;
+        inner.sealed += 1;
+    }
+
+    /// Traces sealed over the ring's lifetime (not just resident).
+    pub fn sealed_total(&self) -> u64 {
+        self.lock().sealed
+    }
+
+    /// Looks up a resident trace by its wire id.
+    pub fn find(&self, id_text: &str) -> Option<Arc<SealedTrace>> {
+        let id = u64::from_str_radix(id_text, 16).ok()?;
+        self.lock().buf.iter().flatten().find(|t| t.id == id).cloned()
+    }
+
+    /// Every resident trace, oldest first.
+    pub fn all(&self) -> Vec<Arc<SealedTrace>> {
+        let inner = self.lock();
+        let mut out = Vec::new();
+        for i in 0..self.capacity {
+            let slot = (inner.next + i) % self.capacity;
+            if let Some(t) = &inner.buf[slot] {
+                out.push(Arc::clone(t));
+            }
+        }
+        out
+    }
+
+    /// The `n` slowest resident traces at or over `threshold_ms`,
+    /// slowest first.
+    pub fn slowest(&self, threshold_ms: f64, n: usize) -> Vec<Arc<SealedTrace>> {
+        let mut all: Vec<Arc<SealedTrace>> = self
+            .lock()
+            .buf
+            .iter()
+            .flatten()
+            .filter(|t| t.total_us as f64 / 1e3 >= threshold_ms)
+            .cloned()
+            .collect();
+        all.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.id.cmp(&b.id)));
+        all.truncate(n);
+        all
+    }
+
+    /// Renders every resident trace as `socnet-trace-v1` JSONL,
+    /// oldest first (the drain artifact).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for trace in self.all() {
+            out.push_str(&trace.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Validates a `traces.jsonl` artifact: at least one line, every line
+/// valid JSON carrying the `socnet-trace-v1` schema tag and the keys
+/// consumers rely on (`trace_id`, `status`, `total_ms`, `stages`).
+pub fn is_valid_trace_jsonl(text: &str) -> bool {
+    let mut lines = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !json::is_valid(line) {
+            return false;
+        }
+        for key in
+            ["\"schema\":\"socnet-trace-v1\"", "\"trace_id\":", "\"status\":", "\"total_ms\":", "\"stages\":"]
+        {
+            if !line.contains(key) {
+                return false;
+            }
+        }
+        lines += 1;
+    }
+    lines > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn finished(trace: &TraceHandle, ring: &TraceRing) -> Arc<SealedTrace> {
+        trace.finish(ring);
+        ring.find(&trace.id_text()).expect("sealed trace is resident")
+    }
+
+    #[test]
+    fn stages_nest_and_seal_in_order() {
+        let ring = TraceRing::new(8);
+        let t = TraceHandle::begin("GET", "/graphs/x/mixing", Instant::now());
+        t.leaf("read_parse", "", Duration::from_micros(120));
+        t.mark_dispatched();
+        t.note_queue_wait();
+        {
+            let handle = t.stage("handle");
+            handle.detail("mixing");
+            {
+                let cache = t.stage("cache:mixing");
+                cache.detail("miss");
+                t.leaf("slem", "kernel", Duration::from_micros(300));
+            }
+        }
+        t.set_route("mixing");
+        t.set_status(200);
+        let sealed = finished(&t, &ring);
+        let names: Vec<&str> = sealed.stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["read_parse", "queue_wait", "handle", "cache:mixing", "slem"]);
+        // Parent links: roots for the first three, then nesting.
+        assert_eq!(sealed.stages[0].parent, None);
+        assert_eq!(sealed.stages[1].parent, None);
+        assert_eq!(sealed.stages[2].parent, None);
+        assert_eq!(sealed.stages[3].parent, Some(2));
+        assert_eq!(sealed.stages[4].parent, Some(3));
+        assert_eq!(sealed.route, "mixing");
+        assert_eq!(sealed.status, 200);
+        assert!(!sealed.aborted);
+        let line = sealed.to_json();
+        assert!(json::is_valid(&line), "{line}");
+        assert!(is_valid_trace_jsonl(&format!("{line}\n")));
+        let tree = sealed.to_json_tree();
+        assert!(json::is_valid(&tree), "{tree}");
+        assert!(tree.contains("\"children\""), "{tree}");
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_abort_marks() {
+        let ring = TraceRing::new(4);
+        let t = TraceHandle::begin("GET", "/healthz", Instant::now());
+        t.finish(&ring);
+        t.finish_aborted(&ring);
+        assert_eq!(ring.sealed_total(), 1, "second finish must be a no-op");
+        let t2 = TraceHandle::begin("GET", "/healthz", Instant::now());
+        t2.finish_aborted(&ring);
+        let sealed = ring.find(&t2.id_text()).unwrap();
+        assert!(sealed.aborted);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_ranks_slowest() {
+        let ring = TraceRing::new(2);
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let t = TraceHandle::begin("GET", "/healthz", Instant::now() - Duration::from_millis(i * 10));
+            ids.push(t.id_text());
+            t.finish(&ring);
+        }
+        assert!(ring.find(&ids[0]).is_none(), "oldest evicted");
+        assert!(ring.find(&ids[2]).is_some());
+        assert_eq!(ring.all().len(), 2);
+        assert_eq!(ring.sealed_total(), 3);
+        // Slowest first: the trace that "started" 20ms ago has the
+        // largest total.
+        let slow = ring.slowest(0.0, 10);
+        assert_eq!(slow.len(), 2);
+        assert!(slow[0].total_us >= slow[1].total_us);
+        assert!(ring.slowest(1e9, 10).is_empty(), "threshold filters");
+    }
+
+    #[test]
+    fn thread_local_current_restores_on_drop() {
+        assert!(current().is_none());
+        let t = TraceHandle::begin("GET", "/x", Instant::now());
+        {
+            let _g = enter(Some(t.clone()));
+            assert_eq!(current().unwrap().id_text(), t.id_text());
+            {
+                let _inner = enter(None);
+                assert!(current().is_none());
+            }
+            assert!(current().is_some());
+        }
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn kernel_attribution_lands_under_open_stage() {
+        let ring = TraceRing::new(4);
+        let t = TraceHandle::begin("GET", "/x", Instant::now());
+        let _g = enter(Some(t.clone()));
+        {
+            let _compute = t.stage("cache:coreness");
+            on_kernel("kcore", 0.002);
+        }
+        drop(_g);
+        let sealed = finished(&t, &ring);
+        let kernel = sealed.stages.iter().find(|s| s.name == "kcore").expect("kernel stage");
+        assert_eq!(kernel.parent, Some(0));
+        assert_eq!(kernel.detail, "kernel");
+        assert!(kernel.dur_us >= 1_900);
+    }
+
+    #[test]
+    fn trace_jsonl_validator_rejects_garbage() {
+        assert!(!is_valid_trace_jsonl(""));
+        assert!(!is_valid_trace_jsonl("not json\n"));
+        assert!(!is_valid_trace_jsonl("{\"schema\":\"other\"}\n"));
+        let ring = TraceRing::new(2);
+        let t = TraceHandle::begin("GET", "/x", Instant::now());
+        let sealed = finished(&t, &ring);
+        assert!(is_valid_trace_jsonl(&ring.render_jsonl()));
+        // A truncated line (torn write) must fail.
+        let line = sealed.to_json();
+        assert!(!is_valid_trace_jsonl(&line[..line.len() - 5]));
+    }
+}

@@ -164,6 +164,52 @@ fn drain_restart_serves_first_queries_warm_and_byte_identical() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+#[test]
+fn telemetry_routes_bypass_the_cache_and_the_persist_snapshot() {
+    let _guard = lock();
+    let dir = store_dir("telemetry-bypass");
+
+    let srv = TestServer::boot("telemetry", &dir);
+    // One real property query so the drain has something legitimate to
+    // persist alongside the telemetry traffic.
+    let (status, _, body) = request(srv.addr, "GET", MIXING);
+    assert_eq!(status, 200, "{body}");
+    let entries_before = srv.state.cache.stats().entries;
+
+    // A scrape must not perturb what it observes: telemetry reads never
+    // enter the property cache, and never record persistable bodies.
+    for path in
+        ["/metrics", "/metrics?format=json", "/debug/slow", "/debug/trace/ffffffffffffffff"]
+    {
+        let (status, _, body) = request(srv.addr, "GET", path);
+        assert!(status == 200 || status == 404, "{path} -> {status}: {body}");
+    }
+    assert_eq!(
+        srv.state.cache.stats().entries,
+        entries_before,
+        "telemetry traffic grew the property cache"
+    );
+
+    let (summary, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+    let snap = summary.snapshot_path.expect("drain flushes a snapshot");
+    let snapshot = read_snapshot(&snap).expect("snapshot parses");
+    for record in &snapshot.records {
+        for field in &record.fields {
+            assert!(
+                !field.contains("metrics") && !field.contains("debug"),
+                "telemetry leaked into the persist snapshot: {} {field}",
+                record.kind
+            );
+        }
+    }
+    assert!(
+        snapshot.records.iter().any(|r| r.kind == "body"),
+        "the property query must still persist"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
 /// Boots over a damaged store and asserts the standard recovery story:
 /// quarantined live file, cold first query, server fully functional.
 fn assert_quarantined_cold_boot(dir: &Path) {

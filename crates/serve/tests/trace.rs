@@ -1,0 +1,238 @@
+//! End-to-end tests for request tracing and live telemetry: a real
+//! server, a real slow request, and the `/metrics` + `/debug/*`
+//! surfaces a curl user would scrape.
+//!
+//! Tests serialize on a process-wide lock for the same reason
+//! `tests/server.rs` does: the SIGTERM flag is a process-wide atomic.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use socnet_runner::{is_valid_prometheus, json};
+use socnet_serve::{is_valid_trace_jsonl, AppState, ServeSummary, Server, ServerConfig};
+
+/// Serializes the tests (see module docs).
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    shutdown: socnet_runner::CancelToken,
+    thread: std::thread::JoinHandle<std::io::Result<ServeSummary>>,
+    out_dir: std::path::PathBuf,
+}
+
+impl TestServer {
+    fn boot(tag: &str) -> TestServer {
+        let out_dir =
+            std::env::temp_dir().join(format!("socnet-trace-it-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&out_dir).ok();
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            cache_bytes: 16 * 1024 * 1024,
+            default_scale: 0.05,
+            default_seed: 42,
+            out_dir: out_dir.clone(),
+            // The `__slow_ms` stall shares the `__panic` injection gate.
+            panic_injection: true,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(config).expect("bind loopback");
+        let addr = server.local_addr();
+        let state = server.state();
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.serve());
+        TestServer { addr, state, shutdown, thread, out_dir }
+    }
+
+    fn stop(self) -> (ServeSummary, std::path::PathBuf) {
+        self.shutdown.cancel();
+        let summary = self.thread.join().expect("server thread").expect("drain");
+        (summary, self.out_dir)
+    }
+}
+
+/// One HTTP round-trip; returns (status, raw headers, body).
+fn request(addr: SocketAddr, method: &str, path: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {raw:?}"));
+    let (head, body) = match raw.find("\r\n\r\n") {
+        Some(i) => (raw[..i].to_string(), raw[i + 4..].to_string()),
+        None => (raw, String::new()),
+    };
+    (status, head, body)
+}
+
+/// Pulls `X-Trace-Id: <id>` out of a raw header block.
+fn trace_id_of(head: &str) -> String {
+    head.lines()
+        .find_map(|line| line.strip_prefix("X-Trace-Id: "))
+        .unwrap_or_else(|| panic!("response carries no X-Trace-Id: {head}"))
+        .trim()
+        .to_string()
+}
+
+/// Extracts the first `"key":<number>` value from a JSON body. The
+/// bodies under test are rendered by our own writer (no whitespace
+/// after the colon), so a substring scan is reliable.
+fn json_number(body: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat).unwrap_or_else(|| panic!("{key} missing from {body}"));
+    let rest = &body[at + pat.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or_else(|e| panic!("{key} not a number ({e}): {body}"))
+}
+
+#[test]
+fn slow_request_surfaces_in_debug_slow_with_a_complete_span_tree() {
+    let _guard = lock();
+    let srv = TestServer::boot("slow");
+    let addr = srv.addr;
+
+    // Warm the graph + caches so the injected stall dominates the
+    // traced request's latency.
+    let (status, _, body) = request(addr, "POST", "/graphs/Rice-grad/load");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = request(addr, "GET", "/graphs/Rice-grad/mixing?eps=0.25");
+    assert_eq!(status, 200, "{body}");
+
+    // The known-slow request: a 150 ms stall injected into the handler.
+    let slow_path = "/graphs/Rice-grad/mixing?eps=0.25&__slow_ms=150";
+    let started = Instant::now();
+    let (status, head, body) = request(addr, "GET", slow_path);
+    let client_wall = started.elapsed();
+    assert_eq!(status, 200, "{body}");
+    assert!(client_wall >= Duration::from_millis(150), "stall did not take effect");
+    let id = trace_id_of(&head);
+
+    // The trace is in the ring by id, as a nested span tree.
+    let (status, _, tree) = request(addr, "GET", &format!("/debug/trace/{id}"));
+    assert_eq!(status, 200, "{tree}");
+    assert!(json::is_valid(&tree), "span tree must be valid JSON: {tree}");
+    for stage in ["read_parse", "handle", "inject_slow", "write"] {
+        assert!(tree.contains(&format!("\"{stage}\"")), "span tree lacks {stage}: {tree}");
+    }
+    assert!(tree.contains("\"cache:spectrum\""), "cache span missing: {tree}");
+    assert!(tree.contains("\"hit\""), "warmed request must report a cache hit: {tree}");
+
+    // The root stages account for the client-observed latency: their
+    // sum lands within 10% of what the client measured.
+    let sum_ms = json_number(&tree, "root_stage_sum_ms");
+    let client_ms = client_wall.as_secs_f64() * 1e3;
+    assert!(
+        (sum_ms - client_ms).abs() <= 0.10 * client_ms,
+        "stage sum {sum_ms:.3} ms vs client {client_ms:.3} ms drifts past 10%: {tree}"
+    );
+
+    // /debug/slow ranks it above the fast warm-up traffic.
+    let (status, _, slow) = request(addr, "GET", "/debug/slow?threshold_ms=100&n=5");
+    assert_eq!(status, 200, "{slow}");
+    assert!(json::is_valid(&slow), "{slow}");
+    // The stalled request ranks, and so may the cold warm-up compute —
+    // but the fast cache-hit traffic (loads, debug reads) must not.
+    assert!(slow.contains(&id), "slow listing must contain the stalled trace {id}: {slow}");
+    assert!(slow.contains("\"route\":\"mixing\""), "{slow}");
+    assert!(
+        !slow.contains("\"route\":\"debug\""),
+        "sub-threshold requests must not rank as slow: {slow}"
+    );
+
+    // An unknown id is a clean 404, not a panic.
+    let (status, _, _) = request(addr, "GET", "/debug/trace/ffffffffffffffff");
+    assert_eq!(status, 404);
+
+    // The drain flushes the ring as trace-schema JSONL next to the
+    // metrics snapshot.
+    let (_summary, out_dir) = srv.stop();
+    let traces = std::fs::read_to_string(out_dir.join("traces.jsonl")).expect("traces.jsonl");
+    assert!(is_valid_trace_jsonl(&traces), "flushed trace log invalid: {traces}");
+    assert!(traces.contains(&id), "flushed trace log lacks the slow trace");
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn metrics_exposition_is_prometheus_text_with_the_serving_series() {
+    let _guard = lock();
+    let srv = TestServer::boot("prom");
+    let addr = srv.addr;
+
+    let (status, _, body) = request(addr, "GET", "/graphs/Rice-grad/mixing?eps=0.25");
+    assert_eq!(status, 200, "{body}");
+    // Same query again: a cache hit, so hit/miss series both exist.
+    let (status, _, body) = request(addr, "GET", "/graphs/Rice-grad/mixing?eps=0.25");
+    assert_eq!(status, 200, "{body}");
+
+    let (status, head, prom) = request(addr, "GET", "/metrics");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    assert!(is_valid_prometheus(&prom), "scrape is not Prometheus text:\n{prom}");
+    // The series the serve dashboards are built on: request counters,
+    // per-route latency histograms, shed/reap defenses, cache and store
+    // effectiveness, and the per-stage trace histograms.
+    for series in [
+        "# TYPE http_requests_total counter",
+        "http_responses_2xx_total",
+        "http_request_seconds_bucket{route=\"mixing\"",
+        "http_request_seconds_count{route=\"mixing\"",
+        "http_shed_requests_total",
+        "http_reaped_slowloris_total",
+        "cache_hits_total",
+        "cache_misses_total",
+        "cache_coalesced_total",
+        "store_hydrated_total",
+        "trace_total_seconds_bucket{route=\"mixing\"",
+        "trace_stage_seconds_bucket{stage=\"handle\"",
+        "kernel_slem_seconds_count",
+    ] {
+        assert!(prom.contains(series), "scrape lacks {series}:\n{prom}");
+    }
+
+    // The legacy pinned-schema JSON snapshot stays reachable.
+    let (status, _, snap) = request(addr, "GET", "/metrics?format=json");
+    assert_eq!(status, 200);
+    assert!(json::is_valid(&snap), "{snap}");
+    assert!(snap.contains("socnet-metrics-v1"), "{snap}");
+
+    let (_summary, out_dir) = srv.stop();
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn tracing_can_be_disabled_and_requests_run_bare() {
+    let _guard = lock();
+    let srv = TestServer::boot("off");
+    srv.state.set_tracing(false);
+    let sealed_before = srv.state.traces.sealed_total();
+
+    let (status, head, body) = request(srv.addr, "GET", "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(!head.contains("X-Trace-Id"), "untraced response must not carry an id: {head}");
+    assert_eq!(srv.state.traces.sealed_total(), sealed_before, "tracing off must seal nothing");
+
+    srv.state.set_tracing(true);
+    let (status, head, _) = request(srv.addr, "GET", "/healthz");
+    assert_eq!(status, 200);
+    let id = trace_id_of(&head);
+    assert!(srv.state.traces.find(&id).is_some(), "re-enabled tracing must seal again");
+
+    let (_summary, out_dir) = srv.stop();
+    std::fs::remove_dir_all(&out_dir).ok();
+}

@@ -206,6 +206,18 @@ impl GateKeeper {
         controller: NodeId,
         par: &ParConfig,
     ) -> Result<(GateKeeperOutcome, StageReport), SybilError> {
+        socnet_core::kernel_timing::timed("gatekeeper", || {
+            self.run_from_reported_csr_inner(graph, csr, controller, par)
+        })
+    }
+
+    fn run_from_reported_csr_inner(
+        &self,
+        graph: &Graph,
+        csr: &Csr,
+        controller: NodeId,
+        par: &ParConfig,
+    ) -> Result<(GateKeeperOutcome, StageReport), SybilError> {
         graph.check_node(controller)?;
         assert_eq!(csr.node_count(), graph.node_count(), "csr/graph node count mismatch");
         if csr.edge_count() == 0 {

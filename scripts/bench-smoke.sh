@@ -131,8 +131,9 @@ done
 # The open-loop serveload scenario: a fixed-rate client measuring
 # coordinated-omission-safe latency while a slow-loris flood hammers the
 # event-loop front end. The run itself asserts survival (no errors, no
-# healthz failures, attacked p99 within 5x baseline); here we also pin
-# the BENCH_serve.json schema the dashboards consume.
+# healthz failures, attacked p99 within 5x baseline, tracing overhead
+# within budget); here we also pin the BENCH_serve.json schema the
+# dashboards consume, including the trace-derived extras.
 echo "== serveload open-loop (slow-loris attack) =="
 out="$OUT_DIR/serveload-open"
 mkdir -p "$out"
@@ -153,7 +154,9 @@ else
     else
         for key in '"mode":"open"' '"attack":"slowloris"' \
             '"baseline_p99_ms":' '"attack_p99_ms":' \
-            '"healthz_failures":0' '"survived":true'; do
+            '"healthz_failures":0' '"survived":true' \
+            '"queue_wait_p99_ms":' '"compute_p99_ms":' \
+            '"trace_overhead_pct":' '"trace_within_budget":true'; do
             if ! grep -q "$key" "$bench"; then
                 echo "FAIL  serveload open-loop: $bench lacks $key" >&2
                 failures=$((failures + 1))

@@ -122,6 +122,7 @@ done
 run_tests it_serve_server crates/serve/tests/server.rs
 run_tests it_serve_overload crates/serve/tests/overload.rs
 run_tests it_serve_store crates/serve/tests/store.rs
+run_tests it_serve_trace crates/serve/tests/trace.rs
 run_tests it_bench_fault_tolerance crates/bench/tests/fault_tolerance.rs
 run_tests it_bench_determinism crates/bench/tests/determinism.rs
 run_tests it_bench_observability crates/bench/tests/observability.rs

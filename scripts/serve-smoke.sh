@@ -126,12 +126,49 @@ else
     failures=$((failures + 1))
 fi
 
-metrics_status=$(fetch GET /metrics metrics.txt)
+echo "== live telemetry =="
+metrics_status=$(fetch GET /metrics metrics.prom)
 check "GET /metrics" 200 "$metrics_status"
-if [ -s "$OUT_DIR/metrics.txt" ]; then
-    echo "ok    /metrics is non-empty"
+if validate_json "$OUT_DIR/metrics.prom"; then
+    echo "ok    /metrics parses as Prometheus text exposition"
 else
-    echo "FAIL  /metrics returned an empty body" >&2
+    echo "FAIL  /metrics is not valid Prometheus text" >&2
+    failures=$((failures + 1))
+fi
+# The series the dashboards and alerts are built on must all be
+# present the moment the server answers traffic: request counters,
+# per-route latency histograms, overload defenses, cache and store
+# effectiveness.
+for series in 'http_requests_total' \
+    'http_request_seconds_bucket{route="mixing"' \
+    'http_shed_requests_total' 'http_reaped_slowloris_total' \
+    'cache_hits_total' 'cache_misses_total' 'store_hydrated_total'; do
+    if grep -qF "$series" "$OUT_DIR/metrics.prom"; then
+        echo "ok    /metrics exposes $series"
+    else
+        echo "FAIL  /metrics lacks $series" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+# Every response names its trace; /debug/slow renders the span trees.
+trace_id=$(curl -s -D - -o /dev/null --max-time 60 \
+    "http://$ADDR/graphs/Rice-grad/coreness/0" |
+    sed -n 's/^X-Trace-Id: \([0-9a-f]*\).*/\1/p' | head -1)
+if [ -n "$trace_id" ]; then
+    echo "ok    responses carry X-Trace-Id ($trace_id)"
+    check "GET /debug/trace/$trace_id" 200 \
+        "$(fetch GET "/debug/trace/$trace_id" trace.json)"
+else
+    echo "FAIL  response carried no X-Trace-Id header" >&2
+    failures=$((failures + 1))
+fi
+check "GET /debug/slow" 200 "$(fetch GET '/debug/slow?threshold_ms=0&n=5' slow.json)"
+if validate_json "$OUT_DIR/slow.json" &&
+    grep -q '"root_stage_sum_ms"' "$OUT_DIR/slow.json"; then
+    echo "ok    /debug/slow renders span trees"
+else
+    echo "FAIL  /debug/slow lacks span trees" >&2
     failures=$((failures + 1))
 fi
 
@@ -178,6 +215,12 @@ if [ -f "$OUT_DIR/store/serve.snap" ]; then
     echo "ok    drain flushed $OUT_DIR/store/serve.snap"
 else
     echo "FAIL  drain did not flush a warm-start snapshot" >&2
+    failures=$((failures + 1))
+fi
+if [ -f "$OUT_DIR/traces.jsonl" ] && validate_json "$OUT_DIR/traces.jsonl"; then
+    echo "ok    drain flushed schema-valid traces.jsonl"
+else
+    echo "FAIL  drain did not flush valid traces.jsonl" >&2
     failures=$((failures + 1))
 fi
 
