@@ -32,10 +32,22 @@
 //! failures, and an attacked p99 within 5× the unattacked baseline,
 //! and is asserted when the event-loop front end is under attack.
 //!
+//! **Live loop** (`--mode live`): drives the mutable-graph subsystem.
+//! Deterministic insert/delete delta batches are POSTed against a
+//! WAL-backed server (each ack is fsync-bound, so `delta_ack_p99_ms`
+//! is a durability latency, not a parse latency), interleaved with
+//! bounded-stale (`?max_stale=`) and strict property queries so the
+//! run exercises overlay absorption, threshold-triggered CSR rebuilds,
+//! and version-stamped cache invalidation together. The server then
+//! drains (compacting the WAL into the live snapshot), a second server
+//! boots over the same store, and its first live coreness answer must
+//! be byte-identical to the pre-restart one — the replay proof.
+//!
 //! Artifacts: `BENCH_serve.json` gains latency quantiles,
-//! `throughput_rps`, and cache stats under `extras` (closed mode), or
+//! `throughput_rps`, and cache stats under `extras` (closed mode),
 //! `baseline_p99_ms`/`attack_p99_ms`/`survived` plus the trace-derived
 //! `trace_overhead_pct`/`queue_wait_p99_ms`/`compute_p99_ms` (open
+//! mode), or `delta_ack_p99_ms`/`rebuild_ms`/`stale_served` (live
 //! mode); each server's graceful drain writes its `run.json` manifest,
 //! metrics snapshot, and `traces.jsonl` under `<out>/serve/`.
 
@@ -159,7 +171,8 @@ fn main() {
     match extra_str_flag("--mode", "closed").as_str() {
         "closed" => {}
         "open" => return open_loop(&args),
-        other => panic!("--mode expects closed|open, got {other:?}"),
+        "live" => return live_loop(&args),
+        other => panic!("--mode expects closed|open|live, got {other:?}"),
     }
     let connections = extra_flag("--connections", 4).max(1);
     let requests = extra_flag("--requests", 25).max(1);
@@ -364,6 +377,214 @@ fn main() {
     assert_eq!(errors, 0, "load run saw non-200 responses");
     assert!(warm_hit, "restarted server's first query must be served from the snapshot");
     assert!(warm_identical, "warm-restart body must be byte-identical to the cold body");
+}
+
+/// One POST with a payload (the delta route reads its ops from the
+/// request body, so `Content-Length` framing matters here).
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String, String)> {
+    let deadline = Duration::from_secs(30);
+    let mut stream = TcpStream::connect_timeout(&addr, deadline)?;
+    stream.set_read_timeout(Some(deadline))?;
+    stream.set_write_timeout(Some(deadline))?;
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: serveload\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let (head, body) = match raw.find("\r\n\r\n") {
+        Some(i) => (raw[..i].to_string(), raw[i + 4..].to_string()),
+        None => (raw, String::new()),
+    };
+    Ok((status, head, body))
+}
+
+/// Pulls a JSON number field out of a flat rendered body. The serve
+/// renderer emits `"name":value` with no interior whitespace, so a
+/// substring scan is exact — no parser needed for a load harness.
+fn json_field(body: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = &body[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// SplitMix64 — the delta schedule must be deterministic across runs
+/// and must not depend on the stub-vs-registry `rand` build.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The live-graph phase: WAL-acked delta batches interleaved with
+/// bounded-stale and strict queries, then a restart-replay proof.
+fn live_loop(args: &ExperimentArgs) {
+    let batches = extra_flag("--batches", 24).max(2);
+    let batch_ops = extra_flag("--batch-ops", 32).max(1);
+    // Crossing the threshold every couple of batches makes rebuilds a
+    // measured steady-state event, not a one-off.
+    let threshold = batch_ops * 2;
+    let mut exp = Experiment::new("serve", args);
+
+    let store_dir = args.out_dir.join("serve").join("store-live");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: args.threads.max(1),
+        default_scale: args.scale.min(4.0),
+        default_seed: args.seed,
+        out_dir: args.out_dir.join("serve"),
+        store_dir: Some(store_dir.clone()),
+        live_rebuild_threshold: threshold,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config).expect("bind loopback server");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    let (status, _, load_body) =
+        http_request(addr, "POST", &format!("/graphs/{DATASET}/load")).expect("load request");
+    assert_eq!(status, 200, "graph load failed");
+    let nodes = json_field(&load_body, "nodes").expect("load body carries nodes") as u64;
+    assert!(nodes > 1, "dataset too small to mutate");
+
+    let mut rng = 0x5eed_11fe_u64;
+    let mut inserted: Vec<(u64, u64)> = Vec::new();
+    let mut acks: Vec<f64> = Vec::new();
+    let mut rebuild_walls: Vec<f64> = Vec::new();
+    let mut final_version = 0.0_f64;
+    let delta_path = format!("/datasets/{DATASET}/delta");
+    let stale_path = format!("/graphs/{DATASET}/mixing?eps=0.25&max_stale=1000000");
+    let coreness_path = format!("/graphs/{DATASET}/coreness/0");
+    for _ in 0..batches {
+        let mut body = String::new();
+        for _ in 0..batch_ops {
+            // Deletes target edges this run inserted, so every op is
+            // effective (never a no-op the overlay just ignores).
+            if splitmix(&mut rng) % 4 == 0 && !inserted.is_empty() {
+                let at = (splitmix(&mut rng) % inserted.len() as u64) as usize;
+                let (u, v) = inserted.swap_remove(at);
+                body.push_str(&format!("- {u} {v}\n"));
+            } else {
+                let u = splitmix(&mut rng) % nodes;
+                let mut v = splitmix(&mut rng) % nodes;
+                if u == v {
+                    v = (v + 1) % nodes;
+                }
+                inserted.push((u, v));
+                body.push_str(&format!("+ {u} {v}\n"));
+            }
+        }
+        let start = Instant::now();
+        let (status, _, resp) = http_post(addr, &delta_path, &body).expect("delta request");
+        acks.push(start.elapsed().as_secs_f64());
+        assert_eq!(status, 200, "delta batch failed: {resp}");
+        final_version = json_field(&resp, "version").expect("delta ack carries version");
+        if resp.contains("\"rebuilt\":true") {
+            rebuild_walls.push(json_field(&resp, "rebuild_ms").expect("rebuilt ack has wall"));
+        }
+        // Interleaved reads: a bounded-stale mixing query (may answer
+        // from a lagging CSR) and a strict live coreness query (always
+        // exact at head via the maintained decomposition).
+        let (status, _, body) = http_request(addr, "GET", &stale_path).expect("stale query");
+        assert_eq!(status, 200, "bounded-stale mixing failed: {body}");
+        let (status, _, body) = http_request(addr, "GET", &coreness_path).expect("live coreness");
+        assert_eq!(status, 200, "live coreness failed: {body}");
+    }
+    let stale_served = socnet_runner::Metrics::global().counter("live.stale_served");
+    let rebuilds = socnet_runner::Metrics::global().counter("live.rebuilds");
+    let (status, _, pre_restart) =
+        http_request(addr, "GET", &coreness_path).expect("pre-restart coreness");
+    assert_eq!(status, 200, "pre-restart coreness failed: {pre_restart}");
+
+    // Graceful drain compacts the WAL into the live snapshot.
+    shutdown.cancel();
+    server_thread.join().expect("server thread").expect("graceful drain");
+
+    // Restart over the same store: the replayed graph must answer the
+    // same live coreness query byte-identically (same version stamp,
+    // same coreness — the acked-deltas-survive proof).
+    let restart_config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: args.threads.max(1),
+        default_scale: args.scale.min(4.0),
+        default_seed: args.seed,
+        out_dir: args.out_dir.join("serve-restart"),
+        store_dir: Some(store_dir),
+        live_rebuild_threshold: threshold,
+        ..ServerConfig::default()
+    };
+    let restarted = Server::bind(restart_config).expect("bind restarted server");
+    let restart_addr = restarted.local_addr();
+    let restart_shutdown = restarted.shutdown_handle();
+    let restart_thread = std::thread::spawn(move || restarted.serve());
+    let (status, _, datasets_body) =
+        http_request(restart_addr, "GET", "/datasets").expect("restart datasets");
+    assert_eq!(status, 200, "restart /datasets failed");
+    // Scope the scan to this dataset's row — every row now carries a
+    // `version` field and only this one is non-zero after replay.
+    let row_at = datasets_body
+        .find(&format!("\"name\":\"{DATASET}\""))
+        .expect("dataset row in /datasets");
+    let replayed_version = json_field(&datasets_body[row_at..], "version").unwrap_or(0.0);
+    let (status, _, post_restart) =
+        http_request(restart_addr, "GET", &coreness_path).expect("post-restart coreness");
+    assert_eq!(status, 200, "post-restart coreness failed: {post_restart}");
+    restart_shutdown.cancel();
+    restart_thread.join().expect("restart thread").expect("restart drain");
+
+    acks.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rebuild_ms =
+        rebuild_walls.iter().copied().fold(0.0_f64, f64::max);
+    let replay_identical = post_restart == pre_restart;
+
+    exp.bench_extra("mode", "\"live\"".to_string());
+    exp.bench_extra("delta_batches", batches.to_string());
+    exp.bench_extra("delta_batch_ops", batch_ops.to_string());
+    exp.bench_extra("rebuild_threshold", threshold.to_string());
+    exp.bench_extra("delta_ack_p50_ms", json::num(percentile(&acks, 0.50) * 1e3, 3));
+    exp.bench_extra("delta_ack_p99_ms", json::num(percentile(&acks, 0.99) * 1e3, 3));
+    exp.bench_extra("rebuilds", rebuilds.to_string());
+    exp.bench_extra("rebuild_ms", json::num(rebuild_ms, 3));
+    exp.bench_extra("stale_served", stale_served.to_string());
+    exp.bench_extra("final_version", (final_version as u64).to_string());
+    exp.bench_extra("replayed_version", (replayed_version as u64).to_string());
+    exp.bench_extra("replay_identical", replay_identical.to_string());
+
+    println!(
+        "serveload live: {batches} batches x {batch_ops} ops, \
+         ack p50 {:.2} ms p99 {:.2} ms, {rebuilds} rebuilds (worst {rebuild_ms:.2} ms), \
+         {stale_served} bounded-stale answers, \
+         version {} replayed as {} -> identical={replay_identical}",
+        percentile(&acks, 0.50) * 1e3,
+        percentile(&acks, 0.99) * 1e3,
+        final_version as u64,
+        replayed_version as u64,
+    );
+    exp.finish();
+    assert!(rebuilds > 0, "the run must cross the rebuild threshold at least once");
+    assert!(stale_served > 0, "bounded-stale queries must be served from a lagging CSR");
+    assert_eq!(
+        replayed_version as u64, final_version as u64,
+        "restart must replay every acked delta"
+    );
+    assert!(
+        replay_identical,
+        "post-restart live coreness must be byte-identical:\n pre: {pre_restart}\npost: {post_restart}"
+    );
 }
 
 /// The hostile workload the attacked open-loop phase runs under.

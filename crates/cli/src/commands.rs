@@ -644,6 +644,7 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
         "--shed-highwater",
         "--tracing",
         "--trace-ring",
+        "--live-rebuild-threshold",
     ])?;
     let mut config = socnet_serve::ServerConfig::default();
     if let Some(addr) = map.get("--addr") {
@@ -696,6 +697,13 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
     config.trace_ring = map.get_parsed("--trace-ring", config.trace_ring)?;
     if config.trace_ring == 0 {
         return Err(invalid("--trace-ring", "must be at least 1"));
+    }
+    // How many acked delta ops a live graph absorbs in its overlay
+    // before the serve layer folds them into a fresh CSR.
+    config.live_rebuild_threshold =
+        map.get_parsed("--live-rebuild-threshold", config.live_rebuild_threshold)?;
+    if config.live_rebuild_threshold == 0 {
+        return Err(invalid("--live-rebuild-threshold", "must be at least 1"));
     }
     // Persistence defaults on: snapshots live next to the run
     // artifacts so `--out` moves both. `--store off` opts out;
@@ -772,6 +780,7 @@ pub fn store(map: &ArgMap) -> Result<String, CliError> {
             let status = match &row.status {
                 SnapshotStatus::Ok => "ok".to_string(),
                 SnapshotStatus::Quarantined => "quarantined".to_string(),
+                SnapshotStatus::Torn(why) => format!("torn ({why})"),
                 SnapshotStatus::Corrupt(why) => format!("CORRUPT ({why})"),
             };
             let age = row.age.map_or("?".to_string(), |a| format!("{}s", a.as_secs()));
@@ -1172,6 +1181,12 @@ mod tests {
         ));
         assert!(matches!(
             serve(&args(&["--trace-ring", "0"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        // A zero rebuild threshold would fold the overlay on every
+        // delta; reject it at the flag.
+        assert!(matches!(
+            serve(&args(&["--live-rebuild-threshold", "0"])),
             Err(CliError::InvalidValue { .. })
         ));
     }

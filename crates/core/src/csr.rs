@@ -175,6 +175,15 @@ impl Csr {
         &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
     }
 
+    /// Iterates every undirected edge exactly once as `(u, v)` with
+    /// `u < v`, in row order — the inverse of [`Csr::from_edges`], used
+    /// by overlay rebuilds that need the base edge list back.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.node_count() as u32)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u < v)
+    }
+
     /// The largest degree (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
         (0..self.node_count()).map(|v| self.degree(v as u32)).max().unwrap_or(0)
@@ -280,6 +289,16 @@ mod tests {
             }
         }
         assert!(Csr::from_edges(0, []).edge_balanced_blocks(4).is_empty());
+    }
+
+    #[test]
+    fn edges_round_trip_through_from_edges() {
+        let csr = Csr::from_graph(&sample());
+        let edges: Vec<(u32, u32)> = csr.edges().collect();
+        assert_eq!(edges.len(), csr.edge_count());
+        assert!(edges.iter().all(|&(u, v)| u < v));
+        assert_eq!(Csr::from_edges(csr.node_count(), edges), csr);
+        assert_eq!(Csr::from_edges(0, []).edges().count(), 0);
     }
 
     #[test]

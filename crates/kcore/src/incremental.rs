@@ -1,0 +1,579 @@
+//! Incremental coreness maintenance under single-edge updates.
+//!
+//! A single edge insert or delete changes any node's coreness by at
+//! most 1, and the only nodes that can change are those with coreness
+//! `K = min(c(u), c(v))` reachable from the touched endpoints through
+//! coreness-`K` paths (the *subcore*) — the classical locality theorems
+//! behind traversal-style repair (Sarıyüce et al.). [`LiveCores`]
+//! exploits this: instead of re-peeling the whole graph per update, it
+//! walks the subcore, recomputes who still qualifies, and adjusts just
+//! those nodes.
+//!
+//! The walk is bounded: past a damage bound the repair gives up and
+//! reports [`EdgeRepair::RecomputeNeeded`], and the caller re-peels
+//! from scratch — on a skewed social graph almost every update repairs
+//! locally, and the bound caps the tail.
+//!
+//! The structure is deliberately graph-agnostic: both repair entry
+//! points take the *post-update* adjacency as a closure, so the caller
+//! can back it with a CSR, an overlay, or anything else.
+
+use std::collections::VecDeque;
+
+/// Generation-stamped per-node scratch: `O(1)` membership and a `u32`
+/// payload slot without clearing between ops (a bumped generation
+/// invalidates everything at once). Kept on [`LiveCores`] so repeated
+/// repairs reuse the allocations — hashing per neighbor visit is what
+/// dominates repair cost otherwise.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    mark: Vec<u32>,
+    slot: Vec<u32>,
+    gen: u32,
+}
+
+impl Scratch {
+    /// Sizes for `n` nodes and starts a fresh generation.
+    fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.slot.resize(n, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.mark.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    fn contains(&self, x: u32) -> bool {
+        self.mark[x as usize] == self.gen
+    }
+
+    fn set(&mut self, x: u32, value: u32) {
+        self.mark[x as usize] = self.gen;
+        self.slot[x as usize] = value;
+    }
+
+    fn get(&self, x: u32) -> Option<u32> {
+        self.contains(x).then(|| self.slot[x as usize])
+    }
+}
+
+/// Outcome of one incremental repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeRepair {
+    /// The subcore walk stayed under the damage bound and coreness is
+    /// exact again. `visited` is how many nodes the walk examined.
+    Repaired {
+        /// Nodes visited by the subcore traversal.
+        visited: usize,
+    },
+    /// The walk exceeded the damage bound. Coreness values are now
+    /// unspecified; the caller must re-peel and [`LiveCores::reset`].
+    RecomputeNeeded,
+}
+
+/// Maintained coreness values for a mutable graph.
+///
+/// Seed it from a full decomposition, then feed it every edge change
+/// together with the post-change adjacency. Exactness (proven by the
+/// randomized equivalence suite in `socnet-live`) holds as long as
+/// every applied change is reported and `RecomputeNeeded` is always
+/// answered with a [`reset`](LiveCores::reset).
+///
+/// # Examples
+///
+/// ```
+/// use socnet_kcore::LiveCores;
+///
+/// // A triangle plus an isolated node; insert the closing edge 2-3.
+/// let adj = [vec![1u32, 2], vec![0, 2], vec![0, 1, 3], vec![2]];
+/// let mut cores = LiveCores::new(vec![2, 2, 2, 0]);
+/// let repair = cores.insert_edge(2, 3, |v, visit| {
+///     for &u in &adj[v as usize] {
+///         visit(u);
+///     }
+/// });
+/// assert!(matches!(repair, socnet_kcore::EdgeRepair::Repaired { .. }));
+/// assert_eq!(cores.coreness_slice(), &[2, 2, 2, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LiveCores {
+    coreness: Vec<u32>,
+    damage_bound: usize,
+    scratch: Scratch,
+}
+
+/// Default cap on subcore size before falling back to a full re-peel.
+pub const DEFAULT_DAMAGE_BOUND: usize = 10_000;
+
+impl LiveCores {
+    /// Wraps a coreness vector (typically
+    /// `CoreDecomposition::coreness_slice().to_vec()`).
+    pub fn new(coreness: Vec<u32>) -> LiveCores {
+        Self::with_damage_bound(coreness, DEFAULT_DAMAGE_BOUND)
+    }
+
+    /// Same, with an explicit damage bound (`0` forces every update to
+    /// report `RecomputeNeeded` — useful for exercising the fallback).
+    pub fn with_damage_bound(coreness: Vec<u32>, damage_bound: usize) -> LiveCores {
+        LiveCores { coreness, damage_bound, scratch: Scratch::default() }
+    }
+
+    /// Replaces the maintained values after a full recompute.
+    pub fn reset(&mut self, coreness: Vec<u32>) {
+        self.coreness = coreness;
+    }
+
+    /// Maintained coreness, indexed by node id.
+    pub fn coreness_slice(&self) -> &[u32] {
+        &self.coreness
+    }
+
+    /// Coreness of `v`, `None` when out of range.
+    pub fn coreness(&self, v: u32) -> Option<u32> {
+        self.coreness.get(v as usize).copied()
+    }
+
+    /// Degeneracy = the largest maintained coreness (`O(n)` scan).
+    pub fn degeneracy(&self) -> u32 {
+        self.coreness.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of tracked nodes.
+    pub fn len(&self) -> usize {
+        self.coreness.len()
+    }
+
+    /// `true` when no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.coreness.is_empty()
+    }
+
+    /// Grows the node range to `n`; new nodes arrive isolated with
+    /// coreness 0.
+    pub fn ensure_len(&mut self, n: usize) {
+        if n > self.coreness.len() {
+            self.coreness.resize(n, 0);
+        }
+    }
+
+    /// Repairs coreness after inserting edge `(u, v)`. `neighbors` must
+    /// present the **post-insert** adjacency.
+    ///
+    /// On `RecomputeNeeded` nothing has been mutated — the walk aborts
+    /// before applying any change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is outside the tracked node range (call
+    /// [`ensure_len`](LiveCores::ensure_len) first).
+    pub fn insert_edge<F>(&mut self, u: u32, v: u32, neighbors: F) -> EdgeRepair
+    where
+        F: Fn(u32, &mut dyn FnMut(u32)),
+    {
+        let k = self.coreness[u as usize].min(self.coreness[v as usize]);
+        // Pruned subcore walk (Sarıyüce-style MCD pruning). A node can
+        // only rise to K+1 if it has ≥ K+1 neighbors whose coreness is
+        // already ≥ K — its cd. Any promoted node therefore has cd > K,
+        // and promoted nodes form coreness-K chains back to a touched
+        // endpoint, so a BFS that *expands* only cd > K members still
+        // discovers every promotable node; cd ≤ K members are collected
+        // (they seed the evict cascade) but not expanded. On skewed
+        // graphs this keeps the walk local instead of sweeping the
+        // whole K-shell.
+        let bound = self.damage_bound.max(1);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.begin(self.coreness.len());
+        let mut members: Vec<u32> = Vec::new();
+        let mut cd: Vec<u32> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut pending: Vec<u32> = Vec::new();
+        for s in [u, v] {
+            if self.coreness[s as usize] == k {
+                pending.push(s);
+            }
+        }
+        let mut overflow = false;
+        loop {
+            while let Some(x) = pending.pop() {
+                if scratch.contains(x) {
+                    continue;
+                }
+                if members.len() >= bound {
+                    overflow = true;
+                    break;
+                }
+                let d = self.count_at_least(x, k, &neighbors);
+                scratch.set(x, members.len() as u32);
+                members.push(x);
+                cd.push(d);
+                if d > k {
+                    queue.push_back(members.len() - 1);
+                }
+            }
+            if overflow {
+                break;
+            }
+            let Some(i) = queue.pop_front() else { break };
+            neighbors(members[i], &mut |x| {
+                if self.coreness[x as usize] == k && !scratch.contains(x) {
+                    pending.push(x);
+                }
+            });
+        }
+        if overflow {
+            // Nothing was mutated; the caller re-peels and resets.
+            self.scratch = scratch;
+            return EdgeRepair::RecomputeNeeded;
+        }
+
+        // Evict cascade: a member survives only with cd ≥ K+1, where cd
+        // counts coreness > K neighbors (fixed) plus unevicted members
+        // (every coreness-K neighbor of an *expanded* member is itself
+        // a member, and only expanded members can survive).
+        let mut evicted = vec![false; members.len()];
+        let mut work: VecDeque<usize> =
+            (0..members.len()).filter(|&i| cd[i] <= k).collect();
+        while let Some(i) = work.pop_front() {
+            if evicted[i] {
+                continue;
+            }
+            evicted[i] = true;
+            neighbors(members[i], &mut |x| {
+                if self.coreness[x as usize] == k {
+                    if let Some(j) = scratch.get(x) {
+                        let j = j as usize;
+                        if !evicted[j] {
+                            cd[j] -= 1;
+                            if cd[j] <= k {
+                                work.push_back(j);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        for (i, &w) in members.iter().enumerate() {
+            if !evicted[i] {
+                self.coreness[w as usize] = k + 1;
+            }
+        }
+        self.scratch = scratch;
+        EdgeRepair::Repaired { visited: members.len() }
+    }
+
+    /// Repairs coreness after deleting edge `(u, v)`. `neighbors` must
+    /// present the **post-delete** adjacency.
+    ///
+    /// Unlike insert, a bounded-out delete leaves partially-updated
+    /// values behind; `RecomputeNeeded` obliges the caller to re-peel
+    /// and [`reset`](LiveCores::reset) before trusting the values
+    /// again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is outside the tracked node range.
+    pub fn delete_edge<F>(&mut self, u: u32, v: u32, neighbors: F) -> EdgeRepair
+    where
+        F: Fn(u32, &mut dyn FnMut(u32)),
+    {
+        let k = self.coreness[u as usize].min(self.coreness[v as usize]);
+        if k == 0 {
+            // Coreness cannot drop below zero; nothing to repair.
+            return EdgeRepair::Repaired { visited: 0 };
+        }
+        // cd(x) = neighbors with coreness ≥ K under the *current*
+        // (mutating) values, computed lazily on first touch (scratch
+        // slot). A node drops out of the K-core when cd < K; each drop
+        // decrements the cd of its still-at-K neighbors exactly once
+        // (fresh computations after the drop already exclude it).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.begin(self.coreness.len());
+        let mut work: VecDeque<u32> = VecDeque::new();
+        let mut visited = 0usize;
+        for s in [u, v] {
+            if self.coreness[s as usize] == k && !scratch.contains(s) {
+                let d = self.count_at_least(s, k, &neighbors);
+                scratch.set(s, d);
+                if d < k {
+                    work.push_back(s);
+                }
+            }
+        }
+        let mut touched: Vec<u32> = Vec::new();
+        while let Some(x) = work.pop_front() {
+            if self.coreness[x as usize] != k {
+                continue; // already dropped
+            }
+            if scratch.get(x).unwrap_or(u32::MAX) >= k {
+                continue;
+            }
+            self.coreness[x as usize] = k - 1;
+            visited += 1;
+            if visited > self.damage_bound {
+                self.scratch = scratch;
+                return EdgeRepair::RecomputeNeeded;
+            }
+            touched.clear();
+            neighbors(x, &mut |y| {
+                if self.coreness[y as usize] == k {
+                    touched.push(y);
+                }
+            });
+            for &y in &touched {
+                let d = match scratch.get(y) {
+                    Some(d) => {
+                        let d = d.saturating_sub(1);
+                        scratch.set(y, d);
+                        d
+                    }
+                    None => {
+                        let d = self.count_at_least(y, k, &neighbors);
+                        scratch.set(y, d);
+                        d
+                    }
+                };
+                if d < k {
+                    work.push_back(y);
+                }
+            }
+        }
+        self.scratch = scratch;
+        EdgeRepair::Repaired { visited }
+    }
+
+    fn count_at_least<F>(&self, x: u32, k: u32, neighbors: &F) -> u32
+    where
+        F: Fn(u32, &mut dyn FnMut(u32)),
+    {
+        let mut count = 0u32;
+        neighbors(x, &mut |y| {
+            if self.coreness[y as usize] >= k {
+                count += 1;
+            }
+        });
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreDecomposition;
+    use socnet_core::Graph;
+    use std::collections::BTreeSet;
+
+    /// A mutable edge set with the closure-shaped adjacency the live
+    /// path uses, checked against full re-decompositions.
+    struct Mutable {
+        n: usize,
+        edges: BTreeSet<(u32, u32)>,
+        adj: Vec<BTreeSet<u32>>,
+    }
+
+    impl Mutable {
+        fn from_graph(g: &Graph) -> Mutable {
+            let n = g.node_count();
+            let mut m = Mutable { n, edges: BTreeSet::new(), adj: vec![BTreeSet::new(); n] };
+            for v in g.nodes() {
+                for &u in g.neighbors(v) {
+                    if v.0 < u.0 {
+                        m.insert(v.0, u.0);
+                    }
+                }
+            }
+            m
+        }
+
+        fn insert(&mut self, a: u32, b: u32) -> bool {
+            let key = (a.min(b), a.max(b));
+            if a == b || !self.edges.insert(key) {
+                return false;
+            }
+            self.adj[a as usize].insert(b);
+            self.adj[b as usize].insert(a);
+            true
+        }
+
+        fn remove(&mut self, a: u32, b: u32) -> bool {
+            let key = (a.min(b), a.max(b));
+            if !self.edges.remove(&key) {
+                return false;
+            }
+            self.adj[a as usize].remove(&b);
+            self.adj[b as usize].remove(&a);
+            true
+        }
+
+        fn neighbors(&self) -> impl Fn(u32, &mut dyn FnMut(u32)) + '_ {
+            |v, visit| {
+                for &u in &self.adj[v as usize] {
+                    visit(u);
+                }
+            }
+        }
+
+        fn full_coreness(&self) -> Vec<u32> {
+            let g = Graph::from_edges(self.n, self.edges.iter().copied());
+            CoreDecomposition::compute(&g).coreness_slice().to_vec()
+        }
+    }
+
+    fn live_from(m: &Mutable) -> LiveCores {
+        LiveCores::new(m.full_coreness())
+    }
+
+    /// Tiny deterministic generator so the suite needs no rand crate.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    #[test]
+    fn triangle_insert_and_delete_round_trip() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0)]);
+        let mut m = Mutable::from_graph(&g);
+        let mut live = live_from(&m);
+        assert_eq!(live.coreness_slice(), &[2, 2, 2, 0]);
+
+        m.insert(2, 3);
+        let r = live.insert_edge(2, 3, m.neighbors());
+        assert!(matches!(r, EdgeRepair::Repaired { .. }));
+        assert_eq!(live.coreness_slice(), m.full_coreness());
+
+        m.remove(0, 1);
+        let r = live.delete_edge(0, 1, m.neighbors());
+        assert!(matches!(r, EdgeRepair::Repaired { .. }));
+        assert_eq!(live.coreness_slice(), &[1, 1, 1, 1]);
+        assert_eq!(live.coreness_slice(), m.full_coreness());
+    }
+
+    #[test]
+    fn closing_a_square_promotes_the_cycle() {
+        // Path 0-1-2-3; closing 3-0 makes every node a 2-core member.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut m = Mutable::from_graph(&g);
+        let mut live = live_from(&m);
+        m.insert(3, 0);
+        live.insert_edge(3, 0, m.neighbors());
+        assert_eq!(live.coreness_slice(), &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn deleting_a_cycle_edge_demotes_the_whole_cycle() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut m = Mutable::from_graph(&g);
+        let mut live = live_from(&m);
+        assert!(live.coreness_slice().iter().all(|&c| c == 2));
+        m.remove(2, 3);
+        live.delete_edge(2, 3, m.neighbors());
+        assert!(live.coreness_slice().iter().all(|&c| c == 1), "{:?}", live.coreness_slice());
+    }
+
+    #[test]
+    fn new_nodes_join_at_zero_and_grow() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let mut m = Mutable::from_graph(&g);
+        m.n = 4;
+        m.adj.resize(4, BTreeSet::new());
+        let mut live = live_from(&m);
+        live.ensure_len(4);
+        assert_eq!(live.coreness_slice(), &[1, 1, 0, 0]);
+        m.insert(2, 3);
+        live.insert_edge(2, 3, m.neighbors());
+        assert_eq!(live.coreness_slice(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn zero_damage_bound_always_asks_for_recompute_on_insert() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut m = Mutable::from_graph(&g);
+        let mut live = LiveCores::with_damage_bound(m.full_coreness(), 0);
+        let before = live.coreness_slice().to_vec();
+        m.insert(2, 0);
+        assert_eq!(live.insert_edge(2, 0, m.neighbors()), EdgeRepair::RecomputeNeeded);
+        // Insert aborts before mutating; the caller re-peels and resets.
+        assert_eq!(live.coreness_slice(), before.as_slice());
+        live.reset(m.full_coreness());
+        assert_eq!(live.coreness_slice(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn random_churn_matches_full_recompute_exactly() {
+        // 400 random inserts/deletes over a small dense id space:
+        // incremental values must equal a from-scratch peel after every
+        // single operation.
+        let n = 24u32;
+        let g = Graph::from_edges(n as usize, [(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let mut m = Mutable::from_graph(&g);
+        let mut live = live_from(&m);
+        let mut rng = XorShift(0x5eed_cafe_f00d_0001);
+        for step in 0..400 {
+            let a = rng.below(n as u64) as u32;
+            let b = rng.below(n as u64) as u32;
+            if a == b {
+                continue;
+            }
+            if rng.below(100) < 60 {
+                if m.insert(a, b) {
+                    match live.insert_edge(a, b, m.neighbors()) {
+                        EdgeRepair::Repaired { .. } => {}
+                        EdgeRepair::RecomputeNeeded => live.reset(m.full_coreness()),
+                    }
+                }
+            } else if m.remove(a, b) {
+                match live.delete_edge(a, b, m.neighbors()) {
+                    EdgeRepair::Repaired { .. } => {}
+                    EdgeRepair::RecomputeNeeded => live.reset(m.full_coreness()),
+                }
+            }
+            assert_eq!(
+                live.coreness_slice(),
+                m.full_coreness().as_slice(),
+                "divergence at step {step} (edge {a}-{b})"
+            );
+        }
+        assert!(live.degeneracy() >= 2, "churn should have built some core");
+    }
+
+    #[test]
+    fn tiny_damage_bound_still_converges_via_fallback() {
+        // Same churn, but a bound of 2 forces frequent fallbacks; the
+        // fallback contract (re-peel + reset) must keep values exact.
+        let n = 16u32;
+        let mut m = Mutable::from_graph(&Graph::from_edges(n as usize, []));
+        let mut live = LiveCores::with_damage_bound(m.full_coreness(), 2);
+        let mut rng = XorShift(0xdead_beef_0bad_cafe);
+        let mut fallbacks = 0;
+        for _ in 0..200 {
+            let a = rng.below(n as u64) as u32;
+            let b = rng.below(n as u64) as u32;
+            if a == b {
+                continue;
+            }
+            let applied = if rng.below(100) < 70 {
+                m.insert(a, b).then(|| live.insert_edge(a, b, m.neighbors()))
+            } else {
+                m.remove(a, b).then(|| live.delete_edge(a, b, m.neighbors()))
+            };
+            if let Some(EdgeRepair::RecomputeNeeded) = applied {
+                fallbacks += 1;
+                live.reset(m.full_coreness());
+            }
+            assert_eq!(live.coreness_slice(), m.full_coreness().as_slice());
+        }
+        assert!(fallbacks > 0, "a bound of 2 must trip the fallback");
+    }
+}

@@ -34,7 +34,9 @@
 mod cores;
 mod decompose;
 mod ecdf;
+mod incremental;
 
 pub use cores::{core_profiles, CoreProfile};
 pub use decompose::CoreDecomposition;
 pub use ecdf::{coreness_ecdf, Ecdf};
+pub use incremental::{EdgeRepair, LiveCores, DEFAULT_DAMAGE_BOUND};

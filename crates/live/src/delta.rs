@@ -1,0 +1,141 @@
+//! The edge-delta op model and its line-oriented wire format.
+//!
+//! One format serves three surfaces: `POST /datasets/<k>/delta` request
+//! bodies, WAL frame payloads, and compacted net-delta snapshot bodies.
+//! A batch is plain text, one op per line:
+//!
+//! ```text
+//! + <u> <v>        ← insert undirected edge (u, v)
+//! - <u> <v>        ← delete undirected edge (u, v)
+//! ```
+//!
+//! Node ids are decimal `u32`. Blank lines are ignored. Anything else
+//! rejects the whole batch — a rejected batch is never acked, never
+//! logged, never applied.
+
+use std::fmt;
+
+/// One edge mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaOp {
+    /// Insert undirected edge `(u, v)`.
+    Insert(u32, u32),
+    /// Delete undirected edge `(u, v)`.
+    Delete(u32, u32),
+}
+
+impl DeltaOp {
+    /// The endpoints, as written.
+    pub fn endpoints(&self) -> (u32, u32) {
+        match *self {
+            DeltaOp::Insert(u, v) | DeltaOp::Delete(u, v) => (u, v),
+        }
+    }
+}
+
+impl fmt::Display for DeltaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DeltaOp::Insert(u, v) => write!(f, "+ {u} {v}"),
+            DeltaOp::Delete(u, v) => write!(f, "- {u} {v}"),
+        }
+    }
+}
+
+/// Upper bound on ops in a single batch; bigger batches are rejected
+/// before parsing allocates proportional memory.
+pub const MAX_OPS_PER_BATCH: usize = 100_000;
+
+/// Serializes ops to the wire format (one `+/- u v` line per op).
+pub fn encode_ops(ops: &[DeltaOp]) -> Vec<u8> {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(ops.len() * 12);
+    for op in ops {
+        let _ = writeln!(out, "{op}");
+    }
+    out.into_bytes()
+}
+
+/// Parses a wire-format batch.
+///
+/// # Errors
+///
+/// A human-readable reason (bad tag, malformed id, oversized batch) —
+/// the caller maps it to HTTP 400. Structural validation only: no-op
+/// inserts/deletes and self-loops parse fine and are counted as
+/// `ignored` at apply time, so acked batches always re-apply cleanly.
+pub fn parse_ops(body: &[u8]) -> Result<Vec<DeltaOp>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "delta body is not UTF-8".to_string())?;
+    let mut ops = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if ops.len() >= MAX_OPS_PER_BATCH {
+            return Err(format!("batch exceeds {MAX_OPS_PER_BATCH} ops"));
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next();
+        let u = parts.next().and_then(|t| t.parse::<u32>().ok());
+        let v = parts.next().and_then(|t| t.parse::<u32>().ok());
+        let op = match (tag, u, v, parts.next()) {
+            (Some("+"), Some(u), Some(v), None) => DeltaOp::Insert(u, v),
+            (Some("-"), Some(u), Some(v), None) => DeltaOp::Delete(u, v),
+            _ => return Err(format!("line {}: expected '+ u v' or '- u v', got {line:?}", i + 1)),
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_parse_round_trips() {
+        let ops = vec![
+            DeltaOp::Insert(0, 9),
+            DeltaOp::Delete(1, 2),
+            DeltaOp::Insert(4_000_000_000, 7),
+        ];
+        let wire = encode_ops(&ops);
+        assert_eq!(parse_ops(&wire).expect("parse"), ops);
+        assert_eq!(
+            String::from_utf8(wire).unwrap(),
+            "+ 0 9\n- 1 2\n+ 4000000000 7\n"
+        );
+    }
+
+    #[test]
+    fn blank_lines_and_padding_are_tolerated() {
+        let ops = parse_ops(b"\n  + 1 2  \n\n- 3 4\n").expect("parse");
+        assert_eq!(ops, vec![DeltaOp::Insert(1, 2), DeltaOp::Delete(3, 4)]);
+        assert!(parse_ops(b"").expect("empty").is_empty());
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected_whole() {
+        for bad in [
+            &b"* 1 2\n"[..],
+            b"+ 1\n",
+            b"+ 1 2 3\n",
+            b"+ 1 -2\n",
+            b"+ a b\n",
+            b"+ 1 99999999999\n",
+            b"\xff\xfe",
+        ] {
+            assert!(parse_ops(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected() {
+        let mut body = Vec::new();
+        for i in 0..=MAX_OPS_PER_BATCH as u32 {
+            body.extend_from_slice(format!("+ 0 {i}\n").as_bytes());
+        }
+        assert!(parse_ops(&body).is_err());
+    }
+}

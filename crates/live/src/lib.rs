@@ -1,0 +1,42 @@
+//! `socnet-live` — mutable, versioned graphs for the serve stack.
+//!
+//! The paper's trustworthy-computing decisions hinge on properties that
+//! drift as a social network grows; this crate is the mutability layer
+//! that lets the serving system model that drift instead of freezing
+//! every dataset at generation time. It is transport- and
+//! storage-agnostic: `socnet-serve` supplies HTTP and the WAL, this
+//! crate supplies the graph math —
+//!
+//! * [`DeltaOp`] / [`parse_ops`] / [`encode_ops`] — the batched edge
+//!   insert/delete model and its line wire format, shared between HTTP
+//!   bodies, WAL frames, and compacted snapshots.
+//! * [`LiveGraph`] — a delta overlay over an immutable base [`Csr`]:
+//!   `O(batch)` ingestion, `O(deg)` adjacency, threshold-driven
+//!   [`LiveGraph::rebuild`] into a fresh CSR.
+//! * [`MaintainedGraph`] — the overlay plus incrementally-maintained
+//!   coreness (`socnet_kcore::LiveCores`), kept exact op-by-op with a
+//!   bounded subcore walk and a full re-peel fallback.
+//!
+//! ```
+//! use socnet_core::Csr;
+//! use socnet_live::{parse_ops, MaintainedGraph};
+//!
+//! let base = Csr::from_edges(4, [(0, 1), (1, 2), (2, 0)]);
+//! let mut live = MaintainedGraph::new(base);
+//! let ops = parse_ops(b"+ 2 3\n+ 3 0\n").unwrap();
+//! live.apply(&ops);
+//! assert_eq!(live.cores().coreness_slice(), &[2, 2, 2, 2]);
+//! ```
+//!
+//! [`Csr`]: socnet_core::Csr
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delta;
+mod maintain;
+mod overlay;
+
+pub use delta::{encode_ops, parse_ops, DeltaOp, MAX_OPS_PER_BATCH};
+pub use maintain::{MaintainReport, MaintainedGraph};
+pub use overlay::{ApplyStats, LiveGraph};

@@ -1,0 +1,125 @@
+//! A [`LiveGraph`] bundled with maintained coreness.
+//!
+//! Every expensive live property is either versioned-and-cached
+//! (mixing, expansion) or maintained incrementally; coreness is the
+//! maintained one. [`MaintainedGraph`] keeps the overlay and the
+//! [`LiveCores`] in lockstep: each op updates the overlay first, then
+//! repairs coreness against the post-update adjacency, falling back to
+//! a full re-peel of the rebuilt CSR whenever the subcore walk trips
+//! its damage bound.
+
+use socnet_core::Csr;
+use socnet_kcore::{CoreDecomposition, EdgeRepair, LiveCores};
+
+use crate::delta::DeltaOp;
+use crate::overlay::{ApplyStats, LiveGraph};
+
+/// What applying a batch did, including how coreness was kept exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintainReport {
+    /// Overlay-level effect of the batch.
+    pub stats: ApplyStats,
+    /// Ops repaired by the bounded subcore walk.
+    pub repaired: usize,
+    /// Ops that forced a full re-peel (damage bound exceeded).
+    pub recomputed: usize,
+}
+
+/// A live graph whose coreness is always exact.
+#[derive(Debug, Clone)]
+pub struct MaintainedGraph {
+    graph: LiveGraph,
+    cores: LiveCores,
+    bound: usize,
+}
+
+impl MaintainedGraph {
+    /// Wraps a base CSR; coreness is peeled once up front.
+    pub fn new(base: Csr) -> MaintainedGraph {
+        Self::with_damage_bound(base, socnet_kcore::DEFAULT_DAMAGE_BOUND)
+    }
+
+    /// Same, with an explicit subcore damage bound.
+    pub fn with_damage_bound(base: Csr, bound: usize) -> MaintainedGraph {
+        let cores = LiveCores::with_damage_bound(
+            CoreDecomposition::compute_csr(&base).coreness_slice().to_vec(),
+            bound,
+        );
+        MaintainedGraph { graph: LiveGraph::new(base), cores, bound }
+    }
+
+    /// Restores from persisted parts (see [`LiveGraph::from_parts`]);
+    /// coreness is re-peeled from the restored state.
+    pub fn from_parts(base: Csr, net_ops: &[DeltaOp], node_count: usize) -> MaintainedGraph {
+        let graph = LiveGraph::from_parts(base, net_ops, node_count);
+        let bound = socnet_kcore::DEFAULT_DAMAGE_BOUND;
+        let mut this = MaintainedGraph { graph, cores: LiveCores::new(Vec::new()), bound };
+        this.recompute();
+        this
+    }
+
+    /// The overlay.
+    pub fn graph(&self) -> &LiveGraph {
+        &self.graph
+    }
+
+    /// The maintained coreness.
+    pub fn cores(&self) -> &LiveCores {
+        &self.cores
+    }
+
+    /// Applies a batch op-by-op, keeping coreness exact throughout.
+    pub fn apply(&mut self, ops: &[DeltaOp]) -> MaintainReport {
+        let mut report = MaintainReport::default();
+        for &op in ops {
+            let (u, v) = op.endpoints();
+            let stats = self.graph.apply(std::slice::from_ref(&op));
+            report.stats.inserted += stats.inserted;
+            report.stats.deleted += stats.deleted;
+            report.stats.ignored += stats.ignored;
+            if stats.inserted + stats.deleted == 0 {
+                continue; // no-op: adjacency unchanged, coreness unchanged
+            }
+            self.cores.ensure_len(self.graph.node_count());
+            let graph = &self.graph;
+            let neighbors = |x: u32, visit: &mut dyn FnMut(u32)| graph.for_neighbors(x, visit);
+            let repair = match op {
+                DeltaOp::Insert(..) => self.cores.insert_edge(u, v, neighbors),
+                DeltaOp::Delete(..) => self.cores.delete_edge(u, v, neighbors),
+            };
+            match repair {
+                EdgeRepair::Repaired { .. } => report.repaired += 1,
+                EdgeRepair::RecomputeNeeded => {
+                    report.recomputed += 1;
+                    self.recompute();
+                }
+            }
+        }
+        report
+    }
+
+    /// Folds the overlay into a fresh CSR (see [`LiveGraph::rebuild`]).
+    pub fn rebuild(&self) -> Csr {
+        self.graph.rebuild()
+    }
+
+    /// Folds the overlay into the base in place — what the serve layer
+    /// does when the rebuild threshold trips. The graph and its
+    /// coreness are unchanged; the overlay empties, restoring `O(deg)`
+    /// slice-speed adjacency. Returns the fresh base for callers that
+    /// swap it into a registry.
+    pub fn rebase(&mut self) -> &Csr {
+        self.graph = LiveGraph::new(self.graph.rebuild());
+        self.graph.base()
+    }
+
+    /// Full re-peel from the rebuilt CSR — the `RecomputeNeeded`
+    /// fallback, also usable to re-anchor after an external rebuild.
+    pub fn recompute(&mut self) {
+        let coreness =
+            CoreDecomposition::compute_csr(&self.graph.rebuild()).coreness_slice().to_vec();
+        let mut cores = LiveCores::with_damage_bound(coreness, self.bound);
+        cores.ensure_len(self.graph.node_count());
+        self.cores = cores;
+    }
+}

@@ -1,0 +1,305 @@
+//! The delta-overlay graph: an immutable base CSR plus net edge sets.
+//!
+//! Rebuilding a CSR per delta batch would make ingestion `O(m)`; the
+//! overlay makes it `O(batch)`. The representation is the *net
+//! difference* against the generated base — `added` and `removed` edge
+//! sets (normalized `u < v`) plus an adjacency map for the additions —
+//! so adjacency queries cost `O(deg)` and the whole mutable state is
+//! exactly what compaction persists: replaying the net ops onto a
+//! freshly generated base reproduces the graph bit for bit.
+//!
+//! Once the overlay grows past the caller's rebuild threshold,
+//! [`LiveGraph::rebuild`] folds everything into a new [`Csr`]; callers
+//! swap it into their registry and construct a fresh overlay on top.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use socnet_core::Csr;
+
+use crate::delta::DeltaOp;
+
+/// What [`LiveGraph::apply`] did with a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Edges actually inserted.
+    pub inserted: usize,
+    /// Edges actually deleted.
+    pub deleted: usize,
+    /// No-ops: duplicate inserts, deletes of absent edges, self-loops.
+    pub ignored: usize,
+}
+
+/// A mutable graph: base CSR + net overlay.
+///
+/// # Examples
+///
+/// ```
+/// use socnet_core::Csr;
+/// use socnet_live::{DeltaOp, LiveGraph};
+///
+/// let base = Csr::from_edges(3, [(0, 1), (1, 2)]);
+/// let mut live = LiveGraph::new(base);
+/// live.apply(&[DeltaOp::Insert(2, 0), DeltaOp::Delete(0, 1)]);
+/// assert!(live.has_edge(2, 0));
+/// assert!(!live.has_edge(0, 1));
+/// let rebuilt = live.rebuild();
+/// assert_eq!(rebuilt, Csr::from_edges(3, [(1, 2), (0, 2)]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LiveGraph {
+    base: Csr,
+    /// Edges present now but absent in the base (`u < v`).
+    added: BTreeSet<(u32, u32)>,
+    /// Edges absent now but present in the base (`u < v`).
+    removed: BTreeSet<(u32, u32)>,
+    /// Adjacency of `added`, for `O(deg)` neighbor iteration.
+    added_adj: BTreeMap<u32, BTreeSet<u32>>,
+    /// Current node count; grows when an op names an id past the end.
+    n: usize,
+}
+
+fn norm(u: u32, v: u32) -> (u32, u32) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl LiveGraph {
+    /// Wraps a base CSR with an empty overlay.
+    pub fn new(base: Csr) -> LiveGraph {
+        let n = base.node_count();
+        LiveGraph { base, added: BTreeSet::new(), removed: BTreeSet::new(), added_adj: BTreeMap::new(), n }
+    }
+
+    /// Current node count (base nodes plus any delta-grown ids).
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Current undirected edge count.
+    pub fn edge_count(&self) -> usize {
+        self.base.edge_count() - self.removed.len() + self.added.len()
+    }
+
+    /// The immutable base this overlay diffs against.
+    pub fn base(&self) -> &Csr {
+        &self.base
+    }
+
+    /// Number of overlay entries (net adds + net removes) — the size
+    /// callers compare against their rebuild threshold.
+    pub fn overlay_len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Is undirected edge `(u, v)` present right now?
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = norm(u, v);
+        if self.added.contains(&key) {
+            return true;
+        }
+        if self.removed.contains(&key) {
+            return false;
+        }
+        (key.0 as usize) < self.base.node_count()
+            && (key.1 as usize) < self.base.node_count()
+            && self.base.neighbors(key.0).binary_search(&key.1).is_ok()
+    }
+
+    /// Current degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        let mut d = 0;
+        self.for_neighbors(v, &mut |_| d += 1);
+        d
+    }
+
+    /// Visits every current neighbor of `v` exactly once: the base row
+    /// minus removed edges, plus added ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the current node range.
+    pub fn for_neighbors(&self, v: u32, visit: &mut dyn FnMut(u32)) {
+        assert!((v as usize) < self.n, "node {v} out of range {}", self.n);
+        if (v as usize) < self.base.node_count() {
+            for &u in self.base.neighbors(v) {
+                if !self.removed.contains(&norm(v, u)) {
+                    visit(u);
+                }
+            }
+        }
+        if let Some(extra) = self.added_adj.get(&v) {
+            for &u in extra {
+                visit(u);
+            }
+        }
+    }
+
+    /// Applies a batch of ops in order. Inserts of present edges,
+    /// deletes of absent edges, and self-loops are counted as ignored —
+    /// so any acked batch re-applies cleanly during WAL replay. Node
+    /// ids past the current range grow the graph (new nodes arrive
+    /// isolated).
+    pub fn apply(&mut self, ops: &[DeltaOp]) -> ApplyStats {
+        let mut stats = ApplyStats::default();
+        for op in ops {
+            let (u, v) = op.endpoints();
+            if u == v {
+                stats.ignored += 1;
+                continue;
+            }
+            self.n = self.n.max(u.max(v) as usize + 1);
+            let key = norm(u, v);
+            match op {
+                DeltaOp::Insert(..) => {
+                    if self.has_edge(u, v) {
+                        stats.ignored += 1;
+                    } else if self.removed.remove(&key) {
+                        // Un-deleting a base edge: back to base state.
+                        stats.inserted += 1;
+                    } else {
+                        self.added.insert(key);
+                        self.added_adj.entry(key.0).or_default().insert(key.1);
+                        self.added_adj.entry(key.1).or_default().insert(key.0);
+                        stats.inserted += 1;
+                    }
+                }
+                DeltaOp::Delete(..) => {
+                    if !self.has_edge(u, v) {
+                        stats.ignored += 1;
+                    } else if self.added.remove(&key) {
+                        // Un-adding an overlay edge: back to base state.
+                        if let Some(s) = self.added_adj.get_mut(&key.0) {
+                            s.remove(&key.1);
+                        }
+                        if let Some(s) = self.added_adj.get_mut(&key.1) {
+                            s.remove(&key.0);
+                        }
+                        stats.deleted += 1;
+                    } else {
+                        self.removed.insert(key);
+                        stats.deleted += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Folds the overlay into a fresh CSR: base edges minus removals,
+    /// plus additions. The overlay itself is untouched — swap the
+    /// result in and build a new `LiveGraph` on top of it.
+    pub fn rebuild(&self) -> Csr {
+        let kept = self.base.edges().filter(|key| !self.removed.contains(key));
+        let extra = self.added.iter().copied();
+        Csr::from_edges(self.n, kept.chain(extra))
+    }
+
+    /// The minimal op sequence reproducing this overlay on a fresh copy
+    /// of the same base: every net removal as a delete, every net
+    /// addition as an insert (deterministic order). This is exactly
+    /// what compaction persists.
+    pub fn net_ops(&self) -> Vec<DeltaOp> {
+        let mut ops = Vec::with_capacity(self.overlay_len());
+        ops.extend(self.removed.iter().map(|&(u, v)| DeltaOp::Delete(u, v)));
+        ops.extend(self.added.iter().map(|&(u, v)| DeltaOp::Insert(u, v)));
+        ops
+    }
+
+    /// Restores an overlay from persisted parts: the regenerated base,
+    /// the net ops from [`net_ops`](LiveGraph::net_ops), and the node
+    /// count at persist time (so delta-grown nodes whose edges were all
+    /// deleted again survive a restart).
+    pub fn from_parts(base: Csr, net_ops: &[DeltaOp], node_count: usize) -> LiveGraph {
+        let mut live = LiveGraph::new(base);
+        live.apply(net_ops);
+        live.n = live.n.max(node_count);
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Csr {
+        // Square 0-1-2-3 plus chord 0-2.
+        Csr::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+    }
+
+    #[test]
+    fn overlay_tracks_net_difference_not_history() {
+        let mut live = LiveGraph::new(base());
+        // Delete then re-insert a base edge: overlay returns to empty.
+        live.apply(&[DeltaOp::Delete(0, 1), DeltaOp::Insert(1, 0)]);
+        assert_eq!(live.overlay_len(), 0);
+        // Insert then delete a novel edge: empty again.
+        live.apply(&[DeltaOp::Insert(1, 3), DeltaOp::Delete(3, 1)]);
+        assert_eq!(live.overlay_len(), 0);
+        assert_eq!(live.rebuild(), base());
+    }
+
+    #[test]
+    fn apply_counts_and_ignores_no_ops() {
+        let mut live = LiveGraph::new(base());
+        let stats = live.apply(&[
+            DeltaOp::Insert(0, 1), // already in base → ignored
+            DeltaOp::Insert(2, 2), // self-loop → ignored
+            DeltaOp::Delete(1, 3), // absent → ignored
+            DeltaOp::Insert(1, 3), // real insert
+            DeltaOp::Delete(0, 2), // real delete
+        ]);
+        assert_eq!(stats, ApplyStats { inserted: 1, deleted: 1, ignored: 3 });
+        assert!(live.has_edge(1, 3));
+        assert!(!live.has_edge(0, 2));
+        assert_eq!(live.edge_count(), 5);
+    }
+
+    #[test]
+    fn neighbors_merge_base_and_overlay() {
+        let mut live = LiveGraph::new(base());
+        live.apply(&[DeltaOp::Delete(0, 1), DeltaOp::Insert(0, 5)]);
+        assert_eq!(live.node_count(), 6, "op on node 5 grows the graph");
+        let mut seen = Vec::new();
+        live.for_neighbors(0, &mut |u| seen.push(u));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![2, 3, 5]);
+        assert_eq!(live.degree(0), 3);
+        let mut isolated = Vec::new();
+        live.for_neighbors(4, &mut |u| isolated.push(u));
+        assert!(isolated.is_empty());
+    }
+
+    #[test]
+    fn rebuild_equals_from_scratch_construction() {
+        let mut live = LiveGraph::new(base());
+        live.apply(&[
+            DeltaOp::Delete(2, 3),
+            DeltaOp::Insert(1, 3),
+            DeltaOp::Insert(4, 5),
+            DeltaOp::Insert(0, 4),
+        ]);
+        let expect = Csr::from_edges(6, [(0, 1), (1, 2), (3, 0), (0, 2), (1, 3), (4, 5), (0, 4)]);
+        assert_eq!(live.rebuild(), expect);
+    }
+
+    #[test]
+    fn net_ops_round_trip_through_from_parts() {
+        let mut live = LiveGraph::new(base());
+        live.apply(&[
+            DeltaOp::Delete(0, 1),
+            DeltaOp::Insert(1, 3),
+            DeltaOp::Insert(0, 6),
+            DeltaOp::Delete(0, 6), // grows to 7 nodes, then edge vanishes
+        ]);
+        let restored = LiveGraph::from_parts(base(), &live.net_ops(), live.node_count());
+        assert_eq!(restored.node_count(), live.node_count());
+        assert_eq!(restored.rebuild(), live.rebuild());
+        assert_eq!(restored.net_ops(), live.net_ops());
+    }
+}

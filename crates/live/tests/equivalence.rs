@@ -1,0 +1,176 @@
+//! The randomized delta-equivalence suite: the live path (overlay +
+//! incremental coreness) must be indistinguishable from throwing the
+//! graph away and rebuilding from scratch, at every checkpoint, across
+//! generator families.
+//!
+//! Two invariants per checkpoint:
+//!
+//! 1. `overlay.rebuild()` is **byte-identical** (`Csr: Eq`, sorted
+//!    slabs) to `Csr::from_edges` over the independently tracked edge
+//!    set.
+//! 2. Incremental coreness (with its documented recompute fallback)
+//!    equals a full Batagelj–Žaveršnik peel of the rebuilt CSR, and so
+//!    does the derived degeneracy.
+//!
+//! The medium-BA case drives 10k ops — the acceptance bar from the
+//! issue — the other families run smaller but checkpoint every batch.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use socnet_core::{Csr, Graph};
+use socnet_kcore::CoreDecomposition;
+use socnet_live::{DeltaOp, MaintainedGraph};
+
+/// Ground truth: an independently maintained edge set, mutated by the
+/// same op stream through the dumbest possible interpreter.
+struct Truth {
+    n: usize,
+    edges: BTreeSet<(u32, u32)>,
+}
+
+impl Truth {
+    fn from_csr(csr: &Csr) -> Truth {
+        Truth { n: csr.node_count(), edges: csr.edges().collect() }
+    }
+
+    fn apply(&mut self, ops: &[DeltaOp]) {
+        for op in ops {
+            let (u, v) = op.endpoints();
+            if u == v {
+                continue;
+            }
+            self.n = self.n.max(u.max(v) as usize + 1);
+            let key = (u.min(v), u.max(v));
+            match op {
+                DeltaOp::Insert(..) => {
+                    self.edges.insert(key);
+                }
+                DeltaOp::Delete(..) => {
+                    self.edges.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn csr(&self) -> Csr {
+        Csr::from_edges(self.n, self.edges.iter().copied())
+    }
+}
+
+/// One random batch: mostly inserts inside (and slightly beyond) the
+/// current id space, deletes biased toward existing edges so they hit.
+fn random_batch(truth: &Truth, rng: &mut StdRng, batch_len: usize) -> Vec<DeltaOp> {
+    let span = (truth.n as u32).max(4) + 2; // a little headroom grows nodes
+    let existing: Vec<(u32, u32)> = truth.edges.iter().copied().collect();
+    let mut ops = Vec::with_capacity(batch_len);
+    for _ in 0..batch_len {
+        let roll = rng.random_range(0..100u32);
+        if roll < 55 || existing.is_empty() {
+            ops.push(DeltaOp::Insert(rng.random_range(0..span), rng.random_range(0..span)));
+        } else if roll < 90 {
+            // Delete a real edge (as of batch start — may already be
+            // gone, exercising the ignored path).
+            let (u, v) = existing[rng.random_range(0..existing.len())];
+            ops.push(DeltaOp::Delete(u, v));
+        } else {
+            // Blind delete / duplicate insert / self-loop noise.
+            let u = rng.random_range(0..span);
+            ops.push(if roll % 2 == 0 {
+                DeltaOp::Delete(u, rng.random_range(0..span))
+            } else {
+                DeltaOp::Insert(u, u)
+            });
+        }
+    }
+    ops
+}
+
+/// Runs `batches` random batches over `base`, asserting both invariants
+/// at every checkpoint. Returns total ops applied.
+fn churn_and_check(tag: &str, base: Graph, seed: u64, batches: usize, batch_len: usize) -> usize {
+    let base = Csr::from_graph(&base);
+    let mut live = MaintainedGraph::new(base.clone());
+    let mut truth = Truth::from_csr(&base);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0;
+    for batch_no in 0..batches {
+        let ops = random_batch(&truth, &mut rng, batch_len);
+        total += ops.len();
+        truth.apply(&ops);
+        live.apply(&ops);
+
+        let rebuilt = live.rebuild();
+        let scratch = truth.csr();
+        assert_eq!(
+            rebuilt, scratch,
+            "{tag}: rebuilt CSR diverged from from-scratch at batch {batch_no}"
+        );
+        let full = CoreDecomposition::compute_csr(&scratch);
+        assert_eq!(
+            live.cores().coreness_slice(),
+            full.coreness_slice(),
+            "{tag}: incremental coreness diverged at batch {batch_no}"
+        );
+        assert_eq!(live.cores().degeneracy(), full.degeneracy(), "{tag}: degeneracy diverged");
+        // Fold the overlay like the serve layer does at its rebuild
+        // threshold — the next batch must stay equivalent across the
+        // swap, and adjacency goes back to slice speed.
+        live.rebase();
+    }
+    total
+}
+
+#[test]
+fn barabasi_albert_family_stays_equivalent() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let base = socnet_gen::barabasi_albert(300, 3, &mut rng);
+    churn_and_check("ba", base, 0xba5e, 40, 25);
+}
+
+#[test]
+fn watts_strogatz_family_stays_equivalent() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let base = socnet_gen::watts_strogatz(240, 6, 0.1, &mut rng);
+    churn_and_check("ws", base, 0x5711a11, 40, 25);
+}
+
+#[test]
+fn relaxed_caveman_family_stays_equivalent() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let base = socnet_gen::relaxed_caveman(18, 12, 0.15, &mut rng);
+    churn_and_check("caveman", base, 0xca4e, 40, 25);
+}
+
+#[test]
+fn medium_ba_survives_ten_thousand_deltas() {
+    // The acceptance-criteria case: 10k random edge deltas against a
+    // medium BA graph, incremental coreness equal to full recompute at
+    // every checkpoint (every 500 ops, plus implicitly op-exact because
+    // earlier per-batch families checkpoint tighter).
+    let mut rng = StdRng::seed_from_u64(44);
+    let base = socnet_gen::barabasi_albert(2000, 4, &mut rng);
+    let total = churn_and_check("ba-10k", base, 0xf00d, 20, 500);
+    assert!(total >= 10_000, "meant to apply 10k ops, applied {total}");
+}
+
+#[test]
+fn recompute_fallback_keeps_equivalence_under_a_tiny_bound() {
+    // Force the damage bound to trip constantly: the fallback path must
+    // preserve exactness just as well as the repair path.
+    let mut rng = StdRng::seed_from_u64(55);
+    let base = Csr::from_graph(&socnet_gen::watts_strogatz(120, 4, 0.05, &mut rng));
+    let mut live = MaintainedGraph::with_damage_bound(base.clone(), 1);
+    let mut truth = Truth::from_csr(&base);
+    let mut recomputes = 0;
+    for _ in 0..30 {
+        let ops = random_batch(&truth, &mut rng, 20);
+        truth.apply(&ops);
+        let report = live.apply(&ops);
+        recomputes += report.recomputed;
+        let full = CoreDecomposition::compute_csr(&truth.csr());
+        assert_eq!(live.cores().coreness_slice(), full.coreness_slice());
+    }
+    assert!(recomputes > 0, "a bound of 1 must force recomputes");
+}

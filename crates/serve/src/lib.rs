@@ -29,6 +29,13 @@
 //!   (bounded per connection, idle deadline between requests), `400`
 //!   (never a panic) on malformed input, and a graceful drain that
 //!   flushes a metrics snapshot plus a `run.json` manifest.
+//! - [`live`] — mutable, versioned graphs: `POST /datasets/<k>/delta`
+//!   batches are fsynced into a `socnet-wal-v1` log before they ack,
+//!   absorbed into a delta overlay with incrementally maintained
+//!   coreness, folded into a fresh CSR (and swapped into the registry)
+//!   past a rebuild threshold, and replayed at boot on top of the last
+//!   compacted snapshot. Queries opt into bounded staleness with
+//!   `?max_stale=`; live bodies carry their graph version.
 //! - [`persist`] — warm start over `socnet-store`: the drain snapshots
 //!   every rendered body and the registry metadata; the next boot
 //!   hydrates them (quarantining anything corrupt or keyed to other
@@ -59,6 +66,7 @@
 pub mod cache;
 mod eventloop;
 pub mod http;
+pub mod live;
 pub mod persist;
 pub mod registry;
 pub mod routes;
@@ -70,6 +78,7 @@ pub mod trace;
 pub use cache::{
     CacheError, CacheStats, CacheValue, CachedEntry, Lookup, PropertyCache, StoredBody,
 };
+pub use live::{CompactReport, IngestOutcome, LiveInfo, LiveManager, LiveState};
 pub use persist::{FlushReport, HydrateReport};
 pub use registry::{
     GraphKey, GraphMeta, GraphRegistry, LoadedGraph, RegistryError, ResidentInfo, SHARD_COUNT,

@@ -1,0 +1,781 @@
+//! Live graphs behind the serve stack: WAL-acked delta ingestion,
+//! versioned overlays, and threshold-driven CSR swaps.
+//!
+//! `socnet-live` supplies the graph math (overlay, incremental
+//! coreness); this module supplies everything a *server* needs on top:
+//!
+//! - **Durability.** Every `POST /datasets/<k>/delta` batch is framed
+//!   into the `socnet-wal-v1` log at `<store>/live.wal` and fsynced
+//!   *before* the in-memory graph mutates — the append returning is the
+//!   ack point, so an acked batch survives `kill -9`. At drain,
+//!   [`LiveManager::compact`] folds every label's net overlay into the
+//!   `live.snap` snapshot and resets the WAL; at boot the snapshot is
+//!   restored (net ops replayed onto the regenerated base) and any WAL
+//!   frames newer than it are replayed on top.
+//! - **Versioning.** Each label carries a monotone `version` (+1 per
+//!   acked batch) and a `csr_version` (the version its resident CSR was
+//!   last rebuilt at). `version - csr_version` is the *staleness* that
+//!   `?max_stale=` queries bargain against.
+//! - **Rebuild threshold.** Deltas absorb into the overlay in
+//!   `O(batch)`; once `ops_since_swap` passes the configured threshold,
+//!   the overlay is folded into a fresh CSR and swapped into the
+//!   [`GraphRegistry`] under the shard lock, so readers flip atomically
+//!   from the old slabs to the new.
+//!
+//! Paranoia mirrors [`crate::persist`]: a snapshot whose dataset
+//! registry fingerprint differs is quarantined (the git revision is
+//! *not* checked — net ops replay onto a regenerated base, which only
+//! the dataset registry defines); a WAL with a torn tail keeps its
+//! acked prefix and quarantines the damage; a WAL that fails deeper
+//! validation (bad magic, alien first frame, undecodable ops) is
+//! quarantined whole. Boot never panics and never fails on damaged
+//! state.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use socnet_core::{Csr, Graph};
+use socnet_live::{encode_ops, parse_ops, DeltaOp, MaintainReport, MaintainedGraph};
+use socnet_runner::{git_rev, obs, Metrics};
+use socnet_store::{
+    quarantine, quarantine_tail, read_snapshot, read_wal, write_snapshot, LoadError, Record,
+    Snapshot, SnapshotMeta, StoreDir, WalWriter, WAL_MAGIC,
+};
+
+use crate::persist::registry_hash;
+use crate::registry::{GraphKey, GraphRegistry, LoadedGraph};
+
+/// Name of the live-delta snapshot inside a store dir (`live.snap`).
+pub const LIVE_SNAPSHOT_NAME: &str = "live";
+
+/// File stem of the delta WAL inside a store dir (`live.wal`).
+pub const LIVE_WAL_NAME: &str = "live";
+
+/// One label's mutable graph: the overlay with maintained coreness,
+/// plus the version stamps the staleness contract is built on.
+pub struct LiveState {
+    /// Overlay over the generated base + incrementally exact coreness.
+    /// The base CSR stays the *generated* one for the process lifetime
+    /// — persisted net ops must replay onto a regenerable base — so
+    /// rebuilds fold a fresh CSR for the registry without rebasing.
+    pub maintained: MaintainedGraph,
+    /// Monotone per-label version: +1 per acked delta batch.
+    pub version: u64,
+    /// The version the registry's resident CSR was rebuilt at; `0`
+    /// means the resident CSR is still the generated base.
+    pub csr_version: u64,
+    /// Ops applied since the last CSR swap — the rebuild trigger.
+    pub ops_since_swap: usize,
+}
+
+/// Deltas restored from disk for a label nobody has touched yet this
+/// process: kept in persisted form (net ops + raw WAL batches) and
+/// materialized into a [`LiveState`] on first touch, when the caller
+/// has the regenerated base in hand.
+struct PendingLive {
+    /// Net ops from the compacted snapshot (replay onto the base).
+    snap_ops: Vec<DeltaOp>,
+    /// Node count at snapshot time (delta-grown isolated nodes).
+    node_count: usize,
+    /// The version the snapshot row was taken at.
+    snap_version: u64,
+    /// WAL batches newer than the snapshot, in append (version) order.
+    batches: Vec<(u64, Vec<DeltaOp>)>,
+}
+
+impl PendingLive {
+    /// The effective version once everything pending is applied.
+    fn version(&self) -> u64 {
+        self.batches.last().map_or(self.snap_version, |(v, _)| *v)
+    }
+}
+
+#[derive(Default)]
+struct Tables {
+    states: HashMap<String, Arc<Mutex<LiveState>>>,
+    pending: HashMap<String, PendingLive>,
+}
+
+/// What one acked ingest did.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestOutcome {
+    /// The label's version after this batch.
+    pub version: u64,
+    /// The CSR version at ack time (before any rebuild this batch may
+    /// go on to trigger).
+    pub csr_version: u64,
+    /// Overlay/coreness effect of the batch.
+    pub report: MaintainReport,
+    /// WAL length after the fsynced append (0 without a store dir).
+    pub wal_bytes: u64,
+    /// Whether `ops_since_swap` crossed the rebuild threshold — the
+    /// caller should follow with [`LiveManager::rebuild_and_swap`].
+    pub needs_rebuild: bool,
+}
+
+/// Per-label version row for `/datasets`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveInfo {
+    /// The graph label (`Name@scale#seed`).
+    pub label: String,
+    /// Current version.
+    pub version: u64,
+    /// Version of the resident CSR (0 = generated base).
+    pub csr_version: u64,
+}
+
+impl LiveInfo {
+    /// How many acked batches the resident CSR is behind.
+    pub fn staleness(&self) -> u64 {
+        self.version.saturating_sub(self.csr_version)
+    }
+}
+
+/// What [`LiveManager::compact`] wrote.
+#[derive(Debug)]
+pub struct CompactReport {
+    /// The `live.snap` path.
+    pub path: PathBuf,
+    /// Snapshot size in bytes.
+    pub bytes: u64,
+    /// Labels persisted (materialized + still-pending).
+    pub labels: usize,
+    /// Unmaterialized WAL batches re-appended after the reset.
+    pub wal_frames_kept: usize,
+}
+
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The first frame of every WAL: fingerprints the dataset registry the
+/// logged labels refer to, so a log written against different dataset
+/// definitions is rejected whole instead of replayed onto wrong bases.
+fn meta_frame() -> Record {
+    Record::new("wal-meta", &[&registry_hash()], b"")
+}
+
+fn set_aside(path: &Path, what: &'static str, reason: &str) {
+    Metrics::global().incr("store.quarantined", 1);
+    let moved = quarantine(path).ok();
+    obs::warn(
+        what,
+        &[
+            ("path", path.display().to_string().into()),
+            ("reason", reason.to_string().into()),
+            (
+                "moved_to",
+                moved
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| "unmoved".to_string())
+                    .into(),
+            ),
+        ],
+    );
+}
+
+/// Owns every live graph the server mutates: the label → state map,
+/// the shared WAL writer, and the boot/compact lifecycle.
+///
+/// Lock order (never reversed): `tables` → a label's `LiveState` →
+/// `wal`; the registry shard lock is only taken from under a state
+/// lock (rebuild swap) and never takes any of ours.
+pub struct LiveManager {
+    rebuild_threshold: usize,
+    store_dir: Option<PathBuf>,
+    wal: Mutex<Option<WalWriter>>,
+    tables: Mutex<Tables>,
+}
+
+impl LiveManager {
+    /// Boots the live subsystem: restores `live.snap` (if present and
+    /// keyed to this dataset registry), replays `live.wal` on top
+    /// (trimming a torn tail, quarantining deeper damage), and opens
+    /// the WAL for appending. Never fails — a damaged store degrades
+    /// to a cold start with the damage set aside, and `None` disables
+    /// durability (deltas are volatile, everything else works).
+    pub fn boot(store_dir: Option<&Path>, rebuild_threshold: usize) -> LiveManager {
+        let mut tables = Tables::default();
+        let mut writer = None;
+        if let Some(dir) = store_dir {
+            let store = StoreDir::new(dir);
+            restore_snapshot(&store.snapshot_path(LIVE_SNAPSHOT_NAME), &mut tables.pending);
+            let wal_path = store.wal_path(LIVE_WAL_NAME);
+            replay_wal_into(&wal_path, &mut tables.pending);
+            match WalWriter::open(&wal_path) {
+                Ok(mut w) => {
+                    // A fresh (or fully reset/quarantined) log needs its
+                    // registry-fingerprint frame before any delta frame.
+                    let bare = w.len_bytes() == (WAL_MAGIC.len() + 1) as u64;
+                    if !bare || w.append(&meta_frame()).is_ok() {
+                        writer = Some(w);
+                    }
+                }
+                Err(e) => obs::warn(
+                    "live.wal_open_failed",
+                    &[
+                        ("path", wal_path.display().to_string().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                ),
+            }
+        }
+        LiveManager {
+            rebuild_threshold: rebuild_threshold.max(1),
+            store_dir: store_dir.map(Path::to_path_buf),
+            wal: Mutex::new(writer),
+            tables: Mutex::new(tables),
+        }
+    }
+
+    /// Whether a WAL is open — acked deltas are crash-durable.
+    pub fn durable(&self) -> bool {
+        plock(&self.wal).is_some()
+    }
+
+    /// The configured rebuild threshold.
+    pub fn rebuild_threshold(&self) -> usize {
+        self.rebuild_threshold
+    }
+
+    /// `(version, csr_version)` for `label`, without materializing
+    /// anything: a pending (restored but untouched) label reports its
+    /// effective version with `csr_version` 0. `None` means the label
+    /// has never taken a delta — routes treat it as a frozen graph.
+    pub fn version_info(&self, label: &str) -> Option<(u64, u64)> {
+        let tables = plock(&self.tables);
+        if let Some(arc) = tables.states.get(label) {
+            let st = plock(arc);
+            return Some((st.version, st.csr_version));
+        }
+        tables.pending.get(label).map(|p| (p.version(), 0))
+    }
+
+    /// The state for `label`, materializing restored deltas on first
+    /// touch. `base` must be the *generated* CSR for the label — which
+    /// it always is: pending state only exists before any swap, and
+    /// swaps only happen through an already-materialized state.
+    pub fn resolve(&self, label: &str, base: &Csr) -> Arc<Mutex<LiveState>> {
+        let mut tables = plock(&self.tables);
+        if let Some(arc) = tables.states.get(label) {
+            return Arc::clone(arc);
+        }
+        let state = match tables.pending.remove(label) {
+            Some(p) => {
+                let n = p.node_count.max(base.node_count());
+                let mut maintained = MaintainedGraph::from_parts(base.clone(), &p.snap_ops, n);
+                let mut version = p.snap_version;
+                for (v, ops) in &p.batches {
+                    maintained.apply(ops);
+                    version = *v;
+                }
+                LiveState { maintained, version, csr_version: 0, ops_since_swap: 0 }
+            }
+            None => LiveState {
+                maintained: MaintainedGraph::new(base.clone()),
+                version: 0,
+                csr_version: 0,
+                ops_since_swap: 0,
+            },
+        };
+        let arc = Arc::new(Mutex::new(state));
+        tables.states.insert(label.to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Applies one delta batch to `label`: WAL-append + fsync *first*
+    /// (the ack point — an I/O error here mutates nothing and the
+    /// caller answers 500), then the overlay + coreness update.
+    ///
+    /// # Errors
+    ///
+    /// The WAL append's I/O error, before any in-memory mutation.
+    pub fn ingest(
+        &self,
+        label: &str,
+        base: &Csr,
+        ops: &[DeltaOp],
+    ) -> io::Result<(Arc<Mutex<LiveState>>, IngestOutcome)> {
+        let started = Instant::now();
+        let arc = self.resolve(label, base);
+        let mut st = plock(&arc);
+        let version = st.version + 1;
+        let mut wal_bytes = 0;
+        {
+            let mut wal = plock(&self.wal);
+            if let Some(w) = wal.as_mut() {
+                let record = Record::new("delta", &[label, &version.to_string()], &encode_ops(ops));
+                wal_bytes = w.append(&record)?;
+                Metrics::global().incr("wal.appends", 1);
+            }
+        }
+        let report = st.maintained.apply(ops);
+        st.version = version;
+        st.ops_since_swap += ops.len();
+        let outcome = IngestOutcome {
+            version,
+            csr_version: st.csr_version,
+            report,
+            wal_bytes,
+            needs_rebuild: st.ops_since_swap >= self.rebuild_threshold,
+        };
+        drop(st);
+        let m = Metrics::global();
+        m.incr("live.deltas", 1);
+        m.incr("live.ops", ops.len() as u64);
+        m.observe("live.delta_ack_s", started.elapsed().as_secs_f64());
+        Ok((arc, outcome))
+    }
+
+    /// Folds the overlay into a fresh CSR and swaps it into the
+    /// registry under the shard lock. Returns the new resident graph
+    /// (callers compute on it directly) and the rebuild wall time.
+    ///
+    /// If a cold load of the same key is in flight the swap is skipped
+    /// — `csr_version` stays behind, so the next staleness check
+    /// retries — but the freshly built graph is still returned.
+    pub fn rebuild_and_swap(
+        &self,
+        registry: &GraphRegistry,
+        key: &GraphKey,
+        state: &Arc<Mutex<LiveState>>,
+    ) -> (Arc<LoadedGraph>, Duration) {
+        let started = Instant::now();
+        let mut st = plock(state);
+        let csr = st.maintained.rebuild();
+        let graph = Graph::from_edges(csr.node_count(), csr.edges());
+        let (loaded, swapped) = registry.replace(key, graph, csr, started.elapsed());
+        if swapped {
+            st.csr_version = st.version;
+            st.ops_since_swap = 0;
+        }
+        drop(st);
+        let wall = started.elapsed();
+        let m = Metrics::global();
+        m.incr("live.rebuilds", 1);
+        m.observe("live.rebuild_s", wall.as_secs_f64());
+        (loaded, wall)
+    }
+
+    /// Ensures the resident CSR for `key` is at least as fresh as
+    /// `stamp`, rebuilding + swapping when it is not. Returns the graph
+    /// the caller should compute on.
+    pub fn ensure_stamp(
+        &self,
+        registry: &GraphRegistry,
+        key: &GraphKey,
+        graph: Arc<LoadedGraph>,
+        stamp: u64,
+    ) -> Arc<LoadedGraph> {
+        let label = key.label();
+        let arc = self.resolve(&label, &graph.csr);
+        let fresh_enough = plock(&arc).csr_version >= stamp;
+        if fresh_enough {
+            return graph;
+        }
+        let (loaded, _wall) = self.rebuild_and_swap(registry, key, &arc);
+        loaded
+    }
+
+    /// The registry's resident CSR for `label` no longer matches any
+    /// rebuilt version (an operator evicted it; a reload regenerates
+    /// the base). Resets the stamp so staleness accounting stays
+    /// truthful and the next strict query forces a rebuild.
+    pub fn note_evicted(&self, label: &str) {
+        let arc = plock(&self.tables).states.get(label).cloned();
+        if let Some(arc) = arc {
+            let mut st = plock(&arc);
+            st.csr_version = 0;
+            st.ops_since_swap = 0;
+        }
+    }
+
+    /// Every label with live history (materialized + pending), sorted
+    /// by label for stable output.
+    pub fn infos(&self) -> Vec<LiveInfo> {
+        let tables = plock(&self.tables);
+        let mut rows: Vec<LiveInfo> = tables
+            .states
+            .iter()
+            .map(|(label, arc)| {
+                let st = plock(arc);
+                LiveInfo { label: label.clone(), version: st.version, csr_version: st.csr_version }
+            })
+            .collect();
+        rows.extend(tables.pending.iter().map(|(label, p)| LiveInfo {
+            label: label.clone(),
+            version: p.version(),
+            csr_version: 0,
+        }));
+        rows.sort_by(|a, b| a.label.cmp(&b.label));
+        rows
+    }
+
+    /// Drain-time compaction: persists every label's net overlay (and
+    /// every still-pending restored label) as `live.snap`, then resets
+    /// the WAL — re-appending unmaterialized pending batches so
+    /// *snapshot + WAL = full state* holds at every instant. The
+    /// snapshot write is atomic and happens first: a crash between the
+    /// two steps leaves WAL frames at versions the snapshot already
+    /// covers, which boot-time replay skips.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the snapshot write or the WAL reset.
+    pub fn compact(&self) -> io::Result<Option<CompactReport>> {
+        let Some(dir) = &self.store_dir else { return Ok(None) };
+        let tables = plock(&self.tables);
+        let mut state_rows: Vec<(String, Arc<Mutex<LiveState>>)> =
+            tables.states.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
+        state_rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut records = Vec::new();
+        for (label, arc) in &state_rows {
+            let st = plock(arc);
+            let overlay = st.maintained.graph();
+            records.push(Record::new(
+                "delta-base",
+                &[label, &st.version.to_string(), &overlay.node_count().to_string()],
+                &encode_ops(&overlay.net_ops()),
+            ));
+        }
+        let mut pending_rows: Vec<(&String, &PendingLive)> = tables.pending.iter().collect();
+        pending_rows.sort_by(|a, b| a.0.cmp(b.0));
+        let mut keep = Vec::new();
+        for (label, p) in &pending_rows {
+            records.push(Record::new(
+                "delta-base",
+                &[label, &p.snap_version.to_string(), &p.node_count.to_string()],
+                &encode_ops(&p.snap_ops),
+            ));
+            for (v, ops) in &p.batches {
+                keep.push(Record::new("delta", &[label, &v.to_string()], &encode_ops(ops)));
+            }
+        }
+        let path = StoreDir::new(dir).snapshot_path(LIVE_SNAPSHOT_NAME);
+        if records.is_empty() && !path.exists() {
+            return Ok(None); // the live subsystem was never used
+        }
+        std::fs::create_dir_all(dir)?;
+        let labels = records.len();
+        let snapshot =
+            Snapshot { meta: SnapshotMeta::new(&git_rev(), &registry_hash()), records };
+        let bytes = write_snapshot(&path, &snapshot)?;
+        {
+            let mut wal = plock(&self.wal);
+            if let Some(w) = wal.as_mut() {
+                w.reset()?;
+                w.append(&meta_frame())?;
+                for record in &keep {
+                    w.append(record)?;
+                }
+            }
+        }
+        obs::info(
+            "live.compacted",
+            &[
+                ("path", path.display().to_string().into()),
+                ("bytes", bytes.into()),
+                ("labels", (labels as u64).into()),
+                ("wal_frames_kept", (keep.len() as u64).into()),
+            ],
+        );
+        Ok(Some(CompactReport { path, bytes, labels, wal_frames_kept: keep.len() }))
+    }
+}
+
+/// Restores `live.snap` rows into the pending table. Gated on the
+/// dataset registry fingerprint only — net ops replay onto a
+/// regenerated base, which a new git revision of the same datasets
+/// still produces. Any malformed record condemns the whole snapshot.
+fn restore_snapshot(path: &Path, pending: &mut HashMap<String, PendingLive>) {
+    let snap = match read_snapshot(path) {
+        Ok(s) => s,
+        Err(LoadError::Missing) => return,
+        Err(e) => return set_aside(path, "live.snap_quarantined", &e.to_string()),
+    };
+    let want = registry_hash();
+    if snap.meta.registry_hash != want {
+        return set_aside(
+            path,
+            "live.snap_quarantined",
+            &format!("registry hash {} != {want}", snap.meta.registry_hash),
+        );
+    }
+    let mut rows = Vec::new();
+    for record in &snap.records {
+        let parsed = (|| -> Result<(String, PendingLive), String> {
+            if record.kind != "delta-base" {
+                return Err(format!("unknown record kind {:?}", record.kind));
+            }
+            let [label, version, node_count] = record.fields.as_slice() else {
+                return Err(format!("delta-base has {} fields, want 3", record.fields.len()));
+            };
+            let snap_version =
+                version.parse().map_err(|_| format!("bad version {version:?}"))?;
+            let node_count =
+                node_count.parse().map_err(|_| format!("bad node count {node_count:?}"))?;
+            let snap_ops = parse_ops(&record.body)?;
+            Ok((label.clone(), PendingLive { snap_ops, node_count, snap_version, batches: Vec::new() }))
+        })();
+        match parsed {
+            Ok(row) => rows.push(row),
+            Err(reason) => return set_aside(path, "live.snap_quarantined", &reason),
+        }
+    }
+    for (label, row) in rows {
+        pending.insert(label, row);
+    }
+}
+
+/// Replays `live.wal` into the pending table. The torn-tail contract:
+/// the valid frame prefix is truth (acked data), the damaged suffix is
+/// quarantined aside and the file trimmed. Deeper damage — bad magic,
+/// a first frame that is not this registry's `wal-meta`, a frame whose
+/// ops do not decode — condemns the file whole (already-replayed
+/// frames stay in memory and re-persist at the next compaction).
+fn replay_wal_into(path: &Path, pending: &mut HashMap<String, PendingLive>) {
+    let replay = match read_wal(path) {
+        Ok(r) => r,
+        Err(LoadError::Missing) => return,
+        Err(e) => return set_aside(path, "live.wal_quarantined", &e.to_string()),
+    };
+    if let Some(reason) = &replay.torn {
+        Metrics::global().incr("store.quarantined", 1);
+        match quarantine_tail(path, &replay) {
+            Ok(moved) => obs::warn(
+                "live.wal_torn",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("reason", reason.clone().into()),
+                    (
+                        "tail_moved_to",
+                        moved
+                            .as_deref()
+                            .map(|p| p.display().to_string())
+                            .unwrap_or_else(|| "unmoved".to_string())
+                            .into(),
+                    ),
+                ],
+            ),
+            // Can't trim in place: set the whole file aside so appends
+            // never land after a damaged tail. The acked prefix lives
+            // on in memory and re-persists at the next compaction.
+            Err(e) => set_aside(path, "live.wal_quarantined", &e.to_string()),
+        }
+    }
+    let mut frames = replay.records.iter();
+    match frames.next() {
+        None => return, // freshly reset log
+        Some(r)
+            if r.kind == "wal-meta"
+                && r.fields.first().map(String::as_str) == Some(registry_hash().as_str()) => {}
+        Some(r) => {
+            return set_aside(
+                path,
+                "live.wal_quarantined",
+                &format!("first frame is {:?}, want this registry's wal-meta", r.kind),
+            )
+        }
+    }
+    // Decode every frame before merging any — a half-merged log would
+    // be harder to reason about than rejecting it whole.
+    let mut batches = Vec::new();
+    for record in frames {
+        let parsed = (|| -> Result<(String, u64, Vec<DeltaOp>), String> {
+            if record.kind != "delta" {
+                return Err(format!("unknown frame kind {:?}", record.kind));
+            }
+            let [label, version] = record.fields.as_slice() else {
+                return Err(format!("delta frame has {} fields, want 2", record.fields.len()));
+            };
+            let version = version.parse().map_err(|_| format!("bad version {version:?}"))?;
+            Ok((label.clone(), version, parse_ops(&record.body)?))
+        })();
+        match parsed {
+            Ok(row) => batches.push(row),
+            Err(reason) => return set_aside(path, "live.wal_quarantined", &reason),
+        }
+    }
+    let mut replayed = 0u64;
+    for (label, version, ops) in batches {
+        let entry = pending.entry(label).or_insert_with(|| PendingLive {
+            snap_ops: Vec::new(),
+            node_count: 0,
+            snap_version: 0,
+            batches: Vec::new(),
+        });
+        // Frames at versions the snapshot already folded in are the
+        // residue of a crash between snapshot write and WAL reset.
+        if version > entry.version() {
+            entry.batches.push((version, ops));
+            replayed += 1;
+        }
+    }
+    Metrics::global().incr("wal.replayed", replayed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("socnet-serve-live-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn base() -> Csr {
+        Csr::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+    }
+
+    fn ops(text: &str) -> Vec<DeltaOp> {
+        parse_ops(text.as_bytes()).expect("ops")
+    }
+
+    #[test]
+    fn acked_deltas_survive_an_unclean_restart() {
+        let dir = scratch("unclean");
+        let label = "T@0.05#42";
+        {
+            let live = LiveManager::boot(Some(&dir), 1_000);
+            assert!(live.durable());
+            live.ingest(label, &base(), &ops("+ 0 4\n+ 4 1\n")).expect("ack 1");
+            let (_, out) = live.ingest(label, &base(), &ops("- 2 3\n")).expect("ack 2");
+            assert_eq!(out.version, 2);
+            assert!(!out.needs_rebuild);
+            // Dropped without compact — the crash case. Only the WAL
+            // holds the deltas now.
+        }
+        let live = LiveManager::boot(Some(&dir), 1_000);
+        assert_eq!(live.version_info(label), Some((2, 0)), "replayed, unmaterialized");
+        let arc = live.resolve(label, &base());
+        let st = plock(&arc);
+        assert_eq!(st.version, 2);
+        let mut truth = MaintainedGraph::new(base());
+        truth.apply(&ops("+ 0 4\n+ 4 1\n- 2 3\n"));
+        assert_eq!(st.maintained.rebuild(), truth.rebuild());
+        assert_eq!(st.maintained.cores().coreness_slice(), truth.cores().coreness_slice());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compact_folds_the_wal_and_keeps_pending_labels() {
+        let dir = scratch("compact");
+        let label = "T@0.05#42";
+        {
+            let live = LiveManager::boot(Some(&dir), 1_000);
+            live.ingest(label, &base(), &ops("+ 0 3\n")).expect("ack");
+            let report = live.compact().expect("compact").expect("wrote");
+            assert_eq!(report.labels, 1);
+            assert_eq!(report.wal_frames_kept, 0);
+        }
+        let wal_len = std::fs::metadata(StoreDir::new(&dir).wal_path(LIVE_WAL_NAME))
+            .expect("wal")
+            .len();
+        {
+            // Restart, never touch the label, compact again: the
+            // pending row must round-trip undiminished.
+            let live = LiveManager::boot(Some(&dir), 1_000);
+            assert_eq!(live.version_info(label), Some((1, 0)));
+            let report = live.compact().expect("compact").expect("wrote");
+            assert_eq!((report.labels, report.wal_frames_kept), (1, 0));
+        }
+        let live = LiveManager::boot(Some(&dir), 1_000);
+        let arc = live.resolve(label, &base());
+        let st = plock(&arc);
+        assert_eq!(st.version, 1);
+        assert!(st.maintained.graph().has_edge(0, 3));
+        // Compaction reset the log to magic + meta frame only.
+        assert_eq!(
+            std::fs::metadata(StoreDir::new(&dir).wal_path(LIVE_WAL_NAME)).expect("wal").len(),
+            wal_len
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unmaterialized_wal_batches_survive_a_compaction() {
+        let dir = scratch("pending-wal");
+        let label = "T@0.05#42";
+        {
+            let live = LiveManager::boot(Some(&dir), 1_000);
+            live.ingest(label, &base(), &ops("+ 0 3\n")).expect("ack");
+            live.ingest(label, &base(), &ops("+ 1 4\n")).expect("ack");
+            // No compact: both batches are WAL-only.
+        }
+        {
+            // Restart; the label stays pending; compact must persist
+            // the snapshot row *and* re-append the raw batches.
+            let live = LiveManager::boot(Some(&dir), 1_000);
+            let report = live.compact().expect("compact").expect("wrote");
+            assert_eq!((report.labels, report.wal_frames_kept), (1, 2));
+        }
+        let live = LiveManager::boot(Some(&dir), 1_000);
+        assert_eq!(live.version_info(label), Some((2, 0)));
+        let arc = live.resolve(label, &base());
+        let st = plock(&arc);
+        assert!(st.maintained.graph().has_edge(0, 3) && st.maintained.graph().has_edge(1, 4));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_keeps_the_acked_prefix_and_never_panics() {
+        let dir = scratch("torn");
+        let label = "T@0.05#42";
+        {
+            let live = LiveManager::boot(Some(&dir), 1_000);
+            live.ingest(label, &base(), &ops("+ 0 4\n")).expect("ack");
+        }
+        let wal_path = StoreDir::new(&dir).wal_path(LIVE_WAL_NAME);
+        // A crash mid-append: garbage after the last acked frame.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal_path).expect("open");
+        f.write_all(b"F deadbeef 999\nhalf a fra").expect("tear");
+        drop(f);
+        let live = LiveManager::boot(Some(&dir), 1_000);
+        assert_eq!(live.version_info(label), Some((1, 0)), "acked prefix survives");
+        assert!(
+            wal_path.with_file_name("live.wal.quarantined").is_file(),
+            "torn tail set aside for forensics"
+        );
+        // The trimmed log accepts appends again.
+        live.ingest(label, &base(), &ops("+ 1 3\n")).expect("ack after trim");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn alien_wal_and_mismatched_snapshot_are_quarantined_whole() {
+        let dir = scratch("alien");
+        let store = StoreDir::new(&dir);
+        std::fs::write(store.wal_path(LIVE_WAL_NAME), b"not a wal at all\n").expect("write");
+        let snapshot = Snapshot {
+            meta: SnapshotMeta::new(&git_rev(), "00000000"),
+            records: vec![Record::new("delta-base", &["X@1#1", "3", "5"], b"+ 0 1\n")],
+        };
+        write_snapshot(&store.snapshot_path(LIVE_SNAPSHOT_NAME), &snapshot).expect("snap");
+        let live = LiveManager::boot(Some(&dir), 1_000);
+        assert_eq!(live.version_info("X@1#1"), None, "mismatched snapshot must not restore");
+        assert!(!store.snapshot_path(LIVE_SNAPSHOT_NAME).exists(), "snapshot set aside");
+        // The alien log was replaced by a fresh, appendable one.
+        assert!(live.durable());
+        live.ingest("X@1#1", &base(), &ops("+ 0 1\n")).expect("fresh wal accepts appends");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn without_a_store_dir_deltas_are_volatile_but_functional() {
+        let live = LiveManager::boot(None, 2);
+        assert!(!live.durable());
+        let (_, out) = live.ingest("V@1#1", &base(), &ops("+ 0 4\n+ 1 4\n")).expect("ingest");
+        assert_eq!(out.wal_bytes, 0);
+        assert!(out.needs_rebuild, "2 ops >= threshold 2");
+        assert!(live.compact().expect("noop").is_none());
+    }
+}

@@ -322,6 +322,61 @@ impl GraphRegistry {
         result
     }
 
+    /// Swaps a freshly built graph into `key`'s slot under the shard
+    /// lock — the live subsystem's rebuild path. Readers flip
+    /// atomically from the old slabs to the new; the old `Arc` drains
+    /// as in-flight requests finish. Hit counts carry over from the
+    /// replaced residency.
+    ///
+    /// Returns the new [`LoadedGraph`] and whether the swap happened:
+    /// when a cold load of the same key is in flight the slot is left
+    /// alone (the builder owns it and would clobber the swap anyway)
+    /// and the caller gets `false` — compute on the returned graph,
+    /// retry the swap later.
+    pub fn replace(
+        &self,
+        key: &GraphKey,
+        graph: Graph,
+        csr: Csr,
+        load_wall: Duration,
+    ) -> (Arc<LoadedGraph>, bool) {
+        let loaded = Arc::new(LoadedGraph {
+            approx_bytes: approx_graph_bytes(&graph, &csr),
+            load_wall,
+            csr,
+            graph,
+        });
+        let shard = &self.shards[self.shard_of(key)];
+        let swapped = {
+            let mut state = lock(shard);
+            let hits = match state.slots.remove(key) {
+                Some(Slot::Resident { graph: old, hits }) => {
+                    state.resident_bytes -= old.approx_bytes;
+                    Some(hits)
+                }
+                Some(Slot::Loading) => {
+                    state.slots.insert(key.clone(), Slot::Loading);
+                    None
+                }
+                None => Some(0),
+            };
+            if let Some(hits) = hits {
+                state.resident_bytes += loaded.approx_bytes;
+                state
+                    .slots
+                    .insert(key.clone(), Slot::Resident { graph: Arc::clone(&loaded), hits });
+                true
+            } else {
+                false
+            }
+        };
+        if swapped {
+            shard.loaded.notify_all();
+            self.recompute_gauges();
+        }
+        (loaded, swapped)
+    }
+
     /// Drops the resident graph for `key`, if any. Returns whether a
     /// resident entry was removed (an in-flight load is left alone).
     /// The shard's byte counter and the resident-byte gauge are

@@ -23,11 +23,13 @@ use socnet_kcore::CoreDecomposition;
 use socnet_mixing::{
     try_sinclair_bounds, try_slem_csr, MixingConfig, MixingMeasurement, SpectralConfig, Spectrum,
 };
+use socnet_live::parse_ops;
 use socnet_runner::{json, CancelToken, Metrics, ParConfig};
 use socnet_sybil::{AttackedGraph, GateKeeper, GateKeeperConfig, SybilAttack, SybilTopology};
 
 use crate::cache::{CacheError, CacheValue, Lookup};
 use crate::http::{Request, Response};
+use crate::live::LiveInfo;
 use crate::registry::{GraphKey, LoadedGraph, RegistryError};
 use crate::server::AppState;
 use crate::trace::{self, StageGuard};
@@ -67,6 +69,10 @@ pub fn handle(state: &Arc<AppState>, req: &Request, cancel: &CancelToken) -> (&'
     match parts.as_slice() {
         ["healthz"] => ("healthz", expect_method("GET", req).unwrap_or_else(|| healthz(state))),
         ["datasets"] => ("datasets", expect_method("GET", req).unwrap_or_else(|| datasets(state))),
+        ["datasets", name, "delta"] => (
+            "delta",
+            expect_method("POST", req).unwrap_or_else(|| delta(state, req, name, cancel)),
+        ),
         ["metrics"] => {
             ("metrics", expect_method("GET", req).unwrap_or_else(|| metrics(state, req)))
         }
@@ -276,6 +282,78 @@ fn cache_header(hit: bool) -> &'static str {
     }
 }
 
+/// The live-version view one query computes under: which CSR version
+/// the response is stamped with, and how far behind the label's head
+/// that stamp is.
+struct LiveView {
+    /// The version the response is computed and cached at.
+    stamp: u64,
+    /// `head - stamp`: 0 when strict, >0 when `?max_stale=` accepted a
+    /// lagging CSR instead of forcing a rebuild.
+    staleness: u64,
+}
+
+impl LiveView {
+    /// The cache/body key suffix that makes version-stamped entries
+    /// distinct. Frozen labels get no suffix, so their keys (and
+    /// warm-restart byte identity) are untouched by the live subsystem.
+    fn suffix(&self) -> String {
+        format!("|v{}", self.stamp)
+    }
+}
+
+/// Resolves the live view for `label`: `None` for frozen (never
+/// mutated) labels. With `?max_stale=N`, a resident CSR at most N
+/// acked batches behind head may answer as-is; anything staler forces
+/// a rebuild to head before computing.
+fn live_view(
+    state: &AppState,
+    params: &[(String, String)],
+    label: &str,
+) -> Result<Option<LiveView>, Response> {
+    let max_stale = param_u64(params, "max_stale", 0)?;
+    let Some((version, csr_version)) = state.live.version_info(label) else {
+        return Ok(None);
+    };
+    if version == 0 {
+        return Ok(None);
+    }
+    let lag = version.saturating_sub(csr_version);
+    let stamp = if lag > max_stale { version } else { csr_version };
+    Ok(Some(LiveView { stamp, staleness: version - stamp }))
+}
+
+/// Stamps the live headers onto a finished response and counts a
+/// bounded-stale answer when one was served.
+fn finish_live(response: Response, live: &Option<LiveView>) -> Response {
+    match live {
+        None => response,
+        Some(view) => {
+            if view.staleness > 0 {
+                Metrics::global().incr("live.stale_served", 1);
+            }
+            response
+                .with_header("X-Graph-Version", &view.stamp.to_string())
+                .with_header("X-Staleness", &view.staleness.to_string())
+        }
+    }
+}
+
+/// The graph a live-aware query computes on: the resident one when its
+/// CSR is fresh enough for `view`, otherwise a rebuild swapped in
+/// under the registry shard lock.
+fn live_graph(
+    state: &AppState,
+    key: &GraphKey,
+    graph: Arc<LoadedGraph>,
+    live: &Option<LiveView>,
+) -> Arc<LoadedGraph> {
+    match live {
+        None => graph,
+        Some(view) => state.live.ensure_stamp(&state.registry, key, graph, view.stamp),
+    }
+}
+
 fn healthz(state: &Arc<AppState>) -> Response {
     let cache = state.cache.stats();
     let mut obj = json::Obj::new();
@@ -289,6 +367,7 @@ fn healthz(state: &Arc<AppState>) -> Response {
 
 fn datasets(state: &Arc<AppState>) -> Response {
     let resident = state.registry.list();
+    let live_infos = state.live.infos();
     let mut rows = json::Arr::new();
     for dataset in Dataset::ALL {
         let spec = dataset.spec();
@@ -300,10 +379,29 @@ fn datasets(state: &Arc<AppState>) -> Response {
             Some(mu) => row.num("paper_slem", mu, 4),
             None => row.raw("paper_slem", "null"),
         };
+        // One dataset can be live at several (scale, seed) keys; the
+        // per-dataset row reports the most-mutated one. Frozen
+        // datasets report version 0 / staleness 0.
+        let prefix = format!("{}@", spec.name);
+        let head = live_infos
+            .iter()
+            .filter(|info| info.label.starts_with(&prefix))
+            .max_by_key(|info| info.version);
         row.str("model", spec.model.label())
             .str("size_class", &format!("{:?}", spec.size_class))
-            .bool("resident", resident.iter().any(|r| r.key.dataset() == dataset));
+            .bool("resident", resident.iter().any(|r| r.key.dataset() == dataset))
+            .int("version", head.map_or(0, |info| info.version))
+            .int("staleness", head.map_or(0, LiveInfo::staleness));
         rows.push_raw(row.finish());
+    }
+    let mut live_rows = json::Arr::new();
+    for info in &live_infos {
+        let mut obj = json::Obj::new();
+        obj.str("label", &info.label)
+            .int("version", info.version)
+            .int("csr_version", info.csr_version)
+            .int("staleness", info.staleness());
+        live_rows.push_raw(obj.finish());
     }
     let mut loaded = json::Arr::new();
     for row in &resident {
@@ -328,6 +426,7 @@ fn datasets(state: &Arc<AppState>) -> Response {
     obj.raw("datasets", &rows.finish())
         .raw("resident", &loaded.finish())
         .raw("remembered", &remembered.finish())
+        .raw("live", &live_rows.finish())
         .int("resident_bytes", state.registry.resident_bytes() as u64);
     Response::json(200, obj.finish())
 }
@@ -421,6 +520,10 @@ fn evict(state: &Arc<AppState>, req: &Request, name: &str) -> Response {
     // The graph's memoized properties go with it — including poisoned
     // entries, so evicting is how an operator heals a sick key.
     let properties_evicted = state.cache.evict_for_label(&key.label());
+    // A live label's swapped-in CSR is gone with the slot: reset its
+    // CSR version so the next strict query rebuilds instead of
+    // trusting a stamp that now points at a regenerated v0 base.
+    state.live.note_evicted(&key.label());
     // Recompute both resident-byte gauges after the compound eviction:
     // a metrics scrape racing this request must never see bytes that
     // are already gone.
@@ -430,6 +533,66 @@ fn evict(state: &Arc<AppState>, req: &Request, name: &str) -> Response {
     obj.str("label", &key.label())
         .bool("evicted", evicted)
         .int("properties_evicted", properties_evicted as u64);
+    Response::json(200, obj.finish())
+}
+
+/// `POST /datasets/<name>/delta` — one batched edge-delta in the wire
+/// format (`+ u v` / `- u v` lines). The graph is selected by `scale`
+/// and `seed` *query* parameters only — the body is the ops, never
+/// form data. A batch acks only after its WAL frame is fsynced; a WAL
+/// write error answers 500 with nothing applied. Crossing the rebuild
+/// threshold folds the overlay into a fresh CSR and swaps it into the
+/// registry before the response renders.
+fn delta(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
+    let key = match graph_key_from(state, &req.query, name) {
+        Ok(key) => key,
+        Err(response) => return response,
+    };
+    let ops = match parse_ops(&req.body) {
+        Ok(ops) => ops,
+        Err(reason) => return error_response(400, &reason),
+    };
+    if ops.is_empty() {
+        return error_response(400, "delta batch has no ops");
+    }
+    let graph = match load_graph(state, &key, cancel) {
+        Ok(graph) => graph,
+        Err(response) => return response,
+    };
+    let label = key.label();
+    let ingest_span = trace::current().map(|t| t.stage("live_ingest"));
+    let (live_state, outcome) = match state.live.ingest(&label, &graph.csr, &ops) {
+        Ok(pair) => pair,
+        Err(e) => return error_response(500, &format!("wal append failed: {e}")),
+    };
+    drop(ingest_span);
+    let mut rebuild_ms = None;
+    if outcome.needs_rebuild {
+        let rebuild_span = trace::current().map(|t| t.stage("live_rebuild"));
+        let (_fresh, wall) = state.live.rebuild_and_swap(&state.registry, &key, &live_state);
+        drop(rebuild_span);
+        rebuild_ms = Some(wall);
+    }
+    let st = live_state.lock().unwrap_or_else(|p| p.into_inner());
+    let mut obj = json::Obj::new();
+    obj.str("label", &label)
+        .int("version", outcome.version)
+        .int("csr_version", st.csr_version)
+        .int("staleness", st.version.saturating_sub(st.csr_version))
+        .int("inserted", outcome.report.stats.inserted as u64)
+        .int("deleted", outcome.report.stats.deleted as u64)
+        .int("ignored", outcome.report.stats.ignored as u64)
+        .int("repaired", outcome.report.repaired as u64)
+        .int("recomputed", outcome.report.recomputed as u64)
+        .int("nodes", st.maintained.graph().node_count() as u64)
+        .int("edges", st.maintained.graph().edge_count() as u64)
+        .int("wal_bytes", outcome.wal_bytes)
+        .bool("durable", state.live.durable())
+        .bool("rebuilt", rebuild_ms.is_some());
+    match rebuild_ms {
+        Some(wall) => obj.num("rebuild_ms", wall.as_secs_f64() * 1e3, 3),
+        None => obj.raw("rebuild_ms", "null"),
+    };
     Response::json(200, obj.finish())
 }
 
@@ -461,6 +624,11 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
         );
     }
     let label = key.label();
+    let live = match live_view(state, &params, &label) {
+        Ok(live) => live,
+        Err(response) => return response,
+    };
+    let vsuffix = live.as_ref().map(LiveView::suffix).unwrap_or_default();
 
     // The panic hook bypasses persistence entirely: a poisoning test
     // must exercise the live path, and a poisoned body never records.
@@ -475,21 +643,25 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
         }
     }
     let eps_text = json::num(eps, 6);
-    let body_key = format!("body|{label}|mixing|eps={eps_text}|s={sources}|w={max_walk}");
+    let body_key = format!("body|{label}|mixing|eps={eps_text}|s={sources}|w={max_walk}{vsuffix}");
     if !inject_panic {
         if let Some(response) = warm_body(state, &body_key) {
-            return response;
+            return finish_live(response, &live);
         }
     }
     let graph = match load_graph(state, &key, cancel) {
         Ok(graph) => graph,
         Err(response) => return response,
     };
+    let graph = live_graph(state, &key, graph, &live);
 
     // The spectrum is cached independently of eps so every bound
     // request reuses one power iteration.
-    let spectrum_key =
-        if inject_panic { format!("spectrum|{label}|boom") } else { format!("spectrum|{label}") };
+    let spectrum_key = if inject_panic {
+        format!("spectrum|{label}|boom")
+    } else {
+        format!("spectrum|{label}{vsuffix}")
+    };
     let spectrum_span = cache_stage("cache:spectrum");
     let spectrum_lookup = {
         let graph = Arc::clone(&graph);
@@ -521,7 +693,7 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
     let mut all_hit = spectrum_lookup.hit;
     let mut compute_cost = spectrum_lookup.entry.cost;
     if sources > 0 {
-        let tvd_key = format!("tvd|{label}|s={sources}|w={max_walk}");
+        let tvd_key = format!("tvd|{label}|s={sources}|w={max_walk}{vsuffix}");
         let tvd_span = cache_stage("cache:tvd");
         let measurement_lookup = {
             let graph = Arc::clone(&graph);
@@ -576,12 +748,15 @@ fn mixing(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken
         .num("sinclair_lower", bounds.lower, 3)
         .num("sinclair_upper", bounds.upper, 3)
         .raw("sampled", &sampled_json);
+    if let Some(view) = &live {
+        obj.int("graph_version", view.stamp);
+    }
     let response =
         Response::json(200, obj.finish()).with_header("X-Cache", cache_header(all_hit));
     if !inject_panic {
         record_body(state, &body_key, &response, compute_cost);
     }
-    response
+    finish_live(response, &live)
 }
 
 fn coreness(
@@ -600,6 +775,41 @@ fn coreness(
         return error_response(400, &format!("node {node:?} is not a valid node id"));
     };
     let label = key.label();
+    let live = match live_view(state, &params, &label) {
+        Ok(live) => live,
+        Err(response) => return response,
+    };
+    // Live labels skip the cache and the body snapshot entirely: the
+    // incrementally maintained decomposition is already exact at head
+    // (that is the tentpole invariant), so the answer is a lock + two
+    // array reads — cheaper than any memoization, never stale.
+    if live.is_some() {
+        let graph = match load_graph(state, &key, cancel) {
+            Ok(graph) => graph,
+            Err(response) => return response,
+        };
+        let live_state = state.live.resolve(&label, &graph.csr);
+        let st = live_state.lock().unwrap_or_else(|p| p.into_inner());
+        let cores = st.maintained.cores();
+        let Some(coreness) = cores.coreness(node) else {
+            return error_response(
+                400,
+                &format!("node {node} out of range for {} nodes", cores.len()),
+            );
+        };
+        let core_size = cores.coreness_slice().iter().filter(|&&c| c >= coreness).count();
+        let mut obj = json::Obj::new();
+        obj.str("label", &label)
+            .int("node", u64::from(node))
+            .int("coreness", u64::from(coreness))
+            .int("degeneracy", u64::from(cores.degeneracy()))
+            .int("core_size", core_size as u64)
+            .int("graph_version", st.version);
+        return Response::json(200, obj.finish())
+            .with_header("X-Cache", "live")
+            .with_header("X-Graph-Version", &st.version.to_string())
+            .with_header("X-Staleness", "0");
+    }
     let body_key = format!("body|{label}|coreness|n={node}");
     if let Some(response) = warm_body(state, &body_key) {
         return response;
@@ -658,18 +868,24 @@ fn expansion(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelTo
         Err(response) => return response,
     };
     let label = key.label();
+    let live = match live_view(state, &params, &label) {
+        Ok(live) => live,
+        Err(response) => return response,
+    };
+    let vsuffix = live.as_ref().map(LiveView::suffix).unwrap_or_default();
     // `hops` trims the rendered view, so it is part of the body key
     // even though the cached envelope ignores it. A warm hit can only
     // exist for a root the old process validated, so the range check
     // below is not bypassed — an out-of-range root was never recorded.
-    let body_key = format!("body|{label}|expansion|root={root}|hops={hops}");
+    let body_key = format!("body|{label}|expansion|root={root}|hops={hops}{vsuffix}");
     if let Some(response) = warm_body(state, &body_key) {
-        return response;
+        return finish_live(response, &live);
     }
     let graph = match load_graph(state, &key, cancel) {
         Ok(graph) => graph,
         Err(response) => return response,
     };
+    let graph = live_graph(state, &key, graph, &live);
     if graph.graph.check_node(NodeId(root)).is_err() {
         return error_response(
             400,
@@ -681,7 +897,7 @@ fn expansion(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelTo
     let lookup = {
         let graph = Arc::clone(&graph);
         state.cache.get_or_compute(
-            &format!("expansion|{label}|root={root}"),
+            &format!("expansion|{label}|root={root}{vsuffix}"),
             &state.pool,
             cancel,
             move || {
@@ -718,10 +934,13 @@ fn expansion(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelTo
         .int("hops_shown", shown as u64)
         .raw("level_sizes", &levels.finish())
         .raw("alphas", &alphas.finish());
+    if let Some(view) = &live {
+        obj.int("graph_version", view.stamp);
+    }
     let response =
         Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit));
     record_body(state, &body_key, &response, lookup.entry.cost);
-    response
+    finish_live(response, &live)
 }
 
 fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
@@ -788,21 +1007,27 @@ fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
     }
 
     let label = key.label();
+    let live = match live_view(state, &params, &label) {
+        Ok(live) => live,
+        Err(response) => return response,
+    };
+    let vsuffix = live.as_ref().map(LiveView::suffix).unwrap_or_default();
     let f_text = json::num(f_admit, 6);
     let cov_text = json::num(coverage, 6);
     let param_suffix = format!(
-        "c={controller}|s={sybils}|ae={attack_edges}|m={distributors}|f={f_text}|cov={cov_text}|w={walk}|seed={seed}|aseed={attack_seed}"
+        "c={controller}|s={sybils}|ae={attack_edges}|m={distributors}|f={f_text}|cov={cov_text}|w={walk}|seed={seed}|aseed={attack_seed}{vsuffix}"
     );
     // Warm check before the graph load; a warm hit can only exist for a
     // controller the old process range-checked against the same graph.
     let body_key = format!("body|{label}|admit|{param_suffix}");
     if let Some(response) = warm_body(state, &body_key) {
-        return response;
+        return finish_live(response, &live);
     }
     let graph = match load_graph(state, &key, cancel) {
         Ok(graph) => graph,
         Err(response) => return response,
     };
+    let graph = live_graph(state, &key, graph, &live);
     if controller as usize >= graph.graph.node_count() {
         return error_response(
             400,
@@ -912,8 +1137,11 @@ fn admit(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
         .raw("honest", &honest.finish())
         .raw("sybil", &sybil.finish())
         .raw("attack", &attack.finish());
+    if let Some(view) = &live {
+        obj.int("graph_version", view.stamp);
+    }
     let response =
         Response::json(200, obj.finish()).with_header("X-Cache", cache_header(lookup.hit));
     record_body(state, &body_key, &response, lookup.entry.cost);
-    response
+    finish_live(response, &live)
 }

@@ -133,6 +133,10 @@ pub struct ServerConfig {
     pub tracing: bool,
     /// How many sealed traces the debug ring keeps (`--trace-ring`).
     pub trace_ring: usize,
+    /// How many delta ops a live graph absorbs into its overlay before
+    /// the server folds a fresh CSR and swaps it into the registry
+    /// (`--live-rebuild-threshold`).
+    pub live_rebuild_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -154,6 +158,7 @@ impl Default for ServerConfig {
             shed_highwater: 64,
             tracing: true,
             trace_ring: 512,
+            live_rebuild_threshold: 4096,
         }
     }
 }
@@ -181,6 +186,9 @@ pub struct AppState {
     /// The ring of recently sealed request traces (`/debug/*` reads
     /// it; the drain writes it to `traces.jsonl`).
     pub traces: TraceRing,
+    /// The live-graph subsystem: WAL-acked delta ingestion, version
+    /// stamps, and threshold-driven CSR swaps.
+    pub live: crate::live::LiveManager,
     tracing: AtomicBool,
     requests: AtomicU64,
     route_stats: Mutex<BTreeMap<&'static str, RouteStat>>,
@@ -328,15 +336,27 @@ impl Server {
             "store.hydrated",
             "store.warm_hits",
             "store.quarantined",
+            "live.deltas",
+            "live.ops",
+            "live.rebuilds",
+            "live.stale_served",
+            "wal.appends",
+            "wal.replayed",
         ] {
             m.incr(name, 0);
         }
         let tracing = config.tracing;
         let trace_ring = config.trace_ring;
+        // The live boot replays the delta WAL before the listener
+        // answers anything, so the first query already sees every
+        // acked batch from before the restart.
+        let live =
+            crate::live::LiveManager::boot(config.store_dir.as_deref(), config.live_rebuild_threshold);
         let state = Arc::new(AppState {
             registry: GraphRegistry::new(),
             cache: PropertyCache::new(config.cache_bytes),
             pool: Pool::new(config.threads),
+            live,
             config,
             shutdown: CancelToken::new(),
             traces: TraceRing::new(trace_ring),
@@ -470,6 +490,12 @@ impl Server {
         let drain = self.state.pool.drain(self.state.config.drain_deadline);
         let uptime = self.started.elapsed();
 
+        // Compact the live-delta WAL into its snapshot before the
+        // warm-start flush: both are best-effort — a failed compaction
+        // leaves the WAL intact, so the next boot replays instead.
+        if let Err(e) = self.state.live.compact() {
+            obs::warn("live.compact_failed", &[("error", e.to_string().into())]);
+        }
         // Flush the warm-start snapshot first so its gauges land in the
         // metrics snapshot below. A failed flush degrades to no
         // snapshot — the next boot is cold — never a failed drain.

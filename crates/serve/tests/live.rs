@@ -1,0 +1,346 @@
+//! Live-graph integration tests: real servers mutating real graphs
+//! over HTTP, with the WAL on a real disk.
+//!
+//! The durability story is end-to-end: a delta batch that was acked
+//! (the server answered 200 after the WAL fsync) must survive any
+//! stop — graceful or not — and be visible, byte-identically, after a
+//! restart over the same store directory. An unclean stop is simulated
+//! by *leaking* the first server (its thread keeps running, but no
+//! drain and therefore no compaction ever happens), which leaves the
+//! store exactly as `kill -9` between the fsync and the compaction
+//! would: a WAL full of acked frames and no live snapshot. Damage to
+//! the WAL tail must trim to the acked prefix; deeper damage must
+//! quarantine the whole file — either way the server boots, never
+//! panics.
+//!
+//! Tests serialize on a process-wide lock for the same reason
+//! `tests/server.rs` does: the SIGTERM flag is a process-wide atomic.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use socnet_serve::{AppState, ServeSummary, Server, ServerConfig};
+use socnet_store::StoreDir;
+
+/// Serializes the tests (see module docs).
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    #[allow(dead_code)]
+    state: Arc<AppState>,
+    shutdown: socnet_runner::CancelToken,
+    thread: std::thread::JoinHandle<std::io::Result<ServeSummary>>,
+    out_dir: PathBuf,
+}
+
+impl TestServer {
+    /// Boots a server wired to `store_dir` with a small rebuild
+    /// threshold so tests can cross it with a handful of ops.
+    fn boot(tag: &str, store_dir: &Path) -> TestServer {
+        let out_dir =
+            std::env::temp_dir().join(format!("socnet-live-it-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&out_dir).ok();
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            cache_bytes: 16 * 1024 * 1024,
+            default_scale: 0.05,
+            default_seed: 42,
+            out_dir: out_dir.clone(),
+            store_dir: Some(store_dir.to_path_buf()),
+            live_rebuild_threshold: 8,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(config).expect("bind loopback");
+        let addr = server.local_addr();
+        let state = server.state();
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.serve());
+        TestServer { addr, state, shutdown, thread, out_dir }
+    }
+
+    fn stop(self) -> (ServeSummary, PathBuf) {
+        self.shutdown.cancel();
+        let summary = self.thread.join().expect("server thread").expect("drain");
+        (summary, self.out_dir)
+    }
+
+    /// The unclean stop: no drain, no compaction, no WAL reset. The
+    /// server thread leaks (it idles until the test process exits) —
+    /// from the store directory's point of view this is exactly a
+    /// `kill -9` after the last acked fsync.
+    fn abandon(self) {
+        std::mem::forget(self);
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+    read_response(stream)
+}
+
+/// A POST whose body is the delta payload (`Content-Length` framed).
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    read_response(stream)
+}
+
+fn read_response(mut stream: TcpStream) -> (u16, String, String) {
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {raw:?}"));
+    let (head, body) = match raw.find("\r\n\r\n") {
+        Some(i) => (raw[..i].to_string(), raw[i + 4..].to_string()),
+        None => (raw, String::new()),
+    };
+    (status, head, body)
+}
+
+/// A per-test store directory, wiped before use.
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("socnet-live-dir-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    StoreDir::new(dir).wal_path("live")
+}
+
+/// Asserts `fields` appear in `haystack` in order — the schema pin.
+fn assert_field_order(haystack: &str, fields: &[&str]) {
+    let mut at = 0;
+    for field in fields {
+        let needle = format!("\"{field}\":");
+        match haystack[at..].find(&needle) {
+            Some(i) => at += i + needle.len(),
+            None => panic!("field {field:?} missing or out of order after byte {at} in {haystack}"),
+        }
+    }
+}
+
+const DELTA: &str = "/datasets/Rice-grad/delta";
+const CORENESS: &str = "/graphs/Rice-grad/coreness/0";
+const MIXING: &str = "/graphs/Rice-grad/mixing?eps=0.25";
+const LABEL: &str = "Rice-grad@0.05#42";
+
+#[test]
+fn datasets_schema_pins_version_and_staleness_fields() {
+    let _guard = lock();
+    let dir = store_dir("schema");
+    let srv = TestServer::boot("schema", &dir);
+
+    // Frozen server: every row carries version 0 / staleness 0 and the
+    // top-level live array is empty. The field order is the pinned
+    // public schema — extending it is fine, reordering or dropping a
+    // field is a breaking change this test must catch.
+    let (status, _, body) = request(srv.addr, "GET", "/datasets");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.starts_with("{\"datasets\":["), "top-level shape changed: {body}");
+    assert_field_order(
+        &body,
+        &[
+            "name",
+            "paper_nodes",
+            "paper_edges",
+            "paper_slem",
+            "model",
+            "size_class",
+            "resident",
+            "version",
+            "staleness",
+        ],
+    );
+    assert_field_order(&body, &["datasets", "remembered", "live", "resident_bytes"]);
+    assert!(body.contains("\"live\":[]"), "no label is live before any delta: {body}");
+    let row_at = body.find("\"name\":\"Rice-grad\"").expect("Rice-grad row");
+    assert!(
+        body[row_at..].contains("\"version\":0,\"staleness\":0"),
+        "frozen rows report version 0: {body}"
+    );
+
+    // One acked batch flips the row and populates the live array.
+    let (status, _, ack) = post(srv.addr, DELTA, "+ 0 1\n+ 1 2\n");
+    assert_eq!(status, 200, "{ack}");
+    let (status, _, body) = request(srv.addr, "GET", "/datasets");
+    assert_eq!(status, 200, "{body}");
+    let row_at = body.find("\"name\":\"Rice-grad\"").expect("Rice-grad row");
+    assert!(
+        body[row_at..].contains("\"version\":1,\"staleness\":1"),
+        "mutated row reports its head version: {body}"
+    );
+    assert!(body.contains(&format!("\"label\":\"{LABEL}\",\"version\":1,\"csr_version\":0")));
+
+    let (_, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn delta_round_trip_serves_live_strict_and_bounded_stale_queries() {
+    let _guard = lock();
+    let dir = store_dir("roundtrip");
+    let srv = TestServer::boot("roundtrip", &dir);
+
+    let (status, _, ack) = post(srv.addr, DELTA, "+ 0 5\n+ 0 6\n+ 0 7\n");
+    assert_eq!(status, 200, "{ack}");
+    assert!(ack.contains("\"version\":1"), "{ack}");
+    assert!(ack.contains("\"durable\":true"), "acks must be WAL-backed here: {ack}");
+    assert!(ack.contains("\"inserted\":"), "{ack}");
+
+    // Live coreness answers from the maintained decomposition: exact
+    // at head, stamped with the head version, never cached.
+    let (status, head, body) = request(srv.addr, "GET", CORENESS);
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("X-Cache: live"), "{head}");
+    assert!(head.contains("X-Graph-Version: 1"), "{head}");
+    assert!(head.contains("X-Staleness: 0"), "{head}");
+    assert!(body.contains("\"graph_version\":1"), "{body}");
+
+    // A strict expensive query forces the rebuild to head…
+    let (status, head, body) = request(srv.addr, "GET", MIXING);
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("X-Graph-Version: 1"), "{head}");
+    assert!(head.contains("X-Staleness: 0"), "strict queries never serve stale: {head}");
+    assert!(body.contains("\"graph_version\":1"), "{body}");
+
+    // …after which a bounded-stale query may answer from the (now
+    // fresh) CSR even as new deltas land on top of it.
+    let (status, _, ack) = post(srv.addr, DELTA, "+ 1 5\n");
+    assert_eq!(status, 200, "{ack}");
+    let stale_path = format!("{MIXING}&max_stale=10");
+    let (status, head, body) = request(srv.addr, "GET", &stale_path);
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("X-Graph-Version: 1"), "bounded query answers at the old stamp: {head}");
+    assert!(head.contains("X-Staleness: 1"), "{head}");
+    assert!(body.contains("\"graph_version\":1"), "{body}");
+
+    let (_, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn acked_deltas_survive_an_unclean_stop_and_a_graceful_one() {
+    let _guard = lock();
+    let dir = store_dir("crash");
+
+    // Generation A: two acked batches, then the "crash" — no drain, no
+    // compaction; the store holds only the WAL.
+    let srv = TestServer::boot("crash-a", &dir);
+    let (status, _, ack) = post(srv.addr, DELTA, "+ 0 9\n+ 0 10\n");
+    assert_eq!(status, 200, "{ack}");
+    let (status, _, ack) = post(srv.addr, DELTA, "- 0 9\n+ 2 9\n");
+    assert_eq!(status, 200, "{ack}");
+    assert!(ack.contains("\"version\":2"), "{ack}");
+    let (status, _, pre) = request(srv.addr, "GET", CORENESS);
+    assert_eq!(status, 200, "{pre}");
+    srv.abandon();
+    assert!(wal_path(&dir).exists(), "acked frames must be on disk before the crash");
+
+    // Generation B replays the WAL at boot: same head version, and the
+    // live coreness answer is byte-identical to the pre-crash one.
+    let srv = TestServer::boot("crash-b", &dir);
+    let (status, _, body) = request(srv.addr, "GET", "/datasets");
+    assert_eq!(status, 200, "{body}");
+    let row_at = body.find("\"name\":\"Rice-grad\"").expect("row");
+    assert!(body[row_at..].contains("\"version\":2"), "replay must reach the acked head: {body}");
+    let (status, _, post_crash) = request(srv.addr, "GET", CORENESS);
+    assert_eq!(status, 200, "{post_crash}");
+    assert_eq!(post_crash, pre, "zero acked deltas may be lost across the crash");
+
+    // B drains gracefully: the WAL folds into the live snapshot, and a
+    // third generation must see the same state from the snapshot alone.
+    let (_, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+    let srv = TestServer::boot("crash-c", &dir);
+    let (status, _, post_compact) = request(srv.addr, "GET", CORENESS);
+    assert_eq!(status, 200, "{post_compact}");
+    assert_eq!(post_compact, pre, "compaction must preserve the replayed state");
+    let (_, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn torn_wal_tail_keeps_the_acked_prefix_and_never_panics() {
+    let _guard = lock();
+    let dir = store_dir("torn");
+
+    let srv = TestServer::boot("torn-a", &dir);
+    let (status, _, ack) = post(srv.addr, DELTA, "+ 3 11\n");
+    assert_eq!(status, 200, "{ack}");
+    let (status, _, pre) = request(srv.addr, "GET", CORENESS);
+    assert_eq!(status, 200, "{pre}");
+    srv.abandon();
+
+    // A crash mid-append leaves a half-written frame after the acked
+    // one. Boot must trim to the acked prefix, set the tail aside, and
+    // keep serving — never panic, never lose the acked batch.
+    let wal = wal_path(&dir);
+    let mut bytes = std::fs::read(&wal).expect("read wal");
+    bytes.extend_from_slice(b"F deadbeef 999\nhalf a fra");
+    std::fs::write(&wal, &bytes).expect("tear");
+
+    let srv = TestServer::boot("torn-b", &dir);
+    let (status, _, post_torn) = request(srv.addr, "GET", CORENESS);
+    assert_eq!(status, 200, "{post_torn}");
+    assert_eq!(post_torn, pre, "the acked prefix survives the torn tail");
+    let quarantined = wal.with_file_name("live.wal.quarantined");
+    assert!(quarantined.exists(), "the torn tail is preserved for forensics");
+    // The trimmed log keeps accepting appends.
+    let (status, _, ack) = post(srv.addr, DELTA, "+ 4 11\n");
+    assert_eq!(status, 200, "{ack}");
+    assert!(ack.contains("\"version\":2"), "{ack}");
+    let (_, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn garbage_wal_is_quarantined_whole_and_the_server_boots_cold() {
+    let _guard = lock();
+    let dir = store_dir("garbage");
+
+    // Not even a magic line: bit rot or an alien writer. The whole
+    // file is set aside; the server boots frozen (version 0) and a
+    // fresh WAL accepts new batches.
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(wal_path(&dir), b"this is not a wal\n").expect("write garbage");
+
+    let srv = TestServer::boot("garbage", &dir);
+    let (status, _, body) = request(srv.addr, "GET", "/datasets");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"live\":[]"), "nothing replays from garbage: {body}");
+    let quarantined = wal_path(&dir).with_file_name("live.wal.quarantined");
+    assert!(quarantined.exists(), "garbage preserved for forensics");
+
+    let (status, _, ack) = post(srv.addr, DELTA, "+ 0 2\n");
+    assert_eq!(status, 200, "a fresh WAL must accept appends: {ack}");
+    assert!(ack.contains("\"version\":1"), "{ack}");
+    let (_, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+    std::fs::remove_dir_all(dir).ok();
+}

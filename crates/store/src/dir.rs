@@ -12,6 +12,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
 
 use crate::snapshot::{read_snapshot, LoadError, SnapshotMeta, QUARANTINE_SUFFIX};
+use crate::wal::{read_wal, WAL_EXT};
 
 /// File extension of live snapshots.
 pub const SNAPSHOT_EXT: &str = "snap";
@@ -23,7 +24,10 @@ pub enum SnapshotStatus {
     Ok,
     /// Set aside by a previous boot; kept only for post-mortems.
     Quarantined,
-    /// A live snapshot that no longer verifies.
+    /// A WAL whose frame prefix replays but whose tail is damaged —
+    /// the normal aftermath of a crash mid-append, recoverable.
+    Torn(String),
+    /// A live file that no longer verifies.
     Corrupt(String),
 }
 
@@ -90,15 +94,29 @@ impl StoreDir {
         self.root.join(format!("{name}.{SNAPSHOT_EXT}"))
     }
 
+    /// The conventional path of a named WAL: `<root>/<name>.wal`.
+    pub fn wal_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.{WAL_EXT}"))
+    }
+
     fn is_store_file(path: &Path) -> bool {
         let name = path.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
         name.ends_with(&format!(".{SNAPSHOT_EXT}"))
             || name.ends_with(&format!(".{SNAPSHOT_EXT}.{QUARANTINE_SUFFIX}"))
+            || name.ends_with(&format!(".{WAL_EXT}"))
+            || name.ends_with(&format!(".{WAL_EXT}.{QUARANTINE_SUFFIX}"))
     }
 
-    /// Inventories the store: every snapshot and quarantined file, with
-    /// verification status, sorted by file name. A missing directory is
-    /// an empty store, not an error.
+    /// `true` when `path` names a live (non-quarantined) WAL.
+    fn is_live_wal(path: &Path) -> bool {
+        path.file_name()
+            .map(|n| n.to_string_lossy().ends_with(&format!(".{WAL_EXT}")))
+            .unwrap_or(false)
+    }
+
+    /// Inventories the store: every snapshot, WAL, and quarantined
+    /// file, with verification status, sorted by file name. A missing
+    /// directory is an empty store, not an error.
     ///
     /// # Errors
     ///
@@ -122,6 +140,19 @@ impl StoreDir {
                 path.to_string_lossy().ends_with(&format!(".{QUARANTINE_SUFFIX}"));
             let (status, meta, records) = if quarantined {
                 (SnapshotStatus::Quarantined, None, 0)
+            } else if Self::is_live_wal(&path) {
+                // WALs have no manifest; records = replayable frames.
+                match read_wal(&path) {
+                    Ok(replay) => {
+                        let status = match replay.torn {
+                            None => SnapshotStatus::Ok,
+                            Some(reason) => SnapshotStatus::Torn(reason),
+                        };
+                        (status, None, replay.records.len())
+                    }
+                    Err(LoadError::Missing) => continue, // raced a GC
+                    Err(e) => (SnapshotStatus::Corrupt(e.to_string()), None, 0),
+                }
             } else {
                 match read_snapshot(&path) {
                     Ok(snapshot) => {
@@ -137,8 +168,9 @@ impl StoreDir {
         Ok(rows)
     }
 
-    /// Re-reads and re-checksums every live snapshot. Returns the
-    /// inventory plus how many live snapshots failed verification.
+    /// Re-reads and re-checksums every live snapshot and WAL. Returns
+    /// the inventory plus how many live files failed verification
+    /// (torn WAL tails are recoverable and do not count as corrupt).
     ///
     /// # Errors
     ///
@@ -155,14 +187,40 @@ impl StoreDir {
     /// fits `byte_budget`. Files with no readable mtime are treated as
     /// age zero (kept by age, last in eviction order).
     ///
+    /// One hard safety rule overrides every policy knob: a live WAL is
+    /// never pruned unless a same-stem sibling snapshot exists that is
+    /// at least as fresh — until then the WAL holds acked deltas nothing
+    /// else holds, and deleting it is data loss. This can leave the
+    /// store over `byte_budget`; quarantined WALs stay prunable.
+    ///
     /// # Errors
     ///
     /// Any I/O error from listing or deleting files.
     pub fn gc(&self, policy: &GcPolicy) -> io::Result<GcReport> {
         let rows = self.ls()?;
+        // A live WAL is protected until a sibling `<stem>.snap` is at
+        // least as fresh (compaction writes the snapshot after the last
+        // frame it folds in, so "snap no older than wal" means every
+        // frame is safely compacted).
+        let protected = |row: &SnapshotInfo| -> bool {
+            if !Self::is_live_wal(&row.path) {
+                return false;
+            }
+            let name = row.path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+            let stem = name.trim_end_matches(&format!(".{WAL_EXT}")).to_string();
+            let sibling = self.snapshot_path(&stem);
+            let wal_age = row.age.unwrap_or(Duration::ZERO);
+            match rows.iter().find(|r| r.path == sibling) {
+                Some(snap) => snap.age.map_or(true, |snap_age| snap_age > wal_age),
+                None => true,
+            }
+        };
         let mut report = GcReport::default();
         let mut doomed: Vec<&SnapshotInfo> = Vec::new();
         for row in &rows {
+            if protected(row) {
+                continue;
+            }
             let expired = matches!((policy.max_age, row.age), (Some(max), Some(age)) if age > max);
             if (policy.drop_quarantined && row.status == SnapshotStatus::Quarantined) || expired {
                 doomed.push(row);
@@ -179,6 +237,9 @@ impl StoreDir {
             for row in survivors {
                 if total <= budget {
                     break;
+                }
+                if protected(row) {
+                    continue;
                 }
                 total -= row.bytes;
                 doomed.push(row);
@@ -278,6 +339,88 @@ mod tests {
         // Budget 0 clears the store.
         store.gc(&GcPolicy { byte_budget: Some(0), ..GcPolicy::default() }).expect("gc");
         assert!(store.ls().expect("ls").is_empty());
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn ls_reports_wal_files_with_frame_counts_and_torn_tails() {
+        let root = scratch("ls-wal");
+        let store = StoreDir::new(&root);
+        let wal_path = store.wal_path("live");
+        let mut wal = crate::wal::WalWriter::open(&wal_path).expect("open");
+        wal.append(&Record::new("delta", &["k", "1"], b"+ 0 1\n")).expect("append");
+        wal.append(&Record::new("delta", &["k", "2"], b"- 0 1\n")).expect("append");
+        drop(wal);
+        std::fs::write(root.join("dead.wal.quarantined"), b"junk").expect("write");
+
+        let rows = store.ls().expect("ls");
+        assert_eq!(rows.len(), 2);
+        let live = rows.iter().find(|r| r.path == wal_path).expect("wal row");
+        assert_eq!(live.status, SnapshotStatus::Ok);
+        assert_eq!(live.records, 2, "records counts replayable frames");
+        assert!(live.meta.is_none(), "WALs carry no manifest");
+        assert!(rows.iter().any(|r| r.status == SnapshotStatus::Quarantined));
+
+        // Tear the tail: verify must flag it as Torn, not Corrupt.
+        let bytes = std::fs::read(&wal_path).expect("read");
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 2]).expect("tear");
+        let (rows, corrupt) = store.verify().expect("verify");
+        let live = rows.iter().find(|r| r.path == wal_path).expect("wal row");
+        assert!(matches!(live.status, SnapshotStatus::Torn(_)), "{:?}", live.status);
+        assert_eq!(live.records, 1, "the valid prefix still replays");
+        assert_eq!(corrupt, 0, "a torn tail is recoverable, not corrupt");
+
+        // Garbage magic is corrupt.
+        std::fs::write(&wal_path, b"garbage\n").expect("write");
+        let (_, corrupt) = store.verify().expect("verify");
+        assert_eq!(corrupt, 1);
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn gc_never_prunes_a_wal_newer_than_its_compacted_snapshot() {
+        let root = scratch("gc-wal-guard");
+        let store = StoreDir::new(&root);
+        // Snapshot first, then the WAL: the WAL has frames the snapshot
+        // does not hold, so it must survive every aggressive policy.
+        put(&store, "live", 1);
+        std::thread::sleep(Duration::from_millis(20));
+        let wal_path = store.wal_path("live");
+        let mut wal = crate::wal::WalWriter::open(&wal_path).expect("open");
+        wal.append(&Record::new("delta", &["k", "1"], b"+ 0 1\n")).expect("append");
+        drop(wal);
+
+        let aggressive = GcPolicy {
+            max_age: Some(Duration::ZERO),
+            byte_budget: Some(0),
+            drop_quarantined: true,
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        let report = store.gc(&aggressive).expect("gc");
+        assert!(wal_path.exists(), "uncompacted WAL pruned: {:?}", report.removed);
+        assert!(
+            report.removed.iter().all(|p| p != &wal_path),
+            "uncompacted WAL in removal list"
+        );
+
+        // An orphan WAL (no sibling snapshot at all) is protected too.
+        let orphan = store.wal_path("orphan");
+        let mut wal = crate::wal::WalWriter::open(&orphan).expect("open");
+        wal.append(&Record::new("delta", &["k", "1"], b"+ 2 3\n")).expect("append");
+        drop(wal);
+        std::thread::sleep(Duration::from_millis(20));
+        store.gc(&aggressive).expect("gc");
+        assert!(orphan.exists(), "orphan WAL must never be pruned");
+
+        // Compact: rewrite the snapshot after the WAL's last append.
+        // Now the WAL is prunable, and a quarantined WAL always was.
+        put(&store, "live", 2);
+        std::fs::write(root.join("dead.wal.quarantined"), b"junk").expect("write");
+        std::thread::sleep(Duration::from_millis(20));
+        let report = store.gc(&aggressive).expect("gc");
+        assert!(!wal_path.exists(), "compacted WAL should now be prunable");
+        assert!(!root.join("dead.wal.quarantined").exists());
+        assert!(report.removed.len() >= 2);
         std::fs::remove_dir_all(root).ok();
     }
 

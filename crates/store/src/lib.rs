@@ -44,6 +44,7 @@
 mod crc;
 mod dir;
 mod snapshot;
+mod wal;
 
 pub use crc::crc32;
 pub use dir::{GcPolicy, GcReport, SnapshotInfo, SnapshotStatus, StoreDir, SNAPSHOT_EXT};
@@ -51,3 +52,4 @@ pub use snapshot::{
     parse, quarantine, read_snapshot, read_snapshot_expecting, render, write_snapshot, Expected,
     LoadError, Record, Snapshot, SnapshotMeta, MAGIC, QUARANTINE_SUFFIX,
 };
+pub use wal::{quarantine_tail, read_wal, WalReplay, WalWriter, WAL_EXT, WAL_MAGIC};

@@ -143,7 +143,7 @@ impl std::error::Error for LoadError {}
 
 /// Escapes a field for the single-line header: `%`, whitespace, and
 /// control bytes become `%XX` so fields split unambiguously on spaces.
-fn escape_field(s: &str) -> String {
+pub(crate) fn escape_field(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
         if b == b'%' || b <= b' ' || b == 0x7F {
@@ -177,7 +177,7 @@ fn unescape_field(s: &str) -> Result<String, String> {
     String::from_utf8(out).map_err(|_| format!("field {s:?} is not UTF-8"))
 }
 
-fn encode_payload(header: &[String], body: &[u8]) -> Vec<u8> {
+pub(crate) fn encode_payload(header: &[String], body: &[u8]) -> Vec<u8> {
     let line: Vec<String> = header.iter().map(|f| escape_field(f)).collect();
     let mut payload = line.join(" ").into_bytes();
     payload.push(b'\n');
@@ -185,7 +185,7 @@ fn encode_payload(header: &[String], body: &[u8]) -> Vec<u8> {
     payload
 }
 
-fn decode_payload(payload: &[u8]) -> Result<(Vec<String>, Vec<u8>), String> {
+pub(crate) fn decode_payload(payload: &[u8]) -> Result<(Vec<String>, Vec<u8>), String> {
     let split = payload
         .iter()
         .position(|&b| b == b'\n')

@@ -1,0 +1,440 @@
+//! The `socnet-wal-v1` append-only delta log.
+//!
+//! A WAL is a single file:
+//!
+//! ```text
+//! socnet-wal-v1\n
+//! F <crc32-hex> <len>\n        ← one frame per appended record
+//! <len payload bytes>\n
+//! F <crc32-hex> <len>\n
+//! <len payload bytes>\n
+//! ...
+//! ```
+//!
+//! Unlike a snapshot there is no trailing `END` line: the file is
+//! append-only and a crash can legally stop it mid-frame. The reader
+//! therefore treats the longest valid frame prefix as the truth and
+//! reports everything after it as a *torn tail* — recoverable data
+//! loss at the unacked suffix, never a reason to reject the acked
+//! prefix. Only a bad magic line condemns the whole file.
+//!
+//! Durability contract: [`WalWriter::append`] returns only after the
+//! frame bytes are written **and fsynced**. A caller that acks after
+//! `append` returns can promise the record survives a crash, because
+//! boot-time [`read_wal`] replays every synced frame.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::snapshot::{decode_payload, encode_payload, LoadError, Record, QUARANTINE_SUFFIX};
+
+/// The version line every WAL starts with.
+pub const WAL_MAGIC: &str = "socnet-wal-v1";
+
+/// Canonical file extension for WAL files (`<name>.wal`).
+pub const WAL_EXT: &str = "wal";
+
+/// An open WAL handle: appends frames, fsyncs, and resets after
+/// compaction.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    /// Current file length — every byte below this is synced frames.
+    len: u64,
+}
+
+/// Encodes one record as a WAL frame (`F <crc> <len>\n<payload>\n`).
+fn render_frame(record: &Record) -> Vec<u8> {
+    let mut header = Vec::with_capacity(record.fields.len() + 1);
+    header.push(record.kind.clone());
+    header.extend(record.fields.iter().cloned());
+    let payload = encode_payload(&header, &record.body);
+    let mut out =
+        format!("F {:08x} {}\n", crc32(&payload), payload.len()).into_bytes();
+    out.extend_from_slice(&payload);
+    out.push(b'\n');
+    out
+}
+
+impl WalWriter {
+    /// Opens (or creates) the WAL at `path` for appending.
+    ///
+    /// A missing or empty file is initialized with the magic line and
+    /// fsynced before this returns. An existing file is *not* validated
+    /// here — [`read_wal`] at boot owns damage detection; by the time a
+    /// writer opens the log, the caller has already replayed and (if
+    /// needed) truncated it.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from open/write/fsync.
+    pub fn open(path: &Path) -> io::Result<WalWriter> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new().read(true).append(true).create(true).open(path)?;
+        let mut len = file.metadata()?.len();
+        if len == 0 {
+            file.write_all(format!("{WAL_MAGIC}\n").as_bytes())?;
+            file.sync_data()?;
+            len = file.metadata()?.len();
+        }
+        Ok(WalWriter { file, path: path.to_path_buf(), len })
+    }
+
+    /// The path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current file length in bytes (all synced).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Appends one record frame and fsyncs — the durability point.
+    /// Returns the file length after the append; once this returns, the
+    /// record survives any crash.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the write or fsync. On error the in-memory
+    /// length is left at the last known-synced value; the partial frame
+    /// (if any) is a torn tail the next boot will trim.
+    pub fn append(&mut self, record: &Record) -> io::Result<u64> {
+        let frame = render_frame(record);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.len += frame.len() as u64;
+        Ok(self.len)
+    }
+
+    /// Truncates the log back to just the magic line — called after a
+    /// successful compaction has folded every frame into a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the truncate or fsync.
+    pub fn reset(&mut self) -> io::Result<()> {
+        let magic_len = (WAL_MAGIC.len() + 1) as u64;
+        self.file.set_len(magic_len)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.sync_data()?;
+        self.len = magic_len;
+        Ok(())
+    }
+}
+
+/// The result of replaying a WAL: every record in the longest valid
+/// frame prefix, plus what (if anything) was wrong with the tail.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Records from the valid prefix, in append order.
+    pub records: Vec<Record>,
+    /// Byte length of the valid prefix (magic line + whole frames).
+    pub valid_bytes: u64,
+    /// Why parsing stopped before end-of-file, if it did. `None` means
+    /// the file is clean to the last byte.
+    pub torn: Option<String>,
+}
+
+/// Reads a WAL and replays its valid frame prefix.
+///
+/// # Errors
+///
+/// [`LoadError::Missing`] when the path does not exist (a plain cold
+/// boot), [`LoadError::Io`] on read failure, and [`LoadError::Corrupt`]
+/// only when the magic line itself is wrong — the file is not a WAL and
+/// the caller should quarantine it whole. Frame-level damage is *not*
+/// an error: the valid prefix comes back `Ok` with [`WalReplay::torn`]
+/// set, and the caller trims via [`quarantine_tail`].
+pub fn read_wal(path: &Path) -> Result<WalReplay, LoadError> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(LoadError::Missing),
+        Err(e) => return Err(LoadError::Io(e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(LoadError::Io)?;
+
+    let magic_line = format!("{WAL_MAGIC}\n");
+    if !bytes.starts_with(magic_line.as_bytes()) {
+        let found = bytes
+            .split(|&b| b == b'\n')
+            .next()
+            .map(String::from_utf8_lossy)
+            .unwrap_or_default()
+            .into_owned();
+        return Err(LoadError::Corrupt(format!("bad magic {found:?}, expected {WAL_MAGIC:?}")));
+    }
+
+    let mut records = Vec::new();
+    let mut pos = magic_line.len();
+    let mut torn = None;
+    while pos < bytes.len() {
+        match parse_frame(&bytes, pos) {
+            Ok((record, next)) => {
+                records.push(record);
+                pos = next;
+            }
+            Err(reason) => {
+                torn = Some(reason);
+                break;
+            }
+        }
+    }
+    Ok(WalReplay { records, valid_bytes: pos as u64, torn })
+}
+
+/// Parses one frame at `pos`; returns the record and the offset of the
+/// next frame, or a human-readable reason the frame is damaged.
+fn parse_frame(bytes: &[u8], pos: usize) -> Result<(Record, usize), String> {
+    let rest = &bytes[pos..];
+    let line_end = rest
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| "torn frame header: missing line terminator".to_string())?;
+    let line = std::str::from_utf8(&rest[..line_end])
+        .map_err(|_| "frame header is not UTF-8".to_string())?;
+    let mut parts = line.split(' ');
+    match parts.next() {
+        Some("F") => {}
+        other => return Err(format!("expected frame tag F, found {other:?}")),
+    }
+    let crc = parts
+        .next()
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| "frame has no checksum".to_string())?;
+    let len = parts
+        .next()
+        .and_then(|l| l.parse::<usize>().ok())
+        .ok_or_else(|| "frame has no length".to_string())?;
+    let body_start = line_end + 1;
+    let payload = rest
+        .get(body_start..body_start + len)
+        .ok_or_else(|| "torn frame: truncated inside the payload".to_string())?;
+    if rest.get(body_start + len) != Some(&b'\n') {
+        return Err("frame payload not newline-terminated".to_string());
+    }
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(format!("checksum mismatch: stored {crc:08x}, computed {actual:08x}"));
+    }
+    let (mut fields, body) = decode_payload(payload)?;
+    if fields.is_empty() {
+        return Err("frame record has no kind".to_string());
+    }
+    let kind = fields.remove(0);
+    Ok((Record { kind, fields, body }, pos + body_start + len + 1))
+}
+
+/// Trims a torn WAL in place: the damaged suffix is written aside as
+/// `<name>.quarantined` (for forensics, same convention as snapshot
+/// quarantine) and the live file is truncated to `replay.valid_bytes`,
+/// leaving exactly the acked prefix. No-op when the replay was clean.
+///
+/// # Errors
+///
+/// Any I/O error from the side-write or truncate.
+pub fn quarantine_tail(path: &Path, replay: &WalReplay) -> io::Result<Option<PathBuf>> {
+    if replay.torn.is_none() {
+        return Ok(None);
+    }
+    let bytes = std::fs::read(path)?;
+    let cut = (replay.valid_bytes as usize).min(bytes.len());
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let target = path.with_file_name(format!("{}.{QUARANTINE_SUFFIX}", name.to_string_lossy()));
+    std::fs::write(&target, &bytes[cut..])?;
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(cut as u64)?;
+    file.sync_data()?;
+    Ok(Some(target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("socnet-store-wal-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::new("delta", &["Rice-grad@0.05#42", "1"], b"+ 0 9\n- 1 2\n"),
+            Record::new("delta", &["Rice-grad@0.05#42", "2"], b"+ 3 4\n"),
+            // Hostile fields and binary body bytes must round-trip.
+            Record::new("delta", &["weird % label\nwith newline", "3"], &[0, 1, 255, b'\n']),
+        ]
+    }
+
+    #[test]
+    fn append_reopen_replay_loses_nothing() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("live.wal");
+        let records = sample_records();
+        {
+            let mut wal = WalWriter::open(&path).expect("open");
+            for r in &records[..2] {
+                wal.append(r).expect("append");
+            }
+        }
+        // Reopen (a "restart") and keep appending: the log accumulates.
+        {
+            let mut wal = WalWriter::open(&path).expect("reopen");
+            wal.append(&records[2]).expect("append after reopen");
+        }
+        let replay = read_wal(&path).expect("replay");
+        assert_eq!(replay.records, records);
+        assert!(replay.torn.is_none());
+        assert_eq!(replay.valid_bytes, std::fs::metadata(&path).expect("stat").len());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reset_truncates_to_magic_and_stays_appendable() {
+        let dir = scratch("reset");
+        let path = dir.join("live.wal");
+        let mut wal = WalWriter::open(&path).expect("open");
+        for r in &sample_records() {
+            wal.append(r).expect("append");
+        }
+        wal.reset().expect("reset");
+        assert_eq!(wal.len_bytes(), (WAL_MAGIC.len() + 1) as u64);
+        let replay = read_wal(&path).expect("replay empty");
+        assert!(replay.records.is_empty());
+        assert!(replay.torn.is_none());
+        // Appends after a reset land cleanly at the new tail.
+        let extra = Record::new("delta", &["x", "9"], b"+ 1 2\n");
+        wal.append(&extra).expect("append after reset");
+        let replay = read_wal(&path).expect("replay");
+        assert_eq!(replay.records, vec![extra]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_keeps_the_longest_valid_prefix() {
+        let dir = scratch("truncate");
+        let path = dir.join("live.wal");
+        let records = sample_records();
+        let mut wal = WalWriter::open(&path).expect("open");
+        let mut boundaries = vec![(WAL_MAGIC.len() + 1) as u64];
+        for r in &records {
+            boundaries.push(wal.append(r).expect("append"));
+        }
+        let full = std::fs::read(&path).expect("read");
+        for keep in (WAL_MAGIC.len() + 1)..full.len() {
+            std::fs::write(&path, &full[..keep]).expect("truncate");
+            let replay = read_wal(&path).expect("torn tails never error");
+            // The replay holds exactly the frames wholly below the cut.
+            let expect = boundaries.iter().filter(|&&b| b <= keep as u64).count() - 1;
+            assert_eq!(replay.records.len(), expect, "cut at {keep}");
+            assert_eq!(replay.records, records[..expect], "cut at {keep}");
+            assert_eq!(replay.valid_bytes, boundaries[expect], "cut at {keep}");
+            assert_eq!(replay.torn.is_some(), keep as u64 != boundaries[expect]);
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_never_forge_records() {
+        let dir = scratch("bitflip");
+        let path = dir.join("live.wal");
+        let records = sample_records();
+        let mut wal = WalWriter::open(&path).expect("open");
+        for r in &records {
+            wal.append(r).expect("append");
+        }
+        let full = std::fs::read(&path).expect("read");
+        for byte in 0..full.len() {
+            let mut bent = full.clone();
+            bent[byte] ^= 0x10;
+            std::fs::write(&path, &bent).expect("write");
+            match read_wal(&path) {
+                // Magic-line damage condemns the whole file.
+                Err(LoadError::Corrupt(_)) => assert!(byte < WAL_MAGIC.len() + 1),
+                Err(other) => panic!("flip at {byte} gave {other:?}"),
+                Ok(replay) => {
+                    // Whatever replays must be a prefix of the truth:
+                    // a flipped frame never yields a different record.
+                    assert!(replay.records.len() <= records.len());
+                    for (i, r) in replay.records.iter().enumerate() {
+                        assert_eq!(r, &records[i], "flip at {byte} forged record {i}");
+                    }
+                }
+            }
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn quarantine_tail_preserves_the_damage_and_trims_the_live_file() {
+        let dir = scratch("tail");
+        let path = dir.join("live.wal");
+        let records = sample_records();
+        let mut wal = WalWriter::open(&path).expect("open");
+        let mut keep_len = 0;
+        for (i, r) in records.iter().enumerate() {
+            let len = wal.append(r).expect("append");
+            if i == 1 {
+                keep_len = len;
+            }
+        }
+        drop(wal);
+        // Corrupt the last frame's payload.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("write");
+
+        let replay = read_wal(&path).expect("torn replay");
+        assert_eq!(replay.records, records[..2]);
+        assert!(replay.torn.is_some());
+        let aside = quarantine_tail(&path, &replay).expect("trim").expect("tail written");
+        assert!(aside.to_string_lossy().ends_with("live.wal.quarantined"));
+        assert_eq!(std::fs::metadata(&path).expect("stat").len(), keep_len);
+        assert_eq!(std::fs::read(&aside).expect("aside"), &bytes[keep_len as usize..]);
+
+        // After the trim the log replays clean and accepts appends.
+        let replay = read_wal(&path).expect("clean replay");
+        assert!(replay.torn.is_none());
+        assert_eq!(replay.records, records[..2]);
+        let mut wal = WalWriter::open(&path).expect("reopen");
+        wal.append(&records[2]).expect("append");
+        assert_eq!(read_wal(&path).expect("final").records, records);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn clean_replay_needs_no_tail_quarantine() {
+        let dir = scratch("clean");
+        let path = dir.join("live.wal");
+        let mut wal = WalWriter::open(&path).expect("open");
+        wal.append(&Record::new("delta", &["a", "1"], b"+ 0 1\n")).expect("append");
+        let replay = read_wal(&path).expect("replay");
+        assert!(quarantine_tail(&path, &replay).expect("noop").is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn alien_file_is_corrupt_and_missing_is_missing() {
+        let dir = scratch("alien");
+        let path = dir.join("live.wal");
+        assert!(matches!(read_wal(&path), Err(LoadError::Missing)));
+        std::fs::write(&path, b"socnet-store-v1\nnot a wal\n").expect("write");
+        assert!(matches!(read_wal(&path), Err(LoadError::Corrupt(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

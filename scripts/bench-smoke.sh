@@ -166,8 +166,43 @@ else
     fi
 fi
 
+# The live-graph serveload scenario: WAL-acked delta batches with
+# interleaved bounded-stale queries, threshold-triggered CSR rebuilds,
+# and a drain/restart replay proof. The run itself asserts the replay
+# is byte-identical; here we pin the BENCH_serve.json extras the
+# dashboards consume.
+echo "== serveload live (delta ingestion + replay) =="
+out="$OUT_DIR/serveload-live"
+mkdir -p "$out"
+if ! SOCNET_BENCH_DIR="$out" "$BIN_DIR/serveload" \
+    --mode live --batches 12 --batch-ops 16 \
+    --scale "$SCALE" --threads "$THREADS" \
+    --no-resume --out "$out" \
+    --log-format json --log-file "$out/events.jsonl" \
+    >"$out/stdout.txt" 2>"$out/stderr.txt"; then
+    echo "FAIL  serveload live: non-zero exit" >&2
+    tail -20 "$out/stderr.txt" >&2 || true
+    failures=$((failures + 1))
+else
+    bench="$out/BENCH_serve.json"
+    if [ ! -f "$bench" ] || ! validate_json "$bench"; then
+        echo "FAIL  serveload live: missing or invalid $bench" >&2
+        failures=$((failures + 1))
+    else
+        for key in '"mode":"live"' '"delta_ack_p99_ms":' \
+            '"rebuild_ms":' '"stale_served":' \
+            '"replay_identical":true'; do
+            if ! grep -q "$key" "$bench"; then
+                echo "FAIL  serveload live: $bench lacks $key" >&2
+                failures=$((failures + 1))
+            fi
+        done
+        echo "ok    serveload live replayed every acked delta with the expected schema"
+    fi
+fi
+
 if [ "$failures" -ne 0 ]; then
     echo "bench smoke failed: $failures binar$([ "$failures" -eq 1 ] && echo y || echo ies) misbehaved" >&2
     exit 1
 fi
-echo "bench smoke passed (${#BINARIES[@]} binaries + open-loop serveload)"
+echo "bench smoke passed (${#BINARIES[@]} binaries + open-loop and live serveload)"

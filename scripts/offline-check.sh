@@ -43,11 +43,13 @@ compile_stub() { # name src crate-type
         "${EXTERN_ARGS[@]}" -L "$OUT" --out-dir "$OUT"
 }
 
-compile_lib() { # name src
+compile_lib() { # name src [extra rustc flags]
     note "lib   $1"
-    rustc "${EDITION[@]}" --crate-type rlib --crate-name "$1" "$2" \
+    local name=$1 src=$2
+    shift 2
+    rustc "${EDITION[@]}" --crate-type rlib --crate-name "$name" "$src" "$@" \
         "${EXTERN_ARGS[@]}" -L "$OUT" --out-dir "$OUT"
-    add_extern "$1" "$OUT/lib$1.rlib"
+    add_extern "$name" "$OUT/lib$name.rlib"
 }
 
 compile_bin() { # name src
@@ -56,11 +58,13 @@ compile_bin() { # name src
         "${EXTERN_ARGS[@]}" -L "$OUT" -o "$OUT/bin/$1"
 }
 
-run_tests() { # name src
+run_tests() { # name src [extra rustc flags]
     note "test  $1"
-    rustc "${EDITION[@]}" --test --crate-name "${1}_tests" "$2" \
-        "${EXTERN_ARGS[@]}" -L "$OUT" -o "$OUT/bin/${1}_tests"
-    "$OUT/bin/${1}_tests" --quiet
+    local name=$1 src=$2
+    shift 2
+    rustc "${EDITION[@]}" --test --crate-name "${name}_tests" "$src" "$@" \
+        "${EXTERN_ARGS[@]}" -L "$OUT" -o "$OUT/bin/${name}_tests"
+    "$OUT/bin/${name}_tests" --quiet
 }
 
 run_doctests() { # name src
@@ -85,6 +89,9 @@ CRATES=(
     "socnet_core crates/core/src/lib.rs"
     "socnet_gen crates/gen/src/lib.rs"
     "socnet_kcore crates/kcore/src/lib.rs"
+    # Optimized: the incremental-coreness hot loops are unusable at -O0
+    # under the randomized equivalence suite; assertions stay on.
+    "socnet_live crates/live/src/lib.rs -O -C debug-assertions=on"
     "socnet_community crates/community/src/lib.rs"
     "socnet_expansion crates/expansion/src/lib.rs"
     "socnet_mixing crates/mixing/src/lib.rs"
@@ -123,6 +130,8 @@ run_tests it_serve_server crates/serve/tests/server.rs
 run_tests it_serve_overload crates/serve/tests/overload.rs
 run_tests it_serve_store crates/serve/tests/store.rs
 run_tests it_serve_trace crates/serve/tests/trace.rs
+run_tests it_serve_live crates/serve/tests/live.rs
+run_tests it_live_equivalence crates/live/tests/equivalence.rs -O -C debug-assertions=on
 run_tests it_bench_fault_tolerance crates/bench/tests/fault_tolerance.rs
 run_tests it_bench_determinism crates/bench/tests/determinism.rs
 run_tests it_bench_observability crates/bench/tests/observability.rs

@@ -12,6 +12,11 @@
 # `X-Cache: warm-disk` header, and a body byte-identical to the one the
 # pre-restart process answered.
 #
+# A final section exercises the live-graph path: POST /delta batches
+# are acked durable, the server is killed with SIGKILL (no drain, no
+# compaction), and a restart over the same store must replay the WAL to
+# the exact acked version with byte-identical live coreness answers.
+#
 # Environment knobs:
 #   BIN_DIR  directory holding the built socnet CLI
 #            (default target/release; offline builds name the binary
@@ -280,6 +285,138 @@ if [ "$server_exit" -ne 0 ]; then
     failures=$((failures + 1))
 else
     echo "ok    restarted SIGTERM -> clean exit 0"
+fi
+
+echo "== live deltas: ack, kill -9, replay =="
+# An edge-delta batch is acked only after its WAL frame is fsynced, so
+# killing the server with SIGKILL right after the ack — no drain, no
+# compaction — must lose nothing: a restart over the same store replays
+# the WAL to the exact acked version and answers live queries with
+# byte-identical bodies.
+mkdir -p "$OUT_DIR/live"
+"$CLI" serve --addr 127.0.0.1:0 --threads 2 --scale "$SCALE" \
+    --out "$OUT_DIR/live" --store-dir "$OUT_DIR/store-live" \
+    --live-rebuild-threshold 8 \
+    --log-format json --log-file "$OUT_DIR/live/events.jsonl" \
+    >"$OUT_DIR/live/stdout.txt" 2>"$OUT_DIR/live/stderr.txt" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL live server exited before accepting" >&2
+        cat "$OUT_DIR/live/stderr.txt" >&2 || true
+        exit 1
+    fi
+    if [ -f "$OUT_DIR/live/events.jsonl" ]; then
+        ADDR=$(sed -n 's/.*serve\.start.*"addr":"\([0-9.:]*\)".*/\1/p' \
+            "$OUT_DIR/live/events.jsonl" | head -1)
+        [ -n "$ADDR" ] && break
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL live server did not announce its address within 10s" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+fi
+echo "live server up at $ADDR (pid $SERVER_PID)"
+
+delta() { # body outfile -> status
+    curl -s -X POST --data-binary "$1" -o "$OUT_DIR/live/$2" \
+        -w '%{http_code}' --max-time 60 \
+        "http://$ADDR/datasets/Rice-grad/delta"
+}
+check "POST delta batch 1" 200 "$(delta $'+ 0 1\n+ 1 2\n' delta1.json)"
+check "POST delta batch 2" 200 "$(delta $'- 0 1\n+ 2 5\n' delta2.json)"
+if grep -q '"version":2' "$OUT_DIR/live/delta2.json" &&
+    grep -q '"durable":true' "$OUT_DIR/live/delta2.json"; then
+    echo "ok    second delta batch acked durable at version 2"
+else
+    echo "FAIL  second delta ack lacks version 2 / durable:true:" >&2
+    cat "$OUT_DIR/live/delta2.json" >&2 || true
+    failures=$((failures + 1))
+fi
+live_status=$(curl -s -o "$OUT_DIR/live/coreness-live.json" \
+    -D "$OUT_DIR/live/coreness-live-headers.txt" -w '%{http_code}' \
+    --max-time 60 "http://$ADDR/graphs/Rice-grad/coreness/0")
+check "GET coreness (live)" 200 "$live_status"
+if grep -qi '^X-Graph-Version: 2' "$OUT_DIR/live/coreness-live-headers.txt"; then
+    echo "ok    live coreness answered at graph version 2"
+else
+    echo "FAIL  live coreness did not answer at graph version 2:" >&2
+    cat "$OUT_DIR/live/coreness-live-headers.txt" >&2 || true
+    failures=$((failures + 1))
+fi
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+echo "ok    SIGKILL delivered (no drain, no compaction)"
+if [ -f "$OUT_DIR/store-live/live.wal" ]; then
+    echo "ok    acked delta WAL survived the kill"
+else
+    echo "FAIL  no delta WAL at $OUT_DIR/store-live/live.wal" >&2
+    failures=$((failures + 1))
+fi
+
+mkdir -p "$OUT_DIR/live-restart"
+"$CLI" serve --addr 127.0.0.1:0 --threads 2 --scale "$SCALE" \
+    --out "$OUT_DIR/live-restart" --store-dir "$OUT_DIR/store-live" \
+    --live-rebuild-threshold 8 \
+    --log-format json --log-file "$OUT_DIR/live-restart/events.jsonl" \
+    >"$OUT_DIR/live-restart/stdout.txt" 2>"$OUT_DIR/live-restart/stderr.txt" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL replayed server exited before accepting" >&2
+        cat "$OUT_DIR/live-restart/stderr.txt" >&2 || true
+        exit 1
+    fi
+    if [ -f "$OUT_DIR/live-restart/events.jsonl" ]; then
+        ADDR=$(sed -n 's/.*serve\.start.*"addr":"\([0-9.:]*\)".*/\1/p' \
+            "$OUT_DIR/live-restart/events.jsonl" | head -1)
+        [ -n "$ADDR" ] && break
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL replayed server did not announce its address within 10s" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+fi
+echo "replayed server up at $ADDR (pid $SERVER_PID)"
+
+replay_status=$(curl -s -o "$OUT_DIR/live-restart/datasets.json" \
+    -w '%{http_code}' --max-time 60 "http://$ADDR/datasets")
+check "GET /datasets (replayed)" 200 "$replay_status"
+if grep -q '"version":2' "$OUT_DIR/live-restart/datasets.json"; then
+    echo "ok    WAL replay restored graph version 2"
+else
+    echo "FAIL  /datasets does not show the acked version after replay:" >&2
+    cat "$OUT_DIR/live-restart/datasets.json" >&2 || true
+    failures=$((failures + 1))
+fi
+replay_core=$(curl -s -o "$OUT_DIR/live-restart/coreness-live.json" \
+    -w '%{http_code}' --max-time 60 \
+    "http://$ADDR/graphs/Rice-grad/coreness/0")
+check "GET coreness (replayed)" 200 "$replay_core"
+if cmp -s "$OUT_DIR/live/coreness-live.json" \
+    "$OUT_DIR/live-restart/coreness-live.json"; then
+    echo "ok    replayed coreness is byte-identical to the pre-kill body"
+else
+    echo "FAIL  replayed coreness differs from the pre-kill body" >&2
+    failures=$((failures + 1))
+fi
+
+kill -TERM "$SERVER_PID"
+server_exit=0
+wait "$SERVER_PID" || server_exit=$?
+if [ "$server_exit" -ne 0 ]; then
+    echo "FAIL  replayed server exited $server_exit after SIGTERM" >&2
+    cat "$OUT_DIR/live-restart/stderr.txt" >&2 || true
+    failures=$((failures + 1))
+else
+    echo "ok    replayed SIGTERM -> clean exit 0"
 fi
 
 if [ "$failures" -ne 0 ]; then
