@@ -645,6 +645,7 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
         "--tracing",
         "--trace-ring",
         "--live-rebuild-threshold",
+        "--live-node-headroom",
     ])?;
     let mut config = socnet_serve::ServerConfig::default();
     if let Some(addr) = map.get("--addr") {
@@ -705,6 +706,10 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
     if config.live_rebuild_threshold == 0 {
         return Err(invalid("--live-rebuild-threshold", "must be at least 1"));
     }
+    // How many nodes past the current count one delta batch may grow a
+    // live graph; ids beyond the cap are rejected before the ack.
+    config.live_node_headroom =
+        map.get_parsed("--live-node-headroom", config.live_node_headroom)?;
     // Persistence defaults on: snapshots live next to the run
     // artifacts so `--out` moves both. `--store off` opts out;
     // `--store-dir` relocates the snapshots independently.

@@ -143,8 +143,10 @@ impl LiveGraph {
     /// Applies a batch of ops in order. Inserts of present edges,
     /// deletes of absent edges, and self-loops are counted as ignored —
     /// so any acked batch re-applies cleanly during WAL replay. Node
-    /// ids past the current range grow the graph (new nodes arrive
-    /// isolated).
+    /// ids past the current range grow the graph only when the op
+    /// actually applies (an insert of a new edge); an ignored op never
+    /// grows it, so a no-op naming a huge id cannot balloon the node
+    /// count (and every O(n) structure sized from it).
     pub fn apply(&mut self, ops: &[DeltaOp]) -> ApplyStats {
         let mut stats = ApplyStats::default();
         for op in ops {
@@ -153,7 +155,6 @@ impl LiveGraph {
                 stats.ignored += 1;
                 continue;
             }
-            self.n = self.n.max(u.max(v) as usize + 1);
             let key = norm(u, v);
             match op {
                 DeltaOp::Insert(..) => {
@@ -163,6 +164,7 @@ impl LiveGraph {
                         // Un-deleting a base edge: back to base state.
                         stats.inserted += 1;
                     } else {
+                        self.n = self.n.max(key.1 as usize + 1);
                         self.added.insert(key);
                         self.added_adj.entry(key.0).or_default().insert(key.1);
                         self.added_adj.entry(key.1).or_default().insert(key.0);
@@ -273,6 +275,21 @@ mod tests {
         let mut isolated = Vec::new();
         live.for_neighbors(4, &mut |u| isolated.push(u));
         assert!(isolated.is_empty());
+    }
+
+    #[test]
+    fn ignored_ops_never_grow_the_node_count() {
+        let mut live = LiveGraph::new(base());
+        let stats = live.apply(&[
+            DeltaOp::Delete(0, u32::MAX),        // absent edge → ignored
+            DeltaOp::Delete(4_000_000, 9),       // absent edge → ignored
+            DeltaOp::Insert(u32::MAX, u32::MAX), // self-loop → ignored
+        ]);
+        assert_eq!(stats, ApplyStats { ignored: 3, ..ApplyStats::default() });
+        assert_eq!(live.node_count(), 4, "no-ops must not balloon n");
+        // An insert that applies still grows the graph.
+        live.apply(&[DeltaOp::Insert(0, 7)]);
+        assert_eq!(live.node_count(), 8);
     }
 
     #[test]

@@ -41,11 +41,16 @@ impl Truth {
             if u == v {
                 continue;
             }
-            self.n = self.n.max(u.max(v) as usize + 1);
             let key = (u.min(v), u.max(v));
             match op {
                 DeltaOp::Insert(..) => {
-                    self.edges.insert(key);
+                    // Node growth mirrors the overlay contract: only an
+                    // op that actually applies may grow the graph — a
+                    // blind delete or duplicate insert naming an unseen
+                    // id must not.
+                    if self.edges.insert(key) {
+                        self.n = self.n.max(key.1 as usize + 1);
+                    }
                 }
                 DeltaOp::Delete(..) => {
                     self.edges.remove(&key);

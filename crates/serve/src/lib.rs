@@ -78,7 +78,7 @@ pub mod trace;
 pub use cache::{
     CacheError, CacheStats, CacheValue, CachedEntry, Lookup, PropertyCache, StoredBody,
 };
-pub use live::{CompactReport, IngestOutcome, LiveInfo, LiveManager, LiveState};
+pub use live::{CompactReport, IngestError, IngestOutcome, LiveInfo, LiveManager, LiveState};
 pub use persist::{FlushReport, HydrateReport};
 pub use registry::{
     GraphKey, GraphMeta, GraphRegistry, LoadedGraph, RegistryError, ResidentInfo, SHARD_COUNT,

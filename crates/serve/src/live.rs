@@ -32,6 +32,7 @@
 //! state.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -56,6 +57,7 @@ pub const LIVE_WAL_NAME: &str = "live";
 
 /// One label's mutable graph: the overlay with maintained coreness,
 /// plus the version stamps the staleness contract is built on.
+#[derive(Debug)]
 pub struct LiveState {
     /// Overlay over the generated base + incrementally exact coreness.
     /// The base CSR stays the *generated* one for the process lifetime
@@ -114,6 +116,41 @@ pub struct IngestOutcome {
     /// Whether `ops_since_swap` crossed the rebuild threshold — the
     /// caller should follow with [`LiveManager::rebuild_and_swap`].
     pub needs_rebuild: bool,
+}
+
+/// Why [`LiveManager::ingest`] refused a batch (nothing was applied,
+/// nothing was logged).
+#[derive(Debug)]
+pub enum IngestError {
+    /// An op names a node id past the growth cap (current node count
+    /// plus the configured headroom). Caller error — answer 4xx: a
+    /// 16-byte op naming id `u32::MAX` must not be able to commit the
+    /// server to ~4G-node allocations.
+    NodeCap {
+        /// The offending node id.
+        id: u32,
+        /// The largest id this batch may name.
+        max_id: u64,
+    },
+    /// The WAL append failed — server error, answer 5xx.
+    Io(io::Error),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::NodeCap { id, max_id } => {
+                write!(f, "node id {id} exceeds the growth cap (max id {max_id})")
+            }
+            IngestError::Io(e) => write!(f, "wal append failed: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> IngestError {
+        IngestError::Io(e)
+    }
 }
 
 /// Per-label version row for `/datasets`.
@@ -181,11 +218,13 @@ fn set_aside(path: &Path, what: &'static str, reason: &str) {
 /// Owns every live graph the server mutates: the label → state map,
 /// the shared WAL writer, and the boot/compact lifecycle.
 ///
-/// Lock order (never reversed): `tables` → a label's `LiveState` →
-/// `wal`; the registry shard lock is only taken from under a state
-/// lock (rebuild swap) and never takes any of ours.
+/// Lock order (never reversed): `tables` → `LiveState`s (ingest takes
+/// one; compact takes all, in label order) → `wal`; the registry shard
+/// lock is only taken from under a state lock (rebuild swap) and never
+/// takes any of ours.
 pub struct LiveManager {
     rebuild_threshold: usize,
+    node_headroom: u64,
     store_dir: Option<PathBuf>,
     wal: Mutex<Option<WalWriter>>,
     tables: Mutex<Tables>,
@@ -198,7 +237,16 @@ impl LiveManager {
     /// the WAL for appending. Never fails — a damaged store degrades
     /// to a cold start with the damage set aside, and `None` disables
     /// durability (deltas are volatile, everything else works).
-    pub fn boot(store_dir: Option<&Path>, rebuild_threshold: usize) -> LiveManager {
+    ///
+    /// `node_headroom` bounds per-batch node growth: a batch may name
+    /// ids up to the label's current node count plus this headroom, and
+    /// anything past that is rejected before the ack (see
+    /// [`IngestError::NodeCap`]).
+    pub fn boot(
+        store_dir: Option<&Path>,
+        rebuild_threshold: usize,
+        node_headroom: usize,
+    ) -> LiveManager {
         let mut tables = Tables::default();
         let mut writer = None;
         if let Some(dir) = store_dir {
@@ -211,7 +259,24 @@ impl LiveManager {
                     // A fresh (or fully reset/quarantined) log needs its
                     // registry-fingerprint frame before any delta frame.
                     let bare = w.len_bytes() == (WAL_MAGIC.len() + 1) as u64;
-                    if !bare || w.append(&meta_frame()).is_ok() {
+                    if bare {
+                        match w.append(&meta_frame()) {
+                            Ok(_) => writer = Some(w),
+                            // Durability is off from here: make that
+                            // loudly observable instead of silently
+                            // serving volatile deltas.
+                            Err(e) => {
+                                Metrics::global().incr("live.wal_disabled", 1);
+                                obs::warn(
+                                    "live.wal_meta_append_failed",
+                                    &[
+                                        ("path", wal_path.display().to_string().into()),
+                                        ("error", e.to_string().into()),
+                                    ],
+                                );
+                            }
+                        }
+                    } else {
                         writer = Some(w);
                     }
                 }
@@ -226,6 +291,7 @@ impl LiveManager {
         }
         LiveManager {
             rebuild_threshold: rebuild_threshold.max(1),
+            node_headroom: node_headroom as u64,
             store_dir: store_dir.map(Path::to_path_buf),
             wal: Mutex::new(writer),
             tables: Mutex::new(tables),
@@ -287,22 +353,40 @@ impl LiveManager {
         arc
     }
 
-    /// Applies one delta batch to `label`: WAL-append + fsync *first*
-    /// (the ack point — an I/O error here mutates nothing and the
-    /// caller answers 500), then the overlay + coreness update.
+    /// Applies one delta batch to `label`: node-id validation, then
+    /// WAL-append + fsync (the ack point — an error before it mutates
+    /// nothing), then the overlay + coreness update.
     ///
     /// # Errors
     ///
-    /// The WAL append's I/O error, before any in-memory mutation.
+    /// [`IngestError::NodeCap`] when an op names a node id past the
+    /// current node count plus the configured headroom (caller error,
+    /// nothing logged); [`IngestError::Io`] for the WAL append's I/O
+    /// error. Either way no in-memory mutation has happened.
     pub fn ingest(
         &self,
         label: &str,
         base: &Csr,
         ops: &[DeltaOp],
-    ) -> io::Result<(Arc<Mutex<LiveState>>, IngestOutcome)> {
+    ) -> Result<(Arc<Mutex<LiveState>>, IngestOutcome), IngestError> {
         let started = Instant::now();
         let arc = self.resolve(label, base);
         let mut st = plock(&arc);
+        // Growth cap, checked before the frame is durable: every O(n)
+        // structure downstream (coreness, scratch marks, CSR offsets)
+        // is sized by the max id ever acked, so an unchecked id is a
+        // one-op commitment to allocate for it — at apply time *and* at
+        // every replay of the WAL it landed in.
+        let max_id =
+            (st.maintained.graph().node_count() as u64 + self.node_headroom).min(u32::MAX as u64);
+        for op in ops {
+            let (u, v) = op.endpoints();
+            let id = u.max(v);
+            if id as u64 > max_id {
+                Metrics::global().incr("live.node_cap_rejected", 1);
+                return Err(IngestError::NodeCap { id, max_id });
+            }
+        }
         let version = st.version + 1;
         let mut wal_bytes = 0;
         {
@@ -423,6 +507,14 @@ impl LiveManager {
     /// two steps leaves WAL frames at versions the snapshot already
     /// covers, which boot-time replay skips.
     ///
+    /// Every label's state lock is held from before its row is read
+    /// until after the WAL reset (lock order: `tables` → states → `wal`,
+    /// as documented on [`LiveManager`]). Releasing them earlier loses
+    /// acked data: a straggler ingest that resolved its `Arc` before we
+    /// took `tables` could ack frame `V+1` after its row was
+    /// snapshotted at `V`, and the reset would erase the only durable
+    /// copy of that acked batch.
+    ///
     /// # Errors
     ///
     /// Any I/O error from the snapshot write or the WAL reset.
@@ -432,9 +524,10 @@ impl LiveManager {
         let mut state_rows: Vec<(String, Arc<Mutex<LiveState>>)> =
             tables.states.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
         state_rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let guards: Vec<(&String, MutexGuard<'_, LiveState>)> =
+            state_rows.iter().map(|(label, arc)| (label, plock(arc))).collect();
         let mut records = Vec::new();
-        for (label, arc) in &state_rows {
-            let st = plock(arc);
+        for (label, st) in &guards {
             let overlay = st.maintained.graph();
             records.push(Record::new(
                 "delta-base",
@@ -474,6 +567,9 @@ impl LiveManager {
                 }
             }
         }
+        // Only now may ingests ack again: the snapshot + reset WAL pair
+        // is consistent.
+        drop(guards);
         obs::info(
             "live.compacted",
             &[
@@ -644,7 +740,7 @@ mod tests {
         let dir = scratch("unclean");
         let label = "T@0.05#42";
         {
-            let live = LiveManager::boot(Some(&dir), 1_000);
+            let live = LiveManager::boot(Some(&dir), 1_000, 64);
             assert!(live.durable());
             live.ingest(label, &base(), &ops("+ 0 4\n+ 4 1\n")).expect("ack 1");
             let (_, out) = live.ingest(label, &base(), &ops("- 2 3\n")).expect("ack 2");
@@ -653,7 +749,7 @@ mod tests {
             // Dropped without compact — the crash case. Only the WAL
             // holds the deltas now.
         }
-        let live = LiveManager::boot(Some(&dir), 1_000);
+        let live = LiveManager::boot(Some(&dir), 1_000, 64);
         assert_eq!(live.version_info(label), Some((2, 0)), "replayed, unmaterialized");
         let arc = live.resolve(label, &base());
         let st = plock(&arc);
@@ -666,11 +762,72 @@ mod tests {
     }
 
     #[test]
+    fn node_ids_past_the_growth_cap_are_rejected_before_the_ack() {
+        let dir = scratch("node-cap");
+        let label = "T@0.05#42";
+        {
+            let live = LiveManager::boot(Some(&dir), 1_000, 8);
+            // Base has 5 nodes, headroom 8: ids through 13 are fine,
+            // anything bigger — u32::MAX included — must bounce whole
+            // without logging or applying any op in the batch.
+            let err = live
+                .ingest(label, &base(), &ops(&format!("+ 0 5\n+ 0 {}\n", u32::MAX)))
+                .expect_err("capped");
+            assert!(matches!(err, IngestError::NodeCap { id: u32::MAX, max_id: 13 }), "{err}");
+            let err = live.ingest(label, &base(), &ops("- 0 14\n")).expect_err("capped");
+            assert!(matches!(err, IngestError::NodeCap { id: 14, .. }), "no-op deletes too");
+            assert_eq!(live.version_info(label), Some((0, 0)), "nothing acked");
+            let (_, out) = live.ingest(label, &base(), &ops("+ 0 13\n")).expect("within cap");
+            assert_eq!(out.version, 1);
+            // The cap tracks the grown graph: 14 nodes + 8 headroom.
+            let err = live.ingest(label, &base(), &ops("+ 0 23\n")).expect_err("capped");
+            assert!(matches!(err, IngestError::NodeCap { id: 23, max_id: 22 }), "{err}");
+        }
+        // Only the in-cap batch is in the WAL: replay reaches version 1.
+        let live = LiveManager::boot(Some(&dir), 1_000, 8);
+        assert_eq!(live.version_info(label), Some((1, 0)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compact_never_loses_a_batch_acked_by_a_straggler_ingest() {
+        let dir = scratch("compact-race");
+        let label = "T@0.05#42";
+        let total = 64u64;
+        {
+            // One writer acks batches while the main thread compacts as
+            // fast as it can — the drain-vs-straggler race. Every acked
+            // version must survive the restart: a compact that snapshots
+            // at V and then resets the WAL after frame V+1 landed would
+            // erase an acked batch.
+            let live = Arc::new(LiveManager::boot(Some(&dir), 1_000_000, 64));
+            let writer = {
+                let live = Arc::clone(&live);
+                std::thread::spawn(move || {
+                    for i in 0..total {
+                        let op = if i % 2 == 0 { "+ 0 4\n" } else { "- 0 4\n" };
+                        live.ingest(label, &base(), &ops(op)).expect("ack");
+                    }
+                })
+            };
+            while !writer.is_finished() {
+                live.compact().expect("compact");
+            }
+            writer.join().expect("writer");
+            // No final compact: whatever the last one missed must still
+            // be in the WAL.
+        }
+        let live = LiveManager::boot(Some(&dir), 1_000_000, 64);
+        assert_eq!(live.version_info(label), Some((total, 0)), "an acked batch was lost");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn compact_folds_the_wal_and_keeps_pending_labels() {
         let dir = scratch("compact");
         let label = "T@0.05#42";
         {
-            let live = LiveManager::boot(Some(&dir), 1_000);
+            let live = LiveManager::boot(Some(&dir), 1_000, 64);
             live.ingest(label, &base(), &ops("+ 0 3\n")).expect("ack");
             let report = live.compact().expect("compact").expect("wrote");
             assert_eq!(report.labels, 1);
@@ -682,12 +839,12 @@ mod tests {
         {
             // Restart, never touch the label, compact again: the
             // pending row must round-trip undiminished.
-            let live = LiveManager::boot(Some(&dir), 1_000);
+            let live = LiveManager::boot(Some(&dir), 1_000, 64);
             assert_eq!(live.version_info(label), Some((1, 0)));
             let report = live.compact().expect("compact").expect("wrote");
             assert_eq!((report.labels, report.wal_frames_kept), (1, 0));
         }
-        let live = LiveManager::boot(Some(&dir), 1_000);
+        let live = LiveManager::boot(Some(&dir), 1_000, 64);
         let arc = live.resolve(label, &base());
         let st = plock(&arc);
         assert_eq!(st.version, 1);
@@ -705,7 +862,7 @@ mod tests {
         let dir = scratch("pending-wal");
         let label = "T@0.05#42";
         {
-            let live = LiveManager::boot(Some(&dir), 1_000);
+            let live = LiveManager::boot(Some(&dir), 1_000, 64);
             live.ingest(label, &base(), &ops("+ 0 3\n")).expect("ack");
             live.ingest(label, &base(), &ops("+ 1 4\n")).expect("ack");
             // No compact: both batches are WAL-only.
@@ -713,11 +870,11 @@ mod tests {
         {
             // Restart; the label stays pending; compact must persist
             // the snapshot row *and* re-append the raw batches.
-            let live = LiveManager::boot(Some(&dir), 1_000);
+            let live = LiveManager::boot(Some(&dir), 1_000, 64);
             let report = live.compact().expect("compact").expect("wrote");
             assert_eq!((report.labels, report.wal_frames_kept), (1, 2));
         }
-        let live = LiveManager::boot(Some(&dir), 1_000);
+        let live = LiveManager::boot(Some(&dir), 1_000, 64);
         assert_eq!(live.version_info(label), Some((2, 0)));
         let arc = live.resolve(label, &base());
         let st = plock(&arc);
@@ -730,7 +887,7 @@ mod tests {
         let dir = scratch("torn");
         let label = "T@0.05#42";
         {
-            let live = LiveManager::boot(Some(&dir), 1_000);
+            let live = LiveManager::boot(Some(&dir), 1_000, 64);
             live.ingest(label, &base(), &ops("+ 0 4\n")).expect("ack");
         }
         let wal_path = StoreDir::new(&dir).wal_path(LIVE_WAL_NAME);
@@ -739,7 +896,7 @@ mod tests {
         let mut f = std::fs::OpenOptions::new().append(true).open(&wal_path).expect("open");
         f.write_all(b"F deadbeef 999\nhalf a fra").expect("tear");
         drop(f);
-        let live = LiveManager::boot(Some(&dir), 1_000);
+        let live = LiveManager::boot(Some(&dir), 1_000, 64);
         assert_eq!(live.version_info(label), Some((1, 0)), "acked prefix survives");
         assert!(
             wal_path.with_file_name("live.wal.quarantined").is_file(),
@@ -760,7 +917,7 @@ mod tests {
             records: vec![Record::new("delta-base", &["X@1#1", "3", "5"], b"+ 0 1\n")],
         };
         write_snapshot(&store.snapshot_path(LIVE_SNAPSHOT_NAME), &snapshot).expect("snap");
-        let live = LiveManager::boot(Some(&dir), 1_000);
+        let live = LiveManager::boot(Some(&dir), 1_000, 64);
         assert_eq!(live.version_info("X@1#1"), None, "mismatched snapshot must not restore");
         assert!(!store.snapshot_path(LIVE_SNAPSHOT_NAME).exists(), "snapshot set aside");
         // The alien log was replaced by a fresh, appendable one.
@@ -771,7 +928,7 @@ mod tests {
 
     #[test]
     fn without_a_store_dir_deltas_are_volatile_but_functional() {
-        let live = LiveManager::boot(None, 2);
+        let live = LiveManager::boot(None, 2, 64);
         assert!(!live.durable());
         let (_, out) = live.ingest("V@1#1", &base(), &ops("+ 0 4\n+ 1 4\n")).expect("ingest");
         assert_eq!(out.wal_bytes, 0);

@@ -563,7 +563,12 @@ fn delta(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken)
     let ingest_span = trace::current().map(|t| t.stage("live_ingest"));
     let (live_state, outcome) = match state.live.ingest(&label, &graph.csr, &ops) {
         Ok(pair) => pair,
-        Err(e) => return error_response(500, &format!("wal append failed: {e}")),
+        // A batch naming an id past the growth cap is the caller's
+        // error and was never acked; a WAL failure is ours.
+        Err(e @ crate::live::IngestError::NodeCap { .. }) => {
+            return error_response(400, &e.to_string())
+        }
+        Err(e) => return error_response(500, &e.to_string()),
     };
     drop(ingest_span);
     let mut rebuild_ms = None;

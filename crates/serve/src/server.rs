@@ -137,6 +137,12 @@ pub struct ServerConfig {
     /// the server folds a fresh CSR and swaps it into the registry
     /// (`--live-rebuild-threshold`).
     pub live_rebuild_threshold: usize,
+    /// How far past a live graph's current node count one delta batch
+    /// may grow it (`--live-node-headroom`). Ids beyond the cap are
+    /// rejected with 400 before the ack — node count (and every O(n)
+    /// structure sized from it) must never jump to an arbitrary u32
+    /// from one 16-byte op.
+    pub live_node_headroom: usize,
 }
 
 impl Default for ServerConfig {
@@ -159,6 +165,7 @@ impl Default for ServerConfig {
             tracing: true,
             trace_ring: 512,
             live_rebuild_threshold: 4096,
+            live_node_headroom: 4096,
         }
     }
 }
@@ -350,8 +357,11 @@ impl Server {
         // The live boot replays the delta WAL before the listener
         // answers anything, so the first query already sees every
         // acked batch from before the restart.
-        let live =
-            crate::live::LiveManager::boot(config.store_dir.as_deref(), config.live_rebuild_threshold);
+        let live = crate::live::LiveManager::boot(
+            config.store_dir.as_deref(),
+            config.live_rebuild_threshold,
+            config.live_node_headroom,
+        );
         let state = Arc::new(AppState {
             registry: GraphRegistry::new(),
             cache: PropertyCache::new(config.cache_bytes),

@@ -210,6 +210,12 @@ fn delta_round_trip_serves_live_strict_and_bounded_stale_queries() {
     assert!(ack.contains("\"durable\":true"), "acks must be WAL-backed here: {ack}");
     assert!(ack.contains("\"inserted\":"), "{ack}");
 
+    // A batch naming an id past the node-growth cap bounces whole with
+    // 400 — never acked, never logged, version unchanged.
+    let (status, _, err) = post(srv.addr, DELTA, "+ 0 4294967295\n");
+    assert_eq!(status, 400, "{err}");
+    assert!(err.contains("growth cap"), "{err}");
+
     // Live coreness answers from the maintained decomposition: exact
     // at head, stamped with the head version, never cached.
     let (status, head, body) = request(srv.addr, "GET", CORENESS);

@@ -189,19 +189,25 @@ impl StoreDir {
     ///
     /// One hard safety rule overrides every policy knob: a live WAL is
     /// never pruned unless a same-stem sibling snapshot exists that is
-    /// at least as fresh — until then the WAL holds acked deltas nothing
-    /// else holds, and deleting it is data loss. This can leave the
-    /// store over `byte_budget`; quarantined WALs stay prunable.
+    /// strictly newer (mtime ties protect — coarse filesystem
+    /// timestamps can stamp a post-compaction frame with the snapshot's
+    /// tick) — until then the WAL holds acked deltas nothing else
+    /// holds, and deleting it is data loss. This can leave the store
+    /// over `byte_budget`; quarantined WALs stay prunable.
     ///
     /// # Errors
     ///
     /// Any I/O error from listing or deleting files.
     pub fn gc(&self, policy: &GcPolicy) -> io::Result<GcReport> {
         let rows = self.ls()?;
-        // A live WAL is protected until a sibling `<stem>.snap` is at
-        // least as fresh (compaction writes the snapshot after the last
-        // frame it folds in, so "snap no older than wal" means every
-        // frame is safely compacted).
+        // A live WAL is protected until a sibling `<stem>.snap` is
+        // *strictly* fresher (compaction writes the snapshot after the
+        // last frame it folds in, so a strictly newer snapshot means
+        // every frame is safely compacted). The mtimes are compared
+        // directly — not via pre-computed ages, whose per-row `now()`
+        // skew breaks ties — and a tie protects: with coarse filesystem
+        // timestamps, a frame appended in the snapshot's mtime tick may
+        // hold acked deltas the snapshot does not.
         let protected = |row: &SnapshotInfo| -> bool {
             if !Self::is_live_wal(&row.path) {
                 return false;
@@ -209,10 +215,12 @@ impl StoreDir {
             let name = row.path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
             let stem = name.trim_end_matches(&format!(".{WAL_EXT}")).to_string();
             let sibling = self.snapshot_path(&stem);
-            let wal_age = row.age.unwrap_or(Duration::ZERO);
-            match rows.iter().find(|r| r.path == sibling) {
-                Some(snap) => snap.age.map_or(true, |snap_age| snap_age > wal_age),
-                None => true,
+            let mtime = |p: &Path| std::fs::metadata(p).and_then(|m| m.modified()).ok();
+            match (mtime(&sibling), mtime(&row.path)) {
+                (Some(snap), Some(wal)) => snap <= wal,
+                // Either mtime unreadable (or no sibling snapshot at
+                // all): assume uncompacted, keep the WAL.
+                _ => true,
             }
         };
         let mut report = GcReport::default();
@@ -421,6 +429,39 @@ mod tests {
         assert!(!wal_path.exists(), "compacted WAL should now be prunable");
         assert!(!root.join("dead.wal.quarantined").exists());
         assert!(report.removed.len() >= 2);
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn gc_protects_a_wal_whose_mtime_ties_its_snapshot() {
+        let root = scratch("gc-wal-tie");
+        let store = StoreDir::new(&root);
+        let snap_path = put(&store, "live", 1);
+        let wal_path = store.wal_path("live");
+        let mut wal = crate::wal::WalWriter::open(&wal_path).expect("open");
+        wal.append(&Record::new("delta", &["k", "1"], b"+ 0 1\n")).expect("append");
+        drop(wal);
+        // Coarse-mtime filesystems can stamp a frame appended just
+        // after compaction into the snapshot's timestamp tick — pin
+        // both files to the exact same mtime to simulate it. The WAL
+        // may hold acked deltas the snapshot does not, so a tie must
+        // protect.
+        let tick = SystemTime::now();
+        for path in [&snap_path, &wal_path] {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .and_then(|f| f.set_modified(tick))
+                .expect("pin mtime");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let aggressive = GcPolicy {
+            max_age: Some(Duration::ZERO),
+            byte_budget: Some(0),
+            drop_quarantined: true,
+        };
+        let report = store.gc(&aggressive).expect("gc");
+        assert!(wal_path.exists(), "tied-mtime WAL pruned: {:?}", report.removed);
         std::fs::remove_dir_all(root).ok();
     }
 
