@@ -43,13 +43,22 @@
 //! boots over the same store, and its first live coreness answer must
 //! be byte-identical to the pre-restart one — the replay proof.
 //!
+//! **Memory-pressure loop** (`--mode mem`): `--datasets` distinct
+//! graphs are driven against a `--mem-budget` sized for roughly half
+//! of them, walking the governor's reclaim ladder in order — cache
+//! bodies (rung 1, with zero graph evictions while bodies remain),
+//! live-overlay demotion (rung 2), LRU graph eviction (rung 3) — with
+//! the `sum(accountants) <= budget` invariant asserted after every
+//! round and an evicted dataset re-queried to prove reload-on-demand.
+//!
 //! Artifacts: `BENCH_serve.json` gains latency quantiles,
 //! `throughput_rps`, and cache stats under `extras` (closed mode),
 //! `baseline_p99_ms`/`attack_p99_ms`/`survived` plus the trace-derived
 //! `trace_overhead_pct`/`queue_wait_p99_ms`/`compute_p99_ms` (open
-//! mode), or `delta_ack_p99_ms`/`rebuild_ms`/`stale_served` (live
-//! mode); each server's graceful drain writes its `run.json` manifest,
-//! metrics snapshot, and `traces.jsonl` under `<out>/serve/`.
+//! mode), `delta_ack_p99_ms`/`rebuild_ms`/`stale_served` (live mode),
+//! or `reclaim_p99_ms`/`rungs_used`/`budget_held` (mem mode); each
+//! server's graceful drain writes its `run.json` manifest, metrics
+//! snapshot, and `traces.jsonl` under `<out>/serve/`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -172,7 +181,8 @@ fn main() {
         "closed" => {}
         "open" => return open_loop(&args),
         "live" => return live_loop(&args),
-        other => panic!("--mode expects closed|open|live, got {other:?}"),
+        "mem" => return mem_loop(&args),
+        other => panic!("--mode expects closed|open|live|mem, got {other:?}"),
     }
     let connections = extra_flag("--connections", 4).max(1);
     let requests = extra_flag("--requests", 25).max(1);
@@ -585,6 +595,210 @@ fn live_loop(args: &ExperimentArgs) {
         replay_identical,
         "post-restart live coreness must be byte-identical:\n pre: {pre_restart}\npost: {post_restart}"
     );
+}
+
+/// The memory-pressure phase: `--datasets` distinct graphs driven
+/// against a `--mem-budget` sized for roughly half of them, walking the
+/// governor's whole reclaim ladder in order and proving the invariant
+/// (`sum(accountants) <= budget`) after every round.
+///
+/// Phase order mirrors the ladder: loads that fit (no reclaims), then
+/// cache pressure (rung 1 must fire with *zero* graph evictions — the
+/// cheap-bodies-first acceptance), then an un-foldable live overlay
+/// (rung 2 demotion), then loads past the budget (rung 3 LRU graph
+/// evictions), then a query against an evicted dataset (reload on
+/// demand). Extras: `reclaim_p99_ms`, `rungs_used`, `budget_held`.
+fn mem_loop(args: &ExperimentArgs) {
+    let datasets = extra_flag("--datasets", 6).max(4);
+    let mut exp = Experiment::new("serve", args);
+    let scale = args.scale.min(4.0);
+    let dataset = socnet_gen::Dataset::ALL
+        .iter()
+        .copied()
+        .find(|d| d.name() == DATASET)
+        .expect("schedule dataset exists");
+
+    // Probe: one graph's resident bytes, measured with the same
+    // registry code the server runs, so the budget below is sized in
+    // the server's own accounting units.
+    let probe = socnet_serve::GraphRegistry::new();
+    probe
+        .get_or_load(
+            &socnet_serve::GraphKey::new(dataset, scale, args.seed),
+            &socnet_runner::CancelToken::new(),
+        )
+        .expect("probe load");
+    let bytes_per_graph = probe.resident_bytes();
+    drop(probe);
+    assert!(bytes_per_graph > 2048, "probe graph too small to govern meaningfully");
+
+    // Budget: half the datasets fit, plus a sliver of cache headroom
+    // small enough that a property-query sweep must cross it.
+    let half = datasets / 2;
+    let slack = 1024usize;
+    let budget = bytes_per_graph * half + slack;
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: args.threads.max(1),
+        default_scale: scale,
+        default_seed: args.seed,
+        out_dir: args.out_dir.join("serve"),
+        store_dir: Some(args.out_dir.join("serve").join("store-mem")),
+        mem_budget: Some(budget),
+        // A threshold no batch reaches keeps the live overlay
+        // un-folded, so rung 2 (demote-to-pending) is the only way its
+        // bytes come back — exactly the path under test. Tracing off:
+        // the ring is a fixed-cost accountant, not a reclaim surface,
+        // and this scenario measures the ladder.
+        live_rebuild_threshold: 1_000_000,
+        tracing: false,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config).expect("bind loopback server");
+    let addr = server.local_addr();
+    let state = server.state();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    let invariant_ok = |tag: &str| {
+        let resident = state.accountants().resident_bytes();
+        assert!(
+            resident <= budget || state.govern.violations() > 0,
+            "{tag}: resident {resident} exceeds budget {budget} with no recorded violation"
+        );
+    };
+
+    // Phase 1 — loads that fit: the first half of the datasets lands
+    // without a single reclaim.
+    for i in 0..half {
+        let (status, _, _) =
+            http_request(addr, "POST", &format!("/graphs/{DATASET}/load?seed={}", args.seed + i as u64))
+                .expect("load request");
+        assert_eq!(status, 200, "in-budget load {i} failed");
+        invariant_ok("phase 1");
+    }
+    assert_eq!(
+        state.govern.rung_counts(),
+        [0, 0, 0, 0],
+        "loads that fit must not trigger any reclaim"
+    );
+
+    // Phase 2 — cache pressure: property queries on the resident half
+    // stack memoized entries past the slack. Rung 1 must fire and no
+    // graph may be evicted for it — cheap bodies go first.
+    for i in 0..half {
+        let seed = args.seed + i as u64;
+        for path in [
+            format!("/graphs/{DATASET}/mixing?eps=0.25&seed={seed}"),
+            format!("/graphs/{DATASET}/coreness/0?seed={seed}"),
+            format!("/graphs/{DATASET}/expansion?root=0&hops=6&seed={seed}"),
+        ] {
+            let (status, _, body) = http_request(addr, "GET", &path).expect("property query");
+            assert_eq!(status, 200, "property query {path} failed: {body}");
+            invariant_ok("phase 2");
+        }
+    }
+    let after_cache = state.govern.rung_counts();
+    assert!(after_cache[0] >= 1, "cache pressure must reclaim via rung 1: {after_cache:?}");
+    assert_eq!(
+        after_cache[2], 0,
+        "no graph eviction while cheap cache bodies remained: {after_cache:?}"
+    );
+
+    // Phase 3 — live overlay: deltas on the first dataset grow a live
+    // state the threshold never folds; its bytes push the sum over and
+    // only a rung-2 demotion brings them back.
+    let (_, _, load_body) =
+        http_request(addr, "POST", &format!("/graphs/{DATASET}/load?seed={}", args.seed))
+            .expect("reload for deltas");
+    let nodes = json_field(&load_body, "nodes").expect("load body carries nodes") as u64;
+    let mut rng = 0x90e4_11fe_u64;
+    let mut ops = String::new();
+    for _ in 0..64 {
+        let u = splitmix(&mut rng) % nodes;
+        let mut v = splitmix(&mut rng) % nodes;
+        if u == v {
+            v = (v + 1) % nodes;
+        }
+        ops.push_str(&format!("+ {u} {v}\n"));
+    }
+    let (status, _, resp) =
+        http_post(addr, &format!("/datasets/{DATASET}/delta?seed={}", args.seed), &ops)
+            .expect("delta request");
+    assert_eq!(status, 200, "delta batch failed: {resp}");
+    // The ingest made the live state resident; the next governed touch
+    // (any graph load) runs the ladder against it.
+    let (status, _, _) =
+        http_request(addr, "GET", &format!("/graphs/{DATASET}/coreness/0?seed={}", args.seed))
+            .expect("live coreness");
+    assert_eq!(status, 200, "live coreness failed");
+    invariant_ok("phase 3");
+    let after_live = state.govern.rung_counts();
+    assert!(
+        after_live[1] >= 1,
+        "an un-foldable live overlay must be demoted via rung 2: {after_live:?}"
+    );
+
+    // Phase 4 — loads past the budget: the second half of the datasets
+    // forces rung-3 LRU evictions; the invariant holds after each.
+    for i in half..datasets {
+        let (status, _, _) =
+            http_request(addr, "POST", &format!("/graphs/{DATASET}/load?seed={}", args.seed + i as u64))
+                .expect("over-budget load");
+        assert_eq!(status, 200, "over-budget load {i} was shed, not absorbed");
+        invariant_ok("phase 4");
+    }
+    let after_loads = state.govern.rung_counts();
+    assert!(after_loads[2] >= 1, "over-budget loads must evict graphs via rung 3: {after_loads:?}");
+
+    // Phase 5 — reload on demand: the coldest dataset was evicted, and
+    // querying it again must answer 200 (with the ladder absorbing the
+    // reload), not an error.
+    let (status, _, body) = http_request(
+        addr,
+        "GET",
+        &format!("/graphs/{DATASET}/coreness/0?seed={}", args.seed + 1),
+    )
+    .expect("evicted reload query");
+    assert_eq!(status, 200, "an evicted dataset must reload on demand: {body}");
+    invariant_ok("phase 5");
+
+    let rungs = state.govern.rung_counts();
+    let violations = state.govern.violations();
+    let final_resident = state.accountants().resident_bytes();
+    let budget_held = violations == 0 && final_resident <= budget;
+    let mut walls: Vec<f64> = state.govern.reclaim_walls();
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
+
+    shutdown.cancel();
+    server_thread.join().expect("server thread").expect("graceful drain");
+
+    exp.bench_extra("mode", "\"mem\"".to_string());
+    exp.bench_extra("datasets", datasets.to_string());
+    exp.bench_extra("budget_bytes", budget.to_string());
+    exp.bench_extra("bytes_per_graph", bytes_per_graph.to_string());
+    exp.bench_extra("final_resident_bytes", final_resident.to_string());
+    exp.bench_extra("reclaim_rounds", walls.len().to_string());
+    exp.bench_extra("reclaim_p50_ms", json::num(percentile(&walls, 0.50) * 1e3, 3));
+    exp.bench_extra("reclaim_p99_ms", json::num(percentile(&walls, 0.99) * 1e3, 3));
+    exp.bench_extra(
+        "rungs_used",
+        format!("[{},{},{},{}]", rungs[0], rungs[1], rungs[2], rungs[3]),
+    );
+    exp.bench_extra("loads_shed", state.govern.shed_count().to_string());
+    exp.bench_extra("budget_violations", violations.to_string());
+    exp.bench_extra("budget_held", budget_held.to_string());
+
+    println!(
+        "serveload mem: {datasets} datasets vs a {budget}-byte budget \
+         ({bytes_per_graph} bytes/graph), rungs {rungs:?} over {} rounds, \
+         reclaim p99 {:.2} ms, final resident {final_resident} -> budget_held={budget_held}",
+        walls.len(),
+        percentile(&walls, 0.99) * 1e3,
+    );
+    exp.finish();
+    assert!(budget_held, "{violations} violations, final resident {final_resident} vs {budget}");
 }
 
 /// The hostile workload the attacked open-loop phase runs under.

@@ -646,6 +646,7 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
         "--trace-ring",
         "--live-rebuild-threshold",
         "--live-node-headroom",
+        "--mem-budget",
     ])?;
     let mut config = socnet_serve::ServerConfig::default();
     if let Some(addr) = map.get("--addr") {
@@ -710,6 +711,17 @@ pub fn serve(map: &ArgMap) -> Result<String, CliError> {
     // live graph; ids beyond the cap are rejected before the ack.
     config.live_node_headroom =
         map.get_parsed("--live-node-headroom", config.live_node_headroom)?;
+    // Process-wide byte budget across graphs + cached properties +
+    // live overlays + traces. Absent means ungoverned (the seed
+    // behavior, byte-identical); zero is rejected rather than treated
+    // as "evict everything forever".
+    if map.get("--mem-budget").is_some() {
+        let budget: usize = map.get_parsed("--mem-budget", 0)?;
+        if budget == 0 {
+            return Err(invalid("--mem-budget", "must be at least 1 byte"));
+        }
+        config.mem_budget = Some(budget);
+    }
     // Persistence defaults on: snapshots live next to the run
     // artifacts so `--out` moves both. `--store off` opts out;
     // `--store-dir` relocates the snapshots independently.
@@ -1192,6 +1204,16 @@ mod tests {
         // delta; reject it at the flag.
         assert!(matches!(
             serve(&args(&["--live-rebuild-threshold", "0"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        // A zero memory budget would be "evict everything forever";
+        // non-numbers never reach the server either.
+        assert!(matches!(
+            serve(&args(&["--mem-budget", "0"])),
+            Err(CliError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            serve(&args(&["--mem-budget", "lots"])),
             Err(CliError::InvalidValue { .. })
         ));
     }

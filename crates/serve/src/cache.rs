@@ -237,6 +237,12 @@ impl PropertyCache {
     /// [`CacheError::Poisoned`] with the panic text, and nothing else
     /// in the cache is touched.
     ///
+    /// `compute` is `Clone` because a resolved entry can be reclaimed
+    /// (operator evict, governor pressure) in the window between the
+    /// job landing it and a coalesced waiter waking up; the waiter
+    /// then retries the whole lookup as a fresh miss, which may need
+    /// to recompute.
+    ///
     /// # Errors
     ///
     /// See [`CacheError`].
@@ -248,9 +254,38 @@ impl PropertyCache {
         compute: F,
     ) -> Result<Lookup, CacheError>
     where
-        F: FnOnce() -> Result<(CacheValue, usize), String> + Send + 'static,
+        F: FnOnce() -> Result<(CacheValue, usize), String> + Clone + Send + 'static,
     {
         let start = Instant::now();
+        // Bounds the vanished-entry retries, not ordinary waiting: a
+        // request only burns an attempt when its freshly computed
+        // entry was reclaimed before it could read it.
+        const MAX_ATTEMPTS: usize = 8;
+        for _attempt in 0..MAX_ATTEMPTS {
+            match self.lookup_or_compute_once(key, pool, cancel, compute.clone(), start)? {
+                Some(lookup) => return Ok(lookup),
+                None => continue,
+            }
+        }
+        Err(CacheError::Failed(
+            "entry vanished before it could be read".to_string(),
+        ))
+    }
+
+    /// One attempt of [`Self::get_or_compute`]: returns `Ok(None)`
+    /// when the slot vanished between resolution and our wake-up (the
+    /// caller retries as a fresh miss), `Ok(Some(_))` on success.
+    fn lookup_or_compute_once<F>(
+        &self,
+        key: &str,
+        pool: &Pool,
+        cancel: &CancelToken,
+        compute: F,
+        start: Instant,
+    ) -> Result<Option<Lookup>, CacheError>
+    where
+        F: FnOnce() -> Result<(CacheValue, usize), String> + Send + 'static,
+    {
         let owns_compute = {
             let mut guard = lock(&self.inner);
             // Reborrow so field accesses are disjoint for the borrow
@@ -264,7 +299,12 @@ impl PropertyCache {
                     *touched = state.clock;
                     state.hits += 1;
                     Metrics::global().incr("cache.hits", 1);
-                    return Ok(Lookup { entry, hit: true, wall: start.elapsed(), coalesced: false });
+                    return Ok(Some(Lookup {
+                        entry,
+                        hit: true,
+                        wall: start.elapsed(),
+                        coalesced: false,
+                    }));
                 }
                 Some(Slot::Poisoned(message)) => {
                     return Err(CacheError::Poisoned(message.clone()));
@@ -302,7 +342,7 @@ impl PropertyCache {
                         state.clock += 1;
                         let touched = state.clock;
                         state.slots.insert(job_key, Slot::Ready { entry, hits: 0, touched });
-                        evict_over_capacity(&mut state, inner.capacity_bytes);
+                        evict_over_capacity(&mut state, inner.capacity_bytes, true);
                         Metrics::global()
                             .gauge_set("cache.resident_bytes", state.resident_bytes as f64);
                     }
@@ -344,12 +384,12 @@ impl PropertyCache {
                         state.hits += 1;
                         Metrics::global().incr("cache.hits", 1);
                     }
-                    return Ok(Lookup {
+                    return Ok(Some(Lookup {
                         entry,
                         hit: !owns_compute,
                         wall: start.elapsed(),
                         coalesced: !owns_compute,
-                    });
+                    }));
                 }
                 Some(Slot::Poisoned(message)) => {
                     return Err(CacheError::Poisoned(message.clone()));
@@ -361,12 +401,12 @@ impl PropertyCache {
                 }
                 Some(Slot::Pending) => {}
                 None => {
-                    // Evicted between resolution and our wake-up, or a
-                    // Failed slot another waiter consumed. Retry is the
-                    // caller's business; report as a failure.
-                    return Err(CacheError::Failed(
-                        "entry vanished before it could be read".to_string(),
-                    ));
+                    // Evicted between resolution and our wake-up —
+                    // the governor can reclaim any entry, including
+                    // one with waiters still en route — or a Failed
+                    // slot another waiter consumed. Either way the
+                    // caller retries as a fresh miss.
+                    return Ok(None);
                 }
             }
             if cancel.is_cancelled() {
@@ -388,7 +428,8 @@ impl PropertyCache {
         let state = &mut *guard;
         match state.slots.get(key) {
             Some(Slot::Ready { entry, .. }) => {
-                state.resident_bytes -= entry.bytes;
+                debug_assert!(state.resident_bytes >= entry.bytes, "cache byte underflow on evict");
+                state.resident_bytes = state.resident_bytes.saturating_sub(entry.bytes);
                 state.slots.remove(key);
                 state.evictions += 1;
                 Metrics::global().incr("cache.evictions", 1);
@@ -423,7 +464,8 @@ impl PropertyCache {
             .collect();
         for key in &doomed {
             if let Some(Slot::Ready { entry, .. }) = state.slots.remove(key) {
-                state.resident_bytes -= entry.bytes;
+                debug_assert!(state.resident_bytes >= entry.bytes, "cache byte underflow on evict");
+                state.resident_bytes = state.resident_bytes.saturating_sub(entry.bytes);
                 state.evictions += 1;
                 Metrics::global().incr("cache.evictions", 1);
             }
@@ -450,7 +492,8 @@ impl PropertyCache {
             if entry.bytes == bytes {
                 return;
             }
-            state.resident_bytes -= entry.bytes;
+            debug_assert!(state.resident_bytes >= entry.bytes, "cache byte underflow on re-record");
+            state.resident_bytes = state.resident_bytes.saturating_sub(entry.bytes);
         }
         let raw: CacheValue = Arc::new(BodyValue { body: body.to_vec(), hydrated: false });
         let entry = Arc::new(CachedEntry { raw, cost, bytes });
@@ -458,7 +501,7 @@ impl PropertyCache {
         state.clock += 1;
         let touched = state.clock;
         state.slots.insert(key.to_string(), Slot::Ready { entry, hits: 0, touched });
-        evict_over_capacity(state, self.inner.capacity_bytes);
+        evict_over_capacity(state, self.inner.capacity_bytes, true);
         Metrics::global().gauge_set("cache.resident_bytes", state.resident_bytes as f64);
     }
 
@@ -532,9 +575,30 @@ impl PropertyCache {
             state.slots.insert(stored.key, Slot::Ready { entry, hits: 0, touched });
             installed += 1;
         }
-        evict_over_capacity(state, self.inner.capacity_bytes);
+        evict_over_capacity(state, self.inner.capacity_bytes, true);
         Metrics::global().gauge_set("cache.resident_bytes", state.resident_bytes as f64);
         installed
+    }
+
+    /// Evicts ready entries — cheapest recompute cost first, the same
+    /// order capacity pressure uses — until at least `bytes` have been
+    /// freed (or nothing evictable remains). The governor's rung 1:
+    /// recompute-cheap property bodies go before any graph does.
+    /// Returns the bytes actually freed.
+    pub fn reclaim(&self, bytes: usize) -> usize {
+        let mut guard = lock(&self.inner);
+        let state = &mut *guard;
+        let before = state.resident_bytes;
+        // No newest-entry exemption here: capacity eviction spares the
+        // entry being inserted so an oversized result can land, but a
+        // governor reclaim targets *bytes* and every body is
+        // recompute-cheap by definition of rung 1.
+        evict_over_capacity(state, before.saturating_sub(bytes), false);
+        let freed = before - state.resident_bytes;
+        if freed > 0 {
+            Metrics::global().gauge_set("cache.resident_bytes", state.resident_bytes as f64);
+        }
+        freed
     }
 
     /// Recomputes the `cache.resident_bytes` gauge from the live state.
@@ -570,17 +634,20 @@ impl PropertyCache {
 }
 
 /// Evicts ready entries, cheapest recompute cost first (ties: oldest
-/// touch first), until resident bytes fit `capacity`. The most recently
-/// installed entry is exempt while anything else can go, so a single
-/// oversized result still lands.
-fn evict_over_capacity(state: &mut CacheState, capacity: usize) {
+/// touch first), until resident bytes fit `capacity`. With
+/// `exempt_newest` the most recently installed entry is spared while
+/// anything else can go, so a single oversized result still lands;
+/// governor reclaims pass `false` — they target bytes, not capacity.
+fn evict_over_capacity(state: &mut CacheState, capacity: usize, exempt_newest: bool) {
     while state.resident_bytes > capacity {
         let newest = state.clock;
         let victim = state
             .slots
             .iter()
             .filter_map(|(key, slot)| match slot {
-                Slot::Ready { entry, touched, .. } if *touched != newest => {
+                Slot::Ready { entry, touched, .. }
+                    if !(exempt_newest && *touched == newest) =>
+                {
                     Some((key.clone(), entry.cost, *touched, entry.bytes))
                 }
                 _ => None,
@@ -590,7 +657,8 @@ fn evict_over_capacity(state: &mut CacheState, capacity: usize) {
             break;
         };
         state.slots.remove(&key);
-        state.resident_bytes -= bytes;
+        debug_assert!(state.resident_bytes >= bytes, "cache byte underflow on capacity evict");
+        state.resident_bytes = state.resident_bytes.saturating_sub(bytes);
         state.evictions += 1;
         Metrics::global().incr("cache.evictions", 1);
     }
@@ -609,7 +677,10 @@ mod tests {
         *entry.value::<u64>().expect("stored a u64")
     }
 
-    fn compute_ok(n: u64, bytes: usize) -> impl FnOnce() -> Result<(CacheValue, usize), String> {
+    fn compute_ok(
+        n: u64,
+        bytes: usize,
+    ) -> impl FnOnce() -> Result<(CacheValue, usize), String> + Clone {
         move || Ok((value_of(n), bytes))
     }
 

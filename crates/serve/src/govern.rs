@@ -1,0 +1,339 @@
+//! The memory governor: one process-wide byte budget arbitrating every
+//! resident-byte accountant in the serve stack.
+//!
+//! Each subsystem already accounts for itself — the registry's sharded
+//! graph bytes, the property cache's entry bytes, the live manager's
+//! overlay state, the trace ring's sealed records — but nothing ties
+//! them together: under multi-dataset load the process can blow past
+//! any real memory envelope with every individual gauge looking
+//! healthy. The governor holds the line: when the sum crosses the
+//! configured budget (`--mem-budget`, default off = unlimited), it
+//! reclaims **synchronously, at the accounting site that crossed** —
+//! no background thread, no races with the thing that allocated — by
+//! walking a ladder in recompute-cost order:
+//!
+//! | rung | action | cost to re-derive |
+//! |------|--------|-------------------|
+//! | 1 | evict recompute-cheap property-cache bodies ([`PropertyCache::reclaim`], cheapest wall-cost first) | one kernel run |
+//! | 2 | demote the fattest live overlay to its pending row + compact ([`LiveManager::squeeze_fattest`]: flatten + WAL reset) | rematerialize on next touch |
+//! | 3 | evict the fattest shard's coldest graph ([`GraphRegistry::evict_coldest`], LRU touch stamps) | regenerate + CSR build |
+//! | 4 | shed `/graphs/<name>/load` with `503 + Retry-After` | nothing — the graph never lands |
+//!
+//! **Invariant:** after every reclaim round,
+//! `registry + cache + live + trace resident bytes <= budget` — or the
+//! round records a violation (counted, gauged) because even emptying
+//! every rung could not get under, which only an impossibly small
+//! budget produces.
+//!
+//! # Lock order
+//!
+//! The governor's reclaim mutex sits strictly **above** every
+//! subsystem lock: a reclaim round locks one subsystem at a time
+//! (cache state, live `tables` → states → `wal`, registry shards one
+//! by one) and never holds one subsystem's lock while entering
+//! another. No subsystem ever calls the governor, so the pair
+//! (governor → subsystem) is acyclic by construction. Enforce sites
+//! run on route threads holding **no** subsystem locks.
+//!
+//! Exported series: `govern.budget_bytes` / `govern.resident_bytes`
+//! gauges, `govern.reclaims_total{rung=…}` and `govern.load_shed`
+//! counters, and the `govern.reclaim_seconds` histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use socnet_runner::Metrics;
+
+use crate::cache::PropertyCache;
+use crate::live::LiveManager;
+use crate::registry::GraphRegistry;
+use crate::trace::TraceRing;
+
+/// The four subsystem accountants a reclaim round may squeeze,
+/// borrowed together so the governor stays a passive policy object
+/// with no `Arc` cycles back into [`crate::server::AppState`].
+pub struct Accountants<'a> {
+    /// The sharded graph registry (rung 3).
+    pub registry: &'a GraphRegistry,
+    /// The property cache (rung 1).
+    pub cache: &'a PropertyCache,
+    /// The live-overlay manager (rung 2).
+    pub live: &'a LiveManager,
+    /// The sealed-trace ring (accounted, never squeezed — it is
+    /// already hard-bounded by its capacity).
+    pub traces: &'a TraceRing,
+}
+
+impl Accountants<'_> {
+    /// The process-wide resident sum the budget is checked against.
+    pub fn resident_bytes(&self) -> usize {
+        self.registry.resident_bytes()
+            + self.cache.stats().resident_bytes
+            + self.live.resident_bytes()
+            + self.traces.resident_bytes()
+    }
+}
+
+/// The process-wide byte-budget arbiter. `None` budget = unlimited:
+/// every enforce is a no-op and behavior is byte-identical to a build
+/// without the governor.
+pub struct Governor {
+    budget: Option<usize>,
+    /// Serializes reclaim rounds: concurrent enforcers queue here
+    /// instead of stampeding the same victims. Sits strictly above
+    /// every subsystem lock (see the module doc).
+    reclaim: Mutex<()>,
+    /// Per-rung reclaim actions, mirrors of the labeled metric
+    /// counters (indexed rung-1 … rung-4).
+    rungs: [AtomicU64; 4],
+    /// Loads shed at rung 4.
+    shed: AtomicU64,
+    /// Rounds that ended still over budget.
+    violations: AtomicU64,
+    /// Wall seconds of completed reclaim rounds, for p99 reporting.
+    walls: Mutex<Vec<f64>>,
+}
+
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Governor {
+    /// A governor holding `budget` bytes (`None` = unlimited).
+    pub fn new(budget: Option<usize>) -> Governor {
+        Governor {
+            budget,
+            reclaim: Mutex::new(()),
+            rungs: [const { AtomicU64::new(0) }; 4],
+            shed: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+            walls: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured budget, if one is set.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Whether a budget is being enforced.
+    pub fn enabled(&self) -> bool {
+        self.budget.is_some()
+    }
+
+    /// Per-rung reclaim counts (rung 1 at index 0).
+    pub fn rung_counts(&self) -> [u64; 4] {
+        [0, 1, 2, 3].map(|i| self.rungs[i].load(Ordering::Relaxed))
+    }
+
+    /// Loads shed at rung 4.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Reclaim rounds that could not get under budget.
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+
+    /// Wall seconds of every completed reclaim round so far.
+    pub fn reclaim_walls(&self) -> Vec<f64> {
+        plock(&self.walls).clone()
+    }
+
+    fn note_rung(&self, rung: usize) {
+        self.rungs[rung - 1].fetch_add(1, Ordering::Relaxed);
+        Metrics::global().incr(&format!("govern.reclaims|rung={rung}"), 1);
+    }
+
+    /// Records a rung-4 shed (the route layer answered `503` instead
+    /// of admitting a graph that cannot fit). Counts as a rung-4
+    /// reclaim action *and* on the dedicated shed counter.
+    pub fn note_shed(&self) {
+        self.rungs[3].fetch_add(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        let m = Metrics::global();
+        m.incr("govern.reclaims|rung=4", 1);
+        m.incr("govern.load_shed", 1);
+    }
+
+    /// Checks the budget and, when crossed, runs one synchronous
+    /// reclaim round on the calling thread. Returns whether the
+    /// resident sum is under (or at) budget afterwards — `false` means
+    /// even a full ladder walk could not fit, and an admission-point
+    /// caller should shed (rung 4) rather than admit more bytes.
+    ///
+    /// With no budget configured this is one branch and no locks.
+    pub fn enforce(&self, a: &Accountants<'_>) -> bool {
+        let Some(budget) = self.budget else { return true };
+        let resident = a.resident_bytes();
+        Metrics::global().gauge_set("govern.resident_bytes", resident as f64);
+        if resident <= budget {
+            return true;
+        }
+        let _round = plock(&self.reclaim);
+        // Re-read under the round lock: the round that queued us may
+        // already have reclaimed what we saw.
+        let mut resident = a.resident_bytes();
+        if resident <= budget {
+            Metrics::global().gauge_set("govern.resident_bytes", resident as f64);
+            return true;
+        }
+        let started = Instant::now();
+        // The ladder, cheapest recompute first. Loop because one rung's
+        // action can unlock the next round's cheaper option (rung 3's
+        // graph evictions reset live stamps, making overlays rung-2
+        // eligible); stop when under budget or nothing moved.
+        loop {
+            let excess = resident.saturating_sub(budget);
+            if excess == 0 {
+                break;
+            }
+            if a.cache.reclaim(excess) > 0 {
+                self.note_rung(1);
+                resident = a.resident_bytes();
+                continue;
+            }
+            if let Some((_label, _bytes)) = a.live.squeeze_fattest() {
+                self.note_rung(2);
+                resident = a.resident_bytes();
+                continue;
+            }
+            if let Some((key, _bytes)) = a.registry.evict_coldest(false) {
+                self.evicted_graph(a, &key.label());
+                self.note_rung(3);
+                resident = a.resident_bytes();
+                continue;
+            }
+            // Last resort inside rung 3: the newest-touch exemption
+            // falls — better to evict the graph a request just loaded
+            // (it still holds its `Arc`) than to stand in violation.
+            if let Some((key, _bytes)) = a.registry.evict_coldest(true) {
+                self.evicted_graph(a, &key.label());
+                self.note_rung(3);
+                resident = a.resident_bytes();
+                continue;
+            }
+            break;
+        }
+        let wall = started.elapsed().as_secs_f64();
+        plock(&self.walls).push(wall);
+        let m = Metrics::global();
+        m.observe("govern.reclaim_s", wall);
+        m.gauge_set("govern.resident_bytes", resident as f64);
+        if resident > budget {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Mirrors the evict route's compound sweep after a rung-3 graph
+    /// eviction: the graph's cached properties and its live CSR stamp
+    /// go with it, and the gauges are refreshed so a scrape taken
+    /// mid-round is consistent.
+    fn evicted_graph(&self, a: &Accountants<'_>, label: &str) {
+        a.cache.evict_for_label(label);
+        a.live.note_evicted(label);
+        a.registry.recompute_gauges();
+        a.cache.recompute_gauges();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::GraphKey;
+    use socnet_gen::Dataset;
+    use socnet_runner::CancelToken;
+    use std::time::Duration;
+
+    fn accountants<'a>(
+        registry: &'a GraphRegistry,
+        cache: &'a PropertyCache,
+        live: &'a LiveManager,
+        traces: &'a TraceRing,
+    ) -> Accountants<'a> {
+        Accountants { registry, cache, live, traces }
+    }
+
+    #[test]
+    fn no_budget_means_no_ops_and_no_locks_taken_per_request() {
+        let governor = Governor::new(None);
+        let registry = GraphRegistry::new();
+        let cache = PropertyCache::new(1 << 20);
+        let live = LiveManager::boot(None, 4096, 1024);
+        let traces = TraceRing::new(4);
+        let a = accountants(&registry, &cache, &live, &traces);
+        assert!(governor.enforce(&a));
+        assert!(!governor.enabled());
+        assert_eq!(governor.rung_counts(), [0, 0, 0, 0]);
+        assert_eq!(governor.violations(), 0);
+    }
+
+    #[test]
+    fn rung_one_squeezes_cheap_cache_bodies_before_any_graph() {
+        let registry = GraphRegistry::new();
+        let cache = PropertyCache::new(1 << 20);
+        let live = LiveManager::boot(None, 4096, 1024);
+        let traces = TraceRing::new(4);
+        let cancel = CancelToken::new();
+        let key = GraphKey::new(Dataset::RiceGrad, 0.05, 42);
+        registry.get_or_load(&key, &cancel).expect("load");
+        let graph_bytes = registry.resident_bytes();
+        // Enough cache bytes that evicting them alone gets under.
+        cache.record_body("body|x@1#1|cores", &vec![0u8; 4096], Duration::from_millis(1));
+        let budget = graph_bytes + 64;
+        let governor = Governor::new(Some(budget));
+        let a = accountants(&registry, &cache, &live, &traces);
+        assert!(governor.enforce(&a));
+        let rungs = governor.rung_counts();
+        assert!(rungs[0] >= 1, "cache bodies went first: {rungs:?}");
+        assert_eq!(rungs[2], 0, "no graph eviction was needed");
+        assert_eq!(registry.len(), 1, "the graph survived");
+        assert!(a.resident_bytes() <= budget, "invariant holds after the round");
+    }
+
+    #[test]
+    fn rung_three_evicts_coldest_graph_and_rung_four_counts_sheds() {
+        let registry = GraphRegistry::new();
+        let cache = PropertyCache::new(1 << 20);
+        let live = LiveManager::boot(None, 4096, 1024);
+        let traces = TraceRing::new(4);
+        let cancel = CancelToken::new();
+        let cold = GraphKey::new(Dataset::RiceGrad, 0.05, 1);
+        let warm = GraphKey::new(Dataset::RiceGrad, 0.05, 2);
+        registry.get_or_load(&cold, &cancel).expect("load");
+        let warm_graph = registry.get_or_load(&warm, &cancel).expect("load");
+        // Budget fits roughly one graph: the colder one must go.
+        let budget = registry.resident_bytes() - warm_graph.approx_bytes / 2;
+        let governor = Governor::new(Some(budget));
+        let a = accountants(&registry, &cache, &live, &traces);
+        assert!(governor.enforce(&a));
+        assert!(governor.rung_counts()[2] >= 1, "a graph was evicted");
+        assert!(a.resident_bytes() <= budget, "invariant holds after the round");
+        let survivors: Vec<String> =
+            registry.list().into_iter().map(|r| r.key.label()).collect();
+        assert_eq!(survivors, vec![warm.label()], "the newest-touched graph survived");
+        governor.note_shed();
+        assert_eq!(governor.shed_count(), 1);
+    }
+
+    #[test]
+    fn an_impossible_budget_records_a_violation_not_a_hang() {
+        let registry = GraphRegistry::new();
+        let cache = PropertyCache::new(1 << 20);
+        let live = LiveManager::boot(None, 4096, 1024);
+        let traces = TraceRing::new(4);
+        // A sealed trace the governor cannot squeeze.
+        let t = crate::trace::TraceHandle::begin("GET", "/x", Instant::now());
+        t.finish(&traces);
+        let governor = Governor::new(Some(1));
+        let a = accountants(&registry, &cache, &live, &traces);
+        assert!(!governor.enforce(&a), "cannot fit under one byte");
+        assert_eq!(governor.violations(), 1);
+        assert_eq!(governor.reclaim_walls().len(), 1, "the round completed and was timed");
+    }
+}

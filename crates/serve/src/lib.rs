@@ -65,6 +65,7 @@
 
 pub mod cache;
 mod eventloop;
+pub mod govern;
 pub mod http;
 pub mod live;
 pub mod persist;
@@ -78,6 +79,7 @@ pub mod trace;
 pub use cache::{
     CacheError, CacheStats, CacheValue, CachedEntry, Lookup, PropertyCache, StoredBody,
 };
+pub use govern::{Accountants, Governor};
 pub use live::{CompactReport, IngestError, IngestOutcome, LiveInfo, LiveManager, LiveState};
 pub use persist::{FlushReport, HydrateReport};
 pub use registry::{

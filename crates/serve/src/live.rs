@@ -71,6 +71,12 @@ pub struct LiveState {
     pub csr_version: u64,
     /// Ops applied since the last CSR swap — the rebuild trigger.
     pub ops_since_swap: usize,
+    /// Set (under this state's lock) when the governor demotes the
+    /// state back to the pending table — reclaim rung 2. A retired
+    /// state is no longer in the tables map: a writer that raced the
+    /// demotion must drop its guard and re-resolve (the ops live on in
+    /// the pending row); read-only holders may finish on it.
+    pub retired: bool,
 }
 
 /// Deltas restored from disk for a label nobody has touched yet this
@@ -186,6 +192,21 @@ pub struct CompactReport {
 
 fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Approximate resident bytes of one materialized state: the base CSR
+/// clone, the overlay's edge set, and the per-node coreness/degree
+/// arrays. All O(1) reads — this runs on every governed request.
+fn state_bytes(st: &LiveState) -> usize {
+    let g = st.maintained.graph();
+    g.base().byte_size() + g.overlay_len() * 32 + g.node_count() * 16
+}
+
+/// Approximate resident bytes of one pending (unmaterialized) row:
+/// its ops in persisted form.
+fn pending_bytes(p: &PendingLive) -> usize {
+    let ops = p.snap_ops.len() + p.batches.iter().map(|(_, b)| b.len()).sum::<usize>();
+    std::mem::size_of::<PendingLive>() + ops * std::mem::size_of::<DeltaOp>()
 }
 
 /// The first frame of every WAL: fingerprints the dataset registry the
@@ -339,13 +360,14 @@ impl LiveManager {
                     maintained.apply(ops);
                     version = *v;
                 }
-                LiveState { maintained, version, csr_version: 0, ops_since_swap: 0 }
+                LiveState { maintained, version, csr_version: 0, ops_since_swap: 0, retired: false }
             }
             None => LiveState {
                 maintained: MaintainedGraph::new(base.clone()),
                 version: 0,
                 csr_version: 0,
                 ops_since_swap: 0,
+                retired: false,
             },
         };
         let arc = Arc::new(Mutex::new(state));
@@ -370,49 +392,61 @@ impl LiveManager {
         ops: &[DeltaOp],
     ) -> Result<(Arc<Mutex<LiveState>>, IngestOutcome), IngestError> {
         let started = Instant::now();
-        let arc = self.resolve(label, base);
-        let mut st = plock(&arc);
-        // Growth cap, checked before the frame is durable: every O(n)
-        // structure downstream (coreness, scratch marks, CSR offsets)
-        // is sized by the max id ever acked, so an unchecked id is a
-        // one-op commitment to allocate for it — at apply time *and* at
-        // every replay of the WAL it landed in.
-        let max_id =
-            (st.maintained.graph().node_count() as u64 + self.node_headroom).min(u32::MAX as u64);
-        for op in ops {
-            let (u, v) = op.endpoints();
-            let id = u.max(v);
-            if id as u64 > max_id {
-                Metrics::global().incr("live.node_cap_rejected", 1);
-                return Err(IngestError::NodeCap { id, max_id });
+        loop {
+            let arc = self.resolve(label, base);
+            let mut st = plock(&arc);
+            if st.retired {
+                // The governor demoted this state between our resolve
+                // and the lock. Its ops live on in the pending table;
+                // a fresh resolve materializes them (a freshly resolved
+                // state is never retired, so this loop terminates).
+                drop(st);
+                continue;
             }
-        }
-        let version = st.version + 1;
-        let mut wal_bytes = 0;
-        {
-            let mut wal = plock(&self.wal);
-            if let Some(w) = wal.as_mut() {
-                let record = Record::new("delta", &[label, &version.to_string()], &encode_ops(ops));
-                wal_bytes = w.append(&record)?;
-                Metrics::global().incr("wal.appends", 1);
+            // Growth cap, checked before the frame is durable: every
+            // O(n) structure downstream (coreness, scratch marks, CSR
+            // offsets) is sized by the max id ever acked, so an
+            // unchecked id is a one-op commitment to allocate for it —
+            // at apply time *and* at every replay of the WAL it landed
+            // in.
+            let max_id = (st.maintained.graph().node_count() as u64 + self.node_headroom)
+                .min(u32::MAX as u64);
+            for op in ops {
+                let (u, v) = op.endpoints();
+                let id = u.max(v);
+                if id as u64 > max_id {
+                    Metrics::global().incr("live.node_cap_rejected", 1);
+                    return Err(IngestError::NodeCap { id, max_id });
+                }
             }
+            let version = st.version + 1;
+            let mut wal_bytes = 0;
+            {
+                let mut wal = plock(&self.wal);
+                if let Some(w) = wal.as_mut() {
+                    let record =
+                        Record::new("delta", &[label, &version.to_string()], &encode_ops(ops));
+                    wal_bytes = w.append(&record)?;
+                    Metrics::global().incr("wal.appends", 1);
+                }
+            }
+            let report = st.maintained.apply(ops);
+            st.version = version;
+            st.ops_since_swap += ops.len();
+            let outcome = IngestOutcome {
+                version,
+                csr_version: st.csr_version,
+                report,
+                wal_bytes,
+                needs_rebuild: st.ops_since_swap >= self.rebuild_threshold,
+            };
+            drop(st);
+            let m = Metrics::global();
+            m.incr("live.deltas", 1);
+            m.incr("live.ops", ops.len() as u64);
+            m.observe("live.delta_ack_s", started.elapsed().as_secs_f64());
+            return Ok((arc, outcome));
         }
-        let report = st.maintained.apply(ops);
-        st.version = version;
-        st.ops_since_swap += ops.len();
-        let outcome = IngestOutcome {
-            version,
-            csr_version: st.csr_version,
-            report,
-            wal_bytes,
-            needs_rebuild: st.ops_since_swap >= self.rebuild_threshold,
-        };
-        drop(st);
-        let m = Metrics::global();
-        m.incr("live.deltas", 1);
-        m.incr("live.ops", ops.len() as u64);
-        m.observe("live.delta_ack_s", started.elapsed().as_secs_f64());
-        Ok((arc, outcome))
     }
 
     /// Folds the overlay into a fresh CSR and swaps it into the
@@ -432,6 +466,25 @@ impl LiveManager {
         let mut st = plock(state);
         let csr = st.maintained.rebuild();
         let graph = Graph::from_edges(csr.node_count(), csr.edges());
+        if st.retired {
+            // The governor demoted this state to pending: swapping its
+            // CSR into the registry would leave a non-generated base
+            // under the pending row, which must rematerialize onto the
+            // *generated* CSR. Hand the caller its rebuilt graph
+            // without touching the registry.
+            drop(st);
+            let loaded = Arc::new(LoadedGraph {
+                approx_bytes: crate::registry::approx_graph_bytes(&graph, &csr),
+                load_wall: started.elapsed(),
+                csr,
+                graph,
+            });
+            let wall = started.elapsed();
+            let m = Metrics::global();
+            m.incr("live.rebuilds", 1);
+            m.observe("live.rebuild_s", wall.as_secs_f64());
+            return (loaded, wall);
+        }
         let (loaded, swapped) = registry.replace(key, graph, csr, started.elapsed());
         if swapped {
             st.csr_version = st.version;
@@ -476,6 +529,75 @@ impl LiveManager {
             st.csr_version = 0;
             st.ops_since_swap = 0;
         }
+    }
+
+    /// Approximate resident bytes across every materialized state
+    /// (base CSR clone + overlay + coreness arrays) and pending row
+    /// (persisted-form ops) — the live subsystem's governor accountant
+    /// line. Lock order: `tables` → each state, matching the documented
+    /// discipline.
+    pub fn resident_bytes(&self) -> usize {
+        let tables = plock(&self.tables);
+        let mut total = 0usize;
+        for arc in tables.states.values() {
+            total += state_bytes(&plock(arc));
+        }
+        for p in tables.pending.values() {
+            total += pending_bytes(p);
+        }
+        total
+    }
+
+    /// Reclaim rung 2: demotes the fattest eligible materialized state
+    /// back to a pending row (net ops only — freeing its base-CSR
+    /// clone, overlay, and coreness arrays), then compacts so the
+    /// flattened row is durable and the WAL resets. Only states whose
+    /// resident CSR is still the generated base (`csr_version == 0`)
+    /// are eligible: a pending row must rematerialize onto the
+    /// generated CSR, never a swapped one. Returns the demoted label
+    /// and the approximate bytes its materialized form occupied, or
+    /// `None` when nothing is eligible.
+    pub fn squeeze_fattest(&self) -> Option<(String, usize)> {
+        let (label, bytes) = {
+            let mut tables = plock(&self.tables);
+            let mut best: Option<(String, usize)> = None;
+            for (label, arc) in &tables.states {
+                let st = plock(arc);
+                if st.csr_version != 0 {
+                    continue;
+                }
+                let bytes = state_bytes(&st);
+                if best.as_ref().is_none_or(|(_, b)| bytes > *b) {
+                    best = Some((label.clone(), bytes));
+                }
+            }
+            let (label, bytes) = best?;
+            let arc = tables.states.remove(&label)?;
+            let mut st = plock(&arc);
+            st.retired = true;
+            let overlay = st.maintained.graph();
+            let pending = PendingLive {
+                snap_ops: overlay.net_ops(),
+                node_count: overlay.node_count(),
+                snap_version: st.version,
+                batches: Vec::new(),
+            };
+            drop(st);
+            tables.pending.insert(label.clone(), pending);
+            (label, bytes)
+        };
+        // Flatten-to-snapshot + WAL reset. A failed compact is safe —
+        // the old snapshot plus the still-standing WAL frames re-derive
+        // exactly the version the pending row holds — so the demotion
+        // stands either way.
+        if let Err(e) = self.compact() {
+            obs::warn(
+                "live.squeeze_compact_failed",
+                &[("label", label.clone().into()), ("error", e.to_string().into())],
+            );
+        }
+        Metrics::global().incr("live.squeezes", 1);
+        Some((label, bytes))
     }
 
     /// Every label with live history (materialized + pending), sorted

@@ -12,14 +12,16 @@
 //! The key space is split across a fixed array of [`SHARD_COUNT`]
 //! shards, each with its own mutex, condvar, and resident-byte counter,
 //! so lookups of different graphs never contend on one lock and a slow
-//! build only stalls waiters for *its* key's shard. Cross-shard
-//! eviction pressure (a global byte budget squeezing the fattest shard)
-//! is future work; today each shard only accounts for itself and
-//! [`GraphRegistry::resident_bytes`] sums the counters.
+//! build only stalls waiters for *its* key's shard. Each shard accounts
+//! for itself; [`GraphRegistry::resident_bytes`] sums the counters, and
+//! cross-shard eviction pressure arrives through
+//! [`GraphRegistry::evict_coldest`] — the memory governor's rung 3
+//! squeezes the fattest shard's coldest graph (see `crate::govern`).
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -92,7 +94,7 @@ pub struct LoadedGraph {
     pub load_wall: Duration,
 }
 
-fn approx_graph_bytes(g: &Graph, csr: &Csr) -> usize {
+pub(crate) fn approx_graph_bytes(g: &Graph, csr: &Csr) -> usize {
     // Graph CSR layout ((n + 1) 8-byte offsets + one 4-byte entry per
     // directed edge slot) plus the resident compact slabs.
     (g.node_count() + 1) * 8 + g.degree_sum() * 4 + csr.byte_size()
@@ -168,8 +170,10 @@ impl std::error::Error for RegistryError {}
 enum Slot {
     /// Some caller is building; everyone else waits on the condvar.
     Loading,
-    /// Built and shared.
-    Resident { graph: Arc<LoadedGraph>, hits: u64 },
+    /// Built and shared. `touched` is a registry-global LRU stamp,
+    /// bumped on every lookup — the governor's rung 3 evicts the
+    /// coldest stamp in the fattest shard.
+    Resident { graph: Arc<LoadedGraph>, hits: u64, touched: u64 },
 }
 
 type Builder = Box<dyn Fn(&GraphKey) -> Graph + Send + Sync>;
@@ -194,6 +198,10 @@ pub struct GraphRegistry {
     builder: Builder,
     /// Graph metadata hydrated from a snapshot: reported, not resident.
     remembered: Mutex<Vec<GraphMeta>>,
+    /// Registry-global monotonic touch clock for LRU stamps. Atomic so
+    /// a stamp never requires more than the one shard lock the toucher
+    /// already holds.
+    clock: AtomicU64,
 }
 
 impl Default for GraphRegistry {
@@ -220,7 +228,17 @@ impl GraphRegistry {
         let shards = (0..SHARD_COUNT)
             .map(|_| Shard { state: Mutex::new(ShardState::default()), loaded: Condvar::new() })
             .collect();
-        GraphRegistry { shards, builder, remembered: Mutex::new(Vec::new()) }
+        GraphRegistry {
+            shards,
+            builder,
+            remembered: Mutex::new(Vec::new()),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// The next LRU touch stamp.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Which shard owns `key`.
@@ -266,8 +284,9 @@ impl GraphRegistry {
             let mut state = lock(shard);
             loop {
                 match state.slots.get_mut(key) {
-                    Some(Slot::Resident { graph, hits }) => {
+                    Some(Slot::Resident { graph, hits, touched }) => {
                         *hits += 1;
+                        *touched = self.tick();
                         Metrics::global().incr("registry.hits", 1);
                         return Ok(Arc::clone(graph));
                     }
@@ -306,9 +325,11 @@ impl GraphRegistry {
                     });
                     Metrics::global().incr("registry.loads", 1);
                     state.resident_bytes += loaded.approx_bytes;
-                    state
-                        .slots
-                        .insert(key.clone(), Slot::Resident { graph: Arc::clone(&loaded), hits: 0 });
+                    let touched = self.tick();
+                    state.slots.insert(
+                        key.clone(),
+                        Slot::Resident { graph: Arc::clone(&loaded), hits: 0, touched },
+                    );
                     Ok(loaded)
                 }
                 Err(payload) => {
@@ -350,8 +371,12 @@ impl GraphRegistry {
         let swapped = {
             let mut state = lock(shard);
             let hits = match state.slots.remove(key) {
-                Some(Slot::Resident { graph: old, hits }) => {
-                    state.resident_bytes -= old.approx_bytes;
+                Some(Slot::Resident { graph: old, hits, .. }) => {
+                    debug_assert!(
+                        state.resident_bytes >= old.approx_bytes,
+                        "registry byte underflow on replace"
+                    );
+                    state.resident_bytes = state.resident_bytes.saturating_sub(old.approx_bytes);
                     Some(hits)
                 }
                 Some(Slot::Loading) => {
@@ -362,9 +387,11 @@ impl GraphRegistry {
             };
             if let Some(hits) = hits {
                 state.resident_bytes += loaded.approx_bytes;
-                state
-                    .slots
-                    .insert(key.clone(), Slot::Resident { graph: Arc::clone(&loaded), hits });
+                let touched = self.tick();
+                state.slots.insert(
+                    key.clone(),
+                    Slot::Resident { graph: Arc::clone(&loaded), hits, touched },
+                );
                 true
             } else {
                 false
@@ -388,7 +415,11 @@ impl GraphRegistry {
             let mut state = lock(shard);
             match state.slots.get(key) {
                 Some(Slot::Resident { graph, .. }) => {
-                    state.resident_bytes -= graph.approx_bytes;
+                    debug_assert!(
+                        state.resident_bytes >= graph.approx_bytes,
+                        "registry byte underflow on evict"
+                    );
+                    state.resident_bytes = state.resident_bytes.saturating_sub(graph.approx_bytes);
                     state.slots.remove(key);
                     true
                 }
@@ -402,13 +433,50 @@ impl GraphRegistry {
         removed
     }
 
+    /// Evicts the coldest graph (oldest LRU touch stamp) in the fattest
+    /// shard — the governor's rung 3. The globally newest-touched graph
+    /// is exempt unless `allow_newest`, mirroring the property cache's
+    /// newest-entry exemption: the graph a request just loaded must not
+    /// be shot out from under it except as a last resort.
+    ///
+    /// Returns the evicted key and its approximate bytes, or `None`
+    /// when nothing eligible is resident. Shards are locked one at a
+    /// time (snapshot, then a normal [`GraphRegistry::evict`]), never
+    /// two at once.
+    pub fn evict_coldest(&self, allow_newest: bool) -> Option<(GraphKey, usize)> {
+        // Snapshot (shard, key, touched, bytes) of every resident graph.
+        let mut rows: Vec<(usize, GraphKey, u64, usize)> = Vec::new();
+        let mut shard_totals = vec![0usize; self.shards.len()];
+        for (i, shard) in self.shards.iter().enumerate() {
+            let state = lock(shard);
+            shard_totals[i] = state.resident_bytes;
+            rows.extend(state.slots.iter().filter_map(|(key, slot)| match slot {
+                Slot::Resident { graph, touched, .. } => {
+                    Some((i, key.clone(), *touched, graph.approx_bytes))
+                }
+                _ => None,
+            }));
+        }
+        let newest = rows.iter().map(|r| r.2).max()?;
+        let victim = rows
+            .iter()
+            .filter(|r| allow_newest || r.2 != newest || rows.len() == 1)
+            .min_by(|a, b| shard_totals[b.0].cmp(&shard_totals[a.0]).then(a.2.cmp(&b.2)))?;
+        let (_, key, _, bytes) = victim.clone();
+        if self.evict(&key) {
+            Some((key, bytes))
+        } else {
+            None
+        }
+    }
+
     /// Every resident graph, sorted by label for stable output.
     pub fn list(&self) -> Vec<ResidentInfo> {
         let mut rows: Vec<ResidentInfo> = Vec::new();
         for shard in &self.shards {
             let state = lock(shard);
             rows.extend(state.slots.iter().filter_map(|(key, slot)| match slot {
-                Slot::Resident { graph, hits } => Some(ResidentInfo {
+                Slot::Resident { graph, hits, .. } => Some(ResidentInfo {
                     key: key.clone(),
                     nodes: graph.graph.node_count(),
                     edges: graph.graph.edge_count(),
@@ -449,7 +517,7 @@ impl GraphRegistry {
         for shard in &self.shards {
             let state = lock(shard);
             rows.extend(state.slots.iter().filter_map(|(key, slot)| match slot {
-                Slot::Resident { graph, hits } => Some(GraphMeta {
+                Slot::Resident { graph, hits, .. } => Some(GraphMeta {
                     dataset: key.dataset(),
                     scale: key.scale(),
                     seed: key.seed(),

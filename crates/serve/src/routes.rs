@@ -63,6 +63,19 @@ pub struct AdmitVerdict {
 /// Dispatches one request. Returns the route class (for per-class
 /// accounting) alongside the response.
 pub fn handle(state: &Arc<AppState>, req: &Request, cancel: &CancelToken) -> (&'static str, Response) {
+    let (class, response) = dispatch(state, req, cancel);
+    // Post-dispatch budget check: the handler may have inserted cache
+    // entries or grown a live overlay *after* its graph-load enforce
+    // ran, so this is the accounting site that sees the final bytes.
+    // One branch when ungoverned; a synchronous reclaim round when the
+    // request pushed the process over.
+    if state.govern.enabled() {
+        state.govern.enforce(&state.accountants());
+    }
+    (class, response)
+}
+
+fn dispatch(state: &Arc<AppState>, req: &Request, cancel: &CancelToken) -> (&'static str, Response) {
     let segments = req.segments();
     let owned: Vec<String> = segments.iter().map(|s| s.to_string()).collect();
     let parts: Vec<&str> = owned.iter().map(String::as_str).collect();
@@ -211,14 +224,22 @@ fn graph_key_from(
     Ok(GraphKey::new(dataset, scale, seed))
 }
 
-/// Loads (or finds resident) the graph behind `key`.
+/// Loads (or finds resident) the graph behind `key`. A successful load
+/// is an accounting event: admitting a graph is the one place resident
+/// bytes can jump by megabytes at once, so the governor enforces the
+/// budget here, synchronously, before the request proceeds. The caller
+/// holds an `Arc` to the loaded graph, so even if this very graph is
+/// chosen for eviction the in-flight request still answers.
 fn load_graph(
     state: &AppState,
     key: &GraphKey,
     cancel: &CancelToken,
 ) -> Result<Arc<LoadedGraph>, Response> {
     let _span = trace::current().map(|t| t.stage("graph_load"));
-    state.registry.get_or_load(key, cancel).map_err(|err| registry_error_response(&err))
+    let graph =
+        state.registry.get_or_load(key, cancel).map_err(|err| registry_error_response(&err))?;
+    state.govern.enforce(&state.accountants());
+    Ok(graph)
 }
 
 /// Resolves dataset + scale + seed into a resident graph.
@@ -422,12 +443,23 @@ fn datasets(state: &Arc<AppState>) -> Response {
             .int("hits", row.hits);
         remembered.push_raw(obj.finish());
     }
+    // Memory-pressure view: the governor's budget (0 when governance is
+    // off), the process-wide resident total across every accountant,
+    // and the per-shard registry breakdown an operator needs to see
+    // which shard a reclaim will bite.
+    let mut shard_bytes = json::Arr::new();
+    for bytes in state.registry.shard_bytes() {
+        shard_bytes.push_raw(bytes.to_string());
+    }
     let mut obj = json::Obj::new();
     obj.raw("datasets", &rows.finish())
         .raw("resident", &loaded.finish())
         .raw("remembered", &remembered.finish())
         .raw("live", &live_rows.finish())
-        .int("resident_bytes", state.registry.resident_bytes() as u64);
+        .int("resident_bytes", state.registry.resident_bytes() as u64)
+        .int("budget_bytes", state.govern.budget_bytes().unwrap_or(0) as u64)
+        .int("governed_bytes", state.accountants().resident_bytes() as u64)
+        .raw("shard_bytes", &shard_bytes.finish());
     Response::json(200, obj.finish())
 }
 
@@ -488,6 +520,14 @@ fn debug_slow(state: &Arc<AppState>, req: &Request) -> Response {
 
 fn load(state: &Arc<AppState>, req: &Request, name: &str, cancel: &CancelToken) -> Response {
     let params = req.params_with_body();
+    // Rung 4 of the reclaim ladder: an explicit load is the only purely
+    // additive request, so it is the one we refuse outright when even a
+    // full ladder walk cannot get back under budget. Property queries
+    // on already-admitted graphs keep answering — degrade, don't die.
+    if state.govern.enabled() && !state.govern.enforce(&state.accountants()) {
+        state.govern.note_shed();
+        return shed_response("memory budget exhausted; graph not admitted");
+    }
     let (key, graph) = match resolve_graph(state, &params, name, cancel) {
         Ok(pair) => pair,
         Err(response) => return response,

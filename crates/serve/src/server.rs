@@ -143,6 +143,12 @@ pub struct ServerConfig {
     /// structure sized from it) must never jump to an arbitrary u32
     /// from one 16-byte op.
     pub live_node_headroom: usize,
+    /// Process-wide resident-byte budget (`--mem-budget`) arbitrated
+    /// by [`crate::govern::Governor`] across the registry, property
+    /// cache, live overlays, and trace ring. `None` (the default)
+    /// disables governance entirely — behavior is byte-identical to a
+    /// build without it.
+    pub mem_budget: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -166,6 +172,7 @@ impl Default for ServerConfig {
             trace_ring: 512,
             live_rebuild_threshold: 4096,
             live_node_headroom: 4096,
+            mem_budget: None,
         }
     }
 }
@@ -196,6 +203,9 @@ pub struct AppState {
     /// The live-graph subsystem: WAL-acked delta ingestion, version
     /// stamps, and threshold-driven CSR swaps.
     pub live: crate::live::LiveManager,
+    /// The process-wide memory governor (`--mem-budget`). A no-op
+    /// unless a budget is configured.
+    pub govern: crate::govern::Governor,
     tracing: AtomicBool,
     requests: AtomicU64,
     route_stats: Mutex<BTreeMap<&'static str, RouteStat>>,
@@ -232,6 +242,17 @@ impl AppState {
             Some(TraceHandle::begin(method, path, started))
         } else {
             None
+        }
+    }
+
+    /// The governor's view of every resident-byte accountant — what
+    /// reclaim rounds and the `/datasets` pressure fields read.
+    pub fn accountants(&self) -> crate::govern::Accountants<'_> {
+        crate::govern::Accountants {
+            registry: &self.registry,
+            cache: &self.cache,
+            live: &self.live,
+            traces: &self.traces,
         }
     }
 
@@ -349,6 +370,11 @@ impl Server {
             "live.stale_served",
             "wal.appends",
             "wal.replayed",
+            "govern.load_shed",
+            "govern.reclaims|rung=1",
+            "govern.reclaims|rung=2",
+            "govern.reclaims|rung=3",
+            "govern.reclaims|rung=4",
         ] {
             m.incr(name, 0);
         }
@@ -362,11 +388,14 @@ impl Server {
             config.live_rebuild_threshold,
             config.live_node_headroom,
         );
+        m.gauge_set("govern.budget_bytes", config.mem_budget.unwrap_or(0) as f64);
+        m.gauge_set("govern.resident_bytes", 0.0);
         let state = Arc::new(AppState {
             registry: GraphRegistry::new(),
             cache: PropertyCache::new(config.cache_bytes),
             pool: Pool::new(config.threads),
             live,
+            govern: crate::govern::Governor::new(config.mem_budget),
             config,
             shutdown: CancelToken::new(),
             traces: TraceRing::new(trace_ring),

@@ -321,6 +321,14 @@ impl SealedTrace {
         format!("{:016x}", self.id)
     }
 
+    /// Approximate resident bytes of this record: string payloads plus
+    /// a fixed per-stage overhead — what the governor charges the ring.
+    pub fn approx_bytes(&self) -> usize {
+        let stage_bytes: usize =
+            self.stages.iter().map(|s| s.name.len() + s.detail.len() + 48).sum();
+        std::mem::size_of::<SealedTrace>() + self.method.len() + self.path.len() + stage_bytes
+    }
+
     /// Sum of root-stage durations, µs — the coverage check: for a
     /// fully-traced request this approaches [`SealedTrace::total_us`].
     pub fn root_stage_sum_us(&self) -> u64 {
@@ -429,6 +437,10 @@ struct RingInner {
     buf: Vec<Option<Arc<SealedTrace>>>,
     next: usize,
     sealed: u64,
+    /// Approximate bytes across resident records, maintained on push
+    /// (new record in, overwritten record out) — the ring's governor
+    /// accountant line.
+    bytes: usize,
 }
 
 impl TraceRing {
@@ -436,7 +448,7 @@ impl TraceRing {
     pub fn new(capacity: usize) -> TraceRing {
         let capacity = capacity.max(1);
         TraceRing {
-            inner: Mutex::new(RingInner { buf: vec![None; capacity], next: 0, sealed: 0 }),
+            inner: Mutex::new(RingInner { buf: vec![None; capacity], next: 0, sealed: 0, bytes: 0 }),
             capacity,
         }
     }
@@ -454,9 +466,20 @@ impl TraceRing {
     pub fn push(&self, trace: Arc<SealedTrace>) {
         let mut inner = self.lock();
         let slot = inner.next;
+        if let Some(old) = &inner.buf[slot] {
+            let freed = old.approx_bytes();
+            debug_assert!(inner.bytes >= freed, "trace ring byte underflow");
+            inner.bytes = inner.bytes.saturating_sub(freed);
+        }
+        inner.bytes += trace.approx_bytes();
         inner.buf[slot] = Some(trace);
         inner.next = (slot + 1) % self.capacity;
         inner.sealed += 1;
+    }
+
+    /// Approximate bytes across resident records.
+    pub fn resident_bytes(&self) -> usize {
+        self.lock().bytes
     }
 
     /// Traces sealed over the ring's lifetime (not just resident).

@@ -1,0 +1,150 @@
+//! Memory-governor integration tests: many client threads competing
+//! for a budget that cannot hold everyone's graph at once.
+//!
+//! The contract under test is the governor's core invariant — the sum
+//! of every accountant's resident bytes is at or under the budget
+//! after every reclaim round — plus the two liveness properties that
+//! make the budget safe to deploy: no deadlock (reclaim runs at the
+//! accounting site, so a cycle between the reclaim mutex and any
+//! subsystem lock would hang this test), and no banishment (a dataset
+//! evicted under pressure reloads on demand the next time a client
+//! asks for it).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use socnet_serve::{AppState, Server, ServerConfig};
+
+/// Serializes the tests (same process-wide SIGTERM flag as
+/// `tests/server.rs`).
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn request(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {raw:?}"));
+    let body = raw.find("\r\n\r\n").map(|i| raw[i + 4..].to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// One graph's resident bytes, measured with the registry's own
+/// accounting so the budget is sized in server units.
+fn bytes_per_graph() -> usize {
+    let rice = socnet_gen::Dataset::ALL
+        .iter()
+        .copied()
+        .find(|d| d.name() == "Rice-grad")
+        .expect("Rice-grad dataset exists");
+    let probe = socnet_serve::GraphRegistry::new();
+    probe
+        .get_or_load(
+            &socnet_serve::GraphKey::new(rice, 0.05, 1),
+            &socnet_runner::CancelToken::new(),
+        )
+        .expect("probe load");
+    let bytes = probe.resident_bytes();
+    assert!(bytes > 2048, "probe graph too small to govern meaningfully");
+    bytes
+}
+
+/// Asserts the governor's core invariant plus zero violations — the
+/// "after every reclaim round" half of the acceptance criteria.
+fn assert_invariant(state: &Arc<AppState>, budget: usize, when: &str) {
+    let resident = state.accountants().resident_bytes();
+    assert!(resident <= budget, "{when}: resident {resident} exceeds budget {budget}");
+    assert_eq!(state.govern.violations(), 0, "{when}: governor recorded a violation");
+}
+
+#[test]
+fn concurrent_clients_hold_the_invariant_and_reload_evicted_graphs() {
+    let _guard = lock();
+
+    // Six distinct datasets (six seeds of the same generator), a
+    // budget sized for three of them: at any instant at least half
+    // the working set must be evicted, so every round both loads and
+    // evicts under contention.
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 4;
+    let per_graph = bytes_per_graph();
+    let budget = per_graph * (CLIENTS / 2) + per_graph / 2;
+
+    let out_dir =
+        std::env::temp_dir().join(format!("socnet-govern-it-{}", std::process::id()));
+    std::fs::remove_dir_all(&out_dir).ok();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        cache_bytes: 16 * 1024 * 1024,
+        default_scale: 0.05,
+        default_seed: 42,
+        out_dir: out_dir.clone(),
+        mem_budget: Some(budget),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config).expect("bind loopback");
+    let addr = server.local_addr();
+    let state = server.state();
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.serve());
+
+    // Every client hammers its own dataset. Each round is a scoped
+    // spawn-and-join, so the invariant is checked with no request in
+    // flight (every request's post-dispatch enforce has already run),
+    // and a failed client surfaces as a panic at the join instead of
+    // wedging the other threads.
+    for round in 0..ROUNDS {
+        let results: Vec<(usize, u16, String)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|client| {
+                    scope.spawn(move || {
+                        let seed = client + 1;
+                        // Alternate a cached property with a cheap
+                        // static one, so rung 1 always has bodies to
+                        // squeeze before rung 3 reaches for a graph.
+                        let path = if round % 2 == 0 {
+                            format!("/graphs/Rice-grad/mixing?eps=0.25&seed={seed}")
+                        } else {
+                            format!("/graphs/Rice-grad/coreness/0?seed={seed}")
+                        };
+                        let (status, body) = request(addr, &path);
+                        (client, status, body)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+        });
+        for (client, status, body) in &results {
+            assert_eq!(
+                *status, 200,
+                "client {client} round {round}: evicted datasets must reload: {body}"
+            );
+        }
+        assert_invariant(&state, budget, &format!("round {round}"));
+    }
+
+    // The pressure was real: graphs were evicted (rung 3 fired), yet
+    // every request above answered 200 — eviction is not banishment.
+    let rungs = state.govern.rung_counts();
+    assert!(rungs[2] >= 1, "a half-sized budget must force graph evictions: {rungs:?}");
+    assert!(rungs[0] >= 1, "cheap cache bodies must be squeezed before graphs: {rungs:?}");
+    assert_invariant(&state, budget, "final");
+
+    // Drain cleanly — a deadlocked reclaim would hang the join.
+    shutdown.cancel();
+    thread.join().expect("server thread").expect("drain");
+    std::fs::remove_dir_all(&out_dir).ok();
+}

@@ -68,6 +68,33 @@ impl TestServer {
         TestServer { addr, state, shutdown, thread, out_dir }
     }
 
+    /// Boots under a memory budget with a huge rebuild threshold, so
+    /// the live overlay never folds into the CSR and stays eligible for
+    /// the governor's rung-2 demotion.
+    fn boot_governed(tag: &str, store_dir: &Path, budget: usize) -> TestServer {
+        let out_dir =
+            std::env::temp_dir().join(format!("socnet-live-it-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&out_dir).ok();
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            cache_bytes: 16 * 1024 * 1024,
+            default_scale: 0.05,
+            default_seed: 42,
+            out_dir: out_dir.clone(),
+            store_dir: Some(store_dir.to_path_buf()),
+            live_rebuild_threshold: 1_000_000,
+            mem_budget: Some(budget),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(config).expect("bind loopback");
+        let addr = server.local_addr();
+        let state = server.state();
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.serve());
+        TestServer { addr, state, shutdown, thread, out_dir }
+    }
+
     fn stop(self) -> (ServeSummary, PathBuf) {
         self.shutdown.cancel();
         let summary = self.thread.join().expect("server thread").expect("drain");
@@ -173,7 +200,14 @@ fn datasets_schema_pins_version_and_staleness_fields() {
             "staleness",
         ],
     );
-    assert_field_order(&body, &["datasets", "remembered", "live", "resident_bytes"]);
+    assert_field_order(
+        &body,
+        &["datasets", "remembered", "live", "resident_bytes", "budget_bytes", "governed_bytes", "shard_bytes"],
+    );
+    assert!(
+        body.contains("\"budget_bytes\":0"),
+        "an ungoverned server reports a zero budget: {body}"
+    );
     assert!(body.contains("\"live\":[]"), "no label is live before any delta: {body}");
     let row_at = body.find("\"name\":\"Rice-grad\"").expect("Rice-grad row");
     assert!(
@@ -348,5 +382,92 @@ fn garbage_wal_is_quarantined_whole_and_the_server_boots_cold() {
     assert!(ack.contains("\"version\":1"), "{ack}");
     let (_, out_dir) = srv.stop();
     std::fs::remove_dir_all(out_dir).ok();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn reclaim_triggered_squeeze_keeps_the_store_gc_invariants() {
+    let _guard = lock();
+    let dir = store_dir("squeeze");
+
+    // Budget: one graph plus half a graph of slack. The materialized
+    // live state (base-CSR clone + overlay + coreness arrays) costs
+    // about another graph, so the first delta's post-dispatch enforce
+    // must cross the budget — and rung 2 (demote the overlay) is the
+    // only rung that can free enough, since nothing else is cached yet.
+    let rice = socnet_gen::Dataset::ALL
+        .iter()
+        .copied()
+        .find(|d| d.name() == "Rice-grad")
+        .expect("Rice-grad dataset exists");
+    let probe = socnet_serve::GraphRegistry::new();
+    probe
+        .get_or_load(
+            &socnet_serve::GraphKey::new(rice, 0.05, 42),
+            &socnet_runner::CancelToken::new(),
+        )
+        .expect("probe load");
+    let bytes_per_graph = probe.resident_bytes();
+    drop(probe);
+    let budget = bytes_per_graph + bytes_per_graph / 2;
+
+    let srv = TestServer::boot_governed("squeeze-a", &dir, budget);
+    let (status, _, ack) = post(srv.addr, DELTA, "+ 0 5\n+ 0 6\n+ 0 7\n");
+    assert_eq!(status, 200, "{ack}");
+    assert!(ack.contains("\"version\":1"), "{ack}");
+    assert!(ack.contains("\"durable\":true"), "{ack}");
+    let (status, head, pre) = request(srv.addr, "GET", CORENESS);
+    assert_eq!(status, 200, "{pre}");
+    assert!(head.contains("X-Graph-Version: 1"), "{head}");
+
+    // The governor demoted the overlay (rung 2) at least once, never
+    // evicted the base graph (rung 3), and the invariant held without
+    // a recorded violation.
+    let rungs = srv.state.govern.rung_counts();
+    assert!(rungs[1] >= 1, "the live overlay must be squeezed under pressure: {rungs:?}");
+    assert_eq!(rungs[2], 0, "the base graph must never be evicted here: {rungs:?}");
+    assert_eq!(srv.state.govern.violations(), 0);
+    let resident = srv.state.accountants().resident_bytes();
+    assert!(resident <= budget, "resident {resident} exceeds budget {budget}");
+
+    // The squeeze compacted off-drain: snapshot written *before* the
+    // WAL reset, so the WAL is never older than its snapshot — the
+    // exact ordering `StoreDir::gc`'s safety rule relies on.
+    let snap = StoreDir::new(&dir).snapshot_path("live");
+    let wal = wal_path(&dir);
+    assert!(snap.exists(), "squeeze must leave a durable snapshot");
+    assert!(wal.exists(), "squeeze must leave a (reset) WAL");
+    let mtime = |p: &Path| std::fs::metadata(p).and_then(|m| m.modified()).expect("mtime");
+    assert!(
+        mtime(&snap) <= mtime(&wal),
+        "the WAL must never be older than the snapshot that covers it"
+    );
+    srv.abandon();
+
+    // Restart over the same store: the acked version survives the
+    // squeeze + crash, byte-identically.
+    let srv = TestServer::boot("squeeze-b", &dir);
+    let (status, _, body) = request(srv.addr, "GET", "/datasets");
+    assert_eq!(status, 200, "{body}");
+    let row_at = body.find("\"name\":\"Rice-grad\"").expect("row");
+    assert!(body[row_at..].contains("\"version\":1"), "acked head must survive: {body}");
+    let (status, _, after) = request(srv.addr, "GET", CORENESS);
+    assert_eq!(status, 200, "{after}");
+    assert_eq!(after, pre, "the squeezed state must answer byte-identically after restart");
+    let (_, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+
+    // Even a maximally aggressive GC may not prune the WAL ahead of
+    // its snapshot — the hard safety rule holds after reclaim-driven
+    // compaction exactly as after drain-time compaction.
+    let report = StoreDir::new(&dir)
+        .gc(&socnet_store::GcPolicy { max_age: None, byte_budget: Some(0), drop_quarantined: true })
+        .expect("gc");
+    assert!(wal.exists(), "gc must never prune a live WAL at or ahead of its snapshot");
+    assert!(
+        !report.removed.iter().any(|p| p == &wal),
+        "gc removed the WAL: {:?}",
+        report.removed
+    );
     std::fs::remove_dir_all(dir).ok();
 }

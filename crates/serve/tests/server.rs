@@ -37,19 +37,25 @@ struct TestServer {
 
 impl TestServer {
     fn boot(tag: &str, panic_injection: bool) -> TestServer {
+        Self::boot_with(tag, |config| config.panic_injection = panic_injection)
+    }
+
+    /// Boots with the standard test config after letting the caller
+    /// tweak it (e.g. to set a memory budget).
+    fn boot_with(tag: &str, configure: impl FnOnce(&mut ServerConfig)) -> TestServer {
         let out_dir =
             std::env::temp_dir().join(format!("socnet-serve-it-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&out_dir).ok();
-        let config = ServerConfig {
+        let mut config = ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 2,
             cache_bytes: 16 * 1024 * 1024,
             default_scale: 0.05,
             default_seed: 42,
             out_dir: out_dir.clone(),
-            panic_injection,
             ..ServerConfig::default()
         };
+        configure(&mut config);
         let server = Server::bind(config).expect("bind loopback");
         let addr = server.local_addr();
         let state = server.state();
@@ -338,5 +344,120 @@ fn injected_panic_poisons_only_its_entry_and_the_server_keeps_answering() {
 
     let (summary, out_dir) = srv.stop();
     assert!(summary.requests >= 6);
+    std::fs::remove_dir_all(out_dir).ok();
+}
+
+#[test]
+fn datasets_pins_the_budget_and_per_shard_byte_schema() {
+    let _guard = lock();
+    let srv = TestServer::boot("govschema", false);
+    let addr = srv.addr;
+
+    // Load one graph so the byte fields are non-trivial.
+    let (status, _, body) = request(addr, "POST", "/graphs/Rice-grad/load");
+    assert_eq!(status, 200, "{body}");
+
+    let (status, _, body) = request(addr, "GET", "/datasets");
+    assert_eq!(status, 200, "{body}");
+    assert!(json::is_valid(&body), "{body}");
+
+    // Schema pin: the governance fields follow resident_bytes in a
+    // fixed order, so scrapers can rely on byte offsets staying stable.
+    let mut at = 0usize;
+    for field in ["\"resident_bytes\":", "\"budget_bytes\":", "\"governed_bytes\":", "\"shard_bytes\":["]
+    {
+        let pos = body[at..]
+            .find(field)
+            .unwrap_or_else(|| panic!("field {field} missing or out of order in {body}"));
+        at += pos + field.len();
+    }
+
+    // An ungoverned server reports a zero budget, and governed_bytes
+    // covers at least the resident graph (it also counts the cache,
+    // live overlays, and the trace ring, so it only grows from there).
+    assert!(body.contains("\"budget_bytes\":0"), "{body}");
+    let tail = &body[body.find("\"governed_bytes\":").expect("governed_bytes field")
+        + "\"governed_bytes\":".len()..];
+    let governed: u64 = tail[..tail.find(',').expect("comma")].parse().expect("byte count");
+    assert!(
+        governed >= srv.state.registry.resident_bytes() as u64,
+        "governed_bytes {governed} must cover the resident graph"
+    );
+
+    // The per-shard breakdown has exactly SHARD_COUNT entries and sums
+    // to the registry's own resident-byte figure.
+    let start = body.find("\"shard_bytes\":[").expect("shard_bytes array") + "\"shard_bytes\":[".len();
+    let end = start + body[start..].find(']').expect("closing bracket");
+    let shards: Vec<u64> =
+        body[start..end].split(',').map(|s| s.trim().parse().expect("shard byte count")).collect();
+    assert_eq!(shards.len(), socnet_serve::SHARD_COUNT);
+    assert_eq!(shards.iter().sum::<u64>(), srv.state.registry.resident_bytes() as u64);
+
+    let (_, out_dir) = srv.stop();
+    std::fs::remove_dir_all(out_dir).ok();
+}
+
+#[test]
+fn governed_server_reclaims_under_pressure_and_reloads_on_demand() {
+    let _guard = lock();
+
+    // Size the budget in the server's own accounting units: one graph
+    // plus half a graph of slack, so a second distinct dataset cannot
+    // be co-resident and must evict the first (rung 3), while cached
+    // property bodies get squeezed first (rung 1).
+    let rice = socnet_gen::Dataset::ALL
+        .iter()
+        .copied()
+        .find(|d| d.name() == "Rice-grad")
+        .expect("Rice-grad dataset exists");
+    let probe = socnet_serve::GraphRegistry::new();
+    probe
+        .get_or_load(
+            &socnet_serve::GraphKey::new(rice, 0.05, 42),
+            &socnet_runner::CancelToken::new(),
+        )
+        .expect("probe load");
+    let bytes_per_graph = probe.resident_bytes();
+    drop(probe);
+    assert!(bytes_per_graph > 2048, "probe graph too small to govern meaningfully");
+    let budget = bytes_per_graph + bytes_per_graph / 2;
+
+    let srv = TestServer::boot_with("governed", |config| config.mem_budget = Some(budget));
+    let addr = srv.addr;
+
+    // Two distinct seeds are two distinct graphs in the registry.
+    let (status, _, body) = request(addr, "GET", "/graphs/Rice-grad/mixing?eps=0.25&seed=1");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = request(addr, "GET", "/graphs/Rice-grad/mixing?eps=0.25&seed=2");
+    assert_eq!(status, 200, "{body}");
+
+    // The invariant holds after every request, without ever counting a
+    // violation, and the ladder fired bottom-up: cheap cache bodies
+    // (rung 1) before any graph eviction (rung 3).
+    let resident = srv.state.accountants().resident_bytes();
+    assert!(resident <= budget, "resident {resident} exceeds budget {budget}");
+    assert_eq!(srv.state.govern.violations(), 0);
+    let rungs = srv.state.govern.rung_counts();
+    assert!(rungs[0] >= 1, "cache bodies must be squeezed first: {rungs:?}");
+    assert!(rungs[2] >= 1, "the second graph must evict the first: {rungs:?}");
+
+    // The budget and the reclaims are visible on the metrics page.
+    let (status, _, metrics) = request(addr, "GET", "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains(&format!("govern_budget_bytes {budget}")), "{metrics}");
+    assert!(metrics.contains("govern_reclaims_total{rung=\"1\"}"), "{metrics}");
+    assert!(metrics.contains("govern_reclaims_total{rung=\"3\"}"), "{metrics}");
+
+    // /datasets reports the live budget.
+    let (_, _, body) = request(addr, "GET", "/datasets");
+    assert!(body.contains(&format!("\"budget_bytes\":{budget}")), "{body}");
+
+    // Eviction is not banishment: the reclaimed graph reloads on demand.
+    let (status, _, body) = request(addr, "GET", "/graphs/Rice-grad/coreness/0?seed=1");
+    assert_eq!(status, 200, "an evicted dataset must reload on demand: {body}");
+    let resident = srv.state.accountants().resident_bytes();
+    assert!(resident <= budget, "resident {resident} exceeds budget {budget} after reload");
+
+    let (_, out_dir) = srv.stop();
     std::fs::remove_dir_all(out_dir).ok();
 }

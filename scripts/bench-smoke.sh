@@ -201,8 +201,41 @@ else
     fi
 fi
 
+# The memory-pressure serveload scenario: a budget sized for half the
+# working set forces the full reclaim ladder — cache bodies, live
+# overlay demotion, graph eviction — while the run itself asserts the
+# governor invariant after every phase. Here we pin the
+# BENCH_serve.json extras the dashboards consume.
+echo "== serveload mem (budget pressure + reclaim ladder) =="
+out="$OUT_DIR/serveload-mem"
+mkdir -p "$out"
+if ! SOCNET_BENCH_DIR="$out" "$BIN_DIR/serveload" \
+    --mode mem --scale "$SCALE" --threads "$THREADS" \
+    --no-resume --out "$out" \
+    --log-format json --log-file "$out/events.jsonl" \
+    >"$out/stdout.txt" 2>"$out/stderr.txt"; then
+    echo "FAIL  serveload mem: non-zero exit" >&2
+    tail -20 "$out/stderr.txt" >&2 || true
+    failures=$((failures + 1))
+else
+    bench="$out/BENCH_serve.json"
+    if [ ! -f "$bench" ] || ! validate_json "$bench"; then
+        echo "FAIL  serveload mem: missing or invalid $bench" >&2
+        failures=$((failures + 1))
+    else
+        for key in '"mode":"mem"' '"reclaim_p99_ms":' \
+            '"rungs_used":' '"budget_held":true'; do
+            if ! grep -q "$key" "$bench"; then
+                echo "FAIL  serveload mem: $bench lacks $key" >&2
+                failures=$((failures + 1))
+            fi
+        done
+        echo "ok    serveload mem held the budget with the expected schema"
+    fi
+fi
+
 if [ "$failures" -ne 0 ]; then
     echo "bench smoke failed: $failures binar$([ "$failures" -eq 1 ] && echo y || echo ies) misbehaved" >&2
     exit 1
 fi
-echo "bench smoke passed (${#BINARIES[@]} binaries + open-loop and live serveload)"
+echo "bench smoke passed (${#BINARIES[@]} binaries + open-loop, live, and mem serveload)"

@@ -131,6 +131,7 @@ run_tests it_serve_overload crates/serve/tests/overload.rs
 run_tests it_serve_store crates/serve/tests/store.rs
 run_tests it_serve_trace crates/serve/tests/trace.rs
 run_tests it_serve_live crates/serve/tests/live.rs
+run_tests it_serve_govern crates/serve/tests/govern.rs
 run_tests it_live_equivalence crates/live/tests/equivalence.rs -O -C debug-assertions=on
 run_tests it_bench_fault_tolerance crates/bench/tests/fault_tolerance.rs
 run_tests it_bench_determinism crates/bench/tests/determinism.rs

@@ -419,6 +419,84 @@ else
     echo "ok    replayed SIGTERM -> clean exit 0"
 fi
 
+echo "== memory governor: tiny budget, reclaim, warm recovery =="
+# A budget of ~1.5 graphs at scale 0.05 (Rice-grad is ~64 KiB resident)
+# admits the first dataset, then forces the reclaim ladder when a
+# second seed arrives: cached property bodies go first (rung 1), then
+# the coldest graph (rung 3). The scale is pinned so the budget stays
+# meaningful regardless of the SCALE knob.
+mkdir -p "$OUT_DIR/govern"
+"$CLI" serve --addr 127.0.0.1:0 --threads 2 --scale 0.05 \
+    --mem-budget 100000 --out "$OUT_DIR/govern" \
+    --log-format json --log-file "$OUT_DIR/govern/events.jsonl" \
+    >"$OUT_DIR/govern/stdout.txt" 2>"$OUT_DIR/govern/stderr.txt" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL governed server exited before accepting" >&2
+        cat "$OUT_DIR/govern/stderr.txt" >&2 || true
+        exit 1
+    fi
+    if [ -f "$OUT_DIR/govern/events.jsonl" ]; then
+        ADDR=$(sed -n 's/.*serve\.start.*"addr":"\([0-9.:]*\)".*/\1/p' \
+            "$OUT_DIR/govern/events.jsonl" | head -1)
+        [ -n "$ADDR" ] && break
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL governed server did not announce its address within 10s" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+fi
+echo "governed server up at $ADDR (pid $SERVER_PID, budget 100000 bytes)"
+
+check "GET mixing seed 1 (governed)" 200 \
+    "$(fetch GET '/graphs/Rice-grad/mixing?eps=0.25&seed=1' govern/mixing1.json)"
+check "GET mixing seed 2 (governed)" 200 \
+    "$(fetch GET '/graphs/Rice-grad/mixing?eps=0.25&seed=2' govern/mixing2.json)"
+govern_status=$(fetch GET /metrics govern/metrics.prom)
+check "GET /metrics (governed)" 200 "$govern_status"
+if grep -qF 'govern_budget_bytes 100000' "$OUT_DIR/govern/metrics.prom"; then
+    echo "ok    /metrics exposes the configured budget"
+else
+    echo "FAIL  /metrics lacks govern_budget_bytes 100000" >&2
+    failures=$((failures + 1))
+fi
+reclaims=$(awk '/^govern_reclaims_total/ {s += $2} END {print s + 0}' \
+    "$OUT_DIR/govern/metrics.prom")
+if [ "$reclaims" -gt 0 ]; then
+    echo "ok    the governor reclaimed under pressure ($reclaims rounds)"
+else
+    echo "FAIL  govern_reclaims_total stayed zero under a tiny budget" >&2
+    failures=$((failures + 1))
+fi
+for rung in 1 3; do
+    if awk -v r="rung=\"$rung\"" \
+        '$0 ~ /^govern_reclaims_total/ && index($0, r) {found += $2} END {exit !(found > 0)}' \
+        "$OUT_DIR/govern/metrics.prom"; then
+        echo "ok    reclaim ladder fired rung $rung"
+    else
+        echo "FAIL  reclaim ladder never fired rung $rung" >&2
+        failures=$((failures + 1))
+    fi
+done
+# An evicted dataset is not banished: the same query answers again.
+check "GET mixing seed 1 (after reclaim)" 200 \
+    "$(fetch GET '/graphs/Rice-grad/mixing?eps=0.25&seed=1' govern/mixing1-warm.json)"
+
+kill -TERM "$SERVER_PID"
+server_exit=0
+wait "$SERVER_PID" || server_exit=$?
+if [ "$server_exit" -ne 0 ]; then
+    echo "FAIL  governed server exited $server_exit after SIGTERM" >&2
+    cat "$OUT_DIR/govern/stderr.txt" >&2 || true
+    failures=$((failures + 1))
+else
+    echo "ok    governed SIGTERM -> clean exit 0"
+fi
+
 if [ "$failures" -ne 0 ]; then
     echo "serve smoke failed: $failures check(s) misbehaved" >&2
     exit 1
